@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness binaries.
+ *
+ * All measurements are deterministic simulated cycle counts from the
+ * weak-memory machine; a nominal 2.0 GHz clock (the paper's ThunderX2
+ * frequency) converts cycles to seconds for throughput-style numbers.
+ */
+
+#ifndef RISOTTO_BENCH_COMMON_HH
+#define RISOTTO_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <iostream>
+
+#include "support/stats.hh"
+
+namespace risotto::bench
+{
+
+/** Nominal host clock (paper testbed: ThunderX2 at 2.0 GHz). */
+constexpr double ClockHz = 2.0e9;
+
+/** Cycles -> seconds at the nominal clock. */
+inline double
+seconds(std::uint64_t cycles)
+{
+    return static_cast<double>(cycles) / ClockHz;
+}
+
+/** Operations per second given total ops and cycles. */
+inline double
+opsPerSecond(std::uint64_t ops, std::uint64_t cycles)
+{
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(ops) * ClockHz /
+           static_cast<double>(cycles);
+}
+
+/** Print a table followed by a blank line. */
+inline void
+show(const ReportTable &table)
+{
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace risotto::bench
+
+#endif // RISOTTO_BENCH_COMMON_HH

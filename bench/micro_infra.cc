@@ -1,0 +1,113 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the infrastructure itself: the
+ * relation algebra, the litmus enumerator, translation, and machine
+ * stepping throughput. These measure the reproduction's own performance
+ * (host wall-clock), not simulated guest time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dbt/dbt.hh"
+#include "gx86/assembler.hh"
+#include "litmus/enumerate.hh"
+#include "litmus/library.hh"
+#include "mapping/schemes.hh"
+#include "memcore/relation.hh"
+#include "models/model.hh"
+#include "support/rng.hh"
+
+using namespace risotto;
+
+namespace
+{
+
+void
+BM_RelationClosure(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(7);
+    memcore::Relation r(n);
+    for (std::size_t i = 0; i < n * 3; ++i)
+        r.insert(static_cast<memcore::EventId>(rng.below(n)),
+                 static_cast<memcore::EventId>(rng.below(n)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(r.transitiveClosure());
+}
+BENCHMARK(BM_RelationClosure)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_EnumerateMp(benchmark::State &state)
+{
+    const litmus::LitmusTest test = litmus::mp();
+    const models::X86Model model;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            litmus::enumerateBehaviors(test.program, model));
+}
+BENCHMARK(BM_EnumerateMp);
+
+void
+BM_EnumerateSbqUnderArm(benchmark::State &state)
+{
+    const litmus::LitmusTest test = litmus::sbq();
+    const litmus::Program arm = mapping::mapX86ToArm(
+        test.program, mapping::X86ToTcgScheme::Risotto,
+        mapping::TcgToArmScheme::Risotto,
+        mapping::RmwLowering::FencedRmw2);
+    const models::ArmModel model(models::ArmModel::AmoRule::Corrected);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(litmus::enumerateBehaviors(arm, model));
+}
+BENCHMARK(BM_EnumerateSbqUnderArm);
+
+gx86::GuestImage
+loopImage()
+{
+    gx86::Assembler a;
+    a.defineSymbol("main");
+    a.movri(1, 0);
+    a.movri(2, 1000);
+    const auto loop = a.newLabel();
+    a.bind(loop);
+    a.add(1, 2);
+    a.xori(1, 0x5a);
+    a.subi(2, 1);
+    a.cmpri(2, 0);
+    a.jcc(gx86::Cond::Gt, loop);
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    return a.finish("main");
+}
+
+void
+BM_TranslateBlock(benchmark::State &state)
+{
+    const gx86::GuestImage image = loopImage();
+    for (auto _ : state) {
+        dbt::Dbt engine(image, dbt::DbtConfig::risotto());
+        benchmark::DoNotOptimize(engine.lookupOrTranslate(image.entry));
+    }
+}
+BENCHMARK(BM_TranslateBlock);
+
+void
+BM_EmulateLoop(benchmark::State &state)
+{
+    const gx86::GuestImage image = loopImage();
+    dbt::Dbt engine(image, dbt::DbtConfig::risotto());
+    std::uint64_t guest_instructions = 0;
+    for (auto _ : state) {
+        const auto result = engine.run({dbt::ThreadSpec{}});
+        guest_instructions += result.stats.get("machine.instructions");
+    }
+    state.counters["host_instrs/s"] = benchmark::Counter(
+        static_cast<double>(guest_instructions),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EmulateLoop);
+
+} // namespace
+
+BENCHMARK_MAIN();

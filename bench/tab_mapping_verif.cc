@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Figure 7 / Theorem 1 reproduction: verified mapping schemes.
+ *
+ * For every pipeline (frontend scheme x backend scheme x RMW lowering)
+ * the table reports how many corpus tests refine, i.e. every behaviour
+ * of the mapped Arm program under Arm-Cats (corrected) is a behaviour of
+ * the x86 source under x86-TSO. Both stages are also verified
+ * separately (x86 -> TCG IR against the Figure 6 model, TCG IR -> Arm),
+ * and the whole check is repeated over randomly generated programs --
+ * the bounded-model-checking counterpart of the paper's 14k-line Agda
+ * development.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "litmus/check.hh"
+#include "litmus/library.hh"
+#include "litmus/random.hh"
+#include "mapping/schemes.hh"
+#include "models/model.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+
+using namespace risotto;
+using namespace risotto::bench;
+using namespace risotto::litmus;
+using namespace risotto::mapping;
+
+namespace
+{
+
+const models::X86Model kX86;
+const models::TcgModel kTcg;
+const models::ArmModel kArm(models::ArmModel::AmoRule::Corrected);
+
+struct Pipeline
+{
+    const char *label;
+    X86ToTcgScheme frontend;
+    TcgToArmScheme backend;
+    RmwLowering rmw;
+    bool expected_correct;
+};
+
+const Pipeline kPipelines[] = {
+    {"risotto (casal)", X86ToTcgScheme::Risotto, TcgToArmScheme::Risotto,
+     RmwLowering::InlineCasal, true},
+    {"risotto (dmbff;rmw2;dmbff)", X86ToTcgScheme::Risotto,
+     TcgToArmScheme::Risotto, RmwLowering::FencedRmw2, true},
+    {"qemu (rmw1al helper)", X86ToTcgScheme::Qemu, TcgToArmScheme::Qemu,
+     RmwLowering::HelperRmw1AL, false},
+    {"qemu (rmw2al helper)", X86ToTcgScheme::Qemu, TcgToArmScheme::Qemu,
+     RmwLowering::HelperRmw2AL, false},
+    {"no-fences", X86ToTcgScheme::NoFences, TcgToArmScheme::Risotto,
+     RmwLowering::InlineCasal, false},
+};
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Theorem 1 over the litmus corpus "
+                 "(x86 -> TCG IR -> Arm pipelines)\n\n";
+
+    const auto corpus = x86Corpus();
+
+    // --- Full pipelines -----------------------------------------------------
+    {
+        ReportTable table("x86 -> Arm refinement (corpus of " +
+                              std::to_string(corpus.size()) + " tests)",
+                          {"pipeline", "refines", "violations",
+                           "expected"});
+        for (const Pipeline &p : kPipelines) {
+            std::size_t ok = 0;
+            std::size_t bad = 0;
+            for (const LitmusTest &test : corpus) {
+                const Program arm =
+                    mapX86ToArm(test.program, p.frontend, p.backend,
+                                p.rmw);
+                if (checkRefinement(test.program, kX86, arm, kArm)
+                        .correct)
+                    ++ok;
+                else
+                    ++bad;
+            }
+            table.addRow({p.label, std::to_string(ok),
+                          std::to_string(bad),
+                          p.expected_correct ? "all refine"
+                                             : "violations"});
+        }
+        show(table);
+    }
+
+    // --- Stage-separated checks for the verified schemes -------------------
+    {
+        ReportTable table("Per-stage refinement, Risotto schemes",
+                          {"stage", "tests", "refine"});
+        std::size_t s1 = 0;
+        std::size_t s2 = 0;
+        for (const LitmusTest &test : corpus) {
+            const Program ir =
+                mapX86ToTcg(test.program, X86ToTcgScheme::Risotto);
+            if (checkRefinement(test.program, kX86, ir, kTcg).correct)
+                ++s1;
+            const Program arm = mapTcgToArm(ir, TcgToArmScheme::Risotto,
+                                            RmwLowering::InlineCasal);
+            if (checkRefinement(ir, kTcg, arm, kArm).correct)
+                ++s2;
+        }
+        table.addRow({"x86 -> TCG IR (Fig. 7a)",
+                      std::to_string(corpus.size()), std::to_string(s1)});
+        table.addRow({"TCG IR -> Arm (Fig. 7b)",
+                      std::to_string(corpus.size()), std::to_string(s2)});
+        show(table);
+    }
+
+    // --- Random-program sweep ----------------------------------------------
+    {
+        Rng rng(20260706);
+        RandomProgramOptions opts;
+        opts.maxInstrsPerThread = 3;
+        opts.numLocations = 3;
+        opts.rmwPercent = 35;
+        opts.fencePercent = 10;
+        const int programs = 400;
+        std::size_t risotto_ok = 0;
+        std::size_t qemu_ok = 0;
+        for (int i = 0; i < programs; ++i) {
+            const Program src = randomProgram(rng, opts);
+            const Program risotto_arm =
+                mapX86ToArm(src, X86ToTcgScheme::Risotto,
+                            TcgToArmScheme::Risotto,
+                            RmwLowering::InlineCasal);
+            if (checkRefinement(src, kX86, risotto_arm, kArm).correct)
+                ++risotto_ok;
+            const Program qemu_arm =
+                mapX86ToArm(src, X86ToTcgScheme::Qemu,
+                            TcgToArmScheme::Qemu,
+                            RmwLowering::HelperRmw1AL);
+            if (checkRefinement(src, kX86, qemu_arm, kArm).correct)
+                ++qemu_ok;
+        }
+        ReportTable table("Random-program sweep (" +
+                              std::to_string(programs) + " programs)",
+                          {"pipeline", "refine", "violations"});
+        table.addRow({"risotto (casal)", std::to_string(risotto_ok),
+                      std::to_string(programs -
+                                     static_cast<int>(risotto_ok))});
+        table.addRow({"qemu (rmw1al helper)", std::to_string(qemu_ok),
+                      std::to_string(programs -
+                                     static_cast<int>(qemu_ok))});
+        show(table);
+        std::cout << "Expected: the Risotto pipeline refines every "
+                     "program; the QEMU pipeline\nviolates refinement "
+                     "whenever a random program exercises its RMW "
+                     "errors\n(the hand-written MPQ/SBQ shapes above are "
+                     "the minimal such programs).\n";
+    }
+    return 0;
+}

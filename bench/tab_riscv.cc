@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Extension table: x86 -> RISC-V (RVWMO), the other weak ISA the paper's
+ * introduction motivates.
+ *
+ * The standard mapping from the RISC-V specification's memory-model
+ * appendix (trailing FENCE r,rw after loads, leading FENCE rw,w before
+ * stores, fully-ordered amo.aqrl for RMWs, FENCE rw,rw for MFENCE) is
+ * verified by Theorem-1 refinement against the simplified RVWMO model,
+ * alongside the fence-free oracle. Notably, RVWMO needed the same
+ * "fully-ordered AMO" reading that the paper's Arm-Cats strengthening
+ * provides for casal -- RISC-V bakes it into the specification.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "litmus/check.hh"
+#include "litmus/library.hh"
+#include "litmus/random.hh"
+#include "mapping/schemes.hh"
+#include "models/model.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+
+using namespace risotto;
+using namespace risotto::bench;
+using namespace risotto::litmus;
+
+int
+main()
+{
+    std::cout << "Extension: verified x86 -> RISC-V (RVWMO) mapping\n\n";
+
+    const models::X86Model x86;
+    const models::RiscvModel rv;
+
+    ReportTable table("Theorem 1 over the corpus",
+                      {"test", "standard mapping", "fence-free"});
+    std::size_t std_bad = 0;
+    std::size_t free_bad = 0;
+    for (const LitmusTest &test : x86Corpus()) {
+        const Program mapped = mapping::mapX86ToRiscv(test.program);
+        const Program bare =
+            mapping::mapX86ToRiscv(test.program, /*with_fences=*/false);
+        const bool std_ok =
+            checkRefinement(test.program, x86, mapped, rv).correct;
+        const bool free_ok =
+            checkRefinement(test.program, x86, bare, rv).correct;
+        std_bad += std_ok ? 0 : 1;
+        free_bad += free_ok ? 0 : 1;
+        table.addRow({test.program.name,
+                      std_ok ? "refines" : "VIOLATED",
+                      free_ok ? "refines" : "VIOLATED"});
+    }
+    show(table);
+
+    Rng rng(31337);
+    RandomProgramOptions opts;
+    opts.maxInstrsPerThread = 3;
+    opts.rmwPercent = 25;
+    const int programs = 200;
+    std::size_t random_ok = 0;
+    for (int i = 0; i < programs; ++i) {
+        const Program src = randomProgram(rng, opts);
+        if (checkRefinement(src, x86, mapping::mapX86ToRiscv(src), rv)
+                .correct)
+            ++random_ok;
+    }
+    ReportTable rand_table("Random-program sweep",
+                           {"programs", "refine", "violations"});
+    rand_table.addRow({std::to_string(programs),
+                       std::to_string(random_ok),
+                       std::to_string(programs -
+                                      static_cast<int>(random_ok))});
+    show(rand_table);
+
+    std::cout << "Expected: the standard mapping refines everything ("
+              << std_bad << " violations); dropping the fences breaks "
+              << free_bad << " corpus tests.\n"
+              << "The fully-ordered amo.aqrl rule (RISC-V spec A.3.3) "
+                 "plays the role of the paper's\ncasal strengthening: "
+                 "without it, SBQ and SBAL fail exactly as they did on "
+                 "Arm.\n";
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Dynamic host library linker demo (Section 6.2, Figure 11).
+ *
+ * A guest program imports sha256 and sin through its PLT. Run once with
+ * the linker disabled (the guest library implementations are translated,
+ * soft-float and all) and once with the linker enabled (PLT calls
+ * marshal straight into the native host libraries), showing identical
+ * results and the speed difference. Also demonstrates registering a
+ * custom host function through the IDL.
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "gx86/assembler.hh"
+#include "risotto/risotto.hh"
+
+using namespace risotto;
+
+int
+main()
+{
+    // Guest program: digest a buffer, then take sin(0.5), store both.
+    gx86::Assembler a;
+    const gx86::Addr digest_out = a.dataReserve(8);
+    const gx86::Addr sin_out = a.dataReserve(8);
+    const gx86::Addr custom_out = a.dataReserve(8);
+    std::vector<std::uint8_t> buf(2048);
+    for (std::size_t i = 0; i < buf.size(); ++i)
+        buf[i] = static_cast<std::uint8_t>(i ^ (i >> 3));
+    const gx86::Addr data = a.dataBytes(buf);
+
+    const auto start = a.newLabel();
+    a.defineSymbol("main");
+    a.jmp(start);
+    hostlib::emitGuestCryptoLibrary(a);
+    hostlib::emitGuestMathLibrary(a);
+    // A custom import with no guest implementation: only runs
+    // host-linked.
+    a.importFunction("fused_madd");
+    a.bind(start);
+    a.movri(1, static_cast<std::int64_t>(data));
+    a.movri(2, static_cast<std::int64_t>(buf.size()));
+    a.callImport("sha256");
+    a.movri(3, static_cast<std::int64_t>(digest_out));
+    a.store(3, 0, 0);
+    a.movfd(1, 0.5);
+    a.callImport("sin");
+    a.movri(3, static_cast<std::int64_t>(sin_out));
+    a.store(3, 0, 0);
+    a.movri(1, 6);
+    a.movri(2, 7);
+    a.movri(3, 8);
+    a.callImport("fused_madd"); // 6 * 7 + 8
+    a.movri(3, static_cast<std::int64_t>(custom_out));
+    a.store(3, 0, 0);
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    const gx86::GuestImage image = a.finish("main");
+
+    auto report = [&](const char *label, const dbt::RunResult &result) {
+        double sine;
+        const std::uint64_t bits = result.memory->load64(sin_out);
+        std::memcpy(&sine, &bits, sizeof(sine));
+        std::cout << label << ":\n"
+                  << "  sha256 = 0x" << std::hex
+                  << result.memory->load64(digest_out) << std::dec << "\n"
+                  << "  sin(0.5) = " << sine << "\n"
+                  << "  cycles = " << result.makespan << "\n";
+    };
+
+    // Translated guest libraries (tcg-ver: linker off). The custom
+    // import would fault, so use an IDL-described host function for it
+    // even here -- pass an IDL that only names fused_madd.
+    {
+        EmulatorOptions options;
+        options.config = dbt::DbtConfig::tcgVer();
+        options.config.hostLinker = true; // Resolve only fused_madd.
+        options.loadStandardHostLibraries = false;
+        options.extraIdl = "i64 fused_madd(i64, i64, i64);\n";
+        Emulator emulator(image, options);
+        emulator.addHostFunction(
+            "fused_madd",
+            [](const std::vector<std::uint64_t> &args, gx86::Memory &,
+               std::uint64_t &cost) {
+                cost = 4;
+                return args[0] * args[1] + args[2];
+            });
+        const auto result = emulator.run(1);
+        report("translated guest libraries", result);
+        std::cout << "  custom fused_madd(6,7,8) = "
+                  << result.memory->load64(custom_out) << "\n\n";
+    }
+
+    // Host-linked native libraries (full risotto).
+    {
+        EmulatorOptions options;
+        options.extraIdl = "i64 fused_madd(i64, i64, i64);\n";
+        Emulator emulator(image, options);
+        emulator.addHostFunction(
+            "fused_madd",
+            [](const std::vector<std::uint64_t> &args, gx86::Memory &,
+               std::uint64_t &cost) {
+                cost = 4;
+                return args[0] * args[1] + args[2];
+            });
+        const auto result = emulator.run(1);
+        report("host-linked native libraries", result);
+        std::cout << "  linked imports:";
+        for (const std::string &name : emulator.linkedFunctions())
+            std::cout << " " << name;
+        std::cout << "\n\nThe digests match bit for bit; sin differs "
+                     "only in low-order bits\n(independent libm "
+                     "implementations), and the linked run is far "
+                     "faster.\n";
+    }
+    return 0;
+}

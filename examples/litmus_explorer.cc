@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Litmus explorer: walk the paper's litmus corpus, enumerate every
+ * consistent execution under each memory model, apply the mapping
+ * schemes and check Theorem-1 refinement -- an interactive-style tour of
+ * the verification side of the library.
+ *
+ * Usage: litmus_explorer [test-name]
+ */
+
+#include <iostream>
+
+#include "litmus/check.hh"
+#include "litmus/enumerate.hh"
+#include "litmus/library.hh"
+#include "mapping/schemes.hh"
+#include "models/model.hh"
+
+using namespace risotto;
+using namespace risotto::litmus;
+
+namespace
+{
+
+void
+explore(const LitmusTest &test)
+{
+    const models::X86Model x86;
+    const models::ArmModel arm_fixed(models::ArmModel::AmoRule::Corrected);
+    const models::ArmModel arm_orig(models::ArmModel::AmoRule::Original);
+
+    std::cout << "=== " << test.program.name << " ===\n"
+              << test.program.toString()
+              << "interesting outcome: " << test.interesting.toString()
+              << "\n\n";
+
+    EnumerateStats stats;
+    const BehaviorSet x86_behaviors =
+        enumerateBehaviors(test.program, x86, &stats);
+    std::cout << "x86-TSO: " << x86_behaviors.size()
+              << " behaviours from " << stats.consistent
+              << " consistent executions (" << stats.candidates
+              << " candidates)\n";
+    for (const Outcome &o : x86_behaviors)
+        std::cout << "    " << o.toString() << "\n";
+    std::cout << "  interesting outcome is "
+              << (test.interesting.existsIn(x86_behaviors) ? "ALLOWED"
+                                                           : "forbidden")
+              << " in x86\n\n";
+
+    struct PipelineCase
+    {
+        const char *label;
+        mapping::X86ToTcgScheme frontend;
+        mapping::TcgToArmScheme backend;
+        mapping::RmwLowering rmw;
+    };
+    const PipelineCase cases[] = {
+        {"qemu (casal helper)", mapping::X86ToTcgScheme::Qemu,
+         mapping::TcgToArmScheme::Qemu,
+         mapping::RmwLowering::HelperRmw1AL},
+        {"risotto (inline casal)", mapping::X86ToTcgScheme::Risotto,
+         mapping::TcgToArmScheme::Risotto,
+         mapping::RmwLowering::InlineCasal},
+    };
+    for (const PipelineCase &c : cases) {
+        const Program arm = mapping::mapX86ToArm(test.program, c.frontend,
+                                                 c.backend, c.rmw);
+        const auto refinement =
+            checkRefinement(test.program, x86, arm, arm_fixed);
+        std::cout << "  " << c.label << ": "
+                  << (refinement.correct ? "refines x86 (Theorem 1 holds)"
+                                         : "REFINEMENT VIOLATED");
+        if (!refinement.correct) {
+            std::cout << "; new outcomes:";
+            for (const Outcome &o : refinement.newOutcomes)
+                std::cout << " {" << o.toString() << "}";
+        }
+        std::cout << "\n";
+    }
+
+    // The desired Figure 3 mapping under both Arm model variants.
+    const Program desired = mapping::mapX86ToArmDesired(test.program);
+    const bool orig_ok =
+        checkRefinement(test.program, x86, desired, arm_orig).correct;
+    const bool fixed_ok =
+        checkRefinement(test.program, x86, desired, arm_fixed).correct;
+    std::cout << "  desired Fig.3 mapping: original model "
+              << (orig_ok ? "refines" : "VIOLATED") << ", corrected model "
+              << (fixed_ok ? "refines" : "VIOLATED") << "\n\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<LitmusTest> corpus = x86Corpus();
+    if (argc > 1) {
+        const std::string wanted = argv[1];
+        bool found = false;
+        for (const LitmusTest &test : corpus) {
+            if (test.program.name == wanted) {
+                explore(test);
+                found = true;
+            }
+        }
+        if (!found) {
+            std::cerr << "unknown test '" << wanted << "'; available:";
+            for (const LitmusTest &test : corpus)
+                std::cerr << " " << test.program.name;
+            std::cerr << "\n";
+            return 1;
+        }
+        return 0;
+    }
+    for (const LitmusTest &test : corpus)
+        explore(test);
+    return 0;
+}

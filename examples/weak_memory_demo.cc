@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Weak-memory demo: the message-passing idiom translated and executed
+ * end-to-end on the randomized weak-memory machine.
+ *
+ * The incorrect no-fences variant exhibits the weak outcome (a=1, b=0)
+ * that x86 forbids; the QEMU and Risotto variants never do -- the
+ * dynamic counterpart of the axiomatic checks in litmus_explorer.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "dbt/dbt.hh"
+#include "gx86/assembler.hh"
+
+using namespace risotto;
+using dbt::Dbt;
+using dbt::DbtConfig;
+using dbt::ThreadSpec;
+
+int
+main()
+{
+    // MP as a two-thread guest program (role selected by r0).
+    gx86::Assembler a;
+    const gx86::Addr x = a.dataQuad(0);
+    const gx86::Addr y = a.dataQuad(0);
+    (void)y; // Y lives at x+8; the code addresses it relative to X.
+    const gx86::Addr out = a.dataReserve(16);
+    a.defineSymbol("main");
+    const auto reader = a.newLabel();
+    a.movri(3, static_cast<std::int64_t>(x));
+    a.cmpri(0, 0);
+    a.jcc(gx86::Cond::Ne, reader);
+    // Writer: X = 1; Y = 1.
+    a.movri(4, 1);
+    a.store(3, 0, 4);
+    a.store(3, 8, 4);
+    a.hlt();
+    // Reader: a = Y; b = X.
+    a.bind(reader);
+    a.load(5, 3, 8);
+    a.load(6, 3, 0);
+    a.movri(7, static_cast<std::int64_t>(out));
+    a.store(7, 0, 5);
+    a.store(7, 8, 6);
+    a.hlt();
+    const gx86::GuestImage image = a.finish("main");
+
+    std::cout << "Message passing, 600 randomized schedules per variant\n"
+              << "(outcome a=1,b=0 is forbidden by x86-TSO)\n\n";
+    std::cout << std::left << std::setw(12) << "variant" << std::setw(10)
+              << "a=0,b=0" << std::setw(10) << "a=0,b=1" << std::setw(10)
+              << "a=1,b=1" << std::setw(14) << "a=1,b=0(WEAK)" << "\n";
+
+    for (auto config : {DbtConfig::qemuNoFences(), DbtConfig::qemu(),
+                        DbtConfig::tcgVer(), DbtConfig::risotto()}) {
+        Dbt engine(image, config);
+        int counts[2][2] = {};
+        for (std::uint64_t seed = 1; seed <= 600; ++seed) {
+            machine::MachineConfig mc;
+            mc.randomize = true;
+            mc.seed = seed;
+            ThreadSpec writer;
+            ThreadSpec rdr;
+            rdr.regs[0] = 1;
+            const auto result = engine.run({writer, rdr}, mc);
+            if (!result.finished)
+                continue;
+            const auto av = result.memory->load64(out);
+            const auto bv = result.memory->load64(out + 8);
+            counts[av & 1][bv & 1]++;
+        }
+        std::cout << std::setw(12) << config.name << std::setw(10)
+                  << counts[0][0] << std::setw(10) << counts[0][1]
+                  << std::setw(10) << counts[1][1] << std::setw(14)
+                  << counts[1][0]
+                  << (counts[1][0] ? "  <-- translation error!" : "")
+                  << "\n";
+    }
+    std::cout << "\nOnly the fence-free oracle leaks the weak outcome; "
+                 "every correct mapping\n(including QEMU's overly strong "
+                 "one) suppresses it.\n";
+    return 0;
+}

@@ -1,0 +1,323 @@
+#include "aarch/emitter.hh"
+
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace risotto::aarch
+{
+
+std::uint32_t
+CodeBuffer::fetch(CodeAddr addr) const
+{
+    panicIf(addr >= words_.size(), "host pc out of code buffer");
+    return words_[addr];
+}
+
+CodeAddr
+CodeBuffer::append(std::uint32_t word)
+{
+    words_.push_back(word);
+    return static_cast<CodeAddr>(words_.size() - 1);
+}
+
+void
+CodeBuffer::patch(CodeAddr addr, std::uint32_t word)
+{
+    panicIf(addr >= words_.size(), "patch out of code buffer");
+    words_[addr] = word;
+}
+
+std::string
+CodeBuffer::disassemble(CodeAddr from, CodeAddr to) const
+{
+    std::ostringstream os;
+    for (CodeAddr a = from; a < to && a < words_.size(); ++a)
+        os << "  " << a << ":  " << decode(words_[a]).toString() << "\n";
+    return os.str();
+}
+
+Emitter::Label
+Emitter::newLabel()
+{
+    labels_.push_back(-1);
+    return labels_.size() - 1;
+}
+
+void
+Emitter::bind(Label label)
+{
+    panicIf(label >= labels_.size(), "unknown host label");
+    panicIf(labels_[label] >= 0, "host label bound twice");
+    labels_[label] = here();
+}
+
+void
+Emitter::finish()
+{
+    for (const Fixup &f : fixups_) {
+        const std::int64_t bound = labels_[f.label];
+        panicIf(bound < 0, "unbound host label");
+        AInstr instr = decode(buffer_.fetch(f.at));
+        instr.imm = static_cast<std::int32_t>(
+            bound - static_cast<std::int64_t>(f.at));
+        buffer_.patch(f.at, encode(instr));
+    }
+    fixups_.clear();
+}
+
+void
+Emitter::emit(const AInstr &instr)
+{
+    buffer_.append(encode(instr));
+}
+
+void
+Emitter::emitBranch(AInstr instr, Label label)
+{
+    instr.imm = 0;
+    const CodeAddr at = buffer_.append(encode(instr));
+    fixups_.push_back({at, label});
+}
+
+void
+Emitter::nop()
+{
+    emit({});
+}
+
+void
+Emitter::hlt()
+{
+    AInstr i;
+    i.op = AOp::Hlt;
+    emit(i);
+}
+
+void
+Emitter::movImm(XReg rd, std::uint64_t value)
+{
+    AInstr movz;
+    movz.op = AOp::MovZ;
+    movz.rd = rd;
+    movz.shift = 0;
+    movz.imm = static_cast<std::int32_t>(value & 0xffff);
+    emit(movz);
+    for (std::uint8_t half = 1; half < 4; ++half) {
+        const std::uint16_t bits =
+            static_cast<std::uint16_t>(value >> (16 * half));
+        if (bits == 0)
+            continue;
+        AInstr movk;
+        movk.op = AOp::MovK;
+        movk.rd = rd;
+        movk.shift = half;
+        movk.imm = bits;
+        emit(movk);
+    }
+}
+
+namespace
+{
+
+AInstr
+threeReg(AOp op, XReg rd, XReg rn, XReg rm)
+{
+    AInstr i;
+    i.op = op;
+    i.rd = rd;
+    i.rn = rn;
+    i.rm = rm;
+    return i;
+}
+
+AInstr
+memOp(AOp op, XReg rt, XReg rn, std::int32_t off)
+{
+    AInstr i;
+    i.op = op;
+    i.rd = rt;
+    i.rn = rn;
+    i.imm = off;
+    return i;
+}
+
+} // namespace
+
+void Emitter::mov(XReg rd, XReg rn) { emit(threeReg(AOp::MovRR, rd, rn, 0)); }
+void Emitter::ldr(XReg rt, XReg rn, std::int32_t off) { emit(memOp(AOp::Ldr, rt, rn, off)); }
+void Emitter::str(XReg rt, XReg rn, std::int32_t off) { emit(memOp(AOp::Str, rt, rn, off)); }
+void Emitter::ldrb(XReg rt, XReg rn, std::int32_t off) { emit(memOp(AOp::Ldrb, rt, rn, off)); }
+void Emitter::strb(XReg rt, XReg rn, std::int32_t off) { emit(memOp(AOp::Strb, rt, rn, off)); }
+void Emitter::ldar(XReg rt, XReg rn) { emit(memOp(AOp::Ldar, rt, rn, 0)); }
+void Emitter::ldapr(XReg rt, XReg rn) { emit(memOp(AOp::Ldapr, rt, rn, 0)); }
+void Emitter::stlr(XReg rt, XReg rn) { emit(memOp(AOp::Stlr, rt, rn, 0)); }
+void Emitter::ldxr(XReg rt, XReg rn) { emit(memOp(AOp::Ldxr, rt, rn, 0)); }
+void Emitter::stxr(XReg rs, XReg rt, XReg rn) { emit(threeReg(AOp::Stxr, rs, rn, rt)); }
+void Emitter::ldaxr(XReg rt, XReg rn) { emit(memOp(AOp::Ldaxr, rt, rn, 0)); }
+void Emitter::stlxr(XReg rs, XReg rt, XReg rn) { emit(threeReg(AOp::Stlxr, rs, rn, rt)); }
+void Emitter::cas(XReg rs, XReg rt, XReg rn) { emit(threeReg(AOp::Cas, rs, rn, rt)); }
+void Emitter::casal(XReg rs, XReg rt, XReg rn) { emit(threeReg(AOp::Casal, rs, rn, rt)); }
+void Emitter::ldaddal(XReg rs, XReg rt, XReg rn) { emit(threeReg(AOp::Ldaddal, rs, rn, rt)); }
+
+void
+Emitter::dmb(Barrier barrier)
+{
+    AInstr i;
+    i.op = AOp::Dmb;
+    i.barrier = barrier;
+    emit(i);
+}
+
+void Emitter::add(XReg rd, XReg rn, XReg rm) { emit(threeReg(AOp::Add, rd, rn, rm)); }
+void Emitter::sub(XReg rd, XReg rn, XReg rm) { emit(threeReg(AOp::Sub, rd, rn, rm)); }
+void Emitter::and_(XReg rd, XReg rn, XReg rm) { emit(threeReg(AOp::And, rd, rn, rm)); }
+void Emitter::orr(XReg rd, XReg rn, XReg rm) { emit(threeReg(AOp::Orr, rd, rn, rm)); }
+void Emitter::eor(XReg rd, XReg rn, XReg rm) { emit(threeReg(AOp::Eor, rd, rn, rm)); }
+void Emitter::mul(XReg rd, XReg rn, XReg rm) { emit(threeReg(AOp::Mul, rd, rn, rm)); }
+void Emitter::udiv(XReg rd, XReg rn, XReg rm) { emit(threeReg(AOp::Udiv, rd, rn, rm)); }
+
+void
+Emitter::addi(XReg rd, XReg rn, std::int32_t imm)
+{
+    emit(memOp(AOp::AddI, rd, rn, imm));
+}
+
+void
+Emitter::subi(XReg rd, XReg rn, std::int32_t imm)
+{
+    emit(memOp(AOp::SubI, rd, rn, imm));
+}
+
+void
+Emitter::lsli(XReg rd, XReg rn, std::int32_t amount)
+{
+    emit(memOp(AOp::LslI, rd, rn, amount));
+}
+
+void
+Emitter::lsri(XReg rd, XReg rn, std::int32_t amount)
+{
+    emit(memOp(AOp::LsrI, rd, rn, amount));
+}
+
+void
+Emitter::cmp(XReg rn, XReg rm)
+{
+    emit(threeReg(AOp::Cmp, 0, rn, rm));
+}
+
+void
+Emitter::cmpi(XReg rn, std::int32_t imm)
+{
+    emit(memOp(AOp::CmpI, 0, rn, imm));
+}
+
+void
+Emitter::cset(XReg rd, Cond cond)
+{
+    AInstr i;
+    i.op = AOp::Cset;
+    i.cond = cond;
+    i.imm = rd;
+    emit(i);
+}
+
+void
+Emitter::b(Label label)
+{
+    AInstr i;
+    i.op = AOp::B;
+    emitBranch(i, label);
+}
+
+void
+Emitter::bcond(Cond cond, Label label)
+{
+    AInstr i;
+    i.op = AOp::Bcond;
+    i.cond = cond;
+    emitBranch(i, label);
+}
+
+void
+Emitter::cbz(XReg rt, Label label)
+{
+    AInstr i;
+    i.op = AOp::Cbz;
+    i.rd = rt;
+    emitBranch(i, label);
+}
+
+void
+Emitter::cbnz(XReg rt, Label label)
+{
+    AInstr i;
+    i.op = AOp::Cbnz;
+    i.rd = rt;
+    emitBranch(i, label);
+}
+
+void
+Emitter::bl(CodeAddr target)
+{
+    AInstr i;
+    i.op = AOp::Bl;
+    i.imm = static_cast<std::int32_t>(target) -
+            static_cast<std::int32_t>(here());
+    emit(i);
+}
+
+void
+Emitter::blr(XReg rn)
+{
+    AInstr i;
+    i.op = AOp::Blr;
+    i.rd = rn;
+    emit(i);
+}
+
+void
+Emitter::ret()
+{
+    AInstr i;
+    i.op = AOp::Ret;
+    emit(i);
+}
+
+void Emitter::fadd(XReg rd, XReg rn, XReg rm) { emit(threeReg(AOp::Fadd, rd, rn, rm)); }
+void Emitter::fsub(XReg rd, XReg rn, XReg rm) { emit(threeReg(AOp::Fsub, rd, rn, rm)); }
+void Emitter::fmul(XReg rd, XReg rn, XReg rm) { emit(threeReg(AOp::Fmul, rd, rn, rm)); }
+void Emitter::fdiv(XReg rd, XReg rn, XReg rm) { emit(threeReg(AOp::Fdiv, rd, rn, rm)); }
+void Emitter::fsqrt(XReg rd, XReg rn) { emit(threeReg(AOp::Fsqrt, rd, rn, 0)); }
+void Emitter::scvtf(XReg rd, XReg rn) { emit(threeReg(AOp::Scvtf, rd, rn, 0)); }
+void Emitter::fcvtzs(XReg rd, XReg rn) { emit(threeReg(AOp::Fcvtzs, rd, rn, 0)); }
+
+void
+Emitter::helper(std::uint8_t id, std::uint16_t extra)
+{
+    AInstr i;
+    i.op = AOp::Helper;
+    i.helper = id;
+    i.imm = extra;
+    emit(i);
+}
+
+void
+Emitter::exitTb(std::uint32_t slot)
+{
+    AInstr i;
+    i.op = AOp::ExitTb;
+    i.imm = static_cast<std::int32_t>(slot);
+    emit(i);
+}
+
+void
+Emitter::svc()
+{
+    AInstr i;
+    i.op = AOp::Svc;
+    emit(i);
+}
+
+} // namespace risotto::aarch

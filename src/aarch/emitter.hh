@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Host code buffer and emitter.
+ *
+ * The emitter appends 32-bit instruction words to a shared code buffer
+ * (the DBT's translation cache memory) with label-based branch fixups,
+ * exactly like a JIT backend.
+ */
+
+#ifndef RISOTTO_AARCH_EMITTER_HH
+#define RISOTTO_AARCH_EMITTER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aarch/isa.hh"
+
+namespace risotto::aarch
+{
+
+/** Host code address: word index into the code buffer. */
+using CodeAddr = std::uint32_t;
+
+/** The shared host code buffer. */
+class CodeBuffer
+{
+  public:
+    /** Current end-of-code position. */
+    CodeAddr end() const { return static_cast<CodeAddr>(words_.size()); }
+
+    /** Fetch the word at @p addr. */
+    std::uint32_t fetch(CodeAddr addr) const;
+
+    /** Append a word; returns its address. */
+    CodeAddr append(std::uint32_t word);
+
+    /** Overwrite the word at @p addr (branch patching / chaining). */
+    void patch(CodeAddr addr, std::uint32_t word);
+
+    /** Total words emitted. */
+    std::size_t size() const { return words_.size(); }
+
+    /** Disassemble the range [from, to). */
+    std::string disassemble(CodeAddr from, CodeAddr to) const;
+
+  private:
+    std::vector<std::uint32_t> words_;
+};
+
+/** Label-aware instruction emitter over a CodeBuffer. */
+class Emitter
+{
+  public:
+    using Label = std::size_t;
+
+    explicit Emitter(CodeBuffer &buffer) : buffer_(buffer) {}
+
+    CodeAddr here() const { return buffer_.end(); }
+
+    Label newLabel();
+    void bind(Label label);
+
+    /** Resolve all pending fixups; must be called before executing. */
+    void finish();
+
+    // --- Instructions (thin wrappers over encode/append) ------------------
+
+    void nop();
+    void hlt();
+    void movImm(XReg rd, std::uint64_t value); ///< movz/movk sequence
+    void mov(XReg rd, XReg rn);
+    void ldr(XReg rt, XReg rn, std::int32_t off = 0);
+    void str(XReg rt, XReg rn, std::int32_t off = 0);
+    void ldrb(XReg rt, XReg rn, std::int32_t off = 0);
+    void strb(XReg rt, XReg rn, std::int32_t off = 0);
+    void ldar(XReg rt, XReg rn);
+    void ldapr(XReg rt, XReg rn);
+    void stlr(XReg rt, XReg rn);
+    void ldxr(XReg rt, XReg rn);
+    void stxr(XReg rs, XReg rt, XReg rn);
+    void ldaxr(XReg rt, XReg rn);
+    void stlxr(XReg rs, XReg rt, XReg rn);
+    void cas(XReg rs, XReg rt, XReg rn);
+    void casal(XReg rs, XReg rt, XReg rn);
+    void ldaddal(XReg rs, XReg rt, XReg rn);
+    void dmb(Barrier barrier);
+    void add(XReg rd, XReg rn, XReg rm);
+    void sub(XReg rd, XReg rn, XReg rm);
+    void and_(XReg rd, XReg rn, XReg rm);
+    void orr(XReg rd, XReg rn, XReg rm);
+    void eor(XReg rd, XReg rn, XReg rm);
+    void mul(XReg rd, XReg rn, XReg rm);
+    void udiv(XReg rd, XReg rn, XReg rm);
+    void addi(XReg rd, XReg rn, std::int32_t imm);
+    void subi(XReg rd, XReg rn, std::int32_t imm);
+    void lsli(XReg rd, XReg rn, std::int32_t amount);
+    void lsri(XReg rd, XReg rn, std::int32_t amount);
+    void cmp(XReg rn, XReg rm);
+    void cmpi(XReg rn, std::int32_t imm);
+    void cset(XReg rd, Cond cond);
+    void b(Label label);
+    void bcond(Cond cond, Label label);
+    void cbz(XReg rt, Label label);
+    void cbnz(XReg rt, Label label);
+    void bl(CodeAddr target);
+    void blr(XReg rn);
+    void ret();
+    void fadd(XReg rd, XReg rn, XReg rm);
+    void fsub(XReg rd, XReg rn, XReg rm);
+    void fmul(XReg rd, XReg rn, XReg rm);
+    void fdiv(XReg rd, XReg rn, XReg rm);
+    void fsqrt(XReg rd, XReg rn);
+    void scvtf(XReg rd, XReg rn);
+    void fcvtzs(XReg rd, XReg rn);
+    void helper(std::uint8_t id, std::uint16_t extra = 0);
+    void exitTb(std::uint32_t slot);
+    void svc();
+
+  private:
+    struct Fixup
+    {
+        CodeAddr at;
+        Label label;
+    };
+
+    void emit(const AInstr &instr);
+    void emitBranch(AInstr instr, Label label);
+
+    CodeBuffer &buffer_;
+    std::vector<std::int64_t> labels_;
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace risotto::aarch
+
+#endif // RISOTTO_AARCH_EMITTER_HH

@@ -1,0 +1,388 @@
+#include "aarch/isa.hh"
+
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace risotto::aarch
+{
+
+namespace
+{
+
+/** Encoding field classes. */
+enum class Layout
+{
+    None,
+    ThreeReg,  ///< rd, rn, rm
+    MovImm,    ///< rd, shift(2), imm16
+    Mem,       ///< rd(rt), rn, imm14 signed
+    TwoRegImm, ///< rd, rn, imm14 signed (AddI/SubI) or imm6 (shifts)
+    Branch24,  ///< imm24 signed words
+    CondBr,    ///< cond(4), imm20 signed words
+    RegBr,     ///< rd(rt), imm19 signed words (cbz/cbnz)
+    OneReg,    ///< rd only (blr)
+    Dmb,       ///< barrier(2)
+    Helper,    ///< helper(8), imm16
+    Exit,      ///< imm24
+};
+
+Layout
+layoutOf(AOp op)
+{
+    switch (op) {
+      case AOp::Nop:
+      case AOp::Hlt:
+      case AOp::Ret:
+      case AOp::Svc:
+        return Layout::None;
+      case AOp::MovZ:
+      case AOp::MovK:
+        return Layout::MovImm;
+      case AOp::MovRR:
+      case AOp::Add:
+      case AOp::Sub:
+      case AOp::And:
+      case AOp::Orr:
+      case AOp::Eor:
+      case AOp::Mul:
+      case AOp::Udiv:
+      case AOp::Cmp:
+      case AOp::Cas:
+      case AOp::Casal:
+      case AOp::Ldaddal:
+      case AOp::Stxr:
+      case AOp::Stlxr:
+      case AOp::Fadd:
+      case AOp::Fsub:
+      case AOp::Fmul:
+      case AOp::Fdiv:
+      case AOp::Fsqrt:
+      case AOp::Scvtf:
+      case AOp::Fcvtzs:
+        return Layout::ThreeReg;
+      case AOp::Ldr:
+      case AOp::Str:
+      case AOp::Ldrb:
+      case AOp::Strb:
+      case AOp::Ldar:
+      case AOp::Ldapr:
+      case AOp::Stlr:
+      case AOp::Ldxr:
+      case AOp::Ldaxr:
+        return Layout::Mem;
+      case AOp::AddI:
+      case AOp::SubI:
+      case AOp::LslI:
+      case AOp::LsrI:
+      case AOp::CmpI:
+        return Layout::TwoRegImm;
+      case AOp::B:
+      case AOp::Bl:
+        return Layout::Branch24;
+      case AOp::Bcond:
+      case AOp::Cset:
+        return Layout::CondBr;
+      case AOp::Cbz:
+      case AOp::Cbnz:
+        return Layout::RegBr;
+      case AOp::Blr:
+        return Layout::OneReg;
+      case AOp::Dmb:
+        return Layout::Dmb;
+      case AOp::Helper:
+        return Layout::Helper;
+      case AOp::ExitTb:
+        return Layout::Exit;
+    }
+    panic("unknown aarch opcode");
+}
+
+std::uint32_t
+signedField(std::int32_t value, unsigned bits)
+{
+    const std::uint32_t mask = (1u << bits) - 1;
+    return static_cast<std::uint32_t>(value) & mask;
+}
+
+std::int32_t
+signExtend(std::uint32_t value, unsigned bits)
+{
+    const std::uint32_t sign = 1u << (bits - 1);
+    const std::uint32_t mask = (1u << bits) - 1;
+    value &= mask;
+    return static_cast<std::int32_t>((value ^ sign)) -
+           static_cast<std::int32_t>(sign);
+}
+
+} // namespace
+
+std::uint32_t
+encode(const AInstr &i)
+{
+    const std::uint32_t op = static_cast<std::uint32_t>(i.op) << 24;
+    switch (layoutOf(i.op)) {
+      case Layout::None:
+        return op;
+      case Layout::ThreeReg:
+        return op | (static_cast<std::uint32_t>(i.rd & 31) << 19) |
+               (static_cast<std::uint32_t>(i.rn & 31) << 14) |
+               (static_cast<std::uint32_t>(i.rm & 31) << 9);
+      case Layout::MovImm:
+        return op | (static_cast<std::uint32_t>(i.rd & 31) << 19) |
+               (static_cast<std::uint32_t>(i.shift & 3) << 16) |
+               (static_cast<std::uint32_t>(i.imm) & 0xffff);
+      case Layout::Mem:
+        return op | (static_cast<std::uint32_t>(i.rd & 31) << 19) |
+               (static_cast<std::uint32_t>(i.rn & 31) << 14) |
+               signedField(i.imm, 14);
+      case Layout::TwoRegImm:
+        return op | (static_cast<std::uint32_t>(i.rd & 31) << 19) |
+               (static_cast<std::uint32_t>(i.rn & 31) << 14) |
+               signedField(i.imm, 14);
+      case Layout::Branch24:
+        return op | signedField(i.imm, 24);
+      case Layout::CondBr:
+        return op |
+               (static_cast<std::uint32_t>(i.cond) << 20) |
+               signedField(i.imm, 20);
+      case Layout::RegBr:
+        return op | (static_cast<std::uint32_t>(i.rd & 31) << 19) |
+               signedField(i.imm, 19);
+      case Layout::OneReg:
+        return op | (static_cast<std::uint32_t>(i.rd & 31) << 19);
+      case Layout::Dmb:
+        return op | static_cast<std::uint32_t>(i.barrier);
+      case Layout::Helper:
+        return op | (static_cast<std::uint32_t>(i.helper) << 16) |
+               (static_cast<std::uint32_t>(i.imm) & 0xffff);
+      case Layout::Exit:
+        return op | (static_cast<std::uint32_t>(i.imm) & 0xffffff);
+    }
+    panic("unreachable");
+}
+
+AInstr
+decode(std::uint32_t word)
+{
+    AInstr i;
+    i.op = static_cast<AOp>(word >> 24);
+    switch (layoutOf(i.op)) {
+      case Layout::None:
+        break;
+      case Layout::ThreeReg:
+        i.rd = (word >> 19) & 31;
+        i.rn = (word >> 14) & 31;
+        i.rm = (word >> 9) & 31;
+        break;
+      case Layout::MovImm:
+        i.rd = (word >> 19) & 31;
+        i.shift = (word >> 16) & 3;
+        i.imm = static_cast<std::int32_t>(word & 0xffff);
+        break;
+      case Layout::Mem:
+      case Layout::TwoRegImm:
+        i.rd = (word >> 19) & 31;
+        i.rn = (word >> 14) & 31;
+        i.imm = signExtend(word, 14);
+        break;
+      case Layout::Branch24:
+        i.imm = signExtend(word, 24);
+        break;
+      case Layout::CondBr:
+        i.cond = static_cast<Cond>((word >> 20) & 15);
+        i.imm = signExtend(word, 20);
+        break;
+      case Layout::RegBr:
+        i.rd = (word >> 19) & 31;
+        i.imm = signExtend(word, 19);
+        break;
+      case Layout::OneReg:
+        i.rd = (word >> 19) & 31;
+        break;
+      case Layout::Dmb:
+        i.barrier = static_cast<Barrier>(word & 3);
+        break;
+      case Layout::Helper:
+        i.helper = (word >> 16) & 0xff;
+        i.imm = static_cast<std::int32_t>(word & 0xffff);
+        break;
+      case Layout::Exit:
+        i.imm = static_cast<std::int32_t>(word & 0xffffff);
+        break;
+    }
+    return i;
+}
+
+bool
+opReadsMemory(AOp op)
+{
+    switch (op) {
+      case AOp::Ldr:
+      case AOp::Ldrb:
+      case AOp::Ldar:
+      case AOp::Ldapr:
+      case AOp::Ldxr:
+      case AOp::Ldaxr:
+      case AOp::Cas:
+      case AOp::Casal:
+      case AOp::Ldaddal:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+opWritesMemory(AOp op)
+{
+    switch (op) {
+      case AOp::Str:
+      case AOp::Strb:
+      case AOp::Stlr:
+      case AOp::Stxr:
+      case AOp::Stlxr:
+      case AOp::Cas:
+      case AOp::Casal:
+      case AOp::Ldaddal:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+opIsAcquire(AOp op)
+{
+    switch (op) {
+      case AOp::Ldar:
+      case AOp::Ldaxr:
+      case AOp::Casal:
+      case AOp::Ldaddal:
+      case AOp::Ldapr:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+opIsRelease(AOp op)
+{
+    switch (op) {
+      case AOp::Stlr:
+      case AOp::Stlxr:
+      case AOp::Casal:
+      case AOp::Ldaddal:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+AInstr::toString() const
+{
+    std::ostringstream os;
+    auto x = [](XReg r) {
+        return r == Sp ? std::string("sp") : "x" + std::to_string(r);
+    };
+    auto mem = [&]() {
+        return "[" + x(rn) + ", #" + std::to_string(imm) + "]";
+    };
+    switch (op) {
+      case AOp::Nop: os << "nop"; break;
+      case AOp::Hlt: os << "hlt"; break;
+      case AOp::MovZ:
+        os << "movz " << x(rd) << ", #" << imm << ", lsl #" << 16 * shift;
+        break;
+      case AOp::MovK:
+        os << "movk " << x(rd) << ", #" << imm << ", lsl #" << 16 * shift;
+        break;
+      case AOp::MovRR: os << "mov " << x(rd) << ", " << x(rn); break;
+      case AOp::Ldr: os << "ldr " << x(rd) << ", " << mem(); break;
+      case AOp::Str: os << "str " << x(rd) << ", " << mem(); break;
+      case AOp::Ldrb: os << "ldrb " << x(rd) << ", " << mem(); break;
+      case AOp::Strb: os << "strb " << x(rd) << ", " << mem(); break;
+      case AOp::Ldar: os << "ldar " << x(rd) << ", [" << x(rn) << "]"; break;
+      case AOp::Ldapr:
+        os << "ldapr " << x(rd) << ", [" << x(rn) << "]";
+        break;
+      case AOp::Stlr: os << "stlr " << x(rd) << ", [" << x(rn) << "]"; break;
+      case AOp::Ldxr: os << "ldxr " << x(rd) << ", [" << x(rn) << "]"; break;
+      case AOp::Stxr:
+        os << "stxr " << x(rd) << ", " << x(rm) << ", [" << x(rn) << "]";
+        break;
+      case AOp::Ldaxr:
+        os << "ldaxr " << x(rd) << ", [" << x(rn) << "]";
+        break;
+      case AOp::Stlxr:
+        os << "stlxr " << x(rd) << ", " << x(rm) << ", [" << x(rn) << "]";
+        break;
+      case AOp::Cas:
+        os << "cas " << x(rd) << ", " << x(rm) << ", [" << x(rn) << "]";
+        break;
+      case AOp::Casal:
+        os << "casal " << x(rd) << ", " << x(rm) << ", [" << x(rn) << "]";
+        break;
+      case AOp::Ldaddal:
+        os << "ldaddal " << x(rm) << ", " << x(rd) << ", [" << x(rn)
+           << "]";
+        break;
+      case AOp::Dmb:
+        os << "dmb "
+           << (barrier == Barrier::Full
+                   ? "ish"
+                   : (barrier == Barrier::Ld ? "ishld" : "ishst"));
+        break;
+      case AOp::Add: os << "add " << x(rd) << ", " << x(rn) << ", " << x(rm); break;
+      case AOp::Sub: os << "sub " << x(rd) << ", " << x(rn) << ", " << x(rm); break;
+      case AOp::And: os << "and " << x(rd) << ", " << x(rn) << ", " << x(rm); break;
+      case AOp::Orr: os << "orr " << x(rd) << ", " << x(rn) << ", " << x(rm); break;
+      case AOp::Eor: os << "eor " << x(rd) << ", " << x(rn) << ", " << x(rm); break;
+      case AOp::Mul: os << "mul " << x(rd) << ", " << x(rn) << ", " << x(rm); break;
+      case AOp::Udiv: os << "udiv " << x(rd) << ", " << x(rn) << ", " << x(rm); break;
+      case AOp::AddI:
+        os << "add " << x(rd) << ", " << x(rn) << ", #" << imm;
+        break;
+      case AOp::SubI:
+        os << "sub " << x(rd) << ", " << x(rn) << ", #" << imm;
+        break;
+      case AOp::LslI:
+        os << "lsl " << x(rd) << ", " << x(rn) << ", #" << imm;
+        break;
+      case AOp::LsrI:
+        os << "lsr " << x(rd) << ", " << x(rn) << ", #" << imm;
+        break;
+      case AOp::Cmp: os << "cmp " << x(rn) << ", " << x(rm); break;
+      case AOp::CmpI: os << "cmp " << x(rn) << ", #" << imm; break;
+      case AOp::Cset:
+        os << "cset " << x(static_cast<XReg>(imm & 31)) << ", "
+           << gx86::condName(cond);
+        break;
+      case AOp::B: os << "b " << imm; break;
+      case AOp::Bcond:
+        os << "b." << gx86::condName(cond) << " " << imm;
+        break;
+      case AOp::Cbz: os << "cbz " << x(rd) << ", " << imm; break;
+      case AOp::Cbnz: os << "cbnz " << x(rd) << ", " << imm; break;
+      case AOp::Bl: os << "bl " << imm; break;
+      case AOp::Blr: os << "blr " << x(rd); break;
+      case AOp::Ret: os << "ret"; break;
+      case AOp::Fadd: os << "fadd " << x(rd) << ", " << x(rn) << ", " << x(rm); break;
+      case AOp::Fsub: os << "fsub " << x(rd) << ", " << x(rn) << ", " << x(rm); break;
+      case AOp::Fmul: os << "fmul " << x(rd) << ", " << x(rn) << ", " << x(rm); break;
+      case AOp::Fdiv: os << "fdiv " << x(rd) << ", " << x(rn) << ", " << x(rm); break;
+      case AOp::Fsqrt: os << "fsqrt " << x(rd) << ", " << x(rn); break;
+      case AOp::Scvtf: os << "scvtf " << x(rd) << ", " << x(rn); break;
+      case AOp::Fcvtzs: os << "fcvtzs " << x(rd) << ", " << x(rn); break;
+      case AOp::Helper:
+        os << "helper #" << static_cast<unsigned>(helper) << ", #" << imm;
+        break;
+      case AOp::ExitTb: os << "exit_tb #" << imm; break;
+      case AOp::Svc: os << "svc #0"; break;
+    }
+    return os.str();
+}
+
+} // namespace risotto::aarch

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The aarch host instruction set.
+ *
+ * An Arm-like 64-bit ISA with the full weak-memory vocabulary of the
+ * paper: plain LDR/STR, acquire/release and acquirePC accesses
+ * (LDAR/LDAPR/STLR), exclusives (LDXR/STXR, LDAXR/STLXR), single-copy
+ * atomics (CAS/CASAL) and the three DMB barriers. All instructions encode
+ * to fixed-width 32-bit words like real AArch64.
+ */
+
+#ifndef RISOTTO_AARCH_ISA_HH
+#define RISOTTO_AARCH_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "gx86/isa.hh" // Reuse the condition-code vocabulary.
+
+namespace risotto::aarch
+{
+
+/** Host register index: X0..X30, X31 = SP. */
+using XReg = std::uint8_t;
+
+constexpr XReg XRegCount = 32;
+constexpr XReg Lr = 30; ///< Link register.
+constexpr XReg Sp = 31;
+
+/** Condition codes (shared shape with the guest for simplicity). */
+using Cond = gx86::Cond;
+
+/** Barrier domains of DMB. */
+enum class Barrier : std::uint8_t
+{
+    Full, ///< DMB ISH (orders everything)
+    Ld,   ///< DMB ISHLD (orders loads with subsequent accesses)
+    St,   ///< DMB ISHST (orders stores with subsequent stores)
+};
+
+/** Host opcodes (the first byte of every encoded word). */
+enum class AOp : std::uint8_t
+{
+    Nop = 0x00,
+    Hlt = 0x01,
+
+    MovZ = 0x08,  ///< rd <- imm16 << (16*shift)
+    MovK = 0x09,  ///< rd[16*shift +: 16] <- imm16
+    MovRR = 0x0a, ///< rd <- rn
+
+    Ldr = 0x10,   ///< rt <- mem64[rn + imm14]
+    Str = 0x11,   ///< mem64[rn + imm14] <- rt
+    Ldrb = 0x12,  ///< rt <- zx(mem8[rn + imm14])
+    Strb = 0x13,  ///< mem8[rn + imm14] <- rt
+    Ldar = 0x14,  ///< load-acquire
+    Ldapr = 0x15, ///< load-acquirePC (the Q access of Arm-Cats)
+    Stlr = 0x16,  ///< store-release
+    Ldxr = 0x17,  ///< load-exclusive
+    Stxr = 0x18,  ///< store-exclusive: rd <- 0 ok / 1 fail
+    Ldaxr = 0x19, ///< load-acquire-exclusive
+    Stlxr = 0x1a, ///< store-release-exclusive
+    Cas = 0x1b,   ///< plain compare-and-swap: rd(old/expected), rm(new)
+    Casal = 0x1c, ///< acquire+release CAS (full barrier per corrected model)
+    Ldaddal = 0x1d, ///< atomic fetch-add, acquire+release
+
+    Dmb = 0x20, ///< barrier; `barrier` selects Full/Ld/St
+
+    Add = 0x28,
+    Sub = 0x29,
+    And = 0x2a,
+    Orr = 0x2b,
+    Eor = 0x2c,
+    Mul = 0x2d,
+    Udiv = 0x2e,
+    AddI = 0x2f, ///< rd <- rn + imm14 (sign-extended)
+    SubI = 0x30,
+    LslI = 0x31,
+    LsrI = 0x32,
+    Cmp = 0x33,  ///< set NZ flags from rn - rm
+    CmpI = 0x34,
+    Cset = 0x35, ///< rd <- cond(flags) ? 1 : 0
+
+    B = 0x40,     ///< pc-relative word offset
+    Bcond = 0x41,
+    Cbz = 0x42,
+    Cbnz = 0x43,
+    Bl = 0x44,    ///< branch-and-link (X30)
+    Blr = 0x45,   ///< branch to register
+    Ret = 0x46,   ///< branch to X30
+
+    Fadd = 0x50, ///< double-precision on X registers (bit patterns)
+    Fsub = 0x51,
+    Fmul = 0x52,
+    Fdiv = 0x53,
+    Fsqrt = 0x54,
+    Scvtf = 0x55,  ///< int64 -> double
+    Fcvtzs = 0x56, ///< double -> int64
+
+    Helper = 0x60, ///< runtime helper call: id, imm16 extra
+    ExitTb = 0x61, ///< trap back to the DBT dispatcher; imm = exit slot
+    Svc = 0x62,    ///< host syscall (unused by TBs; for native programs)
+};
+
+/** One decoded host instruction. */
+struct AInstr
+{
+    AOp op = AOp::Nop;
+    XReg rd = 0;
+    XReg rn = 0;
+    XReg rm = 0;
+    Cond cond = Cond::Eq;
+    Barrier barrier = Barrier::Full;
+    std::int32_t imm = 0;     ///< imm14/imm16/branch offset (words).
+    std::uint8_t shift = 0;   ///< MovZ/MovK half-word index.
+    std::uint8_t helper = 0;  ///< Helper id.
+
+    /** Disassembly, e.g. "ldr x3, [x1, #16]". */
+    std::string toString() const;
+};
+
+/** Encode to one 32-bit word. */
+std::uint32_t encode(const AInstr &instr);
+
+/** Decode one 32-bit word. @throws PanicError on unknown opcodes. */
+AInstr decode(std::uint32_t word);
+
+/** True when the op reads data memory. */
+bool opReadsMemory(AOp op);
+
+/** True when the op writes data memory. */
+bool opWritesMemory(AOp op);
+
+/** True for load-acquire flavours (LDAR, LDAXR, CAS-AL read half). */
+bool opIsAcquire(AOp op);
+
+/** True for store-release flavours. */
+bool opIsRelease(AOp op);
+
+} // namespace risotto::aarch
+
+#endif // RISOTTO_AARCH_ISA_HH

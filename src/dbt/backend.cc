@@ -1,0 +1,319 @@
+#include "dbt/backend.hh"
+
+#include <map>
+#include <vector>
+
+#include "memcore/fencealg.hh"
+#include "support/error.hh"
+
+namespace risotto::dbt
+{
+
+using aarch::Barrier;
+using aarch::CodeAddr;
+using aarch::Emitter;
+using aarch::XReg;
+using mapping::RmwLowering;
+using mapping::TcgToArmScheme;
+using memcore::FenceKind;
+using tcg::Block;
+using tcg::Instr;
+using tcg::NoTemp;
+using tcg::Op;
+using tcg::TempId;
+
+namespace
+{
+
+constexpr XReg Scratch = 29;
+constexpr XReg AtomicStatus = 26;
+constexpr XReg AtomicScratch = 25;
+
+/** Local-temp register pool (see backend.hh convention). */
+constexpr XReg LocalPool[] = {18, 19, 20, 21, 22, 23, 27};
+
+/** Linear-scan allocation of block-local temps onto the pool. */
+class TempAllocator
+{
+  public:
+    explicit TempAllocator(const Block &block)
+    {
+        // Last use (read or write) of each local temp.
+        for (std::size_t i = 0; i < block.instrs.size(); ++i) {
+            const Instr &instr = block.instrs[i];
+            for (TempId t : instrReads(instr))
+                if (t >= tcg::FirstLocalTemp)
+                    lastUse_[t] = i;
+            const TempId w = instrWrites(instr);
+            if (w >= tcg::FirstLocalTemp)
+                lastUse_[w] = i;
+        }
+        for (XReg r : LocalPool)
+            free_.push_back(r);
+    }
+
+    /** Host register for temp @p t at instruction index @p at. */
+    XReg
+    reg(TempId t, std::size_t at)
+    {
+        if (t < tcg::FirstLocalTemp)
+            return static_cast<XReg>(t); // Globals are pinned.
+        auto it = assigned_.find(t);
+        if (it != assigned_.end())
+            return it->second;
+        panicIf(free_.empty(),
+                "backend register pool exhausted (block too complex)");
+        const XReg r = free_.back();
+        free_.pop_back();
+        assigned_[t] = r;
+        (void)at;
+        return r;
+    }
+
+    /** Release registers whose temps died before instruction @p at. */
+    void
+    expire(std::size_t at)
+    {
+        for (auto it = assigned_.begin(); it != assigned_.end();) {
+            if (lastUse_.at(it->first) < at) {
+                free_.push_back(it->second);
+                it = assigned_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+  private:
+    std::map<TempId, std::size_t> lastUse_;
+    std::map<TempId, XReg> assigned_;
+    std::vector<XReg> free_;
+};
+
+/** Fits the 14-bit signed memory/arith immediate field. */
+bool
+fitsImm14(std::int64_t v)
+{
+    return v >= -8192 && v <= 8191;
+}
+
+} // namespace
+
+aarch::CodeAddr
+Backend::compile(const Block &block, ExitSlotAllocator &slots)
+{
+    Emitter em(buffer_);
+    const CodeAddr entry = em.here();
+    TempAllocator temps(block);
+
+    std::map<std::int32_t, Emitter::Label> labels;
+    auto hostLabel = [&](std::int32_t ir_label) {
+        auto it = labels.find(ir_label);
+        if (it != labels.end())
+            return it->second;
+        const Emitter::Label l = em.newLabel();
+        labels[ir_label] = l;
+        return l;
+    };
+
+    // Compute an address operand into (base, offset) form, spilling large
+    // offsets through the scratch register.
+    auto addrOf = [&](XReg base, std::int64_t off) {
+        if (fitsImm14(off))
+            return std::pair<XReg, std::int32_t>(
+                base, static_cast<std::int32_t>(off));
+        em.movImm(Scratch, static_cast<std::uint64_t>(off));
+        em.add(Scratch, base, Scratch);
+        return std::pair<XReg, std::int32_t>(Scratch, 0);
+    };
+    // Exact address into a single register (for atomics).
+    auto addrReg = [&](XReg base, std::int64_t off) -> XReg {
+        if (off == 0)
+            return base;
+        if (fitsImm14(off)) {
+            em.addi(Scratch, base, static_cast<std::int32_t>(off));
+        } else {
+            em.movImm(Scratch, static_cast<std::uint64_t>(off));
+            em.add(Scratch, base, Scratch);
+        }
+        return Scratch;
+    };
+
+    auto lowerFence = [&](FenceKind kind) {
+        switch (kind) {
+          case FenceKind::Frr:
+          case FenceKind::Frw:
+          case FenceKind::Frm:
+            em.dmb(Barrier::Ld);
+            break;
+          case FenceKind::Fmr:
+            // QEMU demotes Fmr to Frr and emits DMBLD (unsound in
+            // general); the sound lowering is a full barrier.
+            em.dmb(config_.backend == TcgToArmScheme::Qemu
+                       ? Barrier::Ld
+                       : Barrier::Full);
+            break;
+          case FenceKind::Fww:
+            // Figure 7b: DMBST. QEMU never generates Fww but lowers
+            // write fences to DMBFF.
+            em.dmb(config_.backend == TcgToArmScheme::Qemu
+                       ? Barrier::Full
+                       : Barrier::St);
+            break;
+          case FenceKind::Fwr:
+          case FenceKind::Fwm:
+          case FenceKind::Fmw:
+          case FenceKind::Fmm:
+          case FenceKind::Fsc:
+            em.dmb(Barrier::Full);
+            break;
+          case FenceKind::Facq:
+          case FenceKind::Frel:
+            break; // Generate nothing (Figure 7b).
+          default:
+            panic("non-TCG fence reached the backend");
+        }
+    };
+
+    for (std::size_t i = 0; i < block.instrs.size(); ++i) {
+        const Instr &in = block.instrs[i];
+        auto r = [&](TempId t) { return temps.reg(t, i); };
+
+        switch (in.op) {
+          case Op::MovI:
+            em.movImm(r(in.a), static_cast<std::uint64_t>(in.imm));
+            break;
+          case Op::Mov:
+            em.mov(r(in.a), r(in.b));
+            break;
+          case Op::Ld: {
+            const auto [base, off] = addrOf(r(in.b), in.imm);
+            em.ldr(r(in.a), base, off);
+            break;
+          }
+          case Op::Ld8: {
+            const auto [base, off] = addrOf(r(in.b), in.imm);
+            em.ldrb(r(in.a), base, off);
+            break;
+          }
+          case Op::St: {
+            const auto [base, off] = addrOf(r(in.b), in.imm);
+            em.str(r(in.a), base, off);
+            break;
+          }
+          case Op::St8: {
+            const auto [base, off] = addrOf(r(in.b), in.imm);
+            em.strb(r(in.a), base, off);
+            break;
+          }
+          case Op::Add: em.add(r(in.a), r(in.b), r(in.c)); break;
+          case Op::Sub: em.sub(r(in.a), r(in.b), r(in.c)); break;
+          case Op::And: em.and_(r(in.a), r(in.b), r(in.c)); break;
+          case Op::Or: em.orr(r(in.a), r(in.b), r(in.c)); break;
+          case Op::Xor: em.eor(r(in.a), r(in.b), r(in.c)); break;
+          case Op::Mul: em.mul(r(in.a), r(in.b), r(in.c)); break;
+          case Op::Udiv: em.udiv(r(in.a), r(in.b), r(in.c)); break;
+          case Op::Shl: em.lsli(r(in.a), r(in.b),
+                                static_cast<std::int32_t>(in.imm & 63));
+            break;
+          case Op::Shr: em.lsri(r(in.a), r(in.b),
+                                static_cast<std::int32_t>(in.imm & 63));
+            break;
+          case Op::AddI:
+            if (fitsImm14(in.imm)) {
+                em.addi(r(in.a), r(in.b),
+                        static_cast<std::int32_t>(in.imm));
+            } else {
+                em.movImm(Scratch, static_cast<std::uint64_t>(in.imm));
+                em.add(r(in.a), r(in.b), Scratch);
+            }
+            break;
+          case Op::SetCond:
+            em.cmp(r(in.b), r(in.c));
+            em.cset(r(in.a), in.cond);
+            break;
+          case Op::Mb:
+            lowerFence(in.fence);
+            break;
+          case Op::Cas: {
+            const XReg base = addrReg(r(in.b), in.imm);
+            if (config_.rmw == RmwLowering::FencedRmw2) {
+                // Figure 7b: DMBFF; RMW2; DMBFF.
+                em.dmb(Barrier::Full);
+                const auto retry = em.newLabel();
+                const auto done = em.newLabel();
+                em.bind(retry);
+                em.ldxr(r(in.a), base);
+                em.cmp(r(in.a), r(in.c));
+                em.bcond(gx86::Cond::Ne, done);
+                em.stxr(AtomicStatus, r(in.d), base);
+                em.cbnz(AtomicStatus, retry);
+                em.bind(done);
+                em.dmb(Barrier::Full);
+            } else {
+                // Section 6.3: direct casal (expected in, old out).
+                em.mov(r(in.a), r(in.c));
+                em.casal(r(in.a), r(in.d), base);
+            }
+            break;
+          }
+          case Op::Xadd: {
+            const XReg base = addrReg(r(in.b), in.imm);
+            if (config_.rmw == RmwLowering::FencedRmw2) {
+                em.dmb(Barrier::Full);
+                const auto retry = em.newLabel();
+                em.bind(retry);
+                em.ldxr(r(in.a), base);
+                em.add(AtomicScratch, r(in.a), r(in.d));
+                em.stxr(AtomicStatus, AtomicScratch, base);
+                em.cbnz(AtomicStatus, retry);
+                em.dmb(Barrier::Full);
+            } else {
+                em.ldaddal(r(in.a), r(in.d), base);
+            }
+            break;
+          }
+          case Op::SetLabel:
+            em.bind(hostLabel(in.label));
+            break;
+          case Op::Br:
+            em.b(hostLabel(in.label));
+            break;
+          case Op::BrCond:
+            em.cmp(r(in.b), r(in.c));
+            em.bcond(in.cond, hostLabel(in.label));
+            break;
+          case Op::CallHelper:
+            if (in.b != NoTemp)
+                em.mov(HelperArg0, r(in.b));
+            if (in.c != NoTemp)
+                em.mov(HelperArg1, r(in.c));
+            em.helper(static_cast<std::uint8_t>(in.helper),
+                      static_cast<std::uint16_t>(in.imm));
+            if (in.a != NoTemp)
+                em.mov(r(in.a), HelperRet);
+            break;
+          case Op::ExitTb:
+            if (in.b != NoTemp) {
+                em.mov(DynExitReg, r(in.b));
+                em.exitTb(slots.dynamicSlot());
+            } else {
+                const CodeAddr site = em.here();
+                em.exitTb(slots.staticSlot(
+                    static_cast<std::uint64_t>(in.imm), site, false));
+            }
+            break;
+          case Op::GotoTb: {
+            const CodeAddr site = em.here();
+            em.exitTb(slots.staticSlot(static_cast<std::uint64_t>(in.imm),
+                                       site, config_.chaining));
+            break;
+          }
+        }
+        temps.expire(i + 1);
+    }
+    em.finish();
+    return entry;
+}
+
+} // namespace risotto::dbt

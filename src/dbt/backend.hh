@@ -1,0 +1,79 @@
+/**
+ * @file
+ * DBT backend: TCG IR -> aarch host code.
+ *
+ * Implements the TCG IR -> Arm half of the mapping schemes: Risotto's
+ * Figure 7b fence lowering (DMBLD / DMBST / DMBFF by direction, Facq/Frel
+ * elided) versus QEMU's Figure 2 lowering (read fences to DMBLD --
+ * including the unsound Fmr demotion -- and everything else to DMBFF).
+ * Atomic IR ops lower to casal/ldaddal (Section 6.3) or to the fenced
+ * exclusive-pair loop of Figure 7b.
+ *
+ * Register convention: guest registers g0..g15 live permanently in
+ * X0..X15, ZF/SF in X16/X17; block-local temps are linear-scan allocated
+ * from X18..X23+X27; X24..X26 stage helper arguments; X28 carries dynamic
+ * exit targets; X29 is the backend scratch.
+ */
+
+#ifndef RISOTTO_DBT_BACKEND_HH
+#define RISOTTO_DBT_BACKEND_HH
+
+#include <cstdint>
+
+#include "aarch/emitter.hh"
+#include "dbt/config.hh"
+#include "tcg/ir.hh"
+
+namespace risotto::dbt
+{
+
+/** Host registers used for helper argument staging and returns. */
+constexpr aarch::XReg HelperArg0 = 24;
+constexpr aarch::XReg HelperArg1 = 25;
+constexpr aarch::XReg HelperRet = 24;
+constexpr aarch::XReg DynExitReg = 28;
+
+/** Allocates DBT dispatcher exit slots during compilation. */
+class ExitSlotAllocator
+{
+  public:
+    virtual ~ExitSlotAllocator() = default;
+
+    /**
+     * Register a static exit to @p guest_pc.
+     * @param patch_site code-buffer address of the exit_tb word (so a
+     *        chainable exit can later be patched into a direct branch).
+     * @param chainable true for goto_tb exits.
+     */
+    virtual std::uint32_t staticSlot(std::uint64_t guest_pc,
+                                     aarch::CodeAddr patch_site,
+                                     bool chainable) = 0;
+
+    /** The shared dynamic-exit slot (target pc in DynExitReg). */
+    virtual std::uint32_t dynamicSlot() = 0;
+};
+
+/** Compiles optimized TCG blocks into the host code buffer. */
+class Backend
+{
+  public:
+    Backend(aarch::CodeBuffer &buffer, const DbtConfig &config)
+        : buffer_(buffer), config_(config)
+    {
+    }
+
+    /**
+     * Emit host code for @p block.
+     * @return the entry address of the compiled code.
+     */
+    aarch::CodeAddr compile(const tcg::Block &block,
+                            ExitSlotAllocator &slots);
+
+  private:
+    aarch::CodeBuffer &buffer_;
+    const DbtConfig &config_;
+};
+
+} // namespace risotto::dbt
+
+#endif // RISOTTO_DBT_BACKEND_HH

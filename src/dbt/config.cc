@@ -1,0 +1,54 @@
+#include "dbt/config.hh"
+
+namespace risotto::dbt
+{
+
+DbtConfig
+DbtConfig::qemu()
+{
+    DbtConfig c;
+    c.name = "qemu";
+    c.frontend = mapping::X86ToTcgScheme::Qemu;
+    c.backend = mapping::TcgToArmScheme::Qemu;
+    c.rmw = mapping::RmwLowering::HelperRmw1AL;
+    c.hostLinker = false;
+    return c;
+}
+
+DbtConfig
+DbtConfig::qemuNoFences()
+{
+    DbtConfig c;
+    c.name = "no-fences";
+    c.frontend = mapping::X86ToTcgScheme::NoFences;
+    c.backend = mapping::TcgToArmScheme::Qemu;
+    c.rmw = mapping::RmwLowering::HelperRmw1AL;
+    c.hostLinker = false;
+    return c;
+}
+
+DbtConfig
+DbtConfig::tcgVer()
+{
+    DbtConfig c;
+    c.name = "tcg-ver";
+    c.frontend = mapping::X86ToTcgScheme::Risotto;
+    c.backend = mapping::TcgToArmScheme::Risotto;
+    c.rmw = mapping::RmwLowering::HelperRmw1AL;
+    c.hostLinker = false;
+    return c;
+}
+
+DbtConfig
+DbtConfig::risotto()
+{
+    DbtConfig c;
+    c.name = "risotto";
+    c.frontend = mapping::X86ToTcgScheme::Risotto;
+    c.backend = mapping::TcgToArmScheme::Risotto;
+    c.rmw = mapping::RmwLowering::InlineCasal;
+    c.hostLinker = true;
+    return c;
+}
+
+} // namespace risotto::dbt

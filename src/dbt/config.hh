@@ -1,0 +1,54 @@
+/**
+ * @file
+ * DBT configuration: which paper variant to run.
+ *
+ * The four evaluation setups of Section 7.1 are presets:
+ *  - qemu():        vanilla QEMU 6.1.0 mappings (Figure 2) + helper CAS.
+ *  - qemuNoFences():the incorrect fence-free oracle.
+ *  - tcgVer():      QEMU with the verified mappings (Figure 7) only.
+ *  - risotto():     verified mappings + dynamic host linker + inline CAS.
+ */
+
+#ifndef RISOTTO_DBT_CONFIG_HH
+#define RISOTTO_DBT_CONFIG_HH
+
+#include <string>
+
+#include "mapping/schemes.hh"
+#include "tcg/optimizer.hh"
+
+namespace risotto::dbt
+{
+
+/** Full configuration of a DBT instance. */
+struct DbtConfig
+{
+    std::string name = "risotto";
+
+    /** x86 -> TCG IR fence scheme (Figure 2 vs Figure 7a). */
+    mapping::X86ToTcgScheme frontend = mapping::X86ToTcgScheme::Risotto;
+
+    /** TCG IR -> Arm fence lowering (Figure 2 vs Figure 7b). */
+    mapping::TcgToArmScheme backend = mapping::TcgToArmScheme::Risotto;
+
+    /** CAS translation: helper call (QEMU) vs direct casal (Section 6.3).*/
+    mapping::RmwLowering rmw = mapping::RmwLowering::InlineCasal;
+
+    /** IR optimizer toggles (fence merging etc.). */
+    tcg::OptimizerConfig optimizer;
+
+    /** Use the dynamic host library linker (Section 6.2). */
+    bool hostLinker = true;
+
+    /** Patch goto_tb exits into direct branches after first resolution. */
+    bool chaining = true;
+
+    static DbtConfig qemu();
+    static DbtConfig qemuNoFences();
+    static DbtConfig tcgVer();
+    static DbtConfig risotto();
+};
+
+} // namespace risotto::dbt
+
+#endif // RISOTTO_DBT_CONFIG_HH

@@ -1,0 +1,224 @@
+#include "dbt/dbt.hh"
+
+#include "dbt/softfloat.hh"
+#include "support/error.hh"
+#include "tcg/optimizer.hh"
+
+namespace risotto::dbt
+{
+
+using aarch::CodeAddr;
+using machine::Core;
+using machine::Machine;
+using tcg::HelperId;
+
+Dbt::Dbt(const gx86::GuestImage &image, DbtConfig config,
+         const ImportResolver *resolver, HostCallHandler *hostcalls)
+    : image_(image), config_(std::move(config)), resolver_(resolver),
+      hostcalls_(hostcalls), frontend_(image_, config_, resolver_),
+      backend_(code_, config_)
+{
+}
+
+CodeAddr
+Dbt::lookupOrTranslate(gx86::Addr pc)
+{
+    auto it = tbCache_.find(pc);
+    if (it != tbCache_.end()) {
+        stats_.bump("dbt.tb_hits");
+        return it->second;
+    }
+    tcg::Block block = frontend_.translate(pc);
+    stats_.bump("dbt.tbs_translated");
+    stats_.bump("dbt.ir_ops_pre_opt", block.instrs.size());
+    tcg::optimize(block, config_.optimizer, &stats_);
+    stats_.bump("dbt.ir_ops_post_opt", block.instrs.size());
+    const CodeAddr host = backend_.compile(block, *this);
+    stats_.bump("dbt.host_words",
+                code_.end() - host);
+    tbCache_[pc] = host;
+    return host;
+}
+
+std::uint32_t
+Dbt::staticSlot(std::uint64_t guest_pc, CodeAddr patch_site, bool chainable)
+{
+    ExitSlot slot;
+    slot.guestPc = guest_pc;
+    slot.patchSite = patch_site;
+    slot.chainable = chainable;
+    slots_.push_back(slot);
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+std::uint32_t
+Dbt::dynamicSlot()
+{
+    if (!dynSlotMade_) {
+        ExitSlot slot;
+        slot.dynamic = true;
+        slots_.push_back(slot);
+        dynSlot_ = static_cast<std::uint32_t>(slots_.size() - 1);
+        dynSlotMade_ = true;
+    }
+    return dynSlot_;
+}
+
+std::optional<CodeAddr>
+Dbt::onExitTb(std::uint32_t slot_index, Core &core, Machine &machine)
+{
+    (void)machine;
+    panicIf(slot_index >= slots_.size(), "bad exit slot");
+    const ExitSlot slot = slots_[slot_index];
+    const std::uint64_t target_pc =
+        slot.dynamic ? core.x[DynExitReg] : slot.guestPc;
+    if (target_pc == HaltPc)
+        return std::nullopt;
+    const CodeAddr host = lookupOrTranslate(target_pc);
+    if (slot.chainable && config_.chaining) {
+        // Patch the goto_tb into a direct branch (block chaining).
+        aarch::AInstr branch;
+        branch.op = aarch::AOp::B;
+        branch.imm = static_cast<std::int32_t>(host) -
+                     static_cast<std::int32_t>(slot.patchSite);
+        code_.patch(slot.patchSite, aarch::encode(branch));
+        stats_.bump("dbt.chained");
+    }
+    return host;
+}
+
+std::uint64_t
+Dbt::invokeHelper(std::uint8_t id, std::uint16_t extra, Core &core,
+                  Machine &machine)
+{
+    const auto helper = static_cast<HelperId>(id);
+    auto &arg0 = core.x[HelperArg0];
+    auto &arg1 = core.x[HelperArg1];
+    auto &ret = core.x[HelperRet];
+
+    switch (helper) {
+      case HelperId::CasHelper: {
+        // QEMU helper path: a seq-cst GCC builtin, i.e. a full barrier
+        // around an atomic CAS. Expected value follows the x86
+        // convention: guest R0.
+        const std::uint64_t addr = arg0;
+        const std::uint64_t desired = arg1;
+        const std::uint64_t expected = core.x[0];
+        machine.flushStoreBuffer(core);
+        std::uint64_t cost = machine.atomicAccessCost(core, addr);
+        const std::uint64_t old = machine.memory().load64(addr);
+        if (old == expected)
+            machine.directWrite(core, addr, 8, desired);
+        ret = old;
+        machine.stats().bump("machine.cas_ops");
+        return cost + 18;
+      }
+      case HelperId::XaddHelper: {
+        const std::uint64_t addr = arg0;
+        const std::uint64_t addend = arg1;
+        machine.flushStoreBuffer(core);
+        std::uint64_t cost = machine.atomicAccessCost(core, addr);
+        const std::uint64_t old = machine.memory().load64(addr);
+        machine.directWrite(core, addr, 8, old + addend);
+        ret = old;
+        machine.stats().bump("machine.atomic_adds");
+        return cost + 18;
+      }
+      case HelperId::FAdd64: {
+        const auto r = softfloat::add64(arg0, arg1);
+        ret = r.bits;
+        return r.cycles;
+      }
+      case HelperId::FSub64: {
+        const auto r = softfloat::sub64(arg0, arg1);
+        ret = r.bits;
+        return r.cycles;
+      }
+      case HelperId::FMul64: {
+        const auto r = softfloat::mul64(arg0, arg1);
+        ret = r.bits;
+        return r.cycles;
+      }
+      case HelperId::FDiv64: {
+        const auto r = softfloat::div64(arg0, arg1);
+        ret = r.bits;
+        return r.cycles;
+      }
+      case HelperId::FSqrt64: {
+        const auto r = softfloat::sqrt64(arg0);
+        ret = r.bits;
+        return r.cycles;
+      }
+      case HelperId::CvtIF64: {
+        const auto r = softfloat::fromInt64(arg0);
+        ret = r.bits;
+        return r.cycles;
+      }
+      case HelperId::CvtFI64: {
+        const auto r = softfloat::toInt64(arg0);
+        ret = r.bits;
+        return r.cycles;
+      }
+      case HelperId::Syscall:
+        switch (core.x[0]) {
+          case 0: // exit(code = g1)
+            core.exitCode = static_cast<std::int64_t>(core.x[1]);
+            core.halted = true;
+            return 20;
+          case 1: // putchar(g1)
+            core.output.push_back(static_cast<char>(core.x[1]));
+            return 20;
+          case 2: // cycle counter into g0
+            core.x[0] = core.cycles;
+            return 20;
+          default:
+            throw GuestFault("unknown guest syscall " +
+                             std::to_string(core.x[0]));
+        }
+      case HelperId::HostCall:
+        panicIf(!hostcalls_, "host call without a handler");
+        stats_.bump("dbt.host_calls");
+        return hostcalls_->invokeHostFunction(extra, core, machine);
+      case HelperId::None:
+        break;
+    }
+    panic("unknown helper id " + std::to_string(id));
+}
+
+RunResult
+Dbt::run(const std::vector<ThreadSpec> &threads,
+         machine::MachineConfig machine_config,
+         std::uint64_t max_cycles_per_core)
+{
+    auto memory = std::make_shared<gx86::Memory>();
+    memory->loadImage(image_);
+
+    Machine machine(code_, *memory, machine_config);
+    machine.setRuntime(this);
+
+    const CodeAddr entry_host = lookupOrTranslate(image_.entry);
+    for (std::size_t t = 0; t < threads.size(); ++t) {
+        const std::size_t core_index = machine.addCore(entry_host);
+        Core &core = machine.core(core_index);
+        for (std::size_t r = 0; r < gx86::RegCount; ++r)
+            core.x[r] = threads[t].regs[r];
+        // Disjoint guest stacks (guest R15 is the stack pointer).
+        core.x[gx86::Rsp] =
+            gx86::DefaultStackTop - t * 0x40000;
+    }
+
+    RunResult result;
+    result.finished = machine.run(max_cycles_per_core);
+    for (std::size_t t = 0; t < threads.size(); ++t) {
+        result.exitCodes.push_back(machine.core(t).exitCode);
+        result.outputs.push_back(machine.core(t).output);
+    }
+    result.makespan = machine.makespan();
+    result.totalCycles = machine.totalCycles();
+    result.stats = stats_;
+    result.stats.merge(machine.stats());
+    result.memory = std::move(memory);
+    return result;
+}
+
+} // namespace risotto::dbt

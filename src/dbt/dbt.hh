@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The Risotto DBT engine.
+ *
+ * Ties the pipeline together: guest basic blocks are decoded by the
+ * frontend into TCG IR (per the configured x86->IR scheme), optimized
+ * (fence merging, folding, eliminations), compiled by the backend into
+ * the host code buffer (per the IR->Arm scheme), cached by guest pc, and
+ * executed on the weak-memory machine. Translated code re-enters the
+ * engine through exit_tb traps; goto_tb exits are chained (patched into
+ * direct branches) after first resolution, as in QEMU.
+ */
+
+#ifndef RISOTTO_DBT_DBT_HH
+#define RISOTTO_DBT_DBT_HH
+
+#include <array>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aarch/emitter.hh"
+#include "dbt/backend.hh"
+#include "dbt/config.hh"
+#include "dbt/frontend.hh"
+#include "dbt/hostcall.hh"
+#include "dbt/resolver.hh"
+#include "gx86/image.hh"
+#include "machine/machine.hh"
+#include "support/stats.hh"
+
+namespace risotto::dbt
+{
+
+/** One emulated thread's starting register file. */
+struct ThreadSpec
+{
+    std::array<std::uint64_t, gx86::RegCount> regs{};
+};
+
+/** Result of an emulation run. */
+struct RunResult
+{
+    /** True when every thread halted within the cycle budget. */
+    bool finished = false;
+
+    std::vector<std::int64_t> exitCodes;
+    std::vector<std::string> outputs;
+
+    /** Parallel makespan (max per-core cycles) -- the "run time". */
+    std::uint64_t makespan = 0;
+
+    /** Sum of all cores' cycles. */
+    std::uint64_t totalCycles = 0;
+
+    /** Merged translation + machine counters. */
+    StatSet stats;
+
+    /** Final guest memory (for inspection by tests and benches). */
+    std::shared_ptr<gx86::Memory> memory;
+};
+
+/** The DBT engine (QEMU-user-mode analogue). */
+class Dbt : public machine::HelperRuntime, public ExitSlotAllocator
+{
+  public:
+    /**
+     * @param image the guest binary.
+     * @param config variant configuration (see DbtConfig presets).
+     * @param resolver resolves imports to host functions (may be null).
+     * @param hostcalls services resolved host calls (may be null).
+     */
+    Dbt(const gx86::GuestImage &image, DbtConfig config,
+        const ImportResolver *resolver = nullptr,
+        HostCallHandler *hostcalls = nullptr);
+
+    /** Translate (or fetch from the TB cache) the block at @p pc. */
+    aarch::CodeAddr lookupOrTranslate(gx86::Addr pc);
+
+    /**
+     * Emulate @p threads guest threads (all starting at the image entry)
+     * on the weak-memory machine.
+     */
+    RunResult run(const std::vector<ThreadSpec> &threads,
+                  machine::MachineConfig machine_config = {},
+                  std::uint64_t max_cycles_per_core = 500'000'000);
+
+    /** Translation-side statistics (TBs, IR ops, optimizer counters). */
+    const StatSet &stats() const { return stats_; }
+
+    /** The host code buffer (for inspection / disassembly in tests). */
+    const aarch::CodeBuffer &codeBuffer() const { return code_; }
+
+    const DbtConfig &config() const { return config_; }
+
+    // --- machine::HelperRuntime ------------------------------------------
+
+    std::uint64_t invokeHelper(std::uint8_t id, std::uint16_t extra,
+                               machine::Core &core,
+                               machine::Machine &machine) override;
+
+    std::optional<aarch::CodeAddr> onExitTb(std::uint32_t slot,
+                                            machine::Core &core,
+                                            machine::Machine &machine)
+        override;
+
+    // --- ExitSlotAllocator ------------------------------------------------
+
+    std::uint32_t staticSlot(std::uint64_t guest_pc,
+                             aarch::CodeAddr patch_site,
+                             bool chainable) override;
+    std::uint32_t dynamicSlot() override;
+
+  private:
+    struct ExitSlot
+    {
+        bool dynamic = false;
+        std::uint64_t guestPc = 0;
+        aarch::CodeAddr patchSite = 0;
+        bool chainable = false;
+    };
+
+    const gx86::GuestImage &image_;
+    DbtConfig config_;
+    const ImportResolver *resolver_;
+    HostCallHandler *hostcalls_;
+    Frontend frontend_;
+    aarch::CodeBuffer code_;
+    Backend backend_;
+    std::map<gx86::Addr, aarch::CodeAddr> tbCache_;
+    std::vector<ExitSlot> slots_;
+    std::uint32_t dynSlot_ = 0;
+    bool dynSlotMade_ = false;
+    StatSet stats_;
+};
+
+} // namespace risotto::dbt
+
+#endif // RISOTTO_DBT_DBT_HH

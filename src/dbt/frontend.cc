@@ -1,0 +1,350 @@
+#include "dbt/frontend.hh"
+
+#include "gx86/codec.hh"
+#include "support/error.hh"
+#include "support/format.hh"
+
+namespace risotto::dbt
+{
+
+using gx86::Addr;
+using gx86::Cond;
+using gx86::Instruction;
+using gx86::Opcode;
+using mapping::RmwLowering;
+using mapping::X86ToTcgScheme;
+using memcore::FenceKind;
+using tcg::Block;
+using tcg::HelperId;
+using tcg::NoTemp;
+using tcg::TempId;
+namespace b = tcg::build;
+
+Frontend::Frontend(const gx86::GuestImage &image, const DbtConfig &config,
+                   const ImportResolver *resolver)
+    : image_(image), config_(config), resolver_(resolver)
+{
+}
+
+void
+Frontend::emitFlagsFrom(Block &block, TempId value) const
+{
+    const TempId zero = block.newTemp();
+    block.instrs.push_back(b::movi(zero, 0));
+    block.instrs.push_back(b::setcond(Cond::Eq, tcg::TempZf, value, zero));
+    block.instrs.push_back(b::setcond(Cond::Lt, tcg::TempSf, value, zero));
+}
+
+void
+Frontend::emitJcc(Block &block, Cond cond, std::uint64_t taken,
+                  std::uint64_t fallthrough) const
+{
+    const TempId zero = block.newTemp();
+    block.instrs.push_back(b::movi(zero, 0));
+    TempId scrutinee = NoTemp;
+    Cond host_cond = Cond::Eq;
+    switch (cond) {
+      case Cond::Eq:
+        scrutinee = tcg::TempZf;
+        host_cond = Cond::Ne; // Taken when zf != 0.
+        break;
+      case Cond::Ne:
+        scrutinee = tcg::TempZf;
+        host_cond = Cond::Eq;
+        break;
+      case Cond::Lt:
+        scrutinee = tcg::TempSf;
+        host_cond = Cond::Ne;
+        break;
+      case Cond::Ge:
+        scrutinee = tcg::TempSf;
+        host_cond = Cond::Eq;
+        break;
+      case Cond::Le:
+      case Cond::Gt: {
+        const TempId both = block.newTemp();
+        block.instrs.push_back(
+            b::binop(tcg::Op::Or, both, tcg::TempZf, tcg::TempSf));
+        scrutinee = both;
+        host_cond = cond == Cond::Le ? Cond::Ne : Cond::Eq;
+        break;
+      }
+    }
+    const std::int32_t label = block.newLabel();
+    block.instrs.push_back(b::brcond(host_cond, scrutinee, zero, label));
+    block.instrs.push_back(b::gotoTb(fallthrough));
+    block.instrs.push_back(b::setLabel(label));
+    block.instrs.push_back(b::gotoTb(taken));
+}
+
+tcg::Block
+Frontend::translate(Addr pc) const
+{
+    Block block;
+    block.guestPc = pc;
+    bool ends = false;
+    std::size_t count = 0;
+    Addr cur = pc;
+    while (!ends) {
+        if (!image_.inText(cur))
+            throw GuestFault("translating outside text at " +
+                             hexString(cur));
+        const Instruction in =
+            gx86::decode(image_.text.data() + (cur - image_.textBase),
+                         image_.textEnd() - cur);
+        const Addr next = cur + in.length;
+        translateOne(block, in, cur, next, ends);
+        cur = next;
+        if (++count >= MaxBlockInstructions && !ends) {
+            block.instrs.push_back(b::gotoTb(cur));
+            ends = true;
+        }
+    }
+    return block;
+}
+
+void
+Frontend::translateOne(Block &block, const Instruction &in, Addr pc,
+                       Addr next, bool &ends) const
+{
+    auto &code = block.instrs;
+    const auto scheme = config_.frontend;
+    const bool helper_rmw =
+        config_.rmw == RmwLowering::HelperRmw1AL ||
+        config_.rmw == RmwLowering::HelperRmw2AL;
+
+    auto loadWithFences = [&](const tcg::Instr &ld) {
+        if (scheme == X86ToTcgScheme::Qemu)
+            code.push_back(b::mb(FenceKind::Fmr));
+        code.push_back(ld);
+        if (scheme == X86ToTcgScheme::Risotto)
+            code.push_back(b::mb(FenceKind::Frm));
+    };
+    auto storeWithFences = [&](const tcg::Instr &st) {
+        if (scheme == X86ToTcgScheme::Qemu)
+            code.push_back(b::mb(FenceKind::Fmw));
+        if (scheme == X86ToTcgScheme::Risotto)
+            code.push_back(b::mb(FenceKind::Fww));
+        code.push_back(st);
+    };
+    auto g = [](gx86::Reg r) { return static_cast<TempId>(r); };
+    auto branchTarget = [&](std::int32_t off) {
+        return next + static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(off));
+    };
+
+    switch (in.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Hlt:
+        code.push_back(b::exitTb(HaltPc));
+        ends = true;
+        break;
+      case Opcode::MovRI:
+        code.push_back(b::movi(g(in.rd), in.imm));
+        break;
+      case Opcode::MovRR:
+        code.push_back(b::mov(g(in.rd), g(in.rs)));
+        break;
+      case Opcode::Load:
+        loadWithFences(b::ld(g(in.rd), g(in.rb), in.off));
+        break;
+      case Opcode::Load8:
+        loadWithFences(b::ld8(g(in.rd), g(in.rb), in.off));
+        break;
+      case Opcode::Store:
+        storeWithFences(b::st(g(in.rs), g(in.rb), in.off));
+        break;
+      case Opcode::Store8:
+        storeWithFences(b::st8(g(in.rs), g(in.rb), in.off));
+        break;
+      case Opcode::StoreI: {
+        const TempId val = block.newTemp();
+        code.push_back(b::movi(val, in.imm));
+        storeWithFences(b::st(val, g(in.rb), in.off));
+        break;
+      }
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Mul:
+      case Opcode::Udiv: {
+        tcg::Op op = tcg::Op::Add;
+        switch (in.op) {
+          case Opcode::Add: op = tcg::Op::Add; break;
+          case Opcode::Sub: op = tcg::Op::Sub; break;
+          case Opcode::And: op = tcg::Op::And; break;
+          case Opcode::Or: op = tcg::Op::Or; break;
+          case Opcode::Xor: op = tcg::Op::Xor; break;
+          case Opcode::Mul: op = tcg::Op::Mul; break;
+          case Opcode::Udiv: op = tcg::Op::Udiv; break;
+          default: break;
+        }
+        code.push_back(b::binop(op, g(in.rd), g(in.rd), g(in.rs)));
+        emitFlagsFrom(block, g(in.rd));
+        break;
+      }
+      case Opcode::AddI:
+      case Opcode::SubI:
+      case Opcode::AndI:
+      case Opcode::OrI:
+      case Opcode::XorI:
+      case Opcode::MulI: {
+        const TempId rhs = block.newTemp();
+        code.push_back(b::movi(rhs, in.imm));
+        tcg::Op op = tcg::Op::Add;
+        switch (in.op) {
+          case Opcode::AddI: op = tcg::Op::Add; break;
+          case Opcode::SubI: op = tcg::Op::Sub; break;
+          case Opcode::AndI: op = tcg::Op::And; break;
+          case Opcode::OrI: op = tcg::Op::Or; break;
+          case Opcode::XorI: op = tcg::Op::Xor; break;
+          case Opcode::MulI: op = tcg::Op::Mul; break;
+          default: break;
+        }
+        code.push_back(b::binop(op, g(in.rd), g(in.rd), rhs));
+        emitFlagsFrom(block, g(in.rd));
+        break;
+      }
+      case Opcode::ShlI:
+      case Opcode::ShrI:
+        code.push_back(b::shifti(in.op == Opcode::ShlI ? tcg::Op::Shl
+                                                       : tcg::Op::Shr,
+                                 g(in.rd), g(in.rd), in.imm));
+        emitFlagsFrom(block, g(in.rd));
+        break;
+      case Opcode::CmpRR: {
+        const TempId diff = block.newTemp();
+        code.push_back(b::binop(tcg::Op::Sub, diff, g(in.rd), g(in.rs)));
+        emitFlagsFrom(block, diff);
+        break;
+      }
+      case Opcode::CmpRI: {
+        const TempId rhs = block.newTemp();
+        const TempId diff = block.newTemp();
+        code.push_back(b::movi(rhs, in.imm));
+        code.push_back(b::binop(tcg::Op::Sub, diff, g(in.rd), rhs));
+        emitFlagsFrom(block, diff);
+        break;
+      }
+      case Opcode::Jmp:
+        code.push_back(b::gotoTb(branchTarget(in.off)));
+        ends = true;
+        break;
+      case Opcode::Jcc:
+        emitJcc(block, in.cond, branchTarget(in.off), next);
+        ends = true;
+        break;
+      case Opcode::Call: {
+        // Push the return address (a guest store: fenced per scheme).
+        const TempId ra = block.newTemp();
+        code.push_back(b::addi(g(gx86::Rsp), g(gx86::Rsp), -8));
+        code.push_back(b::movi(ra, static_cast<std::int64_t>(next)));
+        storeWithFences(b::st(ra, g(gx86::Rsp), 0));
+        code.push_back(b::gotoTb(branchTarget(in.off)));
+        ends = true;
+        break;
+      }
+      case Opcode::Ret: {
+        const TempId ra = block.newTemp();
+        loadWithFences(b::ld(ra, g(gx86::Rsp), 0));
+        code.push_back(b::addi(g(gx86::Rsp), g(gx86::Rsp), 8));
+        code.push_back(b::exitTbDynamic(ra));
+        ends = true;
+        break;
+      }
+      case Opcode::PltCall: {
+        fatalIf(in.sym >= image_.dynsym.size(),
+                "bad dynamic symbol index in PLT call");
+        const gx86::DynSymbol &dyn = image_.dynsym[in.sym];
+        std::optional<std::uint16_t> host;
+        if (config_.hostLinker && resolver_)
+            host = resolver_->resolve(dyn.name);
+        if (host) {
+            // Host-linked: marshal + native call; execution continues at
+            // the stub's RET.
+            code.push_back(b::callHelper(HelperId::HostCall, NoTemp,
+                                         NoTemp, NoTemp, *host));
+            code.push_back(b::gotoTb(next));
+        } else if (dyn.guestImpl != 0) {
+            // Translate the guest library implementation instead.
+            code.push_back(b::gotoTb(dyn.guestImpl));
+        } else {
+            throw GuestFault("unresolved import '" + dyn.name +
+                             "' at " + hexString(pc));
+        }
+        ends = true;
+        break;
+      }
+      case Opcode::LockCmpxchg: {
+        const TempId expected = block.newTemp();
+        const TempId old = block.newTemp();
+        code.push_back(b::mov(expected, g(0)));
+        if (helper_rmw) {
+            const TempId addr = block.newTemp();
+            code.push_back(b::addi(addr, g(in.rb), in.off));
+            code.push_back(b::callHelper(HelperId::CasHelper, old, addr,
+                                         g(in.rs)));
+        } else {
+            code.push_back(b::cas(old, g(in.rb), in.off, expected,
+                                  g(in.rs)));
+        }
+        code.push_back(b::mov(g(0), old));
+        code.push_back(b::setcond(Cond::Eq, tcg::TempZf, old, expected));
+        break;
+      }
+      case Opcode::LockXadd: {
+        const TempId old = block.newTemp();
+        if (helper_rmw) {
+            const TempId addr = block.newTemp();
+            code.push_back(b::addi(addr, g(in.rb), in.off));
+            code.push_back(b::callHelper(HelperId::XaddHelper, old, addr,
+                                         g(in.rs)));
+        } else {
+            code.push_back(b::xadd(old, g(in.rb), in.off, g(in.rs)));
+        }
+        code.push_back(b::mov(g(in.rs), old));
+        break;
+      }
+      case Opcode::MFence:
+        code.push_back(b::mb(FenceKind::Fsc));
+        break;
+      case Opcode::FAdd:
+      case Opcode::FSub:
+      case Opcode::FMul:
+      case Opcode::FDiv: {
+        HelperId id = HelperId::FAdd64;
+        switch (in.op) {
+          case Opcode::FAdd: id = HelperId::FAdd64; break;
+          case Opcode::FSub: id = HelperId::FSub64; break;
+          case Opcode::FMul: id = HelperId::FMul64; break;
+          case Opcode::FDiv: id = HelperId::FDiv64; break;
+          default: break;
+        }
+        code.push_back(b::callHelper(id, g(in.rd), g(in.rd), g(in.rs)));
+        break;
+      }
+      case Opcode::FSqrt:
+        code.push_back(b::callHelper(HelperId::FSqrt64, g(in.rd),
+                                     g(in.rs), NoTemp));
+        break;
+      case Opcode::CvtIF:
+        code.push_back(b::callHelper(HelperId::CvtIF64, g(in.rd),
+                                     g(in.rs), NoTemp));
+        break;
+      case Opcode::CvtFI:
+        code.push_back(b::callHelper(HelperId::CvtFI64, g(in.rd),
+                                     g(in.rs), NoTemp));
+        break;
+      case Opcode::Syscall:
+        code.push_back(
+            b::callHelper(HelperId::Syscall, g(0), g(0), g(1)));
+        code.push_back(b::gotoTb(next));
+        ends = true;
+        break;
+    }
+}
+
+} // namespace risotto::dbt

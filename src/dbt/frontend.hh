@@ -1,0 +1,57 @@
+/**
+ * @file
+ * DBT frontend: gx86 basic blocks -> TCG IR.
+ *
+ * Implements the x86 -> TCG IR half of the mapping schemes: QEMU's
+ * leading Fmr/Fmw fences (Figure 2), the fence-free oracle, and Risotto's
+ * verified trailing-Frm / leading-Fww scheme (Figure 7a). RMWs become
+ * either QEMU-style helper calls or first-class Cas/Xadd IR ops for the
+ * direct translation of Section 6.3. Floating point lowers to soft-float
+ * helper calls, as in QEMU.
+ */
+
+#ifndef RISOTTO_DBT_FRONTEND_HH
+#define RISOTTO_DBT_FRONTEND_HH
+
+#include "dbt/config.hh"
+#include "dbt/resolver.hh"
+#include "gx86/image.hh"
+#include "tcg/ir.hh"
+
+namespace risotto::dbt
+{
+
+/** Sentinel guest pc meaning "halt this thread". */
+constexpr std::uint64_t HaltPc = 0;
+
+/** Translates guest basic blocks into TCG IR per the configured scheme. */
+class Frontend
+{
+  public:
+    Frontend(const gx86::GuestImage &image, const DbtConfig &config,
+             const ImportResolver *resolver);
+
+    /**
+     * Decode and translate the basic block starting at @p pc.
+     * @throws GuestFault on undecodable code or unresolvable imports.
+     */
+    tcg::Block translate(gx86::Addr pc) const;
+
+    /** Maximum guest instructions per block (QEMU-like TB size cap). */
+    static constexpr std::size_t MaxBlockInstructions = 64;
+
+  private:
+    void translateOne(tcg::Block &block, const gx86::Instruction &in,
+                      gx86::Addr pc, gx86::Addr next, bool &ends) const;
+    void emitFlagsFrom(tcg::Block &block, tcg::TempId value) const;
+    void emitJcc(tcg::Block &block, gx86::Cond cond, std::uint64_t taken,
+                 std::uint64_t fallthrough) const;
+
+    const gx86::GuestImage &image_;
+    const DbtConfig &config_;
+    const ImportResolver *resolver_;
+};
+
+} // namespace risotto::dbt
+
+#endif // RISOTTO_DBT_FRONTEND_HH

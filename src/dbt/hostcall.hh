@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Interface the dynamic host linker implements to service HostCall
+ * helpers: marshal guest arguments, invoke the native host function, and
+ * report the cycles the call consumed (marshaling + native body).
+ */
+
+#ifndef RISOTTO_DBT_HOSTCALL_HH
+#define RISOTTO_DBT_HOSTCALL_HH
+
+#include <cstdint>
+
+#include "machine/machine.hh"
+
+namespace risotto::dbt
+{
+
+/** Services host-linked library calls (Section 6.2). */
+class HostCallHandler
+{
+  public:
+    virtual ~HostCallHandler() = default;
+
+    /**
+     * Invoke host function @p index for @p core.
+     * @return cycles consumed (marshaling plus the native body).
+     */
+    virtual std::uint64_t invokeHostFunction(std::uint16_t index,
+                                             machine::Core &core,
+                                             machine::Machine &machine) = 0;
+};
+
+} // namespace risotto::dbt
+
+#endif // RISOTTO_DBT_HOSTCALL_HH

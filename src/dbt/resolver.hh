@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Interface between the DBT frontend and the dynamic host linker.
+ *
+ * Keeps the DBT decoupled from the linker implementation: the frontend
+ * only needs to know whether a dynamic symbol resolves to a host function
+ * and under which index the HostCall helper should invoke it.
+ */
+
+#ifndef RISOTTO_DBT_RESOLVER_HH
+#define RISOTTO_DBT_RESOLVER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace risotto::dbt
+{
+
+/** Resolves imported guest symbols to host library function indices. */
+class ImportResolver
+{
+  public:
+    virtual ~ImportResolver() = default;
+
+    /**
+     * Host function index for import @p name, or nullopt when the symbol
+     * must fall back to the translated guest implementation.
+     */
+    virtual std::optional<std::uint16_t>
+    resolve(const std::string &name) const = 0;
+};
+
+} // namespace risotto::dbt
+
+#endif // RISOTTO_DBT_RESOLVER_HH

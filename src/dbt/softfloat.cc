@@ -1,0 +1,304 @@
+#include "dbt/softfloat.hh"
+
+#include <cmath>
+#include <cstring>
+
+namespace risotto::dbt::softfloat
+{
+
+namespace
+{
+
+constexpr std::uint64_t SignMask = 0x8000'0000'0000'0000ULL;
+constexpr std::uint64_t FracMask = 0x000f'ffff'ffff'ffffULL;
+constexpr std::uint64_t ImplicitBit = 0x0010'0000'0000'0000ULL;
+constexpr int ExpBits = 11;
+constexpr int ExpMax = (1 << ExpBits) - 1; // 2047
+constexpr int Bias = 1023;
+constexpr std::uint64_t QuietNaN = 0x7ff8'0000'0000'0000ULL;
+
+struct Unpacked
+{
+    bool sign;
+    int exp;          ///< Biased exponent field.
+    std::uint64_t frac;
+    bool isZero;      ///< Includes flushed subnormals.
+    bool isInf;
+    bool isNaN;
+    std::uint64_t mant; ///< 53-bit significand with implicit bit.
+};
+
+Unpacked
+unpack(std::uint64_t bits)
+{
+    Unpacked u;
+    u.sign = bits >> 63;
+    u.exp = static_cast<int>((bits >> 52) & ExpMax);
+    u.frac = bits & FracMask;
+    u.isNaN = u.exp == ExpMax && u.frac != 0;
+    u.isInf = u.exp == ExpMax && u.frac == 0;
+    // Subnormals flush to zero (documented deviation from IEEE).
+    u.isZero = u.exp == 0;
+    u.mant = u.isZero ? 0 : (u.frac | ImplicitBit);
+    return u;
+}
+
+std::uint64_t
+packZero(bool sign)
+{
+    return sign ? SignMask : 0;
+}
+
+std::uint64_t
+packInf(bool sign)
+{
+    return (sign ? SignMask : 0) | (static_cast<std::uint64_t>(ExpMax)
+                                    << 52);
+}
+
+/**
+ * Round and pack a significand.
+ *
+ * @param sign result sign.
+ * @param exp biased exponent such that the value is mant * 2^(exp-1023-55)
+ *        ... i.e. @p mant has the leading 1 at bit 55 (52 fraction bits
+ *        plus guard, round, sticky).
+ * @param mant 56-bit significand with 3 extra low bits (g/r/s).
+ */
+std::uint64_t
+roundPack(bool sign, int exp, std::uint64_t mant)
+{
+    if (mant == 0)
+        return packZero(sign);
+    // Values normalized too high (carry out of an add): shift down,
+    // folding lost bits into sticky.
+    while (mant >> 56) {
+        mant = (mant >> 1) | (mant & 1);
+        ++exp;
+    }
+    // Normalize so the leading bit sits at position 55.
+    while ((mant & (1ULL << 55)) == 0) {
+        mant <<= 1;
+        --exp;
+    }
+    // Round to nearest, ties to even.
+    const std::uint64_t grs = mant & 7;
+    mant >>= 3;
+    if (grs > 4 || (grs == 4 && (mant & 1)))
+        ++mant;
+    if (mant & (1ULL << 53)) { // Rounding carried out.
+        mant >>= 1;
+        ++exp;
+    }
+    if (exp >= ExpMax)
+        return packInf(sign);
+    if (exp <= 0)
+        return packZero(sign); // Flush-to-zero on underflow.
+    return (sign ? SignMask : 0) |
+           (static_cast<std::uint64_t>(exp) << 52) | (mant & FracMask);
+}
+
+std::uint64_t
+addMagnitudes(bool sign, Unpacked big, Unpacked small)
+{
+    // big.exp >= small.exp; 3 guard bits.
+    std::uint64_t mb = big.mant << 3;
+    std::uint64_t ms = small.mant << 3;
+    const int d = big.exp - small.exp;
+    if (d >= 60) {
+        ms = small.mant ? 1 : 0; // Pure sticky.
+    } else if (d > 0) {
+        const std::uint64_t lost = ms & ((1ULL << d) - 1);
+        ms = (ms >> d) | (lost ? 1 : 0);
+    }
+    const std::uint64_t sum = mb + ms;
+    return roundPack(sign, big.exp, sum);
+}
+
+std::uint64_t
+subMagnitudes(Unpacked big, Unpacked small, bool sign_if_equal)
+{
+    // |big| >= |small| must hold except for equal magnitudes.
+    std::uint64_t mb = big.mant << 3;
+    std::uint64_t ms = small.mant << 3;
+    const int d = big.exp - small.exp;
+    if (d >= 60) {
+        ms = small.mant ? 1 : 0;
+    } else if (d > 0) {
+        const std::uint64_t lost = ms & ((1ULL << d) - 1);
+        ms = (ms >> d) | (lost ? 1 : 0);
+    }
+    if (d == 0 && mb == ms)
+        return packZero(sign_if_equal);
+    bool sign = big.sign;
+    std::uint64_t diff;
+    if (mb >= ms) {
+        diff = mb - ms;
+    } else {
+        diff = ms - mb;
+        sign = small.sign;
+    }
+    return roundPack(sign, big.exp, diff);
+}
+
+std::uint64_t
+addImpl(std::uint64_t a_bits, std::uint64_t b_bits)
+{
+    Unpacked a = unpack(a_bits);
+    Unpacked b = unpack(b_bits);
+    if (a.isNaN || b.isNaN)
+        return QuietNaN;
+    if (a.isInf && b.isInf)
+        return a.sign == b.sign ? packInf(a.sign) : QuietNaN;
+    if (a.isInf)
+        return packInf(a.sign);
+    if (b.isInf)
+        return packInf(b.sign);
+    if (a.isZero && b.isZero)
+        return packZero(a.sign && b.sign);
+    if (a.isZero)
+        return b_bits;
+    if (b.isZero)
+        return a_bits;
+    // Order by magnitude.
+    const bool a_big = (a.exp > b.exp) ||
+                       (a.exp == b.exp && a.mant >= b.mant);
+    const Unpacked &big = a_big ? a : b;
+    const Unpacked &small = a_big ? b : a;
+    if (a.sign == b.sign)
+        return addMagnitudes(a.sign, big, small);
+    return subMagnitudes(big, small, /*sign_if_equal=*/false);
+}
+
+std::uint64_t
+mulImpl(std::uint64_t a_bits, std::uint64_t b_bits)
+{
+    Unpacked a = unpack(a_bits);
+    Unpacked b = unpack(b_bits);
+    const bool sign = a.sign != b.sign;
+    if (a.isNaN || b.isNaN)
+        return QuietNaN;
+    if (a.isInf || b.isInf) {
+        if (a.isZero || b.isZero)
+            return QuietNaN; // inf * 0
+        return packInf(sign);
+    }
+    if (a.isZero || b.isZero)
+        return packZero(sign);
+    // 53 x 53 -> 106-bit product; leading bit at 105 or 104.
+    const unsigned __int128 prod =
+        static_cast<unsigned __int128>(a.mant) * b.mant;
+    // Target: leading bit at position 55 with sticky in bit 0.
+    // Shift down by 50 (or 49), folding lost bits into sticky.
+    int exp = a.exp + b.exp - Bias + 1;
+    const int shift = 50;
+    std::uint64_t mant = static_cast<std::uint64_t>(prod >> shift);
+    const bool sticky =
+        (prod & ((static_cast<unsigned __int128>(1) << shift) - 1)) != 0;
+    mant |= sticky ? 1 : 0;
+    // roundPack normalizes (leading bit may be at 54).
+    return roundPack(sign, exp, mant);
+}
+
+std::uint64_t
+divImpl(std::uint64_t a_bits, std::uint64_t b_bits)
+{
+    Unpacked a = unpack(a_bits);
+    Unpacked b = unpack(b_bits);
+    const bool sign = a.sign != b.sign;
+    if (a.isNaN || b.isNaN)
+        return QuietNaN;
+    if (a.isInf)
+        return b.isInf ? QuietNaN : packInf(sign);
+    if (b.isInf)
+        return packZero(sign);
+    if (b.isZero)
+        return a.isZero ? QuietNaN : packInf(sign);
+    if (a.isZero)
+        return packZero(sign);
+    // Quotient with 55 fraction bits plus sticky from the remainder.
+    const unsigned __int128 num = static_cast<unsigned __int128>(a.mant)
+                                  << 58;
+    const unsigned __int128 q128 = num / b.mant;
+    const bool sticky = (num % b.mant) != 0;
+    // q has its leading bit at position 58 or 57 (mant_a in [1,2) over
+    // mant_b in [1,2) gives quotient in (0.5, 2)).
+    std::uint64_t q = static_cast<std::uint64_t>(q128);
+    int exp = a.exp - b.exp + Bias;
+    // Bring leading bit to position 55, folding shifted-out bits plus
+    // remainder into sticky.
+    std::uint64_t folded_sticky = sticky ? 1 : 0;
+    while (q & ~((1ULL << 56) - 1)) {
+        folded_sticky |= q & 1;
+        q >>= 1;
+        ++exp;
+    }
+    q |= folded_sticky;
+    return roundPack(sign, exp - 3, q);
+}
+
+double
+asDouble(std::uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+std::uint64_t
+asBits(double d)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+}
+
+} // namespace
+
+SoftResult
+add64(std::uint64_t a, std::uint64_t b)
+{
+    return {addImpl(a, b), 55};
+}
+
+SoftResult
+sub64(std::uint64_t a, std::uint64_t b)
+{
+    return {addImpl(a, b ^ SignMask), 55};
+}
+
+SoftResult
+mul64(std::uint64_t a, std::uint64_t b)
+{
+    return {mulImpl(a, b), 70};
+}
+
+SoftResult
+div64(std::uint64_t a, std::uint64_t b)
+{
+    return {divImpl(a, b), 140};
+}
+
+SoftResult
+sqrt64(std::uint64_t a)
+{
+    // Host's correctly-rounded sqrt, charged at software cost.
+    return {asBits(std::sqrt(asDouble(a))), 220};
+}
+
+SoftResult
+fromInt64(std::uint64_t a)
+{
+    return {asBits(static_cast<double>(static_cast<std::int64_t>(a))),
+            30};
+}
+
+SoftResult
+toInt64(std::uint64_t a)
+{
+    return {static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(asDouble(a))),
+            30};
+}
+
+} // namespace risotto::dbt::softfloat

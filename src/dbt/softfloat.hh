@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Software IEEE-754 double-precision arithmetic.
+ *
+ * QEMU emulates guest floating point with a software implementation
+ * (Section 7.3, "Floating point emulation"); this is the equivalent
+ * substrate. Add/sub/mul/div are implemented in integer arithmetic with
+ * round-to-nearest-even and are bit-exact against hardware for normal
+ * operands; subnormal results flush to zero (documented deviation).
+ * Square root defers to the host's correctly-rounded sqrt but is charged
+ * the software cost.
+ *
+ * Each operation reports a cycle cost reflecting the ~10-20x slowdown of
+ * software FP over native FP units.
+ */
+
+#ifndef RISOTTO_DBT_SOFTFLOAT_HH
+#define RISOTTO_DBT_SOFTFLOAT_HH
+
+#include <cstdint>
+
+namespace risotto::dbt::softfloat
+{
+
+/** Result bits plus the modeled cycle cost of the operation. */
+struct SoftResult
+{
+    std::uint64_t bits;
+    std::uint64_t cycles;
+};
+
+SoftResult add64(std::uint64_t a, std::uint64_t b);
+SoftResult sub64(std::uint64_t a, std::uint64_t b);
+SoftResult mul64(std::uint64_t a, std::uint64_t b);
+SoftResult div64(std::uint64_t a, std::uint64_t b);
+SoftResult sqrt64(std::uint64_t a);
+SoftResult fromInt64(std::uint64_t a); ///< int64 -> double
+SoftResult toInt64(std::uint64_t a);   ///< double -> int64 (truncating)
+
+} // namespace risotto::dbt::softfloat
+
+#endif // RISOTTO_DBT_SOFTFLOAT_HH

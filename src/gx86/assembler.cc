@@ -1,0 +1,426 @@
+#include "gx86/assembler.hh"
+
+#include <cstring>
+
+#include "gx86/codec.hh"
+#include "support/error.hh"
+
+namespace risotto::gx86
+{
+
+Assembler::Assembler(Addr text_base, Addr data_base)
+{
+    image_.textBase = text_base;
+    image_.dataBase = data_base;
+    image_.entry = text_base;
+}
+
+Assembler::Label
+Assembler::newLabel()
+{
+    labels_.push_back(-1);
+    return labels_.size() - 1;
+}
+
+void
+Assembler::bind(Label label)
+{
+    panicIf(label >= labels_.size(), "unknown label");
+    panicIf(labels_[label] >= 0, "label bound twice");
+    labels_[label] = static_cast<std::int64_t>(image_.text.size());
+}
+
+void
+Assembler::defineSymbol(const std::string &name)
+{
+    image_.symbols.push_back({name, here()});
+}
+
+Addr
+Assembler::here() const
+{
+    return image_.textBase + image_.text.size();
+}
+
+void
+Assembler::importFunction(const std::string &name)
+{
+    for (const DynSymbol &d : image_.dynsym)
+        fatalIf(d.name == name, "function imported twice: " + name);
+    DynSymbol dyn;
+    dyn.name = name;
+    dyn.pltAddr = here();
+    const std::uint16_t index =
+        static_cast<std::uint16_t>(image_.dynsym.size());
+    image_.dynsym.push_back(dyn);
+    image_.symbols.push_back({name + "@plt", here()});
+    // The stub: a PltCall that the runtime resolves (host-linked native
+    // call or jump to the guest implementation), then return to caller.
+    Instruction stub;
+    stub.op = Opcode::PltCall;
+    stub.sym = index;
+    emit(stub);
+    Instruction ret;
+    ret.op = Opcode::Ret;
+    emit(ret);
+}
+
+void
+Assembler::bindGuestImplHere(const std::string &name)
+{
+    for (DynSymbol &d : image_.dynsym) {
+        if (d.name == name) {
+            d.guestImpl = here();
+            image_.symbols.push_back({name + "@guest", here()});
+            return;
+        }
+    }
+    fatal("bindGuestImplHere: unknown import " + name);
+}
+
+void
+Assembler::callImport(const std::string &name)
+{
+    for (const DynSymbol &d : image_.dynsym) {
+        if (d.name == name) {
+            Instruction call;
+            call.op = Opcode::Call;
+            // Relative to the end of the call instruction (length 5).
+            const Addr next = here() + 5;
+            call.off = static_cast<std::int32_t>(
+                static_cast<std::int64_t>(d.pltAddr) -
+                static_cast<std::int64_t>(next));
+            emit(call);
+            return;
+        }
+    }
+    fatal("callImport: unknown import " + name);
+}
+
+void
+Assembler::callSymbol(const std::string &name)
+{
+    const auto addr = image_.symbolAddr(name);
+    fatalIf(!addr, "callSymbol: unknown symbol " + name);
+    Instruction call;
+    call.op = Opcode::Call;
+    const Addr next = here() + 5;
+    call.off = static_cast<std::int32_t>(static_cast<std::int64_t>(*addr) -
+                                         static_cast<std::int64_t>(next));
+    emit(call);
+}
+
+void
+Assembler::emit(const Instruction &instr)
+{
+    encode(instr, image_.text);
+}
+
+void
+Assembler::emitBranch(Opcode op, Cond cond, Label target)
+{
+    panicIf(target >= labels_.size(), "unknown label");
+    Instruction instr;
+    instr.op = op;
+    instr.cond = cond;
+    instr.off = 0;
+    const std::size_t start = image_.text.size();
+    emit(instr);
+    const std::size_t end = image_.text.size();
+    // rel32 is the final 4 bytes of the encoding for Jmp/Jcc/Call.
+    fixups_.push_back({end - 4, end, target});
+    (void)start;
+}
+
+void
+Assembler::nop()
+{
+    Instruction i;
+    i.op = Opcode::Nop;
+    emit(i);
+}
+
+void
+Assembler::hlt()
+{
+    Instruction i;
+    i.op = Opcode::Hlt;
+    emit(i);
+}
+
+void
+Assembler::movri(Reg rd, std::int64_t imm)
+{
+    Instruction i;
+    i.op = Opcode::MovRI;
+    i.rd = rd;
+    i.imm = imm;
+    emit(i);
+}
+
+void
+Assembler::movrr(Reg rd, Reg rs)
+{
+    Instruction i;
+    i.op = Opcode::MovRR;
+    i.rd = rd;
+    i.rs = rs;
+    emit(i);
+}
+
+void
+Assembler::load(Reg rd, Reg rb, std::int32_t off)
+{
+    Instruction i;
+    i.op = Opcode::Load;
+    i.rd = rd;
+    i.rb = rb;
+    i.off = off;
+    emit(i);
+}
+
+void
+Assembler::store(Reg rb, std::int32_t off, Reg rs)
+{
+    Instruction i;
+    i.op = Opcode::Store;
+    i.rs = rs;
+    i.rb = rb;
+    i.off = off;
+    emit(i);
+}
+
+void
+Assembler::storei(Reg rb, std::int32_t off, std::int32_t imm)
+{
+    Instruction i;
+    i.op = Opcode::StoreI;
+    i.rb = rb;
+    i.off = off;
+    i.imm = imm;
+    emit(i);
+}
+
+void
+Assembler::load8(Reg rd, Reg rb, std::int32_t off)
+{
+    Instruction i;
+    i.op = Opcode::Load8;
+    i.rd = rd;
+    i.rb = rb;
+    i.off = off;
+    emit(i);
+}
+
+void
+Assembler::store8(Reg rb, std::int32_t off, Reg rs)
+{
+    Instruction i;
+    i.op = Opcode::Store8;
+    i.rs = rs;
+    i.rb = rb;
+    i.off = off;
+    emit(i);
+}
+
+namespace
+{
+
+Instruction
+rr(Opcode op, Reg rd, Reg rs)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs = rs;
+    return i;
+}
+
+Instruction
+ri(Opcode op, Reg rd, std::int64_t imm)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.imm = imm;
+    return i;
+}
+
+} // namespace
+
+void Assembler::add(Reg rd, Reg rs) { emit(rr(Opcode::Add, rd, rs)); }
+void Assembler::sub(Reg rd, Reg rs) { emit(rr(Opcode::Sub, rd, rs)); }
+void Assembler::and_(Reg rd, Reg rs) { emit(rr(Opcode::And, rd, rs)); }
+void Assembler::or_(Reg rd, Reg rs) { emit(rr(Opcode::Or, rd, rs)); }
+void Assembler::xor_(Reg rd, Reg rs) { emit(rr(Opcode::Xor, rd, rs)); }
+void Assembler::mul(Reg rd, Reg rs) { emit(rr(Opcode::Mul, rd, rs)); }
+void Assembler::udiv(Reg rd, Reg rs) { emit(rr(Opcode::Udiv, rd, rs)); }
+
+void Assembler::addi(Reg rd, std::int32_t v) { emit(ri(Opcode::AddI, rd, v)); }
+void Assembler::subi(Reg rd, std::int32_t v) { emit(ri(Opcode::SubI, rd, v)); }
+void Assembler::andi(Reg rd, std::int32_t v) { emit(ri(Opcode::AndI, rd, v)); }
+void Assembler::ori(Reg rd, std::int32_t v) { emit(ri(Opcode::OrI, rd, v)); }
+void Assembler::xori(Reg rd, std::int32_t v) { emit(ri(Opcode::XorI, rd, v)); }
+void Assembler::muli(Reg rd, std::int32_t v) { emit(ri(Opcode::MulI, rd, v)); }
+
+void
+Assembler::shli(Reg rd, std::uint8_t amount)
+{
+    emit(ri(Opcode::ShlI, rd, amount));
+}
+
+void
+Assembler::shri(Reg rd, std::uint8_t amount)
+{
+    emit(ri(Opcode::ShrI, rd, amount));
+}
+
+void
+Assembler::cmprr(Reg ra, Reg rb)
+{
+    emit(rr(Opcode::CmpRR, ra, rb));
+}
+
+void
+Assembler::cmpri(Reg ra, std::int32_t imm)
+{
+    emit(ri(Opcode::CmpRI, ra, imm));
+}
+
+void
+Assembler::jmp(Label target)
+{
+    emitBranch(Opcode::Jmp, Cond::Eq, target);
+}
+
+void
+Assembler::jcc(Cond cond, Label target)
+{
+    emitBranch(Opcode::Jcc, cond, target);
+}
+
+void
+Assembler::call(Label target)
+{
+    emitBranch(Opcode::Call, Cond::Eq, target);
+}
+
+void
+Assembler::ret()
+{
+    Instruction i;
+    i.op = Opcode::Ret;
+    emit(i);
+}
+
+void
+Assembler::lockCmpxchg(Reg rb, std::int32_t off, Reg rs)
+{
+    Instruction i;
+    i.op = Opcode::LockCmpxchg;
+    i.rs = rs;
+    i.rb = rb;
+    i.off = off;
+    emit(i);
+}
+
+void
+Assembler::lockXadd(Reg rb, std::int32_t off, Reg rs)
+{
+    Instruction i;
+    i.op = Opcode::LockXadd;
+    i.rs = rs;
+    i.rb = rb;
+    i.off = off;
+    emit(i);
+}
+
+void
+Assembler::mfence()
+{
+    Instruction i;
+    i.op = Opcode::MFence;
+    emit(i);
+}
+
+void Assembler::fadd(Reg rd, Reg rs) { emit(rr(Opcode::FAdd, rd, rs)); }
+void Assembler::fsub(Reg rd, Reg rs) { emit(rr(Opcode::FSub, rd, rs)); }
+void Assembler::fmul(Reg rd, Reg rs) { emit(rr(Opcode::FMul, rd, rs)); }
+void Assembler::fdiv(Reg rd, Reg rs) { emit(rr(Opcode::FDiv, rd, rs)); }
+void Assembler::fsqrt(Reg rd, Reg rs) { emit(rr(Opcode::FSqrt, rd, rs)); }
+void Assembler::cvtif(Reg rd, Reg rs) { emit(rr(Opcode::CvtIF, rd, rs)); }
+void Assembler::cvtfi(Reg rd, Reg rs) { emit(rr(Opcode::CvtFI, rd, rs)); }
+
+void
+Assembler::syscall()
+{
+    Instruction i;
+    i.op = Opcode::Syscall;
+    emit(i);
+}
+
+void
+Assembler::movfd(Reg rd, double value)
+{
+    std::int64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    movri(rd, bits);
+}
+
+Addr
+Assembler::dataReserve(std::size_t bytes, std::size_t align)
+{
+    while (image_.data.size() % align != 0)
+        image_.data.push_back(0);
+    const Addr addr = image_.dataBase + image_.data.size();
+    image_.data.resize(image_.data.size() + bytes, 0);
+    return addr;
+}
+
+Addr
+Assembler::dataQuad(std::uint64_t value)
+{
+    const Addr addr = dataReserve(8, 8);
+    for (int i = 0; i < 8; ++i)
+        image_.data[addr - image_.dataBase + i] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+    return addr;
+}
+
+Addr
+Assembler::dataBytes(const std::vector<std::uint8_t> &bytes)
+{
+    const Addr addr = dataReserve(bytes.size(), 1);
+    std::copy(bytes.begin(), bytes.end(),
+              image_.data.begin() +
+                  static_cast<std::ptrdiff_t>(addr - image_.dataBase));
+    return addr;
+}
+
+GuestImage
+Assembler::finish(const std::string &entry_symbol)
+{
+    for (const Fixup &f : fixups_) {
+        const std::int64_t bound = labels_[f.label];
+        fatalIf(bound < 0, "unbound label at finish()");
+        const std::int64_t rel =
+            bound - static_cast<std::int64_t>(f.nextOffset);
+        const auto rel32 = static_cast<std::uint32_t>(rel);
+        image_.text[f.patchOffset + 0] = static_cast<std::uint8_t>(rel32);
+        image_.text[f.patchOffset + 1] =
+            static_cast<std::uint8_t>(rel32 >> 8);
+        image_.text[f.patchOffset + 2] =
+            static_cast<std::uint8_t>(rel32 >> 16);
+        image_.text[f.patchOffset + 3] =
+            static_cast<std::uint8_t>(rel32 >> 24);
+    }
+    fixups_.clear();
+    if (!entry_symbol.empty()) {
+        const auto addr = image_.symbolAddr(entry_symbol);
+        fatalIf(!addr, "unknown entry symbol " + entry_symbol);
+        image_.entry = *addr;
+    }
+    return image_;
+}
+
+} // namespace risotto::gx86

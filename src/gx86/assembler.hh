@@ -1,0 +1,150 @@
+/**
+ * @file
+ * A programmatic gx86 assembler producing GuestImage binaries.
+ *
+ * Supports forward label references, symbol definition, data-section
+ * allocation, and imported functions with automatically generated PLT
+ * stubs (optionally backed by a guest-library implementation).
+ */
+
+#ifndef RISOTTO_GX86_ASSEMBLER_HH
+#define RISOTTO_GX86_ASSEMBLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gx86/image.hh"
+#include "gx86/isa.hh"
+
+namespace risotto::gx86
+{
+
+/** Builder for gx86 guest binaries. */
+class Assembler
+{
+  public:
+    /** Opaque label handle. */
+    using Label = std::size_t;
+
+    explicit Assembler(Addr text_base = DefaultTextBase,
+                       Addr data_base = DefaultDataBase);
+
+    // --- Labels and symbols ---------------------------------------------
+
+    /** Allocate a fresh, unbound label. */
+    Label newLabel();
+
+    /** Bind @p label to the current text position. */
+    void bind(Label label);
+
+    /** Define a symbol at the current text position. */
+    void defineSymbol(const std::string &name);
+
+    /** Current text address. */
+    Addr here() const;
+
+    // --- Imports / PLT ----------------------------------------------------
+
+    /**
+     * Declare an imported function: emits its PLT stub at the current
+     * position and records it in .dynsym. Call sites use callImport().
+     * A guest-library implementation can be attached later with
+     * bindGuestImpl().
+     */
+    void importFunction(const std::string &name);
+
+    /** Attach the current position as the guest implementation of the
+     * imported function @p name (i.e. the translated-library fallback). */
+    void bindGuestImplHere(const std::string &name);
+
+    /** Call an imported function via its PLT stub. */
+    void callImport(const std::string &name);
+
+    // --- Instructions -----------------------------------------------------
+
+    void nop();
+    void hlt();
+    void movri(Reg rd, std::int64_t imm);
+    void movrr(Reg rd, Reg rs);
+    void load(Reg rd, Reg rb, std::int32_t off);
+    void store(Reg rb, std::int32_t off, Reg rs);
+    void storei(Reg rb, std::int32_t off, std::int32_t imm);
+    void load8(Reg rd, Reg rb, std::int32_t off);
+    void store8(Reg rb, std::int32_t off, Reg rs);
+    void add(Reg rd, Reg rs);
+    void sub(Reg rd, Reg rs);
+    void and_(Reg rd, Reg rs);
+    void or_(Reg rd, Reg rs);
+    void xor_(Reg rd, Reg rs);
+    void mul(Reg rd, Reg rs);
+    void udiv(Reg rd, Reg rs);
+    void addi(Reg rd, std::int32_t imm);
+    void subi(Reg rd, std::int32_t imm);
+    void andi(Reg rd, std::int32_t imm);
+    void ori(Reg rd, std::int32_t imm);
+    void xori(Reg rd, std::int32_t imm);
+    void muli(Reg rd, std::int32_t imm);
+    void shli(Reg rd, std::uint8_t amount);
+    void shri(Reg rd, std::uint8_t amount);
+    void cmprr(Reg ra, Reg rb);
+    void cmpri(Reg ra, std::int32_t imm);
+    void jmp(Label target);
+    void jcc(Cond cond, Label target);
+    void call(Label target);
+    void callSymbol(const std::string &name); ///< Direct call to a symbol.
+    void ret();
+    void lockCmpxchg(Reg rb, std::int32_t off, Reg rs);
+    void lockXadd(Reg rb, std::int32_t off, Reg rs);
+    void mfence();
+    void fadd(Reg rd, Reg rs);
+    void fsub(Reg rd, Reg rs);
+    void fmul(Reg rd, Reg rs);
+    void fdiv(Reg rd, Reg rs);
+    void fsqrt(Reg rd, Reg rs);
+    void cvtif(Reg rd, Reg rs);
+    void cvtfi(Reg rd, Reg rs);
+    void syscall();
+
+    /** Load a double constant's bit pattern into a register. */
+    void movfd(Reg rd, double value);
+
+    // --- Data section -----------------------------------------------------
+
+    /** Reserve @p bytes zeroed bytes (aligned to @p align); return addr. */
+    Addr dataReserve(std::size_t bytes, std::size_t align = 8);
+
+    /** Emit a 64-bit data word; returns its address. */
+    Addr dataQuad(std::uint64_t value);
+
+    /** Emit raw bytes; returns their address. */
+    Addr dataBytes(const std::vector<std::uint8_t> &bytes);
+
+    // --- Finalization -----------------------------------------------------
+
+    /**
+     * Resolve all fixups and produce the image.
+     * @param entry_symbol the symbol to use as the entry point ("" for the
+     *        start of text).
+     */
+    GuestImage finish(const std::string &entry_symbol = "");
+
+  private:
+    struct Fixup
+    {
+        std::size_t patchOffset; ///< Byte offset of the rel32 field.
+        std::size_t nextOffset;  ///< Offset of the following instruction.
+        Label label;
+    };
+
+    void emit(const Instruction &instr);
+    void emitBranch(Opcode op, Cond cond, Label target);
+
+    GuestImage image_;
+    std::vector<std::int64_t> labels_; ///< Bound offsets or -1.
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace risotto::gx86
+
+#endif // RISOTTO_GX86_ASSEMBLER_HH

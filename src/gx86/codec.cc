@@ -1,0 +1,252 @@
+#include "gx86/codec.hh"
+
+#include "support/error.hh"
+
+namespace risotto::gx86
+{
+
+namespace
+{
+
+/** Operand layout class of each opcode. */
+enum class Layout
+{
+    None,       ///< opcode only
+    RegImm64,   ///< rd, imm64
+    RegReg,     ///< packed rd:rs
+    Mem,        ///< packed rd:rb, off32 (rd doubles as rs for stores)
+    MemImm,     ///< rb, off32, imm32
+    RegImm32,   ///< rd, imm32
+    Rel32,      ///< off32
+    CondRel32,  ///< cond, off32
+    Sym16,      ///< u16 symbol index
+};
+
+Layout
+layoutOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Hlt:
+      case Opcode::Ret:
+      case Opcode::MFence:
+      case Opcode::Syscall:
+        return Layout::None;
+      case Opcode::MovRI:
+        return Layout::RegImm64;
+      case Opcode::MovRR:
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Mul:
+      case Opcode::Udiv:
+      case Opcode::CmpRR:
+      case Opcode::FAdd:
+      case Opcode::FSub:
+      case Opcode::FMul:
+      case Opcode::FDiv:
+      case Opcode::FSqrt:
+      case Opcode::CvtIF:
+      case Opcode::CvtFI:
+        return Layout::RegReg;
+      case Opcode::Load:
+      case Opcode::Store:
+      case Opcode::Load8:
+      case Opcode::Store8:
+      case Opcode::LockCmpxchg:
+      case Opcode::LockXadd:
+        return Layout::Mem;
+      case Opcode::StoreI:
+        return Layout::MemImm;
+      case Opcode::AddI:
+      case Opcode::SubI:
+      case Opcode::AndI:
+      case Opcode::OrI:
+      case Opcode::XorI:
+      case Opcode::MulI:
+      case Opcode::ShlI:
+      case Opcode::ShrI:
+      case Opcode::CmpRI:
+        return Layout::RegImm32;
+      case Opcode::Jmp:
+      case Opcode::Call:
+        return Layout::Rel32;
+      case Opcode::Jcc:
+        return Layout::CondRel32;
+      case Opcode::PltCall:
+        return Layout::Sym16;
+    }
+    throw GuestFault("unknown opcode " +
+                     std::to_string(static_cast<unsigned>(op)));
+}
+
+void
+put32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void
+put64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    put32(out, static_cast<std::uint32_t>(v));
+    put32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t
+get32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t
+get64(const std::uint8_t *p)
+{
+    return static_cast<std::uint64_t>(get32(p)) |
+           (static_cast<std::uint64_t>(get32(p + 4)) << 32);
+}
+
+} // namespace
+
+std::size_t
+encode(const Instruction &instr, std::vector<std::uint8_t> &out)
+{
+    const std::size_t start = out.size();
+    out.push_back(static_cast<std::uint8_t>(instr.op));
+    switch (layoutOf(instr.op)) {
+      case Layout::None:
+        break;
+      case Layout::RegImm64:
+        out.push_back(instr.rd);
+        put64(out, static_cast<std::uint64_t>(instr.imm));
+        break;
+      case Layout::RegReg:
+        out.push_back(static_cast<std::uint8_t>((instr.rd << 4) |
+                                                (instr.rs & 0x0f)));
+        break;
+      case Layout::Mem: {
+        // rd carries the data register for loads, rs for stores/RMWs;
+        // pack whichever is meaningful in the high nibble.
+        const Reg data = opWritesMemory(instr.op) && !opIsRmw(instr.op)
+                             ? instr.rs
+                             : (opIsRmw(instr.op) ? instr.rs : instr.rd);
+        out.push_back(static_cast<std::uint8_t>((data << 4) |
+                                                (instr.rb & 0x0f)));
+        put32(out, static_cast<std::uint32_t>(instr.off));
+        break;
+      }
+      case Layout::MemImm:
+        out.push_back(instr.rb);
+        put32(out, static_cast<std::uint32_t>(instr.off));
+        put32(out, static_cast<std::uint32_t>(instr.imm));
+        break;
+      case Layout::RegImm32:
+        out.push_back(instr.rd);
+        put32(out, static_cast<std::uint32_t>(instr.imm));
+        break;
+      case Layout::Rel32:
+        put32(out, static_cast<std::uint32_t>(instr.off));
+        break;
+      case Layout::CondRel32:
+        out.push_back(static_cast<std::uint8_t>(instr.cond));
+        put32(out, static_cast<std::uint32_t>(instr.off));
+        break;
+      case Layout::Sym16:
+        out.push_back(static_cast<std::uint8_t>(instr.sym));
+        out.push_back(static_cast<std::uint8_t>(instr.sym >> 8));
+        break;
+    }
+    return out.size() - start;
+}
+
+Instruction
+decode(const std::uint8_t *bytes, std::size_t size)
+{
+    if (size == 0)
+        throw GuestFault("decode past end of code");
+    Instruction instr;
+    instr.op = static_cast<Opcode>(bytes[0]);
+    const Layout layout = layoutOf(instr.op); // Throws on unknown opcode.
+
+    auto need = [&](std::size_t n) {
+        if (size < n)
+            throw GuestFault("truncated instruction");
+    };
+
+    switch (layout) {
+      case Layout::None:
+        instr.length = 1;
+        break;
+      case Layout::RegImm64:
+        need(10);
+        instr.rd = bytes[1] & 0x0f;
+        instr.imm = static_cast<std::int64_t>(get64(bytes + 2));
+        instr.length = 10;
+        break;
+      case Layout::RegReg:
+        need(2);
+        instr.rd = bytes[1] >> 4;
+        instr.rs = bytes[1] & 0x0f;
+        instr.length = 2;
+        break;
+      case Layout::Mem:
+        need(6);
+        if (opWritesMemory(instr.op) || opIsRmw(instr.op))
+            instr.rs = bytes[1] >> 4;
+        if (opReadsMemory(instr.op) && !opIsRmw(instr.op))
+            instr.rd = bytes[1] >> 4;
+        instr.rb = bytes[1] & 0x0f;
+        instr.off = static_cast<std::int32_t>(get32(bytes + 2));
+        instr.length = 6;
+        break;
+      case Layout::MemImm:
+        need(10);
+        instr.rb = bytes[1] & 0x0f;
+        instr.off = static_cast<std::int32_t>(get32(bytes + 2));
+        instr.imm = static_cast<std::int32_t>(get32(bytes + 6));
+        instr.length = 10;
+        break;
+      case Layout::RegImm32:
+        need(6);
+        instr.rd = bytes[1] & 0x0f;
+        instr.imm = static_cast<std::int32_t>(get32(bytes + 2));
+        instr.length = 6;
+        break;
+      case Layout::Rel32:
+        need(5);
+        instr.off = static_cast<std::int32_t>(get32(bytes + 1));
+        instr.length = 5;
+        break;
+      case Layout::CondRel32:
+        need(6);
+        instr.cond = static_cast<Cond>(bytes[1]);
+        instr.off = static_cast<std::int32_t>(get32(bytes + 2));
+        instr.length = 6;
+        break;
+      case Layout::Sym16:
+        need(3);
+        instr.sym = static_cast<std::uint16_t>(bytes[1] |
+                                               (bytes[2] << 8));
+        instr.length = 3;
+        break;
+    }
+    return instr;
+}
+
+Instruction
+decode(const std::vector<std::uint8_t> &bytes, std::size_t offset)
+{
+    if (offset >= bytes.size())
+        throw GuestFault("decode offset out of range");
+    return decode(bytes.data() + offset, bytes.size() - offset);
+}
+
+} // namespace risotto::gx86

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Byte-level encoder/decoder for gx86 instructions.
+ *
+ * The encoding is variable-length (1 to 10 bytes): one opcode byte
+ * followed by packed register/immediate operands, little-endian.
+ */
+
+#ifndef RISOTTO_GX86_CODEC_HH
+#define RISOTTO_GX86_CODEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gx86/isa.hh"
+
+namespace risotto::gx86
+{
+
+/** Append the encoding of @p instr to @p out; returns encoded length. */
+std::size_t encode(const Instruction &instr, std::vector<std::uint8_t> &out);
+
+/**
+ * Decode one instruction from @p bytes at @p offset.
+ *
+ * @throws GuestFault on truncated or unknown encodings.
+ */
+Instruction decode(const std::vector<std::uint8_t> &bytes,
+                   std::size_t offset);
+
+/** Decode one instruction from raw memory (no bounds beyond @p size). */
+Instruction decode(const std::uint8_t *bytes, std::size_t size);
+
+} // namespace risotto::gx86
+
+#endif // RISOTTO_GX86_CODEC_HH

@@ -1,0 +1,49 @@
+#include "gx86/image.hh"
+
+#include <sstream>
+
+#include "gx86/codec.hh"
+
+namespace risotto::gx86
+{
+
+std::optional<Addr>
+GuestImage::symbolAddr(const std::string &name) const
+{
+    for (const Symbol &s : symbols)
+        if (s.name == name)
+            return s.addr;
+    return std::nullopt;
+}
+
+std::optional<std::size_t>
+GuestImage::dynsymAtPlt(Addr addr) const
+{
+    for (std::size_t i = 0; i < dynsym.size(); ++i)
+        if (dynsym[i].pltAddr == addr)
+            return i;
+    return std::nullopt;
+}
+
+std::string
+GuestImage::disassemble() const
+{
+    std::ostringstream os;
+    std::map<Addr, std::string> names;
+    for (const Symbol &s : symbols)
+        names[s.addr] = s.name;
+    std::size_t offset = 0;
+    while (offset < text.size()) {
+        const Addr pc = textBase + offset;
+        auto it = names.find(pc);
+        if (it != names.end())
+            os << it->second << ":\n";
+        const Instruction instr = decode(text, offset);
+        os << "  " << std::hex << pc << std::dec << ":  "
+           << instr.toString() << "\n";
+        offset += instr.length;
+    }
+    return os.str();
+}
+
+} // namespace risotto::gx86

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Guest program images: an ELF-like container with text/data sections,
+ * a symbol table, imported dynamic symbols and their PLT stubs.
+ *
+ * The dynamic-symbol table models the .dynsym/.plt machinery the Risotto
+ * dynamic host linker scans (Section 6.2): every imported function has a
+ * PLT stub address, and optionally a guest-side implementation that is
+ * used (translated) when the host linker does not resolve the symbol.
+ */
+
+#ifndef RISOTTO_GX86_IMAGE_HH
+#define RISOTTO_GX86_IMAGE_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gx86/isa.hh"
+
+namespace risotto::gx86
+{
+
+/** A defined (exported or local) symbol. */
+struct Symbol
+{
+    std::string name;
+    Addr addr = 0;
+};
+
+/** An imported function, reachable through its PLT stub. */
+struct DynSymbol
+{
+    std::string name;
+    /** Address of the PLT stub call sites jump to. */
+    Addr pltAddr = 0;
+    /** Guest-library implementation used when not host-linked (0 = none).*/
+    Addr guestImpl = 0;
+};
+
+/** Default virtual layout of guest images. */
+constexpr Addr DefaultTextBase = 0x0001'0000;
+constexpr Addr DefaultDataBase = 0x0040'0000;
+constexpr Addr DefaultStackTop = 0x0100'0000;
+
+/** An ELF-like guest binary. */
+struct GuestImage
+{
+    Addr textBase = DefaultTextBase;
+    std::vector<std::uint8_t> text;
+
+    Addr dataBase = DefaultDataBase;
+    std::vector<std::uint8_t> data;
+
+    /** Entry point (address in text). */
+    Addr entry = DefaultTextBase;
+
+    std::vector<Symbol> symbols;
+    std::vector<DynSymbol> dynsym;
+
+    /** End of the text section (exclusive). */
+    Addr textEnd() const { return textBase + text.size(); }
+
+    /** True when @p addr lies in the text section. */
+    bool inText(Addr addr) const
+    {
+        return addr >= textBase && addr < textEnd();
+    }
+
+    /** Look up a defined symbol's address. */
+    std::optional<Addr> symbolAddr(const std::string &name) const;
+
+    /** Dynamic symbol index whose PLT stub is at @p addr, if any. */
+    std::optional<std::size_t> dynsymAtPlt(Addr addr) const;
+
+    /** Linear disassembly of the text section. */
+    std::string disassemble() const;
+};
+
+} // namespace risotto::gx86
+
+#endif // RISOTTO_GX86_IMAGE_HH

@@ -1,0 +1,210 @@
+#include "gx86/imagefile.hh"
+
+#include <fstream>
+
+#include "support/error.hh"
+
+namespace risotto::gx86
+{
+
+namespace
+{
+
+constexpr std::uint32_t Magic = 0x4f534952; // "RISO" little-endian.
+constexpr std::uint32_t Version = 1;
+
+class Writer
+{
+  public:
+    explicit Writer(std::vector<std::uint8_t> &out) : out_(out) {}
+
+    void
+    u16(std::uint16_t v)
+    {
+        out_.push_back(static_cast<std::uint8_t>(v));
+        out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        u16(static_cast<std::uint16_t>(v));
+        u16(static_cast<std::uint16_t>(v >> 16));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+        u32(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    void
+    bytes(const std::vector<std::uint8_t> &data)
+    {
+        out_.insert(out_.end(), data.begin(), data.end());
+    }
+
+    void
+    str(const std::string &s)
+    {
+        fatalIf(s.size() > 0xffff, "symbol name too long");
+        u16(static_cast<std::uint16_t>(s.size()));
+        out_.insert(out_.end(), s.begin(), s.end());
+    }
+
+  private:
+    std::vector<std::uint8_t> &out_;
+};
+
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<std::uint8_t> &in) : in_(in) {}
+
+    std::uint16_t
+    u16()
+    {
+        need(2);
+        const std::uint16_t v = static_cast<std::uint16_t>(
+            in_[pos_] | (in_[pos_ + 1] << 8));
+        pos_ += 2;
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        const std::uint32_t lo = u16();
+        const std::uint32_t hi = u16();
+        return lo | (hi << 16);
+    }
+
+    std::uint64_t
+    u64()
+    {
+        const std::uint64_t lo = u32();
+        const std::uint64_t hi = u32();
+        return lo | (hi << 32);
+    }
+
+    std::vector<std::uint8_t>
+    bytes(std::size_t n)
+    {
+        need(n);
+        std::vector<std::uint8_t> out(in_.begin() +
+                                          static_cast<std::ptrdiff_t>(pos_),
+                                      in_.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              pos_ + n));
+        pos_ += n;
+        return out;
+    }
+
+    std::string
+    str()
+    {
+        const std::size_t n = u16();
+        const auto raw = bytes(n);
+        return std::string(raw.begin(), raw.end());
+    }
+
+    bool done() const { return pos_ == in_.size(); }
+
+  private:
+    void
+    need(std::size_t n)
+    {
+        fatalIf(pos_ + n > in_.size(), "truncated RISO image");
+    }
+
+    const std::vector<std::uint8_t> &in_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::vector<std::uint8_t>
+serializeImage(const GuestImage &image)
+{
+    std::vector<std::uint8_t> out;
+    Writer w(out);
+    w.u32(Magic);
+    w.u32(Version);
+    w.u64(image.textBase);
+    w.u64(image.entry);
+    w.u64(image.dataBase);
+    w.u64(image.text.size());
+    w.u64(image.data.size());
+    w.u64(image.symbols.size());
+    w.u64(image.dynsym.size());
+    w.bytes(image.text);
+    w.bytes(image.data);
+    for (const Symbol &s : image.symbols) {
+        w.str(s.name);
+        w.u64(s.addr);
+    }
+    for (const DynSymbol &d : image.dynsym) {
+        w.str(d.name);
+        w.u64(d.pltAddr);
+        w.u64(d.guestImpl);
+    }
+    return out;
+}
+
+GuestImage
+deserializeImage(const std::vector<std::uint8_t> &bytes)
+{
+    Reader r(bytes);
+    fatalIf(r.u32() != Magic, "not a RISO image (bad magic)");
+    fatalIf(r.u32() != Version, "unsupported RISO version");
+    GuestImage image;
+    image.textBase = r.u64();
+    image.entry = r.u64();
+    image.dataBase = r.u64();
+    const std::uint64_t text_size = r.u64();
+    const std::uint64_t data_size = r.u64();
+    const std::uint64_t sym_count = r.u64();
+    const std::uint64_t dyn_count = r.u64();
+    image.text = r.bytes(text_size);
+    image.data = r.bytes(data_size);
+    for (std::uint64_t i = 0; i < sym_count; ++i) {
+        Symbol s;
+        s.name = r.str();
+        s.addr = r.u64();
+        image.symbols.push_back(std::move(s));
+    }
+    for (std::uint64_t i = 0; i < dyn_count; ++i) {
+        DynSymbol d;
+        d.name = r.str();
+        d.pltAddr = r.u64();
+        d.guestImpl = r.u64();
+        image.dynsym.push_back(std::move(d));
+    }
+    fatalIf(!r.done(), "trailing bytes in RISO image");
+    return image;
+}
+
+void
+saveImage(const GuestImage &image, const std::string &path)
+{
+    const std::vector<std::uint8_t> bytes = serializeImage(image);
+    std::ofstream out(path, std::ios::binary);
+    fatalIf(!out, "cannot open " + path + " for writing");
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    fatalIf(!out, "write failed for " + path);
+}
+
+GuestImage
+loadImage(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatalIf(!in, "cannot open " + path);
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    return deserializeImage(bytes);
+}
+
+} // namespace risotto::gx86

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * On-disk format for guest images ("RISO" files).
+ *
+ * An ELF-inspired container so guest binaries can be produced once (by
+ * the assembler or an external tool) and emulated later by the CLI
+ * driver. Layout: fixed header, then the text and data sections, then
+ * the symbol and dynamic-symbol tables. All integers little-endian.
+ *
+ *   offset  field
+ *   0       magic "RISO"            (4 bytes)
+ *   4       format version          (u32, currently 1)
+ *   8       text base / entry / data base (3 x u64)
+ *   32      text size / data size / #symbols / #dynsyms (4 x u64)
+ *   64      text bytes, data bytes, symbol records, dynsym records
+ *
+ * Symbol record: u16 name length, name bytes, u64 address.
+ * Dynsym record: u16 name length, name bytes, u64 plt, u64 guest impl.
+ */
+
+#ifndef RISOTTO_GX86_IMAGEFILE_HH
+#define RISOTTO_GX86_IMAGEFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "gx86/image.hh"
+
+namespace risotto::gx86
+{
+
+/** Serialize @p image to the RISO byte format. */
+std::vector<std::uint8_t> serializeImage(const GuestImage &image);
+
+/**
+ * Parse a RISO byte stream.
+ * @throws FatalError on malformed input.
+ */
+GuestImage deserializeImage(const std::vector<std::uint8_t> &bytes);
+
+/** Write @p image to @p path. @throws FatalError on I/O errors. */
+void saveImage(const GuestImage &image, const std::string &path);
+
+/** Read an image from @p path. @throws FatalError on I/O errors. */
+GuestImage loadImage(const std::string &path);
+
+} // namespace risotto::gx86
+
+#endif // RISOTTO_GX86_IMAGEFILE_HH

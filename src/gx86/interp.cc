@@ -1,0 +1,272 @@
+#include "gx86/interp.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "gx86/codec.hh"
+#include "support/error.hh"
+#include "support/format.hh"
+
+namespace risotto::gx86
+{
+
+namespace
+{
+
+double
+asDouble(std::uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+std::uint64_t
+asBits(double d)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+}
+
+} // namespace
+
+Interpreter::Interpreter(const GuestImage &image) : image_(image)
+{
+    mem_.loadImage(image);
+    pc_ = image.entry;
+    regs_[Rsp] = DefaultStackTop;
+}
+
+InterpResult
+Interpreter::run(std::uint64_t max_instructions)
+{
+    while (!halted_) {
+        if (result_.instructions >= max_instructions)
+            throw GuestFault("interpreter instruction budget exceeded");
+        step();
+    }
+    return result_;
+}
+
+void
+Interpreter::step()
+{
+    if (!image_.inText(pc_))
+        throw GuestFault("pc outside text: " + hexString(pc_));
+    const Instruction in =
+        decode(mem_.raw(pc_, 1), image_.textEnd() - pc_);
+    ++result_.instructions;
+    Addr next = pc_ + in.length;
+
+    auto setFlags = [&](std::uint64_t value) {
+        zf_ = value == 0;
+        sf_ = static_cast<std::int64_t>(value) < 0;
+    };
+    auto ea = [&]() {
+        return regs_[in.rb] + static_cast<std::uint64_t>(
+                                  static_cast<std::int64_t>(in.off));
+    };
+
+    switch (in.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Hlt:
+        halted_ = true;
+        break;
+      case Opcode::MovRI:
+        regs_[in.rd] = static_cast<std::uint64_t>(in.imm);
+        break;
+      case Opcode::MovRR:
+        regs_[in.rd] = regs_[in.rs];
+        break;
+      case Opcode::Load:
+        regs_[in.rd] = mem_.load64(ea());
+        break;
+      case Opcode::Store:
+        mem_.store64(ea(), regs_[in.rs]);
+        break;
+      case Opcode::StoreI:
+        mem_.store64(ea(), static_cast<std::uint64_t>(in.imm));
+        break;
+      case Opcode::Load8:
+        regs_[in.rd] = mem_.load8(ea());
+        break;
+      case Opcode::Store8:
+        mem_.store8(ea(), static_cast<std::uint8_t>(regs_[in.rs]));
+        break;
+      case Opcode::Add:
+        regs_[in.rd] += regs_[in.rs];
+        setFlags(regs_[in.rd]);
+        break;
+      case Opcode::Sub:
+        regs_[in.rd] -= regs_[in.rs];
+        setFlags(regs_[in.rd]);
+        break;
+      case Opcode::And:
+        regs_[in.rd] &= regs_[in.rs];
+        setFlags(regs_[in.rd]);
+        break;
+      case Opcode::Or:
+        regs_[in.rd] |= regs_[in.rs];
+        setFlags(regs_[in.rd]);
+        break;
+      case Opcode::Xor:
+        regs_[in.rd] ^= regs_[in.rs];
+        setFlags(regs_[in.rd]);
+        break;
+      case Opcode::Mul:
+        regs_[in.rd] *= regs_[in.rs];
+        setFlags(regs_[in.rd]);
+        break;
+      case Opcode::Udiv:
+        if (regs_[in.rs] == 0)
+            throw GuestFault("division by zero");
+        regs_[in.rd] /= regs_[in.rs];
+        setFlags(regs_[in.rd]);
+        break;
+      case Opcode::AddI:
+        regs_[in.rd] += static_cast<std::uint64_t>(in.imm);
+        setFlags(regs_[in.rd]);
+        break;
+      case Opcode::SubI:
+        regs_[in.rd] -= static_cast<std::uint64_t>(in.imm);
+        setFlags(regs_[in.rd]);
+        break;
+      case Opcode::AndI:
+        regs_[in.rd] &= static_cast<std::uint64_t>(in.imm);
+        setFlags(regs_[in.rd]);
+        break;
+      case Opcode::OrI:
+        regs_[in.rd] |= static_cast<std::uint64_t>(in.imm);
+        setFlags(regs_[in.rd]);
+        break;
+      case Opcode::XorI:
+        regs_[in.rd] ^= static_cast<std::uint64_t>(in.imm);
+        setFlags(regs_[in.rd]);
+        break;
+      case Opcode::MulI:
+        regs_[in.rd] *= static_cast<std::uint64_t>(in.imm);
+        setFlags(regs_[in.rd]);
+        break;
+      case Opcode::ShlI:
+        regs_[in.rd] <<= (in.imm & 63);
+        setFlags(regs_[in.rd]);
+        break;
+      case Opcode::ShrI:
+        regs_[in.rd] >>= (in.imm & 63);
+        setFlags(regs_[in.rd]);
+        break;
+      case Opcode::CmpRR: {
+        const std::uint64_t diff = regs_[in.rd] - regs_[in.rs];
+        setFlags(diff);
+        break;
+      }
+      case Opcode::CmpRI: {
+        const std::uint64_t diff =
+            regs_[in.rd] - static_cast<std::uint64_t>(in.imm);
+        setFlags(diff);
+        break;
+      }
+      case Opcode::Jmp:
+        next = next + static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(in.off));
+        break;
+      case Opcode::Jcc:
+        if (condHolds(in.cond, zf_, sf_))
+            next = next + static_cast<std::uint64_t>(
+                              static_cast<std::int64_t>(in.off));
+        break;
+      case Opcode::Call:
+        regs_[Rsp] -= 8;
+        mem_.store64(regs_[Rsp], next);
+        next = next + static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(in.off));
+        break;
+      case Opcode::Ret:
+        next = mem_.load64(regs_[Rsp]);
+        regs_[Rsp] += 8;
+        break;
+      case Opcode::PltCall: {
+        if (in.sym >= image_.dynsym.size())
+            throw GuestFault("bad dynamic symbol index");
+        const DynSymbol &dyn = image_.dynsym[in.sym];
+        if (dyn.guestImpl != 0) {
+            next = dyn.guestImpl;
+        } else if (hook_ && hook_(dyn.name, regs_, mem_)) {
+            // Handled natively; fall through to the stub's Ret.
+        } else {
+            throw GuestFault("unresolved import: " + dyn.name);
+        }
+        break;
+      }
+      case Opcode::LockCmpxchg: {
+        const Addr addr = ea();
+        const std::uint64_t old = mem_.load64(addr);
+        if (old == regs_[0]) {
+            mem_.store64(addr, regs_[in.rs]);
+            zf_ = true;
+        } else {
+            regs_[0] = old;
+            zf_ = false;
+        }
+        break;
+      }
+      case Opcode::LockXadd: {
+        const Addr addr = ea();
+        const std::uint64_t old = mem_.load64(addr);
+        mem_.store64(addr, old + regs_[in.rs]);
+        regs_[in.rs] = old;
+        break;
+      }
+      case Opcode::MFence:
+        break; // Sequential execution: nothing to order.
+      case Opcode::FAdd:
+        regs_[in.rd] =
+            asBits(asDouble(regs_[in.rd]) + asDouble(regs_[in.rs]));
+        break;
+      case Opcode::FSub:
+        regs_[in.rd] =
+            asBits(asDouble(regs_[in.rd]) - asDouble(regs_[in.rs]));
+        break;
+      case Opcode::FMul:
+        regs_[in.rd] =
+            asBits(asDouble(regs_[in.rd]) * asDouble(regs_[in.rs]));
+        break;
+      case Opcode::FDiv:
+        regs_[in.rd] =
+            asBits(asDouble(regs_[in.rd]) / asDouble(regs_[in.rs]));
+        break;
+      case Opcode::FSqrt:
+        regs_[in.rd] = asBits(std::sqrt(asDouble(regs_[in.rs])));
+        break;
+      case Opcode::CvtIF:
+        regs_[in.rd] = asBits(
+            static_cast<double>(static_cast<std::int64_t>(regs_[in.rs])));
+        break;
+      case Opcode::CvtFI:
+        regs_[in.rd] = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(asDouble(regs_[in.rs])));
+        break;
+      case Opcode::Syscall:
+        switch (regs_[0]) {
+          case 0: // exit(code = R1)
+            result_.exitCode = static_cast<std::int64_t>(regs_[1]);
+            halted_ = true;
+            break;
+          case 1: // putchar(R1)
+            result_.output.push_back(static_cast<char>(regs_[1]));
+            break;
+          case 2: // retired instruction count into R0
+            regs_[0] = result_.instructions;
+            break;
+          default:
+            throw GuestFault("unknown syscall " +
+                             std::to_string(regs_[0]));
+        }
+        break;
+    }
+    pc_ = next;
+}
+
+} // namespace risotto::gx86

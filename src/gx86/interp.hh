@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reference gx86 interpreter.
+ *
+ * A straightforward sequential interpreter over a GuestImage, used as the
+ * semantic oracle in differential tests against the DBT: a translated
+ * single-threaded program must compute exactly what this interpreter
+ * computes.
+ */
+
+#ifndef RISOTTO_GX86_INTERP_HH
+#define RISOTTO_GX86_INTERP_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "gx86/image.hh"
+#include "gx86/memory.hh"
+
+namespace risotto::gx86
+{
+
+/** Result of an interpreter run. */
+struct InterpResult
+{
+    /** Exit code passed to the exit syscall (R1), or 0 on HLT. */
+    std::int64_t exitCode = 0;
+
+    /** Instructions retired. */
+    std::uint64_t instructions = 0;
+
+    /** Characters printed via the print syscall. */
+    std::string output;
+};
+
+/** Sequential reference interpreter. */
+class Interpreter
+{
+  public:
+    /**
+     * Hook invoked for PLT calls without a guest implementation. Receives
+     * the import name, the register file and memory; returns true when it
+     * handled the call.
+     */
+    using NativeHook = std::function<bool(
+        const std::string &, std::array<std::uint64_t, RegCount> &,
+        Memory &)>;
+
+    explicit Interpreter(const GuestImage &image);
+
+    /** Set the native fallback hook for unresolved imports. */
+    void setNativeHook(NativeHook hook) { hook_ = std::move(hook); }
+
+    /** Register file access (for seeding arguments / reading results). */
+    std::uint64_t reg(Reg r) const { return regs_[r]; }
+    void setReg(Reg r, std::uint64_t v) { regs_[r] = v; }
+
+    Memory &memory() { return mem_; }
+    const Memory &memory() const { return mem_; }
+
+    /**
+     * Run until HLT, exit syscall, or @p max_instructions.
+     * @throws GuestFault on illegal execution.
+     */
+    InterpResult run(std::uint64_t max_instructions = 100'000'000);
+
+  private:
+    void step();
+
+    const GuestImage &image_;
+    Memory mem_;
+    std::array<std::uint64_t, RegCount> regs_{};
+    Addr pc_ = 0;
+    bool zf_ = false;
+    bool sf_ = false;
+    bool halted_ = false;
+    InterpResult result_;
+    NativeHook hook_;
+};
+
+} // namespace risotto::gx86
+
+#endif // RISOTTO_GX86_INTERP_HH

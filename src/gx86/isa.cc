@@ -1,0 +1,160 @@
+#include "gx86/isa.hh"
+
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace risotto::gx86
+{
+
+bool
+opReadsMemory(Opcode op)
+{
+    switch (op) {
+      case Opcode::Load:
+      case Opcode::Load8:
+      case Opcode::LockCmpxchg:
+      case Opcode::LockXadd:
+      case Opcode::Ret:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+opWritesMemory(Opcode op)
+{
+    switch (op) {
+      case Opcode::Store:
+      case Opcode::StoreI:
+      case Opcode::Store8:
+      case Opcode::LockCmpxchg:
+      case Opcode::LockXadd:
+      case Opcode::Call:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+opIsRmw(Opcode op)
+{
+    return op == Opcode::LockCmpxchg || op == Opcode::LockXadd;
+}
+
+bool
+opEndsBlock(Opcode op)
+{
+    switch (op) {
+      case Opcode::Jmp:
+      case Opcode::Jcc:
+      case Opcode::Call:
+      case Opcode::Ret:
+      case Opcode::PltCall:
+      case Opcode::Hlt:
+      case Opcode::Syscall:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+condName(Cond cond)
+{
+    switch (cond) {
+      case Cond::Eq: return "eq";
+      case Cond::Ne: return "ne";
+      case Cond::Lt: return "lt";
+      case Cond::Ge: return "ge";
+      case Cond::Le: return "le";
+      case Cond::Gt: return "gt";
+    }
+    panic("unknown condition");
+}
+
+bool
+condHolds(Cond cond, bool zf, bool sf)
+{
+    switch (cond) {
+      case Cond::Eq: return zf;
+      case Cond::Ne: return !zf;
+      case Cond::Lt: return sf;
+      case Cond::Ge: return !sf;
+      case Cond::Le: return zf || sf;
+      case Cond::Gt: return !zf && !sf;
+    }
+    panic("unknown condition");
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    auto r = [](Reg x) { return "r" + std::to_string(x); };
+    auto mem = [&]() {
+        std::ostringstream m;
+        m << "[" << r(rb);
+        if (off >= 0)
+            m << "+" << off;
+        else
+            m << off;
+        m << "]";
+        return m.str();
+    };
+    switch (op) {
+      case Opcode::Nop: os << "nop"; break;
+      case Opcode::Hlt: os << "hlt"; break;
+      case Opcode::MovRI: os << "mov " << r(rd) << ", " << imm; break;
+      case Opcode::MovRR: os << "mov " << r(rd) << ", " << r(rs); break;
+      case Opcode::Load: os << "load " << r(rd) << ", " << mem(); break;
+      case Opcode::Store: os << "store " << mem() << ", " << r(rs); break;
+      case Opcode::StoreI: os << "store " << mem() << ", " << imm; break;
+      case Opcode::Load8: os << "load8 " << r(rd) << ", " << mem(); break;
+      case Opcode::Store8: os << "store8 " << mem() << ", " << r(rs); break;
+      case Opcode::Add: os << "add " << r(rd) << ", " << r(rs); break;
+      case Opcode::Sub: os << "sub " << r(rd) << ", " << r(rs); break;
+      case Opcode::And: os << "and " << r(rd) << ", " << r(rs); break;
+      case Opcode::Or: os << "or " << r(rd) << ", " << r(rs); break;
+      case Opcode::Xor: os << "xor " << r(rd) << ", " << r(rs); break;
+      case Opcode::Mul: os << "mul " << r(rd) << ", " << r(rs); break;
+      case Opcode::Udiv: os << "udiv " << r(rd) << ", " << r(rs); break;
+      case Opcode::AddI: os << "add " << r(rd) << ", " << imm; break;
+      case Opcode::SubI: os << "sub " << r(rd) << ", " << imm; break;
+      case Opcode::AndI: os << "and " << r(rd) << ", " << imm; break;
+      case Opcode::OrI: os << "or " << r(rd) << ", " << imm; break;
+      case Opcode::XorI: os << "xor " << r(rd) << ", " << imm; break;
+      case Opcode::MulI: os << "mul " << r(rd) << ", " << imm; break;
+      case Opcode::ShlI: os << "shl " << r(rd) << ", " << imm; break;
+      case Opcode::ShrI: os << "shr " << r(rd) << ", " << imm; break;
+      case Opcode::CmpRR: os << "cmp " << r(rd) << ", " << r(rs); break;
+      case Opcode::CmpRI: os << "cmp " << r(rd) << ", " << imm; break;
+      case Opcode::Jmp: os << "jmp " << off; break;
+      case Opcode::Jcc:
+        os << "j" << condName(cond) << " " << off;
+        break;
+      case Opcode::Call: os << "call " << off; break;
+      case Opcode::Ret: os << "ret"; break;
+      case Opcode::PltCall: os << "call plt#" << sym; break;
+      case Opcode::LockCmpxchg:
+        os << "lock cmpxchg " << mem() << ", " << r(rs);
+        break;
+      case Opcode::LockXadd:
+        os << "lock xadd " << mem() << ", " << r(rs);
+        break;
+      case Opcode::MFence: os << "mfence"; break;
+      case Opcode::FAdd: os << "fadd " << r(rd) << ", " << r(rs); break;
+      case Opcode::FSub: os << "fsub " << r(rd) << ", " << r(rs); break;
+      case Opcode::FMul: os << "fmul " << r(rd) << ", " << r(rs); break;
+      case Opcode::FDiv: os << "fdiv " << r(rd) << ", " << r(rs); break;
+      case Opcode::FSqrt: os << "fsqrt " << r(rd) << ", " << r(rs); break;
+      case Opcode::CvtIF: os << "cvtif " << r(rd) << ", " << r(rs); break;
+      case Opcode::CvtFI: os << "cvtfi " << r(rd) << ", " << r(rs); break;
+      case Opcode::Syscall: os << "syscall"; break;
+    }
+    return os.str();
+}
+
+} // namespace risotto::gx86

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The gx86 guest instruction set.
+ *
+ * A compact x86-like ISA with TSO memory semantics: most instructions can
+ * be encoded/decoded to a variable-length byte stream, flags behave like
+ * the x86 subset the DBT needs (ZF/SF/CF), LOCK-prefixed RMWs act as full
+ * fences, and MFENCE orders everything. The memory-ordering-relevant
+ * subset (loads, stores, RMWs, MFENCE) matches the paper's RMOV / WMOV /
+ * RMW / MFENCE vocabulary exactly.
+ */
+
+#ifndef RISOTTO_GX86_ISA_HH
+#define RISOTTO_GX86_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace risotto::gx86
+{
+
+/** Guest general-purpose register index (R0..R15, R15 = stack pointer). */
+using Reg = std::uint8_t;
+
+constexpr Reg RegCount = 16;
+constexpr Reg Rsp = 15;
+
+/** Guest virtual address. */
+using Addr = std::uint64_t;
+
+/** Branch conditions (flag-based, as set by CMP/arith). */
+enum class Cond : std::uint8_t
+{
+    Eq,  ///< ZF
+    Ne,  ///< !ZF
+    Lt,  ///< SF (signed less after CMP)
+    Ge,  ///< !SF
+    Le,  ///< ZF | SF
+    Gt,  ///< !(ZF | SF)
+};
+
+/** Opcodes; each value is also the encoding's first byte. */
+enum class Opcode : std::uint8_t
+{
+    Nop = 0x00,
+    Hlt = 0x01,
+
+    MovRI = 0x10,   ///< rd <- imm64
+    MovRR = 0x11,   ///< rd <- rs
+    Load = 0x12,    ///< rd <- [rb + off32]          (RMOV)
+    Store = 0x13,   ///< [rb + off32] <- rs          (WMOV)
+    StoreI = 0x14,  ///< [rb + off32] <- imm32       (WMOV)
+    Load8 = 0x15,   ///< rd <- zx([rb + off32], 1 byte)
+    Store8 = 0x16,  ///< [rb + off32] <- rs (low byte)
+
+    Add = 0x20,
+    Sub = 0x21,
+    And = 0x22,
+    Or = 0x23,
+    Xor = 0x24,
+    Mul = 0x25,
+    Udiv = 0x26,
+    AddI = 0x27,
+    SubI = 0x28,
+    AndI = 0x29,
+    OrI = 0x2a,
+    XorI = 0x2b,
+    MulI = 0x2c,
+    ShlI = 0x2d,
+    ShrI = 0x2e,
+
+    CmpRR = 0x30,
+    CmpRI = 0x31,
+
+    Jmp = 0x40,      ///< pc-relative rel32
+    Jcc = 0x41,      ///< cond, rel32
+    Call = 0x42,     ///< rel32 (pushes return address)
+    Ret = 0x43,
+    PltCall = 0x44,  ///< call through PLT entry: dynamic symbol index u16
+
+    LockCmpxchg = 0x50, ///< [rb+off32] vs R0; on eq store rs; R0 <- old
+    LockXadd = 0x51,    ///< rs <- old, [rb+off32] += rs; full fence
+    MFence = 0x52,
+
+    FAdd = 0x60, ///< double ops: registers hold IEEE-754 bit patterns
+    FSub = 0x61,
+    FMul = 0x62,
+    FDiv = 0x63,
+    FSqrt = 0x64,
+    CvtIF = 0x65, ///< rd <- double(int64 rs)
+    CvtFI = 0x66, ///< rd <- int64(double rs)
+
+    Syscall = 0x70, ///< R0 = number (0 exit, 1 print, 2 cycles)
+};
+
+/** A decoded gx86 instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    Reg rd = 0;
+    Reg rs = 0;
+    Reg rb = 0;
+    Cond cond = Cond::Eq;
+    std::int32_t off = 0;   ///< Memory offset or pc-relative displacement.
+    std::int64_t imm = 0;   ///< Immediate operand.
+    std::uint16_t sym = 0;  ///< Dynamic symbol index (PltCall).
+    std::uint8_t length = 0; ///< Encoded length in bytes.
+
+    /** Disassembly, e.g. "load r3, [r1+16]". */
+    std::string toString() const;
+};
+
+/** True when the opcode reads guest memory. */
+bool opReadsMemory(Opcode op);
+
+/** True when the opcode writes guest memory. */
+bool opWritesMemory(Opcode op);
+
+/** True for LOCK-prefixed atomic read-modify-writes. */
+bool opIsRmw(Opcode op);
+
+/** True when the opcode ends a basic block (branch/call/ret/hlt). */
+bool opEndsBlock(Opcode op);
+
+/** Name of a condition, e.g. "eq". */
+std::string condName(Cond cond);
+
+/** Evaluate @p cond against ZF/SF flags. */
+bool condHolds(Cond cond, bool zf, bool sf);
+
+} // namespace risotto::gx86
+
+#endif // RISOTTO_GX86_ISA_HH

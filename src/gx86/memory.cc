@@ -1,0 +1,79 @@
+#include "gx86/memory.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+#include "support/format.hh"
+
+namespace risotto::gx86
+{
+
+Memory::Memory(std::size_t size) : bytes_(size, 0) {}
+
+void
+Memory::loadImage(const GuestImage &image)
+{
+    check(image.textBase, image.text.size());
+    std::copy(image.text.begin(), image.text.end(),
+              bytes_.begin() + static_cast<std::ptrdiff_t>(image.textBase));
+    check(image.dataBase, image.data.size());
+    std::copy(image.data.begin(), image.data.end(),
+              bytes_.begin() + static_cast<std::ptrdiff_t>(image.dataBase));
+}
+
+void
+Memory::check(Addr addr, std::size_t len) const
+{
+    if (addr + len > bytes_.size() || addr + len < addr)
+        throw GuestFault("memory access out of bounds at " +
+                         hexString(addr));
+}
+
+std::uint8_t
+Memory::load8(Addr addr) const
+{
+    check(addr, 1);
+    return bytes_[addr];
+}
+
+std::uint64_t
+Memory::load64(Addr addr) const
+{
+    check(addr, 8);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | bytes_[addr + static_cast<Addr>(i)];
+    return v;
+}
+
+void
+Memory::store8(Addr addr, std::uint8_t value)
+{
+    check(addr, 1);
+    bytes_[addr] = value;
+}
+
+void
+Memory::store64(Addr addr, std::uint64_t value)
+{
+    check(addr, 8);
+    for (int i = 0; i < 8; ++i)
+        bytes_[addr + static_cast<Addr>(i)] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+const std::uint8_t *
+Memory::raw(Addr addr, std::size_t len) const
+{
+    check(addr, len);
+    return bytes_.data() + addr;
+}
+
+std::uint8_t *
+Memory::raw(Addr addr, std::size_t len)
+{
+    check(addr, len);
+    return bytes_.data() + addr;
+}
+
+} // namespace risotto::gx86

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Flat guest/host physical memory.
+ *
+ * In user-mode DBT (as in QEMU user mode) guest addresses map directly to
+ * host addresses, so one flat memory serves the guest interpreter, the DBT
+ * and the host machine simulator.
+ */
+
+#ifndef RISOTTO_GX86_MEMORY_HH
+#define RISOTTO_GX86_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gx86/image.hh"
+
+namespace risotto::gx86
+{
+
+/** Byte-addressable little-endian flat memory with bounds checking. */
+class Memory
+{
+  public:
+    /** Default size covers the standard image layout plus stacks. */
+    static constexpr std::size_t DefaultSize = 32 * 1024 * 1024;
+
+    explicit Memory(std::size_t size = DefaultSize);
+
+    /** Copy an image's text and data sections into place. */
+    void loadImage(const GuestImage &image);
+
+    std::size_t size() const { return bytes_.size(); }
+
+    std::uint8_t load8(Addr addr) const;
+    std::uint64_t load64(Addr addr) const;
+    void store8(Addr addr, std::uint8_t value);
+    void store64(Addr addr, std::uint64_t value);
+
+    /** Raw pointer for @p len bytes at @p addr (bounds-checked). */
+    const std::uint8_t *raw(Addr addr, std::size_t len) const;
+    std::uint8_t *raw(Addr addr, std::size_t len);
+
+  private:
+    void check(Addr addr, std::size_t len) const;
+
+    std::vector<std::uint8_t> bytes_;
+};
+
+} // namespace risotto::gx86
+
+#endif // RISOTTO_GX86_MEMORY_HH

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * The "libcrypto" twins: digest kernels and RSA-like modular
+ * exponentiation. Native and guest implementations compute bit-identical
+ * results; only their cost differs (native: optimized host code; guest:
+ * a translated byte loop).
+ */
+
+#include "hostlib/hostlib.hh"
+
+#include "support/error.hh"
+
+namespace risotto::hostlib
+{
+
+using gx86::Assembler;
+using gx86::Cond;
+
+namespace
+{
+
+constexpr std::uint64_t Fnv1aSeed = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t Fnv1aPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t Sha1SeedA = 0x0123456789abcdefULL;
+constexpr std::uint64_t Sha1SeedB = 0xfedcba9876543210ULL;
+constexpr std::uint64_t Sha1Prime = 0x9e3779b97f4a7c15ULL;
+
+constexpr std::uint64_t Sha256Seed1 = 0x6a09e667f3bcc908ULL;
+constexpr std::uint64_t Sha256Seed2 = 0xbb67ae8584caa73bULL;
+constexpr std::uint64_t Sha256Seed3 = 0x3c6ef372fe94f82bULL;
+constexpr std::uint64_t Sha256Seed4 = 0xa54ff53a5f1d36f1ULL;
+constexpr std::uint64_t Sha256Prime1 = 0x100000001b3ULL;
+constexpr std::uint64_t Sha256Prime2 = 0xc2b2ae3d27d4eb4fULL;
+constexpr std::uint64_t Sha256Prime3 = 0xff51afd7ed558ccdULL;
+
+/** 32-bit prime modulus: keeps modmul products within 64 bits. */
+constexpr std::uint64_t RsaModulus = 0xffffffc5ULL;
+
+std::uint64_t
+rotl(std::uint64_t x, unsigned k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+referenceMd5(const std::uint8_t *data, std::size_t len)
+{
+    std::uint64_t h = Fnv1aSeed;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= data[i];
+        h *= Fnv1aPrime;
+    }
+    return h;
+}
+
+std::uint64_t
+referenceSha1(const std::uint8_t *data, std::size_t len)
+{
+    std::uint64_t h1 = Sha1SeedA;
+    std::uint64_t h2 = Sha1SeedB;
+    for (std::size_t i = 0; i < len; ++i) {
+        h1 = rotl(h1 ^ data[i], 7) * Sha1Prime;
+        h2 = (h2 + h1) ^ rotl(h2, 13);
+    }
+    return h1 ^ h2;
+}
+
+std::uint64_t
+referenceSha256(const std::uint8_t *data, std::size_t len)
+{
+    std::uint64_t h1 = Sha256Seed1;
+    std::uint64_t h2 = Sha256Seed2;
+    std::uint64_t h3 = Sha256Seed3;
+    std::uint64_t h4 = Sha256Seed4;
+    for (std::size_t i = 0; i < len; ++i) {
+        h1 = rotl(h1 ^ data[i], 5) * Sha256Prime1;
+        h2 = (h2 ^ h1) * Sha256Prime2;
+        h3 = h3 + rotl(h2, 11);
+        h4 = (h4 ^ h3) * Sha256Prime3;
+    }
+    return h1 ^ h2 ^ h3 ^ h4;
+}
+
+std::uint64_t
+referenceModExp(std::uint64_t base, std::uint64_t iterations, bool sign)
+{
+    // sign: long all-ones exponent (square+multiply every step);
+    // verify: the classic short exponent 65537 (17 steps).
+    const std::uint64_t steps = sign ? iterations : 17;
+    std::uint64_t b = base % RsaModulus;
+    if (b == 0)
+        b = 2;
+    std::uint64_t r = 1;
+    for (std::uint64_t i = 0; i < steps; ++i) {
+        r = (r * r) % RsaModulus;
+        r = (r * b) % RsaModulus;
+    }
+    return r;
+}
+
+void
+registerCryptoLibrary(linker::HostLibraryRegistry &registry)
+{
+    // Native digest throughput: roughly one fused mixing step per byte
+    // on an optimized implementation.
+    registry.add("md5", [](const std::vector<std::uint64_t> &args,
+                           gx86::Memory &memory, std::uint64_t &cost) {
+        const std::uint64_t len = args[1];
+        cost = 400 + len * 25;
+        return referenceMd5(memory.raw(args[0], len), len);
+    });
+    registry.add("sha1", [](const std::vector<std::uint64_t> &args,
+                            gx86::Memory &memory, std::uint64_t &cost) {
+        const std::uint64_t len = args[1];
+        cost = 400 + len * 12;
+        return referenceSha1(memory.raw(args[0], len), len);
+    });
+    registry.add("sha256", [](const std::vector<std::uint64_t> &args,
+                              gx86::Memory &memory, std::uint64_t &cost) {
+        const std::uint64_t len = args[1];
+        cost = 400 + len * 7;
+        return referenceSha256(memory.raw(args[0], len), len);
+    });
+    registry.add("rsa_sign", [](const std::vector<std::uint64_t> &args,
+                                gx86::Memory &, std::uint64_t &cost) {
+        cost = 60 + args[1] * 7;
+        return referenceModExp(args[0], args[1], /*sign=*/true);
+    });
+    registry.add("rsa_verify", [](const std::vector<std::uint64_t> &args,
+                                  gx86::Memory &, std::uint64_t &cost) {
+        cost = 60 + 17 * 7;
+        return referenceModExp(args[0], args[1], /*sign=*/false);
+    });
+}
+
+std::string
+cryptoIdl()
+{
+    return "# libcrypto\n"
+           "u64 md5(ptr, i64);\n"
+           "u64 sha1(ptr, i64);\n"
+           "u64 sha256(ptr, i64);\n"
+           "u64 rsa_sign(u64, u64);\n"
+           "u64 rsa_verify(u64, u64);\n";
+}
+
+namespace
+{
+
+/** Emit r(dst) = rotl(r(dst), k) clobbering r(tmp). */
+void
+emitRotl(Assembler &a, gx86::Reg dst, gx86::Reg tmp, unsigned k)
+{
+    a.movrr(tmp, dst);
+    a.shli(dst, static_cast<std::uint8_t>(k));
+    a.shri(tmp, static_cast<std::uint8_t>(64 - k));
+    a.or_(dst, tmp);
+}
+
+} // namespace
+
+void
+emitGuestCryptoLibrary(Assembler &a)
+{
+    // --- md5: FNV-1a over [r1, r1+r2) -> r0 -------------------------------
+    a.importFunction("md5");
+    a.bindGuestImplHere("md5");
+    {
+        a.movri(0, static_cast<std::int64_t>(Fnv1aSeed));
+        a.movri(8, static_cast<std::int64_t>(Fnv1aPrime));
+        const auto loop = a.newLabel();
+        const auto done = a.newLabel();
+        a.bind(loop);
+        a.cmpri(2, 0);
+        a.jcc(Cond::Eq, done);
+        a.load8(7, 1, 0);
+        a.xor_(0, 7);
+        a.mul(0, 8);
+        a.addi(1, 1);
+        a.subi(2, 1);
+        a.jmp(loop);
+        a.bind(done);
+        a.ret();
+    }
+
+    // --- sha1: two-lane mix -> r0 -----------------------------------------
+    a.importFunction("sha1");
+    a.bindGuestImplHere("sha1");
+    {
+        a.movri(8, static_cast<std::int64_t>(Sha1SeedA));  // h1
+        a.movri(9, static_cast<std::int64_t>(Sha1SeedB));  // h2
+        a.movri(10, static_cast<std::int64_t>(Sha1Prime)); // K
+        const auto loop = a.newLabel();
+        const auto done = a.newLabel();
+        a.bind(loop);
+        a.cmpri(2, 0);
+        a.jcc(Cond::Eq, done);
+        a.load8(7, 1, 0);
+        a.xor_(8, 7);
+        emitRotl(a, 8, 11, 7);
+        a.mul(8, 10);
+        a.movrr(7, 9); // save h2 for rotl
+        emitRotl(a, 7, 11, 13);
+        a.add(9, 8);
+        a.xor_(9, 7);
+        a.addi(1, 1);
+        a.subi(2, 1);
+        a.jmp(loop);
+        a.bind(done);
+        a.movrr(0, 8);
+        a.xor_(0, 9);
+        a.ret();
+    }
+
+    // --- sha256: four-lane mix -> r0 ---------------------------------------
+    a.importFunction("sha256");
+    a.bindGuestImplHere("sha256");
+    {
+        a.movri(8, static_cast<std::int64_t>(Sha256Seed1));
+        a.movri(9, static_cast<std::int64_t>(Sha256Seed2));
+        a.movri(10, static_cast<std::int64_t>(Sha256Seed3));
+        a.movri(12, static_cast<std::int64_t>(Sha256Seed4));
+        const auto loop = a.newLabel();
+        const auto done = a.newLabel();
+        a.bind(loop);
+        a.cmpri(2, 0);
+        a.jcc(Cond::Eq, done);
+        a.load8(7, 1, 0);
+        // h1 = rotl(h1 ^ b, 5) * P1
+        a.xor_(8, 7);
+        emitRotl(a, 8, 11, 5);
+        a.movri(7, static_cast<std::int64_t>(Sha256Prime1));
+        a.mul(8, 7);
+        // h2 = (h2 ^ h1) * P2
+        a.xor_(9, 8);
+        a.movri(7, static_cast<std::int64_t>(Sha256Prime2));
+        a.mul(9, 7);
+        // h3 = h3 + rotl(h2, 11)
+        a.movrr(7, 9);
+        emitRotl(a, 7, 11, 11);
+        a.add(10, 7);
+        // h4 = (h4 ^ h3) * P3
+        a.xor_(12, 10);
+        a.movri(7, static_cast<std::int64_t>(Sha256Prime3));
+        a.mul(12, 7);
+        a.addi(1, 1);
+        a.subi(2, 1);
+        a.jmp(loop);
+        a.bind(done);
+        a.movrr(0, 8);
+        a.xor_(0, 9);
+        a.xor_(0, 10);
+        a.xor_(0, 12);
+        a.ret();
+    }
+
+    // --- rsa_sign(base=r1, iters=r2) -> r0 ---------------------------------
+    // r = 1; loop iters times { r = r*r mod M; r = r*b mod M }.
+    auto emit_modexp = [&](bool sign) {
+        const char *name = sign ? "rsa_sign" : "rsa_verify";
+        a.importFunction(name);
+        a.bindGuestImplHere(name);
+        a.movri(10, static_cast<std::int64_t>(RsaModulus)); // M
+        // b = base % M, forced nonzero.
+        a.movrr(8, 1);
+        a.movrr(7, 8);
+        a.udiv(7, 10);
+        a.mul(7, 10);
+        a.sub(8, 7); // r8 = base % M
+        const auto nonzero = a.newLabel();
+        a.cmpri(8, 0);
+        a.jcc(Cond::Ne, nonzero);
+        a.movri(8, 2);
+        a.bind(nonzero);
+        if (!sign)
+            a.movri(2, 17); // verify: fixed short exponent.
+        a.movri(0, 1); // r
+        const auto loop = a.newLabel();
+        const auto done = a.newLabel();
+        a.bind(loop);
+        a.cmpri(2, 0);
+        a.jcc(Cond::Eq, done);
+        // r = r*r % M
+        a.mul(0, 0);
+        a.movrr(7, 0);
+        a.udiv(7, 10);
+        a.mul(7, 10);
+        a.sub(0, 7);
+        // r = r*b % M
+        a.mul(0, 8);
+        a.movrr(7, 0);
+        a.udiv(7, 10);
+        a.mul(7, 10);
+        a.sub(0, 7);
+        a.subi(2, 1);
+        a.jmp(loop);
+        a.bind(done);
+        a.ret();
+    };
+    emit_modexp(true);
+    emit_modexp(false);
+}
+
+} // namespace risotto::hostlib

@@ -1,0 +1,20 @@
+#include "hostlib/hostlib.hh"
+
+namespace risotto::hostlib
+{
+
+void
+registerAllLibraries(linker::HostLibraryRegistry &registry)
+{
+    registerCryptoLibrary(registry);
+    registerSqliteLibrary(registry);
+    registerMathLibrary(registry);
+}
+
+std::string
+fullIdl()
+{
+    return cryptoIdl() + sqliteIdl() + mathIdl();
+}
+
+} // namespace risotto::hostlib

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Host shared libraries and their guest-side twins.
+ *
+ * Stand-ins for the paper's evaluation libraries (Section 7.3):
+ *  - "libcrypto": digest kernels (md5/sha1/sha256-like byte-mixing loops)
+ *    and RSA-like modular exponentiation (sign = long exponent,
+ *    verify = short exponent).
+ *  - "libsqlite": a sorted-table lookup/update kernel (speedtest-like).
+ *  - "libm": the standard math functions.
+ *
+ * Each library exists twice: a *native host* implementation registered
+ * with the HostLibraryRegistry (optimized code, native FP, low cycle
+ * cost), and a *guest* implementation emitted as gx86 assembly that the
+ * DBT translates (integer loops; FP via soft-float helpers). The digest,
+ * RSA and sqlite twins compute bit-identical results so host-linked and
+ * translated executions can be differentially tested; the math twins are
+ * polynomial approximations (a guest libm and a host libm legitimately
+ * differ in low-order bits).
+ *
+ * Guest library ABI: arguments in r1..r6, return value in r0; r7..r11
+ * are scratch.
+ */
+
+#ifndef RISOTTO_HOSTLIB_HOSTLIB_HH
+#define RISOTTO_HOSTLIB_HOSTLIB_HH
+
+#include <string>
+
+#include "gx86/assembler.hh"
+#include "linker/hostlinker.hh"
+
+namespace risotto::hostlib
+{
+
+// --- Native host libraries -----------------------------------------------
+
+/** Register the digest + RSA library ("libcrypto"). */
+void registerCryptoLibrary(linker::HostLibraryRegistry &registry);
+
+/** Register the sqlite-like library ("libsqlite"). */
+void registerSqliteLibrary(linker::HostLibraryRegistry &registry);
+
+/** Register the math library ("libm"). */
+void registerMathLibrary(linker::HostLibraryRegistry &registry);
+
+/** Register every library above. */
+void registerAllLibraries(linker::HostLibraryRegistry &registry);
+
+// --- IDL -------------------------------------------------------------------
+
+/** IDL text describing the crypto library functions. */
+std::string cryptoIdl();
+
+/** IDL text describing the sqlite library functions. */
+std::string sqliteIdl();
+
+/** IDL text describing the math library functions. */
+std::string mathIdl();
+
+/** Concatenation of all IDL documents. */
+std::string fullIdl();
+
+// --- Guest twins -----------------------------------------------------------
+
+/**
+ * Emit import stubs and guest implementations for the crypto library
+ * into @p a. Call once, before any callImport of these functions.
+ */
+void emitGuestCryptoLibrary(gx86::Assembler &a);
+
+/** Emit the guest sqlite library. */
+void emitGuestSqliteLibrary(gx86::Assembler &a);
+
+/** Emit the guest math library (soft-float polynomial kernels). */
+void emitGuestMathLibrary(gx86::Assembler &a);
+
+// --- Reference implementations (for tests) --------------------------------
+
+/** The digest the md5-like twins compute over @p data. */
+std::uint64_t referenceMd5(const std::uint8_t *data, std::size_t len);
+
+/** The digest the sha1-like twins compute. */
+std::uint64_t referenceSha1(const std::uint8_t *data, std::size_t len);
+
+/** The digest the sha256-like twins compute. */
+std::uint64_t referenceSha256(const std::uint8_t *data, std::size_t len);
+
+/** The modular exponentiation the RSA twins compute. */
+std::uint64_t referenceModExp(std::uint64_t base, std::uint64_t exp_bits,
+                              bool sign);
+
+} // namespace risotto::hostlib
+
+#endif // RISOTTO_HOSTLIB_HOSTLIB_HH

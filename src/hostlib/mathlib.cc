@@ -1,0 +1,294 @@
+/**
+ * @file
+ * The "libm" twins.
+ *
+ * Native: the host's optimized math library (std::sin & co), with call
+ * bodies costing tens of cycles. Guest: straight-line polynomial kernels
+ * written in guest FP assembly -- every FAdd/FMul/FDiv becomes a
+ * soft-float helper call under the DBT, reproducing QEMU's
+ * software-floating-point penalty (Section 7.3). The guest kernels are
+ * accurate to ~1e-7 on the benchmark input ranges; like any independent
+ * libm implementation they differ from the host's in low-order bits.
+ */
+
+#include "hostlib/hostlib.hh"
+
+#include <cmath>
+#include <cstring>
+
+namespace risotto::hostlib
+{
+
+using gx86::Assembler;
+
+namespace
+{
+
+std::uint64_t
+bitsOf(double d)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &d, sizeof(b));
+    return b;
+}
+
+double
+doubleOf(std::uint64_t b)
+{
+    double d;
+    std::memcpy(&d, &b, sizeof(d));
+    return d;
+}
+
+/** Register a double(double) native function with a fixed body cost. */
+void
+addUnary(linker::HostLibraryRegistry &registry, const std::string &name,
+         double (*fn)(double), std::uint64_t body_cost)
+{
+    registry.add(name, [fn, body_cost](
+                           const std::vector<std::uint64_t> &args,
+                           gx86::Memory &, std::uint64_t &cost) {
+        cost = body_cost;
+        return bitsOf(fn(doubleOf(args[0])));
+    });
+}
+
+} // namespace
+
+void
+registerMathLibrary(linker::HostLibraryRegistry &registry)
+{
+    addUnary(registry, "sqrt", [](double x) { return std::sqrt(x); }, 22);
+    addUnary(registry, "exp", [](double x) { return std::exp(x); }, 55);
+    addUnary(registry, "log", [](double x) { return std::log(x); }, 55);
+    addUnary(registry, "sin", [](double x) { return std::sin(x); }, 60);
+    addUnary(registry, "cos", [](double x) { return std::cos(x); }, 60);
+    addUnary(registry, "tan", [](double x) { return std::tan(x); }, 80);
+    addUnary(registry, "asin", [](double x) { return std::asin(x); }, 62);
+    addUnary(registry, "acos", [](double x) { return std::acos(x); }, 62);
+    addUnary(registry, "atan", [](double x) { return std::atan(x); }, 62);
+}
+
+std::string
+mathIdl()
+{
+    return "# libm\n"
+           "double sqrt(double);\n"
+           "double exp(double);\n"
+           "double log(double);\n"
+           "double sin(double);\n"
+           "double cos(double);\n"
+           "double tan(double);\n"
+           "double asin(double);\n"
+           "double acos(double);\n"
+           "double atan(double);\n";
+}
+
+namespace
+{
+
+/**
+ * Emit Horner evaluation of p(y) = c[0] + c[1] y + ... over y in r7,
+ * result in r8. Clobbers r9.
+ */
+void
+emitHorner(Assembler &a, const std::vector<double> &coeffs)
+{
+    a.movfd(8, coeffs.back());
+    for (std::size_t i = coeffs.size() - 1; i-- > 0;) {
+        a.fmul(8, 7);
+        a.movfd(9, coeffs[i]);
+        a.fadd(8, 9);
+    }
+}
+
+/** Series coefficients c_k = (-1)^k / (2k+1)! (sine in y = x^2). */
+std::vector<double>
+sinCoeffs(int terms)
+{
+    std::vector<double> c;
+    double f = 1.0;
+    for (int k = 0; k < terms; ++k) {
+        if (k > 0)
+            f *= (2.0 * k) * (2.0 * k + 1.0);
+        c.push_back((k % 2 ? -1.0 : 1.0) / f);
+    }
+    return c;
+}
+
+/** c_k = (-1)^k / (2k)! (cosine in y = x^2). */
+std::vector<double>
+cosCoeffs(int terms)
+{
+    std::vector<double> c;
+    double f = 1.0;
+    for (int k = 0; k < terms; ++k) {
+        if (k > 0)
+            f *= (2.0 * k - 1.0) * (2.0 * k);
+        c.push_back((k % 2 ? -1.0 : 1.0) / f);
+    }
+    return c;
+}
+
+/** c_k = 1 / k! (exponential in x). */
+std::vector<double>
+expCoeffs(int terms)
+{
+    std::vector<double> c;
+    double f = 1.0;
+    for (int k = 0; k < terms; ++k) {
+        if (k > 0)
+            f *= k;
+        c.push_back(1.0 / f);
+    }
+    return c;
+}
+
+/** c_k = (-1)^k / (2k+1) (arctangent in y = x^2). */
+std::vector<double>
+atanCoeffs(int terms)
+{
+    std::vector<double> c;
+    for (int k = 0; k < terms; ++k)
+        c.push_back((k % 2 ? -1.0 : 1.0) / (2.0 * k + 1.0));
+    return c;
+}
+
+/** c_k = (2k)! / (4^k (k!)^2 (2k+1)) (arcsine in y = x^2). */
+std::vector<double>
+asinCoeffs(int terms)
+{
+    std::vector<double> c;
+    double num = 1.0;
+    double den = 1.0;
+    for (int k = 0; k < terms; ++k) {
+        if (k > 0) {
+            num *= (2.0 * k - 1.0) * (2.0 * k);
+            den *= 4.0 * k * k;
+        }
+        c.push_back(num / (den * (2.0 * k + 1.0)));
+    }
+    return c;
+}
+
+/** c_k = 2 / (2k+1) (atanh-based logarithm in y = t^2, times t). */
+std::vector<double>
+logCoeffs(int terms)
+{
+    std::vector<double> c;
+    for (int k = 0; k < terms; ++k)
+        c.push_back(2.0 / (2.0 * k + 1.0));
+    return c;
+}
+
+/** Emit r7 = x^2 from x in r1. */
+void
+emitSquareArg(Assembler &a)
+{
+    a.movrr(7, 1);
+    a.fmul(7, 1);
+}
+
+/** Emit an odd series: result = x * p(x^2), into r0. */
+void
+emitOddSeries(Assembler &a, const std::vector<double> &coeffs)
+{
+    emitSquareArg(a);
+    emitHorner(a, coeffs);
+    a.fmul(8, 1);
+    a.movrr(0, 8);
+}
+
+} // namespace
+
+void
+emitGuestMathLibrary(Assembler &a)
+{
+    // sqrt: a single guest FSQRT instruction (one soft-float helper under
+    // the DBT) -- the cheapest of the library, hence the paper's smallest
+    // linker speedup.
+    a.importFunction("sqrt");
+    a.bindGuestImplHere("sqrt");
+    a.fsqrt(0, 1);
+    a.ret();
+
+    a.importFunction("exp");
+    a.bindGuestImplHere("exp");
+    {
+        a.movrr(7, 1);
+        emitHorner(a, expCoeffs(13));
+        a.movrr(0, 8);
+        a.ret();
+    }
+
+    a.importFunction("log");
+    a.bindGuestImplHere("log");
+    {
+        // t = (x-1)/(x+1); log x = t * p(t^2).
+        a.movfd(9, 1.0);
+        a.movrr(7, 1);
+        a.fsub(7, 9);  // x - 1
+        a.movrr(10, 1);
+        a.fadd(10, 9); // x + 1
+        a.fdiv(7, 10); // t
+        a.movrr(11, 7);
+        a.fmul(7, 7);  // t^2 (r7), t saved in r11
+        emitHorner(a, logCoeffs(9));
+        a.fmul(8, 11);
+        a.movrr(0, 8);
+        a.ret();
+    }
+
+    a.importFunction("sin");
+    a.bindGuestImplHere("sin");
+    emitOddSeries(a, sinCoeffs(9));
+    a.ret();
+
+    a.importFunction("cos");
+    a.bindGuestImplHere("cos");
+    {
+        emitSquareArg(a);
+        emitHorner(a, cosCoeffs(9));
+        a.movrr(0, 8);
+        a.ret();
+    }
+
+    a.importFunction("tan");
+    a.bindGuestImplHere("tan");
+    {
+        // sin(x) / cos(x), both inline.
+        emitSquareArg(a);
+        emitHorner(a, sinCoeffs(9));
+        a.fmul(8, 1);
+        a.movrr(12, 8); // sin
+        emitSquareArg(a);
+        emitHorner(a, cosCoeffs(9));
+        a.fdiv(12, 8);
+        a.movrr(0, 12);
+        a.ret();
+    }
+
+    a.importFunction("asin");
+    a.bindGuestImplHere("asin");
+    emitOddSeries(a, asinCoeffs(12));
+    a.ret();
+
+    a.importFunction("acos");
+    a.bindGuestImplHere("acos");
+    {
+        emitSquareArg(a);
+        emitHorner(a, asinCoeffs(12));
+        a.fmul(8, 1); // asin(x)
+        a.movfd(9, 1.5707963267948966);
+        a.fsub(9, 8);
+        a.movrr(0, 9);
+        a.ret();
+    }
+
+    a.importFunction("atan");
+    a.bindGuestImplHere("atan");
+    emitOddSeries(a, atanCoeffs(11));
+    a.ret();
+}
+
+} // namespace risotto::hostlib

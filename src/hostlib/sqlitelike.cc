@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The "libsqlite" twins: a speedtest-like kernel doing pseudo-random
+ * binary-search lookups over a sorted u64 table in guest memory, folding
+ * results into a checksum. Native and guest versions are bit-identical.
+ */
+
+#include "hostlib/hostlib.hh"
+
+namespace risotto::hostlib
+{
+
+using gx86::Assembler;
+using gx86::Cond;
+
+namespace
+{
+
+constexpr std::uint64_t LcgMul = 6364136223846793005ULL;
+constexpr std::uint64_t LcgAdd = 1442695040888963407ULL;
+
+/** Reference kernel shared by the native implementation and tests. */
+std::uint64_t
+sqliteKernel(const std::uint64_t *table, std::uint64_t len,
+             std::uint64_t ops, std::uint64_t seed)
+{
+    std::uint64_t state = seed;
+    std::uint64_t check = 0;
+    for (std::uint64_t k = 0; k < ops; ++k) {
+        state = state * LcgMul + LcgAdd;
+        const std::uint64_t key = state % (len * 2);
+        // Lower-bound binary search.
+        std::uint64_t lo = 0;
+        std::uint64_t hi = len;
+        while (lo < hi) {
+            const std::uint64_t mid = (lo + hi) / 2;
+            if (table[mid] < key)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        check = check * 31 + lo + key;
+    }
+    return check;
+}
+
+} // namespace
+
+void
+registerSqliteLibrary(linker::HostLibraryRegistry &registry)
+{
+    // sqlite_exec(table_ptr, table_len, ops, seed) -> checksum.
+    registry.add("sqlite_exec",
+                 [](const std::vector<std::uint64_t> &args,
+                    gx86::Memory &memory, std::uint64_t &cost) {
+        const std::uint64_t len = args[1];
+        const std::uint64_t ops = args[2];
+        const auto *table = reinterpret_cast<const std::uint64_t *>(
+            memory.raw(args[0], len * 8));
+        // Native binary search: ~4 cycles per level plus loop overhead.
+        std::uint64_t levels = 1;
+        while ((1ULL << levels) < len)
+            ++levels;
+        cost = 40 + ops * (10 + 4 * levels);
+        return sqliteKernel(table, len, ops, args[3]);
+    });
+}
+
+std::string
+sqliteIdl()
+{
+    return "# libsqlite\n"
+           "u64 sqlite_exec(ptr, i64, i64, u64);\n";
+}
+
+void
+emitGuestSqliteLibrary(Assembler &a)
+{
+    // r1 = table ptr, r2 = len, r3 = ops, r4 = seed; result -> r0.
+    a.importFunction("sqlite_exec");
+    a.bindGuestImplHere("sqlite_exec");
+
+    a.movri(0, 0);                                        // check
+    a.movrr(5, 4);                                        // state
+    a.movri(12, static_cast<std::int64_t>(LcgMul));
+
+    const auto op_loop = a.newLabel();
+    const auto op_done = a.newLabel();
+    a.bind(op_loop);
+    a.cmpri(3, 0);
+    a.jcc(Cond::Eq, op_done);
+
+    // state = state * LcgMul + LcgAdd
+    a.mul(5, 12);
+    a.movri(7, static_cast<std::int64_t>(LcgAdd));
+    a.add(5, 7);
+
+    // key (r6) = state % (len * 2)
+    a.movrr(7, 2);
+    a.shli(7, 1);
+    a.movrr(6, 5);
+    a.movrr(8, 6);
+    a.udiv(8, 7);
+    a.mul(8, 7);
+    a.sub(6, 8);
+
+    // Binary search: lo = r7 = 0, hi = r8 = len.
+    a.movri(7, 0);
+    a.movrr(8, 2);
+    const auto search = a.newLabel();
+    const auto search_done = a.newLabel();
+    const auto go_right = a.newLabel();
+    a.bind(search);
+    a.cmprr(7, 8);
+    a.jcc(Cond::Ge, search_done);
+    // mid = (lo + hi) / 2
+    a.movrr(9, 7);
+    a.add(9, 8);
+    a.shri(9, 1);
+    // r10 = table[mid]
+    a.movrr(10, 9);
+    a.shli(10, 3);
+    a.add(10, 1);
+    a.load(10, 10, 0);
+    a.cmprr(10, 6);
+    a.jcc(Cond::Lt, go_right);
+    a.movrr(8, 9); // hi = mid
+    a.jmp(search);
+    a.bind(go_right);
+    a.movrr(7, 9); // lo = mid + 1
+    a.addi(7, 1);
+    a.jmp(search);
+    a.bind(search_done);
+
+    // check = check * 31 + lo + key
+    a.muli(0, 31);
+    a.add(0, 7);
+    a.add(0, 6);
+
+    a.subi(3, 1);
+    a.jmp(op_loop);
+    a.bind(op_done);
+    a.ret();
+}
+
+} // namespace risotto::hostlib

@@ -1,0 +1,120 @@
+#include "linker/hostlinker.hh"
+
+#include "support/error.hh"
+
+namespace risotto::linker
+{
+
+void
+HostLibraryRegistry::add(const std::string &name, NativeFn fn)
+{
+    fatalIf(functions_.count(name),
+            "native function registered twice: " + name);
+    functions_[name] = std::move(fn);
+}
+
+bool
+HostLibraryRegistry::contains(const std::string &name) const
+{
+    return functions_.count(name) > 0;
+}
+
+const NativeFn &
+HostLibraryRegistry::lookup(const std::string &name) const
+{
+    auto it = functions_.find(name);
+    fatalIf(it == functions_.end(), "no native function named " + name);
+    return it->second;
+}
+
+std::vector<std::string>
+HostLibraryRegistry::names() const
+{
+    std::vector<std::string> out;
+    for (const auto &[name, fn] : functions_)
+        out.push_back(name);
+    return out;
+}
+
+HostLinker::HostLinker(std::vector<FunctionSignature> idl,
+                       const HostLibraryRegistry &registry,
+                       MarshalCosts costs)
+    : idl_(std::move(idl)), registry_(registry), costs_(costs)
+{
+}
+
+std::size_t
+HostLinker::scanImage(const gx86::GuestImage &image)
+{
+    linked_.clear();
+    byName_.clear();
+    // Step 2: walk .dynsym; for each imported function whose signature is
+    // described in the IDL and whose native library is present, record a
+    // host-call table entry.
+    for (const gx86::DynSymbol &dyn : image.dynsym) {
+        const FunctionSignature *sig = nullptr;
+        for (const FunctionSignature &candidate : idl_)
+            if (candidate.name == dyn.name)
+                sig = &candidate;
+        if (!sig || !registry_.contains(dyn.name))
+            continue;
+        LinkedFunction entry;
+        entry.signature = *sig;
+        entry.fn = registry_.lookup(dyn.name);
+        byName_[dyn.name] = static_cast<std::uint16_t>(linked_.size());
+        linked_.push_back(std::move(entry));
+    }
+    return linked_.size();
+}
+
+std::vector<std::string>
+HostLinker::linkedFunctions() const
+{
+    std::vector<std::string> out;
+    for (const auto &[name, index] : byName_)
+        out.push_back(name);
+    return out;
+}
+
+std::optional<std::uint16_t>
+HostLinker::resolve(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    if (it == byName_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::uint64_t
+HostLinker::invokeHostFunction(std::uint16_t index, machine::Core &core,
+                               machine::Machine &machine)
+{
+    panicIf(index >= linked_.size(), "host call index out of range");
+    const LinkedFunction &fn = linked_[index];
+
+    // Marshal guest arguments (r1..) into host argument slots; values and
+    // double bit patterns copy verbatim, ptr arguments stay guest
+    // addresses (user-mode DBT: guest address space == host address
+    // space).
+    std::vector<std::uint64_t> args;
+    args.reserve(fn.signature.args.size());
+    std::uint64_t cycles = costs_.base;
+    for (std::size_t i = 0; i < fn.signature.args.size(); ++i) {
+        args.push_back(core.x[1 + i]);
+        cycles += costs_.perArg;
+    }
+
+    std::uint64_t body_cost = 0;
+    const std::uint64_t result =
+        fn.fn(args, machine.memory(), body_cost);
+    cycles += body_cost;
+
+    // Marshal the return value back into guest r0.
+    if (fn.signature.ret != IdlType::Void) {
+        core.x[0] = result;
+        cycles += costs_.perArg;
+    }
+    return cycles;
+}
+
+} // namespace risotto::linker

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The dynamic host library linker of Section 6.2.
+ *
+ * Workflow (paper Figure 11): the IDL describes the function signatures
+ * to host-link (1); the loader scans the image's .dynsym for imported
+ * functions and records PLT entries with their signatures (2); when the
+ * DBT reaches a described PLT entry it emits a marshalling host call (4,
+ * 5) instead of translating the guest library (3).
+ *
+ * The guest calling convention marshalled here: arguments in guest
+ * registers r1..r6 (doubles as IEEE-754 bit patterns), return value in
+ * guest r0. Marshalling copies guest registers to host argument slots
+ * and back, charged per argument.
+ */
+
+#ifndef RISOTTO_LINKER_HOSTLINKER_HH
+#define RISOTTO_LINKER_HOSTLINKER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dbt/hostcall.hh"
+#include "dbt/resolver.hh"
+#include "gx86/image.hh"
+#include "linker/idl.hh"
+
+namespace risotto::linker
+{
+
+/**
+ * A native host function: receives marshalled arguments and the guest
+ * memory (for ptr parameters), returns the result value and reports the
+ * native body's cycle cost through @p cost.
+ */
+using NativeFn = std::function<std::uint64_t(
+    const std::vector<std::uint64_t> &args, gx86::Memory &memory,
+    std::uint64_t &cost)>;
+
+/** A registry of native host library functions ("the host's .so files").*/
+class HostLibraryRegistry
+{
+  public:
+    /** Register a native function under @p name. */
+    void add(const std::string &name, NativeFn fn);
+
+    /** True when a native implementation of @p name exists. */
+    bool contains(const std::string &name) const;
+
+    /** Look up a function; throws FatalError when absent. */
+    const NativeFn &lookup(const std::string &name) const;
+
+    /** Names of all registered functions. */
+    std::vector<std::string> names() const;
+
+  private:
+    std::map<std::string, NativeFn> functions_;
+};
+
+/** Marshalling cost constants (Section 7.3's overhead discussion). */
+struct MarshalCosts
+{
+    std::uint64_t base = 14;   ///< Transition into/out of native code.
+    std::uint64_t perArg = 7;  ///< Per-argument register copy/convert.
+};
+
+/**
+ * The dynamic host linker: resolves imports described in the IDL to
+ * native host functions and services the resulting HostCall helpers.
+ */
+class HostLinker : public dbt::ImportResolver, public dbt::HostCallHandler
+{
+  public:
+    /**
+     * @param idl parsed signature descriptions (step 1 of Figure 11).
+     * @param registry available native host libraries.
+     */
+    HostLinker(std::vector<FunctionSignature> idl,
+               const HostLibraryRegistry &registry,
+               MarshalCosts costs = {});
+
+    /**
+     * Scan @p image's dynamic symbols and build the PLT lookup table
+     * (step 2 of Figure 11). Returns the number of host-linked symbols.
+     */
+    std::size_t scanImage(const gx86::GuestImage &image);
+
+    /** Host-linked function names (after scanImage). */
+    std::vector<std::string> linkedFunctions() const;
+
+    // --- dbt::ImportResolver ----------------------------------------------
+
+    std::optional<std::uint16_t>
+    resolve(const std::string &name) const override;
+
+    // --- dbt::HostCallHandler ---------------------------------------------
+
+    std::uint64_t invokeHostFunction(std::uint16_t index,
+                                     machine::Core &core,
+                                     machine::Machine &machine) override;
+
+  private:
+    struct LinkedFunction
+    {
+        FunctionSignature signature;
+        NativeFn fn;
+    };
+
+    std::vector<FunctionSignature> idl_;
+    const HostLibraryRegistry &registry_;
+    MarshalCosts costs_;
+    std::vector<LinkedFunction> linked_;
+    std::map<std::string, std::uint16_t> byName_;
+};
+
+} // namespace risotto::linker
+
+#endif // RISOTTO_LINKER_HOSTLINKER_HH

@@ -1,0 +1,101 @@
+#include "linker/idl.hh"
+
+#include <sstream>
+
+#include "support/error.hh"
+#include "support/format.hh"
+
+namespace risotto::linker
+{
+
+std::string
+idlTypeName(IdlType type)
+{
+    switch (type) {
+      case IdlType::Void: return "void";
+      case IdlType::I64: return "i64";
+      case IdlType::U64: return "u64";
+      case IdlType::F64: return "double";
+      case IdlType::Ptr: return "ptr";
+    }
+    panic("unknown IDL type");
+}
+
+std::string
+FunctionSignature::toString() const
+{
+    std::ostringstream os;
+    os << idlTypeName(ret) << " " << name << "(";
+    for (std::size_t i = 0; i < args.size(); ++i)
+        os << (i ? ", " : "") << idlTypeName(args[i]);
+    os << ")";
+    return os.str();
+}
+
+namespace
+{
+
+IdlType
+parseType(const std::string &token, int line, bool allow_void)
+{
+    if (token == "void" && allow_void)
+        return IdlType::Void;
+    if (token == "i64" || token == "int" || token == "long")
+        return IdlType::I64;
+    if (token == "u64")
+        return IdlType::U64;
+    if (token == "double" || token == "f64")
+        return IdlType::F64;
+    if (token == "ptr" || token == "void*" || token == "char*")
+        return IdlType::Ptr;
+    fatal("IDL line " + std::to_string(line) + ": unknown type '" +
+          token + "'");
+}
+
+} // namespace
+
+std::vector<FunctionSignature>
+parseIdl(const std::string &text)
+{
+    std::vector<FunctionSignature> out;
+    int line_no = 0;
+    for (const std::string &raw : splitString(text, '\n')) {
+        ++line_no;
+        std::string line = trimString(raw);
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (line.back() == ';')
+            line.pop_back();
+        const std::size_t open = line.find('(');
+        const std::size_t close = line.rfind(')');
+        fatalIf(open == std::string::npos || close == std::string::npos ||
+                    close < open,
+                "IDL line " + std::to_string(line_no) +
+                    ": expected 'ret name(args)'");
+
+        const std::string head = trimString(line.substr(0, open));
+        const std::size_t space = head.find_last_of(" \t");
+        fatalIf(space == std::string::npos,
+                "IDL line " + std::to_string(line_no) +
+                    ": missing return type");
+        FunctionSignature sig;
+        sig.ret = parseType(trimString(head.substr(0, space)), line_no,
+                            /*allow_void=*/true);
+        sig.name = trimString(head.substr(space + 1));
+        fatalIf(sig.name.empty(), "IDL line " + std::to_string(line_no) +
+                                      ": missing function name");
+
+        const std::string args =
+            trimString(line.substr(open + 1, close - open - 1));
+        if (!args.empty() && args != "void") {
+            for (const std::string &tok : splitString(args, ',')) {
+                sig.args.push_back(parseType(trimString(tok), line_no,
+                                             /*allow_void=*/false));
+            }
+        }
+        out.push_back(std::move(sig));
+    }
+    return out;
+}
+
+} // namespace risotto::linker

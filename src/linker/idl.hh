@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The Interface Definition Language of Section 6.2.
+ *
+ * Function signatures are described "in a form similar to C function
+ * prototypes", one per line:
+ *
+ *     double sin(double);
+ *     i64 md5(ptr, i64);
+ *     void sqlite_exec(ptr, i64);
+ *
+ * Types: i64 (signed integer), u64, double, ptr (guest address), void
+ * (return only). Lines starting with '#' are comments.
+ */
+
+#ifndef RISOTTO_LINKER_IDL_HH
+#define RISOTTO_LINKER_IDL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace risotto::linker
+{
+
+/** Parameter / return types the marshaller understands. */
+enum class IdlType : std::uint8_t
+{
+    Void,
+    I64,
+    U64,
+    F64,
+    Ptr,
+};
+
+/** Name of an IDL type. */
+std::string idlTypeName(IdlType type);
+
+/** A function signature from the IDL. */
+struct FunctionSignature
+{
+    std::string name;
+    IdlType ret = IdlType::Void;
+    std::vector<IdlType> args;
+
+    /** Rendering, e.g. "double sin(double)". */
+    std::string toString() const;
+};
+
+/**
+ * Parse an IDL document.
+ * @throws FatalError on syntax errors (with line information).
+ */
+std::vector<FunctionSignature> parseIdl(const std::string &text);
+
+} // namespace risotto::linker
+
+#endif // RISOTTO_LINKER_IDL_HH

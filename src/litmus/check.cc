@@ -1,0 +1,70 @@
+#include "litmus/check.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace risotto::litmus
+{
+
+Outcome
+projectOutcome(const Outcome &outcome,
+               const std::vector<std::set<Reg>> &regs_per_thread)
+{
+    Outcome out;
+    out.memory = outcome.memory;
+    out.regs.resize(outcome.regs.size());
+    for (std::size_t t = 0; t < outcome.regs.size(); ++t) {
+        if (t >= regs_per_thread.size())
+            continue;
+        for (const auto &[r, v] : outcome.regs[t])
+            if (regs_per_thread[t].count(r))
+                out.regs[t][r] = v;
+    }
+    return out;
+}
+
+RefinementResult
+checkRefinement(const Program &source,
+                const models::ConsistencyModel &source_model,
+                const Program &target,
+                const models::ConsistencyModel &target_model,
+                const EnumerateOptions &opts)
+{
+    fatalIf(source.threads.size() != target.threads.size(),
+            "refinement check requires equal thread counts");
+
+    // Observables: registers present in both programs, per thread.
+    std::vector<std::set<Reg>> common(source.threads.size());
+    for (std::size_t t = 0; t < source.threads.size(); ++t) {
+        const std::set<Reg> s = source.threadRegisters(t);
+        const std::set<Reg> g = target.threadRegisters(t);
+        std::set_intersection(s.begin(), s.end(), g.begin(), g.end(),
+                              std::inserter(common[t], common[t].begin()));
+    }
+
+    const BehaviorSet src_raw = enumerateBehaviors(source, source_model,
+                                                   nullptr, opts);
+    const BehaviorSet tgt_raw = enumerateBehaviors(target, target_model,
+                                                   nullptr, opts);
+
+    BehaviorSet src;
+    for (const Outcome &o : src_raw)
+        src.insert(projectOutcome(o, common));
+    BehaviorSet tgt;
+    for (const Outcome &o : tgt_raw)
+        tgt.insert(projectOutcome(o, common));
+
+    RefinementResult result;
+    result.sourceBehaviors = src.size();
+    result.targetBehaviors = tgt.size();
+    for (const Outcome &o : tgt) {
+        if (!src.count(o)) {
+            result.correct = false;
+            result.newOutcomes.push_back(o);
+        }
+    }
+    return result;
+}
+
+} // namespace risotto::litmus

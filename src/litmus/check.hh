@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Mapping/transformation correctness checking (the paper's Theorem 1).
+ *
+ * A transformation from source program Ps under model Ms to target Pt
+ * under Mt is correct if every consistent target execution has a matching
+ * consistent source execution with the same behaviour. Here behaviours are
+ * outcomes projected onto the observables both programs share (common
+ * registers and final memory), because a transformation may legitimately
+ * remove thread-local reads (e.g. the RAW elimination).
+ */
+
+#ifndef RISOTTO_LITMUS_CHECK_HH
+#define RISOTTO_LITMUS_CHECK_HH
+
+#include <optional>
+#include <vector>
+
+#include "litmus/enumerate.hh"
+#include "litmus/outcome.hh"
+#include "litmus/program.hh"
+#include "models/model.hh"
+
+namespace risotto::litmus
+{
+
+/** Outcome projected onto a subset of registers (plus all of memory). */
+Outcome projectOutcome(const Outcome &outcome,
+                       const std::vector<std::set<Reg>> &regs_per_thread);
+
+/** Result of a Theorem-1 refinement check. */
+struct RefinementResult
+{
+    /** True when behaviours(target) is a subset of behaviours(source). */
+    bool correct = true;
+
+    /** Target-only outcomes witnessing the violation (projected). */
+    std::vector<Outcome> newOutcomes;
+
+    /** Count of projected source/target behaviours. */
+    std::size_t sourceBehaviors = 0;
+    std::size_t targetBehaviors = 0;
+};
+
+/**
+ * Check that @p target under @p target_model refines @p source under
+ * @p source_model: every (projected) target behaviour is also a source
+ * behaviour. Source and target must have the same thread count.
+ */
+RefinementResult checkRefinement(const Program &source,
+                                 const models::ConsistencyModel &source_model,
+                                 const Program &target,
+                                 const models::ConsistencyModel &target_model,
+                                 const EnumerateOptions &opts = {});
+
+} // namespace risotto::litmus
+
+#endif // RISOTTO_LITMUS_CHECK_HH

@@ -1,0 +1,472 @@
+#include "litmus/enumerate.hh"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "support/error.hh"
+
+namespace risotto::litmus
+{
+
+namespace
+{
+
+using memcore::Event;
+using memcore::EventId;
+using memcore::EventKind;
+using memcore::Execution;
+using memcore::RmwKind;
+
+/** A dependency edge between two thread-local event indices. */
+struct LocalDep
+{
+    enum class Kind
+    {
+        Addr,
+        Data,
+        Ctrl,
+    };
+    Kind kind;
+    std::size_t from;
+    std::size_t to;
+};
+
+/** One possible sequential run of a single thread. */
+struct ThreadRun
+{
+    /** Events in program order (local: ids are indices into this vector).*/
+    std::vector<Event> events;
+
+    /** Local rmw pairs (indices into events). */
+    std::vector<std::pair<std::size_t, std::size_t>> rmwPairs;
+
+    /** Dependency edges between local events. */
+    std::vector<LocalDep> deps;
+
+    /** Final register file. */
+    std::map<Reg, Val> regs;
+};
+
+/** Recursive thread-local interpreter branching on every load value. */
+class RunEnumerator
+{
+  public:
+    RunEnumerator(const Thread &thread, const std::vector<Val> &universe)
+        : thread_(thread), universe_(universe)
+    {
+    }
+
+    std::vector<ThreadRun>
+    enumerate()
+    {
+        runs_.clear();
+        ThreadRun run;
+        std::map<Reg, std::size_t> def_event;
+        step(0, run, {}, def_event);
+        return std::move(runs_);
+    }
+
+  private:
+    /** Interpret instruction @p pc given current state; branch on loads. */
+    void
+    step(std::size_t pc, ThreadRun run, std::map<Reg, Val> regs,
+         std::map<Reg, std::size_t> def_event)
+    {
+        if (pc == thread_.instrs.size()) {
+            run.regs = std::move(regs);
+            runs_.push_back(std::move(run));
+            return;
+        }
+        const Instr &instr = thread_.instrs[pc];
+
+        // Control guard: skipped instructions generate no events.
+        if (instr.guardReg != NoReg) {
+            const Val guard = regs.count(instr.guardReg)
+                                  ? regs[instr.guardReg]
+                                  : 0;
+            if (guard != instr.guardVal) {
+                step(pc + 1, std::move(run), std::move(regs),
+                     std::move(def_event));
+                return;
+            }
+        }
+
+        auto add_deps = [&](ThreadRun &r, std::size_t event_idx) {
+            if (instr.guardReg != NoReg && def_event.count(instr.guardReg))
+                r.deps.push_back({LocalDep::Kind::Ctrl,
+                                  def_event.at(instr.guardReg), event_idx});
+            if (instr.addrDepReg != NoReg &&
+                def_event.count(instr.addrDepReg))
+                r.deps.push_back({LocalDep::Kind::Addr,
+                                  def_event.at(instr.addrDepReg),
+                                  event_idx});
+        };
+
+        switch (instr.kind) {
+          case Instr::Kind::Fence: {
+            Event e;
+            e.kind = EventKind::Fence;
+            e.fence = instr.fence;
+            run.events.push_back(e);
+            step(pc + 1, std::move(run), std::move(regs),
+                 std::move(def_event));
+            return;
+          }
+          case Instr::Kind::Store: {
+            Event e;
+            e.kind = EventKind::Write;
+            e.loc = instr.loc;
+            e.access = instr.writeAccess;
+            switch (instr.value.kind) {
+              case StoreExpr::Kind::Const:
+                e.value = instr.value.konst;
+                break;
+              case StoreExpr::Kind::FromReg:
+                e.value = regs.count(instr.value.reg)
+                              ? regs[instr.value.reg]
+                              : 0;
+                break;
+              case StoreExpr::Kind::FalseDep:
+                e.value = 0;
+                break;
+            }
+            run.events.push_back(e);
+            const std::size_t idx = run.events.size() - 1;
+            add_deps(run, idx);
+            if (instr.value.kind != StoreExpr::Kind::Const &&
+                def_event.count(instr.value.reg))
+                run.deps.push_back({LocalDep::Kind::Data,
+                                    def_event.at(instr.value.reg), idx});
+            step(pc + 1, std::move(run), std::move(regs),
+                 std::move(def_event));
+            return;
+          }
+          case Instr::Kind::Load: {
+            // Branch: the load may observe any value in the universe; rf
+            // matching later discards values no write produced.
+            for (Val v : universe_) {
+                ThreadRun next_run = run;
+                std::map<Reg, Val> next_regs = regs;
+                std::map<Reg, std::size_t> next_def = def_event;
+                Event e;
+                e.kind = EventKind::Read;
+                e.loc = instr.loc;
+                e.access = instr.readAccess;
+                e.value = v;
+                next_run.events.push_back(e);
+                const std::size_t idx = next_run.events.size() - 1;
+                add_deps(next_run, idx);
+                next_regs[instr.dst] = v;
+                next_def[instr.dst] = idx;
+                step(pc + 1, std::move(next_run), std::move(next_regs),
+                     std::move(next_def));
+            }
+            return;
+          }
+          case Instr::Kind::Rmw: {
+            for (Val v : universe_) {
+                ThreadRun next_run = run;
+                std::map<Reg, Val> next_regs = regs;
+                std::map<Reg, std::size_t> next_def = def_event;
+                const bool success = (v == instr.expected);
+                Event r;
+                r.kind = EventKind::Read;
+                r.loc = instr.loc;
+                r.access = instr.readAccess;
+                r.rmw = instr.rmwKind;
+                r.value = v;
+                next_run.events.push_back(r);
+                const std::size_t ridx = next_run.events.size() - 1;
+                add_deps(next_run, ridx);
+                if (success) {
+                    Event w;
+                    w.kind = EventKind::Write;
+                    w.loc = instr.loc;
+                    w.access = instr.writeAccess;
+                    w.rmw = instr.rmwKind;
+                    w.value = instr.desired;
+                    next_run.events.push_back(w);
+                    const std::size_t widx = next_run.events.size() - 1;
+                    add_deps(next_run, widx);
+                    next_run.rmwPairs.emplace_back(ridx, widx);
+                }
+                next_regs[instr.dst] = v;
+                next_def[instr.dst] = ridx;
+                step(pc + 1, std::move(next_run), std::move(next_regs),
+                     std::move(next_def));
+            }
+            return;
+          }
+        }
+        panic("unhandled instruction kind");
+    }
+
+    const Thread &thread_;
+    const std::vector<Val> &universe_;
+    std::vector<ThreadRun> runs_;
+};
+
+/** Builds the execution skeleton (events, po, rmw, deps) from runs. */
+Execution
+buildSkeleton(const Program &program,
+              const std::vector<const ThreadRun *> &runs,
+              std::vector<EventId> *init_of_loc_out)
+{
+    Execution x;
+
+    // Init writes first, one per location.
+    std::map<Loc, EventId> init_of_loc;
+    for (Loc loc : program.locations()) {
+        Event e;
+        e.id = static_cast<EventId>(x.events.size());
+        e.kind = EventKind::Write;
+        e.loc = loc;
+        auto it = program.init.find(loc);
+        e.value = it == program.init.end() ? 0 : it->second;
+        e.isInit = true;
+        init_of_loc[loc] = e.id;
+        x.events.push_back(e);
+    }
+
+    std::vector<std::vector<EventId>> global_ids(runs.size());
+    for (std::size_t t = 0; t < runs.size(); ++t) {
+        for (std::size_t i = 0; i < runs[t]->events.size(); ++i) {
+            Event e = runs[t]->events[i];
+            e.id = static_cast<EventId>(x.events.size());
+            e.tid = static_cast<memcore::ThreadId>(t);
+            e.poIndex = static_cast<std::uint32_t>(i);
+            global_ids[t].push_back(e.id);
+            x.events.push_back(e);
+        }
+    }
+
+    x.initRelations();
+
+    for (std::size_t t = 0; t < runs.size(); ++t) {
+        const auto &ids = global_ids[t];
+        for (std::size_t i = 0; i < ids.size(); ++i)
+            for (std::size_t j = i + 1; j < ids.size(); ++j)
+                x.po.insert(ids[i], ids[j]);
+        for (auto [r, w] : runs[t]->rmwPairs)
+            x.rmw.insert(ids[r], ids[w]);
+        for (const LocalDep &d : runs[t]->deps) {
+            switch (d.kind) {
+              case LocalDep::Kind::Addr:
+                x.addrDep.insert(ids[d.from], ids[d.to]);
+                break;
+              case LocalDep::Kind::Data:
+                x.dataDep.insert(ids[d.from], ids[d.to]);
+                break;
+              case LocalDep::Kind::Ctrl:
+                x.ctrlDep.insert(ids[d.from], ids[d.to]);
+                break;
+            }
+        }
+    }
+
+    if (init_of_loc_out) {
+        init_of_loc_out->clear();
+        for (auto &[loc, id] : init_of_loc)
+            init_of_loc_out->push_back(id);
+    }
+    return x;
+}
+
+/** Enumerates rf choices, then co choices, checking the model on each. */
+class GraphEnumerator
+{
+  public:
+    GraphEnumerator(const Program &program,
+                    const models::ConsistencyModel &model,
+                    const EnumerateOptions &opts, EnumerateStats &stats,
+                    const std::function<bool(const Execution &,
+                                             const Outcome &)> &visit)
+        : program_(program), model_(model), opts_(opts), stats_(stats),
+          visit_(visit)
+    {
+    }
+
+    /** Returns false when the visitor asked to stop. */
+    bool
+    run(Execution &x, const std::vector<const ThreadRun *> &runs)
+    {
+        runs_ = &runs;
+        reads_.clear();
+        for (const Event &e : x.events)
+            if (e.isRead())
+                reads_.push_back(e.id);
+        return chooseRf(x, 0);
+    }
+
+  private:
+    bool
+    chooseRf(Execution &x, std::size_t read_idx)
+    {
+        if (read_idx == reads_.size())
+            return chooseCoAll(x);
+        const EventId r = reads_[read_idx];
+        const Event &re = x.events[r];
+        bool keep_going = true;
+        for (const Event &w : x.events) {
+            if (!keep_going)
+                break;
+            if (!w.isWrite() || w.loc != re.loc || w.value != re.value)
+                continue;
+            x.rf.insert(w.id, r);
+            keep_going = chooseRf(x, read_idx + 1);
+            x.rf.erase(w.id, r);
+        }
+        return keep_going;
+    }
+
+    bool
+    chooseCoAll(Execution &x)
+    {
+        // Collect non-init writes per location; init is co-first.
+        std::map<Loc, std::vector<EventId>> writers;
+        for (const Event &e : x.events)
+            if (e.isWrite() && !e.isInit)
+                writers[e.loc].push_back(e.id);
+        std::vector<std::pair<Loc, std::vector<EventId>>> groups(
+            writers.begin(), writers.end());
+        return chooseCoGroup(x, groups, 0);
+    }
+
+    bool
+    chooseCoGroup(Execution &x,
+                  std::vector<std::pair<Loc, std::vector<EventId>>> &groups,
+                  std::size_t group_idx)
+    {
+        if (group_idx == groups.size())
+            return emit(x);
+        auto &[loc, ids] = groups[group_idx];
+        std::sort(ids.begin(), ids.end());
+        // Enumerate permutations of this location's writes.
+        std::vector<EventId> perm = ids;
+        bool keep_going = true;
+        do {
+            // Install co: init -> all, then chain order of perm as a total
+            // order (all ordered pairs).
+            std::vector<std::pair<EventId, EventId>> added;
+            for (const Event &e : x.events) {
+                if (e.isInit && e.loc == loc) {
+                    for (EventId w : perm) {
+                        x.co.insert(e.id, w);
+                        added.emplace_back(e.id, w);
+                    }
+                }
+            }
+            for (std::size_t i = 0; i < perm.size(); ++i) {
+                for (std::size_t j = i + 1; j < perm.size(); ++j) {
+                    x.co.insert(perm[i], perm[j]);
+                    added.emplace_back(perm[i], perm[j]);
+                }
+            }
+            keep_going = chooseCoGroup(x, groups, group_idx + 1);
+            for (auto [a, b] : added)
+                x.co.erase(a, b);
+            if (!keep_going)
+                break;
+        } while (std::next_permutation(perm.begin(), perm.end()));
+        return keep_going;
+    }
+
+    bool
+    emit(Execution &x)
+    {
+        ++stats_.candidates;
+        fatalIf(stats_.candidates > opts_.maxCandidates,
+                "litmus enumeration exceeded candidate limit in program '" +
+                    program_.name + "'");
+        if (!x.wellFormed())
+            return true;
+        ++stats_.wellFormed;
+        if (!model_.consistent(x))
+            return true;
+        ++stats_.consistent;
+
+        Outcome outcome;
+        outcome.regs.reserve(runs_->size());
+        for (const ThreadRun *run : *runs_)
+            outcome.regs.push_back(run->regs);
+        outcome.memory = x.behavior();
+        return visit_(x, outcome);
+    }
+
+    const Program &program_;
+    const models::ConsistencyModel &model_;
+    const EnumerateOptions &opts_;
+    EnumerateStats &stats_;
+    const std::function<bool(const Execution &, const Outcome &)> &visit_;
+    const std::vector<const ThreadRun *> *runs_ = nullptr;
+    std::vector<EventId> reads_;
+};
+
+void
+enumerateImpl(const Program &program, const models::ConsistencyModel &model,
+              const std::function<bool(const Execution &, const Outcome &)>
+                  &visit,
+              EnumerateStats &stats, const EnumerateOptions &opts)
+{
+    const std::set<Val> universe_set = program.valueUniverse();
+    const std::vector<Val> universe(universe_set.begin(),
+                                    universe_set.end());
+
+    std::vector<std::vector<ThreadRun>> all_runs;
+    all_runs.reserve(program.threads.size());
+    for (const Thread &t : program.threads)
+        all_runs.push_back(RunEnumerator(t, universe).enumerate());
+
+    // Cartesian product over the per-thread run choices.
+    std::vector<const ThreadRun *> chosen(program.threads.size(), nullptr);
+    GraphEnumerator graphs(program, model, opts, stats, visit);
+
+    std::function<bool(std::size_t)> product = [&](std::size_t t) -> bool {
+        if (t == all_runs.size()) {
+            Execution x = buildSkeleton(program, chosen, nullptr);
+            return graphs.run(x, chosen);
+        }
+        for (const ThreadRun &run : all_runs[t]) {
+            chosen[t] = &run;
+            if (!product(t + 1))
+                return false;
+        }
+        return true;
+    };
+    product(0);
+}
+
+} // namespace
+
+BehaviorSet
+enumerateBehaviors(const Program &program,
+                   const models::ConsistencyModel &model,
+                   EnumerateStats *stats, const EnumerateOptions &opts)
+{
+    BehaviorSet behaviors;
+    EnumerateStats local;
+    enumerateImpl(
+        program, model,
+        [&](const Execution &, const Outcome &o) {
+            behaviors.insert(o);
+            return true;
+        },
+        local, opts);
+    if (stats)
+        *stats = local;
+    return behaviors;
+}
+
+void
+forEachConsistentExecution(
+    const Program &program, const models::ConsistencyModel &model,
+    const std::function<bool(const memcore::Execution &, const Outcome &)>
+        &visit,
+    const EnumerateOptions &opts)
+{
+    EnumerateStats stats;
+    enumerateImpl(program, model, visit, stats, opts);
+}
+
+} // namespace risotto::litmus

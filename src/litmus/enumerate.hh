@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Exhaustive enumeration of the consistent executions of a litmus program.
+ *
+ * This is the bounded-model-checking surrogate for the paper's Agda
+ * proofs: for a small program we enumerate *every* candidate execution
+ * (all thread-local runs x all reads-from choices x all coherence orders),
+ * keep the ones that satisfy a consistency model's axioms, and collect the
+ * observable outcomes.
+ */
+
+#ifndef RISOTTO_LITMUS_ENUMERATE_HH
+#define RISOTTO_LITMUS_ENUMERATE_HH
+
+#include <cstddef>
+#include <functional>
+
+#include "litmus/outcome.hh"
+#include "litmus/program.hh"
+#include "models/model.hh"
+
+namespace risotto::litmus
+{
+
+/** Tuning knobs for the enumerator. */
+struct EnumerateOptions
+{
+    /** Abort (throw FatalError) past this many candidate executions;
+     * protects property tests from accidentally exponential programs. */
+    std::size_t maxCandidates = 5'000'000;
+};
+
+/** Statistics from one enumeration. */
+struct EnumerateStats
+{
+    std::size_t candidates = 0;
+    std::size_t wellFormed = 0;
+    std::size_t consistent = 0;
+};
+
+/**
+ * Enumerate all consistent executions of @p program under @p model and
+ * return the set of observable outcomes.
+ *
+ * @param program the litmus program.
+ * @param model the consistency model giving the program semantics.
+ * @param stats optional out-parameter with enumeration statistics.
+ * @param opts enumeration limits.
+ */
+BehaviorSet enumerateBehaviors(const Program &program,
+                               const models::ConsistencyModel &model,
+                               EnumerateStats *stats = nullptr,
+                               const EnumerateOptions &opts = {});
+
+/**
+ * Visit every consistent execution of @p program under @p model.
+ *
+ * The callback receives the execution and its outcome; returning false
+ * stops the enumeration early.
+ */
+void forEachConsistentExecution(
+    const Program &program, const models::ConsistencyModel &model,
+    const std::function<bool(const memcore::Execution &, const Outcome &)>
+        &visit,
+    const EnumerateOptions &opts = {});
+
+} // namespace risotto::litmus
+
+#endif // RISOTTO_LITMUS_ENUMERATE_HH

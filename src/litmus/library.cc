@@ -1,0 +1,349 @@
+#include "litmus/library.hh"
+
+namespace risotto::litmus
+{
+
+using memcore::Access;
+using memcore::FenceKind;
+using memcore::RmwKind;
+
+namespace
+{
+
+Thread
+thread(std::vector<Instr> instrs)
+{
+    Thread t;
+    t.instrs = std::move(instrs);
+    return t;
+}
+
+} // namespace
+
+LitmusTest
+mp()
+{
+    LitmusTest t;
+    t.program.name = "MP";
+    t.program.threads = {
+        thread({Instr::store(LocX, 1), Instr::store(LocY, 1)}),
+        thread({Instr::load(0, LocY), Instr::load(1, LocX)}),
+    };
+    t.interesting.reg(1, 0, 1).reg(1, 1, 0);
+    t.forbiddenInSource = true;
+    return t;
+}
+
+LitmusTest
+sb()
+{
+    LitmusTest t;
+    t.program.name = "SB";
+    t.program.threads = {
+        thread({Instr::store(LocX, 1), Instr::load(0, LocY)}),
+        thread({Instr::store(LocY, 1), Instr::load(0, LocX)}),
+    };
+    t.interesting.reg(0, 0, 0).reg(1, 0, 0);
+    // Store-load reordering is allowed under x86-TSO.
+    t.forbiddenInSource = false;
+    return t;
+}
+
+LitmusTest
+lb()
+{
+    LitmusTest t;
+    t.program.name = "LB";
+    t.program.threads = {
+        thread({Instr::load(0, LocX), Instr::store(LocY, 1)}),
+        thread({Instr::load(0, LocY), Instr::store(LocX, 1)}),
+    };
+    t.interesting.reg(0, 0, 1).reg(1, 0, 1);
+    t.forbiddenInSource = true;
+    return t;
+}
+
+LitmusTest
+mpq()
+{
+    LitmusTest t;
+    t.program.name = "MPQ";
+    t.program.threads = {
+        thread({Instr::store(LocX, 1), Instr::store(LocY, 1)}),
+        thread({Instr::load(0, LocY),
+                Instr::rmw(1, LocX, 1, 2).guarded(0, 1)}),
+    };
+    // a = 1 and the RMW failed (X stays 1).
+    t.interesting.reg(1, 0, 1).mem(LocX, 1);
+    t.forbiddenInSource = true;
+    return t;
+}
+
+LitmusTest
+sbq()
+{
+    LitmusTest t;
+    t.program.name = "SBQ";
+    t.program.threads = {
+        thread({Instr::store(LocX, 1), Instr::rmw(0, LocZ, 0, 1),
+                Instr::load(1, LocY)}),
+        thread({Instr::store(LocY, 1), Instr::rmw(0, LocU, 0, 1),
+                Instr::load(1, LocX)}),
+    };
+    t.interesting.mem(LocZ, 1).mem(LocU, 1).reg(0, 1, 0).reg(1, 1, 0);
+    t.forbiddenInSource = true;
+    return t;
+}
+
+LitmusTest
+sbal()
+{
+    LitmusTest t;
+    t.program.name = "SBAL";
+    t.program.threads = {
+        thread({Instr::rmw(0, LocX, 0, 1), Instr::load(1, LocY)}),
+        thread({Instr::rmw(0, LocY, 0, 1), Instr::load(1, LocX)}),
+    };
+    t.interesting.mem(LocX, 1).mem(LocY, 1).reg(0, 1, 0).reg(1, 1, 0);
+    t.forbiddenInSource = true;
+    return t;
+}
+
+LitmusTest
+fmrSource()
+{
+    LitmusTest t;
+    t.program.name = "FMR";
+    t.program.threads = {
+        thread({Instr::store(LocX, 3), Instr::fenceOf(FenceKind::Fmr),
+                Instr::store(LocY, 2), Instr::load(0, LocY),
+                Instr::fenceOf(FenceKind::Frw), Instr::store(LocZ, 2)}),
+        thread({Instr::load(0, LocZ),
+                Instr::fenceOf(FenceKind::Frw).guarded(0, 2),
+                Instr::store(LocX, 4).guarded(0, 2),
+                Instr::load(1, LocX).guarded(0, 2)}),
+    };
+    // a = 2 (always, by coherence) and c = 3.
+    t.interesting.reg(0, 0, 2).reg(1, 1, 3);
+    t.forbiddenInSource = true;
+    return t;
+}
+
+LitmusTest
+fmrTransformed()
+{
+    LitmusTest t = fmrSource();
+    t.program.name = "FMR-raw-transformed";
+    // RAW transformation: the read of Y in thread 0 is replaced by the
+    // constant 2 (the read event disappears).
+    t.program.threads[0] = thread({
+        Instr::store(LocX, 3),
+        Instr::fenceOf(FenceKind::Fmr),
+        Instr::store(LocY, 2),
+        Instr::fenceOf(FenceKind::Frw),
+        Instr::store(LocZ, 2),
+    });
+    t.interesting = Condition().reg(1, 1, 3);
+    t.forbiddenInSource = false; // Allowed after the (unsound) transform.
+    return t;
+}
+
+LitmusTest
+lbIr()
+{
+    LitmusTest t;
+    t.program.name = "LB-IR";
+    t.program.threads = {
+        thread({Instr::load(0, LocX), Instr::fenceOf(FenceKind::Frw),
+                Instr::store(LocY, 1)}),
+        thread({Instr::load(0, LocY), Instr::fenceOf(FenceKind::Frw),
+                Instr::store(LocX, 1)}),
+    };
+    t.interesting.reg(0, 0, 1).reg(1, 0, 1);
+    t.forbiddenInSource = true;
+    return t;
+}
+
+LitmusTest
+mpIr()
+{
+    LitmusTest t;
+    t.program.name = "MP-IR";
+    t.program.threads = {
+        thread({Instr::store(LocX, 1), Instr::fenceOf(FenceKind::Fww),
+                Instr::store(LocY, 1)}),
+        thread({Instr::load(0, LocY), Instr::fenceOf(FenceKind::Frr),
+                Instr::load(1, LocX)}),
+    };
+    t.interesting.reg(1, 0, 1).reg(1, 1, 0);
+    t.forbiddenInSource = true;
+    return t;
+}
+
+namespace
+{
+
+/** A TCG RMW: both parts carry SC semantics per the IR model. */
+Instr
+tcgRmw(Reg dst, Loc loc, Val expected, Val desired)
+{
+    return Instr::rmw(dst, loc, expected, desired, RmwKind::Amo, Access::Sc,
+                      Access::Sc);
+}
+
+} // namespace
+
+LitmusTest
+fig9WW()
+{
+    LitmusTest t;
+    t.program.name = "Fig9-WW";
+    t.program.threads = {
+        thread({Instr::store(LocX, 2), tcgRmw(0, LocY, 0, 1)}),
+        thread({Instr::store(LocY, 2), tcgRmw(0, LocX, 0, 1)}),
+    };
+    t.interesting.mem(LocX, 1).mem(LocY, 1);
+    t.forbiddenInSource = true;
+    return t;
+}
+
+LitmusTest
+fig9SB()
+{
+    LitmusTest t;
+    t.program.name = "Fig9-SB";
+    t.program.threads = {
+        thread({tcgRmw(0, LocX, 0, 1), Instr::load(1, LocY)}),
+        thread({tcgRmw(0, LocY, 0, 1), Instr::load(1, LocX)}),
+    };
+    t.interesting.reg(0, 1, 0).reg(1, 1, 0);
+    t.forbiddenInSource = true;
+    return t;
+}
+
+std::vector<LitmusTest>
+x86Corpus()
+{
+    std::vector<LitmusTest> corpus = {mp(), sb(), lb(), mpq(), sbq(),
+                                      sbal()};
+
+    // R: write-write vs write-read.
+    {
+        LitmusTest t;
+        t.program.name = "R";
+        t.program.threads = {
+            thread({Instr::store(LocX, 1), Instr::store(LocY, 1)}),
+            thread({Instr::store(LocY, 2), Instr::load(0, LocX)}),
+        };
+        t.interesting.mem(LocY, 2).reg(1, 0, 0);
+        t.forbiddenInSource = false; // Allowed in TSO (store-load reorder).
+        corpus.push_back(t);
+    }
+    // S: write-write vs read-write.
+    {
+        LitmusTest t;
+        t.program.name = "S";
+        t.program.threads = {
+            thread({Instr::store(LocX, 2), Instr::store(LocY, 1)}),
+            thread({Instr::load(0, LocY), Instr::store(LocX, 1)}),
+        };
+        t.interesting.reg(1, 0, 1).mem(LocX, 2);
+        t.forbiddenInSource = true;
+        corpus.push_back(t);
+    }
+    // 2+2W: both first writes coherence-last.
+    {
+        LitmusTest t;
+        t.program.name = "2+2W";
+        t.program.threads = {
+            thread({Instr::store(LocX, 2), Instr::store(LocY, 1)}),
+            thread({Instr::store(LocY, 2), Instr::store(LocX, 1)}),
+        };
+        t.interesting.mem(LocX, 2).mem(LocY, 2);
+        t.forbiddenInSource = true;
+        corpus.push_back(t);
+    }
+    // SB+mfence: fences restore SC for store buffering.
+    {
+        LitmusTest t;
+        t.program.name = "SB+mfences";
+        t.program.threads = {
+            thread({Instr::store(LocX, 1),
+                    Instr::fenceOf(FenceKind::MFence),
+                    Instr::load(0, LocY)}),
+            thread({Instr::store(LocY, 1),
+                    Instr::fenceOf(FenceKind::MFence),
+                    Instr::load(0, LocX)}),
+        };
+        t.interesting.reg(0, 0, 0).reg(1, 0, 0);
+        t.forbiddenInSource = true;
+        corpus.push_back(t);
+    }
+    // MP+rmw: RMW in the middle of the producer.
+    {
+        LitmusTest t;
+        t.program.name = "MP+rmw";
+        t.program.threads = {
+            thread({Instr::store(LocX, 1), Instr::rmw(0, LocZ, 0, 1),
+                    Instr::store(LocY, 1)}),
+            thread({Instr::load(0, LocY), Instr::load(1, LocX)}),
+        };
+        t.interesting.reg(1, 0, 1).reg(1, 1, 0);
+        t.forbiddenInSource = true;
+        corpus.push_back(t);
+    }
+    // CoRR: coherence of two reads of the same location.
+    {
+        LitmusTest t;
+        t.program.name = "CoRR";
+        t.program.threads = {
+            thread({Instr::store(LocX, 1)}),
+            thread({Instr::load(0, LocX), Instr::load(1, LocX)}),
+        };
+        t.interesting.reg(1, 0, 1).reg(1, 1, 0);
+        t.forbiddenInSource = true;
+        corpus.push_back(t);
+    }
+    return corpus;
+}
+
+std::vector<LitmusTest>
+tcgCorpus()
+{
+    std::vector<LitmusTest> corpus = {lbIr(), mpIr(), fig9WW(), fig9SB(),
+                                      fmrSource()};
+    // SB-IR with Fsc: full fences restore order.
+    {
+        LitmusTest t;
+        t.program.name = "SB-IR+Fsc";
+        t.program.threads = {
+            thread({Instr::store(LocX, 1), Instr::fenceOf(FenceKind::Fsc),
+                    Instr::load(0, LocY)}),
+            thread({Instr::store(LocY, 1), Instr::fenceOf(FenceKind::Fsc),
+                    Instr::load(0, LocX)}),
+        };
+        t.interesting.reg(0, 0, 0).reg(1, 0, 0);
+        t.forbiddenInSource = true;
+        corpus.push_back(t);
+    }
+    // MP-IR with Frm trailing loads and Fww leading stores -- the shape
+    // the Risotto x86-to-IR mapping produces.
+    {
+        LitmusTest t;
+        t.program.name = "MP-IR-risotto";
+        t.program.threads = {
+            thread({Instr::fenceOf(FenceKind::Fww), Instr::store(LocX, 1),
+                    Instr::fenceOf(FenceKind::Fww),
+                    Instr::store(LocY, 1)}),
+            thread({Instr::load(0, LocY), Instr::fenceOf(FenceKind::Frm),
+                    Instr::load(1, LocX),
+                    Instr::fenceOf(FenceKind::Frm)}),
+        };
+        t.interesting.reg(1, 0, 1).reg(1, 1, 0);
+        t.forbiddenInSource = true;
+        corpus.push_back(t);
+    }
+    return corpus;
+}
+
+} // namespace risotto::litmus

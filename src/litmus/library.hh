@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The paper's litmus-test corpus.
+ *
+ * Source programs are x86-flavoured (plain accesses, MFENCE, amo RMWs)
+ * unless stated otherwise; targets referenced in Section 3 are built by the
+ * mapping module. Locations are X=0, Y=1, Z=2, U=3 throughout.
+ */
+
+#ifndef RISOTTO_LITMUS_LIBRARY_HH
+#define RISOTTO_LITMUS_LIBRARY_HH
+
+#include <vector>
+
+#include "litmus/outcome.hh"
+#include "litmus/program.hh"
+
+namespace risotto::litmus
+{
+
+/** Symbolic location names used by the corpus. */
+constexpr Loc LocX = 0;
+constexpr Loc LocY = 1;
+constexpr Loc LocZ = 2;
+constexpr Loc LocU = 3;
+
+/** A named litmus test: program plus the outcome of interest. */
+struct LitmusTest
+{
+    Program program;
+    /** The weak outcome the paper discusses. */
+    Condition interesting;
+    /** Whether the source model forbids the interesting outcome. */
+    bool forbiddenInSource = true;
+};
+
+/** MP: store-store vs load-load; weak outcome a=1, b=0 (Section 2.1). */
+LitmusTest mp();
+
+/** SB: store buffering; outcome a=b=0 is allowed under x86-TSO. */
+LitmusTest sb();
+
+/** LB: load buffering; outcome a=b=1 is forbidden under x86-TSO. */
+LitmusTest lb();
+
+/** MPQ source (Section 3.2): message passing into a conditional RMW;
+ * outcome a=1 /\ X=1 is forbidden in x86. */
+LitmusTest mpq();
+
+/** SBQ source (Section 3.2): store buffering with RMWs;
+ * outcome Z=U=1 /\ a=b=0 is forbidden in x86. */
+LitmusTest sbq();
+
+/** SBAL source (Section 3.3): RMW then load in each thread;
+ * outcome X=Y=1 /\ a=b=0 is forbidden in x86. */
+LitmusTest sbal();
+
+/** FMR source (Section 3.2), a TCG IR program: the RAW-transformation
+ * counterexample; outcome a=2 /\ c=3 is forbidden in the TCG IR model. */
+LitmusTest fmrSource();
+
+/** FMR after the RAW transformation removed the read of Y. */
+LitmusTest fmrTransformed();
+
+/** LB-IR (Figure 8): TCG IR program whose ld-st order needs Frw. */
+LitmusTest lbIr();
+
+/** MP-IR (Figure 8): TCG IR program needing Frr (ld-ld) and Fww (st-st). */
+LitmusTest mpIr();
+
+/** Figure 9 left: 2+2W-style IR program with RMWs; X=Y=1 disallowed. */
+LitmusTest fig9WW();
+
+/** Figure 9 right: SB-style IR program with RMWs; a=b=0 disallowed. */
+LitmusTest fig9SB();
+
+/** The full x86-source corpus used for mapping verification sweeps. */
+std::vector<LitmusTest> x86Corpus();
+
+/** The TCG IR corpus used for IR-to-Arm verification sweeps. */
+std::vector<LitmusTest> tcgCorpus();
+
+} // namespace risotto::litmus
+
+#endif // RISOTTO_LITMUS_LIBRARY_HH

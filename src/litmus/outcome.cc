@@ -1,0 +1,98 @@
+#include "litmus/outcome.hh"
+
+#include <sstream>
+
+namespace risotto::litmus
+{
+
+std::string
+Outcome::toString() const
+{
+    std::ostringstream os;
+    for (std::size_t t = 0; t < regs.size(); ++t) {
+        os << "T" << t << "{";
+        bool first = true;
+        for (const auto &[r, v] : regs[t]) {
+            if (!first)
+                os << " ";
+            os << "r" << r << "=" << v;
+            first = false;
+        }
+        os << "} ";
+    }
+    os << "mem{";
+    bool first = true;
+    for (const auto &[loc, v] : memory) {
+        if (!first)
+            os << " ";
+        os << loc << "=" << v;
+        first = false;
+    }
+    os << "}";
+    return os.str();
+}
+
+Condition &
+Condition::reg(std::size_t tid, Reg r, Val val)
+{
+    regTerms_.push_back({tid, r, val});
+    return *this;
+}
+
+Condition &
+Condition::mem(Loc loc, Val val)
+{
+    memTerms_.push_back({loc, val});
+    return *this;
+}
+
+bool
+Condition::holds(const Outcome &outcome) const
+{
+    for (const RegTerm &t : regTerms_) {
+        if (t.tid >= outcome.regs.size())
+            return false;
+        auto it = outcome.regs[t.tid].find(t.reg);
+        const Val actual = it == outcome.regs[t.tid].end() ? 0 : it->second;
+        if (actual != t.val)
+            return false;
+    }
+    for (const MemTerm &t : memTerms_) {
+        auto it = outcome.memory.find(t.loc);
+        const Val actual = it == outcome.memory.end() ? 0 : it->second;
+        if (actual != t.val)
+            return false;
+    }
+    return true;
+}
+
+bool
+Condition::existsIn(const BehaviorSet &set) const
+{
+    for (const Outcome &o : set)
+        if (holds(o))
+            return true;
+    return false;
+}
+
+std::string
+Condition::toString() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const RegTerm &t : regTerms_) {
+        if (!first)
+            os << " & ";
+        os << t.tid << ":r" << t.reg << "=" << t.val;
+        first = false;
+    }
+    for (const MemTerm &t : memTerms_) {
+        if (!first)
+            os << " & ";
+        os << "[" << t.loc << "]=" << t.val;
+        first = false;
+    }
+    return os.str();
+}
+
+} // namespace risotto::litmus

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Observable outcomes of litmus-program executions.
+ *
+ * An outcome captures the final per-thread register files plus the final
+ * memory values (the paper's Behav). Mapping-correctness checking
+ * (Theorem 1) compares outcome sets of source and target programs.
+ */
+
+#ifndef RISOTTO_LITMUS_OUTCOME_HH
+#define RISOTTO_LITMUS_OUTCOME_HH
+
+#include <compare>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "litmus/program.hh"
+
+namespace risotto::litmus
+{
+
+/** The observable result of one consistent execution. */
+struct Outcome
+{
+    /** Final register values, one map per thread. */
+    std::vector<std::map<Reg, Val>> regs;
+
+    /** Final memory values (co-maximal writes), all program locations. */
+    std::map<Loc, Val> memory;
+
+    auto operator<=>(const Outcome &) const = default;
+
+    /** Compact rendering: "T0{r0=1} T1{r0=0} mem{0=1 1=1}". */
+    std::string toString() const;
+};
+
+/** The set of outcomes of all consistent executions of a program. */
+using BehaviorSet = std::set<Outcome>;
+
+/**
+ * A predicate over outcomes, used to express litmus conditions such as
+ * "exists a = 1 /\ b = 0". Conditions are conjunctions of register and
+ * memory equalities.
+ */
+class Condition
+{
+  public:
+    /** Require register @p reg of thread @p tid to equal @p val. */
+    Condition &reg(std::size_t tid, Reg reg, Val val);
+
+    /** Require final memory at @p loc to equal @p val. */
+    Condition &mem(Loc loc, Val val);
+
+    /** Evaluate on a single outcome. */
+    bool holds(const Outcome &outcome) const;
+
+    /** True when some outcome in the set satisfies the condition. */
+    bool existsIn(const BehaviorSet &set) const;
+
+    /** Render as e.g. "0:r0=1 & 1:r1=0". */
+    std::string toString() const;
+
+  private:
+    struct RegTerm
+    {
+        std::size_t tid;
+        Reg reg;
+        Val val;
+    };
+    struct MemTerm
+    {
+        Loc loc;
+        Val val;
+    };
+    std::vector<RegTerm> regTerms_;
+    std::vector<MemTerm> memTerms_;
+};
+
+} // namespace risotto::litmus
+
+#endif // RISOTTO_LITMUS_OUTCOME_HH

@@ -1,0 +1,328 @@
+#include "litmus/parser.hh"
+
+#include <sstream>
+
+#include "support/error.hh"
+#include "support/format.hh"
+
+namespace risotto::litmus
+{
+
+using memcore::Access;
+using memcore::FenceKind;
+using memcore::RmwKind;
+
+namespace
+{
+
+[[noreturn]] void
+bad(int line, const std::string &msg)
+{
+    fatal("litmus line " + std::to_string(line) + ": " + msg);
+}
+
+std::int64_t
+parseInt(const std::string &tok, int line)
+{
+    try {
+        std::size_t used = 0;
+        const std::int64_t v = std::stoll(tok, &used, 0);
+        if (used != tok.size())
+            bad(line, "trailing characters in number '" + tok + "'");
+        return v;
+    } catch (const std::exception &) {
+        bad(line, "expected a number, got '" + tok + "'");
+    }
+}
+
+Reg
+parseReg(const std::string &tok, int line)
+{
+    if (tok.size() < 2 || tok[0] != 'r')
+        bad(line, "expected a register (rN), got '" + tok + "'");
+    return static_cast<Reg>(parseInt(tok.substr(1), line));
+}
+
+FenceKind
+parseFence(const std::string &tok, int line)
+{
+    static const std::pair<const char *, FenceKind> table[] = {
+        {"mfence", FenceKind::MFence}, {"dmbff", FenceKind::DmbFull},
+        {"dmbld", FenceKind::DmbLd},   {"dmbst", FenceKind::DmbSt},
+        {"Frr", FenceKind::Frr},       {"Frw", FenceKind::Frw},
+        {"Frm", FenceKind::Frm},       {"Fwr", FenceKind::Fwr},
+        {"Fww", FenceKind::Fww},       {"Fwm", FenceKind::Fwm},
+        {"Fmr", FenceKind::Fmr},       {"Fmw", FenceKind::Fmw},
+        {"Fmm", FenceKind::Fmm},       {"Facq", FenceKind::Facq},
+        {"Frel", FenceKind::Frel},     {"Fsc", FenceKind::Fsc},
+    };
+    for (const auto &[name, kind] : table)
+        if (tok == name)
+            return kind;
+    bad(line, "unknown fence kind '" + tok + "'");
+}
+
+/** Parse one instruction from tokens[from...]. */
+Instr
+parseInstr(const std::vector<std::string> &tokens, std::size_t from,
+           int line)
+{
+    if (from >= tokens.size())
+        bad(line, "missing instruction");
+    const std::string &op = tokens[from];
+    auto arg = [&](std::size_t i) -> const std::string & {
+        if (from + i >= tokens.size())
+            bad(line, "missing operand for '" + op + "'");
+        return tokens[from + i];
+    };
+    auto optional_arg = [&](std::size_t i) -> std::string {
+        return from + i < tokens.size() ? tokens[from + i] : "";
+    };
+
+    if (op == "load") {
+        const Reg dst = parseReg(arg(1), line);
+        const Loc loc = static_cast<Loc>(parseInt(arg(2), line));
+        Access acc = Access::Plain;
+        const std::string flavor = optional_arg(3);
+        if (flavor == "acq")
+            acc = Access::Acquire;
+        else if (flavor == "acqpc")
+            acc = Access::AcquirePC;
+        else if (!flavor.empty() && flavor != "plain")
+            bad(line, "unknown load flavor '" + flavor + "'");
+        return Instr::load(dst, loc, acc);
+    }
+    if (op == "store") {
+        const Loc loc = static_cast<Loc>(parseInt(arg(1), line));
+        const std::string &val = arg(2);
+        Access acc = Access::Plain;
+        const std::string flavor = optional_arg(3);
+        if (flavor == "rel")
+            acc = Access::Release;
+        else if (!flavor.empty() && flavor != "plain")
+            bad(line, "unknown store flavor '" + flavor + "'");
+        if (!val.empty() && val[0] == 'r')
+            return Instr::storeExpr(
+                loc, StoreExpr::fromReg(parseReg(val, line)), acc);
+        return Instr::store(loc, parseInt(val, line), acc);
+    }
+    if (op == "rmw") {
+        const Reg dst = parseReg(arg(1), line);
+        const Loc loc = static_cast<Loc>(parseInt(arg(2), line));
+        const Val expect = parseInt(arg(3), line);
+        const Val desired = parseInt(arg(4), line);
+        RmwKind kind = RmwKind::Amo;
+        Access racc = Access::Plain;
+        Access wacc = Access::Plain;
+        for (std::size_t i = 5; from + i < tokens.size(); ++i) {
+            const std::string &mod = tokens[from + i];
+            if (mod == "amo")
+                kind = RmwKind::Amo;
+            else if (mod == "lxsx")
+                kind = RmwKind::LxSx;
+            else if (mod == "al") {
+                racc = Access::Acquire;
+                wacc = Access::Release;
+            } else if (mod == "a")
+                racc = Access::Acquire;
+            else if (mod == "l")
+                wacc = Access::Release;
+            else if (mod == "sc") {
+                racc = Access::Sc;
+                wacc = Access::Sc;
+            } else
+                bad(line, "unknown rmw modifier '" + mod + "'");
+        }
+        return Instr::rmw(dst, loc, expect, desired, kind, racc, wacc);
+    }
+    if (op == "fence")
+        return Instr::fenceOf(parseFence(arg(1), line));
+    bad(line, "unknown instruction '" + op + "'");
+}
+
+Condition
+parseCondition(const std::string &clause, int line)
+{
+    Condition cond;
+    for (std::string term : splitString(clause, '&')) {
+        term = trimString(term);
+        if (term.empty())
+            continue;
+        const std::size_t eq = term.find('=');
+        if (eq == std::string::npos)
+            bad(line, "condition term without '=': '" + term + "'");
+        const std::string lhs = trimString(term.substr(0, eq));
+        const Val value = parseInt(trimString(term.substr(eq + 1)), line);
+        if (!lhs.empty() && lhs.front() == '[') {
+            if (lhs.back() != ']')
+                bad(line, "malformed memory term '" + lhs + "'");
+            cond.mem(static_cast<Loc>(parseInt(
+                         lhs.substr(1, lhs.size() - 2), line)),
+                     value);
+        } else {
+            const std::size_t colon = lhs.find(':');
+            if (colon == std::string::npos)
+                bad(line, "register term needs T:rN form: '" + lhs + "'");
+            const std::size_t tid = static_cast<std::size_t>(
+                parseInt(lhs.substr(0, colon), line));
+            cond.reg(tid, parseReg(lhs.substr(colon + 1), line), value);
+        }
+    }
+    return cond;
+}
+
+} // namespace
+
+LitmusTest
+parseLitmus(const std::string &text)
+{
+    LitmusTest test;
+    bool seen_thread = false;
+    bool seen_exists = false;
+    int line_no = 0;
+    for (const std::string &raw : splitString(text, '\n')) {
+        ++line_no;
+        std::string line = raw;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trimString(line);
+        if (line.empty())
+            continue;
+        std::vector<std::string> tokens = splitString(line, ' ');
+        // Tolerate tabs by re-splitting each token.
+        {
+            std::vector<std::string> flat;
+            for (const std::string &t : tokens)
+                for (const std::string &u : splitString(t, '\t'))
+                    flat.push_back(u);
+            tokens = std::move(flat);
+        }
+        const std::string &head = tokens[0];
+
+        if (head == "test") {
+            fatalIf(tokens.size() < 2, "litmus line " +
+                                           std::to_string(line_no) +
+                                           ": missing test name");
+            test.program.name = tokens[1];
+        } else if (head == "init") {
+            for (std::size_t i = 1; i < tokens.size(); ++i) {
+                const std::string &term = tokens[i];
+                const std::size_t eq = term.find('=');
+                if (term.size() < 4 || term[0] != '[' ||
+                    eq == std::string::npos)
+                    bad(line_no, "init term must be [LOC]=VAL");
+                const Loc loc = static_cast<Loc>(parseInt(
+                    term.substr(1, term.find(']') - 1), line_no));
+                test.program.init[loc] =
+                    parseInt(term.substr(eq + 1), line_no);
+            }
+        } else if (head == "thread") {
+            test.program.threads.emplace_back();
+            seen_thread = true;
+        } else if (head == "exists" || head == "forbidden") {
+            const std::size_t pos = line.find(head) + head.size();
+            test.interesting = parseCondition(line.substr(pos), line_no);
+            test.forbiddenInSource = head == "forbidden";
+            seen_exists = true;
+        } else if (head == "if") {
+            if (!seen_thread)
+                bad(line_no, "instruction before any 'thread'");
+            // if rN=VAL <instruction>
+            fatalIf(tokens.size() < 3, "litmus line " +
+                                           std::to_string(line_no) +
+                                           ": malformed guard");
+            const std::string &guard = tokens[1];
+            const std::size_t eq = guard.find('=');
+            if (eq == std::string::npos)
+                bad(line_no, "guard must be rN=VAL");
+            const Reg greg = parseReg(guard.substr(0, eq), line_no);
+            const Val gval = parseInt(guard.substr(eq + 1), line_no);
+            const Instr inner = parseInstr(tokens, 2, line_no);
+            test.program.threads.back().instrs.push_back(
+                inner.guarded(greg, gval));
+        } else {
+            if (!seen_thread)
+                bad(line_no, "instruction before any 'thread'");
+            test.program.threads.back().instrs.push_back(
+                parseInstr(tokens, 0, line_no));
+        }
+    }
+    fatalIf(test.program.threads.empty(), "litmus test has no threads");
+    fatalIf(!seen_exists, "litmus test has no exists/forbidden clause");
+    return test;
+}
+
+namespace
+{
+
+std::string
+formatInstr(const Instr &i)
+{
+    std::ostringstream os;
+    if (i.guardReg != NoReg)
+        os << "if r" << i.guardReg << "=" << i.guardVal << " ";
+    switch (i.kind) {
+      case Instr::Kind::Load:
+        os << "load r" << i.dst << " " << i.loc;
+        if (i.readAccess == Access::Acquire)
+            os << " acq";
+        else if (i.readAccess == Access::AcquirePC)
+            os << " acqpc";
+        break;
+      case Instr::Kind::Store:
+        os << "store " << i.loc << " ";
+        if (i.value.kind == StoreExpr::Kind::Const)
+            os << i.value.konst;
+        else
+            os << "r" << i.value.reg;
+        if (i.writeAccess == Access::Release)
+            os << " rel";
+        break;
+      case Instr::Kind::Rmw:
+        os << "rmw r" << i.dst << " " << i.loc << " " << i.expected << " "
+           << i.desired << " "
+           << (i.rmwKind == RmwKind::Amo ? "amo" : "lxsx");
+        if (i.readAccess == Access::Sc)
+            os << " sc";
+        else if (i.readAccess == Access::Acquire &&
+                 i.writeAccess == Access::Release)
+            os << " al";
+        else if (i.readAccess == Access::Acquire)
+            os << " a";
+        else if (i.writeAccess == Access::Release)
+            os << " l";
+        break;
+      case Instr::Kind::Fence: {
+        std::string name = memcore::fenceKindName(i.fence);
+        os << "fence " << name;
+        break;
+      }
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+formatLitmus(const LitmusTest &test)
+{
+    std::ostringstream os;
+    os << "test " << test.program.name << "\n";
+    if (!test.program.init.empty()) {
+        os << "init";
+        for (const auto &[loc, val] : test.program.init)
+            os << " [" << loc << "]=" << val;
+        os << "\n";
+    }
+    for (const Thread &t : test.program.threads) {
+        os << "thread\n";
+        for (const Instr &i : t.instrs)
+            os << "  " << formatInstr(i) << "\n";
+    }
+    os << (test.forbiddenInSource ? "forbidden " : "exists ")
+       << test.interesting.toString() << "\n";
+    return os.str();
+}
+
+} // namespace risotto::litmus

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Text format for litmus tests.
+ *
+ * A compact herd7-inspired syntax so tests can be written as data files
+ * and fed to the explorer/checker tools:
+ *
+ *     test MP
+ *     init [1]=0
+ *     thread                  # T0
+ *       store 0 1             # [0] := 1
+ *       fence mfence
+ *       store 1 1
+ *     thread                  # T1
+ *       load r0 1             # r0 = [1]
+ *       load r1 0
+ *     exists 1:r0=1 & 1:r1=0
+ *
+ * Instruction forms (one per line; '#' starts a comment):
+ *   load  rN LOC [flavor]        flavor: plain|acq|acqpc (default plain)
+ *   store LOC VAL [flavor]       flavor: plain|rel
+ *   store LOC rN                 store a register (data dependency)
+ *   rmw   rN LOC EXPECT DESIRED [amo|lxsx] [al|a|l|sc]
+ *   fence KIND                   mfence, dmbff, dmbld, dmbst, Frr..Fsc
+ *   if rN=VAL <instruction>      control-dependent instruction
+ * The `exists` clause uses T:rN=V register terms and [LOC]=V memory
+ * terms joined by '&'.
+ */
+
+#ifndef RISOTTO_LITMUS_PARSER_HH
+#define RISOTTO_LITMUS_PARSER_HH
+
+#include <string>
+
+#include "litmus/library.hh"
+#include "litmus/outcome.hh"
+#include "litmus/program.hh"
+
+namespace risotto::litmus
+{
+
+/**
+ * Parse a litmus test from its text form.
+ * @throws FatalError on syntax errors, with line numbers.
+ */
+LitmusTest parseLitmus(const std::string &text);
+
+/** Render a test back to the text format (round-trips via parseLitmus).*/
+std::string formatLitmus(const LitmusTest &test);
+
+} // namespace risotto::litmus
+
+#endif // RISOTTO_LITMUS_PARSER_HH

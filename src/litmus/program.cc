@@ -1,0 +1,206 @@
+#include "litmus/program.hh"
+
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace risotto::litmus
+{
+
+Instr
+Instr::load(Reg dst, Loc loc, Access acc)
+{
+    Instr i;
+    i.kind = Kind::Load;
+    i.dst = dst;
+    i.loc = loc;
+    i.readAccess = acc;
+    return i;
+}
+
+Instr
+Instr::store(Loc loc, Val v, Access acc)
+{
+    Instr i;
+    i.kind = Kind::Store;
+    i.loc = loc;
+    i.value = StoreExpr::constant(v);
+    i.writeAccess = acc;
+    return i;
+}
+
+Instr
+Instr::storeExpr(Loc loc, StoreExpr e, Access acc)
+{
+    Instr i;
+    i.kind = Kind::Store;
+    i.loc = loc;
+    i.value = e;
+    i.writeAccess = acc;
+    return i;
+}
+
+Instr
+Instr::rmw(Reg dst, Loc loc, Val expected, Val desired, RmwKind kind,
+           Access read_acc, Access write_acc)
+{
+    Instr i;
+    i.kind = Kind::Rmw;
+    i.dst = dst;
+    i.loc = loc;
+    i.expected = expected;
+    i.desired = desired;
+    i.rmwKind = kind;
+    i.readAccess = read_acc;
+    i.writeAccess = write_acc;
+    return i;
+}
+
+Instr
+Instr::fenceOf(FenceKind kind)
+{
+    Instr i;
+    i.kind = Kind::Fence;
+    i.fence = kind;
+    return i;
+}
+
+Instr
+Instr::guarded(Reg reg, Val val) const
+{
+    Instr i = *this;
+    i.guardReg = reg;
+    i.guardVal = val;
+    return i;
+}
+
+Instr
+Instr::withAddrDep(Reg reg) const
+{
+    Instr i = *this;
+    i.addrDepReg = reg;
+    return i;
+}
+
+std::string
+Instr::toString() const
+{
+    std::ostringstream os;
+    if (guardReg != NoReg)
+        os << "if (r" << guardReg << " == " << guardVal << ") ";
+    switch (kind) {
+      case Kind::Load:
+        os << "r" << dst << " = [" << loc << "]";
+        if (readAccess != Access::Plain)
+            os << "." << memcore::accessName(readAccess);
+        break;
+      case Kind::Store:
+        os << "[" << loc << "] := ";
+        switch (value.kind) {
+          case StoreExpr::Kind::Const:
+            os << value.konst;
+            break;
+          case StoreExpr::Kind::FromReg:
+            os << "r" << value.reg;
+            break;
+          case StoreExpr::Kind::FalseDep:
+            os << "(r" << value.reg << " ^ r" << value.reg << ")";
+            break;
+        }
+        if (writeAccess != Access::Plain)
+            os << "." << memcore::accessName(writeAccess);
+        break;
+      case Kind::Rmw:
+        os << "r" << dst << " = RMW";
+        os << (rmwKind == RmwKind::Amo ? "1" : "2");
+        {
+            std::string ann;
+            if (readAccess == Access::Acquire)
+                ann += "A";
+            if (writeAccess == Access::Release)
+                ann += "L";
+            if (readAccess == Access::Sc)
+                ann = "sc";
+            if (!ann.empty())
+                os << "." << ann;
+        }
+        os << "(" << loc << ", " << expected << ", " << desired << ")";
+        break;
+      case Kind::Fence:
+        os << memcore::fenceKindName(fence);
+        break;
+    }
+    if (addrDepReg != NoReg)
+        os << " [addr-dep r" << addrDepReg << "]";
+    return os.str();
+}
+
+std::set<Loc>
+Program::locations() const
+{
+    std::set<Loc> out;
+    for (const auto &[loc, val] : init)
+        out.insert(loc);
+    for (const Thread &t : threads)
+        for (const Instr &i : t.instrs)
+            if (i.kind != Instr::Kind::Fence)
+                out.insert(i.loc);
+    return out;
+}
+
+std::set<Val>
+Program::valueUniverse() const
+{
+    std::set<Val> out;
+    out.insert(0);
+    for (const auto &[loc, val] : init)
+        out.insert(val);
+    for (const Thread &t : threads) {
+        for (const Instr &i : t.instrs) {
+            switch (i.kind) {
+              case Instr::Kind::Store:
+                if (i.value.kind == StoreExpr::Kind::Const)
+                    out.insert(i.value.konst);
+                // FromReg writes values already in the universe (closure);
+                // FalseDep writes 0, already present.
+                break;
+              case Instr::Kind::Rmw:
+                out.insert(i.expected);
+                out.insert(i.desired);
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+std::set<Reg>
+Program::threadRegisters(std::size_t tid) const
+{
+    panicIf(tid >= threads.size(), "thread index out of range");
+    std::set<Reg> out;
+    for (const Instr &i : threads[tid].instrs)
+        if (i.dst != NoReg)
+            out.insert(i.dst);
+    return out;
+}
+
+std::string
+Program::toString() const
+{
+    std::ostringstream os;
+    os << name << ":\n  init:";
+    for (const auto &[loc, val] : init)
+        os << " [" << loc << "]=" << val;
+    os << "\n";
+    for (std::size_t t = 0; t < threads.size(); ++t) {
+        os << "  T" << t << ":\n";
+        for (const Instr &i : threads[t].instrs)
+            os << "    " << i.toString() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace risotto::litmus

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Litmus-program representation.
+ *
+ * A litmus program is a set of initialized shared locations plus a parallel
+ * composition of short straight-line threads built from abstract loads,
+ * stores, RMWs and fences. One program type serves all three instruction
+ * sets of the paper (x86, TCG IR, Arm); the ordering flavour of each access
+ * (acquire/release/acquirePC/sc annotations, fence kinds, amo-vs-lxsx RMWs)
+ * selects the architecture-specific event vocabulary, and the consistency
+ * model applied during enumeration gives it semantics.
+ */
+
+#ifndef RISOTTO_LITMUS_PROGRAM_HH
+#define RISOTTO_LITMUS_PROGRAM_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "memcore/event.hh"
+
+namespace risotto::litmus
+{
+
+using memcore::Access;
+using memcore::FenceKind;
+using memcore::Loc;
+using memcore::RmwKind;
+using memcore::Val;
+
+/** Register index within a thread (threads have disjoint register files). */
+using Reg = int;
+
+/** Sentinel for "no register". */
+constexpr Reg NoReg = -1;
+
+/**
+ * Value expression of a store.
+ *
+ * Const writes a constant; FromReg writes a register's value (a real data
+ * dependency); FalseDep writes the constant 0 through an expression that
+ * syntactically mentions a register (e.g. r XOR r), so it carries a data
+ * dependency edge with a statically known value -- the shape targeted by
+ * false-dependency elimination (Section 6.1).
+ */
+struct StoreExpr
+{
+    enum class Kind
+    {
+        Const,
+        FromReg,
+        FalseDep,
+    };
+
+    Kind kind = Kind::Const;
+    Val konst = 0;
+    Reg reg = NoReg;
+
+    static StoreExpr constant(Val v) { return {Kind::Const, v, NoReg}; }
+    static StoreExpr fromReg(Reg r) { return {Kind::FromReg, 0, r}; }
+    static StoreExpr falseDep(Reg r) { return {Kind::FalseDep, 0, r}; }
+};
+
+/** One abstract instruction of a litmus thread. */
+struct Instr
+{
+    enum class Kind
+    {
+        Load,
+        Store,
+        Rmw,
+        Fence,
+    };
+
+    Kind kind = Kind::Fence;
+
+    /** Destination register (Load: value read; Rmw: old value read). */
+    Reg dst = NoReg;
+
+    /** Accessed location (Load/Store/Rmw). */
+    Loc loc = 0;
+
+    /** Stored value expression (Store). */
+    StoreExpr value;
+
+    /** CAS parameters (Rmw): succeed iff old == expected, then write
+     * desired. */
+    Val expected = 0;
+    Val desired = 0;
+
+    /** RMW implementation class: Amo (single instruction, e.g. casal) or
+     * LxSx (exclusive pair). */
+    RmwKind rmwKind = RmwKind::None;
+
+    /** Ordering annotation of the read part (Load/Rmw). */
+    Access readAccess = Access::Plain;
+
+    /** Ordering annotation of the write part (Store/Rmw). */
+    Access writeAccess = Access::Plain;
+
+    /** Fence kind (Fence). */
+    FenceKind fence = FenceKind::None;
+
+    /** Control guard: when guardReg != NoReg the instruction only executes
+     * if that register currently equals guardVal, and its events carry a
+     * control dependency from the load that defined the register. */
+    Reg guardReg = NoReg;
+    Val guardVal = 0;
+
+    /** Address dependency: when addrDepReg != NoReg the effective address
+     * is computed from that register (the location itself stays static so
+     * enumeration is unaffected; only the dependency edge is recorded). */
+    Reg addrDepReg = NoReg;
+
+    /** Short rendering, e.g. "r0 = [x]" or "[y] := 1". */
+    std::string toString() const;
+
+    // --- Constructors -----------------------------------------------------
+
+    static Instr load(Reg dst, Loc loc, Access acc = Access::Plain);
+    static Instr store(Loc loc, Val v, Access acc = Access::Plain);
+    static Instr storeExpr(Loc loc, StoreExpr e, Access acc = Access::Plain);
+    static Instr rmw(Reg dst, Loc loc, Val expected, Val desired,
+                     RmwKind kind = RmwKind::Amo,
+                     Access read_acc = Access::Plain,
+                     Access write_acc = Access::Plain);
+    static Instr fenceOf(FenceKind kind);
+
+    /** Return a copy guarded on @p reg == @p val. */
+    Instr guarded(Reg reg, Val val) const;
+
+    /** Return a copy with an address dependency on @p reg. */
+    Instr withAddrDep(Reg reg) const;
+};
+
+/** A thread: a straight-line sequence of instructions. */
+struct Thread
+{
+    std::vector<Instr> instrs;
+};
+
+/** A complete litmus program. */
+struct Program
+{
+    std::string name;
+
+    /** Initial values; locations not listed start at 0. */
+    std::map<Loc, Val> init;
+
+    std::vector<Thread> threads;
+
+    /** All locations accessed or initialized anywhere in the program. */
+    std::set<Loc> locations() const;
+
+    /** All constants that any execution of the program can write, i.e. the
+     * closed value universe used during enumeration. */
+    std::set<Val> valueUniverse() const;
+
+    /** Registers written by each thread (dst registers). */
+    std::set<Reg> threadRegisters(std::size_t tid) const;
+
+    /** Multi-line rendering for debugging and reports. */
+    std::string toString() const;
+};
+
+} // namespace risotto::litmus
+
+#endif // RISOTTO_LITMUS_PROGRAM_HH

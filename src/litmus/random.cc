@@ -1,0 +1,74 @@
+#include "litmus/random.hh"
+
+#include <vector>
+
+namespace risotto::litmus
+{
+
+using memcore::FenceKind;
+using memcore::RmwKind;
+
+Program
+randomProgram(Rng &rng, const RandomProgramOptions &opts)
+{
+    static const FenceKind tcg_fences[] = {
+        FenceKind::Frr, FenceKind::Frw, FenceKind::Frm,
+        FenceKind::Fwr, FenceKind::Fww, FenceKind::Fwm,
+        FenceKind::Fmr, FenceKind::Fmw, FenceKind::Fmm,
+        FenceKind::Fsc,
+    };
+
+    Program p;
+    p.name = "random";
+    const std::size_t threads = static_cast<std::size_t>(
+        rng.range(static_cast<std::int64_t>(opts.minThreads),
+                  static_cast<std::int64_t>(opts.maxThreads)));
+
+    for (std::size_t t = 0; t < threads; ++t) {
+        Thread th;
+        const std::size_t count = static_cast<std::size_t>(
+            rng.range(static_cast<std::int64_t>(opts.minInstrsPerThread),
+                      static_cast<std::int64_t>(opts.maxInstrsPerThread)));
+        Reg next_reg = 0;
+        std::vector<Reg> loaded;
+        for (std::size_t i = 0; i < count; ++i) {
+            if (rng.chance(opts.fencePercent, 100)) {
+                FenceKind kind = FenceKind::MFence;
+                if (!opts.x86Flavor)
+                    kind = tcg_fences[rng.below(std::size(tcg_fences))];
+                th.instrs.push_back(Instr::fenceOf(kind));
+            }
+            const Loc loc = static_cast<Loc>(rng.below(opts.numLocations));
+            const Val val =
+                static_cast<Val>(1 + rng.below(opts.numValues));
+            if (rng.chance(opts.rmwPercent, 100)) {
+                const Val expected = static_cast<Val>(
+                    rng.below(opts.numValues + 1));
+                Instr rmw =
+                    Instr::rmw(next_reg, loc, expected, val, RmwKind::Amo);
+                if (!opts.x86Flavor) {
+                    rmw.readAccess = memcore::Access::Sc;
+                    rmw.writeAccess = memcore::Access::Sc;
+                }
+                th.instrs.push_back(rmw);
+                loaded.push_back(next_reg);
+                ++next_reg;
+            } else if (rng.chance(50, 100)) {
+                th.instrs.push_back(Instr::load(next_reg, loc));
+                loaded.push_back(next_reg);
+                ++next_reg;
+            } else if (opts.allowDataDeps && !loaded.empty() &&
+                       rng.chance(30, 100)) {
+                const Reg src = loaded[rng.below(loaded.size())];
+                th.instrs.push_back(
+                    Instr::storeExpr(loc, StoreExpr::fromReg(src)));
+            } else {
+                th.instrs.push_back(Instr::store(loc, val));
+            }
+        }
+        p.threads.push_back(std::move(th));
+    }
+    return p;
+}
+
+} // namespace risotto::litmus

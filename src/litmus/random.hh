@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Random litmus-program generation for property-based testing.
+ *
+ * Generated programs are small enough for exhaustive enumeration and are
+ * used to stress the Theorem-1 checker over the verified mapping schemes
+ * and IR transformations far beyond the hand-written corpus.
+ */
+
+#ifndef RISOTTO_LITMUS_RANDOM_HH
+#define RISOTTO_LITMUS_RANDOM_HH
+
+#include "litmus/program.hh"
+#include "support/rng.hh"
+
+namespace risotto::litmus
+{
+
+/** Shape parameters for random program generation. */
+struct RandomProgramOptions
+{
+    std::size_t minThreads = 2;
+    std::size_t maxThreads = 2;
+    std::size_t minInstrsPerThread = 2;
+    std::size_t maxInstrsPerThread = 4;
+    std::size_t numLocations = 2;
+    std::size_t numValues = 2; ///< Store constants drawn from [1,numValues].
+    /** Percent chance that a memory instruction is an RMW. */
+    unsigned rmwPercent = 20;
+    /** Percent chance of emitting a fence between instructions. */
+    unsigned fencePercent = 25;
+    /** Generate x86-flavoured fences (MFENCE) when true, TCG fences
+     * otherwise. */
+    bool x86Flavor = true;
+    /** Allow data-dependent stores (store of a previously loaded reg). */
+    bool allowDataDeps = true;
+};
+
+/** Generate one random litmus program using @p rng. */
+Program randomProgram(Rng &rng, const RandomProgramOptions &opts = {});
+
+} // namespace risotto::litmus
+
+#endif // RISOTTO_LITMUS_RANDOM_HH

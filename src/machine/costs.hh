@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Cycle cost model of the simulated Arm host.
+ *
+ * Constants are calibrated to reproduce the performance *shape* of the
+ * paper's testbed (ThunderX2): full barriers are several times more
+ * expensive than one-direction barriers (Liu et al. [51]), helper calls
+ * cost two branches plus register spills, soft-float is an order of
+ * magnitude slower than native FP, and contended atomics are dominated by
+ * cache-line transfer latency (which is why Risotto's CAS advantage
+ * vanishes under contention, Figure 15).
+ */
+
+#ifndef RISOTTO_MACHINE_COSTS_HH
+#define RISOTTO_MACHINE_COSTS_HH
+
+#include <cstdint>
+
+namespace risotto::machine
+{
+
+/** Per-operation cycle costs. */
+struct CostModel
+{
+    std::uint64_t alu = 1;
+    std::uint64_t branch = 1;
+    std::uint64_t branchTakenExtra = 1;
+    std::uint64_t load = 4;
+    std::uint64_t store = 1;          ///< Into the store buffer.
+    std::uint64_t storeDrain = 2;     ///< Buffer entry -> memory.
+    std::uint64_t dmbFull = 36;
+    std::uint64_t dmbLd = 14;
+    std::uint64_t dmbSt = 23;
+    std::uint64_t acquireExtra = 4;   ///< LDAR/LDAPR over plain LDR.
+    std::uint64_t releaseExtra = 4;   ///< STLR over plain STR.
+    std::uint64_t exclusive = 7;      ///< LDXR/STXR each.
+    std::uint64_t casBase = 18;       ///< Uncontended CASAL.
+    std::uint64_t cacheLineTransfer = 70; ///< Line owned by another core.
+    std::uint64_t cacheLineShared = 20;   ///< Read of a line another owns.
+    std::uint64_t helperCall = 26;    ///< BLR + RET + spill/fill.
+    std::uint64_t exitTbLookup = 14;  ///< Unchained dispatcher round trip.
+    std::uint64_t fpNative = 6;
+    std::uint64_t fpSqrtNative = 18;
+    std::uint64_t fpDivNative = 14;
+    std::uint64_t syscall = 40;
+};
+
+} // namespace risotto::machine
+
+#endif // RISOTTO_MACHINE_COSTS_HH

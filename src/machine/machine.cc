@@ -1,0 +1,604 @@
+#include "machine/machine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "support/error.hh"
+
+namespace risotto::machine
+{
+
+using aarch::AInstr;
+using aarch::AOp;
+using aarch::Barrier;
+using aarch::CodeAddr;
+
+namespace
+{
+
+double
+asDouble(std::uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+std::uint64_t
+asBits(double d)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+}
+
+std::uint64_t
+lineOf(std::uint64_t addr)
+{
+    return addr >> 6; // 64-byte cache lines.
+}
+
+} // namespace
+
+Machine::Machine(const aarch::CodeBuffer &code, gx86::Memory &memory,
+                 MachineConfig config)
+    : code_(code), memory_(memory), config_(config), rng_(config.seed)
+{
+}
+
+std::size_t
+Machine::addCore(CodeAddr entry)
+{
+    Core core;
+    core.id = static_cast<std::uint32_t>(cores_.size());
+    core.pc = entry;
+    core.x[aarch::Sp] = gx86::DefaultStackTop -
+                        core.id * 0x40000; // Disjoint 256 KiB stacks.
+    cores_.push_back(core);
+    return cores_.size() - 1;
+}
+
+bool
+Machine::run(std::uint64_t max_cycles_per_core)
+{
+    while (true) {
+        // Pick the runnable core: lowest local cycle count (keeps the
+        // cores' clocks in step, modelling parallel execution), or a
+        // random runnable core in stress mode.
+        Core *next = nullptr;
+        std::size_t runnable = 0;
+        for (Core &c : cores_) {
+            if (c.halted && c.storeBuffer.empty())
+                continue;
+            ++runnable;
+            if (config_.randomize) {
+                if (rng_.below(runnable) == 0)
+                    next = &c;
+            } else if (!next || c.cycles < next->cycles) {
+                next = &c;
+            }
+        }
+        if (!next)
+            return true;
+        if (next->cycles >= max_cycles_per_core)
+            return false;
+        if (next->halted) {
+            // Only buffered stores remain: drain them.
+            drainOne(*next);
+            continue;
+        }
+        step(*next);
+    }
+}
+
+std::uint64_t
+Machine::makespan() const
+{
+    std::uint64_t best = 0;
+    for (const Core &c : cores_)
+        best = std::max(best, c.cycles);
+    return best;
+}
+
+std::uint64_t
+Machine::totalCycles() const
+{
+    std::uint64_t sum = 0;
+    for (const Core &c : cores_)
+        sum += c.cycles;
+    return sum;
+}
+
+void
+Machine::drainOne(Core &core)
+{
+    if (core.storeBuffer.empty())
+        return;
+    std::size_t index = 0;
+    if (config_.relaxedDrain && core.storeBuffer.size() > 1) {
+        // Arm-style: any buffered store may drain next, but never ahead
+        // of an older store to an overlapping address (coherence).
+        index = config_.randomize ? rng_.below(core.storeBuffer.size())
+                                  : 0;
+        const auto &chosen = core.storeBuffer[index];
+        for (std::size_t i = 0; i < index; ++i) {
+            const auto &older = core.storeBuffer[i];
+            if (lineOf(older.addr) == lineOf(chosen.addr) &&
+                older.addr < chosen.addr + chosen.size &&
+                chosen.addr < older.addr + older.size) {
+                index = i;
+                break;
+            }
+        }
+    }
+    const Core::PendingStore entry = core.storeBuffer[index];
+    core.storeBuffer.erase(core.storeBuffer.begin() +
+                           static_cast<std::ptrdiff_t>(index));
+    if (entry.size == 8)
+        memory_.store64(entry.addr, entry.value);
+    else
+        memory_.store8(entry.addr, static_cast<std::uint8_t>(entry.value));
+    clearOtherMonitors(core, entry.addr);
+    core.cycles += config_.costs.storeDrain;
+    stats_.bump("machine.drains");
+}
+
+void
+Machine::chargeLineOwnership(Core &core, std::uint64_t addr, bool write)
+{
+    const std::uint64_t line = lineOf(addr);
+    auto it = lineOwner_.find(line);
+    if (it == lineOwner_.end()) {
+        if (write)
+            lineOwner_[line] = core.id;
+        return;
+    }
+    if (it->second == core.id)
+        return;
+    if (write) {
+        core.cycles += config_.costs.cacheLineTransfer;
+        stats_.bump("machine.line_transfers");
+        it->second = core.id;
+    } else {
+        core.cycles += config_.costs.cacheLineShared;
+        stats_.bump("machine.line_shares");
+    }
+}
+
+void
+Machine::clearOtherMonitors(const Core &writer, std::uint64_t addr)
+{
+    const std::uint64_t aligned = addr & ~7ULL;
+    for (Core &c : cores_) {
+        if (c.id != writer.id && c.monitor && *c.monitor == aligned)
+            c.monitor.reset();
+    }
+}
+
+std::uint64_t
+Machine::memRead(Core &core, std::uint64_t addr, std::uint8_t size)
+{
+    // Store-to-load forwarding from the newest matching buffered store.
+    for (auto it = core.storeBuffer.rbegin(); it != core.storeBuffer.rend();
+         ++it) {
+        if (it->addr == addr && it->size == size)
+            return it->value;
+        // Partial overlap: drain everything for simplicity.
+        if (addr < it->addr + it->size && it->addr < addr + size) {
+            flushStoreBuffer(core);
+            break;
+        }
+    }
+    chargeLineOwnership(core, addr, false);
+    return size == 8 ? memory_.load64(addr) : memory_.load8(addr);
+}
+
+void
+Machine::memWrite(Core &core, std::uint64_t addr, std::uint8_t size,
+                  std::uint64_t value)
+{
+    if (size == 1)
+        value &= 0xff;
+    core.storeBuffer.push_back({addr, size, value});
+    chargeLineOwnership(core, addr, true);
+    if (core.storeBuffer.size() > config_.storeBufferDepth)
+        drainOne(core);
+    // Opportunistic background drain keeps buffers short in the
+    // deterministic scheduler.
+    if (!config_.randomize)
+        while (core.storeBuffer.size() > 1)
+            drainOne(core);
+}
+
+void
+Machine::flushStoreBuffer(Core &core)
+{
+    while (!core.storeBuffer.empty())
+        drainOne(core);
+}
+
+std::uint64_t
+Machine::atomicAccessCost(Core &core, std::uint64_t addr)
+{
+    const std::uint64_t line = lineOf(addr);
+    auto it = lineOwner_.find(line);
+    std::uint64_t cost = 0;
+    if (it != lineOwner_.end() && it->second != core.id) {
+        cost += config_.costs.cacheLineTransfer;
+        stats_.bump("machine.line_transfers");
+    }
+    lineOwner_[line] = core.id;
+    // A cache line services one atomic at a time: under contention the
+    // line bounces between cores and requests from *other* cores
+    // serialize behind the bounce, which is what flattens Figure 15's
+    // contended curves. Back-to-back atomics from the owning core hit in
+    // cache and pay no window.
+    auto &busy = lineBusyUntil_[line];
+    std::uint64_t start = core.cycles + cost;
+    if (busy.first != core.id)
+        start = std::max(start, busy.second);
+    cost = start - core.cycles;
+    busy = {core.id, start + config_.costs.casBase +
+                         config_.costs.cacheLineTransfer / 2};
+    return cost;
+}
+
+void
+Machine::directWrite(Core &core, std::uint64_t addr, std::uint8_t size,
+                     std::uint64_t value)
+{
+    if (size == 8)
+        memory_.store64(addr, value);
+    else
+        memory_.store8(addr, static_cast<std::uint8_t>(value));
+    clearOtherMonitors(core, addr);
+}
+
+void
+Machine::step(Core &core)
+{
+    // In stress mode, give the scheduler a chance to delay stores.
+    if (config_.randomize && !core.storeBuffer.empty() &&
+        rng_.chance(1, 3)) {
+        drainOne(core);
+        return;
+    }
+
+    const AInstr in = aarch::decode(code_.fetch(core.pc));
+    CodeAddr next = core.pc + 1;
+    const CostModel &c = config_.costs;
+    core.retired++;
+    stats_.bump("machine.instructions");
+    if (config_.trace)
+        config_.trace(core, in);
+
+    auto setFlags = [&](std::uint64_t value) {
+        core.zf = value == 0;
+        core.sf = static_cast<std::int64_t>(value) < 0;
+    };
+    auto branchTo = [&](std::int32_t off) {
+        next = static_cast<CodeAddr>(static_cast<std::int64_t>(core.pc) +
+                                     off);
+        core.cycles += c.branchTakenExtra;
+    };
+
+    switch (in.op) {
+      case AOp::Nop:
+        core.cycles += c.alu;
+        break;
+      case AOp::Hlt:
+        // Buffered stores drain asynchronously after the halt (the run
+        // loop keeps draining halted cores), preserving reordering
+        // opportunities right up to the end of the thread.
+        core.halted = true;
+        break;
+      case AOp::MovZ:
+        core.x[in.rd] = static_cast<std::uint64_t>(
+                            static_cast<std::uint16_t>(in.imm))
+                        << (16 * in.shift);
+        core.cycles += c.alu;
+        break;
+      case AOp::MovK: {
+        const int sh = 16 * in.shift;
+        core.x[in.rd] =
+            (core.x[in.rd] & ~(0xffffULL << sh)) |
+            (static_cast<std::uint64_t>(static_cast<std::uint16_t>(in.imm))
+             << sh);
+        core.cycles += c.alu;
+        break;
+      }
+      case AOp::MovRR:
+        core.x[in.rd] = core.x[in.rn];
+        core.cycles += c.alu;
+        break;
+      case AOp::Ldr:
+        core.x[in.rd] = memRead(
+            core, core.x[in.rn] + static_cast<std::int64_t>(in.imm), 8);
+        core.cycles += c.load;
+        break;
+      case AOp::Ldrb:
+        core.x[in.rd] = memRead(
+            core, core.x[in.rn] + static_cast<std::int64_t>(in.imm), 1);
+        core.cycles += c.load;
+        break;
+      case AOp::Str:
+        memWrite(core, core.x[in.rn] + static_cast<std::int64_t>(in.imm),
+                 8, core.x[in.rd]);
+        core.cycles += c.store;
+        break;
+      case AOp::Strb:
+        memWrite(core, core.x[in.rn] + static_cast<std::int64_t>(in.imm),
+                 1, core.x[in.rd]);
+        core.cycles += c.store;
+        break;
+      case AOp::Ldar:
+      case AOp::Ldapr:
+        core.x[in.rd] = memRead(core, core.x[in.rn], 8);
+        core.cycles += c.load + c.acquireExtra;
+        stats_.bump("machine.acquire_loads");
+        break;
+      case AOp::Stlr:
+        // Release: all earlier stores must be visible first.
+        flushStoreBuffer(core);
+        core.cycles += c.store + c.releaseExtra;
+        directWrite(core, core.x[in.rn], 8, core.x[in.rd]);
+        chargeLineOwnership(core, core.x[in.rn], true);
+        stats_.bump("machine.release_stores");
+        break;
+      case AOp::Ldxr:
+      case AOp::Ldaxr: {
+        const std::uint64_t addr = core.x[in.rn];
+        flushStoreBuffer(core);
+        core.x[in.rd] = memRead(core, addr, 8);
+        core.monitor = addr & ~7ULL;
+        core.cycles += c.exclusive +
+                       (in.op == AOp::Ldaxr ? c.acquireExtra : 0);
+        stats_.bump("machine.exclusive_loads");
+        break;
+      }
+      case AOp::Stxr:
+      case AOp::Stlxr: {
+        const std::uint64_t addr = core.x[in.rn];
+        if (in.op == AOp::Stlxr)
+            flushStoreBuffer(core);
+        const bool ok = core.monitor && *core.monitor == (addr & ~7ULL);
+        if (ok) {
+            core.cycles += atomicAccessCost(core, addr);
+            directWrite(core, addr, 8, core.x[in.rm]);
+        }
+        core.x[in.rd] = ok ? 0 : 1;
+        core.monitor.reset();
+        core.cycles += c.exclusive +
+                       (in.op == AOp::Stlxr ? c.releaseExtra : 0);
+        stats_.bump("machine.exclusive_stores");
+        break;
+      }
+      case AOp::Cas:
+      case AOp::Casal: {
+        const std::uint64_t addr = core.x[in.rn];
+        flushStoreBuffer(core);
+        core.cycles += c.casBase + atomicAccessCost(core, addr);
+        const std::uint64_t old = memory_.load64(addr);
+        if (old == core.x[in.rd])
+            directWrite(core, addr, 8, core.x[in.rm]);
+        core.x[in.rd] = old;
+        stats_.bump("machine.cas_ops");
+        break;
+      }
+      case AOp::Ldaddal: {
+        const std::uint64_t addr = core.x[in.rn];
+        flushStoreBuffer(core);
+        core.cycles += c.casBase + atomicAccessCost(core, addr);
+        const std::uint64_t old = memory_.load64(addr);
+        directWrite(core, addr, 8, old + core.x[in.rm]);
+        core.x[in.rd] = old;
+        stats_.bump("machine.atomic_adds");
+        break;
+      }
+      case AOp::Dmb:
+        switch (in.barrier) {
+          case Barrier::Full:
+            flushStoreBuffer(core);
+            core.cycles += c.dmbFull;
+            stats_.bump("machine.dmb_full");
+            break;
+          case Barrier::St:
+            flushStoreBuffer(core);
+            core.cycles += c.dmbSt;
+            stats_.bump("machine.dmb_st");
+            break;
+          case Barrier::Ld:
+            core.cycles += c.dmbLd;
+            stats_.bump("machine.dmb_ld");
+            break;
+        }
+        break;
+      case AOp::Add:
+        core.x[in.rd] = core.x[in.rn] + core.x[in.rm];
+        setFlags(core.x[in.rd]);
+        core.cycles += c.alu;
+        break;
+      case AOp::Sub:
+        core.x[in.rd] = core.x[in.rn] - core.x[in.rm];
+        setFlags(core.x[in.rd]);
+        core.cycles += c.alu;
+        break;
+      case AOp::And:
+        core.x[in.rd] = core.x[in.rn] & core.x[in.rm];
+        setFlags(core.x[in.rd]);
+        core.cycles += c.alu;
+        break;
+      case AOp::Orr:
+        core.x[in.rd] = core.x[in.rn] | core.x[in.rm];
+        setFlags(core.x[in.rd]);
+        core.cycles += c.alu;
+        break;
+      case AOp::Eor:
+        core.x[in.rd] = core.x[in.rn] ^ core.x[in.rm];
+        setFlags(core.x[in.rd]);
+        core.cycles += c.alu;
+        break;
+      case AOp::Mul:
+        core.x[in.rd] = core.x[in.rn] * core.x[in.rm];
+        setFlags(core.x[in.rd]);
+        core.cycles += c.alu + 2;
+        break;
+      case AOp::Udiv:
+        if (core.x[in.rm] == 0)
+            throw GuestFault("host udiv by zero");
+        core.x[in.rd] = core.x[in.rn] / core.x[in.rm];
+        setFlags(core.x[in.rd]);
+        core.cycles += c.alu + 12;
+        break;
+      case AOp::AddI:
+        core.x[in.rd] = core.x[in.rn] +
+                        static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(in.imm));
+        setFlags(core.x[in.rd]);
+        core.cycles += c.alu;
+        break;
+      case AOp::SubI:
+        core.x[in.rd] = core.x[in.rn] -
+                        static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(in.imm));
+        setFlags(core.x[in.rd]);
+        core.cycles += c.alu;
+        break;
+      case AOp::LslI:
+        core.x[in.rd] = core.x[in.rn] << (in.imm & 63);
+        setFlags(core.x[in.rd]);
+        core.cycles += c.alu;
+        break;
+      case AOp::LsrI:
+        core.x[in.rd] = core.x[in.rn] >> (in.imm & 63);
+        setFlags(core.x[in.rd]);
+        core.cycles += c.alu;
+        break;
+      case AOp::Cmp:
+        setFlags(core.x[in.rn] - core.x[in.rm]);
+        core.cycles += c.alu;
+        break;
+      case AOp::CmpI:
+        setFlags(core.x[in.rn] -
+                 static_cast<std::uint64_t>(
+                     static_cast<std::int64_t>(in.imm)));
+        core.cycles += c.alu;
+        break;
+      case AOp::Cset:
+        core.x[in.imm & 31] =
+            gx86::condHolds(in.cond, core.zf, core.sf) ? 1 : 0;
+        core.cycles += c.alu;
+        break;
+      case AOp::B:
+        branchTo(in.imm);
+        core.cycles += c.branch;
+        break;
+      case AOp::Bcond:
+        core.cycles += c.branch;
+        if (gx86::condHolds(in.cond, core.zf, core.sf))
+            branchTo(in.imm);
+        break;
+      case AOp::Cbz:
+        core.cycles += c.branch;
+        if (core.x[in.rd] == 0)
+            branchTo(in.imm);
+        break;
+      case AOp::Cbnz:
+        core.cycles += c.branch;
+        if (core.x[in.rd] != 0)
+            branchTo(in.imm);
+        break;
+      case AOp::Bl:
+        core.x[aarch::Lr] = next;
+        branchTo(in.imm);
+        core.cycles += c.branch;
+        break;
+      case AOp::Blr:
+        core.x[aarch::Lr] = next;
+        next = static_cast<CodeAddr>(core.x[in.rd]);
+        core.cycles += c.branch + c.branchTakenExtra;
+        break;
+      case AOp::Ret:
+        next = static_cast<CodeAddr>(core.x[aarch::Lr]);
+        core.cycles += c.branch;
+        break;
+      case AOp::Fadd:
+        core.x[in.rd] =
+            asBits(asDouble(core.x[in.rn]) + asDouble(core.x[in.rm]));
+        core.cycles += c.fpNative;
+        break;
+      case AOp::Fsub:
+        core.x[in.rd] =
+            asBits(asDouble(core.x[in.rn]) - asDouble(core.x[in.rm]));
+        core.cycles += c.fpNative;
+        break;
+      case AOp::Fmul:
+        core.x[in.rd] =
+            asBits(asDouble(core.x[in.rn]) * asDouble(core.x[in.rm]));
+        core.cycles += c.fpNative;
+        break;
+      case AOp::Fdiv:
+        core.x[in.rd] =
+            asBits(asDouble(core.x[in.rn]) / asDouble(core.x[in.rm]));
+        core.cycles += c.fpDivNative;
+        break;
+      case AOp::Fsqrt:
+        core.x[in.rd] = asBits(std::sqrt(asDouble(core.x[in.rn])));
+        core.cycles += c.fpSqrtNative;
+        break;
+      case AOp::Scvtf:
+        core.x[in.rd] = asBits(static_cast<double>(
+            static_cast<std::int64_t>(core.x[in.rn])));
+        core.cycles += c.fpNative;
+        break;
+      case AOp::Fcvtzs:
+        core.x[in.rd] = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(asDouble(core.x[in.rn])));
+        core.cycles += c.fpNative;
+        break;
+      case AOp::Helper: {
+        panicIf(!runtime_, "helper trap without a runtime");
+        core.cycles += c.helperCall;
+        stats_.bump("machine.helper_calls");
+        core.cycles += runtime_->invokeHelper(
+            in.helper, static_cast<std::uint16_t>(in.imm), core, *this);
+        break;
+      }
+      case AOp::ExitTb: {
+        panicIf(!runtime_, "exit_tb trap without a runtime");
+        core.cycles += c.exitTbLookup;
+        stats_.bump("machine.tb_exits");
+        const auto target = runtime_->onExitTb(
+            static_cast<std::uint32_t>(in.imm), core, *this);
+        if (!target) {
+            core.halted = true;
+            break;
+        }
+        next = *target;
+        break;
+      }
+      case AOp::Svc:
+        // Native host syscall convention: x0 = number, x1 = argument.
+        core.cycles += c.syscall;
+        switch (core.x[0]) {
+          case 0:
+            core.exitCode = static_cast<std::int64_t>(core.x[1]);
+            core.halted = true;
+            break;
+          case 1:
+            core.output.push_back(static_cast<char>(core.x[1]));
+            break;
+          case 2:
+            core.x[0] = core.cycles;
+            break;
+          default:
+            throw GuestFault("unknown host syscall");
+        }
+        break;
+    }
+    if (!core.halted)
+        core.pc = next;
+}
+
+} // namespace risotto::machine

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The simulated weak-memory Arm host multiprocessor.
+ *
+ * Cores execute aarch code from a shared CodeBuffer against a shared flat
+ * memory, with per-core FIFO-relaxed store buffers: stores enter the
+ * buffer and drain to memory at scheduler-chosen times, possibly out of
+ * order (Arm allows store-store reordering), giving real weak behaviours
+ * for under-fenced translations. DMB ISH / ISHST flush the buffer;
+ * release accesses flush before writing; exclusives and single-copy
+ * atomics act on memory directly with per-core exclusive monitors.
+ *
+ * Costs accrue per the CostModel, and a per-line ownership map charges
+ * cache-line transfer latency to contended accesses.
+ */
+
+#ifndef RISOTTO_MACHINE_MACHINE_HH
+#define RISOTTO_MACHINE_MACHINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aarch/emitter.hh"
+#include "aarch/isa.hh"
+#include "gx86/memory.hh"
+#include "machine/costs.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+
+namespace risotto::machine
+{
+
+class Machine;
+
+/** One simulated core. */
+struct Core
+{
+    std::uint32_t id = 0;
+    std::uint64_t x[aarch::XRegCount] = {};
+    bool zf = false;
+    bool sf = false;
+    aarch::CodeAddr pc = 0;
+    bool halted = false;
+    std::int64_t exitCode = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t retired = 0;
+    std::string output;
+
+    /** Pending stores: (address, size, value), drain order relaxed. */
+    struct PendingStore
+    {
+        std::uint64_t addr;
+        std::uint8_t size;
+        std::uint64_t value;
+    };
+    std::vector<PendingStore> storeBuffer;
+
+    /** Exclusive monitor: 8-byte-aligned address armed by LDXR. */
+    std::optional<std::uint64_t> monitor;
+};
+
+/** Runtime hook: helpers invoked by translated code (the DBT runtime). */
+class HelperRuntime
+{
+  public:
+    virtual ~HelperRuntime() = default;
+
+    /** Execute helper @p id with @p extra; may read/write core and
+     * machine state. Returns extra cycles consumed by the helper body. */
+    virtual std::uint64_t invokeHelper(std::uint8_t id, std::uint16_t extra,
+                                       Core &core, Machine &machine) = 0;
+
+    /** Resolve an ExitTb trap: return the next host pc for @p core.
+     * Returning std::nullopt halts the core. */
+    virtual std::optional<aarch::CodeAddr>
+    onExitTb(std::uint32_t slot, Core &core, Machine &machine) = 0;
+};
+
+/** Per-instruction trace callback: (core, decoded instruction). */
+using TraceHook =
+    std::function<void(const Core &, const aarch::AInstr &)>;
+
+/** Scheduler / weak-memory behaviour knobs. */
+struct MachineConfig
+{
+    CostModel costs;
+    std::uint64_t seed = 1;
+    /** When set, invoked before every retired instruction (debugging /
+     * instruction-trace dumps; adds no simulated cost). */
+    TraceHook trace;
+    /** Randomize core interleaving and buffer drains (litmus stress);
+     * when false, scheduling is cycle-ordered and drains are eager. */
+    bool randomize = false;
+    /** Allow out-of-order store-buffer drain (Arm-style). FIFO when
+     * false (TSO-style). */
+    bool relaxedDrain = true;
+    /** Maximum buffered stores before a forced drain. */
+    std::size_t storeBufferDepth = 8;
+};
+
+/** The multiprocessor. */
+class Machine
+{
+  public:
+    Machine(const aarch::CodeBuffer &code, gx86::Memory &memory,
+            MachineConfig config = {});
+
+    /** Install the DBT runtime hooks. */
+    void setRuntime(HelperRuntime *runtime) { runtime_ = runtime; }
+
+    /** Add a core starting at @p entry; returns its index. */
+    std::size_t addCore(aarch::CodeAddr entry);
+
+    Core &core(std::size_t i) { return cores_[i]; }
+    const Core &core(std::size_t i) const { return cores_[i]; }
+    std::size_t coreCount() const { return cores_.size(); }
+
+    gx86::Memory &memory() { return memory_; }
+
+    /**
+     * Run until every core halts or the cycle budget is exhausted.
+     * @return true when all cores halted.
+     */
+    bool run(std::uint64_t max_cycles_per_core = 500'000'000);
+
+    /** Largest per-core cycle count (the parallel-execution makespan). */
+    std::uint64_t makespan() const;
+
+    /** Sum of all cores' cycles. */
+    std::uint64_t totalCycles() const;
+
+    /** Execution counters (instructions, fences, drains, ...). */
+    const StatSet &stats() const { return stats_; }
+    StatSet &stats() { return stats_; }
+
+    // --- Memory operations used by cores and helpers ---------------------
+
+    /** Read with store-forwarding from @p core's buffer. */
+    std::uint64_t memRead(Core &core, std::uint64_t addr,
+                          std::uint8_t size);
+
+    /** Buffer a store (or write through when buffers are disabled). */
+    void memWrite(Core &core, std::uint64_t addr, std::uint8_t size,
+                  std::uint64_t value);
+
+    /** Flush @p core's entire store buffer to memory. */
+    void flushStoreBuffer(Core &core);
+
+    /** Atomic read-modify-write against memory (flushes same-address
+     * entries first); charges contention. Used by CAS/exclusives and the
+     * QEMU-style helper. */
+    std::uint64_t atomicAccessCost(Core &core, std::uint64_t addr);
+
+    /** Write directly to memory (atomics); clears other monitors. */
+    void directWrite(Core &core, std::uint64_t addr, std::uint8_t size,
+                     std::uint64_t value);
+
+  private:
+    void step(Core &core);
+    void drainOne(Core &core);
+    void chargeLineOwnership(Core &core, std::uint64_t addr, bool write);
+    void clearOtherMonitors(const Core &writer, std::uint64_t addr);
+
+    const aarch::CodeBuffer &code_;
+    gx86::Memory &memory_;
+    MachineConfig config_;
+    Rng rng_;
+    std::vector<Core> cores_;
+    HelperRuntime *runtime_ = nullptr;
+    StatSet stats_;
+    /** Cache-line owner: line index -> core id. */
+    std::map<std::uint64_t, std::uint32_t> lineOwner_;
+    /** Atomic serialization: line index -> (last core, free-at cycle). */
+    std::map<std::uint64_t, std::pair<std::uint32_t, std::uint64_t>>
+        lineBusyUntil_;
+};
+
+} // namespace risotto::machine
+
+#endif // RISOTTO_MACHINE_MACHINE_HH

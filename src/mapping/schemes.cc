@@ -1,0 +1,299 @@
+#include "mapping/schemes.hh"
+
+#include "memcore/fencealg.hh"
+#include "support/error.hh"
+
+namespace risotto::mapping
+{
+
+using litmus::Instr;
+using litmus::Program;
+using litmus::Thread;
+using memcore::Access;
+using memcore::FenceKind;
+using memcore::RmwKind;
+
+std::string
+schemeName(X86ToTcgScheme scheme)
+{
+    switch (scheme) {
+      case X86ToTcgScheme::Qemu: return "qemu";
+      case X86ToTcgScheme::NoFences: return "no-fences";
+      case X86ToTcgScheme::Risotto: return "risotto";
+    }
+    panic("unknown frontend scheme");
+}
+
+std::string
+schemeName(TcgToArmScheme scheme)
+{
+    switch (scheme) {
+      case TcgToArmScheme::Qemu: return "qemu";
+      case TcgToArmScheme::Risotto: return "risotto";
+    }
+    panic("unknown backend scheme");
+}
+
+std::string
+rmwLoweringName(RmwLowering lowering)
+{
+    switch (lowering) {
+      case RmwLowering::HelperRmw1AL: return "helper-rmw1al";
+      case RmwLowering::HelperRmw2AL: return "helper-rmw2al";
+      case RmwLowering::InlineCasal: return "inline-casal";
+      case RmwLowering::FencedRmw2: return "dmbff-rmw2-dmbff";
+    }
+    panic("unknown rmw lowering");
+}
+
+namespace
+{
+
+/** A fence instruction inheriting the guard of @p like. */
+Instr
+guardedFence(FenceKind kind, const Instr &like)
+{
+    Instr f = Instr::fenceOf(kind);
+    f.guardReg = like.guardReg;
+    f.guardVal = like.guardVal;
+    return f;
+}
+
+} // namespace
+
+litmus::Program
+mapX86ToTcg(const Program &program, X86ToTcgScheme scheme)
+{
+    Program out;
+    out.name = program.name + "->tcg(" + schemeName(scheme) + ")";
+    out.init = program.init;
+    for (const Thread &t : program.threads) {
+        Thread mapped;
+        for (const Instr &i : t.instrs) {
+            switch (i.kind) {
+              case Instr::Kind::Load:
+                if (scheme == X86ToTcgScheme::Qemu)
+                    mapped.instrs.push_back(
+                        guardedFence(FenceKind::Fmr, i));
+                mapped.instrs.push_back(i);
+                if (scheme == X86ToTcgScheme::Risotto)
+                    mapped.instrs.push_back(
+                        guardedFence(FenceKind::Frm, i));
+                break;
+              case Instr::Kind::Store:
+                if (scheme == X86ToTcgScheme::Qemu)
+                    mapped.instrs.push_back(
+                        guardedFence(FenceKind::Fmw, i));
+                if (scheme == X86ToTcgScheme::Risotto)
+                    mapped.instrs.push_back(
+                        guardedFence(FenceKind::Fww, i));
+                mapped.instrs.push_back(i);
+                break;
+              case Instr::Kind::Rmw: {
+                // TCG RMWs carry SC semantics in the IR model.
+                Instr rmw = i;
+                rmw.readAccess = Access::Sc;
+                rmw.writeAccess = Access::Sc;
+                mapped.instrs.push_back(rmw);
+                break;
+              }
+              case Instr::Kind::Fence:
+                fatalIf(i.fence != FenceKind::MFence,
+                        "x86 source contains a non-x86 fence");
+                mapped.instrs.push_back(
+                    guardedFence(FenceKind::Fsc, i));
+                break;
+            }
+        }
+        out.threads.push_back(std::move(mapped));
+    }
+    return out;
+}
+
+litmus::Program
+mapTcgToArm(const Program &program, TcgToArmScheme scheme,
+            RmwLowering lowering)
+{
+    Program out;
+    out.name = program.name + "->arm(" + schemeName(scheme) + "," +
+               rmwLoweringName(lowering) + ")";
+    out.init = program.init;
+    for (const Thread &t : program.threads) {
+        Thread mapped;
+        for (const Instr &i : t.instrs) {
+            switch (i.kind) {
+              case Instr::Kind::Load:
+              case Instr::Kind::Store: {
+                Instr access = i;
+                access.readAccess = Access::Plain;
+                access.writeAccess = Access::Plain;
+                mapped.instrs.push_back(access);
+                break;
+              }
+              case Instr::Kind::Rmw: {
+                Instr rmw = i;
+                switch (lowering) {
+                  case RmwLowering::HelperRmw1AL:
+                  case RmwLowering::InlineCasal:
+                    rmw.rmwKind = RmwKind::Amo;
+                    rmw.readAccess = Access::Acquire;
+                    rmw.writeAccess = Access::Release;
+                    mapped.instrs.push_back(rmw);
+                    break;
+                  case RmwLowering::HelperRmw2AL:
+                    rmw.rmwKind = RmwKind::LxSx;
+                    rmw.readAccess = Access::Acquire;
+                    rmw.writeAccess = Access::Release;
+                    mapped.instrs.push_back(rmw);
+                    break;
+                  case RmwLowering::FencedRmw2:
+                    rmw.rmwKind = RmwKind::LxSx;
+                    rmw.readAccess = Access::Plain;
+                    rmw.writeAccess = Access::Plain;
+                    mapped.instrs.push_back(
+                        guardedFence(FenceKind::DmbFull, i));
+                    mapped.instrs.push_back(rmw);
+                    mapped.instrs.push_back(
+                        guardedFence(FenceKind::DmbFull, i));
+                    break;
+                }
+                break;
+              }
+              case Instr::Kind::Fence: {
+                fatalIf(!memcore::isTcgFence(i.fence),
+                        "TCG source contains a non-TCG fence");
+                FenceKind lowered = FenceKind::None;
+                switch (i.fence) {
+                  case FenceKind::Frr:
+                  case FenceKind::Frw:
+                  case FenceKind::Frm:
+                    lowered = FenceKind::DmbLd;
+                    break;
+                  case FenceKind::Fmr:
+                    // QEMU demotes Fmr to Frr and lowers it to DMBLD; the
+                    // sound lowering would be DMBFF.
+                    lowered = scheme == TcgToArmScheme::Qemu
+                                  ? FenceKind::DmbLd
+                                  : FenceKind::DmbFull;
+                    break;
+                  case FenceKind::Fww:
+                    lowered = scheme == TcgToArmScheme::Qemu
+                                  ? FenceKind::DmbFull
+                                  : FenceKind::DmbSt;
+                    break;
+                  case FenceKind::Fwr:
+                  case FenceKind::Fwm:
+                  case FenceKind::Fmw:
+                  case FenceKind::Fmm:
+                  case FenceKind::Fsc:
+                    lowered = FenceKind::DmbFull;
+                    break;
+                  case FenceKind::Facq:
+                  case FenceKind::Frel:
+                    lowered = FenceKind::None;
+                    break;
+                  default:
+                    panic("unhandled TCG fence");
+                }
+                if (lowered != FenceKind::None)
+                    mapped.instrs.push_back(guardedFence(lowered, i));
+                break;
+              }
+            }
+        }
+        out.threads.push_back(std::move(mapped));
+    }
+    return out;
+}
+
+litmus::Program
+mapX86ToArm(const Program &program, X86ToTcgScheme frontend,
+            TcgToArmScheme backend, RmwLowering lowering)
+{
+    return mapTcgToArm(mapX86ToTcg(program, frontend), backend, lowering);
+}
+
+litmus::Program
+mapX86ToArmDesired(const Program &program)
+{
+    Program out;
+    out.name = program.name + "->arm(desired)";
+    out.init = program.init;
+    for (const Thread &t : program.threads) {
+        Thread mapped;
+        for (const Instr &i : t.instrs) {
+            switch (i.kind) {
+              case Instr::Kind::Load: {
+                Instr load = i;
+                load.readAccess = Access::AcquirePC; // LDAPR
+                mapped.instrs.push_back(load);
+                break;
+              }
+              case Instr::Kind::Store: {
+                Instr store = i;
+                store.writeAccess = Access::Release; // STLR
+                mapped.instrs.push_back(store);
+                break;
+              }
+              case Instr::Kind::Rmw: {
+                Instr rmw = i;
+                rmw.rmwKind = RmwKind::Amo;
+                rmw.readAccess = Access::Acquire;
+                rmw.writeAccess = Access::Release;
+                mapped.instrs.push_back(rmw);
+                break;
+              }
+              case Instr::Kind::Fence:
+                mapped.instrs.push_back(
+                    guardedFence(FenceKind::DmbFull, i));
+                break;
+            }
+        }
+        out.threads.push_back(std::move(mapped));
+    }
+    return out;
+}
+
+litmus::Program
+mapX86ToRiscv(const Program &program, bool with_fences)
+{
+    Program out;
+    out.name = program.name + "->riscv" +
+               (with_fences ? "" : "(no-fences)");
+    out.init = program.init;
+    for (const Thread &t : program.threads) {
+        Thread mapped;
+        for (const Instr &i : t.instrs) {
+            switch (i.kind) {
+              case Instr::Kind::Load:
+                mapped.instrs.push_back(i);
+                if (with_fences)
+                    mapped.instrs.push_back(
+                        guardedFence(FenceKind::Frm, i));
+                break;
+              case Instr::Kind::Store:
+                if (with_fences)
+                    mapped.instrs.push_back(
+                        guardedFence(FenceKind::Fmw, i));
+                mapped.instrs.push_back(i);
+                break;
+              case Instr::Kind::Rmw: {
+                Instr rmw = i;
+                rmw.rmwKind = RmwKind::Amo;
+                rmw.readAccess = Access::Acquire;   // .aq
+                rmw.writeAccess = Access::Release;  // .rl
+                mapped.instrs.push_back(rmw);
+                break;
+              }
+              case Instr::Kind::Fence:
+                mapped.instrs.push_back(
+                    guardedFence(FenceKind::Fmm, i));
+                break;
+            }
+        }
+        out.threads.push_back(std::move(mapped));
+    }
+    return out;
+}
+
+} // namespace risotto::mapping

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Litmus-level mapping schemes between the three instruction sets.
+ *
+ * These are the exact schemes of the paper:
+ *  - Figure 2: QEMU's x86 -> TCG IR -> Arm mapping (leading Fmr/Fmw).
+ *  - Figure 3: the "desired" direct x86 -> Arm mapping inferred from
+ *    Arm-Cats (LDAPR/STLR/casal), shown erroneous under the original model.
+ *  - Figure 7: Risotto's verified x86 -> TCG IR (trailing Frm after loads,
+ *    leading Fww before stores) and TCG IR -> Arm schemes.
+ *
+ * Mapping a program preserves its thread/register structure so that
+ * Theorem-1 refinement can compare outcomes directly.
+ */
+
+#ifndef RISOTTO_MAPPING_SCHEMES_HH
+#define RISOTTO_MAPPING_SCHEMES_HH
+
+#include <string>
+
+#include "litmus/program.hh"
+
+namespace risotto::mapping
+{
+
+/** Frontend scheme: how x86 accesses become TCG IR accesses + fences. */
+enum class X86ToTcgScheme
+{
+    /** Figure 2: Fmr before loads, Fmw before stores. */
+    Qemu,
+    /** No ordering fences at all (the incorrect performance oracle). */
+    NoFences,
+    /** Figure 7a: ld;Frm and Fww;st -- formally verified. */
+    Risotto,
+};
+
+/** How a TCG RMW is lowered to Arm. */
+enum class RmwLowering
+{
+    /** QEMU helper built on casal (GCC >= 10): RMW1-AL. */
+    HelperRmw1AL,
+    /** QEMU helper built on ldaxr/stlxr (GCC 9): RMW2-AL. */
+    HelperRmw2AL,
+    /** Risotto: direct casal translation (RMW1-AL), Section 6.3. */
+    InlineCasal,
+    /** Risotto fallback: DMBFF; RMW2; DMBFF (Figure 7b). */
+    FencedRmw2,
+};
+
+/** Backend scheme: how TCG IR fences/accesses become Arm instructions. */
+enum class TcgToArmScheme
+{
+    /** Figure 2 lowering: read-side fences to DMBLD, everything else to
+     * DMBFF. */
+    Qemu,
+    /** Figure 7b lowering: DMBLD / DMBST / DMBFF by direction; Facq/Frel
+     * generate nothing. */
+    Risotto,
+};
+
+/** Name of a scheme for reports. */
+std::string schemeName(X86ToTcgScheme scheme);
+std::string schemeName(TcgToArmScheme scheme);
+std::string rmwLoweringName(RmwLowering lowering);
+
+/** Map an x86-flavoured program to a TCG IR program. */
+litmus::Program mapX86ToTcg(const litmus::Program &program,
+                            X86ToTcgScheme scheme);
+
+/** Map a TCG IR program to an Arm program. */
+litmus::Program mapTcgToArm(const litmus::Program &program,
+                            TcgToArmScheme scheme, RmwLowering lowering);
+
+/** Full pipeline: x86 -> TCG IR -> Arm (Figure 7c when both Risotto). */
+litmus::Program mapX86ToArm(const litmus::Program &program,
+                            X86ToTcgScheme frontend, TcgToArmScheme backend,
+                            RmwLowering lowering);
+
+/** Figure 3: the direct "desired" Arm-Cats mapping
+ * (LDAPR / STLR / RMW1-AL / DMBFF). */
+litmus::Program mapX86ToArmDesired(const litmus::Program &program);
+
+/**
+ * Extension: the standard x86-TSO -> RISC-V (RVWMO) mapping from the
+ * RISC-V specification's memory-model appendix, expressed in the same
+ * litmus vocabulary (RISC-V FENCE pred,succ sets map 1:1 onto the Fxy
+ * fence kinds):
+ *
+ *   RMOV   -> l; fence r,rw      (trailing Frm -- like Figure 7a!)
+ *   WMOV   -> fence rw,w; s      (leading Fmw)
+ *   RMW    -> amo.aqrl
+ *   MFENCE -> fence rw,rw        (Fmm)
+ *
+ * @param with_fences false gives the incorrect fence-free oracle.
+ */
+litmus::Program mapX86ToRiscv(const litmus::Program &program,
+                              bool with_fences = true);
+
+} // namespace risotto::mapping
+
+#endif // RISOTTO_MAPPING_SCHEMES_HH

@@ -1,0 +1,269 @@
+#include "mapping/transforms.hh"
+
+#include "memcore/fencealg.hh"
+#include "support/error.hh"
+
+namespace risotto::mapping
+{
+
+using litmus::Instr;
+using litmus::Program;
+using litmus::Reg;
+using litmus::StoreExpr;
+using litmus::Thread;
+using memcore::FenceKind;
+
+std::string
+transformKindName(TransformKind kind)
+{
+    switch (kind) {
+      case TransformKind::Rar: return "RAR";
+      case TransformKind::Raw: return "RAW";
+      case TransformKind::Waw: return "WAW";
+      case TransformKind::FencedRar: return "F-RAR";
+      case TransformKind::FencedRaw: return "F-RAW";
+      case TransformKind::FencedWaw: return "F-WAW";
+      case TransformKind::FenceMerge: return "fence-merge";
+      case TransformKind::Strengthen: return "fence-strengthen";
+      case TransformKind::Reorder: return "reorder";
+    }
+    panic("unknown transform kind");
+}
+
+namespace
+{
+
+/** True when register @p reg is read by @p instr. */
+bool
+usesReg(const Instr &i, Reg reg)
+{
+    if (reg == litmus::NoReg)
+        return false;
+    if (i.guardReg == reg || i.addrDepReg == reg)
+        return true;
+    if (i.kind == Instr::Kind::Store &&
+        i.value.kind != StoreExpr::Kind::Const && i.value.reg == reg)
+        return true;
+    return false;
+}
+
+/** True when @p reg is unread by instructions of @p t from @p from on. */
+bool
+regDeadAfter(const Thread &t, std::size_t from, Reg reg)
+{
+    for (std::size_t i = from; i < t.instrs.size(); ++i) {
+        if (usesReg(t.instrs[i], reg))
+            return false;
+        // A redefinition makes earlier values unobservable, but the final
+        // register file still reports the last value, so the register is
+        // only dead for projection purposes if it is redefined later.
+        if (t.instrs[i].dst == reg)
+            return true;
+    }
+    // Reaches the end: the register is observable in the outcome. The
+    // refinement check projects onto common registers, so elimination is
+    // still comparable; treat as dead for rewriting purposes.
+    return true;
+}
+
+bool
+unguarded(const Instr &i)
+{
+    return i.guardReg == litmus::NoReg;
+}
+
+bool
+plainMem(const Instr &i)
+{
+    return (i.kind == Instr::Kind::Load || i.kind == Instr::Kind::Store) &&
+           unguarded(i);
+}
+
+/** The paper's side condition: programs whose fences come from the
+ * Risotto x86-to-IR scheme vocabulary {Frm, Fww, Fsc, Facq, Frel}. */
+bool
+risottoFenceVocabulary(const Program &p)
+{
+    for (const Thread &t : p.threads) {
+        for (const Instr &i : t.instrs) {
+            if (i.kind != Instr::Kind::Fence)
+                continue;
+            switch (i.fence) {
+              case FenceKind::Frm:
+              case FenceKind::Fww:
+              case FenceKind::Fsc:
+              case FenceKind::Facq:
+              case FenceKind::Frel:
+                break;
+              default:
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+isFenceOf(const Instr &i, std::initializer_list<FenceKind> kinds)
+{
+    if (i.kind != Instr::Kind::Fence || !unguarded(i))
+        return false;
+    for (FenceKind k : kinds)
+        if (i.fence == k)
+            return true;
+    return false;
+}
+
+bool
+isDirectionalTcgFence(const Instr &i)
+{
+    return i.kind == Instr::Kind::Fence && unguarded(i) &&
+           memcore::isTcgFence(i.fence) && i.fence != FenceKind::Facq &&
+           i.fence != FenceKind::Frel;
+}
+
+void
+collectEliminations(const Program &p, std::size_t tid,
+                    std::vector<TransformSite> &sites)
+{
+    const Thread &t = p.threads[tid];
+    for (std::size_t i = 0; i + 1 < t.instrs.size(); ++i) {
+        const Instr &a = t.instrs[i];
+        const Instr &b = t.instrs[i + 1];
+
+        // Plain adjacent eliminations.
+        if (plainMem(a) && plainMem(b) && a.loc == b.loc) {
+            if (a.kind == Instr::Kind::Load &&
+                b.kind == Instr::Kind::Load &&
+                regDeadAfter(t, i + 2, b.dst))
+                sites.push_back({TransformKind::Rar, tid, i});
+            if (a.kind == Instr::Kind::Store &&
+                b.kind == Instr::Kind::Load &&
+                regDeadAfter(t, i + 2, b.dst))
+                sites.push_back({TransformKind::Raw, tid, i});
+            if (a.kind == Instr::Kind::Store &&
+                b.kind == Instr::Kind::Store)
+                sites.push_back({TransformKind::Waw, tid, i});
+        }
+
+        // Fenced eliminations need a third instruction.
+        if (i + 2 >= t.instrs.size())
+            continue;
+        const Instr &c = t.instrs[i + 2];
+        if (!plainMem(a) || !plainMem(c) || a.loc != c.loc)
+            continue;
+        if (a.kind == Instr::Kind::Load && c.kind == Instr::Kind::Load &&
+            isFenceOf(b, {FenceKind::Frm, FenceKind::Fww}) &&
+            regDeadAfter(t, i + 3, c.dst))
+            sites.push_back({TransformKind::FencedRar, tid, i});
+        if (a.kind == Instr::Kind::Store && c.kind == Instr::Kind::Load &&
+            isFenceOf(b, {FenceKind::Fsc, FenceKind::Fww}) &&
+            regDeadAfter(t, i + 3, c.dst))
+            sites.push_back({TransformKind::FencedRaw, tid, i});
+        if (a.kind == Instr::Kind::Store && c.kind == Instr::Kind::Store &&
+            isFenceOf(b, {FenceKind::Frm, FenceKind::Fww}))
+            sites.push_back({TransformKind::FencedWaw, tid, i});
+    }
+}
+
+} // namespace
+
+std::vector<TransformSite>
+findTransformSites(const Program &p)
+{
+    std::vector<TransformSite> sites;
+    const bool vocab_ok = risottoFenceVocabulary(p);
+    for (std::size_t tid = 0; tid < p.threads.size(); ++tid) {
+        const Thread &t = p.threads[tid];
+
+        if (vocab_ok)
+            collectEliminations(p, tid, sites);
+
+        for (std::size_t i = 0; i + 1 < t.instrs.size(); ++i) {
+            const Instr &a = t.instrs[i];
+            const Instr &b = t.instrs[i + 1];
+
+            if (isDirectionalTcgFence(a) && isDirectionalTcgFence(b))
+                sites.push_back({TransformKind::FenceMerge, tid, i});
+
+            if (isDirectionalTcgFence(a) && a.fence != FenceKind::Fsc)
+                sites.push_back({TransformKind::Strengthen, tid, i});
+
+            // Reordering of independent plain accesses on different
+            // locations (Section 5.4).
+            if (plainMem(a) && plainMem(b) && a.loc != b.loc &&
+                !usesReg(b, a.dst))
+                sites.push_back({TransformKind::Reorder, tid, i});
+        }
+    }
+    return sites;
+}
+
+std::vector<TransformSite>
+findUnsoundRawAcrossAnyFence(const Program &p)
+{
+    // Plain RAW sites without the fence-vocabulary precondition -- the
+    // rewrite QEMU's constant propagation would perform, unsound when the
+    // program contains Fmr or Fwr fences (the FMR counterexample).
+    std::vector<TransformSite> sites;
+    for (std::size_t tid = 0; tid < p.threads.size(); ++tid) {
+        const Thread &t = p.threads[tid];
+        for (std::size_t i = 0; i + 1 < t.instrs.size(); ++i) {
+            const Instr &a = t.instrs[i];
+            const Instr &b = t.instrs[i + 1];
+            if (plainMem(a) && plainMem(b) && a.loc == b.loc &&
+                a.kind == Instr::Kind::Store &&
+                b.kind == Instr::Kind::Load &&
+                regDeadAfter(t, i + 2, b.dst))
+                sites.push_back({TransformKind::Raw, tid, i});
+        }
+    }
+    return sites;
+}
+
+litmus::Program
+applyTransform(const Program &p, const TransformSite &site)
+{
+    fatalIf(site.tid >= p.threads.size(), "transform site out of range");
+    Program out = p;
+    out.name = p.name + "+" + transformKindName(site.kind);
+    auto &instrs = out.threads[site.tid].instrs;
+    fatalIf(site.index >= instrs.size(), "transform site out of range");
+
+    switch (site.kind) {
+      case TransformKind::Rar:
+      case TransformKind::Raw:
+        // Remove the second access (the read).
+        instrs.erase(instrs.begin() + site.index + 1);
+        break;
+      case TransformKind::Waw:
+        // Remove the first store.
+        instrs.erase(instrs.begin() + site.index);
+        break;
+      case TransformKind::FencedRar:
+      case TransformKind::FencedRaw:
+        // Remove the access after the fence.
+        instrs.erase(instrs.begin() + site.index + 2);
+        break;
+      case TransformKind::FencedWaw:
+        // Remove the first store, keeping the fence.
+        instrs.erase(instrs.begin() + site.index);
+        break;
+      case TransformKind::FenceMerge: {
+        const FenceKind merged = memcore::mergeFences(
+            instrs[site.index].fence, instrs[site.index + 1].fence);
+        instrs[site.index] = Instr::fenceOf(merged);
+        instrs.erase(instrs.begin() + site.index + 1);
+        break;
+      }
+      case TransformKind::Strengthen:
+        instrs[site.index] = Instr::fenceOf(FenceKind::Fsc);
+        break;
+      case TransformKind::Reorder:
+        std::swap(instrs[site.index], instrs[site.index + 1]);
+        break;
+    }
+    return out;
+}
+
+} // namespace risotto::mapping

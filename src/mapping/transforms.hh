@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Litmus-level IR transformations (Section 5.4, Figure 10).
+ *
+ * Each transformation rewrites a TCG IR litmus program the way the TCG
+ * optimizer would rewrite a basic block: memory-access eliminations (RAR,
+ * RAW, WAW and their fenced forms with the Figure 10 side conditions),
+ * fence merging/strengthening, and reordering of independent accesses.
+ * Theorem-1 refinement over these rewrites is the empirical counterpart
+ * of the paper's transformation-correctness proofs.
+ */
+
+#ifndef RISOTTO_MAPPING_TRANSFORMS_HH
+#define RISOTTO_MAPPING_TRANSFORMS_HH
+
+#include <string>
+#include <vector>
+
+#include "litmus/program.hh"
+
+namespace risotto::mapping
+{
+
+/** The transformation kinds of Section 5.4. */
+enum class TransformKind
+{
+    Rar,          ///< R(X,v) . R(X,v')        -> R(X,v)
+    Raw,          ///< W(X,v) . R(X,v)         -> W(X,v)
+    Waw,          ///< W(X,v) . W(X,v')        -> W(X,v')
+    FencedRar,    ///< R . F_o . R             -> R . F_o     (o in {rm,ww})
+    FencedRaw,    ///< W . F_t . R             -> W . F_t     (t in {sc,ww})
+    FencedWaw,    ///< W . F_o . W             -> F_o . W     (o in {rm,ww})
+    FenceMerge,   ///< F1 . F2                 -> merge(F1, F2)
+    Strengthen,   ///< F                       -> stronger F
+    Reorder,      ///< a . b -> b . a (independent, different locations)
+};
+
+/** Name of a transformation kind. */
+std::string transformKindName(TransformKind kind);
+
+/** One applicable rewrite site within a program. */
+struct TransformSite
+{
+    TransformKind kind;
+    std::size_t tid;
+    /** Index of the first instruction of the matched pattern. */
+    std::size_t index;
+};
+
+/**
+ * Find every site where a transformation applies.
+ *
+ * Patterns only match unguarded instructions (the optimizer operates on
+ * basic blocks, and guards model cross-block control flow).
+ */
+std::vector<TransformSite> findTransformSites(const litmus::Program &p);
+
+/** Apply the rewrite at @p site, returning the transformed program. */
+litmus::Program applyTransform(const litmus::Program &p,
+                               const TransformSite &site);
+
+/**
+ * The unsound variant the paper warns about: RAW elimination across *any*
+ * fence kind, including Fmr/Fwr (the FMR counterexample). Used by tests
+ * and the error-reproduction bench to show the side condition matters.
+ */
+std::vector<TransformSite>
+findUnsoundRawAcrossAnyFence(const litmus::Program &p);
+
+} // namespace risotto::mapping
+
+#endif // RISOTTO_MAPPING_TRANSFORMS_HH

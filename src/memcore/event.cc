@@ -1,0 +1,79 @@
+#include "memcore/event.hh"
+
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace risotto::memcore
+{
+
+std::string
+fenceKindName(FenceKind kind)
+{
+    switch (kind) {
+      case FenceKind::None: return "none";
+      case FenceKind::Frr: return "Frr";
+      case FenceKind::Frw: return "Frw";
+      case FenceKind::Frm: return "Frm";
+      case FenceKind::Fwr: return "Fwr";
+      case FenceKind::Fww: return "Fww";
+      case FenceKind::Fwm: return "Fwm";
+      case FenceKind::Fmr: return "Fmr";
+      case FenceKind::Fmw: return "Fmw";
+      case FenceKind::Fmm: return "Fmm";
+      case FenceKind::Facq: return "Facq";
+      case FenceKind::Frel: return "Frel";
+      case FenceKind::Fsc: return "Fsc";
+      case FenceKind::MFence: return "mfence";
+      case FenceKind::DmbFull: return "dmbff";
+      case FenceKind::DmbLd: return "dmbld";
+      case FenceKind::DmbSt: return "dmbst";
+    }
+    panic("unknown fence kind");
+}
+
+std::string
+accessName(Access access)
+{
+    switch (access) {
+      case Access::Plain: return "";
+      case Access::Acquire: return "acq";
+      case Access::AcquirePC: return "acqPC";
+      case Access::Release: return "rel";
+      case Access::Sc: return "sc";
+    }
+    panic("unknown access annotation");
+}
+
+std::string
+Event::toString() const
+{
+    std::ostringstream os;
+    if (isInit) {
+        os << "Init:" << loc << "=" << value;
+        return os.str();
+    }
+    switch (kind) {
+      case EventKind::Read:
+        os << "R";
+        break;
+      case EventKind::Write:
+        os << "W";
+        break;
+      case EventKind::Fence:
+        os << "F" << tid << ":" << fenceKindName(fence);
+        return os.str();
+    }
+    os << tid;
+    const std::string acc = accessName(access);
+    if (!acc.empty())
+        os << "." << acc;
+    if (rmw == RmwKind::Amo)
+        os << ".amo";
+    else if (rmw == RmwKind::LxSx)
+        os << ".x";
+    os << ":" << loc << "=" << value;
+    return os.str();
+}
+
+} // namespace risotto::memcore

@@ -1,0 +1,317 @@
+#include "memcore/execution.hh"
+
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace risotto::memcore
+{
+
+void
+Execution::initRelations()
+{
+    const std::size_t n = events.size();
+    po = Relation(n);
+    rf = Relation(n);
+    co = Relation(n);
+    rmw = Relation(n);
+    addrDep = Relation(n);
+    dataDep = Relation(n);
+    ctrlDep = Relation(n);
+}
+
+EventSet
+Execution::reads() const
+{
+    EventSet out(size());
+    for (const Event &e : events)
+        if (e.isRead())
+            out.insert(e.id);
+    return out;
+}
+
+EventSet
+Execution::writes() const
+{
+    EventSet out(size());
+    for (const Event &e : events)
+        if (e.isWrite())
+            out.insert(e.id);
+    return out;
+}
+
+EventSet
+Execution::fences() const
+{
+    EventSet out(size());
+    for (const Event &e : events)
+        if (e.isFence())
+            out.insert(e.id);
+    return out;
+}
+
+EventSet
+Execution::fencesOf(FenceKind kind) const
+{
+    EventSet out(size());
+    for (const Event &e : events)
+        if (e.isFence() && e.fence == kind)
+            out.insert(e.id);
+    return out;
+}
+
+EventSet
+Execution::accessesOf(Access access) const
+{
+    EventSet out(size());
+    for (const Event &e : events)
+        if (!e.isFence() && e.access == access)
+            out.insert(e.id);
+    return out;
+}
+
+EventSet
+Execution::rmwEventsOf(RmwKind kind) const
+{
+    EventSet out(size());
+    for (const Event &e : events)
+        if (e.rmw == kind)
+            out.insert(e.id);
+    return out;
+}
+
+EventSet
+Execution::threadEvents(ThreadId tid) const
+{
+    EventSet out(size());
+    for (const Event &e : events)
+        if (!e.isInit && e.tid == tid)
+            out.insert(e.id);
+    return out;
+}
+
+EventSet
+Execution::onLoc(Loc loc) const
+{
+    EventSet out(size());
+    for (const Event &e : events)
+        if (!e.isFence() && e.loc == loc)
+            out.insert(e.id);
+    return out;
+}
+
+EventSet
+Execution::initWrites() const
+{
+    EventSet out(size());
+    for (const Event &e : events)
+        if (e.isInit)
+            out.insert(e.id);
+    return out;
+}
+
+Relation
+Execution::fr() const
+{
+    Relation result = rf.inverse().compose(co);
+    // fr is irreflexive by construction of co, but guard against a read
+    // and write sharing ids in malformed graphs.
+    for (EventId id = 0; id < size(); ++id)
+        result.erase(id, id);
+    return result;
+}
+
+Relation
+Execution::rfe() const
+{
+    return rf - po;
+}
+
+Relation
+Execution::coe() const
+{
+    return co - po;
+}
+
+Relation
+Execution::fre() const
+{
+    return fr() - po;
+}
+
+Relation
+Execution::rfi() const
+{
+    return rf & po;
+}
+
+Relation
+Execution::coi() const
+{
+    return co & po;
+}
+
+Relation
+Execution::fri() const
+{
+    return fr() & po;
+}
+
+Relation
+Execution::poLoc() const
+{
+    Relation out(size());
+    for (auto [a, b] : po.pairs()) {
+        const Event &ea = events[a];
+        const Event &eb = events[b];
+        if (!ea.isFence() && !eb.isFence() && ea.loc == eb.loc)
+            out.insert(a, b);
+    }
+    return out;
+}
+
+Relation
+Execution::poIm() const
+{
+    Relation out(size());
+    for (auto [a, b] : po.pairs()) {
+        bool immediate = true;
+        for (EventId mid = 0; mid < size() && immediate; ++mid)
+            if (po.contains(a, mid) && po.contains(mid, b))
+                immediate = false;
+        if (immediate)
+            out.insert(a, b);
+    }
+    return out;
+}
+
+Relation
+Execution::amo() const
+{
+    Relation out(size());
+    for (auto [r, w] : rmw.pairs())
+        if (events[r].rmw == RmwKind::Amo)
+            out.insert(r, w);
+    return out;
+}
+
+Relation
+Execution::lxsx() const
+{
+    Relation out(size());
+    for (auto [r, w] : rmw.pairs())
+        if (events[r].rmw == RmwKind::LxSx)
+            out.insert(r, w);
+    return out;
+}
+
+bool
+Execution::wellFormed(std::string *why) const
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+
+    // rf: functional per read (each read has exactly one source), source
+    // is a write, same location, same value.
+    std::vector<int> sources(size(), 0);
+    for (auto [w, r] : rf.pairs()) {
+        const Event &ew = events[w];
+        const Event &er = events[r];
+        if (!ew.isWrite() || !er.isRead())
+            return fail("rf pair not write->read");
+        if (ew.loc != er.loc)
+            return fail("rf pair location mismatch");
+        if (ew.value != er.value)
+            return fail("rf pair value mismatch");
+        sources[r]++;
+    }
+    for (const Event &e : events)
+        if (e.isRead() && sources[e.id] != 1)
+            return fail("read " + e.toString() +
+                        " lacks a unique rf source");
+
+    // co: strict total order per location over writes; init writes first.
+    for (auto [a, b] : co.pairs()) {
+        const Event &ea = events[a];
+        const Event &eb = events[b];
+        if (!ea.isWrite() || !eb.isWrite())
+            return fail("co pair not write->write");
+        if (ea.loc != eb.loc)
+            return fail("co pair location mismatch");
+        if (eb.isInit)
+            return fail("co pair into an init write");
+    }
+    if (!co.acyclic())
+        return fail("co is cyclic");
+    // Totality per location.
+    for (const Event &a : events) {
+        if (!a.isWrite())
+            continue;
+        for (const Event &b : events) {
+            if (!b.isWrite() || a.id == b.id || a.loc != b.loc)
+                continue;
+            if (!co.contains(a.id, b.id) && !co.contains(b.id, a.id))
+                return fail("co not total on location " +
+                            std::to_string(a.loc));
+        }
+    }
+
+    // rmw: immediate-po same-location read->write.
+    const Relation po_im = poIm();
+    for (auto [r, w] : rmw.pairs()) {
+        const Event &er = events[r];
+        const Event &ew = events[w];
+        if (!er.isRead() || !ew.isWrite())
+            return fail("rmw pair not read->write");
+        if (er.loc != ew.loc)
+            return fail("rmw pair location mismatch");
+        if (!po_im.contains(r, w))
+            return fail("rmw pair not immediate in po");
+    }
+    return true;
+}
+
+std::map<Loc, Val>
+Execution::behavior() const
+{
+    std::map<Loc, Val> out;
+    for (const Event &e : events) {
+        if (!e.isWrite())
+            continue;
+        bool co_maximal = true;
+        for (EventId other = 0; other < size(); ++other) {
+            if (co.contains(e.id, other)) {
+                co_maximal = false;
+                break;
+            }
+        }
+        if (co_maximal)
+            out[e.loc] = e.value;
+    }
+    return out;
+}
+
+std::string
+Execution::toString() const
+{
+    std::ostringstream os;
+    os << "events:\n";
+    for (const Event &e : events)
+        os << "  [" << e.id << "] " << e.toString() << "\n";
+    auto dump = [&](const char *name, const Relation &r) {
+        os << name << ":";
+        for (auto [a, b] : r.pairs())
+            os << " (" << a << "," << b << ")";
+        os << "\n";
+    };
+    dump("po", po);
+    dump("rf", rf);
+    dump("co", co);
+    dump("rmw", rmw);
+    return os.str();
+}
+
+} // namespace risotto::memcore

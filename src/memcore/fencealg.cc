@@ -1,0 +1,95 @@
+#include "memcore/fencealg.hh"
+
+namespace risotto::memcore
+{
+
+std::uint8_t
+fenceOrderMask(FenceKind kind)
+{
+    switch (kind) {
+      case FenceKind::Frr: return OrdRR;
+      case FenceKind::Frw: return OrdRW;
+      case FenceKind::Frm: return OrdRR | OrdRW;
+      case FenceKind::Fwr: return OrdWR;
+      case FenceKind::Fww: return OrdWW;
+      case FenceKind::Fwm: return OrdWR | OrdWW;
+      case FenceKind::Fmr: return OrdRR | OrdWR;
+      case FenceKind::Fmw: return OrdRW | OrdWW;
+      case FenceKind::Fmm: return OrdAll;
+      case FenceKind::Fsc: return OrdAll;
+      case FenceKind::MFence: return OrdAll;
+      case FenceKind::DmbFull: return OrdAll;
+      case FenceKind::DmbLd: return OrdRR | OrdRW;
+      case FenceKind::DmbSt: return OrdWW;
+      default: return 0;
+    }
+}
+
+bool
+isTcgFence(FenceKind kind)
+{
+    switch (kind) {
+      case FenceKind::Frr:
+      case FenceKind::Frw:
+      case FenceKind::Frm:
+      case FenceKind::Fwr:
+      case FenceKind::Fww:
+      case FenceKind::Fwm:
+      case FenceKind::Fmr:
+      case FenceKind::Fmw:
+      case FenceKind::Fmm:
+      case FenceKind::Facq:
+      case FenceKind::Frel:
+      case FenceKind::Fsc:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isScFence(FenceKind kind)
+{
+    return kind == FenceKind::Fsc;
+}
+
+FenceKind
+coveringFence(std::uint8_t mask, bool need_sc)
+{
+    if (need_sc)
+        return FenceKind::Fsc;
+    mask &= OrdAll;
+    switch (mask) {
+      case 0: return FenceKind::None;
+      case OrdRR: return FenceKind::Frr;
+      case OrdRW: return FenceKind::Frw;
+      case OrdRR | OrdRW: return FenceKind::Frm;
+      case OrdWR: return FenceKind::Fwr;
+      case OrdWW: return FenceKind::Fww;
+      case OrdWR | OrdWW: return FenceKind::Fwm;
+      case OrdRR | OrdWR: return FenceKind::Fmr;
+      case OrdRW | OrdWW: return FenceKind::Fmw;
+      default: return FenceKind::Fmm; // Any 3+ direction combination.
+    }
+}
+
+FenceKind
+mergeFences(FenceKind a, FenceKind b)
+{
+    const bool sc = isScFence(a) || isScFence(b);
+    return coveringFence(
+        static_cast<std::uint8_t>(fenceOrderMask(a) | fenceOrderMask(b)),
+        sc);
+}
+
+bool
+fenceAtLeast(FenceKind a, FenceKind b)
+{
+    if (isScFence(b) && !isScFence(a))
+        return false;
+    const std::uint8_t ma = fenceOrderMask(a);
+    const std::uint8_t mb = fenceOrderMask(b);
+    return (ma & mb) == mb;
+}
+
+} // namespace risotto::memcore

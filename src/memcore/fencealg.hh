@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Algebra over the TCG IR fence lattice.
+ *
+ * Each directional TCG fence Fxy orders predecessor accesses of kind x
+ * before successor accesses of kind y (x, y in {r, w, m}). Representing a
+ * fence by its set of ordered direction pairs {rr, rw, wr, ww} gives a
+ * lattice in which fences can be compared, strengthened and merged -- the
+ * foundation of the fence-merging optimization of Section 6.1.
+ */
+
+#ifndef RISOTTO_MEMCORE_FENCEALG_HH
+#define RISOTTO_MEMCORE_FENCEALG_HH
+
+#include <cstdint>
+
+#include "memcore/event.hh"
+
+namespace risotto::memcore
+{
+
+/** Direction-pair bits of a fence's ordering strength. */
+enum FenceOrderBits : std::uint8_t
+{
+    OrdRR = 1 << 0, ///< read before read
+    OrdRW = 1 << 1, ///< read before write
+    OrdWR = 1 << 2, ///< write before read
+    OrdWW = 1 << 3, ///< write before write
+    OrdAll = OrdRR | OrdRW | OrdWR | OrdWW,
+};
+
+/**
+ * The ordering strength of a TCG fence as direction-pair bits.
+ * Facq/Frel/None contribute no direction pairs; Fsc contributes all.
+ */
+std::uint8_t fenceOrderMask(FenceKind kind);
+
+/** True when @p kind is one of the TCG IR fences (including Facq/Frel). */
+bool isTcgFence(FenceKind kind);
+
+/** True for Fsc, which additionally carries SC (cumulative) semantics. */
+bool isScFence(FenceKind kind);
+
+/**
+ * The weakest TCG fence whose order mask covers @p mask.
+ * Returns FenceKind::None for an empty mask. @p need_sc forces Fsc.
+ */
+FenceKind coveringFence(std::uint8_t mask, bool need_sc = false);
+
+/**
+ * Merge two adjacent TCG fences into one covering both, the core of the
+ * Section 6.1 fence-merging pass (e.g. Frm followed by Fww merges to Fsc
+ * via strengthening, per the paper's example).
+ */
+FenceKind mergeFences(FenceKind a, FenceKind b);
+
+/** True when fence @p a is at least as strong as fence @p b. */
+bool fenceAtLeast(FenceKind a, FenceKind b);
+
+} // namespace risotto::memcore
+
+#endif // RISOTTO_MEMCORE_FENCEALG_HH

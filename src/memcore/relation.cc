@@ -1,0 +1,344 @@
+#include "memcore/relation.hh"
+
+#include <bit>
+
+#include "support/error.hh"
+
+namespace risotto::memcore
+{
+
+namespace
+{
+
+std::size_t
+wordsFor(std::size_t n)
+{
+    return (n + 63) / 64;
+}
+
+} // namespace
+
+EventSet::EventSet(std::size_t n) : n_(n), bits_(wordsFor(n), 0) {}
+
+void
+EventSet::insert(EventId id)
+{
+    panicIf(id >= n_, "EventSet::insert out of range");
+    bits_[id / 64] |= (1ULL << (id % 64));
+}
+
+void
+EventSet::erase(EventId id)
+{
+    panicIf(id >= n_, "EventSet::erase out of range");
+    bits_[id / 64] &= ~(1ULL << (id % 64));
+}
+
+bool
+EventSet::contains(EventId id) const
+{
+    if (id >= n_)
+        return false;
+    return bits_[id / 64] & (1ULL << (id % 64));
+}
+
+std::size_t
+EventSet::count() const
+{
+    std::size_t total = 0;
+    for (std::uint64_t w : bits_)
+        total += static_cast<std::size_t>(std::popcount(w));
+    return total;
+}
+
+EventSet
+EventSet::operator|(const EventSet &other) const
+{
+    panicIf(n_ != other.n_, "EventSet size mismatch");
+    EventSet out(n_);
+    for (std::size_t i = 0; i < bits_.size(); ++i)
+        out.bits_[i] = bits_[i] | other.bits_[i];
+    return out;
+}
+
+EventSet
+EventSet::operator&(const EventSet &other) const
+{
+    panicIf(n_ != other.n_, "EventSet size mismatch");
+    EventSet out(n_);
+    for (std::size_t i = 0; i < bits_.size(); ++i)
+        out.bits_[i] = bits_[i] & other.bits_[i];
+    return out;
+}
+
+EventSet
+EventSet::operator-(const EventSet &other) const
+{
+    panicIf(n_ != other.n_, "EventSet size mismatch");
+    EventSet out(n_);
+    for (std::size_t i = 0; i < bits_.size(); ++i)
+        out.bits_[i] = bits_[i] & ~other.bits_[i];
+    return out;
+}
+
+EventSet
+EventSet::complement() const
+{
+    EventSet out(n_);
+    for (std::size_t i = 0; i < bits_.size(); ++i)
+        out.bits_[i] = ~bits_[i];
+    // Mask off bits beyond the universe.
+    if (n_ % 64 != 0 && !out.bits_.empty())
+        out.bits_.back() &= (1ULL << (n_ % 64)) - 1;
+    return out;
+}
+
+std::vector<EventId>
+EventSet::members() const
+{
+    std::vector<EventId> out;
+    for (EventId id = 0; id < n_; ++id)
+        if (contains(id))
+            out.push_back(id);
+    return out;
+}
+
+Relation::Relation(std::size_t n) : n_(n), bits_(n * wordsFor(n), 0) {}
+
+void
+Relation::insert(EventId a, EventId b)
+{
+    panicIf(a >= n_ || b >= n_, "Relation::insert out of range");
+    row(a)[b / 64] |= (1ULL << (b % 64));
+}
+
+void
+Relation::erase(EventId a, EventId b)
+{
+    panicIf(a >= n_ || b >= n_, "Relation::erase out of range");
+    row(a)[b / 64] &= ~(1ULL << (b % 64));
+}
+
+bool
+Relation::contains(EventId a, EventId b) const
+{
+    if (a >= n_ || b >= n_)
+        return false;
+    return row(a)[b / 64] & (1ULL << (b % 64));
+}
+
+std::size_t
+Relation::pairCount() const
+{
+    std::size_t total = 0;
+    for (std::uint64_t w : bits_)
+        total += static_cast<std::size_t>(std::popcount(w));
+    return total;
+}
+
+std::vector<std::pair<EventId, EventId>>
+Relation::pairs() const
+{
+    std::vector<std::pair<EventId, EventId>> out;
+    for (EventId a = 0; a < n_; ++a)
+        for (EventId b = 0; b < n_; ++b)
+            if (contains(a, b))
+                out.emplace_back(a, b);
+    return out;
+}
+
+Relation
+Relation::identityOn(const EventSet &set)
+{
+    Relation out(set.size());
+    for (EventId id : set.members())
+        out.insert(id, id);
+    return out;
+}
+
+Relation
+Relation::cross(const EventSet &a, const EventSet &b)
+{
+    panicIf(a.size() != b.size(), "Relation::cross size mismatch");
+    Relation out(a.size());
+    for (EventId x : a.members())
+        for (EventId y : b.members())
+            out.insert(x, y);
+    return out;
+}
+
+Relation
+Relation::operator|(const Relation &other) const
+{
+    panicIf(n_ != other.n_, "Relation size mismatch");
+    Relation out(n_);
+    for (std::size_t i = 0; i < bits_.size(); ++i)
+        out.bits_[i] = bits_[i] | other.bits_[i];
+    return out;
+}
+
+Relation
+Relation::operator&(const Relation &other) const
+{
+    panicIf(n_ != other.n_, "Relation size mismatch");
+    Relation out(n_);
+    for (std::size_t i = 0; i < bits_.size(); ++i)
+        out.bits_[i] = bits_[i] & other.bits_[i];
+    return out;
+}
+
+Relation
+Relation::operator-(const Relation &other) const
+{
+    panicIf(n_ != other.n_, "Relation size mismatch");
+    Relation out(n_);
+    for (std::size_t i = 0; i < bits_.size(); ++i)
+        out.bits_[i] = bits_[i] & ~other.bits_[i];
+    return out;
+}
+
+Relation
+Relation::compose(const Relation &other) const
+{
+    panicIf(n_ != other.n_, "Relation size mismatch");
+    Relation out(n_);
+    const std::size_t w = words();
+    for (EventId a = 0; a < n_; ++a) {
+        const std::uint64_t *ra = row(a);
+        std::uint64_t *ro = out.row(a);
+        for (EventId mid = 0; mid < n_; ++mid) {
+            if (!(ra[mid / 64] & (1ULL << (mid % 64))))
+                continue;
+            const std::uint64_t *rm = other.row(mid);
+            for (std::size_t i = 0; i < w; ++i)
+                ro[i] |= rm[i];
+        }
+    }
+    return out;
+}
+
+Relation
+Relation::inverse() const
+{
+    Relation out(n_);
+    for (EventId a = 0; a < n_; ++a)
+        for (EventId b = 0; b < n_; ++b)
+            if (contains(a, b))
+                out.insert(b, a);
+    return out;
+}
+
+Relation
+Relation::transitiveClosure() const
+{
+    // Floyd-Warshall over the bit matrix.
+    Relation out = *this;
+    const std::size_t w = words();
+    for (EventId mid = 0; mid < n_; ++mid) {
+        const std::uint64_t *rm = out.row(mid);
+        // Copy mid's row since we mutate rows while iterating.
+        std::vector<std::uint64_t> mid_row(rm, rm + w);
+        for (EventId a = 0; a < n_; ++a) {
+            std::uint64_t *ra = out.row(a);
+            if (ra[mid / 64] & (1ULL << (mid % 64)))
+                for (std::size_t i = 0; i < w; ++i)
+                    ra[i] |= mid_row[i];
+        }
+    }
+    return out;
+}
+
+Relation
+Relation::restrictDomain(const EventSet &dom) const
+{
+    panicIf(n_ != dom.size(), "Relation size mismatch");
+    Relation out(n_);
+    const std::size_t w = words();
+    for (EventId a = 0; a < n_; ++a) {
+        if (!dom.contains(a))
+            continue;
+        const std::uint64_t *ra = row(a);
+        std::uint64_t *ro = out.row(a);
+        for (std::size_t i = 0; i < w; ++i)
+            ro[i] = ra[i];
+    }
+    return out;
+}
+
+Relation
+Relation::restrictCodomain(const EventSet &cod) const
+{
+    panicIf(n_ != cod.size(), "Relation size mismatch");
+    Relation out(n_);
+    const std::size_t w = words();
+    for (EventId a = 0; a < n_; ++a) {
+        const std::uint64_t *ra = row(a);
+        std::uint64_t *ro = out.row(a);
+        for (std::size_t i = 0; i < w; ++i)
+            ro[i] = ra[i] & cod.bits_[i];
+    }
+    return out;
+}
+
+EventSet
+Relation::domain() const
+{
+    EventSet out(n_);
+    for (EventId a = 0; a < n_; ++a) {
+        const std::uint64_t *ra = row(a);
+        for (std::size_t i = 0; i < words(); ++i) {
+            if (ra[i]) {
+                out.insert(a);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+EventSet
+Relation::codomain() const
+{
+    EventSet out(n_);
+    for (EventId a = 0; a < n_; ++a)
+        for (EventId b = 0; b < n_; ++b)
+            if (contains(a, b))
+                out.insert(b);
+    return out;
+}
+
+bool
+Relation::irreflexive() const
+{
+    for (EventId a = 0; a < n_; ++a)
+        if (contains(a, a))
+            return false;
+    return true;
+}
+
+bool
+Relation::acyclic() const
+{
+    return transitiveClosure().irreflexive();
+}
+
+bool
+Relation::functional() const
+{
+    for (EventId a = 0; a < n_; ++a) {
+        std::size_t out_degree = 0;
+        for (std::size_t i = 0; i < words(); ++i)
+            out_degree += static_cast<std::size_t>(std::popcount(row(a)[i]));
+        if (out_degree > 1)
+            return false;
+    }
+    return true;
+}
+
+bool
+Relation::operator==(const Relation &other) const
+{
+    return n_ == other.n_ && bits_ == other.bits_;
+}
+
+} // namespace risotto::memcore

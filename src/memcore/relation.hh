@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Finite binary relations and event sets over a fixed universe of events.
+ *
+ * The 'cat'-style relational algebra of the paper's Section 5.1 is
+ * implemented directly: union, intersection, difference, composition (;),
+ * inverse, identity [A], transitive closure (+), and
+ * irreflexivity/acyclicity checks. Relations are dense bit matrices;
+ * execution graphs are tiny (tens of events), so this is both simple and
+ * fast.
+ */
+
+#ifndef RISOTTO_MEMCORE_RELATION_HH
+#define RISOTTO_MEMCORE_RELATION_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "memcore/event.hh"
+
+namespace risotto::memcore
+{
+
+/** A subset of the event universe, as a bitset. */
+class EventSet
+{
+  public:
+    EventSet() = default;
+
+    /** Empty set over a universe of @p n events. */
+    explicit EventSet(std::size_t n);
+
+    /** Universe size. */
+    std::size_t size() const { return n_; }
+
+    /** Add event @p id. */
+    void insert(EventId id);
+
+    /** Remove event @p id. */
+    void erase(EventId id);
+
+    /** Membership test. */
+    bool contains(EventId id) const;
+
+    /** Number of members. */
+    std::size_t count() const;
+
+    /** True when no member is set. */
+    bool empty() const { return count() == 0; }
+
+    /** Set union. */
+    EventSet operator|(const EventSet &other) const;
+
+    /** Set intersection. */
+    EventSet operator&(const EventSet &other) const;
+
+    /** Set difference. */
+    EventSet operator-(const EventSet &other) const;
+
+    /** Complement within the universe. */
+    EventSet complement() const;
+
+    /** Members in ascending order. */
+    std::vector<EventId> members() const;
+
+  private:
+    friend class Relation;
+    std::size_t n_ = 0;
+    std::vector<std::uint64_t> bits_;
+};
+
+/** A binary relation over a fixed universe of events. */
+class Relation
+{
+  public:
+    Relation() = default;
+
+    /** Empty relation over a universe of @p n events. */
+    explicit Relation(std::size_t n);
+
+    /** Universe size. */
+    std::size_t size() const { return n_; }
+
+    /** Add the pair (a, b). */
+    void insert(EventId a, EventId b);
+
+    /** Remove the pair (a, b). */
+    void erase(EventId a, EventId b);
+
+    /** Membership test for (a, b). */
+    bool contains(EventId a, EventId b) const;
+
+    /** True when the relation has no pairs. */
+    bool empty() const { return pairCount() == 0; }
+
+    /** Number of pairs. */
+    std::size_t pairCount() const;
+
+    /** All pairs in lexicographic order. */
+    std::vector<std::pair<EventId, EventId>> pairs() const;
+
+    /** Identity relation on @p set. */
+    static Relation identityOn(const EventSet &set);
+
+    /** Full relation A x B. */
+    static Relation cross(const EventSet &a, const EventSet &b);
+
+    /** Union. */
+    Relation operator|(const Relation &other) const;
+
+    /** Intersection. */
+    Relation operator&(const Relation &other) const;
+
+    /** Difference. */
+    Relation operator-(const Relation &other) const;
+
+    /** Relational composition: this ; other. */
+    Relation compose(const Relation &other) const;
+
+    /** Inverse relation. */
+    Relation inverse() const;
+
+    /** Transitive closure (+). */
+    Relation transitiveClosure() const;
+
+    /** Restrict to pairs whose source is in @p dom: [dom] ; this. */
+    Relation restrictDomain(const EventSet &dom) const;
+
+    /** Restrict to pairs whose target is in @p cod: this ; [cod]. */
+    Relation restrictCodomain(const EventSet &cod) const;
+
+    /** Set of sources of pairs. */
+    EventSet domain() const;
+
+    /** Set of targets of pairs. */
+    EventSet codomain() const;
+
+    /** True when no (a, a) pair exists. */
+    bool irreflexive() const;
+
+    /** True when the transitive closure is irreflexive. */
+    bool acyclic() const;
+
+    /** True when for every a at most one pair (a, b) exists. */
+    bool functional() const;
+
+    bool operator==(const Relation &other) const;
+
+  private:
+    std::size_t words() const { return (n_ + 63) / 64; }
+    std::uint64_t *row(EventId a) { return bits_.data() + a * words(); }
+    const std::uint64_t *row(EventId a) const
+    {
+        return bits_.data() + a * words();
+    }
+
+    std::size_t n_ = 0;
+    std::vector<std::uint64_t> bits_;
+};
+
+} // namespace risotto::memcore
+
+#endif // RISOTTO_MEMCORE_RELATION_HH

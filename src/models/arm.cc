@@ -1,0 +1,104 @@
+#include "models/model.hh"
+
+namespace risotto::models
+{
+
+using memcore::Access;
+using memcore::Execution;
+using memcore::EventSet;
+using memcore::FenceKind;
+using memcore::Relation;
+
+std::string
+ArmModel::name() const
+{
+    return rule_ == AmoRule::Corrected ? "arm-cats(corrected)"
+                                       : "arm-cats(original)";
+}
+
+memcore::Relation
+ArmModel::lob(const Execution &x) const
+{
+    const EventSet reads = x.reads();
+    const EventSet writes = x.writes();
+
+    auto id = [](const EventSet &s) { return Relation::identityOn(s); };
+
+    // lws: local write successor -- any memory event to a same-location
+    // po-later write.
+    const Relation lws = x.poLoc().restrictCodomain(writes);
+
+    // dob: dependency-ordered-before.
+    const Relation addr_or_data = x.addrDep | x.dataDep;
+    const Relation dob = x.addrDep | x.dataDep |
+                         x.ctrlDep.restrictCodomain(writes) |
+                         addr_or_data.compose(x.rfi()) |
+                         x.addrDep.compose(x.po).restrictCodomain(writes);
+
+    // aob: atomic-ordered-before -- rmw, plus reads-from-internal out of
+    // an exclusive write into an acquire load.
+    EventSet acq = x.accessesOf(Access::Acquire) |
+                   x.accessesOf(Access::AcquirePC);
+    const Relation aob =
+        x.rmw |
+        id(x.rmw.codomain()).compose(x.rfi()).compose(id(acq & reads));
+
+    // bob: barrier-ordered-before.
+    const Relation dmb_full = id(x.fencesOf(FenceKind::DmbFull));
+    const Relation dmb_ld = id(x.fencesOf(FenceKind::DmbLd));
+    const Relation dmb_st = id(x.fencesOf(FenceKind::DmbSt));
+    const EventSet rel = x.accessesOf(Access::Release);
+    const EventSet acq_strong = x.accessesOf(Access::Acquire);
+
+    Relation bob = x.po.compose(dmb_full).compose(x.po);
+    bob = bob | id(reads).compose(x.po).compose(dmb_ld).compose(x.po);
+    bob = bob | id(writes)
+                    .compose(x.po)
+                    .compose(dmb_st)
+                    .compose(x.po)
+                    .compose(id(writes));
+    // Release orders its po-predecessors; acquire orders its successors;
+    // release-to-acquire is ordered.
+    bob = bob | x.po.compose(id(rel & writes));
+    bob = bob | id(acq).compose(x.po);
+    bob = bob | id(rel & writes).compose(x.po).compose(id(acq_strong & reads));
+
+    // The amo clause: single-instruction acquire+release RMWs (casal).
+    const Relation a_amo_l = id(acq_strong & reads)
+                                 .compose(x.amo())
+                                 .compose(id(rel & writes));
+    if (rule_ == AmoRule::Corrected) {
+        // po ; [dom([A];amo;[L])] U [codom([A];amo;[L])] ; po:
+        // casal acts as a full barrier.
+        bob = bob | x.po.compose(id(a_amo_l.domain())) |
+              id(a_amo_l.codomain()).compose(x.po);
+    } else {
+        // Original Arm-Cats: po ; [A] ; amo ; [L] ; po -- only orders
+        // events around the RMW, not the RMW's own accesses.
+        bob = bob | x.po.compose(a_amo_l).compose(x.po);
+    }
+
+    return (lws | dob | aob | bob).transitiveClosure();
+}
+
+bool
+ArmModel::consistent(const Execution &x, std::string *why) const
+{
+    auto fail = [&](const char *axiom) {
+        if (why)
+            *why = axiom;
+        return false;
+    };
+
+    if (!scPerLoc(x))
+        return fail("internal(sc-per-loc)");
+    if (!atomicity(x))
+        return fail("atomic");
+
+    const Relation ob = x.rfe() | x.coe() | x.fre() | lob(x);
+    if (!ob.acyclic())
+        return fail("external");
+    return true;
+}
+
+} // namespace risotto::models

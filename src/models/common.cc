@@ -1,0 +1,41 @@
+#include "models/model.hh"
+
+namespace risotto::models
+{
+
+using memcore::Execution;
+using memcore::Relation;
+
+bool
+scPerLoc(const Execution &x)
+{
+    const Relation hb = x.poLoc() | x.rf | x.co | x.fr();
+    return hb.acyclic();
+}
+
+bool
+atomicity(const Execution &x)
+{
+    const Relation blocked = x.fre().compose(x.coe());
+    return (x.rmw & blocked).empty();
+}
+
+bool
+ScModel::consistent(const Execution &x, std::string *why) const
+{
+    // Interleaving semantics executes an RMW as one indivisible step.
+    if (!atomicity(x)) {
+        if (why)
+            *why = "atomicity";
+        return false;
+    }
+    const Relation hb = x.po | x.rf | x.co | x.fr();
+    if (!hb.acyclic()) {
+        if (why)
+            *why = "sc";
+        return false;
+    }
+    return true;
+}
+
+} // namespace risotto::models

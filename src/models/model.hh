@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Consistency-model interface and the axioms shared by x86, TCG IR and Arm
+ * (sc-per-loc, atomicity) per the paper's Section 5.2.
+ */
+
+#ifndef RISOTTO_MODELS_MODEL_HH
+#define RISOTTO_MODELS_MODEL_HH
+
+#include <memory>
+#include <string>
+
+#include "memcore/execution.hh"
+
+namespace risotto::models
+{
+
+/**
+ * An axiomatic consistency model: a predicate over executions.
+ *
+ * An execution that satisfies every axiom of the model is *consistent*;
+ * the consistent executions of a program define its behaviours.
+ */
+class ConsistencyModel
+{
+  public:
+    virtual ~ConsistencyModel() = default;
+
+    /** Model name, e.g. "x86-tso" or "arm-cats(corrected)". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Check whether @p x satisfies every axiom of this model.
+     *
+     * @param x a structurally well-formed execution.
+     * @param why when non-null, receives the first violated axiom's name.
+     */
+    virtual bool consistent(const memcore::Execution &x,
+                            std::string *why = nullptr) const = 0;
+};
+
+/**
+ * (sc-per-loc): (po|loc U rf U co U fr)+ is irreflexive.
+ * Enforces coherence: SC per memory location.
+ */
+bool scPerLoc(const memcore::Execution &x);
+
+/**
+ * (atomicity): rmw n (fre ; coe) is empty.
+ * No external write intervenes between the read and write of a
+ * successful RMW.
+ */
+bool atomicity(const memcore::Execution &x);
+
+/** Sequential consistency: (po U rf U co U fr) acyclic. Reference model. */
+class ScModel : public ConsistencyModel
+{
+  public:
+    std::string name() const override { return "sc"; }
+    bool consistent(const memcore::Execution &x,
+                    std::string *why = nullptr) const override;
+};
+
+/**
+ * The x86-TSO model of Section 5.2:
+ * (GHB): (implied U ppo U rfe U fr U co)+ irreflexive, with
+ * ppo = ((WxW) U (RxW) U (RxR)) n po and
+ * implied = po ; [At U F] U [At U F] ; po,  At = dom(rmw) U codom(rmw).
+ */
+class X86Model : public ConsistencyModel
+{
+  public:
+    std::string name() const override { return "x86-tso"; }
+    bool consistent(const memcore::Execution &x,
+                    std::string *why = nullptr) const override;
+};
+
+/**
+ * The proposed TCG IR model (Figure 6):
+ * (GOrd): ghb = (ord U rfe U coe U fre)+ irreflexive, with ord built from
+ * the nine directional fence rules, the SC semantics of RMW events, and
+ * Fsc ordering everything.
+ */
+class TcgModel : public ConsistencyModel
+{
+  public:
+    std::string name() const override { return "tcg-ir"; }
+    bool consistent(const memcore::Execution &x,
+                    std::string *why = nullptr) const override;
+
+    /** The ord relation of Figure 6, exposed for tests. */
+    static memcore::Relation ord(const memcore::Execution &x);
+};
+
+/**
+ * The Arm-Cats model (Figure 5):
+ * (external): ob = (rfe U coe U fre U lob)+ irreflexive, with
+ * lob = (lws U dob U aob U bob)+.
+ *
+ * Two variants of the bob clause for single-instruction RMWs (amo):
+ *  - Original:  po ; [A] ; amo ; [L] ; po
+ *  - Corrected: po ; [dom([A];amo;[L])] U [codom([A];amo;[L])] ; po
+ * The corrected variant is the strengthening the paper proposed and the
+ * Arm-Cats authors accepted, making casal act as a full barrier.
+ */
+class ArmModel : public ConsistencyModel
+{
+  public:
+    /** Which amo clause to use. */
+    enum class AmoRule
+    {
+        Original,
+        Corrected,
+    };
+
+    explicit ArmModel(AmoRule rule = AmoRule::Corrected) : rule_(rule) {}
+
+    std::string name() const override;
+    bool consistent(const memcore::Execution &x,
+                    std::string *why = nullptr) const override;
+
+    /** The lob relation, exposed for tests. */
+    memcore::Relation lob(const memcore::Execution &x) const;
+
+    AmoRule rule() const { return rule_; }
+
+  private:
+    AmoRule rule_;
+};
+
+/**
+ * A simplified RVWMO (RISC-V weak memory) model -- the extension target
+ * the paper's introduction motivates alongside Arm.
+ *
+ * Preserved program order (ppo) covers: same-address write-after-read and
+ * write-after-write ordering, RISC-V FENCE instructions with
+ * predecessor/successor sets (reusing the directional Fxy vocabulary:
+ * FENCE r,w == Frw and so on), acquire annotations ordering successors,
+ * release annotations ordering predecessors, AMO pairs, and syntactic
+ * dependencies. Consistency: (ppo U rfe U coe U fre) acyclic, plus the
+ * shared sc-per-loc and atomicity axioms.
+ */
+class RiscvModel : public ConsistencyModel
+{
+  public:
+    std::string name() const override { return "rvwmo"; }
+    bool consistent(const memcore::Execution &x,
+                    std::string *why = nullptr) const override;
+
+    /** The ppo relation, exposed for tests. */
+    static memcore::Relation ppo(const memcore::Execution &x);
+};
+
+} // namespace risotto::models
+
+#endif // RISOTTO_MODELS_MODEL_HH

@@ -1,0 +1,97 @@
+#include "models/model.hh"
+
+namespace risotto::models
+{
+
+using memcore::Access;
+using memcore::Execution;
+using memcore::EventSet;
+using memcore::FenceKind;
+using memcore::Relation;
+
+memcore::Relation
+RiscvModel::ppo(const Execution &x)
+{
+    const EventSet reads = x.reads();
+    const EventSet writes = x.writes();
+    const EventSet mem = reads | writes;
+
+    auto id = [](const EventSet &s) { return Relation::identityOn(s); };
+    auto rule = [&](const EventSet &from, FenceKind kind,
+                    const EventSet &to) {
+        return id(from)
+            .compose(x.po)
+            .compose(id(x.fencesOf(kind)))
+            .compose(x.po)
+            .compose(id(to));
+    };
+
+    Relation result(x.size());
+
+    // RVWMO ppo rules (r1-r3 simplified): same-address ordering except
+    // read-after-read.
+    const Relation po_loc = x.poLoc();
+    result = result | po_loc.restrictCodomain(writes);
+    result = result | id(writes).compose(po_loc).restrictCodomain(reads);
+
+    // FENCE pred,succ -- the directional Fxy vocabulary maps 1:1 onto
+    // RISC-V fence sets (fence r,w == Frw, fence rw,rw == Fmm, ...).
+    result = result | rule(reads, FenceKind::Frr, reads);
+    result = result | rule(reads, FenceKind::Frw, writes);
+    result = result | rule(reads, FenceKind::Frm, mem);
+    result = result | rule(writes, FenceKind::Fwr, reads);
+    result = result | rule(writes, FenceKind::Fww, writes);
+    result = result | rule(writes, FenceKind::Fwm, mem);
+    result = result | rule(mem, FenceKind::Fmr, reads);
+    result = result | rule(mem, FenceKind::Fmw, writes);
+    result = result | rule(mem, FenceKind::Fmm, mem);
+    result = result | rule(mem, FenceKind::Fsc, mem);
+
+    // Acquire/release annotations (r5-r7): acquire orders successors,
+    // release orders predecessors, RCsc release-to-acquire.
+    const EventSet acq = x.accessesOf(Access::Acquire) |
+                         x.accessesOf(Access::AcquirePC);
+    const EventSet rel = x.accessesOf(Access::Release);
+    result = result | id(acq).compose(x.po);
+    result = result | x.po.compose(id(rel));
+    result = result | id(rel).compose(x.po).compose(id(acq));
+
+    // AMO / LR-SC pairs (r8): paired accesses are ordered.
+    result = result | x.rmw;
+
+    // An AMO with both .aq and .rl set is *fully ordered* (RISC-V spec
+    // A.3.3: it behaves as if surrounded by FENCE rw,rw) -- the same
+    // strengthening the paper had to add to Arm-Cats for casal.
+    const Relation aqrl_amo = id(acq & reads)
+                                  .compose(x.amo())
+                                  .compose(id(rel & writes));
+    result = result | x.po.compose(id(aqrl_amo.domain())) |
+             id(aqrl_amo.codomain()).compose(x.po);
+
+    // Syntactic dependencies (r9-r11 simplified).
+    result = result | x.addrDep | x.dataDep |
+             x.ctrlDep.restrictCodomain(writes);
+
+    return result;
+}
+
+bool
+RiscvModel::consistent(const Execution &x, std::string *why) const
+{
+    auto fail = [&](const char *axiom) {
+        if (why)
+            *why = axiom;
+        return false;
+    };
+
+    if (!scPerLoc(x))
+        return fail("sc-per-loc");
+    if (!atomicity(x))
+        return fail("atomicity");
+    const Relation gmo = ppo(x) | x.rfe() | x.coe() | x.fre();
+    if (!gmo.acyclic())
+        return fail("rvwmo-global");
+    return true;
+}
+
+} // namespace risotto::models

@@ -1,0 +1,78 @@
+#include "models/model.hh"
+
+namespace risotto::models
+{
+
+using memcore::Access;
+using memcore::Execution;
+using memcore::EventSet;
+using memcore::FenceKind;
+using memcore::Relation;
+
+memcore::Relation
+TcgModel::ord(const Execution &x)
+{
+    const EventSet reads = x.reads();
+    const EventSet writes = x.writes();
+    const EventSet mem = reads | writes;
+
+    auto id = [](const EventSet &s) { return Relation::identityOn(s); };
+
+    // One directional rule: [from] ; po ; [F_kind] ; po ; [to].
+    auto rule = [&](const EventSet &from, FenceKind kind,
+                    const EventSet &to) {
+        const Relation f = id(x.fencesOf(kind));
+        return id(from)
+            .compose(x.po)
+            .compose(f)
+            .compose(x.po)
+            .compose(id(to));
+    };
+
+    Relation result(x.size());
+    result = result | rule(reads, FenceKind::Frr, reads);
+    result = result | rule(reads, FenceKind::Frw, writes);
+    result = result | rule(reads, FenceKind::Frm, mem);
+    result = result | rule(writes, FenceKind::Fwr, reads);
+    result = result | rule(writes, FenceKind::Fww, writes);
+    result = result | rule(writes, FenceKind::Fwm, mem);
+    result = result | rule(mem, FenceKind::Fmr, reads);
+    result = result | rule(mem, FenceKind::Fmw, writes);
+    result = result | rule(mem, FenceKind::Fmm, mem);
+
+    // RMW events follow SC semantics:
+    //   po ; [Wsc U dom(rmw)]  U  [Rsc U codom(rmw)] ; po.
+    EventSet sc_writes = x.accessesOf(Access::Sc) & writes;
+    EventSet sc_reads = x.accessesOf(Access::Sc) & reads;
+    const EventSet lead = sc_writes | x.rmw.domain();
+    const EventSet trail = sc_reads | x.rmw.codomain();
+    result = result | x.po.compose(id(lead)) | id(trail).compose(x.po);
+
+    // Fsc orders everything: po ; [Fsc] U [Fsc] ; po.
+    const Relation fsc = id(x.fencesOf(FenceKind::Fsc));
+    result = result | x.po.compose(fsc) | fsc.compose(x.po);
+
+    return result;
+}
+
+bool
+TcgModel::consistent(const Execution &x, std::string *why) const
+{
+    auto fail = [&](const char *axiom) {
+        if (why)
+            *why = axiom;
+        return false;
+    };
+
+    if (!scPerLoc(x))
+        return fail("sc-per-loc");
+    if (!atomicity(x))
+        return fail("atomicity");
+
+    const Relation ghb = ord(x) | x.rfe() | x.coe() | x.fre();
+    if (!ghb.acyclic())
+        return fail("GOrd");
+    return true;
+}
+
+} // namespace risotto::models

@@ -1,0 +1,47 @@
+#include "models/model.hh"
+
+namespace risotto::models
+{
+
+using memcore::Execution;
+using memcore::EventSet;
+using memcore::FenceKind;
+using memcore::Relation;
+
+bool
+X86Model::consistent(const Execution &x, std::string *why) const
+{
+    auto fail = [&](const char *axiom) {
+        if (why)
+            *why = axiom;
+        return false;
+    };
+
+    if (!scPerLoc(x))
+        return fail("sc-per-loc");
+    if (!atomicity(x))
+        return fail("atomicity");
+
+    const EventSet reads = x.reads();
+    const EventSet writes = x.writes();
+
+    // ppo = ((W x W) U (R x W) U (R x R)) n po: everything but store-load.
+    const Relation ppo =
+        (Relation::cross(writes, writes) | Relation::cross(reads, writes) |
+         Relation::cross(reads, reads)) &
+        x.po;
+
+    // implied = po ; [At U F] U [At U F] ; po.
+    EventSet at = x.rmw.domain() | x.rmw.codomain();
+    const EventSet fenced = at | x.fencesOf(FenceKind::MFence);
+    const Relation id_fenced = Relation::identityOn(fenced);
+    const Relation implied =
+        x.po.compose(id_fenced) | id_fenced.compose(x.po);
+
+    const Relation ghb = implied | ppo | x.rfe() | x.fr() | x.co;
+    if (!ghb.acyclic())
+        return fail("GHB");
+    return true;
+}
+
+} // namespace risotto::models

@@ -1,0 +1,109 @@
+#include "risotto/risotto.hh"
+
+#include "linker/idl.hh"
+#include "support/error.hh"
+
+namespace risotto
+{
+
+Emulator::Emulator(gx86::GuestImage image, EmulatorOptions options)
+    : image_(std::move(image)), options_(std::move(options))
+{
+    if (options_.loadStandardHostLibraries)
+        hostlib::registerAllLibraries(registry_);
+}
+
+Emulator::~Emulator() = default;
+
+void
+Emulator::addHostFunction(const std::string &name, linker::NativeFn fn)
+{
+    fatalIf(dbt_ != nullptr,
+            "host functions must be registered before the first run");
+    registry_.add(name, std::move(fn));
+}
+
+void
+Emulator::finalizeLinker()
+{
+    if (dbt_)
+        return;
+    std::string idl_text = options_.extraIdl;
+    if (options_.loadStandardHostLibraries)
+        idl_text += hostlib::fullIdl();
+    linker_ = std::make_unique<linker::HostLinker>(
+        linker::parseIdl(idl_text), registry_);
+    linker_->scanImage(image_);
+    dbt_ = std::make_unique<dbt::Dbt>(image_, options_.config,
+                                      linker_.get(), linker_.get());
+}
+
+std::vector<std::string>
+Emulator::linkedFunctions() const
+{
+    if (!linker_)
+        return {};
+    return linker_->linkedFunctions();
+}
+
+dbt::RunResult
+Emulator::run(std::size_t num_threads,
+              machine::MachineConfig machine_config)
+{
+    std::vector<dbt::ThreadSpec> threads(num_threads);
+    for (std::size_t t = 0; t < num_threads; ++t)
+        threads[t].regs[0] = t;
+    return run(threads, machine_config);
+}
+
+dbt::RunResult
+Emulator::run(const std::vector<dbt::ThreadSpec> &threads,
+              machine::MachineConfig machine_config)
+{
+    finalizeLinker();
+    return dbt_->run(threads, machine_config);
+}
+
+dbt::Dbt &
+Emulator::engine()
+{
+    finalizeLinker();
+    return *dbt_;
+}
+
+std::vector<MappingVerdict>
+verifyPipeline(mapping::X86ToTcgScheme frontend,
+               mapping::TcgToArmScheme backend,
+               mapping::RmwLowering lowering,
+               models::ArmModel::AmoRule amo_rule)
+{
+    const models::X86Model x86;
+    const models::ArmModel arm(amo_rule);
+    const std::string pipeline = mapping::schemeName(frontend) + "/" +
+                                 mapping::schemeName(backend) + "/" +
+                                 mapping::rmwLoweringName(lowering);
+
+    std::vector<MappingVerdict> out;
+    for (const litmus::LitmusTest &test : litmus::x86Corpus()) {
+        const litmus::Program target =
+            mapping::mapX86ToArm(test.program, frontend, backend, lowering);
+        const auto result =
+            litmus::checkRefinement(test.program, x86, target, arm);
+        MappingVerdict verdict;
+        verdict.test = test.program.name;
+        verdict.pipeline = pipeline;
+        verdict.refines = result.correct;
+        verdict.sourceBehaviors = result.sourceBehaviors;
+        verdict.targetBehaviors = result.targetBehaviors;
+        out.push_back(verdict);
+    }
+    return out;
+}
+
+std::string
+versionString()
+{
+    return "risotto-repro 1.0.0 (ASPLOS'23 reproduction)";
+}
+
+} // namespace risotto

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Risotto public API.
+ *
+ * One-stop facade over the full system:
+ *  - Emulator: run x86 guest binaries on the simulated weak-memory Arm
+ *    host under any of the paper's DBT variants, with the dynamic host
+ *    library linker wired up.
+ *  - Verification: Theorem-1 checking of mapping schemes and IR
+ *    transformations over the litmus corpus (the executable counterpart
+ *    of the paper's Agda proofs).
+ *
+ * See examples/quickstart.cc for a guided tour.
+ */
+
+#ifndef RISOTTO_RISOTTO_HH
+#define RISOTTO_RISOTTO_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dbt/dbt.hh"
+#include "hostlib/hostlib.hh"
+#include "linker/hostlinker.hh"
+#include "litmus/check.hh"
+#include "litmus/library.hh"
+#include "mapping/schemes.hh"
+#include "models/model.hh"
+#include "workloads/workloads.hh"
+
+namespace risotto
+{
+
+/** Options for constructing an Emulator. */
+struct EmulatorOptions
+{
+    /** DBT variant (defaults to full Risotto). */
+    dbt::DbtConfig config = dbt::DbtConfig::risotto();
+
+    /** Load the bundled host libraries (libcrypto/libsqlite/libm) into
+     * the dynamic linker. */
+    bool loadStandardHostLibraries = true;
+
+    /** Extra IDL text describing additional host-linkable functions. */
+    std::string extraIdl;
+};
+
+/**
+ * High-level emulator: guest image in, run results out.
+ *
+ * Owns the DBT engine, the host library registry and the dynamic linker;
+ * images are scanned for host-linkable imports at construction.
+ */
+class Emulator
+{
+  public:
+    Emulator(gx86::GuestImage image, EmulatorOptions options = {});
+    ~Emulator();
+
+    /** Register an additional native host function (before first run). */
+    void addHostFunction(const std::string &name, linker::NativeFn fn);
+
+    /** Names of imports resolved to host libraries. */
+    std::vector<std::string> linkedFunctions() const;
+
+    /** Run @p num_threads guest threads (thread id in guest r0). */
+    dbt::RunResult run(std::size_t num_threads = 1,
+                       machine::MachineConfig machine_config = {});
+
+    /** Run with explicit per-thread initial registers. */
+    dbt::RunResult run(const std::vector<dbt::ThreadSpec> &threads,
+                       machine::MachineConfig machine_config = {});
+
+    /** The underlying engine (stats, code buffer, ...). */
+    dbt::Dbt &engine();
+
+  private:
+    void finalizeLinker();
+
+    gx86::GuestImage image_;
+    EmulatorOptions options_;
+    linker::HostLibraryRegistry registry_;
+    std::unique_ptr<linker::HostLinker> linker_;
+    std::unique_ptr<dbt::Dbt> dbt_;
+};
+
+/** Verdict for one litmus test under one mapping pipeline. */
+struct MappingVerdict
+{
+    std::string test;
+    std::string pipeline;
+    bool refines = false; ///< Theorem 1 holds for this test.
+    std::size_t sourceBehaviors = 0;
+    std::size_t targetBehaviors = 0;
+};
+
+/**
+ * Check Theorem 1 for a full x86 -> Arm pipeline over the litmus corpus.
+ * @return one verdict per corpus test.
+ */
+std::vector<MappingVerdict>
+verifyPipeline(mapping::X86ToTcgScheme frontend,
+               mapping::TcgToArmScheme backend,
+               mapping::RmwLowering lowering,
+               models::ArmModel::AmoRule amo_rule =
+                   models::ArmModel::AmoRule::Corrected);
+
+/** Library version string. */
+std::string versionString();
+
+} // namespace risotto
+
+#endif // RISOTTO_RISOTTO_HH

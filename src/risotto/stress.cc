@@ -1,0 +1,214 @@
+#include "risotto/stress.hh"
+
+#include <sstream>
+
+#include "dbt/dbt.hh"
+#include "gx86/assembler.hh"
+#include "support/error.hh"
+
+namespace risotto
+{
+
+using gx86::Addr;
+using gx86::Assembler;
+using litmus::Instr;
+using litmus::Outcome;
+using litmus::Program;
+using litmus::Reg;
+using litmus::StoreExpr;
+using memcore::Access;
+
+namespace
+{
+
+/** One litmus location per cache line. */
+constexpr Addr LocBase = 0x0060'0000;
+/** Final register dump area: (tid * MaxRegs + reg) * 8. */
+constexpr Addr ResultBase = 0x0061'0000;
+constexpr std::size_t MaxRegs = 8;
+
+/** Litmus register -> guest register (r4..r11). */
+gx86::Reg
+guestReg(Reg r)
+{
+    fatalIf(r < 0 || r >= static_cast<Reg>(MaxRegs),
+            "stress supports litmus registers r0..r7");
+    return static_cast<gx86::Reg>(4 + r);
+}
+
+std::int32_t
+locOffset(litmus::Loc loc)
+{
+    return static_cast<std::int32_t>(loc) * 64;
+}
+
+} // namespace
+
+std::uint64_t
+StressResult::runs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[outcome, count] : histogram)
+        total += count;
+    return total;
+}
+
+bool
+StressResult::observed(const litmus::Condition &cond) const
+{
+    for (const auto &[outcome, count] : histogram)
+        if (cond.holds(outcome))
+            return true;
+    return false;
+}
+
+std::string
+StressResult::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[outcome, count] : histogram)
+        os << count << "x  " << outcome.toString() << "\n";
+    if (unfinished)
+        os << unfinished << " unfinished\n";
+    return os.str();
+}
+
+litmus::Outcome
+normalizeOutcome(const Program &program, Outcome outcome)
+{
+    outcome.regs.resize(program.threads.size());
+    for (std::size_t t = 0; t < program.threads.size(); ++t)
+        for (Reg r : program.threadRegisters(t))
+            outcome.regs[t].emplace(r, 0);
+    return outcome;
+}
+
+gx86::GuestImage
+buildStressImage(const Program &program)
+{
+    fatalIf(program.threads.size() > 8,
+            "stress supports at most 8 litmus threads");
+    Assembler a;
+
+    // Initial values for non-zero-initialized locations are written by
+    // thread 0 before a fence... simpler and race-free: bake them into
+    // the image would need data at LocBase; instead require zero inits.
+    for (const auto &[loc, val] : program.init)
+        fatalIf(val != 0, "stress requires zero-initialized locations");
+
+    a.defineSymbol("main");
+    // Dispatch on the thread id in r0.
+    std::vector<Assembler::Label> entries;
+    for (std::size_t t = 0; t < program.threads.size(); ++t)
+        entries.push_back(a.newLabel());
+    for (std::size_t t = 1; t < program.threads.size(); ++t) {
+        a.cmpri(0, static_cast<std::int32_t>(t));
+        a.jcc(gx86::Cond::Eq, entries[t]);
+    }
+    a.jmp(entries[0]);
+
+    for (std::size_t t = 0; t < program.threads.size(); ++t) {
+        a.bind(entries[t]);
+        a.movri(3, static_cast<std::int64_t>(LocBase));
+        for (const Instr &i : program.threads[t].instrs) {
+            Assembler::Label skip{};
+            const bool guarded = i.guardReg != litmus::NoReg;
+            if (guarded) {
+                skip = a.newLabel();
+                a.cmpri(guestReg(i.guardReg),
+                        static_cast<std::int32_t>(i.guardVal));
+                a.jcc(gx86::Cond::Ne, skip);
+            }
+            switch (i.kind) {
+              case Instr::Kind::Load:
+                fatalIf(i.readAccess != Access::Plain,
+                        "stress requires x86-flavoured programs");
+                a.load(guestReg(i.dst), 3, locOffset(i.loc));
+                break;
+              case Instr::Kind::Store:
+                fatalIf(i.writeAccess != Access::Plain,
+                        "stress requires x86-flavoured programs");
+                switch (i.value.kind) {
+                  case StoreExpr::Kind::Const:
+                    a.storei(3, locOffset(i.loc),
+                             static_cast<std::int32_t>(i.value.konst));
+                    break;
+                  case StoreExpr::Kind::FromReg:
+                    a.store(3, locOffset(i.loc), guestReg(i.value.reg));
+                    break;
+                  case StoreExpr::Kind::FalseDep:
+                    a.movrr(2, guestReg(i.value.reg));
+                    a.xor_(2, 2);
+                    a.store(3, locOffset(i.loc), 2);
+                    break;
+                }
+                break;
+              case Instr::Kind::Rmw:
+                // x86 LOCK CMPXCHG: expected in r0, new value in r2.
+                a.movri(0, i.expected);
+                a.movri(2, i.desired);
+                a.lockCmpxchg(3, locOffset(i.loc), 2);
+                a.movrr(guestReg(i.dst), 0);
+                break;
+              case Instr::Kind::Fence:
+                fatalIf(i.fence != memcore::FenceKind::MFence,
+                        "stress requires x86-flavoured programs");
+                a.mfence();
+                break;
+            }
+            if (guarded)
+                a.bind(skip);
+        }
+        // Dump this thread's registers to the result area.
+        a.movri(3, static_cast<std::int64_t>(ResultBase));
+        for (Reg r : program.threadRegisters(t)) {
+            const std::int32_t slot = static_cast<std::int32_t>(
+                (t * MaxRegs + static_cast<std::size_t>(r)) * 8);
+            a.store(3, slot, guestReg(r));
+        }
+        a.hlt();
+    }
+    return a.finish("main");
+}
+
+StressResult
+runStress(const Program &program, const dbt::DbtConfig &config,
+          std::uint64_t schedules, std::uint64_t first_seed)
+{
+    const gx86::GuestImage image = buildStressImage(program);
+    dbt::Dbt engine(image, config);
+
+    std::vector<dbt::ThreadSpec> threads(program.threads.size());
+    for (std::size_t t = 0; t < threads.size(); ++t)
+        threads[t].regs[0] = t;
+
+    StressResult result;
+    for (std::uint64_t s = 0; s < schedules; ++s) {
+        machine::MachineConfig mc;
+        mc.randomize = true;
+        mc.seed = first_seed + s;
+        const auto run = engine.run(threads, mc, 50'000'000);
+        if (!run.finished) {
+            ++result.unfinished;
+            continue;
+        }
+        Outcome outcome;
+        outcome.regs.resize(program.threads.size());
+        for (std::size_t t = 0; t < program.threads.size(); ++t) {
+            for (Reg r : program.threadRegisters(t)) {
+                const Addr slot =
+                    ResultBase +
+                    (t * MaxRegs + static_cast<std::size_t>(r)) * 8;
+                outcome.regs[t][r] = static_cast<litmus::Val>(
+                    run.memory->load64(slot));
+            }
+        }
+        for (litmus::Loc loc : program.locations())
+            outcome.memory[loc] = static_cast<litmus::Val>(
+                run.memory->load64(LocBase + loc * 64));
+        ++result.histogram[outcome];
+    }
+    return result;
+}
+
+} // namespace risotto

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Litmus stress running: execute a litmus test end-to-end through the
+ * DBT on the randomized weak-memory machine and histogram the observed
+ * outcomes -- the litmus7 counterpart to the axiomatic herd-style
+ * checking in litmus/enumerate.
+ *
+ * The central soundness property tying the two halves of the library
+ * together: every outcome the machine exhibits for a translated program
+ * must be allowed by the axiomatic model of the mapped program (and, for
+ * correct mappings, by the x86 model of the source).
+ */
+
+#ifndef RISOTTO_RISOTTO_STRESS_HH
+#define RISOTTO_RISOTTO_STRESS_HH
+
+#include <cstdint>
+#include <map>
+
+#include "dbt/config.hh"
+#include "gx86/image.hh"
+#include "litmus/outcome.hh"
+#include "litmus/program.hh"
+
+namespace risotto
+{
+
+/** Result of a stress run: outcome -> number of schedules observing it.*/
+struct StressResult
+{
+    std::map<litmus::Outcome, std::uint64_t> histogram;
+
+    /** Runs that hit the cycle budget (should be zero). */
+    std::uint64_t unfinished = 0;
+
+    /** Total completed runs. */
+    std::uint64_t runs() const;
+
+    /** True when some observed outcome satisfies @p cond. */
+    bool observed(const litmus::Condition &cond) const;
+
+    /** Human-readable histogram dump. */
+    std::string toString() const;
+};
+
+/**
+ * Compile @p program into a gx86 guest image: one role per litmus
+ * thread, selected by the thread id in guest r0. Registers rN of the
+ * litmus thread live in guest registers; each thread stores its final
+ * registers to a result area read back by runStress.
+ *
+ * Litmus locations are laid out one per cache line so that weak
+ * behaviours are not masked by same-line coherence.
+ */
+gx86::GuestImage buildStressImage(const litmus::Program &program);
+
+/**
+ * Normalize an outcome for comparison: ensure every destination register
+ * of @p program appears (unexecuted guarded instructions leave registers
+ * at their default 0).
+ */
+litmus::Outcome normalizeOutcome(const litmus::Program &program,
+                                 litmus::Outcome outcome);
+
+/**
+ * Run @p program through the DBT under @p config on the randomized
+ * machine for @p schedules seeds and collect the observed outcomes.
+ */
+StressResult runStress(const litmus::Program &program,
+                       const dbt::DbtConfig &config,
+                       std::uint64_t schedules = 200,
+                       std::uint64_t first_seed = 1);
+
+} // namespace risotto
+
+#endif // RISOTTO_RISOTTO_STRESS_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Error-handling primitives shared by every Risotto module.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (a bug in this library), fatal() for user-caused conditions (bad input,
+ * malformed images, invalid configuration). Both throw typed exceptions so
+ * that tests can assert on failure modes instead of aborting the process.
+ */
+
+#ifndef RISOTTO_SUPPORT_ERROR_HH
+#define RISOTTO_SUPPORT_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace risotto
+{
+
+/** Base class of all exceptions thrown by this library. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** An internal invariant was violated; indicates a bug in the library. */
+class PanicError : public Error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : Error("panic: " + msg) {}
+};
+
+/** The caller supplied invalid input or configuration. */
+class FatalError : public Error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : Error("fatal: " + msg) {}
+};
+
+/** A simulated guest program performed an illegal operation. */
+class GuestFault : public Error
+{
+  public:
+    explicit GuestFault(const std::string &msg)
+        : Error("guest fault: " + msg) {}
+};
+
+/** Throw a PanicError; never returns. */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    throw PanicError(msg);
+}
+
+/** Throw a FatalError; never returns. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+/** Panic unless @p cond holds. */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+/** Fatal unless @p cond holds. */
+inline void
+fatalIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+} // namespace risotto
+
+#endif // RISOTTO_SUPPORT_ERROR_HH

@@ -1,0 +1,72 @@
+#include "support/format.hh"
+
+#include <cctype>
+#include <iomanip>
+
+namespace risotto
+{
+
+std::string
+hexString(std::uint64_t value)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << value;
+    return os.str();
+}
+
+std::string
+fixedString(double value, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << value;
+    return os.str();
+}
+
+std::string
+padLeft(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+std::vector<std::string>
+splitString(const std::string &s, char delim, bool keep_empty)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == delim) {
+            if (keep_empty || !cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (keep_empty || !cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::string
+trimString(const std::string &s)
+{
+    std::size_t begin = 0;
+    std::size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])))
+        --end;
+    return s.substr(begin, end - begin);
+}
+
+} // namespace risotto

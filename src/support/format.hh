@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small string-formatting helpers used throughout the library.
+ */
+
+#ifndef RISOTTO_SUPPORT_FORMAT_HH
+#define RISOTTO_SUPPORT_FORMAT_HH
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace risotto
+{
+
+/** Join the string renderings of @p items with @p sep between elements. */
+template <typename Container>
+std::string
+join(const Container &items, const std::string &sep)
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &item : items) {
+        if (!first)
+            os << sep;
+        os << item;
+        first = false;
+    }
+    return os.str();
+}
+
+/** Render @p value as a 0x-prefixed hexadecimal string. */
+std::string hexString(std::uint64_t value);
+
+/** Render @p value with @p digits significant fractional digits. */
+std::string fixedString(double value, int digits);
+
+/** Left-pad @p s with spaces to at least @p width characters. */
+std::string padLeft(const std::string &s, std::size_t width);
+
+/** Right-pad @p s with spaces to at least @p width characters. */
+std::string padRight(const std::string &s, std::size_t width);
+
+/** Split @p s on @p delim, dropping empty tokens when @p keep_empty=false. */
+std::vector<std::string> splitString(const std::string &s, char delim,
+                                     bool keep_empty = false);
+
+/** Strip leading and trailing whitespace. */
+std::string trimString(const std::string &s);
+
+} // namespace risotto
+
+#endif // RISOTTO_SUPPORT_FORMAT_HH

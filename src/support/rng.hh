@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic pseudo-random source.
+ *
+ * Every stochastic component in the library (random litmus programs,
+ * machine schedulers, workload generators) draws from a SplitMix64-seeded
+ * xoshiro256** generator so that a fixed seed reproduces a run bit-for-bit.
+ */
+
+#ifndef RISOTTO_SUPPORT_RNG_HH
+#define RISOTTO_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace risotto
+{
+
+/** Deterministic 64-bit pseudo-random generator (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Construct with the given seed; equal seeds yield equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 expansion of the seed into the four state words.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw: true with probability @p numer / @p denom. */
+    bool
+    chance(std::uint64_t numer, std::uint64_t denom)
+    {
+        return below(denom) < numer;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace risotto
+
+#endif // RISOTTO_SUPPORT_RNG_HH

@@ -1,0 +1,140 @@
+#include "support/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hh"
+#include "support/format.hh"
+
+namespace risotto
+{
+
+void
+Accumulator::add(double sample)
+{
+    samples_.push_back(sample);
+}
+
+double
+Accumulator::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double s : samples_)
+        sum += s;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+Accumulator::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+Accumulator::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+Accumulator::stddev() const
+{
+    if (samples_.empty())
+        return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double s : samples_)
+        acc += (s - m) * (s - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+ReportTable::ReportTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns))
+{
+    fatalIf(columns_.empty(), "ReportTable requires at least one column");
+}
+
+void
+ReportTable::addRow(std::vector<std::string> cells)
+{
+    fatalIf(cells.size() != columns_.size(),
+            "ReportTable row width mismatch in table '" + title_ + "'");
+    rows_.push_back(std::move(cells));
+}
+
+void
+ReportTable::addRow(const std::string &label,
+                    const std::vector<double> &values, int digits)
+{
+    std::vector<std::string> cells;
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(fixedString(v, digits));
+    addRow(std::move(cells));
+}
+
+void
+ReportTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        widths[c] = columns_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    os << "== " << title_ << " ==\n";
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        os << (c ? "  " : "") << padRight(columns_[c], widths[c]);
+    os << '\n';
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        os << (c ? "  " : "") << std::string(widths[c], '-');
+    os << '\n';
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "  " : "") << padRight(row[c], widths[c]);
+        os << '\n';
+    }
+}
+
+void
+ReportTable::printCsv(std::ostream &os) const
+{
+    os << join(columns_, ",") << '\n';
+    for (const auto &row : rows_)
+        os << join(row, ",") << '\n';
+}
+
+void
+StatSet::bump(const std::string &name, std::uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+void
+StatSet::set(const std::string &name, std::uint64_t value)
+{
+    counters_[name] = value;
+}
+
+std::uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[name, value] : other.counters_)
+        counters_[name] += value;
+}
+
+} // namespace risotto

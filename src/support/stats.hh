@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Lightweight statistics and tabular report helpers.
+ *
+ * The benchmark harness prints the same rows/series as the paper's figures;
+ * ReportTable renders aligned plain-text tables and CSV for post-processing.
+ */
+
+#ifndef RISOTTO_SUPPORT_STATS_HH
+#define RISOTTO_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace risotto
+{
+
+/** Accumulates samples of a scalar metric and derives summary statistics. */
+class Accumulator
+{
+  public:
+    /** Record one sample. */
+    void add(double sample);
+
+    /** Number of samples recorded so far. */
+    std::size_t count() const { return samples_.size(); }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Minimum sample; 0 when empty. */
+    double min() const;
+
+    /** Maximum sample; 0 when empty. */
+    double max() const;
+
+    /** Population standard deviation; 0 when empty. */
+    double stddev() const;
+
+  private:
+    std::vector<double> samples_;
+};
+
+/**
+ * A named-column table that renders both as aligned text and as CSV.
+ *
+ * Used by every bench binary to print the rows/series corresponding to a
+ * paper table or figure.
+ */
+class ReportTable
+{
+  public:
+    /** Construct a table with the given title and column headers. */
+    ReportTable(std::string title, std::vector<std::string> columns);
+
+    /** Append one row; must match the number of columns. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a numeric row (first cell is a label). */
+    void addRow(const std::string &label, const std::vector<double> &values,
+                int digits = 3);
+
+    /** Render as an aligned plain-text table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header + rows). */
+    void printCsv(std::ostream &os) const;
+
+    /** Table title. */
+    const std::string &title() const { return title_; }
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Named counters bundle used by the DBT and machine to expose run stats. */
+class StatSet
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void bump(const std::string &name, std::uint64_t delta = 1);
+
+    /** Set counter @p name to @p value. */
+    void set(const std::string &name, std::uint64_t value);
+
+    /** Read counter @p name; 0 when absent. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** All counters in name order. */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+    /** Merge another set into this one (summing counters). */
+    void merge(const StatSet &other);
+
+    /** Reset all counters to empty. */
+    void clear() { counters_.clear(); }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace risotto
+
+#endif // RISOTTO_SUPPORT_STATS_HH

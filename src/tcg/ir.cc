@@ -1,0 +1,491 @@
+#include "tcg/ir.hh"
+
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace risotto::tcg
+{
+
+std::string
+helperName(HelperId id)
+{
+    switch (id) {
+      case HelperId::None: return "none";
+      case HelperId::CasHelper: return "cas_helper";
+      case HelperId::XaddHelper: return "xadd_helper";
+      case HelperId::FAdd64: return "fadd64";
+      case HelperId::FSub64: return "fsub64";
+      case HelperId::FMul64: return "fmul64";
+      case HelperId::FDiv64: return "fdiv64";
+      case HelperId::FSqrt64: return "fsqrt64";
+      case HelperId::CvtIF64: return "cvtif64";
+      case HelperId::CvtFI64: return "cvtfi64";
+      case HelperId::Syscall: return "syscall";
+      case HelperId::HostCall: return "hostcall";
+    }
+    panic("unknown helper id");
+}
+
+bool
+opLoads(Op op)
+{
+    return op == Op::Ld || op == Op::Ld8 || op == Op::Cas ||
+           op == Op::Xadd;
+}
+
+bool
+opStores(Op op)
+{
+    return op == Op::St || op == Op::St8 || op == Op::Cas ||
+           op == Op::Xadd;
+}
+
+bool
+opIsPure(Op op)
+{
+    switch (op) {
+      case Op::MovI:
+      case Op::Mov:
+      case Op::Add:
+      case Op::Sub:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Mul:
+      case Op::Shl:
+      case Op::Shr:
+      case Op::AddI:
+      case Op::SetCond:
+        return true;
+      default:
+        return false;
+    }
+}
+
+namespace
+{
+
+std::string
+tname(TempId t)
+{
+    if (t == NoTemp)
+        return "_";
+    if (t < 16)
+        return "g" + std::to_string(t);
+    if (t == TempZf)
+        return "zf";
+    if (t == TempSf)
+        return "sf";
+    return "t" + std::to_string(t);
+}
+
+} // namespace
+
+std::string
+Instr::toString() const
+{
+    std::ostringstream os;
+    auto addr = [&]() {
+        return "[" + tname(b) + (imm >= 0 ? "+" : "") +
+               std::to_string(imm) + "]";
+    };
+    switch (op) {
+      case Op::MovI:
+        os << tname(a) << " = " << imm;
+        break;
+      case Op::Mov:
+        os << tname(a) << " = " << tname(b);
+        break;
+      case Op::Ld:
+        os << tname(a) << " = ld " << addr();
+        break;
+      case Op::St:
+        os << "st " << addr() << ", " << tname(a);
+        break;
+      case Op::Ld8:
+        os << tname(a) << " = ld8 " << addr();
+        break;
+      case Op::St8:
+        os << "st8 " << addr() << ", " << tname(a);
+        break;
+      case Op::Add: os << tname(a) << " = " << tname(b) << " + " << tname(c); break;
+      case Op::Sub: os << tname(a) << " = " << tname(b) << " - " << tname(c); break;
+      case Op::And: os << tname(a) << " = " << tname(b) << " & " << tname(c); break;
+      case Op::Or:  os << tname(a) << " = " << tname(b) << " | " << tname(c); break;
+      case Op::Xor: os << tname(a) << " = " << tname(b) << " ^ " << tname(c); break;
+      case Op::Mul: os << tname(a) << " = " << tname(b) << " * " << tname(c); break;
+      case Op::Udiv: os << tname(a) << " = " << tname(b) << " / " << tname(c); break;
+      case Op::Shl:
+        os << tname(a) << " = " << tname(b) << " << " << imm;
+        break;
+      case Op::Shr:
+        os << tname(a) << " = " << tname(b) << " >> " << imm;
+        break;
+      case Op::AddI:
+        os << tname(a) << " = " << tname(b) << " + " << imm;
+        break;
+      case Op::SetCond:
+        os << tname(a) << " = (" << tname(b) << " "
+           << gx86::condName(cond) << " " << tname(c) << ")";
+        break;
+      case Op::Mb:
+        os << "mb " << memcore::fenceKindName(fence);
+        break;
+      case Op::Cas:
+        os << tname(a) << " = cas " << addr() << ", expect=" << tname(c)
+           << ", new=" << tname(d);
+        break;
+      case Op::Xadd:
+        os << tname(a) << " = xadd " << addr() << ", " << tname(d);
+        break;
+      case Op::SetLabel:
+        os << "L" << label << ":";
+        break;
+      case Op::Br:
+        os << "br L" << label;
+        break;
+      case Op::BrCond:
+        os << "brcond (" << tname(b) << " " << gx86::condName(cond) << " "
+           << tname(c) << ") L" << label;
+        break;
+      case Op::CallHelper:
+        os << tname(a) << " = call " << helperName(helper) << "("
+           << tname(b) << ", " << tname(c) << ", " << imm << ")";
+        break;
+      case Op::ExitTb:
+        if (b != NoTemp)
+            os << "exit_tb -> " << tname(b);
+        else
+            os << "exit_tb -> 0x" << std::hex << imm << std::dec;
+        break;
+      case Op::GotoTb:
+        os << "goto_tb 0x" << std::hex << imm << std::dec;
+        break;
+    }
+    return os.str();
+}
+
+std::string
+Block::toString() const
+{
+    std::ostringstream os;
+    os << "TB @ 0x" << std::hex << guestPc << std::dec << ":\n";
+    for (const Instr &i : instrs)
+        os << "  " << i.toString() << "\n";
+    return os.str();
+}
+
+/** Temps read by an instruction. */
+std::vector<TempId>
+instrReads(const Instr &i)
+{
+    std::vector<TempId> out;
+    auto push = [&](TempId t) {
+        if (t != NoTemp)
+            out.push_back(t);
+    };
+    switch (i.op) {
+      case Op::MovI:
+      case Op::SetLabel:
+      case Op::Br:
+      case Op::Mb:
+      case Op::GotoTb:
+        break;
+      case Op::Mov:
+        push(i.b);
+        break;
+      case Op::Ld:
+      case Op::Ld8:
+        push(i.b);
+        break;
+      case Op::St:
+      case Op::St8:
+        push(i.a);
+        push(i.b);
+        break;
+      case Op::Add:
+      case Op::Sub:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Mul:
+      case Op::Udiv:
+      case Op::SetCond:
+        push(i.b);
+        push(i.c);
+        break;
+      case Op::Shl:
+      case Op::Shr:
+      case Op::AddI:
+        push(i.b);
+        break;
+      case Op::BrCond:
+        push(i.b);
+        push(i.c);
+        break;
+      case Op::Cas:
+        push(i.b);
+        push(i.c);
+        push(i.d);
+        break;
+      case Op::Xadd:
+        push(i.b);
+        push(i.d);
+        break;
+      case Op::CallHelper:
+        push(i.b);
+        push(i.c);
+        break;
+      case Op::ExitTb:
+        push(i.b);
+        break;
+    }
+    return out;
+}
+
+/** Temp written by an instruction, or NoTemp. */
+TempId
+instrWrites(const Instr &i)
+{
+    switch (i.op) {
+      case Op::MovI:
+      case Op::Mov:
+      case Op::Ld:
+      case Op::Ld8:
+      case Op::Add:
+      case Op::Sub:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Mul:
+      case Op::Udiv:
+      case Op::Shl:
+      case Op::Shr:
+      case Op::AddI:
+      case Op::SetCond:
+      case Op::Cas:
+      case Op::Xadd:
+      case Op::CallHelper:
+        return i.a;
+      default:
+        return NoTemp;
+    }
+}
+
+
+namespace build
+{
+
+Instr
+movi(TempId a, std::int64_t imm)
+{
+    Instr i;
+    i.op = Op::MovI;
+    i.a = a;
+    i.imm = imm;
+    return i;
+}
+
+Instr
+mov(TempId a, TempId b)
+{
+    Instr i;
+    i.op = Op::Mov;
+    i.a = a;
+    i.b = b;
+    return i;
+}
+
+Instr
+ld(TempId a, TempId base, std::int64_t off)
+{
+    Instr i;
+    i.op = Op::Ld;
+    i.a = a;
+    i.b = base;
+    i.imm = off;
+    return i;
+}
+
+Instr
+st(TempId val, TempId base, std::int64_t off)
+{
+    Instr i;
+    i.op = Op::St;
+    i.a = val;
+    i.b = base;
+    i.imm = off;
+    return i;
+}
+
+Instr
+ld8(TempId a, TempId base, std::int64_t off)
+{
+    Instr i = ld(a, base, off);
+    i.op = Op::Ld8;
+    return i;
+}
+
+Instr
+st8(TempId val, TempId base, std::int64_t off)
+{
+    Instr i = st(val, base, off);
+    i.op = Op::St8;
+    return i;
+}
+
+Instr
+binop(Op op, TempId a, TempId b, TempId c)
+{
+    Instr i;
+    i.op = op;
+    i.a = a;
+    i.b = b;
+    i.c = c;
+    return i;
+}
+
+Instr
+addi(TempId a, TempId b, std::int64_t imm)
+{
+    Instr i;
+    i.op = Op::AddI;
+    i.a = a;
+    i.b = b;
+    i.imm = imm;
+    return i;
+}
+
+Instr
+shifti(Op op, TempId a, TempId b, std::int64_t amount)
+{
+    Instr i;
+    i.op = op;
+    i.a = a;
+    i.b = b;
+    i.imm = amount;
+    return i;
+}
+
+Instr
+setcond(gx86::Cond cond, TempId a, TempId b, TempId c)
+{
+    Instr i;
+    i.op = Op::SetCond;
+    i.cond = cond;
+    i.a = a;
+    i.b = b;
+    i.c = c;
+    return i;
+}
+
+Instr
+mb(memcore::FenceKind kind)
+{
+    Instr i;
+    i.op = Op::Mb;
+    i.fence = kind;
+    return i;
+}
+
+Instr
+cas(TempId old, TempId base, std::int64_t off, TempId expect,
+    TempId desired)
+{
+    Instr i;
+    i.op = Op::Cas;
+    i.a = old;
+    i.b = base;
+    i.imm = off;
+    i.c = expect;
+    i.d = desired;
+    return i;
+}
+
+Instr
+xadd(TempId old, TempId base, std::int64_t off, TempId addend)
+{
+    Instr i;
+    i.op = Op::Xadd;
+    i.a = old;
+    i.b = base;
+    i.imm = off;
+    i.d = addend;
+    return i;
+}
+
+Instr
+setLabel(std::int32_t label)
+{
+    Instr i;
+    i.op = Op::SetLabel;
+    i.label = label;
+    return i;
+}
+
+Instr
+br(std::int32_t label)
+{
+    Instr i;
+    i.op = Op::Br;
+    i.label = label;
+    return i;
+}
+
+Instr
+brcond(gx86::Cond cond, TempId b, TempId c, std::int32_t label)
+{
+    Instr i;
+    i.op = Op::BrCond;
+    i.cond = cond;
+    i.b = b;
+    i.c = c;
+    i.label = label;
+    return i;
+}
+
+Instr
+callHelper(HelperId id, TempId dst, TempId arg0, TempId arg1,
+           std::int64_t extra)
+{
+    Instr i;
+    i.op = Op::CallHelper;
+    i.helper = id;
+    i.a = dst;
+    i.b = arg0;
+    i.c = arg1;
+    i.imm = extra;
+    return i;
+}
+
+Instr
+exitTb(std::uint64_t next_pc)
+{
+    Instr i;
+    i.op = Op::ExitTb;
+    i.imm = static_cast<std::int64_t>(next_pc);
+    return i;
+}
+
+Instr
+exitTbDynamic(TempId pc_temp)
+{
+    Instr i;
+    i.op = Op::ExitTb;
+    i.b = pc_temp;
+    return i;
+}
+
+Instr
+gotoTb(std::uint64_t next_pc)
+{
+    Instr i;
+    i.op = Op::GotoTb;
+    i.imm = static_cast<std::int64_t>(next_pc);
+    return i;
+}
+
+} // namespace build
+
+} // namespace risotto::tcg

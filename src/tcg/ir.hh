@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The TCG-like intermediate representation.
+ *
+ * Translation blocks (TBs) are straight-line op sequences with local
+ * labels (for RMW retry loops and conditional skips), typed temporaries
+ * (globals 0..17 shadow the guest register file plus the ZF/SF flags;
+ * higher ids are block-local), the full directional fence vocabulary of
+ * the paper (Figure 6), and explicit atomic ops (Cas/Xadd) that the
+ * backend lowers per the configured scheme (helper call, inline casal, or
+ * fenced exclusive pair).
+ */
+
+#ifndef RISOTTO_TCG_IR_HH
+#define RISOTTO_TCG_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gx86/isa.hh"
+#include "memcore/event.hh"
+
+namespace risotto::tcg
+{
+
+/** Temporary id. 0..15 = guest registers, 16 = ZF, 17 = SF, rest local. */
+using TempId = std::int32_t;
+
+constexpr TempId TempZf = 16;
+constexpr TempId TempSf = 17;
+constexpr TempId FirstLocalTemp = 18;
+constexpr TempId NoTemp = -1;
+
+/** Runtime helper identifiers (the QEMU-style helper function table). */
+enum class HelperId : std::uint8_t
+{
+    None,
+    CasHelper,    ///< QEMU-style RMW helper: full-fence CAS.
+    XaddHelper,   ///< QEMU-style fetch-add helper.
+    FAdd64,       ///< Soft-float helpers (QEMU emulates FP in software).
+    FSub64,
+    FMul64,
+    FDiv64,
+    FSqrt64,
+    CvtIF64,
+    CvtFI64,
+    Syscall,      ///< Guest syscall dispatch.
+    HostCall,     ///< Dynamic host linker: call a native library function.
+};
+
+/** Name of a helper for IR dumps. */
+std::string helperName(HelperId id);
+
+/** IR opcodes. */
+enum class Op : std::uint8_t
+{
+    MovI,     ///< a <- imm
+    Mov,      ///< a <- b
+    Ld,       ///< a <- mem64[b + imm]
+    St,       ///< mem64[b + imm] <- a
+    Ld8,      ///< a <- zx(mem8[b + imm])
+    St8,      ///< mem8[b + imm] <- a (low byte)
+    Add,      ///< a <- b + c
+    Sub,      ///< a <- b - c
+    And,      ///< a <- b & c
+    Or,       ///< a <- b | c
+    Xor,      ///< a <- b ^ c
+    Mul,      ///< a <- b * c
+    Udiv,     ///< a <- b / c (unsigned; guest faults on zero)
+    Shl,      ///< a <- b << (imm & 63)
+    Shr,      ///< a <- b >> (imm & 63)
+    AddI,     ///< a <- b + imm
+    SetCond,  ///< a <- (b cond c) ? 1 : 0
+    Mb,       ///< memory fence of kind `fence`
+    Cas,      ///< a(old) <- CAS(mem[b + imm], expect=c, new=d); SC RMW
+    Xadd,     ///< a(old) <- fetch_add(mem[b + imm], d); SC RMW
+    SetLabel, ///< bind local label `label`
+    Br,       ///< unconditional branch to local label
+    BrCond,   ///< if (b cond c) branch to local label
+    CallHelper, ///< invoke helper `helper` (a=dst, b/c=args, imm=extra)
+    ExitTb,   ///< leave TB; next guest pc in imm (or temp b if b != NoTemp)
+    GotoTb,   ///< direct-chained jump to guest pc imm
+};
+
+/** One IR operation. */
+struct Instr
+{
+    Op op = Op::MovI;
+    TempId a = NoTemp;
+    TempId b = NoTemp;
+    TempId c = NoTemp;
+    TempId d = NoTemp;
+    std::int64_t imm = 0;
+    memcore::FenceKind fence = memcore::FenceKind::None;
+    gx86::Cond cond = gx86::Cond::Eq;
+    std::int32_t label = -1;
+    HelperId helper = HelperId::None;
+
+    /** Rendering, e.g. "t18 = ld [t3 + 8]". */
+    std::string toString() const;
+};
+
+/** A translation block. */
+struct Block
+{
+    /** Guest pc this block was translated from. */
+    std::uint64_t guestPc = 0;
+
+    std::vector<Instr> instrs;
+
+    /** Number of local labels allocated. */
+    std::int32_t numLabels = 0;
+
+    /** Number of temps allocated (globals included). */
+    TempId numTemps = FirstLocalTemp;
+
+    /** Allocate a fresh local temp. */
+    TempId newTemp() { return numTemps++; }
+
+    /** Allocate a fresh local label. */
+    std::int32_t newLabel() { return numLabels++; }
+
+    /** Multi-line dump. */
+    std::string toString() const;
+};
+
+/** True when the op reads guest memory. */
+bool opLoads(Op op);
+
+/** True when the op writes guest memory. */
+bool opStores(Op op);
+
+/** True when the op has no side effects beyond writing temp `a`. */
+bool opIsPure(Op op);
+
+/** Temps read by @p instr (operands, not the written destination). */
+std::vector<TempId> instrReads(const Instr &instr);
+
+/** Temp written by @p instr, or NoTemp. */
+TempId instrWrites(const Instr &instr);
+
+/** Builder helpers for constructing IR instructions tersely. */
+namespace build
+{
+
+Instr movi(TempId a, std::int64_t imm);
+Instr mov(TempId a, TempId b);
+Instr ld(TempId a, TempId base, std::int64_t off);
+Instr st(TempId val, TempId base, std::int64_t off);
+Instr ld8(TempId a, TempId base, std::int64_t off);
+Instr st8(TempId val, TempId base, std::int64_t off);
+Instr binop(Op op, TempId a, TempId b, TempId c);
+Instr addi(TempId a, TempId b, std::int64_t imm);
+Instr shifti(Op op, TempId a, TempId b, std::int64_t amount);
+Instr setcond(gx86::Cond cond, TempId a, TempId b, TempId c);
+Instr mb(memcore::FenceKind kind);
+Instr cas(TempId old, TempId base, std::int64_t off, TempId expect,
+          TempId desired);
+Instr xadd(TempId old, TempId base, std::int64_t off, TempId addend);
+Instr setLabel(std::int32_t label);
+Instr br(std::int32_t label);
+Instr brcond(gx86::Cond cond, TempId b, TempId c, std::int32_t label);
+Instr callHelper(HelperId id, TempId dst, TempId arg0, TempId arg1,
+                 std::int64_t extra = 0);
+Instr exitTb(std::uint64_t next_pc);
+Instr exitTbDynamic(TempId pc_temp);
+Instr gotoTb(std::uint64_t next_pc);
+
+} // namespace build
+
+} // namespace risotto::tcg
+
+#endif // RISOTTO_TCG_IR_HH

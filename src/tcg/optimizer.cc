@@ -1,0 +1,428 @@
+#include "tcg/optimizer.hh"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "memcore/fencealg.hh"
+
+namespace risotto::tcg
+{
+
+using memcore::FenceKind;
+
+namespace
+{
+
+std::vector<TempId>
+readTemps(const Instr &i)
+{
+    return instrReads(i);
+}
+
+TempId
+writtenTemp(const Instr &i)
+{
+    return instrWrites(i);
+}
+
+bool
+isMemoryOp(const Instr &i)
+{
+    return opLoads(i.op) || opStores(i.op) ||
+           i.op == Op::CallHelper; // Helpers may touch memory.
+}
+
+} // namespace
+
+std::size_t
+passFenceMerge(Block &block)
+{
+    std::size_t merged = 0;
+    auto &code = block.instrs;
+    std::size_t pending = code.size(); // Index of last unmerged fence.
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        Instr &instr = code[i];
+        if (instr.op == Op::Mb) {
+            if (pending == code.size()) {
+                pending = i;
+                continue;
+            }
+            // Merge this fence into the pending one; the merged fence
+            // stays at the earlier position (Section 6.1).
+            code[pending].fence =
+                memcore::mergeFences(code[pending].fence, instr.fence);
+            instr.op = Op::MovI; // Neutralize; dead-code removes below.
+            instr.a = NoTemp;
+            ++merged;
+            continue;
+        }
+        // Fences only commute with non-memory straight-line ops.
+        if (isMemoryOp(instr) || instr.op == Op::SetLabel ||
+            instr.op == Op::Br || instr.op == Op::BrCond ||
+            instr.op == Op::ExitTb || instr.op == Op::GotoTb)
+            pending = code.size();
+    }
+    // Drop the neutralized placeholders.
+    std::vector<Instr> out;
+    out.reserve(code.size());
+    for (const Instr &instr : code)
+        if (!(instr.op == Op::MovI && instr.a == NoTemp))
+            out.push_back(instr);
+    code = std::move(out);
+    return merged;
+}
+
+std::size_t
+passConstantFold(Block &block)
+{
+    std::size_t rewritten = 0;
+    std::map<TempId, std::int64_t> known;
+    std::vector<Instr> out;
+    out.reserve(block.instrs.size());
+
+    auto lookup = [&](TempId t) -> std::optional<std::int64_t> {
+        auto it = known.find(t);
+        if (it == known.end())
+            return std::nullopt;
+        return it->second;
+    };
+    auto forget = [&](TempId t) {
+        if (t != NoTemp)
+            known.erase(t);
+    };
+
+    for (Instr instr : block.instrs) {
+        switch (instr.op) {
+          case Op::SetLabel:
+            // Join point: a branch may arrive with different values.
+            known.clear();
+            out.push_back(instr);
+            continue;
+          case Op::MovI:
+            known[instr.a] = instr.imm;
+            out.push_back(instr);
+            continue;
+          case Op::Mov:
+            if (auto v = lookup(instr.b)) {
+                instr = build::movi(instr.a, *v);
+                ++rewritten;
+                known[instr.a] = instr.imm;
+            } else {
+                forget(instr.a);
+            }
+            out.push_back(instr);
+            continue;
+          case Op::Add:
+          case Op::Sub:
+          case Op::And:
+          case Op::Or:
+          case Op::Xor:
+          case Op::Mul: {
+            const auto vb = lookup(instr.b);
+            const auto vc = lookup(instr.c);
+            std::optional<std::int64_t> folded;
+            if (vb && vc) {
+                switch (instr.op) {
+                  case Op::Add: folded = *vb + *vc; break;
+                  case Op::Sub: folded = *vb - *vc; break;
+                  case Op::And: folded = *vb & *vc; break;
+                  case Op::Or: folded = *vb | *vc; break;
+                  case Op::Xor: folded = *vb ^ *vc; break;
+                  case Op::Mul: folded = *vb * *vc; break;
+                  default: break;
+                }
+            } else if (instr.op == Op::Mul &&
+                       ((vb && *vb == 0) || (vc && *vc == 0))) {
+                // False-dependency elimination: x * 0 -> 0.
+                folded = 0;
+            } else if (instr.op == Op::And &&
+                       ((vb && *vb == 0) || (vc && *vc == 0))) {
+                folded = 0;
+            } else if ((instr.op == Op::Sub || instr.op == Op::Xor) &&
+                       instr.b == instr.c) {
+                // x - x and x ^ x: statically zero, drops the dependency.
+                folded = 0;
+            }
+            if (folded) {
+                instr = build::movi(instr.a, *folded);
+                ++rewritten;
+                known[instr.a] = *folded;
+            } else {
+                forget(instr.a);
+            }
+            out.push_back(instr);
+            continue;
+          }
+          case Op::AddI:
+            if (auto v = lookup(instr.b)) {
+                instr = build::movi(instr.a, *v + instr.imm);
+                ++rewritten;
+                known[instr.a] = instr.imm;
+            } else {
+                forget(instr.a);
+            }
+            out.push_back(instr);
+            continue;
+          case Op::Shl:
+          case Op::Shr:
+            if (auto v = lookup(instr.b)) {
+                const std::int64_t folded =
+                    instr.op == Op::Shl
+                        ? static_cast<std::int64_t>(
+                              static_cast<std::uint64_t>(*v)
+                              << (instr.imm & 63))
+                        : static_cast<std::int64_t>(
+                              static_cast<std::uint64_t>(*v) >>
+                              (instr.imm & 63));
+                instr = build::movi(instr.a, folded);
+                ++rewritten;
+                known[instr.a] = folded;
+            } else {
+                forget(instr.a);
+            }
+            out.push_back(instr);
+            continue;
+          case Op::SetCond: {
+            const auto vb = lookup(instr.b);
+            const auto vc = lookup(instr.c);
+            if (vb && vc) {
+                const std::uint64_t diff =
+                    static_cast<std::uint64_t>(*vb) -
+                    static_cast<std::uint64_t>(*vc);
+                const bool zf = diff == 0;
+                const bool sf = static_cast<std::int64_t>(diff) < 0;
+                instr = build::movi(instr.a,
+                                    gx86::condHolds(instr.cond, zf, sf));
+                ++rewritten;
+                known[instr.a] = instr.imm;
+            } else {
+                forget(instr.a);
+            }
+            out.push_back(instr);
+            continue;
+          }
+          case Op::BrCond: {
+            const auto vb = lookup(instr.b);
+            const auto vc = lookup(instr.c);
+            if (vb && vc) {
+                const std::uint64_t diff =
+                    static_cast<std::uint64_t>(*vb) -
+                    static_cast<std::uint64_t>(*vc);
+                const bool zf = diff == 0;
+                const bool sf = static_cast<std::int64_t>(diff) < 0;
+                ++rewritten;
+                if (gx86::condHolds(instr.cond, zf, sf)) {
+                    out.push_back(build::br(instr.label));
+                } // Not taken: drop entirely.
+                continue;
+            }
+            out.push_back(instr);
+            continue;
+          }
+          case Op::CallHelper:
+            // Helpers access guest state directly (CPUState in QEMU):
+            // every global may be read or written by the callee.
+            for (TempId t = 0; t < FirstLocalTemp; ++t)
+                known.erase(t);
+            forget(writtenTemp(instr));
+            out.push_back(instr);
+            continue;
+          default:
+            forget(writtenTemp(instr));
+            out.push_back(instr);
+            continue;
+        }
+    }
+    block.instrs = std::move(out);
+    return rewritten;
+}
+
+std::size_t
+passMemoryElim(Block &block)
+{
+    // Precondition: the Risotto fence vocabulary (Section 4.1). With Fmr
+    // or Fwr fences present the eliminations are unsound (FMR example).
+    for (const Instr &i : block.instrs) {
+        if (i.op != Op::Mb)
+            continue;
+        switch (i.fence) {
+          case FenceKind::Frm:
+          case FenceKind::Fww:
+          case FenceKind::Fsc:
+          case FenceKind::Facq:
+          case FenceKind::Frel:
+            break;
+          default:
+            return 0;
+        }
+    }
+    // Only straight-line blocks (basic-block granularity like TCG).
+    for (const Instr &i : block.instrs)
+        if (i.op == Op::SetLabel || i.op == Op::Br || i.op == Op::BrCond)
+            return 0;
+
+    std::size_t eliminated = 0;
+    auto &code = block.instrs;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Instr first = code[i];
+        if (first.op != Op::Ld && first.op != Op::St)
+            continue;
+        // Find the next memory op, collecting fences in between and
+        // verifying no temp the rewrite depends on is clobbered.
+        std::set<FenceKind> fences;
+        bool blocked = false;
+        std::size_t j = i + 1;
+        for (; j < code.size(); ++j) {
+            const Instr &mid = code[j];
+            if (mid.op == Op::Mb) {
+                if (mid.fence != FenceKind::Facq &&
+                    mid.fence != FenceKind::Frel)
+                    fences.insert(mid.fence);
+                continue;
+            }
+            if (isMemoryOp(mid) || mid.op == Op::ExitTb ||
+                mid.op == Op::GotoTb)
+                break;
+            // Pure op: fine unless it clobbers the base or source value.
+            const TempId w = writtenTemp(mid);
+            if (w != NoTemp && (w == first.b || w == first.a)) {
+                blocked = true;
+                break;
+            }
+        }
+        if (blocked || j >= code.size())
+            continue;
+        Instr &second = code[j];
+        if ((second.op != Op::Ld && second.op != Op::St) ||
+            second.b != first.b || second.imm != first.imm)
+            continue;
+
+        auto fencesWithin = [&](std::initializer_list<FenceKind> allowed) {
+            for (FenceKind f : fences) {
+                bool ok = false;
+                for (FenceKind a : allowed)
+                    if (f == a)
+                        ok = true;
+                if (!ok)
+                    return false;
+            }
+            return true;
+        };
+
+        if (first.op == Op::Ld && second.op == Op::Ld &&
+            fencesWithin({FenceKind::Frm, FenceKind::Fww})) {
+            // (F-)RAR: the second load returns the first one's value.
+            second = build::mov(second.a, first.a);
+            ++eliminated;
+        } else if (first.op == Op::St && second.op == Op::Ld &&
+                   fencesWithin({FenceKind::Fsc, FenceKind::Fww})) {
+            // (F-)RAW: the load observes the store's value.
+            second = build::mov(second.a, first.a);
+            ++eliminated;
+        } else if (first.op == Op::St && second.op == Op::St &&
+                   fencesWithin({FenceKind::Frm, FenceKind::Fww})) {
+            // (F-)WAW: the first store is overwritten.
+            code.erase(code.begin() + static_cast<std::ptrdiff_t>(i));
+            ++eliminated;
+            --i; // Re-examine from the same position.
+        }
+    }
+    return eliminated;
+}
+
+std::size_t
+passDeadCode(Block &block)
+{
+    // Iterate backward liveness to a fixpoint (labels as join points).
+    auto &code = block.instrs;
+    std::size_t removed = 0;
+
+    bool changed = true;
+    std::map<std::int32_t, std::set<TempId>> label_live;
+    std::vector<bool> keep;
+    while (changed) {
+        changed = false;
+        std::set<TempId> live;
+        // Globals (guest registers and flags) are live at block exits.
+        auto add_globals = [&]() {
+            for (TempId t = 0; t < FirstLocalTemp; ++t)
+                live.insert(t);
+        };
+        add_globals();
+        keep.assign(code.size(), true);
+        for (std::size_t n = code.size(); n-- > 0;) {
+            const Instr &i = code[n];
+            if (i.op == Op::ExitTb || i.op == Op::GotoTb) {
+                // Fresh exit point: reset to globals-live.
+                live.clear();
+                add_globals();
+            }
+            if (i.op == Op::CallHelper) {
+                // Helpers read guest state directly (e.g. the CAS
+                // helper's expected value arrives in guest r0): all
+                // globals are live at the call.
+                add_globals();
+            }
+            if (i.op == Op::SetLabel) {
+                auto &at_label = label_live[i.label];
+                const std::size_t before = at_label.size();
+                at_label.insert(live.begin(), live.end());
+                if (at_label.size() != before)
+                    changed = true;
+                continue;
+            }
+            if (i.op == Op::Br || i.op == Op::BrCond) {
+                const auto &target = label_live[i.label];
+                live.insert(target.begin(), target.end());
+                if (i.op == Op::Br) {
+                    // Code after an unconditional branch is only reached
+                    // via labels; liveness continues from the branch
+                    // target set only.
+                }
+            }
+            const TempId w = writtenTemp(i);
+            if (opIsPure(i.op) && w != NoTemp && !live.count(w)) {
+                keep[n] = false;
+                continue;
+            }
+            if (w != NoTemp)
+                live.erase(w);
+            for (TempId r : readTemps(i))
+                live.insert(r);
+        }
+    }
+
+    std::vector<Instr> out;
+    out.reserve(code.size());
+    for (std::size_t n = 0; n < code.size(); ++n) {
+        if (keep[n])
+            out.push_back(code[n]);
+        else
+            ++removed;
+    }
+    code = std::move(out);
+    return removed;
+}
+
+void
+optimize(Block &block, const OptimizerConfig &config, StatSet *stats)
+{
+    auto bump = [&](const char *name, std::size_t n) {
+        if (stats && n)
+            stats->bump(name, n);
+    };
+    if (config.constantFolding)
+        bump("opt.constants_folded", passConstantFold(block));
+    if (config.memoryElimination)
+        bump("opt.mem_ops_eliminated", passMemoryElim(block));
+    if (config.constantFolding)
+        bump("opt.constants_folded", passConstantFold(block));
+    if (config.fenceMerging)
+        bump("opt.fences_merged", passFenceMerge(block));
+    if (config.deadCodeElimination)
+        bump("opt.dead_ops_removed", passDeadCode(block));
+}
+
+} // namespace risotto::tcg

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * TCG IR optimizer.
+ *
+ * Implements the intermediate optimizations the paper verifies
+ * (Section 5.4 and Section 6.1): fence merging, constant propagation and
+ * folding (including false-dependency elimination such as x*0 -> 0),
+ * redundant memory-access elimination with the Figure 10 side conditions,
+ * and dead-code elimination. Every pass is exposed individually for
+ * testing and ablation benchmarking.
+ */
+
+#ifndef RISOTTO_TCG_OPTIMIZER_HH
+#define RISOTTO_TCG_OPTIMIZER_HH
+
+#include "support/stats.hh"
+#include "tcg/ir.hh"
+
+namespace risotto::tcg
+{
+
+using risotto::StatSet;
+
+/** Pass toggles (ablation knobs D2 in DESIGN.md). */
+struct OptimizerConfig
+{
+    bool fenceMerging = true;
+    bool constantFolding = true;
+    bool memoryElimination = true;
+    bool deadCodeElimination = true;
+};
+
+/** Run the configured pipeline over @p block; bump counters in @p stats. */
+void optimize(Block &block, const OptimizerConfig &config,
+              StatSet *stats = nullptr);
+
+/**
+ * Merge adjacent fences separated only by non-memory ops into the weakest
+ * single fence covering both, placed at the earlier position.
+ * @return number of fences removed by merging.
+ */
+std::size_t passFenceMerge(Block &block);
+
+/**
+ * Forward constant propagation and folding; also folds x*0, x-x, x^x to
+ * constants (false-dependency elimination) and known-condition branches.
+ * @return number of instructions rewritten.
+ */
+std::size_t passConstantFold(Block &block);
+
+/**
+ * Redundant memory-access elimination (RAR/RAW/WAW and their fenced forms
+ * per Figure 10). Only applies when the block's fence vocabulary is the
+ * one the Risotto frontend generates ({Frm, Fww, Fsc, Facq, Frel}) --
+ * the precondition under which the transformations are verified.
+ * @return number of memory operations eliminated.
+ */
+std::size_t passMemoryElim(Block &block);
+
+/**
+ * Backward dead-code elimination over pure ops (loads are kept: they can
+ * fault and removing reads can weaken concurrent orderings).
+ * @return number of instructions removed.
+ */
+std::size_t passDeadCode(Block &block);
+
+} // namespace risotto::tcg
+
+#endif // RISOTTO_TCG_OPTIMIZER_HH

@@ -1,0 +1,208 @@
+#include "workloads/workloads.hh"
+
+#include "gx86/assembler.hh"
+#include "support/error.hh"
+
+namespace risotto::workloads
+{
+
+using gx86::Assembler;
+using gx86::Cond;
+using gx86::GuestImage;
+
+std::vector<WorkloadSpec>
+parsecSuite()
+{
+    // Mixes chosen so the fence share of the QEMU mapping reproduces the
+    // paper's Figure 12 spread: memory-dense kernels (freqmine, vips,
+    // fluidanimate) lose most of their time to fences, FP-dense kernels
+    // (blackscholes, swaptions) are dominated by soft-float helpers.
+    std::vector<WorkloadSpec> suite;
+    suite.push_back({"blackscholes", "parsec", 8, 2, 1, 12, 0, 1500, 64});
+    suite.push_back({"bodytrack", "parsec", 25, 5, 2, 2, 0, 2000, 64});
+    suite.push_back({"canneal", "parsec", 14, 8, 3, 0, 1, 2000, 128});
+    suite.push_back({"facesim", "parsec", 15, 4, 2, 8, 0, 1500, 64});
+    suite.push_back({"fluidanimate", "parsec", 16, 6, 4, 2, 1, 2000, 64});
+    suite.push_back({"freqmine", "parsec", 8, 8, 6, 0, 0, 2500, 128});
+    suite.push_back({"streamcluster", "parsec", 20, 7, 2, 3, 0, 2000, 64});
+    suite.push_back({"swaptions", "parsec", 10, 3, 1, 10, 0, 1500, 64});
+    suite.push_back({"vips", "parsec", 18, 5, 4, 0, 0, 2500, 64});
+    return suite;
+}
+
+std::vector<WorkloadSpec>
+phoenixSuite()
+{
+    std::vector<WorkloadSpec> suite;
+    suite.push_back({"histogram", "phoenix", 6, 4, 1, 0, 0, 2500, 64});
+    suite.push_back({"kmeans", "phoenix", 12, 5, 1, 2, 0, 2000, 64});
+    suite.push_back(
+        {"linearregression", "phoenix", 8, 3, 1, 0, 0, 2500, 64});
+    suite.push_back(
+        {"matrixmultiply", "phoenix", 10, 6, 1, 0, 0, 2000, 128});
+    suite.push_back({"pca", "phoenix", 14, 5, 2, 1, 0, 2000, 64});
+    suite.push_back({"stringmatch", "phoenix", 10, 6, 1, 0, 0, 2500, 64});
+    suite.push_back({"wordcount", "phoenix", 9, 5, 2, 0, 1, 2000, 64});
+    return suite;
+}
+
+std::vector<WorkloadSpec>
+fullSuite()
+{
+    std::vector<WorkloadSpec> suite = parsecSuite();
+    for (const WorkloadSpec &s : phoenixSuite())
+        suite.push_back(s);
+    return suite;
+}
+
+WorkloadSpec
+workloadByName(const std::string &name)
+{
+    for (const WorkloadSpec &s : fullSuite())
+        if (s.name == name)
+            return s;
+    fatal("unknown workload: " + name);
+}
+
+gx86::GuestImage
+buildGuestWorkload(const WorkloadSpec &spec)
+{
+    // Register plan: r0 tid (input), r12 int accumulator, r10/r8 FP,
+    // r13 region base, r14 loop counter, r9 scratch, r5 counter addr.
+    Assembler a(gx86::DefaultTextBase, RegionBase);
+    a.dataReserve((spec.regionWords * 8) * 64, 8); // Up to 64 threads.
+    a.defineSymbol("main");
+
+    const std::uint32_t region_bytes = spec.regionWords * 8;
+    // r13 = RegionBase + tid * region_bytes.
+    a.movrr(13, 0);
+    a.muli(13, static_cast<std::int32_t>(region_bytes));
+    a.movri(9, static_cast<std::int64_t>(RegionBase));
+    a.add(13, 9);
+    // Atomic counter on a per-thread line (synchronization is real but
+    // mostly uncontended, as in the suites themselves).
+    a.movrr(5, 0);
+    a.shli(5, 6);
+    a.movri(9, static_cast<std::int64_t>(SharedCounterAddr));
+    a.add(5, 9);
+    a.movri(12, 1);
+    a.movfd(10, 1.000001);
+    a.movfd(8, 0.999997);
+    a.movri(14, static_cast<std::int64_t>(spec.iterations));
+
+    const auto loop = a.newLabel();
+    a.bind(loop);
+    unsigned off = 0;
+    auto next_off = [&]() {
+        off = (off + 24) % (region_bytes - 8);
+        return static_cast<std::int32_t>(off);
+    };
+    for (unsigned k = 0; k < spec.loads; ++k) {
+        a.load(9, 13, next_off());
+        a.add(12, 9);
+    }
+    for (unsigned k = 0; k < spec.stores; ++k)
+        a.store(13, next_off(), 12);
+    for (unsigned k = 0; k < spec.aluOps; ++k) {
+        switch (k % 4) {
+          case 0: a.addi(12, 0x55); break;
+          case 1: a.xori(12, 0x33); break;
+          case 2: a.shli(12, 1); break;
+          case 3: a.shri(12, 1); break;
+        }
+    }
+    for (unsigned k = 0; k < spec.fpOps; ++k) {
+        if (k % 2 == 0)
+            a.fmul(10, 8);
+        else
+            a.fadd(10, 8);
+    }
+    for (unsigned k = 0; k < spec.casOps; ++k) {
+        a.movri(9, 1);
+        a.lockXadd(5, 0, 9);
+    }
+    a.subi(14, 1);
+    a.cmpri(14, 0);
+    a.jcc(Cond::Gt, loop);
+
+    // Exit with a checksum so differential tests have a value.
+    a.cvtfi(10, 10);
+    a.add(12, 10);
+    a.movrr(1, 12);
+    a.andi(1, 0xff);
+    a.movri(0, 0);
+    a.syscall();
+    return a.finish("main");
+}
+
+aarch::CodeAddr
+emitNativeWorkload(const WorkloadSpec &spec, aarch::CodeBuffer &buffer)
+{
+    using aarch::Emitter;
+    Emitter em(buffer);
+    const aarch::CodeAddr entry = em.here();
+
+    const std::uint32_t region_bytes = spec.regionWords * 8;
+    // x13 = RegionBase + tid * region_bytes; x0 = tid on entry.
+    em.movImm(9, region_bytes);
+    em.mul(13, 0, 9);
+    em.movImm(9, RegionBase);
+    em.add(13, 13, 9);
+    em.lsli(5, 0, 6);
+    em.movImm(9, SharedCounterAddr);
+    em.add(5, 5, 9);
+    em.movImm(12, 1);
+    // FP accumulators as bit patterns.
+    double init_acc = 1.000001;
+    double init_mul = 0.999997;
+    std::uint64_t acc_bits;
+    std::uint64_t mul_bits;
+    static_assert(sizeof(double) == 8);
+    __builtin_memcpy(&acc_bits, &init_acc, 8);
+    __builtin_memcpy(&mul_bits, &init_mul, 8);
+    em.movImm(10, acc_bits);
+    em.movImm(8, mul_bits);
+    em.movImm(14, spec.iterations);
+
+    const auto loop = em.newLabel();
+    em.bind(loop);
+    unsigned off = 0;
+    auto next_off = [&]() {
+        off = (off + 24) % (region_bytes - 8);
+        return static_cast<std::int32_t>(off);
+    };
+    for (unsigned k = 0; k < spec.loads; ++k) {
+        em.ldr(9, 13, next_off());
+        em.add(12, 12, 9);
+    }
+    for (unsigned k = 0; k < spec.stores; ++k)
+        em.str(12, 13, next_off());
+    for (unsigned k = 0; k < spec.aluOps; ++k) {
+        switch (k % 4) {
+          case 0: em.addi(12, 12, 0x55); break;
+          case 1:
+            em.movImm(9, 0x33);
+            em.eor(12, 12, 9);
+            break;
+          case 2: em.lsli(12, 12, 1); break;
+          case 3: em.lsri(12, 12, 1); break;
+        }
+    }
+    for (unsigned k = 0; k < spec.fpOps; ++k) {
+        if (k % 2 == 0)
+            em.fmul(10, 10, 8);
+        else
+            em.fadd(10, 10, 8);
+    }
+    for (unsigned k = 0; k < spec.casOps; ++k) {
+        em.movImm(9, 1);
+        em.ldaddal(9, 9, 5);
+    }
+    em.subi(14, 14, 1);
+    em.cbnz(14, loop);
+    em.hlt();
+    em.finish();
+    return entry;
+}
+
+} // namespace risotto::workloads

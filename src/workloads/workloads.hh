@@ -1,0 +1,78 @@
+/**
+ * @file
+ * PARSEC/Phoenix workload proxies (Figure 12's benchmark suites).
+ *
+ * Each paper benchmark is modelled as a multi-threaded kernel with a
+ * characteristic per-iteration operation mix (integer ALU, shared loads,
+ * shared stores, guest FP, atomics). The mix determines the quantity the
+ * figure measures: the share of run time attributable to memory-ordering
+ * fences under each mapping scheme. Every workload exists in two forms
+ * generated from the same spec: a gx86 guest binary (run through the
+ * DBT) and a native aarch twin (run directly on the machine) for the
+ * "native" bars.
+ */
+
+#ifndef RISOTTO_WORKLOADS_WORKLOADS_HH
+#define RISOTTO_WORKLOADS_WORKLOADS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aarch/emitter.hh"
+#include "gx86/image.hh"
+
+namespace risotto::workloads
+{
+
+/** Per-iteration operation mix of one benchmark proxy. */
+struct WorkloadSpec
+{
+    std::string name;
+    std::string suite; ///< "parsec" or "phoenix".
+
+    unsigned aluOps = 10;    ///< Integer ops per iteration.
+    unsigned loads = 4;      ///< Shared-memory loads per iteration.
+    unsigned stores = 2;     ///< Shared-memory stores per iteration.
+    unsigned fpOps = 0;      ///< Guest FP ops (soft-float under DBT).
+    unsigned casOps = 0;     ///< Atomic RMWs on a shared counter.
+    std::uint64_t iterations = 2000;
+    unsigned regionWords = 64; ///< Per-thread data region size.
+};
+
+/** The PARSEC 3.0 proxies (raytrace and x264 omitted, as in the paper).*/
+std::vector<WorkloadSpec> parsecSuite();
+
+/** The Phoenix proxies. */
+std::vector<WorkloadSpec> phoenixSuite();
+
+/** parsecSuite() followed by phoenixSuite(). */
+std::vector<WorkloadSpec> fullSuite();
+
+/** Look up a workload by name; throws FatalError when unknown. */
+WorkloadSpec workloadByName(const std::string &name);
+
+/**
+ * Build the gx86 guest binary for @p spec. Thread id arrives in guest r0;
+ * each thread works on a disjoint region and exits via the exit syscall
+ * with a checksum.
+ */
+gx86::GuestImage buildGuestWorkload(const WorkloadSpec &spec);
+
+/**
+ * Emit the native aarch twin of @p spec into @p buffer.
+ * Thread id arrives in host x0.
+ * @return the twin's entry address.
+ */
+aarch::CodeAddr emitNativeWorkload(const WorkloadSpec &spec,
+                                   aarch::CodeBuffer &buffer);
+
+/** Data-section base address used by both twins for the shared regions.*/
+constexpr std::uint64_t RegionBase = 0x0050'0000;
+
+/** Address of the shared atomic counter the casOps target. */
+constexpr std::uint64_t SharedCounterAddr = 0x004f'0000;
+
+} // namespace risotto::workloads
+
+#endif // RISOTTO_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Tests for the aarch host ISA (codec round-trips, emitter fixups) and
+ * the weak-memory machine (semantics, store buffers, exclusives, atomics,
+ * cost accounting, weak-behaviour stress).
+ */
+
+#include <gtest/gtest.h>
+
+#include "aarch/emitter.hh"
+#include "aarch/isa.hh"
+#include "gx86/memory.hh"
+#include "machine/machine.hh"
+#include "support/rng.hh"
+
+namespace
+{
+
+using namespace risotto;
+using namespace risotto::aarch;
+using machine::Machine;
+using machine::MachineConfig;
+
+TEST(AarchCodec, RoundTripRepresentativeInstructions)
+{
+    std::vector<AInstr> cases;
+    auto push = [&](AInstr i) { cases.push_back(i); };
+    {
+        AInstr i;
+        i.op = AOp::MovZ;
+        i.rd = 7;
+        i.shift = 2;
+        i.imm = 0xbeef;
+        push(i);
+    }
+    {
+        AInstr i;
+        i.op = AOp::Ldr;
+        i.rd = 3;
+        i.rn = 15;
+        i.imm = -128;
+        push(i);
+    }
+    {
+        AInstr i;
+        i.op = AOp::Stxr;
+        i.rd = 26;
+        i.rn = 4;
+        i.rm = 9;
+        push(i);
+    }
+    {
+        AInstr i;
+        i.op = AOp::Casal;
+        i.rd = 1;
+        i.rn = 2;
+        i.rm = 3;
+        push(i);
+    }
+    {
+        AInstr i;
+        i.op = AOp::Bcond;
+        i.cond = Cond::Le;
+        i.imm = -12345;
+        push(i);
+    }
+    {
+        AInstr i;
+        i.op = AOp::Dmb;
+        i.barrier = Barrier::St;
+        push(i);
+    }
+    {
+        AInstr i;
+        i.op = AOp::Helper;
+        i.helper = 9;
+        i.imm = 512;
+        push(i);
+    }
+    for (const AInstr &original : cases) {
+        const AInstr decoded = decode(encode(original));
+        EXPECT_EQ(decoded.toString(), original.toString());
+    }
+}
+
+TEST(AarchCodec, RandomRoundTrip)
+{
+    Rng rng(11);
+    const AOp pool[] = {
+        AOp::Nop, AOp::MovZ, AOp::MovK, AOp::MovRR, AOp::Ldr, AOp::Str,
+        AOp::Ldar, AOp::Stlr, AOp::Ldxr, AOp::Stxr, AOp::Cas, AOp::Casal,
+        AOp::Dmb, AOp::Add, AOp::SubI, AOp::Cmp, AOp::B, AOp::Bcond,
+        AOp::Cbz, AOp::Bl, AOp::Ret, AOp::Fadd, AOp::Helper, AOp::ExitTb,
+        AOp::Cset, AOp::Ldaddal, AOp::Ldapr,
+    };
+    for (int n = 0; n < 500; ++n) {
+        AInstr i;
+        i.op = pool[rng.below(std::size(pool))];
+        i.rd = static_cast<XReg>(rng.below(32));
+        i.rn = static_cast<XReg>(rng.below(32));
+        i.rm = static_cast<XReg>(rng.below(32));
+        i.cond = static_cast<Cond>(rng.below(6));
+        i.barrier = static_cast<Barrier>(rng.below(3));
+        i.shift = static_cast<std::uint8_t>(rng.below(4));
+        i.helper = static_cast<std::uint8_t>(rng.below(12));
+        switch (i.op) {
+          case AOp::MovZ:
+          case AOp::MovK:
+          case AOp::Helper:
+            i.imm = static_cast<std::int32_t>(rng.below(0x10000));
+            break;
+          case AOp::Ldr:
+          case AOp::Str:
+          case AOp::SubI:
+            i.imm = static_cast<std::int32_t>(rng.range(-8192, 8191));
+            break;
+          case AOp::B:
+          case AOp::Bl:
+            i.imm = static_cast<std::int32_t>(rng.range(-8000000, 8000000));
+            break;
+          case AOp::Bcond:
+            i.imm = static_cast<std::int32_t>(rng.range(-500000, 500000));
+            break;
+          case AOp::Cbz:
+            i.imm = static_cast<std::int32_t>(rng.range(-200000, 200000));
+            break;
+          case AOp::Cset:
+            i.imm = static_cast<std::int32_t>(rng.below(32));
+            break;
+          case AOp::ExitTb:
+            i.imm = static_cast<std::int32_t>(rng.below(1 << 24));
+            break;
+          default:
+            i.imm = 0;
+            break;
+        }
+        const AInstr decoded = decode(encode(i));
+        EXPECT_EQ(decoded.toString(), i.toString());
+    }
+}
+
+/** Helper to build a machine over a one-off code sequence. */
+struct HostProgram
+{
+    CodeBuffer code;
+    gx86::Memory memory;
+    Emitter em{code};
+
+    Machine
+    makeMachine(MachineConfig config = {})
+    {
+        em.finish();
+        return Machine(code, memory, config);
+    }
+};
+
+TEST(MachineExec, ArithmeticAndExit)
+{
+    HostProgram p;
+    p.em.movImm(1, 6);
+    p.em.movImm(2, 7);
+    p.em.mul(1, 1, 2);
+    p.em.movImm(0, 0); // exit syscall
+    p.em.svc();
+    Machine m = p.makeMachine();
+    m.addCore(0);
+    EXPECT_TRUE(m.run());
+    EXPECT_EQ(m.core(0).exitCode, 42);
+}
+
+TEST(MachineExec, LoopWithBranches)
+{
+    HostProgram p;
+    auto &em = p.em;
+    em.movImm(1, 0);   // acc
+    em.movImm(2, 10);  // counter
+    const auto loop = em.newLabel();
+    em.bind(loop);
+    em.add(1, 1, 2);
+    em.subi(2, 2, 1);
+    em.cbnz(2, loop);
+    em.movImm(0, 0);
+    em.svc();
+    Machine m = p.makeMachine();
+    m.addCore(0);
+    EXPECT_TRUE(m.run());
+    EXPECT_EQ(m.core(0).exitCode, 55);
+}
+
+TEST(MachineExec, MemoryAndStoreBufferDrainOnHalt)
+{
+    HostProgram p;
+    auto &em = p.em;
+    em.movImm(3, 0x400000);
+    em.movImm(4, 1234);
+    em.str(4, 3, 16);
+    em.hlt();
+    Machine m = p.makeMachine();
+    m.addCore(0);
+    EXPECT_TRUE(m.run());
+    EXPECT_EQ(p.memory.load64(0x400010), 1234u);
+}
+
+TEST(MachineExec, CasalSemantics)
+{
+    HostProgram p;
+    auto &em = p.em;
+    p.memory.store64(0x400000, 5);
+    em.movImm(3, 0x400000);
+    em.movImm(1, 5);   // expected
+    em.movImm(2, 99);  // new
+    em.casal(1, 2, 3); // succeeds; x1 <- old (5)
+    em.movImm(4, 7);   // expected (wrong)
+    em.movImm(5, 111);
+    em.casal(4, 5, 3); // fails; x4 <- 99
+    em.hlt();
+    Machine m = p.makeMachine();
+    m.addCore(0);
+    EXPECT_TRUE(m.run());
+    EXPECT_EQ(m.core(0).x[1], 5u);
+    EXPECT_EQ(m.core(0).x[4], 99u);
+    EXPECT_EQ(p.memory.load64(0x400000), 99u);
+}
+
+TEST(MachineExec, ExclusivePairSucceedsLocally)
+{
+    HostProgram p;
+    auto &em = p.em;
+    p.memory.store64(0x400000, 10);
+    em.movImm(3, 0x400000);
+    const auto retry = em.newLabel();
+    em.bind(retry);
+    em.ldxr(1, 3);
+    em.addi(2, 1, 32);
+    em.stxr(26, 2, 3);
+    em.cbnz(26, retry);
+    em.hlt();
+    Machine m = p.makeMachine();
+    m.addCore(0);
+    EXPECT_TRUE(m.run());
+    EXPECT_EQ(p.memory.load64(0x400000), 42u);
+}
+
+TEST(MachineExec, LdaddalAtomicAdd)
+{
+    HostProgram p;
+    auto &em = p.em;
+    p.memory.store64(0x400000, 40);
+    em.movImm(3, 0x400000);
+    em.movImm(2, 2);
+    em.ldaddal(1, 2, 3);
+    em.hlt();
+    Machine m = p.makeMachine();
+    m.addCore(0);
+    EXPECT_TRUE(m.run());
+    EXPECT_EQ(m.core(0).x[1], 40u);
+    EXPECT_EQ(p.memory.load64(0x400000), 42u);
+}
+
+TEST(MachineExec, StoreForwardingSeesOwnStores)
+{
+    HostProgram p;
+    auto &em = p.em;
+    em.movImm(3, 0x400000);
+    em.movImm(4, 77);
+    em.str(4, 3, 0);
+    em.ldr(5, 3, 0); // Must forward 77 even while buffered.
+    em.movImm(0, 0);
+    em.mov(1, 5);
+    em.svc();
+    MachineConfig config;
+    config.randomize = true; // Keep stores buffered longer.
+    config.seed = 3;
+    Machine m = p.makeMachine(config);
+    m.addCore(0);
+    EXPECT_TRUE(m.run());
+    EXPECT_EQ(m.core(0).exitCode, 77);
+}
+
+TEST(MachineExec, DmbCostsAccrue)
+{
+    HostProgram p;
+    auto &em = p.em;
+    em.dmb(Barrier::Full);
+    em.hlt();
+    Machine m1 = p.makeMachine();
+    m1.addCore(0);
+    m1.run();
+    const std::uint64_t with_fence = m1.core(0).cycles;
+
+    HostProgram q;
+    q.em.nop();
+    q.em.hlt();
+    Machine m2 = q.makeMachine();
+    m2.addCore(0);
+    m2.run();
+    EXPECT_GT(with_fence, m2.core(0).cycles + 20);
+}
+
+/**
+ * Weak-memory stress: two cores run the MP pattern with plain stores.
+ * Without fences the relaxed drain must (sometimes) expose the weak
+ * outcome; with DMB ISH between the stores it never appears.
+ */
+TEST(MachineWeak, MessagePassingReordersWithoutFences)
+{
+    int weak_unfenced = 0;
+    int weak_fenced = 0;
+    for (std::uint64_t seed = 0; seed < 200; ++seed) {
+        for (const bool fenced : {false, true}) {
+            CodeBuffer code;
+            gx86::Memory memory;
+            Emitter em(code);
+            // Writer at word 0.
+            const CodeAddr writer = em.here();
+            em.movImm(3, 0x400000);
+            em.movImm(4, 1);
+            em.str(4, 3, 0); // X = 1
+            if (fenced)
+                em.dmb(Barrier::Full);
+            em.str(4, 3, 8); // Y = 1
+            em.hlt();
+            // Reader.
+            const CodeAddr reader = em.here();
+            em.movImm(3, 0x400000);
+            em.ldr(5, 3, 8); // a = Y
+            if (fenced)
+                em.dmb(Barrier::Full);
+            em.ldr(6, 3, 0); // b = X
+            em.hlt();
+            em.finish();
+
+            MachineConfig config;
+            config.randomize = true;
+            config.seed = seed * 7 + 1;
+            Machine m(code, memory, config);
+            m.addCore(writer);
+            m.addCore(reader);
+            EXPECT_TRUE(m.run());
+            const bool weak =
+                m.core(1).x[5] == 1 && m.core(1).x[6] == 0;
+            if (weak)
+                (fenced ? weak_fenced : weak_unfenced)++;
+        }
+    }
+    EXPECT_GT(weak_unfenced, 0) << "relaxed machine never reordered";
+    EXPECT_EQ(weak_fenced, 0) << "DMB failed to order stores";
+}
+
+TEST(MachineWeak, ContendedCasChargesLineTransfer)
+{
+    // Two cores CAS the same location in turn; the second access must be
+    // charged a line transfer.
+    CodeBuffer code;
+    gx86::Memory memory;
+    Emitter em(code);
+    const CodeAddr entry = em.here();
+    em.movImm(3, 0x400000);
+    em.movImm(1, 0);
+    em.movImm(2, 1);
+    em.casal(1, 2, 3);
+    em.hlt();
+    em.finish();
+    Machine m(code, memory, {});
+    m.addCore(entry);
+    m.addCore(entry);
+    EXPECT_TRUE(m.run());
+    EXPECT_GE(m.stats().get("machine.line_transfers"), 1u);
+}
+
+} // namespace
+
+namespace
+{
+
+TEST(MachineTrace, HookSeesEveryRetiredInstruction)
+{
+    HostProgram p;
+    auto &em = p.em;
+    em.movImm(1, 3);
+    const auto loop = em.newLabel();
+    em.bind(loop);
+    em.subi(1, 1, 1);
+    em.cbnz(1, loop);
+    em.hlt();
+
+    std::vector<std::string> trace;
+    MachineConfig config;
+    config.trace = [&](const machine::Core &core,
+                       const risotto::aarch::AInstr &in) {
+        trace.push_back(std::to_string(core.pc) + ": " + in.toString());
+    };
+    p.em.finish();
+    Machine m(p.code, p.memory, config);
+    m.addCore(0);
+    ASSERT_TRUE(m.run());
+    EXPECT_EQ(trace.size(), m.core(0).retired);
+    // movImm, then 3x (sub, cbnz), then hlt.
+    EXPECT_EQ(trace.size(), 1u + 3 * 2 + 1u);
+    EXPECT_NE(trace.front().find("movz"), std::string::npos);
+    EXPECT_NE(trace.back().find("hlt"), std::string::npos);
+}
+
+} // namespace

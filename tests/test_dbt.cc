@@ -1,0 +1,508 @@
+/**
+ * @file
+ * End-to-end DBT tests: differential equivalence against the reference
+ * guest interpreter across all DBT variants, multi-threaded atomics,
+ * block chaining, and the end-to-end weak-memory behaviour of the
+ * translated code (no-fences shows the weak MP outcome on the relaxed
+ * machine; the verified mappings never do).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dbt/dbt.hh"
+#include "gx86/assembler.hh"
+#include "gx86/interp.hh"
+#include "support/rng.hh"
+
+namespace
+{
+
+using namespace risotto;
+using namespace risotto::gx86;
+using dbt::Dbt;
+using dbt::DbtConfig;
+using dbt::ThreadSpec;
+
+std::vector<DbtConfig>
+allConfigs()
+{
+    return {DbtConfig::qemu(), DbtConfig::qemuNoFences(),
+            DbtConfig::tcgVer(), DbtConfig::risotto()};
+}
+
+/** Run @p image single-threaded through the DBT. */
+dbt::RunResult
+runDbt(const GuestImage &image, const DbtConfig &config)
+{
+    Dbt engine(image, config);
+    return engine.run({ThreadSpec{}});
+}
+
+/** Differential check: interpreter vs every DBT variant. */
+void
+expectAllVariantsMatchInterp(const GuestImage &image,
+                             const std::vector<Addr> &probe_addrs = {})
+{
+    Interpreter interp(image);
+    const InterpResult expected = interp.run();
+    for (const DbtConfig &config : allConfigs()) {
+        const auto result = runDbt(image, config);
+        ASSERT_TRUE(result.finished) << config.name;
+        EXPECT_EQ(result.exitCodes[0], expected.exitCode) << config.name;
+        EXPECT_EQ(result.outputs[0], expected.output) << config.name;
+        for (Addr addr : probe_addrs)
+            EXPECT_EQ(result.memory->load64(addr),
+                      interp.memory().load64(addr))
+                << config.name << " @ " << addr;
+    }
+}
+
+TEST(DbtBasic, StraightLineArithmetic)
+{
+    Assembler a;
+    a.defineSymbol("main");
+    a.movri(1, 10);
+    a.movri(2, 32);
+    a.add(1, 2);
+    a.movri(0, 0);
+    a.syscall();
+    expectAllVariantsMatchInterp(a.finish("main"));
+}
+
+TEST(DbtBasic, LoopsAndBranches)
+{
+    Assembler a;
+    a.defineSymbol("main");
+    a.movri(1, 0);
+    a.movri(2, 100);
+    const auto loop = a.newLabel();
+    a.bind(loop);
+    a.add(1, 2);
+    a.subi(2, 1);
+    a.cmpri(2, 0);
+    a.jcc(Cond::Gt, loop);
+    a.movri(0, 0);
+    a.syscall();
+    expectAllVariantsMatchInterp(a.finish("main"));
+}
+
+TEST(DbtBasic, AllConditionCodes)
+{
+    // Exercise every Jcc direction on both outcomes.
+    Assembler a;
+    a.defineSymbol("main");
+    a.movri(1, 0);
+    struct Case
+    {
+        Cond cond;
+        std::int32_t lhs;
+        std::int32_t rhs;
+    };
+    const Case cases[] = {
+        {Cond::Eq, 5, 5}, {Cond::Eq, 5, 6},  {Cond::Ne, 5, 6},
+        {Cond::Ne, 5, 5}, {Cond::Lt, -1, 0}, {Cond::Lt, 1, 0},
+        {Cond::Ge, 3, 3}, {Cond::Ge, 2, 3},  {Cond::Le, 2, 3},
+        {Cond::Le, 4, 3}, {Cond::Gt, 4, 3},  {Cond::Gt, 3, 3},
+    };
+    for (const Case &c : cases) {
+        a.shli(1, 1);
+        a.movri(2, c.lhs);
+        a.cmpri(2, c.rhs);
+        const auto taken = a.newLabel();
+        const auto done = a.newLabel();
+        a.jcc(c.cond, taken);
+        a.jmp(done);
+        a.bind(taken);
+        a.ori(1, 1);
+        a.bind(done);
+    }
+    a.movri(0, 0);
+    a.syscall();
+    expectAllVariantsMatchInterp(a.finish("main"));
+}
+
+TEST(DbtBasic, MemoryLoadsAndStores)
+{
+    Assembler a;
+    const Addr arr = a.dataReserve(64);
+    a.defineSymbol("main");
+    a.movri(3, static_cast<std::int64_t>(arr));
+    for (int i = 0; i < 8; ++i) {
+        a.movri(4, i * i + 1);
+        a.store(3, i * 8, 4);
+    }
+    a.movri(1, 0);
+    for (int i = 0; i < 8; ++i) {
+        a.load(5, 3, i * 8);
+        a.add(1, 5);
+    }
+    a.movri(0, 0);
+    a.syscall();
+    expectAllVariantsMatchInterp(a.finish("main"), {arr, arr + 24});
+}
+
+TEST(DbtBasic, ByteAccesses)
+{
+    Assembler a;
+    const Addr buf = a.dataReserve(16);
+    a.defineSymbol("main");
+    a.movri(3, static_cast<std::int64_t>(buf));
+    a.movri(4, 0x1ff); // Truncates to 0xff.
+    a.store8(3, 0, 4);
+    a.load8(1, 3, 0);
+    a.movri(0, 0);
+    a.syscall();
+    expectAllVariantsMatchInterp(a.finish("main"));
+}
+
+TEST(DbtBasic, CallRetAndStack)
+{
+    Assembler a;
+    const auto over = a.newLabel();
+    a.defineSymbol("main");
+    a.jmp(over);
+    a.defineSymbol("square_plus_one");
+    a.mul(1, 1);
+    a.addi(1, 1);
+    a.ret();
+    a.bind(over);
+    a.movri(1, 6);
+    a.callSymbol("square_plus_one"); // 37
+    a.callSymbol("square_plus_one"); // 1370
+    a.movri(0, 0);
+    a.syscall();
+    expectAllVariantsMatchInterp(a.finish("main"));
+}
+
+TEST(DbtBasic, CmpxchgAndXadd)
+{
+    Assembler a;
+    const Addr slot = a.dataQuad(5);
+    const Addr counter = a.dataQuad(100);
+    a.defineSymbol("main");
+    a.movri(4, static_cast<std::int64_t>(slot));
+    // Failing then succeeding CAS.
+    a.movri(0, 3);
+    a.movri(2, 50);
+    a.lockCmpxchg(4, 0, 2); // Fails; R0 <- 5.
+    a.movri(6, 7);
+    a.lockCmpxchg(4, 0, 6); // Succeeds; slot <- 7.
+    // Fetch-add.
+    a.movri(5, static_cast<std::int64_t>(counter));
+    a.movri(7, 11);
+    a.lockXadd(5, 0, 7); // R7 <- 100, counter <- 111.
+    a.movrr(1, 7);
+    a.movri(0, 0);
+    a.syscall();
+    expectAllVariantsMatchInterp(a.finish("main"), {slot, counter});
+}
+
+TEST(DbtBasic, FloatingPointMatchesInterpreter)
+{
+    // Interpreter uses native FP; the DBT soft-float must agree bit for
+    // bit on these values.
+    Assembler a;
+    const Addr out = a.dataReserve(8);
+    a.defineSymbol("main");
+    a.movfd(1, 1.5);
+    a.movfd(2, 0.125);
+    a.fadd(1, 2);
+    a.fmul(1, 1);
+    a.movfd(3, 3.0);
+    a.fdiv(1, 3);
+    a.fsqrt(1, 1);
+    a.movri(4, static_cast<std::int64_t>(out));
+    a.store(4, 0, 1);
+    a.cvtfi(1, 1);
+    a.movri(0, 0);
+    a.syscall();
+    expectAllVariantsMatchInterp(a.finish("main"), {out});
+}
+
+TEST(DbtBasic, MfenceIsTransparentSequentially)
+{
+    Assembler a;
+    const Addr slot = a.dataQuad(0);
+    a.defineSymbol("main");
+    a.movri(3, static_cast<std::int64_t>(slot));
+    a.movri(4, 1);
+    a.store(3, 0, 4);
+    a.mfence();
+    a.load(1, 3, 0);
+    a.movri(0, 0);
+    a.syscall();
+    expectAllVariantsMatchInterp(a.finish("main"));
+}
+
+TEST(DbtBasic, SyscallOutput)
+{
+    Assembler a;
+    a.defineSymbol("main");
+    for (char ch : std::string("dbt!")) {
+        a.movri(0, 1);
+        a.movri(1, ch);
+        a.syscall();
+    }
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    expectAllVariantsMatchInterp(a.finish("main"));
+}
+
+TEST(DbtBasic, GuestLibraryFallbackThroughPlt)
+{
+    // Without a host linker, PLT calls must route to the translated
+    // guest implementation.
+    Assembler a;
+    const auto start = a.newLabel();
+    a.defineSymbol("main");
+    a.jmp(start);
+    a.importFunction("quadruple");
+    a.bindGuestImplHere("quadruple");
+    a.shli(1, 2);
+    a.ret();
+    a.bind(start);
+    a.movri(1, 11);
+    a.callImport("quadruple");
+    a.movri(0, 0);
+    a.syscall();
+    expectAllVariantsMatchInterp(a.finish("main"));
+}
+
+/** Random straight-line programs, differentially tested. */
+TEST(DbtDifferential, RandomStraightLinePrograms)
+{
+    Rng rng(99);
+    for (int iter = 0; iter < 30; ++iter) {
+        Assembler a;
+        const Addr scratch = a.dataReserve(128);
+        a.defineSymbol("main");
+        a.movri(3, static_cast<std::int64_t>(scratch));
+        for (int n = 0; n < 40; ++n) {
+            const Reg rd = static_cast<Reg>(4 + rng.below(8));
+            const Reg rs = static_cast<Reg>(4 + rng.below(8));
+            switch (rng.below(10)) {
+              case 0: a.movri(rd, static_cast<std::int64_t>(rng.next())); break;
+              case 1: a.add(rd, rs); break;
+              case 2: a.sub(rd, rs); break;
+              case 3: a.xor_(rd, rs); break;
+              case 4: a.mul(rd, rs); break;
+              case 5: a.shli(rd, static_cast<std::uint8_t>(rng.below(63))); break;
+              case 6: a.shri(rd, static_cast<std::uint8_t>(rng.below(63))); break;
+              case 7:
+                a.store(3, static_cast<std::int32_t>(rng.below(16)) * 8,
+                        rd);
+                break;
+              case 8:
+                a.load(rd, 3,
+                       static_cast<std::int32_t>(rng.below(16)) * 8);
+                break;
+              case 9: a.andi(rd, static_cast<std::int32_t>(rng.next())); break;
+            }
+        }
+        // Spill every register to memory so the check sees full state.
+        for (Reg r = 4; r < 12; ++r)
+            a.store(3, 64 + (r - 4) * 8, r);
+        a.movri(0, 0);
+        a.movri(1, 0);
+        a.syscall();
+        const GuestImage image = a.finish("main");
+        std::vector<Addr> probes;
+        for (int i = 0; i < 16; ++i)
+            probes.push_back(scratch + i * 8);
+        expectAllVariantsMatchInterp(image, probes);
+    }
+}
+
+TEST(DbtParallel, AtomicCounterWithXadd)
+{
+    Assembler a;
+    const Addr counter = a.dataQuad(0);
+    a.defineSymbol("main");
+    a.movri(4, static_cast<std::int64_t>(counter));
+    a.movri(2, 1000); // iterations
+    const auto loop = a.newLabel();
+    a.bind(loop);
+    a.movri(5, 1);
+    a.lockXadd(4, 0, 5);
+    a.subi(2, 1);
+    a.cmpri(2, 0);
+    a.jcc(Cond::Gt, loop);
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    const GuestImage image = a.finish("main");
+
+    for (const DbtConfig &config :
+         {DbtConfig::qemu(), DbtConfig::risotto()}) {
+        Dbt engine(image, config);
+        machine::MachineConfig mc;
+        mc.randomize = true;
+        mc.seed = 5;
+        const auto result =
+            engine.run({ThreadSpec{}, ThreadSpec{}, ThreadSpec{},
+                        ThreadSpec{}},
+                       mc);
+        ASSERT_TRUE(result.finished) << config.name;
+        EXPECT_EQ(result.memory->load64(counter), 4000u) << config.name;
+    }
+}
+
+TEST(DbtParallel, CasLockMutualExclusion)
+{
+    // A spinlock via LOCK CMPXCHG protecting a plain counter.
+    Assembler a;
+    const Addr lock = a.dataQuad(0);
+    const Addr value = a.dataQuad(0);
+    a.defineSymbol("main");
+    a.movri(4, static_cast<std::int64_t>(lock));
+    a.movri(5, static_cast<std::int64_t>(value));
+    a.movri(2, 200); // iterations
+    const auto loop = a.newLabel();
+    const auto acquire = a.newLabel();
+    a.bind(loop);
+    a.bind(acquire);
+    a.movri(0, 0); // expect unlocked
+    a.movri(6, 1);
+    a.lockCmpxchg(4, 0, 6);
+    a.jcc(Cond::Ne, acquire); // ZF clear => failed.
+    // Critical section: non-atomic increment.
+    a.load(7, 5, 0);
+    a.addi(7, 1);
+    a.store(5, 0, 7);
+    // Release.
+    a.movri(6, 0);
+    a.store(4, 0, 6);
+    a.subi(2, 1);
+    a.cmpri(2, 0);
+    a.jcc(Cond::Gt, loop);
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    const GuestImage image = a.finish("main");
+
+    Dbt engine(image, DbtConfig::risotto());
+    machine::MachineConfig mc;
+    mc.randomize = true;
+    mc.seed = 11;
+    const auto result = engine.run({ThreadSpec{}, ThreadSpec{}}, mc);
+    ASSERT_TRUE(result.finished);
+    EXPECT_EQ(result.memory->load64(value), 400u);
+}
+
+TEST(DbtWeak, NoFencesShowsWeakMpOutcomeVerifiedMappingsDoNot)
+{
+    // MP as a guest program: thread 0 writes X then Y; thread 1 reads Y
+    // then X (selected by guest r0 at entry).
+    Assembler a;
+    const Addr x = a.dataQuad(0);
+    const Addr y = a.dataQuad(0);
+    (void)y; // Y lives at x+8.
+    const Addr out = a.dataReserve(16);
+    a.defineSymbol("main");
+    const auto reader = a.newLabel();
+    a.movri(3, static_cast<std::int64_t>(x));
+    a.cmpri(0, 0);
+    a.jcc(Cond::Ne, reader);
+    // Writer.
+    a.movri(4, 1);
+    a.store(3, 0, 4); // X = 1
+    a.store(3, 8, 4); // Y = 1
+    a.hlt();
+    // Reader.
+    a.bind(reader);
+    a.load(5, 3, 8); // a = Y
+    a.load(6, 3, 0); // b = X
+    a.movri(7, static_cast<std::int64_t>(out));
+    a.store(7, 0, 5);
+    a.store(7, 8, 6);
+    a.hlt();
+    const GuestImage image = a.finish("main");
+
+    auto countWeak = [&](const DbtConfig &config) {
+        int weak = 0;
+        Dbt engine(image, config);
+        for (std::uint64_t seed = 1; seed <= 400; ++seed) {
+            machine::MachineConfig mc;
+            mc.randomize = true;
+            mc.seed = seed;
+            ThreadSpec writer;
+            writer.regs[0] = 0;
+            ThreadSpec rdr;
+            rdr.regs[0] = 1;
+            const auto result = engine.run({writer, rdr}, mc);
+            if (!result.finished)
+                continue;
+            const bool is_weak = result.memory->load64(out) == 1 &&
+                                 result.memory->load64(out + 8) == 0;
+            weak += is_weak ? 1 : 0;
+        }
+        return weak;
+    };
+
+    EXPECT_GT(countWeak(DbtConfig::qemuNoFences()), 0)
+        << "no-fences never exposed the weak outcome";
+    EXPECT_EQ(countWeak(DbtConfig::risotto()), 0)
+        << "verified mappings leaked a weak outcome";
+    EXPECT_EQ(countWeak(DbtConfig::qemu()), 0)
+        << "qemu full fences leaked a weak outcome";
+}
+
+TEST(DbtEngine, TbCacheAndChaining)
+{
+    Assembler a;
+    a.defineSymbol("main");
+    a.movri(1, 0);
+    a.movri(2, 50);
+    const auto loop = a.newLabel();
+    a.bind(loop);
+    a.addi(1, 3);
+    a.subi(2, 1);
+    a.cmpri(2, 0);
+    a.jcc(Cond::Gt, loop);
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    const GuestImage image = a.finish("main");
+
+    Dbt engine(image, DbtConfig::risotto());
+    const auto result = engine.run({ThreadSpec{}});
+    ASSERT_TRUE(result.finished);
+    // The loop body must be translated once and chained, so tb_exits is
+    // far below the iteration count.
+    EXPECT_LE(result.stats.get("dbt.tbs_translated"), 8u);
+    EXPECT_GE(result.stats.get("dbt.chained"), 1u);
+    EXPECT_LT(result.stats.get("machine.tb_exits"), 25u);
+}
+
+TEST(DbtEngine, FenceCountsDifferByScheme)
+{
+    // qemu lowers store fences to DMBFF; risotto to DMBST. Count the
+    // barriers actually executed.
+    Assembler a;
+    const Addr buf = a.dataReserve(64);
+    a.defineSymbol("main");
+    a.movri(3, static_cast<std::int64_t>(buf));
+    for (int i = 0; i < 6; ++i) {
+        a.movri(4, i);
+        a.store(3, 8 * i, 4);
+    }
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    const GuestImage image = a.finish("main");
+
+    const auto qemu = runDbt(image, DbtConfig::qemu());
+    const auto risotto = runDbt(image, DbtConfig::risotto());
+    const auto nofences = runDbt(image, DbtConfig::qemuNoFences());
+
+    EXPECT_GT(qemu.stats.get("machine.dmb_full"), 4u);
+    EXPECT_GT(risotto.stats.get("machine.dmb_st"), 3u);
+    EXPECT_EQ(nofences.stats.get("machine.dmb_full"), 0u);
+    EXPECT_EQ(nofences.stats.get("machine.dmb_st"), 0u);
+    // And the cycle ordering follows: no-fences < risotto < qemu.
+    EXPECT_LT(nofences.makespan, risotto.makespan);
+    EXPECT_LT(risotto.makespan, qemu.makespan);
+}
+
+} // namespace

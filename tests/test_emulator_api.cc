@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the top-level public API: the Emulator facade, custom host
+ * functions, verifyPipeline, and misuse handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gx86/assembler.hh"
+#include "risotto/risotto.hh"
+#include "support/error.hh"
+
+namespace
+{
+
+using namespace risotto;
+using gx86::Addr;
+using gx86::Assembler;
+using gx86::Cond;
+
+gx86::GuestImage
+counterImage(Addr *counter_out)
+{
+    Assembler a;
+    const Addr counter = a.dataQuad(0);
+    a.defineSymbol("main");
+    a.movri(4, static_cast<std::int64_t>(counter));
+    a.movri(5, 1);
+    a.movri(14, 100);
+    const auto loop = a.newLabel();
+    a.bind(loop);
+    a.movri(5, 1);
+    a.lockXadd(4, 0, 5);
+    a.subi(14, 1);
+    a.cmpri(14, 0);
+    a.jcc(Cond::Gt, loop);
+    a.movrr(1, 0);
+    a.movri(0, 0);
+    a.syscall();
+    *counter_out = counter;
+    return a.finish("main");
+}
+
+TEST(EmulatorApi, MultiThreadedRun)
+{
+    Addr counter = 0;
+    Emulator emulator(counterImage(&counter));
+    const auto result = emulator.run(4);
+    ASSERT_TRUE(result.finished);
+    EXPECT_EQ(result.memory->load64(counter), 400u);
+    EXPECT_EQ(result.exitCodes.size(), 4u);
+    // Thread ids arrive in guest r0 -> exit codes are 0..3.
+    for (std::size_t t = 0; t < 4; ++t)
+        EXPECT_EQ(result.exitCodes[t], static_cast<std::int64_t>(t));
+}
+
+TEST(EmulatorApi, CustomHostFunctionThroughIdl)
+{
+    Assembler a;
+    const auto start = a.newLabel();
+    a.defineSymbol("main");
+    a.jmp(start);
+    a.importFunction("popcount64");
+    a.bind(start);
+    a.movri(1, 0x5555aaaa);
+    a.callImport("popcount64");
+    a.movrr(1, 0);
+    a.movri(0, 0);
+    a.syscall();
+    const gx86::GuestImage image = a.finish("main");
+
+    EmulatorOptions options;
+    options.extraIdl = "i64 popcount64(u64);";
+    Emulator emulator(image, options);
+    emulator.addHostFunction(
+        "popcount64", [](const std::vector<std::uint64_t> &args,
+                         gx86::Memory &, std::uint64_t &cost) {
+            cost = 2;
+            return static_cast<std::uint64_t>(
+                __builtin_popcountll(args[0]));
+        });
+    const auto result = emulator.run(1);
+    ASSERT_TRUE(result.finished);
+    EXPECT_EQ(result.exitCodes[0], 16);
+    // Exactly this import resolved.
+    const auto linked = emulator.linkedFunctions();
+    ASSERT_EQ(linked.size(), 1u);
+    EXPECT_EQ(linked[0], "popcount64");
+}
+
+TEST(EmulatorApi, RegisteringAfterRunIsAnError)
+{
+    Addr counter = 0;
+    Emulator emulator(counterImage(&counter));
+    emulator.run(1);
+    EXPECT_THROW(
+        emulator.addHostFunction(
+            "late", [](const std::vector<std::uint64_t> &, gx86::Memory &,
+                       std::uint64_t &) { return 0ULL; }),
+        FatalError);
+}
+
+TEST(EmulatorApi, UnresolvedImportFaultsAtTranslation)
+{
+    Assembler a;
+    const auto start = a.newLabel();
+    a.defineSymbol("main");
+    a.jmp(start);
+    a.importFunction("nonexistent");
+    a.bind(start);
+    a.callImport("nonexistent");
+    a.hlt();
+    EmulatorOptions options;
+    options.loadStandardHostLibraries = false;
+    Emulator emulator(a.finish("main"), options);
+    EXPECT_THROW(emulator.run(1), GuestFault);
+}
+
+TEST(EmulatorApi, VerifyPipelineMatchesExpectations)
+{
+    const auto good = verifyPipeline(mapping::X86ToTcgScheme::Risotto,
+                                     mapping::TcgToArmScheme::Risotto,
+                                     mapping::RmwLowering::InlineCasal);
+    EXPECT_FALSE(good.empty());
+    for (const MappingVerdict &v : good)
+        EXPECT_TRUE(v.refines) << v.test;
+
+    const auto bad = verifyPipeline(mapping::X86ToTcgScheme::Qemu,
+                                    mapping::TcgToArmScheme::Qemu,
+                                    mapping::RmwLowering::HelperRmw2AL);
+    std::size_t violations = 0;
+    for (const MappingVerdict &v : bad)
+        violations += v.refines ? 0 : 1;
+    EXPECT_GE(violations, 2u);
+}
+
+TEST(EmulatorApi, VersionStringIsInformative)
+{
+    EXPECT_NE(versionString().find("risotto"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Tests for the gx86 guest ISA: codec round-trips, assembler fixups,
+ * image layout, and the reference interpreter's semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gx86/assembler.hh"
+#include "gx86/codec.hh"
+#include "gx86/interp.hh"
+#include "support/error.hh"
+#include "support/rng.hh"
+
+namespace
+{
+
+using namespace risotto;
+using namespace risotto::gx86;
+
+TEST(Codec, RoundTripEveryLayout)
+{
+    std::vector<Instruction> cases;
+    {
+        Instruction i;
+        i.op = Opcode::Nop;
+        cases.push_back(i);
+        i.op = Opcode::MFence;
+        cases.push_back(i);
+    }
+    {
+        Instruction i;
+        i.op = Opcode::MovRI;
+        i.rd = 7;
+        i.imm = -123456789012345;
+        cases.push_back(i);
+    }
+    {
+        Instruction i;
+        i.op = Opcode::Add;
+        i.rd = 3;
+        i.rs = 12;
+        cases.push_back(i);
+    }
+    {
+        Instruction i;
+        i.op = Opcode::Load;
+        i.rd = 5;
+        i.rb = 2;
+        i.off = -64;
+        cases.push_back(i);
+    }
+    {
+        Instruction i;
+        i.op = Opcode::Store;
+        i.rs = 9;
+        i.rb = 15;
+        i.off = 1024;
+        cases.push_back(i);
+    }
+    {
+        Instruction i;
+        i.op = Opcode::StoreI;
+        i.rb = 4;
+        i.off = 8;
+        i.imm = -7;
+        cases.push_back(i);
+    }
+    {
+        Instruction i;
+        i.op = Opcode::Jcc;
+        i.cond = Cond::Le;
+        i.off = -33;
+        cases.push_back(i);
+    }
+    {
+        Instruction i;
+        i.op = Opcode::PltCall;
+        i.sym = 513;
+        cases.push_back(i);
+    }
+    {
+        Instruction i;
+        i.op = Opcode::LockCmpxchg;
+        i.rs = 6;
+        i.rb = 1;
+        i.off = 16;
+        cases.push_back(i);
+    }
+
+    for (const Instruction &original : cases) {
+        std::vector<std::uint8_t> bytes;
+        const std::size_t len = encode(original, bytes);
+        const Instruction decoded = decode(bytes, 0);
+        EXPECT_EQ(decoded.op, original.op) << original.toString();
+        EXPECT_EQ(decoded.length, len);
+        EXPECT_EQ(decoded.toString(), original.toString());
+    }
+}
+
+TEST(Codec, RejectsTruncatedAndUnknown)
+{
+    std::vector<std::uint8_t> bytes = {
+        static_cast<std::uint8_t>(Opcode::MovRI), 0x01};
+    EXPECT_THROW(decode(bytes, 0), GuestFault);
+    bytes = {0xff};
+    EXPECT_THROW(decode(bytes, 0), GuestFault);
+}
+
+/** Property: random instruction streams decode back to themselves. */
+TEST(Codec, RandomStreamRoundTrip)
+{
+    Rng rng(7);
+    const Opcode pool[] = {
+        Opcode::Nop, Opcode::MovRI, Opcode::MovRR, Opcode::Load,
+        Opcode::Store, Opcode::StoreI, Opcode::Add, Opcode::SubI,
+        Opcode::ShlI, Opcode::CmpRR, Opcode::CmpRI, Opcode::Jmp,
+        Opcode::Jcc, Opcode::Call, Opcode::Ret, Opcode::LockCmpxchg,
+        Opcode::LockXadd, Opcode::MFence, Opcode::FAdd, Opcode::Syscall,
+        Opcode::PltCall, Opcode::Load8, Opcode::Store8,
+    };
+    for (int iter = 0; iter < 20; ++iter) {
+        std::vector<Instruction> stream;
+        std::vector<std::uint8_t> bytes;
+        for (int n = 0; n < 60; ++n) {
+            Instruction i;
+            i.op = pool[rng.below(std::size(pool))];
+            i.rd = static_cast<Reg>(rng.below(16));
+            i.rs = static_cast<Reg>(rng.below(16));
+            i.rb = static_cast<Reg>(rng.below(16));
+            i.cond = static_cast<Cond>(rng.below(6));
+            i.off = static_cast<std::int32_t>(rng.next());
+            // Immediates are 64-bit only for MovRI; other layouts carry
+            // sign-extended 32-bit fields.
+            i.imm = i.op == Opcode::MovRI
+                        ? static_cast<std::int64_t>(rng.next())
+                        : static_cast<std::int32_t>(rng.next());
+            i.sym = static_cast<std::uint16_t>(rng.below(1000));
+            stream.push_back(i);
+            encode(i, bytes);
+        }
+        std::size_t offset = 0;
+        for (const Instruction &expect : stream) {
+            const Instruction got = decode(bytes, offset);
+            EXPECT_EQ(got.toString(), expect.toString());
+            offset += got.length;
+        }
+        EXPECT_EQ(offset, bytes.size());
+    }
+}
+
+TEST(Assembler, LoopSumProgram)
+{
+    // Sum 1..10 into R1, store to data, exit with the sum.
+    Assembler a;
+    const Addr slot = a.dataQuad(0);
+    a.defineSymbol("main");
+    a.movri(1, 0);  // acc
+    a.movri(2, 10); // counter
+    const auto loop = a.newLabel();
+    a.bind(loop);
+    a.add(1, 2);
+    a.subi(2, 1);
+    a.cmpri(2, 0);
+    a.jcc(Cond::Ne, loop);
+    a.movri(3, static_cast<std::int64_t>(slot));
+    a.store(3, 0, 1);
+    a.movri(0, 0); // exit syscall
+    a.syscall();
+    const GuestImage image = a.finish("main");
+
+    Interpreter interp(image);
+    interp.setReg(1, 0);
+    // Seed exit code register after loop: exit reads R1 (= 55).
+    const InterpResult result = interp.run();
+    EXPECT_EQ(result.exitCode, 55);
+    EXPECT_EQ(interp.memory().load64(slot), 55u);
+}
+
+TEST(Assembler, ForwardBranchSkipsCode)
+{
+    Assembler a;
+    a.defineSymbol("main");
+    const auto over = a.newLabel();
+    a.movri(1, 1);
+    a.jmp(over);
+    a.movri(1, 99); // Skipped.
+    a.bind(over);
+    a.movri(0, 0);
+    a.syscall();
+    const GuestImage image = a.finish("main");
+    Interpreter interp(image);
+    EXPECT_EQ(interp.run().exitCode, 1);
+}
+
+TEST(Assembler, CallAndRet)
+{
+    Assembler a;
+    // Function first so callSymbol can resolve it.
+    const auto skip = a.newLabel();
+    a.defineSymbol("main");
+    a.jmp(skip);
+    a.defineSymbol("double_it");
+    a.add(1, 1);
+    a.ret();
+    a.bind(skip);
+    a.movri(1, 21);
+    a.callSymbol("double_it");
+    a.movri(0, 0);
+    a.syscall();
+    const GuestImage image = a.finish("main");
+    Interpreter interp(image);
+    EXPECT_EQ(interp.run().exitCode, 42);
+}
+
+TEST(Interp, CmpxchgSemantics)
+{
+    Assembler a;
+    const Addr slot = a.dataQuad(5);
+    a.defineSymbol("main");
+    a.movri(4, static_cast<std::int64_t>(slot));
+    // Failing CAS: expect 3, slot holds 5 -> R0 gets old value 5, no store.
+    a.movri(0, 3);
+    a.movri(2, 111);
+    a.lockCmpxchg(4, 0, 2);
+    a.movrr(5, 0); // R5 = old value (5).
+    // Succeeding CAS: R0 already 5 -> store 7.
+    a.movri(6, 7);
+    a.lockCmpxchg(4, 0, 6);
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    GuestImage image = a.finish("main");
+    Interpreter interp(image);
+    interp.run();
+    EXPECT_EQ(interp.reg(5), 5u);
+    EXPECT_EQ(interp.memory().load64(slot), 7u);
+}
+
+TEST(Interp, XaddSemantics)
+{
+    Assembler a;
+    const Addr slot = a.dataQuad(10);
+    a.defineSymbol("main");
+    a.movri(4, static_cast<std::int64_t>(slot));
+    a.movri(2, 32);
+    a.lockXadd(4, 0, 2);
+    a.movrr(1, 2); // old value (10) -> exit code
+    a.movri(0, 0);
+    a.syscall();
+    GuestImage image = a.finish("main");
+    Interpreter interp(image);
+    EXPECT_EQ(interp.run().exitCode, 10);
+    EXPECT_EQ(interp.memory().load64(slot), 42u);
+}
+
+TEST(Interp, FloatingPointOps)
+{
+    Assembler a;
+    a.defineSymbol("main");
+    a.movfd(1, 1.5);
+    a.movfd(2, 2.25);
+    a.fadd(1, 2);   // 3.75
+    a.fmul(1, 1);   // 14.0625
+    a.fsqrt(1, 1);  // 3.75
+    a.movfd(3, 0.75);
+    a.fsub(1, 3);   // 3.0
+    a.fdiv(1, 3);   // 4.0
+    a.cvtfi(1, 1);  // 4
+    a.movri(0, 0);
+    a.syscall();
+    GuestImage image = a.finish("main");
+    Interpreter interp(image);
+    EXPECT_EQ(interp.run().exitCode, 4);
+}
+
+TEST(Interp, PltCallUsesGuestImplementation)
+{
+    Assembler a;
+    const auto start = a.newLabel();
+    a.defineSymbol("main");
+    a.jmp(start);
+    a.importFunction("triple");
+    a.bindGuestImplHere("triple");
+    // Guest implementation: R1 *= 3.
+    a.muli(1, 3);
+    a.ret();
+    a.bind(start);
+    a.movri(1, 14);
+    a.callImport("triple");
+    a.movri(0, 0);
+    a.syscall();
+    GuestImage image = a.finish("main");
+    Interpreter interp(image);
+    EXPECT_EQ(interp.run().exitCode, 42);
+}
+
+TEST(Interp, PltCallUsesNativeHook)
+{
+    Assembler a;
+    const auto start = a.newLabel();
+    a.defineSymbol("main");
+    a.jmp(start);
+    a.importFunction("magic");
+    a.bind(start);
+    a.movri(1, 2);
+    a.callImport("magic");
+    a.movri(0, 0);
+    a.syscall();
+    GuestImage image = a.finish("main");
+    Interpreter interp(image);
+    interp.setNativeHook([](const std::string &name, auto &regs,
+                            Memory &) {
+        EXPECT_EQ(name, "magic");
+        regs[1] *= 50;
+        return true;
+    });
+    EXPECT_EQ(interp.run().exitCode, 100);
+}
+
+TEST(Interp, UnresolvedImportFaults)
+{
+    Assembler a;
+    const auto start = a.newLabel();
+    a.defineSymbol("main");
+    a.jmp(start);
+    a.importFunction("missing");
+    a.bind(start);
+    a.callImport("missing");
+    a.hlt();
+    GuestImage image = a.finish("main");
+    Interpreter interp(image);
+    EXPECT_THROW(interp.run(), GuestFault);
+}
+
+TEST(Interp, SyscallOutput)
+{
+    Assembler a;
+    a.defineSymbol("main");
+    for (char c : std::string("hi")) {
+        a.movri(0, 1);
+        a.movri(1, c);
+        a.syscall();
+    }
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    GuestImage image = a.finish("main");
+    Interpreter interp(image);
+    EXPECT_EQ(interp.run().output, "hi");
+}
+
+TEST(Image, DisassemblyAndSymbolLookup)
+{
+    Assembler a;
+    a.defineSymbol("main");
+    a.movri(1, 7);
+    a.hlt();
+    GuestImage image = a.finish("main");
+    EXPECT_TRUE(image.symbolAddr("main").has_value());
+    EXPECT_FALSE(image.symbolAddr("nope").has_value());
+    const std::string dis = image.disassemble();
+    EXPECT_NE(dis.find("main:"), std::string::npos);
+    EXPECT_NE(dis.find("mov r1, 7"), std::string::npos);
+    EXPECT_NE(dis.find("hlt"), std::string::npos);
+}
+
+} // namespace

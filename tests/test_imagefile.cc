@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the RISO on-disk image format: byte-level round-trips,
+ * malformed-input rejection, and file I/O through a real emulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "gx86/assembler.hh"
+#include "gx86/imagefile.hh"
+#include "gx86/interp.hh"
+#include "support/error.hh"
+
+namespace
+{
+
+using namespace risotto;
+using namespace risotto::gx86;
+
+GuestImage
+sampleImage()
+{
+    Assembler a;
+    a.dataQuad(0xdeadbeef);
+    const auto start = a.newLabel();
+    a.defineSymbol("main");
+    a.jmp(start);
+    a.importFunction("helper_fn");
+    a.bindGuestImplHere("helper_fn");
+    a.muli(1, 2);
+    a.ret();
+    a.bind(start);
+    a.movri(1, 21);
+    a.callImport("helper_fn");
+    a.movri(0, 0);
+    a.syscall();
+    return a.finish("main");
+}
+
+TEST(ImageFile, RoundTripPreservesEverything)
+{
+    const GuestImage original = sampleImage();
+    const GuestImage copy =
+        deserializeImage(serializeImage(original));
+    EXPECT_EQ(copy.textBase, original.textBase);
+    EXPECT_EQ(copy.dataBase, original.dataBase);
+    EXPECT_EQ(copy.entry, original.entry);
+    EXPECT_EQ(copy.text, original.text);
+    EXPECT_EQ(copy.data, original.data);
+    ASSERT_EQ(copy.symbols.size(), original.symbols.size());
+    for (std::size_t i = 0; i < copy.symbols.size(); ++i) {
+        EXPECT_EQ(copy.symbols[i].name, original.symbols[i].name);
+        EXPECT_EQ(copy.symbols[i].addr, original.symbols[i].addr);
+    }
+    ASSERT_EQ(copy.dynsym.size(), original.dynsym.size());
+    for (std::size_t i = 0; i < copy.dynsym.size(); ++i) {
+        EXPECT_EQ(copy.dynsym[i].name, original.dynsym[i].name);
+        EXPECT_EQ(copy.dynsym[i].pltAddr, original.dynsym[i].pltAddr);
+        EXPECT_EQ(copy.dynsym[i].guestImpl, original.dynsym[i].guestImpl);
+    }
+}
+
+TEST(ImageFile, DeserializedImageStillRuns)
+{
+    const GuestImage copy =
+        deserializeImage(serializeImage(sampleImage()));
+    Interpreter interp(copy);
+    EXPECT_EQ(interp.run().exitCode, 42);
+}
+
+TEST(ImageFile, RejectsCorruptInput)
+{
+    std::vector<std::uint8_t> bytes = serializeImage(sampleImage());
+    // Bad magic.
+    auto bad_magic = bytes;
+    bad_magic[0] ^= 0xff;
+    EXPECT_THROW(deserializeImage(bad_magic), FatalError);
+    // Truncated.
+    auto truncated = bytes;
+    truncated.resize(truncated.size() / 2);
+    EXPECT_THROW(deserializeImage(truncated), FatalError);
+    // Trailing garbage.
+    auto trailing = bytes;
+    trailing.push_back(0x42);
+    EXPECT_THROW(deserializeImage(trailing), FatalError);
+    // Empty.
+    EXPECT_THROW(deserializeImage({}), FatalError);
+}
+
+TEST(ImageFile, SaveAndLoadFile)
+{
+    const std::string path = "/tmp/risotto_imagefile_test.riso";
+    const GuestImage original = sampleImage();
+    saveImage(original, path);
+    const GuestImage loaded = loadImage(path);
+    EXPECT_EQ(loaded.text, original.text);
+    Interpreter interp(loaded);
+    EXPECT_EQ(interp.run().exitCode, 42);
+    std::remove(path.c_str());
+    EXPECT_THROW(loadImage(path), FatalError);
+}
+
+} // namespace

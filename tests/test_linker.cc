@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Tests for the dynamic host linker (Section 6.2): IDL parsing, .dynsym
+ * scanning, marshalling, differential equality between host-linked and
+ * translated-guest executions of the same library functions, and the
+ * performance ordering the linker exists to provide.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "dbt/dbt.hh"
+#include "gx86/assembler.hh"
+#include "hostlib/hostlib.hh"
+#include "linker/hostlinker.hh"
+#include "linker/idl.hh"
+#include "support/error.hh"
+
+namespace
+{
+
+using namespace risotto;
+using namespace risotto::gx86;
+using namespace risotto::linker;
+using dbt::Dbt;
+using dbt::DbtConfig;
+using dbt::ThreadSpec;
+
+TEST(Idl, ParsesPrototypes)
+{
+    const auto sigs = parseIdl("# comment\n"
+                               "double sin(double);\n"
+                               "u64 md5(ptr, i64);\n"
+                               "void notify(void);\n"
+                               "i64 answer();\n");
+    ASSERT_EQ(sigs.size(), 4u);
+    EXPECT_EQ(sigs[0].toString(), "double sin(double)");
+    EXPECT_EQ(sigs[1].toString(), "u64 md5(ptr, i64)");
+    EXPECT_EQ(sigs[2].toString(), "void notify()");
+    EXPECT_EQ(sigs[3].args.size(), 0u);
+}
+
+TEST(Idl, RejectsGarbage)
+{
+    EXPECT_THROW(parseIdl("double sin"), FatalError);
+    EXPECT_THROW(parseIdl("mystery sin(double);"), FatalError);
+    EXPECT_THROW(parseIdl("double (double);"), FatalError);
+}
+
+TEST(Idl, FullLibraryIdlParses)
+{
+    const auto sigs = parseIdl(hostlib::fullIdl());
+    EXPECT_GE(sigs.size(), 15u);
+}
+
+TEST(HostLinker, ScanFindsOnlyDescribedAndAvailable)
+{
+    HostLibraryRegistry registry;
+    hostlib::registerMathLibrary(registry);
+
+    Assembler a;
+    a.defineSymbol("main");
+    a.hlt();
+    a.importFunction("sin");       // Described + available.
+    a.importFunction("mystery");   // Not described.
+    a.importFunction("md5");       // Described but library not loaded.
+    const GuestImage image = a.finish("main");
+
+    HostLinker linker(parseIdl(hostlib::fullIdl()), registry);
+    EXPECT_EQ(linker.scanImage(image), 1u);
+    EXPECT_TRUE(linker.resolve("sin").has_value());
+    EXPECT_FALSE(linker.resolve("mystery").has_value());
+    EXPECT_FALSE(linker.resolve("md5").has_value());
+}
+
+/** Build an image that digests a buffer through `fn` and stores r0. */
+GuestImage
+digestImage(const std::string &fn, std::size_t len, Addr *out_addr,
+            Addr *buf_addr)
+{
+    Assembler a;
+    const Addr out = a.dataReserve(8);
+    std::vector<std::uint8_t> buf(len);
+    for (std::size_t i = 0; i < len; ++i)
+        buf[i] = static_cast<std::uint8_t>(i * 131 + 17);
+    const Addr data = a.dataBytes(buf);
+    const auto start = a.newLabel();
+    a.defineSymbol("main");
+    a.jmp(start);
+    hostlib::emitGuestCryptoLibrary(a);
+    a.bind(start);
+    a.movri(1, static_cast<std::int64_t>(data));
+    a.movri(2, static_cast<std::int64_t>(len));
+    a.callImport(fn);
+    a.movri(3, static_cast<std::int64_t>(out));
+    a.store(3, 0, 0);
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    *out_addr = out;
+    *buf_addr = data;
+    return a.finish("main");
+}
+
+TEST(HostLinker, DigestsMatchBetweenLinkedAndTranslated)
+{
+    HostLibraryRegistry registry;
+    hostlib::registerAllLibraries(registry);
+    const auto idl = parseIdl(hostlib::fullIdl());
+
+    for (const std::string fn : {"md5", "sha1", "sha256"}) {
+        Addr out = 0;
+        Addr buf = 0;
+        const GuestImage image = digestImage(fn, 256, &out, &buf);
+
+        // Reference value.
+        std::vector<std::uint8_t> data(256);
+        for (std::size_t i = 0; i < data.size(); ++i)
+            data[i] = static_cast<std::uint8_t>(i * 131 + 17);
+        std::uint64_t expected = 0;
+        if (fn == "md5")
+            expected = hostlib::referenceMd5(data.data(), data.size());
+        else if (fn == "sha1")
+            expected = hostlib::referenceSha1(data.data(), data.size());
+        else
+            expected = hostlib::referenceSha256(data.data(), data.size());
+
+        // Translated guest library (tcg-ver: linker off).
+        Dbt translated(image, DbtConfig::tcgVer());
+        const auto guest_result = translated.run({ThreadSpec{}});
+        ASSERT_TRUE(guest_result.finished);
+        EXPECT_EQ(guest_result.memory->load64(out), expected) << fn;
+
+        // Host-linked native library.
+        HostLinker linker(idl, registry);
+        ASSERT_GE(linker.scanImage(image), 1u);
+        Dbt linked(image, DbtConfig::risotto(), &linker, &linker);
+        const auto host_result = linked.run({ThreadSpec{}});
+        ASSERT_TRUE(host_result.finished);
+        EXPECT_EQ(host_result.memory->load64(out), expected) << fn;
+
+        // And the whole point: the linked run is much faster.
+        EXPECT_LT(host_result.makespan, guest_result.makespan) << fn;
+    }
+}
+
+TEST(HostLinker, RsaTwinsMatch)
+{
+    HostLibraryRegistry registry;
+    hostlib::registerAllLibraries(registry);
+    const auto idl = parseIdl(hostlib::fullIdl());
+
+    for (const bool sign : {true, false}) {
+        Assembler a;
+        const Addr out = a.dataReserve(8);
+        const auto start = a.newLabel();
+        a.defineSymbol("main");
+        a.jmp(start);
+        hostlib::emitGuestCryptoLibrary(a);
+        a.bind(start);
+        a.movri(1, 0x123456789);
+        a.movri(2, 128); // iteration parameter ("bits")
+        a.callImport(sign ? "rsa_sign" : "rsa_verify");
+        a.movri(3, static_cast<std::int64_t>(out));
+        a.store(3, 0, 0);
+        a.movri(0, 0);
+        a.movri(1, 0);
+        a.syscall();
+        const GuestImage image = a.finish("main");
+
+        const std::uint64_t expected =
+            hostlib::referenceModExp(0x123456789, 128, sign);
+
+        Dbt translated(image, DbtConfig::tcgVer());
+        EXPECT_EQ(translated.run({ThreadSpec{}}).memory->load64(out),
+                  expected);
+
+        HostLinker linker(idl, registry);
+        linker.scanImage(image);
+        Dbt linked(image, DbtConfig::risotto(), &linker, &linker);
+        EXPECT_EQ(linked.run({ThreadSpec{}}).memory->load64(out),
+                  expected);
+    }
+}
+
+TEST(HostLinker, SqliteTwinsMatch)
+{
+    HostLibraryRegistry registry;
+    hostlib::registerAllLibraries(registry);
+    const auto idl = parseIdl(hostlib::fullIdl());
+
+    Assembler a;
+    const Addr out = a.dataReserve(8);
+    const std::size_t table_len = 64;
+    const Addr table = a.dataReserve(table_len * 8);
+    const auto start = a.newLabel();
+    a.defineSymbol("main");
+    a.jmp(start);
+    hostlib::emitGuestSqliteLibrary(a);
+    a.bind(start);
+    // Fill the sorted table: table[i] = 2*i.
+    a.movri(4, static_cast<std::int64_t>(table));
+    a.movri(5, 0);
+    for (std::size_t i = 0; i < table_len; ++i) {
+        a.store(4, static_cast<std::int32_t>(i * 8), 5);
+        a.addi(5, 2);
+    }
+    a.movri(1, static_cast<std::int64_t>(table));
+    a.movri(2, static_cast<std::int64_t>(table_len));
+    a.movri(3, 50);   // ops
+    a.movri(4, 42);   // seed
+    a.callImport("sqlite_exec");
+    a.movri(3, static_cast<std::int64_t>(out));
+    a.store(3, 0, 0);
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    const GuestImage image = a.finish("main");
+
+    Dbt translated(image, DbtConfig::tcgVer());
+    const auto guest_result = translated.run({ThreadSpec{}});
+    ASSERT_TRUE(guest_result.finished);
+
+    HostLinker linker(idl, registry);
+    linker.scanImage(image);
+    Dbt linked(image, DbtConfig::risotto(), &linker, &linker);
+    const auto host_result = linked.run({ThreadSpec{}});
+    ASSERT_TRUE(host_result.finished);
+
+    EXPECT_EQ(host_result.memory->load64(out),
+              guest_result.memory->load64(out));
+    EXPECT_NE(host_result.memory->load64(out), 0u);
+}
+
+TEST(HostLinker, GuestMathKernelsAreAccurate)
+{
+    // The guest polynomial libm must agree with the host libm to ~1e-6
+    // on the benchmark input range.
+    HostLibraryRegistry registry;
+    hostlib::registerAllLibraries(registry);
+
+    struct Case
+    {
+        const char *name;
+        double arg;
+        double expected;
+    };
+    const Case cases[] = {
+        {"sin", 0.7, std::sin(0.7)},    {"cos", 0.7, std::cos(0.7)},
+        {"tan", 0.6, std::tan(0.6)},    {"exp", 0.9, std::exp(0.9)},
+        {"log", 1.4, std::log(1.4)},    {"sqrt", 2.0, std::sqrt(2.0)},
+        {"asin", 0.4, std::asin(0.4)},  {"acos", 0.4, std::acos(0.4)},
+        {"atan", 0.5, std::atan(0.5)},
+    };
+    for (const Case &c : cases) {
+        Assembler a;
+        const Addr out = a.dataReserve(8);
+        const auto start = a.newLabel();
+        a.defineSymbol("main");
+        a.jmp(start);
+        hostlib::emitGuestMathLibrary(a);
+        a.bind(start);
+        a.movfd(1, c.arg);
+        a.callImport(c.name);
+        a.movri(3, static_cast<std::int64_t>(out));
+        a.store(3, 0, 0);
+        a.movri(0, 0);
+        a.movri(1, 0);
+        a.syscall();
+        const GuestImage image = a.finish("main");
+
+        Dbt engine(image, DbtConfig::tcgVer());
+        const auto result = engine.run({ThreadSpec{}});
+        ASSERT_TRUE(result.finished) << c.name;
+        double got;
+        const std::uint64_t bits = result.memory->load64(out);
+        std::memcpy(&got, &bits, sizeof(got));
+        EXPECT_NEAR(got, c.expected, 2e-6) << c.name;
+    }
+}
+
+TEST(HostLinker, UnusedLinkerHasNoOverhead)
+{
+    // Section 7.3: programs using no described imports must not slow
+    // down when the linker is enabled.
+    Assembler a;
+    a.defineSymbol("main");
+    a.movri(1, 0);
+    a.movri(2, 500);
+    const auto loop = a.newLabel();
+    a.bind(loop);
+    a.add(1, 2);
+    a.subi(2, 1);
+    a.cmpri(2, 0);
+    a.jcc(Cond::Gt, loop);
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    const GuestImage image = a.finish("main");
+
+    HostLibraryRegistry registry;
+    hostlib::registerAllLibraries(registry);
+    HostLinker linker(parseIdl(hostlib::fullIdl()), registry);
+    linker.scanImage(image);
+
+    Dbt with_linker(image, DbtConfig::risotto(), &linker, &linker);
+    Dbt without(image, DbtConfig::tcgVer());
+    const auto with_result = with_linker.run({ThreadSpec{}});
+    const auto without_result = without.run({ThreadSpec{}});
+    EXPECT_EQ(with_result.makespan, without_result.makespan);
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Sweep of the on-disk litmus corpus (data/litmus/ *.litmus files): every file
+ * parses, its forbidden/exists expectation holds under x86-TSO, and the
+ * Risotto pipeline refines it while the known-broken QEMU translations
+ * fail exactly on the files that document them (MPQ/SBQ/SBAL).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "litmus/check.hh"
+#include "litmus/enumerate.hh"
+#include "litmus/parser.hh"
+#include "mapping/schemes.hh"
+#include "models/model.hh"
+
+namespace
+{
+
+using namespace risotto;
+using namespace risotto::litmus;
+
+const models::X86Model kX86;
+const models::ArmModel kArm(models::ArmModel::AmoRule::Corrected);
+
+std::vector<std::filesystem::path>
+corpusFiles()
+{
+    // Locate data/litmus relative to common invocation directories.
+    for (const char *root : {"data/litmus", "../data/litmus",
+                             "../../data/litmus",
+                             RISOTTO_SOURCE_DIR "/data/litmus"}) {
+        std::error_code ec;
+        if (std::filesystem::is_directory(root, ec)) {
+            std::vector<std::filesystem::path> files;
+            for (const auto &entry :
+                 std::filesystem::directory_iterator(root))
+                if (entry.path().extension() == ".litmus")
+                    files.push_back(entry.path());
+            std::sort(files.begin(), files.end());
+            return files;
+        }
+    }
+    return {};
+}
+
+LitmusTest
+load(const std::filesystem::path &path)
+{
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return parseLitmus(buffer.str());
+}
+
+TEST(LitmusData, CorpusIsPresent)
+{
+    EXPECT_GE(corpusFiles().size(), 10u);
+}
+
+class LitmusFile : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(LitmusFile, ExpectationHoldsUnderX86)
+{
+    const LitmusTest test = load(GetParam());
+    const BehaviorSet behaviors =
+        enumerateBehaviors(test.program, kX86);
+    EXPECT_GT(behaviors.size(), 0u);
+    const bool observed = test.interesting.existsIn(behaviors);
+    if (test.forbiddenInSource)
+        EXPECT_FALSE(observed) << test.program.name;
+    else
+        EXPECT_TRUE(observed) << test.program.name;
+}
+
+TEST_P(LitmusFile, RisottoPipelineRefines)
+{
+    const LitmusTest test = load(GetParam());
+    const Program arm = mapping::mapX86ToArm(
+        test.program, mapping::X86ToTcgScheme::Risotto,
+        mapping::TcgToArmScheme::Risotto,
+        mapping::RmwLowering::InlineCasal);
+    EXPECT_TRUE(checkRefinement(test.program, kX86, arm, kArm).correct)
+        << test.program.name;
+}
+
+TEST_P(LitmusFile, QemuPipelineFailsExactlyOnDocumentedTests)
+{
+    const LitmusTest test = load(GetParam());
+    // MPQ breaks under the casal helper; SBQ and SBAL under ldaxr/stlxr.
+    const bool casal_should_fail = test.program.name == "MPQ";
+    const bool lxsx_should_fail = test.program.name == "SBQ" ||
+                                  test.program.name == "SBAL" ||
+                                  casal_should_fail;
+    const Program casal = mapping::mapX86ToArm(
+        test.program, mapping::X86ToTcgScheme::Qemu,
+        mapping::TcgToArmScheme::Qemu,
+        mapping::RmwLowering::HelperRmw1AL);
+    EXPECT_EQ(checkRefinement(test.program, kX86, casal, kArm).correct,
+              !casal_should_fail)
+        << test.program.name << " (rmw1al)";
+    const Program lxsx = mapping::mapX86ToArm(
+        test.program, mapping::X86ToTcgScheme::Qemu,
+        mapping::TcgToArmScheme::Qemu,
+        mapping::RmwLowering::HelperRmw2AL);
+    EXPECT_EQ(checkRefinement(test.program, kX86, lxsx, kArm).correct,
+              !lxsx_should_fail)
+        << test.program.name << " (rmw2al)";
+}
+
+std::vector<std::string>
+corpusFileNames()
+{
+    std::vector<std::string> out;
+    for (const auto &path : corpusFiles())
+        out.push_back(path.string());
+    if (out.empty())
+        out.push_back("MISSING-CORPUS");
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DataCorpus, LitmusFile, ::testing::ValuesIn(corpusFileNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name =
+            std::filesystem::path(info.param).stem().string();
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+} // namespace

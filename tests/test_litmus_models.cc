@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Litmus/model integration tests: the classic tests behave per their
+ * architecture's model, reproducing Section 2 and Section 5.2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/enumerate.hh"
+#include "litmus/library.hh"
+#include "models/model.hh"
+
+namespace
+{
+
+using namespace risotto;
+using namespace risotto::litmus;
+
+using memcore::Access;
+using memcore::FenceKind;
+using memcore::RmwKind;
+
+const models::ScModel kSc;
+const models::X86Model kX86;
+const models::TcgModel kTcg;
+const models::ArmModel kArmFixed(models::ArmModel::AmoRule::Corrected);
+const models::ArmModel kArmOrig(models::ArmModel::AmoRule::Original);
+
+bool
+allowed(const Program &p, const models::ConsistencyModel &m,
+        const Condition &cond)
+{
+    return cond.existsIn(enumerateBehaviors(p, m));
+}
+
+TEST(LitmusBasics, MpForbiddenUnderX86AndSc)
+{
+    const LitmusTest t = mp();
+    EXPECT_FALSE(allowed(t.program, kX86, t.interesting));
+    EXPECT_FALSE(allowed(t.program, kSc, t.interesting));
+}
+
+TEST(LitmusBasics, MpAllowedUnderPlainArmAndTcg)
+{
+    // The same access pattern with plain accesses is weak on Arm and in
+    // the (unfenced) TCG IR model.
+    const LitmusTest t = mp();
+    EXPECT_TRUE(allowed(t.program, kArmFixed, t.interesting));
+    EXPECT_TRUE(allowed(t.program, kTcg, t.interesting));
+}
+
+TEST(LitmusBasics, SbAllowedUnderX86ForbiddenUnderSc)
+{
+    const LitmusTest t = sb();
+    EXPECT_TRUE(allowed(t.program, kX86, t.interesting));
+    EXPECT_FALSE(allowed(t.program, kSc, t.interesting));
+}
+
+TEST(LitmusBasics, LbForbiddenUnderX86AllowedUnderArm)
+{
+    const LitmusTest t = lb();
+    EXPECT_FALSE(allowed(t.program, kX86, t.interesting));
+    EXPECT_TRUE(allowed(t.program, kArmFixed, t.interesting));
+}
+
+TEST(LitmusBasics, CoherenceHoldsEverywhere)
+{
+    // CoRR: new-then-old reads of one location violate sc-per-loc.
+    Program p;
+    p.name = "CoRR";
+    Thread t0, t1;
+    t0.instrs = {Instr::store(LocX, 1)};
+    t1.instrs = {Instr::load(0, LocX), Instr::load(1, LocX)};
+    p.threads = {t0, t1};
+    Condition weird;
+    weird.reg(1, 0, 1).reg(1, 1, 0);
+    EXPECT_FALSE(allowed(p, kArmFixed, weird));
+    EXPECT_FALSE(allowed(p, kTcg, weird));
+    EXPECT_FALSE(allowed(p, kX86, weird));
+}
+
+TEST(LitmusBasics, SbWithMfencesForbidden)
+{
+    Program p;
+    p.name = "SB+mfences";
+    Thread t0, t1;
+    t0.instrs = {Instr::store(LocX, 1), Instr::fenceOf(FenceKind::MFence),
+                 Instr::load(0, LocY)};
+    t1.instrs = {Instr::store(LocY, 1), Instr::fenceOf(FenceKind::MFence),
+                 Instr::load(0, LocX)};
+    p.threads = {t0, t1};
+    Condition both_zero;
+    both_zero.reg(0, 0, 0).reg(1, 0, 0);
+    EXPECT_FALSE(allowed(p, kX86, both_zero));
+}
+
+TEST(LitmusBasics, SbWithDmbffForbiddenOnArm)
+{
+    Program p;
+    p.name = "SB+dmbs";
+    Thread t0, t1;
+    t0.instrs = {Instr::store(LocX, 1), Instr::fenceOf(FenceKind::DmbFull),
+                 Instr::load(0, LocY)};
+    t1.instrs = {Instr::store(LocY, 1), Instr::fenceOf(FenceKind::DmbFull),
+                 Instr::load(0, LocX)};
+    p.threads = {t0, t1};
+    Condition both_zero;
+    both_zero.reg(0, 0, 0).reg(1, 0, 0);
+    EXPECT_FALSE(allowed(p, kArmFixed, both_zero));
+    EXPECT_FALSE(allowed(p, kArmOrig, both_zero));
+}
+
+TEST(LitmusBasics, MpWithDmbLdStForbiddenOnArm)
+{
+    Program p;
+    p.name = "MP+dmbst+dmbld";
+    Thread t0, t1;
+    t0.instrs = {Instr::store(LocX, 1), Instr::fenceOf(FenceKind::DmbSt),
+                 Instr::store(LocY, 1)};
+    t1.instrs = {Instr::load(0, LocY), Instr::fenceOf(FenceKind::DmbLd),
+                 Instr::load(1, LocX)};
+    p.threads = {t0, t1};
+    Condition weak;
+    weak.reg(1, 0, 1).reg(1, 1, 0);
+    EXPECT_FALSE(allowed(p, kArmFixed, weak));
+    // DMBST alone on the writer with no reader fence stays weak.
+    Program p2 = p;
+    p2.threads[1].instrs = {Instr::load(0, LocY), Instr::load(1, LocX)};
+    EXPECT_TRUE(allowed(p2, kArmFixed, weak));
+}
+
+TEST(LitmusBasics, ReleaseAcquireMpForbiddenOnArm)
+{
+    Program p;
+    p.name = "MP+rel+acq";
+    Thread t0, t1;
+    t0.instrs = {Instr::store(LocX, 1),
+                 Instr::store(LocY, 1, Access::Release)};
+    t1.instrs = {Instr::load(0, LocY, Access::Acquire),
+                 Instr::load(1, LocX)};
+    p.threads = {t0, t1};
+    Condition weak;
+    weak.reg(1, 0, 1).reg(1, 1, 0);
+    EXPECT_FALSE(allowed(p, kArmFixed, weak));
+}
+
+TEST(LitmusBasics, AcquirePCMpForbiddenOnArm)
+{
+    // LDAPR (acquirePC) also orders successors, enough for MP.
+    Program p;
+    p.name = "MP+rel+acqPC";
+    Thread t0, t1;
+    t0.instrs = {Instr::store(LocX, 1),
+                 Instr::store(LocY, 1, Access::Release)};
+    t1.instrs = {Instr::load(0, LocY, Access::AcquirePC),
+                 Instr::load(1, LocX)};
+    p.threads = {t0, t1};
+    Condition weak;
+    weak.reg(1, 0, 1).reg(1, 1, 0);
+    EXPECT_FALSE(allowed(p, kArmFixed, weak));
+}
+
+TEST(LitmusRmw, AtomicityHoldsInAllModels)
+{
+    // Two competing CASes on X: both cannot succeed from the same old
+    // value.
+    Program p;
+    p.name = "CAS-race";
+    Thread t0, t1;
+    t0.instrs = {Instr::rmw(0, LocX, 0, 1)};
+    t1.instrs = {Instr::rmw(0, LocX, 0, 2)};
+    p.threads = {t0, t1};
+    // Both succeed: r0 == 0 in both threads. Must be impossible.
+    Condition both;
+    both.reg(0, 0, 0).reg(1, 0, 0);
+    EXPECT_FALSE(allowed(p, kX86, both));
+    EXPECT_FALSE(allowed(p, kTcg, both));
+    EXPECT_FALSE(allowed(p, kArmFixed, both));
+    // One succeeding is possible.
+    Condition t0_wins;
+    t0_wins.reg(0, 0, 0).mem(LocX, 1);
+    EXPECT_TRUE(allowed(p, kX86, t0_wins));
+}
+
+TEST(LitmusRmw, X86RmwActsAsFullFence)
+{
+    // SB with RMWs in place of plain stores is forbidden in x86.
+    const LitmusTest t = sbal();
+    EXPECT_FALSE(allowed(t.program, kX86, t.interesting));
+}
+
+TEST(LitmusEnumerator, StatsAreSane)
+{
+    EnumerateStats stats;
+    const LitmusTest t = mp();
+    enumerateBehaviors(t.program, kSc, &stats);
+    EXPECT_GT(stats.candidates, 0u);
+    EXPECT_GE(stats.candidates, stats.wellFormed);
+    EXPECT_GE(stats.wellFormed, stats.consistent);
+    EXPECT_GT(stats.consistent, 0u);
+}
+
+TEST(LitmusEnumerator, ScBehaviorsOfMpAreExactlyInterleavings)
+{
+    // MP has exactly 3 SC outcomes for (a, b): (0,0), (1,0 excluded!),
+    // (1,1), (0,1)... enumerate and check precisely.
+    const LitmusTest t = mp();
+    const BehaviorSet set = enumerateBehaviors(t.program, kSc);
+    // Collect (a, b) pairs.
+    std::set<std::pair<Val, Val>> pairs;
+    for (const Outcome &o : set)
+        pairs.insert({o.regs[1].at(0), o.regs[1].at(1)});
+    const std::set<std::pair<Val, Val>> expected = {
+        {0, 0}, {0, 1}, {1, 1}};
+    EXPECT_EQ(pairs, expected);
+}
+
+TEST(LitmusEnumerator, GuardedInstructionSkipped)
+{
+    // Guard fails => RMW does not execute, X keeps its init value.
+    Program p;
+    p.name = "guard";
+    Thread t0;
+    t0.instrs = {Instr::load(0, LocY),
+                 Instr::rmw(1, LocX, 0, 5).guarded(0, 1)};
+    p.threads = {t0};
+    const BehaviorSet set = enumerateBehaviors(p, kSc);
+    ASSERT_EQ(set.size(), 1u);
+    EXPECT_EQ(set.begin()->memory.at(LocX), 0);
+    EXPECT_EQ(set.begin()->regs[0].at(0), 0);
+}
+
+} // namespace

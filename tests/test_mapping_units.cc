@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests on the mapping schemes' *shapes*: the exact fence and
+ * annotation placement of Figures 2, 3 and 7, instruction by instruction,
+ * plus guard inheritance and the scheme/lowering name tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/library.hh"
+#include "mapping/schemes.hh"
+
+namespace
+{
+
+using namespace risotto;
+using namespace risotto::litmus;
+using namespace risotto::mapping;
+using memcore::Access;
+using memcore::FenceKind;
+using memcore::RmwKind;
+
+Program
+oneThread(std::vector<Instr> instrs)
+{
+    Program p;
+    p.name = "unit";
+    Thread t;
+    t.instrs = std::move(instrs);
+    p.threads = {t};
+    return p;
+}
+
+std::vector<Instr>
+mappedInstrs(const Program &p)
+{
+    return p.threads.at(0).instrs;
+}
+
+TEST(MappingShapes, QemuFig2InsertsLeadingFences)
+{
+    // RMOV -> Fmr; ld and WMOV -> Fmw; st (Figure 2).
+    const Program src =
+        oneThread({Instr::load(0, LocX), Instr::store(LocY, 1)});
+    const auto out =
+        mappedInstrs(mapX86ToTcg(src, X86ToTcgScheme::Qemu));
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0].fence, FenceKind::Fmr);
+    EXPECT_EQ(out[1].kind, Instr::Kind::Load);
+    EXPECT_EQ(out[2].fence, FenceKind::Fmw);
+    EXPECT_EQ(out[3].kind, Instr::Kind::Store);
+}
+
+TEST(MappingShapes, RisottoFig7aTrailingFrmLeadingFww)
+{
+    // RMOV -> ld; Frm and WMOV -> Fww; st (Figure 7a).
+    const Program src =
+        oneThread({Instr::load(0, LocX), Instr::store(LocY, 1)});
+    const auto out =
+        mappedInstrs(mapX86ToTcg(src, X86ToTcgScheme::Risotto));
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0].kind, Instr::Kind::Load);
+    EXPECT_EQ(out[1].fence, FenceKind::Frm);
+    EXPECT_EQ(out[2].fence, FenceKind::Fww);
+    EXPECT_EQ(out[3].kind, Instr::Kind::Store);
+}
+
+TEST(MappingShapes, NoFencesEmitsNone)
+{
+    const Program src =
+        oneThread({Instr::load(0, LocX), Instr::store(LocY, 1)});
+    const auto out =
+        mappedInstrs(mapX86ToTcg(src, X86ToTcgScheme::NoFences));
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].kind, Instr::Kind::Load);
+    EXPECT_EQ(out[1].kind, Instr::Kind::Store);
+}
+
+TEST(MappingShapes, MfenceBecomesFscBecomesDmbff)
+{
+    const Program src = oneThread({Instr::fenceOf(FenceKind::MFence)});
+    const Program ir = mapX86ToTcg(src, X86ToTcgScheme::Risotto);
+    EXPECT_EQ(mappedInstrs(ir)[0].fence, FenceKind::Fsc);
+    const Program arm = mapTcgToArm(ir, TcgToArmScheme::Risotto,
+                                    RmwLowering::InlineCasal);
+    EXPECT_EQ(mappedInstrs(arm)[0].fence, FenceKind::DmbFull);
+}
+
+TEST(MappingShapes, Fig7bLoweringByDirection)
+{
+    const Program ir = oneThread({
+        Instr::fenceOf(FenceKind::Frr),
+        Instr::fenceOf(FenceKind::Fww),
+        Instr::fenceOf(FenceKind::Fwr),
+        Instr::fenceOf(FenceKind::Facq),
+        Instr::fenceOf(FenceKind::Frel),
+    });
+    const auto out = mappedInstrs(mapTcgToArm(
+        ir, TcgToArmScheme::Risotto, RmwLowering::InlineCasal));
+    // Facq/Frel generate nothing (Figure 7b).
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].fence, FenceKind::DmbLd);
+    EXPECT_EQ(out[1].fence, FenceKind::DmbSt);
+    EXPECT_EQ(out[2].fence, FenceKind::DmbFull);
+}
+
+TEST(MappingShapes, QemuLoweringDemotesFmrAndFullFencesStores)
+{
+    const Program ir = oneThread({
+        Instr::fenceOf(FenceKind::Fmr),
+        Instr::fenceOf(FenceKind::Fmw),
+    });
+    const auto out = mappedInstrs(
+        mapTcgToArm(ir, TcgToArmScheme::Qemu, RmwLowering::HelperRmw1AL));
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].fence, FenceKind::DmbLd);  // The unsound demotion.
+    EXPECT_EQ(out[1].fence, FenceKind::DmbFull);
+}
+
+TEST(MappingShapes, RmwLoweringsProduceTheRightPrimitives)
+{
+    const Program ir = oneThread({Instr::rmw(0, LocX, 0, 1, RmwKind::Amo,
+                                             Access::Sc, Access::Sc)});
+    {
+        const auto out = mappedInstrs(mapTcgToArm(
+            ir, TcgToArmScheme::Risotto, RmwLowering::InlineCasal));
+        ASSERT_EQ(out.size(), 1u);
+        EXPECT_EQ(out[0].rmwKind, RmwKind::Amo);
+        EXPECT_EQ(out[0].readAccess, Access::Acquire);
+        EXPECT_EQ(out[0].writeAccess, Access::Release);
+    }
+    {
+        const auto out = mappedInstrs(mapTcgToArm(
+            ir, TcgToArmScheme::Risotto, RmwLowering::FencedRmw2));
+        ASSERT_EQ(out.size(), 3u);
+        EXPECT_EQ(out[0].fence, FenceKind::DmbFull);
+        EXPECT_EQ(out[1].rmwKind, RmwKind::LxSx);
+        EXPECT_EQ(out[1].readAccess, Access::Plain);
+        EXPECT_EQ(out[2].fence, FenceKind::DmbFull);
+    }
+    {
+        const auto out = mappedInstrs(mapTcgToArm(
+            ir, TcgToArmScheme::Qemu, RmwLowering::HelperRmw2AL));
+        ASSERT_EQ(out.size(), 1u);
+        EXPECT_EQ(out[0].rmwKind, RmwKind::LxSx);
+        EXPECT_EQ(out[0].readAccess, Access::Acquire);
+        EXPECT_EQ(out[0].writeAccess, Access::Release);
+    }
+}
+
+TEST(MappingShapes, DesiredFig3UsesAcquirePcAndRelease)
+{
+    const Program src = oneThread({
+        Instr::load(0, LocX),
+        Instr::store(LocY, 1),
+        Instr::rmw(1, LocZ, 0, 1),
+        Instr::fenceOf(FenceKind::MFence),
+    });
+    const auto out = mappedInstrs(mapX86ToArmDesired(src));
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0].readAccess, Access::AcquirePC); // LDAPR
+    EXPECT_EQ(out[1].writeAccess, Access::Release);  // STLR
+    EXPECT_EQ(out[2].rmwKind, RmwKind::Amo);         // casal
+    EXPECT_EQ(out[2].readAccess, Access::Acquire);
+    EXPECT_EQ(out[3].fence, FenceKind::DmbFull);
+}
+
+TEST(MappingShapes, RiscvMappingShape)
+{
+    const Program src = oneThread({
+        Instr::load(0, LocX),
+        Instr::store(LocY, 1),
+        Instr::rmw(1, LocZ, 0, 1),
+    });
+    const auto out = mappedInstrs(mapX86ToRiscv(src));
+    ASSERT_EQ(out.size(), 5u);
+    EXPECT_EQ(out[0].kind, Instr::Kind::Load);
+    EXPECT_EQ(out[1].fence, FenceKind::Frm); // fence r,rw
+    EXPECT_EQ(out[2].fence, FenceKind::Fmw); // fence rw,w
+    EXPECT_EQ(out[3].kind, Instr::Kind::Store);
+    EXPECT_EQ(out[4].readAccess, Access::Acquire); // amo.aqrl
+    EXPECT_EQ(out[4].writeAccess, Access::Release);
+}
+
+TEST(MappingShapes, GuardsAreInherited)
+{
+    // A guarded store's inserted fence must carry the same guard (it
+    // belongs to the same conditional block, as in MPQ's translation).
+    Program src = oneThread({
+        Instr::load(0, LocX),
+        Instr::store(LocY, 1).guarded(0, 1),
+    });
+    const auto out =
+        mappedInstrs(mapX86ToTcg(src, X86ToTcgScheme::Risotto));
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[2].kind, Instr::Kind::Fence);
+    EXPECT_EQ(out[2].guardReg, 0);
+    EXPECT_EQ(out[2].guardVal, 1);
+    EXPECT_EQ(out[3].guardReg, 0);
+}
+
+TEST(MappingShapes, NamesAreStable)
+{
+    EXPECT_EQ(schemeName(X86ToTcgScheme::Qemu), "qemu");
+    EXPECT_EQ(schemeName(X86ToTcgScheme::Risotto), "risotto");
+    EXPECT_EQ(schemeName(TcgToArmScheme::Qemu), "qemu");
+    EXPECT_EQ(rmwLoweringName(RmwLowering::InlineCasal), "inline-casal");
+    EXPECT_EQ(rmwLoweringName(RmwLowering::FencedRmw2),
+              "dmbff-rmw2-dmbff");
+}
+
+} // namespace

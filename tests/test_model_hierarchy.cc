@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Property tests on the relationships *between* the consistency models:
+ * for any program, a stronger model's behaviours are a subset of a
+ * weaker model's. Random-program sweeps assert
+ *
+ *     SC  ⊆  x86-TSO  ⊆  TCG IR,  Arm-Cats,  RVWMO
+ *
+ * plus corrected-Arm ⊆ original-Arm (the amo strengthening only removes
+ * behaviours), and that every model's behaviour set is non-empty (some
+ * execution is always consistent).
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/enumerate.hh"
+#include "litmus/library.hh"
+#include "litmus/random.hh"
+#include "models/model.hh"
+#include "support/rng.hh"
+
+namespace
+{
+
+using namespace risotto;
+using namespace risotto::litmus;
+
+const models::ScModel kSc;
+const models::X86Model kX86;
+const models::TcgModel kTcg;
+const models::ArmModel kArmFixed(models::ArmModel::AmoRule::Corrected);
+const models::ArmModel kArmOrig(models::ArmModel::AmoRule::Original);
+const models::RiscvModel kRiscv;
+
+bool
+subsetOf(const BehaviorSet &small, const BehaviorSet &big)
+{
+    for (const Outcome &o : small)
+        if (!big.count(o))
+            return false;
+    return true;
+}
+
+void
+checkHierarchy(const Program &p)
+{
+    const BehaviorSet sc = enumerateBehaviors(p, kSc);
+    const BehaviorSet x86 = enumerateBehaviors(p, kX86);
+    const BehaviorSet tcg = enumerateBehaviors(p, kTcg);
+    const BehaviorSet arm = enumerateBehaviors(p, kArmFixed);
+    const BehaviorSet arm_orig = enumerateBehaviors(p, kArmOrig);
+    const BehaviorSet rv = enumerateBehaviors(p, kRiscv);
+
+    EXPECT_FALSE(sc.empty()) << p.toString();
+    EXPECT_TRUE(subsetOf(sc, x86)) << "SC > x86:\n" << p.toString();
+    EXPECT_TRUE(subsetOf(x86, tcg)) << "x86 > tcg:\n" << p.toString();
+    EXPECT_TRUE(subsetOf(x86, arm)) << "x86 > arm:\n" << p.toString();
+    EXPECT_TRUE(subsetOf(x86, rv)) << "x86 > rvwmo:\n" << p.toString();
+    EXPECT_TRUE(subsetOf(arm, arm_orig))
+        << "corrected > original:\n" << p.toString();
+}
+
+TEST(ModelHierarchy, HoldsOnTheCorpus)
+{
+    for (const LitmusTest &test : x86Corpus())
+        checkHierarchy(test.program);
+}
+
+TEST(ModelHierarchy, HoldsOnRandomPlainPrograms)
+{
+    Rng rng(20261);
+    RandomProgramOptions opts;
+    opts.maxInstrsPerThread = 3;
+    opts.fencePercent = 0; // Plain accesses only (fences are per-ISA).
+    opts.rmwPercent = 20;
+    for (int i = 0; i < 120; ++i)
+        checkHierarchy(randomProgram(rng, opts));
+}
+
+TEST(ModelHierarchy, HoldsOnRandomFencedPrograms)
+{
+    // MFENCE exists in every model's vocabulary here: the x86 fence is
+    // treated as a full fence by... only x86; others ignore unknown
+    // fences, so use programs with MFENCE only for the SC/x86 pair.
+    Rng rng(20262);
+    RandomProgramOptions opts;
+    opts.maxInstrsPerThread = 3;
+    opts.fencePercent = 30;
+    opts.rmwPercent = 15;
+    for (int i = 0; i < 80; ++i) {
+        const Program p = randomProgram(rng, opts);
+        const BehaviorSet sc = enumerateBehaviors(p, kSc);
+        const BehaviorSet x86 = enumerateBehaviors(p, kX86);
+        EXPECT_TRUE(subsetOf(sc, x86)) << p.toString();
+        EXPECT_FALSE(sc.empty());
+    }
+}
+
+TEST(ModelHierarchy, StrictnessWitnesses)
+{
+    // The hierarchy is strict: known tests separate adjacent models.
+    const LitmusTest sb_test = sb();
+    EXPECT_FALSE(sb_test.interesting.existsIn(
+        enumerateBehaviors(sb_test.program, kSc)));
+    EXPECT_TRUE(sb_test.interesting.existsIn(
+        enumerateBehaviors(sb_test.program, kX86))); // SC < x86.
+
+    const LitmusTest mp_test = mp();
+    EXPECT_FALSE(mp_test.interesting.existsIn(
+        enumerateBehaviors(mp_test.program, kX86)));
+    EXPECT_TRUE(mp_test.interesting.existsIn(
+        enumerateBehaviors(mp_test.program, kArmFixed))); // x86 < arm.
+    EXPECT_TRUE(mp_test.interesting.existsIn(
+        enumerateBehaviors(mp_test.program, kRiscv))); // x86 < rvwmo.
+}
+
+} // namespace

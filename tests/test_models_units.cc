@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Hand-built execution graphs exercising individual axioms of the three
+ * consistency models -- the unit-level counterpart of the litmus-driven
+ * tests: each test constructs one execution and checks exactly one rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memcore/execution.hh"
+#include "memcore/fencealg.hh"
+#include "models/model.hh"
+
+namespace
+{
+
+using namespace risotto;
+using namespace risotto::memcore;
+using models::ArmModel;
+using models::ScModel;
+using models::TcgModel;
+using models::X86Model;
+
+/** Small builder for hand-made executions. */
+class ExecBuilder
+{
+  public:
+    EventId
+    init(Loc loc, Val val)
+    {
+        Event e;
+        e.kind = EventKind::Write;
+        e.loc = loc;
+        e.value = val;
+        e.isInit = true;
+        return push(e);
+    }
+
+    EventId
+    read(ThreadId tid, Loc loc, Val val, Access acc = Access::Plain,
+         RmwKind rmw = RmwKind::None)
+    {
+        Event e;
+        e.kind = EventKind::Read;
+        e.tid = tid;
+        e.loc = loc;
+        e.value = val;
+        e.access = acc;
+        e.rmw = rmw;
+        return push(e);
+    }
+
+    EventId
+    write(ThreadId tid, Loc loc, Val val, Access acc = Access::Plain,
+          RmwKind rmw = RmwKind::None)
+    {
+        Event e;
+        e.kind = EventKind::Write;
+        e.tid = tid;
+        e.loc = loc;
+        e.value = val;
+        e.access = acc;
+        e.rmw = rmw;
+        return push(e);
+    }
+
+    EventId
+    fence(ThreadId tid, FenceKind kind)
+    {
+        Event e;
+        e.kind = EventKind::Fence;
+        e.tid = tid;
+        e.fence = kind;
+        return push(e);
+    }
+
+    /** Finalize: po from per-thread order, given rf/co/rmw pairs. */
+    Execution
+    build(const std::vector<std::pair<EventId, EventId>> &rf,
+          const std::vector<std::pair<EventId, EventId>> &co,
+          const std::vector<std::pair<EventId, EventId>> &rmw = {})
+    {
+        Execution x;
+        x.events = events_;
+        x.initRelations();
+        // Program order: same-thread non-init events in insertion order.
+        for (std::size_t a = 0; a < events_.size(); ++a)
+            for (std::size_t b = a + 1; b < events_.size(); ++b)
+                if (!events_[a].isInit && !events_[b].isInit &&
+                    events_[a].tid == events_[b].tid)
+                    x.po.insert(events_[a].id, events_[b].id);
+        for (auto [w, r] : rf)
+            x.rf.insert(w, r);
+        for (auto [a, b] : co)
+            x.co.insert(a, b);
+        for (auto [r, w] : rmw)
+            x.rmw.insert(r, w);
+        return x;
+    }
+
+  private:
+    EventId
+    push(Event e)
+    {
+        e.id = static_cast<EventId>(events_.size());
+        e.poIndex = static_cast<std::uint32_t>(e.id);
+        events_.push_back(e);
+        return e.id;
+    }
+
+    std::vector<Event> events_;
+};
+
+TEST(Axioms, ScPerLocRejectsCoherenceViolation)
+{
+    // T0 writes x=1 then reads x=0 from init: po;fr cycle.
+    ExecBuilder b;
+    const EventId init = b.init(0, 0);
+    const EventId w = b.write(0, 0, 1);
+    const EventId r = b.read(0, 0, 0);
+    Execution x = b.build({{init, r}}, {{init, w}});
+    EXPECT_TRUE(x.wellFormed());
+    EXPECT_FALSE(models::scPerLoc(x));
+}
+
+TEST(Axioms, AtomicityRejectsInterveningWrite)
+{
+    // T0's successful RMW on x is split by T1's write.
+    ExecBuilder b;
+    const EventId init = b.init(0, 0);
+    const EventId r = b.read(0, 0, 0, Access::Plain, RmwKind::Amo);
+    const EventId w = b.write(0, 0, 1, Access::Plain, RmwKind::Amo);
+    const EventId intruder = b.write(1, 0, 5);
+    Execution x = b.build({{init, r}},
+                          {{init, intruder}, {intruder, w}, {init, w}},
+                          {{r, w}});
+    EXPECT_TRUE(x.wellFormed());
+    EXPECT_FALSE(models::atomicity(x));
+
+    // Same shape with the intruder ordered after the RMW is fine.
+    Execution y = b.build({{init, r}},
+                          {{init, w}, {w, intruder}, {init, intruder}},
+                          {{r, w}});
+    EXPECT_TRUE(models::atomicity(y));
+}
+
+TEST(Axioms, X86GhbOrdersWriteWrite)
+{
+    // MP weak outcome violates GHB through ppo(WW) + ppo(RR).
+    ExecBuilder b;
+    const EventId ix = b.init(0, 0);
+    const EventId iy = b.init(1, 0);
+    const EventId wx = b.write(0, 0, 1);
+    const EventId wy = b.write(0, 1, 1);
+    const EventId ry = b.read(1, 1, 1);
+    const EventId rx = b.read(1, 0, 0);
+    Execution x = b.build({{wy, ry}, {ix, rx}}, {{ix, wx}, {iy, wy}});
+    ASSERT_TRUE(x.wellFormed());
+    EXPECT_FALSE(X86Model().consistent(x));
+    // The same graph is fine for Arm (no fences anywhere).
+    EXPECT_TRUE(
+        ArmModel(ArmModel::AmoRule::Corrected).consistent(x));
+}
+
+TEST(Axioms, TcgOrdRelationMatchesFigure6)
+{
+    // [R]; po; [Frm]; po; [W] is in ord; [W]; po; [Frm]; po; [W] is not.
+    ExecBuilder b;
+    b.init(0, 0);
+    b.init(1, 0);
+    const EventId r = b.read(0, 0, 0);
+    b.fence(0, FenceKind::Frm);
+    const EventId w = b.write(0, 1, 1);
+    Execution x = b.build({{0, r}}, {{1, w}});
+    const auto ord = TcgModel::ord(x);
+    EXPECT_TRUE(ord.contains(r, w));
+
+    ExecBuilder b2;
+    b2.init(0, 0);
+    b2.init(1, 0);
+    const EventId w1 = b2.write(0, 0, 1);
+    b2.fence(0, FenceKind::Frm);
+    const EventId w2 = b2.write(0, 1, 1);
+    Execution y = b2.build({}, {{0, w1}, {1, w2}});
+    EXPECT_FALSE(TcgModel::ord(y).contains(w1, w2));
+}
+
+TEST(Axioms, TcgRmwEventsActAsFence)
+{
+    // po;[dom(rmw)] and [codom(rmw)];po order around an SC RMW.
+    ExecBuilder b;
+    b.init(0, 0);
+    b.init(1, 0);
+    b.init(2, 0);
+    const EventId w = b.write(0, 0, 1);
+    const EventId rr = b.read(0, 1, 0, Access::Sc, RmwKind::Amo);
+    const EventId rw = b.write(0, 1, 1, Access::Sc, RmwKind::Amo);
+    const EventId after = b.read(0, 2, 0);
+    Execution x =
+        b.build({{1, rr}, {2, after}}, {{0, w}, {1, rw}}, {{rr, rw}});
+    const auto ord = TcgModel::ord(x);
+    EXPECT_TRUE(ord.contains(w, rr));    // po;[dom(rmw)]
+    EXPECT_TRUE(ord.contains(rw, after)); // [codom(rmw)];po
+    EXPECT_FALSE(ord.contains(w, after)); // ...but ghb closes it.
+}
+
+TEST(Axioms, ArmBobDmbLdOrdersReadsOnly)
+{
+    ExecBuilder b;
+    b.init(0, 0);
+    b.init(1, 0);
+    const EventId w = b.write(0, 0, 1);
+    const EventId r = b.read(0, 1, 0);
+    b.fence(0, FenceKind::DmbLd);
+    const EventId r2 = b.read(0, 0, 1);
+    Execution x = b.build({{1, r}, {w, r2}}, {{0, w}});
+    const ArmModel arm(ArmModel::AmoRule::Corrected);
+    const auto lob = arm.lob(x);
+    EXPECT_TRUE(lob.contains(r, r2));  // [R];po;[Fld];po.
+    EXPECT_FALSE(lob.contains(w, r2)); // Writes not ordered by DMBLD.
+}
+
+TEST(Axioms, ArmReleaseAcquireOrdering)
+{
+    ExecBuilder b;
+    b.init(0, 0);
+    b.init(1, 0);
+    const EventId before = b.write(0, 0, 1);
+    const EventId rel = b.write(0, 1, 1, Access::Release);
+    Execution x = b.build({}, {{0, before}, {1, rel}});
+    const ArmModel arm(ArmModel::AmoRule::Corrected);
+    // po;[L]: everything before the release is ordered with it.
+    EXPECT_TRUE(arm.lob(x).contains(before, rel));
+}
+
+TEST(Axioms, ArmCorrectedAmoActsAsFullBarrier)
+{
+    // W(x); casal(y); R(z): corrected bob orders W -> amo and amo -> R.
+    ExecBuilder b;
+    b.init(0, 0);
+    b.init(1, 0);
+    b.init(2, 0);
+    const EventId w = b.write(0, 0, 1);
+    const EventId ar = b.read(0, 1, 0, Access::Acquire, RmwKind::Amo);
+    const EventId aw = b.write(0, 1, 1, Access::Release, RmwKind::Amo);
+    const EventId r = b.read(0, 2, 0);
+    Execution x =
+        b.build({{1, ar}, {2, r}}, {{0, w}, {1, aw}}, {{ar, aw}});
+
+    const ArmModel fixed(ArmModel::AmoRule::Corrected);
+    EXPECT_TRUE(fixed.lob(x).contains(w, ar));
+    EXPECT_TRUE(fixed.lob(x).contains(aw, r));
+    EXPECT_TRUE(fixed.lob(x).contains(w, r));
+
+    const ArmModel orig(ArmModel::AmoRule::Original);
+    // The original rule orders only across the whole amo: w -> r.
+    EXPECT_TRUE(orig.lob(x).contains(w, r));
+    EXPECT_FALSE(orig.lob(x).contains(aw, r));
+}
+
+TEST(Axioms, WellFormednessCatchesBadGraphs)
+{
+    // rf with mismatched value.
+    ExecBuilder b;
+    const EventId init = b.init(0, 0);
+    const EventId w = b.write(0, 0, 1);
+    const EventId r = b.read(1, 0, 2); // Reads value nobody wrote.
+    Execution x = b.build({{w, r}}, {{init, w}});
+    std::string why;
+    EXPECT_FALSE(x.wellFormed(&why));
+    EXPECT_NE(why.find("value"), std::string::npos);
+
+    // Read without an rf source.
+    Execution y = b.build({}, {{init, w}});
+    EXPECT_FALSE(y.wellFormed(&why));
+
+    // co not total.
+    ExecBuilder b2;
+    b2.init(0, 0);
+    b2.write(0, 0, 1);
+    b2.write(1, 0, 2);
+    Execution z = b2.build({}, {{0, 1}, {0, 2}}); // 1 and 2 unordered.
+    EXPECT_FALSE(z.wellFormed(&why));
+    EXPECT_NE(why.find("total"), std::string::npos);
+}
+
+TEST(FenceAlgebra, LatticeLaws)
+{
+    using namespace risotto::memcore;
+    // Merge is commutative and covers both operands.
+    const FenceKind kinds[] = {FenceKind::Frr, FenceKind::Frw,
+                               FenceKind::Frm, FenceKind::Fwr,
+                               FenceKind::Fww, FenceKind::Fwm,
+                               FenceKind::Fmr, FenceKind::Fmw,
+                               FenceKind::Fmm, FenceKind::Fsc};
+    for (FenceKind a : kinds) {
+        EXPECT_TRUE(fenceAtLeast(a, a));
+        for (FenceKind b : kinds) {
+            const FenceKind m = mergeFences(a, b);
+            EXPECT_EQ(m, mergeFences(b, a));
+            EXPECT_TRUE(fenceAtLeast(m, a))
+                << fenceKindName(a) << "+" << fenceKindName(b);
+            EXPECT_TRUE(fenceAtLeast(m, b));
+        }
+        // Fsc dominates everything.
+        EXPECT_TRUE(fenceAtLeast(FenceKind::Fsc, a));
+        EXPECT_EQ(mergeFences(a, FenceKind::Fsc), FenceKind::Fsc);
+    }
+    EXPECT_EQ(mergeFences(FenceKind::Frr, FenceKind::Frw),
+              FenceKind::Frm);
+    EXPECT_EQ(mergeFences(FenceKind::Frm, FenceKind::Fww),
+              FenceKind::Fmm);
+    EXPECT_FALSE(fenceAtLeast(FenceKind::Fmm, FenceKind::Fsc));
+}
+
+} // namespace

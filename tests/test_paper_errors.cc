@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Reproduction of the paper's Section 3 findings:
+ *  - the QEMU translation errors (MPQ, SBQ) under both RMW lowerings,
+ *  - the FMR read-after-write transformation error,
+ *  - the SBAL error in the original Arm-Cats model and the fix,
+ *  - the correctness of the Risotto mappings on the same tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/check.hh"
+#include "litmus/enumerate.hh"
+#include "litmus/library.hh"
+#include "mapping/schemes.hh"
+#include "mapping/transforms.hh"
+#include "models/model.hh"
+
+namespace
+{
+
+using namespace risotto;
+using namespace risotto::litmus;
+using namespace risotto::mapping;
+
+const models::X86Model kX86;
+const models::TcgModel kTcg;
+const models::ArmModel kArmFixed(models::ArmModel::AmoRule::Corrected);
+const models::ArmModel kArmOrig(models::ArmModel::AmoRule::Original);
+
+bool
+allowed(const Program &p, const models::ConsistencyModel &m,
+        const Condition &cond)
+{
+    return cond.existsIn(enumerateBehaviors(p, m));
+}
+
+TEST(PaperSection32, MpqForbiddenInX86)
+{
+    const LitmusTest t = mpq();
+    EXPECT_FALSE(allowed(t.program, kX86, t.interesting));
+}
+
+TEST(PaperSection32, MpqAllowedUnderQemuMappingWithRmw1AL)
+{
+    // QEMU + casal helper (GCC 10): the acquire read of the RMW may be
+    // speculated before the plain read of Y => translation error.
+    const LitmusTest t = mpq();
+    const Program arm = mapX86ToArm(t.program, X86ToTcgScheme::Qemu,
+                                    TcgToArmScheme::Qemu,
+                                    RmwLowering::HelperRmw1AL);
+    EXPECT_TRUE(allowed(arm, kArmFixed, t.interesting))
+        << arm.toString();
+    // The error exists under both Arm model variants.
+    EXPECT_TRUE(allowed(arm, kArmOrig, t.interesting));
+}
+
+TEST(PaperSection32, MpqFixedByRisottoMapping)
+{
+    const LitmusTest t = mpq();
+    const Program arm = mapX86ToArm(t.program, X86ToTcgScheme::Risotto,
+                                    TcgToArmScheme::Risotto,
+                                    RmwLowering::InlineCasal);
+    EXPECT_FALSE(allowed(arm, kArmFixed, t.interesting))
+        << arm.toString();
+    const Program arm2 = mapX86ToArm(t.program, X86ToTcgScheme::Risotto,
+                                     TcgToArmScheme::Risotto,
+                                     RmwLowering::FencedRmw2);
+    EXPECT_FALSE(allowed(arm2, kArmFixed, t.interesting));
+}
+
+TEST(PaperSection32, SbqForbiddenInX86)
+{
+    const LitmusTest t = sbq();
+    EXPECT_FALSE(allowed(t.program, kX86, t.interesting));
+}
+
+TEST(PaperSection32, SbqAllowedUnderQemuMappingWithRmw2AL)
+{
+    // QEMU + ldaxr/stlxr helper (GCC 9): neither RMW2-AL nor DMBLD order
+    // the store-load pairs => translation error.
+    const LitmusTest t = sbq();
+    const Program arm = mapX86ToArm(t.program, X86ToTcgScheme::Qemu,
+                                    TcgToArmScheme::Qemu,
+                                    RmwLowering::HelperRmw2AL);
+    EXPECT_TRUE(allowed(arm, kArmFixed, t.interesting))
+        << arm.toString();
+}
+
+TEST(PaperSection32, SbqFixedByRisottoMapping)
+{
+    const LitmusTest t = sbq();
+    const Program arm = mapX86ToArm(t.program, X86ToTcgScheme::Risotto,
+                                    TcgToArmScheme::Risotto,
+                                    RmwLowering::InlineCasal);
+    EXPECT_FALSE(allowed(arm, kArmFixed, t.interesting));
+    const Program arm2 = mapX86ToArm(t.program, X86ToTcgScheme::Risotto,
+                                     TcgToArmScheme::Risotto,
+                                     RmwLowering::FencedRmw2);
+    EXPECT_FALSE(allowed(arm2, kArmFixed, t.interesting));
+}
+
+TEST(PaperSection32, FmrRawTransformationIntroducesBehavior)
+{
+    // The source forbids a=2 /\ c=3; the RAW-transformed program allows
+    // it: the transformation is incorrect in the presence of Fmr.
+    const LitmusTest src = fmrSource();
+    const LitmusTest tgt = fmrTransformed();
+    EXPECT_FALSE(allowed(src.program, kTcg, src.interesting));
+    Condition c_is_3;
+    c_is_3.reg(1, 1, 3);
+    EXPECT_FALSE(allowed(src.program, kTcg, c_is_3));
+    EXPECT_TRUE(allowed(tgt.program, kTcg, c_is_3));
+    // Refinement formally fails.
+    const auto result =
+        checkRefinement(src.program, kTcg, tgt.program, kTcg);
+    EXPECT_FALSE(result.correct);
+}
+
+TEST(PaperSection32, UnsoundRawSiteFoundAndReproduced)
+{
+    // The unsound RAW matcher finds the W(Y)=2; a=Y site in FMR and its
+    // application reproduces the hand-written transformed program's
+    // behaviour.
+    const LitmusTest src = fmrSource();
+    const auto sites = findUnsoundRawAcrossAnyFence(src.program);
+    ASSERT_EQ(sites.size(), 1u);
+    EXPECT_EQ(sites[0].tid, 0u);
+    const Program transformed = applyTransform(src.program, sites[0]);
+    const auto result =
+        checkRefinement(src.program, kTcg, transformed, kTcg);
+    EXPECT_FALSE(result.correct);
+    // The sound matcher refuses the site (program contains Fmr).
+    for (const auto &site : findTransformSites(src.program))
+        EXPECT_NE(site.kind, TransformKind::Raw);
+}
+
+TEST(PaperSection33, SbalForbiddenInX86)
+{
+    const LitmusTest t = sbal();
+    EXPECT_FALSE(allowed(t.program, kX86, t.interesting));
+}
+
+TEST(PaperSection33, SbalAllowedUnderOriginalArmCats)
+{
+    // The "desired" Fig. 3 mapping is erroneous under the original model:
+    // casal does not act as a full barrier.
+    const LitmusTest t = sbal();
+    const Program arm = mapX86ToArmDesired(t.program);
+    EXPECT_TRUE(allowed(arm, kArmOrig, t.interesting)) << arm.toString();
+}
+
+TEST(PaperSection33, SbalForbiddenUnderCorrectedArmCats)
+{
+    // The strengthening the paper proposed (accepted upstream) makes the
+    // mapping correct.
+    const LitmusTest t = sbal();
+    const Program arm = mapX86ToArmDesired(t.program);
+    EXPECT_FALSE(allowed(arm, kArmFixed, t.interesting));
+}
+
+TEST(PaperSection33, DesiredMappingRefinesX86UnderCorrectedModelOnly)
+{
+    const LitmusTest t = sbal();
+    const Program arm = mapX86ToArmDesired(t.program);
+    EXPECT_FALSE(checkRefinement(t.program, kX86, arm, kArmOrig).correct);
+    EXPECT_TRUE(checkRefinement(t.program, kX86, arm, kArmFixed).correct);
+}
+
+TEST(PaperFig9, TrailingDmbffNeededForRmw2StoreLoadOrder)
+{
+    // Fig. 9 right: with the full Fig. 7b lowering (DMBFF;RMW2;DMBFF) the
+    // SB-with-RMWs outcome is forbidden; dropping the fences allows it.
+    const LitmusTest t = fig9SB();
+    const Program fenced = mapTcgToArm(t.program, TcgToArmScheme::Risotto,
+                                       RmwLowering::FencedRmw2);
+    EXPECT_FALSE(allowed(fenced, kArmFixed, t.interesting));
+
+    // Plain RMW2 without the surrounding DMBFFs: weak outcome appears.
+    Program bare = t.program;
+    for (auto &th : bare.threads)
+        for (auto &i : th.instrs)
+            if (i.kind == Instr::Kind::Rmw) {
+                i.rmwKind = memcore::RmwKind::LxSx;
+                i.readAccess = memcore::Access::Plain;
+                i.writeAccess = memcore::Access::Plain;
+            }
+    EXPECT_TRUE(allowed(bare, kArmFixed, t.interesting))
+        << bare.toString();
+    // And the IR source forbids it.
+    EXPECT_FALSE(allowed(t.program, kTcg, t.interesting));
+}
+
+} // namespace

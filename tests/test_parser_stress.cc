@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the litmus text format and the end-to-end stress runner,
+ * including the library's central soundness property: outcomes observed
+ * operationally (translated code on the weak-memory machine) are a
+ * subset of the outcomes allowed axiomatically.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/enumerate.hh"
+#include "litmus/library.hh"
+#include "litmus/parser.hh"
+#include "mapping/schemes.hh"
+#include "models/model.hh"
+#include "risotto/stress.hh"
+#include "support/error.hh"
+
+namespace
+{
+
+using namespace risotto;
+using namespace risotto::litmus;
+
+const models::X86Model kX86;
+const models::ArmModel kArm(models::ArmModel::AmoRule::Corrected);
+
+TEST(LitmusParser, ParsesMp)
+{
+    const LitmusTest test = parseLitmus(
+        "test MP\n"
+        "thread\n"
+        "  store 0 1\n"
+        "  store 1 1\n"
+        "thread\n"
+        "  load r0 1\n"
+        "  load r1 0\n"
+        "forbidden 1:r0=1 & 1:r1=0\n");
+    EXPECT_EQ(test.program.name, "MP");
+    ASSERT_EQ(test.program.threads.size(), 2u);
+    EXPECT_TRUE(test.forbiddenInSource);
+
+    // Same behaviours as the built-in MP.
+    const BehaviorSet parsed = enumerateBehaviors(test.program, kX86);
+    const BehaviorSet builtin = enumerateBehaviors(mp().program, kX86);
+    EXPECT_EQ(parsed, builtin);
+}
+
+TEST(LitmusParser, ParsesRmwFencesGuardsAndFlavors)
+{
+    const LitmusTest test = parseLitmus(
+        "test fancy\n"
+        "init [2]=0\n"
+        "thread\n"
+        "  store 0 1 rel\n"
+        "  fence mfence\n"
+        "  rmw r0 2 0 1 lxsx al\n"
+        "thread\n"
+        "  load r0 0 acq\n"
+        "  if r0=1 store 1 r0\n"
+        "exists 0:r0=0 & [1]=1\n");
+    const auto &t0 = test.program.threads[0].instrs;
+    EXPECT_EQ(t0[0].writeAccess, memcore::Access::Release);
+    EXPECT_EQ(t0[1].fence, memcore::FenceKind::MFence);
+    EXPECT_EQ(t0[2].rmwKind, memcore::RmwKind::LxSx);
+    EXPECT_EQ(t0[2].readAccess, memcore::Access::Acquire);
+    EXPECT_EQ(t0[2].writeAccess, memcore::Access::Release);
+    const auto &t1 = test.program.threads[1].instrs;
+    EXPECT_EQ(t1[0].readAccess, memcore::Access::Acquire);
+    EXPECT_EQ(t1[1].guardReg, 0);
+    EXPECT_EQ(t1[1].value.kind, StoreExpr::Kind::FromReg);
+    EXPECT_FALSE(test.forbiddenInSource);
+}
+
+TEST(LitmusParser, RejectsBadInput)
+{
+    EXPECT_THROW(parseLitmus("store 0 1\n"), FatalError); // No thread.
+    EXPECT_THROW(parseLitmus("test x\nthread\n  frobnicate r0\n"
+                             "exists 0:r0=0\n"),
+                 FatalError);
+    EXPECT_THROW(parseLitmus("test x\nthread\n  load r0\n"
+                             "exists 0:r0=0\n"),
+                 FatalError);
+    EXPECT_THROW(parseLitmus("test x\nthread\n  load r0 0\n"),
+                 FatalError); // No exists clause.
+}
+
+TEST(LitmusParser, CorpusRoundTrips)
+{
+    // format -> parse preserves semantics for the whole corpus.
+    for (const LitmusTest &test : x86Corpus()) {
+        const std::string text = formatLitmus(test);
+        const LitmusTest reparsed = parseLitmus(text);
+        EXPECT_EQ(reparsed.program.name, test.program.name);
+        EXPECT_EQ(enumerateBehaviors(reparsed.program, kX86),
+                  enumerateBehaviors(test.program, kX86))
+            << text;
+        EXPECT_EQ(reparsed.forbiddenInSource, test.forbiddenInSource);
+    }
+}
+
+TEST(Stress, WeakMpObservedOnlyWithoutFences)
+{
+    const LitmusTest test = mp();
+    const auto weak = runStress(test.program,
+                                dbt::DbtConfig::qemuNoFences(), 400);
+    EXPECT_GT(weak.runs(), 0u);
+    EXPECT_TRUE(weak.observed(test.interesting))
+        << weak.toString();
+
+    const auto strong =
+        runStress(test.program, dbt::DbtConfig::risotto(), 200);
+    EXPECT_FALSE(strong.observed(test.interesting)) << strong.toString();
+}
+
+TEST(Stress, SbWeakOutcomeAllowedAndObservable)
+{
+    // SB's a=b=0 is allowed even in x86; a correct DBT may show it.
+    const LitmusTest test = sb();
+    const auto result =
+        runStress(test.program, dbt::DbtConfig::risotto(), 400);
+    // It must at least be axiomatically allowed; observing it requires
+    // the store buffers to delay, which the randomized machine does.
+    const BehaviorSet x86_behaviors =
+        enumerateBehaviors(test.program, kX86);
+    EXPECT_TRUE(test.interesting.existsIn(x86_behaviors));
+    EXPECT_TRUE(result.observed(test.interesting)) << result.toString();
+}
+
+TEST(Stress, CmpxchgOutcomesMatchSemantics)
+{
+    // Two threads CAS the same cell: exactly one wins.
+    Program p;
+    p.name = "cas-race";
+    Thread t0, t1;
+    t0.instrs = {Instr::rmw(0, 0, 0, 1)};
+    t1.instrs = {Instr::rmw(0, 0, 0, 2)};
+    p.threads = {t0, t1};
+    const auto result = runStress(p, dbt::DbtConfig::risotto(), 200);
+    Condition both_win;
+    both_win.reg(0, 0, 0).reg(1, 0, 0);
+    EXPECT_FALSE(result.observed(both_win)) << result.toString();
+    // Each thread wins in some schedule.
+    Condition t0_wins;
+    t0_wins.mem(0, 1);
+    Condition t1_wins;
+    t1_wins.mem(0, 2);
+    EXPECT_TRUE(result.observed(t0_wins));
+    EXPECT_TRUE(result.observed(t1_wins));
+}
+
+/**
+ * The soundness property: operational outcomes form a subset of the
+ * axiomatic behaviours of the mapped program, and -- for the verified
+ * mappings -- of the x86 behaviours of the source.
+ */
+TEST(StressSoundness, OperationalSubsetOfAxiomatic)
+{
+    struct Case
+    {
+        dbt::DbtConfig config;
+        mapping::X86ToTcgScheme frontend;
+        mapping::TcgToArmScheme backend;
+        mapping::RmwLowering rmw;
+        bool refines_x86;
+    };
+    const Case cases[] = {
+        {dbt::DbtConfig::risotto(), mapping::X86ToTcgScheme::Risotto,
+         mapping::TcgToArmScheme::Risotto,
+         mapping::RmwLowering::InlineCasal, true},
+        {dbt::DbtConfig::qemuNoFences(),
+         mapping::X86ToTcgScheme::NoFences, mapping::TcgToArmScheme::Qemu,
+         mapping::RmwLowering::HelperRmw1AL, false},
+    };
+
+    for (const LitmusTest &test : {mp(), sb(), lb(), sbal()}) {
+        // Axiomatic reference sets.
+        BehaviorSet x86_behaviors;
+        for (const Outcome &o :
+             enumerateBehaviors(test.program, kX86))
+            x86_behaviors.insert(normalizeOutcome(test.program, o));
+
+        for (const Case &c : cases) {
+            const Program arm = mapping::mapX86ToArm(
+                test.program, c.frontend, c.backend, c.rmw);
+            BehaviorSet arm_behaviors;
+            for (const Outcome &o : enumerateBehaviors(arm, kArm))
+                arm_behaviors.insert(normalizeOutcome(test.program, o));
+
+            const auto stress =
+                runStress(test.program, c.config, 250);
+            for (const auto &[outcome, count] : stress.histogram) {
+                const Outcome norm =
+                    normalizeOutcome(test.program, outcome);
+                EXPECT_TRUE(arm_behaviors.count(norm))
+                    << test.program.name << " / " << c.config.name
+                    << ": observed outcome outside the Arm model: "
+                    << norm.toString();
+                if (c.refines_x86) {
+                    EXPECT_TRUE(x86_behaviors.count(norm))
+                        << test.program.name << " / " << c.config.name
+                        << ": verified mapping leaked non-x86 outcome: "
+                        << norm.toString();
+                }
+            }
+        }
+    }
+}
+
+} // namespace

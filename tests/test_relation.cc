@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit and property tests for the relation algebra in memcore.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memcore/relation.hh"
+#include "support/rng.hh"
+
+namespace
+{
+
+using risotto::Rng;
+using risotto::memcore::EventId;
+using risotto::memcore::EventSet;
+using risotto::memcore::Relation;
+
+TEST(EventSet, BasicOperations)
+{
+    EventSet s(70);
+    EXPECT_TRUE(s.empty());
+    s.insert(0);
+    s.insert(63);
+    s.insert(64);
+    s.insert(69);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_TRUE(s.contains(63));
+    EXPECT_TRUE(s.contains(64));
+    EXPECT_FALSE(s.contains(1));
+    s.erase(63);
+    EXPECT_FALSE(s.contains(63));
+    EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(EventSet, SetAlgebra)
+{
+    EventSet a(10), b(10);
+    a.insert(1);
+    a.insert(2);
+    b.insert(2);
+    b.insert(3);
+    EXPECT_EQ((a | b).count(), 3u);
+    EXPECT_EQ((a & b).count(), 1u);
+    EXPECT_TRUE((a & b).contains(2));
+    EXPECT_EQ((a - b).count(), 1u);
+    EXPECT_TRUE((a - b).contains(1));
+    EXPECT_EQ(a.complement().count(), 8u);
+}
+
+TEST(Relation, InsertEraseContains)
+{
+    Relation r(5);
+    EXPECT_TRUE(r.empty());
+    r.insert(0, 1);
+    r.insert(1, 2);
+    EXPECT_TRUE(r.contains(0, 1));
+    EXPECT_FALSE(r.contains(1, 0));
+    EXPECT_EQ(r.pairCount(), 2u);
+    r.erase(0, 1);
+    EXPECT_FALSE(r.contains(0, 1));
+}
+
+TEST(Relation, Composition)
+{
+    Relation r(4), s(4);
+    r.insert(0, 1);
+    r.insert(2, 3);
+    s.insert(1, 2);
+    s.insert(3, 0);
+    const Relation rs = r.compose(s);
+    EXPECT_TRUE(rs.contains(0, 2));
+    EXPECT_TRUE(rs.contains(2, 0));
+    EXPECT_EQ(rs.pairCount(), 2u);
+}
+
+TEST(Relation, TransitiveClosure)
+{
+    Relation r(4);
+    r.insert(0, 1);
+    r.insert(1, 2);
+    r.insert(2, 3);
+    const Relation tc = r.transitiveClosure();
+    EXPECT_TRUE(tc.contains(0, 3));
+    EXPECT_TRUE(tc.contains(0, 2));
+    EXPECT_TRUE(tc.contains(1, 3));
+    EXPECT_FALSE(tc.contains(3, 0));
+    EXPECT_EQ(tc.pairCount(), 6u);
+}
+
+TEST(Relation, AcyclicityDetectsCycles)
+{
+    Relation r(3);
+    r.insert(0, 1);
+    r.insert(1, 2);
+    EXPECT_TRUE(r.acyclic());
+    r.insert(2, 0);
+    EXPECT_FALSE(r.acyclic());
+    EXPECT_TRUE(r.irreflexive()); // No self loops even though cyclic.
+}
+
+TEST(Relation, IdentityAndRestriction)
+{
+    EventSet s(5);
+    s.insert(1);
+    s.insert(3);
+    const Relation id = Relation::identityOn(s);
+    EXPECT_TRUE(id.contains(1, 1));
+    EXPECT_TRUE(id.contains(3, 3));
+    EXPECT_EQ(id.pairCount(), 2u);
+
+    Relation r(5);
+    r.insert(1, 2);
+    r.insert(3, 2);
+    r.insert(2, 3);
+    EXPECT_EQ(r.restrictDomain(s).pairCount(), 2u);
+    EXPECT_EQ(r.restrictCodomain(s).pairCount(), 1u);
+    EXPECT_TRUE(r.restrictCodomain(s).contains(2, 3));
+}
+
+TEST(Relation, DomainCodomainInverse)
+{
+    Relation r(5);
+    r.insert(0, 2);
+    r.insert(1, 2);
+    EXPECT_EQ(r.domain().count(), 2u);
+    EXPECT_EQ(r.codomain().count(), 1u);
+    EXPECT_TRUE(r.codomain().contains(2));
+    const Relation inv = r.inverse();
+    EXPECT_TRUE(inv.contains(2, 0));
+    EXPECT_TRUE(inv.contains(2, 1));
+}
+
+TEST(Relation, CrossProduct)
+{
+    EventSet a(4), b(4);
+    a.insert(0);
+    a.insert(1);
+    b.insert(2);
+    const Relation x = Relation::cross(a, b);
+    EXPECT_EQ(x.pairCount(), 2u);
+    EXPECT_TRUE(x.contains(0, 2));
+    EXPECT_TRUE(x.contains(1, 2));
+}
+
+TEST(Relation, Functional)
+{
+    Relation r(4);
+    r.insert(0, 1);
+    r.insert(2, 3);
+    EXPECT_TRUE(r.functional());
+    r.insert(0, 2);
+    EXPECT_FALSE(r.functional());
+}
+
+/** Property: closure is idempotent and monotone, composition associates. */
+TEST(RelationProperty, AlgebraLaws)
+{
+    Rng rng(42);
+    for (int iter = 0; iter < 50; ++iter) {
+        const std::size_t n = 2 + rng.below(8);
+        Relation a(n), b(n), c(n);
+        for (std::size_t i = 0; i < n * 2; ++i) {
+            a.insert(static_cast<EventId>(rng.below(n)),
+                     static_cast<EventId>(rng.below(n)));
+            b.insert(static_cast<EventId>(rng.below(n)),
+                     static_cast<EventId>(rng.below(n)));
+            c.insert(static_cast<EventId>(rng.below(n)),
+                     static_cast<EventId>(rng.below(n)));
+        }
+        // Closure idempotence.
+        const Relation tc = a.transitiveClosure();
+        EXPECT_TRUE(tc.transitiveClosure() == tc);
+        // Composition associativity.
+        EXPECT_TRUE(a.compose(b).compose(c) == a.compose(b.compose(c)));
+        // Union commutativity / distribution over composition domain.
+        EXPECT_TRUE((a | b) == (b | a));
+        EXPECT_TRUE((a | b).compose(c) == (a.compose(c) | b.compose(c)));
+        // Inverse is involutive.
+        EXPECT_TRUE(a.inverse().inverse() == a);
+    }
+}
+
+} // namespace

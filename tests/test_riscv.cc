@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the RVWMO extension: model sanity on classic litmus shapes,
+ * and Theorem-1 verification of the standard x86 -> RISC-V mapping
+ * (trailing FENCE r,rw after loads, leading FENCE rw,w before stores,
+ * amo.aqrl for RMWs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/check.hh"
+#include "litmus/enumerate.hh"
+#include "litmus/library.hh"
+#include "litmus/random.hh"
+#include "mapping/schemes.hh"
+#include "models/model.hh"
+#include "support/rng.hh"
+
+namespace
+{
+
+using namespace risotto;
+using namespace risotto::litmus;
+
+const models::X86Model kX86;
+const models::RiscvModel kRiscv;
+
+bool
+allowed(const Program &p, const models::ConsistencyModel &m,
+        const Condition &c)
+{
+    return c.existsIn(enumerateBehaviors(p, m));
+}
+
+TEST(Rvwmo, PlainProgramsAreWeak)
+{
+    // Without fences RVWMO allows the MP, SB and LB weak outcomes.
+    EXPECT_TRUE(allowed(mp().program, kRiscv, mp().interesting));
+    EXPECT_TRUE(allowed(sb().program, kRiscv, sb().interesting));
+    EXPECT_TRUE(allowed(lb().program, kRiscv, lb().interesting));
+}
+
+TEST(Rvwmo, CoherenceAndAtomicityHold)
+{
+    Program p;
+    p.name = "CoRR";
+    Thread t0, t1;
+    t0.instrs = {Instr::store(LocX, 1)};
+    t1.instrs = {Instr::load(0, LocX), Instr::load(1, LocX)};
+    p.threads = {t0, t1};
+    Condition weird;
+    weird.reg(1, 0, 1).reg(1, 1, 0);
+    EXPECT_FALSE(allowed(p, kRiscv, weird));
+
+    Program cas;
+    cas.name = "cas-race";
+    Thread c0, c1;
+    c0.instrs = {Instr::rmw(0, LocX, 0, 1)};
+    c1.instrs = {Instr::rmw(0, LocX, 0, 2)};
+    cas.threads = {c0, c1};
+    Condition both;
+    both.reg(0, 0, 0).reg(1, 0, 0);
+    EXPECT_FALSE(allowed(cas, kRiscv, both));
+}
+
+TEST(Rvwmo, FencesRestoreOrder)
+{
+    // MP with fence rw,rw (Fmm) on both sides is forbidden.
+    Program p = mp().program;
+    p.threads[0].instrs.insert(p.threads[0].instrs.begin() + 1,
+                               Instr::fenceOf(memcore::FenceKind::Fmm));
+    p.threads[1].instrs.insert(p.threads[1].instrs.begin() + 1,
+                               Instr::fenceOf(memcore::FenceKind::Fmm));
+    EXPECT_FALSE(allowed(p, kRiscv, mp().interesting));
+}
+
+TEST(Rvwmo, AcquireReleaseOrder)
+{
+    // MP with release store / acquire load is forbidden.
+    Program p;
+    p.name = "MP+rl+aq";
+    Thread t0, t1;
+    t0.instrs = {Instr::store(LocX, 1),
+                 Instr::store(LocY, 1, memcore::Access::Release)};
+    t1.instrs = {Instr::load(0, LocY, memcore::Access::Acquire),
+                 Instr::load(1, LocX)};
+    p.threads = {t0, t1};
+    Condition weak;
+    weak.reg(1, 0, 1).reg(1, 1, 0);
+    EXPECT_FALSE(allowed(p, kRiscv, weak));
+}
+
+TEST(Rvwmo, StandardMappingRefinesCorpus)
+{
+    for (const LitmusTest &test : x86Corpus()) {
+        const Program rv = mapping::mapX86ToRiscv(test.program);
+        const auto result =
+            checkRefinement(test.program, kX86, rv, kRiscv);
+        EXPECT_TRUE(result.correct) << test.program.name;
+    }
+}
+
+TEST(Rvwmo, FenceFreeMappingViolates)
+{
+    std::size_t violations = 0;
+    for (const LitmusTest &test : x86Corpus()) {
+        const Program rv =
+            mapping::mapX86ToRiscv(test.program, /*with_fences=*/false);
+        if (!checkRefinement(test.program, kX86, rv, kRiscv).correct)
+            ++violations;
+    }
+    EXPECT_GE(violations, 3u); // MP/LB and friends must break.
+}
+
+TEST(Rvwmo, StandardMappingRefinesRandomPrograms)
+{
+    Rng rng(777);
+    RandomProgramOptions opts;
+    opts.maxInstrsPerThread = 3;
+    opts.rmwPercent = 25;
+    for (int i = 0; i < 120; ++i) {
+        const Program src = randomProgram(rng, opts);
+        const Program rv = mapping::mapX86ToRiscv(src);
+        EXPECT_TRUE(checkRefinement(src, kX86, rv, kRiscv).correct)
+            << src.toString();
+    }
+}
+
+} // namespace

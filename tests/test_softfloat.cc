@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Soft-float correctness: special values plus a large differential sweep
+ * against the host FPU over normal-range operands (the soft
+ * implementation must be bit-exact there; subnormal results flush).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "dbt/softfloat.hh"
+#include "support/rng.hh"
+
+namespace
+{
+
+using namespace risotto;
+using namespace risotto::dbt::softfloat;
+
+std::uint64_t
+bitsOf(double d)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &d, sizeof(b));
+    return b;
+}
+
+double
+doubleOf(std::uint64_t b)
+{
+    double d;
+    std::memcpy(&d, &b, sizeof(d));
+    return d;
+}
+
+TEST(SoftFloat, SimpleValues)
+{
+    EXPECT_EQ(doubleOf(add64(bitsOf(1.5), bitsOf(2.25)).bits), 3.75);
+    EXPECT_EQ(doubleOf(sub64(bitsOf(1.5), bitsOf(2.25)).bits), -0.75);
+    EXPECT_EQ(doubleOf(mul64(bitsOf(3.0), bitsOf(7.0)).bits), 21.0);
+    EXPECT_EQ(doubleOf(div64(bitsOf(1.0), bitsOf(4.0)).bits), 0.25);
+    EXPECT_EQ(doubleOf(sqrt64(bitsOf(9.0)).bits), 3.0);
+}
+
+TEST(SoftFloat, SpecialValues)
+{
+    const std::uint64_t inf = bitsOf(INFINITY);
+    const std::uint64_t ninf = bitsOf(-INFINITY);
+    const std::uint64_t nan = bitsOf(NAN);
+    const std::uint64_t one = bitsOf(1.0);
+    const std::uint64_t zero = bitsOf(0.0);
+
+    EXPECT_TRUE(std::isnan(doubleOf(add64(inf, ninf).bits)));
+    EXPECT_TRUE(std::isinf(doubleOf(add64(inf, one).bits)));
+    EXPECT_TRUE(std::isnan(doubleOf(add64(nan, one).bits)));
+    EXPECT_TRUE(std::isnan(doubleOf(mul64(inf, zero).bits)));
+    EXPECT_TRUE(std::isinf(doubleOf(div64(one, zero).bits)));
+    EXPECT_TRUE(std::isnan(doubleOf(div64(zero, zero).bits)));
+    EXPECT_EQ(doubleOf(mul64(zero, one).bits), 0.0);
+    // Signed zero of a negative product.
+    EXPECT_EQ(mul64(bitsOf(-1.0), zero).bits, bitsOf(-0.0));
+}
+
+TEST(SoftFloat, CancellationAndAlignment)
+{
+    EXPECT_EQ(doubleOf(sub64(bitsOf(1.0), bitsOf(1.0)).bits), 0.0);
+    // Large exponent gap: small operand becomes pure sticky.
+    const double big = 1e300;
+    const double tiny = 1e-300;
+    EXPECT_EQ(doubleOf(add64(bitsOf(big), bitsOf(tiny)).bits), big + tiny);
+    // Near-total cancellation.
+    const double a = 1.0000000000000002; // 1 + 1ulp
+    EXPECT_EQ(doubleOf(sub64(bitsOf(a), bitsOf(1.0)).bits), a - 1.0);
+}
+
+TEST(SoftFloat, ConversionRoundTrip)
+{
+    EXPECT_EQ(doubleOf(fromInt64(42).bits), 42.0);
+    EXPECT_EQ(toInt64(bitsOf(42.9)).bits, 42u);
+    EXPECT_EQ(static_cast<std::int64_t>(toInt64(bitsOf(-3.7)).bits), -3);
+}
+
+/** Random double with exponent drawn away from subnormal territory. */
+double
+randomNormal(Rng &rng)
+{
+    const std::uint64_t frac = rng.next() & 0x000f'ffff'ffff'ffffULL;
+    // Exponent in [300, 1700]: products/quotients stay normal.
+    const std::uint64_t exp = 300 + rng.below(1400);
+    const std::uint64_t sign = rng.chance(1, 2) ? (1ULL << 63) : 0;
+    double d;
+    const std::uint64_t bits = sign | (exp << 52) | frac;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+TEST(SoftFloatDifferential, BitExactAgainstHardware)
+{
+    Rng rng(2024);
+    for (int n = 0; n < 20000; ++n) {
+        const double a = randomNormal(rng);
+        const double b = randomNormal(rng);
+        const std::uint64_t ab = bitsOf(a);
+        const std::uint64_t bb = bitsOf(b);
+
+        const double hw_add = a + b;
+        if (std::fpclassify(hw_add) == FP_NORMAL ||
+            hw_add == 0.0 || std::isinf(hw_add)) {
+            EXPECT_EQ(add64(ab, bb).bits, bitsOf(hw_add))
+                << "add " << a << " + " << b;
+        }
+        const double hw_sub = a - b;
+        if (std::fpclassify(hw_sub) == FP_NORMAL ||
+            hw_sub == 0.0 || std::isinf(hw_sub)) {
+            EXPECT_EQ(sub64(ab, bb).bits, bitsOf(hw_sub))
+                << "sub " << a << " - " << b;
+        }
+        const double hw_mul = a * b;
+        if (std::fpclassify(hw_mul) == FP_NORMAL || std::isinf(hw_mul)) {
+            EXPECT_EQ(mul64(ab, bb).bits, bitsOf(hw_mul))
+                << "mul " << a << " * " << b;
+        }
+        const double hw_div = a / b;
+        if (std::fpclassify(hw_div) == FP_NORMAL || std::isinf(hw_div)) {
+            EXPECT_EQ(div64(ab, bb).bits, bitsOf(hw_div))
+                << "div " << a << " / " << b;
+        }
+    }
+}
+
+TEST(SoftFloat, CostsReflectSoftwareEmulation)
+{
+    // The cost model must make software FP much slower than the native
+    // units (Section 7.3's floating-point emulation discussion).
+    EXPECT_GE(add64(bitsOf(1.0), bitsOf(2.0)).cycles, 40u);
+    EXPECT_GE(div64(bitsOf(1.0), bitsOf(2.0)).cycles, 100u);
+    EXPECT_GE(sqrt64(bitsOf(2.0)).cycles, 150u);
+}
+
+} // namespace

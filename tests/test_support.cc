@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the support utilities: formatting, tables, counters, RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "support/error.hh"
+#include "support/format.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+
+namespace
+{
+
+using namespace risotto;
+
+TEST(Format, Strings)
+{
+    EXPECT_EQ(hexString(0xbeef), "0xbeef");
+    EXPECT_EQ(fixedString(3.14159, 2), "3.14");
+    EXPECT_EQ(padLeft("x", 3), "  x");
+    EXPECT_EQ(padRight("x", 3), "x  ");
+    EXPECT_EQ(padLeft("xyz", 2), "xyz");
+    EXPECT_EQ(join(std::vector<std::string>{"a", "b", "c"}, ","),
+              "a,b,c");
+    EXPECT_EQ(trimString("  hi \t"), "hi");
+    EXPECT_EQ(trimString("   "), "");
+}
+
+TEST(Format, Split)
+{
+    const auto parts = splitString("a,,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    const auto kept = splitString("a,,b", ',', /*keep_empty=*/true);
+    ASSERT_EQ(kept.size(), 3u);
+    EXPECT_EQ(kept[1], "");
+}
+
+TEST(Stats, AccumulatorSummaries)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.mean(), 0.0);
+    acc.add(2.0);
+    acc.add(4.0);
+    acc.add(6.0);
+    EXPECT_EQ(acc.count(), 3u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 6.0);
+    EXPECT_NEAR(acc.stddev(), 1.632993, 1e-5);
+}
+
+TEST(Stats, ReportTableRendering)
+{
+    ReportTable table("demo", {"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow("beta", {2.5}, 1);
+    EXPECT_EQ(table.rows(), 2u);
+    std::ostringstream os;
+    table.print(os);
+    EXPECT_NE(os.str().find("== demo =="), std::string::npos);
+    EXPECT_NE(os.str().find("alpha"), std::string::npos);
+    std::ostringstream csv;
+    table.printCsv(csv);
+    EXPECT_NE(csv.str().find("name,value"), std::string::npos);
+    EXPECT_NE(csv.str().find("beta,2.5"), std::string::npos);
+    EXPECT_THROW(table.addRow({"too", "many", "cells"}), FatalError);
+}
+
+TEST(Stats, StatSetCounters)
+{
+    StatSet stats;
+    EXPECT_EQ(stats.get("missing"), 0u);
+    stats.bump("a");
+    stats.bump("a", 4);
+    stats.set("b", 10);
+    EXPECT_EQ(stats.get("a"), 5u);
+    StatSet other;
+    other.bump("a", 5);
+    other.bump("c");
+    stats.merge(other);
+    EXPECT_EQ(stats.get("a"), 10u);
+    EXPECT_EQ(stats.get("c"), 1u);
+    stats.clear();
+    EXPECT_EQ(stats.get("a"), 0u);
+}
+
+TEST(Rng, DeterministicAndWellDistributed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+
+    Rng c(43);
+    std::set<std::uint64_t> seen;
+    int buckets[8] = {};
+    for (int i = 0; i < 8000; ++i) {
+        const std::uint64_t v = c.next();
+        seen.insert(v);
+        buckets[c.below(8)]++;
+    }
+    EXPECT_EQ(seen.size(), 8000u); // No collisions in 8k draws.
+    for (int count : buckets)
+        EXPECT_GT(count, 800); // Roughly uniform.
+
+    // range() is inclusive on both ends.
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t v = c.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Errors, TypedExceptions)
+{
+    EXPECT_THROW(panic("boom"), PanicError);
+    EXPECT_THROW(fatal("bad input"), FatalError);
+    EXPECT_NO_THROW(panicIf(false, "fine"));
+    EXPECT_NO_THROW(fatalIf(false, "fine"));
+    try {
+        fatal("specific message");
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("specific message"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("fatal"),
+                  std::string::npos);
+    }
+}
+
+} // namespace

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Tests for the TCG IR and its optimizer passes: fence merging with the
+ * Section 6.1 semantics, constant folding / false-dependency elimination,
+ * the Figure 10 memory eliminations with their side conditions, and
+ * dead-code elimination.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tcg/ir.hh"
+#include "tcg/optimizer.hh"
+
+namespace
+{
+
+using namespace risotto;
+using namespace risotto::tcg;
+using gx86::Cond;
+using memcore::FenceKind;
+namespace b = tcg::build;
+
+std::size_t
+countOp(const Block &block, Op op)
+{
+    std::size_t n = 0;
+    for (const Instr &i : block.instrs)
+        if (i.op == op)
+            ++n;
+    return n;
+}
+
+std::vector<FenceKind>
+fences(const Block &block)
+{
+    std::vector<FenceKind> out;
+    for (const Instr &i : block.instrs)
+        if (i.op == Op::Mb)
+            out.push_back(i.fence);
+    return out;
+}
+
+TEST(FenceMerge, PaperSection61Example)
+{
+    // a = X; Frm; Fww; Y = 1  ~~>  a = X; F(merged); Y = 1.
+    Block blk;
+    const TempId base = blk.newTemp();
+    blk.instrs = {
+        b::movi(base, 0x1000),
+        b::ld(0, base, 0),
+        b::mb(FenceKind::Frm),
+        b::mb(FenceKind::Fww),
+        b::st(1, base, 8),
+    };
+    const std::size_t merged = passFenceMerge(blk);
+    EXPECT_EQ(merged, 1u);
+    const auto fs = fences(blk);
+    ASSERT_EQ(fs.size(), 1u);
+    // Frm u Fww = {rr, rw, ww} which is covered by Fmm (lowered to DMBFF,
+    // exactly like the paper's Fsc choice).
+    EXPECT_EQ(fs[0], FenceKind::Fmm);
+}
+
+TEST(FenceMerge, PlacedAtEarliestPosition)
+{
+    Block blk;
+    blk.instrs = {
+        b::mb(FenceKind::Frr),
+        b::movi(18, 5), // Pure op between fences: still mergeable.
+        b::mb(FenceKind::Frw),
+    };
+    passFenceMerge(blk);
+    ASSERT_EQ(blk.instrs.size(), 2u);
+    EXPECT_EQ(blk.instrs[0].op, Op::Mb);
+    EXPECT_EQ(blk.instrs[0].fence, FenceKind::Frm);
+    EXPECT_EQ(blk.instrs[1].op, Op::MovI);
+}
+
+TEST(FenceMerge, MemoryOpBlocksMerging)
+{
+    Block blk;
+    const TempId base = blk.newTemp();
+    blk.instrs = {
+        b::movi(base, 0x1000),
+        b::mb(FenceKind::Frr),
+        b::ld(0, base, 0),
+        b::mb(FenceKind::Fww),
+    };
+    EXPECT_EQ(passFenceMerge(blk), 0u);
+    EXPECT_EQ(fences(blk).size(), 2u);
+}
+
+TEST(FenceMerge, FscAbsorbsEverything)
+{
+    Block blk;
+    blk.instrs = {
+        b::mb(FenceKind::Fsc),
+        b::mb(FenceKind::Frr),
+        b::mb(FenceKind::Fww),
+    };
+    EXPECT_EQ(passFenceMerge(blk), 2u);
+    const auto fs = fences(blk);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0], FenceKind::Fsc);
+}
+
+TEST(ConstantFold, FoldsArithmeticChains)
+{
+    Block blk;
+    const TempId t1 = blk.newTemp();
+    const TempId t2 = blk.newTemp();
+    const TempId t3 = blk.newTemp();
+    blk.instrs = {
+        b::movi(t1, 6),
+        b::movi(t2, 7),
+        b::binop(Op::Mul, t3, t1, t2),
+        b::mov(0, t3),
+    };
+    EXPECT_GE(passConstantFold(blk), 2u);
+    // g0 = 42 should be a direct constant now.
+    bool found = false;
+    for (const Instr &i : blk.instrs)
+        if (i.op == Op::MovI && i.a == 0 && i.imm == 42)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(ConstantFold, FalseDependencyElimination)
+{
+    // x * 0 -> 0 even when x is unknown (Section 6.1).
+    Block blk;
+    const TempId zero = blk.newTemp();
+    const TempId result = blk.newTemp();
+    blk.instrs = {
+        b::movi(zero, 0),
+        b::binop(Op::Mul, result, 3, zero), // g3 unknown.
+        b::mov(1, result),
+    };
+    EXPECT_GE(passConstantFold(blk), 1u);
+    bool found = false;
+    for (const Instr &i : blk.instrs)
+        if (i.op == Op::MovI && i.a == result && i.imm == 0)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(ConstantFold, XorAndSubSelfAreZero)
+{
+    Block blk;
+    const TempId t = blk.newTemp();
+    blk.instrs = {
+        b::binop(Op::Xor, t, 5, 5),
+        b::binop(Op::Sub, 6, 7, 7),
+        b::mov(0, t),
+    };
+    EXPECT_EQ(passConstantFold(blk), 3u);
+}
+
+TEST(ConstantFold, KnownBranchFolds)
+{
+    Block blk;
+    const TempId t = blk.newTemp();
+    const TempId z = blk.newTemp();
+    const auto label = blk.newLabel();
+    blk.instrs = {
+        b::movi(t, 1),
+        b::movi(z, 0),
+        b::brcond(Cond::Eq, t, z, label), // 1 == 0: never taken.
+        b::movi(0, 10),
+        b::setLabel(label),
+    };
+    passConstantFold(blk);
+    EXPECT_EQ(countOp(blk, Op::BrCond), 0u);
+    EXPECT_EQ(countOp(blk, Op::Br), 0u); // Dropped, not rewritten.
+}
+
+TEST(ConstantFold, LabelsResetKnowledge)
+{
+    Block blk;
+    const TempId t = blk.newTemp();
+    const auto label = blk.newLabel();
+    blk.instrs = {
+        b::movi(t, 3),
+        b::setLabel(label), // Join point: t may differ on other paths.
+        b::addi(0, t, 1),
+    };
+    passConstantFold(blk);
+    // The AddI must NOT fold: t is unknown after the label.
+    EXPECT_EQ(countOp(blk, Op::AddI), 1u);
+}
+
+TEST(MemoryElim, RawBecomesMove)
+{
+    Block blk;
+    const TempId base = blk.newTemp();
+    const TempId v = blk.newTemp();
+    blk.instrs = {
+        b::movi(base, 0x2000),
+        b::movi(v, 9),
+        b::st(v, base, 0),
+        b::ld(0, base, 0),
+    };
+    EXPECT_EQ(passMemoryElim(blk), 1u);
+    EXPECT_EQ(countOp(blk, Op::Ld), 0u);
+    EXPECT_EQ(countOp(blk, Op::St), 1u);
+}
+
+TEST(MemoryElim, FencedRawRespectsSideCondition)
+{
+    // W . Fww . R eliminates (tau in {sc, ww}); W . Frm . R must not.
+    for (const FenceKind fence : {FenceKind::Fww, FenceKind::Frm}) {
+        Block blk;
+        const TempId base = blk.newTemp();
+        const TempId v = blk.newTemp();
+        blk.instrs = {
+            b::movi(base, 0x2000),
+            b::movi(v, 9),
+            b::st(v, base, 0),
+            b::mb(fence),
+            b::ld(0, base, 0),
+        };
+        const std::size_t eliminated = passMemoryElim(blk);
+        if (fence == FenceKind::Fww)
+            EXPECT_EQ(eliminated, 1u);
+        else
+            EXPECT_EQ(eliminated, 0u);
+    }
+}
+
+TEST(MemoryElim, WawRemovesFirstStore)
+{
+    Block blk;
+    const TempId base = blk.newTemp();
+    blk.instrs = {
+        b::movi(base, 0x2000),
+        b::movi(18, 1),
+        b::st(18, base, 0),
+        b::mb(FenceKind::Fww),
+        b::st(0, base, 0),
+    };
+    EXPECT_EQ(passMemoryElim(blk), 1u);
+    EXPECT_EQ(countOp(blk, Op::St), 1u);
+    // The fence survives (F-WAW keeps the fence).
+    EXPECT_EQ(fences(blk).size(), 1u);
+}
+
+TEST(MemoryElim, RarBecomesMove)
+{
+    Block blk;
+    const TempId base = blk.newTemp();
+    blk.instrs = {
+        b::movi(base, 0x2000),
+        b::ld(0, base, 0),
+        b::ld(1, base, 0),
+    };
+    EXPECT_EQ(passMemoryElim(blk), 1u);
+    EXPECT_EQ(countOp(blk, Op::Ld), 1u);
+    EXPECT_EQ(countOp(blk, Op::Mov), 1u);
+}
+
+TEST(MemoryElim, VocabularyPreconditionBlocksPass)
+{
+    // A block containing Fmr (QEMU's scheme) must not be rewritten --
+    // the FMR counterexample (Section 3.2).
+    Block blk;
+    const TempId base = blk.newTemp();
+    const TempId v = blk.newTemp();
+    blk.instrs = {
+        b::movi(base, 0x2000),
+        b::mb(FenceKind::Fmr),
+        b::movi(v, 9),
+        b::st(v, base, 0),
+        b::ld(0, base, 0),
+    };
+    EXPECT_EQ(passMemoryElim(blk), 0u);
+}
+
+TEST(MemoryElim, InterveningMemoryOpBlocks)
+{
+    Block blk;
+    const TempId base = blk.newTemp();
+    blk.instrs = {
+        b::movi(base, 0x2000),
+        b::movi(18, 1),
+        b::st(18, base, 0),
+        b::ld(2, base, 8), // Different address in between.
+        b::ld(0, base, 0),
+    };
+    EXPECT_EQ(passMemoryElim(blk), 0u);
+}
+
+TEST(MemoryElim, BaseClobberBlocks)
+{
+    Block blk;
+    const TempId base = blk.newTemp();
+    blk.instrs = {
+        b::movi(base, 0x2000),
+        b::st(0, base, 0),
+        b::addi(base, base, 0), // Redefines the base temp.
+        b::ld(1, base, 0),
+    };
+    EXPECT_EQ(passMemoryElim(blk), 0u);
+}
+
+TEST(DeadCode, RemovesUnusedPureOps)
+{
+    Block blk;
+    const TempId t1 = blk.newTemp();
+    const TempId t2 = blk.newTemp();
+    blk.instrs = {
+        b::movi(t1, 1),
+        b::movi(t2, 2), // Dead.
+        b::mov(0, t1),
+    };
+    EXPECT_EQ(passDeadCode(blk), 1u);
+    EXPECT_EQ(blk.instrs.size(), 2u);
+}
+
+TEST(DeadCode, GlobalsAreLive)
+{
+    Block blk;
+    blk.instrs = {
+        b::movi(3, 7), // Guest register: observable after the block.
+    };
+    EXPECT_EQ(passDeadCode(blk), 0u);
+}
+
+TEST(DeadCode, LoadsAreNeverRemoved)
+{
+    Block blk;
+    const TempId base = blk.newTemp();
+    const TempId dead = blk.newTemp();
+    blk.instrs = {
+        b::movi(base, 0x2000),
+        b::ld(dead, base, 0), // Result unused, but loads stay.
+    };
+    EXPECT_EQ(passDeadCode(blk), 0u);
+}
+
+TEST(DeadCode, LivenessFlowsThroughLabels)
+{
+    Block blk;
+    const TempId t = blk.newTemp();
+    const TempId z = blk.newTemp();
+    const auto loop = blk.newLabel();
+    blk.instrs = {
+        b::movi(t, 5),
+        b::setLabel(loop),
+        b::addi(t, t, -1), // t used across the back edge.
+        b::movi(z, 0),
+        b::brcond(Cond::Ne, t, z, loop),
+        b::mov(0, t),
+    };
+    // Nothing is dead here; especially t's updates must survive.
+    EXPECT_EQ(passDeadCode(blk), 0u);
+}
+
+TEST(Pipeline, FullOptimizeCollectsStats)
+{
+    Block blk;
+    const TempId base = blk.newTemp();
+    const TempId t = blk.newTemp();
+    const TempId dead = blk.newTemp();
+    blk.instrs = {
+        b::movi(base, 0x2000),
+        b::ld(0, base, 0),
+        b::mb(FenceKind::Frm),
+        b::mb(FenceKind::Fww),
+        b::st(1, base, 8),
+        b::movi(t, 21),
+        b::binop(Op::Add, t, t, t),
+        b::movi(dead, 3),
+        b::mov(2, t),
+    };
+    StatSet stats;
+    OptimizerConfig config;
+    optimize(blk, config, &stats);
+    EXPECT_GE(stats.get("opt.fences_merged"), 1u);
+    EXPECT_GE(stats.get("opt.constants_folded"), 1u);
+    EXPECT_GE(stats.get("opt.dead_ops_removed"), 1u);
+    EXPECT_EQ(fences(blk).size(), 1u);
+}
+
+TEST(IrPrinter, RendersReadably)
+{
+    Block blk;
+    blk.guestPc = 0x1234;
+    blk.instrs = {
+        b::ld(18, 3, 8),
+        b::mb(FenceKind::Frm),
+        b::cas(19, 4, 0, 18, 5),
+        b::gotoTb(0x1300),
+    };
+    const std::string s = blk.toString();
+    EXPECT_NE(s.find("t18 = ld [g3+8]"), std::string::npos);
+    EXPECT_NE(s.find("mb Frm"), std::string::npos);
+    EXPECT_NE(s.find("cas"), std::string::npos);
+    EXPECT_NE(s.find("goto_tb 0x1300"), std::string::npos);
+}
+
+} // namespace
+
+namespace
+{
+
+TEST(DeadCode, HelpersKeepGuestStateLive)
+{
+    // Regression: the CAS helper reads its expected value from guest r0
+    // (CPUState), invisibly to the IR. DCE must not remove the movi that
+    // sets it up, and constant folding must not propagate stale guest
+    // constants past a helper (helpers may also write guest registers).
+    Block blk;
+    blk.instrs = {
+        b::movi(0, 0), // g0 = expected; only the helper reads it.
+        b::callHelper(HelperId::CasHelper, blk.newTemp(), 3, 4),
+    };
+    EXPECT_EQ(passDeadCode(blk), 0u);
+    ASSERT_EQ(blk.instrs.size(), 2u);
+    EXPECT_EQ(blk.instrs[0].op, Op::MovI);
+
+    Block fold;
+    const TempId t = fold.newTemp();
+    fold.instrs = {
+        b::movi(0, 7),
+        b::callHelper(HelperId::Syscall, tcg::NoTemp, 0, 1),
+        b::mov(t, 0), // g0 may have been rewritten by the helper.
+        b::mov(1, t),
+    };
+    passConstantFold(fold);
+    // The mov from g0 must NOT have been folded to the constant 7.
+    for (const Instr &i : fold.instrs)
+        if (i.op == Op::MovI && i.a == t)
+            FAIL() << "constant propagated across a helper call";
+}
+
+} // namespace

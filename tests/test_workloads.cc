@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Workload-proxy tests: every Figure 12 workload builds, runs to
+ * completion under every DBT variant with identical results (differential
+ * vs the reference interpreter single-threaded), the native twin
+ * terminates, and the variant cycle ordering the figure relies on holds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dbt/dbt.hh"
+#include "gx86/interp.hh"
+#include "machine/machine.hh"
+#include "support/error.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace risotto;
+using dbt::Dbt;
+using dbt::DbtConfig;
+using dbt::ThreadSpec;
+using workloads::WorkloadSpec;
+
+class WorkloadSuite : public ::testing::TestWithParam<WorkloadSpec>
+{
+};
+
+TEST_P(WorkloadSuite, SingleThreadMatchesInterpreter)
+{
+    WorkloadSpec spec = GetParam();
+    spec.iterations = 50; // Keep the differential run quick.
+    const gx86::GuestImage image = workloads::buildGuestWorkload(spec);
+
+    gx86::Interpreter interp(image);
+    const auto expected = interp.run();
+
+    for (const DbtConfig &config :
+         {DbtConfig::qemu(), DbtConfig::qemuNoFences(),
+          DbtConfig::tcgVer(), DbtConfig::risotto()}) {
+        Dbt engine(image, config);
+        const auto result = engine.run({ThreadSpec{}});
+        ASSERT_TRUE(result.finished) << spec.name << "/" << config.name;
+        EXPECT_EQ(result.exitCodes[0], expected.exitCode)
+            << spec.name << "/" << config.name;
+    }
+}
+
+TEST_P(WorkloadSuite, VariantCycleOrderingHolds)
+{
+    WorkloadSpec spec = GetParam();
+    spec.iterations = 200;
+    const gx86::GuestImage image = workloads::buildGuestWorkload(spec);
+
+    auto makespan = [&](const DbtConfig &config) {
+        Dbt engine(image, config);
+        std::vector<ThreadSpec> threads(2);
+        threads[1].regs[0] = 1;
+        const auto result = engine.run(threads);
+        EXPECT_TRUE(result.finished) << spec.name;
+        return result.makespan;
+    };
+    const std::uint64_t qemu = makespan(DbtConfig::qemu());
+    const std::uint64_t nofences = makespan(DbtConfig::qemuNoFences());
+    const std::uint64_t tcgver = makespan(DbtConfig::tcgVer());
+
+    // Figure 12's invariant: no-fences <= tcg-ver <= qemu.
+    EXPECT_LE(nofences, tcgver) << spec.name;
+    EXPECT_LE(tcgver, qemu) << spec.name;
+    // Memory-traffic workloads must actually pay for fences.
+    if (spec.loads + spec.stores >= 4) {
+        EXPECT_LT(nofences, qemu) << spec.name;
+    }
+}
+
+TEST_P(WorkloadSuite, NativeTwinTerminatesAndIsFastest)
+{
+    WorkloadSpec spec = GetParam();
+    spec.iterations = 200;
+
+    aarch::CodeBuffer code;
+    const aarch::CodeAddr entry = workloads::emitNativeWorkload(spec, code);
+    gx86::Memory memory;
+    machine::Machine machine(code, memory, {});
+    for (int t = 0; t < 2; ++t) {
+        const std::size_t idx = machine.addCore(entry);
+        machine.core(idx).x[0] = static_cast<std::uint64_t>(t);
+    }
+    ASSERT_TRUE(machine.run()) << spec.name;
+    const std::uint64_t native = machine.makespan();
+
+    const gx86::GuestImage image = workloads::buildGuestWorkload(spec);
+    Dbt engine(image, DbtConfig::qemuNoFences());
+    std::vector<ThreadSpec> threads(2);
+    threads[1].regs[0] = 1;
+    const auto translated = engine.run(threads);
+    ASSERT_TRUE(translated.finished);
+    EXPECT_LT(native, translated.makespan) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadSuite,
+    ::testing::ValuesIn(workloads::fullSuite()),
+    [](const ::testing::TestParamInfo<WorkloadSpec> &info) {
+        return info.param.name;
+    });
+
+TEST(Workloads, LookupByName)
+{
+    EXPECT_EQ(workloads::workloadByName("freqmine").suite, "parsec");
+    EXPECT_EQ(workloads::workloadByName("wordcount").suite, "phoenix");
+    EXPECT_THROW(workloads::workloadByName("doom"), FatalError);
+    EXPECT_EQ(workloads::fullSuite().size(), 16u);
+}
+
+} // namespace

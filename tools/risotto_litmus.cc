@@ -1,0 +1,175 @@
+/**
+ * @file
+ * risotto-litmus: the herd/litmus-style checking tool.
+ *
+ *   risotto-litmus [options] [test.litmus ...]
+ *
+ * With no files, checks the built-in corpus. For each test:
+ *   - enumerates behaviours under x86-TSO (and reports the interesting
+ *     outcome's status),
+ *   - checks Theorem-1 refinement for the QEMU and Risotto pipelines
+ *     under Arm-Cats (corrected),
+ *   - with --stress, additionally runs the test end-to-end through the
+ *     DBT on the randomized weak-memory machine.
+ *
+ * Options:
+ *   --model NAME   x86 | tcg | arm | arm-orig | sc  (enumeration model)
+ *   --stress       also run operationally (x86-flavoured tests only)
+ *   --schedules N  stress schedules (default 200)
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "litmus/check.hh"
+#include "litmus/enumerate.hh"
+#include "litmus/library.hh"
+#include "litmus/parser.hh"
+#include "mapping/schemes.hh"
+#include "models/model.hh"
+#include "risotto/stress.hh"
+#include "support/error.hh"
+
+using namespace risotto;
+using namespace risotto::litmus;
+
+namespace
+{
+
+const models::ScModel kSc;
+const models::X86Model kX86;
+const models::TcgModel kTcg;
+const models::ArmModel kArm(models::ArmModel::AmoRule::Corrected);
+const models::ArmModel kArmOrig(models::ArmModel::AmoRule::Original);
+
+const models::ConsistencyModel &
+modelByName(const std::string &name)
+{
+    if (name == "x86")
+        return kX86;
+    if (name == "tcg")
+        return kTcg;
+    if (name == "arm")
+        return kArm;
+    if (name == "arm-orig")
+        return kArmOrig;
+    if (name == "sc")
+        return kSc;
+    fatal("unknown model '" + name + "'");
+}
+
+void
+check(const LitmusTest &test, const models::ConsistencyModel &model,
+      bool stress, std::uint64_t schedules)
+{
+    std::cout << "=== " << test.program.name << " (model "
+              << model.name() << ") ===\n";
+    EnumerateStats stats;
+    const BehaviorSet behaviors =
+        enumerateBehaviors(test.program, model, &stats);
+    std::cout << behaviors.size() << " behaviours ("
+              << stats.consistent << " consistent executions):\n";
+    for (const Outcome &o : behaviors)
+        std::cout << "  " << o.toString() << "\n";
+    const bool observed = test.interesting.existsIn(behaviors);
+    std::cout << "condition " << test.interesting.toString() << ": "
+              << (observed ? "ALLOWED" : "forbidden");
+    if (test.forbiddenInSource && observed)
+        std::cout << "  ** expected forbidden! **";
+    std::cout << "\n";
+
+    // Theorem 1 for the two pipelines.
+    const mapping::RmwLowering lowerings[] = {
+        mapping::RmwLowering::HelperRmw1AL,
+        mapping::RmwLowering::InlineCasal};
+    const char *labels[] = {"qemu", "risotto"};
+    const mapping::X86ToTcgScheme fronts[] = {
+        mapping::X86ToTcgScheme::Qemu, mapping::X86ToTcgScheme::Risotto};
+    const mapping::TcgToArmScheme backs[] = {
+        mapping::TcgToArmScheme::Qemu, mapping::TcgToArmScheme::Risotto};
+    for (int p = 0; p < 2; ++p) {
+        const Program arm = mapping::mapX86ToArm(test.program, fronts[p],
+                                                 backs[p], lowerings[p]);
+        const auto result = checkRefinement(test.program, kX86, arm, kArm);
+        std::cout << "  " << labels[p] << " pipeline: "
+                  << (result.correct ? "refines" : "REFINEMENT VIOLATED")
+                  << "\n";
+    }
+
+    if (stress) {
+        for (const auto *label : {"no-fences", "risotto"}) {
+            const auto config = std::string(label) == "risotto"
+                                    ? dbt::DbtConfig::risotto()
+                                    : dbt::DbtConfig::qemuNoFences();
+            const StressResult result =
+                runStress(test.program, config, schedules);
+            std::cout << "  stress under " << label << " ("
+                      << result.runs() << " runs):\n";
+            std::istringstream lines(result.toString());
+            std::string line;
+            while (std::getline(lines, line))
+                std::cout << "    " << line << "\n";
+        }
+    }
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string model_name = "x86";
+    bool stress = false;
+    std::uint64_t schedules = 200;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                fatal("missing value for " + arg);
+            return argv[i];
+        };
+        try {
+            if (arg == "--model")
+                model_name = next();
+            else if (arg == "--stress")
+                stress = true;
+            else if (arg == "--schedules")
+                schedules = std::stoull(next());
+            else if (arg == "--help" || arg == "-h") {
+                std::cout << "usage: risotto-litmus [options] "
+                             "[test.litmus ...]\n";
+                return 0;
+            } else if (!arg.empty() && arg[0] == '-') {
+                fatal("unknown option " + arg);
+            } else {
+                files.push_back(arg);
+            }
+        } catch (const Error &e) {
+            std::cerr << "risotto-litmus: " << e.what() << "\n";
+            return 1;
+        }
+    }
+
+    try {
+        const models::ConsistencyModel &model = modelByName(model_name);
+        if (files.empty()) {
+            for (const LitmusTest &test : x86Corpus())
+                check(test, model, stress, schedules);
+            return 0;
+        }
+        for (const std::string &path : files) {
+            std::ifstream in(path);
+            fatalIf(!in, "cannot open " + path);
+            std::stringstream buffer;
+            buffer << in.rdbuf();
+            check(parseLitmus(buffer.str()), model, stress, schedules);
+        }
+        return 0;
+    } catch (const Error &e) {
+        std::cerr << "risotto-litmus: " << e.what() << "\n";
+        return 1;
+    }
+}

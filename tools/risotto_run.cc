@@ -1,0 +1,187 @@
+/**
+ * @file
+ * risotto-run: the command-line DBT driver.
+ *
+ *   risotto-run [options] image.riso
+ *
+ * Options:
+ *   --variant NAME    qemu | no-fences | tcg-ver | risotto  (default risotto)
+ *   --threads N       number of guest threads (tid in guest r0)
+ *   --seed N          machine scheduler seed
+ *   --randomize       randomized scheduling / relaxed drains
+ *   --no-linker       disable the dynamic host library linker
+ *   --stats           dump translation + machine counters
+ *   --trace           print every retired host instruction (very verbose)
+ *   --disasm          print the guest disassembly and exit
+ *   --emit-demo PATH  write a demo image to PATH and exit
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "gx86/assembler.hh"
+#include "gx86/imagefile.hh"
+#include "risotto/risotto.hh"
+#include "support/error.hh"
+
+using namespace risotto;
+
+namespace
+{
+
+dbt::DbtConfig
+configByName(const std::string &name)
+{
+    if (name == "qemu")
+        return dbt::DbtConfig::qemu();
+    if (name == "no-fences")
+        return dbt::DbtConfig::qemuNoFences();
+    if (name == "tcg-ver")
+        return dbt::DbtConfig::tcgVer();
+    if (name == "risotto")
+        return dbt::DbtConfig::risotto();
+    fatal("unknown variant '" + name +
+          "' (expected qemu|no-fences|tcg-ver|risotto)");
+}
+
+/** A demo image: digests a message and prints a summary char. */
+gx86::GuestImage
+demoImage()
+{
+    gx86::Assembler a;
+    std::vector<std::uint8_t> message;
+    for (char c : std::string("the quick brown fox jumps over risotto"))
+        message.push_back(static_cast<std::uint8_t>(c));
+    const gx86::Addr data = a.dataBytes(message);
+    const auto start = a.newLabel();
+    a.defineSymbol("main");
+    a.jmp(start);
+    hostlib::emitGuestCryptoLibrary(a);
+    a.bind(start);
+    a.movri(1, static_cast<std::int64_t>(data));
+    a.movri(2, static_cast<std::int64_t>(message.size()));
+    a.callImport("sha256");
+    a.movrr(2, 0); // digest
+    // Print 8 hex digits of the digest.
+    for (int i = 15; i >= 8; --i) {
+        a.movrr(1, 2);
+        a.shri(1, static_cast<std::uint8_t>(i * 4 % 64));
+        a.andi(1, 0xf);
+        a.cmpri(1, 10);
+        const auto letter = a.newLabel();
+        const auto emit = a.newLabel();
+        a.jcc(gx86::Cond::Ge, letter);
+        a.addi(1, '0');
+        a.jmp(emit);
+        a.bind(letter);
+        a.addi(1, 'a' - 10);
+        a.bind(emit);
+        a.movri(0, 1);
+        a.syscall();
+    }
+    a.movri(0, 1);
+    a.movri(1, '\n');
+    a.syscall();
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    return a.finish("main");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string image_path;
+    std::string variant = "risotto";
+    std::size_t threads = 1;
+    machine::MachineConfig mc;
+    bool want_stats = false;
+    bool want_disasm = false;
+    bool use_linker = true;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                fatal("missing value for " + arg);
+            return argv[i];
+        };
+        try {
+            if (arg == "--variant")
+                variant = next();
+            else if (arg == "--threads")
+                threads = std::stoul(next());
+            else if (arg == "--seed")
+                mc.seed = std::stoull(next());
+            else if (arg == "--randomize")
+                mc.randomize = true;
+            else if (arg == "--no-linker")
+                use_linker = false;
+            else if (arg == "--stats")
+                want_stats = true;
+            else if (arg == "--trace")
+                mc.trace = [](const machine::Core &core,
+                              const aarch::AInstr &in) {
+                    std::cerr << "[core " << core.id << " @" << core.pc
+                              << "] " << in.toString() << "\n";
+                };
+            else if (arg == "--disasm")
+                want_disasm = true;
+            else if (arg == "--emit-demo") {
+                const std::string path = next();
+                gx86::saveImage(demoImage(), path);
+                std::cout << "wrote demo image to " << path << "\n";
+                return 0;
+            } else if (arg == "--help" || arg == "-h") {
+                std::cout << "usage: risotto-run [options] image.riso\n"
+                             "see the file header for options\n";
+                return 0;
+            } else if (!arg.empty() && arg[0] == '-') {
+                fatal("unknown option " + arg);
+            } else {
+                image_path = arg;
+            }
+        } catch (const Error &e) {
+            std::cerr << "risotto-run: " << e.what() << "\n";
+            return 1;
+        }
+    }
+
+    try {
+        fatalIf(image_path.empty(),
+                "no image given (try --emit-demo demo.riso)");
+        const gx86::GuestImage image = gx86::loadImage(image_path);
+        if (want_disasm) {
+            std::cout << image.disassemble();
+            return 0;
+        }
+        EmulatorOptions options;
+        options.config = configByName(variant);
+        options.config.hostLinker =
+            options.config.hostLinker && use_linker;
+        Emulator emulator(image, options);
+        const auto result = emulator.run(threads, mc);
+
+        for (std::size_t t = 0; t < threads; ++t) {
+            if (!result.outputs[t].empty())
+                std::cout << result.outputs[t];
+        }
+        std::cout << "[risotto-run] variant=" << variant
+                  << " threads=" << threads
+                  << " finished=" << (result.finished ? "yes" : "no")
+                  << " makespan=" << result.makespan << " cycles\n";
+        for (std::size_t t = 0; t < threads; ++t)
+            std::cout << "  thread " << t << ": exit "
+                      << result.exitCodes[t] << "\n";
+        if (want_stats)
+            for (const auto &[name, value] : result.stats.all())
+                std::cout << "  " << name << " = " << value << "\n";
+        return result.finished ? 0 : 2;
+    } catch (const Error &e) {
+        std::cerr << "risotto-run: " << e.what() << "\n";
+        return 1;
+    }
+}
