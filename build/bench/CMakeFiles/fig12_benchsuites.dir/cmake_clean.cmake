@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_benchsuites.dir/fig12_benchsuites.cc.o"
+  "CMakeFiles/fig12_benchsuites.dir/fig12_benchsuites.cc.o.d"
+  "fig12_benchsuites"
+  "fig12_benchsuites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_benchsuites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

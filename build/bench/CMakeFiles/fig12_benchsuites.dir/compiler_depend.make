@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_benchsuites.
+# This may be replaced when dependencies are built.

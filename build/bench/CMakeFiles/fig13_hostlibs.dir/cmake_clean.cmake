@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_hostlibs.dir/fig13_hostlibs.cc.o"
+  "CMakeFiles/fig13_hostlibs.dir/fig13_hostlibs.cc.o.d"
+  "fig13_hostlibs"
+  "fig13_hostlibs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_hostlibs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

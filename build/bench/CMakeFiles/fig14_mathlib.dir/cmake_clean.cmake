@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_mathlib.dir/fig14_mathlib.cc.o"
+  "CMakeFiles/fig14_mathlib.dir/fig14_mathlib.cc.o.d"
+  "fig14_mathlib"
+  "fig14_mathlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_mathlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_cas.dir/fig15_cas.cc.o"
+  "CMakeFiles/fig15_cas.dir/fig15_cas.cc.o.d"
+  "fig15_cas"
+  "fig15_cas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_cas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

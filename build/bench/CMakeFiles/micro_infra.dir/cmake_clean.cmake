@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_infra.dir/micro_infra.cc.o"
+  "CMakeFiles/micro_infra.dir/micro_infra.cc.o.d"
+  "micro_infra"
+  "micro_infra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

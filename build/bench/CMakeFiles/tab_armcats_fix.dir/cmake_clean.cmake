@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_armcats_fix.dir/tab_armcats_fix.cc.o"
+  "CMakeFiles/tab_armcats_fix.dir/tab_armcats_fix.cc.o.d"
+  "tab_armcats_fix"
+  "tab_armcats_fix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_armcats_fix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_dbt_ablation.dir/tab_dbt_ablation.cc.o"
+  "CMakeFiles/tab_dbt_ablation.dir/tab_dbt_ablation.cc.o.d"
+  "tab_dbt_ablation"
+  "tab_dbt_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_dbt_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_fence_ablation.dir/tab_fence_ablation.cc.o"
+  "CMakeFiles/tab_fence_ablation.dir/tab_fence_ablation.cc.o.d"
+  "tab_fence_ablation"
+  "tab_fence_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_fence_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

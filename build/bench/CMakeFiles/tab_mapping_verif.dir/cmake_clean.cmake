@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_mapping_verif.dir/tab_mapping_verif.cc.o"
+  "CMakeFiles/tab_mapping_verif.dir/tab_mapping_verif.cc.o.d"
+  "tab_mapping_verif"
+  "tab_mapping_verif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_mapping_verif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_minimality.dir/tab_minimality.cc.o"
+  "CMakeFiles/tab_minimality.dir/tab_minimality.cc.o.d"
+  "tab_minimality"
+  "tab_minimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_minimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

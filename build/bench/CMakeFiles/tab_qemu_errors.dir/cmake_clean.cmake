@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_qemu_errors.dir/tab_qemu_errors.cc.o"
+  "CMakeFiles/tab_qemu_errors.dir/tab_qemu_errors.cc.o.d"
+  "tab_qemu_errors"
+  "tab_qemu_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_qemu_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_riscv.dir/tab_riscv.cc.o"
+  "CMakeFiles/tab_riscv.dir/tab_riscv.cc.o.d"
+  "tab_riscv"
+  "tab_riscv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

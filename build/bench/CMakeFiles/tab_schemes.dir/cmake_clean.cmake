@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_schemes.dir/tab_schemes.cc.o"
+  "CMakeFiles/tab_schemes.dir/tab_schemes.cc.o.d"
+  "tab_schemes"
+  "tab_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

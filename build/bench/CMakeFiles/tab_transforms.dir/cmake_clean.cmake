@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_transforms.dir/tab_transforms.cc.o"
+  "CMakeFiles/tab_transforms.dir/tab_transforms.cc.o.d"
+  "tab_transforms"
+  "tab_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

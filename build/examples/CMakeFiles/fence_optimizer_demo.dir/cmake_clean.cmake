@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fence_optimizer_demo.dir/fence_optimizer_demo.cc.o"
+  "CMakeFiles/fence_optimizer_demo.dir/fence_optimizer_demo.cc.o.d"
+  "fence_optimizer_demo"
+  "fence_optimizer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fence_optimizer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostlib_demo.dir/hostlib_demo.cc.o"
+  "CMakeFiles/hostlib_demo.dir/hostlib_demo.cc.o.d"
+  "hostlib_demo"
+  "hostlib_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostlib_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weak_memory_demo.dir/weak_memory_demo.cc.o"
+  "CMakeFiles/weak_memory_demo.dir/weak_memory_demo.cc.o.d"
+  "weak_memory_demo"
+  "weak_memory_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weak_memory_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("memcore")
+subdirs("models")
+subdirs("litmus")
+subdirs("mapping")
+subdirs("gx86")
+subdirs("tcg")
+subdirs("aarch")
+subdirs("machine")
+subdirs("dbt")
+subdirs("linker")
+subdirs("hostlib")
+subdirs("workloads")
+subdirs("risotto")

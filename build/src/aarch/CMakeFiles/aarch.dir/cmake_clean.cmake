@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aarch.dir/emitter.cc.o"
+  "CMakeFiles/aarch.dir/emitter.cc.o.d"
+  "CMakeFiles/aarch.dir/isa.cc.o"
+  "CMakeFiles/aarch.dir/isa.cc.o.d"
+  "libaarch.a"
+  "libaarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

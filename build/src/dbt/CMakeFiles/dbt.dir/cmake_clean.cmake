@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbt.dir/backend.cc.o"
+  "CMakeFiles/dbt.dir/backend.cc.o.d"
+  "CMakeFiles/dbt.dir/config.cc.o"
+  "CMakeFiles/dbt.dir/config.cc.o.d"
+  "CMakeFiles/dbt.dir/dbt.cc.o"
+  "CMakeFiles/dbt.dir/dbt.cc.o.d"
+  "CMakeFiles/dbt.dir/frontend.cc.o"
+  "CMakeFiles/dbt.dir/frontend.cc.o.d"
+  "CMakeFiles/dbt.dir/softfloat.cc.o"
+  "CMakeFiles/dbt.dir/softfloat.cc.o.d"
+  "libdbt.a"
+  "libdbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

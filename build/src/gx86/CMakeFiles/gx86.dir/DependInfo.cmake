@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gx86/assembler.cc" "src/gx86/CMakeFiles/gx86.dir/assembler.cc.o" "gcc" "src/gx86/CMakeFiles/gx86.dir/assembler.cc.o.d"
+  "/root/repo/src/gx86/codec.cc" "src/gx86/CMakeFiles/gx86.dir/codec.cc.o" "gcc" "src/gx86/CMakeFiles/gx86.dir/codec.cc.o.d"
+  "/root/repo/src/gx86/image.cc" "src/gx86/CMakeFiles/gx86.dir/image.cc.o" "gcc" "src/gx86/CMakeFiles/gx86.dir/image.cc.o.d"
+  "/root/repo/src/gx86/imagefile.cc" "src/gx86/CMakeFiles/gx86.dir/imagefile.cc.o" "gcc" "src/gx86/CMakeFiles/gx86.dir/imagefile.cc.o.d"
+  "/root/repo/src/gx86/interp.cc" "src/gx86/CMakeFiles/gx86.dir/interp.cc.o" "gcc" "src/gx86/CMakeFiles/gx86.dir/interp.cc.o.d"
+  "/root/repo/src/gx86/isa.cc" "src/gx86/CMakeFiles/gx86.dir/isa.cc.o" "gcc" "src/gx86/CMakeFiles/gx86.dir/isa.cc.o.d"
+  "/root/repo/src/gx86/memory.cc" "src/gx86/CMakeFiles/gx86.dir/memory.cc.o" "gcc" "src/gx86/CMakeFiles/gx86.dir/memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gx86.dir/assembler.cc.o"
+  "CMakeFiles/gx86.dir/assembler.cc.o.d"
+  "CMakeFiles/gx86.dir/codec.cc.o"
+  "CMakeFiles/gx86.dir/codec.cc.o.d"
+  "CMakeFiles/gx86.dir/image.cc.o"
+  "CMakeFiles/gx86.dir/image.cc.o.d"
+  "CMakeFiles/gx86.dir/imagefile.cc.o"
+  "CMakeFiles/gx86.dir/imagefile.cc.o.d"
+  "CMakeFiles/gx86.dir/interp.cc.o"
+  "CMakeFiles/gx86.dir/interp.cc.o.d"
+  "CMakeFiles/gx86.dir/isa.cc.o"
+  "CMakeFiles/gx86.dir/isa.cc.o.d"
+  "CMakeFiles/gx86.dir/memory.cc.o"
+  "CMakeFiles/gx86.dir/memory.cc.o.d"
+  "libgx86.a"
+  "libgx86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gx86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgx86.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostlib.dir/digest.cc.o"
+  "CMakeFiles/hostlib.dir/digest.cc.o.d"
+  "CMakeFiles/hostlib.dir/hostlib.cc.o"
+  "CMakeFiles/hostlib.dir/hostlib.cc.o.d"
+  "CMakeFiles/hostlib.dir/mathlib.cc.o"
+  "CMakeFiles/hostlib.dir/mathlib.cc.o.d"
+  "CMakeFiles/hostlib.dir/sqlitelike.cc.o"
+  "CMakeFiles/hostlib.dir/sqlitelike.cc.o.d"
+  "libhostlib.a"
+  "libhostlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linker.dir/hostlinker.cc.o"
+  "CMakeFiles/linker.dir/hostlinker.cc.o.d"
+  "CMakeFiles/linker.dir/idl.cc.o"
+  "CMakeFiles/linker.dir/idl.cc.o.d"
+  "liblinker.a"
+  "liblinker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/litmus/check.cc" "src/litmus/CMakeFiles/litmus.dir/check.cc.o" "gcc" "src/litmus/CMakeFiles/litmus.dir/check.cc.o.d"
+  "/root/repo/src/litmus/enumerate.cc" "src/litmus/CMakeFiles/litmus.dir/enumerate.cc.o" "gcc" "src/litmus/CMakeFiles/litmus.dir/enumerate.cc.o.d"
+  "/root/repo/src/litmus/library.cc" "src/litmus/CMakeFiles/litmus.dir/library.cc.o" "gcc" "src/litmus/CMakeFiles/litmus.dir/library.cc.o.d"
+  "/root/repo/src/litmus/outcome.cc" "src/litmus/CMakeFiles/litmus.dir/outcome.cc.o" "gcc" "src/litmus/CMakeFiles/litmus.dir/outcome.cc.o.d"
+  "/root/repo/src/litmus/parser.cc" "src/litmus/CMakeFiles/litmus.dir/parser.cc.o" "gcc" "src/litmus/CMakeFiles/litmus.dir/parser.cc.o.d"
+  "/root/repo/src/litmus/program.cc" "src/litmus/CMakeFiles/litmus.dir/program.cc.o" "gcc" "src/litmus/CMakeFiles/litmus.dir/program.cc.o.d"
+  "/root/repo/src/litmus/random.cc" "src/litmus/CMakeFiles/litmus.dir/random.cc.o" "gcc" "src/litmus/CMakeFiles/litmus.dir/random.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memcore/CMakeFiles/memcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/models.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus.dir/check.cc.o"
+  "CMakeFiles/litmus.dir/check.cc.o.d"
+  "CMakeFiles/litmus.dir/enumerate.cc.o"
+  "CMakeFiles/litmus.dir/enumerate.cc.o.d"
+  "CMakeFiles/litmus.dir/library.cc.o"
+  "CMakeFiles/litmus.dir/library.cc.o.d"
+  "CMakeFiles/litmus.dir/outcome.cc.o"
+  "CMakeFiles/litmus.dir/outcome.cc.o.d"
+  "CMakeFiles/litmus.dir/parser.cc.o"
+  "CMakeFiles/litmus.dir/parser.cc.o.d"
+  "CMakeFiles/litmus.dir/program.cc.o"
+  "CMakeFiles/litmus.dir/program.cc.o.d"
+  "CMakeFiles/litmus.dir/random.cc.o"
+  "CMakeFiles/litmus.dir/random.cc.o.d"
+  "liblitmus.a"
+  "liblitmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

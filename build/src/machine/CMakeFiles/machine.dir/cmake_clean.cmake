@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine.dir/machine.cc.o"
+  "CMakeFiles/machine.dir/machine.cc.o.d"
+  "libmachine.a"
+  "libmachine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

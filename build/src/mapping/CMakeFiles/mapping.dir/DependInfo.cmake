@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/schemes.cc" "src/mapping/CMakeFiles/mapping.dir/schemes.cc.o" "gcc" "src/mapping/CMakeFiles/mapping.dir/schemes.cc.o.d"
+  "/root/repo/src/mapping/transforms.cc" "src/mapping/CMakeFiles/mapping.dir/transforms.cc.o" "gcc" "src/mapping/CMakeFiles/mapping.dir/transforms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/litmus/CMakeFiles/litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/memcore/CMakeFiles/memcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/models.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

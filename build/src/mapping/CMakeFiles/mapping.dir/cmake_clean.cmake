@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping.dir/schemes.cc.o"
+  "CMakeFiles/mapping.dir/schemes.cc.o.d"
+  "CMakeFiles/mapping.dir/transforms.cc.o"
+  "CMakeFiles/mapping.dir/transforms.cc.o.d"
+  "libmapping.a"
+  "libmapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memcore/event.cc" "src/memcore/CMakeFiles/memcore.dir/event.cc.o" "gcc" "src/memcore/CMakeFiles/memcore.dir/event.cc.o.d"
+  "/root/repo/src/memcore/execution.cc" "src/memcore/CMakeFiles/memcore.dir/execution.cc.o" "gcc" "src/memcore/CMakeFiles/memcore.dir/execution.cc.o.d"
+  "/root/repo/src/memcore/fencealg.cc" "src/memcore/CMakeFiles/memcore.dir/fencealg.cc.o" "gcc" "src/memcore/CMakeFiles/memcore.dir/fencealg.cc.o.d"
+  "/root/repo/src/memcore/relation.cc" "src/memcore/CMakeFiles/memcore.dir/relation.cc.o" "gcc" "src/memcore/CMakeFiles/memcore.dir/relation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

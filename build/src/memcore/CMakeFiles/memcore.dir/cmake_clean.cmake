@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcore.dir/event.cc.o"
+  "CMakeFiles/memcore.dir/event.cc.o.d"
+  "CMakeFiles/memcore.dir/execution.cc.o"
+  "CMakeFiles/memcore.dir/execution.cc.o.d"
+  "CMakeFiles/memcore.dir/fencealg.cc.o"
+  "CMakeFiles/memcore.dir/fencealg.cc.o.d"
+  "CMakeFiles/memcore.dir/relation.cc.o"
+  "CMakeFiles/memcore.dir/relation.cc.o.d"
+  "libmemcore.a"
+  "libmemcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/arm.cc" "src/models/CMakeFiles/models.dir/arm.cc.o" "gcc" "src/models/CMakeFiles/models.dir/arm.cc.o.d"
+  "/root/repo/src/models/common.cc" "src/models/CMakeFiles/models.dir/common.cc.o" "gcc" "src/models/CMakeFiles/models.dir/common.cc.o.d"
+  "/root/repo/src/models/riscv.cc" "src/models/CMakeFiles/models.dir/riscv.cc.o" "gcc" "src/models/CMakeFiles/models.dir/riscv.cc.o.d"
+  "/root/repo/src/models/tcg.cc" "src/models/CMakeFiles/models.dir/tcg.cc.o" "gcc" "src/models/CMakeFiles/models.dir/tcg.cc.o.d"
+  "/root/repo/src/models/x86.cc" "src/models/CMakeFiles/models.dir/x86.cc.o" "gcc" "src/models/CMakeFiles/models.dir/x86.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memcore/CMakeFiles/memcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

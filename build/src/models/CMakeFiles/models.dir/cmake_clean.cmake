@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models.dir/arm.cc.o"
+  "CMakeFiles/models.dir/arm.cc.o.d"
+  "CMakeFiles/models.dir/common.cc.o"
+  "CMakeFiles/models.dir/common.cc.o.d"
+  "CMakeFiles/models.dir/riscv.cc.o"
+  "CMakeFiles/models.dir/riscv.cc.o.d"
+  "CMakeFiles/models.dir/tcg.cc.o"
+  "CMakeFiles/models.dir/tcg.cc.o.d"
+  "CMakeFiles/models.dir/x86.cc.o"
+  "CMakeFiles/models.dir/x86.cc.o.d"
+  "libmodels.a"
+  "libmodels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risotto.dir/risotto.cc.o"
+  "CMakeFiles/risotto.dir/risotto.cc.o.d"
+  "CMakeFiles/risotto.dir/stress.cc.o"
+  "CMakeFiles/risotto.dir/stress.cc.o.d"
+  "librisotto.a"
+  "librisotto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risotto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

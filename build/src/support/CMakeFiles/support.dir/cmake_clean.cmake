@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support.dir/format.cc.o"
+  "CMakeFiles/support.dir/format.cc.o.d"
+  "CMakeFiles/support.dir/stats.cc.o"
+  "CMakeFiles/support.dir/stats.cc.o.d"
+  "libsupport.a"
+  "libsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

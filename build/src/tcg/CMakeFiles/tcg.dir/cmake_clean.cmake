@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcg.dir/ir.cc.o"
+  "CMakeFiles/tcg.dir/ir.cc.o.d"
+  "CMakeFiles/tcg.dir/optimizer.cc.o"
+  "CMakeFiles/tcg.dir/optimizer.cc.o.d"
+  "libtcg.a"
+  "libtcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads.dir/workloads.cc.o"
+  "CMakeFiles/workloads.dir/workloads.cc.o.d"
+  "libworkloads.a"
+  "libworkloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

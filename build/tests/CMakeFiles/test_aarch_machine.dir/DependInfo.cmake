@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aarch_machine.cc" "tests/CMakeFiles/test_aarch_machine.dir/test_aarch_machine.cc.o" "gcc" "tests/CMakeFiles/test_aarch_machine.dir/test_aarch_machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aarch/CMakeFiles/aarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/gx86/CMakeFiles/gx86.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

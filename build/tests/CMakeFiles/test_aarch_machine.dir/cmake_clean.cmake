@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aarch_machine.dir/test_aarch_machine.cc.o"
+  "CMakeFiles/test_aarch_machine.dir/test_aarch_machine.cc.o.d"
+  "test_aarch_machine"
+  "test_aarch_machine.pdb"
+  "test_aarch_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aarch_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gx86.dir/test_gx86.cc.o"
+  "CMakeFiles/test_gx86.dir/test_gx86.cc.o.d"
+  "test_gx86"
+  "test_gx86.pdb"
+  "test_gx86[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gx86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_gx86.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_imagefile.dir/test_imagefile.cc.o"
+  "CMakeFiles/test_imagefile.dir/test_imagefile.cc.o.d"
+  "test_imagefile"
+  "test_imagefile.pdb"
+  "test_imagefile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_imagefile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

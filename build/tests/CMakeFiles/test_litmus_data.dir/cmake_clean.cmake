@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_litmus_data.dir/test_litmus_data.cc.o"
+  "CMakeFiles/test_litmus_data.dir/test_litmus_data.cc.o.d"
+  "test_litmus_data"
+  "test_litmus_data.pdb"
+  "test_litmus_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_litmus_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

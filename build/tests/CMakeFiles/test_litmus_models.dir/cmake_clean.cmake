@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_litmus_models.dir/test_litmus_models.cc.o"
+  "CMakeFiles/test_litmus_models.dir/test_litmus_models.cc.o.d"
+  "test_litmus_models"
+  "test_litmus_models.pdb"
+  "test_litmus_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_litmus_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

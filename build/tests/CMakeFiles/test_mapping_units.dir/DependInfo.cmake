@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mapping_units.cc" "tests/CMakeFiles/test_mapping_units.dir/test_mapping_units.cc.o" "gcc" "tests/CMakeFiles/test_mapping_units.dir/test_mapping_units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/litmus/CMakeFiles/litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/models.dir/DependInfo.cmake"
+  "/root/repo/build/src/memcore/CMakeFiles/memcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

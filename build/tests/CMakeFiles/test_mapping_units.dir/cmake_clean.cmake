@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapping_units.dir/test_mapping_units.cc.o"
+  "CMakeFiles/test_mapping_units.dir/test_mapping_units.cc.o.d"
+  "test_mapping_units"
+  "test_mapping_units.pdb"
+  "test_mapping_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapping_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

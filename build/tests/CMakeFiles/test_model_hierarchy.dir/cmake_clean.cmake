@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_hierarchy.dir/test_model_hierarchy.cc.o"
+  "CMakeFiles/test_model_hierarchy.dir/test_model_hierarchy.cc.o.d"
+  "test_model_hierarchy"
+  "test_model_hierarchy.pdb"
+  "test_model_hierarchy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

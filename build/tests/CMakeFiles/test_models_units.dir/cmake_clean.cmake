@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_models_units.dir/test_models_units.cc.o"
+  "CMakeFiles/test_models_units.dir/test_models_units.cc.o.d"
+  "test_models_units"
+  "test_models_units.pdb"
+  "test_models_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_models_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

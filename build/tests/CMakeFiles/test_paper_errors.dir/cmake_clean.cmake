@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_errors.dir/test_paper_errors.cc.o"
+  "CMakeFiles/test_paper_errors.dir/test_paper_errors.cc.o.d"
+  "test_paper_errors"
+  "test_paper_errors.pdb"
+  "test_paper_errors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parser_stress.dir/test_parser_stress.cc.o"
+  "CMakeFiles/test_parser_stress.dir/test_parser_stress.cc.o.d"
+  "test_parser_stress"
+  "test_parser_stress.pdb"
+  "test_parser_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parser_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

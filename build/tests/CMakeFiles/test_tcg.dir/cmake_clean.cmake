@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcg.dir/test_tcg.cc.o"
+  "CMakeFiles/test_tcg.dir/test_tcg.cc.o.d"
+  "test_tcg"
+  "test_tcg.pdb"
+  "test_tcg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_relation[1]_include.cmake")
+include("/root/repo/build/tests/test_litmus_models[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_errors[1]_include.cmake")
+include("/root/repo/build/tests/test_gx86[1]_include.cmake")
+include("/root/repo/build/tests/test_tcg[1]_include.cmake")
+include("/root/repo/build/tests/test_aarch_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_softfloat[1]_include.cmake")
+include("/root/repo/build/tests/test_dbt[1]_include.cmake")
+include("/root/repo/build/tests/test_linker[1]_include.cmake")
+include("/root/repo/build/tests/test_parser_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_imagefile[1]_include.cmake")
+include("/root/repo/build/tests/test_models_units[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_riscv[1]_include.cmake")
+include("/root/repo/build/tests/test_mapping_units[1]_include.cmake")
+include("/root/repo/build/tests/test_emulator_api[1]_include.cmake")
+include("/root/repo/build/tests/test_litmus_data[1]_include.cmake")
+include("/root/repo/build/tests/test_model_hierarchy[1]_include.cmake")

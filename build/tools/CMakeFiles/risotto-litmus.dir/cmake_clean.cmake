@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risotto-litmus.dir/risotto_litmus.cc.o"
+  "CMakeFiles/risotto-litmus.dir/risotto_litmus.cc.o.d"
+  "risotto-litmus"
+  "risotto-litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risotto-litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

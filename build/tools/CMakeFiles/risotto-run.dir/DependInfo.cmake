@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/risotto_run.cc" "tools/CMakeFiles/risotto-run.dir/risotto_run.cc.o" "gcc" "tools/CMakeFiles/risotto-run.dir/risotto_run.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/risotto/CMakeFiles/risotto.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostlib/CMakeFiles/hostlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/linker/CMakeFiles/linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbt/CMakeFiles/dbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcg/CMakeFiles/tcg.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/litmus/CMakeFiles/litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/models.dir/DependInfo.cmake"
+  "/root/repo/build/src/memcore/CMakeFiles/memcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/aarch/CMakeFiles/aarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/gx86/CMakeFiles/gx86.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risotto-run.dir/risotto_run.cc.o"
+  "CMakeFiles/risotto-run.dir/risotto_run.cc.o.d"
+  "risotto-run"
+  "risotto-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risotto-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
