@@ -17,8 +17,17 @@ CodeBuffer::fetch(CodeAddr addr) const
 CodeAddr
 CodeBuffer::append(std::uint32_t word)
 {
+    if (capacity_ != 0 && words_.size() >= capacity_)
+        throw CodeBufferFull(std::to_string(capacity_) + " words");
     words_.push_back(word);
     return static_cast<CodeAddr>(words_.size() - 1);
+}
+
+void
+CodeBuffer::truncate(CodeAddr from)
+{
+    panicIf(from > words_.size(), "truncate past end of code buffer");
+    words_.resize(from);
 }
 
 void

@@ -15,12 +15,24 @@
 #include <vector>
 
 #include "aarch/isa.hh"
+#include "support/error.hh"
 
 namespace risotto::aarch
 {
 
 /** Host code address: word index into the code buffer. */
 using CodeAddr = std::uint32_t;
+
+/** The translation-cache memory is exhausted (recoverable: the DBT
+ * flushes the cache or falls back to interpretation). */
+class CodeBufferFull : public Error
+{
+  public:
+    explicit CodeBufferFull(const std::string &msg)
+        : Error("code buffer full: " + msg)
+    {
+    }
+};
 
 /** The shared host code buffer. */
 class CodeBuffer
@@ -32,7 +44,10 @@ class CodeBuffer
     /** Fetch the word at @p addr. */
     std::uint32_t fetch(CodeAddr addr) const;
 
-    /** Append a word; returns its address. */
+    /**
+     * Append a word; returns its address.
+     * @throws CodeBufferFull past the configured capacity.
+     */
     CodeAddr append(std::uint32_t word);
 
     /** Overwrite the word at @p addr (branch patching / chaining). */
@@ -41,11 +56,20 @@ class CodeBuffer
     /** Total words emitted. */
     std::size_t size() const { return words_.size(); }
 
+    /** Cap the buffer at @p words (0 = unbounded). */
+    void setCapacity(std::size_t words) { capacity_ = words; }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Discard all words at and past @p from (translation-cache flush /
+     * rollback of a partially compiled block). */
+    void truncate(CodeAddr from);
+
     /** Disassemble the range [from, to). */
     std::string disassemble(CodeAddr from, CodeAddr to) const;
 
   private:
     std::vector<std::uint32_t> words_;
+    std::size_t capacity_ = 0;
 };
 
 /** Label-aware instruction emitter over a CodeBuffer. */

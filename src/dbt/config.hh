@@ -12,9 +12,11 @@
 #ifndef RISOTTO_DBT_CONFIG_HH
 #define RISOTTO_DBT_CONFIG_HH
 
+#include <cstddef>
 #include <string>
 
 #include "mapping/schemes.hh"
+#include "support/faultinject.hh"
 #include "tcg/optimizer.hh"
 
 namespace risotto::dbt
@@ -42,6 +44,20 @@ struct DbtConfig
 
     /** Patch goto_tb exits into direct branches after first resolution. */
     bool chaining = true;
+
+    /** Deterministic fault-injection plan (disarmed by default). The
+     * plan also arms the machine's sites unless the MachineConfig
+     * carries its own. */
+    FaultPlan faults;
+
+    /** Attempts per guarded translation before the block degrades to
+     * the interpreter fallback. */
+    unsigned translateRetries = 3;
+
+    /** Host code buffer capacity in words (0 = unbounded). Exhaustion
+     * triggers a translation-cache flush when safe, interpreter
+     * fallback otherwise. */
+    std::size_t codeBufferCapacity = 0;
 
     static DbtConfig qemu();
     static DbtConfig qemuNoFences();

@@ -1,5 +1,8 @@
 #include "dbt/dbt.hh"
 
+#include <algorithm>
+
+#include "dbt/fallback.hh"
 #include "dbt/softfloat.hh"
 #include "support/error.hh"
 #include "tcg/optimizer.hh"
@@ -16,28 +19,167 @@ Dbt::Dbt(const gx86::GuestImage &image, DbtConfig config,
          const ImportResolver *resolver, HostCallHandler *hostcalls)
     : image_(image), config_(std::move(config)), resolver_(resolver),
       hostcalls_(hostcalls), frontend_(image_, config_, resolver_),
-      backend_(code_, config_)
+      backend_(code_, config_), faults_(config_.faults)
 {
+    code_.setCapacity(config_.codeBufferCapacity);
+    emitDynInterpStub();
+}
+
+void
+Dbt::emitDynInterpStub()
+{
+    aarch::Emitter emitter(code_);
+    dynInterpStub_ = emitter.here();
+    emitter.exitTb(dynamicSlot());
+    emitter.finish();
 }
 
 CodeAddr
-Dbt::lookupOrTranslate(gx86::Addr pc)
+Dbt::interpTrampoline(gx86::Addr pc)
+{
+    auto it = interpTrampolines_.find(pc);
+    if (it != interpTrampolines_.end())
+        return it->second;
+    auto emit = [&]() {
+        aarch::Emitter emitter(code_);
+        const CodeAddr at = emitter.here();
+        emitter.exitTb(staticSlot(pc, at, false));
+        emitter.finish();
+        return at;
+    };
+    CodeAddr at;
+    try {
+        at = emit();
+    } catch (const aarch::CodeBufferFull &) {
+        // Trampolines are only emitted outside a run (onExitTb degrades
+        // through the shared dynamic stub instead), so flushing here
+        // cannot strand a core.
+        flushTranslationCache();
+        at = emit();
+    }
+    interpTrampolines_[pc] = at;
+    return at;
+}
+
+bool
+Dbt::canFlushTranslationCache(const Machine *machine,
+                              const Core *current) const
+{
+    if (!machine)
+        return true;
+    // Safe only when no other core can be executing translated code:
+    // the trapped core gets a fresh target from onExitTb's return value,
+    // but any other running core would be stranded mid-buffer.
+    for (std::size_t i = 0; i < machine->coreCount(); ++i) {
+        const Core &c = machine->core(i);
+        if (!c.halted && (!current || c.id != current->id))
+            return false;
+    }
+    return true;
+}
+
+void
+Dbt::flushTranslationCache()
+{
+    tbCache_.clear();
+    interpTrampolines_.clear();
+    slots_.clear();
+    dynSlotMade_ = false;
+    code_.truncate(0);
+    ++flushEpoch_;
+    emitDynInterpStub();
+    stats_.bump("dbt.tb_flushes");
+}
+
+std::optional<CodeAddr>
+Dbt::tryTranslate(gx86::Addr pc, const Machine *machine,
+                  const Core *current)
+{
+    const unsigned attempts = std::max(1u, config_.translateRetries);
+    std::uint64_t pendingDecode = 0;
+    std::uint64_t pendingEncode = 0;
+    std::uint64_t pendingBuffer = 0;
+    auto recoverPending = [&]() {
+        // Every exit path continues execution correctly (retried host
+        // code or the interpreter fallback), so earlier injections are
+        // recovered by construction.
+        faults_.recovered(faultsites::DbtDecode, pendingDecode);
+        faults_.recovered(faultsites::DbtEncode, pendingEncode);
+        faults_.recovered(faultsites::DbtBuffer, pendingBuffer);
+    };
+
+    for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0)
+            stats_.bump("dbt.translate_retries");
+        if (faults_.shouldInject(faultsites::DbtDecode)) {
+            ++pendingDecode;
+            continue;
+        }
+        const CodeAddr codeCheckpoint = code_.end();
+        const std::size_t slotCheckpoint = slots_.size();
+        bool injectedBuffer = false;
+        try {
+            tcg::Block block = frontend_.translate(pc);
+            stats_.bump("dbt.tbs_translated");
+            stats_.bump("dbt.ir_ops_pre_opt", block.instrs.size());
+            tcg::optimize(block, config_.optimizer, &stats_);
+            stats_.bump("dbt.ir_ops_post_opt", block.instrs.size());
+            if (faults_.shouldInject(faultsites::DbtEncode)) {
+                ++pendingEncode;
+                continue;
+            }
+            if (faults_.shouldInject(faultsites::DbtBuffer)) {
+                injectedBuffer = true;
+                throw aarch::CodeBufferFull("injected fault");
+            }
+            const CodeAddr host = backend_.compile(block, *this);
+            stats_.bump("dbt.host_words", code_.end() - host);
+            recoverPending();
+            return host;
+        } catch (const aarch::CodeBufferFull &) {
+            // Roll back the partially emitted block, then flush the
+            // whole cache when no other core can be stranded by it.
+            code_.truncate(codeCheckpoint);
+            slots_.resize(slotCheckpoint);
+            if (injectedBuffer)
+                ++pendingBuffer;
+            stats_.bump("dbt.buffer_full");
+            if (canFlushTranslationCache(machine, current))
+                flushTranslationCache();
+        } catch (const GuestFault &) {
+            // Genuinely untranslatable (invalid opcode, bad pc):
+            // retrying cannot help; the interpreter will surface the
+            // fault at execution time if the block is actually reached.
+            code_.truncate(codeCheckpoint);
+            slots_.resize(slotCheckpoint);
+            break;
+        }
+    }
+    recoverPending();
+    return std::nullopt;
+}
+
+std::optional<CodeAddr>
+Dbt::lookupOrTranslateGuarded(gx86::Addr pc, const Machine *machine,
+                              const Core *current)
 {
     auto it = tbCache_.find(pc);
     if (it != tbCache_.end()) {
         stats_.bump("dbt.tb_hits");
         return it->second;
     }
-    tcg::Block block = frontend_.translate(pc);
-    stats_.bump("dbt.tbs_translated");
-    stats_.bump("dbt.ir_ops_pre_opt", block.instrs.size());
-    tcg::optimize(block, config_.optimizer, &stats_);
-    stats_.bump("dbt.ir_ops_post_opt", block.instrs.size());
-    const CodeAddr host = backend_.compile(block, *this);
-    stats_.bump("dbt.host_words",
-                code_.end() - host);
-    tbCache_[pc] = host;
+    const auto host = tryTranslate(pc, machine, current);
+    if (host)
+        tbCache_[pc] = *host;
     return host;
+}
+
+CodeAddr
+Dbt::lookupOrTranslate(gx86::Addr pc)
+{
+    if (const auto host = lookupOrTranslateGuarded(pc, nullptr, nullptr))
+        return *host;
+    return interpTrampoline(pc);
 }
 
 std::uint32_t
@@ -67,24 +209,38 @@ Dbt::dynamicSlot()
 std::optional<CodeAddr>
 Dbt::onExitTb(std::uint32_t slot_index, Core &core, Machine &machine)
 {
-    (void)machine;
     panicIf(slot_index >= slots_.size(), "bad exit slot");
     const ExitSlot slot = slots_[slot_index];
     const std::uint64_t target_pc =
         slot.dynamic ? core.x[DynExitReg] : slot.guestPc;
     if (target_pc == HaltPc)
         return std::nullopt;
-    const CodeAddr host = lookupOrTranslate(target_pc);
-    if (slot.chainable && config_.chaining) {
-        // Patch the goto_tb into a direct branch (block chaining).
-        aarch::AInstr branch;
-        branch.op = aarch::AOp::B;
-        branch.imm = static_cast<std::int32_t>(host) -
-                     static_cast<std::int32_t>(slot.patchSite);
-        code_.patch(slot.patchSite, aarch::encode(branch));
-        stats_.bump("dbt.chained");
+    const std::uint64_t epoch = flushEpoch_;
+    if (const auto host =
+            lookupOrTranslateGuarded(target_pc, &machine, &core)) {
+        // Patch the goto_tb into a direct branch (block chaining) --
+        // unless a cache flush discarded the exit's patch site.
+        if (slot.chainable && config_.chaining && epoch == flushEpoch_) {
+            aarch::AInstr branch;
+            branch.op = aarch::AOp::B;
+            branch.imm = static_cast<std::int32_t>(*host) -
+                         static_cast<std::int32_t>(slot.patchSite);
+            code_.patch(slot.patchSite, aarch::encode(branch));
+            stats_.bump("dbt.chained");
+        }
+        return *host;
     }
-    return host;
+    // Degraded mode: interpret exactly one guest block, then re-enter
+    // the engine through the shared dynamic-exit stub. One block per
+    // trap keeps the machine's scheduler and cycle budget in control.
+    stats_.bump("dbt.fallback_blocks");
+    const std::uint64_t next = interpretBlock(
+        image_, config_, resolver_, hostcalls_, target_pc, core, machine,
+        stats_);
+    if (core.halted || next == HaltPc)
+        return std::nullopt;
+    core.x[DynExitReg] = next;
+    return dynInterpStub_;
 }
 
 std::uint64_t
@@ -193,6 +349,11 @@ Dbt::run(const std::vector<ThreadSpec> &threads,
     auto memory = std::make_shared<gx86::Memory>();
     memory->loadImage(image_);
 
+    // One plan drives the whole pipeline: arm the machine's sites from
+    // the DBT plan unless the caller supplied a machine-specific one.
+    if (!machine_config.faults.armed() && config_.faults.armed())
+        machine_config.faults = config_.faults;
+
     Machine machine(code_, *memory, machine_config);
     machine.setRuntime(this);
 
@@ -215,8 +376,13 @@ Dbt::run(const std::vector<ThreadSpec> &threads,
     }
     result.makespan = machine.makespan();
     result.totalCycles = machine.totalCycles();
+    result.diagnosis = machine::runDiagnosisName(machine.diagnosis());
     result.stats = stats_;
     result.stats.merge(machine.stats());
+    result.stats.merge(faults_.stats());
+    result.stats.merge(machine.faults().stats());
+    result.fallbackBlocks = stats_.get("dbt.fallback_blocks");
+    result.translationRetries = stats_.get("dbt.translate_retries");
     result.memory = std::move(memory);
     return result;
 }

@@ -17,6 +17,7 @@
 #include <array>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,7 +55,17 @@ struct RunResult
     /** Sum of all cores' cycles. */
     std::uint64_t totalCycles = 0;
 
-    /** Merged translation + machine counters. */
+    /** Why the run stopped: "finished", "budget-exhausted", or
+     * "livelock" (budget hit while spinning on failed exclusives). */
+    std::string diagnosis;
+
+    /** Guest blocks executed through the interpreter fallback. */
+    std::uint64_t fallbackBlocks = 0;
+
+    /** Guarded-translation retries after recoverable failures. */
+    std::uint64_t translationRetries = 0;
+
+    /** Merged translation + machine + fault-injection counters. */
     StatSet stats;
 
     /** Final guest memory (for inspection by tests and benches). */
@@ -75,7 +86,16 @@ class Dbt : public machine::HelperRuntime, public ExitSlotAllocator
         const ImportResolver *resolver = nullptr,
         HostCallHandler *hostcalls = nullptr);
 
-    /** Translate (or fetch from the TB cache) the block at @p pc. */
+    /**
+     * Translate (or fetch from the TB cache) the block at @p pc.
+     *
+     * Guarded: recoverable translation failures (injected faults,
+     * code-buffer exhaustion) are retried up to config().translateRetries
+     * times, flushing the translation cache when safe. When translation
+     * still fails, the returned address is a one-word trampoline that
+     * routes execution through the interpreter fallback, so the caller
+     * always gets runnable host code.
+     */
     aarch::CodeAddr lookupOrTranslate(gx86::Addr pc);
 
     /**
@@ -93,6 +113,9 @@ class Dbt : public machine::HelperRuntime, public ExitSlotAllocator
     const aarch::CodeBuffer &codeBuffer() const { return code_; }
 
     const DbtConfig &config() const { return config_; }
+
+    /** Translation-side fault injector (counters for dbt.* sites). */
+    const FaultInjector &faults() const { return faults_; }
 
     // --- machine::HelperRuntime ------------------------------------------
 
@@ -121,6 +144,34 @@ class Dbt : public machine::HelperRuntime, public ExitSlotAllocator
         bool chainable = false;
     };
 
+    /**
+     * Guarded translation of the block at @p pc, with retry/rollback.
+     * @param machine the running machine (null outside a run); used to
+     *        decide whether a translation-cache flush is safe.
+     * @param current the core trapped in onExitTb (null otherwise).
+     * @return host entry, or nullopt when the block must be interpreted.
+     */
+    std::optional<aarch::CodeAddr>
+    tryTranslate(gx86::Addr pc, const machine::Machine *machine,
+                 const machine::Core *current);
+
+    std::optional<aarch::CodeAddr>
+    lookupOrTranslateGuarded(gx86::Addr pc, const machine::Machine *machine,
+                             const machine::Core *current);
+
+    /** True when dropping all translated code cannot strand a core. */
+    bool canFlushTranslationCache(const machine::Machine *machine,
+                                  const machine::Core *current) const;
+
+    /** Drop every translation and re-emit the dispatch stub. */
+    void flushTranslationCache();
+
+    /** Emit the shared ExitTb stub that dispatches on DynExitReg. */
+    void emitDynInterpStub();
+
+    /** One-word non-chainable exit routing @p pc to the fallback. */
+    aarch::CodeAddr interpTrampoline(gx86::Addr pc);
+
     const gx86::GuestImage &image_;
     DbtConfig config_;
     const ImportResolver *resolver_;
@@ -128,10 +179,17 @@ class Dbt : public machine::HelperRuntime, public ExitSlotAllocator
     Frontend frontend_;
     aarch::CodeBuffer code_;
     Backend backend_;
+    FaultInjector faults_;
     std::map<gx86::Addr, aarch::CodeAddr> tbCache_;
+    /** Fallback trampolines, outside tbCache_ so that a block whose
+     * translation failed transiently is retried on its next lookup. */
+    std::map<gx86::Addr, aarch::CodeAddr> interpTrampolines_;
     std::vector<ExitSlot> slots_;
     std::uint32_t dynSlot_ = 0;
     bool dynSlotMade_ = false;
+    aarch::CodeAddr dynInterpStub_ = 0;
+    /** Bumped on every cache flush; invalidates pending chain patches. */
+    std::uint64_t flushEpoch_ = 0;
     StatSet stats_;
 };
 

@@ -1,0 +1,356 @@
+#include "dbt/fallback.hh"
+
+#include "dbt/frontend.hh"
+#include "dbt/softfloat.hh"
+#include "gx86/codec.hh"
+#include "support/error.hh"
+#include "support/format.hh"
+#include "tcg/ir.hh"
+
+namespace risotto::dbt
+{
+
+using gx86::Addr;
+using gx86::Instruction;
+using gx86::Opcode;
+using machine::Core;
+using machine::Machine;
+
+namespace
+{
+
+/** Guest flags live in X16/X17 as 0/1, exactly as translated code keeps
+ * them (tcg::TempZf / tcg::TempSf map to those host registers). */
+void
+setGuestFlags(Core &core, std::uint64_t value)
+{
+    core.x[tcg::TempZf] = value == 0 ? 1 : 0;
+    core.x[tcg::TempSf] = static_cast<std::int64_t>(value) < 0 ? 1 : 0;
+}
+
+/** Full-fence bracket: drain the store buffer and pay the DMB cost. */
+void
+fullFence(Core &core, Machine &machine)
+{
+    machine.flushStoreBuffer(core);
+    core.cycles += machine.config().costs.dmbFull;
+}
+
+/** Write-through store: buffered write immediately drained, so stores
+ * within the interpreted block are visible in program order (SC, which
+ * only strengthens the guest's TSO). */
+void
+storeThrough(Core &core, Machine &machine, std::uint64_t addr,
+             std::uint8_t size, std::uint64_t value)
+{
+    machine.memWrite(core, addr, size, value);
+    machine.flushStoreBuffer(core);
+}
+
+} // namespace
+
+std::uint64_t
+interpretBlock(const gx86::GuestImage &image, const DbtConfig &config,
+               const ImportResolver *resolver, HostCallHandler *hostcalls,
+               std::uint64_t pc, Core &core, Machine &machine,
+               StatSet &stats)
+{
+    const machine::CostModel &c = machine.config().costs;
+    fullFence(core, machine);
+    stats.bump("dbt.fallback_fences");
+
+    Addr cur = pc;
+    bool ends = false;
+    std::size_t count = 0;
+    while (!ends && count < Frontend::MaxBlockInstructions) {
+        if (!image.inText(cur))
+            throw GuestFault("interpreting outside text at " +
+                             hexString(cur));
+        const Instruction in =
+            gx86::decode(image.text.data() + (cur - image.textBase),
+                         image.textEnd() - cur);
+        Addr next = cur + in.length;
+        ++count;
+        stats.bump("dbt.fallback_instructions");
+
+        auto ea = [&]() {
+            return core.x[in.rb] + static_cast<std::uint64_t>(
+                                       static_cast<std::int64_t>(in.off));
+        };
+        auto branchTarget = [&](std::int32_t off) {
+            return next + static_cast<std::uint64_t>(
+                              static_cast<std::int64_t>(off));
+        };
+
+        switch (in.op) {
+          case Opcode::Nop:
+            core.cycles += c.alu;
+            break;
+          case Opcode::Hlt:
+            fullFence(core, machine);
+            return HaltPc;
+          case Opcode::MovRI:
+            core.x[in.rd] = static_cast<std::uint64_t>(in.imm);
+            core.cycles += c.alu;
+            break;
+          case Opcode::MovRR:
+            core.x[in.rd] = core.x[in.rs];
+            core.cycles += c.alu;
+            break;
+          case Opcode::Load:
+            core.x[in.rd] = machine.memRead(core, ea(), 8);
+            core.cycles += c.load;
+            break;
+          case Opcode::Load8:
+            core.x[in.rd] = machine.memRead(core, ea(), 1);
+            core.cycles += c.load;
+            break;
+          case Opcode::Store:
+            storeThrough(core, machine, ea(), 8, core.x[in.rs]);
+            core.cycles += c.store;
+            break;
+          case Opcode::Store8:
+            storeThrough(core, machine, ea(), 1, core.x[in.rs]);
+            core.cycles += c.store;
+            break;
+          case Opcode::StoreI:
+            storeThrough(core, machine, ea(), 8,
+                         static_cast<std::uint64_t>(in.imm));
+            core.cycles += c.store;
+            break;
+          case Opcode::Add:
+            core.x[in.rd] += core.x[in.rs];
+            setGuestFlags(core, core.x[in.rd]);
+            core.cycles += c.alu;
+            break;
+          case Opcode::Sub:
+            core.x[in.rd] -= core.x[in.rs];
+            setGuestFlags(core, core.x[in.rd]);
+            core.cycles += c.alu;
+            break;
+          case Opcode::And:
+            core.x[in.rd] &= core.x[in.rs];
+            setGuestFlags(core, core.x[in.rd]);
+            core.cycles += c.alu;
+            break;
+          case Opcode::Or:
+            core.x[in.rd] |= core.x[in.rs];
+            setGuestFlags(core, core.x[in.rd]);
+            core.cycles += c.alu;
+            break;
+          case Opcode::Xor:
+            core.x[in.rd] ^= core.x[in.rs];
+            setGuestFlags(core, core.x[in.rd]);
+            core.cycles += c.alu;
+            break;
+          case Opcode::Mul:
+            core.x[in.rd] *= core.x[in.rs];
+            setGuestFlags(core, core.x[in.rd]);
+            core.cycles += c.alu + 2;
+            break;
+          case Opcode::Udiv:
+            if (core.x[in.rs] == 0)
+                throw GuestFault("host udiv by zero");
+            core.x[in.rd] /= core.x[in.rs];
+            setGuestFlags(core, core.x[in.rd]);
+            core.cycles += c.alu + 12;
+            break;
+          case Opcode::AddI:
+            core.x[in.rd] += static_cast<std::uint64_t>(in.imm);
+            setGuestFlags(core, core.x[in.rd]);
+            core.cycles += c.alu;
+            break;
+          case Opcode::SubI:
+            core.x[in.rd] -= static_cast<std::uint64_t>(in.imm);
+            setGuestFlags(core, core.x[in.rd]);
+            core.cycles += c.alu;
+            break;
+          case Opcode::AndI:
+            core.x[in.rd] &= static_cast<std::uint64_t>(in.imm);
+            setGuestFlags(core, core.x[in.rd]);
+            core.cycles += c.alu;
+            break;
+          case Opcode::OrI:
+            core.x[in.rd] |= static_cast<std::uint64_t>(in.imm);
+            setGuestFlags(core, core.x[in.rd]);
+            core.cycles += c.alu;
+            break;
+          case Opcode::XorI:
+            core.x[in.rd] ^= static_cast<std::uint64_t>(in.imm);
+            setGuestFlags(core, core.x[in.rd]);
+            core.cycles += c.alu;
+            break;
+          case Opcode::MulI:
+            core.x[in.rd] *= static_cast<std::uint64_t>(in.imm);
+            setGuestFlags(core, core.x[in.rd]);
+            core.cycles += c.alu + 2;
+            break;
+          case Opcode::ShlI:
+            core.x[in.rd] <<= (in.imm & 63);
+            setGuestFlags(core, core.x[in.rd]);
+            core.cycles += c.alu;
+            break;
+          case Opcode::ShrI:
+            core.x[in.rd] >>= (in.imm & 63);
+            setGuestFlags(core, core.x[in.rd]);
+            core.cycles += c.alu;
+            break;
+          case Opcode::CmpRR:
+            setGuestFlags(core, core.x[in.rd] - core.x[in.rs]);
+            core.cycles += c.alu;
+            break;
+          case Opcode::CmpRI:
+            setGuestFlags(core, core.x[in.rd] -
+                                    static_cast<std::uint64_t>(in.imm));
+            core.cycles += c.alu;
+            break;
+          case Opcode::Jmp:
+            core.cycles += c.branch + c.branchTakenExtra;
+            next = branchTarget(in.off);
+            ends = true;
+            break;
+          case Opcode::Jcc:
+            core.cycles += c.branch;
+            if (gx86::condHolds(in.cond, core.x[tcg::TempZf] != 0,
+                                core.x[tcg::TempSf] != 0)) {
+                next = branchTarget(in.off);
+                core.cycles += c.branchTakenExtra;
+            }
+            ends = true;
+            break;
+          case Opcode::Call:
+            core.x[gx86::Rsp] -= 8;
+            storeThrough(core, machine, core.x[gx86::Rsp], 8, next);
+            core.cycles += c.store + c.branch + c.branchTakenExtra;
+            next = branchTarget(in.off);
+            ends = true;
+            break;
+          case Opcode::Ret:
+            next = machine.memRead(core, core.x[gx86::Rsp], 8);
+            core.x[gx86::Rsp] += 8;
+            core.cycles += c.load + c.branch;
+            ends = true;
+            break;
+          case Opcode::PltCall: {
+            if (in.sym >= image.dynsym.size())
+                throw GuestFault("bad dynamic symbol index at " +
+                                 hexString(cur));
+            const gx86::DynSymbol &dyn = image.dynsym[in.sym];
+            std::optional<std::uint16_t> host;
+            if (config.hostLinker && resolver)
+                host = resolver->resolve(dyn.name);
+            if (host) {
+                panicIf(!hostcalls, "host call without a handler");
+                core.cycles += c.helperCall;
+                core.cycles +=
+                    hostcalls->invokeHostFunction(*host, core, machine);
+                stats.bump("dbt.host_calls");
+            } else if (dyn.guestImpl != 0) {
+                next = dyn.guestImpl;
+                core.cycles += c.branch + c.branchTakenExtra;
+            } else {
+                throw GuestFault("unresolved import '" + dyn.name +
+                                 "' at " + hexString(cur));
+            }
+            ends = true;
+            break;
+          }
+          case Opcode::LockCmpxchg: {
+            // Same semantics as the translated CAS / CasHelper path:
+            // R0 <- old, ZF <- (old == expected), SF untouched.
+            const std::uint64_t addr = ea();
+            const std::uint64_t expected = core.x[0];
+            machine.flushStoreBuffer(core);
+            core.cycles += c.casBase + machine.atomicAccessCost(core, addr);
+            const std::uint64_t old = machine.memory().load64(addr);
+            if (old == expected)
+                machine.directWrite(core, addr, 8, core.x[in.rs]);
+            core.x[0] = old;
+            core.x[tcg::TempZf] = old == expected ? 1 : 0;
+            machine.stats().bump("machine.cas_ops");
+            break;
+          }
+          case Opcode::LockXadd: {
+            const std::uint64_t addr = ea();
+            machine.flushStoreBuffer(core);
+            core.cycles += c.casBase + machine.atomicAccessCost(core, addr);
+            const std::uint64_t old = machine.memory().load64(addr);
+            machine.directWrite(core, addr, 8, old + core.x[in.rs]);
+            core.x[in.rs] = old;
+            machine.stats().bump("machine.atomic_adds");
+            break;
+          }
+          case Opcode::MFence:
+            fullFence(core, machine);
+            break;
+          case Opcode::FAdd: {
+            const auto r = softfloat::add64(core.x[in.rd], core.x[in.rs]);
+            core.x[in.rd] = r.bits;
+            core.cycles += c.helperCall + r.cycles;
+            break;
+          }
+          case Opcode::FSub: {
+            const auto r = softfloat::sub64(core.x[in.rd], core.x[in.rs]);
+            core.x[in.rd] = r.bits;
+            core.cycles += c.helperCall + r.cycles;
+            break;
+          }
+          case Opcode::FMul: {
+            const auto r = softfloat::mul64(core.x[in.rd], core.x[in.rs]);
+            core.x[in.rd] = r.bits;
+            core.cycles += c.helperCall + r.cycles;
+            break;
+          }
+          case Opcode::FDiv: {
+            const auto r = softfloat::div64(core.x[in.rd], core.x[in.rs]);
+            core.x[in.rd] = r.bits;
+            core.cycles += c.helperCall + r.cycles;
+            break;
+          }
+          case Opcode::FSqrt: {
+            const auto r = softfloat::sqrt64(core.x[in.rs]);
+            core.x[in.rd] = r.bits;
+            core.cycles += c.helperCall + r.cycles;
+            break;
+          }
+          case Opcode::CvtIF: {
+            const auto r = softfloat::fromInt64(core.x[in.rs]);
+            core.x[in.rd] = r.bits;
+            core.cycles += c.helperCall + r.cycles;
+            break;
+          }
+          case Opcode::CvtFI: {
+            const auto r = softfloat::toInt64(core.x[in.rs]);
+            core.x[in.rd] = r.bits;
+            core.cycles += c.helperCall + r.cycles;
+            break;
+          }
+          case Opcode::Syscall:
+            // Same semantics as the Syscall helper in the DBT runtime.
+            core.cycles += c.helperCall + 20;
+            switch (core.x[0]) {
+              case 0: // exit(code = g1)
+                core.exitCode = static_cast<std::int64_t>(core.x[1]);
+                core.halted = true;
+                fullFence(core, machine);
+                return HaltPc;
+              case 1: // putchar(g1)
+                core.output.push_back(static_cast<char>(core.x[1]));
+                break;
+              case 2: // cycle counter into g0
+                core.x[0] = core.cycles;
+                break;
+              default:
+                throw GuestFault("unknown guest syscall " +
+                                 std::to_string(core.x[0]));
+            }
+            ends = true;
+            break;
+        }
+        cur = next;
+    }
+    fullFence(core, machine);
+    return cur;
+}
+
+} // namespace risotto::dbt

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Degraded-mode guest execution: interpret one basic block in place.
+ *
+ * When guarded translation gives up on a block (injected fault, genuine
+ * decode failure, exhausted code buffer), the engine must still make
+ * progress without weakening the memory model. This interpreter executes
+ * exactly one guest basic block directly against the machine's core
+ * state and memory system, bracketed by full fences (store buffer flush
+ * + DMB cost) on entry and exit and with write-through stores in
+ * between, so the interpreted block is sequentially consistent -- a
+ * strict strengthening of the guest's TSO, never a weakening.
+ *
+ * One block per ExitTb trap keeps the machine's scheduler and cycle
+ * budget in control: the next block re-enters the engine through the
+ * shared dynamic-exit stub, where translation is attempted again.
+ */
+
+#ifndef RISOTTO_DBT_FALLBACK_HH
+#define RISOTTO_DBT_FALLBACK_HH
+
+#include "dbt/config.hh"
+#include "dbt/hostcall.hh"
+#include "dbt/resolver.hh"
+#include "gx86/image.hh"
+#include "machine/machine.hh"
+#include "support/stats.hh"
+
+namespace risotto::dbt
+{
+
+/**
+ * Interpret the guest basic block at @p pc on @p core.
+ *
+ * Mirrors the frontend/helper semantics exactly (flags in X16/X17,
+ * soft-float FP, helper-equivalent syscalls and PLT calls) so guest-
+ * visible state is identical to running the translated block.
+ *
+ * @return the next guest pc, or HaltPc when the thread halted.
+ * @throws GuestFault on undecodable code or unresolvable imports.
+ */
+std::uint64_t interpretBlock(const gx86::GuestImage &image,
+                             const DbtConfig &config,
+                             const ImportResolver *resolver,
+                             HostCallHandler *hostcalls,
+                             std::uint64_t pc, machine::Core &core,
+                             machine::Machine &machine, StatSet &stats);
+
+} // namespace risotto::dbt
+
+#endif // RISOTTO_DBT_FALLBACK_HH

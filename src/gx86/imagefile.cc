@@ -1,6 +1,7 @@
 #include "gx86/imagefile.hh"
 
 #include <fstream>
+#include <limits>
 
 #include "support/error.hh"
 
@@ -11,7 +12,20 @@ namespace
 {
 
 constexpr std::uint32_t Magic = 0x4f534952; // "RISO" little-endian.
-constexpr std::uint32_t Version = 1;
+constexpr std::uint32_t Version = 2;        // v2 adds a payload checksum.
+constexpr std::size_t ChecksumSize = 8;
+
+/** FNV-1a 64-bit over @p n bytes (the v2 payload checksum). */
+std::uint64_t
+fnv1a(const std::uint8_t *bytes, std::size_t n)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= bytes[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
 
 class Writer
 {
@@ -60,7 +74,19 @@ class Writer
 class Reader
 {
   public:
-    explicit Reader(const std::vector<std::uint8_t> &in) : in_(in) {}
+    explicit Reader(const std::vector<std::uint8_t> &in)
+        : in_(in), limit_(in.size())
+    {
+    }
+
+    /** Stop parsing at @p limit (excludes a trailing checksum). */
+    void
+    setLimit(std::size_t limit)
+    {
+        fatalIf(limit > in_.size() || limit < pos_,
+                "truncated RISO image");
+        limit_ = limit;
+    }
 
     std::uint16_t
     u16()
@@ -109,18 +135,56 @@ class Reader
         return std::string(raw.begin(), raw.end());
     }
 
-    bool done() const { return pos_ == in_.size(); }
+    bool done() const { return pos_ == limit_; }
 
   private:
     void
     need(std::size_t n)
     {
-        fatalIf(pos_ + n > in_.size(), "truncated RISO image");
+        // Overflow-safe: a hostile size field near 2^64 must not wrap
+        // pos_ + n past the end and pass the bounds check.
+        fatalIf(n > limit_ - pos_, "truncated RISO image");
     }
 
     const std::vector<std::uint8_t> &in_;
+    std::size_t limit_;
     std::size_t pos_ = 0;
 };
+
+/** Structural validation of a freshly parsed image: section layout,
+ * entry point, and symbol addresses must be internally consistent
+ * before any of them is trusted by the translator. */
+void
+validateImage(const GuestImage &image)
+{
+    constexpr std::uint64_t AddrMax =
+        std::numeric_limits<std::uint64_t>::max();
+    fatalIf(image.text.size() > AddrMax - image.textBase,
+            "RISO text section wraps the address space");
+    fatalIf(image.data.size() > AddrMax - image.dataBase,
+            "RISO data section wraps the address space");
+    const Addr text_end = image.textBase + image.text.size();
+    const Addr data_end = image.dataBase + image.data.size();
+    fatalIf(!image.text.empty() && !image.data.empty() &&
+                image.textBase < data_end && image.dataBase < text_end,
+            "RISO text and data sections overlap");
+    fatalIf(!image.text.empty() && !image.inText(image.entry),
+            "RISO entry point outside text section");
+
+    auto inSections = [&](Addr addr) {
+        return (addr >= image.textBase && addr <= text_end) ||
+               (addr >= image.dataBase && addr <= data_end);
+    };
+    for (const Symbol &s : image.symbols)
+        fatalIf(!inSections(s.addr),
+                "RISO symbol '" + s.name + "' outside every section");
+    for (const DynSymbol &d : image.dynsym) {
+        fatalIf(!image.inText(d.pltAddr),
+                "RISO PLT stub for '" + d.name + "' outside text");
+        fatalIf(d.guestImpl != 0 && !image.inText(d.guestImpl),
+                "RISO guest impl for '" + d.name + "' outside text");
+    }
+}
 
 } // namespace
 
@@ -149,6 +213,7 @@ serializeImage(const GuestImage &image)
         w.u64(d.pltAddr);
         w.u64(d.guestImpl);
     }
+    w.u64(fnv1a(out.data(), out.size()));
     return out;
 }
 
@@ -157,7 +222,22 @@ deserializeImage(const std::vector<std::uint8_t> &bytes)
 {
     Reader r(bytes);
     fatalIf(r.u32() != Magic, "not a RISO image (bad magic)");
-    fatalIf(r.u32() != Version, "unsupported RISO version");
+    const std::uint32_t version = r.u32();
+    fatalIf(version < 1 || version > Version,
+            "unsupported RISO version " + std::to_string(version));
+    if (version >= 2) {
+        // Verify the payload checksum before trusting any field.
+        fatalIf(bytes.size() < 8 + ChecksumSize,
+                "truncated RISO image (no checksum)");
+        const std::size_t payload = bytes.size() - ChecksumSize;
+        std::uint64_t stored = 0;
+        for (std::size_t i = 0; i < ChecksumSize; ++i)
+            stored |= static_cast<std::uint64_t>(bytes[payload + i])
+                      << (8 * i);
+        fatalIf(fnv1a(bytes.data(), payload) != stored,
+                "RISO image checksum mismatch");
+        r.setLimit(payload);
+    }
     GuestImage image;
     image.textBase = r.u64();
     image.entry = r.u64();
@@ -182,6 +262,7 @@ deserializeImage(const std::vector<std::uint8_t> &bytes)
         image.dynsym.push_back(std::move(d));
     }
     fatalIf(!r.done(), "trailing bytes in RISO image");
+    validateImage(image);
     return image;
 }
 

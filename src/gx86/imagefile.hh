@@ -9,13 +9,20 @@
  *
  *   offset  field
  *   0       magic "RISO"            (4 bytes)
- *   4       format version          (u32, currently 1)
+ *   4       format version          (u32, currently 2)
  *   8       text base / entry / data base (3 x u64)
  *   32      text size / data size / #symbols / #dynsyms (4 x u64)
  *   64      text bytes, data bytes, symbol records, dynsym records
+ *   end-8   FNV-1a 64 checksum of all preceding bytes (v2 only)
  *
  * Symbol record: u16 name length, name bytes, u64 address.
  * Dynsym record: u16 name length, name bytes, u64 plt, u64 guest impl.
+ *
+ * The loader is hardened against malformed input: magic/version checks,
+ * overflow-safe bounds on every size field, section-overlap and
+ * entry/symbol range validation, and (v2) a payload checksum verified
+ * before any field is trusted. Version 1 images (no checksum) are still
+ * accepted. Every rejection is a typed FatalError.
  */
 
 #ifndef RISOTTO_GX86_IMAGEFILE_HH

@@ -41,9 +41,24 @@ lineOf(std::uint64_t addr)
 
 } // namespace
 
+std::string
+runDiagnosisName(RunDiagnosis diagnosis)
+{
+    switch (diagnosis) {
+      case RunDiagnosis::Finished:
+        return "finished";
+      case RunDiagnosis::BudgetExhausted:
+        return "budget-exhausted";
+      case RunDiagnosis::Livelock:
+        return "livelock";
+    }
+    return "unknown";
+}
+
 Machine::Machine(const aarch::CodeBuffer &code, gx86::Memory &memory,
                  MachineConfig config)
-    : code_(code), memory_(memory), config_(config), rng_(config.seed)
+    : code_(code), memory_(memory), config_(config), rng_(config.seed),
+      faults_(config_.faults)
 {
 }
 
@@ -79,10 +94,19 @@ Machine::run(std::uint64_t max_cycles_per_core)
                 next = &c;
             }
         }
-        if (!next)
+        if (!next) {
+            diagnosis_ = RunDiagnosis::Finished;
             return true;
-        if (next->cycles >= max_cycles_per_core)
+        }
+        if (next->cycles >= max_cycles_per_core) {
+            // Distinguish a core spinning on failed exclusive stores
+            // (livelock) from one that is simply still doing useful work.
+            diagnosis_ = RunDiagnosis::BudgetExhausted;
+            for (const Core &c : cores_)
+                if (!c.halted && c.stxrFails > 0)
+                    diagnosis_ = RunDiagnosis::Livelock;
             return false;
+        }
         if (next->halted) {
             // Only buffered stores remain: drain them.
             drainOne(*next);
@@ -362,7 +386,16 @@ Machine::step(Core &core)
         const std::uint64_t addr = core.x[in.rn];
         if (in.op == AOp::Stlxr)
             flushStoreBuffer(core);
-        const bool ok = core.monitor && *core.monitor == (addr & ~7ULL);
+        bool ok = core.monitor && *core.monitor == (addr & ~7ULL);
+        // Spurious failure is architecturally allowed for exclusive
+        // stores, so injecting one here is behaviour-preserving: correct
+        // guest code must already tolerate it by retrying. The draw
+        // comes from the injector's own per-site stream, never rng_, so
+        // unarmed runs keep their exact scheduling.
+        if (ok && faults_.shouldInject(faultsites::MachineStxr)) {
+            ok = false;
+            ++core.pendingInjectedStxr;
+        }
         if (ok) {
             core.cycles += atomicAccessCost(core, addr);
             directWrite(core, addr, 8, core.x[in.rm]);
@@ -372,6 +405,10 @@ Machine::step(Core &core)
         core.cycles += c.exclusive +
                        (in.op == AOp::Stlxr ? c.releaseExtra : 0);
         stats_.bump("machine.exclusive_stores");
+        if (ok)
+            noteStxrSuccess(core);
+        else
+            noteStxrFailure(core);
         break;
       }
       case AOp::Cas:
@@ -599,6 +636,41 @@ Machine::step(Core &core)
     }
     if (!core.halted)
         core.pc = next;
+}
+
+void
+Machine::noteStxrFailure(Core &core)
+{
+    ++core.stxrFails;
+    stats_.bump("machine.stxr_failures");
+    if (config_.livelockThreshold == 0 ||
+        core.stxrFails % config_.livelockThreshold != 0)
+        return;
+    // Livelock watchdog: after N consecutive failed acquisitions, park
+    // the core for a randomized, exponentially growing window. The
+    // randomization desynchronizes competing cores and the growth bounds
+    // repeat collisions, so some core always completes its ldxr/stxr
+    // pair between retries -- guaranteeing system-wide progress.
+    if (core.backoffWindow == 0)
+        core.backoffWindow = std::max<std::uint64_t>(
+            1, config_.livelockBackoffBase);
+    else
+        core.backoffWindow =
+            std::min(core.backoffWindow * 2, config_.livelockBackoffCap);
+    core.cycles += 1 + rng_.below(core.backoffWindow);
+    stats_.bump("machine.watchdog_backoffs");
+}
+
+void
+Machine::noteStxrSuccess(Core &core)
+{
+    if (core.pendingInjectedStxr) {
+        // The guest retried past every injected spurious failure.
+        faults_.recovered(faultsites::MachineStxr, core.pendingInjectedStxr);
+        core.pendingInjectedStxr = 0;
+    }
+    core.stxrFails = 0;
+    core.backoffWindow = 0;
 }
 
 } // namespace risotto::machine

@@ -28,6 +28,7 @@
 #include "aarch/isa.hh"
 #include "gx86/memory.hh"
 #include "machine/costs.hh"
+#include "support/faultinject.hh"
 #include "support/rng.hh"
 #include "support/stats.hh"
 
@@ -61,6 +62,15 @@ struct Core
 
     /** Exclusive monitor: 8-byte-aligned address armed by LDXR. */
     std::optional<std::uint64_t> monitor;
+
+    /** Consecutive failed exclusive stores (livelock watchdog input). */
+    std::uint64_t stxrFails = 0;
+
+    /** Current exponential backoff window (cycles; 0 = not backing off).*/
+    std::uint64_t backoffWindow = 0;
+
+    /** Injected spurious STXR failures not yet followed by a success. */
+    std::uint64_t pendingInjectedStxr = 0;
 };
 
 /** Runtime hook: helpers invoked by translated code (the DBT runtime). */
@@ -100,7 +110,30 @@ struct MachineConfig
     bool relaxedDrain = true;
     /** Maximum buffered stores before a forced drain. */
     std::size_t storeBufferDepth = 8;
+
+    /** Fault-injection plan for machine-level sites (machine.stxr). */
+    FaultPlan faults;
+
+    /** Livelock watchdog: consecutive failed exclusive stores on one
+     * core before a randomized backoff is applied (0 disables). */
+    std::uint64_t livelockThreshold = 64;
+
+    /** Initial randomized backoff window in cycles; doubles on repeated
+     * watchdog firings up to livelockBackoffCap. */
+    std::uint64_t livelockBackoffBase = 64;
+    std::uint64_t livelockBackoffCap = 8192;
 };
+
+/** Why a run stopped (RunResult/diagnosis reporting). */
+enum class RunDiagnosis
+{
+    Finished,        ///< Every core halted.
+    BudgetExhausted, ///< A core hit the cycle budget doing useful work.
+    Livelock,        ///< Budget hit while spinning on failed exclusives.
+};
+
+/** Short name for a diagnosis ("finished", "budget-exhausted", ...). */
+std::string runDiagnosisName(RunDiagnosis diagnosis);
 
 /** The multiprocessor. */
 class Machine
@@ -137,6 +170,15 @@ class Machine
     const StatSet &stats() const { return stats_; }
     StatSet &stats() { return stats_; }
 
+    /** The configuration this machine runs under. */
+    const MachineConfig &config() const { return config_; }
+
+    /** Machine-level fault injector (counters for machine.* sites). */
+    const FaultInjector &faults() const { return faults_; }
+
+    /** Why the last run() stopped. */
+    RunDiagnosis diagnosis() const { return diagnosis_; }
+
     // --- Memory operations used by cores and helpers ---------------------
 
     /** Read with store-forwarding from @p core's buffer. */
@@ -164,11 +206,15 @@ class Machine
     void drainOne(Core &core);
     void chargeLineOwnership(Core &core, std::uint64_t addr, bool write);
     void clearOtherMonitors(const Core &writer, std::uint64_t addr);
+    void noteStxrFailure(Core &core);
+    void noteStxrSuccess(Core &core);
 
     const aarch::CodeBuffer &code_;
     gx86::Memory &memory_;
     MachineConfig config_;
     Rng rng_;
+    FaultInjector faults_;
+    RunDiagnosis diagnosis_ = RunDiagnosis::Finished;
     std::vector<Core> cores_;
     HelperRuntime *runtime_ = nullptr;
     StatSet stats_;

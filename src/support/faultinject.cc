@@ -1,0 +1,91 @@
+#include "support/faultinject.hh"
+
+namespace risotto
+{
+
+namespace
+{
+
+/** FNV-1a 64-bit, used to derive a per-site stream from the plan seed. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : s) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+bool
+FaultPlan::armed() const
+{
+    if (seed == 0)
+        return false;
+    if (rate > 0.0)
+        return true;
+    for (const auto &[site, r] : siteRates)
+        if (r > 0.0)
+            return true;
+    return false;
+}
+
+double
+FaultPlan::rateFor(const std::string &site) const
+{
+    auto it = siteRates.find(site);
+    return it != siteRates.end() ? it->second : rate;
+}
+
+FaultPlan
+FaultPlan::allSites(std::uint64_t seed, double rate)
+{
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.rate = rate;
+    return plan;
+}
+
+Rng &
+FaultInjector::streamFor(const std::string &site)
+{
+    auto it = streams_.find(site);
+    if (it == streams_.end())
+        it = streams_.emplace(site, Rng(plan_.seed ^ fnv1a(site))).first;
+    return it->second;
+}
+
+bool
+FaultInjector::shouldInject(const std::string &site)
+{
+    if (plan_.seed == 0)
+        return false;
+    const double rate = plan_.rateFor(site);
+    if (rate <= 0.0)
+        return false;
+    // 53-bit uniform draw in [0, 1).
+    const double draw =
+        static_cast<double>(streamFor(site).next() >> 11) * 0x1.0p-53;
+    if (draw >= rate)
+        return false;
+    stats_.bump("fault." + site + ".injected");
+    return true;
+}
+
+void
+FaultInjector::recovered(const std::string &site, std::uint64_t count)
+{
+    if (count)
+        stats_.bump("fault." + site + ".recovered", count);
+}
+
+std::uint64_t
+FaultInjector::injected(const std::string &site) const
+{
+    return stats_.get("fault." + site + ".injected");
+}
+
+} // namespace risotto

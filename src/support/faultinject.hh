@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Deterministic, seed-driven fault injection.
+ *
+ * Robustness behaviours must be reproducible: every recoverable failure
+ * path in the pipeline (translation faults, code-buffer exhaustion,
+ * spurious exclusive-store failures, ...) is guarded by a *named fault
+ * site*. A FaultPlan arms sites with per-site probabilities and a seed;
+ * a FaultInjector draws from an independent per-site xoshiro stream so
+ * that one subsystem's draws never perturb another's, and a fixed seed
+ * reproduces the exact same fault schedule run after run. Injected and
+ * recovered events are counted per site and exported through StatSet
+ * (counters "fault.<site>.injected" / "fault.<site>.recovered").
+ */
+
+#ifndef RISOTTO_SUPPORT_FAULTINJECT_HH
+#define RISOTTO_SUPPORT_FAULTINJECT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "support/error.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+
+namespace risotto
+{
+
+/** The registry of known fault sites. */
+namespace faultsites
+{
+/** Frontend decode of a guest basic block fails. */
+inline constexpr const char *DbtDecode = "dbt.decode";
+/** Backend encode of an optimized block fails. */
+inline constexpr const char *DbtEncode = "dbt.encode";
+/** Host code buffer reports exhaustion during compilation. */
+inline constexpr const char *DbtBuffer = "dbt.buffer";
+/** Exclusive store (STXR/STLXR) fails spuriously -- architecturally
+ * allowed on Arm, so injection here is behaviour-preserving by
+ * construction and drives the livelock watchdog. */
+inline constexpr const char *MachineStxr = "machine.stxr";
+
+/** All registered site names (for "arm everything" plans). */
+inline constexpr const char *All[] = {DbtDecode, DbtEncode, DbtBuffer,
+                                      MachineStxr};
+} // namespace faultsites
+
+/** Declarative fault schedule: which sites fire, how often, which seed. */
+struct FaultPlan
+{
+    /** Seed for the per-site streams; 0 disarms the whole plan. */
+    std::uint64_t seed = 0;
+
+    /** Default per-draw fault probability for armed sites. */
+    double rate = 0.0;
+
+    /** Per-site probability overrides (take precedence over rate). */
+    std::map<std::string, double> siteRates;
+
+    /** True when any site can fire. */
+    bool armed() const;
+
+    /** Probability used for @p site. */
+    double rateFor(const std::string &site) const;
+
+    /** A plan arming every registered site at @p rate. */
+    static FaultPlan allSites(std::uint64_t seed, double rate);
+};
+
+/** Draws faults per a FaultPlan and counts injections/recoveries. */
+class FaultInjector
+{
+  public:
+    FaultInjector() = default;
+    explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+    bool armed() const { return plan_.armed(); }
+
+    /**
+     * Deterministic Bernoulli draw for @p site; true means "inject a
+     * fault now". Counts the injection.
+     */
+    bool shouldInject(const std::string &site);
+
+    /** Record @p count recoveries from earlier injections at @p site. */
+    void recovered(const std::string &site, std::uint64_t count = 1);
+
+    /** Injections drawn so far at @p site. */
+    std::uint64_t injected(const std::string &site) const;
+
+    /** Per-site injected/recovered counters. */
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    Rng &streamFor(const std::string &site);
+
+    FaultPlan plan_;
+    std::map<std::string, Rng> streams_;
+    StatSet stats_;
+};
+
+/** Thrown when an armed fault site fires (always recoverable). */
+class InjectedFault : public Error
+{
+  public:
+    explicit InjectedFault(const std::string &site)
+        : Error("injected fault at " + site)
+    {
+    }
+};
+
+} // namespace risotto
+
+#endif // RISOTTO_SUPPORT_FAULTINJECT_HH

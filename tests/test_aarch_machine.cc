@@ -401,4 +401,87 @@ TEST(MachineTrace, HookSeesEveryRetiredInstruction)
     EXPECT_NE(trace.back().find("hlt"), std::string::npos);
 }
 
+/** Two cores increment a shared cell through LDXR/STXR retry loops. */
+void
+emitExclusiveIncrementLoop(Emitter &em, std::uint64_t iterations)
+{
+    em.movImm(3, 0x400000);
+    em.movImm(5, static_cast<std::int64_t>(iterations));
+    const auto outer = em.newLabel();
+    em.bind(outer);
+    const auto retry = em.newLabel();
+    em.bind(retry);
+    em.ldxr(1, 3);
+    em.addi(2, 1, 1);
+    em.stxr(26, 2, 3);
+    em.cbnz(26, retry);
+    em.subi(5, 5, 1);
+    em.cbnz(5, outer);
+    em.hlt();
+}
+
+TEST(MachineWatchdog, InjectedStxrFailuresStillMakeProgress)
+{
+    // Spurious STXR failures are architecturally allowed, so injecting
+    // them at a brutal rate must never change the final count -- the
+    // randomized backoff only has to guarantee forward progress.
+    HostProgram p;
+    emitExclusiveIncrementLoop(p.em, 200);
+    MachineConfig config;
+    config.randomize = true;
+    config.seed = 42;
+    config.faults.seed = 9;
+    config.faults.siteRates[faultsites::MachineStxr] = 0.9;
+    config.livelockThreshold = 8;
+    config.livelockBackoffBase = 32;
+    Machine m = p.makeMachine(config);
+    m.addCore(0);
+    m.addCore(0);
+    ASSERT_TRUE(m.run());
+    EXPECT_EQ(m.diagnosis(), machine::RunDiagnosis::Finished);
+    EXPECT_EQ(p.memory.load64(0x400000), 400u);
+    EXPECT_GT(m.stats().get("machine.watchdog_backoffs"), 0u);
+    EXPECT_GT(m.faults().stats().get("fault.machine.stxr.injected"), 0u);
+    // Every injected failure was eventually followed by a success.
+    EXPECT_EQ(m.faults().stats().get("fault.machine.stxr.injected"),
+              m.faults().stats().get("fault.machine.stxr.recovered"));
+}
+
+TEST(MachineWatchdog, PermanentStxrFailureDiagnosedAsLivelock)
+{
+    HostProgram p;
+    emitExclusiveIncrementLoop(p.em, 1);
+    MachineConfig config;
+    config.faults.seed = 5;
+    config.faults.siteRates[faultsites::MachineStxr] = 1.0;
+    Machine m = p.makeMachine(config);
+    m.addCore(0);
+    EXPECT_FALSE(m.run(200'000));
+    EXPECT_EQ(m.diagnosis(), machine::RunDiagnosis::Livelock);
+    EXPECT_EQ(machine::runDiagnosisName(m.diagnosis()), "livelock");
+}
+
+TEST(MachineWatchdog, PlainSpinDiagnosedAsBudgetExhausted)
+{
+    HostProgram p;
+    auto &em = p.em;
+    em.movImm(1, 1);
+    const auto loop = em.newLabel();
+    em.bind(loop);
+    em.cbnz(1, loop);
+    em.hlt();
+    Machine m = p.makeMachine();
+    m.addCore(0);
+    EXPECT_FALSE(m.run(10'000));
+    EXPECT_EQ(m.diagnosis(), machine::RunDiagnosis::BudgetExhausted);
+
+    HostProgram q;
+    q.em.hlt();
+    Machine done = q.makeMachine();
+    done.addCore(0);
+    EXPECT_TRUE(done.run());
+    EXPECT_EQ(done.diagnosis(), machine::RunDiagnosis::Finished);
+    EXPECT_EQ(machine::runDiagnosisName(done.diagnosis()), "finished");
+}
+
 } // namespace

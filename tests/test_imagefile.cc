@@ -89,6 +89,154 @@ TEST(ImageFile, RejectsCorruptInput)
     EXPECT_THROW(deserializeImage({}), FatalError);
 }
 
+/** Deserialization must throw a FatalError mentioning @p needle. */
+void
+expectRejected(const std::vector<std::uint8_t> &bytes,
+               const std::string &needle)
+{
+    try {
+        deserializeImage(bytes);
+        FAIL() << "image unexpectedly accepted (wanted: " << needle << ")";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "wrong rejection: " << e.what();
+    }
+}
+
+/** Serialize sampleImage() after applying @p tweak (the writer does not
+ * validate, so this produces checksum-valid but structurally hostile
+ * bytes that only the hardened loader can reject). */
+template <typename Tweak>
+std::vector<std::uint8_t>
+serializeTweaked(Tweak tweak)
+{
+    GuestImage image = sampleImage();
+    tweak(image);
+    return serializeImage(image);
+}
+
+/** Recompute the trailing FNV-1a checksum after editing header bytes. */
+void
+refreshChecksum(std::vector<std::uint8_t> &bytes)
+{
+    const std::size_t payload = bytes.size() - 8;
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < payload; ++i) {
+        h ^= bytes[i];
+        h *= 0x100000001b3ULL;
+    }
+    for (std::size_t i = 0; i < 8; ++i)
+        bytes[payload + i] = static_cast<std::uint8_t>(h >> (8 * i));
+}
+
+TEST(ImageFileHardening, RejectsTruncatedHeader)
+{
+    const std::vector<std::uint8_t> bytes = serializeImage(sampleImage());
+    for (const std::size_t keep : {0u, 3u, 6u, 10u, 20u, 63u}) {
+        auto cut = bytes;
+        cut.resize(keep);
+        EXPECT_THROW(deserializeImage(cut), FatalError) << keep;
+    }
+}
+
+TEST(ImageFileHardening, RejectsChecksumCorruption)
+{
+    // Flip one payload byte deep inside the text section: the structure
+    // still parses, but the checksum must catch the bit rot before any
+    // field is trusted.
+    auto bytes = serializeImage(sampleImage());
+    bytes[bytes.size() / 2] ^= 0x01;
+    expectRejected(bytes, "checksum mismatch");
+}
+
+TEST(ImageFileHardening, RejectsUnsupportedVersions)
+{
+    auto bytes = serializeImage(sampleImage());
+    for (const std::uint8_t version : {0, 3, 255}) {
+        auto patched = bytes;
+        patched[4] = version;
+        expectRejected(patched, "unsupported RISO version");
+    }
+}
+
+TEST(ImageFileHardening, AcceptsVersion1WithoutChecksum)
+{
+    // v1 images predate the checksum; the loader still takes them.
+    auto bytes = serializeImage(sampleImage());
+    bytes.resize(bytes.size() - 8); // Strip the checksum.
+    bytes[4] = 1;                   // Declare version 1.
+    const GuestImage loaded = deserializeImage(bytes);
+    EXPECT_EQ(loaded.text, sampleImage().text);
+    Interpreter interp(loaded);
+    EXPECT_EQ(interp.run().exitCode, 42);
+}
+
+TEST(ImageFileHardening, RejectsHostileSizeFields)
+{
+    // A near-2^64 text size must fail the bounds check, not wrap the
+    // read cursor past the end of the buffer.
+    auto bytes = serializeImage(sampleImage());
+    for (std::size_t i = 32; i < 40; ++i)
+        bytes[i] = 0xff;
+    refreshChecksum(bytes);
+    expectRejected(bytes, "truncated");
+}
+
+TEST(ImageFileHardening, RejectsHostileSymbolCounts)
+{
+    auto bytes = serializeImage(sampleImage());
+    for (std::size_t i = 48; i < 56; ++i)
+        bytes[i] = 0xff;
+    refreshChecksum(bytes);
+    expectRejected(bytes, "truncated");
+}
+
+TEST(ImageFileHardening, RejectsOverlappingSections)
+{
+    const auto bytes = serializeTweaked(
+        [](GuestImage &image) { image.dataBase = image.textBase; });
+    expectRejected(bytes, "overlap");
+}
+
+TEST(ImageFileHardening, RejectsWrappingSections)
+{
+    const auto bytes = serializeTweaked([](GuestImage &image) {
+        image.textBase = ~std::uint64_t{0} - 4;
+        image.entry = image.textBase;
+    });
+    expectRejected(bytes, "wraps the address space");
+}
+
+TEST(ImageFileHardening, RejectsEntryOutsideText)
+{
+    const auto bytes = serializeTweaked([](GuestImage &image) {
+        image.entry = image.textBase + image.text.size() + 0x100;
+    });
+    expectRejected(bytes, "entry point outside text");
+}
+
+TEST(ImageFileHardening, RejectsOutOfBoundsSymbols)
+{
+    const auto symbol = serializeTweaked([](GuestImage &image) {
+        image.symbols.push_back({"ghost", 0xffff0000});
+    });
+    expectRejected(symbol, "symbol 'ghost' outside every section");
+
+    const auto plt = serializeTweaked([](GuestImage &image) {
+        if (image.dynsym.empty())
+            return;
+        image.dynsym[0].pltAddr = 0xffff0000;
+    });
+    expectRejected(plt, "PLT stub");
+
+    const auto impl = serializeTweaked([](GuestImage &image) {
+        if (image.dynsym.empty())
+            return;
+        image.dynsym[0].guestImpl = 0xffff0000;
+    });
+    expectRejected(impl, "guest impl");
+}
+
 TEST(ImageFile, SaveAndLoadFile)
 {
     const std::string path = "/tmp/risotto_imagefile_test.riso";

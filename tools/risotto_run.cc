@@ -10,6 +10,9 @@
  *   --seed N          machine scheduler seed
  *   --randomize       randomized scheduling / relaxed drains
  *   --no-linker       disable the dynamic host library linker
+ *   --fault-seed N    arm deterministic fault injection with seed N
+ *   --fault-rate P    per-site fault probability in [0,1] (default 0.01
+ *                     once --fault-seed is given)
  *   --stats           dump translation + machine counters
  *   --trace           print every retired host instruction (very verbose)
  *   --disasm          print the guest disassembly and exit
@@ -98,6 +101,8 @@ main(int argc, char **argv)
     std::string variant = "risotto";
     std::size_t threads = 1;
     machine::MachineConfig mc;
+    FaultPlan faults;
+    faults.rate = 0.01;
     bool want_stats = false;
     bool want_disasm = false;
     bool use_linker = true;
@@ -109,17 +114,41 @@ main(int argc, char **argv)
                 fatal("missing value for " + arg);
             return argv[i];
         };
+        auto nextU64 = [&]() -> std::uint64_t {
+            const std::string v = next();
+            try {
+                return std::stoull(v);
+            } catch (const std::exception &) {
+                fatal("invalid number '" + v + "' for " + arg);
+            }
+        };
+        auto nextRate = [&]() -> double {
+            const std::string v = next();
+            double rate = 0.0;
+            try {
+                rate = std::stod(v);
+            } catch (const std::exception &) {
+                fatal("invalid number '" + v + "' for " + arg);
+            }
+            fatalIf(rate < 0.0 || rate > 1.0,
+                    arg + " must be in [0, 1], got " + v);
+            return rate;
+        };
         try {
             if (arg == "--variant")
                 variant = next();
             else if (arg == "--threads")
-                threads = std::stoul(next());
+                threads = nextU64();
             else if (arg == "--seed")
-                mc.seed = std::stoull(next());
+                mc.seed = nextU64();
             else if (arg == "--randomize")
                 mc.randomize = true;
             else if (arg == "--no-linker")
                 use_linker = false;
+            else if (arg == "--fault-seed")
+                faults.seed = nextU64();
+            else if (arg == "--fault-rate")
+                faults.rate = nextRate();
             else if (arg == "--stats")
                 want_stats = true;
             else if (arg == "--trace")
@@ -162,6 +191,7 @@ main(int argc, char **argv)
         options.config = configByName(variant);
         options.config.hostLinker =
             options.config.hostLinker && use_linker;
+        options.config.faults = faults;
         Emulator emulator(image, options);
         const auto result = emulator.run(threads, mc);
 
@@ -172,7 +202,14 @@ main(int argc, char **argv)
         std::cout << "[risotto-run] variant=" << variant
                   << " threads=" << threads
                   << " finished=" << (result.finished ? "yes" : "no")
+                  << " diagnosis=" << result.diagnosis
                   << " makespan=" << result.makespan << " cycles\n";
+        if (faults.armed())
+            std::cout << "  faults: seed=" << faults.seed
+                      << " rate=" << faults.rate
+                      << " fallback-blocks=" << result.fallbackBlocks
+                      << " translate-retries=" << result.translationRetries
+                      << "\n";
         for (std::size_t t = 0; t < threads; ++t)
             std::cout << "  thread " << t << ": exit "
                       << result.exitCodes[t] << "\n";
