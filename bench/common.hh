@@ -11,12 +11,24 @@
 #define RISOTTO_BENCH_COMMON_HH
 
 #include <cstdint>
+#include <cstring>
 #include <iostream>
 
 #include "support/stats.hh"
 
 namespace risotto::bench
 {
+
+/** True when the binary was invoked with --smoke (CI: small problem
+ * sizes, exercising every code path without the full measurement). */
+inline bool
+smokeMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            return true;
+    return false;
+}
 
 /** Nominal host clock (paper testbed: ThunderX2 at 2.0 GHz). */
 constexpr double ClockHz = 2.0e9;

@@ -65,8 +65,10 @@ runNative(const WorkloadSpec &spec)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bool smoke = smokeMode(argc, argv);
+
     std::cout << "Figure 12: PARSEC + Phoenix run time relative to QEMU "
                  "(lower is better), "
               << Threads << " threads\n\n";
@@ -82,7 +84,9 @@ main()
     double best_improvement = 0.0;
     std::size_t count = 0;
 
-    for (const WorkloadSpec &spec : workloads::fullSuite()) {
+    for (WorkloadSpec spec : workloads::fullSuite()) {
+        if (smoke)
+            spec.iterations = 50; // CI: exercise every variant, briefly.
         const gx86::GuestImage image = workloads::buildGuestWorkload(spec);
         const std::uint64_t qemu = runVariant(image, DbtConfig::qemu());
         const std::uint64_t nofences =

@@ -8,7 +8,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <unordered_map>
+
 #include "dbt/dbt.hh"
+#include "dbt/tbcache.hh"
 #include "gx86/assembler.hh"
 #include "litmus/enumerate.hh"
 #include "litmus/library.hh"
@@ -107,6 +111,65 @@ BM_EmulateLoop(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_EmulateLoop);
+
+// TB-cache lookup cost: the ordered map the engine used before the
+// tiered refactor vs the unordered map behind TranslationCache. Keys are
+// spread like guest pcs (word-aligned, image-offset) and looked up in a
+// hot-loop-like pattern.
+std::vector<std::uint64_t>
+fakePcs(std::size_t n)
+{
+    std::vector<std::uint64_t> pcs;
+    pcs.reserve(n);
+    Rng rng(11);
+    std::uint64_t pc = 0x10000;
+    for (std::size_t i = 0; i < n; ++i) {
+        pc += 4 + 4 * rng.below(24);
+        pcs.push_back(pc);
+    }
+    return pcs;
+}
+
+void
+BM_TbLookupOrderedMap(benchmark::State &state)
+{
+    const auto pcs = fakePcs(static_cast<std::size_t>(state.range(0)));
+    std::map<std::uint64_t, std::uint32_t> cache;
+    for (std::size_t i = 0; i < pcs.size(); ++i)
+        cache[pcs[i]] = static_cast<std::uint32_t>(i);
+    for (auto _ : state)
+        for (const std::uint64_t pc : pcs)
+            benchmark::DoNotOptimize(cache.find(pc));
+}
+BENCHMARK(BM_TbLookupOrderedMap)->Arg(64)->Arg(1024);
+
+void
+BM_TbLookupUnorderedMap(benchmark::State &state)
+{
+    const auto pcs = fakePcs(static_cast<std::size_t>(state.range(0)));
+    std::unordered_map<std::uint64_t, std::uint32_t> cache;
+    cache.reserve(pcs.size());
+    for (std::size_t i = 0; i < pcs.size(); ++i)
+        cache[pcs[i]] = static_cast<std::uint32_t>(i);
+    for (auto _ : state)
+        for (const std::uint64_t pc : pcs)
+            benchmark::DoNotOptimize(cache.find(pc));
+}
+BENCHMARK(BM_TbLookupUnorderedMap)->Arg(64)->Arg(1024);
+
+void
+BM_TranslationCacheLookup(benchmark::State &state)
+{
+    const auto pcs = fakePcs(static_cast<std::size_t>(state.range(0)));
+    dbt::TranslationCache cache(pcs.size());
+    for (std::size_t i = 0; i < pcs.size(); ++i)
+        cache.insert(pcs[i], static_cast<aarch::CodeAddr>(i), 8,
+                     dbt::Tier::Baseline);
+    for (auto _ : state)
+        for (const std::uint64_t pc : pcs)
+            benchmark::DoNotOptimize(cache.find(pc));
+}
+BENCHMARK(BM_TranslationCacheLookup)->Arg(64)->Arg(1024);
 
 } // namespace
 

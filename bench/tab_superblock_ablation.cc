@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tier-2 superblock ablation.
+ *
+ * A hot loop whose body overflows the frontend's 64-instruction block
+ * cap is the worst case for basic-block-granularity optimization: the
+ * split point is a seam that hides a same-address store pair (and its
+ * Fww fences) from the per-block optimizer. Tier 2 re-translates the hot
+ * region as one superblock, so the WAW elimination and fence merge fire
+ * across the former seam. The table compares tier 2 off/on on the same
+ * image: makespan, superblocks formed, cross-block eliminations, and the
+ * DMB ST count the removed fences no longer execute.
+ *
+ * --smoke shrinks the iteration count for CI.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "dbt/dbt.hh"
+#include "gx86/assembler.hh"
+#include "support/error.hh"
+#include "support/format.hh"
+
+using namespace risotto;
+using namespace risotto::bench;
+using namespace risotto::gx86;
+using dbt::Dbt;
+using dbt::DbtConfig;
+using dbt::ThreadSpec;
+
+namespace
+{
+
+/**
+ * A loop whose body is 80 same-address stores (plus control): the
+ * frontend splits it at its 64-instruction block cap, so every
+ * iteration crosses a block seam mid-store-run. Per-block optimization
+ * collapses each side's run to one fenced store, but the pair
+ * straddling the seam survives until tier 2 splices the region.
+ */
+GuestImage
+fencedSeamLoop(std::int64_t iterations)
+{
+    Assembler a;
+    const Addr buf = a.dataReserve(64);
+    a.defineSymbol("main");
+    a.movri(3, static_cast<std::int64_t>(buf));
+    a.movri(4, 7);
+    a.movri(2, iterations);
+    const auto loop = a.newLabel();
+    a.bind(loop);
+    for (int k = 0; k < 80; ++k)
+        a.store(3, 0, 4);
+    a.subi(2, 1);
+    a.cmpri(2, 0);
+    a.jcc(Cond::Gt, loop);
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    return a.finish("main");
+}
+
+dbt::RunResult
+run(const GuestImage &image, const DbtConfig &config)
+{
+    Dbt engine(image, config);
+    auto result = engine.run({ThreadSpec{}});
+    fatalIf(!result.finished, "ablation run did not finish");
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke = smokeMode(argc, argv);
+    const std::int64_t iterations = smoke ? 300 : 2000;
+
+    std::cout << "Tier-2 superblock ablation (" << iterations
+              << "-iteration fenced seam loop)\n\n";
+
+    const GuestImage image = fencedSeamLoop(iterations);
+
+    ReportTable table("Superblock translation off/on",
+                      {"variant", "superblocks", "subsumed",
+                       "xblock fences", "xblock mem ops", "dmb st",
+                       "tb exits", "Mcycles"});
+    std::uint64_t off_makespan = 0;
+    std::vector<std::int64_t> off_exits;
+    for (const bool tier2 : {false, true}) {
+        DbtConfig config = DbtConfig::risotto();
+        config.tier2 = tier2;
+        config.name = tier2 ? "tier2 on" : "tier2 off";
+        const auto result = run(image, config);
+        if (!tier2) {
+            off_makespan = result.makespan;
+            off_exits = result.exitCodes;
+        } else {
+            fatalIf(result.exitCodes != off_exits,
+                    "tier2 changed guest-visible results");
+        }
+        table.addRow(
+            {config.name, std::to_string(result.tier2Superblocks),
+             std::to_string(result.tier2BlocksSubsumed),
+             std::to_string(result.crossBlockFencesRemoved),
+             std::to_string(result.crossBlockMemOpsEliminated),
+             std::to_string(result.stats.get("machine.dmb_st")),
+             std::to_string(result.stats.get("machine.tb_exits")),
+             fixedString(result.makespan / 1e6, 3)});
+        if (tier2 && off_makespan > 0) {
+            std::cout << "tier2 makespan: "
+                      << fixedString(
+                             100.0 * result.makespan / off_makespan, 1)
+                      << "% of tier1-only\n\n";
+        }
+    }
+    show(table);
+
+    std::cout << "The seam hides one same-address store pair per "
+                 "iteration from the per-block\noptimizer; the "
+                 "superblock removes the dead store and merges its Fww "
+                 "into the\nsurviving one, saving a DMB ST plus a store "
+                 "and its drain every iteration.\n";
+    return 0;
+}

@@ -299,13 +299,15 @@ Backend::compile(const Block &block, ExitSlotAllocator &slots)
                 em.exitTb(slots.dynamicSlot());
             } else {
                 const CodeAddr site = em.here();
-                em.exitTb(slots.staticSlot(
-                    static_cast<std::uint64_t>(in.imm), site, false));
+                em.exitTb(slots.staticSlot(block.guestPc,
+                                           static_cast<std::uint64_t>(in.imm),
+                                           site, false));
             }
             break;
           case Op::GotoTb: {
             const CodeAddr site = em.here();
-            em.exitTb(slots.staticSlot(static_cast<std::uint64_t>(in.imm),
+            em.exitTb(slots.staticSlot(block.guestPc,
+                                       static_cast<std::uint64_t>(in.imm),
                                        site, config_.chaining));
             break;
           }

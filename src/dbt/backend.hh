@@ -41,11 +41,15 @@ class ExitSlotAllocator
 
     /**
      * Register a static exit to @p guest_pc.
+     * @param source_pc guest pc of the block the exit belongs to (0 when
+     *        none applies, e.g. interpreter trampolines); feeds the
+     *        chain-successor profile behind superblock formation.
      * @param patch_site code-buffer address of the exit_tb word (so a
      *        chainable exit can later be patched into a direct branch).
      * @param chainable true for goto_tb exits.
      */
-    virtual std::uint32_t staticSlot(std::uint64_t guest_pc,
+    virtual std::uint32_t staticSlot(std::uint64_t source_pc,
+                                     std::uint64_t guest_pc,
                                      aarch::CodeAddr patch_site,
                                      bool chainable) = 0;
 

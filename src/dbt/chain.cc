@@ -1,0 +1,69 @@
+#include "dbt/chain.hh"
+
+#include "support/error.hh"
+
+namespace risotto::dbt
+{
+
+std::uint32_t
+ChainManager::staticSlot(std::uint64_t source_pc, std::uint64_t guest_pc,
+                         aarch::CodeAddr patch_site, bool chainable)
+{
+    ExitSlot slot;
+    slot.sourcePc = source_pc;
+    slot.guestPc = guest_pc;
+    slot.patchSite = patch_site;
+    slot.chainable = chainable;
+    slots_.push_back(slot);
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+std::uint32_t
+ChainManager::dynamicSlot()
+{
+    if (!dynSlotMade_) {
+        ExitSlot slot;
+        slot.dynamic = true;
+        slots_.push_back(slot);
+        dynSlot_ = static_cast<std::uint32_t>(slots_.size() - 1);
+        dynSlotMade_ = true;
+    }
+    return dynSlot_;
+}
+
+const ExitSlot &
+ChainManager::slot(std::uint32_t index) const
+{
+    panicIf(index >= slots_.size(), "bad exit slot");
+    return slots_[index];
+}
+
+void
+ChainManager::truncateSlots(std::size_t count)
+{
+    panicIf(count > slots_.size(), "slot rollback past the end");
+    slots_.resize(count);
+}
+
+void
+ChainManager::chain(std::uint32_t index, aarch::CodeAddr host)
+{
+    const ExitSlot &slot = this->slot(index);
+    panicIf(!slot.chainable, "chaining a non-chainable exit");
+    aarch::AInstr branch;
+    branch.op = aarch::AOp::B;
+    branch.imm = static_cast<std::int32_t>(host) -
+                 static_cast<std::int32_t>(slot.patchSite);
+    code_.patch(slot.patchSite, aarch::encode(branch));
+}
+
+void
+ChainManager::flush()
+{
+    slots_.clear();
+    dynSlotMade_ = false;
+    dynSlot_ = 0;
+    ++epoch_;
+}
+
+} // namespace risotto::dbt

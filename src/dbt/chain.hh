@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Block chaining: exit slots and goto_tb patch sites.
+ *
+ * Every ExitTb word in the code buffer names a slot describing where the
+ * exit goes (static target pc or the shared dynamic register) and, for
+ * chainable goto_tb exits, the patch site that a later resolution turns
+ * into a direct branch. The manager survives translation-cache flushes
+ * through an epoch counter: a flush discards every slot and bumps the
+ * epoch, so a resolution that raced with a flush can detect that its
+ * patch site died and must not be written.
+ */
+
+#ifndef RISOTTO_DBT_CHAIN_HH
+#define RISOTTO_DBT_CHAIN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "aarch/emitter.hh"
+#include "dbt/backend.hh"
+
+namespace risotto::dbt
+{
+
+/** One dispatcher exit slot. */
+struct ExitSlot
+{
+    bool dynamic = false;
+
+    /** Guest pc of the block that owns the exit (0 = none recorded);
+     * feeds chain-successor profiling. */
+    std::uint64_t sourcePc = 0;
+
+    /** Static exit target. */
+    std::uint64_t guestPc = 0;
+
+    /** Code-buffer address of the exit_tb word (chainable exits). */
+    aarch::CodeAddr patchSite = 0;
+
+    bool chainable = false;
+};
+
+/** Owns exit slots and chain patching over the shared code buffer. */
+class ChainManager : public ExitSlotAllocator
+{
+  public:
+    explicit ChainManager(aarch::CodeBuffer &code) : code_(code) {}
+
+    // --- ExitSlotAllocator ------------------------------------------------
+
+    std::uint32_t staticSlot(std::uint64_t source_pc,
+                             std::uint64_t guest_pc,
+                             aarch::CodeAddr patch_site,
+                             bool chainable) override;
+    std::uint32_t dynamicSlot() override;
+
+    /** The slot at @p index; panics when out of range. */
+    const ExitSlot &slot(std::uint32_t index) const;
+
+    std::size_t slotCount() const { return slots_.size(); }
+
+    /** Roll back to @p count slots (abandoning a partial compile). */
+    void truncateSlots(std::size_t count);
+
+    /** Patch the chainable exit @p index into a direct branch to
+     * @p host (the goto_tb -> B rewrite). */
+    void chain(std::uint32_t index, aarch::CodeAddr host);
+
+    /** Discard every slot and start a new epoch (cache flush). */
+    void flush();
+
+    /** Bumped on every flush; invalidates pending chain patches. */
+    std::uint64_t epoch() const { return epoch_; }
+
+  private:
+    aarch::CodeBuffer &code_;
+    std::vector<ExitSlot> slots_;
+    std::uint32_t dynSlot_ = 0;
+    bool dynSlotMade_ = false;
+    std::uint64_t epoch_ = 0;
+};
+
+} // namespace risotto::dbt
+
+#endif // RISOTTO_DBT_CHAIN_HH

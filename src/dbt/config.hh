@@ -13,6 +13,7 @@
 #define RISOTTO_DBT_CONFIG_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "mapping/schemes.hh"
@@ -58,6 +59,16 @@ struct DbtConfig
      * triggers a translation-cache flush when safe, interpreter
      * fallback otherwise. */
     std::size_t codeBufferCapacity = 0;
+
+    /** Enable tier-2 superblock translation. */
+    bool tier2 = true;
+
+    /** Execution count at which a block becomes a superblock head
+     * candidate (0 also disables tier 2). */
+    std::uint64_t tier2Threshold = 16;
+
+    /** Maximum region members per superblock. */
+    std::size_t tier2MaxBlocks = 8;
 
     static DbtConfig qemu();
     static DbtConfig qemuNoFences();

@@ -1,11 +1,7 @@
 #include "dbt/dbt.hh"
 
-#include <algorithm>
-
-#include "dbt/fallback.hh"
 #include "dbt/softfloat.hh"
 #include "support/error.hh"
-#include "tcg/optimizer.hh"
 
 namespace risotto::dbt
 {
@@ -19,7 +15,13 @@ Dbt::Dbt(const gx86::GuestImage &image, DbtConfig config,
          const ImportResolver *resolver, HostCallHandler *hostcalls)
     : image_(image), config_(std::move(config)), resolver_(resolver),
       hostcalls_(hostcalls), frontend_(image_, config_, resolver_),
-      backend_(code_, config_), faults_(config_.faults)
+      backend_(code_, config_), faults_(config_.faults),
+      chains_(code_),
+      interp_(image_, config_, resolver_, hostcalls_, code_, chains_, *this,
+              stats_),
+      baseline_(frontend_, backend_, code_, chains_, faults_, config_, *this,
+                stats_),
+      super_(frontend_, backend_, code_, chains_, cache_, config_, stats_)
 {
     code_.setCapacity(config_.codeBufferCapacity);
     emitDynInterpStub();
@@ -30,49 +32,21 @@ Dbt::emitDynInterpStub()
 {
     aarch::Emitter emitter(code_);
     dynInterpStub_ = emitter.here();
-    emitter.exitTb(dynamicSlot());
+    emitter.exitTb(chains_.dynamicSlot());
     emitter.finish();
 }
 
-CodeAddr
-Dbt::interpTrampoline(gx86::Addr pc)
-{
-    auto it = interpTrampolines_.find(pc);
-    if (it != interpTrampolines_.end())
-        return it->second;
-    auto emit = [&]() {
-        aarch::Emitter emitter(code_);
-        const CodeAddr at = emitter.here();
-        emitter.exitTb(staticSlot(pc, at, false));
-        emitter.finish();
-        return at;
-    };
-    CodeAddr at;
-    try {
-        at = emit();
-    } catch (const aarch::CodeBufferFull &) {
-        // Trampolines are only emitted outside a run (onExitTb degrades
-        // through the shared dynamic stub instead), so flushing here
-        // cannot strand a core.
-        flushTranslationCache();
-        at = emit();
-    }
-    interpTrampolines_[pc] = at;
-    return at;
-}
-
 bool
-Dbt::canFlushTranslationCache(const Machine *machine,
-                              const Core *current) const
+Dbt::canFlushTranslationCache(const TranslationEnv &env) const
 {
-    if (!machine)
+    if (!env.machine)
         return true;
     // Safe only when no other core can be executing translated code:
     // the trapped core gets a fresh target from onExitTb's return value,
     // but any other running core would be stranded mid-buffer.
-    for (std::size_t i = 0; i < machine->coreCount(); ++i) {
-        const Core &c = machine->core(i);
-        if (!c.halted && (!current || c.id != current->id))
+    for (std::size_t i = 0; i < env.machine->coreCount(); ++i) {
+        const Core &c = env.machine->core(i);
+        if (!c.halted && (!env.core || c.id != env.core->id))
             return false;
     }
     return true;
@@ -81,151 +55,89 @@ Dbt::canFlushTranslationCache(const Machine *machine,
 void
 Dbt::flushTranslationCache()
 {
-    tbCache_.clear();
-    interpTrampolines_.clear();
-    slots_.clear();
-    dynSlotMade_ = false;
+    cache_.flush();
+    chains_.flush();
+    interp_.flush();
     code_.truncate(0);
-    ++flushEpoch_;
     emitDynInterpStub();
     stats_.bump("dbt.tb_flushes");
 }
 
 std::optional<CodeAddr>
-Dbt::tryTranslate(gx86::Addr pc, const Machine *machine,
-                  const Core *current)
+Dbt::lookupOrTranslateGuarded(gx86::Addr pc, const TranslationEnv &env)
 {
-    const unsigned attempts = std::max(1u, config_.translateRetries);
-    std::uint64_t pendingDecode = 0;
-    std::uint64_t pendingEncode = 0;
-    std::uint64_t pendingBuffer = 0;
-    auto recoverPending = [&]() {
-        // Every exit path continues execution correctly (retried host
-        // code or the interpreter fallback), so earlier injections are
-        // recovered by construction.
-        faults_.recovered(faultsites::DbtDecode, pendingDecode);
-        faults_.recovered(faultsites::DbtEncode, pendingEncode);
-        faults_.recovered(faultsites::DbtBuffer, pendingBuffer);
-    };
-
-    for (unsigned attempt = 0; attempt < attempts; ++attempt) {
-        if (attempt > 0)
-            stats_.bump("dbt.translate_retries");
-        if (faults_.shouldInject(faultsites::DbtDecode)) {
-            ++pendingDecode;
-            continue;
-        }
-        const CodeAddr codeCheckpoint = code_.end();
-        const std::size_t slotCheckpoint = slots_.size();
-        bool injectedBuffer = false;
-        try {
-            tcg::Block block = frontend_.translate(pc);
-            stats_.bump("dbt.tbs_translated");
-            stats_.bump("dbt.ir_ops_pre_opt", block.instrs.size());
-            tcg::optimize(block, config_.optimizer, &stats_);
-            stats_.bump("dbt.ir_ops_post_opt", block.instrs.size());
-            if (faults_.shouldInject(faultsites::DbtEncode)) {
-                ++pendingEncode;
-                continue;
-            }
-            if (faults_.shouldInject(faultsites::DbtBuffer)) {
-                injectedBuffer = true;
-                throw aarch::CodeBufferFull("injected fault");
-            }
-            const CodeAddr host = backend_.compile(block, *this);
-            stats_.bump("dbt.host_words", code_.end() - host);
-            recoverPending();
-            return host;
-        } catch (const aarch::CodeBufferFull &) {
-            // Roll back the partially emitted block, then flush the
-            // whole cache when no other core can be stranded by it.
-            code_.truncate(codeCheckpoint);
-            slots_.resize(slotCheckpoint);
-            if (injectedBuffer)
-                ++pendingBuffer;
-            stats_.bump("dbt.buffer_full");
-            if (canFlushTranslationCache(machine, current))
-                flushTranslationCache();
-        } catch (const GuestFault &) {
-            // Genuinely untranslatable (invalid opcode, bad pc):
-            // retrying cannot help; the interpreter will surface the
-            // fault at execution time if the block is actually reached.
-            code_.truncate(codeCheckpoint);
-            slots_.resize(slotCheckpoint);
-            break;
-        }
-    }
-    recoverPending();
-    return std::nullopt;
-}
-
-std::optional<CodeAddr>
-Dbt::lookupOrTranslateGuarded(gx86::Addr pc, const Machine *machine,
-                              const Core *current)
-{
-    auto it = tbCache_.find(pc);
-    if (it != tbCache_.end()) {
+    if (const TbInfo *tb = cache_.find(pc)) {
         stats_.bump("dbt.tb_hits");
-        return it->second;
+        return tb->entry;
     }
-    const auto host = tryTranslate(pc, machine, current);
+    const auto host = baseline_.translate(pc, env);
     if (host)
-        tbCache_[pc] = *host;
+        cache_.insert(pc, *host, code_.end() - *host, Tier::Baseline);
     return host;
 }
 
 CodeAddr
 Dbt::lookupOrTranslate(gx86::Addr pc)
 {
-    if (const auto host = lookupOrTranslateGuarded(pc, nullptr, nullptr))
+    const TranslationEnv env; // Outside a run: flushing is always safe.
+    if (const auto host = lookupOrTranslateGuarded(pc, env))
         return *host;
-    return interpTrampoline(pc);
+    const auto trampoline = interp_.translate(pc, env);
+    panicIf(!trampoline, "interpreter trampoline emission failed");
+    return *trampoline;
 }
 
-std::uint32_t
-Dbt::staticSlot(std::uint64_t guest_pc, CodeAddr patch_site, bool chainable)
+std::optional<CodeAddr>
+Dbt::maybePromote(gx86::Addr pc, std::uint64_t exec_count,
+                  const TranslationEnv &env)
 {
-    ExitSlot slot;
-    slot.guestPc = guest_pc;
-    slot.patchSite = patch_site;
-    slot.chainable = chainable;
-    slots_.push_back(slot);
-    return static_cast<std::uint32_t>(slots_.size() - 1);
-}
-
-std::uint32_t
-Dbt::dynamicSlot()
-{
-    if (!dynSlotMade_) {
-        ExitSlot slot;
-        slot.dynamic = true;
-        slots_.push_back(slot);
-        dynSlot_ = static_cast<std::uint32_t>(slots_.size() - 1);
-        dynSlotMade_ = true;
-    }
-    return dynSlot_;
+    if (!config_.tier2 || config_.tier2Threshold == 0)
+        return std::nullopt;
+    const TbInfo *tb = cache_.find(pc);
+    if (!tb || tb->tier != Tier::Baseline || tb->promotionFailed ||
+        exec_count < config_.tier2Threshold)
+        return std::nullopt;
+    return super_.translate(pc, env);
 }
 
 std::optional<CodeAddr>
 Dbt::onExitTb(std::uint32_t slot_index, Core &core, Machine &machine)
 {
-    panicIf(slot_index >= slots_.size(), "bad exit slot");
-    const ExitSlot slot = slots_[slot_index];
+    const ExitSlot slot = chains_.slot(slot_index);
     const std::uint64_t target_pc =
         slot.dynamic ? core.x[DynExitReg] : slot.guestPc;
     if (target_pc == HaltPc)
         return std::nullopt;
-    const std::uint64_t epoch = flushEpoch_;
-    if (const auto host =
-            lookupOrTranslateGuarded(target_pc, &machine, &core)) {
-        // Patch the goto_tb into a direct branch (block chaining) --
-        // unless a cache flush discarded the exit's patch site.
-        if (slot.chainable && config_.chaining && epoch == flushEpoch_) {
-            aarch::AInstr branch;
-            branch.op = aarch::AOp::B;
-            branch.imm = static_cast<std::int32_t>(*host) -
-                         static_cast<std::int32_t>(slot.patchSite);
-            code_.patch(slot.patchSite, aarch::encode(branch));
+    const std::uint64_t epoch = chains_.epoch();
+    const TranslationEnv env{&machine, &core};
+    if (auto host = lookupOrTranslateGuarded(target_pc, env)) {
+        if (epoch != chains_.epoch()) {
+            // Translation flushed the cache: the trapping slot (and the
+            // profile that fed it) died with the old generation.
+            return *host;
+        }
+        const std::uint64_t count = cache_.noteExecution(target_pc);
+        if (slot.chainable && slot.sourcePc != 0)
+            cache_.recordSuccessor(slot.sourcePc, target_pc);
+        if (const auto promoted = maybePromote(target_pc, count, env)) {
+            core.cycles += machine.config().costs.superblockPromotion;
+            host = *promoted;
+        }
+        // Patch the goto_tb into a direct branch (block chaining). With
+        // tier 2 enabled the patch is deferred until the target is warm
+        // -- promoted, past the threshold, or marked unpromotable -- so
+        // the exit keeps trapping (and profiling) exactly as long as the
+        // promotion policy needs it.
+        const bool tier2_profiling =
+            config_.tier2 && config_.tier2Threshold > 0;
+        const TbInfo *tb = cache_.find(target_pc);
+        const bool warm = !tier2_profiling ||
+                          count >= config_.tier2Threshold ||
+                          (tb && (tb->tier == Tier::Superblock ||
+                                  tb->promotionFailed));
+        if (slot.chainable && config_.chaining && warm &&
+            epoch == chains_.epoch()) {
+            chains_.chain(slot_index, *host);
             stats_.bump("dbt.chained");
         }
         return *host;
@@ -233,10 +145,8 @@ Dbt::onExitTb(std::uint32_t slot_index, Core &core, Machine &machine)
     // Degraded mode: interpret exactly one guest block, then re-enter
     // the engine through the shared dynamic-exit stub. One block per
     // trap keeps the machine's scheduler and cycle budget in control.
-    stats_.bump("dbt.fallback_blocks");
-    const std::uint64_t next = interpretBlock(
-        image_, config_, resolver_, hostcalls_, target_pc, core, machine,
-        stats_);
+    const std::uint64_t next =
+        interp_.interpretOne(target_pc, core, machine);
     if (core.halted || next == HaltPc)
         return std::nullopt;
     core.x[DynExitReg] = next;
@@ -376,13 +286,19 @@ Dbt::run(const std::vector<ThreadSpec> &threads,
     }
     result.makespan = machine.makespan();
     result.totalCycles = machine.totalCycles();
-    result.diagnosis = machine::runDiagnosisName(machine.diagnosis());
+    result.diagnosis = machine.diagnosis();
     result.stats = stats_;
     result.stats.merge(machine.stats());
     result.stats.merge(faults_.stats());
     result.stats.merge(machine.faults().stats());
     result.fallbackBlocks = stats_.get("dbt.fallback_blocks");
     result.translationRetries = stats_.get("dbt.translate_retries");
+    result.tier2Superblocks = stats_.get("dbt.tier2_superblocks");
+    result.tier2BlocksSubsumed = stats_.get("dbt.tier2_blocks_subsumed");
+    result.crossBlockFencesRemoved =
+        stats_.get("opt.xblock_fences_removed");
+    result.crossBlockMemOpsEliminated =
+        stats_.get("opt.xblock_mem_ops_eliminated");
     result.memory = std::move(memory);
     return result;
 }

@@ -2,20 +2,29 @@
  * @file
  * The Risotto DBT engine.
  *
- * Ties the pipeline together: guest basic blocks are decoded by the
- * frontend into TCG IR (per the configured x86->IR scheme), optimized
- * (fence merging, folding, eliminations), compiled by the backend into
- * the host code buffer (per the IR->Arm scheme), cached by guest pc, and
- * executed on the weak-memory machine. Translated code re-enters the
- * engine through exit_tb traps; goto_tb exits are chained (patched into
- * direct branches) after first resolution, as in QEMU.
+ * Ties the tiered pipeline together. The engine itself is a thin
+ * orchestrator over four layers:
+ *
+ *   TranslationCache -- guest pc -> translation metadata + hot profile
+ *   ChainManager     -- exit slots, goto_tb patch sites, flush epochs
+ *   ExecutionTiers   -- tier 0 interpreter trampolines, tier 1 guarded
+ *                       per-block translation, tier 2 profile-guided
+ *                       superblocks (cross-block fence optimization)
+ *   Machine          -- the weak-memory host the code runs on
+ *
+ * Translated code re-enters the engine through exit_tb traps, where the
+ * engine counts executions, records chain successors, promotes hot
+ * blocks to superblocks, and patches goto_tb exits into direct branches.
+ * With tier 2 enabled, chaining an edge is deferred until its target is
+ * warm (promoted, past the threshold, or unpromotable), so the traps
+ * that feed the profile keep arriving exactly as long as they are
+ * needed.
  */
 
 #ifndef RISOTTO_DBT_DBT_HH
 #define RISOTTO_DBT_DBT_HH
 
 #include <array>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -23,10 +32,14 @@
 
 #include "aarch/emitter.hh"
 #include "dbt/backend.hh"
+#include "dbt/chain.hh"
 #include "dbt/config.hh"
 #include "dbt/frontend.hh"
 #include "dbt/hostcall.hh"
 #include "dbt/resolver.hh"
+#include "dbt/tbcache.hh"
+#include "dbt/tier.hh"
+#include "dbt/tiers.hh"
 #include "gx86/image.hh"
 #include "machine/machine.hh"
 #include "support/stats.hh"
@@ -55,15 +68,26 @@ struct RunResult
     /** Sum of all cores' cycles. */
     std::uint64_t totalCycles = 0;
 
-    /** Why the run stopped: "finished", "budget-exhausted", or
-     * "livelock" (budget hit while spinning on failed exclusives). */
-    std::string diagnosis;
+    /** Why the run stopped (render with machine::runDiagnosisName). */
+    machine::RunDiagnosis diagnosis = machine::RunDiagnosis::Finished;
 
     /** Guest blocks executed through the interpreter fallback. */
     std::uint64_t fallbackBlocks = 0;
 
     /** Guarded-translation retries after recoverable failures. */
     std::uint64_t translationRetries = 0;
+
+    /** Tier-2 superblocks formed. */
+    std::uint64_t tier2Superblocks = 0;
+
+    /** Blocks subsumed into superblocks (region members). */
+    std::uint64_t tier2BlocksSubsumed = 0;
+
+    /** Fences removed by merging across former block seams. */
+    std::uint64_t crossBlockFencesRemoved = 0;
+
+    /** Memory accesses eliminated across former block seams. */
+    std::uint64_t crossBlockMemOpsEliminated = 0;
 
     /** Merged translation + machine + fault-injection counters. */
     StatSet stats;
@@ -73,7 +97,7 @@ struct RunResult
 };
 
 /** The DBT engine (QEMU-user-mode analogue). */
-class Dbt : public machine::HelperRuntime, public ExitSlotAllocator
+class Dbt : public machine::HelperRuntime, public TierHost
 {
   public:
     /**
@@ -117,6 +141,12 @@ class Dbt : public machine::HelperRuntime, public ExitSlotAllocator
     /** Translation-side fault injector (counters for dbt.* sites). */
     const FaultInjector &faults() const { return faults_; }
 
+    /** The translation cache (metadata + hot-block profile). */
+    const TranslationCache &cache() const { return cache_; }
+
+    /** The chain manager (exit slots + flush epochs). */
+    const ChainManager &chains() const { return chains_; }
+
     // --- machine::HelperRuntime ------------------------------------------
 
     std::uint64_t invokeHelper(std::uint8_t id, std::uint16_t extra,
@@ -128,49 +158,26 @@ class Dbt : public machine::HelperRuntime, public ExitSlotAllocator
                                             machine::Machine &machine)
         override;
 
-    // --- ExitSlotAllocator ------------------------------------------------
-
-    std::uint32_t staticSlot(std::uint64_t guest_pc,
-                             aarch::CodeAddr patch_site,
-                             bool chainable) override;
-    std::uint32_t dynamicSlot() override;
-
-  private:
-    struct ExitSlot
-    {
-        bool dynamic = false;
-        std::uint64_t guestPc = 0;
-        aarch::CodeAddr patchSite = 0;
-        bool chainable = false;
-    };
-
-    /**
-     * Guarded translation of the block at @p pc, with retry/rollback.
-     * @param machine the running machine (null outside a run); used to
-     *        decide whether a translation-cache flush is safe.
-     * @param current the core trapped in onExitTb (null otherwise).
-     * @return host entry, or nullopt when the block must be interpreted.
-     */
-    std::optional<aarch::CodeAddr>
-    tryTranslate(gx86::Addr pc, const machine::Machine *machine,
-                 const machine::Core *current);
-
-    std::optional<aarch::CodeAddr>
-    lookupOrTranslateGuarded(gx86::Addr pc, const machine::Machine *machine,
-                             const machine::Core *current);
+    // --- TierHost ---------------------------------------------------------
 
     /** True when dropping all translated code cannot strand a core. */
-    bool canFlushTranslationCache(const machine::Machine *machine,
-                                  const machine::Core *current) const;
+    bool canFlushTranslationCache(const TranslationEnv &env) const override;
 
     /** Drop every translation and re-emit the dispatch stub. */
-    void flushTranslationCache();
+    void flushTranslationCache() override;
+
+  private:
+    std::optional<aarch::CodeAddr>
+    lookupOrTranslateGuarded(gx86::Addr pc, const TranslationEnv &env);
+
+    /** Attempt tier-2 promotion of @p pc when its profile warrants it;
+     * returns the superblock entry when one was installed. */
+    std::optional<aarch::CodeAddr>
+    maybePromote(gx86::Addr pc, std::uint64_t exec_count,
+                 const TranslationEnv &env);
 
     /** Emit the shared ExitTb stub that dispatches on DynExitReg. */
     void emitDynInterpStub();
-
-    /** One-word non-chainable exit routing @p pc to the fallback. */
-    aarch::CodeAddr interpTrampoline(gx86::Addr pc);
 
     const gx86::GuestImage &image_;
     DbtConfig config_;
@@ -180,17 +187,13 @@ class Dbt : public machine::HelperRuntime, public ExitSlotAllocator
     aarch::CodeBuffer code_;
     Backend backend_;
     FaultInjector faults_;
-    std::map<gx86::Addr, aarch::CodeAddr> tbCache_;
-    /** Fallback trampolines, outside tbCache_ so that a block whose
-     * translation failed transiently is retried on its next lookup. */
-    std::map<gx86::Addr, aarch::CodeAddr> interpTrampolines_;
-    std::vector<ExitSlot> slots_;
-    std::uint32_t dynSlot_ = 0;
-    bool dynSlotMade_ = false;
-    aarch::CodeAddr dynInterpStub_ = 0;
-    /** Bumped on every cache flush; invalidates pending chain patches. */
-    std::uint64_t flushEpoch_ = 0;
     StatSet stats_;
+    TranslationCache cache_;
+    ChainManager chains_;
+    InterpreterTier interp_;
+    BaselineTier baseline_;
+    SuperblockTier super_;
+    aarch::CodeAddr dynInterpStub_ = 0;
 };
 
 } // namespace risotto::dbt

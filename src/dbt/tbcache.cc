@@ -1,0 +1,140 @@
+#include "dbt/tbcache.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace risotto::dbt
+{
+
+std::string
+tierName(Tier tier)
+{
+    switch (tier) {
+      case Tier::Interpreter:
+        return "interp";
+      case Tier::Baseline:
+        return "tier1";
+      case Tier::Superblock:
+        return "tier2";
+    }
+    return "unknown";
+}
+
+TranslationCache::TranslationCache(std::size_t expected_blocks)
+{
+    tbs_.reserve(expected_blocks);
+}
+
+TbInfo *
+TranslationCache::find(gx86::Addr pc)
+{
+    auto it = tbs_.find(pc);
+    return it == tbs_.end() ? nullptr : &it->second;
+}
+
+const TbInfo *
+TranslationCache::find(gx86::Addr pc) const
+{
+    auto it = tbs_.find(pc);
+    return it == tbs_.end() ? nullptr : &it->second;
+}
+
+TbInfo &
+TranslationCache::insert(gx86::Addr pc, aarch::CodeAddr entry,
+                         std::uint32_t host_words, Tier tier)
+{
+    TbInfo &tb = tbs_[pc];
+    tb = TbInfo{};
+    tb.entry = entry;
+    tb.hostWords = host_words;
+    tb.tier = tier;
+    return tb;
+}
+
+TbInfo &
+TranslationCache::promote(gx86::Addr pc, aarch::CodeAddr entry,
+                          std::uint32_t host_words, Tier tier)
+{
+    TbInfo *tb = find(pc);
+    panicIf(!tb, "promoting a block with no live translation");
+    tb->entry = entry;
+    tb->hostWords = host_words;
+    tb->tier = tier;
+    tb->promotionFailed = false;
+    return *tb;
+}
+
+std::uint64_t
+TranslationCache::noteExecution(gx86::Addr pc)
+{
+    TbInfo *tb = find(pc);
+    if (!tb)
+        return 0;
+    return ++tb->execCount;
+}
+
+void
+TranslationCache::recordSuccessor(gx86::Addr from, gx86::Addr to)
+{
+    TbInfo *tb = find(from);
+    if (!tb)
+        return;
+    for (auto &[pc, count] : tb->successors) {
+        if (pc == to) {
+            ++count;
+            return;
+        }
+    }
+    tb->successors.emplace_back(to, 1);
+}
+
+std::vector<gx86::Addr>
+TranslationCache::hotPath(gx86::Addr head, std::size_t max_blocks) const
+{
+    std::vector<gx86::Addr> path{head};
+    gx86::Addr cur = head;
+    while (path.size() < max_blocks) {
+        const TbInfo *tb = find(cur);
+        if (!tb || tb->successors.empty())
+            break;
+        const auto hottest = std::max_element(
+            tb->successors.begin(), tb->successors.end(),
+            [](const auto &a, const auto &b) {
+                return a.second < b.second;
+            });
+        const gx86::Addr next = hottest->first;
+        if (std::find(path.begin(), path.end(), next) != path.end())
+            break; // Loop closure: the region stays straight-line.
+        path.push_back(next);
+        cur = next;
+    }
+    return path;
+}
+
+std::vector<HotBlock>
+TranslationCache::hottest(std::size_t n) const
+{
+    std::vector<HotBlock> blocks;
+    blocks.reserve(tbs_.size());
+    for (const auto &[pc, tb] : tbs_)
+        blocks.push_back({pc, tb.execCount, tb.tier});
+    const std::size_t take = std::min(n, blocks.size());
+    std::partial_sort(blocks.begin(), blocks.begin() + take, blocks.end(),
+                      [](const HotBlock &a, const HotBlock &b) {
+                          if (a.execCount != b.execCount)
+                              return a.execCount > b.execCount;
+                          return a.guestPc < b.guestPc;
+                      });
+    blocks.resize(take);
+    return blocks;
+}
+
+void
+TranslationCache::flush()
+{
+    tbs_.clear();
+    ++generation_;
+}
+
+} // namespace risotto::dbt

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The translation cache: guest pc -> translated-block metadata.
+ *
+ * Beyond the entry address, every block carries the profile the tiered
+ * pipeline feeds on: an execution count (bumped at ExitTb/chain-
+ * resolution time, never per instruction), the chain successors observed
+ * when exits resolve (the input to superblock region formation), and the
+ * tier the current translation was produced at. The cache is generation-
+ * aware: a flush clears every entry and bumps the generation so callers
+ * can detect that cached pointers/profiles died.
+ */
+
+#ifndef RISOTTO_DBT_TBCACHE_HH
+#define RISOTTO_DBT_TBCACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "aarch/emitter.hh"
+#include "dbt/tier.hh"
+#include "gx86/isa.hh"
+
+namespace risotto::dbt
+{
+
+/** Metadata of one cached translation. */
+struct TbInfo
+{
+    /** Host entry address of the current translation. */
+    aarch::CodeAddr entry = 0;
+
+    /** Host words occupied by the translation. */
+    std::uint32_t hostWords = 0;
+
+    /** Tier the current translation was produced at. */
+    Tier tier = Tier::Baseline;
+
+    /** ExitTb/chain resolutions that targeted this block. */
+    std::uint64_t execCount = 0;
+
+    /** Tier-2 promotion was attempted and aborted; do not retry until
+     * the next cache flush resets the profile. */
+    bool promotionFailed = false;
+
+    /** Chain successors observed at resolution time: (pc, count). */
+    std::vector<std::pair<gx86::Addr, std::uint64_t>> successors;
+};
+
+/** One row of a hottest-blocks report. */
+struct HotBlock
+{
+    gx86::Addr guestPc = 0;
+    std::uint64_t execCount = 0;
+    Tier tier = Tier::Baseline;
+};
+
+/** Generation-aware cache of translated blocks, keyed by guest pc. */
+class TranslationCache
+{
+  public:
+    explicit TranslationCache(std::size_t expected_blocks = 1024);
+
+    /** Lookup; null when the block has no live translation. */
+    TbInfo *find(gx86::Addr pc);
+    const TbInfo *find(gx86::Addr pc) const;
+
+    /** Register a fresh translation (resets any previous profile). */
+    TbInfo &insert(gx86::Addr pc, aarch::CodeAddr entry,
+                   std::uint32_t host_words, Tier tier);
+
+    /** Swap an existing entry's translation for a higher-tier one,
+     * keeping its execution profile. */
+    TbInfo &promote(gx86::Addr pc, aarch::CodeAddr entry,
+                    std::uint32_t host_words, Tier tier);
+
+    /** Count one resolution of @p pc; returns the new count (0 when the
+     * block is not cached -- untranslatable blocks carry no profile). */
+    std::uint64_t noteExecution(gx86::Addr pc);
+
+    /** Record that an exit of block @p from resolved to block @p to. */
+    void recordSuccessor(gx86::Addr from, gx86::Addr to);
+
+    /**
+     * The straight-line hot path starting at @p head: greedily follow
+     * each block's hottest recorded successor, stopping at blocks with
+     * no profile, at @p max_blocks, or when the path would revisit a
+     * member (loop closure).
+     */
+    std::vector<gx86::Addr> hotPath(gx86::Addr head,
+                                    std::size_t max_blocks) const;
+
+    /** The @p n hottest blocks by execution count, descending. */
+    std::vector<HotBlock> hottest(std::size_t n) const;
+
+    /** Drop every entry and start a new generation. */
+    void flush();
+
+    /** Bumped on every flush; callers use it to detect invalidation. */
+    std::uint64_t generation() const { return generation_; }
+
+    std::size_t size() const { return tbs_.size(); }
+
+  private:
+    std::unordered_map<gx86::Addr, TbInfo> tbs_;
+    std::uint64_t generation_ = 0;
+};
+
+} // namespace risotto::dbt
+
+#endif // RISOTTO_DBT_TBCACHE_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Execution tiers of the DBT pipeline.
+ *
+ * The engine executes guest code at three tiers:
+ *  - tier 0 (interpreter): one guest block at a time, SC-bracketed, used
+ *    when translation is impossible or has permanently failed;
+ *  - tier 1 (baseline): per-block guarded translation, the classic
+ *    QEMU-style path;
+ *  - tier 2 (superblock): profile-guided retranslation of a hot chain of
+ *    blocks as one straight-line region, unlocking cross-block fence
+ *    merging and redundant-access elimination (sound under the verified
+ *    mappings, Section 5.4 / Figure 10).
+ *
+ * Tiers share the engine's services (frontend, backend, code buffer,
+ * translation cache, chain manager) and are orchestrated by Dbt, which
+ * decides promotion at ExitTb/chain-resolution time.
+ */
+
+#ifndef RISOTTO_DBT_TIER_HH
+#define RISOTTO_DBT_TIER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "aarch/emitter.hh"
+#include "gx86/isa.hh"
+
+namespace risotto::machine
+{
+class Machine;
+struct Core;
+} // namespace risotto::machine
+
+namespace risotto::dbt
+{
+
+/** Execution tier of a translated (or interpreted) block. */
+enum class Tier : std::uint8_t
+{
+    Interpreter = 0, ///< Per-block interpreter fallback.
+    Baseline = 1,    ///< Per-block baseline translation.
+    Superblock = 2,  ///< Profile-guided superblock translation.
+};
+
+/** Short name of a tier ("interp", "tier1", "tier2"). */
+std::string tierName(Tier tier);
+
+/** Where a translation request comes from: outside a run both pointers
+ * are null; from an ExitTb trap they identify the trapped core (which
+ * determines whether a translation-cache flush is safe). */
+struct TranslationEnv
+{
+    const machine::Machine *machine = nullptr;
+    const machine::Core *core = nullptr;
+};
+
+/** Engine services a tier may call back into (implemented by Dbt). */
+class TierHost
+{
+  public:
+    virtual ~TierHost() = default;
+
+    /** True when dropping all translated code cannot strand a core. */
+    virtual bool canFlushTranslationCache(const TranslationEnv &env)
+        const = 0;
+
+    /** Drop every translation and re-emit the dispatch stub. */
+    virtual void flushTranslationCache() = 0;
+};
+
+/**
+ * One execution tier: turns a guest pc into runnable host code at its
+ * own level of effort. Returning nullopt means this tier cannot produce
+ * code for the block (the engine degrades to a lower tier).
+ */
+class ExecutionTier
+{
+  public:
+    virtual ~ExecutionTier() = default;
+
+    /** The tier this strategy produces code at. */
+    virtual Tier level() const = 0;
+
+    /** Produce host code for the block (or region) at @p pc. */
+    virtual std::optional<aarch::CodeAddr>
+    translate(gx86::Addr pc, const TranslationEnv &env) = 0;
+};
+
+} // namespace risotto::dbt
+
+#endif // RISOTTO_DBT_TIER_HH

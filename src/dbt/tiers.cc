@@ -1,0 +1,239 @@
+#include "dbt/tiers.hh"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "dbt/fallback.hh"
+#include "machine/machine.hh"
+#include "support/error.hh"
+#include "tcg/optimizer.hh"
+
+namespace risotto::dbt
+{
+
+using aarch::CodeAddr;
+
+// --- InterpreterTier --------------------------------------------------------
+
+std::optional<CodeAddr>
+InterpreterTier::translate(gx86::Addr pc, const TranslationEnv &env)
+{
+    auto it = trampolines_.find(pc);
+    if (it != trampolines_.end())
+        return it->second;
+    auto emit = [&]() {
+        aarch::Emitter emitter(code_);
+        const CodeAddr at = emitter.here();
+        emitter.exitTb(chains_.staticSlot(0, pc, at, false));
+        emitter.finish();
+        return at;
+    };
+    CodeAddr at;
+    try {
+        at = emit();
+    } catch (const aarch::CodeBufferFull &) {
+        // Trampolines are only requested outside a run (onExitTb degrades
+        // through the shared dynamic stub instead), so flushing here
+        // cannot strand a core.
+        if (!host_.canFlushTranslationCache(env))
+            return std::nullopt;
+        host_.flushTranslationCache();
+        at = emit();
+    }
+    trampolines_[pc] = at;
+    return at;
+}
+
+std::uint64_t
+InterpreterTier::interpretOne(gx86::Addr pc, machine::Core &core,
+                              machine::Machine &machine)
+{
+    stats_.bump("dbt.fallback_blocks");
+    return interpretBlock(image_, config_, resolver_, hostcalls_, pc, core,
+                          machine, stats_);
+}
+
+// --- BaselineTier -----------------------------------------------------------
+
+std::optional<CodeAddr>
+BaselineTier::translate(gx86::Addr pc, const TranslationEnv &env)
+{
+    const unsigned attempts = std::max(1u, config_.translateRetries);
+    std::uint64_t pendingDecode = 0;
+    std::uint64_t pendingEncode = 0;
+    std::uint64_t pendingBuffer = 0;
+    auto recoverPending = [&]() {
+        // Every exit path continues execution correctly (retried host
+        // code or the interpreter fallback), so earlier injections are
+        // recovered by construction.
+        faults_.recovered(faultsites::DbtDecode, pendingDecode);
+        faults_.recovered(faultsites::DbtEncode, pendingEncode);
+        faults_.recovered(faultsites::DbtBuffer, pendingBuffer);
+    };
+
+    for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0)
+            stats_.bump("dbt.translate_retries");
+        if (faults_.shouldInject(faultsites::DbtDecode)) {
+            ++pendingDecode;
+            continue;
+        }
+        const CodeAddr codeCheckpoint = code_.end();
+        const std::size_t slotCheckpoint = chains_.slotCount();
+        bool injectedBuffer = false;
+        try {
+            tcg::Block block = frontend_.translate(pc);
+            stats_.bump("dbt.tbs_translated");
+            stats_.bump("dbt.ir_ops_pre_opt", block.instrs.size());
+            tcg::optimize(block, config_.optimizer, &stats_);
+            stats_.bump("dbt.ir_ops_post_opt", block.instrs.size());
+            if (faults_.shouldInject(faultsites::DbtEncode)) {
+                ++pendingEncode;
+                continue;
+            }
+            if (faults_.shouldInject(faultsites::DbtBuffer)) {
+                injectedBuffer = true;
+                throw aarch::CodeBufferFull("injected fault");
+            }
+            const CodeAddr host = backend_.compile(block, chains_);
+            stats_.bump("dbt.host_words", code_.end() - host);
+            recoverPending();
+            return host;
+        } catch (const aarch::CodeBufferFull &) {
+            // Roll back the partially emitted block, then flush the
+            // whole cache when no other core can be stranded by it.
+            code_.truncate(codeCheckpoint);
+            chains_.truncateSlots(slotCheckpoint);
+            if (injectedBuffer)
+                ++pendingBuffer;
+            stats_.bump("dbt.buffer_full");
+            if (host_.canFlushTranslationCache(env))
+                host_.flushTranslationCache();
+        } catch (const GuestFault &) {
+            // Genuinely untranslatable (invalid opcode, bad pc):
+            // retrying cannot help; the interpreter will surface the
+            // fault at execution time if the block is actually reached.
+            code_.truncate(codeCheckpoint);
+            chains_.truncateSlots(slotCheckpoint);
+            break;
+        }
+    }
+    recoverPending();
+    return std::nullopt;
+}
+
+// --- SuperblockTier ---------------------------------------------------------
+
+std::optional<CodeAddr>
+SuperblockTier::abandon(gx86::Addr head)
+{
+    if (TbInfo *tb = cache_.find(head))
+        tb->promotionFailed = true;
+    stats_.bump("dbt.tier2_aborts");
+    return std::nullopt;
+}
+
+std::optional<CodeAddr>
+SuperblockTier::translate(gx86::Addr head, const TranslationEnv &env)
+{
+    (void)env;
+    stats_.bump("dbt.tier2_attempts");
+
+    const std::vector<gx86::Addr> path =
+        cache_.hotPath(head, config_.tier2MaxBlocks);
+    if (path.size() < 2)
+        return abandon(head);
+
+    // Re-run the frontend over every region member and optimize each
+    // part in isolation first (counters stay off: the per-block work was
+    // already accounted when tier 1 translated these blocks).
+    std::vector<tcg::Block> parts;
+    parts.reserve(path.size());
+    try {
+        for (const gx86::Addr pc : path) {
+            tcg::Block part = frontend_.translate(pc);
+            tcg::optimize(part, config_.optimizer, nullptr);
+            parts.push_back(std::move(part));
+        }
+    } catch (const GuestFault &) {
+        return abandon(head);
+    }
+
+    // Splice the parts into one straight-line superblock. Later parts'
+    // local temps and labels are renumbered into the combined block; each
+    // part's goto_tb to the next member becomes a fall-through (dropped
+    // when it is the part's final op, a branch to the seam label
+    // otherwise), so the seam disappears from the optimizer's view.
+    tcg::Block sb;
+    sb.guestPc = head;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        const tcg::Block &part = parts[i];
+        const tcg::TempId tempBase = sb.numTemps;
+        const std::int32_t labelBase = sb.numLabels;
+        sb.numTemps += part.numTemps - tcg::FirstLocalTemp;
+        sb.numLabels += part.numLabels;
+        const bool last = i + 1 == parts.size();
+        const std::uint64_t next_pc = last ? 0 : path[i + 1];
+        std::int32_t seamLabel = -1;
+        bool sawSeam = false;
+        for (std::size_t j = 0; j < part.instrs.size(); ++j) {
+            tcg::Instr in = part.instrs[j];
+            auto remap = [&](tcg::TempId t) {
+                return t >= tcg::FirstLocalTemp
+                           ? t - tcg::FirstLocalTemp + tempBase
+                           : t;
+            };
+            in.a = remap(in.a);
+            in.b = remap(in.b);
+            in.c = remap(in.c);
+            in.d = remap(in.d);
+            if (in.label >= 0)
+                in.label += labelBase;
+            if (!last && in.op == tcg::Op::GotoTb &&
+                static_cast<std::uint64_t>(in.imm) == next_pc) {
+                sawSeam = true;
+                if (j + 1 == part.instrs.size())
+                    continue; // Final op: plain fall-through, no label.
+                if (seamLabel < 0)
+                    seamLabel = sb.newLabel();
+                in = tcg::build::br(seamLabel);
+            }
+            sb.instrs.push_back(in);
+        }
+        if (!last) {
+            if (!sawSeam)
+                return abandon(head); // Profile lied: no edge to next.
+            if (seamLabel >= 0)
+                sb.instrs.push_back(tcg::build::setLabel(seamLabel));
+        }
+    }
+
+    tcg::optimizeSuperblock(sb, config_.optimizer, &stats_);
+
+    // Guarded compile: promotion never flushes (the tier-1 translation
+    // stays live and correct), so any failure just rolls the buffer back
+    // and marks the head as not worth retrying this generation.
+    const CodeAddr codeCheckpoint = code_.end();
+    const std::size_t slotCheckpoint = chains_.slotCount();
+    try {
+        const CodeAddr entry = backend_.compile(sb, chains_);
+        stats_.bump("dbt.host_words", code_.end() - entry);
+        cache_.promote(head, entry, code_.end() - entry, Tier::Superblock);
+        stats_.bump("dbt.tier2_superblocks");
+        stats_.bump("dbt.tier2_blocks_subsumed", path.size());
+        return entry;
+    } catch (const aarch::CodeBufferFull &) {
+        code_.truncate(codeCheckpoint);
+        chains_.truncateSlots(slotCheckpoint);
+        stats_.bump("dbt.buffer_full");
+    } catch (const PanicError &) {
+        // Register-pool exhaustion on an over-long region: the linear-
+        // scan allocator cannot hold the superblock's live ranges.
+        code_.truncate(codeCheckpoint);
+        chains_.truncateSlots(slotCheckpoint);
+    }
+    return abandon(head);
+}
+
+} // namespace risotto::dbt

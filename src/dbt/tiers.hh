@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The execution tiers of the DBT pipeline.
+ *
+ * Tier 0 (InterpreterTier) hands blocks to the in-place interpreter
+ * through one-word exit trampolines. Tier 1 (BaselineTier) is guarded
+ * per-block translation: frontend -> optimizer -> backend with fault
+ * injection, retry and rollback. Tier 2 (SuperblockTier) re-translates a
+ * hot straight-line region -- the head block plus its hottest recorded
+ * chain successors -- as one superblock, so the optimizer can merge
+ * fences and eliminate redundant accesses across former block seams.
+ *
+ * Tiers share the code buffer, chain manager and stat set owned by the
+ * engine; none of them owns dispatch policy (that stays in Dbt).
+ */
+
+#ifndef RISOTTO_DBT_TIERS_HH
+#define RISOTTO_DBT_TIERS_HH
+
+#include <optional>
+#include <unordered_map>
+
+#include "aarch/emitter.hh"
+#include "dbt/backend.hh"
+#include "dbt/chain.hh"
+#include "dbt/config.hh"
+#include "dbt/frontend.hh"
+#include "dbt/hostcall.hh"
+#include "dbt/resolver.hh"
+#include "dbt/tbcache.hh"
+#include "dbt/tier.hh"
+#include "support/faultinject.hh"
+#include "support/stats.hh"
+
+namespace risotto::dbt
+{
+
+/** Tier 0: route blocks through the in-place interpreter. */
+class InterpreterTier : public ExecutionTier
+{
+  public:
+    InterpreterTier(const gx86::GuestImage &image, const DbtConfig &config,
+                    const ImportResolver *resolver,
+                    HostCallHandler *hostcalls, aarch::CodeBuffer &code,
+                    ChainManager &chains, TierHost &host, StatSet &stats)
+        : image_(image), config_(config), resolver_(resolver),
+          hostcalls_(hostcalls), code_(code), chains_(chains), host_(host),
+          stats_(stats)
+    {
+        trampolines_.reserve(64);
+    }
+
+    Tier level() const override { return Tier::Interpreter; }
+
+    /**
+     * A one-word non-chainable exit trampoline routing @p pc into the
+     * interpreter. Emitted lazily and memoized; on buffer exhaustion the
+     * cache is flushed and emission retried (callers only request
+     * trampolines outside a run, where flushing cannot strand a core).
+     */
+    std::optional<aarch::CodeAddr> translate(gx86::Addr pc,
+                                             const TranslationEnv &env)
+        override;
+
+    /** Interpret exactly one guest block; returns the next guest pc. */
+    std::uint64_t interpretOne(gx86::Addr pc, machine::Core &core,
+                               machine::Machine &machine);
+
+    /** Drop memoized trampolines (their code died in a cache flush). */
+    void flush() { trampolines_.clear(); }
+
+  private:
+    const gx86::GuestImage &image_;
+    const DbtConfig &config_;
+    const ImportResolver *resolver_;
+    HostCallHandler *hostcalls_;
+    aarch::CodeBuffer &code_;
+    ChainManager &chains_;
+    TierHost &host_;
+    StatSet &stats_;
+    std::unordered_map<gx86::Addr, aarch::CodeAddr> trampolines_;
+};
+
+/** Tier 1: guarded per-block translation with retry and rollback. */
+class BaselineTier : public ExecutionTier
+{
+  public:
+    BaselineTier(Frontend &frontend, Backend &backend,
+                 aarch::CodeBuffer &code, ChainManager &chains,
+                 FaultInjector &faults, const DbtConfig &config,
+                 TierHost &host, StatSet &stats)
+        : frontend_(frontend), backend_(backend), code_(code),
+          chains_(chains), faults_(faults), config_(config), host_(host),
+          stats_(stats)
+    {
+    }
+
+    Tier level() const override { return Tier::Baseline; }
+
+    /**
+     * Guarded translation of the block at @p pc. Recoverable failures
+     * (injected faults, buffer exhaustion) are retried up to
+     * translateRetries times, flushing the cache when the environment
+     * says that is safe; partial emissions are rolled back.
+     * @return host entry, or nullopt when the block must be interpreted.
+     */
+    std::optional<aarch::CodeAddr> translate(gx86::Addr pc,
+                                             const TranslationEnv &env)
+        override;
+
+  private:
+    Frontend &frontend_;
+    Backend &backend_;
+    aarch::CodeBuffer &code_;
+    ChainManager &chains_;
+    FaultInjector &faults_;
+    const DbtConfig &config_;
+    TierHost &host_;
+    StatSet &stats_;
+};
+
+/** Tier 2: profile-guided superblock translation. */
+class SuperblockTier : public ExecutionTier
+{
+  public:
+    SuperblockTier(Frontend &frontend, Backend &backend,
+                   aarch::CodeBuffer &code, ChainManager &chains,
+                   TranslationCache &cache, const DbtConfig &config,
+                   StatSet &stats)
+        : frontend_(frontend), backend_(backend), code_(code),
+          chains_(chains), cache_(cache), config_(config), stats_(stats)
+    {
+    }
+
+    Tier level() const override { return Tier::Superblock; }
+
+    /**
+     * Promote the hot block at @p head: follow its recorded chain
+     * successors into a straight-line region, re-run the frontend over
+     * every member, splice the parts into one superblock (seam goto_tb
+     * exits become fall-throughs), optimize across the seams, compile,
+     * and swap the head's cache entry to the new translation.
+     *
+     * Promotion never flushes: a failed attempt (region too short,
+     * undecodable member, buffer or register-pool exhaustion) rolls the
+     * buffer back, marks the head so it is not retried until the next
+     * cache flush, and leaves the tier-1 translation live.
+     *
+     * @return the superblock entry, or nullopt when promotion aborted.
+     */
+    std::optional<aarch::CodeAddr> translate(gx86::Addr head,
+                                             const TranslationEnv &env)
+        override;
+
+  private:
+    std::optional<aarch::CodeAddr> abandon(gx86::Addr head);
+
+    Frontend &frontend_;
+    Backend &backend_;
+    aarch::CodeBuffer &code_;
+    ChainManager &chains_;
+    TranslationCache &cache_;
+    const DbtConfig &config_;
+    StatSet &stats_;
+};
+
+} // namespace risotto::dbt
+
+#endif // RISOTTO_DBT_TIERS_HH

@@ -39,6 +39,7 @@ struct CostModel
     std::uint64_t cacheLineShared = 20;   ///< Read of a line another owns.
     std::uint64_t helperCall = 26;    ///< BLR + RET + spill/fill.
     std::uint64_t exitTbLookup = 14;  ///< Unchained dispatcher round trip.
+    std::uint64_t superblockPromotion = 160; ///< Tier-2 region formation.
     std::uint64_t fpNative = 6;
     std::uint64_t fpSqrtNative = 18;
     std::uint64_t fpDivNative = 14;

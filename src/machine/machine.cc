@@ -606,6 +606,7 @@ Machine::step(Core &core)
         panicIf(!runtime_, "exit_tb trap without a runtime");
         core.cycles += c.exitTbLookup;
         stats_.bump("machine.tb_exits");
+        stats_.bump("machine.tb_exit_cycles", c.exitTbLookup);
         const auto target = runtime_->onExitTb(
             static_cast<std::uint32_t>(in.imm), core, *this);
         if (!target) {

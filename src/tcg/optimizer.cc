@@ -258,10 +258,11 @@ passMemoryElim(Block &block)
             return 0;
         }
     }
-    // Only straight-line blocks (basic-block granularity like TCG).
-    for (const Instr &i : block.instrs)
-        if (i.op == Op::SetLabel || i.op == Op::Br || i.op == Op::BrCond)
-            return 0;
+    // Elimination works at straight-line segment granularity: the scan
+    // below never pairs accesses across a label or branch, so any pair it
+    // rewrites executes consecutively on every path that reaches the
+    // first access. That keeps superblock-sized regions (which contain
+    // internal control flow) eligible.
 
     std::size_t eliminated = 0;
     auto &code = block.instrs;
@@ -283,7 +284,8 @@ passMemoryElim(Block &block)
                 continue;
             }
             if (isMemoryOp(mid) || mid.op == Op::ExitTb ||
-                mid.op == Op::GotoTb)
+                mid.op == Op::GotoTb || mid.op == Op::SetLabel ||
+                mid.op == Op::Br || mid.op == Op::BrCond)
                 break;
             // Pure op: fine unless it clobbers the base or source value.
             const TempId w = writtenTemp(mid);
@@ -423,6 +425,31 @@ optimize(Block &block, const OptimizerConfig &config, StatSet *stats)
         bump("opt.fences_merged", passFenceMerge(block));
     if (config.deadCodeElimination)
         bump("opt.dead_ops_removed", passDeadCode(block));
+}
+
+SuperblockOptResult
+optimizeSuperblock(Block &block, const OptimizerConfig &config,
+                   StatSet *stats)
+{
+    SuperblockOptResult result;
+    if (config.constantFolding)
+        passConstantFold(block);
+    if (config.memoryElimination)
+        result.memOpsEliminated += passMemoryElim(block);
+    if (config.constantFolding)
+        passConstantFold(block);
+    if (config.fenceMerging)
+        result.fencesRemoved += passFenceMerge(block);
+    if (config.deadCodeElimination)
+        passDeadCode(block);
+    if (stats) {
+        if (result.fencesRemoved)
+            stats->bump("opt.xblock_fences_removed", result.fencesRemoved);
+        if (result.memOpsEliminated)
+            stats->bump("opt.xblock_mem_ops_eliminated",
+                        result.memOpsEliminated);
+    }
+    return result;
 }
 
 } // namespace risotto::tcg

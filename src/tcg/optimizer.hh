@@ -34,6 +34,26 @@ struct OptimizerConfig
 void optimize(Block &block, const OptimizerConfig &config,
               StatSet *stats = nullptr);
 
+/** What the superblock pipeline gained beyond per-block optimization. */
+struct SuperblockOptResult
+{
+    /** Fences removed by merging across former block seams. */
+    std::size_t fencesRemoved = 0;
+
+    /** Memory accesses eliminated across former block seams. */
+    std::size_t memOpsEliminated = 0;
+};
+
+/**
+ * Run the pipeline over a spliced superblock whose constituent blocks
+ * were already individually optimized: everything removed here is a
+ * cross-block gain. Bumps opt.xblock_* counters in @p stats (the
+ * per-block opt.* counters are left alone).
+ */
+SuperblockOptResult optimizeSuperblock(Block &block,
+                                       const OptimizerConfig &config,
+                                       StatSet *stats = nullptr);
+
 /**
  * Merge adjacent fences separated only by non-memory ops into the weakest
  * single fence covering both, placed at the earlier position.
@@ -50,9 +70,12 @@ std::size_t passConstantFold(Block &block);
 
 /**
  * Redundant memory-access elimination (RAR/RAW/WAW and their fenced forms
- * per Figure 10). Only applies when the block's fence vocabulary is the
- * one the Risotto frontend generates ({Frm, Fww, Fsc, Facq, Frel}) --
- * the precondition under which the transformations are verified.
+ * per Figure 10), at straight-line segment granularity: pairs are never
+ * formed across a label or branch, so blocks with internal control flow
+ * (superblocks) stay eligible. Only applies when the block's fence
+ * vocabulary is the one the Risotto frontend generates
+ * ({Frm, Fww, Fsc, Facq, Frel}) -- the precondition under which the
+ * transformations are verified.
  * @return number of memory operations eliminated.
  */
 std::size_t passMemoryElim(Block &block);

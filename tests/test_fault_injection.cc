@@ -132,7 +132,8 @@ void
 expectSameGuestState(const dbt::RunResult &expected,
                      const dbt::RunResult &result, const std::string &tag)
 {
-    ASSERT_TRUE(result.finished) << tag << ": " << result.diagnosis;
+    ASSERT_TRUE(result.finished)
+        << tag << ": " << machine::runDiagnosisName(result.diagnosis);
     EXPECT_EQ(result.exitCodes, expected.exitCodes) << tag;
     EXPECT_EQ(result.outputs, expected.outputs) << tag;
     ASSERT_EQ(result.memory->size(), expected.memory->size()) << tag;
@@ -302,7 +303,7 @@ TEST(GuardedTranslation, FaultedRunReportsDiagnosisAndCounters)
     Dbt engine(image, config);
     const auto result = engine.run({ThreadSpec{}});
     ASSERT_TRUE(result.finished);
-    EXPECT_EQ(result.diagnosis, "finished");
+    EXPECT_EQ(result.diagnosis, machine::RunDiagnosis::Finished);
     // The merged stats expose the per-site counters to callers.
     EXPECT_GT(result.stats.get("fault.dbt.decode.injected") +
                   result.stats.get("fault.dbt.encode.injected") +

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Tiered-execution tests: TranslationCache and ChainManager units, the
+ * superblock promotion pipeline (formation, cross-block optimization
+ * wins, profile-driven region choice), and the differential properties
+ * the tier split must preserve -- guest-visible results identical with
+ * tier 2 on and off, across every workload proxy, with fault injection
+ * armed, under litmus stress, and across translation-cache flush epochs
+ * (a superblock formed just before a flush must not leave a stale chain
+ * patch behind).
+ */
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "aarch/emitter.hh"
+#include "aarch/isa.hh"
+#include "dbt/chain.hh"
+#include "dbt/dbt.hh"
+#include "dbt/tbcache.hh"
+#include "gx86/assembler.hh"
+#include "litmus/enumerate.hh"
+#include "litmus/library.hh"
+#include "machine/machine.hh"
+#include "models/model.hh"
+#include "risotto/stress.hh"
+#include "support/error.hh"
+#include "support/faultinject.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace risotto;
+using dbt::ChainManager;
+using dbt::Dbt;
+using dbt::DbtConfig;
+using dbt::ThreadSpec;
+using dbt::Tier;
+using dbt::TranslationCache;
+using workloads::WorkloadSpec;
+
+const models::X86Model kX86;
+
+// --- TranslationCache units -------------------------------------------------
+
+TEST(TranslationCacheUnit, InsertFindAndProfile)
+{
+    TranslationCache cache;
+    EXPECT_EQ(cache.find(0x100), nullptr);
+    EXPECT_EQ(cache.noteExecution(0x100), 0u); // Uncached: no profile.
+
+    cache.insert(0x100, 7, 12, Tier::Baseline);
+    const dbt::TbInfo *tb = cache.find(0x100);
+    ASSERT_NE(tb, nullptr);
+    EXPECT_EQ(tb->entry, 7u);
+    EXPECT_EQ(tb->hostWords, 12u);
+    EXPECT_EQ(tb->tier, Tier::Baseline);
+
+    EXPECT_EQ(cache.noteExecution(0x100), 1u);
+    EXPECT_EQ(cache.noteExecution(0x100), 2u);
+
+    // Re-inserting (retranslation) resets the profile.
+    cache.insert(0x100, 9, 10, Tier::Baseline);
+    EXPECT_EQ(cache.find(0x100)->execCount, 0u);
+}
+
+TEST(TranslationCacheUnit, PromoteKeepsProfileAndSwapsTier)
+{
+    TranslationCache cache;
+    cache.insert(0x100, 7, 12, Tier::Baseline);
+    cache.noteExecution(0x100);
+    cache.noteExecution(0x100);
+    cache.find(0x100)->promotionFailed = true;
+
+    cache.promote(0x100, 40, 30, Tier::Superblock);
+    const dbt::TbInfo *tb = cache.find(0x100);
+    EXPECT_EQ(tb->entry, 40u);
+    EXPECT_EQ(tb->tier, Tier::Superblock);
+    EXPECT_EQ(tb->execCount, 2u); // Profile survives promotion.
+    EXPECT_FALSE(tb->promotionFailed);
+
+    EXPECT_THROW(cache.promote(0x200, 1, 1, Tier::Superblock),
+                 PanicError);
+}
+
+TEST(TranslationCacheUnit, HotPathFollowsHottestSuccessorAndClosesLoops)
+{
+    TranslationCache cache;
+    for (const gx86::Addr pc : {0x10, 0x20, 0x30})
+        cache.insert(pc, 0, 0, Tier::Baseline);
+    // 0x10 -> 0x20 (3 times) and 0x10 -> 0x30 (once).
+    cache.recordSuccessor(0x10, 0x20);
+    cache.recordSuccessor(0x10, 0x20);
+    cache.recordSuccessor(0x10, 0x20);
+    cache.recordSuccessor(0x10, 0x30);
+    // 0x20 -> 0x10 closes the loop.
+    cache.recordSuccessor(0x20, 0x10);
+
+    const auto path = cache.hotPath(0x10, 8);
+    ASSERT_EQ(path.size(), 2u);
+    EXPECT_EQ(path[0], 0x10u);
+    EXPECT_EQ(path[1], 0x20u);
+
+    // max_blocks caps the region.
+    EXPECT_EQ(cache.hotPath(0x10, 1).size(), 1u);
+}
+
+TEST(TranslationCacheUnit, HottestRanksByExecCount)
+{
+    TranslationCache cache;
+    cache.insert(0x10, 0, 0, Tier::Baseline);
+    cache.insert(0x20, 0, 0, Tier::Superblock);
+    cache.insert(0x30, 0, 0, Tier::Baseline);
+    for (int i = 0; i < 5; ++i)
+        cache.noteExecution(0x20);
+    cache.noteExecution(0x30);
+
+    const auto hot = cache.hottest(2);
+    ASSERT_EQ(hot.size(), 2u);
+    EXPECT_EQ(hot[0].guestPc, 0x20u);
+    EXPECT_EQ(hot[0].execCount, 5u);
+    EXPECT_EQ(hot[0].tier, Tier::Superblock);
+    EXPECT_EQ(hot[1].guestPc, 0x30u);
+
+    EXPECT_EQ(cache.hottest(10).size(), 3u);
+}
+
+TEST(TranslationCacheUnit, FlushClearsEntriesAndBumpsGeneration)
+{
+    TranslationCache cache;
+    cache.insert(0x10, 0, 0, Tier::Baseline);
+    EXPECT_EQ(cache.generation(), 0u);
+    cache.flush();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.find(0x10), nullptr);
+    EXPECT_EQ(cache.generation(), 1u);
+}
+
+TEST(TierNames, RenderAllTiers)
+{
+    EXPECT_EQ(dbt::tierName(Tier::Interpreter), "interp");
+    EXPECT_EQ(dbt::tierName(Tier::Baseline), "tier1");
+    EXPECT_EQ(dbt::tierName(Tier::Superblock), "tier2");
+}
+
+// --- ChainManager units -----------------------------------------------------
+
+TEST(ChainManagerUnit, SlotsEpochsAndPatching)
+{
+    aarch::CodeBuffer code;
+    ChainManager chains(code);
+
+    aarch::Emitter em(code);
+    const aarch::CodeAddr site = em.here();
+    em.exitTb(chains.staticSlot(0x40, 0x50, site, true));
+    em.finish();
+    const std::uint32_t exit_word = code.fetch(site);
+
+    EXPECT_EQ(chains.slotCount(), 1u);
+    EXPECT_EQ(chains.slot(0).sourcePc, 0x40u);
+    EXPECT_EQ(chains.slot(0).guestPc, 0x50u);
+    EXPECT_TRUE(chains.slot(0).chainable);
+
+    // The shared dynamic slot is memoized.
+    const std::uint32_t dyn = chains.dynamicSlot();
+    EXPECT_EQ(chains.dynamicSlot(), dyn);
+    EXPECT_EQ(chains.slotCount(), 2u);
+
+    // Chaining rewrites the exit word into a relative branch.
+    chains.chain(0, site + 5);
+    EXPECT_NE(code.fetch(site), exit_word);
+    aarch::AInstr branch;
+    branch.op = aarch::AOp::B;
+    branch.imm = 5;
+    EXPECT_EQ(code.fetch(site), aarch::encode(branch));
+
+    // Dynamic slots are not chainable.
+    EXPECT_THROW(chains.chain(dyn, 0), PanicError);
+    EXPECT_THROW(chains.slot(99), PanicError);
+
+    // A flush discards every slot and starts a new epoch.
+    EXPECT_EQ(chains.epoch(), 0u);
+    chains.flush();
+    EXPECT_EQ(chains.epoch(), 1u);
+    EXPECT_EQ(chains.slotCount(), 0u);
+
+    chains.staticSlot(0, 0x60, 0, false);
+    chains.truncateSlots(0);
+    EXPECT_EQ(chains.slotCount(), 0u);
+    EXPECT_THROW(chains.truncateSlots(3), PanicError);
+}
+
+// --- Superblock formation ---------------------------------------------------
+
+/**
+ * A loop whose 80-store body overflows the frontend's 64-instruction
+ * block cap: the seam hides one same-address store pair (and its Fww)
+ * from per-block optimization. See bench/tab_superblock_ablation.cc.
+ */
+gx86::GuestImage
+fencedSeamLoop(std::int64_t iterations)
+{
+    gx86::Assembler a;
+    const gx86::Addr buf = a.dataReserve(64);
+    a.defineSymbol("main");
+    a.movri(3, static_cast<std::int64_t>(buf));
+    a.movri(4, 7);
+    a.movri(2, iterations);
+    const auto loop = a.newLabel();
+    a.bind(loop);
+    for (int k = 0; k < 80; ++k)
+        a.store(3, 0, 4);
+    a.subi(2, 1);
+    a.cmpri(2, 0);
+    a.jcc(gx86::Cond::Gt, loop);
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    return a.finish("main");
+}
+
+void
+expectSameGuestState(const dbt::RunResult &expected,
+                     const dbt::RunResult &result, const std::string &tag)
+{
+    ASSERT_TRUE(result.finished)
+        << tag << ": " << machine::runDiagnosisName(result.diagnosis);
+    EXPECT_EQ(result.exitCodes, expected.exitCodes) << tag;
+    EXPECT_EQ(result.outputs, expected.outputs) << tag;
+    ASSERT_EQ(result.memory->size(), expected.memory->size()) << tag;
+    EXPECT_EQ(std::memcmp(result.memory->raw(0, result.memory->size()),
+                          expected.memory->raw(0, expected.memory->size()),
+                          result.memory->size()),
+              0)
+        << tag << ": final guest memory diverged";
+}
+
+TEST(SuperblockFormation, HotSeamLoopPromotesAndWins)
+{
+    const gx86::GuestImage image = fencedSeamLoop(400);
+
+    DbtConfig off = DbtConfig::risotto();
+    off.tier2 = false;
+    Dbt tier1(image, off);
+    const auto base = tier1.run({ThreadSpec{}});
+    ASSERT_TRUE(base.finished);
+    EXPECT_EQ(base.tier2Superblocks, 0u);
+
+    DbtConfig on = DbtConfig::risotto();
+    Dbt tiered(image, on);
+    const auto result = tiered.run({ThreadSpec{}});
+    expectSameGuestState(base, result, "seam-loop");
+
+    // A superblock subsuming both halves of the split body formed, the
+    // cross-block optimizer removed the seam's store and fence, and the
+    // run got faster.
+    EXPECT_GE(result.tier2Superblocks, 1u);
+    EXPECT_GE(result.tier2BlocksSubsumed, 2u);
+    EXPECT_GE(result.crossBlockFencesRemoved, 1u);
+    EXPECT_GE(result.crossBlockMemOpsEliminated, 1u);
+    EXPECT_LT(result.makespan, base.makespan);
+    EXPECT_LT(result.stats.get("machine.dmb_st"),
+              base.stats.get("machine.dmb_st"));
+
+    // The head of the hot region is reported at tier 2.
+    bool saw_tier2 = false;
+    for (const auto &h : tiered.cache().hottest(8))
+        saw_tier2 = saw_tier2 || h.tier == Tier::Superblock;
+    EXPECT_TRUE(saw_tier2);
+}
+
+TEST(SuperblockFormation, ThresholdZeroAndFlagDisableTier2)
+{
+    const gx86::GuestImage image = fencedSeamLoop(200);
+    for (const bool use_flag : {true, false}) {
+        DbtConfig config = DbtConfig::risotto();
+        if (use_flag)
+            config.tier2 = false;
+        else
+            config.tier2Threshold = 0;
+        Dbt engine(image, config);
+        const auto result = engine.run({ThreadSpec{}});
+        ASSERT_TRUE(result.finished);
+        EXPECT_EQ(result.tier2Superblocks, 0u);
+        EXPECT_EQ(result.stats.get("dbt.tier2_attempts"), 0u);
+    }
+}
+
+// --- Differential properties ------------------------------------------------
+
+TEST(TierDifferential, AllWorkloadsMatchWithTier2OnAndOff)
+{
+    // Every workload proxy must produce identical guest-visible results
+    // with tier 2 off, on, and on-with-faults-armed. Region formation is
+    // deliberately conservative (straight-line hot paths only; loop
+    // bodies ending in conditional branches abandon the splice), so the
+    // sweep demands the promotion machinery *engaged* on every workload
+    // shape rather than that it succeeded -- formation wins are covered
+    // by the seam-loop tests above.
+    std::uint64_t attempts = 0;
+    std::uint64_t plan_seed = 0x71e2;
+    for (WorkloadSpec spec : workloads::fullSuite()) {
+        spec.iterations = 100;
+        const gx86::GuestImage image = workloads::buildGuestWorkload(spec);
+
+        DbtConfig off = DbtConfig::risotto();
+        off.tier2 = false;
+        DbtConfig on = DbtConfig::risotto();
+        on.tier2Threshold = 4; // Promote eagerly: short test loops.
+        DbtConfig on_faulty = on;
+        on_faulty.faults = FaultPlan::allSites(++plan_seed, 0.1);
+
+        std::vector<ThreadSpec> threads(2);
+        threads[1].regs[0] = 1;
+
+        Dbt reference(image, off);
+        const auto expected = reference.run(threads);
+        ASSERT_TRUE(expected.finished) << spec.name;
+
+        Dbt tiered(image, on);
+        const auto result = tiered.run(threads);
+        expectSameGuestState(expected, result, spec.name + "/tier2");
+        attempts += result.stats.get("dbt.tier2_attempts");
+
+        Dbt faulted(image, on_faulty);
+        const auto faulty_result = faulted.run(threads);
+        expectSameGuestState(expected, faulty_result,
+                             spec.name + "/tier2+faults");
+    }
+    EXPECT_GT(attempts, 0u);
+}
+
+TEST(TierDifferential, StressRunnerStaysSoundWithEagerPromotion)
+{
+    // Litmus stress with an eager promotion threshold: every observed
+    // outcome must remain inside the x86 axiomatic behaviours, exactly
+    // as without tier 2.
+    DbtConfig config = DbtConfig::risotto();
+    config.tier2Threshold = 2;
+    for (const litmus::LitmusTest &test :
+         {litmus::mp(), litmus::sb(), litmus::sbal()}) {
+        litmus::BehaviorSet x86_behaviors;
+        for (const litmus::Outcome &o :
+             litmus::enumerateBehaviors(test.program, kX86))
+            x86_behaviors.insert(normalizeOutcome(test.program, o));
+
+        const auto stress = runStress(test.program, config, 150);
+        EXPECT_EQ(stress.unfinished, 0u) << test.program.name;
+        EXPECT_GT(stress.runs(), 0u) << test.program.name;
+        for (const auto &[outcome, count] : stress.histogram) {
+            const litmus::Outcome norm =
+                normalizeOutcome(test.program, outcome);
+            EXPECT_TRUE(x86_behaviors.count(norm))
+                << test.program.name
+                << ": tiered run leaked non-x86 outcome "
+                << norm.toString();
+        }
+    }
+}
+
+TEST(TierDifferential, PromotionSurvivesCacheFlushEpochs)
+{
+    // A code buffer just big enough to form superblocks but too small
+    // for the whole working set: promotions and flush epochs interleave,
+    // and any chain patch whose slot died in a flush (including the
+    // patch deferred for the freshly promoted superblock itself) must
+    // not be written into recycled code. Guest results stay identical
+    // to an unbounded run; at least one capacity in the sweep must
+    // exhibit both a superblock and a flush to prove the interleaving
+    // actually happened.
+    const gx86::GuestImage image = fencedSeamLoop(300);
+    DbtConfig clean = DbtConfig::risotto();
+    Dbt reference(image, clean);
+    const auto expected = reference.run({ThreadSpec{}});
+    ASSERT_TRUE(expected.finished);
+
+    bool saw_interleaving = false;
+    for (const std::size_t capacity :
+         {36u, 40u, 44u, 48u, 52u, 56u, 60u, 64u, 72u, 80u, 96u}) {
+        DbtConfig config = DbtConfig::risotto();
+        config.tier2Threshold = 4;
+        config.codeBufferCapacity = capacity;
+        Dbt engine(image, config);
+        const auto result = engine.run({ThreadSpec{}});
+        expectSameGuestState(expected, result,
+                             "capacity=" + std::to_string(capacity));
+        if (result.stats.get("dbt.tb_flushes") > 0 &&
+            result.tier2Superblocks > 0)
+            saw_interleaving = true;
+    }
+    EXPECT_TRUE(saw_interleaving)
+        << "no capacity produced both a flush and a superblock; "
+           "tune the sweep";
+}
+
+} // namespace

@@ -13,6 +13,10 @@
  *   --fault-seed N    arm deterministic fault injection with seed N
  *   --fault-rate P    per-site fault probability in [0,1] (default 0.01
  *                     once --fault-seed is given)
+ *   --tier2-threshold N  exec count that promotes a block to a tier-2
+ *                     superblock (0 disables tier 2)
+ *   --no-tier2        disable tier-2 superblock translation
+ *   --dump-hot N      print the N hottest blocks after the run
  *   --stats           dump translation + machine counters
  *   --trace           print every retired host instruction (very verbose)
  *   --disasm          print the guest disassembly and exit
@@ -106,6 +110,10 @@ main(int argc, char **argv)
     bool want_stats = false;
     bool want_disasm = false;
     bool use_linker = true;
+    bool tier2 = true;
+    std::uint64_t tier2_threshold = 0;
+    bool tier2_threshold_set = false;
+    std::uint64_t dump_hot = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -149,6 +157,13 @@ main(int argc, char **argv)
                 faults.seed = nextU64();
             else if (arg == "--fault-rate")
                 faults.rate = nextRate();
+            else if (arg == "--tier2-threshold") {
+                tier2_threshold = nextU64();
+                tier2_threshold_set = true;
+            } else if (arg == "--no-tier2")
+                tier2 = false;
+            else if (arg == "--dump-hot")
+                dump_hot = nextU64();
             else if (arg == "--stats")
                 want_stats = true;
             else if (arg == "--trace")
@@ -192,6 +207,9 @@ main(int argc, char **argv)
         options.config.hostLinker =
             options.config.hostLinker && use_linker;
         options.config.faults = faults;
+        options.config.tier2 = tier2;
+        if (tier2_threshold_set)
+            options.config.tier2Threshold = tier2_threshold;
         Emulator emulator(image, options);
         const auto result = emulator.run(threads, mc);
 
@@ -202,8 +220,29 @@ main(int argc, char **argv)
         std::cout << "[risotto-run] variant=" << variant
                   << " threads=" << threads
                   << " finished=" << (result.finished ? "yes" : "no")
-                  << " diagnosis=" << result.diagnosis
+                  << " diagnosis="
+                  << machine::runDiagnosisName(result.diagnosis)
                   << " makespan=" << result.makespan << " cycles\n";
+        std::cout << "  tiers: tier2="
+                  << (emulator.engine().config().tier2 &&
+                              emulator.engine().config().tier2Threshold > 0
+                          ? "on"
+                          : "off")
+                  << " superblocks=" << result.tier2Superblocks
+                  << " blocks-subsumed=" << result.tier2BlocksSubsumed
+                  << " xblock-fences-removed="
+                  << result.crossBlockFencesRemoved
+                  << " xblock-mem-ops-eliminated="
+                  << result.crossBlockMemOpsEliminated << "\n";
+        if (dump_hot > 0) {
+            const auto hot =
+                emulator.engine().cache().hottest(dump_hot);
+            std::cout << "  hottest blocks:\n";
+            for (const auto &h : hot)
+                std::cout << "    pc=" << h.guestPc
+                          << " execs=" << h.execCount
+                          << " tier=" << dbt::tierName(h.tier) << "\n";
+        }
         if (faults.armed())
             std::cout << "  faults: seed=" << faults.seed
                       << " rate=" << faults.rate
