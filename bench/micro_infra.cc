@@ -8,10 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <map>
 #include <unordered_map>
 
+#include "dbt/backend.hh"
 #include "dbt/dbt.hh"
+#include "dbt/frontend.hh"
 #include "dbt/tbcache.hh"
 #include "gx86/assembler.hh"
 #include "litmus/enumerate.hh"
@@ -20,6 +23,8 @@
 #include "memcore/relation.hh"
 #include "models/model.hh"
 #include "support/rng.hh"
+#include "tcg/optimizer.hh"
+#include "verify/verifier.hh"
 
 using namespace risotto;
 
@@ -95,6 +100,67 @@ BM_TranslateBlock(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TranslateBlock);
+
+/** A memory-dense block: the shape the validator is slowest on (event
+ * count drives the relation algebra, not instruction count). */
+gx86::GuestImage
+memoryBlockImage(int accesses)
+{
+    gx86::Assembler a;
+    const gx86::Addr buf = a.dataReserve(512);
+    a.defineSymbol("main");
+    a.movri(1, static_cast<std::int64_t>(buf));
+    for (int i = 0; i < accesses; ++i) {
+        if (i % 3 == 0)
+            a.store(1, 8 * (i % 8), 4);
+        else
+            a.load(4, 1, 8 * (i % 8));
+        if (i % 7 == 6)
+            a.mfence();
+    }
+    a.hlt();
+    return a.finish("main");
+}
+
+void
+BM_ValidateTranslation(benchmark::State &state)
+{
+    // Translate once, then measure the per-TB validator cost alone: the
+    // overhead risotto-run --validate adds to every translation.
+    const gx86::GuestImage image =
+        memoryBlockImage(static_cast<int>(state.range(0)));
+    const dbt::DbtConfig config = dbt::DbtConfig::risotto();
+    dbt::Frontend frontend(image, config, nullptr);
+    const auto guest = frontend.decodeBlock(image.entry);
+    tcg::Block block = frontend.translate(image.entry);
+    tcg::optimize(block, config.optimizer);
+    aarch::CodeBuffer buffer;
+    struct Slots : dbt::ExitSlotAllocator
+    {
+        std::uint32_t next = 1;
+        std::uint32_t staticSlot(std::uint64_t, std::uint64_t,
+                                 aarch::CodeAddr, bool) override
+        {
+            return next++;
+        }
+        std::uint32_t dynamicSlot() override { return 0; }
+    } slots;
+    dbt::Backend backend(buffer, config);
+    const aarch::CodeAddr entry = backend.compile(block, slots);
+    const auto host = verify::decodeRange(buffer, entry, buffer.end());
+
+    const verify::TbValidator validator({config.rmw});
+    std::uint64_t pairs = 0;
+    for (auto _ : state) {
+        const auto report =
+            validator.validate(guest, block, host, image.entry, false);
+        pairs += report.pairsChecked;
+        benchmark::DoNotOptimize(report);
+    }
+    state.counters["pairs/TB"] = static_cast<double>(
+        pairs / std::max<std::uint64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_ValidateTranslation)->Arg(8)->Arg(24)->Arg(48);
 
 void
 BM_EmulateLoop(benchmark::State &state)

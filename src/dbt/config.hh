@@ -70,6 +70,13 @@ struct DbtConfig
     /** Maximum region members per superblock. */
     std::size_t tier2MaxBlocks = 8;
 
+    /** Statically validate every translation against the axiomatic
+     * models (obligation ⊆ guarantee, see src/verify). Violating
+     * baseline blocks are reported through verify.* counters and the
+     * engine's violation list; a violating superblock additionally has
+     * its promotion rejected, keeping the tier-1 code live. */
+    bool validateTranslations = false;
+
     static DbtConfig qemu();
     static DbtConfig qemuNoFences();
     static DbtConfig tcgVer();

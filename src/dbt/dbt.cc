@@ -24,6 +24,13 @@ Dbt::Dbt(const gx86::GuestImage &image, DbtConfig config,
       super_(frontend_, backend_, code_, chains_, cache_, config_, stats_)
 {
     code_.setCapacity(config_.codeBufferCapacity);
+    if (config_.validateTranslations) {
+        verify::ValidatorOptions options;
+        options.rmw = config_.rmw;
+        validator_ = std::make_unique<verify::TbValidator>(options);
+        baseline_.setValidator(validator_.get(), &violations_);
+        super_.setValidator(validator_.get(), &violations_);
+    }
     emitDynInterpStub();
 }
 
@@ -299,6 +306,7 @@ Dbt::run(const std::vector<ThreadSpec> &threads,
         stats_.get("opt.xblock_fences_removed");
     result.crossBlockMemOpsEliminated =
         stats_.get("opt.xblock_mem_ops_eliminated");
+    result.validationViolations = stats_.get("verify.violations");
     result.memory = std::move(memory);
     return result;
 }

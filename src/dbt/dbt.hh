@@ -89,6 +89,10 @@ struct RunResult
     /** Memory accesses eliminated across former block seams. */
     std::uint64_t crossBlockMemOpsEliminated = 0;
 
+    /** Ordering violations found by the translation validator (0 unless
+     * config.validateTranslations). */
+    std::uint64_t validationViolations = 0;
+
     /** Merged translation + machine + fault-injection counters. */
     StatSet stats;
 
@@ -147,6 +151,12 @@ class Dbt : public machine::HelperRuntime, public TierHost
     /** The chain manager (exit slots + flush epochs). */
     const ChainManager &chains() const { return chains_; }
 
+    /** Ordering violations recorded by the translation validator. */
+    const std::vector<verify::Violation> &violations() const
+    {
+        return violations_;
+    }
+
     // --- machine::HelperRuntime ------------------------------------------
 
     std::uint64_t invokeHelper(std::uint8_t id, std::uint16_t extra,
@@ -193,6 +203,8 @@ class Dbt : public machine::HelperRuntime, public TierHost
     InterpreterTier interp_;
     BaselineTier baseline_;
     SuperblockTier super_;
+    std::unique_ptr<verify::TbValidator> validator_;
+    std::vector<verify::Violation> violations_;
     aarch::CodeAddr dynInterpStub_ = 0;
 };
 

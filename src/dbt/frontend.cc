@@ -77,29 +77,40 @@ Frontend::emitJcc(Block &block, Cond cond, std::uint64_t taken,
     block.instrs.push_back(b::gotoTb(taken));
 }
 
-tcg::Block
-Frontend::translate(Addr pc) const
+std::vector<Instruction>
+Frontend::decodeBlock(Addr pc) const
 {
-    Block block;
-    block.guestPc = pc;
-    bool ends = false;
-    std::size_t count = 0;
+    std::vector<Instruction> decoded;
     Addr cur = pc;
-    while (!ends) {
+    while (true) {
         if (!image_.inText(cur))
             throw GuestFault("translating outside text at " +
                              hexString(cur));
         const Instruction in =
             gx86::decode(image_.text.data() + (cur - image_.textBase),
                          image_.textEnd() - cur);
+        decoded.push_back(in);
+        cur += in.length;
+        if (gx86::opEndsBlock(in.op) ||
+            decoded.size() >= MaxBlockInstructions)
+            return decoded;
+    }
+}
+
+tcg::Block
+Frontend::translate(Addr pc) const
+{
+    Block block;
+    block.guestPc = pc;
+    bool ends = false;
+    Addr cur = pc;
+    for (const Instruction &in : decodeBlock(pc)) {
         const Addr next = cur + in.length;
         translateOne(block, in, cur, next, ends);
         cur = next;
-        if (++count >= MaxBlockInstructions && !ends) {
-            block.instrs.push_back(b::gotoTb(cur));
-            ends = true;
-        }
     }
+    if (!ends)
+        block.instrs.push_back(b::gotoTb(cur));
     return block;
 }
 

@@ -37,6 +37,15 @@ class Frontend
      */
     tcg::Block translate(gx86::Addr pc) const;
 
+    /**
+     * Decode the guest instructions of the basic block at @p pc -- the
+     * exact sequence translate() lowers (same block-end and size-cap
+     * rules). Used by the translation validator to rebuild a block's
+     * x86-TSO ordering obligations.
+     * @throws GuestFault on undecodable code.
+     */
+    std::vector<gx86::Instruction> decodeBlock(gx86::Addr pc) const;
+
     /** Maximum guest instructions per block (QEMU-like TB size cap). */
     static constexpr std::size_t MaxBlockInstructions = 64;
 

@@ -14,6 +14,45 @@ namespace risotto::dbt
 
 using aarch::CodeAddr;
 
+namespace
+{
+
+/**
+ * Validate one freshly compiled translation: rebuild the guest
+ * instruction sequence of the region, decode the emitted host words and
+ * check obligation ⊆ guarantee at both levels. Bumps verify.* counters
+ * and appends violations to @p sink.
+ * @return true when the translation carries every required ordering.
+ */
+bool
+runValidation(const verify::TbValidator &validator, const Frontend &frontend,
+              const aarch::CodeBuffer &code, const tcg::Block &block,
+              CodeAddr entry, const std::vector<gx86::Addr> &path,
+              bool superblock, StatSet &stats,
+              std::vector<verify::Violation> *sink)
+{
+    std::vector<gx86::Instruction> guest;
+    for (const gx86::Addr pc : path) {
+        const auto part = frontend.decodeBlock(pc);
+        guest.insert(guest.end(), part.begin(), part.end());
+    }
+    const auto host = verify::decodeRange(code, entry, code.end());
+    verify::ValidationReport report =
+        validator.validate(guest, block, host, path.front(), superblock);
+    stats.bump(superblock ? "verify.superblocks_checked"
+                          : "verify.blocks_checked");
+    stats.bump("verify.pairs_checked", report.pairsChecked);
+    if (report.ok())
+        return true;
+    stats.bump("verify.violations", report.violations.size());
+    if (sink != nullptr)
+        for (auto &v : report.violations)
+            sink->push_back(std::move(v));
+    return false;
+}
+
+} // namespace
+
 // --- InterpreterTier --------------------------------------------------------
 
 std::optional<CodeAddr>
@@ -98,6 +137,9 @@ BaselineTier::translate(gx86::Addr pc, const TranslationEnv &env)
             }
             const CodeAddr host = backend_.compile(block, chains_);
             stats_.bump("dbt.host_words", code_.end() - host);
+            if (validator_ != nullptr)
+                runValidation(*validator_, frontend_, code_, block, host,
+                              {pc}, false, stats_, violations_);
             recoverPending();
             return host;
         } catch (const aarch::CodeBufferFull &) {
@@ -218,6 +260,16 @@ SuperblockTier::translate(gx86::Addr head, const TranslationEnv &env)
     const std::size_t slotCheckpoint = chains_.slotCount();
     try {
         const CodeAddr entry = backend_.compile(sb, chains_);
+        if (validator_ != nullptr &&
+            !runValidation(*validator_, frontend_, code_, sb, entry, path,
+                           true, stats_, violations_)) {
+            // The superblock lost an ordering (a cross-seam optimizer or
+            // splice bug): reject the promotion and keep tier-1 code.
+            code_.truncate(codeCheckpoint);
+            chains_.truncateSlots(slotCheckpoint);
+            stats_.bump("verify.promotions_rejected");
+            return abandon(head);
+        }
         stats_.bump("dbt.host_words", code_.end() - entry);
         cache_.promote(head, entry, code_.end() - entry, Tier::Superblock);
         stats_.bump("dbt.tier2_superblocks");

@@ -31,6 +31,7 @@
 #include "dbt/tier.hh"
 #include "support/faultinject.hh"
 #include "support/stats.hh"
+#include "verify/verifier.hh"
 
 namespace risotto::dbt
 {
@@ -97,6 +98,16 @@ class BaselineTier : public ExecutionTier
 
     Tier level() const override { return Tier::Baseline; }
 
+    /** Arm per-translation validation (see DbtConfig::validateTranslations).
+     * Violations are recorded into @p sink; the translation stays live. */
+    void
+    setValidator(const verify::TbValidator *validator,
+                 std::vector<verify::Violation> *sink)
+    {
+        validator_ = validator;
+        violations_ = sink;
+    }
+
     /**
      * Guarded translation of the block at @p pc. Recoverable failures
      * (injected faults, buffer exhaustion) are retried up to
@@ -117,6 +128,8 @@ class BaselineTier : public ExecutionTier
     const DbtConfig &config_;
     TierHost &host_;
     StatSet &stats_;
+    const verify::TbValidator *validator_ = nullptr;
+    std::vector<verify::Violation> *violations_ = nullptr;
 };
 
 /** Tier 2: profile-guided superblock translation. */
@@ -133,6 +146,16 @@ class SuperblockTier : public ExecutionTier
     }
 
     Tier level() const override { return Tier::Superblock; }
+
+    /** Arm per-translation validation. A violating superblock has its
+     * promotion rejected (rolled back) and the violation recorded. */
+    void
+    setValidator(const verify::TbValidator *validator,
+                 std::vector<verify::Violation> *sink)
+    {
+        validator_ = validator;
+        violations_ = sink;
+    }
 
     /**
      * Promote the hot block at @p head: follow its recorded chain
@@ -162,6 +185,8 @@ class SuperblockTier : public ExecutionTier
     TranslationCache &cache_;
     const DbtConfig &config_;
     StatSet &stats_;
+    const verify::TbValidator *validator_ = nullptr;
+    std::vector<verify::Violation> *violations_ = nullptr;
 };
 
 } // namespace risotto::dbt

@@ -124,13 +124,23 @@ passConstantFold(Block &block)
             const auto vc = lookup(instr.c);
             std::optional<std::int64_t> folded;
             if (vb && vc) {
+                // Fold in unsigned arithmetic: guest integers wrap
+                // (two's complement); signed overflow would be UB here.
+                const auto ub = static_cast<std::uint64_t>(*vb);
+                const auto uc = static_cast<std::uint64_t>(*vc);
                 switch (instr.op) {
-                  case Op::Add: folded = *vb + *vc; break;
-                  case Op::Sub: folded = *vb - *vc; break;
+                  case Op::Add:
+                    folded = static_cast<std::int64_t>(ub + uc);
+                    break;
+                  case Op::Sub:
+                    folded = static_cast<std::int64_t>(ub - uc);
+                    break;
                   case Op::And: folded = *vb & *vc; break;
                   case Op::Or: folded = *vb | *vc; break;
                   case Op::Xor: folded = *vb ^ *vc; break;
-                  case Op::Mul: folded = *vb * *vc; break;
+                  case Op::Mul:
+                    folded = static_cast<std::int64_t>(ub * uc);
+                    break;
                   default: break;
                 }
             } else if (instr.op == Op::Mul &&
@@ -157,7 +167,10 @@ passConstantFold(Block &block)
           }
           case Op::AddI:
             if (auto v = lookup(instr.b)) {
-                instr = build::movi(instr.a, *v + instr.imm);
+                instr = build::movi(
+                    instr.a, static_cast<std::int64_t>(
+                                 static_cast<std::uint64_t>(*v) +
+                                 static_cast<std::uint64_t>(instr.imm)));
                 ++rewritten;
                 known[instr.a] = instr.imm;
             } else {

@@ -1,0 +1,802 @@
+#include "verify/verifier.hh"
+
+#include <cstddef>
+#include <map>
+#include <utility>
+
+#include "memcore/fencealg.hh"
+
+namespace risotto::verify
+{
+
+using mapping::RmwLowering;
+using memcore::Access;
+using memcore::EventKind;
+using memcore::EventSet;
+using memcore::Execution;
+using memcore::FenceKind;
+using memcore::Loc;
+using memcore::Relation;
+using memcore::RmwKind;
+
+std::string
+levelName(Level level)
+{
+    return level == Level::Tcg ? "tcg" : "arm";
+}
+
+std::string
+Violation::toString() const
+{
+    std::string s = "[" + levelName(level) + "] pc=" +
+                    std::to_string(guestPc) +
+                    (superblock ? " superblock" : "") + ": " + from +
+                    " -> " + to + " not guaranteed";
+    if (fromTarget != from || toTarget != to)
+        s += " (target: " + fromTarget + " -> " + toTarget + ")";
+    s += "; weakest missing fence " +
+         memcore::fenceKindName(missingFence);
+    return s;
+}
+
+namespace
+{
+
+/**
+ * Affine symbolic address tracking: each register/temp holds either a
+ * known constant (origin 0) or origin + delta for a symbolic base
+ * captured at its last unanalyzable definition. Two keys are equal iff
+ * the addresses are provably equal; a fresh origin is allocated whenever
+ * a value cannot be followed, so unknown addresses never alias known
+ * ones.
+ */
+struct SymVal
+{
+    std::uint64_t origin = 0; ///< 0 = constant.
+    std::int64_t delta = 0;   ///< Displacement, or the constant itself.
+};
+
+class AddrTracker
+{
+  public:
+    explicit AddrTracker(std::size_t slots) : vals_(slots) { resetAll(); }
+
+    void
+    resetAll()
+    {
+        for (auto &v : vals_)
+            v = SymVal{nextOrigin_++, 0};
+    }
+
+    void reset(std::size_t s) { vals_[s] = SymVal{nextOrigin_++, 0}; }
+
+    void
+    setConst(std::size_t s, std::uint64_t value)
+    {
+        vals_[s] = SymVal{0, static_cast<std::int64_t>(value)};
+    }
+
+    void copy(std::size_t dst, std::size_t src) { vals_[dst] = vals_[src]; }
+
+    void
+    add(std::size_t dst, std::size_t src, std::int64_t delta)
+    {
+        SymVal v = vals_[src];
+        v.delta += delta;
+        vals_[dst] = v;
+    }
+
+    bool isConst(std::size_t s) const { return vals_[s].origin == 0; }
+
+    std::uint64_t
+    constValue(std::size_t s) const
+    {
+        return static_cast<std::uint64_t>(vals_[s].delta);
+    }
+
+    SymVal
+    key(std::size_t s, std::int64_t off) const
+    {
+        SymVal k = vals_[s];
+        k.delta += off;
+        return k;
+    }
+
+  private:
+    std::vector<SymVal> vals_;
+    std::uint64_t nextOrigin_ = 1;
+};
+
+/** Dense location-class ids from symbolic keys. */
+class LocAssigner
+{
+  public:
+    Loc
+    of(const SymVal &key)
+    {
+        const auto id = std::make_pair(key.origin, key.delta);
+        auto it = ids_.find(id);
+        if (it != ids_.end())
+            return it->second;
+        const Loc loc = next_++;
+        ids_.emplace(id, loc);
+        return loc;
+    }
+
+    /** A class no other event shares (fences, unanalyzable accesses). */
+    Loc fresh() { return next_++; }
+
+  private:
+    std::map<std::pair<std::uint64_t, std::int64_t>, Loc> ids_;
+    Loc next_ = 0;
+};
+
+VEvent
+makeAccess(EventKind kind, Access access, RmwKind rmw, Loc loc,
+           std::string what)
+{
+    VEvent e;
+    e.kind = kind;
+    e.access = access;
+    e.rmw = rmw;
+    e.loc = loc;
+    e.what = std::move(what);
+    return e;
+}
+
+VEvent
+makeFence(FenceKind fence, Loc loc, std::string what)
+{
+    VEvent e;
+    e.kind = EventKind::Fence;
+    e.fence = fence;
+    e.loc = loc;
+    e.what = std::move(what);
+    return e;
+}
+
+std::string
+tag(std::size_t index, const char *mark, const std::string &text)
+{
+    return "#" + std::to_string(index) + " " + mark + " " + text;
+}
+
+/**
+ * Walk a decoded guest block, producing events through @p sink. The
+ * callback receives (instruction index, instruction, event kind tag,
+ * location, rmw?) so the x86 and Figure 3 extractors can annotate the
+ * same walk differently.
+ */
+template <typename Sink>
+void
+walkGuest(const std::vector<gx86::Instruction> &code, Sink &&sink)
+{
+    using gx86::Opcode;
+    AddrTracker regs(gx86::RegCount);
+    LocAssigner locs;
+
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const gx86::Instruction &in = code[i];
+        switch (in.op) {
+          case Opcode::MovRI:
+            regs.setConst(in.rd, static_cast<std::uint64_t>(in.imm));
+            break;
+          case Opcode::MovRR:
+            regs.copy(in.rd, in.rs);
+            break;
+          case Opcode::AddI:
+            regs.add(in.rd, in.rd, in.imm);
+            break;
+          case Opcode::SubI:
+            regs.add(in.rd, in.rd, -static_cast<std::int64_t>(in.imm));
+            break;
+          case Opcode::Load:
+          case Opcode::Load8:
+            sink(i, in, EventKind::Read,
+                 locs.of(regs.key(in.rb, in.off)), false);
+            regs.reset(in.rd);
+            break;
+          case Opcode::Store:
+          case Opcode::Store8:
+          case Opcode::StoreI:
+            sink(i, in, EventKind::Write,
+                 locs.of(regs.key(in.rb, in.off)), false);
+            break;
+          case Opcode::LockCmpxchg:
+          case Opcode::LockXadd: {
+            const Loc loc = locs.of(regs.key(in.rb, in.off));
+            sink(i, in, EventKind::Read, loc, true);
+            sink(i, in, EventKind::Write, loc, true);
+            // cmpxchg writes rax (g0); xadd writes its source register.
+            regs.reset(in.op == Opcode::LockCmpxchg ? 0 : in.rs);
+            break;
+          }
+          case Opcode::MFence:
+            sink(i, in, EventKind::Fence, locs.fresh(), false);
+            break;
+          case Opcode::Call:
+            // Pushes the return address: a real guest store.
+            regs.add(gx86::Rsp, gx86::Rsp, -8);
+            sink(i, in, EventKind::Write,
+                 locs.of(regs.key(gx86::Rsp, 0)), false);
+            break;
+          case Opcode::Ret:
+            sink(i, in, EventKind::Read,
+                 locs.of(regs.key(gx86::Rsp, 0)), false);
+            regs.add(gx86::Rsp, gx86::Rsp, 8);
+            break;
+          case Opcode::Syscall:
+            regs.reset(0); // Return value in g0.
+            break;
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor:
+          case Opcode::Mul:
+          case Opcode::Udiv:
+          case Opcode::AndI:
+          case Opcode::OrI:
+          case Opcode::XorI:
+          case Opcode::MulI:
+          case Opcode::ShlI:
+          case Opcode::ShrI:
+          case Opcode::FAdd:
+          case Opcode::FSub:
+          case Opcode::FMul:
+          case Opcode::FDiv:
+          case Opcode::FSqrt:
+          case Opcode::CvtIF:
+          case Opcode::CvtFI:
+            regs.reset(in.rd);
+            break;
+          default:
+            // Nop, Hlt, CmpRR/CmpRI (flags only), branches: no register
+            // or memory effect we track.
+            break;
+        }
+    }
+}
+
+} // namespace
+
+std::vector<VEvent>
+guestEvents(const std::vector<gx86::Instruction> &code)
+{
+    std::vector<VEvent> events;
+    walkGuest(code, [&](std::size_t i, const gx86::Instruction &in,
+                        EventKind kind, Loc loc, bool rmw) {
+        if (kind == EventKind::Fence) {
+            events.push_back(
+                makeFence(FenceKind::MFence, loc, tag(i, "F", in.toString())));
+            return;
+        }
+        const char *mark = kind == EventKind::Read ? "R" : "W";
+        events.push_back(makeAccess(kind, Access::Plain,
+                                    rmw ? RmwKind::Amo : RmwKind::None,
+                                    loc, tag(i, mark, in.toString())));
+    });
+    return events;
+}
+
+std::vector<VEvent>
+desiredArmEvents(const std::vector<gx86::Instruction> &code)
+{
+    // Figure 3: MOV loads -> LDAPR (AcquirePC), MOV stores -> STLR
+    // (Release), RMWs -> casal (RMW1-AL), MFENCE -> DMBFF.
+    std::vector<VEvent> events;
+    walkGuest(code, [&](std::size_t i, const gx86::Instruction &in,
+                        EventKind kind, Loc loc, bool rmw) {
+        if (kind == EventKind::Fence) {
+            events.push_back(makeFence(FenceKind::DmbFull, loc,
+                                       tag(i, "F", in.toString())));
+            return;
+        }
+        Access access;
+        if (rmw)
+            access = kind == EventKind::Read ? Access::Acquire
+                                             : Access::Release;
+        else
+            access = kind == EventKind::Read ? Access::AcquirePC
+                                             : Access::Release;
+        const char *mark = kind == EventKind::Read ? "R" : "W";
+        events.push_back(makeAccess(kind, access,
+                                    rmw ? RmwKind::Amo : RmwKind::None,
+                                    loc, tag(i, mark, in.toString())));
+    });
+    return events;
+}
+
+std::vector<VEvent>
+tcgEvents(const tcg::Block &block)
+{
+    using tcg::Op;
+    std::vector<VEvent> events;
+    AddrTracker temps(static_cast<std::size_t>(block.numTemps));
+    LocAssigner locs;
+
+    auto killGlobals = [&]() {
+        // Helpers may rewrite any guest register (host calls marshal
+        // results back); flags too.
+        for (std::size_t t = 0; t < tcg::FirstLocalTemp; ++t)
+            temps.reset(t);
+    };
+
+    for (std::size_t i = 0; i < block.instrs.size(); ++i) {
+        const tcg::Instr &in = block.instrs[i];
+        switch (in.op) {
+          case Op::MovI:
+            temps.setConst(in.a, static_cast<std::uint64_t>(in.imm));
+            break;
+          case Op::Mov:
+            temps.copy(in.a, in.b);
+            break;
+          case Op::AddI:
+            temps.add(in.a, in.b, in.imm);
+            break;
+          case Op::Ld:
+          case Op::Ld8:
+            events.push_back(makeAccess(
+                EventKind::Read, Access::Plain, RmwKind::None,
+                locs.of(temps.key(in.b, in.imm)),
+                tag(i, "R", in.toString())));
+            temps.reset(in.a);
+            break;
+          case Op::St:
+          case Op::St8:
+            events.push_back(makeAccess(
+                EventKind::Write, Access::Plain, RmwKind::None,
+                locs.of(temps.key(in.b, in.imm)),
+                tag(i, "W", in.toString())));
+            break;
+          case Op::Cas:
+          case Op::Xadd: {
+            const Loc loc = locs.of(temps.key(in.b, in.imm));
+            events.push_back(makeAccess(EventKind::Read, Access::Sc,
+                                        RmwKind::Amo, loc,
+                                        tag(i, "R", in.toString())));
+            events.push_back(makeAccess(EventKind::Write, Access::Sc,
+                                        RmwKind::Amo, loc,
+                                        tag(i, "W", in.toString())));
+            temps.reset(in.a);
+            break;
+          }
+          case Op::Mb:
+            events.push_back(makeFence(in.fence, locs.fresh(),
+                                       tag(i, "F", in.toString())));
+            break;
+          case Op::CallHelper:
+            if (in.helper == tcg::HelperId::CasHelper ||
+                in.helper == tcg::HelperId::XaddHelper) {
+                // The runtime helper performs a full-strength RMW at the
+                // address in its first argument (Section 6.3 baseline).
+                const Loc loc = in.b != tcg::NoTemp
+                                    ? locs.of(temps.key(in.b, 0))
+                                    : locs.fresh();
+                events.push_back(makeAccess(EventKind::Read, Access::Sc,
+                                            RmwKind::Amo, loc,
+                                            tag(i, "R", in.toString())));
+                events.push_back(makeAccess(EventKind::Write, Access::Sc,
+                                            RmwKind::Amo, loc,
+                                            tag(i, "W", in.toString())));
+            }
+            killGlobals();
+            if (in.a != tcg::NoTemp)
+                temps.reset(in.a);
+            break;
+          case Op::SetLabel:
+            // A join point: values may arrive from any predecessor.
+            temps.resetAll();
+            break;
+          default: {
+            const tcg::TempId w = tcg::instrWrites(in);
+            if (w != tcg::NoTemp)
+                temps.reset(w);
+            break;
+          }
+        }
+    }
+    return events;
+}
+
+std::vector<VEvent>
+armEvents(const std::vector<aarch::AInstr> &code, RmwLowering rmw)
+{
+    using aarch::AOp;
+    std::vector<VEvent> events;
+    AddrTracker regs(aarch::XRegCount);
+    LocAssigner locs;
+
+    // Branch targets are join points; values there may come from any
+    // predecessor, so symbolic state resets. Branch imm fields are word
+    // offsets relative to the branch instruction itself.
+    std::vector<bool> join(code.size(), false);
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const AOp op = code[i].op;
+        if (op != AOp::B && op != AOp::Bcond && op != AOp::Cbz &&
+            op != AOp::Cbnz)
+            continue;
+        const std::int64_t t =
+            static_cast<std::int64_t>(i) + code[i].imm;
+        if (t >= 0 && t < static_cast<std::int64_t>(code.size()))
+            join[static_cast<std::size_t>(t)] = true;
+    }
+
+    auto access = [&](std::size_t i, const aarch::AInstr &in,
+                      EventKind kind, Access acc, RmwKind kindRmw,
+                      aarch::XReg base, std::int64_t off) {
+        const char *mark = kind == EventKind::Read ? "R" : "W";
+        events.push_back(makeAccess(kind, acc, kindRmw,
+                                    locs.of(regs.key(base, off)),
+                                    tag(i, mark, in.toString())));
+    };
+
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (join[i])
+            regs.resetAll();
+        const aarch::AInstr &in = code[i];
+        switch (in.op) {
+          case AOp::MovZ:
+            regs.setConst(in.rd, static_cast<std::uint64_t>(
+                                     in.imm & 0xffff)
+                                     << (16 * in.shift));
+            break;
+          case AOp::MovK:
+            if (regs.isConst(in.rd)) {
+                const std::uint64_t mask = 0xffffULL << (16 * in.shift);
+                const std::uint64_t v =
+                    (regs.constValue(in.rd) & ~mask) |
+                    (static_cast<std::uint64_t>(in.imm & 0xffff)
+                     << (16 * in.shift));
+                regs.setConst(in.rd, v);
+            } else {
+                regs.reset(in.rd);
+            }
+            break;
+          case AOp::MovRR:
+            regs.copy(in.rd, in.rn);
+            break;
+          case AOp::AddI:
+            regs.add(in.rd, in.rn, in.imm);
+            break;
+          case AOp::SubI:
+            regs.add(in.rd, in.rn, -static_cast<std::int64_t>(in.imm));
+            break;
+          case AOp::Add:
+            if (regs.isConst(in.rm))
+                regs.add(in.rd, in.rn,
+                         static_cast<std::int64_t>(regs.constValue(in.rm)));
+            else if (regs.isConst(in.rn))
+                regs.add(in.rd, in.rm,
+                         static_cast<std::int64_t>(regs.constValue(in.rn)));
+            else
+                regs.reset(in.rd);
+            break;
+          case AOp::Ldr:
+          case AOp::Ldrb:
+            access(i, in, EventKind::Read, Access::Plain, RmwKind::None,
+                   in.rn, in.imm);
+            regs.reset(in.rd);
+            break;
+          case AOp::Ldar:
+            access(i, in, EventKind::Read, Access::Acquire,
+                   RmwKind::None, in.rn, in.imm);
+            regs.reset(in.rd);
+            break;
+          case AOp::Ldapr:
+            access(i, in, EventKind::Read, Access::AcquirePC,
+                   RmwKind::None, in.rn, in.imm);
+            regs.reset(in.rd);
+            break;
+          case AOp::Str:
+          case AOp::Strb:
+            access(i, in, EventKind::Write, Access::Plain, RmwKind::None,
+                   in.rn, in.imm);
+            break;
+          case AOp::Stlr:
+            access(i, in, EventKind::Write, Access::Release,
+                   RmwKind::None, in.rn, in.imm);
+            break;
+          case AOp::Ldxr:
+            access(i, in, EventKind::Read, Access::Plain, RmwKind::LxSx,
+                   in.rn, 0);
+            regs.reset(in.rd);
+            break;
+          case AOp::Ldaxr:
+            access(i, in, EventKind::Read, Access::Acquire,
+                   RmwKind::LxSx, in.rn, 0);
+            regs.reset(in.rd);
+            break;
+          case AOp::Stxr:
+            access(i, in, EventKind::Write, Access::Plain, RmwKind::LxSx,
+                   in.rn, 0);
+            regs.reset(in.rd); // Status register.
+            break;
+          case AOp::Stlxr:
+            access(i, in, EventKind::Write, Access::Release,
+                   RmwKind::LxSx, in.rn, 0);
+            regs.reset(in.rd);
+            break;
+          case AOp::Cas:
+            access(i, in, EventKind::Read, Access::Plain, RmwKind::Amo,
+                   in.rn, 0);
+            access(i, in, EventKind::Write, Access::Plain, RmwKind::Amo,
+                   in.rn, 0);
+            regs.reset(in.rd);
+            break;
+          case AOp::Casal:
+          case AOp::Ldaddal:
+            access(i, in, EventKind::Read, Access::Acquire, RmwKind::Amo,
+                   in.rn, 0);
+            access(i, in, EventKind::Write, Access::Release,
+                   RmwKind::Amo, in.rn, 0);
+            regs.reset(in.rd);
+            break;
+          case AOp::Dmb: {
+            FenceKind kind = FenceKind::DmbFull;
+            if (in.barrier == aarch::Barrier::Ld)
+                kind = FenceKind::DmbLd;
+            else if (in.barrier == aarch::Barrier::St)
+                kind = FenceKind::DmbSt;
+            events.push_back(
+                makeFence(kind, locs.fresh(), tag(i, "F", in.toString())));
+            break;
+          }
+          case AOp::Helper: {
+            const auto id = static_cast<tcg::HelperId>(in.helper);
+            if (id == tcg::HelperId::CasHelper ||
+                id == tcg::HelperId::XaddHelper) {
+                // The helper's RMW strength depends on how it was
+                // compiled: RMW1-AL behaves like casal, RMW2-AL like a
+                // bare ldaxr/stlxr pair (the GCC-9 build of Figure 4).
+                const bool lxsx = rmw == RmwLowering::HelperRmw2AL;
+                const SymVal addr = regs.key(24 /* HelperArg0 */, 0);
+                const Loc loc = locs.of(addr);
+                events.push_back(makeAccess(
+                    EventKind::Read, Access::Acquire,
+                    lxsx ? RmwKind::LxSx : RmwKind::Amo, loc,
+                    tag(i, "R", in.toString())));
+                events.push_back(makeAccess(
+                    EventKind::Write, Access::Release,
+                    lxsx ? RmwKind::LxSx : RmwKind::Amo, loc,
+                    tag(i, "W", in.toString())));
+            }
+            regs.reset(24); // HelperRet.
+            regs.reset(25); // HelperArg1 staging.
+            break;
+          }
+          case AOp::Cmp:
+          case AOp::CmpI:
+          case AOp::B:
+          case AOp::Bcond:
+          case AOp::Cbz:
+          case AOp::Cbnz:
+          case AOp::ExitTb:
+          case AOp::Nop:
+          case AOp::Hlt:
+            break;
+          default:
+            // Remaining ALU / FP / branch-and-link ops write rd.
+            regs.reset(in.rd);
+            break;
+        }
+    }
+    return events;
+}
+
+std::vector<aarch::AInstr>
+decodeRange(const aarch::CodeBuffer &code, aarch::CodeAddr from,
+            aarch::CodeAddr to)
+{
+    std::vector<aarch::AInstr> out;
+    out.reserve(to - from);
+    for (aarch::CodeAddr a = from; a < to; ++a)
+        out.push_back(aarch::decode(code.fetch(a)));
+    return out;
+}
+
+Execution
+eventExecution(const std::vector<VEvent> &events)
+{
+    Execution x;
+    x.events.reserve(events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        memcore::Event e;
+        e.id = static_cast<memcore::EventId>(i);
+        e.tid = 0;
+        e.poIndex = static_cast<std::uint32_t>(i);
+        e.kind = events[i].kind;
+        e.access = events[i].access;
+        e.fence = events[i].fence;
+        e.rmw = events[i].rmw;
+        e.loc = events[i].loc;
+        x.events.push_back(e);
+    }
+    x.initRelations();
+    for (std::size_t i = 0; i < events.size(); ++i)
+        for (std::size_t j = i + 1; j < events.size(); ++j)
+            x.po.insert(static_cast<memcore::EventId>(i),
+                        static_cast<memcore::EventId>(j));
+    // RMW events are emitted as adjacent read/write pairs.
+    for (std::size_t i = 0; i + 1 < events.size(); ++i)
+        if (events[i].rmw != RmwKind::None &&
+            events[i].kind == EventKind::Read &&
+            events[i + 1].rmw == events[i].rmw &&
+            events[i + 1].kind == EventKind::Write)
+            x.rmw.insert(static_cast<memcore::EventId>(i),
+                         static_cast<memcore::EventId>(i + 1));
+    return x;
+}
+
+Relation
+obligationGraph(const std::vector<VEvent> &events)
+{
+    const Execution x = eventExecution(events);
+    const EventSet reads = x.reads();
+    const EventSet writes = x.writes();
+
+    // ppo = ((W x W) U (R x W) U (R x R)) n po (everything but W -> R).
+    const Relation ppo =
+        (Relation::cross(writes, writes) | Relation::cross(reads, writes) |
+         Relation::cross(reads, reads)) &
+        x.po;
+
+    // implied = po ; [At U F] U [At U F] ; po.
+    const EventSet fenced = x.rmw.domain() | x.rmw.codomain() |
+                            x.fencesOf(FenceKind::MFence);
+    const Relation id_fenced = Relation::identityOn(fenced);
+    const Relation implied =
+        x.po.compose(id_fenced) | id_fenced.compose(x.po);
+
+    const Relation ob = (ppo | implied).transitiveClosure();
+    const EventSet accesses = reads | writes;
+    return ob.restrictDomain(accesses).restrictCodomain(accesses);
+}
+
+Relation
+tcgGuaranteeGraph(const std::vector<VEvent> &events)
+{
+    const Execution x = eventExecution(events);
+    return models::TcgModel::ord(x).transitiveClosure();
+}
+
+Relation
+armGuaranteeGraph(const std::vector<VEvent> &events,
+                  models::ArmModel::AmoRule rule)
+{
+    const Execution x = eventExecution(events);
+    return models::ArmModel(rule).lob(x);
+}
+
+namespace
+{
+
+constexpr std::size_t NoMatch = static_cast<std::size_t>(-1);
+
+/** Access class: direction x rmw participation. Fences are -1. */
+int
+accessClass(const VEvent &e)
+{
+    if (e.kind == EventKind::Fence)
+        return -1;
+    return (e.kind == EventKind::Write ? 1 : 0) +
+           (e.rmw != RmwKind::None ? 2 : 0);
+}
+
+/**
+ * Match guest accesses to target accesses in order, by class. The
+ * optimizer only ever *removes* accesses (RAR/RAW/WAW elimination, per
+ * Figure 10) and never reorders them, so a leftmost greedy subsequence
+ * match is exact: unmatched guest accesses are the eliminated ones, and
+ * their obligations are discharged by the elimination's side conditions.
+ * @return per-guest-event target index (NoMatch when eliminated).
+ */
+std::vector<std::size_t>
+matchAccesses(const std::vector<VEvent> &guest,
+              const std::vector<VEvent> &target)
+{
+    std::vector<std::size_t> map(guest.size(), NoMatch);
+    std::size_t g = 0;
+    for (std::size_t t = 0; t < target.size(); ++t) {
+        const int cls = accessClass(target[t]);
+        if (cls < 0)
+            continue;
+        std::size_t probe = g;
+        while (probe < guest.size() && accessClass(guest[probe]) != cls)
+            ++probe;
+        if (probe >= guest.size())
+            continue; // Target-side extra access: cannot weaken ordering.
+        map[probe] = t;
+        g = probe + 1;
+    }
+    return map;
+}
+
+/** Direction bit of an ordered access pair (fencealg vocabulary). */
+std::uint8_t
+orderBit(const VEvent &from, const VEvent &to)
+{
+    if (from.kind == EventKind::Read)
+        return to.kind == EventKind::Read ? memcore::OrdRR
+                                          : memcore::OrdRW;
+    return to.kind == EventKind::Read ? memcore::OrdWR : memcore::OrdWW;
+}
+
+/** Weakest DMB whose domain covers one direction bit. */
+FenceKind
+armCoveringFence(std::uint8_t bit)
+{
+    if (bit == memcore::OrdRR || bit == memcore::OrdRW)
+        return FenceKind::DmbLd;
+    if (bit == memcore::OrdWW)
+        return FenceKind::DmbSt;
+    return FenceKind::DmbFull;
+}
+
+} // namespace
+
+ValidationReport
+TbValidator::checkAgainst(const std::vector<gx86::Instruction> &guest,
+                          const std::vector<VEvent> &target, Level level,
+                          std::uint64_t guest_pc, bool superblock) const
+{
+    ValidationReport report;
+    const std::vector<VEvent> gev = guestEvents(guest);
+    if (gev.empty())
+        return report;
+    const Relation obligations = obligationGraph(gev);
+    const Relation guarantees =
+        level == Level::Tcg ? tcgGuaranteeGraph(target)
+                            : armGuaranteeGraph(target, options_.amoRule);
+    const std::vector<std::size_t> match = matchAccesses(gev, target);
+
+    for (const auto &[a, b] : obligations.pairs()) {
+        const std::size_t ta = match[a];
+        const std::size_t tb = match[b];
+        if (ta == NoMatch || tb == NoMatch)
+            continue; // Eliminated access: obligation discharged.
+        ++report.pairsChecked;
+        if (guarantees.contains(static_cast<memcore::EventId>(ta),
+                                static_cast<memcore::EventId>(tb)))
+            continue;
+        if (target[ta].loc == target[tb].loc)
+            continue; // Same location: per-location coherence orders.
+        Violation v;
+        v.level = level;
+        v.guestPc = guest_pc;
+        v.superblock = superblock;
+        v.from = gev[a].what;
+        v.to = gev[b].what;
+        v.fromTarget = target[ta].what;
+        v.toTarget = target[tb].what;
+        const std::uint8_t bit = orderBit(gev[a], gev[b]);
+        v.missingFence = level == Level::Tcg
+                             ? memcore::coveringFence(bit)
+                             : armCoveringFence(bit);
+        report.violations.push_back(std::move(v));
+    }
+    return report;
+}
+
+ValidationReport
+TbValidator::validate(const std::vector<gx86::Instruction> &guest,
+                      const tcg::Block &ir,
+                      const std::vector<aarch::AInstr> &host,
+                      std::uint64_t guest_pc, bool superblock) const
+{
+    ValidationReport report;
+    auto merge = [&](ValidationReport part) {
+        report.pairsChecked += part.pairsChecked;
+        for (auto &v : part.violations)
+            report.violations.push_back(std::move(v));
+    };
+    if (options_.checkTcg)
+        merge(checkAgainst(guest, tcgEvents(ir), Level::Tcg, guest_pc,
+                           superblock));
+    if (options_.checkArm)
+        merge(checkAgainst(guest, armEvents(host, options_.rmw),
+                           Level::Arm, guest_pc, superblock));
+    return report;
+}
+
+} // namespace risotto::verify

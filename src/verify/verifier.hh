@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Per-TB translation validation: static fence-safety checking.
+ *
+ * The paper verifies its mappings and IR optimizations once and for all
+ * in Agda (Section 5); this subsystem checks every translation the DBT
+ * actually emits, PORTHOS-style. For a translated block we build
+ *
+ *  - the *obligation graph*: ordered pairs of memory events that x86-TSO
+ *    requires over the decoded guest instructions (ppo U implied,
+ *    transitively closed, restricted to accesses), and
+ *  - the *guarantee graph* of the target: the TCG IR model's ord relation
+ *    over the post-optimization IR, and the Arm model's lob relation over
+ *    the emitted host code,
+ *
+ * and check obligation ⊆ guarantee modulo optimizer-eliminated accesses
+ * and same-location coherence. A violation names the exact guest event
+ * pair whose ordering was lost and the weakest fence that would restore
+ * it. The relation machinery is the same one behind models::X86Model /
+ * TcgModel / ArmModel, so the checker and the litmus harness cannot
+ * drift apart.
+ */
+
+#ifndef RISOTTO_VERIFY_VERIFIER_HH
+#define RISOTTO_VERIFY_VERIFIER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aarch/emitter.hh"
+#include "aarch/isa.hh"
+#include "gx86/isa.hh"
+#include "mapping/schemes.hh"
+#include "memcore/event.hh"
+#include "memcore/execution.hh"
+#include "memcore/relation.hh"
+#include "models/model.hh"
+#include "tcg/ir.hh"
+
+namespace risotto::verify
+{
+
+/** Which side of the translation a guarantee graph describes. */
+enum class Level
+{
+    Tcg, ///< Post-optimization TCG IR, judged under the Figure 6 model.
+    Arm, ///< Emitted host code, judged under Arm-Cats lob.
+};
+
+/** "tcg" or "arm". */
+std::string levelName(Level level);
+
+/**
+ * One memory event extracted from an instruction sequence.
+ *
+ * `loc` is a location *class*: events with equal loc provably access the
+ * same address (tracked symbolically as base-origin + constant offset);
+ * events whose address cannot be related get a fresh class, so distinct
+ * classes never imply distinct addresses. `what` is a human-readable
+ * rendering ("#3 R ldr x1, [x2, #8]") used in violation reports.
+ */
+struct VEvent
+{
+    memcore::EventKind kind = memcore::EventKind::Read;
+    memcore::Access access = memcore::Access::Plain;
+    memcore::FenceKind fence = memcore::FenceKind::None;
+    memcore::RmwKind rmw = memcore::RmwKind::None;
+    memcore::Loc loc = 0;
+    std::string what;
+};
+
+/** One lost ordering: an obligation pair absent from the guarantee. */
+struct Violation
+{
+    Level level = Level::Tcg;
+    std::uint64_t guestPc = 0;
+    bool superblock = false;
+
+    /** Guest-side descriptions of the ordered pair. */
+    std::string from;
+    std::string to;
+
+    /** The matched target-side events the ordering was checked between. */
+    std::string fromTarget;
+    std::string toTarget;
+
+    /** Weakest fence kind that would restore the ordering (a TCG Fxy
+     * fence at Level::Tcg, a DMB variant at Level::Arm). */
+    memcore::FenceKind missingFence = memcore::FenceKind::None;
+
+    /** One-line report. */
+    std::string toString() const;
+};
+
+/** Result of validating one translation. */
+struct ValidationReport
+{
+    /** Obligation pairs checked against the guarantee graphs. */
+    std::uint64_t pairsChecked = 0;
+
+    std::vector<Violation> violations;
+
+    bool ok() const { return violations.empty(); }
+};
+
+// --- Event extraction -------------------------------------------------------
+
+/** Memory events of a decoded guest basic block (x86 side). */
+std::vector<VEvent> guestEvents(const std::vector<gx86::Instruction> &code);
+
+/** Memory events of a (post-optimization) TCG IR block. */
+std::vector<VEvent> tcgEvents(const tcg::Block &block);
+
+/**
+ * Memory events of emitted host code. @p rmw tells the extractor how to
+ * model runtime helper calls that implement guest RMWs: RMW1-AL helpers
+ * behave like casal (single-copy-atomic acquire+release), RMW2-AL
+ * helpers like an ldaxr/stlxr pair (the GCC-9 build the paper found
+ * broken).
+ */
+std::vector<VEvent> armEvents(const std::vector<aarch::AInstr> &code,
+                              mapping::RmwLowering rmw);
+
+/**
+ * The Figure 3 "desired" direct x86 -> Arm mapping as events: loads to
+ * LDAPR, stores to STLR, RMWs to RMW1-AL, MFENCE to DMBFF. Checking
+ * these events under AmoRule::Original reproduces the mapping bug the
+ * paper reported against the original Arm-Cats model.
+ */
+std::vector<VEvent>
+desiredArmEvents(const std::vector<gx86::Instruction> &code);
+
+/** Decode host code words in [from, to) back into instructions. */
+std::vector<aarch::AInstr> decodeRange(const aarch::CodeBuffer &code,
+                                       aarch::CodeAddr from,
+                                       aarch::CodeAddr to);
+
+// --- Graphs -----------------------------------------------------------------
+
+/** Single-thread execution skeleton (po total, rmw pairs linked). */
+memcore::Execution eventExecution(const std::vector<VEvent> &events);
+
+/**
+ * x86-TSO requirements over guest events: (ppo U implied)+ restricted to
+ * access events (fences drop out; orderings they induce remain via the
+ * closure).
+ */
+memcore::Relation obligationGraph(const std::vector<VEvent> &events);
+
+/** TCG IR guarantees: TcgModel::ord, transitively closed. */
+memcore::Relation tcgGuaranteeGraph(const std::vector<VEvent> &events);
+
+/** Arm guarantees: ArmModel::lob under @p rule (already closed). */
+memcore::Relation
+armGuaranteeGraph(const std::vector<VEvent> &events,
+                  models::ArmModel::AmoRule rule);
+
+// --- The validator ----------------------------------------------------------
+
+/** Validator configuration. */
+struct ValidatorOptions
+{
+    /** How helper-call RMWs in host code are modelled. */
+    mapping::RmwLowering rmw = mapping::RmwLowering::InlineCasal;
+
+    /** Arm amo clause to judge host code under. */
+    models::ArmModel::AmoRule amoRule =
+        models::ArmModel::AmoRule::Corrected;
+
+    bool checkTcg = true;
+    bool checkArm = true;
+};
+
+/**
+ * Checks translated blocks: x86-TSO obligations of the decoded guest
+ * code must be contained in the guarantees of the optimized IR and of
+ * the emitted host code. Obligations whose events the optimizer
+ * eliminated (RAR/RAW/WAW, Figure 10) are discharged by the elimination
+ * itself; same-location pairs are discharged by per-location coherence.
+ */
+class TbValidator
+{
+  public:
+    explicit TbValidator(ValidatorOptions options = {})
+        : options_(options)
+    {
+    }
+
+    /** Validate one translation at both levels (per options). */
+    ValidationReport validate(const std::vector<gx86::Instruction> &guest,
+                              const tcg::Block &ir,
+                              const std::vector<aarch::AInstr> &host,
+                              std::uint64_t guest_pc,
+                              bool superblock) const;
+
+    /**
+     * Check guest obligations against one explicit target event
+     * sequence (used by tests and the Figure 3 audit in risotto-verify).
+     */
+    ValidationReport
+    checkAgainst(const std::vector<gx86::Instruction> &guest,
+                 const std::vector<VEvent> &target, Level level,
+                 std::uint64_t guest_pc, bool superblock = false) const;
+
+    const ValidatorOptions &options() const { return options_; }
+
+  private:
+    ValidatorOptions options_;
+};
+
+} // namespace risotto::verify
+
+#endif // RISOTTO_VERIFY_VERIFIER_HH

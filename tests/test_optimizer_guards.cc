@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Regression tests pinning the Figure 10 side conditions of the memory
+ * eliminations and the fence-merge commutation rules -- exactly the
+ * preconditions under which the paper's Agda development verifies the
+ * transformations. Each test builds IR directly so a future refactor
+ * cannot silently widen a side condition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "memcore/fencealg.hh"
+#include "tcg/optimizer.hh"
+
+namespace
+{
+
+using namespace risotto;
+using memcore::FenceKind;
+using tcg::Block;
+using tcg::Op;
+namespace build = tcg::build;
+
+std::size_t
+countOp(const Block &block, Op op)
+{
+    return static_cast<std::size_t>(
+        std::count_if(block.instrs.begin(), block.instrs.end(),
+                      [op](const tcg::Instr &i) { return i.op == op; }));
+}
+
+/** ld t; [fence] ld u -- same base and offset. */
+Block
+rarBlock(FenceKind between)
+{
+    Block b;
+    const tcg::TempId t = b.newTemp();
+    const tcg::TempId u = b.newTemp();
+    b.instrs.push_back(build::ld(t, 0, 8));
+    if (between != FenceKind::None)
+        b.instrs.push_back(build::mb(between));
+    b.instrs.push_back(build::ld(u, 0, 8));
+    return b;
+}
+
+/** st v; [fence] ld t -- same base and offset. */
+Block
+rawBlock(FenceKind between)
+{
+    Block b;
+    const tcg::TempId t = b.newTemp();
+    b.instrs.push_back(build::st(1, 0, 8));
+    if (between != FenceKind::None)
+        b.instrs.push_back(build::mb(between));
+    b.instrs.push_back(build::ld(t, 0, 8));
+    return b;
+}
+
+/** st v; [fence] st w -- same base and offset. */
+Block
+wawBlock(FenceKind between)
+{
+    Block b;
+    b.instrs.push_back(build::st(1, 0, 8));
+    if (between != FenceKind::None)
+        b.instrs.push_back(build::mb(between));
+    b.instrs.push_back(build::st(2, 0, 8));
+    return b;
+}
+
+// --- Figure 10: which fences an elimination may cross -----------------------
+
+TEST(MemoryElimGuards, RarCrossesFrmAndFwwOnly)
+{
+    for (FenceKind f : {FenceKind::None, FenceKind::Frm, FenceKind::Fww}) {
+        Block b = rarBlock(f);
+        EXPECT_EQ(tcg::passMemoryElim(b), 1u) << static_cast<int>(f);
+        EXPECT_EQ(countOp(b, Op::Ld), 1u);
+    }
+    // An Fsc between the loads is load-ordering-relevant: eliminating
+    // the second load would let it "execute" before the barrier.
+    Block b = rarBlock(FenceKind::Fsc);
+    EXPECT_EQ(tcg::passMemoryElim(b), 0u);
+    EXPECT_EQ(countOp(b, Op::Ld), 2u);
+}
+
+TEST(MemoryElimGuards, RawCrossesFscAndFwwOnly)
+{
+    for (FenceKind f : {FenceKind::None, FenceKind::Fsc, FenceKind::Fww}) {
+        Block b = rawBlock(f);
+        EXPECT_EQ(tcg::passMemoryElim(b), 1u) << static_cast<int>(f);
+        EXPECT_EQ(countOp(b, Op::Ld), 0u);
+    }
+    // Frm between store and load orders the (eliminated) read against
+    // later accesses; forwarding across it is unsound.
+    Block b = rawBlock(FenceKind::Frm);
+    EXPECT_EQ(tcg::passMemoryElim(b), 0u);
+    EXPECT_EQ(countOp(b, Op::Ld), 1u);
+}
+
+TEST(MemoryElimGuards, WawCrossesFrmAndFwwOnlyAndKeepsTheLaterStore)
+{
+    for (FenceKind f : {FenceKind::None, FenceKind::Frm, FenceKind::Fww}) {
+        Block b = wawBlock(f);
+        EXPECT_EQ(tcg::passMemoryElim(b), 1u) << static_cast<int>(f);
+        ASSERT_EQ(countOp(b, Op::St), 1u);
+        // The surviving store is the later one (value temp 2).
+        const auto it = std::find_if(
+            b.instrs.begin(), b.instrs.end(),
+            [](const tcg::Instr &i) { return i.op == Op::St; });
+        EXPECT_EQ(it->a, 2);
+    }
+    Block b = wawBlock(FenceKind::Fsc);
+    EXPECT_EQ(tcg::passMemoryElim(b), 0u);
+    EXPECT_EQ(countOp(b, Op::St), 2u);
+}
+
+TEST(MemoryElimGuards, FacqFrelAreTransparent)
+{
+    // Facq/Frel order nothing by themselves (Figure 6): they never block
+    // an elimination.
+    for (FenceKind f : {FenceKind::Facq, FenceKind::Frel}) {
+        Block b = rarBlock(f);
+        EXPECT_EQ(tcg::passMemoryElim(b), 1u) << static_cast<int>(f);
+    }
+}
+
+// --- No elimination across atomics, helpers or control flow -----------------
+
+TEST(MemoryElimGuards, NeverCrossesRmwOps)
+{
+    {
+        Block b;
+        const tcg::TempId t = b.newTemp();
+        const tcg::TempId u = b.newTemp();
+        const tcg::TempId old = b.newTemp();
+        b.instrs.push_back(build::ld(t, 0, 8));
+        b.instrs.push_back(build::cas(old, 1, 0, 2, 3));
+        b.instrs.push_back(build::ld(u, 0, 8));
+        EXPECT_EQ(tcg::passMemoryElim(b), 0u);
+        EXPECT_EQ(countOp(b, Op::Ld), 2u);
+    }
+    {
+        Block b;
+        const tcg::TempId old = b.newTemp();
+        b.instrs.push_back(build::st(1, 0, 8));
+        b.instrs.push_back(build::xadd(old, 2, 0, 3));
+        b.instrs.push_back(build::st(4, 0, 8));
+        EXPECT_EQ(tcg::passMemoryElim(b), 0u);
+        EXPECT_EQ(countOp(b, Op::St), 2u);
+    }
+}
+
+TEST(MemoryElimGuards, NeverCrossesHelperCalls)
+{
+    Block b;
+    const tcg::TempId t = b.newTemp();
+    const tcg::TempId u = b.newTemp();
+    b.instrs.push_back(build::ld(t, 0, 8));
+    b.instrs.push_back(
+        build::callHelper(tcg::HelperId::CasHelper, 5, 6, 7));
+    b.instrs.push_back(build::ld(u, 0, 8));
+    EXPECT_EQ(tcg::passMemoryElim(b), 0u);
+}
+
+TEST(MemoryElimGuards, NeverPairsAcrossLabelsOrBranches)
+{
+    {
+        Block b;
+        const tcg::TempId t = b.newTemp();
+        const tcg::TempId u = b.newTemp();
+        const std::int32_t l = b.newLabel();
+        b.instrs.push_back(build::ld(t, 0, 8));
+        b.instrs.push_back(build::setLabel(l));
+        b.instrs.push_back(build::ld(u, 0, 8));
+        EXPECT_EQ(tcg::passMemoryElim(b), 0u);
+    }
+    {
+        Block b;
+        const std::int32_t l = b.newLabel();
+        b.instrs.push_back(build::st(1, 0, 8));
+        b.instrs.push_back(build::brcond(gx86::Cond::Eq, 2, 3, l));
+        b.instrs.push_back(build::st(4, 0, 8));
+        b.instrs.push_back(build::setLabel(l));
+        EXPECT_EQ(tcg::passMemoryElim(b), 0u);
+        EXPECT_EQ(countOp(b, Op::St), 2u);
+    }
+}
+
+TEST(MemoryElimGuards, VocabularyPreconditionDisablesThePass)
+{
+    // A QEMU-scheme fence anywhere in the block (here Fmr) voids the
+    // verified precondition; even an unrelated adjacent RAR pair must
+    // survive (the FMR counterexample of Section 5.4).
+    Block b = rarBlock(FenceKind::None);
+    b.instrs.push_back(build::mb(FenceKind::Fmr));
+    EXPECT_EQ(tcg::passMemoryElim(b), 0u);
+    EXPECT_EQ(countOp(b, Op::Ld), 2u);
+}
+
+// --- Fence merging ----------------------------------------------------------
+
+TEST(FenceMergeGuards, MergesAcrossPureOpsAtTheEarlierPosition)
+{
+    Block b;
+    const tcg::TempId t = b.newTemp();
+    b.instrs.push_back(build::mb(FenceKind::Frm));
+    b.instrs.push_back(build::addi(t, 1, 4));
+    b.instrs.push_back(build::mb(FenceKind::Fww));
+    EXPECT_EQ(tcg::passFenceMerge(b), 1u);
+    ASSERT_EQ(countOp(b, Op::Mb), 1u);
+    // The merged fence sits at the earlier position and covers both.
+    ASSERT_EQ(b.instrs.front().op, Op::Mb);
+    EXPECT_EQ(b.instrs.front().fence,
+              memcore::mergeFences(FenceKind::Frm, FenceKind::Fww));
+}
+
+TEST(FenceMergeGuards, NeverMergesAcrossMemoryOps)
+{
+    Block b;
+    const tcg::TempId t = b.newTemp();
+    b.instrs.push_back(build::mb(FenceKind::Frm));
+    b.instrs.push_back(build::ld(t, 0, 8));
+    b.instrs.push_back(build::mb(FenceKind::Fww));
+    EXPECT_EQ(tcg::passFenceMerge(b), 0u);
+    EXPECT_EQ(countOp(b, Op::Mb), 2u);
+}
+
+TEST(FenceMergeGuards, NeverMergesAcrossControlFlow)
+{
+    Block b;
+    const std::int32_t l = b.newLabel();
+    b.instrs.push_back(build::mb(FenceKind::Frm));
+    b.instrs.push_back(build::setLabel(l));
+    b.instrs.push_back(build::mb(FenceKind::Fww));
+    EXPECT_EQ(tcg::passFenceMerge(b), 0u);
+    EXPECT_EQ(countOp(b, Op::Mb), 2u);
+}
+
+// --- Superblock granularity -------------------------------------------------
+
+TEST(SuperblockGuards, EliminationRespectsSeamLabels)
+{
+    // Two straight-line segments joined by a seam label (the shape the
+    // splicer produces): the in-segment WAW pair is eliminated, the
+    // cross-seam pair is not.
+    Block b;
+    const std::int32_t seam = b.newLabel();
+    b.instrs.push_back(build::st(1, 0, 8));  // |
+    b.instrs.push_back(build::st(2, 0, 8));  // | in-segment WAW
+    b.instrs.push_back(build::st(3, 0, 16)); // straddles the seam
+    b.instrs.push_back(build::setLabel(seam));
+    b.instrs.push_back(build::st(4, 0, 16));
+
+    tcg::OptimizerConfig config; // Everything on, as tier 2 runs it.
+    const auto result = tcg::optimizeSuperblock(b, config);
+    EXPECT_EQ(result.memOpsEliminated, 1u);
+    EXPECT_EQ(countOp(b, Op::St), 3u);
+}
+
+TEST(SuperblockGuards, FenceMergeRespectsSeamLabels)
+{
+    Block b;
+    const std::int32_t seam = b.newLabel();
+    b.instrs.push_back(build::mb(FenceKind::Fww));
+    b.instrs.push_back(build::mb(FenceKind::Frm)); // Merges up.
+    b.instrs.push_back(build::setLabel(seam));
+    b.instrs.push_back(build::mb(FenceKind::Fww)); // Stays: join point.
+
+    tcg::OptimizerConfig config;
+    config.constantFolding = false;
+    config.memoryElimination = false;
+    config.deadCodeElimination = false;
+    const auto result = tcg::optimizeSuperblock(b, config);
+    EXPECT_EQ(result.fencesRemoved, 1u);
+    EXPECT_EQ(countOp(b, Op::Mb), 2u);
+}
+
+} // namespace

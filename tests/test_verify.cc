@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Translation-validator tests: obligation-graph shapes, scheme audits
+ * (no-fences and the Figure 3 desired mapping are flagged, Risotto is
+ * clean), the deliberately-weakened-fence canary, and end-to-end
+ * validation through the DBT engine at both block and superblock
+ * granularity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dbt/backend.hh"
+#include "dbt/dbt.hh"
+#include "dbt/frontend.hh"
+#include "gx86/assembler.hh"
+#include "litmus/library.hh"
+#include "risotto/stress.hh"
+#include "tcg/optimizer.hh"
+#include "verify/verifier.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace risotto;
+using dbt::DbtConfig;
+using gx86::Assembler;
+using gx86::GuestImage;
+using memcore::FenceKind;
+
+/** Slot allocator for compiling outside an engine. */
+struct DummySlots : dbt::ExitSlotAllocator
+{
+    std::uint32_t next = 1;
+    std::uint32_t staticSlot(std::uint64_t, std::uint64_t, aarch::CodeAddr,
+                             bool) override
+    {
+        return next++;
+    }
+    std::uint32_t dynamicSlot() override { return 0; }
+};
+
+std::vector<gx86::Instruction>
+decodeMain(const GuestImage &image)
+{
+    const DbtConfig config = DbtConfig::risotto();
+    dbt::Frontend frontend(image, config, nullptr);
+    return frontend.decodeBlock(image.entry);
+}
+
+/** Full static pipeline for one block under @p config: translate,
+ * optimize, compile, validate. */
+verify::ValidationReport
+validateBlock(const GuestImage &image, DbtConfig config)
+{
+    dbt::Frontend frontend(image, config, nullptr);
+    const auto guest = frontend.decodeBlock(image.entry);
+    tcg::Block block = frontend.translate(image.entry);
+    tcg::optimize(block, config.optimizer);
+    aarch::CodeBuffer buffer;
+    DummySlots slots;
+    dbt::Backend backend(buffer, config);
+    const aarch::CodeAddr entry = backend.compile(block, slots);
+    const auto host = verify::decodeRange(buffer, entry, buffer.end());
+    verify::ValidatorOptions vo;
+    vo.rmw = config.rmw;
+    const verify::TbValidator validator(vo);
+    return validator.validate(guest, block, host, image.entry, false);
+}
+
+// --- Obligation graph shapes ------------------------------------------------
+
+TEST(ObligationGraph, TsoPpoShapes)
+{
+    // r4 = [0x1000]; r5 = [0x2000]; [0x1000] = r6; [0x2000] = r7
+    Assembler a;
+    a.defineSymbol("main");
+    a.movri(1, 0x1000);
+    a.movri(2, 0x2000);
+    a.load(4, 1, 0);
+    a.load(5, 2, 0);
+    a.store(1, 0, 6);
+    a.store(2, 0, 7);
+    a.hlt();
+    const auto guest = decodeMain(a.finish("main"));
+    const auto events = verify::guestEvents(guest);
+    ASSERT_EQ(events.size(), 4u); // R, R, W, W
+    const auto obligations = verify::obligationGraph(events);
+
+    // ppo = ((W x W) U (R x W) U (R x R)) n po: everything except W -> R.
+    EXPECT_TRUE(obligations.contains(0, 1));  // R -> R
+    EXPECT_TRUE(obligations.contains(0, 2));  // R -> W
+    EXPECT_TRUE(obligations.contains(2, 3));  // W -> W
+    EXPECT_FALSE(obligations.contains(1, 0)); // Never against po.
+}
+
+TEST(ObligationGraph, MfenceImpliesStoreLoadOrder)
+{
+    Assembler a;
+    a.defineSymbol("main");
+    a.movri(1, 0x1000);
+    a.movri(2, 0x2000);
+    a.store(1, 0, 6);
+    a.load(4, 2, 0);
+    a.hlt();
+    const auto noFence = verify::guestEvents(decodeMain(a.finish("main")));
+    ASSERT_EQ(noFence.size(), 2u);
+    // TSO lets the store-load pair reorder without a fence...
+    EXPECT_FALSE(verify::obligationGraph(noFence).contains(0, 1));
+
+    Assembler b;
+    b.defineSymbol("main");
+    b.movri(1, 0x1000);
+    b.movri(2, 0x2000);
+    b.store(1, 0, 6);
+    b.mfence();
+    b.load(4, 2, 0);
+    b.hlt();
+    const auto fenced = verify::guestEvents(decodeMain(b.finish("main")));
+    ASSERT_EQ(fenced.size(), 3u); // W, F, R
+    // ...and MFENCE restores it (implied = po;[F] U [F];po, closed).
+    EXPECT_TRUE(verify::obligationGraph(fenced).contains(0, 2));
+}
+
+TEST(ObligationGraph, RmwIsCumulative)
+{
+    // W -> (lock xadd) -> R: the atomic op orders everything around it.
+    Assembler a;
+    a.defineSymbol("main");
+    a.movri(1, 0x1000);
+    a.movri(2, 0x2000);
+    a.movri(3, 0x3000);
+    a.store(1, 0, 6);
+    a.lockXadd(2, 0, 7);
+    a.load(4, 3, 0);
+    a.hlt();
+    const auto events = verify::guestEvents(decodeMain(a.finish("main")));
+    ASSERT_EQ(events.size(), 4u); // W, R(rmw), W(rmw), R
+    const auto obligations = verify::obligationGraph(events);
+    EXPECT_TRUE(obligations.contains(0, 3)); // W -> R through the RMW.
+}
+
+// --- Scheme audits ----------------------------------------------------------
+
+/** Two loads from provably different addresses: the minimal block whose
+ * R -> R obligation a fence-free translation cannot carry. */
+GuestImage
+twoLoadImage()
+{
+    Assembler a;
+    a.defineSymbol("main");
+    a.movri(1, 0x1000);
+    a.movri(2, 0x2000);
+    a.load(4, 1, 0);
+    a.load(5, 2, 0);
+    a.hlt();
+    return a.finish("main");
+}
+
+TEST(SchemeAudit, NoFencesIsFlaggedWithNamedPair)
+{
+    const auto report =
+        validateBlock(twoLoadImage(), DbtConfig::qemuNoFences());
+    ASSERT_FALSE(report.ok());
+    const verify::Violation &v = report.violations.front();
+    EXPECT_FALSE(v.from.empty());
+    EXPECT_FALSE(v.to.empty());
+    EXPECT_NE(v.missingFence, FenceKind::None);
+    EXPECT_NE(v.toString().find("->"), std::string::npos);
+}
+
+TEST(SchemeAudit, VerifiedSchemesAreClean)
+{
+    for (const DbtConfig &config :
+         {DbtConfig::risotto(), DbtConfig::tcgVer(), DbtConfig::qemu()}) {
+        const auto report = validateBlock(twoLoadImage(), config);
+        EXPECT_TRUE(report.ok()) << config.name;
+        EXPECT_GT(report.pairsChecked, 0u) << config.name;
+    }
+}
+
+TEST(SchemeAudit, RisottoCleanOverRandomBlocks)
+{
+    std::mt19937_64 rng(99);
+    auto pick = [&](int n) { return static_cast<int>(rng() % n); };
+    for (int block = 0; block < 40; ++block) {
+        Assembler a;
+        a.defineSymbol("main");
+        const int count = 4 + pick(10);
+        for (int i = 0; i < count; ++i) {
+            const auto base = static_cast<gx86::Reg>(pick(3));
+            const auto reg = static_cast<gx86::Reg>(4 + pick(4));
+            const auto off = static_cast<std::int32_t>(8 * pick(6));
+            switch (pick(6)) {
+              case 0:
+                a.load(reg, base, off);
+                break;
+              case 1:
+                a.store(base, off, reg);
+                break;
+              case 2:
+                a.lockXadd(base, off, reg);
+                break;
+              case 3:
+                a.mfence();
+                break;
+              case 4:
+                a.movri(base, 0x1000 + 8 * pick(8));
+                break;
+              default:
+                a.add(reg, reg);
+                break;
+            }
+        }
+        a.hlt();
+        const GuestImage image = a.finish("main");
+        const auto report = validateBlock(image, DbtConfig::risotto());
+        EXPECT_TRUE(report.ok()) << "random block " << block;
+    }
+}
+
+TEST(SchemeAudit, Figure3DesiredMappingFlaggedUnderOriginalAmoRule)
+{
+    // The paper's report against Arm-Cats: an RMW followed by a load of
+    // another location loses its ordering under the *original* amo
+    // clause, while the corrected clause (and real hardware) keeps it.
+    Assembler a;
+    a.defineSymbol("main");
+    a.movri(1, 0x1000);
+    a.movri(2, 0x2000);
+    a.lockXadd(1, 0, 4);
+    a.load(5, 2, 0);
+    a.hlt();
+    const auto guest = decodeMain(a.finish("main"));
+    const auto desired = verify::desiredArmEvents(guest);
+
+    verify::ValidatorOptions original;
+    original.amoRule = models::ArmModel::AmoRule::Original;
+    const auto flagged = verify::TbValidator(original).checkAgainst(
+        guest, desired, verify::Level::Arm, 0);
+    EXPECT_FALSE(flagged.ok());
+
+    verify::ValidatorOptions corrected;
+    corrected.amoRule = models::ArmModel::AmoRule::Corrected;
+    const auto clean = verify::TbValidator(corrected).checkAgainst(
+        guest, desired, verify::Level::Arm, 0);
+    EXPECT_TRUE(clean.ok());
+}
+
+TEST(SchemeAudit, HelperRmw2IsFlaggedHelperRmw1IsNot)
+{
+    // The GCC-9 QEMU bug (Section 3): an exclusive-pair helper does not
+    // order the RMW against a later load of another location.
+    Assembler a;
+    a.defineSymbol("main");
+    a.movri(1, 0x1000);
+    a.movri(2, 0x2000);
+    a.lockXadd(1, 0, 4);
+    a.load(5, 2, 0);
+    a.hlt();
+    const GuestImage image = a.finish("main");
+
+    DbtConfig broken = DbtConfig::qemu();
+    broken.rmw = mapping::RmwLowering::HelperRmw2AL;
+    EXPECT_FALSE(validateBlock(image, broken).ok());
+
+    EXPECT_TRUE(validateBlock(image, DbtConfig::qemu()).ok());
+}
+
+// --- The weakened-fence canary ----------------------------------------------
+
+TEST(WeakenedFence, DeliberateWeakeningIsCaughtAtTranslationTime)
+{
+    // ld; Frm; Fww; st -- the R -> W obligation rides on the Frm.
+    Assembler a;
+    a.defineSymbol("main");
+    a.movri(1, 0x1000);
+    a.movri(2, 0x2000);
+    a.load(4, 1, 0);
+    a.store(2, 0, 5);
+    a.hlt();
+    const GuestImage image = a.finish("main");
+
+    DbtConfig config = DbtConfig::risotto();
+    config.optimizer.fenceMerging = false; // Keep Frm and Fww distinct.
+    dbt::Frontend frontend(image, config, nullptr);
+    const auto guest = frontend.decodeBlock(image.entry);
+    tcg::Block block = frontend.translate(image.entry);
+    tcg::optimize(block, config.optimizer);
+
+    verify::ValidatorOptions vo;
+    vo.rmw = config.rmw;
+    const verify::TbValidator validator(vo);
+
+    auto compileAndValidate = [&]() {
+        aarch::CodeBuffer buffer;
+        DummySlots slots;
+        dbt::Backend backend(buffer, config);
+        const aarch::CodeAddr entry = backend.compile(block, slots);
+        const auto host = verify::decodeRange(buffer, entry, buffer.end());
+        return validator.validate(guest, block, host, image.entry, false);
+    };
+
+    ASSERT_TRUE(compileAndValidate().ok());
+
+    // Weaken the load's trailing Frm to Facq (orders nothing here).
+    bool weakened = false;
+    for (tcg::Instr &in : block.instrs)
+        if (in.op == tcg::Op::Mb && in.fence == FenceKind::Frm) {
+            in.fence = FenceKind::Facq;
+            weakened = true;
+            break;
+        }
+    ASSERT_TRUE(weakened);
+
+    const auto report = compileAndValidate();
+    ASSERT_FALSE(report.ok());
+    bool saw_tcg = false;
+    bool saw_arm = false;
+    for (const auto &v : report.violations) {
+        saw_tcg = saw_tcg || v.level == verify::Level::Tcg;
+        saw_arm = saw_arm || v.level == verify::Level::Arm;
+        EXPECT_NE(v.missingFence, FenceKind::None);
+    }
+    EXPECT_TRUE(saw_tcg); // The IR itself lost the ordering...
+    EXPECT_TRUE(saw_arm); // ...and so did the code compiled from it.
+}
+
+// --- End-to-end through the engine ------------------------------------------
+
+TEST(DbtValidation, RisottoRunsCleanNoFencesIsCaught)
+{
+    Assembler a;
+    const gx86::Addr buf = a.dataReserve(64);
+    a.defineSymbol("main");
+    a.movri(1, static_cast<std::int64_t>(buf));
+    a.movri(2, static_cast<std::int64_t>(buf) + 32);
+    a.load(4, 1, 0);
+    a.load(5, 2, 0);
+    a.store(1, 8, 4);
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    const GuestImage image = a.finish("main");
+
+    DbtConfig clean = DbtConfig::risotto();
+    clean.validateTranslations = true;
+    dbt::Dbt engine(image, clean);
+    const auto result = engine.run({dbt::ThreadSpec{}});
+    ASSERT_TRUE(result.finished);
+    EXPECT_GT(result.stats.get("verify.blocks_checked"), 0u);
+    EXPECT_EQ(result.validationViolations, 0u);
+    EXPECT_TRUE(engine.violations().empty());
+
+    DbtConfig broken = DbtConfig::qemuNoFences();
+    broken.validateTranslations = true;
+    dbt::Dbt flagged(image, broken);
+    const auto bad = flagged.run({dbt::ThreadSpec{}});
+    ASSERT_TRUE(bad.finished); // Validation reports, never blocks tier 1.
+    EXPECT_GT(bad.validationViolations, 0u);
+    ASSERT_FALSE(flagged.violations().empty());
+    EXPECT_NE(flagged.violations().front().missingFence, FenceKind::None);
+}
+
+TEST(DbtValidation, SuperblocksAreValidatedAndStayClean)
+{
+    // An 80-store loop body overflows the 64-instruction block cap, so
+    // tier 2 splices a multi-block superblock and the cross-seam
+    // optimizer eliminates stores + fences -- all of which the validator
+    // must accept (eliminated accesses discharge their obligations).
+    Assembler a;
+    const gx86::Addr buf = a.dataReserve(64);
+    a.defineSymbol("main");
+    a.movri(3, static_cast<std::int64_t>(buf));
+    a.movri(4, 7);
+    a.movri(2, 400);
+    const auto loop = a.newLabel();
+    a.bind(loop);
+    for (int k = 0; k < 80; ++k)
+        a.store(3, 0, 4);
+    a.subi(2, 1);
+    a.cmpri(2, 0);
+    a.jcc(gx86::Cond::Gt, loop);
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    const GuestImage image = a.finish("main");
+
+    DbtConfig config = DbtConfig::risotto();
+    config.validateTranslations = true;
+    dbt::Dbt engine(image, config);
+    const auto result = engine.run({dbt::ThreadSpec{}});
+    ASSERT_TRUE(result.finished);
+    EXPECT_GE(result.tier2Superblocks, 1u);
+    EXPECT_GT(result.stats.get("verify.superblocks_checked"), 0u);
+    EXPECT_EQ(result.stats.get("verify.promotions_rejected"), 0u);
+    EXPECT_EQ(result.validationViolations, 0u);
+}
+
+// --- Validation sweeps (the risotto-run --validate acceptance runs) ---------
+
+TEST(ValidationSweep, AllWorkloadsValidateClean)
+{
+    for (workloads::WorkloadSpec spec : workloads::fullSuite()) {
+        spec.iterations = 60; // Enough to translate (and promote) all.
+        const GuestImage image = workloads::buildGuestWorkload(spec);
+        DbtConfig config = DbtConfig::risotto();
+        config.validateTranslations = true;
+        config.tier2Threshold = 4; // Exercise superblock validation too.
+        dbt::Dbt engine(image, config);
+        std::vector<dbt::ThreadSpec> threads(2);
+        threads[1].regs[0] = 1;
+        const auto result = engine.run(threads);
+        ASSERT_TRUE(result.finished) << spec.name;
+        EXPECT_GT(result.stats.get("verify.blocks_checked"), 0u)
+            << spec.name;
+        EXPECT_EQ(result.validationViolations, 0u) << spec.name;
+    }
+}
+
+TEST(ValidationSweep, LitmusCorpusValidatesClean)
+{
+    for (const litmus::LitmusTest &test : litmus::x86Corpus()) {
+        const GuestImage image = buildStressImage(test.program);
+        DbtConfig config = DbtConfig::risotto();
+        config.validateTranslations = true;
+        dbt::Dbt engine(image, config);
+        std::vector<dbt::ThreadSpec> threads(test.program.threads.size());
+        for (std::size_t t = 0; t < threads.size(); ++t)
+            threads[t].regs[0] = t;
+        const auto result = engine.run(threads);
+        ASSERT_TRUE(result.finished) << test.program.name;
+        EXPECT_GT(result.stats.get("verify.blocks_checked"), 0u)
+            << test.program.name;
+        EXPECT_EQ(result.validationViolations, 0u) << test.program.name;
+    }
+}
+
+} // namespace

@@ -136,14 +136,21 @@ main(int argc, char **argv)
                 model_name = next();
             else if (arg == "--stress")
                 stress = true;
-            else if (arg == "--schedules")
-                schedules = std::stoull(next());
+            else if (arg == "--schedules") {
+                const std::string v = next();
+                try {
+                    schedules = std::stoull(v);
+                } catch (const std::exception &) {
+                    fatal("invalid number '" + v + "' for " + arg);
+                }
+            }
             else if (arg == "--help" || arg == "-h") {
                 std::cout << "usage: risotto-litmus [options] "
                              "[test.litmus ...]\n";
                 return 0;
             } else if (!arg.empty() && arg[0] == '-') {
-                fatal("unknown option " + arg);
+                fatal("unknown option " + arg +
+                      " (see risotto-litmus --help)");
             } else {
                 files.push_back(arg);
             }

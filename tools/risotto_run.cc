@@ -16,6 +16,10 @@
  *   --tier2-threshold N  exec count that promotes a block to a tier-2
  *                     superblock (0 disables tier 2)
  *   --no-tier2        disable tier-2 superblock translation
+ *   --validate        statically validate every translation against the
+ *                     axiomatic models (obligation ⊆ guarantee); prints
+ *                     verify.* counters and any violations, exit 3 when
+ *                     violations were found
  *   --dump-hot N      print the N hottest blocks after the run
  *   --stats           dump translation + machine counters
  *   --trace           print every retired host instruction (very verbose)
@@ -23,6 +27,7 @@
  *   --emit-demo PATH  write a demo image to PATH and exit
  */
 
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -111,6 +116,7 @@ main(int argc, char **argv)
     bool want_disasm = false;
     bool use_linker = true;
     bool tier2 = true;
+    bool validate = false;
     std::uint64_t tier2_threshold = 0;
     bool tier2_threshold_set = false;
     std::uint64_t dump_hot = 0;
@@ -162,6 +168,8 @@ main(int argc, char **argv)
                 tier2_threshold_set = true;
             } else if (arg == "--no-tier2")
                 tier2 = false;
+            else if (arg == "--validate")
+                validate = true;
             else if (arg == "--dump-hot")
                 dump_hot = nextU64();
             else if (arg == "--stats")
@@ -184,7 +192,11 @@ main(int argc, char **argv)
                              "see the file header for options\n";
                 return 0;
             } else if (!arg.empty() && arg[0] == '-') {
-                fatal("unknown option " + arg);
+                fatal("unknown option " + arg +
+                      " (see risotto-run --help)");
+            } else if (!image_path.empty()) {
+                fatal("more than one image given ('" + image_path +
+                      "' and '" + arg + "'); see risotto-run --help");
             } else {
                 image_path = arg;
             }
@@ -208,6 +220,7 @@ main(int argc, char **argv)
             options.config.hostLinker && use_linker;
         options.config.faults = faults;
         options.config.tier2 = tier2;
+        options.config.validateTranslations = validate;
         if (tier2_threshold_set)
             options.config.tier2Threshold = tier2_threshold;
         Emulator emulator(image, options);
@@ -243,6 +256,26 @@ main(int argc, char **argv)
                           << " execs=" << h.execCount
                           << " tier=" << dbt::tierName(h.tier) << "\n";
         }
+        if (validate) {
+            const auto &stats = result.stats;
+            std::cout << "  validate: blocks="
+                      << stats.get("verify.blocks_checked")
+                      << " superblocks="
+                      << stats.get("verify.superblocks_checked")
+                      << " pairs=" << stats.get("verify.pairs_checked")
+                      << " promotions-rejected="
+                      << stats.get("verify.promotions_rejected")
+                      << " violations=" << result.validationViolations
+                      << "\n";
+            const auto &violations = emulator.engine().violations();
+            const std::size_t shown =
+                std::min<std::size_t>(violations.size(), 20);
+            for (std::size_t v = 0; v < shown; ++v)
+                std::cout << "    " << violations[v].toString() << "\n";
+            if (violations.size() > shown)
+                std::cout << "    ... and " << violations.size() - shown
+                          << " more\n";
+        }
         if (faults.armed())
             std::cout << "  faults: seed=" << faults.seed
                       << " rate=" << faults.rate
@@ -255,6 +288,8 @@ main(int argc, char **argv)
         if (want_stats)
             for (const auto &[name, value] : result.stats.all())
                 std::cout << "  " << name << " = " << value << "\n";
+        if (validate && result.validationViolations > 0)
+            return 3;
         return result.finished ? 0 : 2;
     } catch (const Error &e) {
         std::cerr << "risotto-run: " << e.what() << "\n";
