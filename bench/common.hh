@@ -12,7 +12,11 @@
 
 #include <cstdint>
 #include <cstring>
+#include <ctime>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "support/stats.hh"
 
@@ -56,6 +60,57 @@ show(const ReportTable &table)
 {
     table.print(std::cout);
     std::cout << "\n";
+}
+
+/** Value of `--bench-json PATH`, or empty when absent. */
+inline std::string
+benchJsonPath(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--bench-json") == 0)
+            return argv[i + 1];
+    return {};
+}
+
+/** One headline measurement for the cross-PR perf trajectory. */
+struct BenchJsonEntry
+{
+    std::string name;
+    double nsPerOp = 0.0;
+    std::size_t workers = 1;
+};
+
+/**
+ * Write entries as a JSON array of {name, ns_per_op, workers, timestamp}
+ * objects. The timestamp is ISO-8601 UTC, one per file write, so CI
+ * artifacts from different PRs order themselves.
+ */
+inline void
+writeBenchJson(const std::string &path,
+               const std::vector<BenchJsonEntry> &entries)
+{
+    if (path.empty())
+        return;
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "bench: cannot write " << path << "\n";
+        return;
+    }
+    const std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    gmtime_r(&now, &utc);
+    char stamp[32];
+    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &utc);
+    out << "[\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const BenchJsonEntry &e = entries[i];
+        out << "  {\"name\": \"" << e.name
+            << "\", \"ns_per_op\": " << e.nsPerOp
+            << ", \"workers\": " << e.workers
+            << ", \"timestamp\": \"" << stamp << "\"}"
+            << (i + 1 == entries.size() ? "\n" : ",\n");
+    }
+    out << "]\n";
 }
 
 } // namespace risotto::bench

@@ -68,6 +68,8 @@ int
 main(int argc, char **argv)
 {
     const bool smoke = smokeMode(argc, argv);
+    const std::string json_path = benchJsonPath(argc, argv);
+    std::vector<BenchJsonEntry> json;
 
     std::cout << "Figure 12: PARSEC + Phoenix run time relative to QEMU "
                  "(lower is better), "
@@ -115,6 +117,10 @@ main(int argc, char **argv)
                       fixedString(rel_tcgver, 1),
                       fixedString(rel_risotto, 1),
                       fixedString(rel_native, 1)});
+        json.push_back({"fig12." + spec.name + ".qemu",
+                        seconds(qemu) * 1e9, Threads});
+        json.push_back({"fig12." + spec.name + ".risotto",
+                        seconds(risotto) * 1e9, Threads});
     }
     show(table);
 
@@ -135,5 +141,6 @@ main(int argc, char **argv)
                                  static_cast<double>(count), 2)
               << " percentage points difference "
                  "(paper: no measurable difference)\n";
+    writeBenchJson(json_path, json);
     return 0;
 }

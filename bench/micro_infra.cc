@@ -23,6 +23,7 @@
 #include "memcore/relation.hh"
 #include "models/model.hh"
 #include "support/rng.hh"
+#include "support/threadpool.hh"
 #include "tcg/optimizer.hh"
 #include "verify/verifier.hh"
 
@@ -236,6 +237,53 @@ BM_TranslationCacheLookup(benchmark::State &state)
             benchmark::DoNotOptimize(cache.find(pc));
 }
 BENCHMARK(BM_TranslationCacheLookup)->Arg(64)->Arg(1024);
+
+// The dispatch fast path proper: a dispatch-like loop that repeatedly
+// looks up a small hot working set (the common shape at block exits),
+// where the direct-mapped jump cache answers nearly every probe. At
+// Arg(64) the working set fits the jump cache outright; Arg(1024)
+// mixes in conflict evictions.
+void
+BM_JumpCacheLookup(benchmark::State &state)
+{
+    const auto pcs = fakePcs(static_cast<std::size_t>(state.range(0)));
+    dbt::TranslationCache cache(pcs.size());
+    for (std::size_t i = 0; i < pcs.size(); ++i)
+        cache.insert(pcs[i], static_cast<aarch::CodeAddr>(i), 8,
+                     dbt::Tier::Baseline);
+    // Warm the direct-mapped array exactly as a dispatch loop would.
+    for (const std::uint64_t pc : pcs)
+        cache.find(pc);
+    for (auto _ : state)
+        for (const std::uint64_t pc : pcs)
+            benchmark::DoNotOptimize(cache.find(pc));
+    state.counters["hit%"] =
+        100.0 * static_cast<double>(cache.jumpCacheHits()) /
+        static_cast<double>(cache.jumpCacheHits() +
+                            cache.jumpCacheMisses());
+}
+BENCHMARK(BM_JumpCacheLookup)->Arg(64)->Arg(1024);
+
+// Parallel-enumeration scaling: one SBQ-sized enumeration (RMWs plus
+// loads, the densest choice tree in the corpus) partitioned over
+// 1/2/4/8 workers. On a multi-core host this shows the wall-clock win;
+// on a single hardware thread it degenerates gracefully (the jobs=1
+// case takes the serial path with zero pool overhead).
+void
+BM_ParallelEnumerate(benchmark::State &state)
+{
+    const litmus::LitmusTest test = litmus::sbq();
+    const models::X86Model model;
+    support::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+    litmus::EnumerateOptions opts;
+    opts.pool = &pool;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            litmus::enumerateBehaviors(test.program, model, nullptr,
+                                       opts));
+    state.counters["workers"] = static_cast<double>(pool.jobs());
+}
+BENCHMARK(BM_ParallelEnumerate)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 } // namespace
 

@@ -86,8 +86,11 @@ run(const GuestImage &image, const DbtConfig &config)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_path = benchJsonPath(argc, argv);
+    std::vector<BenchJsonEntry> json;
+
     std::cout << "DBT mechanism ablations\n\n";
 
     const GuestImage loop_image = hotLoop();
@@ -100,6 +103,9 @@ main()
             config.chaining = chaining;
             config.name = chaining ? "chaining on" : "chaining off";
             const auto result = run(loop_image, config);
+            json.push_back({std::string("dbt_ablation.") +
+                                (chaining ? "chaining_on" : "chaining_off"),
+                            seconds(result.makespan) * 1e9, 1});
             table.addRow(
                 {config.name,
                  std::to_string(result.stats.get("machine.tb_exits")),
@@ -122,6 +128,9 @@ main()
                 config.optimizer.deadCodeElimination = false;
             }
             const auto result = run(loop_image, config);
+            json.push_back({std::string("dbt_ablation.") +
+                                (opt ? "optimizer_on" : "optimizer_off"),
+                            seconds(result.makespan) * 1e9, 1});
             table.addRow(
                 {config.name,
                  std::to_string(result.stats.get("dbt.ir_ops_pre_opt")),
@@ -145,11 +154,16 @@ main()
             {"inline casal (risotto)", mapping::RmwLowering::InlineCasal},
             {"dmbff;rmw2;dmbff", mapping::RmwLowering::FencedRmw2},
         };
+        const char *json_names[] = {"cas_helper", "cas_inline_casal",
+                                    "cas_fenced_rmw2"};
         std::uint64_t helper_cycles = 0;
-        for (const Case &c : cases) {
+        for (std::size_t ci = 0; ci < 3; ++ci) {
+            const Case &c = cases[ci];
             DbtConfig config = DbtConfig::risotto();
             config.rmw = c.rmw;
             const auto result = run(cas_image, config);
+            json.push_back({std::string("dbt_ablation.") + json_names[ci],
+                            seconds(result.makespan) * 1e9, 1});
             if (c.rmw == mapping::RmwLowering::HelperRmw1AL)
                 helper_cycles = result.makespan;
             table.addRow(
@@ -166,5 +180,6 @@ main()
                  "frontend emits; inline casal beats the helper by\nthe "
                  "call overhead, and the fenced RMW2 pays two extra full "
                  "barriers.\n";
+    writeBenchJson(json_path, json);
     return 0;
 }

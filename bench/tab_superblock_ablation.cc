@@ -76,6 +76,8 @@ int
 main(int argc, char **argv)
 {
     const bool smoke = smokeMode(argc, argv);
+    const std::string json_path = benchJsonPath(argc, argv);
+    std::vector<BenchJsonEntry> json;
     const std::int64_t iterations = smoke ? 300 : 2000;
 
     std::cout << "Tier-2 superblock ablation (" << iterations
@@ -94,6 +96,9 @@ main(int argc, char **argv)
         config.tier2 = tier2;
         config.name = tier2 ? "tier2 on" : "tier2 off";
         const auto result = run(image, config);
+        json.push_back({std::string("superblock.") +
+                            (tier2 ? "tier2_on" : "tier2_off"),
+                        seconds(result.makespan) * 1e9, 1});
         if (!tier2) {
             off_makespan = result.makespan;
             off_exits = result.exitCodes;
@@ -123,5 +128,6 @@ main(int argc, char **argv)
                  "superblock removes the dead store and merges its Fww "
                  "into the\nsurviving one, saving a DMB ST plus a store "
                  "and its drain every iteration.\n";
+    writeBenchJson(json_path, json);
     return 0;
 }

@@ -294,6 +294,10 @@ Dbt::run(const std::vector<ThreadSpec> &threads,
     result.makespan = machine.makespan();
     result.totalCycles = machine.totalCycles();
     result.diagnosis = machine.diagnosis();
+    stats_.set("dbt.jump_cache_hits", cache_.jumpCacheHits());
+    stats_.set("dbt.jump_cache_misses", cache_.jumpCacheMisses());
+    stats_.set("dbt.arena_reuses", frontend_.arena().reuses());
+    stats_.set("dbt.arena_mints", frontend_.arena().mints());
     result.stats = stats_;
     result.stats.merge(machine.stats());
     result.stats.merge(faults_.stats());

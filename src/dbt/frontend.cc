@@ -100,8 +100,7 @@ Frontend::decodeBlock(Addr pc) const
 tcg::Block
 Frontend::translate(Addr pc) const
 {
-    Block block;
-    block.guestPc = pc;
+    Block block = arena_.acquire(pc);
     bool ends = false;
     Addr cur = pc;
     for (const Instruction &in : decodeBlock(pc)) {

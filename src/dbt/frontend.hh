@@ -16,6 +16,7 @@
 #include "dbt/config.hh"
 #include "dbt/resolver.hh"
 #include "gx86/image.hh"
+#include "tcg/arena.hh"
 #include "tcg/ir.hh"
 
 namespace risotto::dbt
@@ -49,6 +50,20 @@ class Frontend
     /** Maximum guest instructions per block (QEMU-like TB size cap). */
     static constexpr std::size_t MaxBlockInstructions = 64;
 
+    /**
+     * Return a finished block's instruction storage to the arena so the
+     * next translate() reuses its capacity instead of reallocating.
+     * Callers that keep the block alive simply never recycle it.
+     */
+    void recycle(tcg::Block &&block) const { arena_.release(std::move(block)); }
+
+    /** Mint a block from the arena without translating -- used by the
+     * superblock tier to build spliced regions with pooled storage. */
+    tcg::Block acquireBlock(gx86::Addr pc) const { return arena_.acquire(pc); }
+
+    /** Arena statistics: blocks served allocation-free vs minted. */
+    const tcg::BlockArena &arena() const { return arena_; }
+
   private:
     void translateOne(tcg::Block &block, const gx86::Instruction &in,
                       gx86::Addr pc, gx86::Addr next, bool &ends) const;
@@ -59,6 +74,10 @@ class Frontend
     const gx86::GuestImage &image_;
     const DbtConfig &config_;
     const ImportResolver *resolver_;
+
+    /** Pooled IR storage. Makes translate() non-reentrant: parallel
+     * sweeps construct one Frontend per task. */
+    mutable tcg::BlockArena arena_;
 };
 
 } // namespace risotto::dbt

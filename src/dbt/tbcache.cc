@@ -29,13 +29,29 @@ TranslationCache::TranslationCache(std::size_t expected_blocks)
 TbInfo *
 TranslationCache::find(gx86::Addr pc)
 {
+    JumpCacheEntry &slot = jumpCache_[jumpCacheIndex(pc)];
+    if (slot.tb != nullptr && slot.pc == pc) {
+        ++jumpCacheHits_;
+        return slot.tb;
+    }
+    ++jumpCacheMisses_;
     auto it = tbs_.find(pc);
-    return it == tbs_.end() ? nullptr : &it->second;
+    if (it == tbs_.end())
+        return nullptr;
+    slot = {pc, &it->second};
+    return &it->second;
 }
 
 const TbInfo *
 TranslationCache::find(gx86::Addr pc) const
 {
+    // Cold/reporting path: read the jump cache but never fill it.
+    const JumpCacheEntry &slot = jumpCache_[jumpCacheIndex(pc)];
+    if (slot.tb != nullptr && slot.pc == pc) {
+        ++jumpCacheHits_;
+        return slot.tb;
+    }
+    ++jumpCacheMisses_;
     auto it = tbs_.find(pc);
     return it == tbs_.end() ? nullptr : &it->second;
 }
@@ -44,11 +60,17 @@ TbInfo &
 TranslationCache::insert(gx86::Addr pc, aarch::CodeAddr entry,
                          std::uint32_t host_words, Tier tier)
 {
-    TbInfo &tb = tbs_[pc];
-    tb = TbInfo{};
+    auto [it, fresh] = tbs_.try_emplace(pc);
+    TbInfo &tb = it->second;
     tb.entry = entry;
     tb.hostWords = host_words;
     tb.tier = tier;
+    // A re-translation replaces the code, not the block's history:
+    // execCount and successors persist so the tier-2 heuristics keep
+    // seeing the true profile. A failed promotion mark is cleared --
+    // the new translation deserves a fresh attempt.
+    tb.promotionFailed = false;
+    jumpCacheFill(pc, &tb);
     return tb;
 }
 
@@ -62,6 +84,7 @@ TranslationCache::promote(gx86::Addr pc, aarch::CodeAddr entry,
     tb->hostWords = host_words;
     tb->tier = tier;
     tb->promotionFailed = false;
+    jumpCacheFill(pc, tb);
     return *tb;
 }
 
@@ -133,6 +156,9 @@ TranslationCache::hottest(std::size_t n) const
 void
 TranslationCache::flush()
 {
+    // The map's clear() is the one operation that invalidates TbInfo
+    // references, so the jump cache dies with it.
+    jumpCache_.fill(JumpCacheEntry{});
     tbs_.clear();
     ++generation_;
 }

@@ -9,11 +9,21 @@
  * tier the current translation was produced at. The cache is generation-
  * aware: a flush clears every entry and bumps the generation so callers
  * can detect that cached pointers/profiles died.
+ *
+ * Dispatch fast path: find() consults a direct-mapped, power-of-two
+ * jump cache (pc-hash -> TbInfo*, in the style of QEMU's tb_jmp_cache)
+ * before falling back to the unordered_map. The cached pointers rely on
+ * unordered_map's node stability -- references stay valid across
+ * insert/rehash and die only on erase/clear -- so the single
+ * invalidation point is flush(), which wipes the whole array. promote()
+ * updates the TbInfo in place, so a cached pointer stays correct across
+ * tier-2 promotions with no extra protocol.
  */
 
 #ifndef RISOTTO_DBT_TBCACHE_HH
 #define RISOTTO_DBT_TBCACHE_HH
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <utility>
@@ -67,7 +77,12 @@ class TranslationCache
     TbInfo *find(gx86::Addr pc);
     const TbInfo *find(gx86::Addr pc) const;
 
-    /** Register a fresh translation (resets any previous profile). */
+    /** Register a fresh translation. The translation itself (entry,
+     * size, tier) is replaced, but the block's execution profile
+     * (execCount, chain successors) survives re-translation: guarded
+     * retry and fault-recovery paths retranslate hot blocks, and
+     * zeroing their profile would silently demote them below the
+     * tier-2 threshold. */
     TbInfo &insert(gx86::Addr pc, aarch::CodeAddr entry,
                    std::uint32_t host_words, Tier tier);
 
@@ -103,9 +118,42 @@ class TranslationCache
 
     std::size_t size() const { return tbs_.size(); }
 
+    /** find() calls answered by the direct-mapped jump cache. */
+    std::uint64_t jumpCacheHits() const { return jumpCacheHits_; }
+
+    /** find() calls that had to fall back to the unordered_map. */
+    std::uint64_t jumpCacheMisses() const { return jumpCacheMisses_; }
+
   private:
+    /** Direct-mapped dispatch cache, 2^10 entries. */
+    static constexpr std::size_t JumpCacheBits = 10;
+    static constexpr std::size_t JumpCacheSize = 1u << JumpCacheBits;
+
+    struct JumpCacheEntry
+    {
+        gx86::Addr pc = 0;
+        TbInfo *tb = nullptr;
+    };
+
+    static std::size_t
+    jumpCacheIndex(gx86::Addr pc)
+    {
+        // Fold the bits above the index into it: sequential block
+        // addresses (low-entropy high bits) must not all collide.
+        return (pc ^ (pc >> JumpCacheBits)) & (JumpCacheSize - 1);
+    }
+
+    void
+    jumpCacheFill(gx86::Addr pc, TbInfo *tb)
+    {
+        jumpCache_[jumpCacheIndex(pc)] = {pc, tb};
+    }
+
     std::unordered_map<gx86::Addr, TbInfo> tbs_;
+    std::array<JumpCacheEntry, JumpCacheSize> jumpCache_{};
     std::uint64_t generation_ = 0;
+    mutable std::uint64_t jumpCacheHits_ = 0;
+    mutable std::uint64_t jumpCacheMisses_ = 0;
 };
 
 } // namespace risotto::dbt

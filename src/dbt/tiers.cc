@@ -140,6 +140,7 @@ BaselineTier::translate(gx86::Addr pc, const TranslationEnv &env)
             if (validator_ != nullptr)
                 runValidation(*validator_, frontend_, code_, block, host,
                               {pc}, false, stats_, violations_);
+            frontend_.recycle(std::move(block));
             recoverPending();
             return host;
         } catch (const aarch::CodeBufferFull &) {
@@ -207,8 +208,7 @@ SuperblockTier::translate(gx86::Addr head, const TranslationEnv &env)
     // part's goto_tb to the next member becomes a fall-through (dropped
     // when it is the part's final op, a branch to the seam label
     // otherwise), so the seam disappears from the optimizer's view.
-    tcg::Block sb;
-    sb.guestPc = head;
+    tcg::Block sb = frontend_.acquireBlock(head);
     for (std::size_t i = 0; i < parts.size(); ++i) {
         const tcg::Block &part = parts[i];
         const tcg::TempId tempBase = sb.numTemps;
@@ -251,6 +251,12 @@ SuperblockTier::translate(gx86::Addr head, const TranslationEnv &env)
         }
     }
 
+    // The splice copied everything out of the parts; return their
+    // storage before the (allocation-heavy) superblock optimize pass.
+    for (tcg::Block &part : parts)
+        frontend_.recycle(std::move(part));
+    parts.clear();
+
     tcg::optimizeSuperblock(sb, config_.optimizer, &stats_);
 
     // Guarded compile: promotion never flushes (the tier-1 translation
@@ -274,6 +280,7 @@ SuperblockTier::translate(gx86::Addr head, const TranslationEnv &env)
         cache_.promote(head, entry, code_.end() - entry, Tier::Superblock);
         stats_.bump("dbt.tier2_superblocks");
         stats_.bump("dbt.tier2_blocks_subsumed", path.size());
+        frontend_.recycle(std::move(sb));
         return entry;
     } catch (const aarch::CodeBufferFull &) {
         code_.truncate(codeCheckpoint);
@@ -285,6 +292,7 @@ SuperblockTier::translate(gx86::Addr head, const TranslationEnv &env)
         code_.truncate(codeCheckpoint);
         chains_.truncateSlots(slotCheckpoint);
     }
+    frontend_.recycle(std::move(sb));
     return abandon(head);
 }
 

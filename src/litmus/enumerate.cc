@@ -1,10 +1,14 @@
 #include "litmus/enumerate.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "support/error.hh"
+#include "support/threadpool.hh"
 
 namespace risotto::litmus
 {
@@ -281,9 +285,10 @@ class GraphEnumerator
                     const models::ConsistencyModel &model,
                     const EnumerateOptions &opts, EnumerateStats &stats,
                     const std::function<bool(const Execution &,
-                                             const Outcome &)> &visit)
+                                             const Outcome &)> &visit,
+                    std::atomic<std::size_t> *shared_candidates = nullptr)
         : program_(program), model_(model), opts_(opts), stats_(stats),
-          visit_(visit)
+          visit_(visit), sharedCandidates_(shared_candidates)
     {
     }
 
@@ -292,14 +297,43 @@ class GraphEnumerator
     run(Execution &x, const std::vector<const ThreadRun *> &runs)
     {
         runs_ = &runs;
+        collectReads(x);
+        return chooseRf(x, 0);
+    }
+
+    /**
+     * One partition of the rf choice tree: the first read's writer is
+     * pinned to @p first_writer (< 0 when the execution has no reads)
+     * and only the remaining rf levels are explored. The serial run()
+     * is exactly the union of runPartition over every (run-combination,
+     * matching first writer) pair, in its writer-iteration order.
+     */
+    bool
+    runPartition(Execution &x, const std::vector<const ThreadRun *> &runs,
+                 std::int64_t first_writer)
+    {
+        runs_ = &runs;
+        collectReads(x);
+        if (reads_.empty())
+            return chooseCoAll(x);
+        const auto w = static_cast<EventId>(first_writer);
+        const EventId r = reads_.front();
+        x.rf.insert(w, r);
+        const bool keep_going = chooseRf(x, 1);
+        x.rf.erase(w, r);
+        return keep_going;
+    }
+
+  private:
+    void
+    collectReads(const Execution &x)
+    {
         reads_.clear();
         for (const Event &e : x.events)
             if (e.isRead())
                 reads_.push_back(e.id);
-        return chooseRf(x, 0);
     }
 
-  private:
     bool
     chooseRf(Execution &x, std::size_t read_idx)
     {
@@ -376,7 +410,14 @@ class GraphEnumerator
     emit(Execution &x)
     {
         ++stats_.candidates;
-        fatalIf(stats_.candidates > opts_.maxCandidates,
+        // In parallel mode the abort threshold is judged against the
+        // shared cross-worker total, so the cap fires at exactly the
+        // same global candidate count as the serial enumeration.
+        const std::size_t seen =
+            sharedCandidates_ != nullptr
+                ? sharedCandidates_->fetch_add(1) + 1
+                : stats_.candidates;
+        fatalIf(seen > opts_.maxCandidates,
                 "litmus enumeration exceeded candidate limit in program '" +
                     program_.name + "'");
         if (!x.wellFormed())
@@ -399,6 +440,7 @@ class GraphEnumerator
     const EnumerateOptions &opts_;
     EnumerateStats &stats_;
     const std::function<bool(const Execution &, const Outcome &)> &visit_;
+    std::atomic<std::size_t> *sharedCandidates_;
     const std::vector<const ThreadRun *> *runs_ = nullptr;
     std::vector<EventId> reads_;
 };
@@ -437,6 +479,122 @@ enumerateImpl(const Program &program, const models::ConsistencyModel &model,
     product(0);
 }
 
+/**
+ * One partition of the candidate-execution space: a choice of
+ * per-thread run plus, when the execution has reads, the pinned writer
+ * of the *first* read (the top level of the rf choice tree). Splitting
+ * at that level yields enough independent, comparably sized pieces for
+ * work stealing to balance, while the partition list stays tiny.
+ */
+struct EnumPartition
+{
+    std::vector<std::size_t> combo; ///< Run index per thread.
+    std::int64_t firstWriter = -1;  ///< Event id; -1 when no reads.
+};
+
+/** Per-worker enumeration result, merged in partition-index order. */
+struct EnumPart
+{
+    BehaviorSet behaviors;
+    EnumerateStats stats;
+};
+
+void
+enumerateParallel(const Program &program,
+                  const models::ConsistencyModel &model,
+                  support::ThreadPool &pool, BehaviorSet &behaviors,
+                  EnumerateStats &stats, const EnumerateOptions &opts)
+{
+    const std::set<Val> universe_set = program.valueUniverse();
+    const std::vector<Val> universe(universe_set.begin(),
+                                    universe_set.end());
+
+    std::vector<std::vector<ThreadRun>> all_runs;
+    all_runs.reserve(program.threads.size());
+    for (const Thread &t : program.threads)
+        all_runs.push_back(RunEnumerator(t, universe).enumerate());
+    for (const auto &runs : all_runs)
+        if (runs.empty())
+            return; // Empty cartesian product: nothing to enumerate.
+
+    auto chosenOf = [&](const std::vector<std::size_t> &combo) {
+        std::vector<const ThreadRun *> chosen(combo.size(), nullptr);
+        for (std::size_t t = 0; t < combo.size(); ++t)
+            chosen[t] = &all_runs[t][combo[t]];
+        return chosen;
+    };
+
+    // Walk the run combinations in the serial recursion's order (last
+    // thread fastest) and split each at the first read's rf choice. A
+    // combination whose first read has no matching writer contributes
+    // no partition -- exactly as the serial chooseRf loop finds nothing.
+    std::vector<EnumPartition> partitions;
+    std::vector<std::size_t> combo(program.threads.size(), 0);
+    bool more = true;
+    while (more) {
+        const std::vector<const ThreadRun *> chosen = chosenOf(combo);
+        Execution x = buildSkeleton(program, chosen, nullptr);
+        const Event *first_read = nullptr;
+        for (const Event &e : x.events) {
+            if (e.isRead()) {
+                first_read = &e;
+                break;
+            }
+        }
+        if (first_read == nullptr) {
+            partitions.push_back({combo, -1});
+        } else {
+            for (const Event &w : x.events)
+                if (w.isWrite() && w.loc == first_read->loc &&
+                    w.value == first_read->value)
+                    partitions.push_back({combo, w.id});
+        }
+        // Odometer step, last thread fastest.
+        more = false;
+        for (std::size_t t = combo.size(); t-- > 0;) {
+            if (++combo[t] < all_runs[t].size()) {
+                more = true;
+                break;
+            }
+            combo[t] = 0;
+        }
+    }
+
+    // Enumerate the partitions on the pool. The shared atomic makes the
+    // maxCandidates abort fire at the same global count as serially;
+    // per-partition behavior sets and stats merge in partition order
+    // (set union and counter sums are order-independent, so the result
+    // is bit-identical to the serial enumeration).
+    std::atomic<std::size_t> candidates{0};
+    EnumPart merged = pool.parallelReduce(
+        partitions.size(), EnumPart{},
+        [&](std::size_t i) {
+            const EnumPartition &partition = partitions[i];
+            EnumPart part;
+            const std::function<bool(const Execution &, const Outcome &)>
+                visit = [&part](const Execution &, const Outcome &o) {
+                    part.behaviors.insert(o);
+                    return true;
+                };
+            const std::vector<const ThreadRun *> chosen =
+                chosenOf(partition.combo);
+            Execution x = buildSkeleton(program, chosen, nullptr);
+            GraphEnumerator graphs(program, model, opts, part.stats, visit,
+                                   &candidates);
+            graphs.runPartition(x, chosen, partition.firstWriter);
+            return part;
+        },
+        [](EnumPart &acc, EnumPart &&part) {
+            acc.behaviors.insert(part.behaviors.begin(),
+                                 part.behaviors.end());
+            acc.stats.candidates += part.stats.candidates;
+            acc.stats.wellFormed += part.stats.wellFormed;
+            acc.stats.consistent += part.stats.consistent;
+        });
+    behaviors = std::move(merged.behaviors);
+    stats = merged.stats;
+}
+
 } // namespace
 
 BehaviorSet
@@ -446,13 +604,30 @@ enumerateBehaviors(const Program &program,
 {
     BehaviorSet behaviors;
     EnumerateStats local;
-    enumerateImpl(
-        program, model,
-        [&](const Execution &, const Outcome &o) {
-            behaviors.insert(o);
-            return true;
-        },
-        local, opts);
+
+    support::ThreadPool *pool = opts.pool;
+    std::unique_ptr<support::ThreadPool> owned;
+    if (pool == nullptr) {
+        const std::size_t jobs = opts.jobs == 0
+                                     ? support::ThreadPool::defaultJobs()
+                                     : opts.jobs;
+        if (jobs > 1) {
+            owned = std::make_unique<support::ThreadPool>(jobs);
+            pool = owned.get();
+        }
+    }
+
+    if (pool != nullptr && pool->jobs() > 1) {
+        enumerateParallel(program, model, *pool, behaviors, local, opts);
+    } else {
+        enumerateImpl(
+            program, model,
+            [&](const Execution &, const Outcome &o) {
+                behaviors.insert(o);
+                return true;
+            },
+            local, opts);
+    }
     if (stats)
         *stats = local;
     return behaviors;

@@ -19,6 +19,11 @@
 #include "litmus/program.hh"
 #include "models/model.hh"
 
+namespace risotto::support
+{
+class ThreadPool;
+}
+
 namespace risotto::litmus
 {
 
@@ -26,8 +31,25 @@ namespace risotto::litmus
 struct EnumerateOptions
 {
     /** Abort (throw FatalError) past this many candidate executions;
-     * protects property tests from accidentally exponential programs. */
+     * protects property tests from accidentally exponential programs.
+     * Enforced exactly in parallel mode through a shared atomic
+     * counter. */
     std::size_t maxCandidates = 5'000'000;
+
+    /**
+     * Workers for enumerateBehaviors. 1 (the default) runs the serial
+     * path; 0 means hardware concurrency. The candidate-execution space
+     * is partitioned at the top of the reads-from choice tree
+     * (run-combination x first-read writer) and per-worker results are
+     * merged deterministically, so the behavior set and the summed
+     * stats are identical to the serial enumeration at any job count.
+     */
+    std::size_t jobs = 1;
+
+    /** Enumerate on this existing pool instead of constructing one per
+     * call (overrides jobs when set). Callers looping over a corpus
+     * should share one pool. */
+    support::ThreadPool *pool = nullptr;
 };
 
 /** Statistics from one enumeration. */
@@ -56,7 +78,9 @@ BehaviorSet enumerateBehaviors(const Program &program,
  * Visit every consistent execution of @p program under @p model.
  *
  * The callback receives the execution and its outcome; returning false
- * stops the enumeration early.
+ * stops the enumeration early. Always serial (the visitor may carry
+ * order-dependent state and an early stop must be exact); jobs/pool in
+ * @p opts are ignored here.
  */
 void forEachConsistentExecution(
     const Program &program, const models::ConsistencyModel &model,

@@ -238,8 +238,27 @@ Machine::memWrite(Core &core, std::uint64_t addr, std::uint8_t size,
 void
 Machine::flushStoreBuffer(Core &core)
 {
-    while (!core.storeBuffer.empty())
-        drainOne(core);
+    // Full drains need no per-store order choice: every interleaving a
+    // relaxed drain could pick preserves the per-address (coherence)
+    // order, so the final memory image always matches the FIFO sweep.
+    // Sweeping by index instead of repeated erase-from-front turns the
+    // partial-overlap "drain everything" path from O(n^2) moves into one
+    // pass + clear().
+    const std::size_t n = core.storeBuffer.size();
+    if (n == 0)
+        return;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Core::PendingStore &entry = core.storeBuffer[i];
+        if (entry.size == 8)
+            memory_.store64(entry.addr, entry.value);
+        else
+            memory_.store8(entry.addr,
+                           static_cast<std::uint8_t>(entry.value));
+        clearOtherMonitors(core, entry.addr);
+    }
+    core.storeBuffer.clear();
+    core.cycles += n * config_.costs.storeDrain;
+    stats_.bump("machine.drains", n);
 }
 
 std::uint64_t

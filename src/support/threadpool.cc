@@ -1,0 +1,213 @@
+#include "support/threadpool.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace risotto::support
+{
+
+namespace
+{
+
+/** xorshift64* step for cheap victim selection (per-worker state). */
+std::uint64_t
+nextRandom(std::uint64_t &state)
+{
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dULL;
+}
+
+} // namespace
+
+std::size_t
+ThreadPool::defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t jobs)
+    : jobs_(jobs == 0 ? defaultJobs() : jobs)
+{
+    if (jobs_ <= 1)
+        return; // Serial fallback: no deques, no threads.
+    workers_.reserve(jobs_);
+    for (std::size_t i = 0; i < jobs_; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(jobs_ - 1);
+    for (std::size_t i = 1; i < jobs_; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    if (threads_.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        stop_.store(true);
+    }
+    wakeCv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::runTask(std::size_t task)
+{
+    // A claimed task pins its batch: remaining cannot reach zero (and
+    // the caller cannot retire the batch) until this task finishes.
+    Batch &b = *batch_.load();
+    if (!b.failed.load()) {
+        try {
+            b.tasks[task]();
+        } catch (...) {
+            b.errors[task] = std::current_exception();
+            b.failed.store(true);
+        }
+    }
+    if (b.remaining.fetch_sub(1) == 1) {
+        // Last task out: wake the caller blocked in run().
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        doneCv_.notify_all();
+    }
+}
+
+bool
+ThreadPool::takeTask(std::size_t self, std::size_t &task)
+{
+    Worker &own = *workers_[self];
+    {
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            task = own.tasks.back(); // LIFO locally: cache-warm chunks.
+            own.tasks.pop_back();
+            unclaimed_.fetch_sub(1);
+            return true;
+        }
+    }
+    // Steal from a random victim; scan the rest so a lone straggler's
+    // deque is always found.
+    static thread_local std::uint64_t rng_state = 0;
+    if (rng_state == 0)
+        rng_state = 0x9e3779b97f4a7c15ULL ^ (self + 1);
+    const std::size_t start =
+        static_cast<std::size_t>(nextRandom(rng_state)) % jobs_;
+    for (std::size_t k = 0; k < jobs_; ++k) {
+        const std::size_t v = (start + k) % jobs_;
+        if (v == self)
+            continue;
+        Worker &victim = *workers_[v];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            task = victim.tasks.front(); // FIFO steals: oldest chunk.
+            victim.tasks.pop_front();
+            unclaimed_.fetch_sub(1);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    for (;;) {
+        std::size_t task;
+        if (takeTask(self, task)) {
+            runTask(task);
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleepMutex_);
+        wakeCv_.wait(lock, [this] {
+            return stop_.load() || unclaimed_.load() > 0;
+        });
+        if (stop_.load())
+            return;
+    }
+}
+
+void
+ThreadPool::run(std::vector<std::function<void()>> tasks)
+{
+    if (tasks.empty())
+        return;
+    if (jobs_ <= 1 || tasks.size() == 1) {
+        // Inline fallback: serial order, first exception propagates.
+        for (auto &task : tasks)
+            task();
+        return;
+    }
+
+    std::lock_guard<std::mutex> entry(batchEntry_);
+    Batch b;
+    b.tasks = std::move(tasks);
+    b.errors.resize(b.tasks.size());
+    b.remaining.store(b.tasks.size());
+    batch_.store(&b);
+
+    // Distribute round-robin. The unclaimed count is raised *before*
+    // each push (and every pop decrements only after removing a task),
+    // so the counter never underflows even when a still-spinning worker
+    // from the previous batch pops a task the moment it appears.
+    for (std::size_t i = 0; i < b.tasks.size(); ++i) {
+        Worker &w = *workers_[i % jobs_];
+        unclaimed_.fetch_add(1);
+        std::lock_guard<std::mutex> lock(w.mutex);
+        w.tasks.push_back(i);
+    }
+    {
+        // Taking the sleep mutex pairs with the CV wait: any worker that
+        // went to sleep before the pushes is woken here.
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+    }
+    wakeCv_.notify_all();
+
+    // The caller is worker 0: execute and steal until the batch drains.
+    // takeTask scanning every deque and failing means every task is
+    // claimed, so waiting on `remaining` alone is safe (no task ever
+    // returns to a deque).
+    for (;;) {
+        std::size_t task;
+        if (takeTask(0, task)) {
+            runTask(task);
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleepMutex_);
+        doneCv_.wait(lock, [&b] { return b.remaining.load() == 0; });
+        break;
+    }
+    batch_.store(nullptr);
+
+    // Deterministic error propagation: lowest-indexed failure wins.
+    for (const std::exception_ptr &error : b.errors)
+        if (error)
+            std::rethrow_exception(error);
+}
+
+void
+ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                        std::size_t grain,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (begin >= end)
+        return;
+    const std::size_t count = end - begin;
+    if (grain == 0)
+        grain = std::max<std::size_t>(1, count / (jobs_ * 4));
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve((count + grain - 1) / grain);
+    for (std::size_t lo = begin; lo < end; lo += grain) {
+        const std::size_t hi = std::min(end, lo + grain);
+        tasks.push_back([lo, hi, &body] {
+            for (std::size_t i = lo; i < hi; ++i)
+                body(i);
+        });
+    }
+    run(std::move(tasks));
+}
+
+} // namespace risotto::support

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Work-stealing thread pool for the compute-bound analysis layers.
+ *
+ * The pool drives the exhaustive litmus enumeration, the risotto-verify
+ * scheme x ablation grid, and the whole-image validation sweep. It is a
+ * batch executor: run() takes a vector of tasks, distributes them
+ * round-robin over per-worker deques, and blocks until every task
+ * finished. Idle workers steal from a random victim (own deque LIFO for
+ * locality, steals FIFO so the oldest -- usually largest -- chunk
+ * migrates), which keeps the irregular partition sizes of candidate-
+ * execution trees balanced without a central queue.
+ *
+ * Determinism contract: parallelReduce() stores each task's result in a
+ * slot indexed by task id and merges the slots in index order after the
+ * barrier, so the reduction is bit-identical to the serial fold no
+ * matter how tasks interleave. With jobs <= 1 the pool spawns no threads
+ * at all and runs every task inline, in order, on the calling thread --
+ * the graceful fallback for `--jobs 1` and for single-core hosts.
+ *
+ * Exceptions: the first failing task (lowest task index) has its
+ * exception rethrown from run() after the batch completes; once any
+ * task fails, tasks that have not started yet are skipped so a poisoned
+ * batch drains quickly.
+ */
+
+#ifndef RISOTTO_SUPPORT_THREADPOOL_HH
+#define RISOTTO_SUPPORT_THREADPOOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace risotto::support
+{
+
+/** Batch-oriented work-stealing thread pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param jobs total workers including the calling thread; 0 means
+     * defaultJobs(). With jobs <= 1 no threads are spawned and run()
+     * executes tasks inline.
+     */
+    explicit ThreadPool(std::size_t jobs = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Workers participating in a batch (>= 1). */
+    std::size_t jobs() const { return jobs_; }
+
+    /** Hardware concurrency, at least 1. */
+    static std::size_t defaultJobs();
+
+    /**
+     * Execute every task and block until all finished. The calling
+     * thread participates as a worker. Rethrows the exception of the
+     * lowest-indexed failing task, if any. Not reentrant.
+     */
+    void run(std::vector<std::function<void()>> tasks);
+
+    /** Apply @p body to every index in [begin, end), in chunks of
+     * @p grain consecutive indices per task. */
+    void parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Map [0, n) through @p map on the pool and fold the results into
+     * @p init strictly in index order (deterministic reduction: the
+     * result equals the serial fold regardless of scheduling).
+     *
+     * @param map   T map(std::size_t index)
+     * @param reduce void reduce(T &acc, T &&part)
+     */
+    template <typename T, typename MapFn, typename ReduceFn>
+    T
+    parallelReduce(std::size_t n, T init, const MapFn &map,
+                   const ReduceFn &reduce)
+    {
+        std::vector<std::optional<T>> parts(n);
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            tasks.push_back([&parts, &map, i] { parts[i].emplace(map(i)); });
+        run(std::move(tasks));
+        T acc = std::move(init);
+        for (std::size_t i = 0; i < n; ++i)
+            reduce(acc, std::move(*parts[i]));
+        return acc;
+    }
+
+  private:
+    /** One worker's deque; the mutex only guards the deque itself. */
+    struct Worker
+    {
+        std::deque<std::size_t> tasks;
+        std::mutex mutex;
+    };
+
+    /** State of the batch currently executing (one at a time). */
+    struct Batch
+    {
+        std::vector<std::function<void()>> tasks;
+        std::vector<std::exception_ptr> errors;
+        std::atomic<std::size_t> remaining{0};
+        std::atomic<bool> failed{false};
+    };
+
+    void workerLoop(std::size_t self);
+    bool takeTask(std::size_t self, std::size_t &task);
+    void runTask(std::size_t task);
+
+    std::size_t jobs_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex batchEntry_;          ///< Serializes run() callers.
+    std::mutex sleepMutex_;          ///< Guards the two CVs below.
+    std::condition_variable wakeCv_; ///< Workers: new batch / shutdown.
+    std::condition_variable doneCv_; ///< Caller: batch drained.
+    std::atomic<Batch *> batch_{nullptr}; ///< Null between batches.
+    std::atomic<std::size_t> unclaimed_{0};
+    std::atomic<bool> stop_{false};
+};
+
+} // namespace risotto::support
+
+#endif // RISOTTO_SUPPORT_THREADPOOL_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Pooled storage for TCG IR blocks.
+ *
+ * Translating a block allocates an instruction vector that grows to a
+ * few hundred ops and is then thrown away once the backend has emitted
+ * host code. On the DBT hot path (guarded retranslation, superblock
+ * formation) that is one malloc/free churn cycle per block. BlockArena
+ * keeps the freed vectors -- capacity intact -- on a small free list
+ * and hands them back to the next acquire(), so steady-state
+ * translation performs no instruction-storage allocation at all.
+ *
+ * The arena is deliberately not thread-safe: each Frontend owns one,
+ * and parallel sweeps construct a Frontend (and thus an arena) per
+ * task.
+ */
+
+#ifndef RISOTTO_TCG_ARENA_HH
+#define RISOTTO_TCG_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tcg/ir.hh"
+
+namespace risotto::tcg
+{
+
+/** Free-list pool of IR instruction vectors (one per Frontend). */
+class BlockArena
+{
+  public:
+    /** Vectors kept on the free list; beyond this, release() frees. */
+    static constexpr std::size_t MaxPooled = 16;
+
+    /** Initial capacity for a vector minted from an empty pool. */
+    static constexpr std::size_t InitialCapacity = 256;
+
+    /** Fresh Block whose instruction storage comes from the pool. */
+    Block
+    acquire(std::uint64_t guest_pc)
+    {
+        Block block;
+        block.guestPc = guest_pc;
+        if (!pool_.empty()) {
+            block.instrs = std::move(pool_.back());
+            pool_.pop_back();
+            block.instrs.clear(); // Capacity survives the clear.
+            ++reuses_;
+        } else {
+            block.instrs.reserve(InitialCapacity);
+            ++mints_;
+        }
+        return block;
+    }
+
+    /** Return a dead block's instruction storage to the pool. */
+    void
+    release(Block &&block)
+    {
+        if (pool_.size() < MaxPooled && block.instrs.capacity() > 0)
+            pool_.push_back(std::move(block.instrs));
+        block.instrs = {};
+    }
+
+    /** Blocks served from pooled storage (allocation-free). */
+    std::uint64_t reuses() const { return reuses_; }
+
+    /** Blocks that had to allocate fresh storage. */
+    std::uint64_t mints() const { return mints_; }
+
+  private:
+    std::vector<std::vector<Instr>> pool_;
+    std::uint64_t reuses_ = 0;
+    std::uint64_t mints_ = 0;
+};
+
+} // namespace risotto::tcg
+
+#endif // RISOTTO_TCG_ARENA_HH

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * The parallel analysis engine: ThreadPool semantics, and the
+ * determinism contract of parallel enumeration and parallel
+ * verification -- any job count must produce byte-identical results to
+ * the serial path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <set>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+#include "dbt/backend.hh"
+#include "dbt/config.hh"
+#include "dbt/frontend.hh"
+#include "gx86/assembler.hh"
+#include "litmus/enumerate.hh"
+#include "litmus/library.hh"
+#include "models/model.hh"
+#include "support/error.hh"
+#include "support/threadpool.hh"
+#include "tcg/optimizer.hh"
+#include "verify/verifier.hh"
+
+using namespace risotto;
+
+namespace
+{
+
+// ---------------------------------------------------------------- pool
+
+TEST(ThreadPoolUnit, EveryTaskRunsExactlyOnce)
+{
+    support::ThreadPool pool(4);
+    constexpr std::size_t N = 200;
+    std::vector<std::atomic<int>> hits(N);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(N);
+    for (std::size_t i = 0; i < N; ++i)
+        tasks.push_back([&hits, i] { hits[i].fetch_add(1); });
+    pool.run(std::move(tasks));
+    for (std::size_t i = 0; i < N; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+TEST(ThreadPoolUnit, ParallelForCoversTheWholeRange)
+{
+    support::ThreadPool pool(3);
+    constexpr std::size_t N = 1000;
+    std::vector<std::atomic<int>> hits(N);
+    pool.parallelFor(0, N, 7, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < N; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolUnit, ParallelReduceIsDeterministic)
+{
+    // Subtraction is order-sensitive: if slots merged in any order other
+    // than index order, repeated runs would disagree.
+    support::ThreadPool pool(4);
+    const auto run_once = [&] {
+        return pool.parallelReduce(
+            64, 1000.0, [](std::size_t i) { return double(i) * 1.5; },
+            [](double acc, const double &x) { return acc - x; });
+    };
+    const double first = run_once();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(run_once(), first);
+}
+
+TEST(ThreadPoolUnit, ExceptionsPropagateToTheCaller)
+{
+    // One of the throwing tasks' exceptions reaches the caller with its
+    // payload intact (the lowest-indexed *recorded* failure; tasks that
+    // start after the first failure are skipped, so exactly which one is
+    // schedule-dependent).
+    support::ThreadPool pool(4);
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 32; ++i)
+        tasks.push_back([i] {
+            if (i % 3 == 1)
+                throw std::runtime_error("task " + std::to_string(i));
+        });
+    try {
+        pool.run(std::move(tasks));
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        int idx = -1;
+        ASSERT_EQ(std::sscanf(e.what(), "task %d", &idx), 1);
+        EXPECT_EQ(idx % 3, 1);
+    }
+
+    // And the pool stays usable after a failed batch.
+    std::atomic<int> sum{0};
+    pool.parallelFor(0, 10, 1,
+                     [&](std::size_t i) { sum.fetch_add(int(i)); });
+    EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolUnit, SingleJobRunsInline)
+{
+    support::ThreadPool pool(1);
+    EXPECT_EQ(pool.jobs(), 1u);
+    std::vector<int> order;
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 5; ++i)
+        tasks.push_back([&order, i] { order.push_back(i); });
+    pool.run(std::move(tasks));
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolUnit, ReusableAcrossBatches)
+{
+    support::ThreadPool pool(4);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<int> sum{0};
+        pool.parallelFor(0, 50, 1, [&](std::size_t i) {
+            sum.fetch_add(static_cast<int>(i));
+        });
+        EXPECT_EQ(sum.load(), 49 * 50 / 2);
+    }
+}
+
+// -------------------------------------------- enumeration determinism
+
+TEST(ParallelEnumeration, CorpusMatchesSerialExactly)
+{
+    const models::X86Model x86;
+    const models::ArmModel arm(models::ArmModel::AmoRule::Corrected);
+    support::ThreadPool pool(8);
+    for (const litmus::LitmusTest &test : litmus::x86Corpus()) {
+        for (const models::ConsistencyModel *model :
+             {static_cast<const models::ConsistencyModel *>(&x86),
+              static_cast<const models::ConsistencyModel *>(&arm)}) {
+            litmus::EnumerateStats serial_stats;
+            const litmus::BehaviorSet serial = litmus::enumerateBehaviors(
+                test.program, *model, &serial_stats);
+
+            litmus::EnumerateOptions opts;
+            opts.pool = &pool;
+            litmus::EnumerateStats par_stats;
+            const litmus::BehaviorSet par = litmus::enumerateBehaviors(
+                test.program, *model, &par_stats, opts);
+
+            EXPECT_EQ(par, serial)
+                << test.program.name << " under " << model->name();
+            EXPECT_EQ(par_stats.candidates, serial_stats.candidates)
+                << test.program.name;
+            EXPECT_EQ(par_stats.wellFormed, serial_stats.wellFormed)
+                << test.program.name;
+            EXPECT_EQ(par_stats.consistent, serial_stats.consistent)
+                << test.program.name;
+        }
+    }
+}
+
+TEST(ParallelEnumeration, MaxCandidatesAbortsInBothModes)
+{
+    const litmus::LitmusTest test = litmus::sbq();
+    const models::X86Model model;
+
+    litmus::EnumerateOptions tight;
+    tight.maxCandidates = 3;
+    EXPECT_THROW(
+        litmus::enumerateBehaviors(test.program, model, nullptr, tight),
+        FatalError);
+
+    support::ThreadPool pool(4);
+    tight.pool = &pool;
+    EXPECT_THROW(
+        litmus::enumerateBehaviors(test.program, model, nullptr, tight),
+        FatalError);
+}
+
+TEST(ParallelEnumeration, ZeroJobsMeansHardwareConcurrency)
+{
+    // jobs=0 resolves to at least one worker and still matches serial.
+    const litmus::LitmusTest test = litmus::mp();
+    const models::X86Model model;
+    const litmus::BehaviorSet serial =
+        litmus::enumerateBehaviors(test.program, model);
+    litmus::EnumerateOptions opts;
+    opts.jobs = 0;
+    EXPECT_EQ(litmus::enumerateBehaviors(test.program, model, nullptr,
+                                         opts),
+              serial);
+}
+
+// ------------------------------------------- verification determinism
+
+/** Slot allocator for compiling outside an engine: numbers exits. */
+struct DummySlots : dbt::ExitSlotAllocator
+{
+    std::uint32_t next = 1;
+    std::uint32_t staticSlot(std::uint64_t, std::uint64_t, aarch::CodeAddr,
+                             bool) override
+    {
+        return next++;
+    }
+    std::uint32_t dynamicSlot() override { return 0; }
+};
+
+gx86::GuestImage
+randomBlock(std::mt19937_64 &rng)
+{
+    gx86::Assembler a;
+    auto pick = [&](int n) { return static_cast<int>(rng() % n); };
+    auto reg = [&]() { return static_cast<gx86::Reg>(4 + pick(4)); };
+    auto base = [&]() { return static_cast<gx86::Reg>(pick(3)); };
+    a.defineSymbol("main");
+    const int count = 4 + pick(10);
+    for (int i = 0; i < count; ++i) {
+        switch (pick(6)) {
+          case 0:
+            a.load(reg(), base(), 8 * pick(8));
+            break;
+          case 1:
+            a.store(base(), 8 * pick(8), reg());
+            break;
+          case 2:
+            a.lockXadd(base(), 8 * pick(4), reg());
+            break;
+          case 3:
+            a.mfence();
+            break;
+          case 4:
+            a.movri(base(), 0x1000 + 8 * pick(16));
+            break;
+          default:
+            a.add(reg(), reg());
+            break;
+        }
+    }
+    a.hlt();
+    return a.finish("main");
+}
+
+/** Pairs checked over a small fuzz grid, with the given worker count. */
+std::uint64_t
+sweepPairs(std::size_t jobs)
+{
+    std::mt19937_64 rng(42);
+    std::vector<gx86::GuestImage> images;
+    for (int b = 0; b < 24; ++b)
+        images.push_back(randomBlock(rng));
+
+    const dbt::DbtConfig config = dbt::DbtConfig::risotto();
+    support::ThreadPool pool(jobs);
+    std::vector<std::uint64_t> pairs(images.size(), 0);
+    std::vector<std::uint64_t> violations(images.size(), 0);
+    pool.parallelFor(0, images.size(), 1, [&](std::size_t b) {
+        dbt::Frontend frontend(images[b], config, nullptr);
+        const auto guest = frontend.decodeBlock(images[b].entry);
+        tcg::Block block = frontend.translate(images[b].entry);
+        tcg::optimize(block, config.optimizer);
+        aarch::CodeBuffer buffer;
+        DummySlots slots;
+        dbt::Backend backend(buffer, config);
+        const aarch::CodeAddr entry = backend.compile(block, slots);
+        const auto host = verify::decodeRange(buffer, entry, buffer.end());
+        const verify::TbValidator validator({config.rmw});
+        const auto report = validator.validate(guest, block, host,
+                                               images[b].entry, false);
+        pairs[b] = report.pairsChecked;
+        violations[b] = report.violations.size();
+    });
+    std::uint64_t total = 0;
+    for (std::size_t b = 0; b < images.size(); ++b) {
+        total += pairs[b];
+        EXPECT_EQ(violations[b], 0u) << "block " << b;
+    }
+    return total;
+}
+
+TEST(ParallelVerify, PairCountsMatchSerial)
+{
+    const std::uint64_t serial = sweepPairs(1);
+    EXPECT_GT(serial, 0u);
+    EXPECT_EQ(sweepPairs(8), serial);
+}
+
+} // namespace

@@ -62,9 +62,104 @@ TEST(TranslationCacheUnit, InsertFindAndProfile)
     EXPECT_EQ(cache.noteExecution(0x100), 1u);
     EXPECT_EQ(cache.noteExecution(0x100), 2u);
 
-    // Re-inserting (retranslation) resets the profile.
+    // Re-inserting (retranslation) swaps the code but keeps the
+    // block's execution profile: a retranslated hot block must not be
+    // silently demoted below the tier-2 threshold.
+    cache.recordSuccessor(0x100, 0x200);
+    cache.find(0x100)->promotionFailed = true;
     cache.insert(0x100, 9, 10, Tier::Baseline);
-    EXPECT_EQ(cache.find(0x100)->execCount, 0u);
+    const dbt::TbInfo *re = cache.find(0x100);
+    EXPECT_EQ(re->entry, 9u);
+    EXPECT_EQ(re->hostWords, 10u);
+    EXPECT_EQ(re->execCount, 2u);
+    ASSERT_EQ(re->successors.size(), 1u);
+    EXPECT_EQ(re->successors[0].first, 0x200u);
+    // ...but a failed-promotion mark is cleared: the new translation
+    // deserves a fresh tier-2 attempt.
+    EXPECT_FALSE(re->promotionFailed);
+}
+
+// --- Jump-cache coherence ---------------------------------------------------
+
+TEST(JumpCacheUnit, RepeatLookupsHitTheDirectMappedCache)
+{
+    TranslationCache cache;
+    cache.insert(0x100, 7, 12, Tier::Baseline);
+    // insert() pre-fills the jump cache, so the first find already hits.
+    const std::uint64_t misses0 = cache.jumpCacheMisses();
+    dbt::TbInfo *first = cache.find(0x100);
+    ASSERT_NE(first, nullptr);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(cache.find(0x100), first);
+    EXPECT_EQ(cache.jumpCacheMisses(), misses0);
+    EXPECT_GE(cache.jumpCacheHits(), 101u);
+
+    // A miss falls back to the map and refills the cached slot.
+    cache.insert(0x200, 9, 4, Tier::Baseline);
+    EXPECT_NE(cache.find(0x200), nullptr);
+    EXPECT_EQ(cache.find(0x1234), nullptr); // Absent: always a miss.
+}
+
+TEST(JumpCacheUnit, FlushInvalidatesEveryCachedEntry)
+{
+    TranslationCache cache;
+    for (gx86::Addr pc = 0x1000; pc < 0x1400; pc += 0x10)
+        cache.insert(pc, pc + 1, 8, Tier::Baseline);
+    for (gx86::Addr pc = 0x1000; pc < 0x1400; pc += 0x10)
+        ASSERT_NE(cache.find(pc), nullptr); // Warm the jump cache.
+
+    const std::uint64_t gen = cache.generation();
+    cache.flush();
+    EXPECT_EQ(cache.generation(), gen + 1);
+    EXPECT_EQ(cache.size(), 0u);
+    // No stale TbInfo may survive the flush epoch: every lookup must
+    // now report "untranslated", never a dangling pointer.
+    for (gx86::Addr pc = 0x1000; pc < 0x1400; pc += 0x10)
+        EXPECT_EQ(cache.find(pc), nullptr);
+
+    // Re-translation after the flush starts a fresh profile and the
+    // jump cache serves the new entry, not the old one.
+    cache.insert(0x1000, 99, 8, Tier::Baseline);
+    const dbt::TbInfo *tb = cache.find(0x1000);
+    ASSERT_NE(tb, nullptr);
+    EXPECT_EQ(tb->entry, 99u);
+    EXPECT_EQ(tb->execCount, 0u);
+}
+
+TEST(JumpCacheUnit, PromotionUpdatesCachedPointerInPlace)
+{
+    TranslationCache cache;
+    cache.insert(0x100, 7, 12, Tier::Baseline);
+    dbt::TbInfo *cached = cache.find(0x100); // Now in the jump cache.
+    cache.noteExecution(0x100);
+
+    // Tier-2 promotion mutates the TbInfo in place, so a previously
+    // cached pointer observes the new translation without any
+    // invalidation protocol.
+    cache.promote(0x100, 40, 30, Tier::Superblock);
+    dbt::TbInfo *after = cache.find(0x100);
+    EXPECT_EQ(after, cached);
+    EXPECT_EQ(after->entry, 40u);
+    EXPECT_EQ(after->tier, Tier::Superblock);
+    EXPECT_EQ(after->execCount, 1u);
+}
+
+TEST(JumpCacheUnit, CollidingAddressesStayCorrect)
+{
+    TranslationCache cache;
+    // 0x100 and 0x100 + (1<<10 words apart) may map to related slots;
+    // whatever the hash does, eviction must never serve the wrong TB.
+    const gx86::Addr a = 0x100;
+    const gx86::Addr b = 0x100 + (1ull << 10);
+    const gx86::Addr c = 0x100 + (1ull << 20);
+    cache.insert(a, 1, 4, Tier::Baseline);
+    cache.insert(b, 2, 4, Tier::Baseline);
+    cache.insert(c, 3, 4, Tier::Baseline);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(cache.find(a)->entry, 1u);
+        EXPECT_EQ(cache.find(b)->entry, 2u);
+        EXPECT_EQ(cache.find(c)->entry, 3u);
+    }
 }
 
 TEST(TranslationCacheUnit, PromoteKeepsProfileAndSwapsTier)

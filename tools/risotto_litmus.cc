@@ -16,11 +16,15 @@
  *   --model NAME   x86 | tcg | arm | arm-orig | sc  (enumeration model)
  *   --stress       also run operationally (x86-flavoured tests only)
  *   --schedules N  stress schedules (default 200)
+ *   --jobs N       worker threads (default: hardware concurrency);
+ *                  multiple tests check in parallel, reported in order
  */
 
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "litmus/check.hh"
 #include "litmus/enumerate.hh"
@@ -30,6 +34,7 @@
 #include "models/model.hh"
 #include "risotto/stress.hh"
 #include "support/error.hh"
+#include "support/threadpool.hh"
 
 using namespace risotto;
 using namespace risotto::litmus;
@@ -61,23 +66,24 @@ modelByName(const std::string &name)
 
 void
 check(const LitmusTest &test, const models::ConsistencyModel &model,
-      bool stress, std::uint64_t schedules)
+      bool stress, std::uint64_t schedules, const EnumerateOptions &eopts,
+      std::ostream &out)
 {
-    std::cout << "=== " << test.program.name << " (model "
-              << model.name() << ") ===\n";
+    out << "=== " << test.program.name << " (model "
+        << model.name() << ") ===\n";
     EnumerateStats stats;
     const BehaviorSet behaviors =
-        enumerateBehaviors(test.program, model, &stats);
-    std::cout << behaviors.size() << " behaviours ("
-              << stats.consistent << " consistent executions):\n";
+        enumerateBehaviors(test.program, model, &stats, eopts);
+    out << behaviors.size() << " behaviours ("
+        << stats.consistent << " consistent executions):\n";
     for (const Outcome &o : behaviors)
-        std::cout << "  " << o.toString() << "\n";
+        out << "  " << o.toString() << "\n";
     const bool observed = test.interesting.existsIn(behaviors);
-    std::cout << "condition " << test.interesting.toString() << ": "
-              << (observed ? "ALLOWED" : "forbidden");
+    out << "condition " << test.interesting.toString() << ": "
+        << (observed ? "ALLOWED" : "forbidden");
     if (test.forbiddenInSource && observed)
-        std::cout << "  ** expected forbidden! **";
-    std::cout << "\n";
+        out << "  ** expected forbidden! **";
+    out << "\n";
 
     // Theorem 1 for the two pipelines.
     const mapping::RmwLowering lowerings[] = {
@@ -92,9 +98,9 @@ check(const LitmusTest &test, const models::ConsistencyModel &model,
         const Program arm = mapping::mapX86ToArm(test.program, fronts[p],
                                                  backs[p], lowerings[p]);
         const auto result = checkRefinement(test.program, kX86, arm, kArm);
-        std::cout << "  " << labels[p] << " pipeline: "
-                  << (result.correct ? "refines" : "REFINEMENT VIOLATED")
-                  << "\n";
+        out << "  " << labels[p] << " pipeline: "
+            << (result.correct ? "refines" : "REFINEMENT VIOLATED")
+            << "\n";
     }
 
     if (stress) {
@@ -104,15 +110,48 @@ check(const LitmusTest &test, const models::ConsistencyModel &model,
                                     : dbt::DbtConfig::qemuNoFences();
             const StressResult result =
                 runStress(test.program, config, schedules);
-            std::cout << "  stress under " << label << " ("
-                      << result.runs() << " runs):\n";
+            out << "  stress under " << label << " ("
+                << result.runs() << " runs):\n";
             std::istringstream lines(result.toString());
             std::string line;
             while (std::getline(lines, line))
-                std::cout << "    " << line << "\n";
+                out << "    " << line << "\n";
         }
     }
-    std::cout << "\n";
+    out << "\n";
+}
+
+/**
+ * Check every test, fanning out over the pool when it has more than one
+ * worker and more than one test. Each test writes to its own buffer and
+ * the buffers print in corpus order, so the report is byte-identical at
+ * any job count; a lone test instead parallelizes its enumeration.
+ */
+void
+checkAll(const std::vector<LitmusTest> &tests,
+         const models::ConsistencyModel &model, bool stress,
+         std::uint64_t schedules, support::ThreadPool &pool)
+{
+    if (pool.jobs() <= 1 || tests.size() <= 1) {
+        EnumerateOptions eopts;
+        eopts.pool = &pool; // Within-test parallelism for a lone test.
+        for (const LitmusTest &test : tests)
+            check(test, model, stress, schedules, eopts, std::cout);
+        return;
+    }
+    std::vector<std::ostringstream> reports(tests.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(tests.size());
+    for (std::size_t i = 0; i < tests.size(); ++i)
+        tasks.push_back([&, i] {
+            // Tests are the unit of parallelism here; their enumerations
+            // stay serial (the pool cannot be re-entered from a task).
+            check(tests[i], model, stress, schedules, EnumerateOptions{},
+                  reports[i]);
+        });
+    pool.run(std::move(tasks));
+    for (const std::ostringstream &report : reports)
+        std::cout << report.str();
 }
 
 } // namespace
@@ -123,6 +162,7 @@ main(int argc, char **argv)
     std::string model_name = "x86";
     bool stress = false;
     std::uint64_t schedules = 200;
+    std::size_t jobs = 0; // 0: hardware concurrency.
     std::vector<std::string> files;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -140,6 +180,14 @@ main(int argc, char **argv)
                 const std::string v = next();
                 try {
                     schedules = std::stoull(v);
+                } catch (const std::exception &) {
+                    fatal("invalid number '" + v + "' for " + arg);
+                }
+            }
+            else if (arg == "--jobs") {
+                const std::string v = next();
+                try {
+                    jobs = std::stoull(v);
                 } catch (const std::exception &) {
                     fatal("invalid number '" + v + "' for " + arg);
                 }
@@ -162,18 +210,20 @@ main(int argc, char **argv)
 
     try {
         const models::ConsistencyModel &model = modelByName(model_name);
+        support::ThreadPool pool(jobs);
+        std::vector<LitmusTest> tests;
         if (files.empty()) {
-            for (const LitmusTest &test : x86Corpus())
-                check(test, model, stress, schedules);
-            return 0;
+            tests = x86Corpus();
+        } else {
+            for (const std::string &path : files) {
+                std::ifstream in(path);
+                fatalIf(!in, "cannot open " + path);
+                std::stringstream buffer;
+                buffer << in.rdbuf();
+                tests.push_back(parseLitmus(buffer.str()));
+            }
         }
-        for (const std::string &path : files) {
-            std::ifstream in(path);
-            fatalIf(!in, "cannot open " + path);
-            std::stringstream buffer;
-            buffer << in.rdbuf();
-            check(parseLitmus(buffer.str()), model, stress, schedules);
-        }
+        checkAll(tests, model, stress, schedules, pool);
         return 0;
     } catch (const Error &e) {
         std::cerr << "risotto-litmus: " << e.what() << "\n";

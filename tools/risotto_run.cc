@@ -17,9 +17,13 @@
  *                     superblock (0 disables tier 2)
  *   --no-tier2        disable tier-2 superblock translation
  *   --validate        statically validate every translation against the
- *                     axiomatic models (obligation ⊆ guarantee); prints
- *                     verify.* counters and any violations, exit 3 when
- *                     violations were found
+ *                     axiomatic models (obligation ⊆ guarantee); also
+ *                     sweeps every statically reachable block of the
+ *                     image up front (parallel across --jobs workers);
+ *                     prints verify.* counters and any violations, exit
+ *                     3 when violations were found
+ *   --jobs N          worker threads for the --validate sweep
+ *                     (default: hardware concurrency)
  *   --dump-hot N      print the N hottest blocks after the run
  *   --stats           dump translation + machine counters
  *   --trace           print every retired host instruction (very verbose)
@@ -29,13 +33,21 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
 #include <iostream>
+#include <set>
 #include <string>
+#include <vector>
 
+#include "dbt/backend.hh"
+#include "dbt/frontend.hh"
 #include "gx86/assembler.hh"
 #include "gx86/imagefile.hh"
 #include "risotto/risotto.hh"
 #include "support/error.hh"
+#include "support/threadpool.hh"
+#include "tcg/optimizer.hh"
+#include "verify/verifier.hh"
 
 using namespace risotto;
 
@@ -101,6 +113,110 @@ demoImage()
     return a.finish("main");
 }
 
+/** Slot allocator for compiling outside an engine: numbers exits. */
+struct SweepSlots : dbt::ExitSlotAllocator
+{
+    std::uint32_t next = 1;
+    std::uint32_t staticSlot(std::uint64_t, std::uint64_t, aarch::CodeAddr,
+                             bool) override
+    {
+        return next++;
+    }
+    std::uint32_t dynamicSlot() override { return 0; }
+};
+
+/**
+ * Every statically reachable basic-block head, breadth-first from the
+ * image entry. Successors follow the frontend's block-end rules: direct
+ * branch targets, the fall-through of conditional branches / plt calls /
+ * syscalls / size-cap-ended blocks, and call return sites. Undecodable
+ * heads are dropped (the interpreter surfaces those at execution time).
+ */
+std::vector<gx86::Addr>
+reachableBlocks(const gx86::GuestImage &image, const dbt::DbtConfig &config)
+{
+    dbt::Frontend frontend(image, config, nullptr);
+    std::vector<gx86::Addr> order;
+    std::set<gx86::Addr> seen{image.entry};
+    std::deque<gx86::Addr> work{image.entry};
+    while (!work.empty()) {
+        const gx86::Addr head = work.front();
+        work.pop_front();
+        std::vector<gx86::Instruction> instrs;
+        try {
+            instrs = frontend.decodeBlock(head);
+        } catch (const Error &) {
+            continue;
+        }
+        order.push_back(head);
+        gx86::Addr fall = head;
+        for (const gx86::Instruction &in : instrs)
+            fall += in.length;
+        auto push = [&](gx86::Addr a) {
+            if (image.inText(a) && seen.insert(a).second)
+                work.push_back(a);
+        };
+        auto target = [&](const gx86::Instruction &in) {
+            return fall + static_cast<std::uint64_t>(
+                              static_cast<std::int64_t>(in.off));
+        };
+        const gx86::Instruction &last = instrs.back();
+        switch (last.op) {
+          case gx86::Opcode::Jmp:
+            push(target(last));
+            break;
+          case gx86::Opcode::Jcc:
+          case gx86::Opcode::Call:
+            push(target(last));
+            push(fall);
+            break;
+          case gx86::Opcode::Ret:
+          case gx86::Opcode::Hlt:
+            break;
+          default:
+            // PltCall, syscall, or a size-cap-ended block: execution
+            // resumes at the fall-through.
+            push(fall);
+            break;
+        }
+    }
+    return order;
+}
+
+/** One block's sweep outcome. */
+struct SweepCheck
+{
+    std::uint64_t pairs = 0;
+    std::vector<verify::Violation> violations;
+};
+
+/** Validate one block exactly as the engine's tier-1 pipeline lowers
+ * it, self-contained so blocks validate in parallel. */
+SweepCheck
+validateOne(const gx86::GuestImage &image, const dbt::DbtConfig &config,
+            gx86::Addr head)
+{
+    SweepCheck check;
+    dbt::Frontend frontend(image, config, nullptr);
+    const std::vector<gx86::Instruction> guest = frontend.decodeBlock(head);
+    tcg::Block block = frontend.translate(head);
+    tcg::optimize(block, config.optimizer);
+
+    aarch::CodeBuffer buffer;
+    SweepSlots slots;
+    dbt::Backend backend(buffer, config);
+    const aarch::CodeAddr entry = backend.compile(block, slots);
+    const auto host = verify::decodeRange(buffer, entry, buffer.end());
+
+    verify::ValidatorOptions vo;
+    vo.rmw = config.rmw;
+    const verify::TbValidator validator(vo);
+    const auto report = validator.validate(guest, block, host, head, false);
+    check.pairs = report.pairsChecked;
+    check.violations = report.violations;
+    return check;
+}
+
 } // namespace
 
 int
@@ -117,6 +233,7 @@ main(int argc, char **argv)
     bool use_linker = true;
     bool tier2 = true;
     bool validate = false;
+    std::size_t jobs = 0; // 0: hardware concurrency.
     std::uint64_t tier2_threshold = 0;
     bool tier2_threshold_set = false;
     std::uint64_t dump_hot = 0;
@@ -170,6 +287,8 @@ main(int argc, char **argv)
                 tier2 = false;
             else if (arg == "--validate")
                 validate = true;
+            else if (arg == "--jobs")
+                jobs = static_cast<std::size_t>(nextU64());
             else if (arg == "--dump-hot")
                 dump_hot = nextU64();
             else if (arg == "--stats")
@@ -223,6 +342,29 @@ main(int argc, char **argv)
         options.config.validateTranslations = validate;
         if (tier2_threshold_set)
             options.config.tier2Threshold = tier2_threshold;
+
+        // Whole-image static sweep: validate every reachable block
+        // before running anything, fanned out over the pool.
+        std::uint64_t sweep_blocks = 0;
+        std::uint64_t sweep_pairs = 0;
+        std::vector<verify::Violation> sweep_violations;
+        if (validate) {
+            const std::vector<gx86::Addr> heads =
+                reachableBlocks(image, options.config);
+            support::ThreadPool pool(jobs);
+            std::vector<SweepCheck> checks(heads.size());
+            pool.parallelFor(0, heads.size(), 1, [&](std::size_t i) {
+                checks[i] = validateOne(image, options.config, heads[i]);
+            });
+            sweep_blocks = heads.size();
+            for (const SweepCheck &check : checks) {
+                sweep_pairs += check.pairs;
+                sweep_violations.insert(sweep_violations.end(),
+                                        check.violations.begin(),
+                                        check.violations.end());
+            }
+        }
+
         Emulator emulator(image, options);
         const auto result = emulator.run(threads, mc);
 
@@ -275,6 +417,18 @@ main(int argc, char **argv)
             if (violations.size() > shown)
                 std::cout << "    ... and " << violations.size() - shown
                           << " more\n";
+            std::cout << "  validate-sweep: blocks=" << sweep_blocks
+                      << " pairs=" << sweep_pairs
+                      << " violations=" << sweep_violations.size() << "\n";
+            const std::size_t sweep_shown =
+                std::min<std::size_t>(sweep_violations.size(), 20);
+            for (std::size_t v = 0; v < sweep_shown; ++v)
+                std::cout << "    " << sweep_violations[v].toString()
+                          << "\n";
+            if (sweep_violations.size() > sweep_shown)
+                std::cout << "    ... and "
+                          << sweep_violations.size() - sweep_shown
+                          << " more\n";
         }
         if (faults.armed())
             std::cout << "  faults: seed=" << faults.seed
@@ -288,7 +442,8 @@ main(int argc, char **argv)
         if (want_stats)
             for (const auto &[name, value] : result.stats.all())
                 std::cout << "  " << name << " = " << value << "\n";
-        if (validate && result.validationViolations > 0)
+        if (validate &&
+            (result.validationViolations > 0 || !sweep_violations.empty()))
             return 3;
         return result.finished ? 0 : 2;
     } catch (const Error &e) {

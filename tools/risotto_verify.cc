@@ -22,6 +22,11 @@
  *                   defaults to original, the rule the paper proved the
  *                   desired mapping unsound against)
  *   --verbose       print every violation instead of a sample
+ *   --jobs N        worker threads (default: hardware concurrency).
+ *                   Blocks are generated serially from the single seed
+ *                   and checked in parallel, results merged in block
+ *                   order -- output and exit code are identical at any
+ *                   job count.
  *
  * Expected outcomes (the paper's Figures 2/3/7 in executable form):
  *   risotto / risotto-rmw2 / tcg-ver / qemu  -- clean (exit 0)
@@ -33,6 +38,7 @@
 #include <iostream>
 #include <random>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dbt/backend.hh"
@@ -40,6 +46,7 @@
 #include "dbt/frontend.hh"
 #include "gx86/assembler.hh"
 #include "support/error.hh"
+#include "support/threadpool.hh"
 #include "tcg/optimizer.hh"
 #include "verify/verifier.hh"
 
@@ -163,6 +170,76 @@ printViolation(const verify::Violation &v, const std::string &scheme,
               << v.toString() << "\n";
 }
 
+/** Everything one block's sweep produced; merged in block order. */
+struct BlockResult
+{
+    std::uint64_t pairs = 0;
+    std::uint64_t combos = 0;
+    std::vector<std::pair<int, verify::Violation>> violations;
+};
+
+/**
+ * Check one pre-generated block image: either the Figure-3 desired
+ * mapping, or the full 16-ablation optimizer grid of @p base_config.
+ * Self-contained (own Frontend/Backend/buffer) so blocks check in
+ * parallel.
+ */
+BlockResult
+checkBlock(const gx86::GuestImage &image, const dbt::DbtConfig &base_config,
+           bool figure3, models::ArmModel::AmoRule amo_rule)
+{
+    BlockResult result;
+    dbt::DbtConfig config = base_config;
+    dbt::Frontend frontend(image, config, nullptr);
+    const std::vector<gx86::Instruction> guest =
+        frontend.decodeBlock(image.entry);
+
+    if (figure3) {
+        // The paper's "desired" direct mapping (Figure 3): LDAPR / STLR
+        // / casal halves, checked straight against the Arm guarantee
+        // under the chosen amo rule.
+        verify::ValidatorOptions vo;
+        vo.amoRule = amo_rule;
+        const verify::TbValidator validator(vo);
+        const auto report = validator.checkAgainst(
+            guest, verify::desiredArmEvents(guest), verify::Level::Arm,
+            image.entry);
+        result.pairs += report.pairsChecked;
+        ++result.combos;
+        for (const auto &v : report.violations)
+            result.violations.emplace_back(-1, v);
+        return result;
+    }
+
+    for (int combo = 0; combo < 16; ++combo) {
+        config.optimizer.fenceMerging = (combo & 1) != 0;
+        config.optimizer.constantFolding = (combo & 2) != 0;
+        config.optimizer.memoryElimination = (combo & 4) != 0;
+        config.optimizer.deadCodeElimination = (combo & 8) != 0;
+
+        tcg::Block block = frontend.translate(image.entry);
+        tcg::optimize(block, config.optimizer);
+
+        aarch::CodeBuffer buffer;
+        DummySlots slots;
+        dbt::Backend backend(buffer, config);
+        const aarch::CodeAddr entry = backend.compile(block, slots);
+        const auto host = verify::decodeRange(buffer, entry, buffer.end());
+
+        verify::ValidatorOptions vo;
+        vo.rmw = config.rmw;
+        vo.amoRule = amo_rule;
+        const verify::TbValidator validator(vo);
+        const auto report =
+            validator.validate(guest, block, host, image.entry, false);
+        result.pairs += report.pairsChecked;
+        ++result.combos;
+        for (const auto &v : report.violations)
+            result.violations.emplace_back(combo, v);
+    }
+    return result;
+}
+
 } // namespace
 
 int
@@ -171,6 +248,7 @@ main(int argc, char **argv)
     std::string scheme = "risotto";
     std::uint64_t blocks = 1000;
     std::uint64_t seed = 1;
+    std::size_t jobs = 0; // 0: hardware concurrency.
     bool verbose = false;
     std::string amo_name;
 
@@ -196,6 +274,8 @@ main(int argc, char **argv)
                 blocks = nextU64();
             else if (arg == "--seed")
                 seed = nextU64();
+            else if (arg == "--jobs")
+                jobs = static_cast<std::size_t>(nextU64());
             else if (arg == "--amo-rule")
                 amo_name = next();
             else if (arg == "--verbose")
@@ -227,86 +307,50 @@ main(int argc, char **argv)
             fatal("unknown amo rule '" + amo_name +
                   "' (expected corrected|original)");
 
-        dbt::DbtConfig config = configByScheme(scheme);
-        std::mt19937_64 rng(seed);
+        const dbt::DbtConfig config = configByScheme(scheme);
 
+        // Generate every block image serially from the one seeded rng:
+        // the stream -- and thus the corpus -- is identical no matter
+        // how many workers later check it.
+        std::mt19937_64 rng(seed);
+        std::vector<gx86::GuestImage> images;
+        images.reserve(blocks);
+        for (std::uint64_t b = 0; b < blocks; ++b)
+            images.push_back(randomBlock(rng));
+
+        support::ThreadPool pool(jobs);
+        std::vector<BlockResult> results(images.size());
+        pool.parallelFor(0, images.size(), 1, [&](std::size_t b) {
+            results[b] = checkBlock(images[b], config, figure3, amo_rule);
+        });
+
+        // Merge and report in block order.
         std::uint64_t pairs = 0;
         std::uint64_t combos_run = 0;
-        std::vector<verify::Violation> violations;
+        std::uint64_t total_violations = 0;
         std::uint64_t shown = 0;
-
-        for (std::uint64_t b = 0; b < blocks; ++b) {
-            const gx86::GuestImage image = randomBlock(rng);
-            dbt::Frontend frontend(image, config, nullptr);
-            const std::vector<gx86::Instruction> guest =
-                frontend.decodeBlock(image.entry);
-
-            if (figure3) {
-                // The paper's "desired" direct mapping (Figure 3):
-                // LDAPR / STLR / casal halves, checked straight against
-                // the Arm guarantee under the chosen amo rule.
-                verify::ValidatorOptions vo;
-                vo.amoRule = amo_rule;
-                const verify::TbValidator validator(vo);
-                const auto report = validator.checkAgainst(
-                    guest, verify::desiredArmEvents(guest),
-                    verify::Level::Arm, image.entry);
-                pairs += report.pairsChecked;
-                ++combos_run;
-                for (const auto &v : report.violations) {
-                    if (verbose || shown < 10) {
-                        printViolation(v, scheme, -1);
-                        ++shown;
-                    }
-                    violations.push_back(v);
-                }
-                continue;
-            }
-
-            for (int combo = 0; combo < 16; ++combo) {
-                config.optimizer.fenceMerging = (combo & 1) != 0;
-                config.optimizer.constantFolding = (combo & 2) != 0;
-                config.optimizer.memoryElimination = (combo & 4) != 0;
-                config.optimizer.deadCodeElimination = (combo & 8) != 0;
-
-                tcg::Block block = frontend.translate(image.entry);
-                tcg::optimize(block, config.optimizer);
-
-                aarch::CodeBuffer buffer;
-                DummySlots slots;
-                dbt::Backend backend(buffer, config);
-                const aarch::CodeAddr entry = backend.compile(block, slots);
-                const auto host =
-                    verify::decodeRange(buffer, entry, buffer.end());
-
-                verify::ValidatorOptions vo;
-                vo.rmw = config.rmw;
-                vo.amoRule = amo_rule;
-                const verify::TbValidator validator(vo);
-                const auto report = validator.validate(guest, block, host,
-                                                       image.entry, false);
-                pairs += report.pairsChecked;
-                ++combos_run;
-                for (const auto &v : report.violations) {
-                    if (verbose || shown < 10) {
-                        printViolation(v, scheme, combo);
-                        ++shown;
-                    }
-                    violations.push_back(v);
+        for (const BlockResult &result : results) {
+            pairs += result.pairs;
+            combos_run += result.combos;
+            total_violations += result.violations.size();
+            for (const auto &[combo, v] : result.violations) {
+                if (verbose || shown < 10) {
+                    printViolation(v, scheme, combo);
+                    ++shown;
                 }
             }
         }
 
-        if (!verbose && violations.size() > shown)
-            std::cout << "  ... and " << violations.size() - shown
+        if (!verbose && total_violations > shown)
+            std::cout << "  ... and " << total_violations - shown
                       << " more\n";
         std::cout << "[risotto-verify] scheme=" << scheme
                   << " amo-rule=" << amo_name << " blocks=" << blocks
                   << " seed=" << seed
                   << " translations-checked=" << combos_run
                   << " pairs-checked=" << pairs
-                  << " violations=" << violations.size() << "\n";
-        return violations.empty() ? 0 : 2;
+                  << " violations=" << total_violations << "\n";
+        return total_violations == 0 ? 0 : 2;
     } catch (const Error &e) {
         std::cerr << "risotto-verify: " << e.what() << "\n";
         return 1;
