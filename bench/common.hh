@@ -11,6 +11,7 @@
 #define RISOTTO_BENCH_COMMON_HH
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <ctime>
 #include <fstream>
@@ -78,12 +79,24 @@ struct BenchJsonEntry
     std::string name;
     double nsPerOp = 0.0;
     std::size_t workers = 1;
+
+    /** persist::configFingerprint of the DbtConfig measured, so two
+     * artifacts are only compared when the pipeline matched; 0 when
+     * the entry is not tied to one engine configuration. */
+    std::uint64_t configFingerprint = 0;
 };
 
+/** Git revision baked in at build time ("unknown" outside a work tree). */
+#ifndef RISOTTO_GIT_SHA
+#define RISOTTO_GIT_SHA "unknown"
+#endif
+
 /**
- * Write entries as a JSON array of {name, ns_per_op, workers, timestamp}
- * objects. The timestamp is ISO-8601 UTC, one per file write, so CI
- * artifacts from different PRs order themselves.
+ * Write entries as a JSON array of {name, ns_per_op, workers, git_sha,
+ * config_fingerprint, timestamp} objects. The timestamp is ISO-8601 UTC
+ * and the git SHA is the build-time revision, one each per file write,
+ * so CI artifacts from different PRs order and key themselves. The
+ * fingerprint is hex text: u64 does not survive a JSON double.
  */
 inline void
 writeBenchJson(const std::string &path,
@@ -104,10 +117,15 @@ writeBenchJson(const std::string &path,
     out << "[\n";
     for (std::size_t i = 0; i < entries.size(); ++i) {
         const BenchJsonEntry &e = entries[i];
+        char fingerprint[19];
+        std::snprintf(fingerprint, sizeof fingerprint, "0x%016llx",
+                      static_cast<unsigned long long>(e.configFingerprint));
         out << "  {\"name\": \"" << e.name
             << "\", \"ns_per_op\": " << e.nsPerOp
             << ", \"workers\": " << e.workers
-            << ", \"timestamp\": \"" << stamp << "\"}"
+            << ", \"git_sha\": \"" << RISOTTO_GIT_SHA
+            << "\", \"config_fingerprint\": \"" << fingerprint
+            << "\", \"timestamp\": \"" << stamp << "\"}"
             << (i + 1 == entries.size() ? "\n" : ",\n");
     }
     out << "]\n";

@@ -16,6 +16,7 @@
 #include "bench/common.hh"
 #include "dbt/dbt.hh"
 #include "machine/machine.hh"
+#include "persist/fingerprint.hh"
 #include "support/error.hh"
 #include "support/format.hh"
 #include "support/stats.hh"
@@ -118,9 +119,11 @@ main(int argc, char **argv)
                       fixedString(rel_risotto, 1),
                       fixedString(rel_native, 1)});
         json.push_back({"fig12." + spec.name + ".qemu",
-                        seconds(qemu) * 1e9, Threads});
+                        seconds(qemu) * 1e9, Threads,
+                        persist::configFingerprint(DbtConfig::qemu())});
         json.push_back({"fig12." + spec.name + ".risotto",
-                        seconds(risotto) * 1e9, Threads});
+                        seconds(risotto) * 1e9, Threads,
+                        persist::configFingerprint(DbtConfig::risotto())});
     }
     show(table);
 

@@ -15,6 +15,7 @@
 #include "bench/common.hh"
 #include "dbt/dbt.hh"
 #include "gx86/assembler.hh"
+#include "persist/fingerprint.hh"
 #include "support/error.hh"
 #include "support/format.hh"
 
@@ -105,7 +106,8 @@ main(int argc, char **argv)
             const auto result = run(loop_image, config);
             json.push_back({std::string("dbt_ablation.") +
                                 (chaining ? "chaining_on" : "chaining_off"),
-                            seconds(result.makespan) * 1e9, 1});
+                            seconds(result.makespan) * 1e9, 1,
+                            persist::configFingerprint(config)});
             table.addRow(
                 {config.name,
                  std::to_string(result.stats.get("machine.tb_exits")),
@@ -130,7 +132,8 @@ main(int argc, char **argv)
             const auto result = run(loop_image, config);
             json.push_back({std::string("dbt_ablation.") +
                                 (opt ? "optimizer_on" : "optimizer_off"),
-                            seconds(result.makespan) * 1e9, 1});
+                            seconds(result.makespan) * 1e9, 1,
+                            persist::configFingerprint(config)});
             table.addRow(
                 {config.name,
                  std::to_string(result.stats.get("dbt.ir_ops_pre_opt")),
@@ -163,7 +166,8 @@ main(int argc, char **argv)
             config.rmw = c.rmw;
             const auto result = run(cas_image, config);
             json.push_back({std::string("dbt_ablation.") + json_names[ci],
-                            seconds(result.makespan) * 1e9, 1});
+                            seconds(result.makespan) * 1e9, 1,
+                            persist::configFingerprint(config)});
             if (c.rmw == mapping::RmwLowering::HelperRmw1AL)
                 helper_cycles = result.makespan;
             table.addRow(

@@ -19,6 +19,7 @@
 #include "bench/common.hh"
 #include "dbt/dbt.hh"
 #include "gx86/assembler.hh"
+#include "persist/fingerprint.hh"
 #include "support/error.hh"
 #include "support/format.hh"
 
@@ -98,7 +99,8 @@ main(int argc, char **argv)
         const auto result = run(image, config);
         json.push_back({std::string("superblock.") +
                             (tier2 ? "tier2_on" : "tier2_off"),
-                        seconds(result.makespan) * 1e9, 1});
+                        seconds(result.makespan) * 1e9, 1,
+                        persist::configFingerprint(config)});
         if (!tier2) {
             off_makespan = result.makespan;
             off_exits = result.exitCodes;

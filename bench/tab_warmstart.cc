@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Warm-start table: persistent translation cache vs cold translation.
+ *
+ * For every workload of the suite, measure (host wall-clock, unlike the
+ * simulated-cycle tables -- snapshot loading is real host-side work):
+ *
+ *  - cold:      translating every snapshotted block on a fresh engine,
+ *  - warm/val:  parsing + importing the snapshot with per-record
+ *               obligation-graph validation (the default),
+ *  - warm/ck:   parsing + importing with checksum + decode checks only,
+ *
+ * then prove behaviour: the warm engine, a checksum-only engine, an
+ * engine fed a bit-flipped snapshot, and an engine with persist.record
+ * fault injection armed must all produce the cold run's guest-visible
+ * results exactly (the corrupted loads just degrade blocks to cold
+ * translation).
+ */
+
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "bench/common.hh"
+#include "dbt/dbt.hh"
+#include "gx86/assembler.hh"
+#include "persist/fingerprint.hh"
+#include "persist/snapshot.hh"
+#include "support/error.hh"
+#include "support/faultinject.hh"
+#include "support/format.hh"
+#include "workloads/workloads.hh"
+
+using namespace risotto;
+using namespace risotto::bench;
+using dbt::Dbt;
+using dbt::DbtConfig;
+using dbt::ThreadSpec;
+using workloads::WorkloadSpec;
+
+namespace
+{
+
+constexpr std::size_t Threads = 2;
+
+double
+msBetween(std::chrono::steady_clock::time_point a,
+          std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+std::vector<ThreadSpec>
+threadSpecs()
+{
+    std::vector<ThreadSpec> threads(Threads);
+    for (std::size_t t = 0; t < Threads; ++t)
+        threads[t].regs[0] = t;
+    return threads;
+}
+
+bool
+sameGuestBehaviour(const dbt::RunResult &a, const dbt::RunResult &b)
+{
+    return a.finished == b.finished && a.exitCodes == b.exitCodes &&
+           a.outputs == b.outputs;
+}
+
+/** A wide program: many distinct basic blocks, each executed only a
+ * handful of times -- the regime persistent caches exist for. Here the
+ * per-block translate-vs-import cost dominates the per-file overhead
+ * (image digest, parse setup) that the small suite workloads amortize
+ * over just a few blocks. */
+gx86::GuestImage
+wideProgram(std::size_t segments)
+{
+    gx86::Assembler a;
+    a.defineSymbol("main");
+    a.movri(1, 0);
+    a.movri(2, 8);
+    const auto outer = a.newLabel();
+    a.bind(outer);
+    for (std::size_t s = 0; s < segments; ++s) {
+        a.addi(1, static_cast<std::int32_t>(s + 1));
+        const auto next = a.newLabel();
+        a.jmp(next);
+        a.bind(next);
+    }
+    a.subi(2, 1);
+    a.cmpri(2, 0);
+    a.jcc(gx86::Cond::Gt, outer);
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    return a.finish("main");
+}
+
+/** Deterministically flip one bit in every @p stride-th byte past the
+ * header (corrupting record frames, never the file's existence). */
+std::vector<std::uint8_t>
+bitFlipped(std::vector<std::uint8_t> bytes, std::size_t stride)
+{
+    for (std::size_t i = 64; i < bytes.size(); i += stride)
+        bytes[i] ^= 0x01;
+    return bytes;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke = smokeMode(argc, argv);
+    const std::string json_path = benchJsonPath(argc, argv);
+    std::vector<BenchJsonEntry> json;
+
+    // An aggressive tier-2 threshold makes the execution-side payoff of
+    // persisted profiles visible even at smoke sizes: the cold engine's
+    // early promotion attempts abandon on thin successor profiles
+    // (promotionFailed is sticky), while the warm engine's pre-seeded
+    // exec counts and successor edges promote superblocks immediately.
+    DbtConfig config = DbtConfig::risotto();
+    config.tier2Threshold = 2;
+    std::cout << "Warm-start: persistent translation cache vs cold "
+                 "translation (host wall-clock), "
+              << Threads << " threads\n\n";
+
+    ReportTable table("Startup translation cost and run makespan",
+                      {"workload", "blocks", "cold[ms]", "warm/val[ms]",
+                       "warm/ck[ms]", "cold[kcyc]", "warm[kcyc]",
+                       "run speedup"});
+    ReportTable faults("Corruption tolerance (guest behaviour vs cold)",
+                       {"workload", "mode", "loaded", "rejected",
+                        "identical"});
+
+    struct BenchCase
+    {
+        std::string name;
+        gx86::GuestImage image;
+    };
+    std::vector<BenchCase> cases;
+    for (WorkloadSpec spec : workloads::fullSuite()) {
+        if (smoke)
+            spec.iterations = 50;
+        cases.push_back({spec.name, workloads::buildGuestWorkload(spec)});
+    }
+    cases.push_back({"wide-blocks", wideProgram(smoke ? 128 : 512)});
+
+    for (const BenchCase &bench_case : cases) {
+        const std::string &name = bench_case.name;
+        const gx86::GuestImage &image = bench_case.image;
+
+        // Reference: a cold engine, run to completion, snapshotted.
+        Dbt reference(image, config);
+        const auto cold_result = reference.run(threadSpecs());
+        if (!cold_result.finished)
+            throw FatalError("workload did not finish: " + name);
+        const persist::Snapshot snap = reference.exportSnapshot();
+        const std::vector<std::uint8_t> bytes = persist::serialize(snap);
+        const std::size_t blocks = snap.records.size();
+
+        // Cold translation cost: fresh engine, translate every
+        // snapshotted head the way a cold start would.
+        Dbt cold_engine(image, config);
+        const auto c0 = std::chrono::steady_clock::now();
+        for (const persist::TbRecord &rec : snap.records)
+            cold_engine.lookupOrTranslate(rec.path.front());
+        const auto c1 = std::chrono::steady_clock::now();
+        const double cold_ms = msBetween(c0, c1);
+
+        // Warm import, validated (the default trust model).
+        Dbt warm_val(image, config);
+        const auto v0 = std::chrono::steady_clock::now();
+        persist::ParseReport parsed;
+        const persist::Snapshot reparsed = persist::parse(bytes, parsed);
+        const auto val_report = warm_val.importSnapshot(reparsed, true);
+        const auto v1 = std::chrono::steady_clock::now();
+        const double val_ms = msBetween(v0, v1);
+
+        // Warm import, checksum + decode checks only.
+        Dbt warm_ck(image, config);
+        const auto k0 = std::chrono::steady_clock::now();
+        persist::ParseReport parsed_ck;
+        const persist::Snapshot reparsed_ck =
+            persist::parse(bytes, parsed_ck);
+        const auto ck_report = warm_ck.importSnapshot(reparsed_ck, false);
+        const auto k1 = std::chrono::steady_clock::now();
+        const double ck_ms = msBetween(k0, k1);
+
+        // Differential: warm engines must reproduce the cold run.
+        const auto val_result = warm_val.run(threadSpecs());
+
+        // Execution-side payoff, second generation: the first warm run
+        // promotes superblocks out of the persisted profiles (paying
+        // the promotion cost itself), re-exports, and the *next*
+        // session starts with the superblocks installed for free. The
+        // makespan is deterministic simulated cycles, immune to
+        // container noise.
+        const persist::Snapshot gen2_snap = warm_val.exportSnapshot();
+        Dbt gen2(image, config);
+        gen2.importSnapshot(gen2_snap, true);
+        const auto gen2_result = gen2.run(threadSpecs());
+        table.addRow(
+            {name, std::to_string(blocks), fixedString(cold_ms, 3),
+             fixedString(val_ms, 3), fixedString(ck_ms, 3),
+             fixedString(cold_result.makespan / 1e3, 1),
+             fixedString(gen2_result.makespan / 1e3, 1),
+             fixedString(gen2_result.makespan > 0
+                             ? static_cast<double>(cold_result.makespan) /
+                                   static_cast<double>(gen2_result.makespan)
+                             : 0.0,
+                         3)});
+        faults.addRow({name, "validated",
+                       std::to_string(val_report.loaded),
+                       std::to_string(val_report.rejected),
+                       sameGuestBehaviour(cold_result, val_result)
+                           ? "yes"
+                           : "NO"});
+        faults.addRow({name, "2nd generation",
+                       std::to_string(gen2_snap.records.size()),
+                       "0",
+                       sameGuestBehaviour(cold_result, gen2_result)
+                           ? "yes"
+                           : "NO"});
+        const auto ck_result = warm_ck.run(threadSpecs());
+        faults.addRow({name, "checksum-only",
+                       std::to_string(ck_report.loaded),
+                       std::to_string(ck_report.rejected),
+                       sameGuestBehaviour(cold_result, ck_result)
+                           ? "yes"
+                           : "NO"});
+
+        // Bit-flipped snapshot: parse drops the damaged frames, the
+        // engine translates those blocks cold, behaviour is unchanged.
+        Dbt damaged(image, config);
+        persist::ParseReport damaged_parse;
+        const persist::Snapshot damaged_snap =
+            persist::parse(bitFlipped(bytes, 97), damaged_parse);
+        const auto damaged_report =
+            damaged.importSnapshot(damaged_snap, true);
+        const auto damaged_result = damaged.run(threadSpecs());
+        faults.addRow(
+            {name, "bit-flipped",
+             std::to_string(damaged_report.loaded),
+             std::to_string(damaged_report.rejected +
+                            damaged_parse.recordsBadChecksum +
+                            damaged_parse.recordsBadBounds),
+             sameGuestBehaviour(cold_result, damaged_result) ? "yes"
+                                                             : "NO"});
+
+        // Injected loader faults: every record draw can fail; dropped
+        // records degrade to cold translation, never to wrong code.
+        DbtConfig faulty = config;
+        faulty.faults.seed = 20260805;
+        faulty.faults.siteRates[faultsites::PersistRecord] = 0.25;
+        Dbt injected(image, faulty);
+        persist::ParseReport injected_parse;
+        const persist::Snapshot injected_snap =
+            persist::parse(bytes, injected_parse);
+        const auto injected_report =
+            injected.importSnapshot(injected_snap, true);
+        const auto injected_result = injected.run(threadSpecs());
+        faults.addRow({name, "fault-injected",
+                       std::to_string(injected_report.loaded),
+                       std::to_string(injected_report.rejected),
+                       sameGuestBehaviour(cold_result, injected_result)
+                           ? "yes"
+                           : "NO"});
+
+        const double per_block = blocks > 0 ? 1.0 / blocks : 0.0;
+        json.push_back({"warmstart." + name + ".cold_translate",
+                        cold_ms * 1e6 * per_block, Threads,
+                        persist::configFingerprint(config)});
+        json.push_back({"warmstart." + name + ".import_validated",
+                        val_ms * 1e6 * per_block, Threads,
+                        persist::configFingerprint(config)});
+        json.push_back({"warmstart." + name + ".import_checksum",
+                        ck_ms * 1e6 * per_block, Threads,
+                        persist::configFingerprint(config)});
+        json.push_back({"warmstart." + name + ".cold_run",
+                        seconds(cold_result.makespan) * 1e9, Threads,
+                        persist::configFingerprint(config)});
+        json.push_back({"warmstart." + name + ".warm_run",
+                        seconds(gen2_result.makespan) * 1e9, Threads,
+                        persist::configFingerprint(config)});
+    }
+
+    show(table);
+    show(faults);
+    std::cout << "Times are host wall-clock (translation work is not "
+                 "simulated); expect noise in container CI.\n";
+    writeBenchJson(json_path, json);
+    return 0;
+}

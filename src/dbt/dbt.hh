@@ -42,7 +42,9 @@
 #include "dbt/tiers.hh"
 #include "gx86/image.hh"
 #include "machine/machine.hh"
+#include "persist/snapshot.hh"
 #include "support/stats.hh"
+#include "verify/batch.hh"
 
 namespace risotto::dbt
 {
@@ -98,6 +100,25 @@ struct RunResult
 
     /** Final guest memory (for inspection by tests and benches). */
     std::shared_ptr<gx86::Memory> memory;
+};
+
+/** Outcome of importing a persistent translation-cache snapshot. */
+struct PersistReport
+{
+    /** The snapshot keyed to this image + config and records were
+     * attempted. False (with `note` set) is never fatal: the engine
+     * simply starts cold. */
+    bool applied = false;
+
+    /** Records now dispatchable. */
+    std::uint64_t loaded = 0;
+
+    /** Records dropped (checksum, bounds, decode, validation, injected
+     * faults) -- each costs one cold translation, never correctness. */
+    std::uint64_t rejected = 0;
+
+    /** Human-readable reason when nothing was applied. */
+    std::string note;
 };
 
 /** The DBT engine (QEMU-user-mode analogue). */
@@ -157,6 +178,40 @@ class Dbt : public machine::HelperRuntime, public TierHost
         return violations_;
     }
 
+    // --- Persistent translation cache (src/persist) -----------------------
+
+    /**
+     * Snapshot the current translation cache: every cached block's
+     * relocatable host words, deterministically re-derived IR, exit
+     * descriptors and execution profile, keyed to this image + config.
+     */
+    persist::Snapshot exportSnapshot();
+
+    /**
+     * Pre-seed the translation cache from @p snapshot. Robustness-first:
+     * a key mismatch or a bad record degrades the affected blocks to
+     * cold translation (counted under persist.*), never to wrong code.
+     * With @p validate (the default) every record must pass the
+     * obligation-graph validator before it becomes dispatchable;
+     * without it records are still checksum- and decode-checked.
+     */
+    PersistReport importSnapshot(const persist::Snapshot &snapshot,
+                                 bool validate = true);
+
+    /** Serialize exportSnapshot() to @p path. False when the cache is
+     * empty (nothing worth writing). */
+    bool savePersistentCache(const std::string &path);
+
+    /** Read, parse and import the snapshot at @p path; a missing or
+     * corrupt file is a graceful cold start. */
+    PersistReport loadPersistentCache(const std::string &path,
+                                      bool validate = true);
+
+    /** Re-validate every record of @p snapshot offline (the
+     * --tb-cache-verify audit); installs nothing. */
+    verify::BatchReport
+    verifyPersistentCache(const persist::Snapshot &snapshot);
+
     // --- machine::HelperRuntime ------------------------------------------
 
     std::uint64_t invokeHelper(std::uint8_t id, std::uint16_t extra,
@@ -189,7 +244,12 @@ class Dbt : public machine::HelperRuntime, public TierHost
     /** Emit the shared ExitTb stub that dispatches on DynExitReg. */
     void emitDynInterpStub();
 
+    /** SHA-256 snapshot key of image_, hashed once on first use (the
+     * image is immutable for the engine's lifetime). */
+    const support::Sha256Digest &cachedImageDigest() const;
+
     const gx86::GuestImage &image_;
+    mutable std::optional<support::Sha256Digest> imageDigest_;
     DbtConfig config_;
     const ImportResolver *resolver_;
     HostCallHandler *hostcalls_;

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Persistent translation cache: engine <-> snapshot conversion.
+ *
+ * Export walks the live translation cache and produces relocatable
+ * records: host words are copied verbatim except exit words, which are
+ * neutralized and described by ExitSite entries (chained B words revert
+ * to un-chained exits), and the IR is re-derived deterministically from
+ * the guest image (baseline: frontend + optimizer; superblock: the
+ * stored promotion path through buildSuperblockIr). Import replays the
+ * records into a fresh engine: words are appended to the code buffer,
+ * exit words are re-bound to freshly allocated chain slots, and every
+ * record must decode -- and, by default, pass the obligation-graph
+ * validator -- before it becomes dispatchable. A record that fails any
+ * check is rolled back and counted; the block simply translates cold.
+ */
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "dbt/dbt.hh"
+#include "persist/fingerprint.hh"
+#include "support/checksum.hh"
+#include "support/error.hh"
+#include "tcg/optimizer.hh"
+
+namespace risotto::dbt
+{
+
+using aarch::CodeAddr;
+
+namespace
+{
+
+/** The neutralized exit word stored in snapshots (slot re-bound at
+ * import time). */
+std::uint32_t
+neutralExitWord()
+{
+    aarch::AInstr exit;
+    exit.op = aarch::AOp::ExitTb;
+    exit.imm = 0;
+    return aarch::encode(exit);
+}
+
+std::uint32_t
+exitWordFor(std::uint32_t slot)
+{
+    aarch::AInstr exit;
+    exit.op = aarch::AOp::ExitTb;
+    exit.imm = static_cast<std::int32_t>(slot);
+    return aarch::encode(exit);
+}
+
+} // namespace
+
+const support::Sha256Digest &
+Dbt::cachedImageDigest() const
+{
+    if (!imageDigest_)
+        imageDigest_ = persist::imageDigest(image_);
+    return *imageDigest_;
+}
+
+persist::Snapshot
+Dbt::exportSnapshot()
+{
+    persist::Snapshot snap;
+    snap.imageDigest = cachedImageDigest();
+    snap.configFingerprint = persist::configFingerprint(config_);
+    for (const auto &[name, value] : stats_.all())
+        if (name.rfind("opt.", 0) == 0 || name.rfind("verify.", 0) == 0)
+            snap.provenance.emplace_back(name, value);
+
+    // Exit words are identified by address: every non-dynamic slot
+    // records the patch site of its exit_tb word (which chaining may
+    // have rewritten into a direct B -- exported un-chained either way).
+    std::unordered_map<CodeAddr, std::uint32_t> patchSlots;
+    for (std::uint32_t i = 0; i < chains_.slotCount(); ++i) {
+        const ExitSlot &slot = chains_.slot(i);
+        if (!slot.dynamic)
+            patchSlots.emplace(slot.patchSite, i);
+    }
+
+    // Deterministic record order: snapshots of the same run byte-match.
+    std::vector<gx86::Addr> pcs;
+    pcs.reserve(cache_.all().size());
+    for (const auto &[pc, tb] : cache_.all())
+        pcs.push_back(pc);
+    std::sort(pcs.begin(), pcs.end());
+
+    for (const gx86::Addr pc : pcs) {
+        const TbInfo &tb = *cache_.find(pc);
+        if (tb.tier == Tier::Interpreter)
+            continue;
+        persist::TbRecord rec;
+        rec.path = tb.path.empty() ? std::vector<gx86::Addr>{pc} : tb.path;
+        rec.tier = static_cast<std::uint8_t>(tb.tier);
+        rec.execCount = tb.execCount;
+        rec.successors = tb.successors;
+
+        // Re-derive the post-optimization IR the live words came from;
+        // the loader's validator needs it to discharge obligations whose
+        // accesses the optimizer eliminated.
+        try {
+            if (tb.tier == Tier::Superblock) {
+                tcg::Block sb = frontend_.acquireBlock(pc);
+                if (!buildSuperblockIr(frontend_, config_, rec.path, sb)) {
+                    frontend_.recycle(std::move(sb));
+                    stats_.bump("persist.tb_export_skipped");
+                    continue;
+                }
+                tcg::optimizeSuperblock(sb, config_.optimizer, nullptr);
+                rec.numLabels = sb.numLabels;
+                rec.numTemps = sb.numTemps;
+                rec.ir = sb.instrs;
+                frontend_.recycle(std::move(sb));
+            } else {
+                tcg::Block block = frontend_.translate(pc);
+                tcg::optimize(block, config_.optimizer, nullptr);
+                rec.numLabels = block.numLabels;
+                rec.numTemps = block.numTemps;
+                rec.ir = block.instrs;
+                frontend_.recycle(std::move(block));
+            }
+        } catch (const GuestFault &) {
+            stats_.bump("persist.tb_export_skipped");
+            continue;
+        }
+
+        rec.hostWords.reserve(tb.hostWords);
+        for (std::uint32_t i = 0; i < tb.hostWords; ++i) {
+            const CodeAddr addr = tb.entry + i;
+            const std::uint32_t word = code_.fetch(addr);
+            const auto it = patchSlots.find(addr);
+            if (it != patchSlots.end()) {
+                const ExitSlot &slot = chains_.slot(it->second);
+                rec.exits.push_back(
+                    {i, false, slot.chainable, slot.guestPc});
+                rec.hostWords.push_back(neutralExitWord());
+                continue;
+            }
+            if (aarch::decode(word).op == aarch::AOp::ExitTb) {
+                // Not a recorded patch site: the shared dynamic exit.
+                rec.exits.push_back({i, true, false, 0});
+                rec.hostWords.push_back(neutralExitWord());
+                continue;
+            }
+            rec.hostWords.push_back(word);
+        }
+        snap.records.push_back(std::move(rec));
+        stats_.bump("persist.tb_saved");
+    }
+    return snap;
+}
+
+PersistReport
+Dbt::importSnapshot(const persist::Snapshot &snapshot, bool validate)
+{
+    PersistReport report;
+    stats_.bump("persist.loads");
+    if (snapshot.imageDigest != cachedImageDigest()) {
+        stats_.bump("persist.load_image_mismatch");
+        report.note = "snapshot is for a different guest image";
+        return report;
+    }
+    if (snapshot.configFingerprint != persist::configFingerprint(config_)) {
+        stats_.bump("persist.load_config_mismatch");
+        report.note = "snapshot is for a different DBT configuration";
+        return report;
+    }
+    report.applied = true;
+
+    // Loaded code must pass the same obligation-graph check fresh
+    // translations get, whether or not this engine validates inline.
+    std::unique_ptr<verify::TbValidator> local;
+    const verify::TbValidator *checker = nullptr;
+    if (validate) {
+        checker = validator_.get();
+        if (checker == nullptr) {
+            verify::ValidatorOptions options;
+            options.rmw = config_.rmw;
+            local = std::make_unique<verify::TbValidator>(options);
+            checker = local.get();
+        }
+    }
+
+    auto reject = [&](const char *why) {
+        stats_.bump(std::string("persist.tb_rejected_") + why);
+        ++report.rejected;
+    };
+
+    for (const persist::TbRecord &rec : snapshot.records) {
+        if (faults_.shouldInject(faultsites::PersistRecord)) {
+            // Simulated per-record corruption: the drop is the recovery
+            // (the block degrades to cold translation).
+            reject("fault");
+            faults_.recovered(faultsites::PersistRecord);
+            continue;
+        }
+        if (rec.path.empty() || rec.hostWords.empty() ||
+            (rec.tier != static_cast<std::uint8_t>(Tier::Baseline) &&
+             rec.tier != static_cast<std::uint8_t>(Tier::Superblock))) {
+            reject("bounds");
+            continue;
+        }
+        const gx86::Addr head = rec.path.front();
+        if (cache_.find(head) != nullptr) {
+            reject("duplicate");
+            continue;
+        }
+        std::unordered_map<std::uint32_t, const persist::ExitSite *> exits;
+        bool dupes = false;
+        for (const persist::ExitSite &site : rec.exits)
+            dupes |= !exits.emplace(site.offset, &site).second;
+        if (dupes) {
+            reject("bounds");
+            continue;
+        }
+
+        const CodeAddr base = code_.end();
+        const std::size_t slotCheckpoint = chains_.slotCount();
+        auto rollback = [&]() {
+            code_.truncate(base);
+            chains_.truncateSlots(slotCheckpoint);
+        };
+        try {
+            for (std::uint32_t i = 0; i < rec.hostWords.size(); ++i) {
+                const auto it = exits.find(i);
+                if (it == exits.end()) {
+                    code_.append(rec.hostWords[i]);
+                    continue;
+                }
+                const persist::ExitSite &site = *it->second;
+                const std::uint32_t slot =
+                    site.dynamic
+                        ? chains_.dynamicSlot()
+                        : chains_.staticSlot(head, site.targetPc, base + i,
+                                             site.chainable &&
+                                                 config_.chaining);
+                code_.append(exitWordFor(slot));
+            }
+        } catch (const aarch::CodeBufferFull &) {
+            rollback();
+            reject("buffer");
+            report.note = "code buffer exhausted during import";
+            break; // Every remaining record would hit the same wall.
+        }
+
+        // Decode sanity even in checksum-only mode: the machine must
+        // never fetch a word it cannot decode.
+        std::vector<aarch::AInstr> host;
+        try {
+            host = verify::decodeRange(code_, base, code_.end());
+        } catch (const PanicError &) {
+            rollback();
+            reject("decode");
+            continue;
+        }
+
+        if (checker != nullptr) {
+            std::vector<gx86::Instruction> guest;
+            bool decodable = true;
+            try {
+                for (const gx86::Addr pc : rec.path) {
+                    const auto part = frontend_.decodeBlock(pc);
+                    guest.insert(guest.end(), part.begin(), part.end());
+                }
+            } catch (const GuestFault &) {
+                decodable = false;
+            }
+            if (!decodable) {
+                rollback();
+                reject("decode");
+                continue;
+            }
+            tcg::Block ir;
+            ir.guestPc = head;
+            ir.instrs = rec.ir;
+            ir.numLabels = rec.numLabels;
+            ir.numTemps = rec.numTemps;
+            const verify::ValidationReport checked = checker->validate(
+                guest, ir, host, head,
+                rec.tier == static_cast<std::uint8_t>(Tier::Superblock));
+            stats_.bump("persist.tb_validated");
+            if (!checked.ok()) {
+                rollback();
+                reject("validation");
+                for (const verify::Violation &v : checked.violations)
+                    violations_.push_back(v);
+                continue;
+            }
+        }
+
+        TbInfo &tb = cache_.insert(head, base,
+                                   static_cast<std::uint32_t>(
+                                       rec.hostWords.size()),
+                                   static_cast<Tier>(rec.tier));
+        tb.execCount = rec.execCount;
+        tb.successors.assign(rec.successors.begin(), rec.successors.end());
+        if (rec.tier == static_cast<std::uint8_t>(Tier::Superblock))
+            tb.path = rec.path;
+        stats_.bump("persist.tb_loaded");
+        ++report.loaded;
+    }
+    return report;
+}
+
+bool
+Dbt::savePersistentCache(const std::string &path)
+{
+    persist::Snapshot snap = exportSnapshot();
+    if (snap.records.empty())
+        return false;
+    support::writeFileBytes(path, persist::serialize(snap));
+    stats_.bump("persist.saves");
+    return true;
+}
+
+PersistReport
+Dbt::loadPersistentCache(const std::string &path, bool validate)
+{
+    PersistReport report;
+    if (!support::fileReadable(path)) {
+        stats_.bump("persist.load_missing");
+        report.note = "no snapshot at " + path + " (cold start)";
+        return report;
+    }
+    persist::ParseReport parsed;
+    const persist::Snapshot snap =
+        persist::parse(support::readFileBytes(path), parsed);
+    stats_.bump("persist.tb_rejected_checksum", parsed.recordsBadChecksum);
+    stats_.bump("persist.tb_rejected_bounds", parsed.recordsBadBounds);
+    if (!parsed.headerOk) {
+        if (parsed.version != 0 &&
+            parsed.version != persist::FormatVersion)
+            stats_.bump("persist.load_version_mismatch");
+        else
+            stats_.bump("persist.load_corrupt_header");
+        report.note = parsed.error + " (cold start)";
+        return report;
+    }
+    report = importSnapshot(snap, validate);
+    report.rejected += parsed.recordsBadChecksum + parsed.recordsBadBounds;
+    return report;
+}
+
+verify::BatchReport
+Dbt::verifyPersistentCache(const persist::Snapshot &snapshot)
+{
+    std::vector<verify::BatchItem> items;
+    verify::BatchReport undecodable;
+    for (const persist::TbRecord &rec : snapshot.records) {
+        verify::BatchItem item;
+        item.guestPc = rec.path.empty() ? 0 : rec.path.front();
+        item.superblock =
+            rec.tier == static_cast<std::uint8_t>(Tier::Superblock);
+        bool ok = !rec.path.empty();
+        try {
+            for (const gx86::Addr pc : rec.path) {
+                const auto part = frontend_.decodeBlock(pc);
+                item.guest.insert(item.guest.end(), part.begin(),
+                                  part.end());
+            }
+        } catch (const GuestFault &) {
+            ok = false;
+        }
+        try {
+            for (const std::uint32_t word : rec.hostWords)
+                item.host.push_back(aarch::decode(word));
+        } catch (const PanicError &) {
+            ok = false;
+        }
+        if (!ok) {
+            // Cannot even assemble the check: that is a failure too.
+            ++undecodable.itemsChecked;
+            ++undecodable.itemsFailed;
+            continue;
+        }
+        item.ir.guestPc = item.guestPc;
+        item.ir.instrs = rec.ir;
+        item.ir.numLabels = rec.numLabels;
+        item.ir.numTemps = rec.numTemps;
+        items.push_back(std::move(item));
+    }
+    verify::ValidatorOptions options;
+    options.rmw = config_.rmw;
+    const verify::TbValidator validator(
+        validator_ ? validator_->options() : options);
+    verify::BatchReport report = verify::validateBatch(validator, items);
+    report.itemsChecked += undecodable.itemsChecked;
+    report.itemsFailed += undecodable.itemsFailed;
+    return report;
+}
+
+} // namespace risotto::dbt

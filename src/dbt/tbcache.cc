@@ -70,6 +70,8 @@ TranslationCache::insert(gx86::Addr pc, aarch::CodeAddr entry,
     // seeing the true profile. A failed promotion mark is cleared --
     // the new translation deserves a fresh attempt.
     tb.promotionFailed = false;
+    if (tier != Tier::Superblock)
+        tb.path.clear();
     jumpCacheFill(pc, &tb);
     return tb;
 }

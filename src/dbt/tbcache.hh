@@ -57,6 +57,11 @@ struct TbInfo
 
     /** Chain successors observed at resolution time: (pc, count). */
     std::vector<std::pair<gx86::Addr, std::uint64_t>> successors;
+
+    /** Superblock region members in execution order (the promotion
+     * path); empty for single-block translations. Persisted snapshots
+     * use it to re-derive the superblock's IR deterministically. */
+    std::vector<gx86::Addr> path;
 };
 
 /** One row of a hottest-blocks report. */
@@ -117,6 +122,12 @@ class TranslationCache
     std::uint64_t generation() const { return generation_; }
 
     std::size_t size() const { return tbs_.size(); }
+
+    /** Every cached block (snapshot export / reporting). */
+    const std::unordered_map<gx86::Addr, TbInfo> &all() const
+    {
+        return tbs_;
+    }
 
     /** find() calls answered by the direct-mapped jump cache. */
     std::uint64_t jumpCacheHits() const { return jumpCacheHits_; }

@@ -53,6 +53,79 @@ runValidation(const verify::TbValidator &validator, const Frontend &frontend,
 
 } // namespace
 
+bool
+buildSuperblockIr(Frontend &frontend, const DbtConfig &config,
+                  const std::vector<gx86::Addr> &path, tcg::Block &sb)
+{
+    // Re-run the frontend over every region member and optimize each
+    // part in isolation first (counters stay off: the per-block work was
+    // already accounted when tier 1 translated these blocks).
+    std::vector<tcg::Block> parts;
+    parts.reserve(path.size());
+    for (const gx86::Addr pc : path) {
+        tcg::Block part = frontend.translate(pc);
+        tcg::optimize(part, config.optimizer, nullptr);
+        parts.push_back(std::move(part));
+    }
+
+    // Splice the parts into one straight-line superblock. Later parts'
+    // local temps and labels are renumbered into the combined block; each
+    // part's goto_tb to the next member becomes a fall-through (dropped
+    // when it is the part's final op, a branch to the seam label
+    // otherwise), so the seam disappears from the optimizer's view.
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        const tcg::Block &part = parts[i];
+        const tcg::TempId tempBase = sb.numTemps;
+        const std::int32_t labelBase = sb.numLabels;
+        sb.numTemps += part.numTemps - tcg::FirstLocalTemp;
+        sb.numLabels += part.numLabels;
+        const bool last = i + 1 == parts.size();
+        const std::uint64_t next_pc = last ? 0 : path[i + 1];
+        std::int32_t seamLabel = -1;
+        bool sawSeam = false;
+        for (std::size_t j = 0; j < part.instrs.size(); ++j) {
+            tcg::Instr in = part.instrs[j];
+            auto remap = [&](tcg::TempId t) {
+                return t >= tcg::FirstLocalTemp
+                           ? t - tcg::FirstLocalTemp + tempBase
+                           : t;
+            };
+            in.a = remap(in.a);
+            in.b = remap(in.b);
+            in.c = remap(in.c);
+            in.d = remap(in.d);
+            if (in.label >= 0)
+                in.label += labelBase;
+            if (!last && in.op == tcg::Op::GotoTb &&
+                static_cast<std::uint64_t>(in.imm) == next_pc) {
+                sawSeam = true;
+                if (j + 1 == part.instrs.size())
+                    continue; // Final op: plain fall-through, no label.
+                if (seamLabel < 0)
+                    seamLabel = sb.newLabel();
+                in = tcg::build::br(seamLabel);
+            }
+            sb.instrs.push_back(in);
+        }
+        if (!last) {
+            if (!sawSeam) {
+                // Profile lied: no edge to the next member.
+                for (tcg::Block &p : parts)
+                    frontend.recycle(std::move(p));
+                return false;
+            }
+            if (seamLabel >= 0)
+                sb.instrs.push_back(tcg::build::setLabel(seamLabel));
+        }
+    }
+
+    // The splice copied everything out of the parts; return their
+    // storage before the (allocation-heavy) superblock optimize pass.
+    for (tcg::Block &part : parts)
+        frontend.recycle(std::move(part));
+    return true;
+}
+
 // --- InterpreterTier --------------------------------------------------------
 
 std::optional<CodeAddr>
@@ -188,74 +261,16 @@ SuperblockTier::translate(gx86::Addr head, const TranslationEnv &env)
     if (path.size() < 2)
         return abandon(head);
 
-    // Re-run the frontend over every region member and optimize each
-    // part in isolation first (counters stay off: the per-block work was
-    // already accounted when tier 1 translated these blocks).
-    std::vector<tcg::Block> parts;
-    parts.reserve(path.size());
+    tcg::Block sb = frontend_.acquireBlock(head);
     try {
-        for (const gx86::Addr pc : path) {
-            tcg::Block part = frontend_.translate(pc);
-            tcg::optimize(part, config_.optimizer, nullptr);
-            parts.push_back(std::move(part));
+        if (!buildSuperblockIr(frontend_, config_, path, sb)) {
+            frontend_.recycle(std::move(sb));
+            return abandon(head); // Profile lied: no edge to next.
         }
     } catch (const GuestFault &) {
+        frontend_.recycle(std::move(sb));
         return abandon(head);
     }
-
-    // Splice the parts into one straight-line superblock. Later parts'
-    // local temps and labels are renumbered into the combined block; each
-    // part's goto_tb to the next member becomes a fall-through (dropped
-    // when it is the part's final op, a branch to the seam label
-    // otherwise), so the seam disappears from the optimizer's view.
-    tcg::Block sb = frontend_.acquireBlock(head);
-    for (std::size_t i = 0; i < parts.size(); ++i) {
-        const tcg::Block &part = parts[i];
-        const tcg::TempId tempBase = sb.numTemps;
-        const std::int32_t labelBase = sb.numLabels;
-        sb.numTemps += part.numTemps - tcg::FirstLocalTemp;
-        sb.numLabels += part.numLabels;
-        const bool last = i + 1 == parts.size();
-        const std::uint64_t next_pc = last ? 0 : path[i + 1];
-        std::int32_t seamLabel = -1;
-        bool sawSeam = false;
-        for (std::size_t j = 0; j < part.instrs.size(); ++j) {
-            tcg::Instr in = part.instrs[j];
-            auto remap = [&](tcg::TempId t) {
-                return t >= tcg::FirstLocalTemp
-                           ? t - tcg::FirstLocalTemp + tempBase
-                           : t;
-            };
-            in.a = remap(in.a);
-            in.b = remap(in.b);
-            in.c = remap(in.c);
-            in.d = remap(in.d);
-            if (in.label >= 0)
-                in.label += labelBase;
-            if (!last && in.op == tcg::Op::GotoTb &&
-                static_cast<std::uint64_t>(in.imm) == next_pc) {
-                sawSeam = true;
-                if (j + 1 == part.instrs.size())
-                    continue; // Final op: plain fall-through, no label.
-                if (seamLabel < 0)
-                    seamLabel = sb.newLabel();
-                in = tcg::build::br(seamLabel);
-            }
-            sb.instrs.push_back(in);
-        }
-        if (!last) {
-            if (!sawSeam)
-                return abandon(head); // Profile lied: no edge to next.
-            if (seamLabel >= 0)
-                sb.instrs.push_back(tcg::build::setLabel(seamLabel));
-        }
-    }
-
-    // The splice copied everything out of the parts; return their
-    // storage before the (allocation-heavy) superblock optimize pass.
-    for (tcg::Block &part : parts)
-        frontend_.recycle(std::move(part));
-    parts.clear();
 
     tcg::optimizeSuperblock(sb, config_.optimizer, &stats_);
 
@@ -277,7 +292,10 @@ SuperblockTier::translate(gx86::Addr head, const TranslationEnv &env)
             return abandon(head);
         }
         stats_.bump("dbt.host_words", code_.end() - entry);
-        cache_.promote(head, entry, code_.end() - entry, Tier::Superblock);
+        TbInfo &tb =
+            cache_.promote(head, entry, code_.end() - entry,
+                           Tier::Superblock);
+        tb.path = path;
         stats_.bump("dbt.tier2_superblocks");
         stats_.bump("dbt.tier2_blocks_subsumed", path.size());
         frontend_.recycle(std::move(sb));

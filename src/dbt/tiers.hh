@@ -36,6 +36,24 @@
 namespace risotto::dbt
 {
 
+/**
+ * Re-run the frontend over every member of @p path, optimize each part
+ * in isolation, and splice the parts into @p sb (already acquired for
+ * the head pc) as one straight-line superblock: later parts' local
+ * temps and labels are renumbered, and each part's goto_tb to the next
+ * member becomes a fall-through or a branch to the seam label. The
+ * caller runs tcg::optimizeSuperblock over the result.
+ *
+ * Shared by tier-2 promotion and snapshot export, which must derive
+ * byte-identical superblock IR for the same path.
+ *
+ * @return false when the members' exits do not actually link the path
+ *         (a stale profile). @throws GuestFault on undecodable members.
+ */
+bool buildSuperblockIr(Frontend &frontend, const DbtConfig &config,
+                       const std::vector<gx86::Addr> &path,
+                       tcg::Block &sb);
+
 /** Tier 0: route blocks through the in-place interpreter. */
 class InterpreterTier : public ExecutionTier
 {

@@ -1,0 +1,52 @@
+#include "persist/fingerprint.hh"
+
+#include <vector>
+
+#include "dbt/frontend.hh"
+#include "gx86/imagefile.hh"
+#include "persist/snapshot.hh"
+
+namespace risotto::persist
+{
+
+namespace
+{
+
+void
+mix(std::vector<std::uint8_t> &bytes, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+} // namespace
+
+support::Sha256Digest
+imageDigest(const gx86::GuestImage &image)
+{
+    return support::sha256(gx86::serializeImage(image));
+}
+
+std::uint64_t
+configFingerprint(const dbt::DbtConfig &config)
+{
+    std::vector<std::uint8_t> bytes;
+    mix(bytes, FormatVersion);
+    mix(bytes, dbt::Frontend::MaxBlockInstructions);
+    mix(bytes, static_cast<std::uint64_t>(config.frontend));
+    mix(bytes, static_cast<std::uint64_t>(config.backend));
+    mix(bytes, static_cast<std::uint64_t>(config.rmw));
+    mix(bytes, config.optimizer.fenceMerging);
+    mix(bytes, config.optimizer.constantFolding);
+    mix(bytes, config.optimizer.memoryElimination);
+    mix(bytes, config.optimizer.deadCodeElimination);
+    mix(bytes, config.hostLinker);
+    mix(bytes, config.chaining);
+    mix(bytes, config.tier2);
+    mix(bytes, config.tier2Threshold);
+    mix(bytes, config.tier2MaxBlocks);
+    mix(bytes, config.validateTranslations);
+    return support::fnv1a64(bytes);
+}
+
+} // namespace risotto::persist

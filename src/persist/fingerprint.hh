@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Snapshot keying: what makes a persistent translation cache reusable.
+ *
+ * An RTBC file is only valid for the exact guest program and the exact
+ * translation pipeline that produced it. The guest side is keyed by the
+ * SHA-256 of the canonical RISO serialization of the image (so the key
+ * survives re-saving the same program). The pipeline side is keyed by
+ * an FNV-1a fingerprint over every DbtConfig field that changes emitted
+ * code or its validation status -- mapping schemes, RMW lowering,
+ * optimizer toggles, chaining, tiering parameters -- plus the snapshot
+ * format version and the frontend block-size cap, so that incompatible
+ * engine revisions self-invalidate instead of loading stale code.
+ */
+
+#ifndef RISOTTO_PERSIST_FINGERPRINT_HH
+#define RISOTTO_PERSIST_FINGERPRINT_HH
+
+#include <cstdint>
+
+#include "dbt/config.hh"
+#include "gx86/image.hh"
+#include "support/checksum.hh"
+
+namespace risotto::persist
+{
+
+/** SHA-256 of the canonical serialized form of @p image. */
+support::Sha256Digest imageDigest(const gx86::GuestImage &image);
+
+/** Fingerprint of the translation-relevant configuration fields. */
+std::uint64_t configFingerprint(const dbt::DbtConfig &config);
+
+} // namespace risotto::persist
+
+#endif // RISOTTO_PERSIST_FINGERPRINT_HH

@@ -1,0 +1,456 @@
+#include "persist/snapshot.hh"
+
+#include "memcore/event.hh"
+
+namespace risotto::persist
+{
+
+namespace
+{
+
+constexpr std::uint32_t Magic = 0x43425452; // "RTBC" little-endian.
+
+// Sanity caps: no declared count may demand more memory than a
+// plausible snapshot contains, no matter what a corrupt length says.
+constexpr std::size_t MaxPathMembers = 256;
+constexpr std::size_t MaxSuccessors = 1u << 16;
+constexpr std::size_t MaxIrOps = 1u << 20;
+constexpr std::size_t MaxHostWords = 1u << 22;
+constexpr std::size_t MaxProvenance = 4096;
+constexpr std::size_t MaxNameLen = 256;
+constexpr std::size_t HeaderSize = 64;
+constexpr std::size_t FrameOverhead = 4 + 8; // length + checksum.
+
+class Writer
+{
+  public:
+    explicit Writer(std::vector<std::uint8_t> &out) : out_(out) {}
+
+    void
+    u8(std::uint8_t v)
+    {
+        out_.push_back(v);
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        u8(static_cast<std::uint8_t>(v));
+        u8(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        u16(static_cast<std::uint16_t>(v));
+        u16(static_cast<std::uint16_t>(v >> 16));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+        u32(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    void
+    i32(std::int32_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+    }
+
+    void
+    i64(std::int64_t v)
+    {
+        u64(static_cast<std::uint64_t>(v));
+    }
+
+  private:
+    std::vector<std::uint8_t> &out_;
+};
+
+/**
+ * Bounds-checked little-endian cursor. Every read reports success
+ * instead of throwing; a read past the limit leaves the cursor in a
+ * permanently failed state so callers can check once per frame.
+ */
+class Cursor
+{
+  public:
+    Cursor(const std::uint8_t *bytes, std::size_t size)
+        : bytes_(bytes), size_(size)
+    {
+    }
+
+    bool
+    u8(std::uint8_t &v)
+    {
+        if (!need(1))
+            return false;
+        v = bytes_[pos_++];
+        return true;
+    }
+
+    bool
+    u16(std::uint16_t &v)
+    {
+        if (!need(2))
+            return false;
+        v = static_cast<std::uint16_t>(bytes_[pos_] |
+                                       (bytes_[pos_ + 1] << 8));
+        pos_ += 2;
+        return true;
+    }
+
+    bool
+    u32(std::uint32_t &v)
+    {
+        std::uint16_t lo = 0;
+        std::uint16_t hi = 0;
+        if (!u16(lo) || !u16(hi))
+            return false;
+        v = static_cast<std::uint32_t>(lo) |
+            (static_cast<std::uint32_t>(hi) << 16);
+        return true;
+    }
+
+    bool
+    u64(std::uint64_t &v)
+    {
+        std::uint32_t lo = 0;
+        std::uint32_t hi = 0;
+        if (!u32(lo) || !u32(hi))
+            return false;
+        v = static_cast<std::uint64_t>(lo) |
+            (static_cast<std::uint64_t>(hi) << 32);
+        return true;
+    }
+
+    bool
+    i32(std::int32_t &v)
+    {
+        std::uint32_t raw = 0;
+        if (!u32(raw))
+            return false;
+        v = static_cast<std::int32_t>(raw);
+        return true;
+    }
+
+    bool
+    i64(std::int64_t &v)
+    {
+        std::uint64_t raw = 0;
+        if (!u64(raw))
+            return false;
+        v = static_cast<std::int64_t>(raw);
+        return true;
+    }
+
+    std::size_t remaining() const { return size_ - pos_; }
+
+    bool
+    skip(std::size_t n)
+    {
+        if (!need(n))
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    const std::uint8_t *here() const { return bytes_ + pos_; }
+
+  private:
+    bool
+    need(std::size_t n)
+    {
+        // Overflow-safe: compare against the remainder, never pos_ + n.
+        if (failed_ || n > size_ - pos_) {
+            failed_ = true;
+            return false;
+        }
+        return true;
+    }
+
+    const std::uint8_t *bytes_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+void
+writeFrame(std::vector<std::uint8_t> &out,
+           const std::vector<std::uint8_t> &payload)
+{
+    Writer w(out);
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    w.u64(support::fnv1a64(payload));
+}
+
+void
+serializeRecord(const TbRecord &record, std::vector<std::uint8_t> &out)
+{
+    Writer w(out);
+    w.u32(static_cast<std::uint32_t>(record.path.size()));
+    for (const std::uint64_t pc : record.path)
+        w.u64(pc);
+    w.u8(record.tier);
+    w.u64(record.execCount);
+    w.u32(static_cast<std::uint32_t>(record.successors.size()));
+    for (const auto &[pc, count] : record.successors) {
+        w.u64(pc);
+        w.u64(count);
+    }
+    w.i32(record.numLabels);
+    w.i32(record.numTemps);
+    w.u32(static_cast<std::uint32_t>(record.ir.size()));
+    for (const tcg::Instr &in : record.ir) {
+        w.u8(static_cast<std::uint8_t>(in.op));
+        w.i32(in.a);
+        w.i32(in.b);
+        w.i32(in.c);
+        w.i32(in.d);
+        w.i64(in.imm);
+        w.u8(static_cast<std::uint8_t>(in.fence));
+        w.u8(static_cast<std::uint8_t>(in.cond));
+        w.i32(in.label);
+        w.u8(static_cast<std::uint8_t>(in.helper));
+    }
+    w.u32(static_cast<std::uint32_t>(record.hostWords.size()));
+    for (const std::uint32_t word : record.hostWords)
+        w.u32(word);
+    w.u32(static_cast<std::uint32_t>(record.exits.size()));
+    for (const ExitSite &exit : record.exits) {
+        w.u32(exit.offset);
+        w.u8(static_cast<std::uint8_t>((exit.dynamic ? 1 : 0) |
+                                       (exit.chainable ? 2 : 0)));
+        w.u64(exit.targetPc);
+    }
+}
+
+/** Parse one record payload; false leaves @p record partially filled
+ * (the caller discards it). */
+bool
+parseRecord(Cursor &c, TbRecord &record)
+{
+    std::uint32_t path_count = 0;
+    if (!c.u32(path_count) || path_count == 0 ||
+        path_count > MaxPathMembers)
+        return false;
+    record.path.resize(path_count);
+    for (std::uint64_t &pc : record.path)
+        if (!c.u64(pc))
+            return false;
+    if (!c.u8(record.tier) || !c.u64(record.execCount))
+        return false;
+    std::uint32_t succ_count = 0;
+    if (!c.u32(succ_count) || succ_count > MaxSuccessors)
+        return false;
+    record.successors.resize(succ_count);
+    for (auto &[pc, count] : record.successors)
+        if (!c.u64(pc) || !c.u64(count))
+            return false;
+    if (!c.i32(record.numLabels) || !c.i32(record.numTemps))
+        return false;
+    if (record.numLabels < 0 ||
+        record.numLabels > static_cast<std::int32_t>(MaxIrOps) ||
+        record.numTemps < 0 ||
+        record.numTemps > static_cast<std::int32_t>(MaxIrOps))
+        return false;
+    std::uint32_t ir_count = 0;
+    if (!c.u32(ir_count) || ir_count > MaxIrOps)
+        return false;
+    record.ir.resize(ir_count);
+    for (tcg::Instr &in : record.ir) {
+        std::uint8_t op = 0;
+        std::uint8_t fence = 0;
+        std::uint8_t cond = 0;
+        std::uint8_t helper = 0;
+        if (!c.u8(op) || !c.i32(in.a) || !c.i32(in.b) || !c.i32(in.c) ||
+            !c.i32(in.d) || !c.i64(in.imm) || !c.u8(fence) ||
+            !c.u8(cond) || !c.i32(in.label) || !c.u8(helper))
+            return false;
+        if (op > static_cast<std::uint8_t>(tcg::Op::GotoTb) ||
+            fence > static_cast<std::uint8_t>(memcore::FenceKind::DmbSt) ||
+            cond > static_cast<std::uint8_t>(gx86::Cond::Gt) ||
+            helper > static_cast<std::uint8_t>(tcg::HelperId::HostCall))
+            return false;
+        in.op = static_cast<tcg::Op>(op);
+        in.fence = static_cast<memcore::FenceKind>(fence);
+        in.cond = static_cast<gx86::Cond>(cond);
+        in.helper = static_cast<tcg::HelperId>(helper);
+    }
+    std::uint32_t word_count = 0;
+    if (!c.u32(word_count) || word_count == 0 ||
+        word_count > MaxHostWords)
+        return false;
+    record.hostWords.resize(word_count);
+    for (std::uint32_t &word : record.hostWords)
+        if (!c.u32(word))
+            return false;
+    std::uint32_t exit_count = 0;
+    if (!c.u32(exit_count) || exit_count > word_count)
+        return false;
+    record.exits.resize(exit_count);
+    for (ExitSite &exit : record.exits) {
+        std::uint8_t flags = 0;
+        if (!c.u32(exit.offset) || !c.u8(flags) || !c.u64(exit.targetPc))
+            return false;
+        if (exit.offset >= word_count || flags > 3)
+            return false;
+        exit.dynamic = (flags & 1) != 0;
+        exit.chainable = (flags & 2) != 0;
+    }
+    return c.remaining() == 0;
+}
+
+/**
+ * Read one length-prefixed frame. Returns false when even the frame
+ * structure is unreadable (truncation: the caller stops). A frame whose
+ * checksum fails yields ok=false but still advances past it.
+ */
+bool
+nextFrame(Cursor &c, const std::uint8_t *&payload, std::size_t &size,
+          bool &ok)
+{
+    std::uint32_t length = 0;
+    ok = false;
+    if (!c.u32(length) || length > c.remaining())
+        return false;
+    payload = c.here();
+    size = length;
+    if (!c.skip(length))
+        return false;
+    std::uint64_t stored = 0;
+    if (!c.u64(stored))
+        return false;
+    ok = support::fnv1a64(payload, size) == stored;
+    return true;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+serialize(const Snapshot &snapshot)
+{
+    std::vector<std::uint8_t> out;
+    Writer w(out);
+    w.u32(Magic);
+    w.u32(FormatVersion);
+    out.insert(out.end(), snapshot.imageDigest.begin(),
+               snapshot.imageDigest.end());
+    w.u64(snapshot.configFingerprint);
+    w.u32(static_cast<std::uint32_t>(snapshot.provenance.size()));
+    w.u32(static_cast<std::uint32_t>(snapshot.records.size()));
+    w.u64(support::fnv1a64(out.data(), out.size()));
+
+    std::vector<std::uint8_t> payload;
+    Writer p(payload);
+    for (const auto &[name, value] : snapshot.provenance) {
+        p.u16(static_cast<std::uint16_t>(name.size()));
+        payload.insert(payload.end(), name.begin(), name.end());
+        p.u64(value);
+    }
+    writeFrame(out, payload);
+
+    for (const TbRecord &record : snapshot.records) {
+        payload.clear();
+        serializeRecord(record, payload);
+        writeFrame(out, payload);
+    }
+    return out;
+}
+
+Snapshot
+parse(const std::vector<std::uint8_t> &bytes, ParseReport &report)
+{
+    Snapshot snapshot;
+    report = ParseReport{};
+
+    if (bytes.size() < HeaderSize) {
+        report.error = "truncated RTBC header";
+        return snapshot;
+    }
+    Cursor header(bytes.data(), HeaderSize);
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    std::uint32_t prov_count = 0;
+    std::uint32_t record_count = 0;
+    std::uint64_t stored = 0;
+    header.u32(magic);
+    header.u32(version);
+    for (std::uint8_t &byte : snapshot.imageDigest)
+        header.u8(byte);
+    header.u64(snapshot.configFingerprint);
+    header.u32(prov_count);
+    header.u32(record_count);
+    header.u64(stored);
+    if (magic != Magic) {
+        report.error = "not an RTBC snapshot (bad magic)";
+        return snapshot;
+    }
+    if (support::fnv1a64(bytes.data(), HeaderSize - 8) != stored) {
+        report.error = "RTBC header checksum mismatch";
+        return snapshot;
+    }
+    // Only a checksummed header's version is trustworthy: callers use
+    // it to tell "wrong version" apart from plain corruption.
+    report.version = version;
+    if (version != FormatVersion) {
+        report.error = "unsupported RTBC version " +
+                       std::to_string(version);
+        return snapshot;
+    }
+    if (prov_count > MaxProvenance) {
+        report.error = "implausible RTBC provenance count";
+        return snapshot;
+    }
+    report.headerOk = true;
+
+    Cursor c(bytes.data() + HeaderSize, bytes.size() - HeaderSize);
+    const std::uint8_t *payload = nullptr;
+    std::size_t size = 0;
+    bool ok = false;
+
+    // Provenance frame: optional trust -- a corrupt one is dropped
+    // without affecting the records.
+    if (!nextFrame(c, payload, size, ok))
+        return snapshot;
+    if (ok) {
+        Cursor p(payload, size);
+        for (std::uint32_t i = 0; i < prov_count; ++i) {
+            std::uint16_t len = 0;
+            if (!p.u16(len) || len > MaxNameLen || len > p.remaining())
+                break;
+            std::string name(reinterpret_cast<const char *>(p.here()),
+                             len);
+            std::uint64_t value = 0;
+            if (!p.skip(len) || !p.u64(value))
+                break;
+            snapshot.provenance.emplace_back(std::move(name), value);
+        }
+    }
+
+    for (std::uint32_t i = 0; i < record_count; ++i) {
+        if (!nextFrame(c, payload, size, ok)) {
+            // Truncated mid-frame: everything after is unreadable.
+            report.recordsBadBounds += record_count - i;
+            break;
+        }
+        if (!ok) {
+            ++report.recordsBadChecksum;
+            continue;
+        }
+        Cursor r(payload, size);
+        TbRecord record;
+        if (!parseRecord(r, record)) {
+            ++report.recordsBadBounds;
+            continue;
+        }
+        snapshot.records.push_back(std::move(record));
+        ++report.recordsLoaded;
+    }
+    return snapshot;
+}
+
+} // namespace risotto::persist

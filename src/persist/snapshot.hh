@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The persistent translation cache ("RTBC" files): data model and
+ * binary format.
+ *
+ * A snapshot captures everything the tiered pipeline needs to warm-start
+ * a guest: per translated block, the region member guest pcs, the tier,
+ * the post-optimization TCG IR, the emitted host words in relocatable
+ * form, the exit descriptors that rebind those words to fresh chain
+ * slots, and the execution profile (exec count, chain successors) that
+ * lets tier-2 promotion resume immediately. Snapshots are keyed by the
+ * SHA-256 of the serialized guest image and a fingerprint of the DBT
+ * configuration: either mismatch means the translations are for a
+ * different program or pipeline and the whole file is ignored.
+ *
+ * Layout (all integers little-endian):
+ *
+ *   offset  field
+ *   0       magic "RTBC"                        (u32)
+ *   4       format version                      (u32, currently 1)
+ *   8       guest image SHA-256                 (32 bytes)
+ *   40      config fingerprint                  (u64)
+ *   48      provenance entry count              (u32)
+ *   52      record count                        (u32)
+ *   56      FNV-1a 64 checksum of bytes [0,56)  (u64)
+ *   64      provenance section, then records
+ *
+ * The provenance section and every record are framed the same way:
+ * u32 payload length, payload bytes, u64 FNV-1a checksum of the
+ * payload. Loading is robustness-first: every length is bounded
+ * against the remaining file and a per-field sanity cap, every
+ * checksum is verified before any field is trusted, and a bad frame is
+ * skipped by its declared length so one corrupt record costs one
+ * record, not the file. Nothing in this module throws on malformed
+ * input -- parse results carry per-reason drop counts instead, and the
+ * worst corruption outcome is an empty snapshot (a cold start).
+ */
+
+#ifndef RISOTTO_PERSIST_SNAPSHOT_HH
+#define RISOTTO_PERSIST_SNAPSHOT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/checksum.hh"
+#include "tcg/ir.hh"
+
+namespace risotto::persist
+{
+
+/** Format version written by serialize(). */
+constexpr std::uint32_t FormatVersion = 1;
+
+/** One relocatable exit site inside a record's host words. */
+struct ExitSite
+{
+    /** Word offset of the exit_tb word from the record's entry. */
+    std::uint32_t offset = 0;
+
+    /** True for the shared dynamic-dispatch exit. */
+    bool dynamic = false;
+
+    /** Static exits: eligible for goto_tb chaining. */
+    bool chainable = false;
+
+    /** Static exits: target guest pc. */
+    std::uint64_t targetPc = 0;
+};
+
+/** One translated block (or superblock region) of a snapshot. */
+struct TbRecord
+{
+    /** Region member guest pcs in execution order; front() is the
+     * entry the block is keyed by. Baseline blocks have exactly one. */
+    std::vector<std::uint64_t> path;
+
+    /** dbt::Tier of the translation (Baseline or Superblock),
+     * widened so this header does not depend on the engine. */
+    std::uint8_t tier = 1;
+
+    /** Execution profile: resolutions counted against this block. */
+    std::uint64_t execCount = 0;
+
+    /** Chain successors observed at resolution time: (pc, count). */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> successors;
+
+    /** Post-optimization TCG IR the host words were compiled from. */
+    std::int32_t numLabels = 0;
+    std::int32_t numTemps = 0;
+    std::vector<tcg::Instr> ir;
+
+    /** Emitted host words, position-independent: every exit_tb word is
+     * neutralized (slot 0) and re-bound through `exits` at load time;
+     * chained exits are exported un-chained. */
+    std::vector<std::uint32_t> hostWords;
+
+    std::vector<ExitSite> exits;
+};
+
+/** A full snapshot. */
+struct Snapshot
+{
+    support::Sha256Digest imageDigest{};
+    std::uint64_t configFingerprint = 0;
+
+    /** opt.* / verify.* counters of the exporting engine: the
+     * optimization and validation provenance of the stored code. */
+    std::vector<std::pair<std::string, std::uint64_t>> provenance;
+
+    std::vector<TbRecord> records;
+};
+
+/** Why parse() dropped bytes it could not trust. */
+struct ParseReport
+{
+    /** File rejected outright (no records were even attempted). */
+    bool headerOk = false;
+
+    /** Version field of the file (set once the header checksum
+     * verified; 0 otherwise). */
+    std::uint32_t version = 0;
+
+    std::uint64_t recordsLoaded = 0;
+    std::uint64_t recordsBadChecksum = 0;
+    std::uint64_t recordsBadBounds = 0;
+
+    /** Human-readable reason when headerOk is false. */
+    std::string error;
+};
+
+/** Serialize @p snapshot to the RTBC byte format. */
+std::vector<std::uint8_t> serialize(const Snapshot &snapshot);
+
+/**
+ * Parse an RTBC byte stream. Never throws on malformed input: corrupt
+ * frames are dropped and counted in @p report, and a bad header yields
+ * an empty snapshot with report.headerOk == false.
+ */
+Snapshot parse(const std::vector<std::uint8_t> &bytes,
+               ParseReport &report);
+
+} // namespace risotto::persist
+
+#endif // RISOTTO_PERSIST_SNAPSHOT_HH

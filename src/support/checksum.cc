@@ -1,0 +1,186 @@
+#include "support/checksum.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "support/error.hh"
+
+namespace risotto::support
+{
+
+std::uint64_t
+fnv1a64(const std::uint8_t *bytes, std::size_t n)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= bytes[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+fnv1a64(const std::vector<std::uint8_t> &bytes)
+{
+    return fnv1a64(bytes.data(), bytes.size());
+}
+
+namespace
+{
+
+// FIPS 180-4 SHA-256 round constants.
+constexpr std::uint32_t K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b,
+    0x59f111f1, 0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01,
+    0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7,
+    0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+    0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152,
+    0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819,
+    0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116, 0x1e376c08,
+    0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f,
+    0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+std::uint32_t
+rotr(std::uint32_t x, unsigned n)
+{
+    return (x >> n) | (x << (32 - n));
+}
+
+void
+sha256Block(std::uint32_t state[8], const std::uint8_t block[64])
+{
+    std::uint32_t w[64];
+    for (int t = 0; t < 16; ++t)
+        w[t] = (static_cast<std::uint32_t>(block[4 * t]) << 24) |
+               (static_cast<std::uint32_t>(block[4 * t + 1]) << 16) |
+               (static_cast<std::uint32_t>(block[4 * t + 2]) << 8) |
+               static_cast<std::uint32_t>(block[4 * t + 3]);
+    for (int t = 16; t < 64; ++t) {
+        const std::uint32_t s0 = rotr(w[t - 15], 7) ^ rotr(w[t - 15], 18) ^
+                                 (w[t - 15] >> 3);
+        const std::uint32_t s1 = rotr(w[t - 2], 17) ^ rotr(w[t - 2], 19) ^
+                                 (w[t - 2] >> 10);
+        w[t] = w[t - 16] + s0 + w[t - 7] + s1;
+    }
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+    for (int t = 0; t < 64; ++t) {
+        const std::uint32_t s1 =
+            rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+        const std::uint32_t ch = (e & f) ^ (~e & g);
+        const std::uint32_t t1 = h + s1 + ch + K[t] + w[t];
+        const std::uint32_t s0 =
+            rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+        const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+        const std::uint32_t t2 = s0 + maj;
+        h = g;
+        g = f;
+        f = e;
+        e = d + t1;
+        d = c;
+        c = b;
+        b = a;
+        a = t1 + t2;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+}
+
+} // namespace
+
+Sha256Digest
+sha256(const std::uint8_t *bytes, std::size_t n)
+{
+    std::uint32_t state[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                              0xa54ff53a, 0x510e527f, 0x9b05688c,
+                              0x1f83d9ab, 0x5be0cd19};
+    std::size_t full = n / 64;
+    for (std::size_t i = 0; i < full; ++i)
+        sha256Block(state, bytes + 64 * i);
+
+    // Final block(s): the 0x80 terminator, zero padding, and the
+    // 64-bit big-endian bit length.
+    std::uint8_t tail[128];
+    const std::size_t rest = n - 64 * full;
+    if (rest > 0)
+        std::memcpy(tail, bytes + 64 * full, rest);
+    tail[rest] = 0x80;
+    const std::size_t padded = rest + 9 <= 64 ? 64 : 128;
+    std::memset(tail + rest + 1, 0, padded - rest - 1 - 8);
+    const std::uint64_t bits = static_cast<std::uint64_t>(n) * 8;
+    for (int i = 0; i < 8; ++i)
+        tail[padded - 1 - i] = static_cast<std::uint8_t>(bits >> (8 * i));
+    sha256Block(state, tail);
+    if (padded == 128)
+        sha256Block(state, tail + 64);
+
+    Sha256Digest digest;
+    for (int i = 0; i < 8; ++i) {
+        digest[4 * i] = static_cast<std::uint8_t>(state[i] >> 24);
+        digest[4 * i + 1] = static_cast<std::uint8_t>(state[i] >> 16);
+        digest[4 * i + 2] = static_cast<std::uint8_t>(state[i] >> 8);
+        digest[4 * i + 3] = static_cast<std::uint8_t>(state[i]);
+    }
+    return digest;
+}
+
+Sha256Digest
+sha256(const std::vector<std::uint8_t> &bytes)
+{
+    return sha256(bytes.data(), bytes.size());
+}
+
+std::string
+digestHex(const Sha256Digest &digest)
+{
+    static const char *hex = "0123456789abcdef";
+    std::string out;
+    out.reserve(digest.size() * 2);
+    for (const std::uint8_t byte : digest) {
+        out.push_back(hex[byte >> 4]);
+        out.push_back(hex[byte & 0xf]);
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatalIf(!in, "cannot open " + path);
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    fatalIf(in.bad(), "read failed for " + path);
+    return bytes;
+}
+
+bool
+fileReadable(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return static_cast<bool>(in);
+}
+
+void
+writeFileBytes(const std::string &path,
+               const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary);
+    fatalIf(!out, "cannot open " + path + " for writing");
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    fatalIf(!out, "write failed for " + path);
+}
+
+} // namespace risotto::support

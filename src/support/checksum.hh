@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Checksum and file I/O helpers shared by the on-disk formats.
+ *
+ * Two integrity primitives back the persistent formats: FNV-1a 64 for
+ * cheap per-record checksums (the RISO payload checksum uses the same
+ * function) and FIPS 180-4 SHA-256 for content addressing -- the
+ * persistent translation cache keys snapshots by the digest of the
+ * guest image so a rebuilt binary can never be paired with stale
+ * translations. The file helpers read and write whole byte vectors with
+ * typed FatalErrors on I/O failure.
+ */
+
+#ifndef RISOTTO_SUPPORT_CHECKSUM_HH
+#define RISOTTO_SUPPORT_CHECKSUM_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace risotto::support
+{
+
+/** FNV-1a 64-bit over @p n bytes. */
+std::uint64_t fnv1a64(const std::uint8_t *bytes, std::size_t n);
+
+/** FNV-1a 64-bit over a byte vector. */
+std::uint64_t fnv1a64(const std::vector<std::uint8_t> &bytes);
+
+/** A SHA-256 digest (FIPS 180-4). */
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/** SHA-256 of @p n bytes. */
+Sha256Digest sha256(const std::uint8_t *bytes, std::size_t n);
+
+/** SHA-256 of a byte vector. */
+Sha256Digest sha256(const std::vector<std::uint8_t> &bytes);
+
+/** Lower-case hex rendering of a digest. */
+std::string digestHex(const Sha256Digest &digest);
+
+/** Read the whole file at @p path. @throws FatalError on I/O errors. */
+std::vector<std::uint8_t> readFileBytes(const std::string &path);
+
+/** True when @p path exists and is readable. */
+bool fileReadable(const std::string &path);
+
+/** Write @p bytes to @p path. @throws FatalError on I/O errors. */
+void writeFileBytes(const std::string &path,
+                    const std::vector<std::uint8_t> &bytes);
+
+} // namespace risotto::support
+
+#endif // RISOTTO_SUPPORT_CHECKSUM_HH

@@ -40,10 +40,14 @@ inline constexpr const char *DbtBuffer = "dbt.buffer";
  * allowed on Arm, so injection here is behaviour-preserving by
  * construction and drives the livelock watchdog. */
 inline constexpr const char *MachineStxr = "machine.stxr";
+/** Loading one record of a persistent translation-cache snapshot
+ * fails (simulated corruption): the record is dropped and the block
+ * degrades to cold translation, never to wrong code. */
+inline constexpr const char *PersistRecord = "persist.record";
 
 /** All registered site names (for "arm everything" plans). */
 inline constexpr const char *All[] = {DbtDecode, DbtEncode, DbtBuffer,
-                                      MachineStxr};
+                                      MachineStxr, PersistRecord};
 } // namespace faultsites
 
 /** Declarative fault schedule: which sites fire, how often, which seed. */

@@ -1,0 +1,25 @@
+#include "verify/batch.hh"
+
+namespace risotto::verify
+{
+
+BatchReport
+validateBatch(const TbValidator &validator,
+              const std::vector<BatchItem> &items)
+{
+    BatchReport report;
+    for (const BatchItem &item : items) {
+        ++report.itemsChecked;
+        ValidationReport one = validator.validate(
+            item.guest, item.ir, item.host, item.guestPc, item.superblock);
+        report.pairsChecked += one.pairsChecked;
+        if (one.ok())
+            continue;
+        ++report.itemsFailed;
+        for (Violation &v : one.violations)
+            report.violations.push_back(std::move(v));
+    }
+    return report;
+}
+
+} // namespace risotto::verify

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Batch re-validation: run the per-TB obligation-graph check over many
+ * pre-assembled translations at once.
+ *
+ * The per-translation validator (TbValidator) is what the tiers call
+ * inline; this entry point serves offline audits -- most importantly
+ * re-validating every record of a persistent translation-cache snapshot
+ * (risotto-run --tb-cache-verify) without installing anything into a
+ * live engine.
+ */
+
+#ifndef RISOTTO_VERIFY_BATCH_HH
+#define RISOTTO_VERIFY_BATCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "verify/verifier.hh"
+
+namespace risotto::verify
+{
+
+/** One pre-assembled translation to re-validate. */
+struct BatchItem
+{
+    /** Decoded guest instructions of the whole region. */
+    std::vector<gx86::Instruction> guest;
+
+    /** Post-optimization IR the host code claims to come from. */
+    tcg::Block ir;
+
+    /** Decoded host instructions. */
+    std::vector<aarch::AInstr> host;
+
+    std::uint64_t guestPc = 0;
+    bool superblock = false;
+};
+
+/** Aggregate result of a batch run. */
+struct BatchReport
+{
+    std::uint64_t itemsChecked = 0;
+    std::uint64_t itemsFailed = 0;
+    std::uint64_t pairsChecked = 0;
+    std::vector<Violation> violations;
+
+    bool ok() const { return itemsFailed == 0; }
+};
+
+/** Validate every item; never throws. */
+BatchReport validateBatch(const TbValidator &validator,
+                          const std::vector<BatchItem> &items);
+
+} // namespace risotto::verify
+
+#endif // RISOTTO_VERIFY_BATCH_HH

@@ -42,6 +42,7 @@ aggressivePlan()
     plan.siteRates[faultsites::DbtEncode] = 0.2;
     plan.siteRates[faultsites::DbtBuffer] = 0.2;
     plan.siteRates[faultsites::MachineStxr] = 0.3;
+    plan.siteRates[faultsites::PersistRecord] = 0.2;
     return plan;
 }
 
@@ -185,6 +186,12 @@ TEST(FaultDifferential, AllWorkloadsMatchFaultFreeRun)
             ASSERT_TRUE(expected.finished) << spec.name;
 
             Dbt engine(image, faulty);
+            // Warm-start the faulty engine from the reference run's
+            // snapshot: record loads are a fault site too
+            // (persist.record), and a dropped record may only cost a
+            // cold translation, never guest-visible divergence.
+            engine.importSnapshot(reference.exportSnapshot(),
+                                  /*validate=*/true);
             const auto result = engine.run(threads, mc);
             const std::string tag =
                 spec.name + "/" + mapping::rmwLoweringName(rmw);

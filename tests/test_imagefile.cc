@@ -237,6 +237,62 @@ TEST(ImageFileHardening, RejectsOutOfBoundsSymbols)
     expectRejected(impl, "guest impl");
 }
 
+TEST(ImageFile, SerializeIsByteIdenticalAfterRoundTrip)
+{
+    // serialize(deserialize(serialize(x))) must reproduce the exact
+    // bytes: the format has no unordered containers or padding whose
+    // re-encoding could drift, which snapshot keying (SHA-256 of these
+    // bytes) depends on.
+    const auto first = serializeImage(sampleImage());
+    const auto second = serializeImage(deserializeImage(first));
+    EXPECT_EQ(first, second);
+}
+
+TEST(ImageFile, RoundTripsMaximalSymbolTables)
+{
+    GuestImage image = sampleImage();
+    // Pile on symbols (shared addresses are legal; only out-of-section
+    // addresses are not) including a name at the 0xffff length cap.
+    for (int i = 0; i < 4096; ++i)
+        image.symbols.push_back(
+            {"sym_" + std::to_string(i), image.entry});
+    image.symbols.push_back(
+        {std::string(0xffff, 'n'), image.entry});
+    for (int i = 0; i < 512; ++i) {
+        DynSymbol d;
+        d.name = "dyn_" + std::to_string(i);
+        d.pltAddr = image.entry;
+        image.dynsym.push_back(std::move(d));
+    }
+    const auto bytes = serializeImage(image);
+    const GuestImage copy = deserializeImage(bytes);
+    EXPECT_EQ(copy.symbols.size(), image.symbols.size());
+    EXPECT_EQ(copy.dynsym.size(), image.dynsym.size());
+    EXPECT_EQ(copy.symbols.back().name.size(), 0xffffu);
+    EXPECT_EQ(serializeImage(copy), bytes);
+}
+
+TEST(ImageFile, RoundTripsEmptySections)
+{
+    // Smallest legal image: code but no data, no symbols at all.
+    Assembler a;
+    a.defineSymbol("main");
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    GuestImage image = a.finish("main");
+    image.data.clear();
+    image.symbols.clear();
+    image.dynsym.clear();
+    const auto bytes = serializeImage(image);
+    const GuestImage copy = deserializeImage(bytes);
+    EXPECT_TRUE(copy.data.empty());
+    EXPECT_TRUE(copy.symbols.empty());
+    EXPECT_TRUE(copy.dynsym.empty());
+    EXPECT_EQ(copy.text, image.text);
+    EXPECT_EQ(serializeImage(copy), bytes);
+}
+
 TEST(ImageFile, SaveAndLoadFile)
 {
     const std::string path = "/tmp/risotto_imagefile_test.riso";

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Persistent translation cache tests: RTBC round-trips, warm starts
+ * that translate nothing cold, corruption sweeps (truncation, bit
+ * flips, header surgery), snapshot keying, the validator gate against
+ * tampered-but-well-checksummed records, and loader fault injection.
+ * The invariant under test throughout: a damaged or mismatched
+ * snapshot degrades blocks to cold translation, never to wrong code
+ * and never to a crash.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aarch/isa.hh"
+#include "dbt/dbt.hh"
+#include "gx86/assembler.hh"
+#include "persist/fingerprint.hh"
+#include "persist/snapshot.hh"
+#include "support/checksum.hh"
+#include "support/faultinject.hh"
+
+namespace
+{
+
+using namespace risotto;
+using dbt::Dbt;
+using dbt::DbtConfig;
+using dbt::ThreadSpec;
+
+/** A few-block guest: a load/store loop plus straight-line pre/post
+ * blocks, enough to populate a snapshot with memory-ordering
+ * obligations the validator can check. */
+gx86::GuestImage
+sampleGuest()
+{
+    gx86::Assembler a;
+    const gx86::Addr buf = a.dataReserve(128);
+    a.defineSymbol("main");
+    a.movri(3, static_cast<std::int64_t>(buf));
+    a.movri(1, 0);
+    a.movri(2, 40);
+    const auto loop = a.newLabel();
+    a.bind(loop);
+    a.load(4, 3, 0);
+    a.add(1, 4);
+    a.store(3, 8, 1);
+    a.addi(1, 3);
+    a.subi(2, 1);
+    a.cmpri(2, 0);
+    a.jcc(gx86::Cond::Gt, loop);
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    return a.finish("main");
+}
+
+std::vector<ThreadSpec>
+twoThreads()
+{
+    std::vector<ThreadSpec> threads(2);
+    threads[1].regs[0] = 1;
+    return threads;
+}
+
+bool
+sameGuestBehaviour(const dbt::RunResult &a, const dbt::RunResult &b)
+{
+    return a.finished == b.finished && a.exitCodes == b.exitCodes &&
+           a.outputs == b.outputs;
+}
+
+/** Cold reference: run the guest once and keep result + snapshot. */
+struct ColdReference
+{
+    gx86::GuestImage image = sampleGuest();
+    DbtConfig config = DbtConfig::risotto();
+    dbt::RunResult result;
+    persist::Snapshot snapshot;
+    std::vector<std::uint8_t> bytes;
+
+    ColdReference()
+    {
+        Dbt engine(image, config);
+        result = engine.run(twoThreads());
+        snapshot = engine.exportSnapshot();
+        bytes = persist::serialize(snapshot);
+    }
+};
+
+/** Parse + import @p bytes into a fresh engine, run it, and require
+ * guest behaviour identical to the cold reference. */
+void
+expectGracefulBehaviour(const ColdReference &ref,
+                        const std::vector<std::uint8_t> &bytes)
+{
+    persist::ParseReport report;
+    const persist::Snapshot snap = persist::parse(bytes, report);
+    Dbt engine(ref.image, ref.config);
+    engine.importSnapshot(snap, true);
+    const auto result = engine.run(twoThreads());
+    EXPECT_TRUE(sameGuestBehaviour(ref.result, result));
+}
+
+TEST(Persist, ExportIsDeterministic)
+{
+    const gx86::GuestImage image = sampleGuest();
+    Dbt engine(image, DbtConfig::risotto());
+    engine.run(twoThreads());
+    const auto first = persist::serialize(engine.exportSnapshot());
+    const auto second = persist::serialize(engine.exportSnapshot());
+    EXPECT_EQ(first, second);
+}
+
+TEST(Persist, ParseRoundTripsByteIdentically)
+{
+    const ColdReference ref;
+    ASSERT_FALSE(ref.snapshot.records.empty());
+
+    persist::ParseReport report;
+    const persist::Snapshot reparsed = persist::parse(ref.bytes, report);
+    EXPECT_TRUE(report.headerOk);
+    EXPECT_EQ(report.version, persist::FormatVersion);
+    EXPECT_EQ(report.recordsLoaded, ref.snapshot.records.size());
+    EXPECT_EQ(report.recordsBadChecksum, 0u);
+    EXPECT_EQ(report.recordsBadBounds, 0u);
+    EXPECT_EQ(reparsed.records.size(), ref.snapshot.records.size());
+    EXPECT_EQ(reparsed.provenance, ref.snapshot.provenance);
+    EXPECT_EQ(persist::serialize(reparsed), ref.bytes);
+}
+
+TEST(Persist, WarmStartTranslatesNothingCold)
+{
+    const ColdReference ref;
+    const std::string path = testing::TempDir() + "/warmstart.rtbc";
+    {
+        Dbt saver(ref.image, ref.config);
+        saver.run(twoThreads());
+        ASSERT_TRUE(saver.savePersistentCache(path));
+    }
+    Dbt warm(ref.image, ref.config);
+    const auto report = warm.loadPersistentCache(path);
+    EXPECT_TRUE(report.applied);
+    EXPECT_EQ(report.loaded, ref.snapshot.records.size());
+    EXPECT_EQ(report.rejected, 0u);
+
+    const auto result = warm.run(twoThreads());
+    EXPECT_TRUE(sameGuestBehaviour(ref.result, result));
+    // The whole point of the warm start: every block came from the
+    // snapshot, none from the translator.
+    EXPECT_EQ(warm.stats().get("dbt.tbs_translated"), 0u);
+    EXPECT_EQ(warm.stats().get("persist.tb_loaded"),
+              ref.snapshot.records.size());
+}
+
+TEST(Persist, TruncationNeverThrowsAndStaysCorrect)
+{
+    const ColdReference ref;
+    for (std::size_t len = 0; len < ref.bytes.size();
+         len += 1 + ref.bytes.size() / 37) {
+        std::vector<std::uint8_t> cut(ref.bytes.begin(),
+                                      ref.bytes.begin() + len);
+        persist::ParseReport report;
+        const persist::Snapshot snap = persist::parse(cut, report);
+        EXPECT_LE(snap.records.size(), ref.snapshot.records.size());
+    }
+    // Differential check at a few representative cuts.
+    for (const std::size_t len :
+         {ref.bytes.size() / 3, ref.bytes.size() / 2,
+          ref.bytes.size() - 1}) {
+        expectGracefulBehaviour(
+            ref, std::vector<std::uint8_t>(ref.bytes.begin(),
+                                           ref.bytes.begin() + len));
+    }
+}
+
+TEST(Persist, BitFlipsDegradeGracefully)
+{
+    const ColdReference ref;
+    // One flip per probe, spread over header, provenance and records.
+    for (const std::size_t pos :
+         {std::size_t{0}, std::size_t{5}, std::size_t{41},
+          std::size_t{57}, std::size_t{66}, ref.bytes.size() / 2,
+          ref.bytes.size() - 9, ref.bytes.size() - 1}) {
+        ASSERT_LT(pos, ref.bytes.size());
+        std::vector<std::uint8_t> flipped = ref.bytes;
+        flipped[pos] ^= 0x40;
+        expectGracefulBehaviour(ref, flipped);
+    }
+}
+
+TEST(Persist, SnapshotIsKeyedToImageAndConfig)
+{
+    const ColdReference ref;
+
+    // A different guest program: same parse, refused import.
+    gx86::Assembler a;
+    a.defineSymbol("main");
+    a.movri(0, 0);
+    a.movri(1, 7);
+    a.syscall();
+    const gx86::GuestImage other = a.finish("main");
+    Dbt wrong_image(other, ref.config);
+    const auto r1 = wrong_image.importSnapshot(ref.snapshot, true);
+    EXPECT_FALSE(r1.applied);
+    EXPECT_EQ(wrong_image.stats().get("persist.load_image_mismatch"), 1u);
+
+    // A different pipeline configuration: refused import.
+    DbtConfig tweaked = ref.config;
+    tweaked.chaining = !tweaked.chaining;
+    EXPECT_NE(persist::configFingerprint(tweaked),
+              persist::configFingerprint(ref.config));
+    Dbt wrong_config(ref.image, tweaked);
+    const auto r2 = wrong_config.importSnapshot(ref.snapshot, true);
+    EXPECT_FALSE(r2.applied);
+    EXPECT_EQ(wrong_config.stats().get("persist.load_config_mismatch"),
+              1u);
+}
+
+TEST(Persist, VersionAndHeaderCorruptionAreDistinguished)
+{
+    const ColdReference ref;
+
+    // Future format version with a correctly re-checksummed header.
+    std::vector<std::uint8_t> future = ref.bytes;
+    future[4] = 2;
+    const std::uint64_t sum = support::fnv1a64(future.data(), 56);
+    for (std::size_t i = 0; i < 8; ++i)
+        future[56 + i] = static_cast<std::uint8_t>(sum >> (8 * i));
+    persist::ParseReport vreport;
+    persist::parse(future, vreport);
+    EXPECT_FALSE(vreport.headerOk);
+    EXPECT_EQ(vreport.version, 2u);
+
+    const std::string vpath = testing::TempDir() + "/future.rtbc";
+    support::writeFileBytes(vpath, future);
+    Dbt engine(ref.image, ref.config);
+    const auto report = engine.loadPersistentCache(vpath);
+    EXPECT_FALSE(report.applied);
+    EXPECT_EQ(engine.stats().get("persist.load_version_mismatch"), 1u);
+
+    // Garbage: counted as a corrupt header, not a version mismatch.
+    const std::string gpath = testing::TempDir() + "/garbage.rtbc";
+    support::writeFileBytes(gpath, {'n', 'o', 't', 'r', 't', 'b', 'c'});
+    const auto greport = engine.loadPersistentCache(gpath);
+    EXPECT_FALSE(greport.applied);
+    EXPECT_EQ(engine.stats().get("persist.load_corrupt_header"), 1u);
+
+    // Missing file: a silent cold start.
+    const auto mreport =
+        engine.loadPersistentCache(testing::TempDir() + "/absent.rtbc");
+    EXPECT_FALSE(mreport.applied);
+    EXPECT_EQ(engine.stats().get("persist.load_missing"), 1u);
+}
+
+TEST(Persist, ValidatorCatchesTamperedRecordThatReChecksums)
+{
+    const ColdReference ref;
+
+    // Weaken one memory-ordering instruction in one record, then
+    // re-serialize: every frame checksum is freshly computed, so the
+    // tampering is invisible to the integrity layer and only the
+    // obligation-graph validator can catch it.
+    persist::Snapshot tampered = ref.snapshot;
+    bool weakened = false;
+    for (persist::TbRecord &rec : tampered.records) {
+        for (std::uint32_t &word : rec.hostWords) {
+            aarch::AInstr instr = aarch::decode(word);
+            if (instr.op == aarch::AOp::Stlr)
+                instr.op = aarch::AOp::Str;
+            else if (instr.op == aarch::AOp::Ldapr ||
+                     instr.op == aarch::AOp::Ldar)
+                instr.op = aarch::AOp::Ldr;
+            else if (instr.op == aarch::AOp::Dmb)
+                instr.op = aarch::AOp::Nop;
+            else
+                continue;
+            word = aarch::encode(instr);
+            weakened = true;
+            break;
+        }
+        if (weakened)
+            break;
+    }
+    ASSERT_TRUE(weakened)
+        << "sample guest produced no ordering instructions to weaken";
+
+    const auto bytes = persist::serialize(tampered);
+    persist::ParseReport parse_report;
+    const persist::Snapshot reparsed = persist::parse(bytes, parse_report);
+    EXPECT_TRUE(parse_report.headerOk);
+    EXPECT_EQ(parse_report.recordsBadChecksum, 0u);
+
+    Dbt engine(ref.image, ref.config);
+    const auto report = engine.importSnapshot(reparsed, true);
+    EXPECT_TRUE(report.applied);
+    EXPECT_GE(report.rejected, 1u);
+    EXPECT_GE(engine.stats().get("persist.tb_rejected_validation"), 1u);
+    EXPECT_FALSE(engine.violations().empty());
+
+    // The rejected block degrades to cold translation.
+    const auto result = engine.run(twoThreads());
+    EXPECT_TRUE(sameGuestBehaviour(ref.result, result));
+}
+
+TEST(Persist, LoaderFaultInjectionDegradesGracefully)
+{
+    const ColdReference ref;
+    DbtConfig faulty = ref.config;
+    faulty.faults.seed = 42;
+    faulty.faults.siteRates[faultsites::PersistRecord] = 0.5;
+    Dbt engine(ref.image, faulty);
+    const auto report = engine.importSnapshot(ref.snapshot, true);
+    EXPECT_TRUE(report.applied);
+    EXPECT_EQ(report.loaded + report.rejected,
+              ref.snapshot.records.size());
+    EXPECT_GE(report.rejected, 1u);
+    EXPECT_EQ(engine.stats().get("persist.tb_rejected_fault"),
+              report.rejected);
+
+    const auto result = engine.run(twoThreads());
+    EXPECT_TRUE(sameGuestBehaviour(ref.result, result));
+}
+
+TEST(Persist, ChecksumOnlyImportStillDecodeChecks)
+{
+    const ColdReference ref;
+    // An undecodable host word must be caught even when the validator
+    // is off: the machine can never be handed an unfetchable word.
+    persist::Snapshot broken = ref.snapshot;
+    ASSERT_FALSE(broken.records.empty());
+    ASSERT_FALSE(broken.records.front().hostWords.empty());
+    broken.records.front().hostWords.front() = 0xffffffffu;
+
+    Dbt engine(ref.image, ref.config);
+    const auto report = engine.importSnapshot(broken, false);
+    EXPECT_TRUE(report.applied);
+    EXPECT_GE(report.rejected, 1u);
+    EXPECT_GE(engine.stats().get("persist.tb_rejected_decode"), 1u);
+    const auto result = engine.run(twoThreads());
+    EXPECT_TRUE(sameGuestBehaviour(ref.result, result));
+}
+
+} // namespace

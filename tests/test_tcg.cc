@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "support/threadpool.hh"
+#include "tcg/arena.hh"
 #include "tcg/ir.hh"
 #include "tcg/optimizer.hh"
 
@@ -431,6 +433,102 @@ TEST(DeadCode, HelpersKeepGuestStateLive)
     for (const Instr &i : fold.instrs)
         if (i.op == Op::MovI && i.a == t)
             FAIL() << "constant propagated across a helper call";
+}
+
+// --- BlockArena -------------------------------------------------------------
+
+TEST(BlockArena, RecycleReusesGrownCapacity)
+{
+    BlockArena arena;
+    Block block = arena.acquire(0x100);
+    EXPECT_EQ(arena.mints(), 1u);
+    EXPECT_GE(block.instrs.capacity(), BlockArena::InitialCapacity);
+
+    // Grow well past the minted capacity, then hand the storage back.
+    const std::size_t grown = BlockArena::InitialCapacity * 4;
+    for (std::size_t i = 0; i < grown; ++i)
+        block.instrs.push_back(b::movi(0, 1));
+    const std::size_t grown_capacity = block.instrs.capacity();
+    arena.release(std::move(block));
+
+    // The recycled vector keeps the grown capacity -- the whole point
+    // of pooling: a hot retranslation loop stops allocating.
+    Block again = arena.acquire(0x200);
+    EXPECT_EQ(arena.reuses(), 1u);
+    EXPECT_EQ(arena.mints(), 1u);
+    EXPECT_GE(again.instrs.capacity(), grown_capacity);
+    EXPECT_EQ(again.guestPc, 0x200u);
+}
+
+TEST(BlockArena, ReturnedVectorsComeBackCleared)
+{
+    BlockArena arena;
+    Block block = arena.acquire(0x100);
+    block.instrs.push_back(b::movi(0, 7));
+    block.instrs.push_back(b::movi(1, 9));
+    arena.release(std::move(block));
+
+    Block again = arena.acquire(0x300);
+    EXPECT_TRUE(again.instrs.empty())
+        << "recycled block leaked instructions from its previous life";
+}
+
+TEST(BlockArena, PoolIsBounded)
+{
+    BlockArena arena;
+    // Release far more blocks than MaxPooled: the pool must not grow
+    // without bound, and the overflow releases are simply freed.
+    std::vector<Block> blocks;
+    for (std::size_t i = 0; i < BlockArena::MaxPooled * 3; ++i)
+        blocks.push_back(arena.acquire(i));
+    for (Block &block : blocks)
+        arena.release(std::move(block));
+
+    // Draining the pool yields exactly MaxPooled reuses, then mints.
+    const std::uint64_t mints_before = arena.mints();
+    for (std::size_t i = 0; i < BlockArena::MaxPooled + 4; ++i)
+        arena.acquire(i);
+    EXPECT_EQ(arena.reuses(), BlockArena::MaxPooled);
+    EXPECT_EQ(arena.mints(), mints_before + 4);
+}
+
+TEST(BlockArena, InterleavedAcquireReleaseUnderThreadPool)
+{
+    // The arena is deliberately single-threaded; the supported pattern
+    // (one arena per task, as parallel sweeps construct one Frontend
+    // per task) must survive heavily interleaved acquire/release.
+    support::ThreadPool pool(4);
+    constexpr std::size_t Tasks = 8;
+    std::vector<std::uint64_t> reuses(Tasks), mints(Tasks);
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t t = 0; t < Tasks; ++t)
+        tasks.push_back([t, &reuses, &mints] {
+            BlockArena arena;
+            std::vector<Block> live;
+            for (std::size_t round = 0; round < 200; ++round) {
+                live.push_back(arena.acquire(round));
+                live.back().instrs.push_back(b::movi(0, 1));
+                // Alternate depth so acquire and release interleave in
+                // varying orders rather than strict LIFO pairs.
+                if (round % 3 != 0 && !live.empty()) {
+                    arena.release(std::move(live.front()));
+                    live.erase(live.begin());
+                }
+                if (live.size() > 5) {
+                    arena.release(std::move(live.back()));
+                    live.pop_back();
+                }
+            }
+            for (Block &block : live)
+                arena.release(std::move(block));
+            reuses[t] = arena.reuses();
+            mints[t] = arena.mints();
+        });
+    pool.run(std::move(tasks));
+    for (std::size_t t = 0; t < Tasks; ++t) {
+        EXPECT_EQ(reuses[t] + mints[t], 200u);
+        EXPECT_GE(reuses[t], 1u);
+    }
 }
 
 } // namespace

@@ -26,6 +26,18 @@
  *                     (default: hardware concurrency)
  *   --dump-hot N      print the N hottest blocks after the run
  *   --stats           dump translation + machine counters
+ *   --stats-json PATH write the merged run counters (incl. persist.*)
+ *                     to PATH as stable, key-sorted JSON
+ *   --tb-cache PATH   persistent translation cache: import the snapshot
+ *                     at PATH before the run (missing/corrupt files are
+ *                     a graceful cold start) and export the translation
+ *                     cache back to PATH after the run
+ *   --tb-cache-readonly  with --tb-cache: import only, never write
+ *   --tb-cache-verify    with --tb-cache: do not run; parse the
+ *                     snapshot, re-validate every record against the
+ *                     axiomatic models and print the report (exit 3
+ *                     when any record fails, 1 when the file is
+ *                     unreadable)
  *   --trace           print every retired host instruction (very verbose)
  *   --disasm          print the guest disassembly and exit
  *   --emit-demo PATH  write a demo image to PATH and exit
@@ -34,7 +46,9 @@
 #include <algorithm>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -43,10 +57,13 @@
 #include "dbt/frontend.hh"
 #include "gx86/assembler.hh"
 #include "gx86/imagefile.hh"
+#include "persist/snapshot.hh"
 #include "risotto/risotto.hh"
+#include "support/checksum.hh"
 #include "support/error.hh"
 #include "support/threadpool.hh"
 #include "tcg/optimizer.hh"
+#include "verify/batch.hh"
 #include "verify/verifier.hh"
 
 using namespace risotto;
@@ -237,6 +254,10 @@ main(int argc, char **argv)
     std::uint64_t tier2_threshold = 0;
     bool tier2_threshold_set = false;
     std::uint64_t dump_hot = 0;
+    std::string tb_cache;
+    bool tb_cache_readonly = false;
+    bool tb_cache_verify = false;
+    std::string stats_json;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -293,6 +314,14 @@ main(int argc, char **argv)
                 dump_hot = nextU64();
             else if (arg == "--stats")
                 want_stats = true;
+            else if (arg == "--stats-json")
+                stats_json = next();
+            else if (arg == "--tb-cache")
+                tb_cache = next();
+            else if (arg == "--tb-cache-readonly")
+                tb_cache_readonly = true;
+            else if (arg == "--tb-cache-verify")
+                tb_cache_verify = true;
             else if (arg == "--trace")
                 mc.trace = [](const machine::Core &core,
                               const aarch::AInstr &in) {
@@ -366,7 +395,61 @@ main(int argc, char **argv)
         }
 
         Emulator emulator(image, options);
+
+        if (tb_cache_verify) {
+            // Audit mode: re-validate every snapshot record against the
+            // axiomatic models without running (or installing) anything.
+            fatalIf(tb_cache.empty(), "--tb-cache-verify needs --tb-cache");
+            fatalIf(!support::fileReadable(tb_cache),
+                    "cannot read snapshot " + tb_cache);
+            persist::ParseReport parsed;
+            const persist::Snapshot snap =
+                persist::parse(support::readFileBytes(tb_cache), parsed);
+            std::cout << "[risotto-run] tb-cache-verify " << tb_cache
+                      << ": header=" << (parsed.headerOk ? "ok" : "bad")
+                      << " records=" << parsed.recordsLoaded
+                      << " bad-checksum=" << parsed.recordsBadChecksum
+                      << " bad-bounds=" << parsed.recordsBadBounds << "\n";
+            if (!parsed.headerOk) {
+                std::cerr << "risotto-run: " << parsed.error << "\n";
+                return 1;
+            }
+            const auto audit =
+                emulator.engine().verifyPersistentCache(snap);
+            std::cout << "  revalidation: checked=" << audit.itemsChecked
+                      << " failed=" << audit.itemsFailed
+                      << " pairs=" << audit.pairsChecked << "\n";
+            const std::size_t shown =
+                std::min<std::size_t>(audit.violations.size(), 20);
+            for (std::size_t v = 0; v < shown; ++v)
+                std::cout << "    " << audit.violations[v].toString()
+                          << "\n";
+            if (audit.violations.size() > shown)
+                std::cout << "    ... and "
+                          << audit.violations.size() - shown << " more\n";
+            return audit.ok() ? 0 : 3;
+        }
+
+        if (!tb_cache.empty()) {
+            const dbt::PersistReport warm =
+                emulator.engine().loadPersistentCache(tb_cache);
+            std::cout << "[risotto-run] tb-cache " << tb_cache
+                      << ": applied=" << (warm.applied ? "yes" : "no")
+                      << " loaded=" << warm.loaded
+                      << " rejected=" << warm.rejected;
+            if (!warm.note.empty())
+                std::cout << " (" << warm.note << ")";
+            std::cout << "\n";
+        }
+
         const auto result = emulator.run(threads, mc);
+
+        if (!tb_cache.empty() && !tb_cache_readonly &&
+            emulator.engine().savePersistentCache(tb_cache))
+            std::cout << "[risotto-run] tb-cache " << tb_cache
+                      << ": saved "
+                      << emulator.engine().stats().get("persist.tb_saved")
+                      << " records\n";
 
         for (std::size_t t = 0; t < threads; ++t) {
             if (!result.outputs[t].empty())
@@ -442,6 +525,26 @@ main(int argc, char **argv)
         if (want_stats)
             for (const auto &[name, value] : result.stats.all())
                 std::cout << "  " << name << " = " << value << "\n";
+        if (!stats_json.empty()) {
+            // The run snapshot, with translation-side counters refreshed
+            // so post-run persist.* activity (the snapshot save) shows.
+            std::map<std::string, std::uint64_t> merged =
+                result.stats.all();
+            for (const auto &[name, value] :
+                 emulator.engine().stats().all())
+                merged[name] = value;
+            std::ofstream out(stats_json);
+            fatalIf(!out, "cannot open " + stats_json + " for writing");
+            out << "{\n";
+            bool first = true;
+            for (const auto &[name, value] : merged) {
+                out << (first ? "" : ",\n") << "  \"" << name
+                    << "\": " << value;
+                first = false;
+            }
+            out << "\n}\n";
+            fatalIf(!out, "write failed for " + stats_json);
+        }
         if (validate &&
             (result.validationViolations > 0 || !sweep_violations.empty()))
             return 3;
