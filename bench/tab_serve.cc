@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Serving table: multi-tenant session throughput, fault-retry cost, and
+ * the degradation ladder.
+ *
+ * One shared artifact is prepared per mode (warm from a snapshot, cold
+ * via reachable-block pre-translation, interpreter-only), then a batch
+ * of sessions is served over it:
+ *
+ *  - throughput vs workers: host wall-clock for the whole batch at
+ *    1/2/4/8 session workers over the warm artifact (per-session
+ *    latency is simulated cycles and identical at any worker count),
+ *  - fault-rate sweep: sessions under serve.session fault injection at
+ *    increasing rates -- retries, recoveries, backoff cost, survivors,
+ *  - degradation ladder: warm vs cold vs interpreter-only prepare cost
+ *    and per-session latency, with every mode's sessions required to
+ *    produce the warm mode's guest-visible results exactly.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/common.hh"
+#include "dbt/dbt.hh"
+#include "persist/fingerprint.hh"
+#include "serve/manager.hh"
+#include "support/error.hh"
+#include "support/format.hh"
+#include "workloads/workloads.hh"
+
+using namespace risotto;
+using namespace risotto::bench;
+
+namespace
+{
+
+constexpr std::size_t GuestThreads = 2;
+
+double
+msBetween(std::chrono::steady_clock::time_point a,
+          std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+std::uint64_t
+quantile(std::vector<std::uint64_t> values, unsigned q)
+{
+    if (values.empty())
+        return 0;
+    std::sort(values.begin(), values.end());
+    const std::size_t index =
+        std::min(values.size() - 1,
+                 static_cast<std::size_t>(q) * values.size() / 100);
+    return values[index];
+}
+
+std::vector<std::uint64_t>
+latencies(const serve::ServeReport &report)
+{
+    std::vector<std::uint64_t> out;
+    for (const serve::SessionResult &s : report.sessions)
+        if (s.kind != serve::FailureKind::Shed)
+            out.push_back(s.latency);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke = smokeMode(argc, argv);
+    const std::string json_path = benchJsonPath(argc, argv);
+    std::vector<BenchJsonEntry> json;
+
+    const std::size_t sessions = smoke ? 16 : 96;
+    workloads::WorkloadSpec spec = workloads::fullSuite().front();
+    if (smoke)
+        spec.iterations = 50;
+    const gx86::GuestImage image = workloads::buildGuestWorkload(spec);
+    const dbt::DbtConfig config = dbt::DbtConfig::risotto();
+    const std::uint64_t fingerprint = persist::configFingerprint(config);
+
+    // Produce the warm-start snapshot the way a deployment would: one
+    // profiling run, exported.
+    const std::string snapshot_path = "tab_serve.rtbc";
+    {
+        dbt::Dbt profiler(image, config);
+        std::vector<dbt::ThreadSpec> threads(GuestThreads);
+        for (std::size_t t = 0; t < GuestThreads; ++t)
+            threads[t].regs[0] = t;
+        if (!profiler.run(threads).finished)
+            throw FatalError("profiling run did not finish: " + spec.name);
+        if (!profiler.savePersistentCache(snapshot_path))
+            throw FatalError("cannot write " + snapshot_path);
+    }
+
+    std::cout << "Serving: " << sessions << " sessions of " << spec.name
+              << " (" << GuestThreads << " guest threads each) over one "
+              << "shared artifact\n\n";
+
+    serve::ServeConfig base;
+    base.sessions = sessions;
+    base.session.threads = GuestThreads;
+
+    // --- Throughput vs workers (warm artifact). -----------------------
+    serve::ArtifactConfig warm_config;
+    warm_config.config = config;
+    warm_config.snapshotPath = snapshot_path;
+    const serve::SharedArtifact warm(image, warm_config);
+    if (warm.mode() != serve::ArtifactMode::Warm)
+        throw FatalError("snapshot did not warm-start the artifact");
+
+    ReportTable throughput("Batch wall-clock vs session workers (warm)",
+                           {"jobs", "wall[ms]", "sessions/s", "p50[kcyc]",
+                            "p99[kcyc]", "ok"});
+    serve::ServeReport reference;
+    for (const std::size_t jobs : {1, 2, 4, 8}) {
+        serve::ServeConfig cfg = base;
+        cfg.jobs = jobs;
+        const auto t0 = std::chrono::steady_clock::now();
+        serve::ServeReport report = serve::runSessions(warm, cfg);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double wall_ms = msBetween(t0, t1);
+        const auto lat = latencies(report);
+        throughput.addRow(
+            {std::to_string(jobs), fixedString(wall_ms, 2),
+             fixedString(wall_ms > 0 ? sessions * 1e3 / wall_ms : 0.0, 1),
+             fixedString(quantile(lat, 50) / 1e3, 1),
+             fixedString(quantile(lat, 99) / 1e3, 1),
+             std::to_string(report.succeeded)});
+        json.push_back({"serve." + spec.name + ".batch_wall",
+                        wall_ms * 1e6 / sessions, jobs, fingerprint});
+        if (jobs == 1)
+            reference = std::move(report);
+    }
+    show(throughput);
+
+    // --- Fault-rate sweep (warm artifact, default retry policy). ------
+    ReportTable sweep("Fault-rate sweep (serve.session site, 3 attempts)",
+                      {"rate", "ok", "failed", "retries", "recovered",
+                       "p99[kcyc]", "backoff[kcyc]"});
+    for (const double rate : {0.0, 0.001, 0.01, 0.05}) {
+        serve::ServeConfig cfg = base;
+        cfg.jobs = 4;
+        if (rate > 0.0) {
+            cfg.session.faults.seed = 20260809;
+            cfg.session.faults.siteRates[faultsites::ServeSession] = rate;
+        }
+        const serve::ServeReport report = serve::runSessions(warm, cfg);
+        sweep.addRow(
+            {fixedString(rate, 3), std::to_string(report.succeeded),
+             std::to_string(report.failed),
+             std::to_string(report.stats.get("serve.retries")),
+             std::to_string(report.stats.get("serve.recovered")),
+             fixedString(quantile(latencies(report), 99) / 1e3, 1),
+             fixedString(report.stats.get("serve.backoff_cycles") / 1e3,
+                         1)});
+        if (rate == 0.01)
+            json.push_back({"serve." + spec.name + ".p99_faulty",
+                            seconds(quantile(latencies(report), 99)) * 1e9,
+                            4, fingerprint});
+    }
+    show(sweep);
+
+    // --- Degradation ladder. ------------------------------------------
+    ReportTable ladder("Degradation ladder (4 workers, fault-free)",
+                       {"mode", "prepare[ms]", "blocks", "hit%",
+                        "p50[kcyc]", "ok", "identical"});
+    struct Rung
+    {
+        const char *label;
+        serve::ArtifactConfig config;
+    };
+    std::vector<Rung> rungs;
+    rungs.push_back({"warm", warm_config});
+    serve::ArtifactConfig cold_config;
+    cold_config.config = config;
+    rungs.push_back({"cold", cold_config});
+    serve::ArtifactConfig interp_config;
+    interp_config.config = config;
+    interp_config.interpreterOnly = true;
+    rungs.push_back({"interp", interp_config});
+    for (const Rung &rung : rungs) {
+        const auto p0 = std::chrono::steady_clock::now();
+        const serve::SharedArtifact artifact(image, rung.config);
+        const auto p1 = std::chrono::steady_clock::now();
+        serve::ServeConfig cfg = base;
+        cfg.jobs = 4;
+        const serve::ServeReport report = serve::runSessions(artifact, cfg);
+        bool identical = true;
+        for (std::size_t s = 0; s < report.sessions.size(); ++s)
+            identical = identical &&
+                        report.sessions[s].exitCodes ==
+                            reference.sessions[s].exitCodes &&
+                        report.sessions[s].outputs ==
+                            reference.sessions[s].outputs;
+        const std::uint64_t hits = report.stats.get("serve.shared_hits");
+        const std::uint64_t dispatches =
+            hits + report.stats.get("serve.fallback_blocks");
+        const auto lat = latencies(report);
+        ladder.addRow(
+            {rung.label, fixedString(msBetween(p0, p1), 2),
+             std::to_string(artifact.cache().size()),
+             fixedString(dispatches > 0 ? 100.0 * hits / dispatches : 0.0,
+                         1),
+             fixedString(quantile(lat, 50) / 1e3, 1),
+             std::to_string(report.succeeded), identical ? "yes" : "NO"});
+        json.push_back({std::string("serve.") + spec.name + "." +
+                            rung.label + "_p50",
+                        seconds(quantile(lat, 50)) * 1e9, 4, fingerprint});
+    }
+    show(ladder);
+
+    std::cout << "Wall-clock columns are host time (expect container "
+                 "noise); latency columns are deterministic simulated "
+                 "cycles.\n";
+    writeBenchJson(json_path, json);
+    std::remove(snapshot_path.c_str());
+    return 0;
+}

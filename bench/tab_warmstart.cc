@@ -244,7 +244,8 @@ main(int argc, char **argv)
              std::to_string(damaged_report.loaded),
              std::to_string(damaged_report.rejected +
                             damaged_parse.recordsBadChecksum +
-                            damaged_parse.recordsBadBounds),
+                            damaged_parse.recordsBadBounds +
+                            damaged_parse.recordsTruncated),
              sameGuestBehaviour(cold_result, damaged_result) ? "yes"
                                                              : "NO"});
 

@@ -164,6 +164,15 @@ std::uint64_t
 Dbt::invokeHelper(std::uint8_t id, std::uint16_t extra, Core &core,
                   Machine &machine)
 {
+    return invokeRuntimeHelper(id, extra, core, machine, hostcalls_,
+                               stats_);
+}
+
+std::uint64_t
+invokeRuntimeHelper(std::uint8_t id, std::uint16_t extra, Core &core,
+                    Machine &machine, HostCallHandler *hostcalls,
+                    StatSet &stats)
+{
     const auto helper = static_cast<HelperId>(id);
     auto &arg0 = core.x[HelperArg0];
     auto &arg1 = core.x[HelperArg1];
@@ -249,9 +258,9 @@ Dbt::invokeHelper(std::uint8_t id, std::uint16_t extra, Core &core,
                              std::to_string(core.x[0]));
         }
       case HelperId::HostCall:
-        panicIf(!hostcalls_, "host call without a handler");
-        stats_.bump("dbt.host_calls");
-        return hostcalls_->invokeHostFunction(extra, core, machine);
+        panicIf(!hostcalls, "host call without a handler");
+        stats.bump("dbt.host_calls");
+        return hostcalls->invokeHostFunction(extra, core, machine);
       case HelperId::None:
         break;
     }

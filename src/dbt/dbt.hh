@@ -172,6 +172,20 @@ class Dbt : public machine::HelperRuntime, public TierHost
     /** The chain manager (exit slots + flush epochs). */
     const ChainManager &chains() const { return chains_; }
 
+    /** The guest image this engine translates. */
+    const gx86::GuestImage &image() const { return image_; }
+
+    /** The import resolver (may be null). */
+    const ImportResolver *resolver() const { return resolver_; }
+
+    /** The host-call handler (may be null). */
+    HostCallHandler *hostcalls() const { return hostcalls_; }
+
+    /** The shared dynamic-dispatch stub: execution entered here exits
+     * through the dynamic slot with DynExitReg holding the target guest
+     * pc. The serving layer starts session cores at this address. */
+    aarch::CodeAddr dynInterpStub() const { return dynInterpStub_; }
+
     /** Ordering violations recorded by the translation validator. */
     const std::vector<verify::Violation> &violations() const
     {
@@ -267,6 +281,20 @@ class Dbt : public machine::HelperRuntime, public TierHost
     std::vector<verify::Violation> violations_;
     aarch::CodeAddr dynInterpStub_ = 0;
 };
+
+/**
+ * Service one translated-code helper trap: the body behind
+ * Dbt::invokeHelper, shared with runtimes that dispatch against a frozen
+ * engine (the serving layer's per-session runtime). Touches only the
+ * core, the machine and the caller's @p stats, so concurrent sessions
+ * can each pass their own counter set.
+ * @return extra cycles consumed by the helper body.
+ */
+std::uint64_t invokeRuntimeHelper(std::uint8_t id, std::uint16_t extra,
+                                  machine::Core &core,
+                                  machine::Machine &machine,
+                                  HostCallHandler *hostcalls,
+                                  StatSet &stats);
 
 } // namespace risotto::dbt
 

@@ -1,5 +1,8 @@
 #include "dbt/frontend.hh"
 
+#include <deque>
+#include <set>
+
 #include "gx86/codec.hh"
 #include "support/error.hh"
 #include "support/format.hh"
@@ -355,6 +358,57 @@ Frontend::translateOne(Block &block, const Instruction &in, Addr pc,
         ends = true;
         break;
     }
+}
+
+std::vector<Addr>
+reachableBlocks(const gx86::GuestImage &image, const DbtConfig &config)
+{
+    Frontend frontend(image, config, nullptr);
+    std::vector<Addr> order;
+    std::set<Addr> seen{image.entry};
+    std::deque<Addr> work{image.entry};
+    while (!work.empty()) {
+        const Addr head = work.front();
+        work.pop_front();
+        std::vector<Instruction> instrs;
+        try {
+            instrs = frontend.decodeBlock(head);
+        } catch (const Error &) {
+            continue;
+        }
+        order.push_back(head);
+        Addr fall = head;
+        for (const Instruction &in : instrs)
+            fall += in.length;
+        auto push = [&](Addr a) {
+            if (image.inText(a) && seen.insert(a).second)
+                work.push_back(a);
+        };
+        auto target = [&](const Instruction &in) {
+            return fall + static_cast<std::uint64_t>(
+                              static_cast<std::int64_t>(in.off));
+        };
+        const Instruction &last = instrs.back();
+        switch (last.op) {
+          case Opcode::Jmp:
+            push(target(last));
+            break;
+          case Opcode::Jcc:
+          case Opcode::Call:
+            push(target(last));
+            push(fall);
+            break;
+          case Opcode::Ret:
+          case Opcode::Hlt:
+            break;
+          default:
+            // PltCall, syscall, or a size-cap-ended block: execution
+            // resumes at the fall-through.
+            push(fall);
+            break;
+        }
+    }
+    return order;
 }
 
 } // namespace risotto::dbt

@@ -80,6 +80,18 @@ class Frontend
     mutable tcg::BlockArena arena_;
 };
 
+/**
+ * Every statically reachable basic-block head of @p image, breadth-first
+ * from the entry. Successors follow the frontend's block-end rules:
+ * direct branch targets, the fall-through of conditional branches / plt
+ * calls / syscalls / size-cap-ended blocks, and call return sites.
+ * Undecodable heads are dropped (the interpreter surfaces those at
+ * execution time). Shared by the risotto-run validation sweep and the
+ * serving layer's cold prepare.
+ */
+std::vector<gx86::Addr> reachableBlocks(const gx86::GuestImage &image,
+                                        const DbtConfig &config);
+
 } // namespace risotto::dbt
 
 #endif // RISOTTO_DBT_FRONTEND_HH

@@ -332,6 +332,7 @@ Dbt::loadPersistentCache(const std::string &path, bool validate)
         persist::parse(support::readFileBytes(path), parsed);
     stats_.bump("persist.tb_rejected_checksum", parsed.recordsBadChecksum);
     stats_.bump("persist.tb_rejected_bounds", parsed.recordsBadBounds);
+    stats_.bump("persist.tb_rejected_truncated", parsed.recordsTruncated);
     if (!parsed.headerOk) {
         if (parsed.version != 0 &&
             parsed.version != persist::FormatVersion)
@@ -342,7 +343,8 @@ Dbt::loadPersistentCache(const std::string &path, bool validate)
         return report;
     }
     report = importSnapshot(snap, validate);
-    report.rejected += parsed.recordsBadChecksum + parsed.recordsBadBounds;
+    report.rejected += parsed.recordsBadChecksum + parsed.recordsBadBounds +
+                       parsed.recordsTruncated;
     return report;
 }
 

@@ -56,6 +56,24 @@ TranslationCache::find(gx86::Addr pc) const
     return it == tbs_.end() ? nullptr : &it->second;
 }
 
+const TbInfo *
+TranslationCache::findShared(gx86::Addr pc,
+                             SessionJumpCache &session) const
+{
+    auto &slot = session.entries_[(pc ^ (pc >> SessionJumpCache::Bits)) &
+                                  (SessionJumpCache::Size - 1)];
+    if (slot.tb != nullptr && slot.pc == pc) {
+        ++session.hits_;
+        return slot.tb;
+    }
+    ++session.misses_;
+    const auto it = tbs_.find(pc);
+    if (it == tbs_.end())
+        return nullptr;
+    slot = {pc, &it->second};
+    return &it->second;
+}
+
 TbInfo &
 TranslationCache::insert(gx86::Addr pc, aarch::CodeAddr entry,
                          std::uint32_t host_words, Tier tier)

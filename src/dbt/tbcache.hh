@@ -64,6 +64,39 @@ struct TbInfo
     std::vector<gx86::Addr> path;
 };
 
+/**
+ * A caller-owned direct-mapped dispatch cache for concurrent read-only
+ * lookups against one frozen TranslationCache.
+ *
+ * The internal jump cache (and the mutable hit/miss counters behind it)
+ * make even const find() a write, so concurrent sessions sharing a
+ * prepared cache would race. findShared() instead threads all mutable
+ * dispatch state through one of these, which each session owns
+ * privately: the shared cache is touched strictly read-only.
+ */
+class SessionJumpCache
+{
+  public:
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    friend class TranslationCache;
+
+    static constexpr std::size_t Bits = 10;
+    static constexpr std::size_t Size = std::size_t{1} << Bits;
+
+    struct Entry
+    {
+        gx86::Addr pc = 0;
+        const TbInfo *tb = nullptr;
+    };
+
+    std::array<Entry, Size> entries_{};
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
 /** One row of a hottest-blocks report. */
 struct HotBlock
 {
@@ -81,6 +114,17 @@ class TranslationCache
     /** Lookup; null when the block has no live translation. */
     TbInfo *find(gx86::Addr pc);
     const TbInfo *find(gx86::Addr pc) const;
+
+    /**
+     * Thread-safe read-only lookup for sessions sharing a frozen cache:
+     * touches no member of this object that is not immutable for the
+     * call (in particular, neither the internal jump cache nor the
+     * hit/miss counters). All dispatch acceleration lives in the
+     * caller's @p session cache. Callers must not mutate the cache
+     * (insert/promote/flush) while shared lookups are in flight.
+     */
+    const TbInfo *findShared(gx86::Addr pc,
+                             SessionJumpCache &session) const;
 
     /** Register a fresh translation. The translation itself (entry,
      * size, tier) is replaced, but the block's execution profile

@@ -1,6 +1,7 @@
 #include "gx86/memory.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "support/error.hh"
 #include "support/format.hh"
@@ -8,41 +9,89 @@
 namespace risotto::gx86
 {
 
-Memory::Memory(std::size_t size) : bytes_(size, 0) {}
+namespace
+{
+
+/** The page covering @p addr. */
+std::uint64_t
+pageOf(Addr addr)
+{
+    return addr >> Memory::PageBits;
+}
+
+} // namespace
+
+Memory::Memory(std::size_t size) : bytes_(size, 0), size_(size) {}
+
+Memory
+Memory::fork(std::shared_ptr<const Memory> base)
+{
+    panicIf(base == nullptr, "forking a null memory");
+    Memory fork(0);
+    fork.size_ = base->size();
+    fork.base_ = std::move(base);
+    return fork;
+}
 
 void
 Memory::loadImage(const GuestImage &image)
 {
     check(image.textBase, image.text.size());
-    std::copy(image.text.begin(), image.text.end(),
-              bytes_.begin() + static_cast<std::ptrdiff_t>(image.textBase));
     check(image.dataBase, image.data.size());
-    std::copy(image.data.begin(), image.data.end(),
-              bytes_.begin() + static_cast<std::ptrdiff_t>(image.dataBase));
+    for (std::size_t i = 0; i < image.text.size(); ++i)
+        store8(image.textBase + i, image.text[i]);
+    for (std::size_t i = 0; i < image.data.size(); ++i)
+        store8(image.dataBase + i, image.data[i]);
 }
 
 void
 Memory::check(Addr addr, std::size_t len) const
 {
-    if (addr + len > bytes_.size() || addr + len < addr)
+    if (addr + len > size_ || addr + len < addr)
         throw GuestFault("memory access out of bounds at " +
                          hexString(addr));
+}
+
+std::vector<std::uint8_t> &
+Memory::privatize(Addr addr)
+{
+    const std::uint64_t page = pageOf(addr);
+    auto it = pages_.find(page);
+    if (it != pages_.end())
+        return it->second;
+    std::vector<std::uint8_t> copy(PageSize, 0);
+    const Addr start = static_cast<Addr>(page << PageBits);
+    const std::size_t len = std::min(PageSize, size_ - start);
+    for (std::size_t i = 0; i < len; ++i)
+        copy[i] = base_->load8(start + i);
+    return pages_.emplace(page, std::move(copy)).first->second;
 }
 
 std::uint8_t
 Memory::load8(Addr addr) const
 {
     check(addr, 1);
-    return bytes_[addr];
+    if (base_ == nullptr)
+        return bytes_[addr];
+    const auto it = pages_.find(pageOf(addr));
+    if (it != pages_.end())
+        return it->second[addr & (PageSize - 1)];
+    return base_->load8(addr);
 }
 
 std::uint64_t
 Memory::load64(Addr addr) const
 {
     check(addr, 8);
+    if (base_ == nullptr) {
+        std::uint64_t v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) | bytes_[addr + static_cast<Addr>(i)];
+        return v;
+    }
     std::uint64_t v = 0;
     for (int i = 7; i >= 0; --i)
-        v = (v << 8) | bytes_[addr + static_cast<Addr>(i)];
+        v = (v << 8) | load8(addr + static_cast<Addr>(i));
     return v;
 }
 
@@ -50,22 +99,69 @@ void
 Memory::store8(Addr addr, std::uint8_t value)
 {
     check(addr, 1);
-    bytes_[addr] = value;
+    if (base_ == nullptr) {
+        bytes_[addr] = value;
+        return;
+    }
+    privatize(addr)[addr & (PageSize - 1)] = value;
 }
 
 void
 Memory::store64(Addr addr, std::uint64_t value)
 {
     check(addr, 8);
+    if (base_ == nullptr) {
+        for (int i = 0; i < 8; ++i)
+            bytes_[addr + static_cast<Addr>(i)] =
+                static_cast<std::uint8_t>(value >> (8 * i));
+        return;
+    }
     for (int i = 0; i < 8; ++i)
-        bytes_[addr + static_cast<Addr>(i)] =
-            static_cast<std::uint8_t>(value >> (8 * i));
+        store8(addr + static_cast<Addr>(i),
+               static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void
+Memory::flatten() const
+{
+    if (base_ == nullptr)
+        return;
+    // Parent first (a fork of a fork), then overlay private pages. The
+    // parent's flatten only mutates its own mutable storage; shared
+    // parents in the serving layer are created flat, so this recursion
+    // is a single-owner path in practice.
+    base_->flatten();
+    bytes_ = base_->bytes_;
+    bytes_.resize(size_, 0);
+    for (const auto &[page, data] : pages_) {
+        const Addr start = static_cast<Addr>(page << PageBits);
+        const std::size_t len = std::min(PageSize, size_ - start);
+        std::memcpy(bytes_.data() + start, data.data(), len);
+    }
+    pages_.clear();
+    base_.reset();
 }
 
 const std::uint8_t *
 Memory::raw(Addr addr, std::size_t len) const
 {
     check(addr, len);
+    if (base_ != nullptr) {
+        // Read-only view of an untouched range: serve it straight from
+        // the parent (alive via base_, immutable by contract) instead of
+        // materializing a flat copy of the whole fork. Host-library
+        // reads of shared data hit this on every session.
+        bool clean = true;
+        if (!pages_.empty() && len > 0) {
+            const std::uint64_t last = pageOf(addr + len - 1);
+            for (std::uint64_t page = pageOf(addr);
+                 clean && page <= last; ++page)
+                clean = pages_.find(page) == pages_.end();
+        }
+        if (clean)
+            return base_->raw(addr, len);
+        flatten();
+    }
     return bytes_.data() + addr;
 }
 
@@ -73,6 +169,7 @@ std::uint8_t *
 Memory::raw(Addr addr, std::size_t len)
 {
     check(addr, len);
+    flatten();
     return bytes_.data() + addr;
 }
 

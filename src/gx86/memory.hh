@@ -1,16 +1,27 @@
 /**
  * @file
- * Flat guest/host physical memory.
+ * Flat guest/host physical memory, with copy-on-write forking.
  *
  * In user-mode DBT (as in QEMU user mode) guest addresses map directly to
  * host addresses, so one flat memory serves the guest interpreter, the DBT
  * and the host machine simulator.
+ *
+ * Serving many concurrent guest sessions from one prepared image needs
+ * cheap per-session state: fork() produces a memory that shares the
+ * parent's bytes read-only and privatizes 4 KiB pages on first write, so
+ * a thousand sessions cost pages-actually-dirtied, not a thousand flat
+ * copies -- and "roll the session back" is simply "drop the fork and
+ * take a new one". A non-forked memory keeps the original single-vector
+ * fast path; bulk raw() access on a fork materializes the flat copy
+ * once (host-library calls that hand out stable pointers).
  */
 
 #ifndef RISOTTO_GX86_MEMORY_HH
 #define RISOTTO_GX86_MEMORY_HH
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "gx86/image.hh"
@@ -25,26 +36,65 @@ class Memory
     /** Default size covers the standard image layout plus stacks. */
     static constexpr std::size_t DefaultSize = 32 * 1024 * 1024;
 
+    /** Copy-on-write page granularity. */
+    static constexpr std::size_t PageBits = 12;
+    static constexpr std::size_t PageSize = std::size_t{1} << PageBits;
+
     explicit Memory(std::size_t size = DefaultSize);
+
+    /**
+     * Copy-on-write fork of @p base: reads come from the shared parent
+     * until a page is written, writes privatize one page at a time. The
+     * parent must stay immutable (and alive, via the shared_ptr) for
+     * the fork's lifetime; concurrent forks of one parent are safe.
+     */
+    static Memory fork(std::shared_ptr<const Memory> base);
+
+    /** True when this memory is a live COW fork (unflattened). */
+    bool forked() const { return base_ != nullptr; }
+
+    /** Pages privatized so far (0 for non-forked memories). */
+    std::size_t dirtyPages() const { return pages_.size(); }
 
     /** Copy an image's text and data sections into place. */
     void loadImage(const GuestImage &image);
 
-    std::size_t size() const { return bytes_.size(); }
+    std::size_t size() const { return size_; }
 
     std::uint8_t load8(Addr addr) const;
     std::uint64_t load64(Addr addr) const;
     void store8(Addr addr, std::uint8_t value);
     void store64(Addr addr, std::uint64_t value);
 
-    /** Raw pointer for @p len bytes at @p addr (bounds-checked). */
+    /** Raw pointer for @p len bytes at @p addr (bounds-checked). On a
+     * fork the const overload reads through the parent when the range
+     * touches no privatized page (zero-copy); otherwise -- and always
+     * for the mutable overload -- the fork flattens first so callers
+     * get a stable flat view. */
     const std::uint8_t *raw(Addr addr, std::size_t len) const;
     std::uint8_t *raw(Addr addr, std::size_t len);
 
   private:
     void check(Addr addr, std::size_t len) const;
 
-    std::vector<std::uint8_t> bytes_;
+    /** Merge the shared base and private pages into a flat vector and
+     * detach from the parent (raw() needs contiguous bytes). */
+    void flatten() const;
+
+    /** The private page covering @p addr, copying it from the parent on
+     * first touch. */
+    std::vector<std::uint8_t> &privatize(Addr addr);
+
+    /** Flat bytes (authoritative when base_ is null). */
+    mutable std::vector<std::uint8_t> bytes_;
+    std::size_t size_ = 0;
+
+    /** COW parent; null for flat memories. */
+    mutable std::shared_ptr<const Memory> base_;
+
+    /** Privatized pages, keyed by page index (addr >> PageBits). */
+    mutable std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>
+        pages_;
 };
 
 } // namespace risotto::gx86

@@ -8,6 +8,8 @@
 
 #include "hostlib/hostlib.hh"
 
+#include <utility>
+
 #include "support/error.hh"
 
 namespace risotto::hostlib
@@ -110,19 +112,20 @@ registerCryptoLibrary(linker::HostLibraryRegistry &registry)
                            gx86::Memory &memory, std::uint64_t &cost) {
         const std::uint64_t len = args[1];
         cost = 400 + len * 25;
-        return referenceMd5(memory.raw(args[0], len), len);
+        return referenceMd5(std::as_const(memory).raw(args[0], len), len);
     });
     registry.add("sha1", [](const std::vector<std::uint64_t> &args,
                             gx86::Memory &memory, std::uint64_t &cost) {
         const std::uint64_t len = args[1];
         cost = 400 + len * 12;
-        return referenceSha1(memory.raw(args[0], len), len);
+        return referenceSha1(std::as_const(memory).raw(args[0], len), len);
     });
     registry.add("sha256", [](const std::vector<std::uint64_t> &args,
                               gx86::Memory &memory, std::uint64_t &cost) {
         const std::uint64_t len = args[1];
         cost = 400 + len * 7;
-        return referenceSha256(memory.raw(args[0], len), len);
+        return referenceSha256(std::as_const(memory).raw(args[0], len),
+                               len);
     });
     registry.add("rsa_sign", [](const std::vector<std::uint64_t> &args,
                                 gx86::Memory &, std::uint64_t &cost) {

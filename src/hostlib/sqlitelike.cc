@@ -7,6 +7,8 @@
 
 #include "hostlib/hostlib.hh"
 
+#include <utility>
+
 namespace risotto::hostlib
 {
 
@@ -56,7 +58,7 @@ registerSqliteLibrary(linker::HostLibraryRegistry &registry)
         const std::uint64_t len = args[1];
         const std::uint64_t ops = args[2];
         const auto *table = reinterpret_cast<const std::uint64_t *>(
-            memory.raw(args[0], len * 8));
+            std::as_const(memory).raw(args[0], len * 8));
         // Native binary search: ~4 cycles per level plus loop overhead.
         std::uint64_t levels = 1;
         while ((1ULL << levels) < len)

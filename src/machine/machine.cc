@@ -98,7 +98,9 @@ Machine::run(std::uint64_t max_cycles_per_core)
             diagnosis_ = RunDiagnosis::Finished;
             return true;
         }
-        if (next->cycles >= max_cycles_per_core) {
+        if (next->cycles >= max_cycles_per_core ||
+            (config_.retiredBudget != 0 &&
+             next->retired >= config_.retiredBudget)) {
             // Distinguish a core spinning on failed exclusive stores
             // (livelock) from one that is simply still doing useful work.
             diagnosis_ = RunDiagnosis::BudgetExhausted;

@@ -114,6 +114,12 @@ struct MachineConfig
     /** Fault-injection plan for machine-level sites (machine.stxr). */
     FaultPlan faults;
 
+    /** Per-core retired-instruction budget (0 = unlimited). The serving
+     * layer uses this as its admission-control instruction budget: a
+     * session that exceeds it is stopped with a BudgetExhausted (or
+     * Livelock) diagnosis and evicted instead of starving its peers. */
+    std::uint64_t retiredBudget = 0;
+
     /** Livelock watchdog: consecutive failed exclusive stores on one
      * core before a randomized backoff is applied (0 disables). */
     std::uint64_t livelockThreshold = 64;

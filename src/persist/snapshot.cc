@@ -434,7 +434,7 @@ parse(const std::vector<std::uint8_t> &bytes, ParseReport &report)
     for (std::uint32_t i = 0; i < record_count; ++i) {
         if (!nextFrame(c, payload, size, ok)) {
             // Truncated mid-frame: everything after is unreadable.
-            report.recordsBadBounds += record_count - i;
+            report.recordsTruncated += record_count - i;
             break;
         }
         if (!ok) {

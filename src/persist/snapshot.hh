@@ -126,6 +126,11 @@ struct ParseReport
     std::uint64_t recordsBadChecksum = 0;
     std::uint64_t recordsBadBounds = 0;
 
+    /** Records lost to a mid-file truncation (the frame structure
+     * itself was unreadable, unlike recordsBadBounds where a frame
+     * parsed but its fields were out of range). */
+    std::uint64_t recordsTruncated = 0;
+
     /** Human-readable reason when headerOk is false. */
     std::string error;
 };

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Admission control: a bounded session queue with load shedding.
+ *
+ * The service runs at most `jobs` sessions concurrently and holds at
+ * most `queueCapacity` more waiting. A batch of arrivals beyond
+ * jobs + queueCapacity is shed immediately -- a deliberate, classified
+ * rejection (FailureKind::Shed) instead of unbounded queue growth.
+ * Shedding is deterministic (highest session ids first), so a serve run
+ * is reproducible and the surviving set is independent of scheduling.
+ */
+
+#ifndef RISOTTO_SERVE_ADMISSION_HH
+#define RISOTTO_SERVE_ADMISSION_HH
+
+#include <cstddef>
+
+namespace risotto::serve
+{
+
+/** Bounded-queue admission policy. */
+struct AdmissionPolicy
+{
+    /** Waiting slots behind the running sessions; 0 = unbounded. */
+    std::size_t queueCapacity = 0;
+
+    /**
+     * Sessions admitted from a batch of @p requested arrivals when
+     * @p jobs run concurrently. The rest are shed.
+     */
+    std::size_t
+    admitted(std::size_t requested, std::size_t jobs) const
+    {
+        if (queueCapacity == 0)
+            return requested;
+        const std::size_t workers = jobs == 0 ? 1 : jobs;
+        const std::size_t capacity = workers + queueCapacity;
+        return requested < capacity ? requested : capacity;
+    }
+};
+
+} // namespace risotto::serve
+
+#endif // RISOTTO_SERVE_ADMISSION_HH

@@ -1,0 +1,95 @@
+#include "serve/artifact.hh"
+
+#include "dbt/frontend.hh"
+#include "hostlib/hostlib.hh"
+#include "linker/idl.hh"
+#include "support/error.hh"
+
+namespace risotto::serve
+{
+
+std::string
+artifactModeName(ArtifactMode mode)
+{
+    switch (mode) {
+      case ArtifactMode::Warm:
+        return "warm";
+      case ArtifactMode::Cold:
+        return "cold";
+      case ArtifactMode::InterpreterOnly:
+        return "interp";
+    }
+    return "interp";
+}
+
+SharedArtifact::SharedArtifact(gx86::GuestImage image,
+                               ArtifactConfig config)
+    : image_(std::move(image)), options_(std::move(config))
+{
+    if (options_.loadHostLibraries)
+        hostlib::registerAllLibraries(registry_);
+    std::string idl_text;
+    if (options_.loadHostLibraries)
+        idl_text = hostlib::fullIdl();
+    linker_ = std::make_unique<linker::HostLinker>(
+        linker::parseIdl(idl_text), registry_);
+    linker_->scanImage(image_);
+    dbt_ = std::make_unique<dbt::Dbt>(image_, options_.config,
+                                      linker_.get(), linker_.get());
+
+    // Populate the shared cache exactly once. Every rung of the ladder
+    // below leaves the artifact in a correct state; the rungs only trade
+    // away speed.
+    if (options_.interpreterOnly) {
+        mode_ = ArtifactMode::InterpreterOnly;
+    } else {
+        if (!options_.snapshotPath.empty())
+            report_ = dbt_->loadPersistentCache(options_.snapshotPath,
+                                                options_.validateSnapshot);
+        if (report_.applied && report_.loaded > 0) {
+            mode_ = ArtifactMode::Warm;
+        } else {
+            // No snapshot, or an unusable one (wrong key, corrupt
+            // header, every record rejected): fall back to cold
+            // preparation so sessions still mostly run translated code.
+            mode_ = ArtifactMode::Cold;
+            if (options_.precompile) {
+                try {
+                    for (const gx86::Addr head :
+                         dbt::reachableBlocks(image_, dbt_->config()))
+                        dbt_->lookupOrTranslate(head);
+                } catch (const Error &) {
+                    // Memory pressure (code buffer exhausted) or a
+                    // pathological image: keep whatever translated and
+                    // let the rest interpret. Never fatal.
+                    stats_.bump("serve.artifact_precompile_aborted");
+                }
+            } else {
+                mode_ = ArtifactMode::InterpreterOnly;
+            }
+        }
+    }
+
+    // The pristine memory template every session forks from.
+    auto memory = std::make_shared<gx86::Memory>();
+    memory->loadImage(image_);
+    memory_ = std::move(memory);
+
+    // Freeze: harvest the prepare-time counters (persist.* per-reason
+    // drops included) -- sessions never touch the engine's stats again.
+    stats_.merge(dbt_->stats());
+    stats_.merge(dbt_->faults().stats());
+    stats_.set("serve.artifact_mode_warm",
+               mode_ == ArtifactMode::Warm ? 1 : 0);
+    stats_.set("serve.artifact_mode_cold",
+               mode_ == ArtifactMode::Cold ? 1 : 0);
+    stats_.set("serve.artifact_mode_interp",
+               mode_ == ArtifactMode::InterpreterOnly ? 1 : 0);
+    stats_.set("serve.artifact_blocks", cache().size());
+    stats_.set("serve.artifact_snapshot_loaded", report_.loaded);
+    stats_.set("serve.artifact_snapshot_rejected", report_.rejected);
+}
+
+SharedArtifact::~SharedArtifact() = default;
+
+} // namespace risotto::serve

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The shared, frozen translation artifact behind a serving fleet.
+ *
+ * One SharedArtifact is prepared per service: it owns the host-library
+ * registry, the dynamic linker, and a DBT engine whose translation
+ * cache is populated exactly once -- warm-seeded from a persistent
+ * .rtbc snapshot when one is given (every record checksum-, decode- and
+ * validator-checked on the way in), cold-prepared by translating every
+ * statically reachable block otherwise. After prepare() the artifact is
+ * frozen: sessions dispatch against the code buffer, translation cache
+ * and chain slots strictly read-only (TranslationCache::findShared),
+ * each with a private jump cache and a private copy-on-write memory
+ * fork, so a corrupted or faulting session can never poison its peers.
+ *
+ * Degradation ladder (most capable first):
+ *   Warm            snapshot applied; dropped records interpret per block
+ *   Cold            no/unusable snapshot; reachable blocks pre-translated
+ *   InterpreterOnly nothing pre-translated (forced, or the code buffer
+ *                   exhausted during preparation); sessions interpret
+ *                   every block -- slow, never wrong
+ */
+
+#ifndef RISOTTO_SERVE_ARTIFACT_HH
+#define RISOTTO_SERVE_ARTIFACT_HH
+
+#include <memory>
+#include <string>
+
+#include "dbt/dbt.hh"
+#include "gx86/memory.hh"
+#include "linker/hostlinker.hh"
+
+namespace risotto::serve
+{
+
+/** How a prepared artifact serves translations. */
+enum class ArtifactMode
+{
+    Warm,            ///< Snapshot records dispatch from the shared cache.
+    Cold,            ///< Reachable blocks pre-translated at prepare time.
+    InterpreterOnly, ///< No shared translations; per-block interpretation.
+};
+
+/** Short name: "warm" / "cold" / "interp". */
+std::string artifactModeName(ArtifactMode mode);
+
+/** Options for preparing a SharedArtifact. */
+struct ArtifactConfig
+{
+    /** DBT variant the shared code is produced under. */
+    dbt::DbtConfig config = dbt::DbtConfig::risotto();
+
+    /** Load the bundled host libraries into the dynamic linker. */
+    bool loadHostLibraries = true;
+
+    /** Warm-start snapshot path; empty prepares cold. */
+    std::string snapshotPath;
+
+    /** Re-check every snapshot record against the obligation-graph
+     * validator before it becomes dispatchable. */
+    bool validateSnapshot = true;
+
+    /** Pre-translate every statically reachable block when no snapshot
+     * applied (the Cold rung). */
+    bool precompile = true;
+
+    /** Force the InterpreterOnly rung (memory-pressure response: no
+     * shared code beyond the dispatch stub is kept). */
+    bool interpreterOnly = false;
+};
+
+/**
+ * The frozen per-service translation artifact. Thread-safety: after
+ * construction every accessor is const and touches no mutable state,
+ * so any number of session threads may read concurrently.
+ */
+class SharedArtifact
+{
+  public:
+    /** Prepare (and freeze) the artifact for @p image. */
+    explicit SharedArtifact(gx86::GuestImage image,
+                            ArtifactConfig config = {});
+    ~SharedArtifact();
+
+    SharedArtifact(const SharedArtifact &) = delete;
+    SharedArtifact &operator=(const SharedArtifact &) = delete;
+
+    ArtifactMode mode() const { return mode_; }
+
+    /** Snapshot import outcome (loaded / rejected counts); default-
+     * constructed when no snapshot was requested. */
+    const dbt::PersistReport &persistReport() const { return report_; }
+
+    const gx86::GuestImage &image() const { return image_; }
+    const dbt::DbtConfig &config() const { return dbt_->config(); }
+    const aarch::CodeBuffer &code() const { return dbt_->codeBuffer(); }
+    const dbt::TranslationCache &cache() const { return dbt_->cache(); }
+    const dbt::ChainManager &chains() const { return dbt_->chains(); }
+    const dbt::ImportResolver *resolver() const
+    {
+        return dbt_->resolver();
+    }
+    dbt::HostCallHandler *hostcalls() const { return dbt_->hostcalls(); }
+
+    /** The shared dynamic-dispatch stub sessions start their cores at
+     * (target guest pc in DynExitReg). */
+    aarch::CodeAddr dynStub() const { return dbt_->dynInterpStub(); }
+
+    /** Guest entry pc. */
+    gx86::Addr entryPc() const { return image_.entry; }
+
+    /** The pristine guest memory sessions fork from (image loaded,
+     * nothing executed). */
+    const std::shared_ptr<const gx86::Memory> &templateMemory() const
+    {
+        return memory_;
+    }
+
+    /** Prepare-time counters: persist.* per-reason drop counts, the
+     * serve.artifact_* gauges, translation stats of the prepare. */
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    gx86::GuestImage image_;
+    ArtifactConfig options_;
+    linker::HostLibraryRegistry registry_;
+    std::unique_ptr<linker::HostLinker> linker_;
+    std::unique_ptr<dbt::Dbt> dbt_;
+    std::shared_ptr<const gx86::Memory> memory_;
+    dbt::PersistReport report_;
+    ArtifactMode mode_ = ArtifactMode::Cold;
+    StatSet stats_;
+};
+
+} // namespace risotto::serve
+
+#endif // RISOTTO_SERVE_ARTIFACT_HH

@@ -1,0 +1,58 @@
+#include "serve/failure.hh"
+
+namespace risotto::serve
+{
+
+std::string
+failureKindName(FailureKind kind)
+{
+    switch (kind) {
+      case FailureKind::None:
+        return "ok";
+      case FailureKind::Shed:
+        return "shed";
+      case FailureKind::InjectedFault:
+        return "injected-fault";
+      case FailureKind::GuestFault:
+        return "guest-fault";
+      case FailureKind::BudgetExhausted:
+        return "budget-exhausted";
+      case FailureKind::Livelock:
+        return "livelock";
+      case FailureKind::ValidatorViolation:
+        return "validator-violation";
+      case FailureKind::SnapshotCorrupt:
+        return "snapshot-corrupt";
+      case FailureKind::Internal:
+        return "internal";
+    }
+    return "internal";
+}
+
+std::string
+failureKindStat(FailureKind kind)
+{
+    switch (kind) {
+      case FailureKind::None:
+        return "serve.sessions_ok";
+      case FailureKind::Shed:
+        return "serve.sessions_shed";
+      case FailureKind::InjectedFault:
+        return "serve.failed_injected_fault";
+      case FailureKind::GuestFault:
+        return "serve.failed_guest_fault";
+      case FailureKind::BudgetExhausted:
+        return "serve.failed_budget_exhausted";
+      case FailureKind::Livelock:
+        return "serve.failed_livelock";
+      case FailureKind::ValidatorViolation:
+        return "serve.failed_validator_violation";
+      case FailureKind::SnapshotCorrupt:
+        return "serve.failed_snapshot_corrupt";
+      case FailureKind::Internal:
+        return "serve.failed_internal";
+    }
+    return "serve.failed_internal";
+}
+
+} // namespace risotto::serve

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The serving layer's failure taxonomy.
+ *
+ * Every session the service runs ends in exactly one of these states;
+ * there is deliberately no "unknown" bucket. Operators (and the chaos
+ * CI job) branch on the class, so each kind maps to a stable serve.*
+ * counter name and a short human-readable label.
+ */
+
+#ifndef RISOTTO_SERVE_FAILURE_HH
+#define RISOTTO_SERVE_FAILURE_HH
+
+#include <string>
+
+namespace risotto::serve
+{
+
+/** Final classification of one serving session. */
+enum class FailureKind
+{
+    /** Session finished; guest state is authoritative. */
+    None,
+
+    /** Load-shed at admission: the bounded queue was full. */
+    Shed,
+
+    /** An armed fault site fired and retries ran dry (transient-fault
+     * containment: earlier attempts were rolled back and retried). */
+    InjectedFault,
+
+    /** The guest program itself faulted (deterministic: not retried). */
+    GuestFault,
+
+    /** Evicted: the cycle or retired-instruction budget ran out while
+     * the session was doing useful work. */
+    BudgetExhausted,
+
+    /** Evicted: the budget ran out while spinning on failed exclusive
+     * stores (the livelock watchdog's diagnosis). */
+    Livelock,
+
+    /** A shared-cache record failed re-validation and the degraded
+     * path also could not complete the session. */
+    ValidatorViolation,
+
+    /** The warm-start snapshot was unusable and cold preparation was
+     * disabled, leaving the session nothing to dispatch from. */
+    SnapshotCorrupt,
+
+    /** Any other library error (a bug surfaced as PanicError, ...). */
+    Internal,
+};
+
+/** Every kind, for taxonomy-completeness iteration. */
+inline constexpr FailureKind AllFailureKinds[] = {
+    FailureKind::None,           FailureKind::Shed,
+    FailureKind::InjectedFault,  FailureKind::GuestFault,
+    FailureKind::BudgetExhausted, FailureKind::Livelock,
+    FailureKind::ValidatorViolation, FailureKind::SnapshotCorrupt,
+    FailureKind::Internal,
+};
+
+/** Short label: "ok", "shed", "injected-fault", ... */
+std::string failureKindName(FailureKind kind);
+
+/** The serve.* counter a session of this kind bumps
+ * ("serve.sessions_ok", "serve.failed_injected_fault", ...). */
+std::string failureKindStat(FailureKind kind);
+
+} // namespace risotto::serve
+
+#endif // RISOTTO_SERVE_FAILURE_HH

@@ -1,0 +1,78 @@
+#include "serve/manager.hh"
+
+#include "support/threadpool.hh"
+
+namespace risotto::serve
+{
+
+ServeReport
+runSessions(const SharedArtifact &artifact, const ServeConfig &config)
+{
+    ServeReport report;
+    const std::size_t requested = config.sessions;
+    const std::size_t admitted =
+        config.admission.admitted(requested, config.jobs);
+
+    report.sessions.resize(requested);
+
+    // Load shedding first: deterministic, classified, and free.
+    for (std::size_t id = admitted; id < requested; ++id) {
+        SessionResult &shed = report.sessions[id];
+        shed.id = id;
+        shed.kind = FailureKind::Shed;
+        shed.attempts = 0;
+        shed.note = "queue full: session shed at admission";
+    }
+
+    // Every admitted session is an independent deterministic task:
+    // results are bit-identical whatever the worker count, and one
+    // session's failure cannot reach another's state (private fork,
+    // private counters, read-only artifact).
+    support::ThreadPool pool(config.jobs);
+    pool.parallelFor(0, admitted, 1, [&](std::size_t id) {
+        report.sessions[id] =
+            runSession(artifact, id, config.session);
+    });
+
+    // Aggregate: one counter per failure kind (no unknown bucket),
+    // artifact prepare stats, and the merged per-session counters.
+    report.stats.merge(artifact.stats());
+    for (const FailureKind kind : AllFailureKinds)
+        report.stats.set(failureKindStat(kind), 0);
+    std::uint64_t retries = 0;
+    std::uint64_t backoff_cycles = 0;
+    for (const SessionResult &session : report.sessions) {
+        report.stats.bump(failureKindStat(session.kind));
+        switch (session.kind) {
+          case FailureKind::None:
+            ++report.succeeded;
+            break;
+          case FailureKind::Shed:
+            ++report.shed;
+            break;
+          default:
+            ++report.failed;
+            break;
+        }
+        retries += session.stats.get("serve.retries");
+        backoff_cycles += session.backoffCycles;
+        report.stats.bump("serve.shared_hits", session.sharedHits);
+        report.stats.bump("serve.shared_misses", session.sharedMisses);
+        report.stats.bump("serve.fallback_blocks",
+                          session.fallbackBlocks);
+        report.stats.bump("serve.dirty_pages", session.dirtyPages);
+        report.stats.bump(
+            "serve.injected_faults",
+            session.stats.get("fault.serve.session.injected"));
+        report.stats.bump("serve.recovered",
+                          session.stats.get("serve.recovered"));
+    }
+    report.stats.set("serve.sessions_requested", requested);
+    report.stats.set("serve.sessions_admitted", admitted);
+    report.stats.set("serve.retries", retries);
+    report.stats.set("serve.backoff_cycles", backoff_cycles);
+    report.stats.set("serve.jobs", config.jobs == 0 ? 1 : config.jobs);
+    return report;
+}
+
+} // namespace risotto::serve

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The session manager: N guest sessions over one shared artifact.
+ *
+ * Runs the admitted sessions on a work-stealing thread pool; each
+ * session is an independent, deterministic function of (artifact,
+ * service seed, session id), so the report is bit-identical whatever
+ * --jobs is -- the same contract the parallel analysis layers honour,
+ * and the lever the tests use to compare a concurrent fleet against
+ * its serial reference. Aggregation rolls every session's counters and
+ * final FailureKind into one structured serve.* StatSet with no
+ * unknown bucket.
+ */
+
+#ifndef RISOTTO_SERVE_MANAGER_HH
+#define RISOTTO_SERVE_MANAGER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/admission.hh"
+#include "serve/artifact.hh"
+#include "serve/session.hh"
+
+namespace risotto::serve
+{
+
+/** Service-level configuration. */
+struct ServeConfig
+{
+    /** Sessions requested (the arrival batch). */
+    std::size_t sessions = 1;
+
+    /** Concurrent session workers (<=1 runs inline, serially). */
+    std::size_t jobs = 1;
+
+    /** Admission control (bounded queue + shedding). */
+    AdmissionPolicy admission;
+
+    /** Per-session execution knobs (budgets, faults, retry, seed). */
+    SessionOptions session;
+};
+
+/** Aggregated outcome of one serve batch. */
+struct ServeReport
+{
+    /** Per-session results, indexed by session id. Shed sessions have
+     * kind == FailureKind::Shed and ran nothing. */
+    std::vector<SessionResult> sessions;
+
+    /** Sessions that finished their guest run. */
+    std::uint64_t succeeded = 0;
+
+    /** Sessions shed at admission (never ran). */
+    std::uint64_t shed = 0;
+
+    /** Admitted sessions with a final failure classification. */
+    std::uint64_t failed = 0;
+
+    /** Structured counters: per-kind serve.* counts, artifact
+     * prepare stats (persist.* drop reasons), merged session stats. */
+    StatSet stats;
+
+    /** True when every non-shed session finished. */
+    bool
+    allSucceeded() const
+    {
+        return failed == 0;
+    }
+};
+
+/**
+ * Run @p config.sessions sessions over @p artifact on @p config.jobs
+ * workers. Never throws for per-session failures -- every session ends
+ * classified in the report.
+ */
+ServeReport runSessions(const SharedArtifact &artifact,
+                        const ServeConfig &config);
+
+} // namespace risotto::serve
+
+#endif // RISOTTO_SERVE_MANAGER_HH

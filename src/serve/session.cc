@@ -1,0 +1,229 @@
+#include "serve/session.hh"
+
+#include "dbt/backend.hh"
+#include "dbt/fallback.hh"
+#include "dbt/frontend.hh"
+#include "support/rng.hh"
+
+namespace risotto::serve
+{
+
+using aarch::CodeAddr;
+using machine::Core;
+using machine::Machine;
+
+namespace
+{
+
+/**
+ * The per-session dispatch runtime against a frozen artifact.
+ *
+ * Mirrors Dbt::onExitTb minus everything mutable: no translation, no
+ * execution-count profiling, no chain patching. A shared-cache hit
+ * jumps straight to the frozen translation; a miss (record dropped at
+ * import, or InterpreterOnly mode) interprets exactly one guest block
+ * and re-enters through the shared dynamic stub. Helper traps go
+ * through the same invokeRuntimeHelper body translated code uses under
+ * a private counter set.
+ */
+class SessionRuntime : public machine::HelperRuntime
+{
+  public:
+    SessionRuntime(const SharedArtifact &artifact, const FaultPlan &plan,
+                   StatSet &stats)
+        : artifact_(artifact), faults_(plan), stats_(stats)
+    {
+    }
+
+    std::uint64_t
+    invokeHelper(std::uint8_t id, std::uint16_t extra, Core &core,
+                 Machine &machine) override
+    {
+        return dbt::invokeRuntimeHelper(id, extra, core, machine,
+                                        artifact_.hostcalls(), stats_);
+    }
+
+    std::optional<CodeAddr>
+    onExitTb(std::uint32_t slot_index, Core &core,
+             Machine &machine) override
+    {
+        // The session-level transient-fault site: one draw per
+        // dispatch. A hit abandons the whole attempt (the manager
+        // rolls the fork back and retries), modelling a fault that
+        // corrupted session -- never shared -- state.
+        if (faults_.armed() &&
+            faults_.shouldInject(faultsites::ServeSession))
+            throw InjectedFault(faultsites::ServeSession);
+
+        const dbt::ExitSlot &slot = artifact_.chains().slot(slot_index);
+        const std::uint64_t target_pc =
+            slot.dynamic ? core.x[dbt::DynExitReg] : slot.guestPc;
+        if (target_pc == dbt::HaltPc)
+            return std::nullopt;
+
+        if (artifact_.mode() != ArtifactMode::InterpreterOnly) {
+            if (const dbt::TbInfo *tb =
+                    artifact_.cache().findShared(target_pc, jumpCache_)) {
+                stats_.bump("serve.shared_hits");
+                return tb->entry;
+            }
+        }
+
+        // Degraded rung: the block has no shared translation (record
+        // dropped at import, never statically reachable, or
+        // InterpreterOnly). Interpret one block, then re-dispatch.
+        stats_.bump("serve.fallback_blocks");
+        const std::uint64_t next = dbt::interpretBlock(
+            artifact_.image(), artifact_.config(), artifact_.resolver(),
+            artifact_.hostcalls(), target_pc, core, machine, stats_);
+        if (core.halted || next == dbt::HaltPc)
+            return std::nullopt;
+        core.x[dbt::DynExitReg] = next;
+        return artifact_.dynStub();
+    }
+
+    const FaultInjector &faults() const { return faults_; }
+    const dbt::SessionJumpCache &jumpCache() const { return jumpCache_; }
+
+  private:
+    const SharedArtifact &artifact_;
+    FaultInjector faults_;
+    StatSet &stats_;
+    dbt::SessionJumpCache jumpCache_;
+};
+
+/** One attempt's raw outcome (before retry policy). */
+struct Attempt
+{
+    FailureKind kind = FailureKind::None;
+    bool finished = false;
+    machine::RunDiagnosis diagnosis = machine::RunDiagnosis::Finished;
+    std::vector<std::int64_t> exitCodes;
+    std::vector<std::string> outputs;
+    std::uint64_t makespan = 0;
+    std::uint64_t dirtyPages = 0;
+    std::uint64_t sharedHits = 0;
+    std::uint64_t sharedMisses = 0;
+    StatSet stats;
+    std::string note;
+};
+
+Attempt
+runAttempt(const SharedArtifact &artifact, std::uint64_t id,
+           unsigned attempt, const SessionOptions &options)
+{
+    Attempt out;
+
+    // Roll-back-able state: a fresh fork per attempt. Pages privatize
+    // on first write; dropping the fork is the rollback.
+    gx86::Memory memory = gx86::Memory::fork(artifact.templateMemory());
+
+    machine::MachineConfig mcfg;
+    mcfg.seed = deriveStream(options.seed, 2 * id);
+    mcfg.retiredBudget = options.insnBudget;
+    FaultPlan plan = options.faults;
+    if (plan.armed())
+        // Independent stream per (session, attempt): a retry re-draws
+        // its fault schedule, and the whole fleet stays reproducible
+        // from one seed.
+        plan.seed = deriveStream(plan.seed, id * 127 + attempt);
+    mcfg.faults = plan;
+
+    Machine machine(artifact.code(), memory, mcfg);
+    SessionRuntime runtime(artifact, plan, out.stats);
+    machine.setRuntime(&runtime);
+
+    for (std::size_t t = 0; t < options.threads; ++t) {
+        const std::size_t index = machine.addCore(artifact.dynStub());
+        Core &core = machine.core(index);
+        core.x[0] = t; // Thread id in guest r0, as Emulator::run does.
+        core.x[gx86::Rsp] = gx86::DefaultStackTop - t * 0x40000;
+        core.x[dbt::DynExitReg] = artifact.entryPc();
+    }
+
+    try {
+        out.finished = machine.run(options.maxCyclesPerCore);
+        out.diagnosis = machine.diagnosis();
+        if (out.finished)
+            out.kind = FailureKind::None;
+        else if (out.diagnosis == machine::RunDiagnosis::Livelock)
+            out.kind = FailureKind::Livelock;
+        else
+            out.kind = FailureKind::BudgetExhausted;
+    } catch (const InjectedFault &e) {
+        out.kind = FailureKind::InjectedFault;
+        out.note = e.what();
+    } catch (const GuestFault &e) {
+        out.kind = FailureKind::GuestFault;
+        out.note = e.what();
+    } catch (const Error &e) {
+        out.kind = FailureKind::Internal;
+        out.note = e.what();
+    }
+
+    for (std::size_t t = 0; t < machine.coreCount(); ++t) {
+        out.exitCodes.push_back(machine.core(t).exitCode);
+        out.outputs.push_back(machine.core(t).output);
+    }
+    out.makespan = machine.makespan();
+    out.dirtyPages = memory.dirtyPages();
+    out.sharedHits = out.stats.get("serve.shared_hits");
+    out.sharedMisses = runtime.jumpCache().misses();
+    out.stats.merge(machine.stats());
+    out.stats.merge(machine.faults().stats());
+    out.stats.merge(runtime.faults().stats());
+    return out;
+}
+
+} // namespace
+
+SessionResult
+runSession(const SharedArtifact &artifact, std::uint64_t id,
+           const SessionOptions &options)
+{
+    SessionResult res;
+    res.id = id;
+    Rng backoff(deriveStream(options.seed, 2 * id + 1));
+
+    for (unsigned attempt = 1;; ++attempt) {
+        Attempt a = runAttempt(artifact, id, attempt, options);
+        res.attempts = attempt;
+        res.kind = a.kind;
+        res.diagnosis = a.diagnosis;
+        res.finished = a.finished;
+        res.exitCodes = std::move(a.exitCodes);
+        res.outputs = std::move(a.outputs);
+        res.makespan = a.makespan;
+        res.dirtyPages = a.dirtyPages;
+        res.sharedHits = a.sharedHits;
+        res.sharedMisses = a.sharedMisses;
+        res.fallbackBlocks = a.stats.get("serve.fallback_blocks");
+        res.stats = std::move(a.stats);
+        res.note = a.note;
+
+        if (a.kind == FailureKind::None) {
+            if (attempt > 1) {
+                // The transient faults earlier attempts hit were
+                // successfully retried past.
+                res.stats.bump("serve.recovered", attempt - 1);
+                res.note.clear();
+            }
+            break;
+        }
+        // Only transient failures retry: an injected fault may pass on
+        // a fresh draw; guest faults and budget evictions are
+        // deterministic and would only burn the budget again.
+        const bool transient = a.kind == FailureKind::InjectedFault ||
+                               a.kind == FailureKind::Internal;
+        if (!transient || !options.retry.shouldRetry(attempt))
+            break;
+        res.backoffCycles += options.retry.delayFor(attempt, backoff);
+    }
+
+    res.stats.bump("serve.retries", res.attempts - 1);
+    res.stats.set("serve.backoff_cycles", res.backoffCycles);
+    res.latency = res.makespan + res.backoffCycles;
+    return res;
+}
+
+} // namespace risotto::serve

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * One serving session: a fault-isolated guest run over the shared
+ * artifact.
+ *
+ * A session owns everything mutable about its run -- a copy-on-write
+ * fork of the template memory, a Machine over the shared (read-only)
+ * code buffer, a private jump cache, private counters, and private
+ * fault/backoff RNG streams derived from (service seed, session id) so
+ * results are bit-identical whatever --jobs is. Containment is
+ * structural: a failing attempt is discarded fork and all, the retry
+ * re-forks pristine state, and nothing a session does can write to the
+ * artifact.
+ */
+
+#ifndef RISOTTO_SERVE_SESSION_HH
+#define RISOTTO_SERVE_SESSION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "serve/artifact.hh"
+#include "serve/failure.hh"
+#include "support/backoff.hh"
+#include "support/faultinject.hh"
+#include "support/stats.hh"
+
+namespace risotto::serve
+{
+
+/** Per-session knobs (shared by every session of one service run). */
+struct SessionOptions
+{
+    /** Guest threads per session (thread id in guest r0). */
+    std::size_t threads = 1;
+
+    /** Cycle budget per core per attempt. */
+    std::uint64_t maxCyclesPerCore = 500'000'000;
+
+    /** Retired-instruction budget per core (0 = unlimited); exceeding
+     * it evicts the session with a BudgetExhausted / Livelock
+     * diagnosis. */
+    std::uint64_t insnBudget = 0;
+
+    /** Service seed; per-session streams derive from (seed, id). */
+    std::uint64_t seed = 1;
+
+    /** Fault plan; the per-session, per-attempt stream derives from
+     * (faults.seed, id, attempt) so a retry re-draws its luck while
+     * the whole run stays reproducible. */
+    FaultPlan faults;
+
+    /** Transient-failure retry schedule. */
+    support::RetryPolicy retry;
+};
+
+/** Outcome of one session (after any retries). */
+struct SessionResult
+{
+    std::uint64_t id = 0;
+
+    /** Final classification; None means the guest finished. */
+    FailureKind kind = FailureKind::Internal;
+
+    /** Machine diagnosis of the last attempt. */
+    machine::RunDiagnosis diagnosis = machine::RunDiagnosis::Finished;
+
+    bool finished = false;
+
+    /** Attempts consumed (1 = no retry). */
+    unsigned attempts = 0;
+
+    /** Simulated cycles spent backing off between attempts. */
+    std::uint64_t backoffCycles = 0;
+
+    /** Per-guest-thread results of the last attempt. */
+    std::vector<std::int64_t> exitCodes;
+    std::vector<std::string> outputs;
+
+    /** Makespan of the last attempt. */
+    std::uint64_t makespan = 0;
+
+    /** makespan + backoffCycles: the session's observed latency. */
+    std::uint64_t latency = 0;
+
+    /** Copy-on-write pages privatized by the last attempt. */
+    std::uint64_t dirtyPages = 0;
+
+    /** Shared-cache dispatch profile of the last attempt. */
+    std::uint64_t sharedHits = 0;
+    std::uint64_t sharedMisses = 0;
+    std::uint64_t fallbackBlocks = 0;
+
+    /** Machine + runtime + fault counters of the last attempt, plus
+     * serve.retries / serve.backoff_cycles accumulated across all. */
+    StatSet stats;
+
+    /** Error message of the final failure (empty on success). */
+    std::string note;
+};
+
+/**
+ * Run session @p id to completion over @p artifact: fork, execute,
+ * and on a transient failure roll back and retry with randomized
+ * exponential backoff per @p options.retry. Never throws; every
+ * outcome is classified in the result's FailureKind.
+ */
+SessionResult runSession(const SharedArtifact &artifact, std::uint64_t id,
+                         const SessionOptions &options);
+
+} // namespace risotto::serve
+
+#endif // RISOTTO_SERVE_SESSION_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Retry policy with randomized exponential backoff.
+ *
+ * The serving layer (and any future supervisor) retries transient
+ * failures -- injected faults, corrupt-record degradations -- a bounded
+ * number of times, waiting a randomized exponentially growing delay
+ * between attempts so that retrying sessions decorrelate instead of
+ * stampeding. Delays are expressed in simulated cycles and drawn from a
+ * caller-supplied Rng, so a fixed seed reproduces the exact retry
+ * schedule (the same determinism contract as FaultPlan).
+ */
+
+#ifndef RISOTTO_SUPPORT_BACKOFF_HH
+#define RISOTTO_SUPPORT_BACKOFF_HH
+
+#include <cstdint>
+
+#include "support/rng.hh"
+
+namespace risotto::support
+{
+
+/** Bounded-retry schedule with randomized exponential backoff. */
+struct RetryPolicy
+{
+    /** Total attempts including the first (1 = never retry). */
+    unsigned maxAttempts = 3;
+
+    /** Backoff window before the first retry, in simulated cycles. */
+    std::uint64_t baseDelay = 1024;
+
+    /** The window stops doubling here. */
+    std::uint64_t capDelay = 1 << 20;
+
+    /** True when attempt number @p attempt (1-based) may be followed by
+     * another. */
+    bool
+    shouldRetry(unsigned attempt) const
+    {
+        return attempt < maxAttempts;
+    }
+
+    /**
+     * Delay before retry number @p attempt (1-based: the delay after the
+     * attempt'th failure). Full jitter: uniform in [window/2, window]
+     * where window = min(baseDelay << (attempt-1), capDelay), so
+     * concurrent retriers spread out while the expected delay still
+     * doubles per failure.
+     */
+    std::uint64_t
+    delayFor(unsigned attempt, Rng &rng) const
+    {
+        if (baseDelay == 0)
+            return 0;
+        std::uint64_t window = baseDelay;
+        for (unsigned i = 1; i < attempt && window < capDelay; ++i)
+            window *= 2;
+        if (window > capDelay)
+            window = capDelay;
+        const std::uint64_t half = window / 2;
+        return half + rng.below(window - half + 1);
+    }
+};
+
+} // namespace risotto::support
+
+#endif // RISOTTO_SUPPORT_BACKOFF_HH

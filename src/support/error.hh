@@ -48,6 +48,35 @@ class GuestFault : public Error
         : Error("guest fault: " + msg) {}
 };
 
+/**
+ * Unified process exit codes for every risotto command-line tool
+ * (risotto-run, risotto-litmus, risotto-verify, risotto-serve).
+ *
+ * One taxonomy so scripts and CI can branch on failure *class* without
+ * knowing which tool produced it:
+ *   0  success
+ *   1  runtime error (unreadable input, internal failure)
+ *   2  usage error (bad flags / arguments)
+ *   3  translation-validator violation (obligation not covered)
+ *   4  fault/cycle budget exhausted (a run or session was evicted:
+ *      budget-exhausted or livelock diagnosis, or retries ran dry)
+ */
+enum class ToolExit : int
+{
+    Ok = 0,
+    RuntimeError = 1,
+    Usage = 2,
+    ValidatorViolation = 3,
+    BudgetExhausted = 4,
+};
+
+/** The int a tool's main() should return for @p code. */
+inline int
+toolExitCode(ToolExit code)
+{
+    return static_cast<int>(code);
+}
+
 /** Throw a PanicError; never returns. */
 [[noreturn]] inline void
 panic(const std::string &msg)

@@ -44,10 +44,15 @@ inline constexpr const char *MachineStxr = "machine.stxr";
  * fails (simulated corruption): the record is dropped and the block
  * degrades to cold translation, never to wrong code. */
 inline constexpr const char *PersistRecord = "persist.record";
+/** A serving session is hit by a transient fault mid-dispatch: the
+ * session is contained, rolled back to a fresh copy-on-write fork and
+ * retried with backoff (see src/serve). */
+inline constexpr const char *ServeSession = "serve.session";
 
 /** All registered site names (for "arm everything" plans). */
 inline constexpr const char *All[] = {DbtDecode, DbtEncode, DbtBuffer,
-                                      MachineStxr, PersistRecord};
+                                      MachineStxr, PersistRecord,
+                                      ServeSession};
 } // namespace faultsites
 
 /** Declarative fault schedule: which sites fire, how often, which seed. */

@@ -80,6 +80,26 @@ class Rng
     std::uint64_t state_[4];
 };
 
+/**
+ * Derive an independent stream seed from (@p seed, @p stream).
+ *
+ * A SplitMix64-style finalizer over the pair, so that consumers needing
+ * one reproducible RNG per logical unit (one per serving session, one
+ * per worker) get streams that neither collide nor correlate: seeding
+ * Rng(deriveStream(s, i)) for consecutive i yields unrelated sequences,
+ * unlike the naive Rng(s + i). Never returns 0, so the result stays
+ * usable as a FaultPlan seed (where 0 means "disarmed").
+ */
+inline std::uint64_t
+deriveStream(std::uint64_t seed, std::uint64_t stream)
+{
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return z == 0 ? 0x9e3779b97f4a7c15ULL : z;
+}
+
 } // namespace risotto
 
 #endif // RISOTTO_SUPPORT_RNG_HH

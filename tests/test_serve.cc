@@ -1,0 +1,456 @@
+/**
+ * @file
+ * Serving-layer tests: copy-on-write memory forks, admission control
+ * and load shedding, per-session fault containment with retry/backoff,
+ * budget eviction, the degradation ladder, failure-taxonomy
+ * completeness, unified tool exit codes, and the determinism contract
+ * (a concurrent fleet is bit-identical to its serial reference, and
+ * non-faulted sessions are bit-identical to a plain engine run).
+ *
+ * The fleet tests run >= 32 sessions on a multi-worker pool and are
+ * part of the ThreadSanitizer CI job: sessions share one frozen
+ * artifact, so any mutable touch of shared state is a reportable race.
+ */
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dbt/dbt.hh"
+#include "gx86/assembler.hh"
+#include "gx86/memory.hh"
+#include "persist/snapshot.hh"
+#include "serve/manager.hh"
+#include "support/backoff.hh"
+#include "support/error.hh"
+#include "support/rng.hh"
+
+namespace
+{
+
+using namespace risotto;
+
+/** A guest that loads, accumulates, stores, prints a digest char and
+ * exits with its thread id: every serve behaviour (COW dirtying,
+ * output capture, exit codes) is observable. */
+gx86::GuestImage
+serveGuest()
+{
+    gx86::Assembler a;
+    const gx86::Addr buf = a.dataReserve(256);
+    a.defineSymbol("main");
+    a.movrr(5, 0); // Keep the thread id (r0 on entry).
+    a.movri(3, static_cast<std::int64_t>(buf));
+    a.movri(1, 0);
+    a.movri(2, 25);
+    const auto loop = a.newLabel();
+    a.bind(loop);
+    a.load(4, 3, 0);
+    a.add(1, 4);
+    a.store(3, 8, 1);
+    a.addi(1, 2);
+    a.subi(2, 1);
+    a.cmpri(2, 0);
+    a.jcc(gx86::Cond::Gt, loop);
+    a.andi(1, 7);
+    a.addi(1, 'A');
+    a.movri(0, 1); // putchar(r1)
+    a.syscall();
+    a.movri(0, 0); // exit(r5)
+    a.movrr(1, 5);
+    a.syscall();
+    return a.finish("main");
+}
+
+constexpr std::size_t GuestThreads = 2;
+
+/** Plain-engine reference for the same image: what one tenant sees
+ * without the serving layer. */
+dbt::RunResult
+plainReference(const gx86::GuestImage &image)
+{
+    dbt::Dbt engine(image, dbt::DbtConfig::risotto());
+    std::vector<dbt::ThreadSpec> threads(GuestThreads);
+    for (std::size_t t = 0; t < GuestThreads; ++t)
+        threads[t].regs[0] = t;
+    return engine.run(threads);
+}
+
+serve::ServeConfig
+fleetConfig(std::size_t sessions, std::size_t jobs)
+{
+    serve::ServeConfig config;
+    config.sessions = sessions;
+    config.jobs = jobs;
+    config.session.threads = GuestThreads;
+    return config;
+}
+
+bool
+sameSession(const serve::SessionResult &a, const serve::SessionResult &b)
+{
+    return a.id == b.id && a.kind == b.kind && a.finished == b.finished &&
+           a.attempts == b.attempts && a.exitCodes == b.exitCodes &&
+           a.outputs == b.outputs && a.makespan == b.makespan &&
+           a.backoffCycles == b.backoffCycles && a.latency == b.latency &&
+           a.dirtyPages == b.dirtyPages;
+}
+
+// --- Copy-on-write memory -------------------------------------------
+
+TEST(CowMemory, ForkSharesReadsUntilWritten)
+{
+    auto parent = std::make_shared<gx86::Memory>(std::size_t{1} << 16);
+    const_cast<gx86::Memory &>(*parent).store64(0x100, 0xdeadbeef);
+    gx86::Memory fork = gx86::Memory::fork(parent);
+    EXPECT_TRUE(fork.forked());
+    EXPECT_EQ(fork.load64(0x100), 0xdeadbeefu);
+    EXPECT_EQ(fork.dirtyPages(), 0u);
+
+    fork.store64(0x100, 42);
+    EXPECT_EQ(fork.dirtyPages(), 1u);
+    EXPECT_EQ(fork.load64(0x100), 42u);
+    EXPECT_EQ(parent->load64(0x100), 0xdeadbeefu) << "parent mutated";
+
+    // The rest of the dirtied page still reads the parent's bytes.
+    EXPECT_EQ(fork.load64(0x108), parent->load64(0x108));
+}
+
+TEST(CowMemory, RollbackIsRefork)
+{
+    auto parent = std::make_shared<gx86::Memory>(std::size_t{1} << 16);
+    const_cast<gx86::Memory &>(*parent).store8(0x10, 7);
+    gx86::Memory first = gx86::Memory::fork(parent);
+    first.store8(0x10, 99);
+    gx86::Memory retry = gx86::Memory::fork(parent);
+    EXPECT_EQ(retry.load8(0x10), 7u);
+    EXPECT_EQ(retry.dirtyPages(), 0u);
+}
+
+TEST(CowMemory, ConstRawOnCleanRangeDoesNotFlatten)
+{
+    auto parent = std::make_shared<gx86::Memory>(std::size_t{1} << 16);
+    const_cast<gx86::Memory &>(*parent).store8(0x2000, 0x5a);
+    gx86::Memory fork = gx86::Memory::fork(parent);
+    fork.store8(0x0, 1); // Dirty page 0 only.
+
+    const gx86::Memory &view = fork;
+    EXPECT_EQ(view.raw(0x2000, 16)[0], 0x5a);
+    EXPECT_TRUE(fork.forked()) << "read-only raw flattened the fork";
+
+    // A range overlapping the private page needs the flat view.
+    EXPECT_EQ(view.raw(0x0, 8)[0], 1);
+    EXPECT_FALSE(fork.forked());
+    EXPECT_EQ(fork.load8(0x2000), 0x5au);
+}
+
+TEST(CowMemory, MutableRawFlattensWithPrivatePages)
+{
+    auto parent = std::make_shared<gx86::Memory>(std::size_t{1} << 16);
+    gx86::Memory fork = gx86::Memory::fork(parent);
+    fork.store8(0x42, 9);
+    std::uint8_t *bytes = fork.raw(0x40, 8);
+    EXPECT_FALSE(fork.forked());
+    EXPECT_EQ(bytes[2], 9u);
+}
+
+// --- Admission control ----------------------------------------------
+
+TEST(Admission, BoundedQueueShedsBeyondCapacity)
+{
+    serve::AdmissionPolicy policy;
+    policy.queueCapacity = 2;
+    EXPECT_EQ(policy.admitted(10, 4), 6u);
+    EXPECT_EQ(policy.admitted(3, 4), 3u);
+    EXPECT_EQ(policy.admitted(10, 0), 3u) << "0 jobs runs one worker";
+    policy.queueCapacity = 0;
+    EXPECT_EQ(policy.admitted(10, 4), 10u) << "0 = unbounded";
+}
+
+TEST(Admission, ShedSessionsAreClassifiedDeterministically)
+{
+    const gx86::GuestImage image = serveGuest();
+    const serve::SharedArtifact artifact(image);
+    serve::ServeConfig config = fleetConfig(12, 2);
+    config.admission.queueCapacity = 3;
+    const serve::ServeReport report = serve::runSessions(artifact, config);
+    EXPECT_EQ(report.shed, 7u);
+    EXPECT_EQ(report.succeeded, 5u);
+    EXPECT_EQ(report.failed, 0u);
+    EXPECT_TRUE(report.allSucceeded());
+    for (const serve::SessionResult &s : report.sessions) {
+        // Deterministic shedding: highest ids shed, admitted prefix runs.
+        EXPECT_EQ(s.kind == serve::FailureKind::Shed, s.id >= 5)
+            << "session " << s.id;
+        if (s.kind == serve::FailureKind::Shed) {
+            EXPECT_EQ(s.attempts, 0u);
+        }
+    }
+    EXPECT_EQ(report.stats.get("serve.sessions_shed"), 7u);
+    EXPECT_EQ(report.stats.get("serve.sessions_admitted"), 5u);
+}
+
+// --- Retry / backoff -------------------------------------------------
+
+TEST(Backoff, WindowsDoubleJitteredAndCapped)
+{
+    support::RetryPolicy policy;
+    policy.baseDelay = 100;
+    policy.capDelay = 400;
+    Rng rng(42);
+    for (unsigned attempt = 1; attempt <= 6; ++attempt) {
+        std::uint64_t window = policy.baseDelay << (attempt - 1);
+        if (window > policy.capDelay)
+            window = policy.capDelay;
+        const std::uint64_t delay = policy.delayFor(attempt, rng);
+        EXPECT_GE(delay, window / 2) << "attempt " << attempt;
+        EXPECT_LE(delay, window) << "attempt " << attempt;
+    }
+
+    // Same seed, same schedule.
+    Rng a(7), b(7);
+    for (unsigned attempt = 1; attempt <= 4; ++attempt)
+        EXPECT_EQ(policy.delayFor(attempt, a), policy.delayFor(attempt, b));
+}
+
+TEST(Backoff, SessionStreamsAreIndependent)
+{
+    EXPECT_NE(deriveStream(1, 0), deriveStream(1, 1));
+    EXPECT_NE(deriveStream(1, 0), deriveStream(2, 0));
+    EXPECT_NE(deriveStream(0, 0), 0u) << "stream must never be zero";
+}
+
+// --- Failure taxonomy / exit codes ----------------------------------
+
+TEST(Taxonomy, EveryKindHasUniqueNameAndStat)
+{
+    std::vector<std::string> names;
+    std::vector<std::string> stats;
+    for (const serve::FailureKind kind : serve::AllFailureKinds) {
+        const std::string name = serve::failureKindName(kind);
+        const std::string stat = serve::failureKindStat(kind);
+        EXPECT_FALSE(name.empty());
+        EXPECT_EQ(stat.rfind("serve.", 0), 0u) << stat;
+        for (const std::string &seen : names)
+            EXPECT_NE(seen, name);
+        for (const std::string &seen : stats)
+            EXPECT_NE(seen, stat);
+        names.push_back(name);
+        stats.push_back(stat);
+    }
+}
+
+TEST(Taxonomy, UnifiedToolExitCodes)
+{
+    EXPECT_EQ(toolExitCode(ToolExit::Ok), 0);
+    EXPECT_EQ(toolExitCode(ToolExit::RuntimeError), 1);
+    EXPECT_EQ(toolExitCode(ToolExit::Usage), 2);
+    EXPECT_EQ(toolExitCode(ToolExit::ValidatorViolation), 3);
+    EXPECT_EQ(toolExitCode(ToolExit::BudgetExhausted), 4);
+}
+
+// --- Sessions over a shared artifact --------------------------------
+
+TEST(Serve, SessionsMatchThePlainEngine)
+{
+    const gx86::GuestImage image = serveGuest();
+    const dbt::RunResult reference = plainReference(image);
+    ASSERT_TRUE(reference.finished);
+
+    const serve::SharedArtifact artifact(image);
+    EXPECT_EQ(artifact.mode(), serve::ArtifactMode::Cold);
+    const serve::ServeReport report =
+        serve::runSessions(artifact, fleetConfig(8, 2));
+    EXPECT_EQ(report.succeeded, 8u);
+    for (const serve::SessionResult &s : report.sessions) {
+        EXPECT_EQ(s.kind, serve::FailureKind::None);
+        EXPECT_EQ(s.attempts, 1u);
+        EXPECT_EQ(s.exitCodes, reference.exitCodes);
+        EXPECT_EQ(s.outputs, reference.outputs);
+        EXPECT_GT(s.dirtyPages, 0u) << "guest stores must dirty the fork";
+        EXPECT_GT(s.sharedHits, 0u);
+    }
+}
+
+TEST(Serve, FleetIsBitIdenticalToSerialReference)
+{
+    const gx86::GuestImage image = serveGuest();
+    const serve::SharedArtifact artifact(image);
+
+    // >= 32 sessions with fault injection armed: transient faults are
+    // contained, rolled back and retried; everything still has to be a
+    // pure function of (artifact, seed, id).
+    serve::ServeConfig parallel = fleetConfig(32, 4);
+    parallel.session.faults.seed = 123;
+    parallel.session.faults.siteRates[faultsites::ServeSession] = 0.02;
+    parallel.session.retry.maxAttempts = 4;
+    serve::ServeConfig serial = parallel;
+    serial.jobs = 1;
+
+    const serve::ServeReport a = serve::runSessions(artifact, parallel);
+    const serve::ServeReport b = serve::runSessions(artifact, serial);
+    ASSERT_EQ(a.sessions.size(), b.sessions.size());
+    for (std::size_t s = 0; s < a.sessions.size(); ++s)
+        EXPECT_TRUE(sameSession(a.sessions[s], b.sessions[s]))
+            << "session " << s << " diverged between jobs=4 and jobs=1";
+    auto a_stats = a.stats.all();
+    auto b_stats = b.stats.all();
+    a_stats.erase("serve.jobs"); // The one gauge that names the config.
+    b_stats.erase("serve.jobs");
+    EXPECT_EQ(a_stats, b_stats);
+
+    // Non-faulted sessions still match the plain engine byte for byte.
+    const dbt::RunResult reference = plainReference(image);
+    std::uint64_t classified = 0;
+    for (const serve::SessionResult &s : a.sessions) {
+        EXPECT_TRUE(s.kind == serve::FailureKind::None ||
+                    s.kind == serve::FailureKind::InjectedFault)
+            << "unexpected kind " << serve::failureKindName(s.kind);
+        if (s.kind == serve::FailureKind::None) {
+            EXPECT_EQ(s.exitCodes, reference.exitCodes);
+            EXPECT_EQ(s.outputs, reference.outputs);
+        }
+        classified += a.stats.get(serve::failureKindStat(s.kind)) > 0;
+    }
+    // Every session lands in exactly one taxonomy bucket.
+    std::uint64_t bucketed = 0;
+    for (const serve::FailureKind kind : serve::AllFailureKinds)
+        bucketed += a.stats.get(serve::failureKindStat(kind));
+    EXPECT_EQ(bucketed, 32u);
+}
+
+TEST(Serve, RetriesRecoverFromTransientFaults)
+{
+    const gx86::GuestImage image = serveGuest();
+    const serve::SharedArtifact artifact(image);
+    serve::ServeConfig config = fleetConfig(32, 2);
+    config.session.faults.seed = 9;
+    config.session.faults.siteRates[faultsites::ServeSession] = 0.05;
+    config.session.retry.maxAttempts = 6;
+    const serve::ServeReport report = serve::runSessions(artifact, config);
+    EXPECT_GT(report.stats.get("serve.retries"), 0u);
+    EXPECT_GT(report.stats.get("serve.recovered"), 0u);
+    EXPECT_GT(report.stats.get("serve.backoff_cycles"), 0u);
+    for (const serve::SessionResult &s : report.sessions)
+        if (s.attempts > 1 && s.kind == serve::FailureKind::None) {
+            EXPECT_GT(s.latency, s.makespan)
+                << "retried session must pay its backoff in latency";
+        }
+
+    // With retries disabled the same faults become final failures.
+    serve::ServeConfig no_retry = config;
+    no_retry.session.retry.maxAttempts = 1;
+    const serve::ServeReport hard = serve::runSessions(artifact, no_retry);
+    EXPECT_GT(hard.failed, 0u);
+    EXPECT_EQ(hard.stats.get("serve.retries"), 0u);
+    for (const serve::SessionResult &s : hard.sessions)
+        if (s.kind != serve::FailureKind::None) {
+            EXPECT_EQ(s.kind, serve::FailureKind::InjectedFault);
+        }
+}
+
+TEST(Serve, InstructionBudgetEvictsWithDiagnosis)
+{
+    const gx86::GuestImage image = serveGuest();
+    const serve::SharedArtifact artifact(image);
+    serve::ServeConfig config = fleetConfig(4, 2);
+    config.session.insnBudget = 10; // Far below the guest's needs.
+    const serve::ServeReport report = serve::runSessions(artifact, config);
+    EXPECT_EQ(report.failed, 4u);
+    EXPECT_FALSE(report.allSucceeded());
+    for (const serve::SessionResult &s : report.sessions) {
+        EXPECT_EQ(s.kind, serve::FailureKind::BudgetExhausted);
+        EXPECT_FALSE(s.finished);
+        EXPECT_EQ(s.attempts, 1u) << "evictions are not retried";
+    }
+    EXPECT_EQ(report.stats.get(serve::failureKindStat(
+                  serve::FailureKind::BudgetExhausted)),
+              4u);
+}
+
+// --- Degradation ladder ----------------------------------------------
+
+TEST(Serve, DegradationLadderPreservesBehaviour)
+{
+    const gx86::GuestImage image = serveGuest();
+    const dbt::RunResult reference = plainReference(image);
+
+    // Warm: snapshot produced by a profiling engine, loaded from disk.
+    const std::string path =
+        ::testing::TempDir() + "test_serve_warm.rtbc";
+    {
+        dbt::Dbt profiler(image, dbt::DbtConfig::risotto());
+        std::vector<dbt::ThreadSpec> threads(GuestThreads);
+        for (std::size_t t = 0; t < GuestThreads; ++t)
+            threads[t].regs[0] = t;
+        ASSERT_TRUE(profiler.run(threads).finished);
+        ASSERT_TRUE(profiler.savePersistentCache(path));
+    }
+    serve::ArtifactConfig warm_config;
+    warm_config.snapshotPath = path;
+    const serve::SharedArtifact warm(image, warm_config);
+    EXPECT_EQ(warm.mode(), serve::ArtifactMode::Warm);
+    EXPECT_GT(warm.stats().get("serve.artifact_snapshot_loaded"), 0u);
+
+    serve::ArtifactConfig interp_config;
+    interp_config.interpreterOnly = true;
+    const serve::SharedArtifact interp(image, interp_config);
+    EXPECT_EQ(interp.mode(), serve::ArtifactMode::InterpreterOnly);
+    EXPECT_EQ(interp.cache().size(), 0u);
+
+    // A snapshot nobody can parse degrades to cold, never to an error.
+    const std::string bad_path =
+        ::testing::TempDir() + "test_serve_bad.rtbc";
+    {
+        std::ofstream out(bad_path, std::ios::binary);
+        out << "not a snapshot";
+    }
+    serve::ArtifactConfig damaged_config;
+    damaged_config.snapshotPath = bad_path;
+    const serve::SharedArtifact damaged(image, damaged_config);
+    EXPECT_EQ(damaged.mode(), serve::ArtifactMode::Cold);
+
+    const serve::ServeConfig config = fleetConfig(6, 2);
+    for (const serve::SharedArtifact *artifact :
+         {&warm, &interp, &damaged}) {
+        const serve::ServeReport report =
+            serve::runSessions(*artifact, config);
+        EXPECT_EQ(report.succeeded, 6u);
+        for (const serve::SessionResult &s : report.sessions) {
+            EXPECT_EQ(s.exitCodes, reference.exitCodes);
+            EXPECT_EQ(s.outputs, reference.outputs);
+        }
+    }
+}
+
+// --- Persist truncation accounting ----------------------------------
+
+TEST(Persist, TruncationIsCountedSeparatelyFromBadBounds)
+{
+    const gx86::GuestImage image = serveGuest();
+    dbt::Dbt profiler(image, dbt::DbtConfig::risotto());
+    std::vector<dbt::ThreadSpec> threads(GuestThreads);
+    for (std::size_t t = 0; t < GuestThreads; ++t)
+        threads[t].regs[0] = t;
+    ASSERT_TRUE(profiler.run(threads).finished);
+    const std::vector<std::uint8_t> bytes =
+        persist::serialize(profiler.exportSnapshot());
+
+    persist::ParseReport intact;
+    persist::parse(bytes, intact);
+    ASSERT_GT(intact.recordsLoaded, 0u);
+    EXPECT_EQ(intact.recordsTruncated, 0u);
+
+    // Cut the file mid-record: the tail is truncation, not bad bounds.
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.begin() + bytes.size() * 3 / 4);
+    persist::ParseReport report;
+    persist::parse(cut, report);
+    EXPECT_GT(report.recordsTruncated, 0u);
+    EXPECT_LT(report.recordsLoaded, intact.recordsLoaded);
+}
+
+} // namespace

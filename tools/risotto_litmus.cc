@@ -204,7 +204,7 @@ main(int argc, char **argv)
             }
         } catch (const Error &e) {
             std::cerr << "risotto-litmus: " << e.what() << "\n";
-            return 1;
+            return toolExitCode(ToolExit::Usage);
         }
     }
 
@@ -224,9 +224,9 @@ main(int argc, char **argv)
             }
         }
         checkAll(tests, model, stress, schedules, pool);
-        return 0;
+        return toolExitCode(ToolExit::Ok);
     } catch (const Error &e) {
         std::cerr << "risotto-litmus: " << e.what() << "\n";
-        return 1;
+        return toolExitCode(ToolExit::RuntimeError);
     }
 }

@@ -41,6 +41,10 @@
  *   --trace           print every retired host instruction (very verbose)
  *   --disasm          print the guest disassembly and exit
  *   --emit-demo PATH  write a demo image to PATH and exit
+ *
+ * Exit codes (unified across tools, see support/error.hh): 0 finished,
+ * 1 runtime error, 2 usage error, 3 validator violation, 4 the run did
+ * not finish (cycle budget exhausted or livelock).
  */
 
 #include <algorithm>
@@ -142,63 +146,7 @@ struct SweepSlots : dbt::ExitSlotAllocator
     std::uint32_t dynamicSlot() override { return 0; }
 };
 
-/**
- * Every statically reachable basic-block head, breadth-first from the
- * image entry. Successors follow the frontend's block-end rules: direct
- * branch targets, the fall-through of conditional branches / plt calls /
- * syscalls / size-cap-ended blocks, and call return sites. Undecodable
- * heads are dropped (the interpreter surfaces those at execution time).
- */
-std::vector<gx86::Addr>
-reachableBlocks(const gx86::GuestImage &image, const dbt::DbtConfig &config)
-{
-    dbt::Frontend frontend(image, config, nullptr);
-    std::vector<gx86::Addr> order;
-    std::set<gx86::Addr> seen{image.entry};
-    std::deque<gx86::Addr> work{image.entry};
-    while (!work.empty()) {
-        const gx86::Addr head = work.front();
-        work.pop_front();
-        std::vector<gx86::Instruction> instrs;
-        try {
-            instrs = frontend.decodeBlock(head);
-        } catch (const Error &) {
-            continue;
-        }
-        order.push_back(head);
-        gx86::Addr fall = head;
-        for (const gx86::Instruction &in : instrs)
-            fall += in.length;
-        auto push = [&](gx86::Addr a) {
-            if (image.inText(a) && seen.insert(a).second)
-                work.push_back(a);
-        };
-        auto target = [&](const gx86::Instruction &in) {
-            return fall + static_cast<std::uint64_t>(
-                              static_cast<std::int64_t>(in.off));
-        };
-        const gx86::Instruction &last = instrs.back();
-        switch (last.op) {
-          case gx86::Opcode::Jmp:
-            push(target(last));
-            break;
-          case gx86::Opcode::Jcc:
-          case gx86::Opcode::Call:
-            push(target(last));
-            push(fall);
-            break;
-          case gx86::Opcode::Ret:
-          case gx86::Opcode::Hlt:
-            break;
-          default:
-            // PltCall, syscall, or a size-cap-ended block: execution
-            // resumes at the fall-through.
-            push(fall);
-            break;
-        }
-    }
-    return order;
-}
+using dbt::reachableBlocks;
 
 /** One block's sweep outcome. */
 struct SweepCheck
@@ -350,7 +298,7 @@ main(int argc, char **argv)
             }
         } catch (const Error &e) {
             std::cerr << "risotto-run: " << e.what() << "\n";
-            return 1;
+            return toolExitCode(ToolExit::Usage);
         }
     }
 
@@ -409,10 +357,11 @@ main(int argc, char **argv)
                       << ": header=" << (parsed.headerOk ? "ok" : "bad")
                       << " records=" << parsed.recordsLoaded
                       << " bad-checksum=" << parsed.recordsBadChecksum
-                      << " bad-bounds=" << parsed.recordsBadBounds << "\n";
+                      << " bad-bounds=" << parsed.recordsBadBounds
+                      << " truncated=" << parsed.recordsTruncated << "\n";
             if (!parsed.headerOk) {
                 std::cerr << "risotto-run: " << parsed.error << "\n";
-                return 1;
+                return toolExitCode(ToolExit::RuntimeError);
             }
             const auto audit =
                 emulator.engine().verifyPersistentCache(snap);
@@ -427,7 +376,8 @@ main(int argc, char **argv)
             if (audit.violations.size() > shown)
                 std::cout << "    ... and "
                           << audit.violations.size() - shown << " more\n";
-            return audit.ok() ? 0 : 3;
+            return toolExitCode(audit.ok() ? ToolExit::Ok
+                                           : ToolExit::ValidatorViolation);
         }
 
         if (!tb_cache.empty()) {
@@ -547,10 +497,11 @@ main(int argc, char **argv)
         }
         if (validate &&
             (result.validationViolations > 0 || !sweep_violations.empty()))
-            return 3;
-        return result.finished ? 0 : 2;
+            return toolExitCode(ToolExit::ValidatorViolation);
+        return toolExitCode(result.finished ? ToolExit::Ok
+                                            : ToolExit::BudgetExhausted);
     } catch (const Error &e) {
         std::cerr << "risotto-run: " << e.what() << "\n";
-        return 1;
+        return toolExitCode(ToolExit::RuntimeError);
     }
 }

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * risotto-serve: the fault-isolated multi-tenant translation service.
+ *
+ *   risotto-serve [options] image.riso
+ *
+ * Runs N concurrent guest sessions over one shared, frozen translation
+ * artifact (warm-seeded from a persistent .rtbc snapshot when given),
+ * with admission control, per-session fault containment, retry with
+ * randomized exponential backoff, and session-by-session degradation to
+ * interpretation. Produce an image with `risotto-run --emit-demo`.
+ *
+ * Options:
+ *   --sessions N      guest sessions to request (default 8)
+ *   --jobs N          concurrent session workers (default 1; <=1 serial)
+ *   --queue N         admission queue capacity behind the workers;
+ *                     arrivals beyond jobs+N are shed (default
+ *                     unbounded)
+ *   --threads N       guest threads per session (default 1)
+ *   --variant NAME    qemu | no-fences | tcg-ver | risotto
+ *   --seed N          service seed; per-session machine/backoff streams
+ *                     derive from (seed, session id)
+ *   --insn-budget N   retired-instruction budget per core; exceeding it
+ *                     evicts the session (0 = unlimited)
+ *   --max-cycles N    cycle budget per core per attempt
+ *   --retries N       max attempts per session incl. the first
+ *   --backoff-base N  backoff window before the first retry (cycles)
+ *   --backoff-cap N   backoff window growth cap (cycles)
+ *   --fault-seed N    arm per-session deterministic fault injection
+ *   --fault-rate P    per-site fault probability in [0,1]
+ *   --tb-cache PATH   warm-start snapshot; records are checksum- and
+ *                     validator-checked on import, unusable snapshots
+ *                     degrade to cold preparation
+ *   --no-validate-snapshot  skip validator re-checks on import
+ *   --no-precompile   skip cold pre-translation (degrades straight to
+ *                     interpreter-only when no snapshot applies)
+ *   --interp-only     force the interpreter-only rung
+ *   --serial-check    re-run everything with --jobs 1 and require
+ *                     byte-identical per-session results
+ *   --stats           dump the aggregated serve.* / persist.* counters
+ *   --stats-json PATH write them to PATH as stable key-sorted JSON
+ *
+ * Exit codes (unified across tools, see support/error.hh):
+ *   0 every admitted session finished; 1 runtime error; 2 usage error;
+ *   3 a session ended in validator-violation; 4 sessions were evicted
+ *   or exhausted their fault-retry budget.
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gx86/imagefile.hh"
+#include "serve/manager.hh"
+#include "support/error.hh"
+
+using namespace risotto;
+
+namespace
+{
+
+dbt::DbtConfig
+configByName(const std::string &name)
+{
+    if (name == "qemu")
+        return dbt::DbtConfig::qemu();
+    if (name == "no-fences")
+        return dbt::DbtConfig::qemuNoFences();
+    if (name == "tcg-ver")
+        return dbt::DbtConfig::tcgVer();
+    if (name == "risotto")
+        return dbt::DbtConfig::risotto();
+    fatal("unknown variant '" + name +
+          "' (expected qemu|no-fences|tcg-ver|risotto)");
+}
+
+/** Latency at quantile @p q (0..100) over non-shed sessions. */
+std::uint64_t
+latencyQuantile(std::vector<std::uint64_t> latencies, unsigned q)
+{
+    if (latencies.empty())
+        return 0;
+    std::sort(latencies.begin(), latencies.end());
+    const std::size_t index =
+        std::min(latencies.size() - 1,
+                 static_cast<std::size_t>(q) * latencies.size() / 100);
+    return latencies[index];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string image_path;
+    std::string variant = "risotto";
+    serve::ServeConfig config;
+    config.sessions = 8;
+    serve::ArtifactConfig artifact_config;
+    bool serial_check = false;
+    bool want_stats = false;
+    std::string stats_json;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                fatal("missing value for " + arg);
+            return argv[i];
+        };
+        auto nextU64 = [&]() -> std::uint64_t {
+            const std::string v = next();
+            try {
+                return std::stoull(v);
+            } catch (const std::exception &) {
+                fatal("invalid number '" + v + "' for " + arg);
+            }
+        };
+        auto nextRate = [&]() -> double {
+            const std::string v = next();
+            double rate = 0.0;
+            try {
+                rate = std::stod(v);
+            } catch (const std::exception &) {
+                fatal("invalid number '" + v + "' for " + arg);
+            }
+            fatalIf(rate < 0.0 || rate > 1.0,
+                    arg + " must be in [0, 1], got " + v);
+            return rate;
+        };
+        try {
+            if (arg == "--sessions")
+                config.sessions = static_cast<std::size_t>(nextU64());
+            else if (arg == "--jobs")
+                config.jobs = static_cast<std::size_t>(nextU64());
+            else if (arg == "--queue")
+                config.admission.queueCapacity =
+                    static_cast<std::size_t>(nextU64());
+            else if (arg == "--threads")
+                config.session.threads =
+                    static_cast<std::size_t>(nextU64());
+            else if (arg == "--variant")
+                variant = next();
+            else if (arg == "--seed")
+                config.session.seed = nextU64();
+            else if (arg == "--insn-budget")
+                config.session.insnBudget = nextU64();
+            else if (arg == "--max-cycles")
+                config.session.maxCyclesPerCore = nextU64();
+            else if (arg == "--retries")
+                config.session.retry.maxAttempts =
+                    static_cast<unsigned>(nextU64());
+            else if (arg == "--backoff-base")
+                config.session.retry.baseDelay = nextU64();
+            else if (arg == "--backoff-cap")
+                config.session.retry.capDelay = nextU64();
+            else if (arg == "--fault-seed")
+                config.session.faults.seed = nextU64();
+            else if (arg == "--fault-rate")
+                config.session.faults.rate = nextRate();
+            else if (arg == "--tb-cache")
+                artifact_config.snapshotPath = next();
+            else if (arg == "--no-validate-snapshot")
+                artifact_config.validateSnapshot = false;
+            else if (arg == "--no-precompile")
+                artifact_config.precompile = false;
+            else if (arg == "--interp-only")
+                artifact_config.interpreterOnly = true;
+            else if (arg == "--serial-check")
+                serial_check = true;
+            else if (arg == "--stats")
+                want_stats = true;
+            else if (arg == "--stats-json")
+                stats_json = next();
+            else if (arg == "--help" || arg == "-h") {
+                std::cout << "usage: risotto-serve [options] image.riso\n"
+                             "see the file header for options\n";
+                return toolExitCode(ToolExit::Ok);
+            } else if (!arg.empty() && arg[0] == '-') {
+                fatal("unknown option " + arg +
+                      " (see risotto-serve --help)");
+            } else if (!image_path.empty()) {
+                fatal("more than one image given ('" + image_path +
+                      "' and '" + arg + "'); see risotto-serve --help");
+            } else {
+                image_path = arg;
+            }
+        } catch (const Error &e) {
+            std::cerr << "risotto-serve: " << e.what() << "\n";
+            return toolExitCode(ToolExit::Usage);
+        }
+    }
+
+    if (image_path.empty()) {
+        std::cerr << "risotto-serve: no image given (produce one with "
+                     "risotto-run --emit-demo)\n";
+        return toolExitCode(ToolExit::Usage);
+    }
+    if (config.session.faults.rate == 0.0)
+        config.session.faults.rate = 0.01;
+
+    try {
+        artifact_config.config = configByName(variant);
+        const serve::SharedArtifact artifact(gx86::loadImage(image_path),
+                                             artifact_config);
+        const auto &persist = artifact.persistReport();
+        std::cout << "[risotto-serve] artifact mode="
+                  << serve::artifactModeName(artifact.mode())
+                  << " blocks=" << artifact.cache().size();
+        if (!artifact_config.snapshotPath.empty())
+            std::cout << " snapshot-loaded=" << persist.loaded
+                      << " snapshot-rejected=" << persist.rejected;
+        std::cout << "\n";
+
+        const serve::ServeReport report =
+            serve::runSessions(artifact, config);
+
+        std::vector<std::uint64_t> latencies;
+        for (const serve::SessionResult &session : report.sessions) {
+            if (session.kind == serve::FailureKind::Shed)
+                continue;
+            latencies.push_back(session.latency);
+            if (session.kind != serve::FailureKind::None)
+                std::cout << "  session " << session.id << ": "
+                          << serve::failureKindName(session.kind)
+                          << " after " << session.attempts
+                          << " attempt(s)"
+                          << (session.note.empty() ? ""
+                                                   : " -- " + session.note)
+                          << "\n";
+        }
+
+        std::cout << "[risotto-serve] sessions=" << config.sessions
+                  << " admitted="
+                  << report.stats.get("serve.sessions_admitted")
+                  << " shed=" << report.shed
+                  << " ok=" << report.succeeded
+                  << " failed=" << report.failed
+                  << " retries=" << report.stats.get("serve.retries")
+                  << " recovered="
+                  << report.stats.get("serve.recovered") << "\n";
+        std::cout << "  dispatch: shared-hits="
+                  << report.stats.get("serve.shared_hits")
+                  << " shared-misses="
+                  << report.stats.get("serve.shared_misses")
+                  << " fallback-blocks="
+                  << report.stats.get("serve.fallback_blocks")
+                  << " dirty-pages="
+                  << report.stats.get("serve.dirty_pages") << "\n";
+        std::cout << "  latency: p50=" << latencyQuantile(latencies, 50)
+                  << " p99=" << latencyQuantile(latencies, 99)
+                  << " max=" << latencyQuantile(latencies, 100)
+                  << " cycles (backoff="
+                  << report.stats.get("serve.backoff_cycles") << ")\n";
+
+        if (serial_check) {
+            serve::ServeConfig serial = config;
+            serial.jobs = 1;
+            const serve::ServeReport reference =
+                serve::runSessions(artifact, serial);
+            for (std::size_t s = 0; s < report.sessions.size(); ++s) {
+                const auto &got = report.sessions[s];
+                const auto &want = reference.sessions[s];
+                if (got.kind != want.kind ||
+                    got.exitCodes != want.exitCodes ||
+                    got.outputs != want.outputs) {
+                    std::cerr << "risotto-serve: serial-check mismatch "
+                                 "on session "
+                              << s << " (parallel "
+                              << serve::failureKindName(got.kind)
+                              << " vs serial "
+                              << serve::failureKindName(want.kind)
+                              << ")\n";
+                    return toolExitCode(ToolExit::RuntimeError);
+                }
+            }
+            std::cout << "  serial-check: ok (" << report.sessions.size()
+                      << " sessions bit-identical at jobs=1)\n";
+        }
+
+        if (want_stats)
+            for (const auto &[name, value] : report.stats.all())
+                std::cout << "  " << name << " = " << value << "\n";
+        if (!stats_json.empty()) {
+            std::ofstream out(stats_json);
+            fatalIf(!out, "cannot open " + stats_json + " for writing");
+            out << "{\n";
+            bool first = true;
+            for (const auto &[name, value] : report.stats.all()) {
+                out << (first ? "" : ",\n") << "  \"" << name
+                    << "\": " << value;
+                first = false;
+            }
+            out << "\n}\n";
+            fatalIf(!out, "write failed for " + stats_json);
+        }
+
+        if (report.stats.get(serve::failureKindStat(
+                serve::FailureKind::ValidatorViolation)) > 0)
+            return toolExitCode(ToolExit::ValidatorViolation);
+        if (report.failed > 0)
+            return toolExitCode(ToolExit::BudgetExhausted);
+        return toolExitCode(ToolExit::Ok);
+    } catch (const Error &e) {
+        std::cerr << "risotto-serve: " << e.what() << "\n";
+        return toolExitCode(ToolExit::RuntimeError);
+    }
+}

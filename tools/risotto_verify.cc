@@ -30,7 +30,7 @@
  *
  * Expected outcomes (the paper's Figures 2/3/7 in executable form):
  *   risotto / risotto-rmw2 / tcg-ver / qemu  -- clean (exit 0)
- *   nofences                                 -- flagged (exit 2)
+ *   nofences                                 -- flagged (exit 3)
  *   qemu-rmw2  (the GCC-9 exclusive-pair helper, Section 3) -- flagged
  *   figure3    (desired mapping, original amo rule)         -- flagged
  */
@@ -290,7 +290,7 @@ main(int argc, char **argv)
             }
         } catch (const Error &e) {
             std::cerr << "risotto-verify: " << e.what() << "\n";
-            return 1;
+            return toolExitCode(ToolExit::Usage);
         }
     }
 
@@ -350,9 +350,11 @@ main(int argc, char **argv)
                   << " translations-checked=" << combos_run
                   << " pairs-checked=" << pairs
                   << " violations=" << total_violations << "\n";
-        return total_violations == 0 ? 0 : 2;
+        return toolExitCode(total_violations == 0
+                                ? ToolExit::Ok
+                                : ToolExit::ValidatorViolation);
     } catch (const Error &e) {
         std::cerr << "risotto-verify: " << e.what() << "\n";
-        return 1;
+        return toolExitCode(ToolExit::RuntimeError);
     }
 }
