@@ -84,6 +84,14 @@ struct BenchJsonEntry
      * artifacts are only compared when the pipeline matched; 0 when
      * the entry is not tied to one engine configuration. */
     std::uint64_t configFingerprint = 0;
+
+    /** Guest instructions the measured run retired (0 when the entry
+     * is not an execution measurement). */
+    std::uint64_t guestInsns = 0;
+
+    /** Host wall-clock nanoseconds per retired guest instruction (0
+     * when guestInsns is 0). */
+    double nsPerGuestInsn = 0.0;
 };
 
 /** Git revision baked in at build time ("unknown" outside a work tree). */
@@ -92,8 +100,9 @@ struct BenchJsonEntry
 #endif
 
 /**
- * Write entries as a JSON array of {name, ns_per_op, workers, git_sha,
- * config_fingerprint, timestamp} objects. The timestamp is ISO-8601 UTC
+ * Write entries as a JSON array of {name, ns_per_op, workers,
+ * guest_insns, ns_per_guest_insn, git_sha, config_fingerprint,
+ * timestamp} objects. The timestamp is ISO-8601 UTC
  * and the git SHA is the build-time revision, one each per file write,
  * so CI artifacts from different PRs order and key themselves. The
  * fingerprint is hex text: u64 does not survive a JSON double.
@@ -123,6 +132,8 @@ writeBenchJson(const std::string &path,
         out << "  {\"name\": \"" << e.name
             << "\", \"ns_per_op\": " << e.nsPerOp
             << ", \"workers\": " << e.workers
+            << ", \"guest_insns\": " << e.guestInsns
+            << ", \"ns_per_guest_insn\": " << e.nsPerGuestInsn
             << ", \"git_sha\": \"" << RISOTTO_GIT_SHA
             << "\", \"config_fingerprint\": \"" << fingerprint
             << "\", \"timestamp\": \"" << stamp << "\"}"

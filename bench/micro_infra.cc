@@ -17,6 +17,8 @@
 #include "dbt/frontend.hh"
 #include "dbt/tbcache.hh"
 #include "gx86/assembler.hh"
+#include "gx86/decoded.hh"
+#include "gx86/interp.hh"
 #include "litmus/enumerate.hh"
 #include "litmus/library.hh"
 #include "mapping/schemes.hh"
@@ -162,6 +164,71 @@ BM_ValidateTranslation(benchmark::State &state)
         pairs / std::max<std::uint64_t>(1, state.iterations()));
 }
 BENCHMARK(BM_ValidateTranslation)->Arg(8)->Arg(24)->Arg(48);
+
+/** loopImage with a dispatch-dominated trip count, so the measured
+ * run() swamps interpreter setup. */
+gx86::GuestImage
+bigLoopImage()
+{
+    gx86::Assembler a;
+    a.defineSymbol("main");
+    a.movri(1, 0);
+    a.movri(2, 100'000);
+    const auto loop = a.newLabel();
+    a.bind(loop);
+    a.add(1, 2);
+    a.xori(1, 0x5a);
+    a.subi(2, 1);
+    a.cmpri(2, 0);
+    a.jcc(gx86::Cond::Gt, loop);
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    return a.finish("main");
+}
+
+// The interpreter dispatch loop, isolated: Arg(0) legacy
+// decode-and-switch, Arg(1) pre-decoded threaded dispatch, Arg(2)
+// pre-decoded + fusion. Guest behaviour (incl. retired-instruction
+// counts) is identical across the three. Interpreter construction
+// (memory image + segment build) is excluded from the timing.
+void
+BM_DispatchLoop(benchmark::State &state)
+{
+    const gx86::GuestImage image = bigLoopImage();
+    gx86::InterpOptions options;
+    options.decodeCache = state.range(0) != 0;
+    options.fusion.enabled = state.range(0) == 2;
+    std::uint64_t guest_instructions = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        gx86::Interpreter interp(image, options);
+        state.ResumeTiming();
+        const auto result = interp.run();
+        guest_instructions += result.instructions;
+        benchmark::DoNotOptimize(result.exitCode);
+    }
+    state.counters["guest_insns/s"] = benchmark::Counter(
+        static_cast<double>(guest_instructions),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DispatchLoop)->Arg(0)->Arg(1)->Arg(2);
+
+// The one-time whole-text pre-decode pass the decoder cache amortizes.
+void
+BM_PredecodeImage(benchmark::State &state)
+{
+    const gx86::GuestImage image = loopImage();
+    const gx86::FusionConfig fusion;
+    std::uint64_t entries = 0;
+    for (auto _ : state) {
+        const auto segment = gx86::DecodedSegment::build(image, fusion);
+        entries = segment->validEntries();
+        benchmark::DoNotOptimize(segment);
+    }
+    state.counters["entries"] = static_cast<double>(entries);
+}
+BENCHMARK(BM_PredecodeImage);
 
 void
 BM_EmulateLoop(benchmark::State &state)

@@ -70,6 +70,21 @@ struct DbtConfig
     /** Maximum region members per superblock. */
     std::size_t tier2MaxBlocks = 8;
 
+    /** Build the per-image DecodedSegment (whole-text pre-decode) and
+     * dispatch the interpreter surfaces and TB formation from it.
+     * Execution-strategy only: emitted code and all verify. / opt.
+     * counters are identical with it off, so it is deliberately NOT part
+     * of the persistent-snapshot config fingerprint. */
+    bool decodeCache = true;
+
+    /** Fuse adjacent guest instruction pairs (cmp+jcc, mov-imm+arith,
+     * inc/dec chains, store+load) in the decoded segment's interpreter
+     * dispatch. Requires decodeCache; never crosses a LOCK-prefixed op,
+     * MFENCE or TB boundary, and each pattern's ordering obligations are
+     * checked once against the obligation-graph validator. Also outside
+     * the snapshot fingerprint (interpreter-only; IR is untouched). */
+    bool fusion = true;
+
     /** Statically validate every translation against the axiomatic
      * models (obligation ⊆ guarantee, see src/verify). Violating
      * baseline blocks are reported through verify.* counters and the

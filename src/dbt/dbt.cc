@@ -31,7 +31,58 @@ Dbt::Dbt(const gx86::GuestImage &image, DbtConfig config,
         baseline_.setValidator(validator_.get(), &violations_);
         super_.setValidator(validator_.get(), &violations_);
     }
+    if (config_.decodeCache) {
+        gx86::FusionConfig fusion;
+        fusion.enabled = config_.fusion;
+        if (config_.fusion) {
+            // Each fused handler's obligation graph is checked once per
+            // pattern, not per dynamic pair; patterns that fail are
+            // disabled wholesale before the segment is built.
+            verify::ValidatorOptions options;
+            options.rmw = config_.rmw;
+            fusionReports_ = verify::validateFusionPatterns(options);
+            const std::size_t disabled =
+                verify::applyFusionReports(fusionReports_, fusion);
+            std::uint64_t pairs = 0;
+            for (const auto &report : fusionReports_)
+                pairs += report.pairsChecked;
+            stats_.set("dbt.fusion_patterns_checked",
+                       fusionReports_.size());
+            stats_.set("dbt.fusion_patterns_disabled", disabled);
+            stats_.set("dbt.fusion_pairs_checked", pairs);
+        }
+        segment_ = gx86::DecodedSegment::build(image_, fusion);
+        stats_.set("dbt.segment_entries", segment_->validEntries());
+        stats_.set("dbt.segment_invalid_entries",
+                   segment_->invalidEntries());
+        stats_.set("dbt.segment_fused_entries", segment_->fusedEntries());
+        frontend_.setSegment(segment_.get());
+        interp_.setSegment(segment_.get());
+    }
     emitDynInterpStub();
+}
+
+std::uint64_t
+Dbt::guestInsnEstimate() const
+{
+    std::uint64_t insns = stats_.get("dbt.fallback_instructions");
+    for (const auto &[pc, tb] : cache_.all()) {
+        if (tb.execCount == 0)
+            continue;
+        std::uint64_t perExec = 0;
+        try {
+            if (tb.path.empty()) {
+                perExec = frontend_.decodeBlock(pc).size();
+            } else {
+                for (gx86::Addr member : tb.path)
+                    perExec += frontend_.decodeBlock(member).size();
+            }
+        } catch (const Error &) {
+            continue; // unprofileable block: undercount, never throw
+        }
+        insns += tb.execCount * perExec;
+    }
+    return insns;
 }
 
 void

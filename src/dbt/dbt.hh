@@ -40,11 +40,13 @@
 #include "dbt/tbcache.hh"
 #include "dbt/tier.hh"
 #include "dbt/tiers.hh"
+#include "gx86/decoded.hh"
 #include "gx86/image.hh"
 #include "machine/machine.hh"
 #include "persist/snapshot.hh"
 #include "support/stats.hh"
 #include "verify/batch.hh"
+#include "verify/fusion.hh"
 
 namespace risotto::dbt
 {
@@ -175,6 +177,33 @@ class Dbt : public machine::HelperRuntime, public TierHost
     /** The guest image this engine translates. */
     const gx86::GuestImage &image() const { return image_; }
 
+    /** The shared per-image decoder cache (null when
+     * config().decodeCache is off). Built once in the constructor --
+     * with fusion patterns that passed the obligation-graph check --
+     * and consumed read-only by the frontend, the interpreter fallback
+     * and any serving sessions sharing this engine. */
+    const std::shared_ptr<const gx86::DecodedSegment> &segment() const
+    {
+        return segment_;
+    }
+
+    /** Per-pattern obligation-graph reports of the fused dispatch
+     * handlers (empty unless decodeCache && fusion). */
+    const std::vector<verify::FusionPatternReport> &fusionReports() const
+    {
+        return fusionReports_;
+    }
+
+    /**
+     * Guest instructions retired so far: the exact interpreted count
+     * (dbt.fallback_instructions) plus the profile-derived translated
+     * count (each cached block's execution count times its guest
+     * instruction count). The translated part is an estimate -- chained
+     * blocks stop trapping to the profiler -- so treat it as a
+     * throughput denominator, not an exact retire counter.
+     */
+    std::uint64_t guestInsnEstimate() const;
+
     /** The import resolver (may be null). */
     const ImportResolver *resolver() const { return resolver_; }
 
@@ -279,6 +308,8 @@ class Dbt : public machine::HelperRuntime, public TierHost
     SuperblockTier super_;
     std::unique_ptr<verify::TbValidator> validator_;
     std::vector<verify::Violation> violations_;
+    std::shared_ptr<const gx86::DecodedSegment> segment_;
+    std::vector<verify::FusionPatternReport> fusionReports_;
     aarch::CodeAddr dynInterpStub_ = 0;
 };
 

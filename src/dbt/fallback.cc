@@ -2,7 +2,6 @@
 
 #include "dbt/frontend.hh"
 #include "dbt/softfloat.hh"
-#include "gx86/codec.hh"
 #include "support/error.hh"
 #include "support/format.hh"
 #include "tcg/ir.hh"
@@ -11,6 +10,10 @@ namespace risotto::dbt
 {
 
 using gx86::Addr;
+using gx86::DecodedEntry;
+using gx86::DecodedSegment;
+using gx86::DispatchOp;
+using gx86::DispatchOpCount;
 using gx86::Instruction;
 using gx86::Opcode;
 using machine::Core;
@@ -47,310 +50,613 @@ storeThrough(Core &core, Machine &machine, std::uint64_t addr,
     machine.flushStoreBuffer(core);
 }
 
+std::uint64_t
+sext32(std::int32_t off)
+{
+    return static_cast<std::uint64_t>(static_cast<std::int64_t>(off));
+}
+
 } // namespace
+
+// Threaded dispatch (see src/gx86/interp.cc for the pattern): computed
+// goto under GCC/Clang, an equivalent tight switch elsewhere; one set
+// of handler bodies serves both through the CASE/NEXT macros.
+#if defined(__GNUC__) || defined(__clang__)
+#define RISOTTO_FALLBACK_COMPUTED_GOTO 1
+#else
+#define RISOTTO_FALLBACK_COMPUTED_GOTO 0
+#endif
 
 std::uint64_t
 interpretBlock(const gx86::GuestImage &image, const DbtConfig &config,
                const ImportResolver *resolver, HostCallHandler *hostcalls,
-               std::uint64_t pc, Core &core, Machine &machine,
-               StatSet &stats)
+               const DecodedSegment *segment, std::uint64_t pc, Core &core,
+               Machine &machine, StatSet &stats)
 {
     const machine::CostModel &c = machine.config().costs;
     fullFence(core, machine);
     stats.bump("dbt.fallback_fences");
 
     Addr cur = pc;
+    Addr next = 0;
     bool ends = false;
     std::size_t count = 0;
-    while (!ends && count < Frontend::MaxBlockInstructions) {
+
+    // Scratch entry for legacy mode (decode per dispatch) and for a
+    // fused pair downgraded to its first member at the block cap.
+    DecodedEntry local;
+    const DecodedEntry *e = nullptr;
+
+    auto ea = [&](const Instruction &in) {
+        return core.x[in.rb] + sext32(in.off);
+    };
+    auto downgrade = [&](const Instruction &in) {
+        local.first = in;
+        local.handler =
+            static_cast<std::uint8_t>(gx86::dispatchOpFor(in.op));
+        local.count = 1;
+        local.totalLength = in.length;
+        local.endsBlock = gx86::opEndsBlock(in.op);
+        return &local;
+    };
+    auto fetch = [&]() -> const DecodedEntry * {
         if (!image.inText(cur))
             throw GuestFault("interpreting outside text at " +
                              hexString(cur));
-        const Instruction in =
-            gx86::decode(image.text.data() + (cur - image.textBase),
-                         image.textEnd() - cur);
-        Addr next = cur + in.length;
+        if (segment) {
+            const DecodedEntry *entry = segment->entry(cur);
+            panicIf(!entry, "segment/text bounds disagree");
+            if (entry->fused() &&
+                count + 2 > Frontend::MaxBlockInstructions)
+                return downgrade(entry->first);
+            return entry;
+        }
+        return downgrade(image.decodeAt(cur));
+    };
+    auto retire = [&]() {
         ++count;
         stats.bump("dbt.fallback_instructions");
+    };
 
-        auto ea = [&]() {
-            return core.x[in.rb] + static_cast<std::uint64_t>(
-                                       static_cast<std::int64_t>(in.off));
-        };
-        auto branchTarget = [&](std::int32_t off) {
-            return next + static_cast<std::uint64_t>(
-                              static_cast<std::int64_t>(off));
-        };
+#if RISOTTO_FALLBACK_COMPUTED_GOTO
+    static const void *const table[DispatchOpCount] = {
+        &&L_Nop,          &&L_Hlt,          &&L_MovRI,
+        &&L_MovRR,        &&L_Load,         &&L_Store,
+        &&L_StoreI,       &&L_Load8,        &&L_Store8,
+        &&L_Add,          &&L_Sub,          &&L_And,
+        &&L_Or,           &&L_Xor,          &&L_Mul,
+        &&L_Udiv,         &&L_AddI,         &&L_SubI,
+        &&L_AndI,         &&L_OrI,          &&L_XorI,
+        &&L_MulI,         &&L_ShlI,         &&L_ShrI,
+        &&L_CmpRR,        &&L_CmpRI,        &&L_Jmp,
+        &&L_Jcc,          &&L_Call,         &&L_Ret,
+        &&L_PltCall,      &&L_LockCmpxchg,  &&L_LockXadd,
+        &&L_MFence,       &&L_FAdd,         &&L_FSub,
+        &&L_FMul,         &&L_FDiv,         &&L_FSqrt,
+        &&L_CvtIF,        &&L_CvtFI,        &&L_Syscall,
+        &&L_FusedCmpRRJcc, &&L_FusedCmpRIJcc, &&L_FusedMovRIAlu,
+        &&L_FusedIncDec,  &&L_FusedStoreLoad, &&L_Invalid,
+    };
+#define RISOTTO_CASE(name) L_##name:
+#define RISOTTO_NEXT()                                                  \
+    do {                                                                \
+        cur = next;                                                     \
+        goto fetch_next;                                                \
+    } while (0)
 
-        switch (in.op) {
-          case Opcode::Nop:
-            core.cycles += c.alu;
-            break;
-          case Opcode::Hlt:
+fetch_next:
+    if (ends || count >= Frontend::MaxBlockInstructions) {
+        fullFence(core, machine);
+        return cur;
+    }
+    e = fetch();
+    next = cur + e->totalLength;
+    goto *table[e->handler];
+#else
+#define RISOTTO_CASE(name) case DispatchOp::name:
+#define RISOTTO_NEXT()                                                  \
+    do {                                                                \
+        cur = next;                                                     \
+        continue;                                                       \
+    } while (0)
+
+    for (;;) {
+        if (ends || count >= Frontend::MaxBlockInstructions) {
+            fullFence(core, machine);
+            return cur;
+        }
+        e = fetch();
+        next = cur + e->totalLength;
+        switch (static_cast<DispatchOp>(e->handler)) {
+#endif
+
+    RISOTTO_CASE(Nop)
+    {
+        retire();
+        core.cycles += c.alu;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Hlt)
+    {
+        retire();
+        fullFence(core, machine);
+        return HaltPc;
+    }
+    RISOTTO_CASE(MovRI)
+    {
+        retire();
+        core.x[e->first.rd] = static_cast<std::uint64_t>(e->first.imm);
+        core.cycles += c.alu;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(MovRR)
+    {
+        retire();
+        core.x[e->first.rd] = core.x[e->first.rs];
+        core.cycles += c.alu;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Load)
+    {
+        retire();
+        core.x[e->first.rd] = machine.memRead(core, ea(e->first), 8);
+        core.cycles += c.load;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Store)
+    {
+        retire();
+        storeThrough(core, machine, ea(e->first), 8,
+                     core.x[e->first.rs]);
+        core.cycles += c.store;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(StoreI)
+    {
+        retire();
+        storeThrough(core, machine, ea(e->first), 8,
+                     static_cast<std::uint64_t>(e->first.imm));
+        core.cycles += c.store;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Load8)
+    {
+        retire();
+        core.x[e->first.rd] = machine.memRead(core, ea(e->first), 1);
+        core.cycles += c.load;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Store8)
+    {
+        retire();
+        storeThrough(core, machine, ea(e->first), 1,
+                     core.x[e->first.rs]);
+        core.cycles += c.store;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Add)
+    {
+        retire();
+        core.x[e->first.rd] += core.x[e->first.rs];
+        setGuestFlags(core, core.x[e->first.rd]);
+        core.cycles += c.alu;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Sub)
+    {
+        retire();
+        core.x[e->first.rd] -= core.x[e->first.rs];
+        setGuestFlags(core, core.x[e->first.rd]);
+        core.cycles += c.alu;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(And)
+    {
+        retire();
+        core.x[e->first.rd] &= core.x[e->first.rs];
+        setGuestFlags(core, core.x[e->first.rd]);
+        core.cycles += c.alu;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Or)
+    {
+        retire();
+        core.x[e->first.rd] |= core.x[e->first.rs];
+        setGuestFlags(core, core.x[e->first.rd]);
+        core.cycles += c.alu;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Xor)
+    {
+        retire();
+        core.x[e->first.rd] ^= core.x[e->first.rs];
+        setGuestFlags(core, core.x[e->first.rd]);
+        core.cycles += c.alu;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Mul)
+    {
+        retire();
+        core.x[e->first.rd] *= core.x[e->first.rs];
+        setGuestFlags(core, core.x[e->first.rd]);
+        core.cycles += c.alu + 2;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Udiv)
+    {
+        retire();
+        if (core.x[e->first.rs] == 0)
+            throw GuestFault("host udiv by zero");
+        core.x[e->first.rd] /= core.x[e->first.rs];
+        setGuestFlags(core, core.x[e->first.rd]);
+        core.cycles += c.alu + 12;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(AddI)
+    {
+        retire();
+        core.x[e->first.rd] += static_cast<std::uint64_t>(e->first.imm);
+        setGuestFlags(core, core.x[e->first.rd]);
+        core.cycles += c.alu;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(SubI)
+    {
+        retire();
+        core.x[e->first.rd] -= static_cast<std::uint64_t>(e->first.imm);
+        setGuestFlags(core, core.x[e->first.rd]);
+        core.cycles += c.alu;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(AndI)
+    {
+        retire();
+        core.x[e->first.rd] &= static_cast<std::uint64_t>(e->first.imm);
+        setGuestFlags(core, core.x[e->first.rd]);
+        core.cycles += c.alu;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(OrI)
+    {
+        retire();
+        core.x[e->first.rd] |= static_cast<std::uint64_t>(e->first.imm);
+        setGuestFlags(core, core.x[e->first.rd]);
+        core.cycles += c.alu;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(XorI)
+    {
+        retire();
+        core.x[e->first.rd] ^= static_cast<std::uint64_t>(e->first.imm);
+        setGuestFlags(core, core.x[e->first.rd]);
+        core.cycles += c.alu;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(MulI)
+    {
+        retire();
+        core.x[e->first.rd] *= static_cast<std::uint64_t>(e->first.imm);
+        setGuestFlags(core, core.x[e->first.rd]);
+        core.cycles += c.alu + 2;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(ShlI)
+    {
+        retire();
+        core.x[e->first.rd] <<= (e->first.imm & 63);
+        setGuestFlags(core, core.x[e->first.rd]);
+        core.cycles += c.alu;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(ShrI)
+    {
+        retire();
+        core.x[e->first.rd] >>= (e->first.imm & 63);
+        setGuestFlags(core, core.x[e->first.rd]);
+        core.cycles += c.alu;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(CmpRR)
+    {
+        retire();
+        setGuestFlags(core, core.x[e->first.rd] - core.x[e->first.rs]);
+        core.cycles += c.alu;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(CmpRI)
+    {
+        retire();
+        setGuestFlags(core, core.x[e->first.rd] -
+                                static_cast<std::uint64_t>(e->first.imm));
+        core.cycles += c.alu;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Jmp)
+    {
+        retire();
+        core.cycles += c.branch + c.branchTakenExtra;
+        next += sext32(e->first.off);
+        ends = true;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Jcc)
+    {
+        retire();
+        core.cycles += c.branch;
+        if (gx86::condHolds(e->first.cond, core.x[tcg::TempZf] != 0,
+                            core.x[tcg::TempSf] != 0)) {
+            next += sext32(e->first.off);
+            core.cycles += c.branchTakenExtra;
+        }
+        ends = true;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Call)
+    {
+        retire();
+        core.x[gx86::Rsp] -= 8;
+        storeThrough(core, machine, core.x[gx86::Rsp], 8, next);
+        core.cycles += c.store + c.branch + c.branchTakenExtra;
+        next += sext32(e->first.off);
+        ends = true;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Ret)
+    {
+        retire();
+        next = machine.memRead(core, core.x[gx86::Rsp], 8);
+        core.x[gx86::Rsp] += 8;
+        core.cycles += c.load + c.branch;
+        ends = true;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(PltCall)
+    {
+        retire();
+        if (e->first.sym >= image.dynsym.size())
+            throw GuestFault("bad dynamic symbol index at " +
+                             hexString(cur));
+        const gx86::DynSymbol &dyn = image.dynsym[e->first.sym];
+        std::optional<std::uint16_t> host;
+        if (config.hostLinker && resolver)
+            host = resolver->resolve(dyn.name);
+        if (host) {
+            panicIf(!hostcalls, "host call without a handler");
+            core.cycles += c.helperCall;
+            core.cycles +=
+                hostcalls->invokeHostFunction(*host, core, machine);
+            stats.bump("dbt.host_calls");
+        } else if (dyn.guestImpl != 0) {
+            next = dyn.guestImpl;
+            core.cycles += c.branch + c.branchTakenExtra;
+        } else {
+            throw GuestFault("unresolved import '" + dyn.name + "' at " +
+                             hexString(cur));
+        }
+        ends = true;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(LockCmpxchg)
+    {
+        // Same semantics as the translated CAS / CasHelper path:
+        // R0 <- old, ZF <- (old == expected), SF untouched.
+        retire();
+        const std::uint64_t addr = ea(e->first);
+        const std::uint64_t expected = core.x[0];
+        machine.flushStoreBuffer(core);
+        core.cycles += c.casBase + machine.atomicAccessCost(core, addr);
+        const std::uint64_t old = machine.memory().load64(addr);
+        if (old == expected)
+            machine.directWrite(core, addr, 8, core.x[e->first.rs]);
+        core.x[0] = old;
+        core.x[tcg::TempZf] = old == expected ? 1 : 0;
+        machine.stats().bump("machine.cas_ops");
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(LockXadd)
+    {
+        retire();
+        const std::uint64_t addr = ea(e->first);
+        machine.flushStoreBuffer(core);
+        core.cycles += c.casBase + machine.atomicAccessCost(core, addr);
+        const std::uint64_t old = machine.memory().load64(addr);
+        machine.directWrite(core, addr, 8, old + core.x[e->first.rs]);
+        core.x[e->first.rs] = old;
+        machine.stats().bump("machine.atomic_adds");
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(MFence)
+    {
+        retire();
+        fullFence(core, machine);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(FAdd)
+    {
+        retire();
+        const auto r =
+            softfloat::add64(core.x[e->first.rd], core.x[e->first.rs]);
+        core.x[e->first.rd] = r.bits;
+        core.cycles += c.helperCall + r.cycles;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(FSub)
+    {
+        retire();
+        const auto r =
+            softfloat::sub64(core.x[e->first.rd], core.x[e->first.rs]);
+        core.x[e->first.rd] = r.bits;
+        core.cycles += c.helperCall + r.cycles;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(FMul)
+    {
+        retire();
+        const auto r =
+            softfloat::mul64(core.x[e->first.rd], core.x[e->first.rs]);
+        core.x[e->first.rd] = r.bits;
+        core.cycles += c.helperCall + r.cycles;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(FDiv)
+    {
+        retire();
+        const auto r =
+            softfloat::div64(core.x[e->first.rd], core.x[e->first.rs]);
+        core.x[e->first.rd] = r.bits;
+        core.cycles += c.helperCall + r.cycles;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(FSqrt)
+    {
+        retire();
+        const auto r = softfloat::sqrt64(core.x[e->first.rs]);
+        core.x[e->first.rd] = r.bits;
+        core.cycles += c.helperCall + r.cycles;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(CvtIF)
+    {
+        retire();
+        const auto r = softfloat::fromInt64(core.x[e->first.rs]);
+        core.x[e->first.rd] = r.bits;
+        core.cycles += c.helperCall + r.cycles;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(CvtFI)
+    {
+        retire();
+        const auto r = softfloat::toInt64(core.x[e->first.rs]);
+        core.x[e->first.rd] = r.bits;
+        core.cycles += c.helperCall + r.cycles;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Syscall)
+    {
+        // Same semantics as the Syscall helper in the DBT runtime.
+        retire();
+        core.cycles += c.helperCall + 20;
+        switch (core.x[0]) {
+          case 0: // exit(code = g1)
+            core.exitCode = static_cast<std::int64_t>(core.x[1]);
+            core.halted = true;
             fullFence(core, machine);
             return HaltPc;
-          case Opcode::MovRI:
-            core.x[in.rd] = static_cast<std::uint64_t>(in.imm);
-            core.cycles += c.alu;
+          case 1: // putchar(g1)
+            core.output.push_back(static_cast<char>(core.x[1]));
             break;
-          case Opcode::MovRR:
-            core.x[in.rd] = core.x[in.rs];
-            core.cycles += c.alu;
+          case 2: // cycle counter into g0
+            core.x[0] = core.cycles;
             break;
-          case Opcode::Load:
-            core.x[in.rd] = machine.memRead(core, ea(), 8);
-            core.cycles += c.load;
-            break;
-          case Opcode::Load8:
-            core.x[in.rd] = machine.memRead(core, ea(), 1);
-            core.cycles += c.load;
-            break;
-          case Opcode::Store:
-            storeThrough(core, machine, ea(), 8, core.x[in.rs]);
-            core.cycles += c.store;
-            break;
-          case Opcode::Store8:
-            storeThrough(core, machine, ea(), 1, core.x[in.rs]);
-            core.cycles += c.store;
-            break;
-          case Opcode::StoreI:
-            storeThrough(core, machine, ea(), 8,
-                         static_cast<std::uint64_t>(in.imm));
-            core.cycles += c.store;
-            break;
-          case Opcode::Add:
-            core.x[in.rd] += core.x[in.rs];
-            setGuestFlags(core, core.x[in.rd]);
-            core.cycles += c.alu;
-            break;
-          case Opcode::Sub:
-            core.x[in.rd] -= core.x[in.rs];
-            setGuestFlags(core, core.x[in.rd]);
-            core.cycles += c.alu;
-            break;
-          case Opcode::And:
-            core.x[in.rd] &= core.x[in.rs];
-            setGuestFlags(core, core.x[in.rd]);
-            core.cycles += c.alu;
-            break;
-          case Opcode::Or:
-            core.x[in.rd] |= core.x[in.rs];
-            setGuestFlags(core, core.x[in.rd]);
-            core.cycles += c.alu;
-            break;
-          case Opcode::Xor:
-            core.x[in.rd] ^= core.x[in.rs];
-            setGuestFlags(core, core.x[in.rd]);
-            core.cycles += c.alu;
-            break;
-          case Opcode::Mul:
-            core.x[in.rd] *= core.x[in.rs];
-            setGuestFlags(core, core.x[in.rd]);
-            core.cycles += c.alu + 2;
-            break;
-          case Opcode::Udiv:
-            if (core.x[in.rs] == 0)
-                throw GuestFault("host udiv by zero");
-            core.x[in.rd] /= core.x[in.rs];
-            setGuestFlags(core, core.x[in.rd]);
-            core.cycles += c.alu + 12;
-            break;
-          case Opcode::AddI:
-            core.x[in.rd] += static_cast<std::uint64_t>(in.imm);
-            setGuestFlags(core, core.x[in.rd]);
-            core.cycles += c.alu;
-            break;
-          case Opcode::SubI:
-            core.x[in.rd] -= static_cast<std::uint64_t>(in.imm);
-            setGuestFlags(core, core.x[in.rd]);
-            core.cycles += c.alu;
-            break;
-          case Opcode::AndI:
-            core.x[in.rd] &= static_cast<std::uint64_t>(in.imm);
-            setGuestFlags(core, core.x[in.rd]);
-            core.cycles += c.alu;
-            break;
-          case Opcode::OrI:
-            core.x[in.rd] |= static_cast<std::uint64_t>(in.imm);
-            setGuestFlags(core, core.x[in.rd]);
-            core.cycles += c.alu;
-            break;
-          case Opcode::XorI:
-            core.x[in.rd] ^= static_cast<std::uint64_t>(in.imm);
-            setGuestFlags(core, core.x[in.rd]);
-            core.cycles += c.alu;
-            break;
-          case Opcode::MulI:
-            core.x[in.rd] *= static_cast<std::uint64_t>(in.imm);
-            setGuestFlags(core, core.x[in.rd]);
-            core.cycles += c.alu + 2;
-            break;
-          case Opcode::ShlI:
-            core.x[in.rd] <<= (in.imm & 63);
-            setGuestFlags(core, core.x[in.rd]);
-            core.cycles += c.alu;
-            break;
-          case Opcode::ShrI:
-            core.x[in.rd] >>= (in.imm & 63);
-            setGuestFlags(core, core.x[in.rd]);
-            core.cycles += c.alu;
-            break;
-          case Opcode::CmpRR:
-            setGuestFlags(core, core.x[in.rd] - core.x[in.rs]);
-            core.cycles += c.alu;
-            break;
-          case Opcode::CmpRI:
-            setGuestFlags(core, core.x[in.rd] -
-                                    static_cast<std::uint64_t>(in.imm));
-            core.cycles += c.alu;
-            break;
-          case Opcode::Jmp:
-            core.cycles += c.branch + c.branchTakenExtra;
-            next = branchTarget(in.off);
-            ends = true;
-            break;
-          case Opcode::Jcc:
-            core.cycles += c.branch;
-            if (gx86::condHolds(in.cond, core.x[tcg::TempZf] != 0,
-                                core.x[tcg::TempSf] != 0)) {
-                next = branchTarget(in.off);
-                core.cycles += c.branchTakenExtra;
-            }
-            ends = true;
-            break;
-          case Opcode::Call:
-            core.x[gx86::Rsp] -= 8;
-            storeThrough(core, machine, core.x[gx86::Rsp], 8, next);
-            core.cycles += c.store + c.branch + c.branchTakenExtra;
-            next = branchTarget(in.off);
-            ends = true;
-            break;
-          case Opcode::Ret:
-            next = machine.memRead(core, core.x[gx86::Rsp], 8);
-            core.x[gx86::Rsp] += 8;
-            core.cycles += c.load + c.branch;
-            ends = true;
-            break;
-          case Opcode::PltCall: {
-            if (in.sym >= image.dynsym.size())
-                throw GuestFault("bad dynamic symbol index at " +
-                                 hexString(cur));
-            const gx86::DynSymbol &dyn = image.dynsym[in.sym];
-            std::optional<std::uint16_t> host;
-            if (config.hostLinker && resolver)
-                host = resolver->resolve(dyn.name);
-            if (host) {
-                panicIf(!hostcalls, "host call without a handler");
-                core.cycles += c.helperCall;
-                core.cycles +=
-                    hostcalls->invokeHostFunction(*host, core, machine);
-                stats.bump("dbt.host_calls");
-            } else if (dyn.guestImpl != 0) {
-                next = dyn.guestImpl;
-                core.cycles += c.branch + c.branchTakenExtra;
-            } else {
-                throw GuestFault("unresolved import '" + dyn.name +
-                                 "' at " + hexString(cur));
-            }
-            ends = true;
-            break;
-          }
-          case Opcode::LockCmpxchg: {
-            // Same semantics as the translated CAS / CasHelper path:
-            // R0 <- old, ZF <- (old == expected), SF untouched.
-            const std::uint64_t addr = ea();
-            const std::uint64_t expected = core.x[0];
-            machine.flushStoreBuffer(core);
-            core.cycles += c.casBase + machine.atomicAccessCost(core, addr);
-            const std::uint64_t old = machine.memory().load64(addr);
-            if (old == expected)
-                machine.directWrite(core, addr, 8, core.x[in.rs]);
-            core.x[0] = old;
-            core.x[tcg::TempZf] = old == expected ? 1 : 0;
-            machine.stats().bump("machine.cas_ops");
-            break;
-          }
-          case Opcode::LockXadd: {
-            const std::uint64_t addr = ea();
-            machine.flushStoreBuffer(core);
-            core.cycles += c.casBase + machine.atomicAccessCost(core, addr);
-            const std::uint64_t old = machine.memory().load64(addr);
-            machine.directWrite(core, addr, 8, old + core.x[in.rs]);
-            core.x[in.rs] = old;
-            machine.stats().bump("machine.atomic_adds");
-            break;
-          }
-          case Opcode::MFence:
-            fullFence(core, machine);
-            break;
-          case Opcode::FAdd: {
-            const auto r = softfloat::add64(core.x[in.rd], core.x[in.rs]);
-            core.x[in.rd] = r.bits;
-            core.cycles += c.helperCall + r.cycles;
-            break;
-          }
-          case Opcode::FSub: {
-            const auto r = softfloat::sub64(core.x[in.rd], core.x[in.rs]);
-            core.x[in.rd] = r.bits;
-            core.cycles += c.helperCall + r.cycles;
-            break;
-          }
-          case Opcode::FMul: {
-            const auto r = softfloat::mul64(core.x[in.rd], core.x[in.rs]);
-            core.x[in.rd] = r.bits;
-            core.cycles += c.helperCall + r.cycles;
-            break;
-          }
-          case Opcode::FDiv: {
-            const auto r = softfloat::div64(core.x[in.rd], core.x[in.rs]);
-            core.x[in.rd] = r.bits;
-            core.cycles += c.helperCall + r.cycles;
-            break;
-          }
-          case Opcode::FSqrt: {
-            const auto r = softfloat::sqrt64(core.x[in.rs]);
-            core.x[in.rd] = r.bits;
-            core.cycles += c.helperCall + r.cycles;
-            break;
-          }
-          case Opcode::CvtIF: {
-            const auto r = softfloat::fromInt64(core.x[in.rs]);
-            core.x[in.rd] = r.bits;
-            core.cycles += c.helperCall + r.cycles;
-            break;
-          }
-          case Opcode::CvtFI: {
-            const auto r = softfloat::toInt64(core.x[in.rs]);
-            core.x[in.rd] = r.bits;
-            core.cycles += c.helperCall + r.cycles;
-            break;
-          }
-          case Opcode::Syscall:
-            // Same semantics as the Syscall helper in the DBT runtime.
-            core.cycles += c.helperCall + 20;
-            switch (core.x[0]) {
-              case 0: // exit(code = g1)
-                core.exitCode = static_cast<std::int64_t>(core.x[1]);
-                core.halted = true;
-                fullFence(core, machine);
-                return HaltPc;
-              case 1: // putchar(g1)
-                core.output.push_back(static_cast<char>(core.x[1]));
-                break;
-              case 2: // cycle counter into g0
-                core.x[0] = core.cycles;
-                break;
-              default:
-                throw GuestFault("unknown guest syscall " +
-                                 std::to_string(core.x[0]));
-            }
-            ends = true;
-            break;
+          default:
+            throw GuestFault("unknown guest syscall " +
+                             std::to_string(core.x[0]));
         }
-        cur = next;
+        ends = true;
     }
-    fullFence(core, machine);
-    return cur;
+        RISOTTO_NEXT();
+
+    // --- Fused pairs: both members in one dispatch. Cycle charges,
+    // flags, counters and the block-end decision are exactly the sums
+    // of the two unfused handlers, so fusion is invisible to guest
+    // state, the cycle-accurate machine and the stat set alike.
+    RISOTTO_CASE(FusedCmpRRJcc)
+    {
+        retire();
+        setGuestFlags(core, core.x[e->first.rd] - core.x[e->first.rs]);
+        core.cycles += c.alu;
+        retire();
+        core.cycles += c.branch;
+        if (gx86::condHolds(e->second.cond, core.x[tcg::TempZf] != 0,
+                            core.x[tcg::TempSf] != 0)) {
+            next += sext32(e->second.off);
+            core.cycles += c.branchTakenExtra;
+        }
+        ends = true;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(FusedCmpRIJcc)
+    {
+        retire();
+        setGuestFlags(core, core.x[e->first.rd] -
+                                static_cast<std::uint64_t>(e->first.imm));
+        core.cycles += c.alu;
+        retire();
+        core.cycles += c.branch;
+        if (gx86::condHolds(e->second.cond, core.x[tcg::TempZf] != 0,
+                            core.x[tcg::TempSf] != 0)) {
+            next += sext32(e->second.off);
+            core.cycles += c.branchTakenExtra;
+        }
+        ends = true;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(FusedMovRIAlu)
+    {
+        retire();
+        core.x[e->first.rd] = static_cast<std::uint64_t>(e->first.imm);
+        core.cycles += c.alu;
+        retire();
+        const Instruction &alu = e->second;
+        switch (alu.op) {
+          case Opcode::Add: core.x[alu.rd] += core.x[alu.rs]; break;
+          case Opcode::Sub: core.x[alu.rd] -= core.x[alu.rs]; break;
+          case Opcode::And: core.x[alu.rd] &= core.x[alu.rs]; break;
+          case Opcode::Or: core.x[alu.rd] |= core.x[alu.rs]; break;
+          case Opcode::Xor: core.x[alu.rd] ^= core.x[alu.rs]; break;
+          default: core.x[alu.rd] *= core.x[alu.rs]; break; // Mul
+        }
+        setGuestFlags(core, core.x[alu.rd]);
+        core.cycles += alu.op == Opcode::Mul ? c.alu + 2 : c.alu;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(FusedIncDec)
+    {
+        retire();
+        core.x[e->first.rd] +=
+            e->first.op == Opcode::AddI
+                ? static_cast<std::uint64_t>(e->first.imm)
+                : 0 - static_cast<std::uint64_t>(e->first.imm);
+        core.cycles += c.alu;
+        retire();
+        core.x[e->second.rd] +=
+            e->second.op == Opcode::AddI
+                ? static_cast<std::uint64_t>(e->second.imm)
+                : 0 - static_cast<std::uint64_t>(e->second.imm);
+        setGuestFlags(core, core.x[e->second.rd]);
+        core.cycles += c.alu;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(FusedStoreLoad)
+    {
+        retire();
+        storeThrough(core, machine, ea(e->first), 8,
+                     e->first.op == Opcode::Store
+                         ? core.x[e->first.rs]
+                         : static_cast<std::uint64_t>(e->first.imm));
+        core.cycles += c.store;
+        retire();
+        core.x[e->second.rd] = machine.memRead(core, ea(e->second), 8);
+        core.cycles += c.load;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Invalid)
+    {
+        // Re-run the decoder to surface the exact fault.
+        image.decodeAt(cur);
+        throw GuestFault("undecodable instruction at " + hexString(cur));
+    }
+        RISOTTO_NEXT();
+
+#if !RISOTTO_FALLBACK_COMPUTED_GOTO
+          case DispatchOp::Count_:
+            throw GuestFault("corrupt dispatch entry");
+        }
+    }
+#endif
+
+#undef RISOTTO_CASE
+#undef RISOTTO_NEXT
 }
 
 } // namespace risotto::dbt

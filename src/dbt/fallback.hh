@@ -22,6 +22,7 @@
 #include "dbt/config.hh"
 #include "dbt/hostcall.hh"
 #include "dbt/resolver.hh"
+#include "gx86/decoded.hh"
 #include "gx86/image.hh"
 #include "machine/machine.hh"
 #include "support/stats.hh"
@@ -36,6 +37,14 @@ namespace risotto::dbt
  * soft-float FP, helper-equivalent syscalls and PLT calls) so guest-
  * visible state is identical to running the translated block.
  *
+ * With @p segment (the engine's shared DecodedSegment) the loop is
+ * threaded dispatch over pre-decoded entries, executing fused pairs in
+ * one dispatch -- with identical guest state, cycle charges, fence
+ * brackets and dbt.fallback_* counters as the unfused path (a pair that
+ * would overshoot the 64-instruction block cap re-executes unfused).
+ * Without it (nullptr) every instruction is decoded in place, the
+ * legacy baseline.
+ *
  * @return the next guest pc, or HaltPc when the thread halted.
  * @throws GuestFault on undecodable code or unresolvable imports.
  */
@@ -43,6 +52,7 @@ std::uint64_t interpretBlock(const gx86::GuestImage &image,
                              const DbtConfig &config,
                              const ImportResolver *resolver,
                              HostCallHandler *hostcalls,
+                             const gx86::DecodedSegment *segment,
                              std::uint64_t pc, machine::Core &core,
                              machine::Machine &machine, StatSet &stats);
 

@@ -89,9 +89,22 @@ Frontend::decodeBlock(Addr pc) const
         if (!image_.inText(cur))
             throw GuestFault("translating outside text at " +
                              hexString(cur));
-        const Instruction in =
-            gx86::decode(image_.text.data() + (cur - image_.textBase),
-                         image_.textEnd() - cur);
+        Instruction in;
+        if (segment_) {
+            const gx86::DecodedEntry *e = segment_->entry(cur);
+            panicIf(!e, "segment/text bounds disagree");
+            if (!e->valid()) {
+                // Surface the exact decoder fault of this offset.
+                image_.decodeAt(cur);
+                throw GuestFault("undecodable instruction at " +
+                                 hexString(cur));
+            }
+            // Always the unfused first member: a fused entry's second
+            // instruction has its own entry at the next offset.
+            in = e->first;
+        } else {
+            in = image_.decodeAt(cur);
+        }
         decoded.push_back(in);
         cur += in.length;
         if (gx86::opEndsBlock(in.op) ||
@@ -361,9 +374,11 @@ Frontend::translateOne(Block &block, const Instruction &in, Addr pc,
 }
 
 std::vector<Addr>
-reachableBlocks(const gx86::GuestImage &image, const DbtConfig &config)
+reachableBlocks(const gx86::GuestImage &image, const DbtConfig &config,
+                const gx86::DecodedSegment *segment)
 {
     Frontend frontend(image, config, nullptr);
+    frontend.setSegment(segment);
     std::vector<Addr> order;
     std::set<Addr> seen{image.entry};
     std::deque<Addr> work{image.entry};

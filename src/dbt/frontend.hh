@@ -15,6 +15,7 @@
 
 #include "dbt/config.hh"
 #include "dbt/resolver.hh"
+#include "gx86/decoded.hh"
 #include "gx86/image.hh"
 #include "tcg/arena.hh"
 #include "tcg/ir.hh"
@@ -64,6 +65,19 @@ class Frontend
     /** Arena statistics: blocks served allocation-free vs minted. */
     const tcg::BlockArena &arena() const { return arena_; }
 
+    /**
+     * Form blocks from @p segment's pre-decoded entries instead of
+     * re-running the decoder (nullptr reverts to per-instruction
+     * decode). Block formation always iterates *unfused* entries, so
+     * the decoded instruction sequence -- and therefore every
+     * translation and its validation -- is bit-identical with and
+     * without the segment (and regardless of its fusion config).
+     */
+    void setSegment(const gx86::DecodedSegment *segment)
+    {
+        segment_ = segment;
+    }
+
   private:
     void translateOne(tcg::Block &block, const gx86::Instruction &in,
                       gx86::Addr pc, gx86::Addr next, bool &ends) const;
@@ -74,6 +88,7 @@ class Frontend
     const gx86::GuestImage &image_;
     const DbtConfig &config_;
     const ImportResolver *resolver_;
+    const gx86::DecodedSegment *segment_ = nullptr;
 
     /** Pooled IR storage. Makes translate() non-reentrant: parallel
      * sweeps construct one Frontend per task. */
@@ -89,8 +104,9 @@ class Frontend
  * execution time). Shared by the risotto-run validation sweep and the
  * serving layer's cold prepare.
  */
-std::vector<gx86::Addr> reachableBlocks(const gx86::GuestImage &image,
-                                        const DbtConfig &config);
+std::vector<gx86::Addr>
+reachableBlocks(const gx86::GuestImage &image, const DbtConfig &config,
+                const gx86::DecodedSegment *segment = nullptr);
 
 } // namespace risotto::dbt
 

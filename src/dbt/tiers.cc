@@ -162,8 +162,8 @@ InterpreterTier::interpretOne(gx86::Addr pc, machine::Core &core,
                               machine::Machine &machine)
 {
     stats_.bump("dbt.fallback_blocks");
-    return interpretBlock(image_, config_, resolver_, hostcalls_, pc, core,
-                          machine, stats_);
+    return interpretBlock(image_, config_, resolver_, hostcalls_, segment_,
+                          pc, core, machine, stats_);
 }
 
 // --- BaselineTier -----------------------------------------------------------

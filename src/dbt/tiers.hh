@@ -29,6 +29,7 @@
 #include "dbt/resolver.hh"
 #include "dbt/tbcache.hh"
 #include "dbt/tier.hh"
+#include "gx86/decoded.hh"
 #include "support/faultinject.hh"
 #include "support/stats.hh"
 #include "verify/verifier.hh"
@@ -88,7 +89,15 @@ class InterpreterTier : public ExecutionTier
     /** Drop memoized trampolines (their code died in a cache flush). */
     void flush() { trampolines_.clear(); }
 
+    /** Dispatch interpreted blocks from @p segment (nullptr re-decodes
+     * per instruction). The engine installs its shared segment here. */
+    void setSegment(const gx86::DecodedSegment *segment)
+    {
+        segment_ = segment;
+    }
+
   private:
+    const gx86::DecodedSegment *segment_ = nullptr;
     const gx86::GuestImage &image_;
     const DbtConfig &config_;
     const ImportResolver *resolver_;

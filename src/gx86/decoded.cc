@@ -1,0 +1,285 @@
+#include "gx86/decoded.hh"
+
+#include "gx86/codec.hh"
+#include "support/error.hh"
+
+namespace risotto::gx86
+{
+
+DispatchOp
+dispatchOpFor(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return DispatchOp::Nop;
+      case Opcode::Hlt: return DispatchOp::Hlt;
+      case Opcode::MovRI: return DispatchOp::MovRI;
+      case Opcode::MovRR: return DispatchOp::MovRR;
+      case Opcode::Load: return DispatchOp::Load;
+      case Opcode::Store: return DispatchOp::Store;
+      case Opcode::StoreI: return DispatchOp::StoreI;
+      case Opcode::Load8: return DispatchOp::Load8;
+      case Opcode::Store8: return DispatchOp::Store8;
+      case Opcode::Add: return DispatchOp::Add;
+      case Opcode::Sub: return DispatchOp::Sub;
+      case Opcode::And: return DispatchOp::And;
+      case Opcode::Or: return DispatchOp::Or;
+      case Opcode::Xor: return DispatchOp::Xor;
+      case Opcode::Mul: return DispatchOp::Mul;
+      case Opcode::Udiv: return DispatchOp::Udiv;
+      case Opcode::AddI: return DispatchOp::AddI;
+      case Opcode::SubI: return DispatchOp::SubI;
+      case Opcode::AndI: return DispatchOp::AndI;
+      case Opcode::OrI: return DispatchOp::OrI;
+      case Opcode::XorI: return DispatchOp::XorI;
+      case Opcode::MulI: return DispatchOp::MulI;
+      case Opcode::ShlI: return DispatchOp::ShlI;
+      case Opcode::ShrI: return DispatchOp::ShrI;
+      case Opcode::CmpRR: return DispatchOp::CmpRR;
+      case Opcode::CmpRI: return DispatchOp::CmpRI;
+      case Opcode::Jmp: return DispatchOp::Jmp;
+      case Opcode::Jcc: return DispatchOp::Jcc;
+      case Opcode::Call: return DispatchOp::Call;
+      case Opcode::Ret: return DispatchOp::Ret;
+      case Opcode::PltCall: return DispatchOp::PltCall;
+      case Opcode::LockCmpxchg: return DispatchOp::LockCmpxchg;
+      case Opcode::LockXadd: return DispatchOp::LockXadd;
+      case Opcode::MFence: return DispatchOp::MFence;
+      case Opcode::FAdd: return DispatchOp::FAdd;
+      case Opcode::FSub: return DispatchOp::FSub;
+      case Opcode::FMul: return DispatchOp::FMul;
+      case Opcode::FDiv: return DispatchOp::FDiv;
+      case Opcode::FSqrt: return DispatchOp::FSqrt;
+      case Opcode::CvtIF: return DispatchOp::CvtIF;
+      case Opcode::CvtFI: return DispatchOp::CvtFI;
+      case Opcode::Syscall: return DispatchOp::Syscall;
+    }
+    return DispatchOp::Invalid;
+}
+
+const char *
+fusionKindName(FusionKind kind)
+{
+    switch (kind) {
+      case FusionKind::CmpRRJcc: return "cmp.rr+jcc";
+      case FusionKind::CmpRIJcc: return "cmp.ri+jcc";
+      case FusionKind::MovRIAlu: return "movri+alu";
+      case FusionKind::IncDec: return "incdec-chain";
+      case FusionKind::StoreLoad: return "store+load";
+      case FusionKind::Count_: break;
+    }
+    return "none";
+}
+
+DispatchOp
+fusionDispatchOp(FusionKind kind)
+{
+    switch (kind) {
+      case FusionKind::CmpRRJcc: return DispatchOp::FusedCmpRRJcc;
+      case FusionKind::CmpRIJcc: return DispatchOp::FusedCmpRIJcc;
+      case FusionKind::MovRIAlu: return DispatchOp::FusedMovRIAlu;
+      case FusionKind::IncDec: return DispatchOp::FusedIncDec;
+      case FusionKind::StoreLoad: return DispatchOp::FusedStoreLoad;
+      case FusionKind::Count_: break;
+    }
+    return DispatchOp::Invalid;
+}
+
+bool
+opFusible(Opcode op)
+{
+    // Explicit ordering-point guard: LOCK-prefixed RMWs and MFENCE are
+    // never fused, so a fused dispatch can never blur a fence.
+    if (opIsRmw(op) || op == Opcode::MFence)
+        return false;
+    switch (op) {
+      case Opcode::MovRI:
+      case Opcode::MovRR:
+      case Opcode::Load:
+      case Opcode::Store:
+      case Opcode::StoreI:
+      case Opcode::Load8:
+      case Opcode::Store8:
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Mul:
+      case Opcode::AddI:
+      case Opcode::SubI:
+      case Opcode::AndI:
+      case Opcode::OrI:
+      case Opcode::XorI:
+      case Opcode::MulI:
+      case Opcode::ShlI:
+      case Opcode::ShrI:
+      case Opcode::CmpRR:
+      case Opcode::CmpRI:
+      case Opcode::Jcc:
+        return true;
+      default:
+        return false;
+    }
+}
+
+FusionKind
+matchFusion(const Instruction &a, const Instruction &b)
+{
+    // TB-boundary guard: a pair never starts at a block terminator, so
+    // fused execution cannot run past a translation-block seam. (Jcc as
+    // the *second* member is the pair's own terminator -- the pair ends
+    // the block exactly where the unfused sequence would.)
+    if (opEndsBlock(a.op) || !opFusible(a.op) || !opFusible(b.op))
+        return FusionKind::Count_;
+
+    if (b.op == Opcode::Jcc) {
+        if (a.op == Opcode::CmpRR)
+            return FusionKind::CmpRRJcc;
+        if (a.op == Opcode::CmpRI)
+            return FusionKind::CmpRIJcc;
+        return FusionKind::Count_;
+    }
+    if (a.op == Opcode::MovRI) {
+        switch (b.op) {
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor:
+          case Opcode::Mul:
+            return FusionKind::MovRIAlu;
+          default:
+            return FusionKind::Count_;
+        }
+    }
+    if ((a.op == Opcode::AddI || a.op == Opcode::SubI) &&
+        (b.op == Opcode::AddI || b.op == Opcode::SubI) && a.rd == b.rd)
+        return FusionKind::IncDec;
+    if ((a.op == Opcode::Store || a.op == Opcode::StoreI) &&
+        b.op == Opcode::Load)
+        return FusionKind::StoreLoad;
+    return FusionKind::Count_;
+}
+
+const std::vector<FusionPatternInfo> &
+fusionPatterns()
+{
+    static const std::vector<FusionPatternInfo> patterns = [] {
+        std::vector<FusionPatternInfo> p;
+        auto push = [&](FusionKind kind, Instruction a, Instruction b) {
+            FusionPatternInfo info;
+            info.kind = kind;
+            info.name = fusionKindName(kind);
+            info.first = a;
+            info.second = b;
+            p.push_back(info);
+        };
+        Instruction cmprr;
+        cmprr.op = Opcode::CmpRR;
+        cmprr.rd = 1;
+        cmprr.rs = 2;
+        Instruction cmpri;
+        cmpri.op = Opcode::CmpRI;
+        cmpri.rd = 1;
+        cmpri.imm = 7;
+        Instruction jcc;
+        jcc.op = Opcode::Jcc;
+        jcc.cond = Cond::Ne;
+        jcc.off = -16;
+        Instruction movri;
+        movri.op = Opcode::MovRI;
+        movri.rd = 3;
+        movri.imm = 42;
+        Instruction add;
+        add.op = Opcode::Add;
+        add.rd = 4;
+        add.rs = 3;
+        Instruction addi;
+        addi.op = Opcode::AddI;
+        addi.rd = 5;
+        addi.imm = 1;
+        Instruction subi;
+        subi.op = Opcode::SubI;
+        subi.rd = 5;
+        subi.imm = 2;
+        Instruction store;
+        store.op = Opcode::Store;
+        store.rs = 6;
+        store.rb = 1;
+        store.off = 8;
+        Instruction load;
+        load.op = Opcode::Load;
+        load.rd = 7;
+        load.rb = 2;
+        load.off = 16;
+        push(FusionKind::CmpRRJcc, cmprr, jcc);
+        push(FusionKind::CmpRIJcc, cmpri, jcc);
+        push(FusionKind::MovRIAlu, movri, add);
+        push(FusionKind::IncDec, addi, subi);
+        push(FusionKind::StoreLoad, store, load);
+        return p;
+    }();
+    return patterns;
+}
+
+std::shared_ptr<const DecodedSegment>
+DecodedSegment::build(const GuestImage &image, const FusionConfig &fusion)
+{
+    auto seg = std::shared_ptr<DecodedSegment>(new DecodedSegment());
+    seg->textBase_ = image.textBase;
+    seg->fusion_ = fusion;
+    seg->entries_.resize(image.text.size());
+
+    // Pass 1: decode at every byte offset. Any offset is a legal jump
+    // target in this ISA, so each gets its own independent decode; the
+    // ones that fail stay Invalid and surface the exact decoder fault
+    // lazily if execution ever reaches them.
+    for (std::size_t off = 0; off < image.text.size(); ++off) {
+        DecodedEntry &e = seg->entries_[off];
+        try {
+            e.first = decode(image.text.data() + off,
+                             image.text.size() - off);
+        } catch (const GuestFault &) {
+            ++seg->invalidEntries_;
+            continue;
+        }
+        e.handler = static_cast<std::uint8_t>(dispatchOpFor(e.first.op));
+        e.count = 1;
+        e.totalLength = e.first.length;
+        e.endsBlock = opEndsBlock(e.first.op);
+        ++seg->validEntries_;
+    }
+
+    // Pass 2: peephole fusion over adjacent pairs. Only the *first*
+    // instruction's entry is rewritten; the second keeps its unfused
+    // entry so branches into the middle of a pair stay exact.
+    if (fusion.enabled) {
+        for (std::size_t off = 0; off < seg->entries_.size(); ++off) {
+            DecodedEntry &e = seg->entries_[off];
+            if (!e.valid())
+                continue;
+            const std::size_t nextOff = off + e.first.length;
+            if (nextOff >= seg->entries_.size())
+                continue;
+            const DecodedEntry &n = seg->entries_[nextOff];
+            if (!n.valid())
+                continue;
+            const FusionKind kind = matchFusion(e.first, n.first);
+            if (kind == FusionKind::Count_ ||
+                !fusion.pattern[static_cast<std::size_t>(kind)])
+                continue;
+            e.second = n.first;
+            e.handler =
+                static_cast<std::uint8_t>(fusionDispatchOp(kind));
+            e.count = 2;
+            e.totalLength = static_cast<std::uint8_t>(e.first.length +
+                                                      n.first.length);
+            e.endsBlock = opEndsBlock(n.first.op);
+            ++seg->fusedEntries_;
+            ++seg->fusedByKind_[static_cast<std::size_t>(kind)];
+        }
+    }
+    return seg;
+}
+
+} // namespace risotto::gx86

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Per-image pre-decoded execution segment.
+ *
+ * A DecodedSegment is built once per guest image by a whole-text
+ * pre-decode pass: for every byte offset of the text section it caches
+ * the decode of the instruction starting there -- handler index,
+ * pre-extracted operands, encoded length and block-end flag -- in a
+ * dense array indexed by (pc - textBase). Execution surfaces (the
+ * standalone interpreter, the DBT fallback interpreter, TB formation in
+ * the frontend and the --validate BFS sweep) then dispatch on the cached
+ * entries instead of re-running gx86::decode on bytes they have seen
+ * thousands of times. The segment is immutable after build and is shared
+ * read-only across threads and serving sessions.
+ *
+ * On top of the plain entries the builder runs a peephole *fusion* pass
+ * over adjacent instruction pairs (cmp+jcc, mov-imm+arith, inc/dec
+ * chains, store+load). A fused entry executes both instructions in one
+ * dispatch; the entry at the second instruction's own offset stays
+ * unfused, so a branch into the middle of a pair behaves exactly as
+ * before. Fusion side conditions are explicit: a pair never includes a
+ * LOCK-prefixed RMW or MFENCE, never starts at a block-ending
+ * instruction (so it cannot cross a TB boundary), and dispatch loops
+ * fall back to the unfused entry when an instruction-count cap would
+ * split the pair. Each pattern's ordering obligations are checked once
+ * against the PR-3 obligation-graph validator (src/verify/fusion.hh);
+ * patterns that fail are disabled wholesale.
+ */
+
+#ifndef RISOTTO_GX86_DECODED_HH
+#define RISOTTO_GX86_DECODED_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gx86/image.hh"
+#include "gx86/isa.hh"
+
+namespace risotto::gx86
+{
+
+/**
+ * Dispatch handler index of a decoded entry. The first block mirrors
+ * Opcode one-to-one (dense, so threaded-dispatch tables stay small);
+ * the tail adds the fused handlers and the invalid sentinel.
+ */
+enum class DispatchOp : std::uint8_t
+{
+    Nop,
+    Hlt,
+    MovRI,
+    MovRR,
+    Load,
+    Store,
+    StoreI,
+    Load8,
+    Store8,
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Mul,
+    Udiv,
+    AddI,
+    SubI,
+    AndI,
+    OrI,
+    XorI,
+    MulI,
+    ShlI,
+    ShrI,
+    CmpRR,
+    CmpRI,
+    Jmp,
+    Jcc,
+    Call,
+    Ret,
+    PltCall,
+    LockCmpxchg,
+    LockXadd,
+    MFence,
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FSqrt,
+    CvtIF,
+    CvtFI,
+    Syscall,
+
+    // Fused pairs (see FusionKind).
+    FusedCmpRRJcc,
+    FusedCmpRIJcc,
+    FusedMovRIAlu,
+    FusedIncDec,
+    FusedStoreLoad,
+
+    /** Undecodable bytes; dispatch re-runs gx86::decode to surface the
+     * exact GuestFault lazily, preserving legacy error behaviour. */
+    Invalid,
+
+    Count_,
+};
+
+constexpr std::size_t DispatchOpCount =
+    static_cast<std::size_t>(DispatchOp::Count_);
+
+/** Handler index of an unfused opcode. */
+DispatchOp dispatchOpFor(Opcode op);
+
+/** The peephole fusion patterns, in matcher priority order. */
+enum class FusionKind : std::uint8_t
+{
+    CmpRRJcc,   ///< cmp rd, rs ; jcc rel   -> compare-and-branch
+    CmpRIJcc,   ///< cmp rd, imm ; jcc rel  -> compare-and-branch
+    MovRIAlu,   ///< mov rd, imm ; alu r, r -> constant feed + ALU
+    IncDec,     ///< addi/subi rd ; addi/subi rd -> one combined add
+    StoreLoad,  ///< store ; load           -> one dispatch, both accesses
+    Count_,
+};
+
+constexpr std::size_t FusionKindCount =
+    static_cast<std::size_t>(FusionKind::Count_);
+
+/** Short name, e.g. "cmp+jcc". */
+const char *fusionKindName(FusionKind kind);
+
+/** Fused dispatch handler of a pattern. */
+DispatchOp fusionDispatchOp(FusionKind kind);
+
+/**
+ * True when @p op may be a member of a fused pair at all. LOCK-prefixed
+ * RMWs and MFENCE are never fusible (the explicit side condition:
+ * fusion must not blur an ordering point), and neither are
+ * control-transfer or helper-calling instructions except Jcc as the
+ * second half of a compare-and-branch.
+ */
+bool opFusible(Opcode op);
+
+/**
+ * Match the fusion pattern of the adjacent pair (@p a, @p b), or
+ * FusionKind::Count_ when the pair must stay unfused. Enforces the
+ * side conditions that do not depend on the dispatch context: @p a
+ * must not end a block (no pair crosses a TB boundary) and neither
+ * member may be an ordering point (LOCK RMW / MFENCE).
+ */
+FusionKind matchFusion(const Instruction &a, const Instruction &b);
+
+/** One canonical representative of a fusion pattern, used to check the
+ * pattern's ordering obligations once (src/verify/fusion.hh) and by the
+ * fusion-guard unit tests. */
+struct FusionPatternInfo
+{
+    FusionKind kind = FusionKind::Count_;
+    const char *name = "";
+    Instruction first;
+    Instruction second;
+};
+
+/** All patterns with canonical example pairs. */
+const std::vector<FusionPatternInfo> &fusionPatterns();
+
+/** Per-pattern enable set for segment construction. */
+struct FusionConfig
+{
+    /** Master switch; false pre-decodes without fusing anything. */
+    bool enabled = true;
+
+    /** Per-pattern enables (all on by default; the DBT disables any
+     * pattern the obligation-graph check rejects). */
+    std::array<bool, FusionKindCount> pattern{true, true, true, true,
+                                              true};
+};
+
+/** One pre-decoded (possibly fused) instruction at a text offset. */
+struct DecodedEntry
+{
+    /** The instruction at this offset (always valid when count > 0). */
+    Instruction first;
+
+    /** Second member of a fused pair; meaningful only when count == 2. */
+    Instruction second;
+
+    /** Dispatch handler index (DispatchOp). */
+    std::uint8_t handler =
+        static_cast<std::uint8_t>(DispatchOp::Invalid);
+
+    /** Guest instructions retired by one dispatch: 0 invalid, 1, or 2. */
+    std::uint8_t count = 0;
+
+    /** Bytes consumed by one dispatch (sum of lengths when fused). */
+    std::uint8_t totalLength = 0;
+
+    /** The dispatch ends a basic block (terminator, fused or not). */
+    bool endsBlock = false;
+
+    bool valid() const { return count != 0; }
+    bool fused() const { return count == 2; }
+};
+
+/** The immutable per-image decoder cache. */
+class DecodedSegment
+{
+  public:
+    /** Pre-decode (and fuse) the text section of @p image. */
+    static std::shared_ptr<const DecodedSegment>
+    build(const GuestImage &image, const FusionConfig &fusion = {});
+
+    /** Entry at @p pc, or nullptr when @p pc is outside the text
+     * section. Entries exist at every byte offset, so any jump target
+     * (including mid-instruction offsets) resolves. */
+    const DecodedEntry *entry(Addr pc) const
+    {
+        if (pc < textBase_ || pc - textBase_ >= entries_.size())
+            return nullptr;
+        return &entries_[pc - textBase_];
+    }
+
+    Addr textBase() const { return textBase_; }
+    std::size_t size() const { return entries_.size(); }
+
+    /** Build-time counters. */
+    std::uint64_t validEntries() const { return validEntries_; }
+    std::uint64_t invalidEntries() const { return invalidEntries_; }
+    std::uint64_t fusedEntries() const { return fusedEntries_; }
+    std::uint64_t fusedOfKind(FusionKind kind) const
+    {
+        return fusedByKind_[static_cast<std::size_t>(kind)];
+    }
+
+    const FusionConfig &fusion() const { return fusion_; }
+
+  private:
+    DecodedSegment() = default;
+
+    Addr textBase_ = 0;
+    std::vector<DecodedEntry> entries_;
+    FusionConfig fusion_;
+    std::uint64_t validEntries_ = 0;
+    std::uint64_t invalidEntries_ = 0;
+    std::uint64_t fusedEntries_ = 0;
+    std::array<std::uint64_t, FusionKindCount> fusedByKind_{};
+};
+
+} // namespace risotto::gx86
+
+#endif // RISOTTO_GX86_DECODED_HH

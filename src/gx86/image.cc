@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "gx86/codec.hh"
+#include "support/error.hh"
+#include "support/format.hh"
 
 namespace risotto::gx86
 {
@@ -23,6 +25,21 @@ GuestImage::dynsymAtPlt(Addr addr) const
         if (dynsym[i].pltAddr == addr)
             return i;
     return std::nullopt;
+}
+
+Instruction
+GuestImage::decodeAt(Addr pc) const
+{
+    if (!inText(pc))
+        throw GuestFault("pc outside text: " + hexString(pc));
+    const std::size_t off = pc - textBase;
+    try {
+        return decode(text.data() + off, text.size() - off);
+    } catch (const GuestFault &fault) {
+        throw GuestFault(std::string(fault.what()) + " at " +
+                         hexString(pc) + " (text ends at " +
+                         hexString(textEnd()) + ")");
+    }
 }
 
 std::string

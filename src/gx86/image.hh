@@ -75,6 +75,14 @@ struct GuestImage
     /** Dynamic symbol index whose PLT stub is at @p addr, if any. */
     std::optional<std::size_t> dynsymAtPlt(Addr addr) const;
 
+    /**
+     * Decode the instruction at @p pc, bounding the decoder by the
+     * remaining text (the one place the textEnd() - pc slack is
+     * computed). Throws GuestFault for a pc outside the text section or
+     * an instruction truncated by end-of-text.
+     */
+    Instruction decodeAt(Addr pc) const;
+
     /** Linear disassembly of the text section. */
     std::string disassemble() const;
 };

@@ -3,7 +3,6 @@
 #include <cmath>
 #include <cstring>
 
-#include "gx86/codec.hh"
 #include "support/error.hh"
 #include "support/format.hh"
 
@@ -29,168 +28,346 @@ asBits(double d)
     return bits;
 }
 
+std::uint64_t
+sext32(std::int32_t off)
+{
+    return static_cast<std::uint64_t>(static_cast<std::int64_t>(off));
+}
+
 } // namespace
 
-Interpreter::Interpreter(const GuestImage &image) : image_(image)
+Interpreter::Interpreter(const GuestImage &image, InterpOptions options)
+    : image_(image)
+{
+    if (options.decodeCache)
+        segment_ = DecodedSegment::build(image, options.fusion);
+    mem_.loadImage(image);
+    pc_ = image.entry;
+    regs_[Rsp] = DefaultStackTop;
+}
+
+Interpreter::Interpreter(const GuestImage &image,
+                         std::shared_ptr<const DecodedSegment> segment)
+    : image_(image), segment_(std::move(segment))
 {
     mem_.loadImage(image);
     pc_ = image.entry;
     regs_[Rsp] = DefaultStackTop;
 }
 
+// Threaded dispatch: with GNU labels-as-values every handler jumps
+// straight to the next handler's code through a per-DispatchOp label
+// table (no central switch, no bounds re-check per instruction); other
+// compilers fall back to an equivalent tight switch over the same
+// handler bodies. The RISOTTO_CASE/RISOTTO_NEXT macros keep the bodies
+// identical across both modes.
+#if defined(__GNUC__) || defined(__clang__)
+#define RISOTTO_INTERP_COMPUTED_GOTO 1
+#else
+#define RISOTTO_INTERP_COMPUTED_GOTO 0
+#endif
+
 InterpResult
 Interpreter::run(std::uint64_t max_instructions)
 {
-    while (!halted_) {
-        if (result_.instructions >= max_instructions)
-            throw GuestFault("interpreter instruction budget exceeded");
-        step();
-    }
-    return result_;
-}
+    const DecodedSegment *seg = segment_.get();
 
-void
-Interpreter::step()
-{
-    if (!image_.inText(pc_))
-        throw GuestFault("pc outside text: " + hexString(pc_));
-    const Instruction in =
-        decode(mem_.raw(pc_, 1), image_.textEnd() - pc_);
-    ++result_.instructions;
-    Addr next = pc_ + in.length;
+    // Scratch entry for legacy mode (decode per dispatch) and for a
+    // fused pair downgraded to its unfused first member because the
+    // second would overshoot the instruction budget.
+    DecodedEntry local;
+    const DecodedEntry *e = nullptr;
+    Addr next = 0;
 
     auto setFlags = [&](std::uint64_t value) {
         zf_ = value == 0;
         sf_ = static_cast<std::int64_t>(value) < 0;
     };
-    auto ea = [&]() {
-        return regs_[in.rb] + static_cast<std::uint64_t>(
-                                  static_cast<std::int64_t>(in.off));
+    auto ea = [&](const Instruction &in) {
+        return regs_[in.rb] + sext32(in.off);
+    };
+    auto downgrade = [&](const Instruction &in) {
+        local.first = in;
+        local.handler = static_cast<std::uint8_t>(dispatchOpFor(in.op));
+        local.count = 1;
+        local.totalLength = in.length;
+        local.endsBlock = opEndsBlock(in.op);
+        return &local;
+    };
+    auto fetch = [&]() -> const DecodedEntry * {
+        if (seg) {
+            const DecodedEntry *entry = seg->entry(pc_);
+            if (!entry)
+                throw GuestFault("pc outside text: " + hexString(pc_));
+            if (entry->fused() &&
+                result_.instructions + 2 > max_instructions)
+                return downgrade(entry->first);
+            return entry;
+        }
+        return downgrade(image_.decodeAt(pc_));
     };
 
-    switch (in.op) {
-      case Opcode::Nop:
-        break;
-      case Opcode::Hlt:
+#if RISOTTO_INTERP_COMPUTED_GOTO
+    static const void *const table[DispatchOpCount] = {
+        &&L_Nop,          &&L_Hlt,          &&L_MovRI,
+        &&L_MovRR,        &&L_Load,         &&L_Store,
+        &&L_StoreI,       &&L_Load8,        &&L_Store8,
+        &&L_Add,          &&L_Sub,          &&L_And,
+        &&L_Or,           &&L_Xor,          &&L_Mul,
+        &&L_Udiv,         &&L_AddI,         &&L_SubI,
+        &&L_AndI,         &&L_OrI,          &&L_XorI,
+        &&L_MulI,         &&L_ShlI,         &&L_ShrI,
+        &&L_CmpRR,        &&L_CmpRI,        &&L_Jmp,
+        &&L_Jcc,          &&L_Call,         &&L_Ret,
+        &&L_PltCall,      &&L_LockCmpxchg,  &&L_LockXadd,
+        &&L_MFence,       &&L_FAdd,         &&L_FSub,
+        &&L_FMul,         &&L_FDiv,         &&L_FSqrt,
+        &&L_CvtIF,        &&L_CvtFI,        &&L_Syscall,
+        &&L_FusedCmpRRJcc, &&L_FusedCmpRIJcc, &&L_FusedMovRIAlu,
+        &&L_FusedIncDec,  &&L_FusedStoreLoad, &&L_Invalid,
+    };
+#define RISOTTO_CASE(name) L_##name:
+#define RISOTTO_NEXT()                                                  \
+    do {                                                                \
+        pc_ = next;                                                     \
+        goto fetch_next;                                                \
+    } while (0)
+
+fetch_next:
+    if (halted_)
+        return result_;
+    if (result_.instructions >= max_instructions)
+        throw GuestFault("interpreter instruction budget exceeded");
+    e = fetch();
+    next = pc_ + e->totalLength;
+    goto *table[e->handler];
+#else
+#define RISOTTO_CASE(name) case DispatchOp::name:
+#define RISOTTO_NEXT()                                                  \
+    do {                                                                \
+        pc_ = next;                                                     \
+        continue;                                                       \
+    } while (0)
+
+    for (;;) {
+        if (halted_)
+            return result_;
+        if (result_.instructions >= max_instructions)
+            throw GuestFault("interpreter instruction budget exceeded");
+        e = fetch();
+        next = pc_ + e->totalLength;
+        switch (static_cast<DispatchOp>(e->handler)) {
+#endif
+
+    RISOTTO_CASE(Nop)
+    {
+        ++result_.instructions;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Hlt)
+    {
+        ++result_.instructions;
         halted_ = true;
-        break;
-      case Opcode::MovRI:
-        regs_[in.rd] = static_cast<std::uint64_t>(in.imm);
-        break;
-      case Opcode::MovRR:
-        regs_[in.rd] = regs_[in.rs];
-        break;
-      case Opcode::Load:
-        regs_[in.rd] = mem_.load64(ea());
-        break;
-      case Opcode::Store:
-        mem_.store64(ea(), regs_[in.rs]);
-        break;
-      case Opcode::StoreI:
-        mem_.store64(ea(), static_cast<std::uint64_t>(in.imm));
-        break;
-      case Opcode::Load8:
-        regs_[in.rd] = mem_.load8(ea());
-        break;
-      case Opcode::Store8:
-        mem_.store8(ea(), static_cast<std::uint8_t>(regs_[in.rs]));
-        break;
-      case Opcode::Add:
-        regs_[in.rd] += regs_[in.rs];
-        setFlags(regs_[in.rd]);
-        break;
-      case Opcode::Sub:
-        regs_[in.rd] -= regs_[in.rs];
-        setFlags(regs_[in.rd]);
-        break;
-      case Opcode::And:
-        regs_[in.rd] &= regs_[in.rs];
-        setFlags(regs_[in.rd]);
-        break;
-      case Opcode::Or:
-        regs_[in.rd] |= regs_[in.rs];
-        setFlags(regs_[in.rd]);
-        break;
-      case Opcode::Xor:
-        regs_[in.rd] ^= regs_[in.rs];
-        setFlags(regs_[in.rd]);
-        break;
-      case Opcode::Mul:
-        regs_[in.rd] *= regs_[in.rs];
-        setFlags(regs_[in.rd]);
-        break;
-      case Opcode::Udiv:
-        if (regs_[in.rs] == 0)
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(MovRI)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] = static_cast<std::uint64_t>(e->first.imm);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(MovRR)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] = regs_[e->first.rs];
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Load)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] = mem_.load64(ea(e->first));
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Store)
+    {
+        ++result_.instructions;
+        mem_.store64(ea(e->first), regs_[e->first.rs]);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(StoreI)
+    {
+        ++result_.instructions;
+        mem_.store64(ea(e->first),
+                     static_cast<std::uint64_t>(e->first.imm));
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Load8)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] = mem_.load8(ea(e->first));
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Store8)
+    {
+        ++result_.instructions;
+        mem_.store8(ea(e->first),
+                    static_cast<std::uint8_t>(regs_[e->first.rs]));
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Add)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] += regs_[e->first.rs];
+        setFlags(regs_[e->first.rd]);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Sub)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] -= regs_[e->first.rs];
+        setFlags(regs_[e->first.rd]);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(And)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] &= regs_[e->first.rs];
+        setFlags(regs_[e->first.rd]);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Or)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] |= regs_[e->first.rs];
+        setFlags(regs_[e->first.rd]);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Xor)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] ^= regs_[e->first.rs];
+        setFlags(regs_[e->first.rd]);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Mul)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] *= regs_[e->first.rs];
+        setFlags(regs_[e->first.rd]);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Udiv)
+    {
+        ++result_.instructions;
+        if (regs_[e->first.rs] == 0)
             throw GuestFault("division by zero");
-        regs_[in.rd] /= regs_[in.rs];
-        setFlags(regs_[in.rd]);
-        break;
-      case Opcode::AddI:
-        regs_[in.rd] += static_cast<std::uint64_t>(in.imm);
-        setFlags(regs_[in.rd]);
-        break;
-      case Opcode::SubI:
-        regs_[in.rd] -= static_cast<std::uint64_t>(in.imm);
-        setFlags(regs_[in.rd]);
-        break;
-      case Opcode::AndI:
-        regs_[in.rd] &= static_cast<std::uint64_t>(in.imm);
-        setFlags(regs_[in.rd]);
-        break;
-      case Opcode::OrI:
-        regs_[in.rd] |= static_cast<std::uint64_t>(in.imm);
-        setFlags(regs_[in.rd]);
-        break;
-      case Opcode::XorI:
-        regs_[in.rd] ^= static_cast<std::uint64_t>(in.imm);
-        setFlags(regs_[in.rd]);
-        break;
-      case Opcode::MulI:
-        regs_[in.rd] *= static_cast<std::uint64_t>(in.imm);
-        setFlags(regs_[in.rd]);
-        break;
-      case Opcode::ShlI:
-        regs_[in.rd] <<= (in.imm & 63);
-        setFlags(regs_[in.rd]);
-        break;
-      case Opcode::ShrI:
-        regs_[in.rd] >>= (in.imm & 63);
-        setFlags(regs_[in.rd]);
-        break;
-      case Opcode::CmpRR: {
-        const std::uint64_t diff = regs_[in.rd] - regs_[in.rs];
-        setFlags(diff);
-        break;
-      }
-      case Opcode::CmpRI: {
-        const std::uint64_t diff =
-            regs_[in.rd] - static_cast<std::uint64_t>(in.imm);
-        setFlags(diff);
-        break;
-      }
-      case Opcode::Jmp:
-        next = next + static_cast<std::uint64_t>(
-                          static_cast<std::int64_t>(in.off));
-        break;
-      case Opcode::Jcc:
-        if (condHolds(in.cond, zf_, sf_))
-            next = next + static_cast<std::uint64_t>(
-                              static_cast<std::int64_t>(in.off));
-        break;
-      case Opcode::Call:
+        regs_[e->first.rd] /= regs_[e->first.rs];
+        setFlags(regs_[e->first.rd]);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(AddI)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] += static_cast<std::uint64_t>(e->first.imm);
+        setFlags(regs_[e->first.rd]);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(SubI)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] -= static_cast<std::uint64_t>(e->first.imm);
+        setFlags(regs_[e->first.rd]);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(AndI)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] &= static_cast<std::uint64_t>(e->first.imm);
+        setFlags(regs_[e->first.rd]);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(OrI)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] |= static_cast<std::uint64_t>(e->first.imm);
+        setFlags(regs_[e->first.rd]);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(XorI)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] ^= static_cast<std::uint64_t>(e->first.imm);
+        setFlags(regs_[e->first.rd]);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(MulI)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] *= static_cast<std::uint64_t>(e->first.imm);
+        setFlags(regs_[e->first.rd]);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(ShlI)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] <<= (e->first.imm & 63);
+        setFlags(regs_[e->first.rd]);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(ShrI)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] >>= (e->first.imm & 63);
+        setFlags(regs_[e->first.rd]);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(CmpRR)
+    {
+        ++result_.instructions;
+        setFlags(regs_[e->first.rd] - regs_[e->first.rs]);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(CmpRI)
+    {
+        ++result_.instructions;
+        setFlags(regs_[e->first.rd] -
+                 static_cast<std::uint64_t>(e->first.imm));
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Jmp)
+    {
+        ++result_.instructions;
+        next += sext32(e->first.off);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Jcc)
+    {
+        ++result_.instructions;
+        if (condHolds(e->first.cond, zf_, sf_))
+            next += sext32(e->first.off);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Call)
+    {
+        ++result_.instructions;
         regs_[Rsp] -= 8;
         mem_.store64(regs_[Rsp], next);
-        next = next + static_cast<std::uint64_t>(
-                          static_cast<std::int64_t>(in.off));
-        break;
-      case Opcode::Ret:
+        next += sext32(e->first.off);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Ret)
+    {
+        ++result_.instructions;
         next = mem_.load64(regs_[Rsp]);
         regs_[Rsp] += 8;
-        break;
-      case Opcode::PltCall: {
-        if (in.sym >= image_.dynsym.size())
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(PltCall)
+    {
+        ++result_.instructions;
+        if (e->first.sym >= image_.dynsym.size())
             throw GuestFault("bad dynamic symbol index");
-        const DynSymbol &dyn = image_.dynsym[in.sym];
+        const DynSymbol &dyn = image_.dynsym[e->first.sym];
         if (dyn.guestImpl != 0) {
             next = dyn.guestImpl;
         } else if (hook_ && hook_(dyn.name, regs_, mem_)) {
@@ -198,57 +375,88 @@ Interpreter::step()
         } else {
             throw GuestFault("unresolved import: " + dyn.name);
         }
-        break;
-      }
-      case Opcode::LockCmpxchg: {
-        const Addr addr = ea();
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(LockCmpxchg)
+    {
+        ++result_.instructions;
+        const Addr addr = ea(e->first);
         const std::uint64_t old = mem_.load64(addr);
         if (old == regs_[0]) {
-            mem_.store64(addr, regs_[in.rs]);
+            mem_.store64(addr, regs_[e->first.rs]);
             zf_ = true;
         } else {
             regs_[0] = old;
             zf_ = false;
         }
-        break;
-      }
-      case Opcode::LockXadd: {
-        const Addr addr = ea();
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(LockXadd)
+    {
+        ++result_.instructions;
+        const Addr addr = ea(e->first);
         const std::uint64_t old = mem_.load64(addr);
-        mem_.store64(addr, old + regs_[in.rs]);
-        regs_[in.rs] = old;
-        break;
-      }
-      case Opcode::MFence:
-        break; // Sequential execution: nothing to order.
-      case Opcode::FAdd:
-        regs_[in.rd] =
-            asBits(asDouble(regs_[in.rd]) + asDouble(regs_[in.rs]));
-        break;
-      case Opcode::FSub:
-        regs_[in.rd] =
-            asBits(asDouble(regs_[in.rd]) - asDouble(regs_[in.rs]));
-        break;
-      case Opcode::FMul:
-        regs_[in.rd] =
-            asBits(asDouble(regs_[in.rd]) * asDouble(regs_[in.rs]));
-        break;
-      case Opcode::FDiv:
-        regs_[in.rd] =
-            asBits(asDouble(regs_[in.rd]) / asDouble(regs_[in.rs]));
-        break;
-      case Opcode::FSqrt:
-        regs_[in.rd] = asBits(std::sqrt(asDouble(regs_[in.rs])));
-        break;
-      case Opcode::CvtIF:
-        regs_[in.rd] = asBits(
-            static_cast<double>(static_cast<std::int64_t>(regs_[in.rs])));
-        break;
-      case Opcode::CvtFI:
-        regs_[in.rd] = static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(asDouble(regs_[in.rs])));
-        break;
-      case Opcode::Syscall:
+        mem_.store64(addr, old + regs_[e->first.rs]);
+        regs_[e->first.rs] = old;
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(MFence)
+    {
+        ++result_.instructions; // Sequential execution: nothing to order.
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(FAdd)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] = asBits(asDouble(regs_[e->first.rd]) +
+                                    asDouble(regs_[e->first.rs]));
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(FSub)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] = asBits(asDouble(regs_[e->first.rd]) -
+                                    asDouble(regs_[e->first.rs]));
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(FMul)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] = asBits(asDouble(regs_[e->first.rd]) *
+                                    asDouble(regs_[e->first.rs]));
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(FDiv)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] = asBits(asDouble(regs_[e->first.rd]) /
+                                    asDouble(regs_[e->first.rs]));
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(FSqrt)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] =
+            asBits(std::sqrt(asDouble(regs_[e->first.rs])));
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(CvtIF)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] = asBits(static_cast<double>(
+            static_cast<std::int64_t>(regs_[e->first.rs])));
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(CvtFI)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(asDouble(regs_[e->first.rs])));
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Syscall)
+    {
+        ++result_.instructions;
         switch (regs_[0]) {
           case 0: // exit(code = R1)
             result_.exitCode = static_cast<std::int64_t>(regs_[1]);
@@ -264,9 +472,93 @@ Interpreter::step()
             throw GuestFault("unknown syscall " +
                              std::to_string(regs_[0]));
         }
-        break;
     }
-    pc_ = next;
+        RISOTTO_NEXT();
+
+    // --- Fused pairs: both members in one dispatch, retiring two
+    // instructions, with effects and final flags identical to the
+    // unfused sequence (each half's counter bump precedes its effects,
+    // so a faulting second half leaves the same state behind).
+    RISOTTO_CASE(FusedCmpRRJcc)
+    {
+        ++result_.instructions;
+        setFlags(regs_[e->first.rd] - regs_[e->first.rs]);
+        ++result_.instructions;
+        if (condHolds(e->second.cond, zf_, sf_))
+            next += sext32(e->second.off);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(FusedCmpRIJcc)
+    {
+        ++result_.instructions;
+        setFlags(regs_[e->first.rd] -
+                 static_cast<std::uint64_t>(e->first.imm));
+        ++result_.instructions;
+        if (condHolds(e->second.cond, zf_, sf_))
+            next += sext32(e->second.off);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(FusedMovRIAlu)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] = static_cast<std::uint64_t>(e->first.imm);
+        ++result_.instructions;
+        const Instruction &alu = e->second;
+        switch (alu.op) {
+          case Opcode::Add: regs_[alu.rd] += regs_[alu.rs]; break;
+          case Opcode::Sub: regs_[alu.rd] -= regs_[alu.rs]; break;
+          case Opcode::And: regs_[alu.rd] &= regs_[alu.rs]; break;
+          case Opcode::Or: regs_[alu.rd] |= regs_[alu.rs]; break;
+          case Opcode::Xor: regs_[alu.rd] ^= regs_[alu.rs]; break;
+          default: regs_[alu.rd] *= regs_[alu.rs]; break; // Mul
+        }
+        setFlags(regs_[alu.rd]);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(FusedIncDec)
+    {
+        ++result_.instructions;
+        regs_[e->first.rd] +=
+            e->first.op == Opcode::AddI
+                ? static_cast<std::uint64_t>(e->first.imm)
+                : 0 - static_cast<std::uint64_t>(e->first.imm);
+        ++result_.instructions;
+        regs_[e->second.rd] +=
+            e->second.op == Opcode::AddI
+                ? static_cast<std::uint64_t>(e->second.imm)
+                : 0 - static_cast<std::uint64_t>(e->second.imm);
+        setFlags(regs_[e->second.rd]);
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(FusedStoreLoad)
+    {
+        ++result_.instructions;
+        mem_.store64(ea(e->first),
+                     e->first.op == Opcode::Store
+                         ? regs_[e->first.rs]
+                         : static_cast<std::uint64_t>(e->first.imm));
+        ++result_.instructions;
+        regs_[e->second.rd] = mem_.load64(ea(e->second));
+    }
+        RISOTTO_NEXT();
+    RISOTTO_CASE(Invalid)
+    {
+        // Re-run the decoder at this pc to surface the exact fault the
+        // legacy path would have thrown.
+        image_.decodeAt(pc_);
+        throw GuestFault("undecodable instruction at " + hexString(pc_));
+    }
+        RISOTTO_NEXT();
+
+#if !RISOTTO_INTERP_COMPUTED_GOTO
+          case DispatchOp::Count_:
+            throw GuestFault("corrupt dispatch entry");
+        }
+    }
+#endif
+
+#undef RISOTTO_CASE
+#undef RISOTTO_NEXT
 }
 
 } // namespace risotto::gx86

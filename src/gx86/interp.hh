@@ -2,10 +2,21 @@
  * @file
  * Reference gx86 interpreter.
  *
- * A straightforward sequential interpreter over a GuestImage, used as the
- * semantic oracle in differential tests against the DBT: a translated
+ * A sequential interpreter over a GuestImage, used as the semantic
+ * oracle in differential tests against the DBT: a translated
  * single-threaded program must compute exactly what this interpreter
  * computes.
+ *
+ * By default the interpreter runs as a threaded-dispatch loop over the
+ * image's pre-decoded DecodedSegment (computed goto under GCC/Clang, a
+ * tight switch otherwise), with peephole-fused pairs executed in one
+ * dispatch. Both the decoder cache and fusion can be disabled
+ * (InterpOptions); the legacy decode-and-switch path is kept as the
+ * differential baseline and decodes the image text through
+ * GuestImage::decodeAt. Guest-visible semantics are identical across
+ * all modes, including the retired-instruction counter (fused pairs
+ * retire two) and the instruction-budget fault point (a pair that would
+ * overshoot the budget re-executes unfused).
  */
 
 #ifndef RISOTTO_GX86_INTERP_HH
@@ -14,8 +25,10 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
+#include "gx86/decoded.hh"
 #include "gx86/image.hh"
 #include "gx86/memory.hh"
 
@@ -35,6 +48,18 @@ struct InterpResult
     std::string output;
 };
 
+/** Execution-strategy knobs of the interpreter (semantics-neutral). */
+struct InterpOptions
+{
+    /** Dispatch from the pre-decoded segment; false re-decodes every
+     * instruction (the legacy differential baseline). */
+    bool decodeCache = true;
+
+    /** Fusion configuration of the built segment (ignored when
+     * decodeCache is off). */
+    FusionConfig fusion;
+};
+
 /** Sequential reference interpreter. */
 class Interpreter
 {
@@ -48,7 +73,16 @@ class Interpreter
         const std::string &, std::array<std::uint64_t, RegCount> &,
         Memory &)>;
 
-    explicit Interpreter(const GuestImage &image);
+    explicit Interpreter(const GuestImage &image,
+                         InterpOptions options = {});
+
+    /** Share a pre-built segment (e.g. the DBT engine's or a serving
+     * artifact's) instead of pre-decoding again. */
+    Interpreter(const GuestImage &image,
+                std::shared_ptr<const DecodedSegment> segment);
+
+    /** The decoder cache in use, or nullptr in legacy mode. */
+    const DecodedSegment *segment() const { return segment_.get(); }
 
     /** Set the native fallback hook for unresolved imports. */
     void setNativeHook(NativeHook hook) { hook_ = std::move(hook); }
@@ -67,9 +101,8 @@ class Interpreter
     InterpResult run(std::uint64_t max_instructions = 100'000'000);
 
   private:
-    void step();
-
     const GuestImage &image_;
+    std::shared_ptr<const DecodedSegment> segment_;
     Memory mem_;
     std::array<std::uint64_t, RegCount> regs_{};
     Addr pc_ = 0;

@@ -103,6 +103,15 @@ class SharedArtifact
     }
     dbt::HostCallHandler *hostcalls() const { return dbt_->hostcalls(); }
 
+    /** The engine's per-image decoder cache (null when the artifact's
+     * DbtConfig disables it). Immutable after prepare, so every session
+     * of the fleet dispatches its interpreter fallback from the same
+     * pre-decoded entries concurrently. */
+    const gx86::DecodedSegment *segment() const
+    {
+        return dbt_->segment().get();
+    }
+
     /** The shared dynamic-dispatch stub sessions start their cores at
      * (target guest pc in DynExitReg). */
     aarch::CodeAddr dynStub() const { return dbt_->dynInterpStub(); }

@@ -75,7 +75,8 @@ class SessionRuntime : public machine::HelperRuntime
         stats_.bump("serve.fallback_blocks");
         const std::uint64_t next = dbt::interpretBlock(
             artifact_.image(), artifact_.config(), artifact_.resolver(),
-            artifact_.hostcalls(), target_pc, core, machine, stats_);
+            artifact_.hostcalls(), artifact_.segment(), target_pc, core,
+            machine, stats_);
         if (core.halted || next == dbt::HaltPc)
             return std::nullopt;
         core.x[dbt::DynExitReg] = next;

@@ -1,0 +1,119 @@
+#include "verify/fusion.hh"
+
+#include <map>
+#include <utility>
+
+#include "gx86/isa.hh"
+
+namespace risotto::verify
+{
+
+using gx86::FusionKind;
+using gx86::FusionPatternInfo;
+using gx86::Instruction;
+using gx86::Opcode;
+using memcore::Access;
+using memcore::EventKind;
+using memcore::FenceKind;
+using memcore::Loc;
+using memcore::RmwKind;
+
+std::vector<VEvent>
+fusedHandlerEvents(const FusionPatternInfo &pattern)
+{
+    // The fused fallback handlers execute the pair's memory accesses in
+    // program order with the interpreter's write-through discipline:
+    // every store drains the store buffer immediately (an Fsc-strength
+    // drain), loads read directly. Location classes mirror the
+    // validator's symbolic addressing: same (base, offset) -> same
+    // class, anything else a fresh class.
+    std::vector<VEvent> events;
+    std::map<std::pair<gx86::Reg, std::int32_t>, Loc> locs;
+    Loc nextLoc = 0;
+    auto locOf = [&](const Instruction &in) {
+        const auto key = std::make_pair(in.rb, in.off);
+        auto it = locs.find(key);
+        if (it != locs.end())
+            return it->second;
+        return locs.emplace(key, nextLoc++).first->second;
+    };
+    auto emit = [&](const Instruction &in) {
+        if (gx86::opReadsMemory(in.op)) {
+            VEvent ev;
+            ev.kind = EventKind::Read;
+            ev.access = Access::Plain;
+            ev.loc = locOf(in);
+            ev.what = "fused R " + in.toString();
+            events.push_back(ev);
+        }
+        if (gx86::opWritesMemory(in.op)) {
+            VEvent ev;
+            ev.kind = EventKind::Write;
+            ev.access = Access::Plain;
+            ev.loc = locOf(in);
+            ev.what = "fused W " + in.toString();
+            events.push_back(ev);
+            VEvent drain;
+            drain.kind = EventKind::Fence;
+            drain.fence = FenceKind::Fsc;
+            drain.what = "fused drain (write-through)";
+            events.push_back(drain);
+        }
+    };
+    emit(pattern.first);
+    emit(pattern.second);
+    return events;
+}
+
+std::vector<FusionPatternReport>
+validateFusionPatterns(const ValidatorOptions &options)
+{
+    TbValidator validator(options);
+    std::vector<FusionPatternReport> reports;
+    for (const FusionPatternInfo &pattern : gx86::fusionPatterns()) {
+        FusionPatternReport report;
+        report.kind = pattern.kind;
+        report.name = pattern.name;
+
+        // Guard side conditions: the matcher itself must refuse
+        // ordering points and block-boundary-crossing pairs, and must
+        // recognize its own canonical pair.
+        report.guardsHold =
+            gx86::matchFusion(pattern.first, pattern.second) ==
+                pattern.kind &&
+            !gx86::opIsRmw(pattern.first.op) &&
+            !gx86::opIsRmw(pattern.second.op) &&
+            pattern.first.op != Opcode::MFence &&
+            pattern.second.op != Opcode::MFence &&
+            !gx86::opEndsBlock(pattern.first.op);
+
+        const std::vector<Instruction> guest{pattern.first,
+                                             pattern.second};
+        ValidationReport check = validator.checkAgainst(
+            guest, fusedHandlerEvents(pattern), Level::Tcg,
+            /*guest_pc=*/0);
+        report.pairsChecked = check.pairsChecked;
+        report.violations = std::move(check.violations);
+        reports.push_back(std::move(report));
+    }
+    return reports;
+}
+
+std::size_t
+applyFusionReports(const std::vector<FusionPatternReport> &reports,
+                   gx86::FusionConfig &config)
+{
+    std::size_t disabled = 0;
+    for (const FusionPatternReport &report : reports) {
+        if (report.ok())
+            continue;
+        const auto idx = static_cast<std::size_t>(report.kind);
+        if (idx < config.pattern.size() && config.pattern[idx]) {
+            config.pattern[idx] = false;
+            ++disabled;
+        }
+    }
+    return disabled;
+}
+
+} // namespace risotto::verify

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Obligation-graph checks of the interpreter's fused dispatch handlers.
+ *
+ * The DecodedSegment's peephole fusion (src/gx86/decoded.hh) executes an
+ * adjacent guest instruction pair in one interpreter dispatch. Fusion is
+ * interpreter-only -- no IR or host code changes -- but it must still
+ * preserve the pair's x86-TSO ordering obligations, so each pattern is
+ * checked once per engine against the PR-3 obligation-graph validator
+ * (the same amortization argument as the superblock path checks): the
+ * canonical pair's guest obligations must be contained in the guarantee
+ * graph of the event sequence the fused fallback handler actually
+ * performs (write-through stores modelled as a Plain write followed by
+ * an Fsc drain, loads as Plain reads, in handler execution order).
+ *
+ * Patterns that fail -- none of the built-in five can, by construction,
+ * but the check is what enforces that as the pattern set grows -- are
+ * disabled wholesale in the engine's FusionConfig before the segment is
+ * built.
+ */
+
+#ifndef RISOTTO_VERIFY_FUSION_HH
+#define RISOTTO_VERIFY_FUSION_HH
+
+#include <string>
+#include <vector>
+
+#include "gx86/decoded.hh"
+#include "verify/verifier.hh"
+
+namespace risotto::verify
+{
+
+/** Outcome of checking one fusion pattern. */
+struct FusionPatternReport
+{
+    gx86::FusionKind kind = gx86::FusionKind::Count_;
+    std::string name;
+
+    /** The guard side conditions hold for the canonical pair: neither
+     * member is a LOCK-prefixed RMW or MFENCE, and the pair does not
+     * start at a block terminator. */
+    bool guardsHold = false;
+
+    /** Obligation pairs checked against the handler's guarantees. */
+    std::uint64_t pairsChecked = 0;
+
+    std::vector<Violation> violations;
+
+    bool ok() const { return guardsHold && violations.empty(); }
+};
+
+/** The event sequence the fused fallback handler performs for @p
+ * pattern, in execution order (exposed for tests). */
+std::vector<VEvent>
+fusedHandlerEvents(const gx86::FusionPatternInfo &pattern);
+
+/** Check every fusion pattern's canonical pair. */
+std::vector<FusionPatternReport>
+validateFusionPatterns(const ValidatorOptions &options = {});
+
+/** Disable any pattern of @p config whose report is not ok; returns the
+ * number of patterns disabled. */
+std::size_t applyFusionReports(
+    const std::vector<FusionPatternReport> &reports,
+    gx86::FusionConfig &config);
+
+} // namespace risotto::verify
+
+#endif // RISOTTO_VERIFY_FUSION_HH

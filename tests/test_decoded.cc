@@ -1,0 +1,369 @@
+/**
+ * @file
+ * The pre-decoded execution pipeline: DecodedSegment vs per-instruction
+ * decode, fusion guard side conditions (in the style of the optimizer
+ * guard tests: each guard pinned by a direct case so a refactor cannot
+ * silently widen it), the fused-handler obligation-graph check, and the
+ * corpus-wide differential -- decoder cache + fusion must be invisible
+ * to every guest-visible result and to the verify. / opt. counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dbt/dbt.hh"
+#include "gx86/assembler.hh"
+#include "gx86/decoded.hh"
+#include "gx86/image.hh"
+#include "gx86/interp.hh"
+#include "support/error.hh"
+#include "verify/fusion.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace risotto;
+using dbt::Dbt;
+using dbt::DbtConfig;
+using dbt::ThreadSpec;
+using gx86::DecodedSegment;
+using gx86::FusionConfig;
+using gx86::FusionKind;
+using gx86::GuestImage;
+using gx86::Instruction;
+using gx86::Opcode;
+using workloads::WorkloadSpec;
+
+Instruction
+ins(Opcode op)
+{
+    Instruction in;
+    in.op = op;
+    return in;
+}
+
+/** A program whose hot loop contains every fusible shape. */
+GuestImage
+fusibleLoop(std::int64_t iters)
+{
+    gx86::Assembler a;
+    const gx86::Addr buf = a.dataReserve(64);
+    a.defineSymbol("main");
+    a.movri(1, 0);
+    a.movri(2, iters);
+    a.movri(5, static_cast<std::int64_t>(buf));
+    const auto loop = a.newLabel();
+    a.bind(loop);
+    a.movri(3, 42); // mov-imm + alu
+    a.add(1, 3);
+    a.addi(4, 1); // inc/dec chain
+    a.subi(4, 2);
+    a.store(5, 8, 1); // store + load
+    a.load(6, 5, 8);
+    a.xor_(1, 6);
+    a.subi(2, 1);
+    a.cmpri(2, 0); // cmp + jcc
+    a.jcc(gx86::Cond::Gt, loop);
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    return a.finish("main");
+}
+
+// --- Segment vs legacy decode ----------------------------------------------
+
+TEST(DecodedSegment, EveryEntryMatchesLegacyDecodeAt)
+{
+    for (const WorkloadSpec &base : workloads::fullSuite()) {
+        WorkloadSpec spec = base;
+        spec.iterations = 5;
+        const GuestImage image = workloads::buildGuestWorkload(spec);
+        FusionConfig fusion;
+        fusion.enabled = false;
+        const auto segment = DecodedSegment::build(image, fusion);
+        ASSERT_EQ(segment->size(), image.text.size()) << spec.name;
+        for (std::size_t off = 0; off < segment->size(); ++off) {
+            const gx86::Addr pc = image.textBase + off;
+            const gx86::DecodedEntry *e = segment->entry(pc);
+            ASSERT_NE(e, nullptr);
+            if (!e->valid()) {
+                EXPECT_THROW(image.decodeAt(pc), GuestFault)
+                    << spec.name << " off " << off;
+                continue;
+            }
+            const Instruction legacy = image.decodeAt(pc);
+            EXPECT_EQ(e->first.toString(), legacy.toString())
+                << spec.name << " off " << off;
+            EXPECT_EQ(e->totalLength, legacy.length);
+        }
+    }
+}
+
+TEST(DecodedSegment, OutOfTextPcsHaveNoEntry)
+{
+    const GuestImage image = fusibleLoop(4);
+    const auto segment = DecodedSegment::build(image, FusionConfig{});
+    EXPECT_EQ(segment->entry(image.textBase - 1), nullptr);
+    EXPECT_EQ(segment->entry(image.textBase + segment->size()), nullptr);
+    EXPECT_NE(segment->entry(image.textBase), nullptr);
+}
+
+TEST(DecodedSegment, DecodeAtReportsTruncationWithBounds)
+{
+    const GuestImage image = fusibleLoop(4);
+    try {
+        image.decodeAt(image.textEnd() + 8);
+        FAIL() << "expected GuestFault";
+    } catch (const GuestFault &fault) {
+        EXPECT_NE(std::string(fault.what()).find("outside text"),
+                  std::string::npos);
+    }
+}
+
+// --- Fusion guard side conditions ------------------------------------------
+
+TEST(FusionGuards, LockPrefixedRmwNeverFuses)
+{
+    EXPECT_FALSE(gx86::opFusible(Opcode::LockCmpxchg));
+    EXPECT_FALSE(gx86::opFusible(Opcode::LockXadd));
+    EXPECT_EQ(gx86::matchFusion(ins(Opcode::LockXadd), ins(Opcode::Jcc)),
+              FusionKind::Count_);
+    EXPECT_EQ(gx86::matchFusion(ins(Opcode::CmpRR),
+                                ins(Opcode::LockCmpxchg)),
+              FusionKind::Count_);
+}
+
+TEST(FusionGuards, MFenceNeverFuses)
+{
+    EXPECT_FALSE(gx86::opFusible(Opcode::MFence));
+    EXPECT_EQ(gx86::matchFusion(ins(Opcode::MFence), ins(Opcode::Load)),
+              FusionKind::Count_);
+    EXPECT_EQ(gx86::matchFusion(ins(Opcode::Store), ins(Opcode::MFence)),
+              FusionKind::Count_);
+}
+
+TEST(FusionGuards, BlockTerminatorsNeverStartAPair)
+{
+    for (Opcode op : {Opcode::Jmp, Opcode::Jcc, Opcode::Call, Opcode::Ret,
+                      Opcode::Hlt, Opcode::Syscall}) {
+        EXPECT_EQ(gx86::matchFusion(ins(op), ins(Opcode::Load)),
+                  FusionKind::Count_)
+            << static_cast<int>(op);
+    }
+}
+
+TEST(FusionGuards, CanonicalPairsMatch)
+{
+    for (const auto &pattern : gx86::fusionPatterns())
+        EXPECT_EQ(gx86::matchFusion(pattern.first, pattern.second),
+                  pattern.kind)
+            << pattern.name;
+}
+
+TEST(FusionGuards, IncDecRequiresSameRegister)
+{
+    Instruction a = ins(Opcode::AddI);
+    a.rd = 1;
+    Instruction b = ins(Opcode::SubI);
+    b.rd = 2;
+    EXPECT_EQ(gx86::matchFusion(a, b), FusionKind::Count_);
+    b.rd = 1;
+    EXPECT_EQ(gx86::matchFusion(a, b), FusionKind::IncDec);
+}
+
+TEST(FusionGuards, SegmentNeverFusesAcrossABlockBoundary)
+{
+    // In the built segment no fused entry may have a block terminator
+    // as its *first* member, and the second member of every fused pair
+    // keeps its own unfused entry (a branch into the middle of a pair
+    // must behave exactly as unfused execution).
+    const GuestImage image = fusibleLoop(4);
+    FusionConfig fusion;
+    const auto segment = DecodedSegment::build(image, fusion);
+    ASSERT_GT(segment->fusedEntries(), 0u);
+    for (std::size_t off = 0; off < segment->size(); ++off) {
+        const gx86::DecodedEntry *e =
+            segment->entry(image.textBase + off);
+        if (!e->valid() || !e->fused())
+            continue;
+        EXPECT_FALSE(gx86::opEndsBlock(e->first.op));
+        const gx86::DecodedEntry *second =
+            segment->entry(image.textBase + off + e->first.length);
+        ASSERT_NE(second, nullptr);
+        ASSERT_TRUE(second->valid());
+        EXPECT_EQ(second->first.toString(), e->second.toString());
+    }
+}
+
+// --- Fused-handler obligation-graph check ----------------------------------
+
+TEST(FusionValidation, EveryPatternPassesTheValidator)
+{
+    const auto reports = verify::validateFusionPatterns();
+    ASSERT_EQ(reports.size(), gx86::fusionPatterns().size());
+    for (const auto &report : reports) {
+        EXPECT_TRUE(report.guardsHold) << report.name;
+        EXPECT_TRUE(report.violations.empty()) << report.name;
+        EXPECT_TRUE(report.ok()) << report.name;
+    }
+    FusionConfig config;
+    EXPECT_EQ(verify::applyFusionReports(reports, config), 0u);
+    for (bool enabled : config.pattern)
+        EXPECT_TRUE(enabled);
+}
+
+TEST(FusionValidation, BrokenReportDisablesOnlyItsPattern)
+{
+    auto reports = verify::validateFusionPatterns();
+    reports[0].guardsHold = false;
+    FusionConfig config;
+    EXPECT_EQ(verify::applyFusionReports(reports, config), 1u);
+    EXPECT_FALSE(
+        config.pattern[static_cast<std::size_t>(reports[0].kind)]);
+    for (std::size_t k = 1; k < reports.size(); ++k)
+        EXPECT_TRUE(
+            config.pattern[static_cast<std::size_t>(reports[k].kind)]);
+}
+
+// --- Standalone interpreter differential -----------------------------------
+
+TEST(DispatchDifferential, InterpreterModesAreBitIdentical)
+{
+    const GuestImage image = fusibleLoop(500);
+    gx86::InterpOptions legacy;
+    legacy.decodeCache = false;
+    gx86::InterpOptions decoded;
+    decoded.fusion.enabled = false;
+    gx86::InterpOptions fused;
+
+    gx86::Interpreter a(image, legacy);
+    gx86::Interpreter b(image, decoded);
+    gx86::Interpreter c(image, fused);
+    ASSERT_EQ(a.segment(), nullptr);
+    ASSERT_NE(c.segment(), nullptr);
+    ASSERT_GT(c.segment()->fusedEntries(), 0u);
+
+    const auto ra = a.run();
+    const auto rb = b.run();
+    const auto rc = c.run();
+    EXPECT_EQ(ra.output, rb.output);
+    EXPECT_EQ(ra.output, rc.output);
+    EXPECT_EQ(ra.exitCode, rb.exitCode);
+    EXPECT_EQ(ra.exitCode, rc.exitCode);
+    EXPECT_EQ(ra.instructions, rb.instructions);
+    EXPECT_EQ(ra.instructions, rc.instructions);
+}
+
+TEST(DispatchDifferential, BudgetFaultPointMatchesUnfused)
+{
+    // A pair that would overshoot the instruction budget re-executes
+    // unfused, so for every budget the fused interpreter either throws
+    // exactly when the legacy one does or retires exactly as many
+    // instructions.
+    const GuestImage image = fusibleLoop(3);
+    for (std::uint64_t budget = 1; budget <= 40; ++budget) {
+        gx86::InterpOptions legacy;
+        legacy.decodeCache = false;
+        gx86::Interpreter a(image, legacy);
+        gx86::Interpreter b(image, gx86::InterpOptions{});
+        bool a_threw = false;
+        bool b_threw = false;
+        gx86::InterpResult ra;
+        gx86::InterpResult rb;
+        try {
+            ra = a.run(budget);
+        } catch (const GuestFault &) {
+            a_threw = true;
+        }
+        try {
+            rb = b.run(budget);
+        } catch (const GuestFault &) {
+            b_threw = true;
+        }
+        EXPECT_EQ(a_threw, b_threw) << "budget " << budget;
+        if (!a_threw && !b_threw) {
+            EXPECT_EQ(ra.instructions, rb.instructions)
+                << "budget " << budget;
+            EXPECT_EQ(ra.output, rb.output) << "budget " << budget;
+        }
+    }
+}
+
+// --- Corpus-wide engine differential ---------------------------------------
+
+std::map<std::string, std::uint64_t>
+prefixedStats(const StatSet &stats, const std::string &prefix)
+{
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &[name, value] : stats.all())
+        if (name.rfind(prefix, 0) == 0)
+            out[name] = value;
+    return out;
+}
+
+TEST(DispatchDifferential, CorpusIsBitIdenticalWithAndWithoutCache)
+{
+    for (const WorkloadSpec &base : workloads::fullSuite()) {
+        WorkloadSpec spec = base;
+        spec.iterations = 30;
+        const GuestImage image = workloads::buildGuestWorkload(spec);
+
+        DbtConfig on = DbtConfig::risotto();
+        on.validateTranslations = true;
+        DbtConfig nofusion = on;
+        nofusion.fusion = false;
+        DbtConfig off = on;
+        off.decodeCache = false;
+
+        Dbt engine_on(image, on);
+        Dbt engine_nofusion(image, nofusion);
+        Dbt engine_off(image, off);
+        const auto r_on = engine_on.run({ThreadSpec{}});
+        const auto r_nofusion = engine_nofusion.run({ThreadSpec{}});
+        const auto r_off = engine_off.run({ThreadSpec{}});
+
+        ASSERT_TRUE(r_on.finished) << spec.name;
+        EXPECT_EQ(r_on.outputs, r_off.outputs) << spec.name;
+        EXPECT_EQ(r_on.outputs, r_nofusion.outputs) << spec.name;
+        EXPECT_EQ(r_on.exitCodes, r_off.exitCodes) << spec.name;
+        EXPECT_EQ(r_on.exitCodes, r_nofusion.exitCodes) << spec.name;
+        EXPECT_EQ(r_on.makespan, r_off.makespan) << spec.name;
+        EXPECT_EQ(r_on.validationViolations, 0u) << spec.name;
+        EXPECT_EQ(r_off.validationViolations, 0u) << spec.name;
+
+        // The pipeline is an execution strategy, not a translation
+        // change: verify. and opt. counters must match exactly.
+        for (const std::string &prefix : {"verify.", "opt."}) {
+            EXPECT_EQ(prefixedStats(r_on.stats, prefix),
+                      prefixedStats(r_off.stats, prefix))
+                << spec.name << " " << prefix;
+            EXPECT_EQ(prefixedStats(r_on.stats, prefix),
+                      prefixedStats(r_nofusion.stats, prefix))
+                << spec.name << " " << prefix;
+        }
+    }
+}
+
+TEST(DispatchDifferential, EngineExposesSegmentAndEstimate)
+{
+    const GuestImage image = fusibleLoop(200);
+    DbtConfig config = DbtConfig::risotto();
+    Dbt engine(image, config);
+    ASSERT_NE(engine.segment(), nullptr);
+    EXPECT_GT(engine.segment()->validEntries(), 0u);
+    const auto result = engine.run({ThreadSpec{}});
+    ASSERT_TRUE(result.finished);
+    EXPECT_GT(engine.guestInsnEstimate(), 0u);
+
+    DbtConfig off = DbtConfig::risotto();
+    off.decodeCache = false;
+    Dbt legacy(image, off);
+    EXPECT_EQ(legacy.segment(), nullptr);
+    EXPECT_TRUE(legacy.fusionReports().empty());
+}
+
+} // namespace

@@ -322,6 +322,37 @@ TEST(Serve, FleetIsBitIdenticalToSerialReference)
     EXPECT_EQ(bucketed, 32u);
 }
 
+TEST(Serve, FleetSharedSegmentFusionDifferential)
+{
+    // 32 InterpreterOnly sessions dispatch every block through the one
+    // shared pre-decoded segment (fused handlers included) concurrently
+    // -- the surface the TSan job exercises -- and must be bit-identical
+    // to a fleet running the legacy per-instruction decode path.
+    const gx86::GuestImage image = serveGuest();
+
+    serve::ArtifactConfig fused;
+    fused.interpreterOnly = true;
+    const serve::SharedArtifact fused_artifact(image, fused);
+    ASSERT_NE(fused_artifact.segment(), nullptr);
+    EXPECT_GT(fused_artifact.segment()->fusedEntries(), 0u);
+
+    serve::ArtifactConfig legacy;
+    legacy.interpreterOnly = true;
+    legacy.config.decodeCache = false;
+    const serve::SharedArtifact legacy_artifact(image, legacy);
+    ASSERT_EQ(legacy_artifact.segment(), nullptr);
+
+    const serve::ServeConfig config = fleetConfig(32, 4);
+    const serve::ServeReport a = serve::runSessions(fused_artifact, config);
+    const serve::ServeReport b =
+        serve::runSessions(legacy_artifact, config);
+    ASSERT_EQ(a.sessions.size(), b.sessions.size());
+    for (std::size_t s = 0; s < a.sessions.size(); ++s)
+        EXPECT_TRUE(sameSession(a.sessions[s], b.sessions[s]))
+            << "session " << s
+            << " diverged between fused shared-segment and legacy decode";
+}
+
 TEST(Serve, RetriesRecoverFromTransientFaults)
 {
     const gx86::GuestImage image = serveGuest();

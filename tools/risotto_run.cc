@@ -16,6 +16,11 @@
  *   --tier2-threshold N  exec count that promotes a block to a tier-2
  *                     superblock (0 disables tier 2)
  *   --no-tier2        disable tier-2 superblock translation
+ *   --no-decode-cache disable the per-image pre-decoded segment; every
+ *                     execution surface falls back to per-instruction
+ *                     decode-and-switch (the legacy baseline)
+ *   --no-fusion       keep the decoder cache but disable peephole
+ *                     instruction fusion in the dispatch loops
  *   --validate        statically validate every translation against the
  *                     axiomatic models (obligation ⊆ guarantee); also
  *                     sweeps every statically reachable block of the
@@ -27,7 +32,9 @@
  *   --dump-hot N      print the N hottest blocks after the run
  *   --stats           dump translation + machine counters
  *   --stats-json PATH write the merged run counters (incl. persist.*)
- *                     to PATH as stable, key-sorted JSON
+ *                     to PATH as stable, key-sorted JSON; includes the
+ *                     guest_insns estimate and the wall-clock
+ *                     ns_per_guest_insn headline
  *   --tb-cache PATH   persistent translation cache: import the snapshot
  *                     at PATH before the run (missing/corrupt files are
  *                     a graceful cold start) and export the translation
@@ -48,6 +55,8 @@
  */
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <fstream>
@@ -156,13 +165,16 @@ struct SweepCheck
 };
 
 /** Validate one block exactly as the engine's tier-1 pipeline lowers
- * it, self-contained so blocks validate in parallel. */
+ * it, self-contained so blocks validate in parallel. The sweep shares
+ * the engine's read-only pre-decoded @p segment (may be null), making
+ * the whole BFS decode-free. */
 SweepCheck
 validateOne(const gx86::GuestImage &image, const dbt::DbtConfig &config,
-            gx86::Addr head)
+            const gx86::DecodedSegment *segment, gx86::Addr head)
 {
     SweepCheck check;
     dbt::Frontend frontend(image, config, nullptr);
+    frontend.setSegment(segment);
     const std::vector<gx86::Instruction> guest = frontend.decodeBlock(head);
     tcg::Block block = frontend.translate(head);
     tcg::optimize(block, config.optimizer);
@@ -198,6 +210,8 @@ main(int argc, char **argv)
     bool use_linker = true;
     bool tier2 = true;
     bool validate = false;
+    bool decode_cache = true;
+    bool fusion = true;
     std::size_t jobs = 0; // 0: hardware concurrency.
     std::uint64_t tier2_threshold = 0;
     bool tier2_threshold_set = false;
@@ -254,6 +268,10 @@ main(int argc, char **argv)
                 tier2_threshold_set = true;
             } else if (arg == "--no-tier2")
                 tier2 = false;
+            else if (arg == "--no-decode-cache")
+                decode_cache = false;
+            else if (arg == "--no-fusion")
+                fusion = false;
             else if (arg == "--validate")
                 validate = true;
             else if (arg == "--jobs")
@@ -317,21 +335,30 @@ main(int argc, char **argv)
         options.config.faults = faults;
         options.config.tier2 = tier2;
         options.config.validateTranslations = validate;
+        options.config.decodeCache = decode_cache;
+        options.config.fusion = fusion;
         if (tier2_threshold_set)
             options.config.tier2Threshold = tier2_threshold;
 
+        Emulator emulator(image, options);
+
         // Whole-image static sweep: validate every reachable block
-        // before running anything, fanned out over the pool.
+        // before running anything, fanned out over the pool. Both the
+        // reachability BFS and the per-worker frontends consume the
+        // engine's pre-decoded segment, so the sweep re-runs no decode.
         std::uint64_t sweep_blocks = 0;
         std::uint64_t sweep_pairs = 0;
         std::vector<verify::Violation> sweep_violations;
         if (validate) {
+            const gx86::DecodedSegment *segment =
+                emulator.engine().segment().get();
             const std::vector<gx86::Addr> heads =
-                reachableBlocks(image, options.config);
+                reachableBlocks(image, options.config, segment);
             support::ThreadPool pool(jobs);
             std::vector<SweepCheck> checks(heads.size());
             pool.parallelFor(0, heads.size(), 1, [&](std::size_t i) {
-                checks[i] = validateOne(image, options.config, heads[i]);
+                checks[i] = validateOne(image, options.config, segment,
+                                        heads[i]);
             });
             sweep_blocks = heads.size();
             for (const SweepCheck &check : checks) {
@@ -341,8 +368,6 @@ main(int argc, char **argv)
                                         check.violations.end());
             }
         }
-
-        Emulator emulator(image, options);
 
         if (tb_cache_verify) {
             // Audit mode: re-validate every snapshot record against the
@@ -392,7 +417,21 @@ main(int argc, char **argv)
             std::cout << "\n";
         }
 
+        const auto wall_start = std::chrono::steady_clock::now();
         const auto result = emulator.run(threads, mc);
+        const std::uint64_t wall_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count());
+        const std::uint64_t guest_insns =
+            emulator.engine().guestInsnEstimate();
+        const double ns_per_insn =
+            guest_insns ? static_cast<double>(wall_ns) /
+                              static_cast<double>(guest_insns)
+                        : 0.0;
+        char ns_per_insn_str[32];
+        std::snprintf(ns_per_insn_str, sizeof ns_per_insn_str, "%.3f",
+                      ns_per_insn);
 
         if (!tb_cache.empty() && !tb_cache_readonly &&
             emulator.engine().savePersistentCache(tb_cache))
@@ -422,6 +461,14 @@ main(int argc, char **argv)
                   << result.crossBlockFencesRemoved
                   << " xblock-mem-ops-eliminated="
                   << result.crossBlockMemOpsEliminated << "\n";
+        std::cout << "  dispatch: decode-cache="
+                  << (decode_cache ? "on" : "off")
+                  << " fusion=" << (decode_cache && fusion ? "on" : "off")
+                  << " segment-entries="
+                  << result.stats.get("dbt.segment_entries")
+                  << " fused-entries="
+                  << result.stats.get("dbt.segment_fused_entries")
+                  << " guest-insns=" << guest_insns << "\n";
         if (dump_hot > 0) {
             const auto hot =
                 emulator.engine().cache().hottest(dump_hot);
@@ -450,6 +497,33 @@ main(int argc, char **argv)
             if (violations.size() > shown)
                 std::cout << "    ... and " << violations.size() - shown
                           << " more\n";
+            const auto &fusion_reports =
+                emulator.engine().fusionReports();
+            std::uint64_t fusion_pairs = 0;
+            std::size_t fusion_violations = 0;
+            std::size_t fusion_disabled = 0;
+            for (const auto &report : fusion_reports) {
+                fusion_pairs += report.pairsChecked;
+                fusion_violations += report.violations.size();
+                if (!report.ok())
+                    ++fusion_disabled;
+            }
+            std::cout << "  validate-fusion: patterns="
+                      << fusion_reports.size()
+                      << " pairs=" << fusion_pairs
+                      << " violations=" << fusion_violations
+                      << " disabled=" << fusion_disabled << "\n";
+            for (const auto &report : fusion_reports) {
+                if (report.ok())
+                    continue;
+                std::cout << "    pattern " << report.name
+                          << ": guards="
+                          << (report.guardsHold ? "ok" : "BROKEN")
+                          << " violations=" << report.violations.size()
+                          << " (disabled)\n";
+                for (const auto &violation : report.violations)
+                    std::cout << "      " << violation.toString() << "\n";
+            }
             std::cout << "  validate-sweep: blocks=" << sweep_blocks
                       << " pairs=" << sweep_pairs
                       << " violations=" << sweep_violations.size() << "\n";
@@ -478,11 +552,16 @@ main(int argc, char **argv)
         if (!stats_json.empty()) {
             // The run snapshot, with translation-side counters refreshed
             // so post-run persist.* activity (the snapshot save) shows.
-            std::map<std::string, std::uint64_t> merged =
-                result.stats.all();
+            // Rendered as strings so the two headline throughput keys
+            // can carry a decimal while everything stays key-sorted.
+            std::map<std::string, std::string> merged;
+            for (const auto &[name, value] : result.stats.all())
+                merged[name] = std::to_string(value);
             for (const auto &[name, value] :
                  emulator.engine().stats().all())
-                merged[name] = value;
+                merged[name] = std::to_string(value);
+            merged["guest_insns"] = std::to_string(guest_insns);
+            merged["ns_per_guest_insn"] = ns_per_insn_str;
             std::ofstream out(stats_json);
             fatalIf(!out, "cannot open " + stats_json + " for writing");
             out << "{\n";
