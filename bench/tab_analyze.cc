@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Static-analysis table: cold translation time-to-first-dispatch with
+ * and without an ahead-of-time translation certificate.
+ *
+ * Cold start pays the per-TB obligation-graph validator on every block
+ * it translates. risotto-analyze moves that cost offline: certifyImage
+ * runs the same pipeline + validator ahead of time and records the
+ * blocks that passed as ClaimValidated certificate entries, which a
+ * consumer engine may trust instead of re-validating (superblocks are
+ * never certificate-skipped). This bench measures the consumer side
+ * (host wall-clock, like tab_dispatch):
+ *
+ *  - validated:  cold engine, full per-TB validation (the baseline),
+ *  - certified:  cold engine + certificate, claims skip validation.
+ *
+ * Certificate production itself is reported separately (the offline
+ * cost the certificate amortizes across restarts and fleet members).
+ * Both modes must produce bit-identical guest results. Headline
+ * acceptance bar: the certified cold start reaches first dispatch at
+ * least 1.3x faster than the validated one (hard outside --smoke).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/certificate.hh"
+#include "bench/common.hh"
+#include "dbt/certify.hh"
+#include "dbt/frontend.hh"
+#include "gx86/assembler.hh"
+#include "persist/fingerprint.hh"
+#include "risotto/risotto.hh"
+#include "support/error.hh"
+
+using namespace risotto;
+using namespace risotto::bench;
+
+namespace
+{
+
+double
+nsBetween(std::chrono::steady_clock::time_point a,
+          std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double, std::nano>(b - a).count();
+}
+
+/**
+ * A translation-heavy image: @p funcs small functions, mixing
+ * stack-local frames (Local blocks the analyzer discharges) with
+ * shared-region traffic (Ordered blocks), all called once from main.
+ * Every call/ret seam is a block boundary, so the cold sweep
+ * translates and validates O(funcs) distinct blocks.
+ */
+gx86::GuestImage
+analyzeWorkload(std::size_t funcs)
+{
+    gx86::Assembler a;
+    const gx86::Addr shared = a.dataReserve(4096);
+    a.defineSymbol("main");
+    const auto start = a.newLabel();
+    a.jmp(start);
+
+    std::vector<gx86::Assembler::Label> entries;
+    for (std::size_t f = 0; f < funcs; ++f) {
+        entries.push_back(a.newLabel());
+        a.bind(entries.back());
+        if (f % 3 != 0) {
+            // A stack-local leaf: frame push, private traffic, pop.
+            a.subi(15, 32);
+            a.store(15, 0, 1);
+            a.store(15, 8, 2);
+            a.addi(1, static_cast<std::int32_t>(f));
+            a.load(2, 15, 0);
+            a.xor_(1, 2);
+            a.load(2, 15, 8);
+            a.addi(15, 32);
+        } else {
+            // Shared-region traffic keeps a share of Ordered blocks.
+            a.movri(5, static_cast<std::int64_t>(shared));
+            a.load(2, 5, static_cast<std::int32_t>((f * 8) % 4096));
+            a.add(1, 2);
+            a.store(5, static_cast<std::int32_t>((f * 8) % 4096), 1);
+        }
+        a.ret();
+    }
+
+    a.bind(start);
+    a.movri(1, 1);
+    for (const auto entry : entries)
+        a.call(entry);
+    a.andi(1, 0xff);
+    a.movri(0, 0);
+    a.syscall();
+    return a.finish("main");
+}
+
+struct Measurement
+{
+    double coldNs = 0.0; ///< Engine build + full reachable sweep.
+    std::uint64_t blocks = 0;
+    std::uint64_t skipped = 0;
+    dbt::RunResult result;
+};
+
+/** One cold start: engine construction plus the reachable-block
+ * translation sweep (the artifact's time-to-first-dispatch), then an
+ * untimed run for the bit-identity check. */
+Measurement
+measureCold(const gx86::GuestImage &image, const dbt::DbtConfig &config,
+            const analysis::Certificate *cert, std::size_t reps)
+{
+    Measurement best;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+        EmulatorOptions options;
+        options.config = config;
+        const auto t0 = std::chrono::steady_clock::now();
+        Emulator emulator(image, options);
+        if (cert != nullptr)
+            fatalIf(!emulator.engine().setCertificate(*cert),
+                    "certificate rejected by the consumer engine");
+        std::vector<gx86::Addr> heads = dbt::reachableBlocks(
+            image, config, emulator.engine().segment().get());
+        for (const gx86::Addr head : heads)
+            emulator.engine().lookupOrTranslate(head);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ns = nsBetween(t0, t1);
+        if (rep == 0 || ns < best.coldNs) {
+            best.coldNs = ns;
+            best.blocks = heads.size();
+            best.skipped = emulator.engine().stats().get(
+                "analysis.validations_skipped");
+            best.result = emulator.run();
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke = smokeMode(argc, argv);
+    const std::string json_path = benchJsonPath(argc, argv);
+    std::vector<BenchJsonEntry> json;
+
+    const std::size_t funcs = smoke ? 48 : 384;
+    const std::size_t reps = smoke ? 2 : 5;
+    const gx86::GuestImage image = analyzeWorkload(funcs);
+
+    dbt::DbtConfig config = dbt::DbtConfig::risotto();
+    config.validateTranslations = true;
+    config.analysis = true;
+
+    // Offline: analyze + certify once (the producer side).
+    EmulatorOptions producer_options;
+    producer_options.config = config;
+    Emulator producer(image, producer_options);
+    fatalIf(producer.engine().analysis() == nullptr,
+            "analysis did not run");
+    dbt::CertifyReport certify_report;
+    const auto c0 = std::chrono::steady_clock::now();
+    const analysis::Certificate cert = dbt::certifyImage(
+        image, config, *producer.engine().analysis(),
+        producer.engine().segment().get(), certify_report);
+    const auto c1 = std::chrono::steady_clock::now();
+    const double certify_ns = nsBetween(c0, c1);
+    fatalIf(certify_report.blocksValidated == 0,
+            "certificate carries no validated claims");
+
+    // Consumer side: cold start without and with the certificate.
+    const Measurement validated = measureCold(image, config, nullptr,
+                                              reps);
+    dbt::DbtConfig skip_config = config;
+    skip_config.analysisSkip = true;
+    const Measurement certified = measureCold(image, skip_config, &cert,
+                                              reps);
+
+    fatalIf(certified.result.outputs != validated.result.outputs ||
+                certified.result.exitCodes != validated.result.exitCodes,
+            "certified cold start diverged from the validated one");
+    fatalIf(certified.skipped == 0,
+            "certificate claims skipped no validations");
+
+    const double speedup = validated.coldNs / certified.coldNs;
+    ReportTable table("Cold translation time-to-first-dispatch: full "
+                      "validation vs certificate",
+                      {"mode", "blocks", "skipped", "cold ms",
+                       "vs validated"});
+    const auto row = [&](const std::string &name, const Measurement &m) {
+        char ms[32];
+        std::snprintf(ms, sizeof ms, "%.2f", m.coldNs / 1e6);
+        char rel[32];
+        std::snprintf(rel, sizeof rel, "%.2fx",
+                      validated.coldNs / m.coldNs);
+        table.addRow({name, std::to_string(m.blocks),
+                      std::to_string(m.skipped), ms, rel});
+    };
+    row("validated", validated);
+    row("certified", certified);
+    show(table);
+
+    ReportTable offline("Certificate production (offline, amortized)",
+                        {"entries", "validated", "refused", "ms"});
+    char cms[32];
+    std::snprintf(cms, sizeof cms, "%.2f", certify_ns / 1e6);
+    offline.addRow({std::to_string(certify_report.blocksCertified),
+                    std::to_string(certify_report.blocksValidated),
+                    std::to_string(certify_report.blocksFailed), cms});
+    show(offline);
+
+    BenchJsonEntry entry;
+    entry.name = "BM_ColdStart_validated";
+    entry.nsPerOp = validated.coldNs;
+    entry.configFingerprint = persist::configFingerprint(config);
+    json.push_back(entry);
+    entry.name = "BM_ColdStart_certified";
+    entry.nsPerOp = certified.coldNs;
+    entry.configFingerprint = persist::configFingerprint(skip_config);
+    json.push_back(entry);
+    entry.name = "BM_CertifyImage";
+    entry.nsPerOp = certify_ns;
+    entry.configFingerprint = persist::configFingerprint(config);
+    json.push_back(entry);
+    writeBenchJson(json_path, json);
+
+    std::cout << "certified cold-start speedup vs validated: " << speedup
+              << "x (bar: 1.3x)\n";
+    if (!smoke && speedup < 1.3) {
+        std::cerr << "tab_analyze: certificate-driven cold start did "
+                     "not reach the 1.3x bar\n";
+        return 1;
+    }
+    return 0;
+}

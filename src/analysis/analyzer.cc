@@ -1,0 +1,490 @@
+#include "analysis/analyzer.hh"
+
+#include <deque>
+#include <set>
+#include <unordered_map>
+
+#include "support/error.hh"
+#include "support/format.hh"
+
+namespace risotto::analysis
+{
+
+using gx86::Addr;
+using gx86::Instruction;
+using gx86::Opcode;
+
+namespace
+{
+
+/** Decode one instruction, preferring the pre-decoded segment. */
+Instruction
+decodeOne(const gx86::GuestImage &image,
+          const gx86::DecodedSegment *segment, Addr pc)
+{
+    if (segment != nullptr) {
+        const gx86::DecodedEntry *e = segment->entry(pc);
+        panicIf(e == nullptr, "segment/text bounds disagree");
+        if (!e->valid()) {
+            image.decodeAt(pc); // Surface the exact decoder fault.
+            throw GuestFault("undecodable instruction at " +
+                             hexString(pc));
+        }
+        // Always the unfused first member: fusion never changes the
+        // instruction stream the analysis reasons about.
+        return e->first;
+    }
+    return image.decodeAt(pc);
+}
+
+/** Decode the straight-line block at @p head (frontend boundary rules). */
+std::vector<Instruction>
+decodeBlockAt(const gx86::GuestImage &image,
+              const gx86::DecodedSegment *segment, Addr head)
+{
+    std::vector<Instruction> decoded;
+    Addr cur = head;
+    while (true) {
+        if (!image.inText(cur))
+            throw GuestFault("block leaves text at " + hexString(cur));
+        const Instruction in = decodeOne(image, segment, cur);
+        decoded.push_back(in);
+        cur += in.length;
+        if (gx86::opEndsBlock(in.op) ||
+            decoded.size() >= MaxBlockInstructions)
+            return decoded;
+    }
+}
+
+/** True when @p in lets the stack pointer escape the frame discipline
+ * the locality premise depends on. @p why receives a short reason. */
+bool
+escapesRsp(const Instruction &in, const AnalysisConfig &config,
+           std::string &why)
+{
+    using gx86::Rsp;
+    switch (in.op) {
+      case Opcode::MovRR:
+        if (in.rs == Rsp) {
+            why = "stack pointer copied into another register";
+            return true;
+        }
+        if (in.rd == Rsp) {
+            why = "stack pointer redefined from another register";
+            return true;
+        }
+        return false;
+      case Opcode::MovRI:
+        if (in.rd == Rsp) {
+            why = "stack pointer repointed to a constant";
+            return true;
+        }
+        return false;
+      case Opcode::AddI:
+      case Opcode::SubI:
+        if (in.rd == Rsp &&
+            (in.imm > config.maxFrameAdjust ||
+             in.imm < -config.maxFrameAdjust)) {
+            why = "stack frame adjustment exceeds the tracked bound";
+            return true;
+        }
+        return false;
+      case Opcode::Load:
+      case Opcode::Load8:
+        if (in.rd == Rsp) {
+            why = "stack pointer reloaded from memory";
+            return true;
+        }
+        return false;
+      case Opcode::Store:
+      case Opcode::Store8:
+        if (in.rs == Rsp) {
+            why = "stack pointer spilled to memory";
+            return true;
+        }
+        return false;
+      case Opcode::LockXadd:
+        if (in.rs == Rsp) {
+            why = "stack pointer used as an RMW operand";
+            return true;
+        }
+        return false;
+      default:
+        if (gx86::opIsRmw(in.op))
+            return false;
+        // Arithmetic that reads or writes Rsp leaks or corrupts it.
+        switch (in.op) {
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor:
+          case Opcode::Mul:
+          case Opcode::Udiv:
+          case Opcode::FAdd:
+          case Opcode::FSub:
+          case Opcode::FMul:
+          case Opcode::FDiv:
+            if (in.rs == Rsp) {
+                why = "stack pointer read by arithmetic";
+                return true;
+            }
+            [[fallthrough]];
+          case Opcode::AndI:
+          case Opcode::OrI:
+          case Opcode::XorI:
+          case Opcode::MulI:
+          case Opcode::ShlI:
+          case Opcode::ShrI:
+          case Opcode::FSqrt:
+          case Opcode::CvtIF:
+          case Opcode::CvtFI:
+            if (in.rd == Rsp) {
+                why = "stack pointer written by arithmetic";
+                return true;
+            }
+            return false;
+          default:
+            return false;
+        }
+    }
+}
+
+} // namespace
+
+std::string
+blockClassName(BlockClass cls)
+{
+    switch (cls) {
+      case BlockClass::Local:
+        return "local";
+      case BlockClass::Ordered:
+        return "ordered";
+      case BlockClass::HotOrdering:
+        return "hot-ordering";
+    }
+    return "?";
+}
+
+std::string
+Finding::toString() const
+{
+    const char *name = "?";
+    switch (kind) {
+      case Kind::RedundantFence:
+        name = "redundant-fence";
+        break;
+      case Kind::HotRegion:
+        name = "hot-region";
+        break;
+      case Kind::RspEscape:
+        name = "rsp-escape";
+        break;
+      case Kind::UnreachableIsland:
+        name = "unreachable-island";
+        break;
+      case Kind::MappingGap:
+        name = "mapping-gap";
+        break;
+    }
+    return std::string(name) + " @" + hexString(pc) + ": " + detail;
+}
+
+bool
+isStackAccess(const Instruction &in, std::int64_t max_offset)
+{
+    switch (in.op) {
+      case Opcode::Load:
+      case Opcode::Load8:
+      case Opcode::Store:
+      case Opcode::Store8:
+      case Opcode::StoreI:
+        return in.rb == gx86::Rsp && in.off <= max_offset &&
+               in.off >= -max_offset;
+      case Opcode::Call:
+      case Opcode::Ret:
+        // The return-address push/pop is always stack traffic.
+        return true;
+      default:
+        return false;
+    }
+}
+
+BlockClass
+ImageAnalysis::classOf(Addr pc) const
+{
+    const auto it = blocks.find(pc);
+    return it == blocks.end() ? BlockClass::Ordered : it->second.cls;
+}
+
+ImageAnalysis
+analyzeImage(const gx86::GuestImage &image,
+             const gx86::DecodedSegment *segment,
+             const AnalysisConfig &config)
+{
+    ImageAnalysis out;
+
+    // Indirect-target over-approximation: a Ret (or any future computed
+    // jump) can only land on a return site -- the instruction after a
+    // Call -- or on a named entry point. Collected first so they can
+    // seed the reachability BFS: blocks only indirect control reaches
+    // still get analyzed and certified.
+    std::set<Addr> indirect;
+    for (const auto &sym : image.symbols)
+        if (image.inText(sym.addr))
+            indirect.insert(sym.addr);
+    {
+        Addr pc = image.textBase;
+        const Addr end = image.textBase + image.text.size();
+        while (pc < end) {
+            Instruction in;
+            try {
+                in = decodeOne(image, segment, pc);
+            } catch (const Error &) {
+                ++pc; // Resynchronize one byte at a time.
+                continue;
+            }
+            if (in.op == Opcode::Call &&
+                image.inText(pc + in.length))
+                indirect.insert(pc + in.length);
+            pc += in.length;
+        }
+    }
+
+    // Reachability BFS over block heads, frontend boundary rules.
+    std::unordered_map<Addr, std::vector<Instruction>> code;
+    std::set<Addr> seen{image.entry};
+    std::deque<Addr> work{image.entry};
+    for (const Addr a : indirect)
+        if (seen.insert(a).second)
+            work.push_back(a);
+    while (!work.empty()) {
+        const Addr head = work.front();
+        work.pop_front();
+        std::vector<Instruction> instrs;
+        try {
+            instrs = decodeBlockAt(image, segment, head);
+        } catch (const Error &) {
+            continue; // Undecodable head: never a translated block.
+        }
+        Addr fall = head;
+        for (const Instruction &in : instrs)
+            fall += in.length;
+
+        BlockSummary summary;
+        summary.pc = head;
+        summary.instructions =
+            static_cast<std::uint32_t>(instrs.size());
+        auto push = [&](Addr a) {
+            if (!image.inText(a))
+                return;
+            summary.successors.push_back(a);
+            if (seen.insert(a).second)
+                work.push_back(a);
+        };
+        const Instruction &last = instrs.back();
+        const Addr target =
+            fall + static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(last.off));
+        switch (last.op) {
+          case Opcode::Jmp:
+            push(target);
+            break;
+          case Opcode::Jcc:
+          case Opcode::Call:
+            push(target);
+            push(fall);
+            break;
+          case Opcode::Ret:
+            summary.indirectExit = true;
+            break;
+          case Opcode::Hlt:
+            break;
+          default:
+            // PltCall, syscall, or a size-cap split: execution resumes
+            // at the fall-through.
+            push(fall);
+            break;
+        }
+        out.blocks.emplace(head, std::move(summary));
+        code.emplace(head, std::move(instrs));
+    }
+    out.indirectTargets.assign(indirect.begin(), indirect.end());
+
+    // Whole-image escape scan: one violation anywhere demotes locality
+    // everywhere (another thread could now hold a pointer into this
+    // thread's stack).
+    out.rspPrivate = true;
+    for (const auto &[head, instrs] : code) {
+        Addr pc = head;
+        for (const Instruction &in : instrs) {
+            std::string why;
+            if (escapesRsp(in, config, why)) {
+                out.rspPrivate = false;
+                Finding finding;
+                finding.kind = Finding::Kind::RspEscape;
+                finding.pc = pc;
+                finding.detail = why;
+                out.findings.push_back(std::move(finding));
+            }
+            pc += in.length;
+        }
+    }
+
+    // Per-block summaries and classification.
+    for (auto &[head, summary] : out.blocks) {
+        const std::vector<Instruction> &instrs = code[head];
+        Addr pc = head;
+        for (const Instruction &in : instrs) {
+            const bool local =
+                out.rspPrivate &&
+                isStackAccess(in, config.maxStackOffset);
+            switch (in.op) {
+              case Opcode::Load:
+              case Opcode::Load8:
+                ++summary.loads;
+                ++summary.mappedFences;
+                break;
+              case Opcode::Store:
+              case Opcode::Store8:
+              case Opcode::StoreI:
+                ++summary.stores;
+                ++summary.mappedFences;
+                break;
+              case Opcode::Call:
+                ++summary.stores; // Return-address push.
+                ++summary.mappedFences;
+                break;
+              case Opcode::Ret:
+                ++summary.loads; // Return-address pop.
+                ++summary.mappedFences;
+                break;
+              case Opcode::LockCmpxchg:
+              case Opcode::LockXadd:
+                ++summary.rmws;
+                if (in.rb == gx86::Rsp) {
+                    Finding finding;
+                    finding.kind = Finding::Kind::MappingGap;
+                    finding.pc = pc;
+                    finding.detail = "LOCK-prefixed access through the "
+                                     "stack pointer: atomic on "
+                                     "thread-private memory";
+                    out.findings.push_back(std::move(finding));
+                }
+                break;
+              case Opcode::MFence:
+                ++summary.mfences;
+                break;
+              case Opcode::PltCall:
+              case Opcode::Syscall:
+                summary.externalEffects = true;
+                break;
+              default:
+                break;
+            }
+            if (gx86::opReadsMemory(in.op) ||
+                gx86::opWritesMemory(in.op) || in.op == Opcode::Call ||
+                in.op == Opcode::Ret) {
+                if (local && !gx86::opIsRmw(in.op))
+                    ++summary.localAccesses;
+                else
+                    ++summary.sharedAccesses;
+            }
+            pc += in.length;
+        }
+
+        const std::uint32_t ordering = summary.rmws + summary.mfences;
+        if (summary.externalEffects) {
+            // Host-call / syscall effects are opaque: keep the full
+            // mapping even when every visible access is stack traffic.
+            summary.cls = BlockClass::Ordered;
+        } else if (ordering >= config.hotMinOrderingPoints &&
+                   ordering * config.hotDensityDen >=
+                       summary.instructions * config.hotDensityNum) {
+            summary.cls = BlockClass::HotOrdering;
+        } else if (ordering == 0 && summary.sharedAccesses == 0) {
+            summary.cls = BlockClass::Local;
+        } else {
+            summary.cls = BlockClass::Ordered;
+        }
+
+        switch (summary.cls) {
+          case BlockClass::Local:
+            ++out.blocksLocal;
+            out.fencesElidable += summary.mappedFences;
+            if (summary.mappedFences > 0) {
+                Finding finding;
+                finding.kind = Finding::Kind::RedundantFence;
+                finding.pc = head;
+                finding.detail =
+                    std::to_string(summary.mappedFences) +
+                    " mapped fence(s) order only thread-private "
+                    "accesses";
+                out.findings.push_back(std::move(finding));
+            }
+            break;
+          case BlockClass::Ordered:
+            ++out.blocksOrdered;
+            break;
+          case BlockClass::HotOrdering: {
+            ++out.blocksHot;
+            Finding finding;
+            finding.kind = Finding::Kind::HotRegion;
+            finding.pc = head;
+            finding.detail =
+                std::to_string(ordering) + " ordering point(s) in " +
+                std::to_string(summary.instructions) +
+                " instruction(s): fusion and cross-block fence "
+                "merging stay conservative";
+            out.findings.push_back(std::move(finding));
+            break;
+          }
+        }
+    }
+
+    // Unreachable-code islands: decodable text no CFG path covers.
+    {
+        std::vector<bool> covered(image.text.size(), false);
+        for (const auto &[head, instrs] : code) {
+            Addr pc = head;
+            for (const Instruction &in : instrs) {
+                for (std::uint32_t b = 0; b < in.length; ++b) {
+                    const Addr off = pc + b - image.textBase;
+                    if (off < covered.size())
+                        covered[off] = true;
+                }
+                pc += in.length;
+            }
+        }
+        bool inIsland = false;
+        for (std::size_t off = 0; off < covered.size(); ++off) {
+            if (covered[off]) {
+                inIsland = false;
+                continue;
+            }
+            bool decodable = false;
+            try {
+                decodeOne(image, segment, image.textBase + off);
+                decodable = true;
+            } catch (const Error &) {
+            }
+            if (decodable && !inIsland) {
+                ++out.unreachableIslands;
+                Finding finding;
+                finding.kind = Finding::Kind::UnreachableIsland;
+                finding.pc = image.textBase + off;
+                finding.detail =
+                    "decodable text unreachable from the entry and "
+                    "every over-approximated indirect target";
+                out.findings.push_back(std::move(finding));
+                inIsland = true;
+            } else if (!decodable) {
+                inIsland = false;
+            }
+        }
+    }
+
+    return out;
+}
+
+} // namespace risotto::analysis

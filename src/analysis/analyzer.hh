@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Whole-image static weak-memory analysis.
+ *
+ * Runs ahead of translation, decode-free when the per-image
+ * DecodedSegment is available: builds the complete static CFG of the
+ * guest text (direct and fallthrough edges, an over-approximation of
+ * indirect targets, unreachable-code islands), computes per-block
+ * memory summaries (shared vs provably thread-local accesses, LOCK /
+ * MFENCE sites, RMW shapes) and classifies every block on a
+ * three-point ordering lattice:
+ *
+ *   Local        every access is provably thread-private (stack traffic
+ *                through an unescaped stack pointer, or no memory at
+ *                all): the block carries no shared-memory ordering
+ *                obligation, so the translator may elide the mapped
+ *                fences and a certificate may discharge its per-TB
+ *                validation.
+ *   Ordered      the standard mapping applies (shared accesses present).
+ *   HotOrdering  dense fence/RMW regions: fusion and cross-block fence
+ *                merging stay conservative here so the ordering points
+ *                the paper's mappings pin down are never moved.
+ *
+ * Thread-locality rests on one whole-image premise, checked (never
+ * assumed) by the analyzer: the stack pointer must not escape. Threads
+ * run on disjoint stacks (see Dbt::run), so an access is thread-private
+ * iff it is stack-relative *and* no instruction anywhere in the image
+ * copies Rsp into another register, spills it to memory, feeds it into
+ * arithmetic, or redefines it from anything but a small constant
+ * adjustment. Any escape anywhere demotes the entire image: rspPrivate
+ * goes false and no block classifies Local.
+ *
+ * The classification is advisory until certified: src/dbt/certify.hh
+ * turns an ImageAnalysis into a checksummed Certificate by running
+ * every block through the real tier-1 pipeline and the PR-3
+ * obligation-graph validator, and --analysis-paranoid re-runs that
+ * oracle against every certificate-driven elision/skip at use time.
+ */
+
+#ifndef RISOTTO_ANALYSIS_ANALYZER_HH
+#define RISOTTO_ANALYSIS_ANALYZER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gx86/decoded.hh"
+#include "gx86/image.hh"
+#include "gx86/isa.hh"
+
+namespace risotto::analysis
+{
+
+/**
+ * Straight-line block size cap the analysis forms blocks under. Must
+ * equal dbt::Frontend::MaxBlockInstructions (static_asserted in
+ * src/dbt/frontend.cc) so analysis block heads line up with the heads
+ * the engine actually translates; duplicated rather than included to
+ * keep this library below the dbt layer.
+ */
+constexpr std::size_t MaxBlockInstructions = 64;
+
+/** Ordering class of a block (the analysis lattice, weakest first). */
+enum class BlockClass : std::uint8_t
+{
+    Local = 0,       ///< No shared-memory ordering obligations.
+    Ordered = 1,     ///< Standard mapping.
+    HotOrdering = 2, ///< Dense RMW/MFENCE region: stay conservative.
+};
+
+/** "local" / "ordered" / "hot-ordering". */
+std::string blockClassName(BlockClass cls);
+
+/** Analyzer knobs. */
+struct AnalysisConfig
+{
+    /** Stack-relative displacement beyond which an access is no longer
+     * assumed to stay inside the accessing thread's own stack (threads
+     * are spaced 0x40000 apart; see Dbt::run). */
+    std::int64_t maxStackOffset = 4096;
+
+    /** Constant Rsp adjustment beyond which frame tracking gives up
+     * (AddI/SubI with a larger immediate count as an escape). */
+    std::int64_t maxFrameAdjust = 32768;
+
+    /** A block is HotOrdering when ordering points (RMWs + MFENCEs)
+     * are at least this many... */
+    std::uint32_t hotMinOrderingPoints = 2;
+
+    /** ...and make up at least this fraction of its instructions
+     * (numerator/denominator to keep the analysis integer-exact). */
+    std::uint32_t hotDensityNum = 1;
+    std::uint32_t hotDensityDen = 4;
+};
+
+/** Per-block memory summary plus CFG edges. */
+struct BlockSummary
+{
+    gx86::Addr pc = 0;
+    BlockClass cls = BlockClass::Ordered;
+
+    std::uint32_t instructions = 0;
+    std::uint32_t loads = 0;
+    std::uint32_t stores = 0;
+    std::uint32_t rmws = 0;
+    std::uint32_t mfences = 0;
+
+    /** Accesses provably confined to the accessing thread's stack. */
+    std::uint32_t localAccesses = 0;
+
+    /** Accesses that may touch shared memory. */
+    std::uint32_t sharedAccesses = 0;
+
+    /** Mapped fences the Risotto frontend scheme would emit for this
+     * block (one per load/store, incl. the Call push / Ret pop). */
+    std::uint32_t mappedFences = 0;
+
+    /** Block leaves the analyzed text via a host call or syscall whose
+     * memory effects are unknown (forces Ordered). */
+    bool externalEffects = false;
+
+    /** Ends in Ret / indirect control (successors over-approximated). */
+    bool indirectExit = false;
+
+    /** Static successor block heads (direct + fallthrough edges). */
+    std::vector<gx86::Addr> successors;
+};
+
+/** One static finding of the analysis report. */
+struct Finding
+{
+    enum class Kind : std::uint8_t
+    {
+        RedundantFence,    ///< Local block: mapped fences orderable away.
+        HotRegion,         ///< Dense ordering region (stays conservative).
+        RspEscape,         ///< Stack pointer escapes: locality demoted.
+        UnreachableIsland, ///< Decodable text no CFG path reaches.
+        MappingGap,        ///< Known-fragile mapping shape in live code.
+    };
+
+    Kind kind = Kind::RedundantFence;
+    gx86::Addr pc = 0;
+    std::string detail;
+
+    std::string toString() const;
+};
+
+/** The whole-image analysis result. */
+struct ImageAnalysis
+{
+    /** The locality premise: true iff no instruction in any reachable
+     * block lets the stack pointer escape. */
+    bool rspPrivate = false;
+
+    /** Reachable blocks, keyed by head pc. */
+    std::map<gx86::Addr, BlockSummary> blocks;
+
+    /** Over-approximated indirect-target set (return sites of every
+     * Call plus every named symbol): blocks Ret-style exits may reach. */
+    std::vector<gx86::Addr> indirectTargets;
+
+    /** Maximal runs of decodable text no CFG path reaches. */
+    std::uint64_t unreachableIslands = 0;
+
+    std::vector<Finding> findings;
+
+    std::uint64_t blocksLocal = 0;
+    std::uint64_t blocksOrdered = 0;
+    std::uint64_t blocksHot = 0;
+
+    /** Mapped fences elidable under the Local classification. */
+    std::uint64_t fencesElidable = 0;
+
+    /** Class of the block at @p pc (Ordered when unanalyzed). */
+    BlockClass classOf(gx86::Addr pc) const;
+
+    /** True iff @p pc was analyzed and classified Local. */
+    bool isLocal(gx86::Addr pc) const
+    {
+        return classOf(pc) == BlockClass::Local;
+    }
+};
+
+/**
+ * True when @p in is a memory access the locality premise covers: a
+ * plain (non-RMW) load or store through Rsp with a small displacement.
+ * Call/Ret return-address pushes and pops are always stack traffic.
+ * The verifier's locality-discharge rule uses this same predicate, so
+ * the analyzer and the oracle cannot drift apart.
+ */
+bool isStackAccess(const gx86::Instruction &in,
+                   std::int64_t max_offset = 4096);
+
+/**
+ * Analyze the whole guest image. @p segment makes the pass decode-free
+ * (every instruction is read from the pre-decoded entries); with a null
+ * segment the analyzer falls back to GuestImage::decodeAt.
+ */
+ImageAnalysis analyzeImage(const gx86::GuestImage &image,
+                           const gx86::DecodedSegment *segment,
+                           const AnalysisConfig &config = {});
+
+} // namespace risotto::analysis
+
+#endif // RISOTTO_ANALYSIS_ANALYZER_HH

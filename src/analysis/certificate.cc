@@ -1,0 +1,153 @@
+#include "analysis/certificate.hh"
+
+#include <algorithm>
+
+namespace risotto::analysis
+{
+
+namespace
+{
+
+constexpr std::uint32_t Magic = 0x46434152; // "RACF" little-endian.
+
+/** No real image yields this many blocks; a corrupt count must never
+ * drive allocation. */
+constexpr std::uint32_t MaxEntries = 1u << 22;
+
+void
+u32le(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+u64le(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+bool
+fail(std::string *error, const char *why)
+{
+    if (error != nullptr)
+        *error = why;
+    return false;
+}
+
+} // namespace
+
+const CertEntry *
+Certificate::find(std::uint64_t pc) const
+{
+    const auto it = std::lower_bound(
+        entries.begin(), entries.end(), pc,
+        [](const CertEntry &e, std::uint64_t key) { return e.pc < key; });
+    if (it == entries.end() || it->pc != pc)
+        return nullptr;
+    return &*it;
+}
+
+std::uint64_t
+Certificate::validatedCount() const
+{
+    std::uint64_t n = 0;
+    for (const CertEntry &e : entries)
+        if ((e.flags & ClaimValidated) != 0)
+            ++n;
+    return n;
+}
+
+std::vector<std::uint8_t>
+serializeCertificate(const Certificate &cert)
+{
+    std::vector<std::uint8_t> out;
+    u32le(out, Magic);
+    u32le(out, CertificateVersion);
+    out.insert(out.end(), cert.imageDigest.begin(),
+               cert.imageDigest.end());
+    u64le(out, cert.configFingerprint);
+    out.push_back(cert.rspPrivate ? 1 : 0);
+    u32le(out, static_cast<std::uint32_t>(cert.entries.size()));
+    for (const CertEntry &e : cert.entries) {
+        u64le(out, e.pc);
+        out.push_back(static_cast<std::uint8_t>(e.cls));
+        out.push_back(e.flags);
+    }
+    u64le(out, support::fnv1a64(out));
+    return out;
+}
+
+bool
+parseCertificate(const std::vector<std::uint8_t> &bytes, Certificate &cert,
+                 std::string *error)
+{
+    cert = Certificate{};
+    // Fixed head (49 bytes) + trailing checksum.
+    constexpr std::size_t Head = 4 + 4 + 32 + 8 + 1 + 4;
+    if (bytes.size() < Head + 8)
+        return fail(error, "truncated certificate");
+    // The checksum covers everything before it: verify first, trust
+    // nothing beforehand.
+    std::uint64_t stored = 0;
+    for (int i = 7; i >= 0; --i)
+        stored = (stored << 8) |
+                 bytes[bytes.size() - 8 + static_cast<std::size_t>(i)];
+    if (support::fnv1a64(bytes.data(), bytes.size() - 8) != stored)
+        return fail(error, "certificate checksum mismatch");
+
+    auto u32at = [&](std::size_t off) {
+        return static_cast<std::uint32_t>(bytes[off]) |
+               (static_cast<std::uint32_t>(bytes[off + 1]) << 8) |
+               (static_cast<std::uint32_t>(bytes[off + 2]) << 16) |
+               (static_cast<std::uint32_t>(bytes[off + 3]) << 24);
+    };
+    auto u64at = [&](std::size_t off) {
+        std::uint64_t v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) | bytes[off + static_cast<std::size_t>(i)];
+        return v;
+    };
+
+    if (u32at(0) != Magic)
+        return fail(error, "not a certificate (bad magic)");
+    if (u32at(4) != CertificateVersion)
+        return fail(error, "unsupported certificate version");
+    std::copy(bytes.begin() + 8, bytes.begin() + 40,
+              cert.imageDigest.begin());
+    cert.configFingerprint = u64at(40);
+    cert.rspPrivate = bytes[48] != 0;
+    const std::uint32_t count = u32at(49);
+    if (count > MaxEntries ||
+        bytes.size() != Head + static_cast<std::size_t>(count) * 10 + 8)
+        return fail(error, "certificate entry count disagrees with size");
+    cert.entries.reserve(count);
+    std::uint64_t prev = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::size_t off = Head + static_cast<std::size_t>(i) * 10;
+        CertEntry e;
+        e.pc = u64at(off);
+        const std::uint8_t cls = bytes[off + 8];
+        if (cls > static_cast<std::uint8_t>(BlockClass::HotOrdering))
+            return fail(error, "certificate entry class out of range");
+        e.cls = static_cast<BlockClass>(cls);
+        e.flags = bytes[off + 9];
+        if (i > 0 && e.pc <= prev)
+            return fail(error, "certificate entries not sorted");
+        prev = e.pc;
+        cert.entries.push_back(e);
+    }
+    return true;
+}
+
+bool
+certificateMatches(const Certificate &cert,
+                   const support::Sha256Digest &digest,
+                   std::uint64_t fingerprint)
+{
+    return cert.imageDigest == digest &&
+           cert.configFingerprint == fingerprint;
+}
+
+} // namespace risotto::analysis

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Translation certificates: the portable, tamper-evident form of a
+ * whole-image analysis.
+ *
+ * A certificate records, per analyzed block, its ordering class and
+ * whether the block's translation under the certifying configuration
+ * passed the obligation-graph validator (claim V). It is keyed by the
+ * guest image SHA-256 and the DBT config fingerprint -- the same pair
+ * that keys .rtbc snapshots -- so a certificate can never be applied
+ * to a different program or pipeline, and the serialized form carries
+ * an FNV-1a checksum over everything: a single flipped bit makes the
+ * whole certificate unparseable and the consumer falls back to full
+ * per-TB validation (never to wrong code).
+ *
+ * Claim semantics (what a consumer may do with a verified entry):
+ *
+ *   ClaimValidated   the baseline translation of this block, produced
+ *                    by the certifying pipeline (including any Local
+ *                    fence elision), passed TbValidator at both levels.
+ *                    A consumer translating or reloading the same block
+ *                    under the same fingerprint may skip its per-TB
+ *                    validation. --analysis-paranoid re-runs the
+ *                    validator anyway and treats any disagreement as a
+ *                    certificate bug (exit code 3).
+ *
+ * Serialized layout (little-endian):
+ *
+ *   magic "RACF" (u32) | version (u32) | image SHA-256 (32 bytes) |
+ *   config fingerprint (u64) | rspPrivate (u8) | entry count (u32) |
+ *   entries { pc (u64) | class (u8) | flags (u8) } * |
+ *   FNV-1a 64 checksum of all preceding bytes (u64)
+ */
+
+#ifndef RISOTTO_ANALYSIS_CERTIFICATE_HH
+#define RISOTTO_ANALYSIS_CERTIFICATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "support/checksum.hh"
+
+namespace risotto::analysis
+{
+
+/** Certificate format version written by serializeCertificate(). */
+constexpr std::uint32_t CertificateVersion = 1;
+
+/** Per-entry claim flags. */
+enum CertFlags : std::uint8_t
+{
+    /** Claim V: the block's translation passed the PR-3 validator
+     * under the certifying fingerprint. */
+    ClaimValidated = 1,
+};
+
+/** One certified block. */
+struct CertEntry
+{
+    std::uint64_t pc = 0;
+    BlockClass cls = BlockClass::Ordered;
+    std::uint8_t flags = 0;
+};
+
+/** A whole-image certificate. */
+struct Certificate
+{
+    support::Sha256Digest imageDigest{};
+    std::uint64_t configFingerprint = 0;
+
+    /** The locality premise the classification was computed under. */
+    bool rspPrivate = false;
+
+    /** Sorted by pc. */
+    std::vector<CertEntry> entries;
+
+    /** Entry for @p pc, or nullptr. */
+    const CertEntry *find(std::uint64_t pc) const;
+
+    /** True when the entry at @p pc carries claim V. */
+    bool claimsValidated(std::uint64_t pc) const
+    {
+        const CertEntry *e = find(pc);
+        return e != nullptr && (e->flags & ClaimValidated) != 0;
+    }
+
+    std::uint64_t validatedCount() const;
+};
+
+/** Serialize @p cert with its trailing checksum. */
+std::vector<std::uint8_t> serializeCertificate(const Certificate &cert);
+
+/**
+ * Parse a serialized certificate. Never throws: any structural,
+ * version or checksum problem yields false and fills @p error; a false
+ * return means the consumer must validate everything itself.
+ */
+bool parseCertificate(const std::vector<std::uint8_t> &bytes,
+                      Certificate &cert, std::string *error = nullptr);
+
+/** True when @p cert keys to this image digest + config fingerprint. */
+bool certificateMatches(const Certificate &cert,
+                        const support::Sha256Digest &digest,
+                        std::uint64_t fingerprint);
+
+} // namespace risotto::analysis
+
+#endif // RISOTTO_ANALYSIS_CERTIFICATE_HH

@@ -1,0 +1,197 @@
+#include "dbt/certify.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "dbt/backend.hh"
+#include "dbt/frontend.hh"
+#include "persist/fingerprint.hh"
+#include "support/error.hh"
+#include "support/threadpool.hh"
+#include "tcg/optimizer.hh"
+#include "verify/verifier.hh"
+
+namespace risotto::dbt
+{
+
+namespace
+{
+
+/** Slot allocator for compiling outside an engine: numbers exits. */
+struct CertifySlots : ExitSlotAllocator
+{
+    std::uint32_t next = 1;
+    std::uint32_t staticSlot(std::uint64_t, std::uint64_t,
+                             aarch::CodeAddr, bool) override
+    {
+        return next++;
+    }
+    std::uint32_t dynamicSlot() override { return 0; }
+};
+
+/** Per-block check outcome. */
+enum class CheckResult : std::uint8_t
+{
+    Passed,
+    Failed,
+    Untranslatable,
+};
+
+/**
+ * Run one block through the exact tier-1 pipeline the config implies
+ * (elision included when configured) and the validator with the same
+ * locality discharge the engine applies. Self-contained -- its own
+ * Frontend, buffer and validator -- so blocks check in parallel.
+ */
+CheckResult
+checkOne(const gx86::GuestImage &image, const DbtConfig &config,
+         const analysis::ImageAnalysis &analysis,
+         const gx86::DecodedSegment *segment, gx86::Addr head,
+         std::uint64_t &pairs, std::uint64_t &discharged)
+{
+    try {
+        Frontend frontend(image, config, nullptr);
+        frontend.setSegment(segment);
+        if (config.analysis && config.analysisElide)
+            frontend.setAnalysis(&analysis);
+        const std::vector<gx86::Instruction> guest =
+            frontend.decodeBlock(head);
+        tcg::Block block = frontend.translate(head);
+        tcg::optimize(block, config.optimizer);
+
+        aarch::CodeBuffer buffer;
+        CertifySlots slots;
+        Backend backend(buffer, config);
+        const aarch::CodeAddr entry = backend.compile(block, slots);
+        const auto host =
+            verify::decodeRange(buffer, entry, buffer.end());
+
+        verify::ValidatorOptions vo;
+        vo.rmw = config.rmw;
+        const verify::TbValidator validator(vo);
+        std::vector<bool> mask;
+        const std::vector<bool> *local = nullptr;
+        if (config.analysis && config.analysisElide &&
+            analysis.rspPrivate) {
+            mask = verify::localGuestEvents(guest, true);
+            local = &mask;
+        }
+        const verify::ValidationReport report =
+            validator.validate(guest, block, host, head, false, local);
+        pairs = report.pairsChecked;
+        discharged = report.pairsDischargedLocal;
+        return report.ok() ? CheckResult::Passed : CheckResult::Failed;
+    } catch (const Error &) {
+        return CheckResult::Untranslatable;
+    }
+}
+
+/** Check @p heads in parallel, merging counters into @p report. Calls
+ * @p outcome(i, result) under the merge lock, in arbitrary order. */
+template <typename Outcome>
+void
+checkAll(const gx86::GuestImage &image, const DbtConfig &config,
+         const analysis::ImageAnalysis &analysis,
+         const gx86::DecodedSegment *segment,
+         const std::vector<gx86::Addr> &heads, std::size_t jobs,
+         CertifyReport &report, Outcome outcome)
+{
+    std::mutex merge;
+    support::ThreadPool pool(jobs);
+    pool.parallelFor(0, heads.size(), 1, [&](std::size_t i) {
+        std::uint64_t pairs = 0;
+        std::uint64_t discharged = 0;
+        const CheckResult result = checkOne(
+            image, config, analysis, segment, heads[i], pairs,
+            discharged);
+        std::lock_guard<std::mutex> lock(merge);
+        report.pairsChecked += pairs;
+        report.pairsDischargedLocal += discharged;
+        outcome(i, result);
+    });
+}
+
+} // namespace
+
+analysis::Certificate
+certifyImage(const gx86::GuestImage &image, const DbtConfig &config,
+             const analysis::ImageAnalysis &analysis,
+             const gx86::DecodedSegment *segment, CertifyReport &report,
+             std::size_t jobs)
+{
+    analysis::Certificate cert;
+    cert.imageDigest = persist::imageDigest(image);
+    cert.configFingerprint = persist::configFingerprint(config);
+    cert.rspPrivate = analysis.rspPrivate;
+
+    std::vector<gx86::Addr> heads;
+    heads.reserve(analysis.blocks.size());
+    for (const auto &[pc, summary] : analysis.blocks)
+        heads.push_back(pc);
+
+    // One entry per analyzed block; flags filled by the checks below.
+    cert.entries.resize(heads.size());
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+        cert.entries[i].pc = heads[i];
+        cert.entries[i].cls = analysis.classOf(heads[i]);
+        cert.entries[i].flags = 0;
+    }
+    report.blocksCertified = heads.size();
+
+    checkAll(image, config, analysis, segment, heads, jobs, report,
+             [&](std::size_t i, CheckResult result) {
+                 switch (result) {
+                   case CheckResult::Passed:
+                     cert.entries[i].flags |= analysis::ClaimValidated;
+                     ++report.blocksValidated;
+                     break;
+                   case CheckResult::Failed:
+                     ++report.blocksFailed;
+                     break;
+                   case CheckResult::Untranslatable:
+                     ++report.blocksUntranslatable;
+                     break;
+                 }
+             });
+    // map iteration order is ascending already, but the serialized
+    // format requires it explicitly.
+    std::sort(cert.entries.begin(), cert.entries.end(),
+              [](const analysis::CertEntry &a,
+                 const analysis::CertEntry &b) { return a.pc < b.pc; });
+    return cert;
+}
+
+CertifyReport
+auditCertificate(const gx86::GuestImage &image, const DbtConfig &config,
+                 const analysis::ImageAnalysis &analysis,
+                 const gx86::DecodedSegment *segment,
+                 const analysis::Certificate &cert, std::size_t jobs)
+{
+    CertifyReport report;
+    std::vector<gx86::Addr> heads;
+    heads.reserve(cert.entries.size());
+    for (const analysis::CertEntry &e : cert.entries)
+        if ((e.flags & analysis::ClaimValidated) != 0)
+            heads.push_back(e.pc);
+    report.blocksCertified = cert.entries.size();
+
+    checkAll(image, config, analysis, segment, heads, jobs, report,
+             [&](std::size_t, CheckResult result) {
+                 switch (result) {
+                   case CheckResult::Passed:
+                     ++report.blocksValidated;
+                     break;
+                   // An untranslatable block cannot honestly carry
+                   // claim V either: both count as disagreements.
+                   case CheckResult::Failed:
+                   case CheckResult::Untranslatable:
+                     ++report.blocksFailed;
+                     break;
+                 }
+             });
+    return report;
+}
+
+} // namespace risotto::dbt

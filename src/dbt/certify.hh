@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Certificate production: turning a whole-image analysis into claims a
+ * consumer can trust.
+ *
+ * certifyImage() runs every analyzed block through the real tier-1
+ * pipeline (frontend -> optimizer -> backend, with the exact elision
+ * behaviour the given config implies) and the obligation-graph
+ * validator; only blocks whose translation passes at both levels
+ * receive ClaimValidated. The certificate is therefore not "the
+ * analyzer says so" but "the oracle checked this translation under
+ * this fingerprint" -- the analysis contributes the block set, the
+ * lattice classes and the locality premise the validator discharges
+ * elided fences under.
+ *
+ * auditCertificate() is the paranoid inverse: given any certificate,
+ * re-run the validator on every ClaimValidated entry and report
+ * disagreements. A sound certificate audits to zero disagreements by
+ * construction; a forged or stale one is caught here (and, at use
+ * time, by --analysis-paranoid).
+ */
+
+#ifndef RISOTTO_DBT_CERTIFY_HH
+#define RISOTTO_DBT_CERTIFY_HH
+
+#include <cstdint>
+
+#include "analysis/analyzer.hh"
+#include "analysis/certificate.hh"
+#include "dbt/config.hh"
+#include "gx86/decoded.hh"
+#include "gx86/image.hh"
+
+namespace risotto::dbt
+{
+
+/** Outcome of a certifyImage / auditCertificate pass. */
+struct CertifyReport
+{
+    /** Blocks with a certificate entry (all analyzed blocks). */
+    std::uint64_t blocksCertified = 0;
+
+    /** Entries granted (certify) or holding (audit) ClaimValidated. */
+    std::uint64_t blocksValidated = 0;
+
+    /** Blocks whose translation the validator rejected (certify: no
+     * claim granted; audit: a disagreement). */
+    std::uint64_t blocksFailed = 0;
+
+    /** Blocks the tier-1 pipeline could not translate (no claim; the
+     * interpreter surfaces them at run time). */
+    std::uint64_t blocksUntranslatable = 0;
+
+    std::uint64_t pairsChecked = 0;
+    std::uint64_t pairsDischargedLocal = 0;
+
+    bool ok() const { return blocksFailed == 0; }
+};
+
+/**
+ * Produce a certificate for @p image under @p config: one entry per
+ * analyzed block carrying its lattice class, ClaimValidated where the
+ * tier-1 translation passed the validator. @p segment makes the pass
+ * decode-free (may be null). Blocks check in parallel over @p jobs
+ * worker threads (0 = hardware concurrency).
+ */
+analysis::Certificate
+certifyImage(const gx86::GuestImage &image, const DbtConfig &config,
+             const analysis::ImageAnalysis &analysis,
+             const gx86::DecodedSegment *segment, CertifyReport &report,
+             std::size_t jobs = 0);
+
+/**
+ * Re-validate every ClaimValidated entry of @p cert against the real
+ * pipeline -- the offline paranoid audit. Entries that fail count as
+ * blocksFailed (disagreements). The certificate's keys are NOT checked
+ * here (pass only certificates that matched this image + config).
+ */
+CertifyReport
+auditCertificate(const gx86::GuestImage &image, const DbtConfig &config,
+                 const analysis::ImageAnalysis &analysis,
+                 const gx86::DecodedSegment *segment,
+                 const analysis::Certificate &cert, std::size_t jobs = 0);
+
+} // namespace risotto::dbt
+
+#endif // RISOTTO_DBT_CERTIFY_HH

@@ -92,6 +92,34 @@ struct DbtConfig
      * its promotion rejected, keeping the tier-1 code live. */
     bool validateTranslations = false;
 
+    /** Run the whole-image static weak-memory analyzer at construction
+     * (src/analysis): CFG + per-block memory summaries classifying each
+     * reachable block Local / Ordered / HotOrdering. Cheap (one linear
+     * pass over the decoded text) and prerequisite for the two
+     * refinements below. */
+    bool analysis = false;
+
+    /** Elide the mapped acquire/release fences inside blocks the
+     * analyzer proved Local (no shared-memory ordering obligations).
+     * Changes emitted IR and host code, so it IS part of the snapshot
+     * config fingerprint -- but only when enabled, keeping analysis-off
+     * fingerprints identical to pre-analysis releases. Every elision is
+     * auditable: the validator discharges the affected obligation pairs
+     * by thread-locality (verify::localGuestEvents). */
+    bool analysisElide = false;
+
+    /** Honour ClaimValidated certificate entries: skip per-TB
+     * validation for blocks a matching certificate already vouches for.
+     * Only meaningful with validateTranslations; certificates come from
+     * risotto-analyze --cert or an embedded .rtbc frame. */
+    bool analysisSkip = false;
+
+    /** Paranoid differential mode: re-run the full validator on every
+     * certificate-driven skip and every locality-elided block anyway,
+     * counting analysis.paranoid_disagreements. Tools exit nonzero on
+     * any disagreement. */
+    bool analysisParanoid = false;
+
     static DbtConfig qemu();
     static DbtConfig qemuNoFences();
     static DbtConfig tcgVer();

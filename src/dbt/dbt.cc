@@ -1,6 +1,7 @@
 #include "dbt/dbt.hh"
 
 #include "dbt/softfloat.hh"
+#include "persist/fingerprint.hh"
 #include "support/error.hh"
 
 namespace risotto::dbt
@@ -59,7 +60,46 @@ Dbt::Dbt(const gx86::GuestImage &image, DbtConfig config,
         frontend_.setSegment(segment_.get());
         interp_.setSegment(segment_.get());
     }
+    if (config_.analysis) {
+        // One linear pass over the (ideally pre-decoded) text; runs
+        // after the segment so it is decode-free when possible.
+        analysis_ = std::make_unique<analysis::ImageAnalysis>(
+            analysis::analyzeImage(image_, segment_.get()));
+        stats_.set("analysis.blocks_local", analysis_->blocksLocal);
+        stats_.set("analysis.blocks_ordered", analysis_->blocksOrdered);
+        stats_.set("analysis.blocks_hot", analysis_->blocksHot);
+        stats_.set("analysis.rsp_private", analysis_->rspPrivate ? 1 : 0);
+        stats_.set("analysis.fences_elidable", analysis_->fencesElidable);
+        stats_.set("analysis.findings", analysis_->findings.size());
+        stats_.set("analysis.unreachable_islands",
+                   analysis_->unreachableIslands);
+        if (config_.analysisElide)
+            frontend_.setAnalysis(analysis_.get());
+        analysisState_.analysis = analysis_.get();
+        analysisState_.elide = config_.analysisElide;
+        analysisState_.skip = config_.analysisSkip;
+        analysisState_.paranoid = config_.analysisParanoid;
+        baseline_.setAnalysis(&analysisState_);
+        super_.setAnalysis(&analysisState_);
+    }
     emitDynInterpStub();
+}
+
+bool
+Dbt::setCertificate(analysis::Certificate cert)
+{
+    if (!analysis::certificateMatches(cert, cachedImageDigest(),
+                                      persist::configFingerprint(
+                                          config_))) {
+        stats_.bump("analysis.cert_rejected");
+        return false;
+    }
+    certificate_ = std::move(cert);
+    analysisState_.certificate = &*certificate_;
+    stats_.set("analysis.cert_entries", certificate_->entries.size());
+    stats_.set("analysis.cert_validated",
+               certificate_->validatedCount());
+    return true;
 }
 
 std::uint64_t

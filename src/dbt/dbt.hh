@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "aarch/emitter.hh"
+#include "analysis/analyzer.hh"
+#include "analysis/certificate.hh"
 #include "dbt/backend.hh"
 #include "dbt/chain.hh"
 #include "dbt/config.hh"
@@ -221,6 +223,30 @@ class Dbt : public machine::HelperRuntime, public TierHost
         return violations_;
     }
 
+    // --- Static analysis & certificates (src/analysis) --------------------
+
+    /** The whole-image analysis (null unless config().analysis; run
+     * once in the constructor, decode-free over the shared segment). */
+    const analysis::ImageAnalysis *analysis() const
+    {
+        return analysis_.get();
+    }
+
+    /**
+     * Install a translation certificate. Accepted only when its image
+     * digest and config fingerprint match this engine exactly --
+     * anything else (including a tampered or stale certificate) is
+     * refused and the engine keeps validating in full.
+     * @return true when the certificate was installed.
+     */
+    bool setCertificate(analysis::Certificate cert);
+
+    /** The installed certificate, or null. */
+    const analysis::Certificate *certificate() const
+    {
+        return certificate_ ? &*certificate_ : nullptr;
+    }
+
     // --- Persistent translation cache (src/persist) -----------------------
 
     /**
@@ -308,6 +334,9 @@ class Dbt : public machine::HelperRuntime, public TierHost
     SuperblockTier super_;
     std::unique_ptr<verify::TbValidator> validator_;
     std::vector<verify::Violation> violations_;
+    std::unique_ptr<analysis::ImageAnalysis> analysis_;
+    std::optional<analysis::Certificate> certificate_;
+    AnalysisState analysisState_;
     std::shared_ptr<const gx86::DecodedSegment> segment_;
     std::vector<verify::FusionPatternReport> fusionReports_;
     aarch::CodeAddr dynInterpStub_ = 0;

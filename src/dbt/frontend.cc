@@ -23,6 +23,13 @@ using tcg::NoTemp;
 using tcg::TempId;
 namespace b = tcg::build;
 
+// The analysis library forms blocks under its own copy of this cap (it
+// sits below the dbt layer); a drift here would misalign certificate
+// block heads with translated heads.
+static_assert(analysis::MaxBlockInstructions ==
+                  Frontend::MaxBlockInstructions,
+              "analysis and frontend block caps must agree");
+
 Frontend::Frontend(const gx86::GuestImage &image, const DbtConfig &config,
                    const ImportResolver *resolver)
     : image_(image), config_(config), resolver_(resolver)
@@ -118,10 +125,15 @@ Frontend::translate(Addr pc) const
 {
     Block block = arena_.acquire(pc);
     bool ends = false;
+    // Elision is per-block and only for certified-Local heads: every
+    // access in such a block is provably thread-private, so the mapped
+    // fences order nothing any other thread can observe.
+    const bool elide = config_.analysis && config_.analysisElide &&
+                       analysis_ != nullptr && analysis_->isLocal(pc);
     Addr cur = pc;
     for (const Instruction &in : decodeBlock(pc)) {
         const Addr next = cur + in.length;
-        translateOne(block, in, cur, next, ends);
+        translateOne(block, in, cur, next, ends, elide);
         cur = next;
     }
     if (!ends)
@@ -131,7 +143,7 @@ Frontend::translate(Addr pc) const
 
 void
 Frontend::translateOne(Block &block, const Instruction &in, Addr pc,
-                       Addr next, bool &ends) const
+                       Addr next, bool &ends, bool elide) const
 {
     auto &code = block.instrs;
     const auto scheme = config_.frontend;
@@ -140,17 +152,33 @@ Frontend::translateOne(Block &block, const Instruction &in, Addr pc,
         config_.rmw == RmwLowering::HelperRmw2AL;
 
     auto loadWithFences = [&](const tcg::Instr &ld) {
-        if (scheme == X86ToTcgScheme::Qemu)
-            code.push_back(b::mb(FenceKind::Fmr));
+        if (scheme == X86ToTcgScheme::Qemu) {
+            if (elide)
+                ++fencesElided_;
+            else
+                code.push_back(b::mb(FenceKind::Fmr));
+        }
         code.push_back(ld);
-        if (scheme == X86ToTcgScheme::Risotto)
-            code.push_back(b::mb(FenceKind::Frm));
+        if (scheme == X86ToTcgScheme::Risotto) {
+            if (elide)
+                ++fencesElided_;
+            else
+                code.push_back(b::mb(FenceKind::Frm));
+        }
     };
     auto storeWithFences = [&](const tcg::Instr &st) {
-        if (scheme == X86ToTcgScheme::Qemu)
-            code.push_back(b::mb(FenceKind::Fmw));
-        if (scheme == X86ToTcgScheme::Risotto)
-            code.push_back(b::mb(FenceKind::Fww));
+        if (scheme == X86ToTcgScheme::Qemu) {
+            if (elide)
+                ++fencesElided_;
+            else
+                code.push_back(b::mb(FenceKind::Fmw));
+        }
+        if (scheme == X86ToTcgScheme::Risotto) {
+            if (elide)
+                ++fencesElided_;
+            else
+                code.push_back(b::mb(FenceKind::Fww));
+        }
         code.push_back(st);
     };
     auto g = [](gx86::Reg r) { return static_cast<TempId>(r); };

@@ -13,6 +13,7 @@
 #ifndef RISOTTO_DBT_FRONTEND_HH
 #define RISOTTO_DBT_FRONTEND_HH
 
+#include "analysis/analyzer.hh"
 #include "dbt/config.hh"
 #include "dbt/resolver.hh"
 #include "gx86/decoded.hh"
@@ -78,9 +79,25 @@ class Frontend
         segment_ = segment;
     }
 
+    /**
+     * Attach the whole-image analysis result. With
+     * config.analysisElide set, blocks the analysis classified Local
+     * (provably no shared-memory ordering obligations) are translated
+     * without their mapped acquire/release fences; everything else is
+     * untouched. nullptr (the default) disables elision regardless of
+     * config, so a Frontend without analysis emits exactly the
+     * pre-analysis code.
+     */
+    void setAnalysis(const analysis::ImageAnalysis *a) { analysis_ = a; }
+
+    /** Mapped fences elided from Local blocks so far (monotonic;
+     * counts re-translations like every other translation counter). */
+    std::uint64_t fencesElided() const { return fencesElided_; }
+
   private:
     void translateOne(tcg::Block &block, const gx86::Instruction &in,
-                      gx86::Addr pc, gx86::Addr next, bool &ends) const;
+                      gx86::Addr pc, gx86::Addr next, bool &ends,
+                      bool elide) const;
     void emitFlagsFrom(tcg::Block &block, tcg::TempId value) const;
     void emitJcc(tcg::Block &block, gx86::Cond cond, std::uint64_t taken,
                  std::uint64_t fallthrough) const;
@@ -89,6 +106,8 @@ class Frontend
     const DbtConfig &config_;
     const ImportResolver *resolver_;
     const gx86::DecodedSegment *segment_ = nullptr;
+    const analysis::ImageAnalysis *analysis_ = nullptr;
+    mutable std::uint64_t fencesElided_ = 0;
 
     /** Pooled IR storage. Makes translate() non-reentrant: parallel
      * sweeps construct one Frontend per task. */

@@ -70,8 +70,15 @@ Dbt::exportSnapshot()
     snap.imageDigest = cachedImageDigest();
     snap.configFingerprint = persist::configFingerprint(config_);
     for (const auto &[name, value] : stats_.all())
-        if (name.rfind("opt.", 0) == 0 || name.rfind("verify.", 0) == 0)
+        if (name.rfind("opt.", 0) == 0 ||
+            name.rfind("verify.", 0) == 0 ||
+            name.rfind("analysis.", 0) == 0)
             snap.provenance.emplace_back(name, value);
+
+    // An installed certificate travels with the snapshot (opaque,
+    // self-checksummed); the importing engine re-checks its keys.
+    if (certificate_)
+        snap.analysisCert = analysis::serializeCertificate(*certificate_);
 
     // Exit words are identified by address: every non-dynamic slot
     // records the patch site of its exit_tb word (which chaining may
@@ -111,7 +118,14 @@ Dbt::exportSnapshot()
                     stats_.bump("persist.tb_export_skipped");
                     continue;
                 }
-                tcg::optimizeSuperblock(sb, config_.optimizer, nullptr);
+                // Must match the promotion-time optimizer config --
+                // including the HotOrdering-conservative downgrade --
+                // or the exported IR would not describe the live words.
+                tcg::optimizeSuperblock(
+                    sb,
+                    superblockOptimizer(config_, analysis_.get(),
+                                        rec.path),
+                    nullptr);
                 rec.numLabels = sb.numLabels;
                 rec.numTemps = sb.numTemps;
                 rec.ir = sb.instrs;
@@ -260,36 +274,63 @@ Dbt::importSnapshot(const persist::Snapshot &snapshot, bool validate)
         }
 
         if (checker != nullptr) {
-            std::vector<gx86::Instruction> guest;
-            bool decodable = true;
-            try {
-                for (const gx86::Addr pc : rec.path) {
-                    const auto part = frontend_.decodeBlock(pc);
-                    guest.insert(guest.end(), part.begin(), part.end());
+            const bool superblock =
+                rec.tier == static_cast<std::uint8_t>(Tier::Superblock);
+            // Certificate skip covers baseline records only: claims
+            // vouch for tier-1 translations, never for cross-seam
+            // superblock optimization.
+            const bool claim = !superblock && config_.analysisSkip &&
+                               certificate_.has_value() &&
+                               certificate_->claimsValidated(head);
+            if (claim && !config_.analysisParanoid) {
+                stats_.bump("analysis.validations_skipped");
+            } else {
+                std::vector<gx86::Instruction> guest;
+                bool decodable = true;
+                try {
+                    for (const gx86::Addr pc : rec.path) {
+                        const auto part = frontend_.decodeBlock(pc);
+                        guest.insert(guest.end(), part.begin(),
+                                     part.end());
+                    }
+                } catch (const GuestFault &) {
+                    decodable = false;
                 }
-            } catch (const GuestFault &) {
-                decodable = false;
-            }
-            if (!decodable) {
-                rollback();
-                reject("decode");
-                continue;
-            }
-            tcg::Block ir;
-            ir.guestPc = head;
-            ir.instrs = rec.ir;
-            ir.numLabels = rec.numLabels;
-            ir.numTemps = rec.numTemps;
-            const verify::ValidationReport checked = checker->validate(
-                guest, ir, host, head,
-                rec.tier == static_cast<std::uint8_t>(Tier::Superblock));
-            stats_.bump("persist.tb_validated");
-            if (!checked.ok()) {
-                rollback();
-                reject("validation");
-                for (const verify::Violation &v : checked.violations)
-                    violations_.push_back(v);
-                continue;
+                if (!decodable) {
+                    rollback();
+                    reject("decode");
+                    continue;
+                }
+                tcg::Block ir;
+                ir.guestPc = head;
+                ir.instrs = rec.ir;
+                ir.numLabels = rec.numLabels;
+                ir.numTemps = rec.numTemps;
+                // Records exported under fence elision only pass with
+                // the same locality discharge the elision relied on.
+                std::vector<bool> mask;
+                const std::vector<bool> *local = nullptr;
+                if (config_.analysis && config_.analysisElide &&
+                    analysis_ != nullptr && analysis_->rspPrivate) {
+                    mask = verify::localGuestEvents(guest, true);
+                    local = &mask;
+                }
+                const verify::ValidationReport checked =
+                    checker->validate(guest, ir, host, head, superblock,
+                                      local);
+                stats_.bump("persist.tb_validated");
+                if (claim) {
+                    stats_.bump("analysis.paranoid_rechecks");
+                    if (!checked.ok())
+                        stats_.bump("analysis.paranoid_disagreements");
+                }
+                if (!checked.ok()) {
+                    rollback();
+                    reject("validation");
+                    for (const verify::Violation &v : checked.violations)
+                        violations_.push_back(v);
+                    continue;
+                }
             }
         }
 
@@ -341,6 +382,21 @@ Dbt::loadPersistentCache(const std::string &path, bool validate)
             stats_.bump("persist.load_corrupt_header");
         report.note = parsed.error + " (cold start)";
         return report;
+    }
+    if (parsed.certDropped)
+        stats_.bump("persist.cert_dropped");
+    // An embedded certificate is adopted before the records are
+    // replayed so ClaimValidated entries can discharge their per-record
+    // validation. A certificate that fails to parse or match is simply
+    // ignored: full validation is the fallback, never wrong claims.
+    if (!snap.analysisCert.empty() && !certificate_) {
+        analysis::Certificate cert;
+        if (analysis::parseCertificate(snap.analysisCert, cert)) {
+            if (setCertificate(std::move(cert)))
+                stats_.bump("analysis.cert_embedded");
+        } else {
+            stats_.bump("analysis.cert_parse_failed");
+        }
     }
     report = importSnapshot(snap, validate);
     report.rejected += parsed.recordsBadChecksum + parsed.recordsBadBounds +

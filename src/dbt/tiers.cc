@@ -29,7 +29,8 @@ runValidation(const verify::TbValidator &validator, const Frontend &frontend,
               const aarch::CodeBuffer &code, const tcg::Block &block,
               CodeAddr entry, const std::vector<gx86::Addr> &path,
               bool superblock, StatSet &stats,
-              std::vector<verify::Violation> *sink)
+              std::vector<verify::Violation> *sink,
+              const AnalysisState *analysis)
 {
     std::vector<gx86::Instruction> guest;
     for (const gx86::Addr pc : path) {
@@ -37,11 +38,26 @@ runValidation(const verify::TbValidator &validator, const Frontend &frontend,
         guest.insert(guest.end(), part.begin(), part.end());
     }
     const auto host = verify::decodeRange(code, entry, code.end());
-    verify::ValidationReport report =
-        validator.validate(guest, block, host, path.front(), superblock);
+    // Fence elision changes the emitted code, so the oracle must be
+    // told which guest events are thread-private -- under the same
+    // image-wide premise the elision itself relied on (rspPrivate).
+    // Without elision nothing is passed: the validator stays exactly as
+    // strict as the pre-analysis pipeline.
+    std::vector<bool> mask;
+    const std::vector<bool> *local = nullptr;
+    if (analysis != nullptr && analysis->elide &&
+        analysis->analysis != nullptr &&
+        analysis->analysis->rspPrivate) {
+        mask = verify::localGuestEvents(guest, true);
+        local = &mask;
+    }
+    verify::ValidationReport report = validator.validate(
+        guest, block, host, path.front(), superblock, local);
     stats.bump(superblock ? "verify.superblocks_checked"
                           : "verify.blocks_checked");
     stats.bump("verify.pairs_checked", report.pairsChecked);
+    stats.bump("verify.pairs_discharged_local",
+               report.pairsDischargedLocal);
     if (report.ok())
         return true;
     stats.bump("verify.violations", report.violations.size());
@@ -52,6 +68,26 @@ runValidation(const verify::TbValidator &validator, const Frontend &frontend,
 }
 
 } // namespace
+
+tcg::OptimizerConfig
+superblockOptimizer(const DbtConfig &config,
+                    const analysis::ImageAnalysis *analysis,
+                    const std::vector<gx86::Addr> &path)
+{
+    tcg::OptimizerConfig opt = config.optimizer;
+    if (!config.analysis || analysis == nullptr)
+        return opt;
+    for (const gx86::Addr pc : path) {
+        if (analysis->classOf(pc) ==
+            analysis::BlockClass::HotOrdering) {
+            // Dense ordering region: keep every fence where the
+            // verified per-block mapping put it.
+            opt.fenceMerging = false;
+            break;
+        }
+    }
+    return opt;
+}
 
 bool
 buildSuperblockIr(Frontend &frontend, const DbtConfig &config,
@@ -210,9 +246,32 @@ BaselineTier::translate(gx86::Addr pc, const TranslationEnv &env)
             }
             const CodeAddr host = backend_.compile(block, chains_);
             stats_.bump("dbt.host_words", code_.end() - host);
-            if (validator_ != nullptr)
-                runValidation(*validator_, frontend_, code_, block, host,
-                              {pc}, false, stats_, violations_);
+            if (validator_ != nullptr) {
+                const bool claim =
+                    analysis_ != nullptr && analysis_->skip &&
+                    analysis_->certificate != nullptr &&
+                    analysis_->certificate->claimsValidated(pc);
+                const bool paranoid =
+                    analysis_ != nullptr && analysis_->paranoid;
+                if (claim && !paranoid) {
+                    // A matching certificate already vouches for this
+                    // block's translation under this exact config.
+                    stats_.bump("analysis.validations_skipped");
+                } else {
+                    const bool ok = runValidation(
+                        *validator_, frontend_, code_, block, host,
+                        {pc}, false, stats_, violations_, analysis_);
+                    if (claim) {
+                        stats_.bump("analysis.paranoid_rechecks");
+                        if (!ok)
+                            stats_.bump(
+                                "analysis.paranoid_disagreements");
+                    }
+                }
+            }
+            if (analysis_ != nullptr && analysis_->elide)
+                stats_.set("analysis.fences_elided",
+                           frontend_.fencesElided());
             frontend_.recycle(std::move(block));
             recoverPending();
             return host;
@@ -272,7 +331,12 @@ SuperblockTier::translate(gx86::Addr head, const TranslationEnv &env)
         return abandon(head);
     }
 
-    tcg::optimizeSuperblock(sb, config_.optimizer, &stats_);
+    const tcg::OptimizerConfig sb_opt = superblockOptimizer(
+        config_, analysis_ != nullptr ? analysis_->analysis : nullptr,
+        path);
+    if (!sb_opt.fenceMerging && config_.optimizer.fenceMerging)
+        stats_.bump("analysis.hot_superblocks_conservative");
+    tcg::optimizeSuperblock(sb, sb_opt, &stats_);
 
     // Guarded compile: promotion never flushes (the tier-1 translation
     // stays live and correct), so any failure just rolls the buffer back
@@ -283,7 +347,7 @@ SuperblockTier::translate(gx86::Addr head, const TranslationEnv &env)
         const CodeAddr entry = backend_.compile(sb, chains_);
         if (validator_ != nullptr &&
             !runValidation(*validator_, frontend_, code_, sb, entry, path,
-                           true, stats_, violations_)) {
+                           true, stats_, violations_, analysis_)) {
             // The superblock lost an ordering (a cross-seam optimizer or
             // splice bug): reject the promotion and keep tier-1 code.
             code_.truncate(codeCheckpoint);

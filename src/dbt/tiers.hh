@@ -21,6 +21,8 @@
 #include <unordered_map>
 
 #include "aarch/emitter.hh"
+#include "analysis/analyzer.hh"
+#include "analysis/certificate.hh"
 #include "dbt/backend.hh"
 #include "dbt/chain.hh"
 #include "dbt/config.hh"
@@ -54,6 +56,38 @@ namespace risotto::dbt
 bool buildSuperblockIr(Frontend &frontend, const DbtConfig &config,
                        const std::vector<gx86::Addr> &path,
                        tcg::Block &sb);
+
+/**
+ * Static-analysis context the translation tiers consult (owned by the
+ * engine, shared by reference). All pointers may be null; a null
+ * `analysis` disables every analysis-driven behaviour regardless of
+ * the flags.
+ */
+struct AnalysisState
+{
+    /** The whole-image analysis (lattice classes + locality premise). */
+    const analysis::ImageAnalysis *analysis = nullptr;
+
+    /** Installed certificate whose image/config keys matched, or null. */
+    const analysis::Certificate *certificate = nullptr;
+
+    bool elide = false;    ///< DbtConfig::analysisElide.
+    bool skip = false;     ///< DbtConfig::analysisSkip.
+    bool paranoid = false; ///< DbtConfig::analysisParanoid.
+};
+
+/**
+ * The optimizer configuration a superblock over @p path must be run
+ * under: the engine's optimizer config, with cross-seam fence merging
+ * disabled when any region member is HotOrdering (dense RMW/MFENCE
+ * code where moving ordering points buys little and risks much).
+ * Shared by tier-2 promotion and snapshot export so both derive
+ * byte-identical superblock IR for the same path.
+ */
+tcg::OptimizerConfig
+superblockOptimizer(const DbtConfig &config,
+                    const analysis::ImageAnalysis *analysis,
+                    const std::vector<gx86::Addr> &path);
 
 /** Tier 0: route blocks through the in-place interpreter. */
 class InterpreterTier : public ExecutionTier
@@ -135,6 +169,10 @@ class BaselineTier : public ExecutionTier
         violations_ = sink;
     }
 
+    /** Attach the engine's analysis context (certificate skip /
+     * paranoid recheck / locality-aware validation). */
+    void setAnalysis(const AnalysisState *state) { analysis_ = state; }
+
     /**
      * Guarded translation of the block at @p pc. Recoverable failures
      * (injected faults, buffer exhaustion) are retried up to
@@ -157,6 +195,7 @@ class BaselineTier : public ExecutionTier
     StatSet &stats_;
     const verify::TbValidator *validator_ = nullptr;
     std::vector<verify::Violation> *violations_ = nullptr;
+    const AnalysisState *analysis_ = nullptr;
 };
 
 /** Tier 2: profile-guided superblock translation. */
@@ -183,6 +222,12 @@ class SuperblockTier : public ExecutionTier
         validator_ = validator;
         violations_ = sink;
     }
+
+    /** Attach the engine's analysis context. Superblock validation is
+     * never certificate-skipped (claims cover tier-1 translations, not
+     * cross-seam optimization); the state feeds the locality-aware
+     * validator and the HotOrdering-conservative optimizer config. */
+    void setAnalysis(const AnalysisState *state) { analysis_ = state; }
 
     /**
      * Promote the hot block at @p head: follow its recorded chain
@@ -214,6 +259,7 @@ class SuperblockTier : public ExecutionTier
     StatSet &stats_;
     const verify::TbValidator *validator_ = nullptr;
     std::vector<verify::Violation> *violations_ = nullptr;
+    const AnalysisState *analysis_ = nullptr;
 };
 
 } // namespace risotto::dbt

@@ -31,7 +31,12 @@ std::uint64_t
 configFingerprint(const dbt::DbtConfig &config)
 {
     std::vector<std::uint8_t> bytes;
-    mix(bytes, FormatVersion);
+    // Deliberately a constant, not FormatVersion: the container format
+    // grew an (optional, self-checksummed) certificate frame in v2
+    // without changing what any v1-era config emits, so v1 snapshots
+    // must keep matching. Configs that DO change emitted code (the
+    // analysisElide token below) opt into a new fingerprint instead.
+    mix(bytes, FingerprintSeed);
     mix(bytes, dbt::Frontend::MaxBlockInstructions);
     mix(bytes, static_cast<std::uint64_t>(config.frontend));
     mix(bytes, static_cast<std::uint64_t>(config.backend));
@@ -46,6 +51,12 @@ configFingerprint(const dbt::DbtConfig &config)
     mix(bytes, config.tier2Threshold);
     mix(bytes, config.tier2MaxBlocks);
     mix(bytes, config.validateTranslations);
+    // Locality-driven fence elision changes the emitted IR/host code, so
+    // it must split the cache key -- but only when actually on, keeping
+    // every analysis-off fingerprint byte-identical to pre-analysis
+    // builds (their v1 snapshots stay loadable).
+    if (config.analysis && config.analysisElide)
+        mix(bytes, 0xA11AE11DEULL);
     return support::fnv1a64(bytes);
 }
 

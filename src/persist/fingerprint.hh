@@ -25,6 +25,15 @@
 namespace risotto::persist
 {
 
+/**
+ * Seed mixed into every config fingerprint. Distinct from the RTBC
+ * FormatVersion on purpose: container revisions that only add optional
+ * frames (v1 -> v2 added the analysis-certificate frame) keep old
+ * snapshots loadable, so they must not churn the key. Bump this only
+ * when the *meaning* of existing fingerprint inputs changes.
+ */
+constexpr std::uint64_t FingerprintSeed = 1;
+
 /** SHA-256 of the canonical serialized form of @p image. */
 support::Sha256Digest imageDigest(const gx86::GuestImage &image);
 

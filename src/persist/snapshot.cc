@@ -18,6 +18,7 @@ constexpr std::size_t MaxIrOps = 1u << 20;
 constexpr std::size_t MaxHostWords = 1u << 22;
 constexpr std::size_t MaxProvenance = 4096;
 constexpr std::size_t MaxNameLen = 256;
+constexpr std::size_t MaxCertBytes = 1u << 26;
 constexpr std::size_t HeaderSize = 64;
 constexpr std::size_t FrameOverhead = 4 + 8; // length + checksum.
 
@@ -353,6 +354,10 @@ serialize(const Snapshot &snapshot)
     }
     writeFrame(out, payload);
 
+    // v2: certificate frame, possibly empty. Framed like everything
+    // else so v2 readers can always skip it uniformly.
+    writeFrame(out, snapshot.analysisCert);
+
     for (const TbRecord &record : snapshot.records) {
         payload.clear();
         serializeRecord(record, payload);
@@ -396,7 +401,10 @@ parse(const std::vector<std::uint8_t> &bytes, ParseReport &report)
     // Only a checksummed header's version is trustworthy: callers use
     // it to tell "wrong version" apart from plain corruption.
     report.version = version;
-    if (version != FormatVersion) {
+    // v1 is still accepted: it lacks only the certificate frame, which
+    // is optional anyway. Anything newer than what we write is refused
+    // (unknown frames could shift the record stream).
+    if (version != 1 && version != FormatVersion) {
         report.error = "unsupported RTBC version " +
                        std::to_string(version);
         return snapshot;
@@ -429,6 +437,19 @@ parse(const std::vector<std::uint8_t> &bytes, ParseReport &report)
                 break;
             snapshot.provenance.emplace_back(std::move(name), value);
         }
+    }
+
+    // v2: certificate frame. Corruption costs the certificate only --
+    // the consumer then runs full validation, never wrong claims.
+    if (version >= 2) {
+        if (!nextFrame(c, payload, size, ok)) {
+            report.recordsTruncated += record_count;
+            return snapshot;
+        }
+        if (ok && size > 0 && size <= MaxCertBytes)
+            snapshot.analysisCert.assign(payload, payload + size);
+        else if (!ok)
+            report.certDropped = true;
     }
 
     for (std::uint32_t i = 0; i < record_count; ++i) {

@@ -17,13 +17,14 @@
  *
  *   offset  field
  *   0       magic "RTBC"                        (u32)
- *   4       format version                      (u32, currently 1)
+ *   4       format version                      (u32, currently 2)
  *   8       guest image SHA-256                 (32 bytes)
  *   40      config fingerprint                  (u64)
  *   48      provenance entry count              (u32)
  *   52      record count                        (u32)
  *   56      FNV-1a 64 checksum of bytes [0,56)  (u64)
- *   64      provenance section, then records
+ *   64      provenance section, then (v2+) one analysis-certificate
+ *           frame, then records
  *
  * The provenance section and every record are framed the same way:
  * u32 payload length, payload bytes, u64 FNV-1a checksum of the
@@ -50,8 +51,14 @@
 namespace risotto::persist
 {
 
-/** Format version written by serialize(). */
-constexpr std::uint32_t FormatVersion = 1;
+/**
+ * Format version written by serialize(). v2 adds one frame between the
+ * provenance section and the records: the opaque analysis-certificate
+ * payload (see analysis/certificate.hh; empty payload = no
+ * certificate). v1 files remain loadable -- they simply carry no
+ * certificate -- because the frame is purely additive.
+ */
+constexpr std::uint32_t FormatVersion = 2;
 
 /** One relocatable exit site inside a record's host words. */
 struct ExitSite
@@ -109,6 +116,14 @@ struct Snapshot
      * optimization and validation provenance of the stored code. */
     std::vector<std::pair<std::string, std::uint64_t>> provenance;
 
+    /** Serialized analysis::Certificate (RACF bytes), empty when the
+     * exporting engine ran without --analysis. Opaque at this layer:
+     * the certificate carries its own magic, version and checksum and
+     * is parsed (and its image/config keys re-checked) by the
+     * consumer, so a corrupt or stale frame degrades to "no
+     * certificate", never to wrong claims. */
+    std::vector<std::uint8_t> analysisCert;
+
     std::vector<TbRecord> records;
 };
 
@@ -130,6 +145,10 @@ struct ParseReport
      * itself was unreadable, unlike recordsBadBounds where a frame
      * parsed but its fields were out of range). */
     std::uint64_t recordsTruncated = 0;
+
+    /** A v2 certificate frame was present but failed its frame
+     * checksum and was dropped (records are unaffected). */
+    bool certDropped = false;
 
     /** Human-readable reason when headerOk is false. */
     std::string error;

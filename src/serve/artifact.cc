@@ -37,6 +37,19 @@ SharedArtifact::SharedArtifact(gx86::GuestImage image,
     dbt_ = std::make_unique<dbt::Dbt>(image_, options_.config,
                                       linker_.get(), linker_.get());
 
+    // A standalone certificate installs before any translation so the
+    // warm reload and the cold sweep both benefit from its claims.
+    // Failure at any step just means full validation.
+    if (!options_.certificatePath.empty() &&
+        support::fileReadable(options_.certificatePath)) {
+        analysis::Certificate cert;
+        if (analysis::parseCertificate(
+                support::readFileBytes(options_.certificatePath), cert))
+            dbt_->setCertificate(std::move(cert));
+        else
+            stats_.bump("analysis.cert_parse_failed");
+    }
+
     // Populate the shared cache exactly once. Every rung of the ladder
     // below leaves the artifact in a correct state; the rungs only trade
     // away speed.
@@ -55,8 +68,11 @@ SharedArtifact::SharedArtifact(gx86::GuestImage image,
             mode_ = ArtifactMode::Cold;
             if (options_.precompile) {
                 try {
-                    for (const gx86::Addr head :
-                         dbt::reachableBlocks(image_, dbt_->config()))
+                    // Share the engine's pre-decoded segment so the
+                    // reachability BFS is decode-free.
+                    for (const gx86::Addr head : dbt::reachableBlocks(
+                             image_, dbt_->config(),
+                             dbt_->segment().get()))
                         dbt_->lookupOrTranslate(head);
                 } catch (const Error &) {
                     // Memory pressure (code buffer exhausted) or a

@@ -68,6 +68,12 @@ struct ArtifactConfig
     /** Force the InterpreterOnly rung (memory-pressure response: no
      * shared code beyond the dispatch stub is kept). */
     bool interpreterOnly = false;
+
+    /** Standalone certificate file (RACF) to install before preparing;
+     * empty relies on the one embedded in the snapshot, if any. A
+     * certificate that fails to parse or match is ignored (counted
+     * under analysis.*): the artifact falls back to full validation. */
+    std::string certificatePath;
 };
 
 /**
@@ -115,6 +121,19 @@ class SharedArtifact
     /** The shared dynamic-dispatch stub sessions start their cores at
      * (target guest pc in DynExitReg). */
     aarch::CodeAddr dynStub() const { return dbt_->dynInterpStub(); }
+
+    /** The engine's whole-image analysis (null unless the artifact's
+     * DbtConfig enables it). */
+    const analysis::ImageAnalysis *analysis() const
+    {
+        return dbt_->analysis();
+    }
+
+    /** The installed translation certificate, or null. */
+    const analysis::Certificate *certificate() const
+    {
+        return dbt_->certificate();
+    }
 
     /** Guest entry pc. */
     gx86::Addr entryPc() const { return image_.entry; }

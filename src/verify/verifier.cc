@@ -4,7 +4,9 @@
 #include <map>
 #include <utility>
 
+#include "analysis/analyzer.hh"
 #include "memcore/fencealg.hh"
+#include "support/error.hh"
 
 namespace risotto::verify
 {
@@ -277,6 +279,23 @@ guestEvents(const std::vector<gx86::Instruction> &code)
                                     loc, tag(i, mark, in.toString())));
     });
     return events;
+}
+
+std::vector<bool>
+localGuestEvents(const std::vector<gx86::Instruction> &code,
+                 bool rsp_private, std::int64_t max_offset)
+{
+    std::vector<bool> mask;
+    walkGuest(code, [&](std::size_t, const gx86::Instruction &in,
+                        EventKind kind, Loc, bool rmw) {
+        // One mask entry per sink call keeps the mask aligned with
+        // guestEvents(); fences and RMWs are never local.
+        const bool local = rsp_private && kind != EventKind::Fence &&
+                           !rmw &&
+                           analysis::isStackAccess(in, max_offset);
+        mask.push_back(local);
+    });
+    return mask;
 }
 
 std::vector<VEvent>
@@ -738,7 +757,8 @@ armCoveringFence(std::uint8_t bit)
 ValidationReport
 TbValidator::checkAgainst(const std::vector<gx86::Instruction> &guest,
                           const std::vector<VEvent> &target, Level level,
-                          std::uint64_t guest_pc, bool superblock) const
+                          std::uint64_t guest_pc, bool superblock,
+                          const std::vector<bool> *local_guest) const
 {
     ValidationReport report;
     const std::vector<VEvent> gev = guestEvents(guest);
@@ -749,8 +769,18 @@ TbValidator::checkAgainst(const std::vector<gx86::Instruction> &guest,
         level == Level::Tcg ? tcgGuaranteeGraph(target)
                             : armGuaranteeGraph(target, options_.amoRule);
     const std::vector<std::size_t> match = matchAccesses(gev, target);
+    panicIf(local_guest != nullptr && local_guest->size() != gev.size(),
+            "locality mask does not cover the guest events");
 
     for (const auto &[a, b] : obligations.pairs()) {
+        if (local_guest != nullptr &&
+            ((*local_guest)[a] || (*local_guest)[b])) {
+            // Thread-locality discharge: a thread-private endpoint has
+            // no cross-thread visibility, so the ordering cannot be
+            // observed by any race (see localGuestEvents).
+            ++report.pairsDischargedLocal;
+            continue;
+        }
         const std::size_t ta = match[a];
         const std::size_t tb = match[b];
         if (ta == NoMatch || tb == NoMatch)
@@ -782,20 +812,23 @@ ValidationReport
 TbValidator::validate(const std::vector<gx86::Instruction> &guest,
                       const tcg::Block &ir,
                       const std::vector<aarch::AInstr> &host,
-                      std::uint64_t guest_pc, bool superblock) const
+                      std::uint64_t guest_pc, bool superblock,
+                      const std::vector<bool> *local_guest) const
 {
     ValidationReport report;
     auto merge = [&](ValidationReport part) {
         report.pairsChecked += part.pairsChecked;
+        report.pairsDischargedLocal += part.pairsDischargedLocal;
         for (auto &v : part.violations)
             report.violations.push_back(std::move(v));
     };
     if (options_.checkTcg)
         merge(checkAgainst(guest, tcgEvents(ir), Level::Tcg, guest_pc,
-                           superblock));
+                           superblock, local_guest));
     if (options_.checkArm)
         merge(checkAgainst(guest, armEvents(host, options_.rmw),
-                           Level::Arm, guest_pc, superblock));
+                           Level::Arm, guest_pc, superblock,
+                           local_guest));
     return report;
 }
 

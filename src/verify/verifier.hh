@@ -99,6 +99,10 @@ struct ValidationReport
     /** Obligation pairs checked against the guarantee graphs. */
     std::uint64_t pairsChecked = 0;
 
+    /** Obligation pairs discharged by thread-locality (an endpoint is
+     * a provably thread-private access; see localGuestEvents). */
+    std::uint64_t pairsDischargedLocal = 0;
+
     std::vector<Violation> violations;
 
     bool ok() const { return violations.empty(); }
@@ -108,6 +112,29 @@ struct ValidationReport
 
 /** Memory events of a decoded guest basic block (x86 side). */
 std::vector<VEvent> guestEvents(const std::vector<gx86::Instruction> &code);
+
+/**
+ * Thread-locality mask over guestEvents(code): entry i is true when
+ * event i is an access provably confined to the executing thread's own
+ * stack (stack-relative with a small displacement, or a Call/Ret
+ * return-address push/pop), under the whole-image premise
+ * @p rsp_private -- that the stack pointer never escapes (computed by
+ * analysis::analyzeImage, never assumed). With the premise false the
+ * mask is all-false. RMWs and fences are never local: ordering points
+ * keep their full strength.
+ *
+ * Soundness of discharging an obligation with a local endpoint: x86-TSO
+ * orderings are constraints on the order writes become visible to
+ * *other* threads; an access to memory no other thread can address
+ * (disjoint per-thread stacks, see Dbt::run) has no cross-thread
+ * visibility, so no execution can distinguish whether the ordering was
+ * preserved. This is the same shape as the optimizer-elimination
+ * discharge: the event exists in the guest but is unobservable in any
+ * race.
+ */
+std::vector<bool>
+localGuestEvents(const std::vector<gx86::Instruction> &code,
+                 bool rsp_private, std::int64_t max_offset = 4096);
 
 /** Memory events of a (post-optimization) TCG IR block. */
 std::vector<VEvent> tcgEvents(const tcg::Block &block);
@@ -187,12 +214,19 @@ class TbValidator
     {
     }
 
-    /** Validate one translation at both levels (per options). */
+    /**
+     * Validate one translation at both levels (per options). When
+     * @p local_guest is non-null (a mask over guestEvents(guest), see
+     * localGuestEvents) obligation pairs with a thread-local endpoint
+     * are discharged by locality -- the rule certificate-driven fence
+     * elision is audited under.
+     */
     ValidationReport validate(const std::vector<gx86::Instruction> &guest,
                               const tcg::Block &ir,
                               const std::vector<aarch::AInstr> &host,
-                              std::uint64_t guest_pc,
-                              bool superblock) const;
+                              std::uint64_t guest_pc, bool superblock,
+                              const std::vector<bool> *local_guest =
+                                  nullptr) const;
 
     /**
      * Check guest obligations against one explicit target event
@@ -201,7 +235,8 @@ class TbValidator
     ValidationReport
     checkAgainst(const std::vector<gx86::Instruction> &guest,
                  const std::vector<VEvent> &target, Level level,
-                 std::uint64_t guest_pc, bool superblock = false) const;
+                 std::uint64_t guest_pc, bool superblock = false,
+                 const std::vector<bool> *local_guest = nullptr) const;
 
     const ValidatorOptions &options() const { return options_; }
 

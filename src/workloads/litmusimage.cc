@@ -1,0 +1,160 @@
+#include "workloads/litmusimage.hh"
+
+#include <map>
+
+#include "gx86/assembler.hh"
+#include "support/error.hh"
+
+namespace risotto::workloads
+{
+
+namespace
+{
+
+using litmus::Instr;
+using litmus::NoReg;
+using litmus::StoreExpr;
+
+/** gx86 register carrying litmus register @p r (r8..r13). */
+gx86::Reg
+regOf(litmus::Reg r)
+{
+    fatalIf(r < 0 || r > 5,
+            "litmus program uses more registers than the "
+            "gx86 lowering supports");
+    return static_cast<gx86::Reg>(8 + r);
+}
+
+// Scratch plan: r5 effective address, r6 value, r7 thread id copy.
+// r0 stays free for LockCmpxchg's expected/old operand.
+constexpr gx86::Reg AddrReg = 5;
+constexpr gx86::Reg ValReg = 6;
+constexpr gx86::Reg TidReg = 7;
+
+void
+lowerBody(gx86::Assembler &a, const Instr &in,
+          const std::map<litmus::Loc, std::uint64_t> &loc_addr)
+{
+    const auto addr_of = [&](litmus::Loc loc) {
+        return static_cast<std::int64_t>(loc_addr.at(loc));
+    };
+    switch (in.kind) {
+      case Instr::Kind::Load:
+        a.movri(AddrReg, addr_of(in.loc));
+        if (in.addrDepReg != NoReg) {
+            // Fold a syntactic (value-zero) dependency into the
+            // address, mirroring the abstract addr-dep edge.
+            a.movrr(ValReg, regOf(in.addrDepReg));
+            a.xor_(ValReg, regOf(in.addrDepReg));
+            a.add(AddrReg, ValReg);
+        }
+        a.load(regOf(in.dst), AddrReg, 0);
+        break;
+      case Instr::Kind::Store:
+        switch (in.value.kind) {
+          case StoreExpr::Kind::Const:
+            a.movri(ValReg, static_cast<std::int64_t>(in.value.konst));
+            break;
+          case StoreExpr::Kind::FromReg:
+            a.movrr(ValReg, regOf(in.value.reg));
+            break;
+          case StoreExpr::Kind::FalseDep:
+            // Writes 0 through an expression mentioning the register,
+            // keeping the false data-dependency shape of Section 6.1.
+            a.movrr(ValReg, regOf(in.value.reg));
+            a.xor_(ValReg, regOf(in.value.reg));
+            break;
+        }
+        a.movri(AddrReg, addr_of(in.loc));
+        if (in.addrDepReg != NoReg) {
+            a.movrr(0, regOf(in.addrDepReg));
+            a.xor_(0, regOf(in.addrDepReg));
+            a.add(AddrReg, 0);
+        }
+        a.store(AddrReg, 0, ValReg);
+        break;
+      case Instr::Kind::Rmw:
+        // CAS: LockCmpxchg compares [rb+off] with r0, stores rs on
+        // equality and leaves the old value in r0. Both RmwKind
+        // flavours lower to it; gx86/TSO has a single atomic class.
+        a.movri(0, static_cast<std::int64_t>(in.expected));
+        a.movri(ValReg, static_cast<std::int64_t>(in.desired));
+        a.movri(AddrReg, addr_of(in.loc));
+        a.lockCmpxchg(AddrReg, 0, ValReg);
+        if (in.dst != NoReg)
+            a.movrr(regOf(in.dst), 0);
+        break;
+      case Instr::Kind::Fence:
+        // Every abstract fence flavour is at least as strong as what
+        // gx86/TSO can ask for, so they all lower to mfence.
+        a.mfence();
+        break;
+    }
+}
+
+void
+lowerInstr(gx86::Assembler &a, const Instr &in,
+           const std::map<litmus::Loc, std::uint64_t> &loc_addr)
+{
+    if (in.guardReg != NoReg) {
+        a.cmpri(regOf(in.guardReg), static_cast<std::int32_t>(in.guardVal));
+        const auto skip = a.newLabel();
+        a.jcc(gx86::Cond::Ne, skip);
+        lowerBody(a, in, loc_addr);
+        a.bind(skip);
+        return;
+    }
+    lowerBody(a, in, loc_addr);
+}
+
+} // namespace
+
+gx86::GuestImage
+litmusGuestImage(const litmus::Program &program)
+{
+    fatalIf(program.threads.size() > 8,
+            "litmus program has more threads than the gx86 "
+            "lowering supports: " + program.name);
+
+    gx86::Assembler a(gx86::DefaultTextBase, LitmusLocBase);
+    a.defineSymbol("main");
+
+    // One cache line per shared location; initial value in its first
+    // word so loadImage establishes the litmus init state.
+    std::map<litmus::Loc, std::uint64_t> loc_addr;
+    for (const litmus::Loc loc : program.locations()) {
+        const auto it = program.init.find(loc);
+        loc_addr[loc] =
+            a.dataQuad(it == program.init.end() ? 0 : it->second);
+        a.dataReserve(56, 8);
+    }
+
+    // Dispatch on the thread id in r0; ids beyond the program exit 0.
+    a.movrr(TidReg, 0);
+    std::vector<gx86::Assembler::Label> entries;
+    for (std::size_t tid = 0; tid < program.threads.size(); ++tid) {
+        entries.push_back(a.newLabel());
+        a.cmpri(TidReg, static_cast<std::int32_t>(tid));
+        a.jcc(gx86::Cond::Eq, entries.back());
+    }
+    a.movri(1, 0);
+    a.movri(0, 0);
+    a.syscall();
+
+    for (std::size_t tid = 0; tid < program.threads.size(); ++tid) {
+        a.bind(entries[tid]);
+        for (const Instr &in : program.threads[tid].instrs)
+            lowerInstr(a, in, loc_addr);
+        // Exit with a checksum of the observed registers so output
+        // equality is a meaningful differential signal.
+        a.movri(1, static_cast<std::int64_t>(tid));
+        for (const litmus::Reg r : program.threadRegisters(tid))
+            a.xor_(1, regOf(r));
+        a.andi(1, 0xff);
+        a.movri(0, 0);
+        a.syscall();
+    }
+    return a.finish("main");
+}
+
+} // namespace risotto::workloads

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Lowering litmus programs to executable gx86 guest images.
+ *
+ * The litmus library reasons about abstract programs at the model level
+ * (enumeration, refinement). The static analyzer and the translation
+ * certifier instead consume whole guest images, so corpus sweeps need
+ * each litmus test as a real gx86 binary: every shared location becomes
+ * a cache-line-spaced data word, every thread a straight-line code
+ * region selected by the thread id in guest r0, and every abstract
+ * load/store/RMW/fence the corresponding concrete instruction. The
+ * images are intentionally fence- and RMW-dense -- exactly the shapes
+ * the HotOrdering classification and the paranoid differential sweep
+ * must stay conservative on.
+ */
+
+#ifndef RISOTTO_WORKLOADS_LITMUSIMAGE_HH
+#define RISOTTO_WORKLOADS_LITMUSIMAGE_HH
+
+#include "gx86/image.hh"
+#include "litmus/program.hh"
+
+namespace risotto::workloads
+{
+
+/** Data-section base the lowered shared locations start at. */
+constexpr std::uint64_t LitmusLocBase = 0x0060'0000;
+
+/**
+ * Lower @p program to a runnable gx86 guest image. Thread id arrives
+ * in guest r0; each thread executes its lowered instruction sequence
+ * and exits with a checksum of its observed registers. Programs with
+ * more than 8 threads or 6 registers per thread are rejected with
+ * FatalError (the corpus is far below both).
+ */
+gx86::GuestImage litmusGuestImage(const litmus::Program &program);
+
+} // namespace risotto::workloads
+
+#endif // RISOTTO_WORKLOADS_LITMUSIMAGE_HH

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Whole-image static analyzer and translation-certificate tests: the
+ * classification lattice, the Rsp-escape demotion, decode-cache /
+ * legacy-decode parity (the analyzer and the reachability sweep must
+ * see the same program both ways), fence-elision output equality,
+ * certificate round-trips and keying, tampered-certificate canaries
+ * (a damaged certificate degrades to full validation, never to wrong
+ * code), forged-claim audits, the .rtbc v2 embedded-certificate frame,
+ * and a paranoid zero-disagreement sweep over the litmus x86 corpus.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hh"
+#include "analysis/certificate.hh"
+#include "dbt/certify.hh"
+#include "dbt/dbt.hh"
+#include "dbt/frontend.hh"
+#include "gx86/assembler.hh"
+#include "litmus/library.hh"
+#include "persist/fingerprint.hh"
+#include "persist/snapshot.hh"
+#include "risotto/risotto.hh"
+#include "support/checksum.hh"
+#include "workloads/litmusimage.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace risotto;
+
+/** A guest exercising all three lattice points: a stack-local leaf
+ * (Local), shared-region traffic (Ordered) and an RMW/fence-dense
+ * block (HotOrdering), called in sequence from main. */
+gx86::GuestImage
+latticeImage()
+{
+    gx86::Assembler a;
+    const gx86::Addr shared = a.dataReserve(256);
+    a.defineSymbol("main");
+    const auto start = a.newLabel();
+    a.jmp(start);
+
+    // Local: only stack-relative traffic through an unescaped Rsp.
+    const auto local_fn = a.newLabel();
+    a.bind(local_fn);
+    a.subi(15, 32);
+    a.store(15, 0, 1);
+    a.addi(1, 7);
+    a.load(2, 15, 0);
+    a.add(1, 2);
+    a.addi(15, 32);
+    a.ret();
+
+    // Ordered: shared loads/stores under the standard mapping.
+    const auto shared_fn = a.newLabel();
+    a.bind(shared_fn);
+    a.movri(5, static_cast<std::int64_t>(shared));
+    a.load(2, 5, 0);
+    a.add(1, 2);
+    a.store(5, 8, 1);
+    a.ret();
+
+    // HotOrdering: a dense run of ordering points.
+    const auto hot_fn = a.newLabel();
+    a.bind(hot_fn);
+    a.movri(5, static_cast<std::int64_t>(shared));
+    a.movri(9, 1);
+    a.lockXadd(5, 16, 9);
+    a.mfence();
+    a.movri(9, 1);
+    a.lockXadd(5, 24, 9);
+    a.mfence();
+    a.ret();
+
+    a.bind(start);
+    a.movri(1, 1);
+    a.call(local_fn);
+    a.call(shared_fn);
+    a.call(hot_fn);
+    a.andi(1, 0xff);
+    a.movri(0, 0);
+    a.syscall();
+    return a.finish("main");
+}
+
+/** Same shape, but the stack pointer escapes into arithmetic. */
+gx86::GuestImage
+escapeImage()
+{
+    gx86::Assembler a;
+    a.defineSymbol("main");
+    a.subi(15, 16);
+    a.store(15, 0, 1);
+    a.movrr(3, 15); // Rsp escapes: locality premise is off.
+    a.load(2, 15, 0);
+    a.addi(15, 16);
+    a.movri(1, 0);
+    a.movri(0, 0);
+    a.syscall();
+    return a.finish("main");
+}
+
+analysis::ImageAnalysis
+analyzeWith(const gx86::GuestImage &image, bool decode_cache)
+{
+    if (!decode_cache)
+        return analysis::analyzeImage(image, nullptr);
+    const auto segment = gx86::DecodedSegment::build(image, {});
+    return analysis::analyzeImage(image, segment.get());
+}
+
+TEST(Analyzer, LatticeClassification)
+{
+    const gx86::GuestImage image = latticeImage();
+    const analysis::ImageAnalysis ia = analyzeWith(image, true);
+    EXPECT_TRUE(ia.rspPrivate);
+    EXPECT_GT(ia.blocksLocal, 0u);
+    EXPECT_GT(ia.blocksOrdered, 0u);
+    EXPECT_GT(ia.blocksHot, 0u);
+    EXPECT_GT(ia.fencesElidable, 0u);
+    bool hot_finding = false;
+    for (const analysis::Finding &f : ia.findings)
+        hot_finding |= f.kind == analysis::Finding::Kind::HotRegion;
+    EXPECT_TRUE(hot_finding);
+}
+
+TEST(Analyzer, RspEscapeDemotesWholeImage)
+{
+    const analysis::ImageAnalysis ia = analyzeWith(escapeImage(), true);
+    EXPECT_FALSE(ia.rspPrivate);
+    EXPECT_EQ(ia.blocksLocal, 0u);
+    EXPECT_EQ(ia.fencesElidable, 0u);
+    bool escape_finding = false;
+    for (const analysis::Finding &f : ia.findings)
+        escape_finding |= f.kind == analysis::Finding::Kind::RspEscape;
+    EXPECT_TRUE(escape_finding);
+}
+
+/** The satellite regression: the pre-decoded segment and the legacy
+ * GuestImage::decodeAt path must agree on the whole analysis -- same
+ * reachable block heads, same classes, same premise. */
+TEST(Analyzer, DecodeCacheParity)
+{
+    const gx86::GuestImage image = latticeImage();
+    const analysis::ImageAnalysis cached = analyzeWith(image, true);
+    const analysis::ImageAnalysis legacy = analyzeWith(image, false);
+    EXPECT_EQ(cached.rspPrivate, legacy.rspPrivate);
+    ASSERT_EQ(cached.blocks.size(), legacy.blocks.size());
+    for (const auto &[pc, summary] : cached.blocks) {
+        const auto it = legacy.blocks.find(pc);
+        ASSERT_NE(it, legacy.blocks.end()) << "block only in cached";
+        EXPECT_EQ(summary.cls, it->second.cls) << "class differs @" << pc;
+        EXPECT_EQ(summary.successors, it->second.successors);
+    }
+}
+
+/** And the same parity for the reachability sweep risotto-run
+ * --validate walks (with and without --no-decode-cache). */
+TEST(Analyzer, ReachableBlocksParity)
+{
+    const gx86::GuestImage image = latticeImage();
+    dbt::DbtConfig config = dbt::DbtConfig::risotto();
+    const auto segment = gx86::DecodedSegment::build(image, {});
+    const std::vector<gx86::Addr> cached =
+        dbt::reachableBlocks(image, config, segment.get());
+    const std::vector<gx86::Addr> legacy =
+        dbt::reachableBlocks(image, config, nullptr);
+    EXPECT_EQ(cached, legacy);
+}
+
+TEST(Elision, OutputEqualAndValidated)
+{
+    const workloads::WorkloadSpec spec =
+        workloads::fullSuite().front();
+    const gx86::GuestImage image = workloads::buildGuestWorkload(spec);
+
+    EmulatorOptions plain;
+    plain.config = dbt::DbtConfig::risotto();
+    Emulator base(image, plain);
+    const dbt::RunResult want = base.run(2);
+
+    EmulatorOptions elide;
+    elide.config = dbt::DbtConfig::risotto();
+    elide.config.analysis = true;
+    elide.config.analysisElide = true;
+    elide.config.validateTranslations = true;
+    Emulator eliding(image, elide);
+    const dbt::RunResult got = eliding.run(2);
+
+    EXPECT_EQ(want.outputs, got.outputs);
+    EXPECT_EQ(want.exitCodes, got.exitCodes);
+    EXPECT_EQ(eliding.engine().violations().size(), 0u);
+}
+
+TEST(Certificate, RoundTripAndKeying)
+{
+    const gx86::GuestImage image = latticeImage();
+    dbt::DbtConfig config = dbt::DbtConfig::risotto();
+    config.analysis = true;
+    const analysis::ImageAnalysis ia = analyzeWith(image, true);
+
+    dbt::CertifyReport report;
+    const analysis::Certificate cert =
+        dbt::certifyImage(image, config, ia, nullptr, report);
+    EXPECT_EQ(report.blocksCertified, ia.blocks.size());
+    EXPECT_GT(report.blocksValidated, 0u);
+    EXPECT_EQ(report.blocksFailed, 0u);
+
+    const std::vector<std::uint8_t> bytes =
+        analysis::serializeCertificate(cert);
+    analysis::Certificate back;
+    ASSERT_TRUE(analysis::parseCertificate(bytes, back));
+    EXPECT_EQ(back.entries.size(), cert.entries.size());
+    EXPECT_EQ(back.validatedCount(), cert.validatedCount());
+    EXPECT_TRUE(analysis::certificateMatches(
+        back, persist::imageDigest(image),
+        persist::configFingerprint(config)));
+    EXPECT_FALSE(analysis::certificateMatches(
+        back, persist::imageDigest(image),
+        persist::configFingerprint(config) ^ 1));
+}
+
+/** Every single-bit corruption must be caught by the parser -- and a
+ * rejected certificate means full validation, never a wrong claim. */
+TEST(Certificate, TamperCanary)
+{
+    const gx86::GuestImage image = latticeImage();
+    dbt::DbtConfig config = dbt::DbtConfig::risotto();
+    config.analysis = true;
+    const analysis::ImageAnalysis ia = analyzeWith(image, true);
+    dbt::CertifyReport report;
+    const analysis::Certificate cert =
+        dbt::certifyImage(image, config, ia, nullptr, report);
+    const std::vector<std::uint8_t> bytes =
+        analysis::serializeCertificate(cert);
+
+    std::size_t rejected = 0;
+    for (std::size_t bit = 0; bit < bytes.size() * 8; bit += 7) {
+        std::vector<std::uint8_t> bad = bytes;
+        bad[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        analysis::Certificate parsed;
+        if (!analysis::parseCertificate(bad, parsed)) {
+            ++rejected;
+            continue;
+        }
+        // A flip the checksum cannot see structurally must still fail
+        // the key check against the real image + config.
+        EXPECT_FALSE(analysis::certificateMatches(
+            parsed, persist::imageDigest(image),
+            persist::configFingerprint(config)));
+        ++rejected;
+    }
+    EXPECT_GT(rejected, 0u);
+}
+
+/** Engine-side rejection: a certificate for a different image or
+ * config never installs. */
+TEST(Certificate, EngineRejectsMismatchedKeys)
+{
+    const gx86::GuestImage image = latticeImage();
+    dbt::DbtConfig config = dbt::DbtConfig::risotto();
+    config.analysis = true;
+    config.analysisSkip = true;
+    config.validateTranslations = true;
+    const analysis::ImageAnalysis ia = analyzeWith(image, true);
+    dbt::CertifyReport report;
+    analysis::Certificate cert =
+        dbt::certifyImage(image, config, ia, nullptr, report);
+    cert.configFingerprint ^= 0x1234; // Wrong pipeline.
+
+    dbt::Dbt engine(image, config);
+    EXPECT_FALSE(engine.setCertificate(cert));
+    EXPECT_EQ(engine.certificate(), nullptr);
+    EXPECT_GT(engine.stats().get("analysis.cert_rejected"), 0u);
+}
+
+/** A forged claim (an address the pipeline cannot even translate)
+ * must surface as an audit disagreement. */
+TEST(Certificate, AuditDetectsForgedClaim)
+{
+    const gx86::GuestImage image = latticeImage();
+    dbt::DbtConfig config = dbt::DbtConfig::risotto();
+    config.analysis = true;
+    const analysis::ImageAnalysis ia = analyzeWith(image, true);
+    dbt::CertifyReport report;
+    analysis::Certificate cert =
+        dbt::certifyImage(image, config, ia, nullptr, report);
+
+    analysis::CertEntry forged;
+    forged.pc = 0x7fff'0000; // Outside the guest text.
+    forged.cls = analysis::BlockClass::Local;
+    forged.flags = analysis::ClaimValidated;
+    cert.entries.push_back(forged);
+
+    const dbt::CertifyReport audit =
+        dbt::auditCertificate(image, config, ia, nullptr, cert);
+    EXPECT_GT(audit.blocksFailed, 0u);
+}
+
+/** Claim-driven skips actually happen, and the paranoid mode rechecks
+ * every one of them without finding a disagreement. */
+TEST(Certificate, SkipAndParanoidRecheck)
+{
+    const gx86::GuestImage image = latticeImage();
+    dbt::DbtConfig config = dbt::DbtConfig::risotto();
+    config.analysis = true;
+    config.analysisSkip = true;
+    config.validateTranslations = true;
+    const analysis::ImageAnalysis ia = analyzeWith(image, true);
+    dbt::CertifyReport report;
+    const analysis::Certificate cert =
+        dbt::certifyImage(image, config, ia, nullptr, report);
+
+    dbt::Dbt skipping(image, config);
+    ASSERT_TRUE(skipping.setCertificate(cert));
+    for (const auto &[pc, summary] : ia.blocks)
+        skipping.lookupOrTranslate(pc);
+    EXPECT_GT(skipping.stats().get("analysis.validations_skipped"), 0u);
+    EXPECT_EQ(skipping.stats().get("analysis.paranoid_disagreements"),
+              0u);
+
+    dbt::DbtConfig paranoid = config;
+    paranoid.analysisParanoid = true;
+    dbt::Dbt rechecking(image, paranoid);
+    ASSERT_TRUE(rechecking.setCertificate(cert));
+    for (const auto &[pc, summary] : ia.blocks)
+        rechecking.lookupOrTranslate(pc);
+    EXPECT_EQ(rechecking.stats().get("analysis.validations_skipped"),
+              0u);
+    EXPECT_GT(rechecking.stats().get("analysis.paranoid_rechecks"), 0u);
+    EXPECT_EQ(rechecking.stats().get("analysis.paranoid_disagreements"),
+              0u);
+}
+
+/** The certificate rides inside .rtbc v2 snapshots; a corrupted frame
+ * drops the certificate (full validation) but never the records. */
+TEST(Certificate, SnapshotEmbedAndCorruptFrame)
+{
+    const gx86::GuestImage image = latticeImage();
+    dbt::DbtConfig config = dbt::DbtConfig::risotto();
+    config.analysis = true;
+    config.analysisSkip = true;
+    config.validateTranslations = true;
+    const analysis::ImageAnalysis ia = analyzeWith(image, true);
+    dbt::CertifyReport report;
+    const analysis::Certificate cert =
+        dbt::certifyImage(image, config, ia, nullptr, report);
+
+    const std::string path = "/tmp/test_analysis_cert.rtbc";
+    {
+        dbt::Dbt producer(image, config);
+        ASSERT_TRUE(producer.setCertificate(cert));
+        for (const auto &[pc, summary] : ia.blocks)
+            producer.lookupOrTranslate(pc);
+        ASSERT_TRUE(producer.savePersistentCache(path));
+    }
+    {
+        dbt::Dbt consumer(image, config);
+        const dbt::PersistReport loaded =
+            consumer.loadPersistentCache(path, true);
+        EXPECT_TRUE(loaded.applied);
+        EXPECT_GT(loaded.loaded, 0u);
+        EXPECT_GT(consumer.stats().get("analysis.cert_embedded"), 0u);
+        EXPECT_GT(consumer.stats().get("analysis.validations_skipped"),
+                  0u);
+    }
+    {
+        // Flip one bit inside the certificate frame: records must
+        // still load, with the certificate dropped and every record
+        // fully validated.
+        std::vector<std::uint8_t> bytes = support::readFileBytes(path);
+        const std::vector<std::uint8_t> cert_bytes =
+            analysis::serializeCertificate(cert);
+        std::size_t at = 0;
+        for (std::size_t i = 0; i + cert_bytes.size() <= bytes.size();
+             ++i) {
+            if (std::equal(cert_bytes.begin(), cert_bytes.end(),
+                           bytes.begin() + static_cast<long>(i))) {
+                at = i;
+                break;
+            }
+        }
+        ASSERT_GT(at, 0u) << "certificate frame not found in snapshot";
+        bytes[at + cert_bytes.size() / 2] ^= 0x10;
+        support::writeFileBytes(path, bytes);
+
+        dbt::Dbt consumer(image, config);
+        const dbt::PersistReport loaded =
+            consumer.loadPersistentCache(path, true);
+        EXPECT_TRUE(loaded.applied);
+        EXPECT_GT(loaded.loaded, 0u);
+        EXPECT_EQ(consumer.stats().get("analysis.validations_skipped"),
+                  0u);
+        EXPECT_EQ(consumer.certificate(), nullptr);
+    }
+}
+
+/** Corpus sweep: certify + paranoid audit of every litmus x86 test's
+ * lowered image finds zero disagreements, and the lowered images run
+ * (exit codes present for every thread). */
+TEST(Corpus, LitmusParanoidSweep)
+{
+    dbt::DbtConfig config = dbt::DbtConfig::risotto();
+    config.analysis = true;
+    config.analysisElide = true;
+    for (const litmus::LitmusTest &test : litmus::x86Corpus()) {
+        const gx86::GuestImage image =
+            workloads::litmusGuestImage(test.program);
+        const analysis::ImageAnalysis ia = analyzeWith(image, true);
+        dbt::CertifyReport report;
+        const analysis::Certificate cert =
+            dbt::certifyImage(image, config, ia, nullptr, report);
+        EXPECT_EQ(report.blocksFailed, 0u) << test.program.name;
+        const dbt::CertifyReport audit =
+            dbt::auditCertificate(image, config, ia, nullptr, cert);
+        EXPECT_EQ(audit.blocksFailed, 0u) << test.program.name;
+
+        EmulatorOptions options;
+        options.config = config;
+        Emulator emulator(image, options);
+        const dbt::RunResult result =
+            emulator.run(test.program.threads.size());
+        EXPECT_EQ(result.exitCodes.size(),
+                  test.program.threads.size())
+            << test.program.name;
+    }
+}
+
+} // namespace

@@ -226,14 +226,14 @@ TEST(Persist, VersionAndHeaderCorruptionAreDistinguished)
 
     // Future format version with a correctly re-checksummed header.
     std::vector<std::uint8_t> future = ref.bytes;
-    future[4] = 2;
+    future[4] = static_cast<std::uint8_t>(persist::FormatVersion + 1);
     const std::uint64_t sum = support::fnv1a64(future.data(), 56);
     for (std::size_t i = 0; i < 8; ++i)
         future[56 + i] = static_cast<std::uint8_t>(sum >> (8 * i));
     persist::ParseReport vreport;
     persist::parse(future, vreport);
     EXPECT_FALSE(vreport.headerOk);
-    EXPECT_EQ(vreport.version, 2u);
+    EXPECT_EQ(vreport.version, persist::FormatVersion + 1);
 
     const std::string vpath = testing::TempDir() + "/future.rtbc";
     support::writeFileBytes(vpath, future);

@@ -1,0 +1,374 @@
+/**
+ * @file
+ * risotto-analyze: whole-image static weak-memory analysis driver.
+ *
+ * Runs the ahead-of-time analyzer over a guest image (or the built-in
+ * corpus), prints the classification summary and the static findings
+ * report, and optionally certifies the result: every analyzed block is
+ * run through the real tier-1 pipeline and the obligation-graph
+ * validator, and the blocks that pass are recorded as ClaimValidated
+ * entries of a checksummed RACF certificate that risotto-run / serve
+ * can consume to skip per-TB validation.
+ *
+ *   risotto-analyze [options] image.riso
+ *   risotto-analyze --corpus [options]
+ *
+ *   --variant NAME    qemu | no-fences | tcg-ver | risotto (default)
+ *   --elide           certify the fence-eliding pipeline (the config
+ *                     consumers must then run with --analysis-elide)
+ *   --cert FILE       write the translation certificate to FILE
+ *                     (single-image mode)
+ *   --check FILE      audit an existing certificate: re-validate every
+ *                     ClaimValidated entry; any disagreement exits 3
+ *   --paranoid        certify, then immediately re-audit the fresh
+ *                     certificate (the full differential); exits 3 on
+ *                     any disagreement
+ *   --corpus          sweep the built-in workload suite plus the litmus
+ *                     x86 corpus instead of reading an image
+ *   --jobs N          parallel certification workers (default: cores)
+ *   --findings N      print at most N findings per image (default 10)
+ *   --no-decode-cache analyze via the legacy GuestImage::decodeAt path
+ *                     instead of the pre-decoded segment
+ *   --stats           dump the aggregated analysis.* counters
+ *   --stats-json PATH write them to PATH as stable key-sorted JSON
+ *
+ * Exit codes: 0 ok; 2 usage; 3 a certificate claim disagreed with the
+ * validator (certify refusals are reported but are not failures --
+ * blocks without claims simply keep full validation).
+ */
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "analysis/certificate.hh"
+#include "dbt/certify.hh"
+#include "dbt/config.hh"
+#include "gx86/image.hh"
+#include "gx86/imagefile.hh"
+#include "litmus/library.hh"
+#include "persist/fingerprint.hh"
+#include "risotto/risotto.hh"
+#include "support/checksum.hh"
+#include "support/error.hh"
+#include "workloads/litmusimage.hh"
+#include "workloads/workloads.hh"
+
+using namespace risotto;
+
+namespace
+{
+
+dbt::DbtConfig
+configByName(const std::string &name)
+{
+    if (name == "qemu")
+        return dbt::DbtConfig::qemu();
+    if (name == "no-fences")
+        return dbt::DbtConfig::qemuNoFences();
+    if (name == "tcg-ver")
+        return dbt::DbtConfig::tcgVer();
+    if (name == "risotto")
+        return dbt::DbtConfig::risotto();
+    fatal("unknown variant '" + name +
+          "' (expected qemu|no-fences|tcg-ver|risotto)");
+}
+
+/** One image of the sweep. */
+struct ImageJob
+{
+    std::string name;
+    gx86::GuestImage image;
+};
+
+/** What to do and how; shared by single-image and corpus modes. */
+struct AnalyzeOptions
+{
+    dbt::DbtConfig config;
+    std::string certOut;   ///< --cert: write the certificate here.
+    std::string checkPath; ///< --check: audit this certificate file.
+    bool paranoid = false;
+    std::size_t jobs = 0;
+    std::size_t maxFindings = 10;
+};
+
+/** Aggregated counters across the sweep (all analysis.*-prefixed). */
+using StatMap = std::map<std::string, std::uint64_t>;
+
+/**
+ * Analyze (and, when asked, certify / audit) one image.
+ * @return false when a certificate claim disagreed with the validator.
+ */
+bool
+analyzeOne(const ImageJob &job, const AnalyzeOptions &options,
+           StatMap &stats)
+{
+    EmulatorOptions eo;
+    eo.config = options.config;
+    // The Emulator wires the linker exactly as risotto-run does, so
+    // the analyzer sees the same segment the engine translates from.
+    Emulator emulator(job.image, eo);
+    const analysis::ImageAnalysis *ia = emulator.engine().analysis();
+    fatalIf(ia == nullptr, "analysis did not run (internal)");
+
+    std::cout << "[risotto-analyze] " << job.name << ": blocks="
+              << ia->blocks.size() << " local=" << ia->blocksLocal
+              << " ordered=" << ia->blocksOrdered
+              << " hot=" << ia->blocksHot
+              << " rsp-private=" << (ia->rspPrivate ? "yes" : "no")
+              << " elidable-fences=" << ia->fencesElidable
+              << " unreachable-islands=" << ia->unreachableIslands
+              << "\n";
+    for (std::size_t f = 0; f < ia->findings.size(); ++f) {
+        if (f >= options.maxFindings) {
+            std::cout << "  ... " << (ia->findings.size() - f)
+                      << " more finding(s)\n";
+            break;
+        }
+        std::cout << "  " << ia->findings[f].toString() << "\n";
+    }
+
+    stats["analysis.images"] += 1;
+    stats["analysis.blocks_local"] += ia->blocksLocal;
+    stats["analysis.blocks_ordered"] += ia->blocksOrdered;
+    stats["analysis.blocks_hot"] += ia->blocksHot;
+    stats["analysis.rsp_private"] += ia->rspPrivate ? 1 : 0;
+    stats["analysis.fences_elidable"] += ia->fencesElidable;
+    stats["analysis.findings"] += ia->findings.size();
+    stats["analysis.unreachable_islands"] += ia->unreachableIslands;
+
+    const gx86::DecodedSegment *segment =
+        emulator.engine().segment().get();
+    bool ok = true;
+
+    const bool certify =
+        !options.certOut.empty() || options.paranoid;
+    analysis::Certificate cert;
+    if (certify) {
+        dbt::CertifyReport report;
+        cert = dbt::certifyImage(job.image, options.config, *ia,
+                                 segment, report, options.jobs);
+        std::cout << "  certify: entries=" << report.blocksCertified
+                  << " validated=" << report.blocksValidated
+                  << " refused=" << report.blocksFailed
+                  << " untranslatable=" << report.blocksUntranslatable
+                  << " pairs=" << report.pairsChecked
+                  << " discharged-local="
+                  << report.pairsDischargedLocal << "\n";
+        stats["analysis.cert_entries"] += report.blocksCertified;
+        stats["analysis.cert_validated"] += report.blocksValidated;
+        stats["analysis.cert_refused"] += report.blocksFailed;
+        stats["analysis.cert_untranslatable"] +=
+            report.blocksUntranslatable;
+        stats["analysis.pairs_checked"] += report.pairsChecked;
+        stats["analysis.pairs_discharged_local"] +=
+            report.pairsDischargedLocal;
+        if (!options.certOut.empty()) {
+            support::writeFileBytes(options.certOut,
+                                    analysis::serializeCertificate(cert));
+            std::cout << "  certificate written to " << options.certOut
+                      << " (" << cert.validatedCount()
+                      << " validated claim(s))\n";
+        }
+    }
+
+    const bool audit = !options.checkPath.empty() || options.paranoid;
+    if (audit) {
+        if (!options.checkPath.empty()) {
+            std::string error;
+            fatalIf(!analysis::parseCertificate(
+                        support::readFileBytes(options.checkPath), cert,
+                        &error),
+                    "cannot parse certificate " + options.checkPath +
+                        ": " + error);
+            fatalIf(!analysis::certificateMatches(
+                        cert, persist::imageDigest(job.image),
+                        persist::configFingerprint(options.config)),
+                    "certificate " + options.checkPath +
+                        " is for a different image or config");
+        }
+        const dbt::CertifyReport report = dbt::auditCertificate(
+            job.image, options.config, *ia, segment, cert,
+            options.jobs);
+        std::cout << "  audit: claims=" << report.blocksValidated +
+                         report.blocksFailed
+                  << " revalidated=" << report.blocksValidated
+                  << " disagreements=" << report.blocksFailed << "\n";
+        stats["analysis.paranoid_rechecks"] +=
+            report.blocksValidated + report.blocksFailed;
+        stats["analysis.paranoid_disagreements"] += report.blocksFailed;
+        if (report.blocksFailed > 0) {
+            std::cerr << "risotto-analyze: " << report.blocksFailed
+                      << " certificate claim(s) disagreed with the "
+                         "validator on "
+                      << job.name << "\n";
+            ok = false;
+        }
+    }
+    return ok;
+}
+
+/** The built-in corpus: every workload proxy + the litmus x86 tests. */
+std::vector<ImageJob>
+corpusJobs()
+{
+    std::vector<ImageJob> jobs;
+    for (const workloads::WorkloadSpec &spec : workloads::fullSuite())
+        jobs.push_back({spec.suite + "/" + spec.name,
+                        workloads::buildGuestWorkload(spec)});
+    for (const litmus::LitmusTest &test : litmus::x86Corpus())
+        jobs.push_back({"litmus/" + test.program.name,
+                        workloads::litmusGuestImage(test.program)});
+    return jobs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string image_path;
+    std::string variant = "risotto";
+    AnalyzeOptions options;
+    bool corpus = false;
+    bool elide = false;
+    bool decode_cache = true;
+    bool want_stats = false;
+    std::string stats_json;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                fatal("missing value for " + arg);
+            return argv[i];
+        };
+        auto nextU64 = [&]() -> std::uint64_t {
+            const std::string v = next();
+            try {
+                return std::stoull(v);
+            } catch (const std::exception &) {
+                fatal("invalid number '" + v + "' for " + arg);
+            }
+        };
+        try {
+            if (arg == "--variant")
+                variant = next();
+            else if (arg == "--elide")
+                elide = true;
+            else if (arg == "--cert")
+                options.certOut = next();
+            else if (arg == "--check")
+                options.checkPath = next();
+            else if (arg == "--paranoid")
+                options.paranoid = true;
+            else if (arg == "--corpus")
+                corpus = true;
+            else if (arg == "--jobs")
+                options.jobs = static_cast<std::size_t>(nextU64());
+            else if (arg == "--findings")
+                options.maxFindings =
+                    static_cast<std::size_t>(nextU64());
+            else if (arg == "--no-decode-cache")
+                decode_cache = false;
+            else if (arg == "--stats")
+                want_stats = true;
+            else if (arg == "--stats-json")
+                stats_json = next();
+            else if (arg == "--help" || arg == "-h") {
+                std::cout
+                    << "usage: risotto-analyze [options] image.riso\n"
+                       "       risotto-analyze --corpus [options]\n"
+                       "see the file header for options\n";
+                return toolExitCode(ToolExit::Ok);
+            } else if (!arg.empty() && arg[0] == '-') {
+                fatal("unknown option " + arg +
+                      " (see risotto-analyze --help)");
+            } else if (!image_path.empty()) {
+                fatal("more than one image given ('" + image_path +
+                      "' and '" + arg + "')");
+            } else {
+                image_path = arg;
+            }
+        } catch (const Error &e) {
+            std::cerr << "risotto-analyze: " << e.what() << "\n";
+            return toolExitCode(ToolExit::Usage);
+        }
+    }
+
+    if (!corpus && image_path.empty()) {
+        std::cerr << "risotto-analyze: no image given (or use "
+                     "--corpus)\n";
+        return toolExitCode(ToolExit::Usage);
+    }
+    if (corpus && !image_path.empty()) {
+        std::cerr << "risotto-analyze: --corpus takes no image\n";
+        return toolExitCode(ToolExit::Usage);
+    }
+    if (corpus && !options.certOut.empty()) {
+        std::cerr << "risotto-analyze: --cert needs a single image\n";
+        return toolExitCode(ToolExit::Usage);
+    }
+    if (corpus && !options.checkPath.empty()) {
+        std::cerr << "risotto-analyze: --check needs a single image\n";
+        return toolExitCode(ToolExit::Usage);
+    }
+
+    try {
+        options.config = configByName(variant);
+        options.config.analysis = true;
+        options.config.analysisElide = elide;
+        options.config.decodeCache = decode_cache;
+        // A certificate is a claim about the *validating* pipeline, and
+        // the config fingerprint it is keyed by covers this flag: the
+        // consumers that can use the claims (--analysis-cert with
+        // --validate) run with it on.
+        options.config.validateTranslations = true;
+
+        std::vector<ImageJob> jobs;
+        if (corpus)
+            jobs = corpusJobs();
+        else
+            jobs.push_back({image_path, gx86::loadImage(image_path)});
+
+        StatMap stats;
+        bool ok = true;
+        for (const ImageJob &job : jobs)
+            ok = analyzeOne(job, options, stats) && ok;
+
+        if (jobs.size() > 1)
+            std::cout << "[risotto-analyze] corpus: images="
+                      << stats["analysis.images"] << " local="
+                      << stats["analysis.blocks_local"] << " ordered="
+                      << stats["analysis.blocks_ordered"] << " hot="
+                      << stats["analysis.blocks_hot"]
+                      << " paranoid-disagreements="
+                      << stats["analysis.paranoid_disagreements"]
+                      << "\n";
+        if (want_stats)
+            for (const auto &[name, value] : stats)
+                std::cout << "  " << name << " = " << value << "\n";
+        if (!stats_json.empty()) {
+            std::ofstream out(stats_json);
+            fatalIf(!out, "cannot open " + stats_json + " for writing");
+            out << "{\n";
+            bool first = true;
+            for (const auto &[name, value] : stats) {
+                out << (first ? "" : ",\n") << "  \"" << name
+                    << "\": " << value;
+                first = false;
+            }
+            out << "\n}\n";
+            fatalIf(!out, "write failed for " + stats_json);
+        }
+
+        return toolExitCode(ok ? ToolExit::Ok
+                               : ToolExit::ValidatorViolation);
+    } catch (const Error &e) {
+        std::cerr << "risotto-analyze: " << e.what() << "\n";
+        return toolExitCode(ToolExit::RuntimeError);
+    }
+}

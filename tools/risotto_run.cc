@@ -29,6 +29,20 @@
  *                     3 when violations were found
  *   --jobs N          worker threads for the --validate sweep
  *                     (default: hardware concurrency)
+ *   --analysis        run the whole-image static weak-memory analyzer
+ *                     (src/analysis) at startup and print the
+ *                     classification summary (local / ordered / hot)
+ *   --analysis-elide  (implies --analysis) elide the mapped fences in
+ *                     blocks the analyzer proved Local; every elision
+ *                     is discharged by thread-locality under --validate
+ *   --analysis-cert F (implies --analysis) install the translation
+ *                     certificate at F (from risotto-analyze --cert)
+ *                     and skip per-TB validation for blocks it vouches
+ *                     for; a tampered/stale certificate falls back to
+ *                     full validation, never to wrong code
+ *   --analysis-paranoid  (implies --analysis and --validate) re-run the
+ *                     validator on every certificate-driven skip and
+ *                     every elided block; exit 3 on any disagreement
  *   --dump-hot N      print the N hottest blocks after the run
  *   --stats           dump translation + machine counters
  *   --stats-json PATH write the merged run counters (incl. persist.*)
@@ -66,6 +80,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.hh"
+#include "analysis/certificate.hh"
 #include "dbt/backend.hh"
 #include "dbt/frontend.hh"
 #include "gx86/assembler.hh"
@@ -167,14 +183,19 @@ struct SweepCheck
 /** Validate one block exactly as the engine's tier-1 pipeline lowers
  * it, self-contained so blocks validate in parallel. The sweep shares
  * the engine's read-only pre-decoded @p segment (may be null), making
- * the whole BFS decode-free. */
+ * the whole BFS decode-free. With @p analysis non-null the sweep
+ * reproduces the engine's certificate-driven fence elision and judges
+ * it under the same locality discharge. */
 SweepCheck
 validateOne(const gx86::GuestImage &image, const dbt::DbtConfig &config,
-            const gx86::DecodedSegment *segment, gx86::Addr head)
+            const gx86::DecodedSegment *segment,
+            const analysis::ImageAnalysis *analysis, gx86::Addr head)
 {
     SweepCheck check;
     dbt::Frontend frontend(image, config, nullptr);
     frontend.setSegment(segment);
+    if (analysis != nullptr && config.analysis && config.analysisElide)
+        frontend.setAnalysis(analysis);
     const std::vector<gx86::Instruction> guest = frontend.decodeBlock(head);
     tcg::Block block = frontend.translate(head);
     tcg::optimize(block, config.optimizer);
@@ -188,7 +209,15 @@ validateOne(const gx86::GuestImage &image, const dbt::DbtConfig &config,
     verify::ValidatorOptions vo;
     vo.rmw = config.rmw;
     const verify::TbValidator validator(vo);
-    const auto report = validator.validate(guest, block, host, head, false);
+    std::vector<bool> mask;
+    const std::vector<bool> *local = nullptr;
+    if (analysis != nullptr && config.analysis && config.analysisElide &&
+        analysis->rspPrivate) {
+        mask = verify::localGuestEvents(guest, true);
+        local = &mask;
+    }
+    const auto report =
+        validator.validate(guest, block, host, head, false, local);
     check.pairs = report.pairsChecked;
     check.violations = report.violations;
     return check;
@@ -220,6 +249,10 @@ main(int argc, char **argv)
     bool tb_cache_readonly = false;
     bool tb_cache_verify = false;
     std::string stats_json;
+    bool analysis_on = false;
+    bool analysis_elide = false;
+    bool analysis_paranoid = false;
+    std::string analysis_cert;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -274,6 +307,22 @@ main(int argc, char **argv)
                 fusion = false;
             else if (arg == "--validate")
                 validate = true;
+            else if (arg == "--analysis")
+                analysis_on = true;
+            else if (arg == "--analysis-elide") {
+                analysis_on = true;
+                analysis_elide = true;
+            } else if (arg == "--analysis-cert") {
+                analysis_on = true;
+                analysis_cert = next();
+                // Claims are statements about the validating pipeline
+                // (the fingerprint they key by covers this flag).
+                validate = true;
+            } else if (arg == "--analysis-paranoid") {
+                analysis_on = true;
+                analysis_paranoid = true;
+                validate = true;
+            }
             else if (arg == "--jobs")
                 jobs = static_cast<std::size_t>(nextU64());
             else if (arg == "--dump-hot")
@@ -337,10 +386,35 @@ main(int argc, char **argv)
         options.config.validateTranslations = validate;
         options.config.decodeCache = decode_cache;
         options.config.fusion = fusion;
+        options.config.analysis = analysis_on;
+        options.config.analysisElide = analysis_elide;
+        options.config.analysisSkip = !analysis_cert.empty();
+        options.config.analysisParanoid = analysis_paranoid;
         if (tier2_threshold_set)
             options.config.tier2Threshold = tier2_threshold;
 
         Emulator emulator(image, options);
+
+        if (!analysis_cert.empty()) {
+            fatalIf(!support::fileReadable(analysis_cert),
+                    "cannot read certificate " + analysis_cert);
+            analysis::Certificate cert;
+            std::string cert_error;
+            if (!analysis::parseCertificate(
+                    support::readFileBytes(analysis_cert), cert,
+                    &cert_error)) {
+                // A tampered certificate is never fatal: the engine
+                // simply validates everything itself.
+                std::cout << "[risotto-run] certificate " << analysis_cert
+                          << " rejected (" << cert_error
+                          << "); falling back to full validation\n";
+            } else if (!emulator.engine().setCertificate(
+                           std::move(cert))) {
+                std::cout << "[risotto-run] certificate " << analysis_cert
+                          << " is for a different image or config; "
+                             "falling back to full validation\n";
+            }
+        }
 
         // Whole-image static sweep: validate every reachable block
         // before running anything, fanned out over the pool. Both the
@@ -350,15 +424,24 @@ main(int argc, char **argv)
         std::uint64_t sweep_pairs = 0;
         std::vector<verify::Violation> sweep_violations;
         if (validate) {
+            // --no-decode-cache takes the legacy path explicitly: a
+            // null segment makes reachableBlocks and every per-worker
+            // frontend fall back to GuestImage::decodeAt. Both paths
+            // must visit the identical reachable-block set (asserted by
+            // the decode-parity regression test in test_analysis).
             const gx86::DecodedSegment *segment =
-                emulator.engine().segment().get();
+                options.config.decodeCache
+                    ? emulator.engine().segment().get()
+                    : nullptr;
+            const analysis::ImageAnalysis *sweep_analysis =
+                emulator.engine().analysis();
             const std::vector<gx86::Addr> heads =
                 reachableBlocks(image, options.config, segment);
             support::ThreadPool pool(jobs);
             std::vector<SweepCheck> checks(heads.size());
             pool.parallelFor(0, heads.size(), 1, [&](std::size_t i) {
                 checks[i] = validateOne(image, options.config, segment,
-                                        heads[i]);
+                                        sweep_analysis, heads[i]);
             });
             sweep_blocks = heads.size();
             for (const SweepCheck &check : checks) {
@@ -469,6 +552,26 @@ main(int argc, char **argv)
                   << " fused-entries="
                   << result.stats.get("dbt.segment_fused_entries")
                   << " guest-insns=" << guest_insns << "\n";
+        if (analysis_on) {
+            const analysis::ImageAnalysis *a =
+                emulator.engine().analysis();
+            const auto &es = emulator.engine().stats();
+            std::cout << "  analysis: rsp-private="
+                      << (a != nullptr && a->rspPrivate ? "yes" : "no")
+                      << " local=" << (a != nullptr ? a->blocksLocal : 0)
+                      << " ordered="
+                      << (a != nullptr ? a->blocksOrdered : 0)
+                      << " hot=" << (a != nullptr ? a->blocksHot : 0)
+                      << " fences-elided="
+                      << es.get("analysis.fences_elided")
+                      << " validations-skipped="
+                      << es.get("analysis.validations_skipped")
+                      << " paranoid-rechecks="
+                      << es.get("analysis.paranoid_rechecks")
+                      << " paranoid-disagreements="
+                      << es.get("analysis.paranoid_disagreements")
+                      << "\n";
+        }
         if (dump_hot > 0) {
             const auto hot =
                 emulator.engine().cache().hottest(dump_hot);
@@ -576,6 +679,10 @@ main(int argc, char **argv)
         }
         if (validate &&
             (result.validationViolations > 0 || !sweep_violations.empty()))
+            return toolExitCode(ToolExit::ValidatorViolation);
+        if (analysis_paranoid &&
+            emulator.engine().stats().get(
+                "analysis.paranoid_disagreements") > 0)
             return toolExitCode(ToolExit::ValidatorViolation);
         return toolExitCode(result.finished ? ToolExit::Ok
                                             : ToolExit::BudgetExhausted);

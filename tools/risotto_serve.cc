@@ -32,6 +32,15 @@
  *                     validator-checked on import, unusable snapshots
  *                     degrade to cold preparation
  *   --no-validate-snapshot  skip validator re-checks on import
+ *   --analysis        run the whole-image static analyzer at prepare time
+ *   --analysis-elide  also elide mapped fences in blocks the analyzer
+ *                     proves thread-private (implies --analysis)
+ *   --analysis-cert FILE  install a standalone translation certificate;
+ *                     validated claims skip per-record re-validation.
+ *                     A corrupt or mismatched certificate is ignored
+ *                     (full validation, never wrong code)
+ *   --analysis-paranoid   re-run the validator on every certificate
+ *                     claim anyway; disagreements exit 3
  *   --no-precompile   skip cold pre-translation (degrades straight to
  *                     interpreter-only when no snapshot applies)
  *   --interp-only     force the interpreter-only rung
@@ -99,6 +108,9 @@ main(int argc, char **argv)
     serve::ServeConfig config;
     config.sessions = 8;
     serve::ArtifactConfig artifact_config;
+    bool analysis_on = false;
+    bool analysis_elide = false;
+    bool analysis_paranoid = false;
     bool serial_check = false;
     bool want_stats = false;
     std::string stats_json;
@@ -162,6 +174,15 @@ main(int argc, char **argv)
                 config.session.faults.rate = nextRate();
             else if (arg == "--tb-cache")
                 artifact_config.snapshotPath = next();
+            else if (arg == "--analysis")
+                analysis_on = true;
+            else if (arg == "--analysis-elide")
+                analysis_on = analysis_elide = true;
+            else if (arg == "--analysis-cert") {
+                analysis_on = true;
+                artifact_config.certificatePath = next();
+            } else if (arg == "--analysis-paranoid")
+                analysis_on = analysis_paranoid = true;
             else if (arg == "--no-validate-snapshot")
                 artifact_config.validateSnapshot = false;
             else if (arg == "--no-precompile")
@@ -203,6 +224,18 @@ main(int argc, char **argv)
 
     try {
         artifact_config.config = configByName(variant);
+        artifact_config.config.analysis = analysis_on;
+        artifact_config.config.analysisElide = analysis_elide;
+        artifact_config.config.analysisSkip =
+            !artifact_config.certificatePath.empty();
+        artifact_config.config.analysisParanoid = analysis_paranoid;
+        // Certificate claims are statements about the validating
+        // pipeline (the config fingerprint they key by includes this
+        // flag), so consuming one means preparing under validation --
+        // with the claimed blocks skipping it.
+        if (artifact_config.config.analysisSkip ||
+            artifact_config.config.analysisParanoid)
+            artifact_config.config.validateTranslations = true;
         const serve::SharedArtifact artifact(gx86::loadImage(image_path),
                                              artifact_config);
         const auto &persist = artifact.persistReport();
@@ -213,6 +246,20 @@ main(int argc, char **argv)
             std::cout << " snapshot-loaded=" << persist.loaded
                       << " snapshot-rejected=" << persist.rejected;
         std::cout << "\n";
+        if (analysis_on)
+            std::cout << "  analysis: local="
+                      << artifact.stats().get("analysis.blocks_local")
+                      << " ordered="
+                      << artifact.stats().get("analysis.blocks_ordered")
+                      << " hot=" << artifact.stats().get("analysis.blocks_hot")
+                      << " cert-entries="
+                      << artifact.stats().get("analysis.cert_entries")
+                      << " validations-skipped="
+                      << artifact.stats().get("analysis.validations_skipped")
+                      << " paranoid-disagreements="
+                      << artifact.stats().get(
+                             "analysis.paranoid_disagreements")
+                      << "\n";
 
         const serve::ServeReport report =
             serve::runSessions(artifact, config);
@@ -299,6 +346,9 @@ main(int argc, char **argv)
 
         if (report.stats.get(serve::failureKindStat(
                 serve::FailureKind::ValidatorViolation)) > 0)
+            return toolExitCode(ToolExit::ValidatorViolation);
+        if (analysis_paranoid &&
+            report.stats.get("analysis.paranoid_disagreements") > 0)
             return toolExitCode(ToolExit::ValidatorViolation);
         if (report.failed > 0)
             return toolExitCode(ToolExit::BudgetExhausted);
