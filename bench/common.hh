@@ -92,6 +92,12 @@ struct BenchJsonEntry
     /** Host wall-clock nanoseconds per retired guest instruction (0
      * when guestInsns is 0). */
     double nsPerGuestInsn = 0.0;
+
+    /** Host wall-clock nanoseconds from engine dispatch to the entry
+     * block's first translation being ready (0 when the entry is not
+     * an execution measurement) -- the cold-start headline the
+     * template-tier, warm-start and analyze tables gate on. */
+    double timeToFirstDispatchNs = 0.0;
 };
 
 /** Git revision baked in at build time ("unknown" outside a work tree). */
@@ -101,8 +107,8 @@ struct BenchJsonEntry
 
 /**
  * Write entries as a JSON array of {name, ns_per_op, workers,
- * guest_insns, ns_per_guest_insn, git_sha, config_fingerprint,
- * timestamp} objects. The timestamp is ISO-8601 UTC
+ * guest_insns, ns_per_guest_insn, time_to_first_dispatch_ns, git_sha,
+ * config_fingerprint, timestamp} objects. The timestamp is ISO-8601 UTC
  * and the git SHA is the build-time revision, one each per file write,
  * so CI artifacts from different PRs order and key themselves. The
  * fingerprint is hex text: u64 does not survive a JSON double.
@@ -134,6 +140,8 @@ writeBenchJson(const std::string &path,
             << ", \"workers\": " << e.workers
             << ", \"guest_insns\": " << e.guestInsns
             << ", \"ns_per_guest_insn\": " << e.nsPerGuestInsn
+            << ", \"time_to_first_dispatch_ns\": "
+            << e.timeToFirstDispatchNs
             << ", \"git_sha\": \"" << RISOTTO_GIT_SHA
             << "\", \"config_fingerprint\": \"" << fingerprint
             << "\", \"timestamp\": \"" << stamp << "\"}"

@@ -218,14 +218,17 @@ main(int argc, char **argv)
     entry.name = "BM_ColdStart_validated";
     entry.nsPerOp = validated.coldNs;
     entry.configFingerprint = persist::configFingerprint(config);
+    entry.timeToFirstDispatchNs = validated.coldNs;
     json.push_back(entry);
     entry.name = "BM_ColdStart_certified";
     entry.nsPerOp = certified.coldNs;
     entry.configFingerprint = persist::configFingerprint(skip_config);
+    entry.timeToFirstDispatchNs = certified.coldNs;
     json.push_back(entry);
     entry.name = "BM_CertifyImage";
     entry.nsPerOp = certify_ns;
     entry.configFingerprint = persist::configFingerprint(config);
+    entry.timeToFirstDispatchNs = 0.0;
     json.push_back(entry);
     writeBenchJson(json_path, json);
 

@@ -60,6 +60,11 @@ class CodeBuffer
     void setCapacity(std::size_t words) { capacity_ = words; }
     std::size_t capacity() const { return capacity_; }
 
+    /** Pre-grow the backing storage (cold-start latency: the first
+     * translated block must not pay the vector's reallocation ladder
+     * inside the time-to-first-dispatch window). */
+    void reserve(std::size_t words) { words_.reserve(words); }
+
     /** Discard all words at and past @p from (translation-cache flush /
      * rollback of a partially compiled block). */
     void truncate(CodeAddr from);

@@ -85,6 +85,20 @@ struct DbtConfig
      * the snapshot fingerprint (interpreter-only; IR is untouched). */
     bool fusion = true;
 
+    /** Tier-0.5 IR-bypass template translation: cold blocks made
+     * entirely of whitelisted instruction shapes are planned straight
+     * off the pre-decoded segment into the exact post-optimization IR
+     * and handed to the backend, skipping the frontend/arena and all
+     * optimizer passes. Each template pattern's obligation graph is
+     * checked once per engine (failing patterns are disabled
+     * wholesale); covered blocks still promote to tier 2 when hot.
+     * Requires decodeCache; self-disables (with a counter) without it,
+     * under per-TB validation, or under analysis-driven fence elision.
+     * Execution-strategy only -- the planned IR and host words are
+     * identical to tier-1's by construction, so like decodeCache it is
+     * deliberately NOT part of the snapshot config fingerprint. */
+    bool templateTier = false;
+
     /** Statically validate every translation against the axiomatic
      * models (obligation ⊆ guarantee, see src/verify). Violating
      * baseline blocks are reported through verify.* counters and the

@@ -1,5 +1,8 @@
 #include "dbt/dbt.hh"
 
+#include <algorithm>
+#include <chrono>
+
 #include "dbt/softfloat.hh"
 #include "persist/fingerprint.hh"
 #include "support/error.hh"
@@ -12,6 +15,16 @@ using machine::Core;
 using machine::Machine;
 using tcg::HelperId;
 
+namespace
+{
+
+/** Words pre-reserved in the code buffer at engine construction (64
+ * KiB of host code -- enough for the whole cold working set of every
+ * suite workload, and a no-op for engines that grow past it). */
+constexpr std::size_t InitialCodeBufferWords = 16384;
+
+} // namespace
+
 Dbt::Dbt(const gx86::GuestImage &image, DbtConfig config,
          const ImportResolver *resolver, HostCallHandler *hostcalls)
     : image_(image), config_(std::move(config)), resolver_(resolver),
@@ -22,7 +35,8 @@ Dbt::Dbt(const gx86::GuestImage &image, DbtConfig config,
               stats_),
       baseline_(frontend_, backend_, code_, chains_, faults_, config_, *this,
                 stats_),
-      super_(frontend_, backend_, code_, chains_, cache_, config_, stats_)
+      super_(frontend_, backend_, code_, chains_, cache_, config_, stats_),
+      template_(backend_, code_, chains_, faults_, config_, *this, stats_)
 {
     code_.setCapacity(config_.codeBufferCapacity);
     if (config_.validateTranslations) {
@@ -82,7 +96,61 @@ Dbt::Dbt(const gx86::GuestImage &image, DbtConfig config,
         baseline_.setAnalysis(&analysisState_);
         super_.setAnalysis(&analysisState_);
     }
+    if (config_.templateTier) {
+        // Tier 0.5 plans straight off the pre-decoded segment and
+        // asserts bit-identity with the tier-1 pipeline; each condition
+        // below breaks one leg of that claim, so the tier stands down
+        // (with a counter) rather than diverge.
+        if (!config_.decodeCache) {
+            stats_.set("dbt.template_disabled_no_segment", 1);
+        } else if (config_.validateTranslations) {
+            // Per-TB validation wants the block's IR in hand; keep
+            // every validated block on the tier-1 path.
+            stats_.set("dbt.template_disabled_validate", 1);
+        } else if (config_.analysis && config_.analysisElide) {
+            // Locality-elided blocks drop fences the templates carry.
+            stats_.set("dbt.template_disabled_elide", 1);
+        } else {
+            template_.setSegment(segment_.get());
+            // Each template kind's obligation graph is checked once per
+            // engine (the fusion-pattern amortization argument); kinds
+            // that fail are disabled wholesale.
+            const auto probes =
+                buildTemplateProbes(config_, template_.templates());
+            verify::ValidatorOptions options;
+            options.rmw = config_.rmw;
+            templateReports_ =
+                verify::validateTemplatePatterns(probes, options);
+            const std::size_t disabled = applyTemplateReports(
+                templateReports_, template_.templates());
+            std::uint64_t pairs = 0;
+            for (const auto &report : templateReports_)
+                pairs += report.pairsChecked;
+            stats_.set("dbt.template_patterns_checked",
+                       templateReports_.size());
+            stats_.set("dbt.template_patterns_disabled", disabled);
+            stats_.set("dbt.template_pairs_checked", pairs);
+            templateActive_ = true;
+            // The entry block is known now; plan it before the first
+            // dispatch ever asks (planning makes no fault-injection
+            // draws and bumps no counters, so the schedule and the
+            // differentials cannot see this).
+            template_.preplan(image_.entry);
+        }
+    }
+    // Grow the code buffer once, up front: the first block's host words
+    // land inside the time-to-first-dispatch window, and the vector's
+    // reallocation ladder would be charged to it (identically in every
+    // tier, but it is pure cold-start latency either way).
+    code_.reserve(config_.codeBufferCapacity != 0
+                      ? std::min(InitialCodeBufferWords,
+                                 config_.codeBufferCapacity)
+                      : InitialCodeBufferWords);
     emitDynInterpStub();
+    // Not under fence elision: the frontend's fencesElided_ counter is
+    // cumulative and the warmup block would be counted twice.
+    if (!(config_.analysis && config_.analysisElide))
+        warmTranslationPipeline();
 }
 
 bool
@@ -134,6 +202,25 @@ Dbt::emitDynInterpStub()
     emitter.finish();
 }
 
+void
+Dbt::warmTranslationPipeline()
+{
+    const CodeAddr codeCheckpoint = code_.end();
+    const std::size_t slotCheckpoint = chains_.slotCount();
+    try {
+        tcg::Block block = frontend_.translate(image_.entry);
+        tcg::optimize(block, config_.optimizer, nullptr);
+        backend_.compile(block, chains_);
+        frontend_.recycle(std::move(block));
+    } catch (...) {
+        // An unwarmable entry (undecodable, buffer cap smaller than
+        // the stub + one block) is the run's problem to surface, with
+        // its own counters and fault semantics -- not the warmup's.
+    }
+    code_.truncate(codeCheckpoint);
+    chains_.truncateSlots(slotCheckpoint);
+}
+
 bool
 Dbt::canFlushTranslationCache(const TranslationEnv &env) const
 {
@@ -168,6 +255,18 @@ Dbt::lookupOrTranslateGuarded(gx86::Addr pc, const TranslationEnv &env)
         stats_.bump("dbt.tb_hits");
         return tb->entry;
     }
+    if (templateActive_ && template_.covers(pc)) {
+        const auto host = template_.translate(pc, env);
+        if (host)
+            cache_.insert(pc, *host, code_.end() - *host,
+                          Tier::Template);
+        // A covered block that still fails (injected faults, buffer
+        // exhaustion) degrades to the interpreter exactly like a failed
+        // baseline block -- NOT to tier 1, whose additional injection
+        // draws would diverge the fault schedule from a template-off
+        // run of the same plan.
+        return host;
+    }
     const auto host = baseline_.translate(pc, env);
     if (host)
         cache_.insert(pc, *host, code_.end() - *host, Tier::Baseline);
@@ -192,8 +291,9 @@ Dbt::maybePromote(gx86::Addr pc, std::uint64_t exec_count,
     if (!config_.tier2 || config_.tier2Threshold == 0)
         return std::nullopt;
     const TbInfo *tb = cache_.find(pc);
-    if (!tb || tb->tier != Tier::Baseline || tb->promotionFailed ||
-        exec_count < config_.tier2Threshold)
+    if (!tb ||
+        (tb->tier != Tier::Baseline && tb->tier != Tier::Template) ||
+        tb->promotionFailed || exec_count < config_.tier2Threshold)
         return std::nullopt;
     return super_.translate(pc, env);
 }
@@ -374,7 +474,18 @@ Dbt::run(const std::vector<ThreadSpec> &threads,
     Machine machine(code_, *memory, machine_config);
     machine.setRuntime(this);
 
+    // Time-to-first-dispatch: the cold-start latency from "engine
+    // ready" to "entry block runnable" -- the metric tier 0.5 exists
+    // to improve. Only the first run of an engine measures a cold
+    // entry; later runs hit the TB cache (still reported faithfully).
+    const auto dispatch_start = std::chrono::steady_clock::now();
     const CodeAddr entry_host = lookupOrTranslate(image_.entry);
+    stats_.set(
+        "dbt.time_to_first_dispatch_ns",
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - dispatch_start)
+                .count()));
     for (std::size_t t = 0; t < threads.size(); ++t) {
         const std::size_t core_index = machine.addCore(entry_host);
         Core &core = machine.core(core_index);

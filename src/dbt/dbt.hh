@@ -40,6 +40,7 @@
 #include "dbt/hostcall.hh"
 #include "dbt/resolver.hh"
 #include "dbt/tbcache.hh"
+#include "dbt/template_tier.hh"
 #include "dbt/tier.hh"
 #include "dbt/tiers.hh"
 #include "gx86/decoded.hh"
@@ -49,6 +50,7 @@
 #include "support/stats.hh"
 #include "verify/batch.hh"
 #include "verify/fusion.hh"
+#include "verify/templates.hh"
 
 namespace risotto::dbt
 {
@@ -196,6 +198,18 @@ class Dbt : public machine::HelperRuntime, public TierHost
         return fusionReports_;
     }
 
+    /** Per-kind obligation-graph reports of the tier-0.5 template
+     * table (empty unless the template tier activated). */
+    const std::vector<verify::TemplatePatternReport> &
+    templateReports() const
+    {
+        return templateReports_;
+    }
+
+    /** True when tier-0.5 template translation is live (templateTier
+     * requested and none of its self-disable conditions hit). */
+    bool templateActive() const { return templateActive_; }
+
     /**
      * Guest instructions retired so far: the exact interpreted count
      * (dbt.fallback_instructions) plus the profile-derived translated
@@ -313,6 +327,14 @@ class Dbt : public machine::HelperRuntime, public TierHost
     /** Emit the shared ExitTb stub that dispatches on DynExitReg. */
     void emitDynInterpStub();
 
+    /** One throwaway compile of the entry block at construction,
+     * rolled back afterwards: first-use allocator growth (block arena,
+     * optimizer scratch, backend state) happens here instead of inside
+     * the first dispatch's time-to-first-dispatch window. Makes no
+     * fault-injection draws and bumps no counters, so it is invisible
+     * to every schedule and differential. */
+    void warmTranslationPipeline();
+
     /** SHA-256 snapshot key of image_, hashed once on first use (the
      * image is immutable for the engine's lifetime). */
     const support::Sha256Digest &cachedImageDigest() const;
@@ -332,6 +354,7 @@ class Dbt : public machine::HelperRuntime, public TierHost
     InterpreterTier interp_;
     BaselineTier baseline_;
     SuperblockTier super_;
+    TemplateTier template_;
     std::unique_ptr<verify::TbValidator> validator_;
     std::vector<verify::Violation> violations_;
     std::unique_ptr<analysis::ImageAnalysis> analysis_;
@@ -339,6 +362,8 @@ class Dbt : public machine::HelperRuntime, public TierHost
     AnalysisState analysisState_;
     std::shared_ptr<const gx86::DecodedSegment> segment_;
     std::vector<verify::FusionPatternReport> fusionReports_;
+    std::vector<verify::TemplatePatternReport> templateReports_;
+    bool templateActive_ = false;
     aarch::CodeAddr dynInterpStub_ = 0;
 };
 

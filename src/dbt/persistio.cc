@@ -215,7 +215,8 @@ Dbt::importSnapshot(const persist::Snapshot &snapshot, bool validate)
         }
         if (rec.path.empty() || rec.hostWords.empty() ||
             (rec.tier != static_cast<std::uint8_t>(Tier::Baseline) &&
-             rec.tier != static_cast<std::uint8_t>(Tier::Superblock))) {
+             rec.tier != static_cast<std::uint8_t>(Tier::Superblock) &&
+             rec.tier != static_cast<std::uint8_t>(Tier::Template))) {
             reject("bounds");
             continue;
         }

@@ -17,6 +17,8 @@ tierName(Tier tier)
         return "tier1";
       case Tier::Superblock:
         return "tier2";
+      case Tier::Template:
+        return "tier0.5";
     }
     return "unknown";
 }

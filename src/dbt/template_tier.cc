@@ -1,0 +1,111 @@
+#include "dbt/template_tier.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace risotto::dbt
+{
+
+using aarch::CodeAddr;
+
+bool
+TemplateTier::covers(gx86::Addr pc)
+{
+    if (segment_ == nullptr)
+        return false;
+    if (pending_ && pending_->pc == pc)
+        return true;
+    pending_ = planTemplateBlock(pc, *segment_, config_, templates_);
+    if (!pending_) {
+        stats_.bump("dbt.template_declined");
+        return false;
+    }
+    return true;
+}
+
+void
+TemplateTier::preplan(gx86::Addr pc)
+{
+    if (segment_ == nullptr)
+        return;
+    pending_ = planTemplateBlock(pc, *segment_, config_, templates_);
+}
+
+std::optional<CodeAddr>
+TemplateTier::translate(gx86::Addr pc, const TranslationEnv &env)
+{
+    // Plan up front (covers() usually already did): planning makes no
+    // fault-injection draws, so the per-attempt draw sequence below
+    // stays aligned with the baseline tier's.
+    std::optional<TemplatePlan> plan;
+    if (pending_ && pending_->pc == pc) {
+        plan = std::move(pending_);
+        pending_.reset();
+    } else if (segment_ != nullptr) {
+        plan = planTemplateBlock(pc, *segment_, config_, templates_);
+    }
+    if (!plan)
+        return std::nullopt;
+
+    // From here on the shape is BaselineTier::translate's exactly --
+    // same sites, same retry budget, same counters -- minus the
+    // frontend/optimizer work the plan already replaces. Only
+    // dbt.template_* counters are new.
+    const unsigned attempts = std::max(1u, config_.translateRetries);
+    std::uint64_t pendingDecode = 0;
+    std::uint64_t pendingEncode = 0;
+    std::uint64_t pendingBuffer = 0;
+    auto recoverPending = [&]() {
+        faults_.recovered(faultsites::DbtDecode, pendingDecode);
+        faults_.recovered(faultsites::DbtEncode, pendingEncode);
+        faults_.recovered(faultsites::DbtBuffer, pendingBuffer);
+    };
+
+    for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0)
+            stats_.bump("dbt.translate_retries");
+        if (faults_.shouldInject(faultsites::DbtDecode)) {
+            ++pendingDecode;
+            continue;
+        }
+        const CodeAddr codeCheckpoint = code_.end();
+        const std::size_t slotCheckpoint = chains_.slotCount();
+        bool injectedBuffer = false;
+        try {
+            stats_.bump("dbt.tbs_translated");
+            stats_.bump("dbt.ir_ops_pre_opt", plan->irOpsPreOpt);
+            if (config_.optimizer.deadCodeElimination &&
+                plan->deadOpsRemoved > 0)
+                stats_.bump("opt.dead_ops_removed", plan->deadOpsRemoved);
+            stats_.bump("dbt.ir_ops_post_opt", plan->block.instrs.size());
+            if (faults_.shouldInject(faultsites::DbtEncode)) {
+                ++pendingEncode;
+                continue;
+            }
+            if (faults_.shouldInject(faultsites::DbtBuffer)) {
+                injectedBuffer = true;
+                throw aarch::CodeBufferFull("injected fault");
+            }
+            const CodeAddr host = backend_.compile(plan->block, chains_);
+            stats_.bump("dbt.host_words", code_.end() - host);
+            stats_.bump("dbt.template_blocks");
+            stats_.bump("dbt.template_insns", plan->guestInstructions);
+            recoverPending();
+            return host;
+        } catch (const aarch::CodeBufferFull &) {
+            code_.truncate(codeCheckpoint);
+            chains_.truncateSlots(slotCheckpoint);
+            if (injectedBuffer)
+                ++pendingBuffer;
+            stats_.bump("dbt.buffer_full");
+            if (host_.canFlushTranslationCache(env))
+                host_.flushTranslationCache();
+        }
+        // No GuestFault arm: the plan is pre-decoded, nothing here can
+        // raise one.
+    }
+    recoverPending();
+    return std::nullopt;
+}
+
+} // namespace risotto::dbt

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tier 0.5: pre-validated template translation for cold blocks.
+ *
+ * Sits between the interpreter and the baseline tier in effort: a
+ * covered block is planned straight off the pre-decoded segment into
+ * the exact post-optimization IR (dbt/templates.hh) and compiled with
+ * the regular backend -- no frontend dispatch, no block arena, no
+ * optimizer passes. Host code, verify.* counters and the shared dbt.*
+ * / opt.* counters are identical to tier 1's by construction, which is
+ * checked once per engine by the obligation-graph probes
+ * (verify/templates.hh). Uncovered blocks decline to tier 1; covered
+ * blocks still promote to tier 2 when hot.
+ */
+
+#ifndef RISOTTO_DBT_TEMPLATE_TIER_HH
+#define RISOTTO_DBT_TEMPLATE_TIER_HH
+
+#include <optional>
+
+#include "aarch/emitter.hh"
+#include "dbt/backend.hh"
+#include "dbt/chain.hh"
+#include "dbt/config.hh"
+#include "dbt/templates.hh"
+#include "dbt/tier.hh"
+#include "gx86/decoded.hh"
+#include "support/faultinject.hh"
+#include "support/stats.hh"
+
+namespace risotto::dbt
+{
+
+/** Tier-0.5 template translation (guarded like the baseline tier: the
+ * same fault-injection sites, retry budget and buffer-full recovery,
+ * so fault schedules are identical with the tier on or off). */
+class TemplateTier : public ExecutionTier
+{
+  public:
+    TemplateTier(Backend &backend, aarch::CodeBuffer &code,
+                 ChainManager &chains, FaultInjector &faults,
+                 const DbtConfig &config, TierHost &host, StatSet &stats)
+        : backend_(backend), code_(code), chains_(chains),
+          faults_(faults), config_(config), host_(host), stats_(stats)
+    {
+    }
+
+    Tier level() const override { return Tier::Template; }
+
+    /** The pre-decoded segment to plan from (required; the tier covers
+     * nothing without one). */
+    void setSegment(const gx86::DecodedSegment *segment)
+    {
+        segment_ = segment;
+    }
+
+    /** The live template table (probe failures disable kinds here). */
+    TemplateConfig &templates() { return templates_; }
+    const TemplateConfig &templates() const { return templates_; }
+
+    /**
+     * True when the template table covers the block at @p pc. Plans the
+     * block as a side effect and keeps the plan for the immediately
+     * following translate() call; declining bumps
+     * dbt.template_declined.
+     */
+    bool covers(gx86::Addr pc);
+
+    /**
+     * Plan @p pc ahead of need (engine construction pre-plans the
+     * image entry: planning is pure -- no fault draws, no counters, no
+     * code emission -- so doing it early takes it out of the first
+     * dispatch's time-to-first-dispatch window). A declined pc is
+     * simply not cached; the runtime covers() call re-plans and does
+     * the dbt.template_declined accounting.
+     */
+    void preplan(gx86::Addr pc);
+
+    std::optional<aarch::CodeAddr>
+    translate(gx86::Addr pc, const TranslationEnv &env) override;
+
+  private:
+    Backend &backend_;
+    aarch::CodeBuffer &code_;
+    ChainManager &chains_;
+    FaultInjector &faults_;
+    const DbtConfig &config_;
+    TierHost &host_;
+    StatSet &stats_;
+    const gx86::DecodedSegment *segment_ = nullptr;
+    TemplateConfig templates_;
+    std::optional<TemplatePlan> pending_;
+};
+
+} // namespace risotto::dbt
+
+#endif // RISOTTO_DBT_TEMPLATE_TIER_HH

@@ -1,0 +1,835 @@
+#include "dbt/templates.hh"
+
+#include <utility>
+
+#include "aarch/emitter.hh"
+#include "dbt/backend.hh"
+#include "dbt/frontend.hh"
+#include "tcg/optimizer.hh"
+
+namespace risotto::dbt
+{
+
+using gx86::Addr;
+using gx86::Cond;
+using gx86::Instruction;
+using gx86::Opcode;
+using mapping::RmwLowering;
+using mapping::X86ToTcgScheme;
+using memcore::FenceKind;
+using tcg::Block;
+using tcg::Instr;
+using tcg::NoTemp;
+using tcg::Op;
+using tcg::TempId;
+namespace b = tcg::build;
+
+namespace
+{
+
+/** Weakened-template canary (testWeakenTemplate): the one kind whose
+ * mapped fences are dropped during IR construction so its pair probes
+ * must fail validation. Count_ = nothing weakened. */
+TemplateKind weakened = TemplateKind::Count_;
+
+} // namespace
+
+void
+testWeakenTemplate(TemplateKind kind)
+{
+    weakened = kind;
+}
+
+void
+testResetTemplates()
+{
+    weakened = TemplateKind::Count_;
+}
+
+std::string
+templateKindName(TemplateKind kind)
+{
+    switch (kind) {
+      case TemplateKind::Nop: return "nop";
+      case TemplateKind::Halt: return "halt";
+      case TemplateKind::MovImm: return "mov-imm";
+      case TemplateKind::MovReg: return "mov-reg";
+      case TemplateKind::Load: return "load";
+      case TemplateKind::Store: return "store";
+      case TemplateKind::StoreImm: return "store-imm";
+      case TemplateKind::Alu: return "alu";
+      case TemplateKind::AluImm: return "alu-imm";
+      case TemplateKind::Shift: return "shift";
+      case TemplateKind::CmpReg: return "cmp-reg";
+      case TemplateKind::CmpImm: return "cmp-imm";
+      case TemplateKind::Jump: return "jump";
+      case TemplateKind::CondBranch: return "cond-branch";
+      case TemplateKind::Call: return "call";
+      case TemplateKind::Ret: return "ret";
+      case TemplateKind::Fence: return "fence";
+      case TemplateKind::Cas: return "cas";
+      case TemplateKind::Xadd: return "xadd";
+      case TemplateKind::Count_: break;
+    }
+    return "unknown";
+}
+
+std::optional<TemplateKind>
+templateKindFor(const Instruction &in, const DbtConfig &config)
+{
+    const bool helper_rmw = config.rmw == RmwLowering::HelperRmw1AL ||
+                            config.rmw == RmwLowering::HelperRmw2AL;
+    switch (in.op) {
+      case Opcode::Nop:
+        return TemplateKind::Nop;
+      case Opcode::Hlt:
+        return TemplateKind::Halt;
+      case Opcode::MovRI:
+        return TemplateKind::MovImm;
+      case Opcode::MovRR:
+        return TemplateKind::MovReg;
+      case Opcode::Load:
+      case Opcode::Load8:
+        return TemplateKind::Load;
+      case Opcode::Store:
+      case Opcode::Store8:
+        return TemplateKind::Store;
+      case Opcode::StoreI:
+        return TemplateKind::StoreImm;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Mul:
+      case Opcode::Udiv:
+        return TemplateKind::Alu;
+      case Opcode::AddI:
+      case Opcode::SubI:
+      case Opcode::AndI:
+      case Opcode::OrI:
+      case Opcode::XorI:
+      case Opcode::MulI:
+        return TemplateKind::AluImm;
+      case Opcode::ShlI:
+      case Opcode::ShrI:
+        return TemplateKind::Shift;
+      case Opcode::CmpRR:
+        return TemplateKind::CmpReg;
+      case Opcode::CmpRI:
+        return TemplateKind::CmpImm;
+      case Opcode::Jmp:
+        return TemplateKind::Jump;
+      case Opcode::Jcc:
+        return TemplateKind::CondBranch;
+      case Opcode::Call:
+        return TemplateKind::Call;
+      case Opcode::Ret:
+        return TemplateKind::Ret;
+      case Opcode::MFence:
+        return TemplateKind::Fence;
+      case Opcode::LockCmpxchg:
+        // Helper lowerings route through CallHelper -- untemplated.
+        if (helper_rmw)
+            return std::nullopt;
+        return TemplateKind::Cas;
+      case Opcode::LockXadd:
+        if (helper_rmw)
+            return std::nullopt;
+        return TemplateKind::Xadd;
+      default:
+        // PltCall, soft-float, Syscall, anything new: tier 1's job.
+        return std::nullopt;
+    }
+}
+
+namespace
+{
+
+// --- Naive IR construction ------------------------------------------------
+//
+// Exact mirror of Frontend::translateOne / emitFlagsFrom / emitJcc for
+// the whitelisted kinds (dbt/frontend.cc is the source of truth): same
+// instruction forms, same temp/label allocation order, so the planned
+// block's numTemps/numLabels and every operand match what tier 1 hands
+// the optimizer. The only intentional divergence is the canary hook,
+// which drops the weakened kind's mapped fences.
+
+void
+emitFlagsFrom(Block &block, TempId value)
+{
+    const TempId zero = block.newTemp();
+    block.instrs.push_back(b::movi(zero, 0));
+    block.instrs.push_back(b::setcond(Cond::Eq, tcg::TempZf, value, zero));
+    block.instrs.push_back(b::setcond(Cond::Lt, tcg::TempSf, value, zero));
+}
+
+void
+emitJcc(Block &block, Cond cond, std::uint64_t taken,
+        std::uint64_t fallthrough)
+{
+    const TempId zero = block.newTemp();
+    block.instrs.push_back(b::movi(zero, 0));
+    TempId scrutinee = NoTemp;
+    Cond host_cond = Cond::Eq;
+    switch (cond) {
+      case Cond::Eq:
+        scrutinee = tcg::TempZf;
+        host_cond = Cond::Ne;
+        break;
+      case Cond::Ne:
+        scrutinee = tcg::TempZf;
+        host_cond = Cond::Eq;
+        break;
+      case Cond::Lt:
+        scrutinee = tcg::TempSf;
+        host_cond = Cond::Ne;
+        break;
+      case Cond::Ge:
+        scrutinee = tcg::TempSf;
+        host_cond = Cond::Eq;
+        break;
+      case Cond::Le:
+      case Cond::Gt: {
+        const TempId both = block.newTemp();
+        block.instrs.push_back(
+            b::binop(tcg::Op::Or, both, tcg::TempZf, tcg::TempSf));
+        scrutinee = both;
+        host_cond = cond == Cond::Le ? Cond::Ne : Cond::Eq;
+        break;
+      }
+    }
+    const std::int32_t label = block.newLabel();
+    block.instrs.push_back(b::brcond(host_cond, scrutinee, zero, label));
+    block.instrs.push_back(b::gotoTb(fallthrough));
+    block.instrs.push_back(b::setLabel(label));
+    block.instrs.push_back(b::gotoTb(taken));
+}
+
+void
+emitTemplateIr(Block &block, const Instruction &in, TemplateKind kind,
+               Addr next, bool &ends, const DbtConfig &config)
+{
+    auto &code = block.instrs;
+    const auto scheme = config.frontend;
+    const bool weak = kind == weakened;
+
+    auto loadWithFences = [&](const Instr &ld_instr) {
+        if (scheme == X86ToTcgScheme::Qemu && !weak)
+            code.push_back(b::mb(FenceKind::Fmr));
+        code.push_back(ld_instr);
+        if (scheme == X86ToTcgScheme::Risotto && !weak)
+            code.push_back(b::mb(FenceKind::Frm));
+    };
+    auto storeWithFences = [&](const Instr &st_instr) {
+        if (!weak) {
+            if (scheme == X86ToTcgScheme::Qemu)
+                code.push_back(b::mb(FenceKind::Fmw));
+            if (scheme == X86ToTcgScheme::Risotto)
+                code.push_back(b::mb(FenceKind::Fww));
+        }
+        code.push_back(st_instr);
+    };
+    auto g = [](gx86::Reg r) { return static_cast<TempId>(r); };
+    auto branchTarget = [&](std::int32_t off) {
+        return next + static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(off));
+    };
+
+    switch (in.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Hlt:
+        code.push_back(b::exitTb(HaltPc));
+        ends = true;
+        break;
+      case Opcode::MovRI:
+        code.push_back(b::movi(g(in.rd), in.imm));
+        break;
+      case Opcode::MovRR:
+        code.push_back(b::mov(g(in.rd), g(in.rs)));
+        break;
+      case Opcode::Load:
+        loadWithFences(b::ld(g(in.rd), g(in.rb), in.off));
+        break;
+      case Opcode::Load8:
+        loadWithFences(b::ld8(g(in.rd), g(in.rb), in.off));
+        break;
+      case Opcode::Store:
+        storeWithFences(b::st(g(in.rs), g(in.rb), in.off));
+        break;
+      case Opcode::Store8:
+        storeWithFences(b::st8(g(in.rs), g(in.rb), in.off));
+        break;
+      case Opcode::StoreI: {
+        const TempId val = block.newTemp();
+        code.push_back(b::movi(val, in.imm));
+        storeWithFences(b::st(val, g(in.rb), in.off));
+        break;
+      }
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Mul:
+      case Opcode::Udiv: {
+        tcg::Op op = tcg::Op::Add;
+        switch (in.op) {
+          case Opcode::Add: op = tcg::Op::Add; break;
+          case Opcode::Sub: op = tcg::Op::Sub; break;
+          case Opcode::And: op = tcg::Op::And; break;
+          case Opcode::Or: op = tcg::Op::Or; break;
+          case Opcode::Xor: op = tcg::Op::Xor; break;
+          case Opcode::Mul: op = tcg::Op::Mul; break;
+          case Opcode::Udiv: op = tcg::Op::Udiv; break;
+          default: break;
+        }
+        code.push_back(b::binop(op, g(in.rd), g(in.rd), g(in.rs)));
+        emitFlagsFrom(block, g(in.rd));
+        break;
+      }
+      case Opcode::AddI:
+      case Opcode::SubI:
+      case Opcode::AndI:
+      case Opcode::OrI:
+      case Opcode::XorI:
+      case Opcode::MulI: {
+        const TempId rhs = block.newTemp();
+        code.push_back(b::movi(rhs, in.imm));
+        tcg::Op op = tcg::Op::Add;
+        switch (in.op) {
+          case Opcode::AddI: op = tcg::Op::Add; break;
+          case Opcode::SubI: op = tcg::Op::Sub; break;
+          case Opcode::AndI: op = tcg::Op::And; break;
+          case Opcode::OrI: op = tcg::Op::Or; break;
+          case Opcode::XorI: op = tcg::Op::Xor; break;
+          case Opcode::MulI: op = tcg::Op::Mul; break;
+          default: break;
+        }
+        code.push_back(b::binop(op, g(in.rd), g(in.rd), rhs));
+        emitFlagsFrom(block, g(in.rd));
+        break;
+      }
+      case Opcode::ShlI:
+      case Opcode::ShrI:
+        code.push_back(b::shifti(in.op == Opcode::ShlI ? tcg::Op::Shl
+                                                       : tcg::Op::Shr,
+                                 g(in.rd), g(in.rd), in.imm));
+        emitFlagsFrom(block, g(in.rd));
+        break;
+      case Opcode::CmpRR: {
+        const TempId diff = block.newTemp();
+        code.push_back(b::binop(tcg::Op::Sub, diff, g(in.rd), g(in.rs)));
+        emitFlagsFrom(block, diff);
+        break;
+      }
+      case Opcode::CmpRI: {
+        const TempId rhs = block.newTemp();
+        const TempId diff = block.newTemp();
+        code.push_back(b::movi(rhs, in.imm));
+        code.push_back(b::binop(tcg::Op::Sub, diff, g(in.rd), rhs));
+        emitFlagsFrom(block, diff);
+        break;
+      }
+      case Opcode::Jmp:
+        code.push_back(b::gotoTb(branchTarget(in.off)));
+        ends = true;
+        break;
+      case Opcode::Jcc:
+        emitJcc(block, in.cond, branchTarget(in.off), next);
+        ends = true;
+        break;
+      case Opcode::Call: {
+        const TempId ra = block.newTemp();
+        code.push_back(b::addi(g(gx86::Rsp), g(gx86::Rsp), -8));
+        code.push_back(b::movi(ra, static_cast<std::int64_t>(next)));
+        storeWithFences(b::st(ra, g(gx86::Rsp), 0));
+        code.push_back(b::gotoTb(branchTarget(in.off)));
+        ends = true;
+        break;
+      }
+      case Opcode::Ret: {
+        const TempId ra = block.newTemp();
+        loadWithFences(b::ld(ra, g(gx86::Rsp), 0));
+        code.push_back(b::addi(g(gx86::Rsp), g(gx86::Rsp), 8));
+        code.push_back(b::exitTbDynamic(ra));
+        ends = true;
+        break;
+      }
+      case Opcode::LockCmpxchg: {
+        const TempId expected = block.newTemp();
+        const TempId old = block.newTemp();
+        code.push_back(b::mov(expected, g(0)));
+        code.push_back(
+            b::cas(old, g(in.rb), in.off, expected, g(in.rs)));
+        code.push_back(b::mov(g(0), old));
+        code.push_back(b::setcond(Cond::Eq, tcg::TempZf, old, expected));
+        break;
+      }
+      case Opcode::LockXadd: {
+        const TempId old = block.newTemp();
+        code.push_back(b::xadd(old, g(in.rb), in.off, g(in.rs)));
+        code.push_back(b::mov(g(in.rs), old));
+        break;
+      }
+      case Opcode::MFence:
+        if (!weak)
+            code.push_back(b::mb(FenceKind::Fsc));
+        break;
+      default:
+        break; // Unreachable: templateKindFor gates the switch.
+    }
+}
+
+// --- Decline scans --------------------------------------------------------
+//
+// Each scan answers "would this tcg pass rewrite the block?" with the
+// pass's exact trigger conditions (tcg/optimizer.cc is the source of
+// truth) but without the map/set machinery: along a not-yet-declined
+// path, constants only ever originate from MovI, so dense per-temp
+// arrays suffice. Any triggering block is declined to tier 1, which
+// runs the real pass.
+
+bool
+isMemoryOp(const Instr &i)
+{
+    return tcg::opLoads(i.op) || tcg::opStores(i.op) ||
+           i.op == Op::CallHelper;
+}
+
+bool
+constantFoldWouldRewrite(const Block &block)
+{
+    std::vector<char> known(static_cast<std::size_t>(block.numTemps), 0);
+    std::vector<std::int64_t> value(
+        static_cast<std::size_t>(block.numTemps), 0);
+    auto isKnown = [&](TempId t) { return known[static_cast<std::size_t>(t)] != 0; };
+    auto forget = [&](TempId t) {
+        if (t != NoTemp)
+            known[static_cast<std::size_t>(t)] = 0;
+    };
+    auto isZero = [&](TempId t) {
+        return isKnown(t) && value[static_cast<std::size_t>(t)] == 0;
+    };
+    for (const Instr &instr : block.instrs) {
+        switch (instr.op) {
+          case Op::SetLabel:
+            std::fill(known.begin(), known.end(), 0);
+            continue;
+          case Op::MovI:
+            known[static_cast<std::size_t>(instr.a)] = 1;
+            value[static_cast<std::size_t>(instr.a)] = instr.imm;
+            continue;
+          case Op::Mov:
+            if (isKnown(instr.b))
+                return true;
+            forget(instr.a);
+            continue;
+          case Op::Add:
+          case Op::Sub:
+          case Op::And:
+          case Op::Or:
+          case Op::Xor:
+          case Op::Mul:
+            if (isKnown(instr.b) && isKnown(instr.c))
+                return true;
+            if ((instr.op == Op::Mul || instr.op == Op::And) &&
+                (isZero(instr.b) || isZero(instr.c)))
+                return true;
+            if ((instr.op == Op::Sub || instr.op == Op::Xor) &&
+                instr.b == instr.c)
+                return true;
+            forget(instr.a);
+            continue;
+          case Op::AddI:
+          case Op::Shl:
+          case Op::Shr:
+            if (isKnown(instr.b))
+                return true;
+            forget(instr.a);
+            continue;
+          case Op::SetCond:
+            if (isKnown(instr.b) && isKnown(instr.c))
+                return true;
+            forget(instr.a);
+            continue;
+          case Op::BrCond:
+            if (isKnown(instr.b) && isKnown(instr.c))
+                return true;
+            continue;
+          case Op::CallHelper:
+            for (TempId t = 0; t < tcg::FirstLocalTemp; ++t)
+                known[static_cast<std::size_t>(t)] = 0;
+            forget(tcg::instrWrites(instr));
+            continue;
+          default:
+            forget(tcg::instrWrites(instr));
+            continue;
+        }
+    }
+    return false;
+}
+
+bool
+memoryElimWouldChange(const Block &block)
+{
+    // The real pass is inert outside the Risotto fence vocabulary.
+    for (const Instr &i : block.instrs) {
+        if (i.op != Op::Mb)
+            continue;
+        switch (i.fence) {
+          case FenceKind::Frm:
+          case FenceKind::Fww:
+          case FenceKind::Fsc:
+          case FenceKind::Facq:
+          case FenceKind::Frel:
+            break;
+          default:
+            return false;
+        }
+    }
+    const auto &code = block.instrs;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Instr &first = code[i];
+        if (first.op != Op::Ld && first.op != Op::St)
+            continue;
+        bool sawFrm = false;
+        bool sawFsc = false;
+        bool blocked = false;
+        std::size_t j = i + 1;
+        for (; j < code.size(); ++j) {
+            const Instr &mid = code[j];
+            if (mid.op == Op::Mb) {
+                // Facq/Frel are skipped by the real pass; Fww is legal
+                // in every elimination's fence set, so only Frm and Fsc
+                // can veto one.
+                if (mid.fence == FenceKind::Frm)
+                    sawFrm = true;
+                else if (mid.fence == FenceKind::Fsc)
+                    sawFsc = true;
+                continue;
+            }
+            if (isMemoryOp(mid) || mid.op == Op::ExitTb ||
+                mid.op == Op::GotoTb || mid.op == Op::SetLabel ||
+                mid.op == Op::Br || mid.op == Op::BrCond)
+                break;
+            const TempId w = tcg::instrWrites(mid);
+            if (w != NoTemp && (w == first.b || w == first.a)) {
+                blocked = true;
+                break;
+            }
+        }
+        if (blocked || j >= code.size())
+            continue;
+        const Instr &second = code[j];
+        if ((second.op != Op::Ld && second.op != Op::St) ||
+            second.b != first.b || second.imm != first.imm)
+            continue;
+        if (first.op == Op::Ld && second.op == Op::Ld && !sawFsc)
+            return true; // (F-)RAR
+        if (first.op == Op::St && second.op == Op::Ld && !sawFrm)
+            return true; // (F-)RAW
+        if (first.op == Op::St && second.op == Op::St && !sawFsc)
+            return true; // (F-)WAW
+    }
+    return false;
+}
+
+bool
+fenceMergeWouldMerge(const Block &block)
+{
+    bool pending = false;
+    for (const Instr &instr : block.instrs) {
+        if (instr.op == Op::Mb) {
+            if (pending)
+                return true;
+            pending = true;
+            continue;
+        }
+        if (isMemoryOp(instr) || instr.op == Op::SetLabel ||
+            instr.op == Op::Br || instr.op == Op::BrCond ||
+            instr.op == Op::ExitTb || instr.op == Op::GotoTb)
+            pending = false;
+    }
+    return false;
+}
+
+} // namespace
+
+std::optional<TemplatePlan>
+planTemplateInstructions(Addr pc, const std::vector<Instruction> &instrs,
+                         const DbtConfig &config,
+                         const TemplateConfig &templates)
+{
+    if (instrs.empty() || instrs.size() > Frontend::MaxBlockInstructions)
+        return std::nullopt;
+    std::vector<TemplateKind> kinds;
+    kinds.reserve(instrs.size());
+    for (const Instruction &in : instrs) {
+        const auto kind = templateKindFor(in, config);
+        if (!kind || !templates.enabled(*kind))
+            return std::nullopt;
+        kinds.push_back(*kind);
+    }
+
+    TemplatePlan plan;
+    plan.pc = pc;
+    plan.block.guestPc = pc;
+    bool ends = false;
+    Addr cur = pc;
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+        const Addr next = cur + instrs[i].length;
+        emitTemplateIr(plan.block, instrs[i], kinds[i], next, ends,
+                       config);
+        cur = next;
+        // A terminator mid-sequence never comes out of the frontend's
+        // block former; decline rather than plan unreachable tails.
+        if (ends && i + 1 < instrs.size())
+            return std::nullopt;
+    }
+    if (!ends)
+        plan.block.instrs.push_back(b::gotoTb(cur));
+    plan.guestInstructions = static_cast<std::uint32_t>(instrs.size());
+    plan.irOpsPreOpt = static_cast<std::uint32_t>(plan.block.instrs.size());
+
+    const auto &opt = config.optimizer;
+    if (opt.constantFolding && constantFoldWouldRewrite(plan.block))
+        return std::nullopt;
+    if (opt.memoryElimination && memoryElimWouldChange(plan.block))
+        return std::nullopt;
+    if (opt.fenceMerging && fenceMergeWouldMerge(plan.block))
+        return std::nullopt;
+    // Dead code fires on almost every block (flag tails), so it is run
+    // for real -- the pass itself, not a mirror.
+    if (opt.deadCodeElimination)
+        plan.deadOpsRemoved =
+            static_cast<std::uint32_t>(tcg::passDeadCode(plan.block));
+    return plan;
+}
+
+std::optional<TemplatePlan>
+planTemplateBlock(Addr pc, const gx86::DecodedSegment &segment,
+                  const DbtConfig &config, const TemplateConfig &templates)
+{
+    std::vector<Instruction> instrs;
+    Addr cur = pc;
+    while (true) {
+        const gx86::DecodedEntry *e = segment.entry(cur);
+        if (e == nullptr || !e->valid())
+            return std::nullopt; // Outside text / undecodable: tier 1
+                                 // surfaces the exact fault.
+        // Always the unfused first member (the frontend's walk).
+        const Instruction &in = e->first;
+        const auto kind = templateKindFor(in, config);
+        if (!kind || !templates.enabled(*kind))
+            return std::nullopt;
+        instrs.push_back(in);
+        cur += in.length;
+        if (gx86::opEndsBlock(in.op) ||
+            instrs.size() >= Frontend::MaxBlockInstructions)
+            break;
+    }
+    return planTemplateInstructions(pc, instrs, config, templates);
+}
+
+namespace
+{
+
+/** Probe compilation needs exit slots but never runs the code; every
+ * exit gets slot 0. */
+class DummySlotAllocator : public ExitSlotAllocator
+{
+  public:
+    std::uint32_t staticSlot(std::uint64_t, std::uint64_t,
+                             aarch::CodeAddr, bool) override
+    {
+        return 0;
+    }
+
+    std::uint32_t dynamicSlot() override { return 0; }
+};
+
+Instruction
+canonicalInstruction(TemplateKind kind)
+{
+    Instruction in;
+    in.length = 4;
+    switch (kind) {
+      case TemplateKind::Nop:
+        in.op = Opcode::Nop;
+        break;
+      case TemplateKind::Halt:
+        in.op = Opcode::Hlt;
+        break;
+      case TemplateKind::MovImm:
+        in.op = Opcode::MovRI;
+        in.rd = 1;
+        in.imm = 42;
+        break;
+      case TemplateKind::MovReg:
+        in.op = Opcode::MovRR;
+        in.rd = 1;
+        in.rs = 2;
+        break;
+      case TemplateKind::Load:
+        in.op = Opcode::Load;
+        in.rd = 1;
+        in.rb = 2;
+        in.off = 0;
+        break;
+      case TemplateKind::Store:
+        in.op = Opcode::Store;
+        in.rs = 1;
+        in.rb = 2;
+        in.off = 0;
+        break;
+      case TemplateKind::StoreImm:
+        in.op = Opcode::StoreI;
+        in.rb = 2;
+        in.off = 0;
+        in.imm = 7;
+        break;
+      case TemplateKind::Alu:
+        in.op = Opcode::Add;
+        in.rd = 1;
+        in.rs = 2;
+        break;
+      case TemplateKind::AluImm:
+        in.op = Opcode::AddI;
+        in.rd = 1;
+        in.imm = 5;
+        break;
+      case TemplateKind::Shift:
+        in.op = Opcode::ShlI;
+        in.rd = 1;
+        in.imm = 3;
+        break;
+      case TemplateKind::CmpReg:
+        in.op = Opcode::CmpRR;
+        in.rd = 1;
+        in.rs = 2;
+        break;
+      case TemplateKind::CmpImm:
+        in.op = Opcode::CmpRI;
+        in.rd = 1;
+        in.imm = 5;
+        break;
+      case TemplateKind::Jump:
+        in.op = Opcode::Jmp;
+        in.off = 16;
+        break;
+      case TemplateKind::CondBranch:
+        in.op = Opcode::Jcc;
+        in.cond = Cond::Eq;
+        in.off = 16;
+        break;
+      case TemplateKind::Call:
+        in.op = Opcode::Call;
+        in.off = 32;
+        break;
+      case TemplateKind::Ret:
+        in.op = Opcode::Ret;
+        break;
+      case TemplateKind::Fence:
+        in.op = Opcode::MFence;
+        break;
+      case TemplateKind::Cas:
+        in.op = Opcode::LockCmpxchg;
+        in.rb = 2;
+        in.rs = 1;
+        in.off = 0;
+        break;
+      case TemplateKind::Xadd:
+        in.op = Opcode::LockXadd;
+        in.rb = 2;
+        in.rs = 1;
+        in.off = 0;
+        break;
+      case TemplateKind::Count_:
+        break;
+    }
+    return in;
+}
+
+} // namespace
+
+std::vector<verify::TemplateProbe>
+buildTemplateProbes(const DbtConfig &config, const TemplateConfig &templates)
+{
+    std::vector<verify::TemplateProbe> probes;
+    aarch::CodeBuffer scratch;
+    Backend backend(scratch, config);
+    DummySlotAllocator slots;
+
+    // Fence-relevant context accesses, on bases/offsets disjoint from
+    // every canonical instruction so the pair scans (memory
+    // elimination) never decline a probe for aliasing reasons.
+    Instruction ctx_load;
+    ctx_load.op = Opcode::Load;
+    ctx_load.rd = 3;
+    ctx_load.rb = 4;
+    ctx_load.off = 8;
+    ctx_load.length = 4;
+    Instruction ctx_store;
+    ctx_store.op = Opcode::Store;
+    ctx_store.rs = 5;
+    ctx_store.rb = 6;
+    ctx_store.off = 16;
+    ctx_store.length = 4;
+
+    auto addProbe = [&](TemplateKind kind, const std::string &name,
+                        std::vector<Instruction> guest) {
+        auto plan =
+            planTemplateInstructions(0x1000, guest, config, templates);
+        if (!plan)
+            return; // The planner declines it at runtime too.
+        const aarch::CodeAddr start = backend.compile(plan->block, slots);
+        verify::TemplateProbe probe;
+        probe.name = name;
+        probe.kind = static_cast<int>(kind);
+        probe.kindName = templateKindName(kind);
+        probe.guest = std::move(guest);
+        probe.ir = std::move(plan->block);
+        probe.host = verify::decodeRange(scratch, start, scratch.end());
+        probes.push_back(std::move(probe));
+    };
+
+    for (std::size_t k = 0; k < TemplateKindCount; ++k) {
+        const auto kind = static_cast<TemplateKind>(k);
+        if (!templates.enabled(kind))
+            continue;
+        const Instruction canon = canonicalInstruction(kind);
+        const std::string name = templateKindName(kind);
+        addProbe(kind, name, {canon});
+        addProbe(kind, name + "/after-load", {ctx_load, canon});
+        addProbe(kind, name + "/after-store", {ctx_store, canon});
+        if (!gx86::opEndsBlock(canon.op)) {
+            addProbe(kind, name + "/before-load", {canon, ctx_load});
+            addProbe(kind, name + "/before-store", {canon, ctx_store});
+            addProbe(kind, name + "/bracketed",
+                     {ctx_store, canon, ctx_load});
+        }
+    }
+    return probes;
+}
+
+std::size_t
+applyTemplateReports(
+    const std::vector<verify::TemplatePatternReport> &reports,
+    TemplateConfig &templates)
+{
+    std::size_t disabled = 0;
+    for (const auto &report : reports) {
+        if (report.ok())
+            continue;
+        if (report.kind < 0 ||
+            report.kind >= static_cast<int>(TemplateKindCount))
+            continue;
+        templates.disable(static_cast<TemplateKind>(report.kind));
+        ++disabled;
+    }
+    return disabled;
+}
+
+} // namespace risotto::dbt

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tier-0.5 template table: pre-validated gx86 -> IR plans for cold
+ * blocks.
+ *
+ * The template planner recognizes blocks made entirely of whitelisted
+ * instruction shapes (the TemplateKind table) straight off the
+ * pre-decoded segment and constructs the exact IR the tier-1 pipeline
+ * would produce AFTER optimization -- without running the frontend
+ * dispatch, the block arena, or the optimizer. Three cheap linear
+ * decline scans reject any block the constant-folding, memory-
+ * elimination or fence-merging passes would actually rewrite (those
+ * blocks go to tier 1 as usual); the dead-code pass is mirrored
+ * exactly because it fires on almost every block (flag tails). The
+ * result is byte-identical host code by construction, and the claim is
+ * checked once per engine by probing every template kind through the
+ * obligation-graph validator (verify/templates.hh).
+ */
+
+#ifndef RISOTTO_DBT_TEMPLATES_HH
+#define RISOTTO_DBT_TEMPLATES_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dbt/config.hh"
+#include "gx86/decoded.hh"
+#include "gx86/isa.hh"
+#include "tcg/ir.hh"
+#include "verify/templates.hh"
+
+namespace risotto::dbt
+{
+
+/** The whitelisted instruction shapes the template tier can plan.
+ * Everything else (PLT calls, soft-float helpers, syscalls, helper-path
+ * RMWs) declines the block to tier 1. */
+enum class TemplateKind : std::uint8_t
+{
+    Nop = 0,
+    Halt,
+    MovImm,     ///< MovRI
+    MovReg,     ///< MovRR
+    Load,       ///< Load / Load8 (fenced per scheme)
+    Store,      ///< Store / Store8 (fenced per scheme)
+    StoreImm,   ///< StoreI
+    Alu,        ///< Add..Udiv reg-reg + flags
+    AluImm,     ///< AddI..MulI + flags
+    Shift,      ///< ShlI / ShrI + flags
+    CmpReg,     ///< CmpRR
+    CmpImm,     ///< CmpRI
+    Jump,       ///< Jmp
+    CondBranch, ///< Jcc
+    Call,       ///< Call (return-address push is a guest store)
+    Ret,        ///< Ret (return-address pop is a guest load)
+    Fence,      ///< MFence
+    Cas,        ///< LockCmpxchg (inline lowering only)
+    Xadd,       ///< LockXadd (inline lowering only)
+    Count_,
+};
+
+constexpr std::size_t TemplateKindCount =
+    static_cast<std::size_t>(TemplateKind::Count_);
+
+/** Short name, e.g. "load". */
+std::string templateKindName(TemplateKind kind);
+
+/** Which template kinds are live. All start enabled; kinds whose
+ * obligation-graph probes fail are disabled wholesale at engine
+ * construction (applyTemplateReports). */
+struct TemplateConfig
+{
+    std::array<bool, TemplateKindCount> kind;
+
+    TemplateConfig() { kind.fill(true); }
+
+    bool enabled(TemplateKind k) const
+    {
+        return kind[static_cast<std::size_t>(k)];
+    }
+
+    void disable(TemplateKind k)
+    {
+        kind[static_cast<std::size_t>(k)] = false;
+    }
+};
+
+/** A planned block: the exact post-optimization IR plus the counters
+ * the tier-1 pipeline would have bumped producing it. */
+struct TemplatePlan
+{
+    gx86::Addr pc = 0;
+
+    /** Post-optimization IR (what tier 1 hands the backend). */
+    tcg::Block block;
+
+    std::uint32_t guestInstructions = 0;
+
+    /** IR ops before dead-code removal (tier 1's pre-opt size: the
+     * decline scans guarantee the other passes are no-ops here). */
+    std::uint32_t irOpsPreOpt = 0;
+
+    /** Ops the (mirrored) dead-code pass removed. */
+    std::uint32_t deadOpsRemoved = 0;
+};
+
+/** The template kind of @p in, or nullopt when no template covers it
+ * under @p config (e.g. LOCK RMWs under a helper lowering). */
+std::optional<TemplateKind> templateKindFor(const gx86::Instruction &in,
+                                            const DbtConfig &config);
+
+/**
+ * Plan @p instrs (one block's decoded instructions, in order) into the
+ * exact post-optimization IR, or decline (nullopt) when any instruction
+ * is untemplated / disabled or when an enabled optimizer pass would
+ * rewrite the naive IR.
+ */
+std::optional<TemplatePlan>
+planTemplateInstructions(gx86::Addr pc,
+                         const std::vector<gx86::Instruction> &instrs,
+                         const DbtConfig &config,
+                         const TemplateConfig &templates);
+
+/** Decode the block at @p pc from the pre-decoded segment (unfused
+ * entries, same walk and size cap as the frontend) and plan it.
+ * Declines on any undecodable byte instead of faulting. */
+std::optional<TemplatePlan>
+planTemplateBlock(gx86::Addr pc, const gx86::DecodedSegment &segment,
+                  const DbtConfig &config,
+                  const TemplateConfig &templates);
+
+/**
+ * Build validation probes for every enabled template kind: canonical
+ * instances alone and between fence-relevant context accesses, each
+ * planned and compiled through the real backend into a scratch buffer.
+ * Probe candidates the planner itself declines are skipped (they can
+ * never reach the backend at runtime either).
+ */
+std::vector<verify::TemplateProbe>
+buildTemplateProbes(const DbtConfig &config,
+                    const TemplateConfig &templates);
+
+/** Disable every kind with a failing report; returns how many. */
+std::size_t
+applyTemplateReports(const std::vector<verify::TemplatePatternReport> &reports,
+                     TemplateConfig &templates);
+
+/** Test hook (the weakened-template canary): plan @p kind WITHOUT its
+ * mapped fences, so its pair probes must fail validation and the kind
+ * must be disabled at engine construction. */
+void testWeakenTemplate(TemplateKind kind);
+
+/** Undo testWeakenTemplate. */
+void testResetTemplates();
+
+} // namespace risotto::dbt
+
+#endif // RISOTTO_DBT_TEMPLATES_HH

@@ -42,9 +42,10 @@ enum class Tier : std::uint8_t
     Interpreter = 0, ///< Per-block interpreter fallback.
     Baseline = 1,    ///< Per-block baseline translation.
     Superblock = 2,  ///< Profile-guided superblock translation.
+    Template = 3,    ///< Tier-0.5 pre-validated template translation.
 };
 
-/** Short name of a tier ("interp", "tier1", "tier2"). */
+/** Short name of a tier ("interp", "tier0.5", "tier1", "tier2"). */
 std::string tierName(Tier tier);
 
 /** Where a translation request comes from: outside a run both pointers

@@ -176,14 +176,16 @@ Block::toString() const
     return os.str();
 }
 
-/** Temps read by an instruction. */
-std::vector<TempId>
-instrReads(const Instr &i)
+/** Temps read by an instruction, written into a caller buffer (no
+ * allocation: the liveness pass calls this once per op per fixpoint
+ * iteration). */
+std::size_t
+instrReadsInto(const Instr &i, TempId out[MaxInstrReads])
 {
-    std::vector<TempId> out;
+    std::size_t n = 0;
     auto push = [&](TempId t) {
         if (t != NoTemp)
-            out.push_back(t);
+            out[n++] = t;
     };
     switch (i.op) {
       case Op::MovI:
@@ -241,7 +243,16 @@ instrReads(const Instr &i)
         push(i.b);
         break;
     }
-    return out;
+    return n;
+}
+
+/** Temps read by an instruction. */
+std::vector<TempId>
+instrReads(const Instr &i)
+{
+    TempId buf[MaxInstrReads];
+    const std::size_t n = instrReadsInto(i, buf);
+    return std::vector<TempId>(buf, buf + n);
 }
 
 /** Temp written by an instruction, or NoTemp. */

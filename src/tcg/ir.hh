@@ -137,6 +137,13 @@ bool opIsPure(Op op);
 /** Temps read by @p instr (operands, not the written destination). */
 std::vector<TempId> instrReads(const Instr &instr);
 
+/** Most temps any instruction reads (Cas: b, c, d). */
+constexpr std::size_t MaxInstrReads = 3;
+
+/** Allocation-free instrReads: writes the temps into @p out, returns
+ * how many. Hot-path variant for the per-op liveness walk. */
+std::size_t instrReadsInto(const Instr &instr, TempId out[MaxInstrReads]);
+
 /** Temp written by @p instr, or NoTemp. */
 TempId instrWrites(const Instr &instr);
 

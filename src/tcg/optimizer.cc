@@ -15,12 +15,6 @@ using memcore::FenceKind;
 namespace
 {
 
-std::vector<TempId>
-readTemps(const Instr &i)
-{
-    return instrReads(i);
-}
-
 TempId
 writtenTemp(const Instr &i)
 {
@@ -351,27 +345,43 @@ std::size_t
 passDeadCode(Block &block)
 {
     // Iterate backward liveness to a fixpoint (labels as join points).
+    // Liveness is kept in dense byte-vectors indexed by TempId: this
+    // pass runs on every translated block (tier 0.5 included) and the
+    // tree-set version dominated cold translation time.
     auto &code = block.instrs;
     std::size_t removed = 0;
 
-    bool changed = true;
-    std::map<std::int32_t, std::set<TempId>> label_live;
+    std::size_t labels = static_cast<std::size_t>(
+        block.numLabels > 0 ? block.numLabels : 0);
+    for (const Instr &i : code)
+        if ((i.op == Op::SetLabel || i.op == Op::Br ||
+             i.op == Op::BrCond) &&
+            i.label >= 0 &&
+            static_cast<std::size_t>(i.label) >= labels)
+            labels = static_cast<std::size_t>(i.label) + 1;
+    const std::size_t temps =
+        static_cast<std::size_t>(block.numTemps > FirstLocalTemp
+                                     ? block.numTemps
+                                     : FirstLocalTemp);
+
+    std::vector<char> live(temps, 0);
+    std::vector<char> label_live(labels * temps, 0);
     std::vector<bool> keep;
+    // Globals (guest registers and flags) are live at block exits.
+    auto add_globals = [&]() {
+        std::fill(live.begin(), live.begin() + FirstLocalTemp, 1);
+    };
+    bool changed = true;
     while (changed) {
         changed = false;
-        std::set<TempId> live;
-        // Globals (guest registers and flags) are live at block exits.
-        auto add_globals = [&]() {
-            for (TempId t = 0; t < FirstLocalTemp; ++t)
-                live.insert(t);
-        };
+        std::fill(live.begin(), live.end(), 0);
         add_globals();
         keep.assign(code.size(), true);
         for (std::size_t n = code.size(); n-- > 0;) {
             const Instr &i = code[n];
             if (i.op == Op::ExitTb || i.op == Op::GotoTb) {
                 // Fresh exit point: reset to globals-live.
-                live.clear();
+                std::fill(live.begin(), live.end(), 0);
                 add_globals();
             }
             if (i.op == Op::CallHelper) {
@@ -381,16 +391,23 @@ passDeadCode(Block &block)
                 add_globals();
             }
             if (i.op == Op::SetLabel) {
-                auto &at_label = label_live[i.label];
-                const std::size_t before = at_label.size();
-                at_label.insert(live.begin(), live.end());
-                if (at_label.size() != before)
-                    changed = true;
+                char *at_label =
+                    &label_live[static_cast<std::size_t>(i.label) *
+                                temps];
+                for (std::size_t t = 0; t < temps; ++t)
+                    if (live[t] != 0 && at_label[t] == 0) {
+                        at_label[t] = 1;
+                        changed = true;
+                    }
                 continue;
             }
             if (i.op == Op::Br || i.op == Op::BrCond) {
-                const auto &target = label_live[i.label];
-                live.insert(target.begin(), target.end());
+                const char *target =
+                    &label_live[static_cast<std::size_t>(i.label) *
+                                temps];
+                for (std::size_t t = 0; t < temps; ++t)
+                    if (target[t] != 0)
+                        live[t] = 1;
                 if (i.op == Op::Br) {
                     // Code after an unconditional branch is only reached
                     // via labels; liveness continues from the branch
@@ -398,14 +415,17 @@ passDeadCode(Block &block)
                 }
             }
             const TempId w = writtenTemp(i);
-            if (opIsPure(i.op) && w != NoTemp && !live.count(w)) {
+            if (opIsPure(i.op) && w != NoTemp &&
+                live[static_cast<std::size_t>(w)] == 0) {
                 keep[n] = false;
                 continue;
             }
             if (w != NoTemp)
-                live.erase(w);
-            for (TempId r : readTemps(i))
-                live.insert(r);
+                live[static_cast<std::size_t>(w)] = 0;
+            TempId reads[MaxInstrReads];
+            const std::size_t nreads = instrReadsInto(i, reads);
+            for (std::size_t r = 0; r < nreads; ++r)
+                live[static_cast<std::size_t>(reads[r])] = 1;
         }
     }
 

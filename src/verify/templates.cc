@@ -1,0 +1,36 @@
+#include "verify/templates.hh"
+
+#include <utility>
+
+namespace risotto::verify
+{
+
+std::vector<TemplatePatternReport>
+validateTemplatePatterns(const std::vector<TemplateProbe> &probes,
+                         const ValidatorOptions &options)
+{
+    const TbValidator validator(options);
+    std::vector<TemplatePatternReport> reports;
+    auto reportFor = [&](const TemplateProbe &probe) -> std::size_t {
+        for (std::size_t i = 0; i < reports.size(); ++i)
+            if (reports[i].kind == probe.kind)
+                return i;
+        TemplatePatternReport fresh;
+        fresh.kind = probe.kind;
+        fresh.name = probe.kindName;
+        reports.push_back(std::move(fresh));
+        return reports.size() - 1;
+    };
+    for (const TemplateProbe &probe : probes) {
+        ValidationReport result = validator.validate(
+            probe.guest, probe.ir, probe.host, 0, false, nullptr);
+        TemplatePatternReport &report = reports[reportFor(probe)];
+        ++report.probesChecked;
+        report.pairsChecked += result.pairsChecked;
+        for (Violation &v : result.violations)
+            report.violations.push_back(std::move(v));
+    }
+    return reports;
+}
+
+} // namespace risotto::verify

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Obligation-graph checks of the tier-0.5 template translator's
+ * patterns.
+ *
+ * The template tier (src/dbt/template_tier.hh) plans whitelisted guest
+ * instruction shapes straight into post-optimization TCG IR and
+ * compiles them with the regular backend, bypassing the frontend and
+ * the optimizer. The planned IR is identical to the tier-1 pipeline's
+ * by construction -- but "by construction" is exactly the kind of claim
+ * the PR-3 validator exists to check, so every template kind is probed
+ * once per engine: canonical instances of the kind (alone and between
+ * fence-relevant context accesses) are planned, compiled into a scratch
+ * buffer, and checked obligation ⊆ guarantee at both the IR and the
+ * emitted-host level (the same amortization argument as the
+ * fused-pattern checks in verify/fusion.hh). Kinds that fail are
+ * disabled wholesale before the engine translates anything.
+ */
+
+#ifndef RISOTTO_VERIFY_TEMPLATES_HH
+#define RISOTTO_VERIFY_TEMPLATES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/verifier.hh"
+
+namespace risotto::verify
+{
+
+/** One planned-and-compiled instance of a template kind to validate.
+ * `kind` is the dbt-side TemplateKind ordinal (kept as an int so the
+ * verify layer stays independent of the dbt headers). */
+struct TemplateProbe
+{
+    std::string name;     ///< e.g. "load[ctx-store,_]".
+    int kind = 0;         ///< dbt::TemplateKind ordinal.
+    std::string kindName; ///< e.g. "load".
+    std::vector<gx86::Instruction> guest;
+    tcg::Block ir; ///< The plan's (post-optimization) IR.
+    std::vector<aarch::AInstr> host; ///< Decoded compiled words.
+};
+
+/** Aggregated outcome of checking one template kind's probes. */
+struct TemplatePatternReport
+{
+    int kind = 0;
+    std::string name;
+    std::uint64_t probesChecked = 0;
+    std::uint64_t pairsChecked = 0;
+    std::vector<Violation> violations;
+
+    bool ok() const { return violations.empty(); }
+};
+
+/** Validate every probe, aggregating per template kind (first-seen
+ * order). Each probe runs through the full TbValidator at both levels. */
+std::vector<TemplatePatternReport>
+validateTemplatePatterns(const std::vector<TemplateProbe> &probes,
+                         const ValidatorOptions &options = {});
+
+} // namespace risotto::verify
+
+#endif // RISOTTO_VERIFY_TEMPLATES_HH

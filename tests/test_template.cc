@@ -1,0 +1,760 @@
+/**
+ * @file
+ * Tier-0.5 template translator tests: the per-engine obligation-graph
+ * check of every template kind (in the style of the fusion-pattern
+ * checks), the planner's decline rules pinned one by one, the
+ * weakened-template canary (drop a fence from one template body and the
+ * validator must disable exactly that kind), the self-disable
+ * conditions, and the corpus-wide differential -- the template tier
+ * must be invisible to every guest-visible result, to the verify. /
+ * opt. counters, and to the fault-injection schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dbt/dbt.hh"
+#include "dbt/templates.hh"
+#include "gx86/assembler.hh"
+#include "gx86/decoded.hh"
+#include "gx86/image.hh"
+#include "litmus/library.hh"
+#include "persist/snapshot.hh"
+#include "risotto/risotto.hh"
+#include "support/faultinject.hh"
+#include "verify/templates.hh"
+#include "workloads/litmusimage.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace risotto;
+using dbt::Dbt;
+using dbt::DbtConfig;
+using dbt::TemplateConfig;
+using dbt::TemplateKind;
+using dbt::ThreadSpec;
+using gx86::GuestImage;
+using gx86::Instruction;
+using gx86::Opcode;
+using workloads::WorkloadSpec;
+
+Instruction
+ins(Opcode op)
+{
+    Instruction in;
+    in.op = op;
+    in.length = 4;
+    return in;
+}
+
+Instruction
+movri(int rd, std::int64_t imm)
+{
+    Instruction in = ins(Opcode::MovRI);
+    in.rd = rd;
+    in.imm = imm;
+    return in;
+}
+
+Instruction
+loadIns(int rd, int rb, std::int32_t off)
+{
+    Instruction in = ins(Opcode::Load);
+    in.rd = rd;
+    in.rb = rb;
+    in.off = off;
+    return in;
+}
+
+Instruction
+storeIns(int rb, std::int32_t off, int rs)
+{
+    Instruction in = ins(Opcode::Store);
+    in.rb = rb;
+    in.off = off;
+    in.rs = rs;
+    return in;
+}
+
+/** A program whose fat entry block and hot loop body are made entirely
+ * of template-covered shapes that no optimizer pass rewrites: stores to
+ * distinct slots interleaved with ALU work, loads only after the last
+ * store (a load *before* a store would put Frm next to Fww and the
+ * fence-merge decline would send the block to tier 1). The exit block
+ * ends in a syscall, so it always declines -- mixed coverage on
+ * purpose. */
+GuestImage
+templateImage(std::int64_t iters)
+{
+    gx86::Assembler a;
+    const gx86::Addr buf = a.dataReserve(512);
+    a.defineSymbol("main");
+    a.movri(3, static_cast<std::int64_t>(buf));
+    a.movri(6, 7);
+    a.movri(2, iters);
+    // g0 is never written in this block, so adding it keeps g2's value
+    // but makes it unknown to the constant folder: the cmpri below must
+    // not fold (a foldable compare would decline the whole block).
+    a.add(2, 0);
+    for (int k = 0; k < 20; ++k) {
+        a.store(3, 8 * k, 6);
+        a.add(6, 1);
+    }
+    for (int k = 0; k < 6; ++k)
+        a.load(4, 3, 256 + 8 * k);
+    const auto out = a.newLabel();
+    a.cmpri(2, 0);
+    a.jcc(gx86::Cond::Le, out);
+    const auto loop = a.newLabel();
+    a.bind(loop);
+    a.store(3, 384, 6);
+    a.add(6, 4);
+    a.store(3, 392, 6);
+    a.load(5, 3, 400);
+    a.subi(2, 1);
+    a.cmpri(2, 0);
+    a.jcc(gx86::Cond::Gt, loop);
+    a.bind(out);
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    return a.finish("main");
+}
+
+/** A hot template-covered loop body longer than one block (the 64-
+ * instruction cap splits it), so tier-2 region formation has a seam to
+ * subsume -- template-translated blocks must still promote. */
+GuestImage
+splitTemplateLoop(std::int64_t iters)
+{
+    gx86::Assembler a;
+    const gx86::Addr buf = a.dataReserve(1024);
+    a.defineSymbol("main");
+    a.movri(3, static_cast<std::int64_t>(buf));
+    a.movri(6, 7);
+    a.movri(2, iters);
+    const auto loop = a.newLabel();
+    const auto head = a.newLabel();
+    a.jmp(head);
+    a.bind(head);
+    a.bind(loop);
+    for (int k = 0; k < 70; ++k)
+        a.store(3, 8 * k, 6);
+    a.subi(2, 1);
+    a.cmpri(2, 0);
+    a.jcc(gx86::Cond::Gt, loop);
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    return a.finish("main");
+}
+
+/** A hot loop whose body contains an MFENCE between a store and a
+ * load: the canonical consumer of the Fence template (and, under the
+ * weakened-template canary, the block that must fall back to tier 1). */
+GuestImage
+fencedTemplateLoop(std::int64_t iters)
+{
+    gx86::Assembler a;
+    const gx86::Addr buf = a.dataReserve(128);
+    a.defineSymbol("main");
+    a.movri(3, static_cast<std::int64_t>(buf));
+    a.movri(6, 7);
+    a.movri(2, iters);
+    const auto loop = a.newLabel();
+    const auto head = a.newLabel();
+    a.jmp(head);
+    a.bind(head);
+    a.bind(loop);
+    a.store(3, 0, 6);
+    a.mfence();
+    a.load(4, 3, 64);
+    a.subi(2, 1);
+    a.cmpri(2, 0);
+    a.jcc(gx86::Cond::Gt, loop);
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    return a.finish("main");
+}
+
+std::map<std::string, std::uint64_t>
+prefixedStats(const StatSet &stats, const std::string &prefix)
+{
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &[name, value] : stats.all())
+        if (name.rfind(prefix, 0) == 0)
+            out[name] = value;
+    return out;
+}
+
+/** The tier-1 counters the template tier promises to reproduce
+ * exactly (per-attempt, fault schedule included). */
+void
+expectTranslationParity(const StatSet &on, const StatSet &off,
+                        const std::string &tag)
+{
+    for (const char *name :
+         {"dbt.tbs_translated", "dbt.ir_ops_pre_opt",
+          "dbt.ir_ops_post_opt", "dbt.host_words",
+          "dbt.translate_retries", "dbt.buffer_full",
+          "dbt.tier2_attempts"})
+        EXPECT_EQ(on.get(name), off.get(name)) << tag << " " << name;
+}
+
+verify::ValidatorOptions
+optionsFor(const DbtConfig &config)
+{
+    verify::ValidatorOptions options;
+    options.rmw = config.rmw;
+    return options;
+}
+
+struct CanaryGuard
+{
+    ~CanaryGuard() { dbt::testResetTemplates(); }
+};
+
+// --- Per-engine obligation-graph check ---------------------------------------
+
+TEST(TemplateValidation, EveryKindPassesTheValidator)
+{
+    const DbtConfig config = DbtConfig::risotto();
+    TemplateConfig templates;
+    const auto probes = dbt::buildTemplateProbes(config, templates);
+    ASSERT_FALSE(probes.empty());
+    const auto reports =
+        verify::validateTemplatePatterns(probes, optionsFor(config));
+    // Under the inline-RMW risotto preset every kind is probed.
+    ASSERT_EQ(reports.size(), dbt::TemplateKindCount);
+    std::uint64_t pairs = 0;
+    for (const auto &report : reports) {
+        EXPECT_TRUE(report.ok()) << report.name;
+        EXPECT_GT(report.probesChecked, 0u) << report.name;
+        pairs += report.pairsChecked;
+    }
+    EXPECT_GT(pairs, 0u);
+    EXPECT_EQ(dbt::applyTemplateReports(reports, templates), 0u);
+    for (std::size_t k = 0; k < dbt::TemplateKindCount; ++k)
+        EXPECT_TRUE(
+            templates.enabled(static_cast<TemplateKind>(k)))
+            << dbt::templateKindName(static_cast<TemplateKind>(k));
+}
+
+TEST(TemplateValidation, QemuPresetSkipsHelperRmwKinds)
+{
+    const DbtConfig config = DbtConfig::qemu();
+    EXPECT_FALSE(
+        dbt::templateKindFor(ins(Opcode::LockCmpxchg), config)
+            .has_value());
+    EXPECT_FALSE(
+        dbt::templateKindFor(ins(Opcode::LockXadd), config).has_value());
+    TemplateConfig templates;
+    const auto probes = dbt::buildTemplateProbes(config, templates);
+    const auto reports =
+        verify::validateTemplatePatterns(probes, optionsFor(config));
+    ASSERT_EQ(reports.size(), dbt::TemplateKindCount - 2);
+    for (const auto &report : reports)
+        EXPECT_TRUE(report.ok()) << report.name;
+}
+
+TEST(TemplateValidation, FencelessSchemeDisablesMemoryKinds)
+{
+    // qemuNoFences is the paper's deliberately-incorrect variant: its
+    // fence-free mappings cannot discharge the x86 load/load and
+    // store/store obligations, so the pair probes must catch exactly
+    // the memory-access kinds and leave pure-register kinds alone.
+    const DbtConfig config = DbtConfig::qemuNoFences();
+    TemplateConfig templates;
+    const auto probes = dbt::buildTemplateProbes(config, templates);
+    const auto reports =
+        verify::validateTemplatePatterns(probes, optionsFor(config));
+    const std::size_t disabled =
+        dbt::applyTemplateReports(reports, templates);
+    EXPECT_GE(disabled, 2u);
+    EXPECT_FALSE(templates.enabled(TemplateKind::Load));
+    EXPECT_FALSE(templates.enabled(TemplateKind::Store));
+    EXPECT_TRUE(templates.enabled(TemplateKind::Alu));
+    EXPECT_TRUE(templates.enabled(TemplateKind::Jump));
+    EXPECT_TRUE(templates.enabled(TemplateKind::MovImm));
+}
+
+TEST(TemplateValidation, BrokenReportDisablesOnlyItsKind)
+{
+    const DbtConfig config = DbtConfig::risotto();
+    TemplateConfig templates;
+    const auto probes = dbt::buildTemplateProbes(config, templates);
+    auto reports =
+        verify::validateTemplatePatterns(probes, optionsFor(config));
+    verify::Violation fake;
+    reports[0].violations.push_back(fake);
+    EXPECT_EQ(dbt::applyTemplateReports(reports, templates), 1u);
+    EXPECT_FALSE(templates.enabled(
+        static_cast<TemplateKind>(reports[0].kind)));
+    for (std::size_t k = 1; k < reports.size(); ++k)
+        EXPECT_TRUE(templates.enabled(
+            static_cast<TemplateKind>(reports[k].kind)))
+            << reports[k].name;
+}
+
+// --- Planner decline rules ---------------------------------------------------
+
+TEST(TemplatePlanner, UntemplatedShapesDecline)
+{
+    const DbtConfig config = DbtConfig::risotto();
+    EXPECT_FALSE(
+        dbt::templateKindFor(ins(Opcode::Syscall), config).has_value());
+    EXPECT_FALSE(
+        dbt::templateKindFor(ins(Opcode::PltCall), config).has_value());
+    EXPECT_FALSE(
+        dbt::templateKindFor(ins(Opcode::FAdd), config).has_value());
+    EXPECT_TRUE(
+        dbt::templateKindFor(ins(Opcode::LockCmpxchg), config)
+            .has_value());
+    TemplateConfig templates;
+    EXPECT_FALSE(dbt::planTemplateInstructions(
+                     0x1000, {movri(1, 4), ins(Opcode::Syscall)}, config,
+                     templates)
+                     .has_value());
+}
+
+TEST(TemplatePlanner, DisabledKindDeclines)
+{
+    const DbtConfig config = DbtConfig::risotto();
+    TemplateConfig templates;
+    templates.disable(TemplateKind::Load);
+    EXPECT_FALSE(dbt::planTemplateInstructions(
+                     0x1000, {loadIns(1, 2, 0)}, config, templates)
+                     .has_value());
+    templates = TemplateConfig{};
+    EXPECT_TRUE(dbt::planTemplateInstructions(
+                    0x1000, {loadIns(1, 2, 0)}, config, templates)
+                    .has_value());
+}
+
+TEST(TemplatePlanner, ConstantFoldableSequenceDeclines)
+{
+    const DbtConfig config = DbtConfig::risotto();
+    TemplateConfig templates;
+    // mov-imm feeding an imm-ALU op on the same register: the folder
+    // would rewrite, so the planner must decline...
+    Instruction addi = ins(Opcode::AddI);
+    addi.rd = 1;
+    addi.imm = 5;
+    EXPECT_FALSE(dbt::planTemplateInstructions(
+                     0x1000, {movri(1, 42), addi}, config, templates)
+                     .has_value());
+    // ...but the same pair on disjoint registers plans fine.
+    addi.rd = 2;
+    EXPECT_TRUE(dbt::planTemplateInstructions(
+                    0x1000, {movri(1, 42), addi}, config, templates)
+                    .has_value());
+}
+
+TEST(TemplatePlanner, RedundantStorePairDeclines)
+{
+    const DbtConfig config = DbtConfig::risotto();
+    TemplateConfig templates;
+    // Same base + offset back to back: memory elimination would drop
+    // the dead first store (WAW), so the planner declines.
+    EXPECT_FALSE(dbt::planTemplateInstructions(
+                     0x1000, {storeIns(2, 0, 1), storeIns(2, 0, 1)},
+                     config, templates)
+                     .has_value());
+    EXPECT_TRUE(dbt::planTemplateInstructions(
+                    0x1000, {storeIns(2, 0, 1), storeIns(2, 8, 1)},
+                    config, templates)
+                    .has_value());
+}
+
+TEST(TemplatePlanner, LoadThenStoreFenceMergeDeclines)
+{
+    // Under the Risotto scheme a load's trailing Frm meets the next
+    // store's leading Fww and the fence merger would rewrite; under the
+    // Qemu scheme the fences sit on the other side of the accesses and
+    // the same guest pair plans fine.
+    TemplateConfig templates;
+    const std::vector<Instruction> pair = {loadIns(1, 2, 0),
+                                           storeIns(3, 8, 4)};
+    EXPECT_FALSE(dbt::planTemplateInstructions(
+                     0x1000, pair, DbtConfig::risotto(), templates)
+                     .has_value());
+    EXPECT_TRUE(dbt::planTemplateInstructions(0x1000, pair,
+                                              DbtConfig::qemu(),
+                                              templates)
+                    .has_value());
+    // Store then load is legal in both: no adjacent fence pair forms.
+    const std::vector<Instruction> reversed = {storeIns(3, 8, 4),
+                                               loadIns(1, 2, 0)};
+    EXPECT_TRUE(dbt::planTemplateInstructions(
+                    0x1000, reversed, DbtConfig::risotto(), templates)
+                    .has_value());
+}
+
+TEST(TemplatePlanner, MidBlockTerminatorDeclines)
+{
+    const DbtConfig config = DbtConfig::risotto();
+    TemplateConfig templates;
+    Instruction jmp = ins(Opcode::Jmp);
+    jmp.off = 16;
+    EXPECT_FALSE(dbt::planTemplateInstructions(
+                     0x1000, {jmp, ins(Opcode::Nop)}, config, templates)
+                     .has_value());
+    EXPECT_TRUE(dbt::planTemplateInstructions(
+                    0x1000, {ins(Opcode::Nop), jmp}, config, templates)
+                    .has_value());
+}
+
+TEST(TemplatePlanner, PlansStraightOffTheSegment)
+{
+    const GuestImage image = templateImage(10);
+    const auto segment =
+        gx86::DecodedSegment::build(image, gx86::FusionConfig{});
+    const DbtConfig config = DbtConfig::risotto();
+    TemplateConfig templates;
+    const auto plan = dbt::planTemplateBlock(image.entry, *segment,
+                                             config, templates);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->pc, image.entry);
+    EXPECT_GT(plan->guestInstructions, 40u);
+    EXPECT_GT(plan->irOpsPreOpt, plan->block.instrs.size());
+    EXPECT_GT(plan->deadOpsRemoved, 0u);
+    // Outside text: decline, not fault.
+    EXPECT_FALSE(dbt::planTemplateBlock(image.textBase - 4, *segment,
+                                        config, templates)
+                     .has_value());
+}
+
+// --- Corpus differential -----------------------------------------------------
+
+TEST(TemplateDifferential, CorpusIsBitIdenticalOnAndOff)
+{
+    std::uint64_t template_declined = 0;
+    for (const WorkloadSpec &base : workloads::fullSuite()) {
+        WorkloadSpec spec = base;
+        spec.iterations = 30;
+        const GuestImage image = workloads::buildGuestWorkload(spec);
+
+        DbtConfig on = DbtConfig::risotto();
+        on.templateTier = true;
+        DbtConfig off = DbtConfig::risotto();
+        off.templateTier = false;
+
+        Dbt engine_on(image, on);
+        Dbt engine_off(image, off);
+        EXPECT_TRUE(engine_on.templateActive()) << spec.name;
+        EXPECT_FALSE(engine_off.templateActive()) << spec.name;
+        const auto r_on = engine_on.run({ThreadSpec{}});
+        const auto r_off = engine_off.run({ThreadSpec{}});
+
+        ASSERT_TRUE(r_on.finished) << spec.name;
+        EXPECT_EQ(r_on.outputs, r_off.outputs) << spec.name;
+        EXPECT_EQ(r_on.exitCodes, r_off.exitCodes) << spec.name;
+        EXPECT_EQ(r_on.makespan, r_off.makespan) << spec.name;
+        EXPECT_EQ(r_on.totalCycles, r_off.totalCycles) << spec.name;
+        EXPECT_EQ(r_on.fallbackBlocks, r_off.fallbackBlocks)
+            << spec.name;
+
+        // Identical IR by construction means identical optimizer,
+        // verifier, and retire counters -- not merely identical guest
+        // results.
+        for (const char *prefix :
+             {"verify.", "opt.", "machine."})
+            EXPECT_EQ(prefixedStats(r_on.stats, prefix),
+                      prefixedStats(r_off.stats, prefix))
+                << spec.name << " " << prefix;
+        expectTranslationParity(r_on.stats, r_off.stats, spec.name);
+        template_declined += r_on.stats.get("dbt.template_declined");
+    }
+    // Every workload body loads before it stores, so under the Risotto
+    // scheme the fence merger has a real rewrite to do and the planner
+    // must decline every block to tier 1 (coverage is exercised by the
+    // litmus corpus below and the dedicated images): the sweep checks
+    // the tier was consulted, not that it won.
+    EXPECT_GT(template_declined, 0u);
+}
+
+TEST(TemplateDifferential, LitmusCorpusIsBitIdenticalOnAndOff)
+{
+    std::uint64_t template_blocks = 0;
+    for (const litmus::LitmusTest &test : litmus::x86Corpus()) {
+        const GuestImage image =
+            workloads::litmusGuestImage(test.program);
+
+        EmulatorOptions on;
+        on.config = DbtConfig::risotto();
+        on.config.templateTier = true;
+        EmulatorOptions off;
+        off.config = DbtConfig::risotto();
+        off.config.templateTier = false;
+
+        Emulator emulator_on(image, on);
+        Emulator emulator_off(image, off);
+        const auto r_on =
+            emulator_on.run(test.program.threads.size());
+        const auto r_off =
+            emulator_off.run(test.program.threads.size());
+
+        EXPECT_EQ(r_on.outputs, r_off.outputs) << test.program.name;
+        EXPECT_EQ(r_on.exitCodes, r_off.exitCodes)
+            << test.program.name;
+        EXPECT_EQ(r_on.makespan, r_off.makespan) << test.program.name;
+        for (const char *prefix :
+             {"verify.", "opt.", "machine."})
+            EXPECT_EQ(prefixedStats(r_on.stats, prefix),
+                      prefixedStats(r_off.stats, prefix))
+                << test.program.name << " " << prefix;
+        template_blocks += r_on.stats.get("dbt.template_blocks");
+    }
+    // Litmus threads store before they load, which is exactly the
+    // shape the templates cover: the corpus must exercise the tier.
+    EXPECT_GT(template_blocks, 0u);
+}
+
+TEST(TemplateDifferential, FaultScheduleIsIdenticalOnAndOff)
+{
+    // The template tier plans before any injection draw and then
+    // mirrors the baseline attempt loop draw for draw, so an armed
+    // fault plan must produce the exact same schedule -- injected and
+    // recovered counts included -- with the tier on and off.
+    for (const WorkloadSpec &base : workloads::fullSuite()) {
+        WorkloadSpec spec = base;
+        spec.iterations = 10;
+        const GuestImage image = workloads::buildGuestWorkload(spec);
+
+        DbtConfig on = DbtConfig::risotto();
+        on.templateTier = true;
+        on.faults.seed = 0xfeed;
+        on.faults.siteRates[faultsites::DbtDecode] = 0.2;
+        on.faults.siteRates[faultsites::DbtEncode] = 0.2;
+        on.faults.siteRates[faultsites::DbtBuffer] = 0.1;
+        DbtConfig off = on;
+        off.templateTier = false;
+
+        Dbt engine_on(image, on);
+        Dbt engine_off(image, off);
+        const auto r_on = engine_on.run({ThreadSpec{}});
+        const auto r_off = engine_off.run({ThreadSpec{}});
+
+        ASSERT_TRUE(r_on.finished) << spec.name;
+        EXPECT_EQ(r_on.outputs, r_off.outputs) << spec.name;
+        EXPECT_EQ(r_on.exitCodes, r_off.exitCodes) << spec.name;
+        EXPECT_EQ(r_on.makespan, r_off.makespan) << spec.name;
+        EXPECT_EQ(r_on.fallbackBlocks, r_off.fallbackBlocks)
+            << spec.name;
+        for (const char *prefix :
+             {"fault.", "verify.", "opt."})
+            EXPECT_EQ(prefixedStats(r_on.stats, prefix),
+                      prefixedStats(r_off.stats, prefix))
+                << spec.name << " " << prefix;
+        expectTranslationParity(r_on.stats, r_off.stats, spec.name);
+    }
+}
+
+TEST(TemplateDifferential, TemplateImageCoversAndDeclines)
+{
+    const GuestImage image = templateImage(200);
+    DbtConfig on = DbtConfig::risotto();
+    on.templateTier = true;
+    DbtConfig off = DbtConfig::risotto();
+    off.templateTier = false;
+
+    Dbt engine_on(image, on);
+    Dbt engine_off(image, off);
+    const auto r_on = engine_on.run({ThreadSpec{}});
+    const auto r_off = engine_off.run({ThreadSpec{}});
+
+    ASSERT_TRUE(r_on.finished);
+    EXPECT_EQ(r_on.outputs, r_off.outputs);
+    EXPECT_EQ(r_on.exitCodes, r_off.exitCodes);
+    EXPECT_EQ(r_on.makespan, r_off.makespan);
+    expectTranslationParity(r_on.stats, r_off.stats, "template-image");
+
+    // The fat entry block and the loop body template-translate; the
+    // syscall exit block declines to tier 1.
+    EXPECT_GE(r_on.stats.get("dbt.template_blocks"), 2u);
+    EXPECT_GE(r_on.stats.get("dbt.template_insns"), 40u);
+    EXPECT_GE(r_on.stats.get("dbt.template_declined"), 1u);
+    EXPECT_EQ(r_off.stats.get("dbt.template_blocks"), 0u);
+
+    // The headline first-translation latency is exported either way.
+    EXPECT_GT(r_on.stats.get("dbt.time_to_first_dispatch_ns"), 0u);
+    EXPECT_GT(r_off.stats.get("dbt.time_to_first_dispatch_ns"), 0u);
+}
+
+// --- Self-disable conditions -------------------------------------------------
+
+TEST(TemplateSelfDisable, NoDecodeCacheDisablesCleanly)
+{
+    // Regression: the planner reads the pre-decoded segment; with the
+    // decode cache off the tier must stand down with a counter instead
+    // of touching a null segment.
+    const GuestImage image = templateImage(50);
+    DbtConfig on = DbtConfig::risotto();
+    on.templateTier = true;
+    on.decodeCache = false;
+    DbtConfig off = DbtConfig::risotto();
+    off.templateTier = false;
+    off.decodeCache = false;
+
+    Dbt engine_on(image, on);
+    EXPECT_FALSE(engine_on.templateActive());
+    EXPECT_TRUE(engine_on.templateReports().empty());
+    Dbt engine_off(image, off);
+    const auto r_on = engine_on.run({ThreadSpec{}});
+    const auto r_off = engine_off.run({ThreadSpec{}});
+
+    ASSERT_TRUE(r_on.finished);
+    EXPECT_EQ(r_on.stats.get("dbt.template_disabled_no_segment"), 1u);
+    EXPECT_EQ(r_on.stats.get("dbt.template_blocks"), 0u);
+    EXPECT_EQ(r_on.outputs, r_off.outputs);
+    EXPECT_EQ(r_on.exitCodes, r_off.exitCodes);
+    EXPECT_EQ(r_on.makespan, r_off.makespan);
+}
+
+TEST(TemplateSelfDisable, ValidateModeDisablesCleanly)
+{
+    // Per-TB validation wants every block on the tier-1 path; with
+    // --validate the tier stands down and the run must still be
+    // violation-free and bit-identical.
+    const GuestImage image = templateImage(50);
+    DbtConfig on = DbtConfig::risotto();
+    on.templateTier = true;
+    on.validateTranslations = true;
+    DbtConfig off = DbtConfig::risotto();
+    off.templateTier = false;
+    off.validateTranslations = true;
+
+    Dbt engine_on(image, on);
+    EXPECT_FALSE(engine_on.templateActive());
+    Dbt engine_off(image, off);
+    const auto r_on = engine_on.run({ThreadSpec{}});
+    const auto r_off = engine_off.run({ThreadSpec{}});
+
+    ASSERT_TRUE(r_on.finished);
+    EXPECT_EQ(r_on.stats.get("dbt.template_disabled_validate"), 1u);
+    EXPECT_EQ(r_on.validationViolations, 0u);
+    EXPECT_EQ(r_off.validationViolations, 0u);
+    EXPECT_EQ(r_on.outputs, r_off.outputs);
+    EXPECT_EQ(r_on.makespan, r_off.makespan);
+    for (const char *prefix : {"verify.", "opt."})
+        EXPECT_EQ(prefixedStats(r_on.stats, prefix),
+                  prefixedStats(r_off.stats, prefix))
+            << prefix;
+}
+
+// --- Weakened-template canary ------------------------------------------------
+
+TEST(TemplateCanary, WeakenedFenceTemplateIsDisabledExactly)
+{
+    // Drop the DMB from the MFENCE template body: the store->MFENCE->
+    // load pair probe must fail the obligation check, the engine must
+    // disable exactly that kind, and the run must complete through the
+    // tier-1 fallback with identical guest results.
+    CanaryGuard guard;
+    dbt::testWeakenTemplate(TemplateKind::Fence);
+
+    const GuestImage image = fencedTemplateLoop(100);
+    DbtConfig config = DbtConfig::risotto();
+    config.templateTier = true;
+    Dbt engine(image, config);
+
+    EXPECT_TRUE(engine.templateActive());
+    EXPECT_EQ(engine.stats().get("dbt.template_patterns_disabled"), 1u);
+    std::size_t failing = 0;
+    for (const auto &report : engine.templateReports()) {
+        if (report.ok())
+            continue;
+        ++failing;
+        EXPECT_EQ(report.kind,
+                  static_cast<int>(TemplateKind::Fence));
+        EXPECT_EQ(report.name, "fence");
+    }
+    EXPECT_EQ(failing, 1u);
+
+    const auto r_canary = engine.run({ThreadSpec{}});
+    ASSERT_TRUE(r_canary.finished);
+    // The fenced loop body now declines to tier 1 -- but other kinds
+    // still template (the mov-imm entry block).
+    EXPECT_GT(r_canary.stats.get("dbt.template_declined"), 0u);
+
+    dbt::testResetTemplates();
+    DbtConfig off = DbtConfig::risotto();
+    off.templateTier = false;
+    Dbt reference(image, off);
+    const auto r_ref = reference.run({ThreadSpec{}});
+    EXPECT_EQ(r_canary.outputs, r_ref.outputs);
+    EXPECT_EQ(r_canary.exitCodes, r_ref.exitCodes);
+    EXPECT_EQ(r_canary.makespan, r_ref.makespan);
+}
+
+TEST(TemplateCanary, HealthyFenceTemplateCoversTheSameLoop)
+{
+    // Control for the canary: with the template table intact the same
+    // fenced loop body is template-covered and every probe passes.
+    const GuestImage image = fencedTemplateLoop(100);
+    DbtConfig config = DbtConfig::risotto();
+    config.templateTier = true;
+    Dbt engine(image, config);
+    EXPECT_EQ(engine.stats().get("dbt.template_patterns_disabled"), 0u);
+    const auto result = engine.run({ThreadSpec{}});
+    ASSERT_TRUE(result.finished);
+    EXPECT_GE(result.stats.get("dbt.template_blocks"), 2u);
+}
+
+// --- Tier interactions -------------------------------------------------------
+
+TEST(TemplateTierUp, HotTemplateBlocksStillPromote)
+{
+    const GuestImage image = splitTemplateLoop(400);
+    DbtConfig on = DbtConfig::risotto();
+    on.templateTier = true;
+    DbtConfig off = DbtConfig::risotto();
+    off.templateTier = false;
+
+    Dbt engine_on(image, on);
+    Dbt engine_off(image, off);
+    const auto r_on = engine_on.run({ThreadSpec{}});
+    const auto r_off = engine_off.run({ThreadSpec{}});
+
+    ASSERT_TRUE(r_on.finished);
+    EXPECT_EQ(r_on.outputs, r_off.outputs);
+    EXPECT_EQ(r_on.makespan, r_off.makespan);
+    // The split loop body template-translated cold, got hot, and the
+    // tier-2 pipeline picked it up exactly as it would a baseline
+    // block.
+    EXPECT_GE(r_on.stats.get("dbt.template_blocks"), 2u);
+    EXPECT_EQ(r_on.tier2Superblocks, r_off.tier2Superblocks);
+    EXPECT_GE(r_on.tier2Superblocks, 1u);
+}
+
+TEST(TemplateTierUp, SnapshotRoundTripsTemplateTier)
+{
+    const GuestImage image = templateImage(100);
+    DbtConfig config = DbtConfig::risotto();
+    config.templateTier = true;
+    Dbt producer(image, config);
+    const auto first = producer.run({ThreadSpec{}});
+    ASSERT_TRUE(first.finished);
+    ASSERT_GE(first.stats.get("dbt.template_blocks"), 1u);
+
+    const persist::Snapshot snapshot = producer.exportSnapshot();
+    Dbt consumer(image, config);
+    const dbt::PersistReport loaded =
+        consumer.importSnapshot(snapshot, true);
+    EXPECT_TRUE(loaded.applied);
+    EXPECT_GT(loaded.loaded, 0u);
+    EXPECT_EQ(loaded.rejected, 0u);
+    const auto warm = consumer.run({ThreadSpec{}});
+    ASSERT_TRUE(warm.finished);
+    EXPECT_EQ(warm.outputs, first.outputs);
+    EXPECT_EQ(warm.exitCodes, first.exitCodes);
+}
+
+} // namespace

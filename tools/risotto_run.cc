@@ -21,6 +21,11 @@
  *                     decode-and-switch (the legacy baseline)
  *   --no-fusion       keep the decoder cache but disable peephole
  *                     instruction fusion in the dispatch loops
+ *   --no-template-tier disable the tier-0.5 template translator (cold
+ *                     blocks made of pre-validated gx86 shapes bypass
+ *                     the frontend/optimizer pipeline); the tier also
+ *                     stands down by itself under --no-decode-cache,
+ *                     --validate and --analysis-elide
  *   --validate        statically validate every translation against the
  *                     axiomatic models (obligation ⊆ guarantee); also
  *                     sweeps every statically reachable block of the
@@ -241,6 +246,7 @@ main(int argc, char **argv)
     bool validate = false;
     bool decode_cache = true;
     bool fusion = true;
+    bool template_tier = true;
     std::size_t jobs = 0; // 0: hardware concurrency.
     std::uint64_t tier2_threshold = 0;
     bool tier2_threshold_set = false;
@@ -305,6 +311,8 @@ main(int argc, char **argv)
                 decode_cache = false;
             else if (arg == "--no-fusion")
                 fusion = false;
+            else if (arg == "--no-template-tier")
+                template_tier = false;
             else if (arg == "--validate")
                 validate = true;
             else if (arg == "--analysis")
@@ -386,6 +394,7 @@ main(int argc, char **argv)
         options.config.validateTranslations = validate;
         options.config.decodeCache = decode_cache;
         options.config.fusion = fusion;
+        options.config.templateTier = template_tier;
         options.config.analysis = analysis_on;
         options.config.analysisElide = analysis_elide;
         options.config.analysisSkip = !analysis_cert.empty();
@@ -552,6 +561,41 @@ main(int argc, char **argv)
                   << " fused-entries="
                   << result.stats.get("dbt.segment_fused_entries")
                   << " guest-insns=" << guest_insns << "\n";
+        {
+            // The tier can be off by flag or stood down by itself; say
+            // which, so a disabled tier is visible and attributable.
+            const auto &es = emulator.engine().stats();
+            std::string mode = "on";
+            if (!template_tier)
+                mode = "off";
+            else if (es.get("dbt.template_disabled_no_segment") > 0)
+                mode = "off(no-decode-cache)";
+            else if (es.get("dbt.template_disabled_validate") > 0)
+                mode = "off(validate)";
+            else if (es.get("dbt.template_disabled_elide") > 0)
+                mode = "off(analysis-elide)";
+            std::cout << "  template-tier: mode=" << mode
+                      << " blocks=" << es.get("dbt.template_blocks")
+                      << " declined=" << es.get("dbt.template_declined")
+                      << " patterns-checked="
+                      << es.get("dbt.template_patterns_checked")
+                      << " patterns-disabled="
+                      << es.get("dbt.template_patterns_disabled")
+                      << " first-dispatch-ns="
+                      << es.get("dbt.time_to_first_dispatch_ns") << "\n";
+            for (const auto &report :
+                 emulator.engine().templateReports()) {
+                if (report.ok())
+                    continue;
+                std::cout << "    template " << report.name
+                          << ": violations="
+                          << report.violations.size()
+                          << " (disabled)\n";
+                for (const auto &violation : report.violations)
+                    std::cout << "      " << violation.toString()
+                              << "\n";
+            }
+        }
         if (analysis_on) {
             const analysis::ImageAnalysis *a =
                 emulator.engine().analysis();
@@ -665,6 +709,9 @@ main(int argc, char **argv)
                 merged[name] = std::to_string(value);
             merged["guest_insns"] = std::to_string(guest_insns);
             merged["ns_per_guest_insn"] = ns_per_insn_str;
+            merged["time_to_first_dispatch_ns"] = std::to_string(
+                emulator.engine().stats().get(
+                    "dbt.time_to_first_dispatch_ns"));
             std::ofstream out(stats_json);
             fatalIf(!out, "cannot open " + stats_json + " for writing");
             out << "{\n";

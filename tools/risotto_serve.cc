@@ -43,6 +43,10 @@
  *                     claim anyway; disagreements exit 3
  *   --no-precompile   skip cold pre-translation (degrades straight to
  *                     interpreter-only when no snapshot applies)
+ *   --no-template-tier disable the tier-0.5 template translator during
+ *                     artifact preparation (it already stands down by
+ *                     itself whenever preparation validates, e.g. with
+ *                     a certificate or --analysis-paranoid)
  *   --interp-only     force the interpreter-only rung
  *   --serial-check    re-run everything with --jobs 1 and require
  *                     byte-identical per-session results
@@ -112,6 +116,7 @@ main(int argc, char **argv)
     bool analysis_elide = false;
     bool analysis_paranoid = false;
     bool serial_check = false;
+    bool template_tier = true;
     bool want_stats = false;
     std::string stats_json;
 
@@ -187,6 +192,8 @@ main(int argc, char **argv)
                 artifact_config.validateSnapshot = false;
             else if (arg == "--no-precompile")
                 artifact_config.precompile = false;
+            else if (arg == "--no-template-tier")
+                template_tier = false;
             else if (arg == "--interp-only")
                 artifact_config.interpreterOnly = true;
             else if (arg == "--serial-check")
@@ -224,6 +231,7 @@ main(int argc, char **argv)
 
     try {
         artifact_config.config = configByName(variant);
+        artifact_config.config.templateTier = template_tier;
         artifact_config.config.analysis = analysis_on;
         artifact_config.config.analysisElide = analysis_elide;
         artifact_config.config.analysisSkip =
