@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "support/hostisa.hh"
 #include "support/stats.hh"
 
 namespace risotto::bench
@@ -85,6 +86,12 @@ struct BenchJsonEntry
      * the entry is not tied to one engine configuration. */
     std::uint64_t configFingerprint = 0;
 
+    /** Host backend the measured translations target ("aarch" unless
+     * the harness measured the rv64 backend). Declared after the
+     * fingerprint so the common positional {name, ns, workers,
+     * fingerprint} initializer keeps working. */
+    support::HostIsa host = support::HostIsa::Aarch;
+
     /** Guest instructions the measured run retired (0 when the entry
      * is not an execution measurement). */
     std::uint64_t guestInsns = 0;
@@ -106,7 +113,7 @@ struct BenchJsonEntry
 #endif
 
 /**
- * Write entries as a JSON array of {name, ns_per_op, workers,
+ * Write entries as a JSON array of {name, ns_per_op, workers, host,
  * guest_insns, ns_per_guest_insn, time_to_first_dispatch_ns, git_sha,
  * config_fingerprint, timestamp} objects. The timestamp is ISO-8601 UTC
  * and the git SHA is the build-time revision, one each per file write,
@@ -138,7 +145,8 @@ writeBenchJson(const std::string &path,
         out << "  {\"name\": \"" << e.name
             << "\", \"ns_per_op\": " << e.nsPerOp
             << ", \"workers\": " << e.workers
-            << ", \"guest_insns\": " << e.guestInsns
+            << ", \"host\": \"" << support::hostIsaName(e.host)
+            << "\", \"guest_insns\": " << e.guestInsns
             << ", \"ns_per_guest_insn\": " << e.nsPerGuestInsn
             << ", \"time_to_first_dispatch_ns\": "
             << e.timeToFirstDispatchNs

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Host-backend parity table: every PARSEC/Phoenix proxy runs end-to-end
+ * through the DBT twice -- once emitting aarch host code, once emitting
+ * rv64 host code -- with translation validation on in both runs. The
+ * harness asserts the two backends retire bit-identical guest results
+ * (exit codes and outputs) and zero ordering violations, then reports
+ * the simulated-cycle cost of targeting each host.
+ *
+ * The rv64/aarch ratio is the price of the RVWMO mapping (fence-bearing
+ * `fence` encodings plus the backend's different instruction costs); it
+ * is a drift detector, not a paper figure.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench/common.hh"
+#include "dbt/dbt.hh"
+#include "persist/fingerprint.hh"
+#include "support/error.hh"
+#include "support/format.hh"
+#include "support/hostisa.hh"
+#include "workloads/workloads.hh"
+
+using namespace risotto;
+using namespace risotto::bench;
+using dbt::Dbt;
+using dbt::DbtConfig;
+using dbt::RunResult;
+using dbt::ThreadSpec;
+using support::HostIsa;
+using workloads::WorkloadSpec;
+
+namespace
+{
+
+constexpr std::size_t Threads = 4;
+
+RunResult
+runHost(const gx86::GuestImage &image, const DbtConfig &config)
+{
+    Dbt engine(image, config);
+    std::vector<ThreadSpec> threads(Threads);
+    for (std::size_t t = 0; t < Threads; ++t)
+        threads[t].regs[0] = t;
+    RunResult result = engine.run(threads);
+    if (!result.finished)
+        throw FatalError("workload did not finish under host " +
+                         std::string(support::hostIsaName(config.host)));
+    if (result.validationViolations != 0)
+        throw FatalError("translation validator flagged " +
+                         std::to_string(result.validationViolations) +
+                         " violations under host " +
+                         std::string(support::hostIsaName(config.host)));
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke = smokeMode(argc, argv);
+    const std::string json_path = benchJsonPath(argc, argv);
+    std::vector<BenchJsonEntry> json;
+
+    std::cout << "Host-backend parity: aarch vs rv64, validated, "
+              << Threads << " threads\n\n";
+
+    ReportTable table("Guest-identical runs per host backend",
+                      {"benchmark", "aarch[Mcyc]", "rv64[Mcyc]",
+                       "rv64/aarch", "identical"});
+
+    double ratio_sum = 0.0;
+    std::size_t count = 0;
+    for (WorkloadSpec spec : workloads::fullSuite()) {
+        if (smoke)
+            spec.iterations = 50; // CI: every proxy, briefly.
+        const gx86::GuestImage image = workloads::buildGuestWorkload(spec);
+
+        DbtConfig aarch_config = DbtConfig::risotto();
+        aarch_config.validateTranslations = true;
+        aarch_config.host = HostIsa::Aarch;
+        DbtConfig rv64_config = aarch_config;
+        rv64_config.host = HostIsa::Rv64;
+
+        const RunResult on_aarch = runHost(image, aarch_config);
+        const RunResult on_rv64 = runHost(image, rv64_config);
+
+        const bool identical = on_aarch.exitCodes == on_rv64.exitCodes &&
+                               on_aarch.outputs == on_rv64.outputs;
+        if (!identical)
+            throw FatalError("guest results diverge across host "
+                             "backends for " + spec.name);
+
+        const double ratio = static_cast<double>(on_rv64.makespan) /
+                             static_cast<double>(on_aarch.makespan);
+        ratio_sum += ratio;
+        ++count;
+        table.addRow({spec.name,
+                      fixedString(on_aarch.makespan / 1e6, 2),
+                      fixedString(on_rv64.makespan / 1e6, 2),
+                      fixedString(ratio, 3), "yes"});
+
+        BenchJsonEntry aarch_entry{
+            "hostbackend." + spec.name + ".aarch",
+            seconds(on_aarch.makespan) * 1e9, Threads,
+            persist::configFingerprint(aarch_config)};
+        aarch_entry.host = HostIsa::Aarch;
+        json.push_back(aarch_entry);
+        BenchJsonEntry rv64_entry{
+            "hostbackend." + spec.name + ".rv64",
+            seconds(on_rv64.makespan) * 1e9, Threads,
+            persist::configFingerprint(rv64_config)};
+        rv64_entry.host = HostIsa::Rv64;
+        json.push_back(rv64_entry);
+    }
+    show(table);
+
+    std::cout << "All " << count
+              << " workloads produced bit-identical guest results and "
+                 "validated clean under both host backends.\n"
+              << "Mean rv64/aarch makespan ratio: "
+              << fixedString(ratio_sum / static_cast<double>(count), 3)
+              << "\n";
+    writeBenchJson(json_path, json);
+    return 0;
+}

@@ -4,12 +4,20 @@
  * introduction motivates.
  *
  * The standard mapping from the RISC-V specification's memory-model
- * appendix (trailing FENCE r,rw after loads, leading FENCE rw,w before
+ * appendix (trailing FENCE r,rw after loads, leading write fence before
  * stores, fully-ordered amo.aqrl for RMWs, FENCE rw,rw for MFENCE) is
  * verified by Theorem-1 refinement against the simplified RVWMO model,
  * alongside the fence-free oracle. Notably, RVWMO needed the same
  * "fully-ordered AMO" reading that the paper's Arm-Cats strengthening
  * provides for casal -- RISC-V bakes it into the specification.
+ *
+ * Since the pluggable-backend PR the mapping here is the *same* table
+ * the rv64 DBT backend emits from (mapping::lowerTcgFenceToRiscv /
+ * mapTcgToRiscv, composed behind mapX86ToRiscv), so this bench is a
+ * drift detector between Theorem-1 checking and emission. A second
+ * table sweeps the RMW lowerings: the weak lr.d.aq/sc.d.rl pair (the
+ * GCC-9-style helper bug transplanted to RISC-V) must be caught by
+ * refinement, while amo.aqrl and the fence-bracketed LR/SC pass.
  */
 
 #include <iostream>
@@ -54,6 +62,33 @@ main()
                       free_ok ? "refines" : "VIOLATED"});
     }
     show(table);
+
+    // RMW-lowering sweep through the shared executable table.
+    using mapping::RmwLowering;
+    using mapping::TcgToArmScheme;
+    using mapping::X86ToTcgScheme;
+    const RmwLowering lowerings[] = {RmwLowering::InlineCasal,
+                                     RmwLowering::FencedRmw2,
+                                     RmwLowering::HelperRmw2AL};
+    ReportTable rmw_table("RMW lowerings (rv64 backend schemes)",
+                          {"lowering", "corpus", "violations"});
+    for (const RmwLowering lowering : lowerings) {
+        std::size_t bad = 0;
+        std::size_t considered = 0;
+        for (const LitmusTest &test : x86Corpus()) {
+            const Program mapped = mapping::mapTcgToRiscv(
+                mapping::mapX86ToTcg(test.program,
+                                     X86ToTcgScheme::Risotto),
+                TcgToArmScheme::Risotto, lowering);
+            ++considered;
+            if (!checkRefinement(test.program, x86, mapped, rv).correct)
+                ++bad;
+        }
+        rmw_table.addRow({mapping::rmwLoweringName(lowering),
+                          std::to_string(considered),
+                          std::to_string(bad)});
+    }
+    show(rmw_table);
 
     Rng rng(31337);
     RandomProgramOptions opts;

@@ -1,9 +1,11 @@
 #include "dbt/backend.hh"
 
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "memcore/fencealg.hh"
+#include "rv64/emitter.hh"
 #include "support/error.hh"
 
 namespace risotto::dbt
@@ -11,7 +13,6 @@ namespace risotto::dbt
 
 using aarch::Barrier;
 using aarch::CodeAddr;
-using aarch::Emitter;
 using aarch::XReg;
 using mapping::RmwLowering;
 using mapping::TcgToArmScheme;
@@ -32,7 +33,8 @@ constexpr XReg AtomicScratch = 25;
 /** Local-temp register pool (see backend.hh convention). */
 constexpr XReg LocalPool[] = {18, 19, 20, 21, 22, 23, 27};
 
-/** Linear-scan allocation of block-local temps onto the pool. */
+/** Linear-scan allocation of block-local temps onto the pool (host-
+ * neutral: both backends use the same pinning and pool). */
 class TempAllocator
 {
   public:
@@ -90,28 +92,74 @@ class TempAllocator
     std::vector<XReg> free_;
 };
 
-/** Fits the 14-bit signed memory/arith immediate field. */
+/** Fits the aarch 14-bit signed memory/arith immediate field. */
 bool
 fitsImm14(std::int64_t v)
 {
     return v >= -8192 && v <= 8191;
 }
 
-} // namespace
-
-aarch::CodeAddr
-Backend::compile(const Block &block, ExitSlotAllocator &slots)
+/** Fits the RISC-V 12-bit signed I/S-type immediate field. */
+bool
+fitsImm12(std::int64_t v)
 {
-    Emitter em(buffer_);
+    return v >= -2048 && v <= 2047;
+}
+
+// --- The Arm host -----------------------------------------------------------
+
+class AarchBackend final : public HostBackend
+{
+  public:
+    using HostBackend::HostBackend;
+
+    support::HostIsa isa() const override
+    {
+        return support::HostIsa::Aarch;
+    }
+
+    CodeAddr compile(const Block &block, ExitSlotAllocator &slots) override;
+
+    std::uint32_t
+    exitTbWord(std::uint32_t slot) const override
+    {
+        aarch::AInstr exit;
+        exit.op = aarch::AOp::ExitTb;
+        exit.imm = static_cast<std::int32_t>(slot);
+        return aarch::encode(exit);
+    }
+
+    bool
+    isExitTbWord(std::uint32_t word) const override
+    {
+        return aarch::decode(word).op == aarch::AOp::ExitTb;
+    }
+
+    std::optional<std::uint32_t>
+    chainBranchWord(std::int32_t word_delta) const override
+    {
+        if (word_delta < -(1 << 25) || word_delta >= (1 << 25))
+            return std::nullopt; // Outside B's imm26 reach.
+        aarch::AInstr branch;
+        branch.op = aarch::AOp::B;
+        branch.imm = word_delta;
+        return aarch::encode(branch);
+    }
+};
+
+CodeAddr
+AarchBackend::compile(const Block &block, ExitSlotAllocator &slots)
+{
+    aarch::Emitter em(buffer_);
     const CodeAddr entry = em.here();
     TempAllocator temps(block);
 
-    std::map<std::int32_t, Emitter::Label> labels;
+    std::map<std::int32_t, aarch::Emitter::Label> labels;
     auto hostLabel = [&](std::int32_t ir_label) {
         auto it = labels.find(ir_label);
         if (it != labels.end())
             return it->second;
-        const Emitter::Label l = em.newLabel();
+        const aarch::Emitter::Label l = em.newLabel();
         labels[ir_label] = l;
         return l;
     };
@@ -316,6 +364,326 @@ Backend::compile(const Block &block, ExitSlotAllocator &slots)
     }
     em.finish();
     return entry;
+}
+
+// --- The RV64 (RVWMO) host --------------------------------------------------
+
+class Rv64Backend final : public HostBackend
+{
+  public:
+    using HostBackend::HostBackend;
+
+    support::HostIsa isa() const override
+    {
+        return support::HostIsa::Rv64;
+    }
+
+    CodeAddr compile(const Block &block, ExitSlotAllocator &slots) override;
+
+    std::uint32_t
+    exitTbWord(std::uint32_t slot) const override
+    {
+        rv64::RInstr exit;
+        exit.op = rv64::ROp::ExitTb;
+        exit.imm = static_cast<std::int32_t>(slot);
+        return rv64::encode(exit);
+    }
+
+    bool
+    isExitTbWord(std::uint32_t word) const override
+    {
+        return rv64::decode(word).op == rv64::ROp::ExitTb;
+    }
+
+    std::optional<std::uint32_t>
+    chainBranchWord(std::int32_t word_delta) const override
+    {
+        // JAL reaches +-2^18 words (the 21-bit byte immediate).
+        if (word_delta < -(1 << 18) || word_delta >= (1 << 18))
+            return std::nullopt;
+        rv64::RInstr jump;
+        jump.op = rv64::ROp::Jal;
+        jump.rd = Scratch; // Link value is dead across blocks.
+        jump.imm = word_delta;
+        return rv64::encode(jump);
+    }
+};
+
+CodeAddr
+Rv64Backend::compile(const Block &block, ExitSlotAllocator &slots)
+{
+    rv64::Emitter em(buffer_);
+    const CodeAddr entry = em.here();
+    TempAllocator temps(block);
+
+    std::map<std::int32_t, rv64::Emitter::Label> labels;
+    auto hostLabel = [&](std::int32_t ir_label) {
+        auto it = labels.find(ir_label);
+        if (it != labels.end())
+            return it->second;
+        const rv64::Emitter::Label l = em.newLabel();
+        labels[ir_label] = l;
+        return l;
+    };
+
+    auto addrOf = [&](XReg base, std::int64_t off) {
+        if (fitsImm12(off))
+            return std::pair<XReg, std::int32_t>(
+                base, static_cast<std::int32_t>(off));
+        em.li(Scratch, static_cast<std::uint64_t>(off));
+        em.add(Scratch, base, Scratch);
+        return std::pair<XReg, std::int32_t>(Scratch, 0);
+    };
+
+    auto lowerFence = [&](FenceKind kind) {
+        const FenceKind f =
+            mapping::lowerTcgFenceToRiscv(kind, config_.backend);
+        if (f == FenceKind::None)
+            return;
+        em.fence(mapping::riscvFencePred(f), mapping::riscvFenceSucc(f));
+    };
+
+    for (std::size_t i = 0; i < block.instrs.size(); ++i) {
+        const Instr &in = block.instrs[i];
+        auto r = [&](TempId t) { return temps.reg(t, i); };
+
+        // The atomic loops recompute the target address from r(in.b) on
+        // every iteration (it is stable: the loop writes only the three
+        // scratch registers), freeing the scratch register to hold the
+        // zero the retry branch needs -- RISC-V has no compare-with-
+        // immediate branch, and our x0 is a guest register, not zero.
+        auto atomicBase = [&]() -> XReg {
+            if (in.imm == 0)
+                return r(in.b);
+            if (fitsImm12(in.imm)) {
+                em.addi(Scratch, r(in.b),
+                        static_cast<std::int32_t>(in.imm));
+            } else {
+                em.li(Scratch, static_cast<std::uint64_t>(in.imm));
+                em.add(Scratch, r(in.b), Scratch);
+            }
+            return Scratch;
+        };
+
+        switch (in.op) {
+          case Op::MovI:
+            em.li(r(in.a), static_cast<std::uint64_t>(in.imm));
+            break;
+          case Op::Mov:
+            em.mv(r(in.a), r(in.b));
+            break;
+          case Op::Ld: {
+            const auto [base, off] = addrOf(r(in.b), in.imm);
+            em.ld(r(in.a), base, off);
+            break;
+          }
+          case Op::Ld8: {
+            const auto [base, off] = addrOf(r(in.b), in.imm);
+            em.lbu(r(in.a), base, off);
+            break;
+          }
+          case Op::St: {
+            const auto [base, off] = addrOf(r(in.b), in.imm);
+            em.sd(r(in.a), base, off);
+            break;
+          }
+          case Op::St8: {
+            const auto [base, off] = addrOf(r(in.b), in.imm);
+            em.sb(r(in.a), base, off);
+            break;
+          }
+          case Op::Add: em.add(r(in.a), r(in.b), r(in.c)); break;
+          case Op::Sub: em.sub(r(in.a), r(in.b), r(in.c)); break;
+          case Op::And: em.and_(r(in.a), r(in.b), r(in.c)); break;
+          case Op::Or: em.or_(r(in.a), r(in.b), r(in.c)); break;
+          case Op::Xor: em.xor_(r(in.a), r(in.b), r(in.c)); break;
+          case Op::Mul: em.mul(r(in.a), r(in.b), r(in.c)); break;
+          case Op::Udiv: em.divu(r(in.a), r(in.b), r(in.c)); break;
+          case Op::Shl:
+            em.slli(r(in.a), r(in.b),
+                    static_cast<std::int32_t>(in.imm & 63));
+            break;
+          case Op::Shr:
+            em.srli(r(in.a), r(in.b),
+                    static_cast<std::int32_t>(in.imm & 63));
+            break;
+          case Op::AddI:
+            if (fitsImm12(in.imm)) {
+                em.addi(r(in.a), r(in.b),
+                        static_cast<std::int32_t>(in.imm));
+            } else {
+                em.li(Scratch, static_cast<std::uint64_t>(in.imm));
+                em.add(r(in.a), r(in.b), Scratch);
+            }
+            break;
+          case Op::SetCond:
+            // The flag semantics are those of the 64-bit difference
+            // (ZF = d==0, SF = d<0 signed), so every condition reads
+            // off `sub` + one slti/sltiu (+ xori for the negations).
+            em.sub(r(in.a), r(in.b), r(in.c));
+            switch (in.cond) {
+              case gx86::Cond::Eq:
+                em.sltiu(r(in.a), r(in.a), 1);
+                break;
+              case gx86::Cond::Ne:
+                em.sltiu(r(in.a), r(in.a), 1);
+                em.xori(r(in.a), r(in.a), 1);
+                break;
+              case gx86::Cond::Lt:
+                em.slti(r(in.a), r(in.a), 0);
+                break;
+              case gx86::Cond::Ge:
+                em.slti(r(in.a), r(in.a), 0);
+                em.xori(r(in.a), r(in.a), 1);
+                break;
+              case gx86::Cond::Le:
+                em.slti(r(in.a), r(in.a), 1);
+                break;
+              case gx86::Cond::Gt:
+                em.slti(r(in.a), r(in.a), 1);
+                em.xori(r(in.a), r(in.a), 1);
+                break;
+            }
+            break;
+          case Op::Mb:
+            lowerFence(in.fence);
+            break;
+          case Op::Cas: {
+            // LR/SC compare-and-swap. The verified scheme uses the
+            // fully-ordered .aqrl pair (spec A.3.3 -- the casal
+            // strengthening analogue); FencedRmw2 brackets a plain pair
+            // with `fence rw,rw` (Figure 7b transplanted).
+            const bool fenced = config_.rmw == RmwLowering::FencedRmw2;
+            const bool aq = !fenced;
+            const bool rl = !fenced;
+            if (fenced)
+                em.fence(rv64::FenceRW, rv64::FenceRW);
+            const auto retry = em.newLabel();
+            const auto done = em.newLabel();
+            em.bind(retry);
+            const XReg base = atomicBase();
+            em.lr(AtomicScratch, base, aq, rl);
+            em.bne(AtomicScratch, r(in.c), done); // Mismatch: old out.
+            em.sc(AtomicScratch, r(in.d), base, aq, rl);
+            em.lui(Scratch, 0);
+            em.bne(AtomicScratch, Scratch, retry);
+            em.mv(AtomicScratch, r(in.c)); // Success: old == expected.
+            em.bind(done);
+            em.mv(r(in.a), AtomicScratch);
+            if (fenced)
+                em.fence(rv64::FenceRW, rv64::FenceRW);
+            break;
+          }
+          case Op::Xadd: {
+            if (config_.rmw == RmwLowering::FencedRmw2) {
+                em.fence(rv64::FenceRW, rv64::FenceRW);
+                const auto retry = em.newLabel();
+                em.bind(retry);
+                const XReg base = atomicBase();
+                em.lr(AtomicScratch, base, false, false);
+                em.add(AtomicStatus, AtomicScratch, r(in.d));
+                em.sc(AtomicStatus, AtomicStatus, base, false, false);
+                em.lui(Scratch, 0);
+                em.bne(AtomicStatus, Scratch, retry);
+                em.mv(r(in.a), AtomicScratch);
+                em.fence(rv64::FenceRW, rv64::FenceRW);
+            } else {
+                // Fully ordered AMO (spec A.3.3).
+                const XReg base = atomicBase();
+                em.amoadd(r(in.a), r(in.d), base, true, true);
+            }
+            break;
+          }
+          case Op::SetLabel:
+            em.bind(hostLabel(in.label));
+            break;
+          case Op::Br:
+            em.jal(Scratch, hostLabel(in.label));
+            break;
+          case Op::BrCond: {
+            em.sub(Scratch, r(in.b), r(in.c));
+            em.lui(AtomicScratch, 0);
+            const auto l = hostLabel(in.label);
+            switch (in.cond) {
+              case gx86::Cond::Eq:
+                em.beq(Scratch, AtomicScratch, l);
+                break;
+              case gx86::Cond::Ne:
+                em.bne(Scratch, AtomicScratch, l);
+                break;
+              case gx86::Cond::Lt:
+                em.blt(Scratch, AtomicScratch, l);
+                break;
+              case gx86::Cond::Ge:
+                em.bge(Scratch, AtomicScratch, l);
+                break;
+              case gx86::Cond::Le: // d <= 0  <=>  0 >= d.
+                em.bge(AtomicScratch, Scratch, l);
+                break;
+              case gx86::Cond::Gt: // d > 0  <=>  0 < d.
+                em.blt(AtomicScratch, Scratch, l);
+                break;
+            }
+            break;
+          }
+          case Op::CallHelper:
+            if (in.b != NoTemp)
+                em.mv(HelperArg0, r(in.b));
+            if (in.c != NoTemp)
+                em.mv(HelperArg1, r(in.c));
+            em.helper(static_cast<std::uint8_t>(in.helper),
+                      static_cast<std::uint16_t>(in.imm));
+            if (in.a != NoTemp)
+                em.mv(r(in.a), HelperRet);
+            break;
+          case Op::ExitTb:
+            if (in.b != NoTemp) {
+                em.mv(DynExitReg, r(in.b));
+                em.exitTb(slots.dynamicSlot());
+            } else {
+                const CodeAddr site = em.here();
+                em.exitTb(slots.staticSlot(block.guestPc,
+                                           static_cast<std::uint64_t>(in.imm),
+                                           site, false));
+            }
+            break;
+          case Op::GotoTb: {
+            const CodeAddr site = em.here();
+            em.exitTb(slots.staticSlot(block.guestPc,
+                                       static_cast<std::uint64_t>(in.imm),
+                                       site, config_.chaining));
+            break;
+          }
+        }
+        temps.expire(i + 1);
+    }
+    em.finish();
+    return entry;
+}
+
+} // namespace
+
+// --- The facade -------------------------------------------------------------
+
+Backend::Backend(aarch::CodeBuffer &buffer, const DbtConfig &config)
+{
+    switch (config.host) {
+      case support::HostIsa::Rv64:
+        impl_ = std::make_unique<Rv64Backend>(buffer, config);
+        break;
+      case support::HostIsa::Aarch:
+        impl_ = std::make_unique<AarchBackend>(buffer, config);
+        break;
+    }
+    panicIf(impl_ == nullptr, "unknown host backend");
+}
+
+Backend::~Backend() = default;
+
+aarch::CodeAddr
+Backend::emitExitTb(std::uint32_t slot)
+{
+    return impl_->emitExitTb(slot);
 }
 
 } // namespace risotto::dbt

@@ -1,27 +1,48 @@
 /**
  * @file
- * DBT backend: TCG IR -> aarch host code.
+ * DBT backend: TCG IR -> host code, behind a pluggable host-ISA facade.
  *
- * Implements the TCG IR -> Arm half of the mapping schemes: Risotto's
- * Figure 7b fence lowering (DMBLD / DMBST / DMBFF by direction, Facq/Frel
- * elided) versus QEMU's Figure 2 lowering (read fences to DMBLD --
- * including the unsound Fmr demotion -- and everything else to DMBFF).
- * Atomic IR ops lower to casal/ldaddal (Section 6.3) or to the fenced
- * exclusive-pair loop of Figure 7b.
+ * Two host backends implement the same interface over the shared code
+ * buffer:
  *
- * Register convention: guest registers g0..g15 live permanently in
- * X0..X15, ZF/SF in X16/X17; block-local temps are linear-scan allocated
- * from X18..X23+X27; X24..X26 stage helper arguments; X28 carries dynamic
- * exit targets; X29 is the backend scratch.
+ *  - AarchBackend implements the TCG IR -> Arm half of the mapping
+ *    schemes: Risotto's Figure 7b fence lowering (DMBLD / DMBST / DMBFF
+ *    by direction, Facq/Frel elided) versus QEMU's Figure 2 lowering
+ *    (read fences to DMBLD -- including the unsound Fmr demotion -- and
+ *    everything else to DMBFF). Atomic IR ops lower to casal/ldaddal
+ *    (Section 6.3) or to the fenced exclusive-pair loop of Figure 7b.
+ *
+ *  - Rv64Backend targets the RVWMO host: fences lower through
+ *    mapping::lowerTcgFenceToRiscv (the same single-source-of-truth
+ *    table the litmus-level scheme and the verifier consult), CAS to a
+ *    fully-ordered lr.d.aqrl/sc.d.aqrl loop, XADD to amoadd.d.aqrl
+ *    (the spec A.3.3 fully-ordered AMO reading), and the FencedRmw2
+ *    scheme to a `fence rw,rw`-bracketed plain LR/SC pair.
+ *
+ * Register convention (identical on both hosts): guest registers
+ * g0..g15 live permanently in host regs 0..15, ZF/SF in 16/17;
+ * block-local temps are linear-scan allocated from {18..23, 27};
+ * 24..26 stage helper arguments; 28 carries dynamic exit targets; 29 is
+ * the backend scratch. Keeping the pinning identical means guest state
+ * transplants bit-for-bit between hosts (the differential tests rely on
+ * this).
+ *
+ * The concrete Backend facade owns the selected HostBackend
+ * (DbtConfig::host) and also answers the host-specific word questions
+ * the chain manager and the persistence layer need: what an exit_tb
+ * word looks like, and what direct-branch word a chained exit becomes.
  */
 
 #ifndef RISOTTO_DBT_BACKEND_HH
 #define RISOTTO_DBT_BACKEND_HH
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 
 #include "aarch/emitter.hh"
 #include "dbt/config.hh"
+#include "support/hostisa.hh"
 #include "tcg/ir.hh"
 
 namespace risotto::dbt
@@ -57,25 +78,100 @@ class ExitSlotAllocator
     virtual std::uint32_t dynamicSlot() = 0;
 };
 
+/**
+ * One host-ISA lowering engine. Implementations share the code buffer
+ * and configuration held by the Backend facade.
+ */
+class HostBackend
+{
+  public:
+    HostBackend(aarch::CodeBuffer &buffer, const DbtConfig &config)
+        : buffer_(buffer), config_(config)
+    {
+    }
+    virtual ~HostBackend() = default;
+
+    virtual support::HostIsa isa() const = 0;
+
+    /** Emit host code for @p block; returns the entry address. */
+    virtual aarch::CodeAddr compile(const tcg::Block &block,
+                                    ExitSlotAllocator &slots) = 0;
+
+    /** The encoded exit_tb trap word for @p slot. */
+    virtual std::uint32_t exitTbWord(std::uint32_t slot) const = 0;
+
+    /** True when @p word (a valid host word) is an exit_tb trap. */
+    virtual bool isExitTbWord(std::uint32_t word) const = 0;
+
+    /**
+     * The direct-branch word that jumps @p word_delta words from its
+     * own site (the goto_tb -> branch chain rewrite). nullopt when the
+     * delta exceeds the host's branch range -- the caller must then
+     * leave the exit un-chained (it keeps trapping, which is slow but
+     * correct).
+     */
+    virtual std::optional<std::uint32_t>
+    chainBranchWord(std::int32_t word_delta) const = 0;
+
+    /**
+     * Append a one-word exit_tb trampoline for @p slot.
+     * @return the trampoline's address. @throws CodeBufferFull.
+     */
+    aarch::CodeAddr emitExitTb(std::uint32_t slot)
+    {
+        return buffer_.append(exitTbWord(slot));
+    }
+
+  protected:
+    aarch::CodeBuffer &buffer_;
+    const DbtConfig &config_;
+};
+
 /** Compiles optimized TCG blocks into the host code buffer. */
 class Backend
 {
   public:
-    Backend(aarch::CodeBuffer &buffer, const DbtConfig &config)
-        : buffer_(buffer), config_(config)
-    {
-    }
+    Backend(aarch::CodeBuffer &buffer, const DbtConfig &config);
+    ~Backend();
+
+    /** The host ISA this backend emits (DbtConfig::host). */
+    support::HostIsa isa() const { return impl_->isa(); }
 
     /**
      * Emit host code for @p block.
      * @return the entry address of the compiled code.
      */
-    aarch::CodeAddr compile(const tcg::Block &block,
-                            ExitSlotAllocator &slots);
+    aarch::CodeAddr
+    compile(const tcg::Block &block, ExitSlotAllocator &slots)
+    {
+        return impl_->compile(block, slots);
+    }
+
+    /**
+     * Append a one-word exit_tb trampoline for @p slot (interpreter
+     * routing and the shared dynamic-dispatch stub).
+     * @return the trampoline's address. @throws CodeBufferFull.
+     */
+    aarch::CodeAddr emitExitTb(std::uint32_t slot);
+
+    std::uint32_t exitTbWord(std::uint32_t slot) const
+    {
+        return impl_->exitTbWord(slot);
+    }
+
+    bool isExitTbWord(std::uint32_t word) const
+    {
+        return impl_->isExitTbWord(word);
+    }
+
+    std::optional<std::uint32_t>
+    chainBranchWord(std::int32_t word_delta) const
+    {
+        return impl_->chainBranchWord(word_delta);
+    }
 
   private:
-    aarch::CodeBuffer &buffer_;
-    const DbtConfig &config_;
+    std::unique_ptr<HostBackend> impl_;
 };
 
 } // namespace risotto::dbt

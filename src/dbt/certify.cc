@@ -66,7 +66,8 @@ checkOne(const gx86::GuestImage &image, const DbtConfig &config,
         Backend backend(buffer, config);
         const aarch::CodeAddr entry = backend.compile(block, slots);
         const auto host =
-            verify::decodeRange(buffer, entry, buffer.end());
+            verify::decodeHostRange(config.host, buffer, entry,
+                                    buffer.end());
 
         verify::ValidatorOptions vo;
         vo.rmw = config.rmw;

@@ -50,10 +50,19 @@ ChainManager::chain(std::uint32_t index, aarch::CodeAddr host)
 {
     const ExitSlot &slot = this->slot(index);
     panicIf(!slot.chainable, "chaining a non-chainable exit");
+    const std::int32_t delta = static_cast<std::int32_t>(host) -
+                               static_cast<std::int32_t>(slot.patchSite);
+    if (backend_ != nullptr) {
+        // Out-of-range targets (rv64's JAL reaches less far than aarch's
+        // B) leave the exit un-chained: it keeps trapping to the
+        // dispatcher, which is slow but correct.
+        if (const auto word = backend_->chainBranchWord(delta))
+            code_.patch(slot.patchSite, *word);
+        return;
+    }
     aarch::AInstr branch;
     branch.op = aarch::AOp::B;
-    branch.imm = static_cast<std::int32_t>(host) -
-                 static_cast<std::int32_t>(slot.patchSite);
+    branch.imm = delta;
     code_.patch(slot.patchSite, aarch::encode(branch));
 }
 

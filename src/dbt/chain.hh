@@ -45,7 +45,13 @@ struct ExitSlot
 class ChainManager : public ExitSlotAllocator
 {
   public:
-    explicit ChainManager(aarch::CodeBuffer &code) : code_(code) {}
+    /** @param backend supplies the host's direct-branch encoding; null
+     * falls back to the legacy aarch B rewrite (unit tests). */
+    explicit ChainManager(aarch::CodeBuffer &code,
+                          const Backend *backend = nullptr)
+        : code_(code), backend_(backend)
+    {
+    }
 
     // --- ExitSlotAllocator ------------------------------------------------
 
@@ -75,6 +81,7 @@ class ChainManager : public ExitSlotAllocator
 
   private:
     aarch::CodeBuffer &code_;
+    const Backend *backend_;
     std::vector<ExitSlot> slots_;
     std::uint32_t dynSlot_ = 0;
     bool dynSlotMade_ = false;

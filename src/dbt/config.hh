@@ -18,6 +18,7 @@
 
 #include "mapping/schemes.hh"
 #include "support/faultinject.hh"
+#include "support/hostisa.hh"
 #include "tcg/optimizer.hh"
 
 namespace risotto::dbt
@@ -27,6 +28,11 @@ namespace risotto::dbt
 struct DbtConfig
 {
     std::string name = "risotto";
+
+    /** Host ISA the backend emits and the machine executes. Changes
+     * every emitted word, so a non-default host IS part of the snapshot
+     * config fingerprint (aarch fingerprints stay byte-stable). */
+    support::HostIsa host = support::HostIsa::Aarch;
 
     /** x86 -> TCG IR fence scheme (Figure 2 vs Figure 7a). */
     mapping::X86ToTcgScheme frontend = mapping::X86ToTcgScheme::Risotto;

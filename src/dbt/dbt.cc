@@ -30,9 +30,9 @@ Dbt::Dbt(const gx86::GuestImage &image, DbtConfig config,
     : image_(image), config_(std::move(config)), resolver_(resolver),
       hostcalls_(hostcalls), frontend_(image_, config_, resolver_),
       backend_(code_, config_), faults_(config_.faults),
-      chains_(code_),
-      interp_(image_, config_, resolver_, hostcalls_, code_, chains_, *this,
-              stats_),
+      chains_(code_, &backend_),
+      interp_(image_, config_, resolver_, hostcalls_, code_, backend_,
+              chains_, *this, stats_),
       baseline_(frontend_, backend_, code_, chains_, faults_, config_, *this,
                 stats_),
       super_(frontend_, backend_, code_, chains_, cache_, config_, stats_),
@@ -196,10 +196,7 @@ Dbt::guestInsnEstimate() const
 void
 Dbt::emitDynInterpStub()
 {
-    aarch::Emitter emitter(code_);
-    dynInterpStub_ = emitter.here();
-    emitter.exitTb(chains_.dynamicSlot());
-    emitter.finish();
+    dynInterpStub_ = backend_.emitExitTb(chains_.dynamicSlot());
 }
 
 void
@@ -470,6 +467,9 @@ Dbt::run(const std::vector<ThreadSpec> &threads,
     // the DBT plan unless the caller supplied a machine-specific one.
     if (!machine_config.faults.armed() && config_.faults.armed())
         machine_config.faults = config_.faults;
+
+    // The machine must execute the ISA the backend emitted.
+    machine_config.hostIsa = config_.host;
 
     Machine machine(code_, *memory, machine_config);
     machine.setRuntime(this);

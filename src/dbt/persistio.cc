@@ -21,6 +21,7 @@
 
 #include "dbt/dbt.hh"
 #include "persist/fingerprint.hh"
+#include "rv64/isa.hh"
 #include "support/checksum.hh"
 #include "support/error.hh"
 #include "tcg/optimizer.hh"
@@ -29,31 +30,6 @@ namespace risotto::dbt
 {
 
 using aarch::CodeAddr;
-
-namespace
-{
-
-/** The neutralized exit word stored in snapshots (slot re-bound at
- * import time). */
-std::uint32_t
-neutralExitWord()
-{
-    aarch::AInstr exit;
-    exit.op = aarch::AOp::ExitTb;
-    exit.imm = 0;
-    return aarch::encode(exit);
-}
-
-std::uint32_t
-exitWordFor(std::uint32_t slot)
-{
-    aarch::AInstr exit;
-    exit.op = aarch::AOp::ExitTb;
-    exit.imm = static_cast<std::int32_t>(slot);
-    return aarch::encode(exit);
-}
-
-} // namespace
 
 const support::Sha256Digest &
 Dbt::cachedImageDigest() const
@@ -152,13 +128,13 @@ Dbt::exportSnapshot()
                 const ExitSlot &slot = chains_.slot(it->second);
                 rec.exits.push_back(
                     {i, false, slot.chainable, slot.guestPc});
-                rec.hostWords.push_back(neutralExitWord());
+                rec.hostWords.push_back(backend_.exitTbWord(0));
                 continue;
             }
-            if (aarch::decode(word).op == aarch::AOp::ExitTb) {
+            if (backend_.isExitTbWord(word)) {
                 // Not a recorded patch site: the shared dynamic exit.
                 rec.exits.push_back({i, true, false, 0});
-                rec.hostWords.push_back(neutralExitWord());
+                rec.hostWords.push_back(backend_.exitTbWord(0));
                 continue;
             }
             rec.hostWords.push_back(word);
@@ -254,7 +230,7 @@ Dbt::importSnapshot(const persist::Snapshot &snapshot, bool validate)
                         : chains_.staticSlot(head, site.targetPc, base + i,
                                              site.chainable &&
                                                  config_.chaining);
-                code_.append(exitWordFor(slot));
+                code_.append(backend_.exitTbWord(slot));
             }
         } catch (const aarch::CodeBufferFull &) {
             rollback();
@@ -265,9 +241,10 @@ Dbt::importSnapshot(const persist::Snapshot &snapshot, bool validate)
 
         // Decode sanity even in checksum-only mode: the machine must
         // never fetch a word it cannot decode.
-        std::vector<aarch::AInstr> host;
+        verify::HostCode host;
         try {
-            host = verify::decodeRange(code_, base, code_.end());
+            host = verify::decodeHostRange(config_.host, code_, base,
+                                           code_.end());
         } catch (const PanicError &) {
             rollback();
             reject("decode");
@@ -425,9 +402,14 @@ Dbt::verifyPersistentCache(const persist::Snapshot &snapshot)
         } catch (const GuestFault &) {
             ok = false;
         }
+        item.host.isa = config_.host;
         try {
-            for (const std::uint32_t word : rec.hostWords)
-                item.host.push_back(aarch::decode(word));
+            for (const std::uint32_t word : rec.hostWords) {
+                if (config_.host == support::HostIsa::Rv64)
+                    item.host.riscv.push_back(rv64::decode(word));
+                else
+                    item.host.arm.push_back(aarch::decode(word));
+            }
         } catch (const PanicError &) {
             ok = false;
         }

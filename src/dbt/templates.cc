@@ -791,7 +791,9 @@ buildTemplateProbes(const DbtConfig &config, const TemplateConfig &templates)
         probe.kindName = templateKindName(kind);
         probe.guest = std::move(guest);
         probe.ir = std::move(plan->block);
-        probe.host = verify::decodeRange(scratch, start, scratch.end());
+        probe.host =
+            verify::decodeHostRange(config.host, scratch, start,
+                                    scratch.end());
         probes.push_back(std::move(probe));
     };
 

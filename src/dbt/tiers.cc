@@ -26,10 +26,10 @@ namespace
  */
 bool
 runValidation(const verify::TbValidator &validator, const Frontend &frontend,
-              const aarch::CodeBuffer &code, const tcg::Block &block,
-              CodeAddr entry, const std::vector<gx86::Addr> &path,
-              bool superblock, StatSet &stats,
-              std::vector<verify::Violation> *sink,
+              const aarch::CodeBuffer &code, support::HostIsa isa,
+              const tcg::Block &block, CodeAddr entry,
+              const std::vector<gx86::Addr> &path, bool superblock,
+              StatSet &stats, std::vector<verify::Violation> *sink,
               const AnalysisState *analysis)
 {
     std::vector<gx86::Instruction> guest;
@@ -37,7 +37,7 @@ runValidation(const verify::TbValidator &validator, const Frontend &frontend,
         const auto part = frontend.decodeBlock(pc);
         guest.insert(guest.end(), part.begin(), part.end());
     }
-    const auto host = verify::decodeRange(code, entry, code.end());
+    const auto host = verify::decodeHostRange(isa, code, entry, code.end());
     // Fence elision changes the emitted code, so the oracle must be
     // told which guest events are thread-private -- under the same
     // image-wide premise the elision itself relied on (rspPrivate).
@@ -171,11 +171,8 @@ InterpreterTier::translate(gx86::Addr pc, const TranslationEnv &env)
     if (it != trampolines_.end())
         return it->second;
     auto emit = [&]() {
-        aarch::Emitter emitter(code_);
-        const CodeAddr at = emitter.here();
-        emitter.exitTb(chains_.staticSlot(0, pc, at, false));
-        emitter.finish();
-        return at;
+        const CodeAddr at = code_.end();
+        return backend_.emitExitTb(chains_.staticSlot(0, pc, at, false));
     };
     CodeAddr at;
     try {
@@ -259,8 +256,9 @@ BaselineTier::translate(gx86::Addr pc, const TranslationEnv &env)
                     stats_.bump("analysis.validations_skipped");
                 } else {
                     const bool ok = runValidation(
-                        *validator_, frontend_, code_, block, host,
-                        {pc}, false, stats_, violations_, analysis_);
+                        *validator_, frontend_, code_, config_.host,
+                        block, host, {pc}, false, stats_, violations_,
+                        analysis_);
                     if (claim) {
                         stats_.bump("analysis.paranoid_rechecks");
                         if (!ok)
@@ -346,8 +344,9 @@ SuperblockTier::translate(gx86::Addr head, const TranslationEnv &env)
     try {
         const CodeAddr entry = backend_.compile(sb, chains_);
         if (validator_ != nullptr &&
-            !runValidation(*validator_, frontend_, code_, sb, entry, path,
-                           true, stats_, violations_, analysis_)) {
+            !runValidation(*validator_, frontend_, code_, config_.host, sb,
+                           entry, path, true, stats_, violations_,
+                           analysis_)) {
             // The superblock lost an ordering (a cross-seam optimizer or
             // splice bug): reject the promotion and keep tier-1 code.
             code_.truncate(codeCheckpoint);

@@ -96,10 +96,11 @@ class InterpreterTier : public ExecutionTier
     InterpreterTier(const gx86::GuestImage &image, const DbtConfig &config,
                     const ImportResolver *resolver,
                     HostCallHandler *hostcalls, aarch::CodeBuffer &code,
-                    ChainManager &chains, TierHost &host, StatSet &stats)
+                    Backend &backend, ChainManager &chains, TierHost &host,
+                    StatSet &stats)
         : image_(image), config_(config), resolver_(resolver),
-          hostcalls_(hostcalls), code_(code), chains_(chains), host_(host),
-          stats_(stats)
+          hostcalls_(hostcalls), code_(code), backend_(backend),
+          chains_(chains), host_(host), stats_(stats)
     {
         trampolines_.reserve(64);
     }
@@ -137,6 +138,7 @@ class InterpreterTier : public ExecutionTier
     const ImportResolver *resolver_;
     HostCallHandler *hostcalls_;
     aarch::CodeBuffer &code_;
+    Backend &backend_;
     ChainManager &chains_;
     TierHost &host_;
     StatSet &stats_;

@@ -310,6 +310,11 @@ Machine::step(Core &core)
         return;
     }
 
+    if (config_.hostIsa == support::HostIsa::Rv64) {
+        stepRv64(core);
+        return;
+    }
+
     const AInstr in = aarch::decode(code_.fetch(core.pc));
     CodeAddr next = core.pc + 1;
     const CostModel &c = config_.costs;
@@ -654,6 +659,299 @@ Machine::step(Core &core)
           default:
             throw GuestFault("unknown host syscall");
         }
+        break;
+    }
+    if (!core.halted)
+        core.pc = next;
+}
+
+void
+Machine::stepRv64(Core &core)
+{
+    const rv64::RInstr in = rv64::decode(code_.fetch(core.pc));
+    CodeAddr next = core.pc + 1;
+    const CostModel &c = config_.costs;
+    core.retired++;
+    stats_.bump("machine.instructions");
+    if (config_.traceRv64)
+        config_.traceRv64(core, in);
+
+    auto branchTo = [&](std::int32_t off) {
+        next = static_cast<CodeAddr>(static_cast<std::int64_t>(core.pc) +
+                                     off);
+        core.cycles += c.branchTakenExtra;
+    };
+    auto simm = [&]() {
+        return static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(in.imm));
+    };
+
+    using rv64::ROp;
+    switch (in.op) {
+      case ROp::Lui:
+        // The decoder already shifted and sign-extended the immediate.
+        core.x[in.rd] = simm();
+        core.cycles += c.alu;
+        break;
+      case ROp::Ld:
+        core.x[in.rd] = memRead(
+            core, core.x[in.rs1] + static_cast<std::int64_t>(in.imm), 8);
+        core.cycles += c.load;
+        break;
+      case ROp::Lbu:
+        core.x[in.rd] = memRead(
+            core, core.x[in.rs1] + static_cast<std::int64_t>(in.imm), 1);
+        core.cycles += c.load;
+        break;
+      case ROp::Sd:
+        memWrite(core,
+                 core.x[in.rs1] + static_cast<std::int64_t>(in.imm), 8,
+                 core.x[in.rs2]);
+        core.cycles += c.store;
+        break;
+      case ROp::Sb:
+        memWrite(core,
+                 core.x[in.rs1] + static_cast<std::int64_t>(in.imm), 1,
+                 core.x[in.rs2]);
+        core.cycles += c.store;
+        break;
+      case ROp::Addi:
+        core.x[in.rd] = core.x[in.rs1] + simm();
+        core.cycles += c.alu;
+        break;
+      case ROp::Slti:
+        core.x[in.rd] = static_cast<std::int64_t>(core.x[in.rs1]) <
+                                static_cast<std::int64_t>(in.imm)
+                            ? 1
+                            : 0;
+        core.cycles += c.alu;
+        break;
+      case ROp::Sltiu:
+        core.x[in.rd] = core.x[in.rs1] < simm() ? 1 : 0;
+        core.cycles += c.alu;
+        break;
+      case ROp::Xori:
+        core.x[in.rd] = core.x[in.rs1] ^ simm();
+        core.cycles += c.alu;
+        break;
+      case ROp::Ori:
+        core.x[in.rd] = core.x[in.rs1] | simm();
+        core.cycles += c.alu;
+        break;
+      case ROp::Andi:
+        core.x[in.rd] = core.x[in.rs1] & simm();
+        core.cycles += c.alu;
+        break;
+      case ROp::Slli:
+        core.x[in.rd] = core.x[in.rs1] << (in.imm & 63);
+        core.cycles += c.alu;
+        break;
+      case ROp::Srli:
+        core.x[in.rd] = core.x[in.rs1] >> (in.imm & 63);
+        core.cycles += c.alu;
+        break;
+      case ROp::Add:
+        core.x[in.rd] = core.x[in.rs1] + core.x[in.rs2];
+        core.cycles += c.alu;
+        break;
+      case ROp::Sub:
+        core.x[in.rd] = core.x[in.rs1] - core.x[in.rs2];
+        core.cycles += c.alu;
+        break;
+      case ROp::Slt:
+        core.x[in.rd] = static_cast<std::int64_t>(core.x[in.rs1]) <
+                                static_cast<std::int64_t>(core.x[in.rs2])
+                            ? 1
+                            : 0;
+        core.cycles += c.alu;
+        break;
+      case ROp::Sltu:
+        core.x[in.rd] = core.x[in.rs1] < core.x[in.rs2] ? 1 : 0;
+        core.cycles += c.alu;
+        break;
+      case ROp::Xor:
+        core.x[in.rd] = core.x[in.rs1] ^ core.x[in.rs2];
+        core.cycles += c.alu;
+        break;
+      case ROp::Or:
+        core.x[in.rd] = core.x[in.rs1] | core.x[in.rs2];
+        core.cycles += c.alu;
+        break;
+      case ROp::And:
+        core.x[in.rd] = core.x[in.rs1] & core.x[in.rs2];
+        core.cycles += c.alu;
+        break;
+      case ROp::Mul:
+        core.x[in.rd] = core.x[in.rs1] * core.x[in.rs2];
+        core.cycles += c.alu + 2;
+        break;
+      case ROp::Divu:
+        // Mirror the aarch core exactly (real DIVU returns all-ones;
+        // the backends never emit a reachable zero divide, and the
+        // differential tests need identical faulting behaviour).
+        if (core.x[in.rs2] == 0)
+            throw GuestFault("host udiv by zero");
+        core.x[in.rd] = core.x[in.rs1] / core.x[in.rs2];
+        core.cycles += c.alu + 12;
+        break;
+      case ROp::Fence:
+        // RVWMO FENCE by direction, charged like the aarch barriers: a
+        // write-including predecessor set drains the store buffer
+        // (w,w at DMBST cost, anything stronger at DMBFF cost); a
+        // read-only predecessor set orders like DMBLD and keeps the
+        // buffer intact.
+        if ((in.pred & rv64::FenceW) != 0) {
+            flushStoreBuffer(core);
+            if (in.pred == rv64::FenceW && in.succ == rv64::FenceW) {
+                core.cycles += c.dmbSt;
+                stats_.bump("machine.dmb_st");
+            } else {
+                core.cycles += c.dmbFull;
+                stats_.bump("machine.dmb_full");
+            }
+        } else {
+            core.cycles += c.dmbLd;
+            stats_.bump("machine.dmb_ld");
+        }
+        break;
+      case ROp::LrD: {
+        const std::uint64_t addr = core.x[in.rs1];
+        flushStoreBuffer(core);
+        core.x[in.rd] = memRead(core, addr, 8);
+        core.monitor = addr & ~7ULL;
+        core.cycles += c.exclusive + (in.aq ? c.acquireExtra : 0) +
+                       (in.rl ? c.releaseExtra : 0);
+        stats_.bump("machine.exclusive_loads");
+        break;
+      }
+      case ROp::ScD: {
+        const std::uint64_t addr = core.x[in.rs1];
+        const std::uint64_t value = core.x[in.rs2]; // rd may alias rs2.
+        if (in.rl)
+            flushStoreBuffer(core);
+        bool ok = core.monitor && *core.monitor == (addr & ~7ULL);
+        // Spurious SC failure is architecturally allowed; same site and
+        // stream as the aarch STXR injection.
+        if (ok && faults_.shouldInject(faultsites::MachineStxr)) {
+            ok = false;
+            ++core.pendingInjectedStxr;
+        }
+        if (ok) {
+            core.cycles += atomicAccessCost(core, addr);
+            directWrite(core, addr, 8, value);
+        }
+        core.x[in.rd] = ok ? 0 : 1;
+        core.monitor.reset();
+        core.cycles += c.exclusive + (in.aq ? c.acquireExtra : 0) +
+                       (in.rl ? c.releaseExtra : 0);
+        stats_.bump("machine.exclusive_stores");
+        if (ok)
+            noteStxrSuccess(core);
+        else
+            noteStxrFailure(core);
+        break;
+      }
+      case ROp::AmoSwapD: {
+        const std::uint64_t addr = core.x[in.rs1];
+        const std::uint64_t src = core.x[in.rs2];
+        flushStoreBuffer(core);
+        core.cycles += c.casBase + atomicAccessCost(core, addr);
+        const std::uint64_t old = memory_.load64(addr);
+        directWrite(core, addr, 8, src);
+        core.x[in.rd] = old;
+        stats_.bump("machine.cas_ops");
+        break;
+      }
+      case ROp::AmoAddD: {
+        const std::uint64_t addr = core.x[in.rs1];
+        const std::uint64_t src = core.x[in.rs2];
+        flushStoreBuffer(core);
+        core.cycles += c.casBase + atomicAccessCost(core, addr);
+        const std::uint64_t old = memory_.load64(addr);
+        directWrite(core, addr, 8, old + src);
+        core.x[in.rd] = old;
+        stats_.bump("machine.atomic_adds");
+        break;
+      }
+      case ROp::Beq:
+        core.cycles += c.branch;
+        if (core.x[in.rs1] == core.x[in.rs2])
+            branchTo(in.imm);
+        break;
+      case ROp::Bne:
+        core.cycles += c.branch;
+        if (core.x[in.rs1] != core.x[in.rs2])
+            branchTo(in.imm);
+        break;
+      case ROp::Blt:
+        core.cycles += c.branch;
+        if (static_cast<std::int64_t>(core.x[in.rs1]) <
+            static_cast<std::int64_t>(core.x[in.rs2]))
+            branchTo(in.imm);
+        break;
+      case ROp::Bge:
+        core.cycles += c.branch;
+        if (static_cast<std::int64_t>(core.x[in.rs1]) >=
+            static_cast<std::int64_t>(core.x[in.rs2]))
+            branchTo(in.imm);
+        break;
+      case ROp::Bltu:
+        core.cycles += c.branch;
+        if (core.x[in.rs1] < core.x[in.rs2])
+            branchTo(in.imm);
+        break;
+      case ROp::Bgeu:
+        core.cycles += c.branch;
+        if (core.x[in.rs1] >= core.x[in.rs2])
+            branchTo(in.imm);
+        break;
+      case ROp::Jal:
+        core.x[in.rd] = next;
+        branchTo(in.imm);
+        core.cycles += c.branch;
+        break;
+      case ROp::Helper:
+        panicIf(!runtime_, "helper trap without a runtime");
+        core.cycles += c.helperCall;
+        stats_.bump("machine.helper_calls");
+        core.cycles += runtime_->invokeHelper(
+            in.helper, static_cast<std::uint16_t>(in.imm), core, *this);
+        break;
+      case ROp::ExitTb: {
+        panicIf(!runtime_, "exit_tb trap without a runtime");
+        core.cycles += c.exitTbLookup;
+        stats_.bump("machine.tb_exits");
+        stats_.bump("machine.tb_exit_cycles", c.exitTbLookup);
+        const auto target = runtime_->onExitTb(
+            static_cast<std::uint32_t>(in.imm), core, *this);
+        if (!target) {
+            core.halted = true;
+            break;
+        }
+        next = *target;
+        break;
+      }
+      case ROp::Ecall:
+        // The same native syscall convention as the aarch core's SVC:
+        // x0 = number, x1 = argument.
+        core.cycles += c.syscall;
+        switch (core.x[0]) {
+          case 0:
+            core.exitCode = static_cast<std::int64_t>(core.x[1]);
+            core.halted = true;
+            break;
+          case 1:
+            core.output.push_back(static_cast<char>(core.x[1]));
+            break;
+          case 2:
+            core.x[0] = core.cycles;
+            break;
+          default:
+            throw GuestFault("unknown host syscall");
+        }
+        break;
+      case ROp::Ebreak:
+        core.halted = true;
         break;
     }
     if (!core.halted)

@@ -28,7 +28,9 @@
 #include "aarch/isa.hh"
 #include "gx86/memory.hh"
 #include "machine/costs.hh"
+#include "rv64/isa.hh"
 #include "support/faultinject.hh"
+#include "support/hostisa.hh"
 #include "support/rng.hh"
 #include "support/stats.hh"
 
@@ -94,14 +96,27 @@ class HelperRuntime
 using TraceHook =
     std::function<void(const Core &, const aarch::AInstr &)>;
 
+/** rv64 per-instruction trace callback. */
+using Rv64TraceHook =
+    std::function<void(const Core &, const rv64::RInstr &)>;
+
 /** Scheduler / weak-memory behaviour knobs. */
 struct MachineConfig
 {
     CostModel costs;
     std::uint64_t seed = 1;
+
+    /** Which host ISA the code buffer holds. The RVWMO core reuses the
+     * same store buffers, monitors and cost model (acquire/release
+     * extras charge LR/SC annotations, the dmb costs charge FENCEs by
+     * direction), so cross-backend runs compare like for like. */
+    support::HostIsa hostIsa = support::HostIsa::Aarch;
+
     /** When set, invoked before every retired instruction (debugging /
      * instruction-trace dumps; adds no simulated cost). */
     TraceHook trace;
+    /** Trace hook for rv64 hosts (hostIsa == Rv64). */
+    Rv64TraceHook traceRv64;
     /** Randomize core interleaving and buffer drains (litmus stress);
      * when false, scheduling is cycle-ordered and drains are eager. */
     bool randomize = false;
@@ -209,6 +224,7 @@ class Machine
 
   private:
     void step(Core &core);
+    void stepRv64(Core &core);
     void drainOne(Core &core);
     void chargeLineOwnership(Core &core, std::uint64_t addr, bool write);
     void clearOtherMonitors(const Core &writer, std::uint64_t addr);

@@ -1,5 +1,7 @@
 #include "mapping/schemes.hh"
 
+#include <utility>
+
 #include "memcore/fencealg.hh"
 #include "support/error.hh"
 
@@ -254,45 +256,187 @@ mapX86ToArmDesired(const Program &program)
     return out;
 }
 
+memcore::FenceKind
+lowerTcgFenceToRiscv(FenceKind fence, TcgToArmScheme scheme)
+{
+    switch (fence) {
+      case FenceKind::Frr:
+      case FenceKind::Frw:
+      case FenceKind::Frm:
+        // QEMU's backend collapses all read-side fences to its DMBLD
+        // analogue, `fence r,rw`.
+        return scheme == TcgToArmScheme::Qemu ? FenceKind::Frm : fence;
+      case FenceKind::Fmr:
+        // The Figure 2 unsoundness transplanted: QEMU demotes Fmr to a
+        // read fence, losing the W->R half. The sound lowering keeps
+        // the full pred set.
+        return scheme == TcgToArmScheme::Qemu ? FenceKind::Frm : fence;
+      case FenceKind::Fww:
+        // QEMU never generates Fww and lowers write fences to a full
+        // fence; Risotto keeps the exact `fence w,w`.
+        return scheme == TcgToArmScheme::Qemu ? FenceKind::Fmm : fence;
+      case FenceKind::Fwr:
+      case FenceKind::Fwm:
+      case FenceKind::Fmw:
+      case FenceKind::Fmm:
+        return scheme == TcgToArmScheme::Qemu ? FenceKind::Fmm : fence;
+      case FenceKind::Fsc:
+        // `fence rw,rw` is RVWMO's strongest plain fence.
+        return FenceKind::Fmm;
+      case FenceKind::Facq:
+      case FenceKind::Frel:
+        return FenceKind::None;
+      default:
+        panic("non-TCG fence lowered to RISC-V");
+    }
+}
+
 litmus::Program
-mapX86ToRiscv(const Program &program, bool with_fences)
+mapTcgToRiscv(const Program &program, TcgToArmScheme scheme,
+              RmwLowering lowering)
 {
     Program out;
-    out.name = program.name + "->riscv" +
-               (with_fences ? "" : "(no-fences)");
+    out.name = program.name + "->riscv(" + schemeName(scheme) + "," +
+               rmwLoweringName(lowering) + ")";
     out.init = program.init;
     for (const Thread &t : program.threads) {
         Thread mapped;
         for (const Instr &i : t.instrs) {
             switch (i.kind) {
               case Instr::Kind::Load:
-                mapped.instrs.push_back(i);
-                if (with_fences)
-                    mapped.instrs.push_back(
-                        guardedFence(FenceKind::Frm, i));
-                break;
-              case Instr::Kind::Store:
-                if (with_fences)
-                    mapped.instrs.push_back(
-                        guardedFence(FenceKind::Fmw, i));
-                mapped.instrs.push_back(i);
-                break;
-              case Instr::Kind::Rmw: {
-                Instr rmw = i;
-                rmw.rmwKind = RmwKind::Amo;
-                rmw.readAccess = Access::Acquire;   // .aq
-                rmw.writeAccess = Access::Release;  // .rl
-                mapped.instrs.push_back(rmw);
+              case Instr::Kind::Store: {
+                Instr access = i;
+                access.readAccess = Access::Plain;
+                access.writeAccess = Access::Plain;
+                mapped.instrs.push_back(access);
                 break;
               }
-              case Instr::Kind::Fence:
-                mapped.instrs.push_back(
-                    guardedFence(FenceKind::Fmm, i));
+              case Instr::Kind::Rmw: {
+                Instr rmw = i;
+                switch (lowering) {
+                  case RmwLowering::HelperRmw1AL:
+                  case RmwLowering::InlineCasal:
+                    // amo.aqrl: fully ordered (spec A.3.3).
+                    rmw.rmwKind = RmwKind::Amo;
+                    rmw.readAccess = Access::AcqRel;
+                    rmw.writeAccess = Access::AcqRel;
+                    mapped.instrs.push_back(rmw);
+                    break;
+                  case RmwLowering::HelperRmw2AL:
+                    // lr.d.aq / sc.d.rl: NOT fully ordered -- the same
+                    // too-weak exclusive pair the paper found in the
+                    // GCC-9 QEMU build, in RVWMO clothing.
+                    rmw.rmwKind = RmwKind::LxSx;
+                    rmw.readAccess = Access::Acquire;
+                    rmw.writeAccess = Access::Release;
+                    mapped.instrs.push_back(rmw);
+                    break;
+                  case RmwLowering::FencedRmw2:
+                    rmw.rmwKind = RmwKind::LxSx;
+                    rmw.readAccess = Access::Plain;
+                    rmw.writeAccess = Access::Plain;
+                    mapped.instrs.push_back(
+                        guardedFence(FenceKind::Fmm, i));
+                    mapped.instrs.push_back(rmw);
+                    mapped.instrs.push_back(
+                        guardedFence(FenceKind::Fmm, i));
+                    break;
+                }
                 break;
+              }
+              case Instr::Kind::Fence: {
+                fatalIf(!memcore::isTcgFence(i.fence),
+                        "TCG source contains a non-TCG fence");
+                const FenceKind lowered =
+                    lowerTcgFenceToRiscv(i.fence, scheme);
+                if (lowered != FenceKind::None)
+                    mapped.instrs.push_back(guardedFence(lowered, i));
+                break;
+              }
             }
         }
         out.threads.push_back(std::move(mapped));
     }
+    return out;
+}
+
+namespace
+{
+
+// FENCE set bits: matches rv64::FenceW / rv64::FenceR.
+constexpr std::uint8_t SetW = 1;
+constexpr std::uint8_t SetR = 2;
+constexpr std::uint8_t SetRW = SetR | SetW;
+
+std::uint8_t
+fenceSet(char dir)
+{
+    switch (dir) {
+      case 'r': return SetR;
+      case 'w': return SetW;
+      case 'm': return SetRW;
+    }
+    panic("bad fence direction");
+}
+
+/** The pred/succ direction letters of a directional Fxy kind. */
+std::pair<char, char>
+fenceDirections(FenceKind fence)
+{
+    switch (fence) {
+      case FenceKind::Frr: return {'r', 'r'};
+      case FenceKind::Frw: return {'r', 'w'};
+      case FenceKind::Frm: return {'r', 'm'};
+      case FenceKind::Fwr: return {'w', 'r'};
+      case FenceKind::Fww: return {'w', 'w'};
+      case FenceKind::Fwm: return {'w', 'm'};
+      case FenceKind::Fmr: return {'m', 'r'};
+      case FenceKind::Fmw: return {'m', 'w'};
+      case FenceKind::Fmm: return {'m', 'm'};
+      default:
+        panic("non-directional fence has no FENCE pred/succ sets");
+    }
+}
+
+} // namespace
+
+std::uint8_t
+riscvFencePred(FenceKind fence)
+{
+    return fenceSet(fenceDirections(fence).first);
+}
+
+std::uint8_t
+riscvFenceSucc(FenceKind fence)
+{
+    return fenceSet(fenceDirections(fence).second);
+}
+
+memcore::FenceKind
+riscvFenceKind(std::uint8_t pred, std::uint8_t succ)
+{
+    panicIf((pred & SetRW) == 0 || (succ & SetRW) == 0,
+            "FENCE with an empty pred or succ set");
+    static constexpr FenceKind byBits[3][3] = {
+        // succ:      W               R               RW
+        /* pred W */ {FenceKind::Fww, FenceKind::Fwr, FenceKind::Fwm},
+        /* pred R */ {FenceKind::Frw, FenceKind::Frr, FenceKind::Frm},
+        /* pred RW */ {FenceKind::Fmw, FenceKind::Fmr, FenceKind::Fmm},
+    };
+    return byBits[(pred & SetRW) - 1][(succ & SetRW) - 1];
+}
+
+litmus::Program
+mapX86ToRiscv(const Program &program, bool with_fences)
+{
+    // Composition of the two stages the rv64 DBT actually runs, so the
+    // litmus-level table can never drift from the executable emitter.
+    Program out = mapTcgToRiscv(
+        mapX86ToTcg(program, with_fences ? X86ToTcgScheme::Risotto
+                                         : X86ToTcgScheme::NoFences),
+        TcgToArmScheme::Risotto, RmwLowering::InlineCasal);
+    out.name = program.name + "->riscv" +
+               (with_fences ? "" : "(no-fences)");
     return out;
 }
 

@@ -16,6 +16,7 @@
 #ifndef RISOTTO_MAPPING_SCHEMES_HH
 #define RISOTTO_MAPPING_SCHEMES_HH
 
+#include <cstdint>
 #include <string>
 
 #include "litmus/program.hh"
@@ -81,13 +82,57 @@ litmus::Program mapX86ToArm(const litmus::Program &program,
 litmus::Program mapX86ToArmDesired(const litmus::Program &program);
 
 /**
+ * TCG IR fence -> RISC-V FENCE lowering. This table is the single
+ * source of truth for the rv64 host: the executable backend
+ * (dbt::Backend under HostIsa::Rv64), the emitted-code verifier and the
+ * litmus-level mapTcgToRiscv below all consult it, so Theorem-1
+ * checking and emission cannot drift.
+ *
+ * The Fxy vocabulary maps 1:1 onto FENCE pred,succ sets (fence r,rw ==
+ * Frm and so on), so the Risotto scheme is the identity with Fsc
+ * strengthened to `fence rw,rw` (Fmm) and Facq/Frel generating nothing.
+ * The Qemu scheme reproduces the Figure 2 demotions in RVWMO
+ * vocabulary: read-side fences (including the unsound Fmr case) to
+ * `fence r,rw`, everything else to `fence rw,rw`.
+ *
+ * Returns FenceKind::None when no instruction should be emitted.
+ */
+memcore::FenceKind lowerTcgFenceToRiscv(memcore::FenceKind fence,
+                                        TcgToArmScheme scheme);
+
+/**
+ * The FENCE predecessor/successor bit sets of a directional Fxy fence.
+ * Bit 1 = writes, bit 2 = reads (the rv64::FenceW / rv64::FenceR
+ * encoding values, kept as plain integers so this library stays free of
+ * a host-ISA dependency). Panics on non-directional kinds.
+ */
+std::uint8_t riscvFencePred(memcore::FenceKind fence);
+std::uint8_t riscvFenceSucc(memcore::FenceKind fence);
+
+/** The Fxy fence kind of FENCE pred,succ. Panics on an empty set. */
+memcore::FenceKind riscvFenceKind(std::uint8_t pred, std::uint8_t succ);
+
+/**
+ * Map a TCG IR program to a RISC-V (RVWMO) program. Fences go through
+ * lowerTcgFenceToRiscv; RMWs follow @p lowering: single-instruction
+ * lowerings (HelperRmw1AL/InlineCasal) become fully-ordered amo.aqrl
+ * (AcqRel/AcqRel Amo), HelperRmw2AL becomes the weak lr.d.aq/sc.d.rl
+ * pair (the GCC-9-style bug transplanted to RISC-V), and FencedRmw2
+ * brackets a plain LR/SC pair with `fence rw,rw`.
+ */
+litmus::Program mapTcgToRiscv(const litmus::Program &program,
+                              TcgToArmScheme scheme, RmwLowering lowering);
+
+/**
  * Extension: the standard x86-TSO -> RISC-V (RVWMO) mapping from the
- * RISC-V specification's memory-model appendix, expressed in the same
- * litmus vocabulary (RISC-V FENCE pred,succ sets map 1:1 onto the Fxy
- * fence kinds):
+ * RISC-V specification's memory-model appendix, now built by
+ * *composition* -- mapX86ToTcg(Risotto) followed by
+ * mapTcgToRiscv(Risotto, InlineCasal) -- exactly the pipeline the rv64
+ * DBT backend executes:
  *
  *   RMOV   -> l; fence r,rw      (trailing Frm -- like Figure 7a!)
- *   WMOV   -> fence rw,w; s      (leading Fmw)
+ *   WMOV   -> fence w,w; s       (leading Fww; the load-side Frm covers
+ *                                 the R->W half of TSO's store ordering)
  *   RMW    -> amo.aqrl
  *   MFENCE -> fence rw,rw        (Fmm)
  *

@@ -41,6 +41,7 @@ accessName(Access access)
       case Access::AcquirePC: return "acqPC";
       case Access::Release: return "rel";
       case Access::Sc: return "sc";
+      case Access::AcqRel: return "aqrl";
     }
     panic("unknown access annotation");
 }

@@ -50,8 +50,10 @@ RiscvModel::ppo(const Execution &x)
     // Acquire/release annotations (r5-r7): acquire orders successors,
     // release orders predecessors, RCsc release-to-acquire.
     const EventSet acq = x.accessesOf(Access::Acquire) |
-                         x.accessesOf(Access::AcquirePC);
-    const EventSet rel = x.accessesOf(Access::Release);
+                         x.accessesOf(Access::AcquirePC) |
+                         x.accessesOf(Access::AcqRel);
+    const EventSet rel = x.accessesOf(Access::Release) |
+                         x.accessesOf(Access::AcqRel);
     result = result | id(acq).compose(x.po);
     result = result | x.po.compose(id(rel));
     result = result | id(rel).compose(x.po).compose(id(acq));

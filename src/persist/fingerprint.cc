@@ -57,6 +57,13 @@ configFingerprint(const dbt::DbtConfig &config)
     // builds (their v1 snapshots stay loadable).
     if (config.analysis && config.analysisElide)
         mix(bytes, 0xA11AE11DEULL);
+    // A non-default host backend changes every emitted word, so it is
+    // part of the key -- gated like the elision token so every aarch
+    // fingerprint stays byte-identical to pre-rv64 builds. Cross-host
+    // snapshot/certificate refusal falls out of this mismatch.
+    if (config.host != support::HostIsa::Aarch)
+        mix(bytes, 0x5C00000000ULL +
+                       static_cast<std::uint64_t>(config.host));
     return support::fnv1a64(bytes);
 }
 

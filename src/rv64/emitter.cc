@@ -1,0 +1,321 @@
+#include "rv64/emitter.hh"
+
+#include <climits>
+
+#include "support/error.hh"
+
+namespace risotto::rv64
+{
+
+Emitter::Label
+Emitter::newLabel()
+{
+    labels_.push_back(-1);
+    return labels_.size() - 1;
+}
+
+void
+Emitter::bind(Label label)
+{
+    panicIf(label >= labels_.size(), "bad rv64 label");
+    panicIf(labels_[label] >= 0, "rv64 label bound twice");
+    labels_[label] = static_cast<std::int64_t>(buffer_.end());
+}
+
+void
+Emitter::finish()
+{
+    for (const Fixup &f : fixups_) {
+        panicIf(labels_[f.label] < 0, "unbound rv64 label");
+        RInstr in = decode(buffer_.fetch(f.at));
+        in.imm = static_cast<std::int32_t>(labels_[f.label]) -
+                 static_cast<std::int32_t>(f.at);
+        buffer_.patch(f.at, encode(in));
+    }
+    fixups_.clear();
+}
+
+void
+Emitter::emit(const RInstr &instr)
+{
+    buffer_.append(encode(instr));
+}
+
+void
+Emitter::emitBranch(RInstr instr, Label label)
+{
+    panicIf(label >= labels_.size(), "bad rv64 label");
+    instr.imm = 0;
+    const CodeAddr at = buffer_.append(encode(instr));
+    fixups_.push_back({at, label});
+}
+
+void
+Emitter::li(XReg rd, std::uint64_t value)
+{
+    // lui/addi, extended by slli+addi rungs for wide values -- the
+    // classic RISC-V materialization ladder. x0 is a live guest
+    // register here (see isa.hh), so even tiny constants start from
+    // `lui rd, 0` rather than `addi rd, x0, imm`.
+    const std::int64_t v = static_cast<std::int64_t>(value);
+    const std::int64_t lo = (v << 52) >> 52; // sign-extended low 12 bits
+    const std::int64_t hi = v - lo;
+    if (hi >= INT32_MIN && hi <= INT32_MAX) {
+        lui(rd, static_cast<std::int32_t>(hi >> 12));
+        if (lo != 0)
+            addi(rd, rd, static_cast<std::int32_t>(lo));
+        return;
+    }
+    li(rd, static_cast<std::uint64_t>(
+               static_cast<std::int64_t>(
+                   value - static_cast<std::uint64_t>(lo)) >>
+               12));
+    slli(rd, rd, 12);
+    if (lo != 0)
+        addi(rd, rd, static_cast<std::int32_t>(lo));
+}
+
+void
+Emitter::mv(XReg rd, XReg rs)
+{
+    addi(rd, rs, 0);
+}
+
+void
+Emitter::lui(XReg rd, std::int32_t imm20)
+{
+    panicIf(imm20 < -(1 << 19) || imm20 >= (1 << 19),
+            "lui immediate out of range");
+    RInstr in;
+    in.op = ROp::Lui;
+    in.rd = rd;
+    in.imm = imm20 << 12;
+    emit(in);
+}
+
+namespace
+{
+
+RInstr
+mem(ROp op, XReg rd, XReg rs1, XReg rs2, std::int32_t imm)
+{
+    RInstr in;
+    in.op = op;
+    in.rd = rd;
+    in.rs1 = rs1;
+    in.rs2 = rs2;
+    in.imm = imm;
+    return in;
+}
+
+RInstr
+atomic(ROp op, XReg rd, XReg rs2, XReg rs1, bool aq, bool rl)
+{
+    RInstr in;
+    in.op = op;
+    in.rd = rd;
+    in.rs1 = rs1;
+    in.rs2 = rs2;
+    in.aq = aq;
+    in.rl = rl;
+    return in;
+}
+
+} // namespace
+
+void Emitter::ld(XReg rd, XReg rs1, std::int32_t off)
+{
+    emit(mem(ROp::Ld, rd, rs1, 0, off));
+}
+
+void Emitter::lbu(XReg rd, XReg rs1, std::int32_t off)
+{
+    emit(mem(ROp::Lbu, rd, rs1, 0, off));
+}
+
+void Emitter::sd(XReg rs2, XReg rs1, std::int32_t off)
+{
+    emit(mem(ROp::Sd, 0, rs1, rs2, off));
+}
+
+void Emitter::sb(XReg rs2, XReg rs1, std::int32_t off)
+{
+    emit(mem(ROp::Sb, 0, rs1, rs2, off));
+}
+
+void Emitter::addi(XReg rd, XReg rs1, std::int32_t imm)
+{
+    emit(mem(ROp::Addi, rd, rs1, 0, imm));
+}
+
+void Emitter::slti(XReg rd, XReg rs1, std::int32_t imm)
+{
+    emit(mem(ROp::Slti, rd, rs1, 0, imm));
+}
+
+void Emitter::sltiu(XReg rd, XReg rs1, std::int32_t imm)
+{
+    emit(mem(ROp::Sltiu, rd, rs1, 0, imm));
+}
+
+void Emitter::xori(XReg rd, XReg rs1, std::int32_t imm)
+{
+    emit(mem(ROp::Xori, rd, rs1, 0, imm));
+}
+
+void Emitter::ori(XReg rd, XReg rs1, std::int32_t imm)
+{
+    emit(mem(ROp::Ori, rd, rs1, 0, imm));
+}
+
+void Emitter::andi(XReg rd, XReg rs1, std::int32_t imm)
+{
+    emit(mem(ROp::Andi, rd, rs1, 0, imm));
+}
+
+void Emitter::slli(XReg rd, XReg rs1, std::int32_t shamt)
+{
+    emit(mem(ROp::Slli, rd, rs1, 0, shamt));
+}
+
+void Emitter::srli(XReg rd, XReg rs1, std::int32_t shamt)
+{
+    emit(mem(ROp::Srli, rd, rs1, 0, shamt));
+}
+
+void Emitter::add(XReg rd, XReg rs1, XReg rs2)
+{
+    emit(mem(ROp::Add, rd, rs1, rs2, 0));
+}
+
+void Emitter::sub(XReg rd, XReg rs1, XReg rs2)
+{
+    emit(mem(ROp::Sub, rd, rs1, rs2, 0));
+}
+
+void Emitter::slt(XReg rd, XReg rs1, XReg rs2)
+{
+    emit(mem(ROp::Slt, rd, rs1, rs2, 0));
+}
+
+void Emitter::sltu(XReg rd, XReg rs1, XReg rs2)
+{
+    emit(mem(ROp::Sltu, rd, rs1, rs2, 0));
+}
+
+void Emitter::xor_(XReg rd, XReg rs1, XReg rs2)
+{
+    emit(mem(ROp::Xor, rd, rs1, rs2, 0));
+}
+
+void Emitter::or_(XReg rd, XReg rs1, XReg rs2)
+{
+    emit(mem(ROp::Or, rd, rs1, rs2, 0));
+}
+
+void Emitter::and_(XReg rd, XReg rs1, XReg rs2)
+{
+    emit(mem(ROp::And, rd, rs1, rs2, 0));
+}
+
+void Emitter::mul(XReg rd, XReg rs1, XReg rs2)
+{
+    emit(mem(ROp::Mul, rd, rs1, rs2, 0));
+}
+
+void Emitter::divu(XReg rd, XReg rs1, XReg rs2)
+{
+    emit(mem(ROp::Divu, rd, rs1, rs2, 0));
+}
+
+void
+Emitter::fence(std::uint8_t pred, std::uint8_t succ)
+{
+    RInstr in;
+    in.op = ROp::Fence;
+    in.pred = pred;
+    in.succ = succ;
+    emit(in);
+}
+
+void Emitter::lr(XReg rd, XReg rs1, bool aq, bool rl)
+{
+    emit(atomic(ROp::LrD, rd, 0, rs1, aq, rl));
+}
+
+void Emitter::sc(XReg rd, XReg rs2, XReg rs1, bool aq, bool rl)
+{
+    emit(atomic(ROp::ScD, rd, rs2, rs1, aq, rl));
+}
+
+void Emitter::amoadd(XReg rd, XReg rs2, XReg rs1, bool aq, bool rl)
+{
+    emit(atomic(ROp::AmoAddD, rd, rs2, rs1, aq, rl));
+}
+
+void Emitter::amoswap(XReg rd, XReg rs2, XReg rs1, bool aq, bool rl)
+{
+    emit(atomic(ROp::AmoSwapD, rd, rs2, rs1, aq, rl));
+}
+
+void Emitter::beq(XReg rs1, XReg rs2, Label label)
+{
+    emitBranch(mem(ROp::Beq, 0, rs1, rs2, 0), label);
+}
+
+void Emitter::bne(XReg rs1, XReg rs2, Label label)
+{
+    emitBranch(mem(ROp::Bne, 0, rs1, rs2, 0), label);
+}
+
+void Emitter::blt(XReg rs1, XReg rs2, Label label)
+{
+    emitBranch(mem(ROp::Blt, 0, rs1, rs2, 0), label);
+}
+
+void Emitter::bge(XReg rs1, XReg rs2, Label label)
+{
+    emitBranch(mem(ROp::Bge, 0, rs1, rs2, 0), label);
+}
+
+void Emitter::jal(XReg rd, Label label)
+{
+    emitBranch(mem(ROp::Jal, rd, 0, 0, 0), label);
+}
+
+void
+Emitter::ecall()
+{
+    RInstr in;
+    in.op = ROp::Ecall;
+    emit(in);
+}
+
+void
+Emitter::ebreak()
+{
+    RInstr in;
+    in.op = ROp::Ebreak;
+    emit(in);
+}
+
+void
+Emitter::helper(std::uint8_t id, std::uint16_t extra)
+{
+    RInstr in;
+    in.op = ROp::Helper;
+    in.helper = id;
+    in.imm = extra;
+    emit(in);
+}
+
+void
+Emitter::exitTb(std::uint32_t slot)
+{
+    RInstr in;
+    in.op = ROp::ExitTb;
+    in.imm = static_cast<std::int32_t>(slot);
+    emit(in);
+}
+
+} // namespace risotto::rv64

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Label-aware RV64 instruction emitter.
+ *
+ * Mirrors aarch::Emitter over the same shared CodeBuffer: both hosts
+ * use 32-bit instruction words indexed by word address, so the
+ * translation cache, chaining and snapshot machinery are
+ * container-compatible across backends -- only the word encodings
+ * differ. Branch fixups re-encode the B/J-type immediate once the label
+ * binds.
+ */
+
+#ifndef RISOTTO_RV64_EMITTER_HH
+#define RISOTTO_RV64_EMITTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "aarch/emitter.hh"
+#include "rv64/isa.hh"
+
+namespace risotto::rv64
+{
+
+/** The code container is host-neutral; reuse the aarch one. */
+using CodeBuffer = aarch::CodeBuffer;
+using CodeAddr = aarch::CodeAddr;
+
+/** Label-aware emitter over a CodeBuffer. */
+class Emitter
+{
+  public:
+    using Label = std::size_t;
+
+    explicit Emitter(CodeBuffer &buffer) : buffer_(buffer) {}
+
+    CodeAddr here() const { return buffer_.end(); }
+
+    Label newLabel();
+    void bind(Label label);
+
+    /** Resolve all pending fixups; must be called before executing. */
+    void finish();
+
+    // --- Instructions -----------------------------------------------------
+
+    /** Materialize a 64-bit constant (lui/addi/slli ladder; no x0). */
+    void li(XReg rd, std::uint64_t value);
+    void mv(XReg rd, XReg rs); ///< addi rd, rs, 0
+
+    void lui(XReg rd, std::int32_t imm20); ///< rd <- sext(imm20 << 12)
+    void ld(XReg rd, XReg rs1, std::int32_t off = 0);
+    void lbu(XReg rd, XReg rs1, std::int32_t off = 0);
+    void sd(XReg rs2, XReg rs1, std::int32_t off = 0);
+    void sb(XReg rs2, XReg rs1, std::int32_t off = 0);
+    void addi(XReg rd, XReg rs1, std::int32_t imm);
+    void slti(XReg rd, XReg rs1, std::int32_t imm);
+    void sltiu(XReg rd, XReg rs1, std::int32_t imm);
+    void xori(XReg rd, XReg rs1, std::int32_t imm);
+    void ori(XReg rd, XReg rs1, std::int32_t imm);
+    void andi(XReg rd, XReg rs1, std::int32_t imm);
+    void slli(XReg rd, XReg rs1, std::int32_t shamt);
+    void srli(XReg rd, XReg rs1, std::int32_t shamt);
+    void add(XReg rd, XReg rs1, XReg rs2);
+    void sub(XReg rd, XReg rs1, XReg rs2);
+    void slt(XReg rd, XReg rs1, XReg rs2);
+    void sltu(XReg rd, XReg rs1, XReg rs2);
+    void xor_(XReg rd, XReg rs1, XReg rs2);
+    void or_(XReg rd, XReg rs1, XReg rs2);
+    void and_(XReg rd, XReg rs1, XReg rs2);
+    void mul(XReg rd, XReg rs1, XReg rs2);
+    void divu(XReg rd, XReg rs1, XReg rs2);
+    void fence(std::uint8_t pred, std::uint8_t succ);
+    void lr(XReg rd, XReg rs1, bool aq, bool rl);
+    void sc(XReg rd, XReg rs2, XReg rs1, bool aq, bool rl);
+    void amoadd(XReg rd, XReg rs2, XReg rs1, bool aq, bool rl);
+    void amoswap(XReg rd, XReg rs2, XReg rs1, bool aq, bool rl);
+    void beq(XReg rs1, XReg rs2, Label label);
+    void bne(XReg rs1, XReg rs2, Label label);
+    void blt(XReg rs1, XReg rs2, Label label);
+    void bge(XReg rs1, XReg rs2, Label label);
+    void jal(XReg rd, Label label);
+    void ecall();
+    void ebreak();
+    void helper(std::uint8_t id, std::uint16_t extra = 0);
+    void exitTb(std::uint32_t slot);
+
+  private:
+    struct Fixup
+    {
+        CodeAddr at;
+        Label label;
+    };
+
+    void emit(const RInstr &instr);
+    void emitBranch(RInstr instr, Label label);
+
+    CodeBuffer &buffer_;
+    std::vector<std::int64_t> labels_;
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace risotto::rv64
+
+#endif // RISOTTO_RV64_EMITTER_HH

@@ -1,0 +1,451 @@
+#include "rv64/isa.hh"
+
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace risotto::rv64
+{
+
+namespace
+{
+
+// Major opcodes (bits [6:0]).
+constexpr std::uint32_t OpcLoad = 0x03;
+constexpr std::uint32_t OpcMiscMem = 0x0F;
+constexpr std::uint32_t OpcOpImm = 0x13;
+constexpr std::uint32_t OpcStore = 0x23;
+constexpr std::uint32_t OpcAmo = 0x2F;
+constexpr std::uint32_t OpcOp = 0x33;
+constexpr std::uint32_t OpcLui = 0x37;
+constexpr std::uint32_t OpcBranch = 0x63;
+constexpr std::uint32_t OpcJal = 0x6F;
+constexpr std::uint32_t OpcSystem = 0x73;
+// DBT traps live in the reserved custom-0/custom-1 opcode spaces.
+constexpr std::uint32_t OpcCustom0 = 0x0B; ///< ExitTb
+constexpr std::uint32_t OpcCustom1 = 0x2B; ///< Helper
+
+constexpr std::uint32_t F3Ld = 3, F3Lbu = 4;
+constexpr std::uint32_t F3Sb = 0, F3Sd = 3;
+constexpr std::uint32_t F5Lr = 0x02, F5Sc = 0x03, F5AmoSwap = 0x01,
+                        F5AmoAdd = 0x00;
+
+std::uint32_t
+rtype(std::uint32_t f7, XReg rs2, XReg rs1, std::uint32_t f3, XReg rd,
+      std::uint32_t opc)
+{
+    return (f7 << 25) | (std::uint32_t(rs2) << 20) |
+           (std::uint32_t(rs1) << 15) | (f3 << 12) |
+           (std::uint32_t(rd) << 7) | opc;
+}
+
+std::uint32_t
+itype(std::int32_t imm, XReg rs1, std::uint32_t f3, XReg rd,
+      std::uint32_t opc)
+{
+    panicIf(imm < -2048 || imm > 2047, "rv64 I-immediate out of range");
+    return (std::uint32_t(imm & 0xFFF) << 20) |
+           (std::uint32_t(rs1) << 15) | (f3 << 12) |
+           (std::uint32_t(rd) << 7) | opc;
+}
+
+std::uint32_t
+stype(std::int32_t imm, XReg rs2, XReg rs1, std::uint32_t f3,
+      std::uint32_t opc)
+{
+    panicIf(imm < -2048 || imm > 2047, "rv64 S-immediate out of range");
+    const std::uint32_t u = std::uint32_t(imm & 0xFFF);
+    return ((u >> 5) << 25) | (std::uint32_t(rs2) << 20) |
+           (std::uint32_t(rs1) << 15) | (f3 << 12) | ((u & 0x1F) << 7) |
+           opc;
+}
+
+std::uint32_t
+btype(std::int32_t words, XReg rs2, XReg rs1, std::uint32_t f3)
+{
+    // Encoded in bytes; the decoded form is a word offset.
+    panicIf(words < -1024 || words > 1023,
+            "rv64 branch offset out of range");
+    const std::uint32_t b = std::uint32_t(words * 4) & 0x1FFF;
+    return (((b >> 12) & 1) << 31) | (((b >> 5) & 0x3F) << 25) |
+           (std::uint32_t(rs2) << 20) | (std::uint32_t(rs1) << 15) |
+           (f3 << 12) | (((b >> 1) & 0xF) << 8) | (((b >> 11) & 1) << 7) |
+           OpcBranch;
+}
+
+std::uint32_t
+jtype(std::int32_t words, XReg rd)
+{
+    panicIf(words < -(1 << 18) || words >= (1 << 18),
+            "rv64 jal offset out of range");
+    const std::uint32_t b = std::uint32_t(words * 4) & 0x1FFFFF;
+    return (((b >> 20) & 1) << 31) | (((b >> 1) & 0x3FF) << 21) |
+           (((b >> 11) & 1) << 20) | (((b >> 12) & 0xFF) << 12) |
+           (std::uint32_t(rd) << 7) | OpcJal;
+}
+
+std::uint32_t
+amo(std::uint32_t f5, const RInstr &in)
+{
+    return (f5 << 27) | (std::uint32_t(in.aq) << 26) |
+           (std::uint32_t(in.rl) << 25) | (std::uint32_t(in.rs2) << 20) |
+           (std::uint32_t(in.rs1) << 15) | (3u << 12) |
+           (std::uint32_t(in.rd) << 7) | OpcAmo;
+}
+
+std::int32_t
+sext(std::uint32_t value, unsigned bits)
+{
+    const std::uint32_t m = 1u << (bits - 1);
+    return std::int32_t((value ^ m) - m);
+}
+
+const char *
+fenceSet(std::uint8_t bits)
+{
+    switch (bits & FenceRW) {
+      case FenceR: return "r";
+      case FenceW: return "w";
+      case FenceRW: return "rw";
+      default: return "0";
+    }
+}
+
+std::string
+ordSuffix(const RInstr &in)
+{
+    if (in.aq && in.rl)
+        return ".aqrl";
+    if (in.aq)
+        return ".aq";
+    if (in.rl)
+        return ".rl";
+    return "";
+}
+
+} // namespace
+
+std::uint32_t
+encode(const RInstr &in)
+{
+    switch (in.op) {
+      case ROp::Lui:
+        panicIf((in.imm & 0xFFF) != 0, "lui immediate has low bits");
+        return (std::uint32_t(in.imm) & 0xFFFFF000u) |
+               (std::uint32_t(in.rd) << 7) | OpcLui;
+      case ROp::Jal: return jtype(in.imm, in.rd);
+      case ROp::Beq: return btype(in.imm, in.rs2, in.rs1, 0);
+      case ROp::Bne: return btype(in.imm, in.rs2, in.rs1, 1);
+      case ROp::Blt: return btype(in.imm, in.rs2, in.rs1, 4);
+      case ROp::Bge: return btype(in.imm, in.rs2, in.rs1, 5);
+      case ROp::Bltu: return btype(in.imm, in.rs2, in.rs1, 6);
+      case ROp::Bgeu: return btype(in.imm, in.rs2, in.rs1, 7);
+      case ROp::Lbu: return itype(in.imm, in.rs1, F3Lbu, in.rd, OpcLoad);
+      case ROp::Ld: return itype(in.imm, in.rs1, F3Ld, in.rd, OpcLoad);
+      case ROp::Sb: return stype(in.imm, in.rs2, in.rs1, F3Sb, OpcStore);
+      case ROp::Sd: return stype(in.imm, in.rs2, in.rs1, F3Sd, OpcStore);
+      case ROp::Addi: return itype(in.imm, in.rs1, 0, in.rd, OpcOpImm);
+      case ROp::Slti: return itype(in.imm, in.rs1, 2, in.rd, OpcOpImm);
+      case ROp::Sltiu: return itype(in.imm, in.rs1, 3, in.rd, OpcOpImm);
+      case ROp::Xori: return itype(in.imm, in.rs1, 4, in.rd, OpcOpImm);
+      case ROp::Ori: return itype(in.imm, in.rs1, 6, in.rd, OpcOpImm);
+      case ROp::Andi: return itype(in.imm, in.rs1, 7, in.rd, OpcOpImm);
+      case ROp::Slli:
+        panicIf(in.imm < 0 || in.imm > 63, "rv64 shamt out of range");
+        return itype(in.imm, in.rs1, 1, in.rd, OpcOpImm);
+      case ROp::Srli:
+        panicIf(in.imm < 0 || in.imm > 63, "rv64 shamt out of range");
+        return itype(in.imm, in.rs1, 5, in.rd, OpcOpImm);
+      case ROp::Add: return rtype(0x00, in.rs2, in.rs1, 0, in.rd, OpcOp);
+      case ROp::Sub: return rtype(0x20, in.rs2, in.rs1, 0, in.rd, OpcOp);
+      case ROp::Slt: return rtype(0x00, in.rs2, in.rs1, 2, in.rd, OpcOp);
+      case ROp::Sltu: return rtype(0x00, in.rs2, in.rs1, 3, in.rd, OpcOp);
+      case ROp::Xor: return rtype(0x00, in.rs2, in.rs1, 4, in.rd, OpcOp);
+      case ROp::Or: return rtype(0x00, in.rs2, in.rs1, 6, in.rd, OpcOp);
+      case ROp::And: return rtype(0x00, in.rs2, in.rs1, 7, in.rd, OpcOp);
+      case ROp::Mul: return rtype(0x01, in.rs2, in.rs1, 0, in.rd, OpcOp);
+      case ROp::Divu: return rtype(0x01, in.rs2, in.rs1, 5, in.rd, OpcOp);
+      case ROp::Fence:
+        panicIf((in.pred & ~FenceRW) || (in.succ & ~FenceRW),
+                "rv64 fence set out of range");
+        panicIf(in.pred == 0 || in.succ == 0, "rv64 fence with empty set");
+        return (std::uint32_t(in.pred) << 24) |
+               (std::uint32_t(in.succ) << 20) | OpcMiscMem;
+      case ROp::Ecall: return OpcSystem;
+      case ROp::Ebreak: return (1u << 20) | OpcSystem;
+      case ROp::LrD: {
+        panicIf(in.rs2 != 0, "lr.d with a source operand");
+        return amo(F5Lr, in);
+      }
+      case ROp::ScD: return amo(F5Sc, in);
+      case ROp::AmoAddD: return amo(F5AmoAdd, in);
+      case ROp::AmoSwapD: return amo(F5AmoSwap, in);
+      case ROp::ExitTb:
+        panicIf(in.imm < 0 || std::uint32_t(in.imm) >= (1u << 25),
+                "exit slot out of range");
+        return (std::uint32_t(in.imm) << 7) | OpcCustom0;
+      case ROp::Helper:
+        panicIf(in.imm < 0 || in.imm > 0xFFFF,
+                "helper payload out of range");
+        return (std::uint32_t(in.imm) << 16) |
+               (std::uint32_t(in.helper) << 8) | OpcCustom1;
+    }
+    panic("unencodable rv64 instruction");
+}
+
+RInstr
+decode(std::uint32_t w)
+{
+    RInstr in;
+    in.rd = XReg((w >> 7) & 0x1F);
+    in.rs1 = XReg((w >> 15) & 0x1F);
+    in.rs2 = XReg((w >> 20) & 0x1F);
+    const std::uint32_t f3 = (w >> 12) & 7;
+    const std::uint32_t f7 = w >> 25;
+
+    auto iimm = [&] { return sext(w >> 20, 12); };
+    auto simm = [&] {
+        return sext(((w >> 25) << 5) | ((w >> 7) & 0x1F), 12);
+    };
+    auto bwords = [&] {
+        const std::uint32_t b = (((w >> 31) & 1) << 12) |
+                                (((w >> 7) & 1) << 11) |
+                                (((w >> 25) & 0x3F) << 5) |
+                                (((w >> 8) & 0xF) << 1);
+        return sext(b, 13) / 4;
+    };
+    auto jwords = [&] {
+        const std::uint32_t b = (((w >> 31) & 1) << 20) |
+                                (((w >> 12) & 0xFF) << 12) |
+                                (((w >> 20) & 1) << 11) |
+                                (((w >> 21) & 0x3FF) << 1);
+        return sext(b, 21) / 4;
+    };
+
+    switch (w & 0x7F) {
+      case OpcLui:
+        in.op = ROp::Lui;
+        in.imm = std::int32_t(w & 0xFFFFF000u);
+        return in;
+      case OpcJal:
+        in.op = ROp::Jal;
+        in.imm = jwords();
+        return in;
+      case OpcBranch:
+        switch (f3) {
+          case 0: in.op = ROp::Beq; break;
+          case 1: in.op = ROp::Bne; break;
+          case 4: in.op = ROp::Blt; break;
+          case 5: in.op = ROp::Bge; break;
+          case 6: in.op = ROp::Bltu; break;
+          case 7: in.op = ROp::Bgeu; break;
+          default: panic("unknown rv64 branch funct3");
+        }
+        in.imm = bwords();
+        in.rd = 0;
+        return in;
+      case OpcLoad:
+        panicIf(f3 != F3Ld && f3 != F3Lbu, "unknown rv64 load width");
+        in.op = f3 == F3Ld ? ROp::Ld : ROp::Lbu;
+        in.imm = iimm();
+        in.rs2 = 0;
+        return in;
+      case OpcStore:
+        panicIf(f3 != F3Sd && f3 != F3Sb, "unknown rv64 store width");
+        in.op = f3 == F3Sd ? ROp::Sd : ROp::Sb;
+        in.imm = simm();
+        in.rd = 0;
+        return in;
+      case OpcOpImm:
+        switch (f3) {
+          case 0: in.op = ROp::Addi; in.imm = iimm(); break;
+          case 1: in.op = ROp::Slli; in.imm = (w >> 20) & 63; break;
+          case 2: in.op = ROp::Slti; in.imm = iimm(); break;
+          case 3: in.op = ROp::Sltiu; in.imm = iimm(); break;
+          case 4: in.op = ROp::Xori; in.imm = iimm(); break;
+          case 5: in.op = ROp::Srli; in.imm = (w >> 20) & 63; break;
+          case 6: in.op = ROp::Ori; in.imm = iimm(); break;
+          case 7: in.op = ROp::Andi; in.imm = iimm(); break;
+        }
+        in.rs2 = 0;
+        return in;
+      case OpcOp:
+        if (f7 == 0x01) {
+            panicIf(f3 != 0 && f3 != 5, "unknown rv64 M-extension op");
+            in.op = f3 == 0 ? ROp::Mul : ROp::Divu;
+            return in;
+        }
+        if (f7 == 0x20) {
+            panicIf(f3 != 0, "unknown rv64 OP funct3 under funct7=0x20");
+            in.op = ROp::Sub;
+            return in;
+        }
+        panicIf(f7 != 0, "unknown rv64 OP funct7");
+        switch (f3) {
+          case 0: in.op = ROp::Add; break;
+          case 2: in.op = ROp::Slt; break;
+          case 3: in.op = ROp::Sltu; break;
+          case 4: in.op = ROp::Xor; break;
+          case 6: in.op = ROp::Or; break;
+          case 7: in.op = ROp::And; break;
+          default: panic("unknown rv64 OP funct3");
+        }
+        return in;
+      case OpcMiscMem:
+        panicIf(f3 != 0, "unknown rv64 MISC-MEM funct3");
+        in.op = ROp::Fence;
+        in.pred = std::uint8_t((w >> 24) & 0xF);
+        in.succ = std::uint8_t((w >> 20) & 0xF);
+        in.rd = in.rs1 = 0;
+        return in;
+      case OpcAmo: {
+        panicIf(f3 != 3, "unknown rv64 AMO width");
+        in.aq = (w >> 26) & 1;
+        in.rl = (w >> 25) & 1;
+        switch (w >> 27) {
+          case F5Lr: in.op = ROp::LrD; break;
+          case F5Sc: in.op = ROp::ScD; break;
+          case F5AmoAdd: in.op = ROp::AmoAddD; break;
+          case F5AmoSwap: in.op = ROp::AmoSwapD; break;
+          default: panic("unknown rv64 AMO funct5");
+        }
+        return in;
+      }
+      case OpcSystem:
+        panicIf((w >> 20) > 1, "unknown rv64 SYSTEM function");
+        in.op = (w >> 20) == 0 ? ROp::Ecall : ROp::Ebreak;
+        in.rd = in.rs1 = in.rs2 = 0;
+        return in;
+      case OpcCustom0:
+        in.op = ROp::ExitTb;
+        in.imm = std::int32_t(w >> 7);
+        in.rd = in.rs1 = in.rs2 = 0;
+        return in;
+      case OpcCustom1:
+        in.op = ROp::Helper;
+        in.helper = std::uint8_t((w >> 8) & 0xFF);
+        in.imm = std::int32_t(w >> 16);
+        in.rd = in.rs1 = in.rs2 = 0;
+        return in;
+    }
+    panic("unknown rv64 opcode");
+}
+
+bool
+opReadsMemory(ROp op)
+{
+    switch (op) {
+      case ROp::Lbu:
+      case ROp::Ld:
+      case ROp::LrD:
+      case ROp::AmoAddD:
+      case ROp::AmoSwapD:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+opWritesMemory(ROp op)
+{
+    switch (op) {
+      case ROp::Sb:
+      case ROp::Sd:
+      case ROp::ScD:
+      case ROp::AmoAddD:
+      case ROp::AmoSwapD:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+RInstr::toString() const
+{
+    std::ostringstream os;
+    auto x = [](XReg r) { return "x" + std::to_string(r); };
+    switch (op) {
+      case ROp::Lui:
+        os << "lui " << x(rd) << ", " << (imm >> 12);
+        break;
+      case ROp::Jal:
+        os << "jal " << x(rd) << ", #" << imm;
+        break;
+      case ROp::Beq: os << "beq "; goto branch;
+      case ROp::Bne: os << "bne "; goto branch;
+      case ROp::Blt: os << "blt "; goto branch;
+      case ROp::Bge: os << "bge "; goto branch;
+      case ROp::Bltu: os << "bltu "; goto branch;
+      case ROp::Bgeu: os << "bgeu "; goto branch;
+      branch:
+        os << x(rs1) << ", " << x(rs2) << ", #" << imm;
+        break;
+      case ROp::Lbu:
+        os << "lbu " << x(rd) << ", " << imm << "(" << x(rs1) << ")";
+        break;
+      case ROp::Ld:
+        os << "ld " << x(rd) << ", " << imm << "(" << x(rs1) << ")";
+        break;
+      case ROp::Sb:
+        os << "sb " << x(rs2) << ", " << imm << "(" << x(rs1) << ")";
+        break;
+      case ROp::Sd:
+        os << "sd " << x(rs2) << ", " << imm << "(" << x(rs1) << ")";
+        break;
+      case ROp::Addi: os << "addi "; goto opimm;
+      case ROp::Slti: os << "slti "; goto opimm;
+      case ROp::Sltiu: os << "sltiu "; goto opimm;
+      case ROp::Xori: os << "xori "; goto opimm;
+      case ROp::Ori: os << "ori "; goto opimm;
+      case ROp::Andi: os << "andi "; goto opimm;
+      case ROp::Slli: os << "slli "; goto opimm;
+      case ROp::Srli: os << "srli "; goto opimm;
+      opimm:
+        os << x(rd) << ", " << x(rs1) << ", " << imm;
+        break;
+      case ROp::Add: os << "add "; goto opreg;
+      case ROp::Sub: os << "sub "; goto opreg;
+      case ROp::Slt: os << "slt "; goto opreg;
+      case ROp::Sltu: os << "sltu "; goto opreg;
+      case ROp::Xor: os << "xor "; goto opreg;
+      case ROp::Or: os << "or "; goto opreg;
+      case ROp::And: os << "and "; goto opreg;
+      case ROp::Mul: os << "mul "; goto opreg;
+      case ROp::Divu: os << "divu "; goto opreg;
+      opreg:
+        os << x(rd) << ", " << x(rs1) << ", " << x(rs2);
+        break;
+      case ROp::Fence:
+        os << "fence " << fenceSet(pred) << "," << fenceSet(succ);
+        break;
+      case ROp::Ecall: os << "ecall"; break;
+      case ROp::Ebreak: os << "ebreak"; break;
+      case ROp::LrD:
+        os << "lr.d" << ordSuffix(*this) << " " << x(rd) << ", ("
+           << x(rs1) << ")";
+        break;
+      case ROp::ScD:
+        os << "sc.d" << ordSuffix(*this) << " " << x(rd) << ", "
+           << x(rs2) << ", (" << x(rs1) << ")";
+        break;
+      case ROp::AmoAddD:
+        os << "amoadd.d" << ordSuffix(*this) << " " << x(rd) << ", "
+           << x(rs2) << ", (" << x(rs1) << ")";
+        break;
+      case ROp::AmoSwapD:
+        os << "amoswap.d" << ordSuffix(*this) << " " << x(rd) << ", "
+           << x(rs2) << ", (" << x(rs1) << ")";
+        break;
+      case ROp::Helper:
+        os << "helper #" << int(helper) << ", " << imm;
+        break;
+      case ROp::ExitTb:
+        os << "exit_tb #" << imm;
+        break;
+    }
+    return os.str();
+}
+
+} // namespace risotto::rv64

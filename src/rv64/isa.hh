@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The simulated RV64 host instruction subset.
+ *
+ * The second host backend of the multi-mapping framework (ROADMAP item
+ * 4): a small RV64I/M/A subset with real RISC-V bit-level encodings —
+ * R/I/S/B/U/J formats, FENCE with predecessor/successor sets, and the
+ * A-extension's LR/SC and AMOs with .aq/.rl ordering bits. The fence
+ * vocabulary is exactly the paper's directional Fxy set (`fence r,w` ==
+ * Frw), which is why RVWMO is the natural second mapping target.
+ *
+ * Deliberate divergences from real RISC-V, imposed by the shared host
+ * register convention (see dbt/backend.hh):
+ *  - x0 is NOT hardwired to zero. Guest register g0 is pinned to x0 on
+ *    every backend, so the rv64 lowering never uses zero-register
+ *    idioms; a zero is materialized with `lui rd, 0`.
+ *  - DIVU faults on a zero divisor (real RISC-V returns all-ones): the
+ *    simulated machine mirrors the aarch core's UDIV guest fault so the
+ *    cross-backend differential tests see identical behaviour.
+ *
+ * Branch/JAL immediates are encoded in bytes (instruction words are 4
+ * bytes, as on real hardware) but the decoded RInstr carries them as
+ * *word* offsets relative to the branch, matching the aarch convention
+ * used by the machine and the verifier.
+ */
+
+#ifndef RISOTTO_RV64_ISA_HH
+#define RISOTTO_RV64_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace risotto::rv64
+{
+
+/** Host integer register index (x0..x31; x0 is a normal register). */
+using XReg = std::uint8_t;
+
+constexpr unsigned XRegCount = 32;
+
+/** FENCE predecessor/successor set bits (the PR/PW field bits). */
+constexpr std::uint8_t FenceR = 2;
+constexpr std::uint8_t FenceW = 1;
+constexpr std::uint8_t FenceRW = FenceR | FenceW;
+
+/** Decoded opcodes of the subset. */
+enum class ROp : std::uint8_t
+{
+    // RV64I.
+    Lui,   ///< rd <- sext(imm20 << 12)
+    Jal,   ///< rd <- pc+1; pc += imm (word offset; plain jump when rd dead)
+    Beq,
+    Bne,
+    Blt,   ///< signed
+    Bge,   ///< signed
+    Bltu,
+    Bgeu,
+    Lbu,   ///< rd <- zx(mem8[rs1 + imm])
+    Ld,    ///< rd <- mem64[rs1 + imm]
+    Sb,    ///< mem8[rs1 + imm] <- rs2
+    Sd,    ///< mem64[rs1 + imm] <- rs2
+    Addi,
+    Slti,  ///< signed set-less-than immediate
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,  ///< shamt in imm (0..63)
+    Srli,
+    Add,
+    Sub,
+    Slt,
+    Sltu,
+    Xor,
+    Or,
+    And,
+    Mul,   ///< M extension
+    Divu,  ///< M extension; faults on zero divisor (see file comment)
+    Fence, ///< FENCE pred,succ
+    Ecall, ///< native host syscall (x0 = number, x1 = argument)
+    Ebreak,///< halt the core (the aarch Hlt analogue)
+    // A extension (doubleword only; the DBT traffics in 64-bit cells).
+    LrD,
+    ScD,     ///< rd <- 0 on success, 1 on failure (stxr convention)
+    AmoAddD, ///< rd <- old; mem += rs2
+    AmoSwapD,///< rd <- old; mem <- rs2
+    // DBT traps (custom-0 / custom-1 opcode space).
+    Helper, ///< invoke runtime helper `helper` with 16-bit `imm` payload
+    ExitTb, ///< leave translated code through exit slot `imm`
+};
+
+/** One decoded instruction. */
+struct RInstr
+{
+    ROp op = ROp::Addi;
+    XReg rd = 0;
+    XReg rs1 = 0;
+    XReg rs2 = 0;
+    /**
+     * Immediate. Loads/stores/OP-IMM: sign-extended 12-bit byte offset /
+     * operand. Lui: the full sign-extended `imm20 << 12` value. Branches
+     * and Jal: signed *word* offset relative to this instruction.
+     * Helper: the 16-bit extra payload. ExitTb: the exit-slot index.
+     */
+    std::int32_t imm = 0;
+    /** Acquire/release bits of LR/SC/AMO. */
+    bool aq = false;
+    bool rl = false;
+    /** FENCE predecessor/successor sets (FenceR/FenceW bits). */
+    std::uint8_t pred = 0;
+    std::uint8_t succ = 0;
+    /** Runtime helper id (Helper). */
+    std::uint8_t helper = 0;
+
+    /** Disassembly, e.g. "ld x5, 8(x3)" or "fence r,rw". */
+    std::string toString() const;
+};
+
+/** Encode to a 32-bit instruction word; panics on field overflow. */
+std::uint32_t encode(const RInstr &instr);
+
+/** Decode a word; panics on anything outside the subset. */
+RInstr decode(std::uint32_t word);
+
+/** True when the op reads guest-visible memory. */
+bool opReadsMemory(ROp op);
+
+/** True when the op writes guest-visible memory. */
+bool opWritesMemory(ROp op);
+
+} // namespace risotto::rv64
+
+#endif // RISOTTO_RV64_ISA_HH

@@ -122,6 +122,9 @@ runAttempt(const SharedArtifact &artifact, std::uint64_t id,
     machine::MachineConfig mcfg;
     mcfg.seed = deriveStream(options.seed, 2 * id);
     mcfg.retiredBudget = options.insnBudget;
+    // Sessions execute whatever ISA the shared artifact's backend
+    // emitted.
+    mcfg.hostIsa = artifact.config().host;
     FaultPlan plan = options.faults;
     if (plan.armed())
         // Independent stream per (session, attempt): a retry re-draws

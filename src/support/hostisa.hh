@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Host instruction-set selector for the pluggable backend framework.
+ *
+ * The DBT, machine, verifier and persistence layers are parameterized by
+ * which simulated host ISA a translation targets. Lives in support/ so
+ * every layer (including machine/, which must not depend on dbt/) can
+ * name the host without a dependency cycle.
+ */
+
+#ifndef RISOTTO_SUPPORT_HOSTISA_HH
+#define RISOTTO_SUPPORT_HOSTISA_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace risotto::support
+{
+
+/** Which simulated host ISA translated code targets. */
+enum class HostIsa : std::uint8_t
+{
+    Aarch, ///< The Arm-like host of the original pipeline (src/aarch).
+    Rv64,  ///< The RISC-V RV64 subset host with RVWMO fences (src/rv64).
+};
+
+/** "aarch" or "rv64". */
+inline std::string
+hostIsaName(HostIsa isa)
+{
+    return isa == HostIsa::Rv64 ? "rv64" : "aarch";
+}
+
+/** Parse a --host= value; nullopt for anything unrecognized. */
+inline std::optional<HostIsa>
+parseHostIsa(const std::string &name)
+{
+    if (name == "aarch" || name == "arm")
+        return HostIsa::Aarch;
+    if (name == "rv64" || name == "riscv" || name == "rv64gc")
+        return HostIsa::Rv64;
+    return std::nullopt;
+}
+
+} // namespace risotto::support
+
+#endif // RISOTTO_SUPPORT_HOSTISA_HH

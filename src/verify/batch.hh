@@ -30,8 +30,8 @@ struct BatchItem
     /** Post-optimization IR the host code claims to come from. */
     tcg::Block ir;
 
-    /** Decoded host instructions. */
-    std::vector<aarch::AInstr> host;
+    /** Decoded host instructions, tagged with their ISA. */
+    HostCode host;
 
     std::uint64_t guestPc = 0;
     bool superblock = false;

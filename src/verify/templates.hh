@@ -39,7 +39,7 @@ struct TemplateProbe
     std::string kindName; ///< e.g. "load".
     std::vector<gx86::Instruction> guest;
     tcg::Block ir; ///< The plan's (post-optimization) IR.
-    std::vector<aarch::AInstr> host; ///< Decoded compiled words.
+    HostCode host; ///< Decoded compiled words (ISA-tagged).
 };
 
 /** Aggregated outcome of checking one template kind's probes. */

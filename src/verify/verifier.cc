@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <map>
+#include <optional>
 #include <utility>
 
 #include "analysis/analyzer.hh"
@@ -24,7 +25,12 @@ using memcore::RmwKind;
 std::string
 levelName(Level level)
 {
-    return level == Level::Tcg ? "tcg" : "arm";
+    switch (level) {
+      case Level::Tcg: return "tcg";
+      case Level::Arm: return "arm";
+      case Level::Rv64: return "rv64";
+    }
+    return "?";
 }
 
 std::string
@@ -603,6 +609,149 @@ armEvents(const std::vector<aarch::AInstr> &code, RmwLowering rmw)
     return events;
 }
 
+std::vector<VEvent>
+rv64Events(const std::vector<rv64::RInstr> &code, RmwLowering rmw)
+{
+    using rv64::ROp;
+    std::vector<VEvent> events;
+    AddrTracker regs(aarch::XRegCount);
+    LocAssigner locs;
+
+    // Branch/JAL targets are join points (imm is a word offset relative
+    // to the instruction, like the aarch convention).
+    std::vector<bool> join(code.size(), false);
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const ROp op = code[i].op;
+        if (op != ROp::Beq && op != ROp::Bne && op != ROp::Blt &&
+            op != ROp::Bge && op != ROp::Bltu && op != ROp::Bgeu &&
+            op != ROp::Jal)
+            continue;
+        const std::int64_t t =
+            static_cast<std::int64_t>(i) + code[i].imm;
+        if (t >= 0 && t < static_cast<std::int64_t>(code.size()))
+            join[static_cast<std::size_t>(t)] = true;
+    }
+
+    auto access = [&](std::size_t i, const rv64::RInstr &in,
+                      EventKind kind, Access acc, RmwKind kindRmw,
+                      std::uint8_t base, std::int64_t off) {
+        const char *mark = kind == EventKind::Read ? "R" : "W";
+        events.push_back(makeAccess(kind, acc, kindRmw,
+                                    locs.of(regs.key(base, off)),
+                                    tag(i, mark, in.toString())));
+    };
+    // LR/SC and AMO annotation strength in the event vocabulary.
+    auto annot = [](bool aq, bool rl) {
+        if (aq && rl)
+            return Access::AcqRel;
+        if (aq)
+            return Access::Acquire;
+        if (rl)
+            return Access::Release;
+        return Access::Plain;
+    };
+
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (join[i])
+            regs.resetAll();
+        const rv64::RInstr &in = code[i];
+        switch (in.op) {
+          case ROp::Lui:
+            regs.setConst(in.rd,
+                          static_cast<std::uint64_t>(
+                              static_cast<std::int64_t>(in.imm)));
+            break;
+          case ROp::Addi:
+            regs.add(in.rd, in.rs1, in.imm);
+            break;
+          case ROp::Add:
+            if (regs.isConst(in.rs2))
+                regs.add(in.rd, in.rs1,
+                         static_cast<std::int64_t>(
+                             regs.constValue(in.rs2)));
+            else if (regs.isConst(in.rs1))
+                regs.add(in.rd, in.rs2,
+                         static_cast<std::int64_t>(
+                             regs.constValue(in.rs1)));
+            else
+                regs.reset(in.rd);
+            break;
+          case ROp::Ld:
+          case ROp::Lbu:
+            access(i, in, EventKind::Read, Access::Plain, RmwKind::None,
+                   in.rs1, in.imm);
+            regs.reset(in.rd);
+            break;
+          case ROp::Sd:
+          case ROp::Sb:
+            access(i, in, EventKind::Write, Access::Plain, RmwKind::None,
+                   in.rs1, in.imm);
+            break;
+          case ROp::LrD:
+            access(i, in, EventKind::Read, annot(in.aq, in.rl),
+                   RmwKind::LxSx, in.rs1, 0);
+            regs.reset(in.rd);
+            break;
+          case ROp::ScD:
+            access(i, in, EventKind::Write, annot(in.aq, in.rl),
+                   RmwKind::LxSx, in.rs1, 0);
+            regs.reset(in.rd); // Status register.
+            break;
+          case ROp::AmoAddD:
+          case ROp::AmoSwapD:
+            access(i, in, EventKind::Read, annot(in.aq, in.rl),
+                   RmwKind::Amo, in.rs1, 0);
+            access(i, in, EventKind::Write, annot(in.aq, in.rl),
+                   RmwKind::Amo, in.rs1, 0);
+            regs.reset(in.rd);
+            break;
+          case ROp::Fence:
+            events.push_back(makeFence(
+                mapping::riscvFenceKind(in.pred, in.succ), locs.fresh(),
+                tag(i, "F", in.toString())));
+            break;
+          case ROp::Helper: {
+            const auto id = static_cast<tcg::HelperId>(in.helper);
+            if (id == tcg::HelperId::CasHelper ||
+                id == tcg::HelperId::XaddHelper) {
+                // RMW1-style helpers execute a fully-ordered amo.aqrl;
+                // RMW2-style helpers the weak lr.aq/sc.rl pair.
+                const bool lxsx = rmw == RmwLowering::HelperRmw2AL;
+                const Loc loc = locs.of(regs.key(24 /* HelperArg0 */, 0));
+                events.push_back(makeAccess(
+                    EventKind::Read,
+                    lxsx ? Access::Acquire : Access::AcqRel,
+                    lxsx ? RmwKind::LxSx : RmwKind::Amo, loc,
+                    tag(i, "R", in.toString())));
+                events.push_back(makeAccess(
+                    EventKind::Write,
+                    lxsx ? Access::Release : Access::AcqRel,
+                    lxsx ? RmwKind::LxSx : RmwKind::Amo, loc,
+                    tag(i, "W", in.toString())));
+            }
+            regs.reset(24); // HelperRet.
+            regs.reset(25); // HelperArg1 staging.
+            break;
+          }
+          case ROp::Beq:
+          case ROp::Bne:
+          case ROp::Blt:
+          case ROp::Bge:
+          case ROp::Bltu:
+          case ROp::Bgeu:
+          case ROp::ExitTb:
+          case ROp::Ebreak:
+            break;
+          default:
+            // Remaining ALU ops, JAL and ECALL write rd (rd defaults to
+            // x0 for ECALL, whose syscalls may write g0).
+            regs.reset(in.rd);
+            break;
+        }
+    }
+    return events;
+}
+
 std::vector<aarch::AInstr>
 decodeRange(const aarch::CodeBuffer &code, aarch::CodeAddr from,
             aarch::CodeAddr to)
@@ -611,6 +760,22 @@ decodeRange(const aarch::CodeBuffer &code, aarch::CodeAddr from,
     out.reserve(to - from);
     for (aarch::CodeAddr a = from; a < to; ++a)
         out.push_back(aarch::decode(code.fetch(a)));
+    return out;
+}
+
+HostCode
+decodeHostRange(support::HostIsa isa, const aarch::CodeBuffer &code,
+                aarch::CodeAddr from, aarch::CodeAddr to)
+{
+    HostCode out;
+    out.isa = isa;
+    if (isa == support::HostIsa::Rv64) {
+        out.riscv.reserve(to - from);
+        for (aarch::CodeAddr a = from; a < to; ++a)
+            out.riscv.push_back(rv64::decode(code.fetch(a)));
+    } else {
+        out.arm = decodeRange(code, from, to);
+    }
     return out;
 }
 
@@ -687,6 +852,13 @@ armGuaranteeGraph(const std::vector<VEvent> &events,
     return models::ArmModel(rule).lob(x);
 }
 
+Relation
+rv64GuaranteeGraph(const std::vector<VEvent> &events)
+{
+    const Execution x = eventExecution(events);
+    return models::RiscvModel::ppo(x).transitiveClosure();
+}
+
 namespace
 {
 
@@ -703,17 +875,119 @@ accessClass(const VEvent &e)
 }
 
 /**
- * Match guest accesses to target accesses in order, by class. The
- * optimizer only ever *removes* accesses (RAR/RAW/WAW elimination, per
- * Figure 10) and never reorders them, so a leftmost greedy subsequence
- * match is exact: unmatched guest accesses are the eliminated ones, and
- * their obligations are discharged by the elimination's side conditions.
+ * Backtracking subsequence embedder behind matchAccesses() below.
+ *
+ * The optimizer only ever *removes* accesses (RAR/RAW/WAW elimination,
+ * per Figure 10) and never reorders them, so the true guest-to-target
+ * correspondence is an order-preserving, class-preserving embedding of
+ * the target access sequence into the guest access sequence; unmatched
+ * guest accesses are the eliminated ones, and their obligations are
+ * discharged by the elimination's side conditions.
+ *
+ * A purely class-based leftmost greedy can pick the wrong embedding:
+ * WAW elimination removes the *earlier* of two same-location stores, so
+ * greedy matches the survivor to the eliminated store's slot and every
+ * later same-class access slips one position -- possibly across a
+ * fence, producing phantom violations. The structural fact that repairs
+ * this: every elimination's survivor/victim pair is contiguous (no
+ * intervening access to another location) and same-location, so a
+ * skipped guest access is only plausible when its contiguous
+ * same-location run contains a matched access. Within a run the twins
+ * are interchangeable -- only fences separate run members, and the
+ * checker discharges same-location pairs through coherence -- so the
+ * first embedding that validates is as good as the true one.
+ */
+class AccessEmbedder
+{
+  public:
+    AccessEmbedder(const std::vector<VEvent> &guest,
+                   const std::vector<VEvent> &target)
+        : guest_(guest), target_(target)
+    {
+        for (std::size_t i = 0; i < guest.size(); ++i)
+            if (accessClass(guest[i]) >= 0)
+                gacc_.push_back(i);
+        for (std::size_t t = 0; t < target.size(); ++t)
+            if (accessClass(target[t]) >= 0)
+                tacc_.push_back(t);
+        run_.resize(gacc_.size(), 0);
+        for (std::size_t k = 1; k < gacc_.size(); ++k)
+            run_[k] = run_[k - 1] +
+                      (guest[gacc_[k]].loc != guest[gacc_[k - 1]].loc);
+        match_.assign(gacc_.size(), NoMatch);
+    }
+
+    /** @return per-guest-event target index, or nullopt when no valid
+     * embedding exists within budget (caller falls back to greedy). */
+    std::optional<std::vector<std::size_t>>
+    solve()
+    {
+        if (!embed(0, 0))
+            return std::nullopt;
+        std::vector<std::size_t> map(guest_.size(), NoMatch);
+        for (std::size_t k = 0; k < gacc_.size(); ++k)
+            map[gacc_[k]] = match_[k];
+        return map;
+    }
+
+  private:
+    bool
+    runHasMatch(std::size_t k) const
+    {
+        for (std::size_t j = 0; j < gacc_.size(); ++j)
+            if (run_[j] == run_[k] && match_[j] != NoMatch)
+                return true;
+        return false;
+    }
+
+    bool
+    embed(std::size_t gi, std::size_t ti)
+    {
+        if (budget_ == 0 || --budget_ == 0)
+            return false;
+        if (ti == tacc_.size()) {
+            // Leaf: every skipped guest access must sit in a run that
+            // kept a survivor.
+            for (std::size_t k = 0; k < gacc_.size(); ++k)
+                if (match_[k] == NoMatch && !runHasMatch(k))
+                    return false;
+            return true;
+        }
+        if (gi == gacc_.size())
+            return false;
+        if (accessClass(guest_[gacc_[gi]]) ==
+            accessClass(target_[tacc_[ti]])) {
+            match_[gi] = tacc_[ti];
+            if (embed(gi + 1, ti + 1))
+                return true;
+            match_[gi] = NoMatch;
+        }
+        return embed(gi + 1, ti);
+    }
+
+    const std::vector<VEvent> &guest_;
+    const std::vector<VEvent> &target_;
+    std::vector<std::size_t> gacc_;  ///< Guest access event indices.
+    std::vector<std::size_t> tacc_;  ///< Target access event indices.
+    std::vector<std::size_t> run_;   ///< Same-loc run id per gacc entry.
+    std::vector<std::size_t> match_; ///< Target event per gacc entry.
+    std::size_t budget_ = 1u << 15;  ///< Backtracking step bound.
+};
+
+/**
+ * Match guest accesses to target accesses in order, by class, via the
+ * run-validated embedding above. When no valid embedding exists (a
+ * broken scheme may emit extra or reordered accesses) fall back to the
+ * leftmost greedy subsequence match: an arbitrary-but-deterministic
+ * correspondence under which the missing guarantees still surface.
  * @return per-guest-event target index (NoMatch when eliminated).
  */
 std::vector<std::size_t>
 matchAccesses(const std::vector<VEvent> &guest,
               const std::vector<VEvent> &target)
 {
+    if (auto embedded = AccessEmbedder(guest, target).solve())
+        return *embedded;
     std::vector<std::size_t> map(guest.size(), NoMatch);
     std::size_t g = 0;
     for (std::size_t t = 0; t < target.size(); ++t) {
@@ -766,8 +1040,11 @@ TbValidator::checkAgainst(const std::vector<gx86::Instruction> &guest,
         return report;
     const Relation obligations = obligationGraph(gev);
     const Relation guarantees =
-        level == Level::Tcg ? tcgGuaranteeGraph(target)
-                            : armGuaranteeGraph(target, options_.amoRule);
+        level == Level::Tcg
+            ? tcgGuaranteeGraph(target)
+            : (level == Level::Rv64
+                   ? rv64GuaranteeGraph(target)
+                   : armGuaranteeGraph(target, options_.amoRule));
     const std::vector<std::size_t> match = matchAccesses(gev, target);
     panicIf(local_guest != nullptr && local_guest->size() != gev.size(),
             "locality mask does not cover the guest events");
@@ -799,10 +1076,12 @@ TbValidator::checkAgainst(const std::vector<gx86::Instruction> &guest,
         v.to = gev[b].what;
         v.fromTarget = target[ta].what;
         v.toTarget = target[tb].what;
+        // Tcg and Rv64 both speak the directional Fxy vocabulary (a
+        // RISC-V FENCE is an Fxy fence); Arm speaks DMB variants.
         const std::uint8_t bit = orderBit(gev[a], gev[b]);
-        v.missingFence = level == Level::Tcg
-                             ? memcore::coveringFence(bit)
-                             : armCoveringFence(bit);
+        v.missingFence = level == Level::Arm
+                             ? armCoveringFence(bit)
+                             : memcore::coveringFence(bit);
         report.violations.push_back(std::move(v));
     }
     return report;
@@ -812,6 +1091,18 @@ ValidationReport
 TbValidator::validate(const std::vector<gx86::Instruction> &guest,
                       const tcg::Block &ir,
                       const std::vector<aarch::AInstr> &host,
+                      std::uint64_t guest_pc, bool superblock,
+                      const std::vector<bool> *local_guest) const
+{
+    HostCode hc;
+    hc.isa = support::HostIsa::Aarch;
+    hc.arm = host;
+    return validate(guest, ir, hc, guest_pc, superblock, local_guest);
+}
+
+ValidationReport
+TbValidator::validate(const std::vector<gx86::Instruction> &guest,
+                      const tcg::Block &ir, const HostCode &host,
                       std::uint64_t guest_pc, bool superblock,
                       const std::vector<bool> *local_guest) const
 {
@@ -825,10 +1116,16 @@ TbValidator::validate(const std::vector<gx86::Instruction> &guest,
     if (options_.checkTcg)
         merge(checkAgainst(guest, tcgEvents(ir), Level::Tcg, guest_pc,
                            superblock, local_guest));
-    if (options_.checkArm)
-        merge(checkAgainst(guest, armEvents(host, options_.rmw),
-                           Level::Arm, guest_pc, superblock,
-                           local_guest));
+    if (options_.checkArm) {
+        if (host.isa == support::HostIsa::Rv64)
+            merge(checkAgainst(guest, rv64Events(host.riscv, options_.rmw),
+                               Level::Rv64, guest_pc, superblock,
+                               local_guest));
+        else
+            merge(checkAgainst(guest, armEvents(host.arm, options_.rmw),
+                               Level::Arm, guest_pc, superblock,
+                               local_guest));
+    }
     return report;
 }
 

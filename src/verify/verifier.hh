@@ -36,6 +36,8 @@
 #include "memcore/execution.hh"
 #include "memcore/relation.hh"
 #include "models/model.hh"
+#include "rv64/isa.hh"
+#include "support/hostisa.hh"
 #include "tcg/ir.hh"
 
 namespace risotto::verify
@@ -44,11 +46,12 @@ namespace risotto::verify
 /** Which side of the translation a guarantee graph describes. */
 enum class Level
 {
-    Tcg, ///< Post-optimization TCG IR, judged under the Figure 6 model.
-    Arm, ///< Emitted host code, judged under Arm-Cats lob.
+    Tcg,  ///< Post-optimization TCG IR, judged under the Figure 6 model.
+    Arm,  ///< Emitted aarch host code, judged under Arm-Cats lob.
+    Rv64, ///< Emitted rv64 host code, judged under the RVWMO ppo.
 };
 
-/** "tcg" or "arm". */
+/** "tcg", "arm" or "rv64". */
 std::string levelName(Level level);
 
 /**
@@ -150,6 +153,17 @@ std::vector<VEvent> armEvents(const std::vector<aarch::AInstr> &code,
                               mapping::RmwLowering rmw);
 
 /**
+ * Memory events of emitted rv64 host code. Annotated LR/SC and AMOs map
+ * to LxSx / Amo events with the access strength their aq/rl bits spell;
+ * FENCE pred,succ maps back to the Fxy vocabulary. Helper calls are
+ * modelled per @p rmw like armEvents: RMW1-style helpers as a
+ * fully-ordered amo.aqrl, RMW2-style helpers as the weak lr.d.aq /
+ * sc.d.rl pair (the GCC-9 bug transplanted to RISC-V).
+ */
+std::vector<VEvent> rv64Events(const std::vector<rv64::RInstr> &code,
+                               mapping::RmwLowering rmw);
+
+/**
  * The Figure 3 "desired" direct x86 -> Arm mapping as events: loads to
  * LDAPR, stores to STLR, RMWs to RMW1-AL, MFENCE to DMBFF. Checking
  * these events under AmoRule::Original reproduces the mapping bug the
@@ -162,6 +176,23 @@ desiredArmEvents(const std::vector<gx86::Instruction> &code);
 std::vector<aarch::AInstr> decodeRange(const aarch::CodeBuffer &code,
                                        aarch::CodeAddr from,
                                        aarch::CodeAddr to);
+
+/**
+ * A decoded host-code sequence tagged with its ISA: exactly one of the
+ * two vectors is populated (per `isa`). The validator dispatches its
+ * host-level leg on the tag.
+ */
+struct HostCode
+{
+    support::HostIsa isa = support::HostIsa::Aarch;
+    std::vector<aarch::AInstr> arm;
+    std::vector<rv64::RInstr> riscv;
+};
+
+/** Decode host words in [from, to) under @p isa. */
+HostCode decodeHostRange(support::HostIsa isa,
+                         const aarch::CodeBuffer &code,
+                         aarch::CodeAddr from, aarch::CodeAddr to);
 
 // --- Graphs -----------------------------------------------------------------
 
@@ -182,6 +213,9 @@ memcore::Relation tcgGuaranteeGraph(const std::vector<VEvent> &events);
 memcore::Relation
 armGuaranteeGraph(const std::vector<VEvent> &events,
                   models::ArmModel::AmoRule rule);
+
+/** RVWMO guarantees: RiscvModel::ppo, transitively closed. */
+memcore::Relation rv64GuaranteeGraph(const std::vector<VEvent> &events);
 
 // --- The validator ----------------------------------------------------------
 
@@ -224,6 +258,14 @@ class TbValidator
     ValidationReport validate(const std::vector<gx86::Instruction> &guest,
                               const tcg::Block &ir,
                               const std::vector<aarch::AInstr> &host,
+                              std::uint64_t guest_pc, bool superblock,
+                              const std::vector<bool> *local_guest =
+                                  nullptr) const;
+
+    /** As above, with the host leg dispatched on @p host.isa (the
+     * aarch-vector overload is the Aarch special case). */
+    ValidationReport validate(const std::vector<gx86::Instruction> &guest,
+                              const tcg::Block &ir, const HostCode &host,
                               std::uint64_t guest_pc, bool superblock,
                               const std::vector<bool> *local_guest =
                                   nullptr) const;

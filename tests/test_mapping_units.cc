@@ -176,10 +176,10 @@ TEST(MappingShapes, RiscvMappingShape)
     ASSERT_EQ(out.size(), 5u);
     EXPECT_EQ(out[0].kind, Instr::Kind::Load);
     EXPECT_EQ(out[1].fence, FenceKind::Frm); // fence r,rw
-    EXPECT_EQ(out[2].fence, FenceKind::Fmw); // fence rw,w
+    EXPECT_EQ(out[2].fence, FenceKind::Fww); // fence w,w (Frm covers R->W)
     EXPECT_EQ(out[3].kind, Instr::Kind::Store);
-    EXPECT_EQ(out[4].readAccess, Access::Acquire); // amo.aqrl
-    EXPECT_EQ(out[4].writeAccess, Access::Release);
+    EXPECT_EQ(out[4].readAccess, Access::AcqRel); // amo.aqrl
+    EXPECT_EQ(out[4].writeAccess, Access::AcqRel);
 }
 
 TEST(MappingShapes, GuardsAreInherited)

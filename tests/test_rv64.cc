@@ -1,0 +1,487 @@
+/**
+ * @file
+ * The rv64 host backend, end to end: ISA encode/decode, emitter label
+ * fixups, RVWMO-costed execution on the simulated machine, cross-host
+ * differential runs through the DBT (bit-identical guest behaviour and
+ * verify/opt counter parity against aarch), cross-host snapshot
+ * refusal, and the verifier's emitted-rv64 guarantee extraction
+ * separating the correct mapping from weakened schemes.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dbt/backend.hh"
+#include "dbt/config.hh"
+#include "dbt/dbt.hh"
+#include "dbt/frontend.hh"
+#include "gx86/assembler.hh"
+#include "machine/machine.hh"
+#include "persist/fingerprint.hh"
+#include "persist/snapshot.hh"
+#include "rv64/emitter.hh"
+#include "rv64/isa.hh"
+#include "support/error.hh"
+#include "support/hostisa.hh"
+#include "tcg/optimizer.hh"
+#include "verify/verifier.hh"
+#include "workloads/workloads.hh"
+
+using namespace risotto;
+using machine::Machine;
+using machine::MachineConfig;
+using rv64::RInstr;
+using rv64::ROp;
+using support::HostIsa;
+
+namespace
+{
+
+// --- ISA ----------------------------------------------------------------
+
+TEST(Rv64Isa, EncodeDecodeRoundTripsEveryOp)
+{
+    std::vector<RInstr> sample;
+    auto push = [&](RInstr i) { sample.push_back(i); };
+
+    // Lui's RInstr immediate is the full sign-extended imm20 << 12.
+    push({.op = ROp::Lui, .rd = 5, .imm = 0x12345 << 12});
+    push({.op = ROp::Lui, .rd = 31, .imm = INT32_MIN});
+    push({.op = ROp::Jal, .rd = 1, .imm = -64});
+    for (ROp op : {ROp::Beq, ROp::Bne, ROp::Blt, ROp::Bge, ROp::Bltu,
+                   ROp::Bgeu})
+        push({.op = op, .rs1 = 7, .rs2 = 8, .imm = op == ROp::Beq ? -500
+                                                                  : 500});
+    push({.op = ROp::Lbu, .rd = 9, .rs1 = 10, .imm = -2048});
+    push({.op = ROp::Ld, .rd = 11, .rs1 = 12, .imm = 2040});
+    push({.op = ROp::Sb, .rs1 = 13, .rs2 = 14, .imm = 2047});
+    push({.op = ROp::Sd, .rs1 = 15, .rs2 = 16, .imm = -8});
+    for (ROp op : {ROp::Addi, ROp::Slti, ROp::Sltiu, ROp::Xori, ROp::Ori,
+                   ROp::Andi})
+        push({.op = op, .rd = 17, .rs1 = 18, .imm = -1234});
+    push({.op = ROp::Slli, .rd = 19, .rs1 = 20, .imm = 63});
+    push({.op = ROp::Srli, .rd = 21, .rs1 = 22, .imm = 1});
+    for (ROp op : {ROp::Add, ROp::Sub, ROp::Slt, ROp::Sltu, ROp::Xor,
+                   ROp::Or, ROp::And, ROp::Mul, ROp::Divu})
+        push({.op = op, .rd = 23, .rs1 = 24, .rs2 = 25});
+    push({.op = ROp::Fence, .pred = rv64::FenceR, .succ = rv64::FenceRW});
+    push({.op = ROp::Fence, .pred = rv64::FenceRW, .succ = rv64::FenceRW});
+    push({.op = ROp::Fence, .pred = rv64::FenceW, .succ = rv64::FenceW});
+    push({.op = ROp::Ecall});
+    push({.op = ROp::Ebreak});
+    for (bool aq : {false, true})
+        for (bool rl : {false, true}) {
+            push({.op = ROp::LrD, .rd = 26, .rs1 = 27, .aq = aq, .rl = rl});
+            push({.op = ROp::ScD, .rd = 28, .rs1 = 29, .rs2 = 30, .aq = aq,
+                  .rl = rl});
+            push({.op = ROp::AmoAddD, .rd = 1, .rs1 = 2, .rs2 = 3, .aq = aq,
+                  .rl = rl});
+            push({.op = ROp::AmoSwapD, .rd = 4, .rs1 = 5, .rs2 = 6,
+                  .aq = aq, .rl = rl});
+        }
+    push({.op = ROp::Helper, .imm = 77, .helper = 255});
+    push({.op = ROp::ExitTb, .imm = (1 << 20) - 1});
+
+    for (const RInstr &i : sample) {
+        const std::uint32_t word = rv64::encode(i);
+        const RInstr back = rv64::decode(word);
+        EXPECT_EQ(back.toString(), i.toString());
+        EXPECT_EQ(rv64::encode(back), word);
+    }
+}
+
+TEST(Rv64Isa, EncodePanicsOnFieldOverflow)
+{
+    // Branch displacement past the 12-bit word-offset range.
+    EXPECT_THROW(rv64::encode({.op = ROp::Beq, .imm = 1 << 20}),
+                 PanicError);
+    // I-type immediate past 12 bits.
+    EXPECT_THROW(rv64::encode({.op = ROp::Addi, .rd = 1, .imm = 4096}),
+                 PanicError);
+    EXPECT_THROW(rv64::decode(0xffffffffu), PanicError);
+}
+
+// --- Emitter + machine --------------------------------------------------
+
+/** A one-off rv64 code sequence on the simulated RVWMO machine. */
+struct Rv64Program
+{
+    rv64::CodeBuffer code;
+    gx86::Memory memory;
+    rv64::Emitter em{code};
+
+    Machine
+    makeMachine()
+    {
+        em.finish();
+        MachineConfig config;
+        config.hostIsa = HostIsa::Rv64;
+        return Machine(code, memory, config);
+    }
+};
+
+TEST(Rv64Machine, LiLadderAndArithmetic)
+{
+    Rv64Program p;
+    p.em.li(1, 6);
+    p.em.li(2, 7);
+    p.em.mul(1, 1, 2);
+    p.em.li(0, 0); // exit syscall: x0 = 0, code in x1
+    p.em.ecall();
+    Machine m = p.makeMachine();
+    m.addCore(0);
+    EXPECT_TRUE(m.run());
+    EXPECT_EQ(m.core(0).exitCode, 42);
+}
+
+TEST(Rv64Machine, LiMaterializesWideConstants)
+{
+    // Values needing the full lui/addi/slli ladder, incl. sign-hostile
+    // low halves.
+    for (std::uint64_t value :
+         {std::uint64_t{0}, std::uint64_t{0x800}, std::uint64_t{0xfff},
+          std::uint64_t{0x12345678u}, std::uint64_t{0xdeadbeefcafef00dull},
+          ~std::uint64_t{0}}) {
+        Rv64Program p;
+        p.em.li(1, value);
+        p.em.li(0, 0);
+        p.em.ecall();
+        Machine m = p.makeMachine();
+        m.addCore(0);
+        ASSERT_TRUE(m.run());
+        EXPECT_EQ(static_cast<std::uint64_t>(m.core(0).exitCode), value)
+            << "li 0x" << std::hex << value;
+    }
+}
+
+TEST(Rv64Machine, BranchFixupsResolveForwardAndBackward)
+{
+    Rv64Program p;
+    auto &em = p.em;
+    em.li(1, 0);  // acc
+    em.li(2, 10); // counter
+    em.li(3, 0);  // zero
+    const auto skip = em.newLabel();
+    em.jal(0, skip); // forward fixup over a poison write
+    em.li(1, 999);
+    em.bind(skip);
+    const auto loop = em.newLabel();
+    em.bind(loop);
+    em.add(1, 1, 2);
+    em.addi(2, 2, -1);
+    em.bne(2, 3, loop); // backward branch
+    em.li(0, 0);
+    em.ecall();
+    Machine m = p.makeMachine();
+    m.addCore(0);
+    EXPECT_TRUE(m.run());
+    EXPECT_EQ(m.core(0).exitCode, 55);
+}
+
+TEST(Rv64Machine, LrScAndAmoSemantics)
+{
+    Rv64Program p;
+    auto &em = p.em;
+    em.li(5, 0x400000);
+    em.li(6, 7);
+    em.sd(6, 5, 0);
+    em.amoadd(7, 6, 5, true, true); // x7 <- 7, [x5] <- 14
+    em.lr(8, 5, true, false);       // x8 <- 14
+    em.addi(8, 8, 1);
+    em.sc(9, 8, 5, false, true); // success: x9 <- 0, [x5] <- 15
+    em.ld(10, 5, 0);
+    em.add(1, 7, 10); // 7 + 15
+    em.add(1, 1, 9);  // + sc status (0)
+    em.li(0, 0);
+    em.ecall();
+    Machine m = p.makeMachine();
+    m.addCore(0);
+    EXPECT_TRUE(m.run());
+    EXPECT_EQ(m.core(0).exitCode, 22);
+    EXPECT_EQ(p.memory.load64(0x400000), 15u);
+}
+
+// --- Cross-host differential through the DBT ----------------------------
+
+std::vector<dbt::ThreadSpec>
+fourThreads()
+{
+    std::vector<dbt::ThreadSpec> threads(4);
+    for (std::size_t t = 0; t < threads.size(); ++t)
+        threads[t].regs[0] = t;
+    return threads;
+}
+
+dbt::RunResult
+runUnderHost(const gx86::GuestImage &image, HostIsa host)
+{
+    dbt::DbtConfig config = dbt::DbtConfig::risotto();
+    config.validateTranslations = true;
+    config.host = host;
+    dbt::Dbt engine(image, config);
+    return engine.run(fourThreads());
+}
+
+/** The verify.* / opt.* slice of a run's counters: translation-quality
+ * numbers that must not depend on which host ISA was emitted. */
+std::map<std::string, std::uint64_t>
+qualityCounters(const dbt::RunResult &result)
+{
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &[key, value] : result.stats.all())
+        if (key.rfind("verify.", 0) == 0 || key.rfind("opt.", 0) == 0)
+            out[key] = value;
+    return out;
+}
+
+TEST(Rv64Backend, WorkloadsBitIdenticalAndCounterParityAcrossHosts)
+{
+    std::size_t checked = 0;
+    for (workloads::WorkloadSpec spec : workloads::fullSuite()) {
+        if (checked == 3)
+            break; // Full-suite parity runs in bench/tab_hostbackend.
+        ++checked;
+        spec.iterations = 40;
+        const gx86::GuestImage image =
+            workloads::buildGuestWorkload(spec);
+
+        const auto on_aarch = runUnderHost(image, HostIsa::Aarch);
+        const auto on_rv64 = runUnderHost(image, HostIsa::Rv64);
+
+        ASSERT_TRUE(on_aarch.finished) << spec.name;
+        ASSERT_TRUE(on_rv64.finished) << spec.name;
+        EXPECT_EQ(on_aarch.validationViolations, 0u) << spec.name;
+        EXPECT_EQ(on_rv64.validationViolations, 0u) << spec.name;
+        EXPECT_EQ(on_aarch.exitCodes, on_rv64.exitCodes) << spec.name;
+        EXPECT_EQ(on_aarch.outputs, on_rv64.outputs) << spec.name;
+        EXPECT_GT(on_rv64.stats.get("verify.blocks_checked"), 0u)
+            << spec.name;
+        EXPECT_EQ(qualityCounters(on_aarch), qualityCounters(on_rv64))
+            << spec.name;
+    }
+    EXPECT_EQ(checked, 3u);
+}
+
+// --- Snapshot host keying -----------------------------------------------
+
+gx86::GuestImage
+sampleGuest()
+{
+    gx86::Assembler a;
+    const gx86::Addr buf = a.dataReserve(128);
+    a.defineSymbol("main");
+    a.movri(3, static_cast<std::int64_t>(buf));
+    a.movri(1, 0);
+    a.movri(2, 40);
+    const auto loop = a.newLabel();
+    a.bind(loop);
+    a.load(4, 3, 0);
+    a.add(1, 4);
+    a.store(3, 8, 1);
+    a.addi(1, 3);
+    a.subi(2, 1);
+    a.cmpri(2, 0);
+    a.jcc(gx86::Cond::Gt, loop);
+    a.movri(0, 0);
+    a.movri(1, 0);
+    a.syscall();
+    return a.finish("main");
+}
+
+TEST(Rv64Persist, FingerprintKeysOnHostBackend)
+{
+    dbt::DbtConfig aarch_config = dbt::DbtConfig::risotto();
+    aarch_config.host = HostIsa::Aarch;
+    dbt::DbtConfig rv64_config = aarch_config;
+    rv64_config.host = HostIsa::Rv64;
+    EXPECT_NE(persist::configFingerprint(aarch_config),
+              persist::configFingerprint(rv64_config));
+}
+
+TEST(Rv64Persist, SnapshotRefusesCrossHostLoad)
+{
+    const gx86::GuestImage image = sampleGuest();
+
+    dbt::DbtConfig aarch_config = dbt::DbtConfig::risotto();
+    aarch_config.host = HostIsa::Aarch;
+    dbt::Dbt producer(image, aarch_config);
+    const auto cold = producer.run(fourThreads());
+    ASSERT_TRUE(cold.finished);
+    const auto bytes = persist::serialize(producer.exportSnapshot());
+
+    persist::ParseReport parse_report;
+    const persist::Snapshot snap = persist::parse(bytes, parse_report);
+
+    // Same host: records load.
+    dbt::Dbt same_host(image, aarch_config);
+    const auto accepted = same_host.importSnapshot(snap, true);
+    EXPECT_TRUE(accepted.applied);
+    EXPECT_GT(accepted.loaded, 0u);
+
+    // Other host: aarch-encoded translations must not reach an engine
+    // emitting rv64 -- the fingerprint mismatch refuses the snapshot.
+    dbt::DbtConfig rv64_config = aarch_config;
+    rv64_config.host = HostIsa::Rv64;
+    dbt::Dbt cross_host(image, rv64_config);
+    const auto refused = cross_host.importSnapshot(snap, true);
+    EXPECT_FALSE(refused.applied);
+    EXPECT_EQ(refused.loaded, 0u);
+
+    // And the refusing engine still runs the guest correctly cold.
+    const auto rerun = cross_host.run(fourThreads());
+    EXPECT_TRUE(rerun.finished);
+    EXPECT_EQ(rerun.exitCodes, cold.exitCodes);
+    EXPECT_EQ(rerun.outputs, cold.outputs);
+}
+
+// --- Verifier over emitted rv64 -----------------------------------------
+
+/** Slot allocator for compiling outside an engine: numbers exits. */
+struct DummySlots : dbt::ExitSlotAllocator
+{
+    std::uint32_t next = 1;
+    std::uint32_t staticSlot(std::uint64_t, std::uint64_t, aarch::CodeAddr,
+                             bool) override
+    {
+        return next++;
+    }
+    std::uint32_t dynamicSlot() override { return 0; }
+};
+
+/** Sweep all 16 optimizer ablations of @p config over @p image and
+ * return every violation the validator found against the emitted host
+ * code. */
+std::vector<verify::Violation>
+sweepBlock(const gx86::GuestImage &image, dbt::DbtConfig config)
+{
+    std::vector<verify::Violation> violations;
+    dbt::Frontend frontend(image, config, nullptr);
+    const std::vector<gx86::Instruction> guest =
+        frontend.decodeBlock(image.entry);
+    for (int combo = 0; combo < 16; ++combo) {
+        config.optimizer.fenceMerging = (combo & 1) != 0;
+        config.optimizer.constantFolding = (combo & 2) != 0;
+        config.optimizer.memoryElimination = (combo & 4) != 0;
+        config.optimizer.deadCodeElimination = (combo & 8) != 0;
+
+        tcg::Block block = frontend.translate(image.entry);
+        tcg::optimize(block, config.optimizer);
+
+        aarch::CodeBuffer buffer;
+        DummySlots slots;
+        dbt::Backend backend(buffer, config);
+        const aarch::CodeAddr entry = backend.compile(block, slots);
+        const auto host = verify::decodeHostRange(config.host, buffer,
+                                                  entry, buffer.end());
+
+        verify::ValidatorOptions vo;
+        vo.rmw = config.rmw;
+        const verify::TbValidator validator(vo);
+        const auto report =
+            validator.validate(guest, block, host, image.entry, false);
+        for (const auto &v : report.violations)
+            violations.push_back(v);
+    }
+    return violations;
+}
+
+/** A fence-sensitive block: cross-location W->W and R->R pairs that
+ * TSO orders but an unfenced weak-memory host does not. Deliberately
+ * RMW-free: an atomic in the middle would transitively order every
+ * pair and mask a missing-fence scheme. */
+gx86::GuestImage
+fenceSensitiveGuest()
+{
+    gx86::Assembler a;
+    a.defineSymbol("main");
+    a.movri(0, 0x1000);
+    a.movri(1, 0x2000);
+    a.storei(0, 0, 1);
+    a.load(4, 1, 0);
+    a.store(1, 8, 4);
+    a.load(6, 0, 16);
+    a.hlt();
+    return a.finish("main");
+}
+
+/** A locked-RMW block with surrounding plain accesses, separating the
+ * RMW-lowering schemes. */
+gx86::GuestImage
+rmwGuest()
+{
+    gx86::Assembler a;
+    a.defineSymbol("main");
+    a.movri(0, 0x1000);
+    a.movri(1, 0x2000);
+    a.load(4, 1, 0);
+    a.lockXadd(0, 8, 5);
+    a.lockCmpxchg(0, 16, 6);
+    a.store(1, 8, 4);
+    a.hlt();
+    return a.finish("main");
+}
+
+TEST(Rv64Verify, CorrectMappingValidatesCleanOverEmittedRv64)
+{
+    dbt::DbtConfig config = dbt::DbtConfig::risotto();
+    config.host = HostIsa::Rv64;
+    EXPECT_TRUE(sweepBlock(fenceSensitiveGuest(), config).empty());
+    EXPECT_TRUE(sweepBlock(rmwGuest(), config).empty());
+}
+
+TEST(Rv64Verify, WeakenedSchemesAreFlaggedWithNamedEventPairs)
+{
+    // nofences: plain loads/stores with no ordering instructions.
+    dbt::DbtConfig nofences = dbt::DbtConfig::qemuNoFences();
+    nofences.host = HostIsa::Rv64;
+    const auto unfenced = sweepBlock(fenceSensitiveGuest(), nofences);
+    ASSERT_FALSE(unfenced.empty());
+    for (const auto &v : unfenced) {
+        EXPECT_FALSE(v.from.empty());
+        EXPECT_FALSE(v.to.empty());
+    }
+
+    // qemu-rmw2: the GCC-9 exclusive-pair helper lowering (Section 3).
+    dbt::DbtConfig rmw2 = dbt::DbtConfig::qemu();
+    rmw2.rmw = mapping::RmwLowering::HelperRmw2AL;
+    rmw2.host = HostIsa::Rv64;
+    EXPECT_FALSE(sweepBlock(rmwGuest(), rmw2).empty());
+}
+
+TEST(Rv64Verify, WawEliminationKeepsAccessMatchingInSync)
+{
+    // Regression: WAW memory elimination erases the *earlier* of two
+    // same-address stores. A class-only greedy matcher could bind the
+    // surviving store to the erased store's slot and slide every later
+    // access onto the wrong twin, reporting phantom missing-fence
+    // violations past the block's MFENCEs. The embedding matcher must
+    // validate this shape cleanly on both hosts.
+    gx86::Assembler a;
+    a.defineSymbol("main");
+    a.movri(0, 0x1000);
+    a.movri(1, 0x2000);
+    a.movri(2, 0x3000);
+    a.storei(0, 32, 223);  // erased by WAW elimination
+    a.store(0, 32, 4);     // survivor
+    a.mfence();
+    a.store(1, 0, 5);
+    a.load(4, 2, 48);
+    a.load8(5, 2, 0);
+    a.hlt();
+    const gx86::GuestImage image = a.finish("main");
+
+    for (HostIsa host : {HostIsa::Aarch, HostIsa::Rv64}) {
+        dbt::DbtConfig config = dbt::DbtConfig::risotto();
+        config.host = host;
+        const auto violations = sweepBlock(image, config);
+        EXPECT_TRUE(violations.empty())
+            << support::hostIsaName(host) << ": "
+            << (violations.empty() ? "" : violations.front().toString());
+    }
+}
+
+} // namespace

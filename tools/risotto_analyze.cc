@@ -14,6 +14,9 @@
  *   risotto-analyze --corpus [options]
  *
  *   --variant NAME    qemu | no-fences | tcg-ver | risotto (default)
+ *   --host ISA        host backend: aarch | rv64 (default aarch);
+ *                     certificates are keyed by it (a cert for one host
+ *                     never vouches for the other's emitted code)
  *   --elide           certify the fence-eliding pipeline (the config
  *                     consumers must then run with --analysis-elide)
  *   --cert FILE       write the translation certificate to FILE
@@ -54,6 +57,7 @@
 #include "risotto/risotto.hh"
 #include "support/checksum.hh"
 #include "support/error.hh"
+#include "support/hostisa.hh"
 #include "workloads/litmusimage.hh"
 #include "workloads/workloads.hh"
 
@@ -232,6 +236,7 @@ main(int argc, char **argv)
 {
     std::string image_path;
     std::string variant = "risotto";
+    support::HostIsa host_isa = support::HostIsa::Aarch;
     AnalyzeOptions options;
     bool corpus = false;
     bool elide = false;
@@ -257,7 +262,13 @@ main(int argc, char **argv)
         try {
             if (arg == "--variant")
                 variant = next();
-            else if (arg == "--elide")
+            else if (arg == "--host") {
+                const std::string v = next();
+                const auto parsed = support::parseHostIsa(v);
+                fatalIf(!parsed, "unknown host '" + v +
+                                     "' (expected aarch|rv64)");
+                host_isa = *parsed;
+            } else if (arg == "--elide")
                 elide = true;
             else if (arg == "--cert")
                 options.certOut = next();
@@ -319,6 +330,7 @@ main(int argc, char **argv)
 
     try {
         options.config = configByName(variant);
+        options.config.host = host_isa;
         options.config.analysis = true;
         options.config.analysisElide = elide;
         options.config.decodeCache = decode_cache;
@@ -352,11 +364,16 @@ main(int argc, char **argv)
             for (const auto &[name, value] : stats)
                 std::cout << "  " << name << " = " << value << "\n";
         if (!stats_json.empty()) {
+            std::map<std::string, std::string> merged;
+            for (const auto &[name, value] : stats)
+                merged[name] = std::to_string(value);
+            merged["host"] =
+                "\"" + support::hostIsaName(host_isa) + "\"";
             std::ofstream out(stats_json);
             fatalIf(!out, "cannot open " + stats_json + " for writing");
             out << "{\n";
             bool first = true;
-            for (const auto &[name, value] : stats) {
+            for (const auto &[name, value] : merged) {
                 out << (first ? "" : ",\n") << "  \"" << name
                     << "\": " << value;
                 first = false;

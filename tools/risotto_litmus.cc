@@ -15,6 +15,8 @@
  * Options:
  *   --model NAME   x86 | tcg | arm | arm-orig | sc  (enumeration model)
  *   --stress       also run operationally (x86-flavoured tests only)
+ *   --host ISA     host backend the --stress runs translate for:
+ *                  aarch | rv64 (default aarch)
  *   --schedules N  stress schedules (default 200)
  *   --jobs N       worker threads (default: hardware concurrency);
  *                  multiple tests check in parallel, reported in order
@@ -34,6 +36,7 @@
 #include "models/model.hh"
 #include "risotto/stress.hh"
 #include "support/error.hh"
+#include "support/hostisa.hh"
 #include "support/threadpool.hh"
 
 using namespace risotto;
@@ -66,8 +69,8 @@ modelByName(const std::string &name)
 
 void
 check(const LitmusTest &test, const models::ConsistencyModel &model,
-      bool stress, std::uint64_t schedules, const EnumerateOptions &eopts,
-      std::ostream &out)
+      bool stress, support::HostIsa host, std::uint64_t schedules,
+      const EnumerateOptions &eopts, std::ostream &out)
 {
     out << "=== " << test.program.name << " (model "
         << model.name() << ") ===\n";
@@ -105,9 +108,10 @@ check(const LitmusTest &test, const models::ConsistencyModel &model,
 
     if (stress) {
         for (const auto *label : {"no-fences", "risotto"}) {
-            const auto config = std::string(label) == "risotto"
-                                    ? dbt::DbtConfig::risotto()
-                                    : dbt::DbtConfig::qemuNoFences();
+            auto config = std::string(label) == "risotto"
+                              ? dbt::DbtConfig::risotto()
+                              : dbt::DbtConfig::qemuNoFences();
+            config.host = host;
             const StressResult result =
                 runStress(test.program, config, schedules);
             out << "  stress under " << label << " ("
@@ -130,13 +134,15 @@ check(const LitmusTest &test, const models::ConsistencyModel &model,
 void
 checkAll(const std::vector<LitmusTest> &tests,
          const models::ConsistencyModel &model, bool stress,
-         std::uint64_t schedules, support::ThreadPool &pool)
+         support::HostIsa host, std::uint64_t schedules,
+         support::ThreadPool &pool)
 {
     if (pool.jobs() <= 1 || tests.size() <= 1) {
         EnumerateOptions eopts;
         eopts.pool = &pool; // Within-test parallelism for a lone test.
         for (const LitmusTest &test : tests)
-            check(test, model, stress, schedules, eopts, std::cout);
+            check(test, model, stress, host, schedules, eopts,
+                  std::cout);
         return;
     }
     std::vector<std::ostringstream> reports(tests.size());
@@ -146,8 +152,8 @@ checkAll(const std::vector<LitmusTest> &tests,
         tasks.push_back([&, i] {
             // Tests are the unit of parallelism here; their enumerations
             // stay serial (the pool cannot be re-entered from a task).
-            check(tests[i], model, stress, schedules, EnumerateOptions{},
-                  reports[i]);
+            check(tests[i], model, stress, host, schedules,
+                  EnumerateOptions{}, reports[i]);
         });
     pool.run(std::move(tasks));
     for (const std::ostringstream &report : reports)
@@ -161,6 +167,7 @@ main(int argc, char **argv)
 {
     std::string model_name = "x86";
     bool stress = false;
+    support::HostIsa host_isa = support::HostIsa::Aarch;
     std::uint64_t schedules = 200;
     std::size_t jobs = 0; // 0: hardware concurrency.
     std::vector<std::string> files;
@@ -176,7 +183,13 @@ main(int argc, char **argv)
                 model_name = next();
             else if (arg == "--stress")
                 stress = true;
-            else if (arg == "--schedules") {
+            else if (arg == "--host") {
+                const std::string v = next();
+                const auto parsed = support::parseHostIsa(v);
+                fatalIf(!parsed, "unknown host '" + v +
+                                     "' (expected aarch|rv64)");
+                host_isa = *parsed;
+            } else if (arg == "--schedules") {
                 const std::string v = next();
                 try {
                     schedules = std::stoull(v);
@@ -223,7 +236,7 @@ main(int argc, char **argv)
                 tests.push_back(parseLitmus(buffer.str()));
             }
         }
-        checkAll(tests, model, stress, schedules, pool);
+        checkAll(tests, model, stress, host_isa, schedules, pool);
         return toolExitCode(ToolExit::Ok);
     } catch (const Error &e) {
         std::cerr << "risotto-litmus: " << e.what() << "\n";

@@ -6,6 +6,9 @@
  *
  * Options:
  *   --variant NAME    qemu | no-fences | tcg-ver | risotto  (default risotto)
+ *   --host ISA        host backend: aarch | rv64 (default aarch); selects
+ *                     which simulated host the DBT emits, the machine
+ *                     executes and the validator judges (RVWMO for rv64)
  *   --threads N       number of guest threads (tid in guest r0)
  *   --seed N          machine scheduler seed
  *   --randomize       randomized scheduling / relaxed drains
@@ -93,8 +96,10 @@
 #include "gx86/imagefile.hh"
 #include "persist/snapshot.hh"
 #include "risotto/risotto.hh"
+#include "rv64/isa.hh"
 #include "support/checksum.hh"
 #include "support/error.hh"
+#include "support/hostisa.hh"
 #include "support/threadpool.hh"
 #include "tcg/optimizer.hh"
 #include "verify/batch.hh"
@@ -209,7 +214,8 @@ validateOne(const gx86::GuestImage &image, const dbt::DbtConfig &config,
     SweepSlots slots;
     dbt::Backend backend(buffer, config);
     const aarch::CodeAddr entry = backend.compile(block, slots);
-    const auto host = verify::decodeRange(buffer, entry, buffer.end());
+    const auto host =
+        verify::decodeHostRange(config.host, buffer, entry, buffer.end());
 
     verify::ValidatorOptions vo;
     vo.rmw = config.rmw;
@@ -235,6 +241,7 @@ main(int argc, char **argv)
 {
     std::string image_path;
     std::string variant = "risotto";
+    support::HostIsa host_isa = support::HostIsa::Aarch;
     std::size_t threads = 1;
     machine::MachineConfig mc;
     FaultPlan faults;
@@ -290,7 +297,13 @@ main(int argc, char **argv)
         try {
             if (arg == "--variant")
                 variant = next();
-            else if (arg == "--threads")
+            else if (arg == "--host") {
+                const std::string v = next();
+                const auto parsed = support::parseHostIsa(v);
+                fatalIf(!parsed, "unknown host '" + v +
+                                     "' (expected aarch|rv64)");
+                host_isa = *parsed;
+            } else if (arg == "--threads")
                 threads = nextU64();
             else if (arg == "--seed")
                 mc.seed = nextU64();
@@ -345,12 +358,18 @@ main(int argc, char **argv)
                 tb_cache_readonly = true;
             else if (arg == "--tb-cache-verify")
                 tb_cache_verify = true;
-            else if (arg == "--trace")
+            else if (arg == "--trace") {
                 mc.trace = [](const machine::Core &core,
                               const aarch::AInstr &in) {
                     std::cerr << "[core " << core.id << " @" << core.pc
                               << "] " << in.toString() << "\n";
                 };
+                mc.traceRv64 = [](const machine::Core &core,
+                                  const rv64::RInstr &in) {
+                    std::cerr << "[core " << core.id << " @" << core.pc
+                              << "] " << in.toString() << "\n";
+                };
+            }
             else if (arg == "--disasm")
                 want_disasm = true;
             else if (arg == "--emit-demo") {
@@ -387,6 +406,7 @@ main(int argc, char **argv)
         }
         EmulatorOptions options;
         options.config = configByName(variant);
+        options.config.host = host_isa;
         options.config.hostLinker =
             options.config.hostLinker && use_linker;
         options.config.faults = faults;
@@ -537,6 +557,7 @@ main(int argc, char **argv)
                 std::cout << result.outputs[t];
         }
         std::cout << "[risotto-run] variant=" << variant
+                  << " host=" << support::hostIsaName(host_isa)
                   << " threads=" << threads
                   << " finished=" << (result.finished ? "yes" : "no")
                   << " diagnosis="
@@ -708,6 +729,8 @@ main(int argc, char **argv)
                  emulator.engine().stats().all())
                 merged[name] = std::to_string(value);
             merged["guest_insns"] = std::to_string(guest_insns);
+            merged["host"] =
+                "\"" + support::hostIsaName(host_isa) + "\"";
             merged["ns_per_guest_insn"] = ns_per_insn_str;
             merged["time_to_first_dispatch_ns"] = std::to_string(
                 emulator.engine().stats().get(

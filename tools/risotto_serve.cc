@@ -18,6 +18,9 @@
  *                     unbounded)
  *   --threads N       guest threads per session (default 1)
  *   --variant NAME    qemu | no-fences | tcg-ver | risotto
+ *   --host ISA        host backend: aarch | rv64 (default aarch); the
+ *                     shared artifact is compiled for it and every
+ *                     session's machine executes it
  *   --seed N          service seed; per-session machine/backoff streams
  *                     derive from (seed, session id)
  *   --insn-budget N   retired-instruction budget per core; exceeding it
@@ -62,12 +65,14 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "gx86/imagefile.hh"
 #include "serve/manager.hh"
 #include "support/error.hh"
+#include "support/hostisa.hh"
 
 using namespace risotto;
 
@@ -109,6 +114,7 @@ main(int argc, char **argv)
 {
     std::string image_path;
     std::string variant = "risotto";
+    support::HostIsa host_isa = support::HostIsa::Aarch;
     serve::ServeConfig config;
     config.sessions = 8;
     serve::ArtifactConfig artifact_config;
@@ -160,7 +166,13 @@ main(int argc, char **argv)
                     static_cast<std::size_t>(nextU64());
             else if (arg == "--variant")
                 variant = next();
-            else if (arg == "--seed")
+            else if (arg == "--host") {
+                const std::string v = next();
+                const auto parsed = support::parseHostIsa(v);
+                fatalIf(!parsed, "unknown host '" + v +
+                                     "' (expected aarch|rv64)");
+                host_isa = *parsed;
+            } else if (arg == "--seed")
                 config.session.seed = nextU64();
             else if (arg == "--insn-budget")
                 config.session.insnBudget = nextU64();
@@ -231,6 +243,7 @@ main(int argc, char **argv)
 
     try {
         artifact_config.config = configByName(variant);
+        artifact_config.config.host = host_isa;
         artifact_config.config.templateTier = template_tier;
         artifact_config.config.analysis = analysis_on;
         artifact_config.config.analysisElide = analysis_elide;
@@ -249,6 +262,7 @@ main(int argc, char **argv)
         const auto &persist = artifact.persistReport();
         std::cout << "[risotto-serve] artifact mode="
                   << serve::artifactModeName(artifact.mode())
+                  << " host=" << support::hostIsaName(host_isa)
                   << " blocks=" << artifact.cache().size();
         if (!artifact_config.snapshotPath.empty())
             std::cout << " snapshot-loaded=" << persist.loaded
@@ -339,11 +353,18 @@ main(int argc, char **argv)
             for (const auto &[name, value] : report.stats.all())
                 std::cout << "  " << name << " = " << value << "\n";
         if (!stats_json.empty()) {
+            // Key-sorted like the counters; host rides along as the one
+            // string-valued key.
+            std::map<std::string, std::string> merged;
+            for (const auto &[name, value] : report.stats.all())
+                merged[name] = std::to_string(value);
+            merged["host"] =
+                "\"" + support::hostIsaName(host_isa) + "\"";
             std::ofstream out(stats_json);
             fatalIf(!out, "cannot open " + stats_json + " for writing");
             out << "{\n";
             bool first = true;
-            for (const auto &[name, value] : report.stats.all()) {
+            for (const auto &[name, value] : merged) {
                 out << (first ? "" : ",\n") << "  \"" << name
                     << "\": " << value;
                 first = false;

@@ -16,6 +16,10 @@
  * Options:
  *   --scheme NAME   risotto | risotto-rmw2 | tcg-ver | qemu | qemu-rmw2 |
  *                   nofences | figure3           (default risotto)
+ *   --host ISA      host backend: aarch | rv64 (default aarch). With
+ *                   rv64 the emitted RISC-V code is judged under the
+ *                   RVWMO ppo; figure3 is aarch-only (it audits the
+ *                   desired *Arm* mapping, not a pipeline)
  *   --blocks N      random blocks to check       (default 1000)
  *   --seed N        RNG seed                     (default 1)
  *   --amo-rule R    corrected | original  (default corrected; figure3
@@ -28,7 +32,8 @@
  *                   order -- output and exit code are identical at any
  *                   job count.
  *
- * Expected outcomes (the paper's Figures 2/3/7 in executable form):
+ * Expected outcomes (the paper's Figures 2/3/7 in executable form),
+ * identical under --host=aarch and --host=rv64:
  *   risotto / risotto-rmw2 / tcg-ver / qemu  -- clean (exit 0)
  *   nofences                                 -- flagged (exit 3)
  *   qemu-rmw2  (the GCC-9 exclusive-pair helper, Section 3) -- flagged
@@ -46,6 +51,7 @@
 #include "dbt/frontend.hh"
 #include "gx86/assembler.hh"
 #include "support/error.hh"
+#include "support/hostisa.hh"
 #include "support/threadpool.hh"
 #include "tcg/optimizer.hh"
 #include "verify/verifier.hh"
@@ -224,7 +230,8 @@ checkBlock(const gx86::GuestImage &image, const dbt::DbtConfig &base_config,
         DummySlots slots;
         dbt::Backend backend(buffer, config);
         const aarch::CodeAddr entry = backend.compile(block, slots);
-        const auto host = verify::decodeRange(buffer, entry, buffer.end());
+        const auto host = verify::decodeHostRange(config.host, buffer,
+                                                  entry, buffer.end());
 
         verify::ValidatorOptions vo;
         vo.rmw = config.rmw;
@@ -246,6 +253,7 @@ int
 main(int argc, char **argv)
 {
     std::string scheme = "risotto";
+    support::HostIsa host_isa = support::HostIsa::Aarch;
     std::uint64_t blocks = 1000;
     std::uint64_t seed = 1;
     std::size_t jobs = 0; // 0: hardware concurrency.
@@ -270,7 +278,13 @@ main(int argc, char **argv)
         try {
             if (arg == "--scheme")
                 scheme = next();
-            else if (arg == "--blocks")
+            else if (arg == "--host") {
+                const std::string v = next();
+                const auto parsed = support::parseHostIsa(v);
+                fatalIf(!parsed, "unknown host '" + v +
+                                     "' (expected aarch|rv64)");
+                host_isa = *parsed;
+            } else if (arg == "--blocks")
                 blocks = nextU64();
             else if (arg == "--seed")
                 seed = nextU64();
@@ -296,6 +310,9 @@ main(int argc, char **argv)
 
     try {
         const bool figure3 = scheme == "figure3";
+        fatalIf(figure3 && host_isa != support::HostIsa::Aarch,
+                "figure3 audits the desired Arm mapping; it has no "
+                "--host=rv64 form");
         if (amo_name.empty())
             amo_name = figure3 ? "original" : "corrected";
         models::ArmModel::AmoRule amo_rule;
@@ -307,7 +324,8 @@ main(int argc, char **argv)
             fatal("unknown amo rule '" + amo_name +
                   "' (expected corrected|original)");
 
-        const dbt::DbtConfig config = configByScheme(scheme);
+        dbt::DbtConfig config = configByScheme(scheme);
+        config.host = host_isa;
 
         // Generate every block image serially from the one seeded rng:
         // the stream -- and thus the corpus -- is identical no matter
@@ -345,6 +363,7 @@ main(int argc, char **argv)
             std::cout << "  ... and " << total_violations - shown
                       << " more\n";
         std::cout << "[risotto-verify] scheme=" << scheme
+                  << " host=" << support::hostIsaName(host_isa)
                   << " amo-rule=" << amo_name << " blocks=" << blocks
                   << " seed=" << seed
                   << " translations-checked=" << combos_run
